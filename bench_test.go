@@ -1,0 +1,302 @@
+// Benchmarks that regenerate every table and figure of the paper's
+// evaluation. Each BenchmarkFigXX runs the corresponding experiment driver
+// end to end, so `go test -bench=. -benchmem` doubles as the full
+// reproduction sweep; see EXPERIMENTS.md for the recorded outputs.
+package culpeo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"culpeo"
+	"culpeo/internal/expt"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+func BenchmarkFig01b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig1b(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig03(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		r := expt.Fig3()
+		if len(r.Banks) == 0 {
+			b.Fatal("no banks")
+		}
+	}
+}
+
+func BenchmarkFig04(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig4(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig05(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig06(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig6(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable03(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := expt.Tbl3(); len(rows) != 27 {
+			b.Fatal("bad catalogue")
+		}
+	}
+}
+
+func BenchmarkFig10(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig10(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig11(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// The application benchmarks use a trimmed horizon (45 s, one trial) so the
+// full bench sweep stays minutes-scale; `cmd/culpeo fig12` runs the paper's
+// full five-minute, three-trial version.
+func BenchmarkFig12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig12(expt.Fig12Opts{Horizon: 45, Trials: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Fig13(expt.Fig12Opts{Horizon: 45, Trials: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecoupling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Decoupling(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- ablation benches: design choices called out in DESIGN.md -----------
+
+// BenchmarkAblationTimestep measures the cost of finer integration steps.
+func BenchmarkAblationTimestep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.TimestepSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationADCBits measures the resolution sweep.
+func BenchmarkAblationADCBits(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.ADCBitsSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationISRPeriod measures the sampling-period sweep.
+func BenchmarkAblationISRPeriod(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.ISRPeriodSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblationESRLoss measures the Algorithm 1 I²R comparison.
+func BenchmarkAblationESRLoss(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.ESRLossSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- micro-benchmarks: the hot paths under everything -------------------
+
+// BenchmarkSimStepSingleBranch exercises the closed-form quadratic path.
+func BenchmarkSimStepSingleBranch(b *testing.B) {
+	sys, err := powersys.New(powersys.Capybara())
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(10e-3, 1e-3)
+		if i%1_000_000 == 0 {
+			_ = sys.ChargeTo(2.4) // keep the buffer alive
+		}
+	}
+}
+
+// BenchmarkSimStepMultiBranch exercises the general bisection node solver
+// (main bank + decoupling branch).
+func BenchmarkSimStepMultiBranch(b *testing.B) {
+	net, err := culpeo.NewNetwork(
+		&culpeo.Branch{Name: "main", C: 45e-3, ESR: 5, Voltage: 2.4},
+		&culpeo.Branch{Name: "dec", C: 400e-6, ESR: 0.05, Voltage: 2.4},
+	)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := powersys.Capybara()
+	cfg.Storage = net
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys.Step(10e-3, 1e-3)
+		if i%1_000_000 == 0 {
+			_ = sys.ChargeTo(2.4)
+		}
+	}
+}
+
+// BenchmarkVSafePG measures Algorithm 1 on a 125 kHz LoRa trace.
+func BenchmarkVSafePG(b *testing.B) {
+	model := culpeo.ModelFor(culpeo.Capybara())
+	tr := load.Sample(load.LoRa(), 125e3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := culpeo.VSafePG(model, tr); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVSafeR measures the runtime calculation — the cost the MCU pays.
+func BenchmarkVSafeR(b *testing.B) {
+	model := culpeo.ModelFor(culpeo.Capybara())
+	obs := culpeo.Observation{VStart: 2.4, VMin: 1.95, VFinal: 2.25}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := culpeo.VSafeR(model, obs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkVSafeMulti measures sequence composition for an 8-task chain.
+func BenchmarkVSafeMulti(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	tasks := make([]culpeo.TaskReq, 8)
+	for i := range tasks {
+		tasks[i] = culpeo.TaskReq{VE: rng.Float64() * 0.2, VDelta: rng.Float64() * 0.4}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = culpeo.VSafeMulti(1.6, tasks)
+	}
+}
+
+// BenchmarkGroundTruth measures the brute-force search the estimators are
+// judged against.
+func BenchmarkGroundTruth(b *testing.B) {
+	h, err := culpeo.NewHarness(culpeo.Capybara())
+	if err != nil {
+		b.Fatal(err)
+	}
+	task := culpeo.PulseLoad(25e-3, 10e-3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.GroundTruth(task); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharact measures the §IV-B impedance characterization sweep.
+func BenchmarkCharact(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Charact(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReprofile measures the §V-B re-profiling experiment.
+func BenchmarkReprofile(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Reprofile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkIntermittent measures the dispatch-gate comparison (trimmed
+// 20 s horizon; `cmd/culpeo intermittent` runs the full version).
+func BenchmarkIntermittent(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Intermittent(20); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDecompose measures the task-division sweep.
+func BenchmarkDecompose(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.Decompose(60); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCharacterizeModel measures the full power-model measurement.
+func BenchmarkCharacterizeModel(b *testing.B) {
+	cfg := culpeo.Capybara()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := culpeo.Characterize(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFutureWork measures the §IX extension demonstrations.
+func BenchmarkFutureWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := expt.ChargeTypes(); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := expt.Probabilistic(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,225 @@
+// Command culpeo regenerates the paper's tables and figures from the
+// simulation substrate. Each subcommand corresponds to one element of the
+// evaluation:
+//
+//	culpeo fig1b       ESR drop and rebound decomposition (Figure 1b)
+//	culpeo fig3        capacitor technology sweep (Figure 3)
+//	culpeo fig4        power-off despite stored energy (Figure 4)
+//	culpeo fig5        CatNap's feasible schedule failing (Figure 5)
+//	culpeo fig6        energy-only V_safe error (Figure 6)
+//	culpeo tbl3        the evaluation load catalogue (Table III)
+//	culpeo fig10       V_safe error, all estimators (Figure 10)
+//	culpeo fig11       real-peripheral validation (Figure 11)
+//	culpeo fig12       full-application event capture (Figure 12)
+//	culpeo fig13       capture vs event rate (Figure 13)
+//	culpeo decoupling  decoupling-capacitance sweep (Section II-D)
+//	culpeo ablations   design-choice ablations (timestep, ADC bits, ISR period)
+//	culpeo charact     power-system impedance characterization (Section IV-B)
+//	culpeo reprofile   re-profiling under changing harvest (Section V-B)
+//	culpeo intermittent  intermittent-execution gates + task division (Section I/III)
+//	culpeo futurework  §IX extensions: charge-state typing, probabilistic bounds
+//	culpeo all         everything above
+//
+// Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
+// the application experiments; -points dumps Figure 3's full point cloud.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"culpeo/internal/expt"
+)
+
+func main() {
+	fs := flag.NewFlagSet("culpeo", flag.ExitOnError)
+	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
+	horizon := fs.Float64("horizon", 0, "application experiment horizon in seconds (0 = paper's 300 s)")
+	trials := fs.Int("trials", 0, "application experiment trials (0 = paper's 3)")
+	points := fs.Bool("points", false, "with fig3: dump the full point cloud")
+	fs.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent futurework all\n\nflags:\n")
+		fs.PrintDefaults()
+	}
+	args := os.Args[1:]
+	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
+	var cmds []string
+	var flagArgs []string
+	for _, a := range args {
+		if len(a) > 0 && a[0] == '-' {
+			flagArgs = append(flagArgs, a)
+		} else {
+			cmds = append(cmds, a)
+		}
+	}
+	if err := fs.Parse(flagArgs); err != nil {
+		os.Exit(2)
+	}
+	if len(cmds) == 0 {
+		fs.Usage()
+		os.Exit(2)
+	}
+
+	out := os.Stdout
+	opt := expt.Fig12Opts{Horizon: *horizon, Trials: *trials}
+	for _, cmd := range cmds {
+		if err := run(out, cmd, *csv, *points, opt); err != nil {
+			fmt.Fprintf(os.Stderr, "culpeo %s: %v\n", cmd, err)
+			os.Exit(1)
+		}
+	}
+}
+
+func emit(w io.Writer, t *expt.Table, csv bool) error {
+	if csv {
+		return t.CSV(w)
+	}
+	return t.Render(w)
+}
+
+func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
+	switch cmd {
+	case "fig1b":
+		r, err := expt.Fig1b()
+		if err != nil {
+			return err
+		}
+		return emit(w, r.Table(), csv)
+	case "fig3":
+		r := expt.Fig3()
+		if points {
+			return emit(w, r.Points(), csv)
+		}
+		return emit(w, r.Table(), csv)
+	case "fig4":
+		r, err := expt.Fig4()
+		if err != nil {
+			return err
+		}
+		return emit(w, r.Table(), csv)
+	case "fig5":
+		r, err := expt.Fig5()
+		if err != nil {
+			return err
+		}
+		return emit(w, r.Table(), csv)
+	case "fig6":
+		rows, err := expt.Fig6()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.Fig6Table(rows), csv)
+	case "tbl3":
+		return emit(w, expt.Tbl3Table(expt.Tbl3()), csv)
+	case "fig10":
+		rows, err := expt.Fig10()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.Fig10Table(rows), csv)
+	case "fig11":
+		rows, err := expt.Fig11()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.Fig11Table(rows), csv)
+	case "fig12":
+		rows, err := expt.Fig12(opt)
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.Fig12Table(rows), csv)
+	case "fig13":
+		rows, err := expt.Fig13(opt)
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.Fig13Table(rows), csv)
+	case "decoupling":
+		rows, err := expt.Decoupling()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.DecouplingTable(rows), csv)
+	case "ablations":
+		ts, err := expt.TimestepSweep()
+		if err != nil {
+			return err
+		}
+		if err := emit(w, expt.TimestepTable(ts), csv); err != nil {
+			return err
+		}
+		ab, err := expt.ADCBitsSweep()
+		if err != nil {
+			return err
+		}
+		if err := emit(w, expt.ADCBitsTable(ab), csv); err != nil {
+			return err
+		}
+		ip, err := expt.ISRPeriodSweep()
+		if err != nil {
+			return err
+		}
+		if err := emit(w, expt.ISRPeriodTable(ip), csv); err != nil {
+			return err
+		}
+		el, err := expt.ESRLossSweep()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.ESRLossTable(el), csv)
+	case "reprofile":
+		rows, err := expt.Reprofile()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.ReprofileTable(rows), csv)
+	case "intermittent":
+		rows, err := expt.Intermittent(60)
+		if err != nil {
+			return err
+		}
+		if err := emit(w, expt.IntermittentTable(rows), csv); err != nil {
+			return err
+		}
+		dec, err := expt.Decompose(120)
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.DecomposeTable(dec), csv)
+	case "futurework":
+		ct, err := expt.ChargeTypes()
+		if err != nil {
+			return err
+		}
+		if err := emit(w, ct.Table(), csv); err != nil {
+			return err
+		}
+		pr, err := expt.Probabilistic()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.ProbTable(pr), csv)
+	case "charact":
+		rows, err := expt.Charact()
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.CharactTable(rows), csv)
+	case "all":
+		for _, c := range []string{
+			"fig1b", "fig3", "fig4", "fig5", "fig6", "tbl3",
+			"fig10", "fig11", "fig12", "fig13", "decoupling", "ablations",
+			"charact", "reprofile", "intermittent", "futurework",
+		} {
+			if err := run(w, c, csv, points, opt); err != nil {
+				return err
+			}
+		}
+		return nil
+	default:
+		return fmt.Errorf("unknown experiment %q", cmd)
+	}
+}

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"culpeo/internal/expt"
+)
+
+func TestRunFastExperiments(t *testing.T) {
+	// The cheap subcommands end to end, in both output modes.
+	opt := expt.Fig12Opts{Horizon: 10, Trials: 1}
+	for _, cmd := range []string{"fig1b", "fig3", "fig4", "fig5", "tbl3", "decoupling"} {
+		for _, csv := range []bool{false, true} {
+			var sb strings.Builder
+			if err := run(&sb, cmd, csv, false, opt); err != nil {
+				t.Fatalf("%s (csv=%v): %v", cmd, csv, err)
+			}
+			if sb.Len() == 0 {
+				t.Errorf("%s produced no output", cmd)
+			}
+			if !csv && !strings.Contains(sb.String(), "\n---") && !strings.Contains(sb.String(), "===") {
+				t.Errorf("%s text output lacks table framing", cmd)
+			}
+		}
+	}
+}
+
+func TestRunFig3Points(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "fig3", true, true, expt.Fig12Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(sb.String(), "volume_mm3,") {
+		t.Errorf("point cloud header missing: %q", sb.String()[:40])
+	}
+	// 2000 parts → 2000 rows + header.
+	if n := strings.Count(sb.String(), "\n"); n < 1500 {
+		t.Errorf("point cloud rows = %d", n)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	var sb strings.Builder
+	if err := run(&sb, "fig99", false, false, expt.Fig12Opts{}); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}

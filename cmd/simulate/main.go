@@ -1,0 +1,127 @@
+// Command simulate runs the power-system simulator on a load profile and
+// streams the voltage/current trace as CSV — the in-silico equivalent of
+// hooking a logic analyzer to the capacitor rail.
+//
+//	simulate -i 50mA -t 100ms -vstart 2.3 > trace.csv
+//	simulate -peripheral ble -vstart 2.0 -esr 5 -dec 400uF
+//
+// Columns: t_s, v_term_V, v_oc_V, i_load_A, i_in_A.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/trace"
+	"culpeo/internal/units"
+)
+
+func main() {
+	var (
+		iStr       = flag.String("i", "50mA", "load current")
+		tStr       = flag.String("t", "100ms", "pulse duration")
+		shape      = flag.String("shape", "uniform", "load shape: uniform | pulse")
+		peripheral = flag.String("peripheral", "", "peripheral profile: gesture | ble | mnist | lora")
+		vStart     = flag.Float64("vstart", 2.4, "starting voltage (V)")
+		cStr       = flag.String("c", "45mF", "buffer capacitance")
+		esr        = flag.Float64("esr", 5.0, "buffer ESR (Ω)")
+		decStr     = flag.String("dec", "0", "decoupling capacitance (e.g. 400uF; 0 = none)")
+		harvest    = flag.Float64("harvest", 0, "harvested power (W)")
+		every      = flag.Int("every", 4, "keep one sample per N steps")
+		rebound    = flag.Bool("rebound", true, "record the post-load rebound")
+		plot       = flag.Bool("plot", false, "render an ASCII voltage chart to stderr instead of CSV to stdout")
+	)
+	flag.Parse()
+
+	task, err := pickLoad(*peripheral, *iStr, *tStr, *shape)
+	if err != nil {
+		fatal(err)
+	}
+	c, err := units.Parse(*cStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -c: %w", err))
+	}
+	dec, err := units.Parse(*decStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -dec: %w", err))
+	}
+
+	branches := []*capacitor.Branch{{Name: "main", C: c, ESR: *esr, Voltage: *vStart}}
+	if dec > 0 {
+		branches = append(branches, &capacitor.Branch{Name: "decoupling", C: dec, ESR: 0.05, Voltage: *vStart})
+	}
+	net, err := capacitor.NewNetwork(branches...)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := powersys.Capybara()
+	cfg.Storage = net
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sys.Monitor().Force(true)
+
+	rec := trace.NewRecorder(*every)
+	res := sys.Run(task, powersys.RunOptions{
+		HarvestPower: *harvest,
+		Recorder:     rec,
+		SkipRebound:  !*rebound,
+	})
+
+	if *plot {
+		if err := rec.Plot(os.Stderr, trace.PlotOptions{
+			Marker: cfg.VOff, MarkerLabel: "V_off",
+		}); err != nil {
+			fatal(err)
+		}
+	} else {
+		w := bufio.NewWriter(os.Stdout)
+		defer w.Flush()
+		if err := rec.WriteCSV(w); err != nil {
+			fatal(err)
+		}
+	}
+	fmt.Fprintf(os.Stderr,
+		"simulate: %s from %.3f V: completed=%v v_min=%.3f v_final=%.3f energy_used=%s samples=%d\n",
+		task.Name(), res.VStart, res.Completed, res.VMin, res.VFinal,
+		units.Format(res.EnergyUsed, "J"), rec.Len())
+}
+
+func pickLoad(peripheral, iStr, tStr, shape string) (load.Profile, error) {
+	switch peripheral {
+	case "gesture":
+		return load.Gesture(), nil
+	case "ble":
+		return load.BLERadio(), nil
+	case "mnist":
+		return load.ComputeAccel(), nil
+	case "lora":
+		return load.LoRa(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown peripheral %q", peripheral)
+	}
+	i, err := units.Parse(iStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -i: %w", err)
+	}
+	t, err := units.Parse(tStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -t: %w", err)
+	}
+	if shape == "pulse" {
+		return load.NewPulse(i, t), nil
+	}
+	return load.NewUniform(i, t), nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "simulate:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,34 @@
+package main
+
+import "testing"
+
+func TestPickLoad(t *testing.T) {
+	p, err := pickLoad("", "50mA", "100ms", "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration() != 0.1 {
+		t.Errorf("duration = %g", p.Duration())
+	}
+	p, err = pickLoad("", "25mA", "10ms", "pulse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration() != 0.11 {
+		t.Errorf("pulse duration = %g", p.Duration())
+	}
+	for _, name := range []string{"gesture", "ble", "mnist", "lora"} {
+		if _, err := pickLoad(name, "", "", ""); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+	if _, err := pickLoad("ghost", "", "", ""); err == nil {
+		t.Error("unknown peripheral accepted")
+	}
+	if _, err := pickLoad("", "bad", "10ms", "uniform"); err == nil {
+		t.Error("bad current accepted")
+	}
+	if _, err := pickLoad("", "5mA", "bad", "uniform"); err == nil {
+		t.Error("bad duration accepted")
+	}
+}

@@ -1,0 +1,184 @@
+// Command vsafe computes the safe starting voltage for a load profile on a
+// configurable power system, comparing Culpeo's estimators with the
+// energy-only baselines and the brute-force ground truth.
+//
+//	vsafe -i 50mA -t 10ms -shape pulse
+//	vsafe -i 25mA -t 100ms -shape uniform -c 33mF -esr 3 -voff 1.8
+//	vsafe -peripheral ble
+//
+// The output lists, for each estimator: the V_safe estimate, its error
+// versus ground truth as a percentage of the operating range, and whether a
+// task launched at the estimate survives.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"culpeo/internal/baseline"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/expt"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+	"culpeo/internal/units"
+)
+
+func main() {
+	var (
+		iStr       = flag.String("i", "25mA", "load current (e.g. 50mA)")
+		tStr       = flag.String("t", "10ms", "pulse duration (e.g. 100ms)")
+		shape      = flag.String("shape", "pulse", "load shape: uniform | pulse (pulse adds 100ms of 1.5mA compute)")
+		peripheral = flag.String("peripheral", "", "use a peripheral profile instead: gesture | ble | mnist | lora")
+		traceFile  = flag.String("trace", "", "use a captured current trace (CSV: current_A rows, or time_s,current_A)")
+		traceRate  = flag.Float64("rate", 125e3, "sample rate for one-column -trace files (Hz)")
+		cStr       = flag.String("c", "45mF", "buffer capacitance")
+		esr        = flag.Float64("esr", 5.0, "buffer ESR in ohms")
+		vOff       = flag.Float64("voff", 1.6, "power-off threshold (V)")
+		vHigh      = flag.Float64("vhigh", 2.56, "fully-charged voltage (V)")
+		life       = flag.Float64("age", 0, "capacitor life fraction consumed [0..1] (C fades, ESR doubles)")
+	)
+	flag.Parse()
+
+	var task load.Profile
+	if *traceFile != "" {
+		f, err := os.Open(*traceFile)
+		if err != nil {
+			fatal(err)
+		}
+		tr, err := load.TraceFromCSV(f, *traceFile, *traceRate)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		task = tr
+	} else {
+		var err error
+		task, err = pickLoad(*peripheral, *iStr, *tStr, *shape)
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	c, err := units.Parse(*cStr)
+	if err != nil {
+		fatal(fmt.Errorf("bad -c: %w", err))
+	}
+	aging := capacitor.Aging{LifeFraction: *life}
+	aged := aging.Apply(capacitor.Branch{Name: "main", C: c, ESR: *esr})
+	aged.Voltage = *vHigh
+	net, err := capacitor.NewNetwork(&aged)
+	if err != nil {
+		fatal(err)
+	}
+	cfg := powersys.Capybara()
+	cfg.Storage = net
+	cfg.VOff, cfg.VHigh = *vOff, *vHigh
+
+	h, err := harness.New(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	model := core.PowerModel{
+		C:     c, // nominal; aging passed to the model separately
+		ESR:   capacitor.Flat(*esr),
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   cfg.Output.Efficiency,
+		Aging: aging,
+	}
+
+	fmt.Printf("load: %s   buffer: %s @ %s (aged ×%.2f ESR)   window: %.2f–%.2f V\n\n",
+		task.Name(), units.FormatF(aged.C), units.FormatOhm(aged.ESR),
+		aging.ESRFactor(), cfg.VOff, cfg.VHigh)
+
+	gt, err := h.GroundTruth(task)
+	if err != nil {
+		fatal(fmt.Errorf("this load cannot run on this buffer at any voltage: %w", err))
+	}
+
+	tbl := &expt.Table{
+		Header: []string{"estimator", "V_safe", "error %", "launch outcome"},
+	}
+	tbl.Add("ground truth (brute force)", fmt.Sprintf("%.3f", gt), "0.0", "completes")
+
+	addRow := func(name string, v float64) {
+		res := h.RunAt(clamp(v, cfg.VOff, cfg.VHigh), task, powersys.RunOptions{SkipRebound: true})
+		outcome := "POWER FAILURE"
+		if res.Completed && res.VMin >= cfg.VOff {
+			outcome = fmt.Sprintf("completes (V_min %.3f)", res.VMin)
+		}
+		tbl.Add(name, fmt.Sprintf("%.3f", v), fmt.Sprintf("%+.1f", h.ErrorPercent(v, gt)), outcome)
+	}
+
+	pg := profiler.PG{Model: model}
+	if est, err := pg.Estimate(task); err == nil {
+		addRow("Culpeo-PG", est.VSafe)
+	}
+	sys := h.NewSystem()
+	sys.Monitor().Force(true)
+	if est, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0); err == nil {
+		addRow("Culpeo-R (ISR)", est.VSafe)
+	}
+	sys = h.NewSystem()
+	sys.Monitor().Force(true)
+	if est, err := profiler.REstimate(model, sys, profiler.NewUArchProbe(sys.VTerm), task, 0); err == nil {
+		addRow("Culpeo-R (µArch)", est.VSafe)
+	}
+	for _, k := range baseline.Kinds() {
+		addRow(k.String(), baseline.Estimate(k, h, task))
+	}
+	if err := tbl.Render(os.Stdout); err != nil {
+		fatal(err)
+	}
+}
+
+func pickLoad(peripheral, iStr, tStr, shape string) (load.Profile, error) {
+	switch peripheral {
+	case "gesture":
+		return load.Gesture(), nil
+	case "ble":
+		return load.BLERadio(), nil
+	case "mnist":
+		return load.ComputeAccel(), nil
+	case "lora":
+		return load.LoRa(), nil
+	case "":
+	default:
+		return nil, fmt.Errorf("unknown peripheral %q", peripheral)
+	}
+	i, err := units.Parse(iStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -i: %w", err)
+	}
+	t, err := units.Parse(tStr)
+	if err != nil {
+		return nil, fmt.Errorf("bad -t: %w", err)
+	}
+	switch shape {
+	case "uniform":
+		return load.NewUniform(i, t), nil
+	case "pulse":
+		return load.NewPulse(i, t), nil
+	}
+	return nil, fmt.Errorf("unknown shape %q", shape)
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "vsafe:", err)
+	os.Exit(1)
+}

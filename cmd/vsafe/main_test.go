@@ -1,0 +1,55 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestPickLoadSynthetic(t *testing.T) {
+	p, err := pickLoad("", "25mA", "10ms", "pulse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration() != 0.11 { // 10 ms pulse + 100 ms tail
+		t.Errorf("pulse duration = %g", p.Duration())
+	}
+	p, err = pickLoad("", "5mA", "100ms", "uniform")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Duration() != 0.1 {
+		t.Errorf("uniform duration = %g", p.Duration())
+	}
+}
+
+func TestPickLoadPeripherals(t *testing.T) {
+	for _, name := range []string{"gesture", "ble", "mnist", "lora"} {
+		p, err := pickLoad(name, "", "", "")
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if p.Duration() <= 0 {
+			t.Errorf("%s degenerate", name)
+		}
+	}
+}
+
+func TestPickLoadErrors(t *testing.T) {
+	if _, err := pickLoad("warpdrive", "", "", ""); err == nil {
+		t.Error("unknown peripheral accepted")
+	}
+	if _, err := pickLoad("", "notanumber", "10ms", "pulse"); err == nil {
+		t.Error("bad current accepted")
+	}
+	if _, err := pickLoad("", "5mA", "xyz", "pulse"); err == nil {
+		t.Error("bad duration accepted")
+	}
+	if _, err := pickLoad("", "5mA", "10ms", "triangle"); err == nil {
+		t.Error("unknown shape accepted")
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if clamp(5, 1, 3) != 3 || clamp(0, 1, 3) != 1 || clamp(2, 1, 3) != 2 {
+		t.Error("clamp wrong")
+	}
+}

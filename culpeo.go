@@ -1,0 +1,448 @@
+// Package culpeo is a Go reproduction of "An Architectural Charge
+// Management Interface for Energy-Harvesting Systems" (MICRO 2022).
+//
+// Culpeo computes V_safe — the minimum energy-buffer voltage at which a
+// software task can start and run to completion on a batteryless,
+// energy-harvesting device without the capacitor's terminal voltage dipping
+// below the power-off threshold. Unlike energy-only charge management,
+// Culpeo accounts for the voltage drop induced by the storage capacitor's
+// equivalent series resistance (ESR), which rebounds after the load is
+// removed and is therefore invisible to energy accounting.
+//
+// The package exposes three layers:
+//
+//   - The charge model: VSafePG (compile-time, Algorithm 1 over a current
+//     trace), VSafeR (runtime, from three observed voltages), and the
+//     VSafeMulti sequence composition with its penalty rule.
+//   - The runtime interface of the paper's Table I (Interface):
+//     ProfileStart / ProfileEnd / ReboundEnd / ComputeVSafe / GetVSafe /
+//     GetVDrop, backed by either the ISR sampling probe or the proposed
+//     µArch peripheral block.
+//   - The simulation substrate used to evaluate everything: a circuit-level
+//     power-system simulator (capacitor networks with ESR, boost
+//     converters, V_high/V_off hysteresis), load profiles, a validation
+//     harness with ground-truth V_safe search, baseline estimators, and the
+//     CatNap/Culpeo schedulers with the paper's three applications.
+//
+// Start with NewSystem(Capybara()) and the examples/ directory.
+package culpeo
+
+import (
+	"io"
+	"math/rand"
+
+	"culpeo/internal/apps"
+	"culpeo/internal/baseline"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/charact"
+	"culpeo/internal/chargetypes"
+	"culpeo/internal/core"
+	"culpeo/internal/harness"
+	"culpeo/internal/harvester"
+	"culpeo/internal/intermittent"
+	"culpeo/internal/load"
+	"culpeo/internal/mcu"
+	"culpeo/internal/powersys"
+	"culpeo/internal/prob"
+	"culpeo/internal/profiler"
+	"culpeo/internal/reconfig"
+	"culpeo/internal/sched"
+	"culpeo/internal/trace"
+)
+
+// Charge-model types (the paper's contribution).
+type (
+	// PowerModel describes what Culpeo knows about a power system:
+	// capacitance, the measured ESR-versus-frequency curve, booster
+	// efficiency, and the V_high/V_off window.
+	PowerModel = core.PowerModel
+	// Estimate is a V_safe result: the safe starting voltage, the
+	// worst-case ESR drop V_delta, and the energy voltage-cost VE.
+	Estimate = core.Estimate
+	// Observation is what runtime profiling captures: V_start, V_min,
+	// V_final.
+	Observation = core.Observation
+	// TaskReq is a task's contribution to a sequence requirement.
+	TaskReq = core.TaskReq
+	// TaskID identifies a task in the runtime tables.
+	TaskID = core.TaskID
+	// BufferID identifies an energy-buffer configuration.
+	BufferID = core.BufferID
+	// Interface is the Table I runtime interface.
+	Interface = core.Interface
+	// Probe abstracts the voltage-capture mechanism behind the interface.
+	Probe = core.Probe
+)
+
+// Simulation-substrate types.
+type (
+	// Config assembles a simulated power system.
+	Config = powersys.Config
+	// System is a running power-system simulation.
+	System = powersys.System
+	// RunResult summarizes one load execution.
+	RunResult = powersys.RunResult
+	// RunOptions controls System.Run.
+	RunOptions = powersys.RunOptions
+	// Branch is one storage element (capacitance behind an ESR).
+	Branch = capacitor.Branch
+	// Network is a set of storage branches sharing a terminal node.
+	Network = capacitor.Network
+	// ESRCurve is a measured ESR-versus-frequency characteristic.
+	ESRCurve = capacitor.ESRCurve
+	// ESRPoint is one sample of an ESRCurve.
+	ESRPoint = capacitor.ESRPoint
+	// Aging models capacitor lifetime drift (C fade, ESR growth).
+	Aging = capacitor.Aging
+	// Profile is a current-versus-time load.
+	Profile = load.Profile
+	// Trace is a sampled current profile.
+	Trace = load.Trace
+	// Recorder collects voltage/current time series.
+	Recorder = trace.Recorder
+	// Harness validates estimates against brute-force ground truth.
+	Harness = harness.Harness
+	// Verdict classifies an estimate against ground truth.
+	Verdict = harness.Verdict
+)
+
+// Scheduler and application types.
+type (
+	// SchedPolicy decides when task chains may dispatch.
+	SchedPolicy = sched.Policy
+	// SchedTask is a schedulable unit.
+	SchedTask = sched.Task
+	// SchedStream is an event stream with deadlines.
+	SchedStream = sched.Stream
+	// Device runs an event-driven application under a policy.
+	Device = sched.Device
+	// Metrics summarizes an application run.
+	Metrics = sched.Metrics
+	// App bundles one of the paper's evaluation applications.
+	App = apps.App
+)
+
+// Verdict values.
+const (
+	Safe     = harness.Safe
+	Marginal = harness.Marginal
+	Unsafe   = harness.Unsafe
+)
+
+// Capybara returns the paper's evaluated hardware configuration: a 45 mF
+// supercapacitor bank (six CPX3225A-class parts), TPS61200-style output
+// booster at 2.55 V, BQ25504-style input booster, and a 2.56 V / 1.6 V
+// monitor window.
+func Capybara() Config { return powersys.Capybara() }
+
+// NewSystem builds a power-system simulation from a configuration.
+func NewSystem(cfg Config) (*System, error) { return powersys.New(cfg) }
+
+// NewHarness builds the validation harness around a configuration.
+func NewHarness(cfg Config) (*Harness, error) { return harness.New(cfg) }
+
+// NewNetwork builds a storage network from branches.
+func NewNetwork(branches ...*Branch) (*Network, error) {
+	return capacitor.NewNetwork(branches...)
+}
+
+// NewESRCurve builds an ESR-versus-frequency curve from measured points.
+func NewESRCurve(points ...ESRPoint) (*ESRCurve, error) {
+	return capacitor.NewESRCurve(points...)
+}
+
+// FlatESR returns a frequency-independent ESR curve.
+func FlatESR(ohm float64) *ESRCurve { return capacitor.Flat(ohm) }
+
+// ModelFor derives a Culpeo power model from a simulated configuration
+// using a flat ESR curve at the main bank's resistance. Real deployments
+// measure the curve; see NewESRCurve.
+func ModelFor(cfg Config) PowerModel {
+	return PowerModel{
+		C:     cfg.Storage.TotalCapacitance(),
+		ESR:   capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   cfg.Output.Efficiency,
+	}
+}
+
+// VSafePG runs the compile-time, profile-guided analysis (Algorithm 1) on a
+// sampled current trace.
+func VSafePG(m PowerModel, tr Trace) (Estimate, error) { return core.VSafePG(m, tr) }
+
+// VSafeR runs the runtime calculation (Equations 1 and 3) on a profiled
+// observation.
+func VSafeR(m PowerModel, o Observation) (Estimate, error) { return core.VSafeR(m, o) }
+
+// VSafeMulti composes the safe starting voltage for an ordered task
+// sequence via the penalty recursion.
+func VSafeMulti(vOff float64, tasks []TaskReq) float64 { return core.VSafeMulti(vOff, tasks) }
+
+// VSafeSeq returns per-suffix requirements for a task sequence.
+func VSafeSeq(vOff float64, tasks []TaskReq) []float64 { return core.VSafeSeq(vOff, tasks) }
+
+// Penalty computes the corrective term for a task's ESR drop given the next
+// task's requirement.
+func Penalty(vOff, vDelta, vSafeNext float64) float64 {
+	return core.Penalty(vOff, vDelta, vSafeNext)
+}
+
+// Feasible is Theorem 1's corrected feasibility test.
+func Feasible(v, vOff float64, tasks []TaskReq) bool { return core.Feasible(v, vOff, tasks) }
+
+// NewInterface builds the Table I runtime interface around a model and a
+// probe (NewISRProbe or NewUArchProbe).
+func NewInterface(m PowerModel, p Probe) (*Interface, error) { return core.NewInterface(m, p) }
+
+// NewISRProbe builds the Culpeo-R-ISR sampling probe (1 ms timer interrupt,
+// 12-bit on-chip ADC). source supplies the live terminal voltage.
+func NewISRProbe(source func() float64) *profiler.ISRProbe {
+	return profiler.NewISRProbe(source)
+}
+
+// NewUArchProbe builds the Culpeo-µArch peripheral probe (8-bit ADC,
+// hardware comparator, 100 kHz clock).
+func NewUArchProbe(source func() float64) *profiler.UArchProbe {
+	return profiler.NewUArchProbe(source)
+}
+
+// NewPG builds the profile-guided analyzer for a model.
+func NewPG(m PowerModel) profiler.PG { return profiler.PG{Model: m} }
+
+// ProfileRun executes a fully framed profile (Start → task → End → rebound
+// → ReboundEnd) and returns the observation (see also REstimate).
+func ProfileRun(sys *System, s profiler.Sampler, task Profile, harvest float64) (Observation, RunResult) {
+	return profiler.ProfileRun(sys, s, task, harvest)
+}
+
+// DriveTask runs a task while ticking a probe without framing it — use
+// between Interface.ProfileStart and Interface.ProfileEnd.
+func DriveTask(sys *System, s profiler.Sampler, task Profile, harvest float64) RunResult {
+	return profiler.DriveTask(sys, s, task, harvest)
+}
+
+// DriveRebound settles the post-task rebound while ticking a probe — use
+// between Interface.ProfileEnd and Interface.ReboundEnd.
+func DriveRebound(sys *System, s profiler.Sampler, harvest float64) float64 {
+	return profiler.DriveRebound(sys, s, harvest)
+}
+
+// REstimate profiles a task once and returns its Culpeo-R estimate.
+func REstimate(m PowerModel, sys *System, s profiler.Sampler, task Profile, harvest float64) (Estimate, error) {
+	return profiler.REstimate(m, sys, s, task, harvest)
+}
+
+// Load-profile constructors (Table III and the application peripherals).
+var (
+	// UniformLoad is a rectangular pulse.
+	UniformLoad = load.NewUniform
+	// PulseLoad is a pulse followed by 100 ms of low-power compute.
+	PulseLoad = load.NewPulse
+	// SampleLoad discretizes a profile into a current trace.
+	SampleLoad = load.Sample
+	// LoadEnergy integrates a profile's energy at the regulated rail.
+	LoadEnergy = load.Energy
+)
+
+// Peripheral profiles.
+func Gesture() Profile                 { return load.Gesture() }
+func BLERadio() Profile                { return load.BLERadio() }
+func BLEListen(window float64) Profile { return load.BLEListen(window) }
+func ComputeAccel() Profile            { return load.ComputeAccel() }
+func LoRa() Profile                    { return load.LoRa() }
+func IMURead(n int) Profile            { return load.IMURead(n) }
+
+// Baseline estimators (the systems Culpeo is evaluated against).
+func EnergyDirectEstimate(h *Harness, task Profile) float64 {
+	return baseline.Estimate(baseline.EnergyDirect, h, task)
+}
+func EnergyVEstimate(h *Harness, task Profile) float64 {
+	return baseline.Estimate(baseline.EnergyV, h, task)
+}
+func CatnapEstimate(h *Harness, task Profile) float64 {
+	return baseline.Estimate(baseline.CatnapMeasured, h, task)
+}
+
+// Classify applies the paper's 20 mV safety rule to an estimate.
+func Classify(estimate, groundTruth float64) Verdict {
+	return harness.Classify(estimate, groundTruth)
+}
+
+// Schedulers.
+func NewCatNapScheduler() *sched.CatNapPolicy { return sched.NewCatNapPolicy() }
+func NewCulpeoScheduler(m PowerModel) *sched.CulpeoPolicy {
+	return sched.NewCulpeoPolicy(m)
+}
+
+// NewDevice wires an application device.
+func NewDevice(sys *System, harvest float64, tasks []SchedTask, background *SchedTask, policy SchedPolicy) (*Device, error) {
+	return sched.NewDevice(sys, harvest, tasks, background, policy)
+}
+
+// The paper's evaluation applications.
+func PeriodicSensing() App     { return apps.PeriodicSensing() }
+func ResponsiveReporting() App { return apps.ResponsiveReporting() }
+func NoiseMonitoring() App     { return apps.NoiseMonitoring() }
+
+// PoissonArrivals and PeriodicArrivals generate event streams.
+func PoissonArrivals(rng *rand.Rand, lambda, horizon float64) []float64 {
+	return sched.PoissonArrivals(rng, lambda, horizon)
+}
+func PeriodicArrivals(period, horizon float64) []float64 {
+	return sched.PeriodicArrivals(period, horizon)
+}
+
+// MSP430ADC12 and MicroArch8 are the two ADC models of the evaluation.
+func MSP430ADC12() mcu.ADC { return mcu.MSP430ADC12() }
+func MicroArch8() mcu.ADC  { return mcu.MicroArch8() }
+
+// NewCulpeoBlock builds the proposed µArch peripheral block (Table II).
+func NewCulpeoBlock() *mcu.CulpeoBlock { return mcu.NewCulpeoBlock() }
+
+// --- extensions beyond the headline evaluation ---------------------------
+
+// Harvester sources (environmental energy models).
+type (
+	// HarvestSource maps time to harvested power.
+	HarvestSource = harvester.Source
+	// SolarSource is a clear-sky diurnal profile.
+	SolarSource = harvester.Solar
+	// ChangeDetector triggers re-profiling when incoming power shifts
+	// (Section V-B).
+	ChangeDetector = harvester.ChangeDetector
+)
+
+// NewSolar builds a diurnal solar source peaking at peak watts.
+func NewSolar(peak float64) harvester.Solar { return harvester.NewSolar(peak) }
+
+// NewChangeDetector builds the re-profiling trigger.
+func NewChangeDetector(threshold, initial float64) *harvester.ChangeDetector {
+	return harvester.NewChangeDetector(threshold, initial)
+}
+
+// Intermittent execution (atomic tasks with re-execution).
+type (
+	// AtomicTask is one unit of atomic re-execution.
+	AtomicTask = intermittent.AtomicTask
+	// IntermittentProgram is an ordered atomic-task sequence.
+	IntermittentProgram = intermittent.Program
+	// IntermittentRuntime executes a program intermittently.
+	IntermittentRuntime = intermittent.Runtime
+	// DispatchGate decides when the next task may start.
+	DispatchGate = intermittent.Gate
+)
+
+// NewCulpeoGate builds the V_safe dispatch gate for a program.
+func NewCulpeoGate(m PowerModel, prog IntermittentProgram) (intermittent.CulpeoGate, error) {
+	return intermittent.NewCulpeoGate(m, prog)
+}
+
+// DecomposeFeasible splits an oversized task into the smallest number of
+// chunks that each fit the buffer (the §III task-division workflow).
+func DecomposeFeasible(m PowerModel, task AtomicTask, maxChunks int) ([]AtomicTask, error) {
+	return intermittent.DecomposeFeasible(m, task, maxChunks)
+}
+
+// FeasibleOn flags the first program task whose V_safe exceeds V_high
+// (compile-time non-termination check); -1 means all fit.
+func FeasibleOn(m PowerModel, prog IntermittentProgram) (int, error) {
+	return intermittent.FeasibleOn(m, prog)
+}
+
+// Characterize measures a power system's ESR-versus-frequency curve and
+// booster efficiency line (Section IV-B) and assembles the PowerModel.
+func Characterize(cfg Config) (PowerModel, error) { return charact.Characterize(cfg) }
+
+// MeasureESRCurve runs just the impedance sweep.
+func MeasureESRCurve(cfg Config, widths []float64, iTest float64) (*ESRCurve, error) {
+	return charact.MeasureESRCurve(cfg, widths, iTest)
+}
+
+// Reconfigurable storage arrays (Section V-B buffer configurations).
+type (
+	// StorageArray is a software-defined, switchable capacitor array.
+	StorageArray = reconfig.Array
+	// StorageBank is one physical bank of an array.
+	StorageBank = reconfig.Bank
+	// ConfigChoice ranks a buffer configuration for a task.
+	ConfigChoice = reconfig.Choice
+)
+
+// NewStorageArray builds a reconfigurable array.
+func NewStorageArray(switchESR float64, banks ...StorageBank) (*StorageArray, error) {
+	return reconfig.NewArray(switchESR, banks...)
+}
+
+// TraceFromCSV ingests an externally captured current trace for Culpeo-PG.
+func TraceFromCSV(r io.Reader, id string, rate float64) (Trace, error) {
+	return load.TraceFromCSV(r, id, rate)
+}
+
+// Charge-state typing (§IX "Language Constructs").
+type (
+	// TypedProgram is a call DAG of Culpeo-characterized operations.
+	TypedProgram = chargetypes.Program
+	// TypedOp is one program element.
+	TypedOp = chargetypes.Op
+	// TypedCall is an invocation site.
+	TypedCall = chargetypes.Call
+	// ChargeLevels maps operations to guaranteed entry voltages.
+	ChargeLevels = chargetypes.Levels
+)
+
+// Typing disciplines.
+const (
+	EnergyDiscipline  = chargetypes.EnergyDiscipline
+	VoltageDiscipline = chargetypes.VoltageDiscipline
+)
+
+// InferLevels computes minimal consistent charge-state levels for a
+// program under a discipline, reporting operations that cannot fit the
+// buffer.
+func InferLevels(p TypedProgram, d chargetypes.Discipline) (ChargeLevels, []string, error) {
+	return chargetypes.Infer(p, d)
+}
+
+// CheckLevels validates declared levels (nil violations = well typed).
+func CheckLevels(p TypedProgram, d chargetypes.Discipline, l ChargeLevels) ([]chargetypes.Violation, error) {
+	return chargetypes.Check(p, d, l)
+}
+
+// Probabilistic resource reasoning (§IX).
+type (
+	// TaskDist generates task instances with run-to-run cost variation.
+	TaskDist = prob.TaskDist
+	// KnobPulse is a pulse whose duration varies uniformly.
+	KnobPulse = prob.KnobPulse
+)
+
+// CompletionProb Monte-Carlo-estimates P(task completes | start voltage).
+func CompletionProb(cfg Config, d TaskDist, vStart float64, n int, seed int64) (float64, error) {
+	return prob.CompletionProb(cfg, d, vStart, n, seed)
+}
+
+// VSafeQuantile finds the lowest start voltage reaching the target
+// completion probability.
+func VSafeQuantile(cfg Config, d TaskDist, target float64, n int, seed int64) (float64, error) {
+	return prob.VSafeQuantile(cfg, d, target, n, seed)
+}
+
+// Scheduler event logging.
+type (
+	// SchedEventLog records dispatches, failures and deadline misses when
+	// attached to Device.Log.
+	SchedEventLog = sched.EventLog
+	// SchedEvent is one log entry.
+	SchedEvent = sched.Event
+)
+
+// Scheduler event kinds.
+const (
+	SchedChainStart   = sched.EvChainStart
+	SchedChainDone    = sched.EvChainDone
+	SchedChainFail    = sched.EvChainFail
+	SchedDeadlineMiss = sched.EvDeadlineMiss
+	SchedRecharged    = sched.EvRecharged
+)

@@ -1,0 +1,199 @@
+package culpeo_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"culpeo"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	// The README quickstart, as a test: build the Capybara system, compute
+	// V_safe for a LoRa-class pulse three ways, and validate against ground
+	// truth.
+	cfg := culpeo.Capybara()
+	model := culpeo.ModelFor(cfg)
+
+	h, err := culpeo.NewHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := culpeo.PulseLoad(50e-3, 10e-3)
+	gt, err := h.GroundTruth(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Compile-time (profile-guided).
+	pg := culpeo.NewPG(model)
+	est, err := pg.Estimate(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if culpeo.Classify(est.VSafe, gt) == culpeo.Unsafe {
+		t.Errorf("PG estimate %g unsafe vs truth %g", est.VSafe, gt)
+	}
+
+	// Runtime (ISR probe).
+	sys := h.NewSystem()
+	sys.Monitor().Force(true)
+	rEst, err := culpeo.REstimate(model, sys, culpeo.NewISRProbe(sys.VTerm), task, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if culpeo.Classify(rEst.VSafe, gt) == culpeo.Unsafe {
+		t.Errorf("R estimate %g unsafe vs truth %g", rEst.VSafe, gt)
+	}
+
+	// The energy-only baseline misses the ESR drop.
+	cat := culpeo.CatnapEstimate(h, task)
+	if culpeo.Classify(cat, gt) != culpeo.Unsafe {
+		t.Errorf("CatNap estimate %g vs truth %g should be unsafe", cat, gt)
+	}
+}
+
+func TestPublicInterfaceFlow(t *testing.T) {
+	cfg := culpeo.Capybara()
+	model := culpeo.ModelFor(cfg)
+	h, err := culpeo.NewHarness(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys := h.NewSystem()
+	sys.Monitor().Force(true)
+
+	probe := culpeo.NewUArchProbe(sys.VTerm)
+	iface, err := culpeo.NewInterface(model, probe)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The Table I call sequence around a real task execution.
+	task := culpeo.BLERadio()
+	iface.ProfileStart()
+	res := culpeo.DriveTask(sys, probe, task, 0)
+	if !res.Completed {
+		t.Fatal("profiling run failed")
+	}
+	if err := iface.ProfileEnd("ble"); err != nil {
+		t.Fatal(err)
+	}
+	culpeo.DriveRebound(sys, probe, 0)
+	if err := iface.ReboundEnd("ble"); err != nil {
+		t.Fatal(err)
+	}
+	iface.ComputeVSafe("ble")
+	v := iface.GetVSafe("ble")
+	if v <= model.VOff || v >= model.VHigh {
+		t.Errorf("GetVSafe = %g out of window", v)
+	}
+	if iface.GetVDrop("ble") <= 0 {
+		t.Error("GetVDrop should be positive for a radio pulse")
+	}
+}
+
+func TestPublicSequenceComposition(t *testing.T) {
+	sense := culpeo.TaskReq{ID: "sense", VE: 0.05, VDelta: 0.1}
+	radio := culpeo.TaskReq{ID: "radio", VE: 0.1, VDelta: 0.4}
+	seq := []culpeo.TaskReq{sense, radio}
+	need := culpeo.VSafeMulti(1.6, seq)
+	if !(need > 1.6) {
+		t.Fatal("sequence requirement must exceed V_off")
+	}
+	if !culpeo.Feasible(need, 1.6, seq) {
+		t.Error("requirement itself must be feasible")
+	}
+	if culpeo.Feasible(need-0.01, 1.6, seq) {
+		t.Error("below requirement must be infeasible")
+	}
+	vs := culpeo.VSafeSeq(1.6, seq)
+	if len(vs) != 2 || vs[0] != need {
+		t.Error("VSafeSeq inconsistent with VSafeMulti")
+	}
+	if culpeo.Penalty(1.6, 0.4, 1.7) <= 0 {
+		t.Error("penalty should engage for a large drop")
+	}
+}
+
+func TestPublicCustomSystem(t *testing.T) {
+	// Build a custom two-branch network through the public API.
+	esr, err := culpeo.NewESRCurve(
+		culpeo.ESRPoint{Hz: 1, Ohm: 8},
+		culpeo.ESRPoint{Hz: 1000, Ohm: 3},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if esr.At(1) != 8 {
+		t.Error("curve lookup broken")
+	}
+	net, err := culpeo.NewNetwork(
+		&culpeo.Branch{Name: "main", C: 33e-3, ESR: 4, Voltage: 2.4},
+		&culpeo.Branch{Name: "dec", C: 400e-6, ESR: 0.05, Voltage: 2.4},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := culpeo.Capybara()
+	cfg.Storage = net
+	sys, err := culpeo.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	res := sys.Run(culpeo.UniformLoad(25e-3, 5e-3), culpeo.RunOptions{SkipRebound: true})
+	if !res.Completed {
+		t.Error("light pulse should complete")
+	}
+}
+
+func TestPublicSchedulerFlow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("application sim")
+	}
+	app := culpeo.PeriodicSensing()
+	dev, err := app.NewDevice(culpeo.NewCulpeoScheduler(app.Model()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := app.Streams(30, rand.New(rand.NewSource(1)))
+	met, err := dev.Run(streams, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PerStream["PS"].CaptureRate() < 99 {
+		t.Errorf("capture = %g", met.PerStream["PS"].CaptureRate())
+	}
+}
+
+func TestPublicArrivalGenerators(t *testing.T) {
+	if len(culpeo.PeriodicArrivals(1, 10)) != 9 {
+		t.Error("periodic arrivals wrong")
+	}
+	a := culpeo.PoissonArrivals(rand.New(rand.NewSource(2)), 5, 100)
+	if len(a) == 0 {
+		t.Error("poisson arrivals empty")
+	}
+}
+
+func TestPublicHardwareModels(t *testing.T) {
+	if culpeo.MSP430ADC12().Bits != 12 || culpeo.MicroArch8().Bits != 8 {
+		t.Error("ADC models wrong")
+	}
+	blk := culpeo.NewCulpeoBlock()
+	if blk.ADC.Bits != 8 {
+		t.Error("block ADC wrong")
+	}
+	// Peripheral profiles all exist and are finite.
+	for _, p := range []culpeo.Profile{
+		culpeo.Gesture(), culpeo.BLERadio(), culpeo.BLEListen(1),
+		culpeo.ComputeAccel(), culpeo.LoRa(), culpeo.IMURead(8),
+	} {
+		if p.Duration() <= 0 {
+			t.Errorf("%s degenerate", p.Name())
+		}
+	}
+	if culpeo.LoadEnergy(culpeo.LoRa(), 2.55, 0) <= 0 {
+		t.Error("LoadEnergy broken")
+	}
+}

@@ -1,0 +1,63 @@
+package culpeo_test
+
+import (
+	"fmt"
+
+	"culpeo"
+)
+
+// The penalty rule of Section IV-A: a task's ESR drop only costs extra
+// starting voltage when the next task's requirement is too low to absorb
+// it.
+func ExamplePenalty() {
+	vOff := 1.6
+	// Next task needs 1.9 V — enough headroom for a 0.2 V dip.
+	fmt.Printf("%.2f\n", culpeo.Penalty(vOff, 0.2, 1.9))
+	// A 0.5 V dip would cross V_off: the penalty tops the requirement up.
+	fmt.Printf("%.2f\n", culpeo.Penalty(vOff, 0.5, 1.9))
+	// Output:
+	// 0.00
+	// 0.20
+}
+
+// Composing a sense→radio sequence: the radio's large ESR drop dominates
+// the requirement, exactly the Figure 5 scenario.
+func ExampleVSafeMulti() {
+	vOff := 1.6
+	tasks := []culpeo.TaskReq{
+		{ID: "sense", VE: 0.08, VDelta: 0.05},
+		{ID: "radio", VE: 0.12, VDelta: 0.45},
+	}
+	fmt.Printf("V_safe_multi = %.2f V\n", culpeo.VSafeMulti(vOff, tasks))
+	energyOnly := vOff + 0.08 + 0.12
+	fmt.Printf("energy-only  = %.2f V\n", energyOnly)
+	// Output:
+	// V_safe_multi = 2.25 V
+	// energy-only  = 1.80 V
+}
+
+// Theorem 1's corrected feasibility test.
+func ExampleFeasible() {
+	tasks := []culpeo.TaskReq{{ID: "radio", VE: 0.1, VDelta: 0.4}}
+	need := culpeo.VSafeMulti(1.6, tasks)
+	fmt.Println(culpeo.Feasible(need, 1.6, tasks))
+	fmt.Println(culpeo.Feasible(need-0.05, 1.6, tasks))
+	// Output:
+	// true
+	// false
+}
+
+// Compile-time analysis of a radio pulse on the Capybara power system.
+func ExampleVSafePG() {
+	model := culpeo.ModelFor(culpeo.Capybara())
+	task := culpeo.PulseLoad(50e-3, 10e-3) // 50 mA for 10 ms + compute tail
+	tr := culpeo.SampleLoad(task, 125e3)
+	est, err := culpeo.VSafePG(model, tr)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("V_safe %.2f V (energy %.2f V + ESR drop %.2f V above V_off)\n",
+		est.VSafe, est.VE, est.VDelta)
+	// Output:
+	// V_safe 2.19 V (energy 0.03 V + ESR drop 0.55 V above V_off)
+}

@@ -1,0 +1,142 @@
+// Buffer design: use V_safe as a design tool when sizing an energy buffer.
+//
+// Section III: "If using a device with a configurable energy storage array,
+// the programmer can also use V_safe as a guide to configure the energy
+// buffer." This example explores two axes for a BLE-reporting workload:
+//
+//  1. Capacitor technology (Figure 3): assemble 45 mF banks from each
+//     technology's best part and see which can actually serve the load.
+//  2. Decoupling capacitance (Section II-D): show that even large decoupling
+//     cannot absorb a sustained pulse.
+//
+// Run with: go run ./examples/bufferdesign
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"culpeo"
+)
+
+func main() {
+	task := culpeo.BLERadio()
+	fmt.Printf("workload: %s (13 mA peak, 17 ms)\n\n", task.Name())
+
+	// --- Axis 1: technology choice -------------------------------------
+	// Representative best 45 mF banks per technology (volume-optimal points
+	// from the Figure 3 sweep, see `culpeo fig3`).
+	type bankChoice struct {
+		name   string
+		esr    float64 // net bank ESR (Ω)
+		volume float64 // mm³
+		dcl    float64 // A
+	}
+	banks := []bankChoice{
+		{"supercapacitor (6 parts)", 5.0, 42, 20e-9},
+		{"tantalum (~30 parts)", 0.03, 3000, 22e-3},
+		{"ceramic (>2000 parts)", 10e-3 / 2045, 4800, 10e-6},
+		{"electrolytic", 0.08, 500000, 1e-4},
+	}
+	fmt.Println("technology choice for a 45 mF buffer:")
+	for _, b := range banks {
+		cfg := culpeo.Capybara()
+		net, err := culpeo.NewNetwork(&culpeo.Branch{
+			Name: "main", C: 45e-3, ESR: b.esr, Leakage: b.dcl, Voltage: cfg.VHigh,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Storage = net
+		model := culpeo.ModelFor(cfg)
+		est, err := culpeo.NewPG(model).Estimate(task)
+		if err != nil {
+			log.Fatal(err)
+		}
+		headroom := (cfg.VHigh - est.VSafe) / (cfg.VHigh - cfg.VOff) * 100
+		fmt.Printf("  %-26s vol %8.0f mm³  leak %8.2e A  V_safe %.3f V  headroom %5.1f%%\n",
+			b.name, b.volume, b.dcl, est.VSafe, headroom)
+	}
+	fmt.Println("\n  The supercapacitor wins on volume and leakage by orders of magnitude;")
+	fmt.Println("  its ESR cost shows up as a higher V_safe — which Culpeo quantifies so")
+	fmt.Println("  the designer can budget for it instead of discovering it in the field.")
+
+	// --- Axis 2: decoupling capacitance --------------------------------
+	fmt.Println("\ndecoupling capacitance vs a sustained 50 mA / 100 ms pulse (33 mF, 3 Ω):")
+	lora := culpeo.UniformLoad(50e-3, 100e-3)
+	for _, dec := range []float64{0, 400e-6, 1.6e-3, 6.4e-3} {
+		branches := []*culpeo.Branch{{Name: "main", C: 33e-3, ESR: 3, Voltage: 2.56}}
+		if dec > 0 {
+			branches = append(branches, &culpeo.Branch{Name: "dec", C: dec, ESR: 0.05, Voltage: 2.56})
+		}
+		net, err := culpeo.NewNetwork(branches...)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg := culpeo.Capybara()
+		cfg.Storage = net
+		sys, err := culpeo.NewSystem(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sys.Monitor().Force(true)
+		res := sys.Run(lora, culpeo.RunOptions{})
+		esrDrop := res.VFinal - res.VMin
+		fmt.Printf("  decoupling %7.1f mF → residual ESR drop %.3f V (%.0f%% of operating range)\n",
+			dec*1e3, esrDrop, esrDrop/(cfg.VHigh-cfg.VOff)*100)
+	}
+	fmt.Println("\n  Decoupling absorbs transients, not sustained loads — the 'go-to'")
+	fmt.Println("  circuit fix does not remove the need for ESR-aware scheduling.")
+
+	reconfigurableArray()
+}
+
+// reconfigurableArray demonstrates the §V-B reconfigurable storage story:
+// per-buffer-configuration V_safe tables and recharge-time-ranked choice.
+func reconfigurableArray() {
+	fmt.Println("\nreconfigurable array: pick a buffer configuration per task (§V-B):")
+	arr, err := culpeo.NewStorageArray(0.05,
+		culpeo.StorageBank{Name: "small", C: 7.5e-3, ESR: 30},
+		culpeo.StorageBank{Name: "big-1", C: 22.5e-3, ESR: 10},
+		culpeo.StorageBank{Name: "big-2", C: 22.5e-3, ESR: 10},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	must := func(e error) {
+		if e != nil {
+			log.Fatal(e)
+		}
+	}
+	must(arr.Define("small", 0))
+	must(arr.Define("big", 1, 2))
+	must(arr.Define("all", 0, 1, 2))
+
+	template := culpeo.Capybara()
+	model, err := arr.Model("all", template)
+	if err != nil {
+		log.Fatal(err)
+	}
+	iface, err := culpeo.NewInterface(model, culpeo.NewUArchProbe(func() float64 { return template.VHigh }))
+	if err != nil {
+		log.Fatal(err)
+	}
+	task := culpeo.UniformLoad(25e-3, 10e-3)
+	if err := arr.ProfileAcross(iface, template, "radio", task); err != nil {
+		log.Fatal(err)
+	}
+	choices, err := arr.Choose(iface, template, "radio", 2.5e-3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, c := range choices {
+		status := fmt.Sprintf("V_safe %.3f V, recharge-to-ready %.1f s", c.VSafe, c.RechargeTime)
+		if !c.Feasible {
+			status = fmt.Sprintf("INFEASIBLE (V_safe %.2f V > V_high)", c.VSafe)
+		}
+		fmt.Printf("  config %-6s %s\n", c.Config, status)
+	}
+	fmt.Println("\n  The lone high-ESR bank cannot serve the 25 mA radio at any voltage;")
+	fmt.Println("  among the feasible configurations, the chooser ranks by how quickly")
+	fmt.Println("  the configuration recharges to its own V_safe.")
+}

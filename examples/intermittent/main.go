@@ -1,0 +1,134 @@
+// Intermittent execution: atomic tasks, re-execution, and Culpeo-guided
+// task division.
+//
+// The paper's introduction motivates Culpeo with the failure economics of
+// intermittent computing: tasks interrupted by power failure re-execute
+// from scratch, and "trying to execute a task with insufficient stored
+// energy dooms the device to fail ... [and] risks prolonged
+// non-termination". This example shows all three acts on a marginal
+// 15 mF / 15 Ω device:
+//
+//  1. A sense→process→report pipeline under opportunistic vs Culpeo-gated
+//     dispatch: the opportunistic runtime burns energy on attempts the ESR
+//     drop dooms.
+//  2. A job whose whole-task V_safe exceeds V_high: the opportunistic
+//     runtime livelocks; Culpeo-PG flags it before deployment (§III).
+//  3. DecomposeFeasible splits the job into the smallest number of atomic
+//     chunks that each fit, and the decomposed program terminates.
+//
+// Run with: go run ./examples/intermittent
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"culpeo"
+)
+
+func main() {
+	// A marginal device: two 7.5 mF / 30 Ω supercaps → 15 mF at 15 Ω.
+	cfg := culpeo.Capybara()
+	net, err := culpeo.NewNetwork(&culpeo.Branch{
+		Name: "main", C: 15e-3, ESR: 15, Voltage: cfg.VHigh,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	cfg.Storage = net
+	cfg.DT = 40e-6
+	model := culpeo.ModelFor(cfg)
+
+	// --- Act 1: dispatch gates on a feasible pipeline -------------------
+	pipeline := culpeo.IntermittentProgram{
+		Name: "sense-pipeline",
+		Tasks: []culpeo.AtomicTask{
+			{ID: "sample", Profile: culpeo.IMURead(16)},
+			{ID: "report", Profile: culpeo.UniformLoad(20e-3, 20e-3)},
+		},
+	}
+	gate, err := culpeo.NewCulpeoGate(model, pipeline)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Act 1 — pipeline on 1.5 mW harvest, 60 s:")
+	for _, g := range []culpeo.DispatchGate{gateless{}, gate} {
+		sys, err := culpeo.NewSystem(cloneCfg(cfg))
+		if err != nil {
+			log.Fatal(err)
+		}
+		rt := &culpeo.IntermittentRuntime{Sys: sys, Harvest: 1.5e-3, Gate: g, MaxAttempts: 1000}
+		res, err := rt.Run(pipeline, 60)
+		if err != nil {
+			log.Fatal(err)
+		}
+		waste := 0.0
+		if tot := res.WastedEnergy + res.UsefulEnergy; tot > 0 {
+			waste = res.WastedEnergy / tot * 100
+		}
+		fmt.Printf("  %-14s %2d iterations, %3d re-executions, %4.1f%% energy wasted\n",
+			g.Name(), res.Iterations, res.Reexecutions, waste)
+	}
+
+	// --- Act 2: the doomed job ------------------------------------------
+	big := culpeo.AtomicTask{ID: "bigjob", Profile: culpeo.UniformLoad(10e-3, 3.0)}
+	doomed := culpeo.IntermittentProgram{Name: "doomed", Tasks: []culpeo.AtomicTask{big}}
+	idx, err := culpeo.FeasibleOn(model, doomed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nAct 2 — a 10 mA × 3 s job (≈100 mJ) on a 15 mF buffer (≈30 mJ usable):")
+	if idx >= 0 {
+		ests, _ := culpeo.NewCulpeoGate(model, doomed)
+		fmt.Printf("  Culpeo-PG flags task %q at compile time: V_safe %.2f V > V_high %.2f V\n",
+			doomed.Tasks[idx].ID, ests.VSafe[idx], model.VHigh)
+	}
+	sys, err := culpeo.NewSystem(cloneCfg(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt := &culpeo.IntermittentRuntime{Sys: sys, Harvest: 2.5e-3, Gate: gateless{}, MaxAttempts: 8}
+	res, err := rt.Run(doomed, 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  Opportunistic execution: %d failed attempts, livelocked=%v — prolonged non-termination\n",
+		res.Reexecutions, res.LiveLocked)
+
+	// --- Act 3: Culpeo-guided task division ------------------------------
+	chunks, err := culpeo.DecomposeFeasible(model, big, 16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fixed := culpeo.IntermittentProgram{Name: "fixed", Tasks: chunks}
+	fixedGate, err := culpeo.NewCulpeoGate(model, fixed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sys, err = culpeo.NewSystem(cloneCfg(cfg))
+	if err != nil {
+		log.Fatal(err)
+	}
+	rt = &culpeo.IntermittentRuntime{Sys: sys, Harvest: 2.5e-3, Gate: fixedGate}
+	res, err = rt.Run(fixed, 300)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nAct 3 — DecomposeFeasible splits the job into %d chunks (chunk V_safe %.2f V):\n",
+		len(chunks), fixedGate.VSafe[0])
+	fmt.Printf("  the decomposed program completes %d full passes in 300 s with %d re-executions.\n",
+		res.Iterations, res.Reexecutions)
+}
+
+// gateless is the opportunistic dispatcher of early intermittent systems.
+type gateless struct{}
+
+func (gateless) Name() string            { return "opportunistic" }
+func (gateless) Ready(int, float64) bool { return true }
+
+func cloneCfg(cfg culpeo.Config) culpeo.Config {
+	out := cfg
+	out.Storage = cfg.Storage.Clone()
+	return out
+}

@@ -1,0 +1,76 @@
+// Quickstart: compute a safe starting voltage for a radio transmission.
+//
+// This example walks the core Culpeo workflow on the paper's Capybara-class
+// power system: a 45 mF supercapacitor bank whose ~5 Ω ESR makes energy-only
+// charge management unsafe.
+//
+//  1. Describe the power system to Culpeo (PowerModel).
+//  2. Ask three estimators for the LoRa packet's V_safe: the compile-time
+//     profile-guided analysis, the runtime ISR implementation, and the
+//     energy-only CatNap baseline.
+//  3. Validate each answer by actually launching the packet from the
+//     estimated voltage on the simulated hardware.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"culpeo"
+)
+
+func main() {
+	cfg := culpeo.Capybara()
+	model := culpeo.ModelFor(cfg)
+	task := culpeo.LoRa() // 50 mA for 100 ms
+
+	h, err := culpeo.NewHarness(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Ground truth: brute-force binary search on the simulated hardware,
+	// exactly the paper's validation methodology (Section VI-A).
+	truth, err := h.GroundTruth(task)
+	if err != nil {
+		log.Fatalf("the LoRa packet cannot run on this buffer: %v", err)
+	}
+	fmt.Printf("load %-14s ground-truth V_safe = %.3f V (window %.2f–%.2f V)\n\n",
+		task.Name(), truth, cfg.VOff, cfg.VHigh)
+
+	// Culpeo-PG: compile time, from a sampled current trace + power model.
+	pg, err := culpeo.NewPG(model).Estimate(task)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(h, "Culpeo-PG (compile time)", pg.VSafe, truth, task)
+
+	// Culpeo-R: runtime, from one profiled execution (ISR sampling).
+	sys := h.NewSystem()
+	sys.Monitor().Force(true)
+	r, err := culpeo.REstimate(model, sys, culpeo.NewISRProbe(sys.VTerm), task, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	report(h, "Culpeo-R  (runtime, ISR)", r.VSafe, truth, task)
+	fmt.Printf("    → per-task V_delta (worst-case ESR drop): %.3f V\n\n", r.VDelta)
+
+	// The energy-only baseline misses the ESR drop entirely.
+	cat := culpeo.CatnapEstimate(h, task)
+	report(h, "CatNap    (energy only)", cat, truth, task)
+
+	fmt.Println("\nThe ESR drop rebounds after the load — energy accounting cannot see")
+	fmt.Println("it, which is why the CatNap launch browns out with energy to spare.")
+}
+
+func report(h *culpeo.Harness, name string, vsafe, truth float64, task culpeo.Profile) {
+	res := h.RunAt(vsafe, task, culpeo.RunOptions{SkipRebound: true})
+	outcome := "POWER FAILURE"
+	if res.Completed && res.VMin >= h.Config().VOff {
+		outcome = fmt.Sprintf("completes, V_min %.3f V", res.VMin)
+	}
+	fmt.Printf("%s: V_safe %.3f V (%+5.1f%% of range vs truth) → %s\n",
+		name, vsafe, h.ErrorPercent(vsafe, truth), outcome)
+}

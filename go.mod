@@ -1,0 +1,3 @@
+module culpeo
+
+go 1.22

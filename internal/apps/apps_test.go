@@ -1,0 +1,138 @@
+package apps
+
+import (
+	"math/rand"
+	"testing"
+
+	"culpeo/internal/sched"
+)
+
+func TestAppConstruction(t *testing.T) {
+	for _, app := range All() {
+		if app.Name == "" {
+			t.Error("unnamed app")
+		}
+		if len(app.Tasks) == 0 {
+			t.Errorf("%s has no tasks", app.Name)
+		}
+		if app.Background == nil {
+			t.Errorf("%s has no background task", app.Name)
+		}
+		if app.Harvest <= 0 {
+			t.Errorf("%s has no harvest", app.Name)
+		}
+		if err := app.Model().Validate(); err != nil {
+			t.Errorf("%s model invalid: %v", app.Name, err)
+		}
+		streams := app.Streams(DefaultHorizon, rand.New(rand.NewSource(1)))
+		if len(streams) == 0 {
+			t.Errorf("%s has no streams", app.Name)
+		}
+		taskIDs := map[string]bool{}
+		for _, tk := range app.Tasks {
+			taskIDs[string(tk.ID)] = true
+		}
+		for _, s := range streams {
+			if len(s.Arrivals) == 0 {
+				t.Errorf("%s/%s has no arrivals in 5 minutes", app.Name, s.Name)
+			}
+			if s.Deadline <= 0 {
+				t.Errorf("%s/%s has no deadline", app.Name, s.Name)
+			}
+			for _, id := range s.Chain {
+				if !taskIDs[string(id)] {
+					t.Errorf("%s/%s chain references unknown task %s", app.Name, s.Name, id)
+				}
+			}
+		}
+	}
+}
+
+func TestBufferSizes(t *testing.T) {
+	ps := PeriodicSensing()
+	rr := ResponsiveReporting()
+	if got := ps.Config.Storage.TotalCapacitance(); got > 16e-3 {
+		t.Errorf("PS buffer = %g, want 15 mF-class", got)
+	}
+	if got := rr.Config.Storage.TotalCapacitance(); got < 40e-3 {
+		t.Errorf("RR buffer = %g, want 45 mF-class", got)
+	}
+}
+
+func TestRateRegimes(t *testing.T) {
+	if psPeriod(Slow) <= psPeriod(Achievable) || psPeriod(Achievable) <= psPeriod(TooFast) {
+		t.Error("PS periods not ordered slow > achievable > too-fast")
+	}
+	if rrLambda(Slow) <= rrLambda(Achievable) || rrLambda(Achievable) <= rrLambda(TooFast) {
+		t.Error("RR lambdas not ordered")
+	}
+	for r, want := range map[Rate]string{Achievable: "achievable", Slow: "slow", TooFast: "too-fast"} {
+		if r.String() != want {
+			t.Errorf("%d.String() = %q", r, r.String())
+		}
+	}
+	if Rate(9).String() != "rate(?)" {
+		t.Error("unknown rate should render placeholder")
+	}
+}
+
+func TestDevicesAreIsolated(t *testing.T) {
+	app := PeriodicSensing()
+	d1, err := app.NewDevice(sched.NewCatNapPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d2, err := app.NewDevice(sched.NewCatNapPolicy())
+	if err != nil {
+		t.Fatal(err)
+	}
+	d1.Sys.DischargeTo(1.7)
+	if d2.Sys.Config().Storage.Main().Voltage < 2.5 {
+		t.Error("devices share storage state")
+	}
+	if app.Config.Storage.Main().Voltage < 2.5 {
+		t.Error("app template storage mutated")
+	}
+}
+
+func TestFigure12Shape(t *testing.T) {
+	// Shortened (90 s) version of the Figure 12 experiment: Culpeo must
+	// capture (nearly) all events while CatNap loses a large fraction to
+	// ESR-induced power failures. Uses PS, the most deterministic app.
+	if testing.Short() {
+		t.Skip("application simulation is seconds-long")
+	}
+	const horizon = 90
+	app := PeriodicSensing()
+
+	runApp := func(pol sched.Policy) sched.Metrics {
+		dev, err := app.NewDevice(pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		streams := app.Streams(horizon, rand.New(rand.NewSource(1)))
+		met, err := dev.Run(streams, horizon)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return met
+	}
+
+	cat := runApp(sched.NewCatNapPolicy())
+	cul := runApp(sched.NewCulpeoPolicy(app.Model()))
+
+	catRate := cat.PerStream["PS"].CaptureRate()
+	culRate := cul.PerStream["PS"].CaptureRate()
+	if culRate < 95 {
+		t.Errorf("Culpeo PS capture = %.0f%%, want ≈100%%", culRate)
+	}
+	if catRate > culRate-25 {
+		t.Errorf("CatNap PS capture = %.0f%% vs Culpeo %.0f%% — expected a large gap", catRate, culRate)
+	}
+	if cat.PowerFailures == 0 {
+		t.Error("CatNap should suffer ESR-induced power failures")
+	}
+	if cul.PowerFailures != 0 {
+		t.Errorf("Culpeo suffered %d power failures", cul.PowerFailures)
+	}
+}

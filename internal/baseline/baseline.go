@@ -1,0 +1,98 @@
+// Package baseline implements the energy-only V_safe estimators the paper
+// evaluates Culpeo against (Sections II-D and VI-A). All of them reason
+// about stored energy via E = ½CV² and ignore the ESR-induced transient
+// drop, which is exactly why they fail:
+//
+//   - Energy-Direct: uses the task's true load-side energy and the nominal
+//     capacitance.
+//   - Energy-V: an end-to-end voltage-as-energy approximation measured
+//     after the rebound fully settles.
+//   - Catnap-Measured: the published CatNap approach — voltage measured
+//     immediately at task completion (accidentally capturing part of the
+//     ESR drop as "consumed energy").
+//   - Catnap-Slow: the same measurement delayed 2 ms, by which time part of
+//     the rebound has already happened.
+package baseline
+
+import (
+	"math"
+
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/trace"
+)
+
+// Kind names a baseline estimator.
+type Kind int
+
+const (
+	EnergyDirect Kind = iota
+	EnergyV
+	CatnapMeasured
+	CatnapSlow
+)
+
+func (k Kind) String() string {
+	switch k {
+	case EnergyDirect:
+		return "Energy-Direct"
+	case EnergyV:
+		return "Energy-V"
+	case CatnapMeasured:
+		return "Catnap-Measured"
+	case CatnapSlow:
+		return "Catnap-Slow"
+	default:
+		return "baseline(?)"
+	}
+}
+
+// Kinds lists all baselines in display order.
+func Kinds() []Kind { return []Kind{EnergyDirect, EnergyV, CatnapMeasured, CatnapSlow} }
+
+// vsafeFromEnergyVoltage computes the energy-only safe voltage from a
+// voltage-squared energy difference: V_safe = sqrt(V_off² + ΔV²) where
+// ΔV² = V_start² − V_end².
+func vsafeFromEnergyVoltage(vOff, vStart, vEnd float64) float64 {
+	d := vStart*vStart - vEnd*vEnd
+	if d < 0 {
+		d = 0
+	}
+	return math.Sqrt(vOff*vOff + d)
+}
+
+// Estimate produces the baseline's V_safe for a task on the harness's power
+// system. Profiling runs start from V_high (a fully charged buffer), the
+// most favourable measurement condition.
+func Estimate(k Kind, h *harness.Harness, task load.Profile) float64 {
+	cfg := h.Config()
+	switch k {
+	case EnergyDirect:
+		// True load-side energy plus the ideal-capacitor model: the voltage
+		// that stores exactly E above V_off. No booster, no ESR.
+		e := load.Energy(task, cfg.Output.VOut, 0)
+		c := cfg.Storage.TotalCapacitance()
+		return math.Sqrt(cfg.VOff*cfg.VOff + 2*e/c)
+
+	case EnergyV:
+		res := h.RunAt(cfg.VHigh, task, powersys.RunOptions{})
+		return vsafeFromEnergyVoltage(cfg.VOff, res.VStart, res.VFinal)
+
+	case CatnapMeasured:
+		res := h.RunAt(cfg.VHigh, task, powersys.RunOptions{SkipRebound: true})
+		return vsafeFromEnergyVoltage(cfg.VOff, res.VStart, res.VEndImmediate)
+
+	case CatnapSlow:
+		rec := trace.NewRecorder(1)
+		res := h.RunAt(cfg.VHigh, task, powersys.RunOptions{Recorder: rec})
+		// Voltage 2 ms after the task completed: partway up the rebound.
+		s, ok := rec.At(task.Duration() + 2e-3)
+		vEnd := res.VEndImmediate
+		if ok {
+			vEnd = s.VTerm
+		}
+		return vsafeFromEnergyVoltage(cfg.VOff, res.VStart, vEnd)
+	}
+	return math.NaN()
+}

@@ -1,0 +1,148 @@
+package baseline
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+func newHarness(t *testing.T) *harness.Harness {
+	t.Helper()
+	h, err := harness.New(powersys.Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestKindStrings(t *testing.T) {
+	want := map[Kind]string{
+		EnergyDirect:   "Energy-Direct",
+		EnergyV:        "Energy-V",
+		CatnapMeasured: "Catnap-Measured",
+		CatnapSlow:     "Catnap-Slow",
+	}
+	for k, s := range want {
+		if k.String() != s {
+			t.Errorf("%d.String() = %q", k, k.String())
+		}
+	}
+	if Kind(99).String() != "baseline(?)" {
+		t.Error("unknown kind should render placeholder")
+	}
+	if len(Kinds()) != 4 {
+		t.Error("Kinds() incomplete")
+	}
+}
+
+func TestAllBaselinesProduceFiniteEstimates(t *testing.T) {
+	h := newHarness(t)
+	task := load.NewPulse(25e-3, 10e-3)
+	for _, k := range Kinds() {
+		v := Estimate(k, h, task)
+		if math.IsNaN(v) || v < h.Config().VOff || v > h.Config().VHigh+0.5 {
+			t.Errorf("%s estimate = %g implausible", k, v)
+		}
+	}
+}
+
+func TestEnergyBaselinesAreUnsafeOnPulseLoads(t *testing.T) {
+	// The paper's headline negative result (Figure 6): for pulse + compute
+	// loads, energy-only estimators predict starting voltages that fail.
+	h := newHarness(t)
+	for _, task := range []load.Profile{
+		load.NewPulse(25e-3, 10e-3),
+		load.NewPulse(50e-3, 10e-3),
+	} {
+		gt, err := h.GroundTruth(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, k := range []Kind{EnergyDirect, EnergyV} {
+			est := Estimate(k, h, task)
+			if harness.Classify(est, gt) != harness.Unsafe {
+				t.Errorf("%s on %s: estimate %g vs truth %g — expected unsafe",
+					k, task.Name(), est, gt)
+			}
+		}
+	}
+}
+
+func TestCatnapMeasuredNearTruthOnUniform(t *testing.T) {
+	// For a uniform load with no tail, the task ends at the bottom of the
+	// ESR drop, so CatNap's quick measurement accidentally captures (part
+	// of) the drop as consumed energy — Figure 10 shows small errors for
+	// uniform loads versus the gross misses on pulse+tail loads. The
+	// residual error comes from profiling at V_high, where the drop is
+	// smaller than it will be near V_off.
+	h := newHarness(t)
+	uniform := load.NewUniform(50e-3, 10e-3)
+	pulse := load.NewPulse(50e-3, 10e-3)
+	gtU, err := h.GroundTruth(uniform)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gtP, err := h.GroundTruth(pulse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	errU := math.Abs(Estimate(CatnapMeasured, h, uniform) - gtU)
+	errP := math.Abs(Estimate(CatnapMeasured, h, pulse) - gtP)
+	if errU > 0.15 {
+		t.Errorf("Catnap-Measured uniform error %g V too large", errU)
+	}
+	if !(errP > 2*errU) {
+		t.Errorf("pulse+tail error (%g) should dwarf uniform error (%g)", errP, errU)
+	}
+}
+
+func TestCatnapMeasuredUnsafeOnPulseTail(t *testing.T) {
+	// With a 100 ms low-power tail the voltage rebounds before the task
+	// ends, so the quick measurement misses the pulse's ESR drop entirely.
+	h := newHarness(t)
+	task := load.NewPulse(50e-3, 10e-3)
+	gt, err := h.GroundTruth(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := Estimate(CatnapMeasured, h, task)
+	if harness.Classify(measured, gt) != harness.Unsafe {
+		t.Errorf("Catnap-Measured %g vs truth %g — expected unsafe on pulse+tail", measured, gt)
+	}
+}
+
+func TestCatnapSlowBelowCatnapMeasuredOnUniform(t *testing.T) {
+	// Waiting 2 ms lets the rebound start: the slow measurement sees a
+	// higher end voltage, so it books less energy and estimates a lower
+	// V_safe than the immediate measurement.
+	h := newHarness(t)
+	task := load.NewUniform(50e-3, 10e-3)
+	slow := Estimate(CatnapSlow, h, task)
+	fast := Estimate(CatnapMeasured, h, task)
+	if !(slow <= fast) {
+		t.Errorf("Catnap-Slow %g should not exceed Catnap-Measured %g", slow, fast)
+	}
+}
+
+func TestEnergyDirectMatchesClosedForm(t *testing.T) {
+	h := newHarness(t)
+	task := load.NewUniform(10e-3, 100e-3)
+	cfg := h.Config()
+	e := load.Energy(task, cfg.Output.VOut, 0)
+	want := math.Sqrt(cfg.VOff*cfg.VOff + 2*e/cfg.Storage.TotalCapacitance())
+	got := Estimate(EnergyDirect, h, task)
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("EnergyDirect = %g, want %g", got, want)
+	}
+}
+
+func TestVsafeFromEnergyVoltageClamps(t *testing.T) {
+	// A measured end voltage above start (noise) must not produce NaN.
+	v := vsafeFromEnergyVoltage(1.6, 2.0, 2.1)
+	if math.IsNaN(v) || v != 1.6 {
+		t.Errorf("clamped estimate = %g, want V_off", v)
+	}
+}

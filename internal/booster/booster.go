@@ -1,0 +1,199 @@
+// Package booster models the voltage regulators of an energy-harvesting
+// power system (Figure 2 of the paper): the output booster that supplies a
+// stable V_out to the load from a declining capacitor voltage, the input
+// booster that charges the capacitor from a fluctuating harvester, and the
+// voltage monitor that gates the output booster with V_high/V_off
+// hysteresis.
+package booster
+
+import (
+	"fmt"
+	"math"
+)
+
+// EfficiencyLine is the paper's linear efficiency model for the output
+// booster (Section IV-B): η(V) = m·V + b at a representative load current,
+// clamped to [Min, Max]. The assumption used by Culpeo-R — efficiency
+// decreases monotonically as input voltage declines — holds when m > 0.
+type EfficiencyLine struct {
+	M, B     float64 // slope (per volt) and intercept
+	Min, Max float64 // clamp bounds, e.g. 0.05 and 0.98
+}
+
+// DefaultEfficiency approximates a TPS61200-class boost converter between
+// 1.6 V and 2.56 V input: about 0.72 at V_off rising to about 0.90 near
+// V_high.
+func DefaultEfficiency() EfficiencyLine {
+	return EfficiencyLine{M: 0.1875, B: 0.42, Min: 0.05, Max: 0.98}
+}
+
+// At returns the efficiency at capacitor terminal voltage v.
+func (e EfficiencyLine) At(v float64) float64 {
+	eta := e.M*v + e.B
+	if eta < e.Min {
+		return e.Min
+	}
+	if eta > e.Max {
+		return e.Max
+	}
+	return eta
+}
+
+// Validate checks the line is usable.
+func (e EfficiencyLine) Validate() error {
+	if e.Min <= 0 || e.Max > 1 || e.Min > e.Max {
+		return fmt.Errorf("booster: efficiency clamp [%g,%g] invalid", e.Min, e.Max)
+	}
+	return nil
+}
+
+// Output models the output booster: it delivers V_out to the load and draws
+// P_in = P_out/η(V_cap) from the energy buffer.
+type Output struct {
+	VOut       float64        // regulated output voltage (e.g. 2.55 V)
+	Efficiency EfficiencyLine // η(V) of the conversion
+	MaxInput   float64        // max current the booster can draw from the cap (A); 0 = unlimited
+}
+
+// DefaultOutput mirrors the evaluated Capybara configuration: V_out 2.55 V.
+func DefaultOutput() Output {
+	return Output{VOut: 2.55, Efficiency: DefaultEfficiency(), MaxInput: 1.3}
+}
+
+// Validate checks parameters.
+func (o Output) Validate() error {
+	if o.VOut <= 0 {
+		return fmt.Errorf("booster: non-positive VOut %g", o.VOut)
+	}
+	if o.MaxInput < 0 {
+		return fmt.Errorf("booster: negative MaxInput %g", o.MaxInput)
+	}
+	return o.Efficiency.Validate()
+}
+
+// InputPower returns the power the booster must draw from the buffer at
+// terminal voltage vcap to deliver load current iLoad at VOut.
+func (o Output) InputPower(iLoad, vcap float64) float64 {
+	if iLoad <= 0 {
+		return 0
+	}
+	return o.VOut * iLoad / o.Efficiency.At(vcap)
+}
+
+// InputCurrentQuadratic solves the single-branch ESR coupling in closed
+// form: the booster draws I_in from a source with open-circuit voltage voc
+// behind resistance r, such that I_in·(voc − I_in·r) = pin. It returns the
+// stable (low-current) root and true, or (0, false) when the source cannot
+// deliver pin through r (the discriminant is negative — brown-out).
+func InputCurrentQuadratic(voc, r, pin float64) (float64, bool) {
+	if pin <= 0 {
+		return 0, true
+	}
+	if voc <= 0 {
+		return 0, false
+	}
+	if r == 0 {
+		return pin / voc, true
+	}
+	disc := voc*voc - 4*r*pin
+	if disc < 0 {
+		return 0, false
+	}
+	return (voc - math.Sqrt(disc)) / (2 * r), true
+}
+
+// Monitor is the voltage monitor (BU4924-class) that enables the output
+// booster only while the buffer voltage is within the operating window:
+// once the terminal voltage falls below VOff the load is cut, and it is not
+// re-enabled until the buffer recharges to VHigh (Section II-A).
+type Monitor struct {
+	VHigh float64 // turn-on (fully recharged) threshold, e.g. 2.56 V
+	VOff  float64 // power-off threshold, e.g. 1.6 V
+
+	on bool
+}
+
+// NewMonitor builds a monitor. The output starts disabled (device boots only
+// after a full recharge).
+func NewMonitor(vHigh, vOff float64) (*Monitor, error) {
+	if vOff <= 0 || vHigh <= vOff {
+		return nil, fmt.Errorf("booster: invalid monitor window VHigh=%g VOff=%g", vHigh, vOff)
+	}
+	return &Monitor{VHigh: vHigh, VOff: vOff}, nil
+}
+
+// On reports whether the output booster is currently enabled.
+func (m *Monitor) On() bool { return m.on }
+
+// Observe updates the hysteresis state for terminal voltage v and returns
+// the new enabled state.
+func (m *Monitor) Observe(v float64) bool {
+	if m.on {
+		if v < m.VOff {
+			m.on = false
+		}
+	} else {
+		if v >= m.VHigh {
+			m.on = true
+		}
+	}
+	return m.on
+}
+
+// Force sets the state explicitly; the test harness uses this to isolate
+// the power system from the load or to trigger delivery at a chosen V_start
+// (Section VI-A: "A test harness ... explicitly triggers the power system to
+// begin delivering power").
+func (m *Monitor) Force(on bool) { m.on = on }
+
+// OperatingRange returns VHigh − VOff, the denominator used when the paper
+// reports errors as a percentage of the operating range.
+func (m *Monitor) OperatingRange() float64 { return m.VHigh - m.VOff }
+
+// Input models the input booster (BQ25504-class): it converts harvested
+// power into charge current for the buffer, decoupling charging from the
+// harvester's voltage limitations, and stops at VHigh.
+type Input struct {
+	Efficiency float64 // flat conversion efficiency of the input path
+	MaxCurrent float64 // charge current limit (A); 0 = unlimited
+	VHigh      float64 // stop charging at this buffer voltage
+}
+
+// DefaultInput mirrors a BQ25504-style boost charger feeding a 2.56 V rail.
+func DefaultInput() Input {
+	return Input{Efficiency: 0.80, MaxCurrent: 0.100, VHigh: 2.56}
+}
+
+// Validate checks parameters.
+func (in Input) Validate() error {
+	if in.Efficiency <= 0 || in.Efficiency > 1 {
+		return fmt.Errorf("booster: input efficiency %g out of (0,1]", in.Efficiency)
+	}
+	if in.MaxCurrent < 0 {
+		return fmt.Errorf("booster: negative input MaxCurrent %g", in.MaxCurrent)
+	}
+	if in.VHigh <= 0 {
+		return fmt.Errorf("booster: non-positive input VHigh %g", in.VHigh)
+	}
+	return nil
+}
+
+// ChargeCurrent returns the current delivered into the buffer at voltage
+// vcap given harvested power pHarvest (watts at the harvester output).
+func (in Input) ChargeCurrent(pHarvest, vcap float64) float64 {
+	if pHarvest <= 0 || vcap >= in.VHigh {
+		return 0
+	}
+	// Below a small floor the converter pushes its max current (cold start
+	// behaviour is out of scope; the buffer never operates near 0 V in our
+	// experiments).
+	v := vcap
+	if v < 0.1 {
+		v = 0.1
+	}
+	i := pHarvest * in.Efficiency / v
+	if in.MaxCurrent > 0 && i > in.MaxCurrent {
+		i = in.MaxCurrent
+	}
+	return i
+}

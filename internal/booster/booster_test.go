@@ -1,0 +1,234 @@
+package booster
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestEfficiencyLine(t *testing.T) {
+	e := DefaultEfficiency()
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Monotone increasing with voltage inside the clamp window.
+	if !(e.At(2.5) > e.At(1.6)) {
+		t.Error("efficiency should rise with input voltage")
+	}
+	// Clamps.
+	if e.At(-100) != e.Min {
+		t.Error("low clamp failed")
+	}
+	if e.At(100) != e.Max {
+		t.Error("high clamp failed")
+	}
+	// Sanity of the default line near the Capybara operating window.
+	if eta := e.At(1.6); eta < 0.6 || eta > 0.8 {
+		t.Errorf("η(1.6V) = %g outside plausible converter range", eta)
+	}
+	if eta := e.At(2.56); eta < 0.8 || eta > 0.95 {
+		t.Errorf("η(2.56V) = %g outside plausible converter range", eta)
+	}
+}
+
+func TestEfficiencyValidate(t *testing.T) {
+	bad := []EfficiencyLine{
+		{Min: 0, Max: 0.9},
+		{Min: 0.5, Max: 1.5},
+		{Min: 0.9, Max: 0.5},
+	}
+	for i, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("bad line %d accepted", i)
+		}
+	}
+}
+
+func TestOutputInputPower(t *testing.T) {
+	o := DefaultOutput()
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 50 mA at 2.55 V out = 127.5 mW out; at η(2.4V) it takes more in.
+	pin := o.InputPower(50e-3, 2.4)
+	pout := o.VOut * 50e-3
+	if !(pin > pout) {
+		t.Errorf("input power %g must exceed output power %g", pin, pout)
+	}
+	eta := o.Efficiency.At(2.4)
+	if math.Abs(pin*eta-pout) > 1e-12 {
+		t.Errorf("power balance violated: pin*η=%g pout=%g", pin*eta, pout)
+	}
+	if o.InputPower(0, 2.4) != 0 || o.InputPower(-1, 2.4) != 0 {
+		t.Error("non-positive load must draw nothing")
+	}
+	// Lower capacitor voltage → lower efficiency → more input power.
+	if !(o.InputPower(50e-3, 1.7) > o.InputPower(50e-3, 2.5)) {
+		t.Error("input power should grow as the capacitor sags")
+	}
+}
+
+func TestOutputValidate(t *testing.T) {
+	bad := []Output{
+		{VOut: 0, Efficiency: DefaultEfficiency()},
+		{VOut: 2.5, MaxInput: -1, Efficiency: DefaultEfficiency()},
+		{VOut: 2.5, Efficiency: EfficiencyLine{Min: 0, Max: 1}},
+	}
+	for i, o := range bad {
+		if err := o.Validate(); err == nil {
+			t.Errorf("bad output %d accepted", i)
+		}
+	}
+}
+
+func TestInputCurrentQuadratic(t *testing.T) {
+	// Known case: voc=2.4, r=1.5, pin=0.2 → I(2.4 − 1.5I) = 0.2.
+	i, ok := InputCurrentQuadratic(2.4, 1.5, 0.2)
+	if !ok {
+		t.Fatal("solvable case reported as brown-out")
+	}
+	if got := i * (2.4 - 1.5*i); math.Abs(got-0.2) > 1e-12 {
+		t.Fatalf("root does not satisfy equation: %g", got)
+	}
+	// Stable root: must be the smaller of the two (I < voc/(2r)).
+	if i >= 2.4/(2*1.5) {
+		t.Error("returned the unstable high-current root")
+	}
+	// Zero resistance short-circuits to P/V.
+	i, ok = InputCurrentQuadratic(2.0, 0, 0.5)
+	if !ok || math.Abs(i-0.25) > 1e-15 {
+		t.Errorf("zero-ESR case: got %g, %v", i, ok)
+	}
+	// Infeasible: max deliverable power is voc²/(4r).
+	if _, ok := InputCurrentQuadratic(2.0, 10, 0.2); ok {
+		t.Error("brown-out case reported solvable") // max is 0.1 W
+	}
+	// Degenerate inputs.
+	if i, ok := InputCurrentQuadratic(2.0, 1, 0); !ok || i != 0 {
+		t.Error("zero power should draw zero current")
+	}
+	if _, ok := InputCurrentQuadratic(0, 1, 0.1); ok {
+		t.Error("zero voc cannot deliver power")
+	}
+}
+
+func TestInputCurrentQuadraticProperty(t *testing.T) {
+	f := func(vRaw, rRaw, pRaw float64) bool {
+		voc := math.Abs(math.Mod(vRaw, 3)) + 0.5
+		r := math.Abs(math.Mod(rRaw, 10))
+		pmax := voc * voc / (4*r + 1e-12)
+		pin := math.Abs(math.Mod(pRaw, 1))
+		i, ok := InputCurrentQuadratic(voc, r, pin)
+		if pin > pmax+1e-12 {
+			return !ok
+		}
+		if !ok {
+			// Borderline numerical cases may legitimately fail near pmax.
+			return pin > pmax*0.999
+		}
+		// The root satisfies the power balance and keeps terminal voltage
+		// positive.
+		bal := i * (voc - i*r)
+		return math.Abs(bal-pin) < 1e-9 && voc-i*r > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMonitorHysteresis(t *testing.T) {
+	m, err := NewMonitor(2.56, 1.6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.On() {
+		t.Fatal("monitor must start off")
+	}
+	// Rising through VOff does not enable; only reaching VHigh does.
+	if m.Observe(2.0) {
+		t.Error("enabled below VHigh from off state")
+	}
+	if !m.Observe(2.56) {
+		t.Error("failed to enable at VHigh")
+	}
+	// Stays on through the window, drops off below VOff.
+	if !m.Observe(1.7) {
+		t.Error("disabled inside operating window")
+	}
+	if m.Observe(1.59) {
+		t.Error("stayed on below VOff")
+	}
+	// Needs full recharge to re-enable.
+	if m.Observe(2.0) {
+		t.Error("re-enabled before full recharge")
+	}
+	if !m.Observe(2.6) {
+		t.Error("failed to re-enable at VHigh")
+	}
+	if got := m.OperatingRange(); math.Abs(got-0.96) > 1e-12 {
+		t.Errorf("operating range = %g", got)
+	}
+}
+
+func TestMonitorForce(t *testing.T) {
+	m, _ := NewMonitor(2.56, 1.6)
+	m.Force(true)
+	if !m.On() {
+		t.Error("Force(true) ignored")
+	}
+	m.Force(false)
+	if m.On() {
+		t.Error("Force(false) ignored")
+	}
+}
+
+func TestMonitorValidate(t *testing.T) {
+	if _, err := NewMonitor(1.0, 1.6); err == nil {
+		t.Error("VHigh <= VOff accepted")
+	}
+	if _, err := NewMonitor(2.0, 0); err == nil {
+		t.Error("zero VOff accepted")
+	}
+}
+
+func TestInputChargeCurrent(t *testing.T) {
+	in := DefaultInput()
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Charging stops at VHigh.
+	if in.ChargeCurrent(0.01, 2.56) != 0 {
+		t.Error("should not charge at VHigh")
+	}
+	// No harvest, no charge.
+	if in.ChargeCurrent(0, 2.0) != 0 {
+		t.Error("no harvest should mean no charge")
+	}
+	// Power conversion: 10 mW at 2.0 V with η=0.8 → 4 mA.
+	if got := in.ChargeCurrent(0.010, 2.0); math.Abs(got-0.004) > 1e-12 {
+		t.Errorf("charge current = %g, want 0.004", got)
+	}
+	// Current limit engages for strong harvest.
+	if got := in.ChargeCurrent(10, 2.0); got != in.MaxCurrent {
+		t.Errorf("current limit not applied: %g", got)
+	}
+	// Low-voltage floor avoids divide-by-near-zero blowup: 10 mW at the
+	// 0.1 V floor with η=0.8 is 80 mA, finite and below the limit.
+	if got := in.ChargeCurrent(0.010, 0.0); math.Abs(got-0.080) > 1e-12 {
+		t.Errorf("cold-start floor: got %g, want 0.080", got)
+	}
+}
+
+func TestInputValidate(t *testing.T) {
+	bad := []Input{
+		{Efficiency: 0, VHigh: 2.5},
+		{Efficiency: 1.2, VHigh: 2.5},
+		{Efficiency: 0.8, MaxCurrent: -1, VHigh: 2.5},
+		{Efficiency: 0.8, VHigh: 0},
+	}
+	for i, in := range bad {
+		if err := in.Validate(); err == nil {
+			t.Errorf("bad input %d accepted", i)
+		}
+	}
+}

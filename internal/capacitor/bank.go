@@ -1,0 +1,102 @@
+package capacitor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Part describes a discrete capacitor part as found in distributor metadata
+// (Section II-B / Figure 3): capacitance, ESR, physical volume, intrinsic DC
+// leakage, and technology family.
+type Part struct {
+	PartNumber string
+	Tech       Technology
+	C          float64 // farads
+	ESR        float64 // ohms
+	Volume     float64 // cubic millimetres
+	DCL        float64 // amperes of DC leakage
+	MaxVoltage float64 // volts
+}
+
+// Technology is a capacitor technology family.
+type Technology int
+
+const (
+	Ceramic Technology = iota
+	Tantalum
+	Electrolytic
+	Supercap
+	numTechnologies
+)
+
+// Technologies lists every technology in display order.
+func Technologies() []Technology {
+	return []Technology{Ceramic, Tantalum, Electrolytic, Supercap}
+}
+
+func (t Technology) String() string {
+	switch t {
+	case Ceramic:
+		return "ceramic"
+	case Tantalum:
+		return "tantalum"
+	case Electrolytic:
+		return "electrolytic"
+	case Supercap:
+		return "supercapacitor"
+	default:
+		return fmt.Sprintf("Technology(%d)", int(t))
+	}
+}
+
+// Bank is an energy buffer assembled from count identical parts in parallel.
+// Parallel assembly: capacitances and leakages add, ESR divides, volume
+// multiplies.
+type Bank struct {
+	Part  Part
+	Count int
+}
+
+// AssembleBank returns the smallest parallel bank of the given part reaching
+// at least targetC farads.
+func AssembleBank(p Part, targetC float64) (Bank, error) {
+	if p.C <= 0 {
+		return Bank{}, fmt.Errorf("capacitor: part %q has non-positive capacitance", p.PartNumber)
+	}
+	if targetC <= 0 {
+		return Bank{}, fmt.Errorf("capacitor: non-positive target capacitance %g", targetC)
+	}
+	n := int(math.Ceil(targetC / p.C))
+	if n < 1 {
+		n = 1
+	}
+	return Bank{Part: p, Count: n}, nil
+}
+
+// C returns the bank's total capacitance.
+func (b Bank) C() float64 { return b.Part.C * float64(b.Count) }
+
+// ESR returns the bank's net ESR (parallel parts).
+func (b Bank) ESR() float64 {
+	if b.Count == 0 {
+		return math.Inf(1)
+	}
+	return b.Part.ESR / float64(b.Count)
+}
+
+// Volume returns the bank's total volume in mm³.
+func (b Bank) Volume() float64 { return b.Part.Volume * float64(b.Count) }
+
+// DCL returns the bank's total DC leakage in amperes.
+func (b Bank) DCL() float64 { return b.Part.DCL * float64(b.Count) }
+
+// Branch converts the bank to a storage branch at the given initial voltage.
+func (b Bank) Branch(name string, v float64) *Branch {
+	return &Branch{Name: name, C: b.C(), ESR: b.ESR(), Leakage: b.DCL(), Voltage: v}
+}
+
+// String summarizes the bank for reports.
+func (b Bank) String() string {
+	return fmt.Sprintf("%d× %s (%s): C=%gF ESR=%gΩ vol=%gmm³ DCL=%gA",
+		b.Count, b.Part.PartNumber, b.Part.Tech, b.C(), b.ESR(), b.Volume(), b.DCL())
+}

@@ -1,0 +1,284 @@
+// Package capacitor models the energy-storage side of an energy-harvesting
+// power system: capacitors with equivalent series resistance (ESR),
+// frequency-dependent ESR curves, multi-branch storage networks (main bank +
+// decoupling capacitance + slow charge-redistribution branches), capacitor
+// bank assembly from discrete parts, and lifetime aging.
+//
+// The central phenomenon Culpeo addresses — the load-dependent terminal
+// voltage drop V_delta = I·ESR that rebounds when the load is removed — falls
+// out of the Branch model here combined with the nodal solver in package
+// powersys.
+package capacitor
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Branch is one storage element connected to the shared terminal node: an
+// ideal capacitor C behind a series resistance ESR. Voltage is the current
+// open-circuit (internal) voltage of the ideal capacitor.
+type Branch struct {
+	Name    string
+	C       float64 // farads
+	ESR     float64 // ohms, series resistance between the cap and the node
+	Leakage float64 // amperes of intrinsic DC leakage (discharges C)
+	Voltage float64 // volts, present open-circuit voltage
+}
+
+// Validate reports whether the branch parameters are physical.
+func (b *Branch) Validate() error {
+	switch {
+	case b.C <= 0:
+		return fmt.Errorf("capacitor: branch %q: non-positive capacitance %g", b.Name, b.C)
+	case b.ESR < 0:
+		return fmt.Errorf("capacitor: branch %q: negative ESR %g", b.Name, b.ESR)
+	case b.Leakage < 0:
+		return fmt.Errorf("capacitor: branch %q: negative leakage %g", b.Name, b.Leakage)
+	case b.Voltage < 0:
+		return fmt.Errorf("capacitor: branch %q: negative voltage %g", b.Name, b.Voltage)
+	}
+	return nil
+}
+
+// Energy returns the energy stored in the branch, ½CV².
+func (b *Branch) Energy() float64 { return 0.5 * b.C * b.Voltage * b.Voltage }
+
+// Discharge removes charge corresponding to current i flowing out of the
+// branch for dt seconds (plus intrinsic leakage). Voltage never goes below 0.
+func (b *Branch) Discharge(i, dt float64) {
+	b.Voltage -= (i + b.Leakage) * dt / b.C
+	if b.Voltage < 0 {
+		b.Voltage = 0
+	}
+}
+
+// Charge adds charge from current i flowing into the branch for dt seconds.
+// Leakage still applies.
+func (b *Branch) Charge(i, dt float64) { b.Discharge(-i, dt) }
+
+// Network is a set of storage branches sharing one terminal node. Branch 0
+// is by convention the main energy buffer; later branches model decoupling
+// capacitance or supercapacitor charge-redistribution arms.
+type Network struct {
+	Branches []*Branch
+}
+
+// NewNetwork builds a network, validating every branch.
+func NewNetwork(branches ...*Branch) (*Network, error) {
+	if len(branches) == 0 {
+		return nil, errors.New("capacitor: network needs at least one branch")
+	}
+	for _, b := range branches {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	return &Network{Branches: branches}, nil
+}
+
+// Main returns the primary energy buffer branch.
+func (n *Network) Main() *Branch { return n.Branches[0] }
+
+// TotalEnergy sums stored energy across branches.
+func (n *Network) TotalEnergy() float64 {
+	var e float64
+	for _, b := range n.Branches {
+		e += b.Energy()
+	}
+	return e
+}
+
+// TotalCapacitance sums capacitance across branches (they are in parallel at
+// the terminal node, so capacitances add for slow signals).
+func (n *Network) TotalCapacitance() float64 {
+	var c float64
+	for _, b := range n.Branches {
+		c += b.C
+	}
+	return c
+}
+
+// OpenCircuitVoltage returns the terminal voltage with no load: the
+// charge-weighted equilibrium if the branches were allowed to equalize would
+// differ, but instantaneously with zero current each branch shows its own
+// voltage through zero drop; the terminal sits at the value the nodal
+// equation yields with I_load = 0. For reporting we return the maximum branch
+// voltage, which equals the no-load terminal voltage when redistribution
+// currents are negligible (high inter-branch resistance) and is within the
+// redistribution band otherwise.
+func (n *Network) OpenCircuitVoltage() float64 {
+	var v float64
+	for _, b := range n.Branches {
+		if b.Voltage > v {
+			v = b.Voltage
+		}
+	}
+	return v
+}
+
+// SetAll forces every branch to voltage v (e.g. "charge fully to V_high"
+// in the test harness).
+func (n *Network) SetAll(v float64) {
+	for _, b := range n.Branches {
+		b.Voltage = v
+	}
+}
+
+// Clone deep-copies the network, so simulations can be re-run from a
+// snapshot without mutating the original.
+func (n *Network) Clone() *Network {
+	out := &Network{Branches: make([]*Branch, len(n.Branches))}
+	for i, b := range n.Branches {
+		cp := *b
+		out.Branches[i] = &cp
+	}
+	return out
+}
+
+// ESRPoint is one sample of an ESR-versus-frequency characterization.
+type ESRPoint struct {
+	Hz  float64
+	Ohm float64
+}
+
+// ESRCurve is a measured ESR-versus-frequency characteristic for a power
+// system (Section IV-B: datasheet ESR values are too inaccurate; Culpeo-PG
+// derives a curve by direct measurement). ESR falls with frequency for
+// supercapacitors: slow loads see the full electrode resistance, fast pulses
+// see only the high-frequency series component.
+type ESRCurve struct {
+	points []ESRPoint // sorted ascending by Hz
+}
+
+// NewESRCurve builds a curve from points (any order). At least one point is
+// required; frequencies must be positive and distinct.
+func NewESRCurve(points ...ESRPoint) (*ESRCurve, error) {
+	if len(points) == 0 {
+		return nil, errors.New("capacitor: ESR curve needs at least one point")
+	}
+	ps := make([]ESRPoint, len(points))
+	copy(ps, points)
+	sort.Slice(ps, func(i, j int) bool { return ps[i].Hz < ps[j].Hz })
+	for i, p := range ps {
+		if p.Hz <= 0 {
+			return nil, fmt.Errorf("capacitor: ESR point %d: non-positive frequency %g", i, p.Hz)
+		}
+		if p.Ohm < 0 {
+			return nil, fmt.Errorf("capacitor: ESR point %d: negative ESR %g", i, p.Ohm)
+		}
+		if i > 0 && p.Hz == ps[i-1].Hz {
+			return nil, fmt.Errorf("capacitor: duplicate ESR frequency %g", p.Hz)
+		}
+	}
+	return &ESRCurve{points: ps}, nil
+}
+
+// At returns the ESR at frequency hz using log-frequency linear
+// interpolation, clamping outside the measured range.
+func (c *ESRCurve) At(hz float64) float64 {
+	ps := c.points
+	if hz <= ps[0].Hz {
+		return ps[0].Ohm
+	}
+	last := ps[len(ps)-1]
+	if hz >= last.Hz {
+		return last.Ohm
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].Hz >= hz })
+	lo, hi := ps[i-1], ps[i]
+	t := (math.Log(hz) - math.Log(lo.Hz)) / (math.Log(hi.Hz) - math.Log(lo.Hz))
+	return lo.Ohm + (hi.Ohm-lo.Ohm)*t
+}
+
+// ForPulseWidth selects the representative ESR for a load whose widest
+// current pulse lasts w seconds (Section V-A: Culpeo-PG uses the width of
+// the largest current pulse, excluding high-frequency noise, to choose an
+// ESR value from the curve). The corresponding frequency is 1/(2w) — a pulse
+// of width w is half a period of a square wave at that frequency.
+func (c *ESRCurve) ForPulseWidth(w float64) float64 {
+	if w <= 0 {
+		return c.points[len(c.points)-1].Ohm // infinitely fast: HF limit
+	}
+	return c.At(1 / (2 * w))
+}
+
+// Flat returns a frequency-independent curve, handy for ideal components in
+// tests.
+func Flat(ohm float64) *ESRCurve {
+	c, err := NewESRCurve(ESRPoint{Hz: 1, Ohm: ohm})
+	if err != nil {
+		panic(err) // unreachable: constant inputs are valid
+	}
+	return c
+}
+
+// Aging models supercapacitor wear (Section IV-C: over the device lifetime
+// capacitance can fade to 80 % of nominal and ESR can double, beyond which
+// the capacitor is considered dead).
+type Aging struct {
+	// Fraction of lifetime consumed, in [0, 1]. 0 = fresh, 1 = end of life.
+	LifeFraction float64
+}
+
+// CapacitanceFactor returns the multiplier on nominal capacitance
+// (1.0 fresh → 0.8 at end of life, linear).
+func (a Aging) CapacitanceFactor() float64 {
+	f := clamp01(a.LifeFraction)
+	return 1 - 0.2*f
+}
+
+// ESRFactor returns the multiplier on nominal ESR (1.0 fresh → 2.0 at end of
+// life, linear).
+func (a Aging) ESRFactor() float64 {
+	f := clamp01(a.LifeFraction)
+	return 1 + f
+}
+
+// Dead reports whether the capacitor has exceeded its service limits.
+func (a Aging) Dead() bool { return a.LifeFraction >= 1 }
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// Apply returns a copy of the branch with aging applied.
+func (a Aging) Apply(b Branch) Branch {
+	b.C *= a.CapacitanceFactor()
+	b.ESR *= a.ESRFactor()
+	return b
+}
+
+// SupercapBranches models a supercapacitor's frequency-dependent impedance
+// as two storage branches sharing the terminal node: the bulk capacitance
+// behind the low-frequency ESR, plus a small fast branch behind the
+// high-frequency ESR. Short pulses draw from both branches in parallel
+// (low effective ESR); sustained loads exhaust the fast branch and see the
+// bulk resistance — which is exactly the ESR-versus-frequency behaviour
+// impedance analyzers measure on real supercapacitors.
+//
+// c is the total capacitance; fastFraction (e.g. 0.05) is the share held
+// in the fast branch; rLF and rHF are the low/high-frequency ESRs
+// (rLF > rHF); v is the initial voltage.
+func SupercapBranches(name string, c, rLF, rHF, fastFraction, v float64) []*Branch {
+	if fastFraction < 0 {
+		fastFraction = 0
+	}
+	if fastFraction > 0.5 {
+		fastFraction = 0.5
+	}
+	bulk := &Branch{Name: name + "-bulk", C: c * (1 - fastFraction), ESR: rLF, Voltage: v}
+	if fastFraction == 0 {
+		return []*Branch{bulk}
+	}
+	fast := &Branch{Name: name + "-fast", C: c * fastFraction, ESR: rHF, Voltage: v}
+	return []*Branch{bulk, fast}
+}

@@ -1,0 +1,317 @@
+package capacitor
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBranchValidate(t *testing.T) {
+	good := Branch{Name: "b", C: 45e-3, ESR: 1.5, Voltage: 2.4}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid branch rejected: %v", err)
+	}
+	bad := []Branch{
+		{C: 0},
+		{C: -1},
+		{C: 1, ESR: -0.5},
+		{C: 1, Leakage: -1e-9},
+		{C: 1, Voltage: -0.1},
+	}
+	for i, b := range bad {
+		if err := b.Validate(); err == nil {
+			t.Errorf("bad branch %d accepted", i)
+		}
+	}
+}
+
+func TestBranchDischargeCharge(t *testing.T) {
+	b := Branch{C: 1e-3, Voltage: 2.0}
+	b.Discharge(1e-3, 1.0) // 1 mA for 1 s from 1 mF: dV = 1 V
+	if !almost(b.Voltage, 1.0, 1e-12) {
+		t.Fatalf("discharge: got %g, want 1.0", b.Voltage)
+	}
+	b.Charge(0.5e-3, 1.0)
+	if !almost(b.Voltage, 1.5, 1e-12) {
+		t.Fatalf("charge: got %g, want 1.5", b.Voltage)
+	}
+}
+
+func TestBranchDischargeFloorsAtZero(t *testing.T) {
+	b := Branch{C: 1e-6, Voltage: 0.1}
+	b.Discharge(1, 1) // massive overdraw
+	if b.Voltage != 0 {
+		t.Fatalf("voltage went negative: %g", b.Voltage)
+	}
+}
+
+func TestBranchLeakage(t *testing.T) {
+	b := Branch{C: 1e-3, Voltage: 2.0, Leakage: 1e-6}
+	b.Discharge(0, 10) // leakage only: dV = 1e-6*10/1e-3 = 10 mV
+	if !almost(b.Voltage, 1.99, 1e-9) {
+		t.Fatalf("leakage discharge: got %g, want 1.99", b.Voltage)
+	}
+}
+
+func TestBranchEnergy(t *testing.T) {
+	b := Branch{C: 45e-3, Voltage: 2.0}
+	if !almost(b.Energy(), 0.09, 1e-12) {
+		t.Fatalf("energy: got %g, want 0.09", b.Energy())
+	}
+}
+
+func TestNetworkBasics(t *testing.T) {
+	main := &Branch{Name: "main", C: 45e-3, ESR: 1.5, Voltage: 2.4}
+	dec := &Branch{Name: "decoupling", C: 400e-6, ESR: 0.05, Voltage: 2.2}
+	n, err := NewNetwork(main, dec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Main() != main {
+		t.Error("Main() should return the first branch")
+	}
+	if !almost(n.TotalCapacitance(), 45e-3+400e-6, 1e-15) {
+		t.Error("TotalCapacitance wrong")
+	}
+	if got := n.OpenCircuitVoltage(); got != 2.4 {
+		t.Errorf("OpenCircuitVoltage = %g, want 2.4", got)
+	}
+	wantE := 0.5*45e-3*2.4*2.4 + 0.5*400e-6*2.2*2.2
+	if !almost(n.TotalEnergy(), wantE, 1e-12) {
+		t.Errorf("TotalEnergy = %g, want %g", n.TotalEnergy(), wantE)
+	}
+	n.SetAll(1.0)
+	if main.Voltage != 1.0 || dec.Voltage != 1.0 {
+		t.Error("SetAll did not propagate")
+	}
+}
+
+func TestNetworkErrors(t *testing.T) {
+	if _, err := NewNetwork(); err == nil {
+		t.Error("empty network accepted")
+	}
+	if _, err := NewNetwork(&Branch{C: -1}); err == nil {
+		t.Error("invalid branch accepted")
+	}
+}
+
+func TestNetworkCloneIsolation(t *testing.T) {
+	n, _ := NewNetwork(&Branch{Name: "m", C: 1e-3, Voltage: 2.0})
+	c := n.Clone()
+	c.Main().Voltage = 0.5
+	if n.Main().Voltage != 2.0 {
+		t.Error("Clone shares branch state with original")
+	}
+}
+
+func TestESRCurveInterpolation(t *testing.T) {
+	c, err := NewESRCurve(
+		ESRPoint{Hz: 1, Ohm: 10},
+		ESRPoint{Hz: 100, Ohm: 4},
+		ESRPoint{Hz: 10000, Ohm: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clamping outside the range.
+	if c.At(0.1) != 10 {
+		t.Errorf("below range: got %g, want 10", c.At(0.1))
+	}
+	if c.At(1e6) != 1 {
+		t.Errorf("above range: got %g, want 1", c.At(1e6))
+	}
+	// Exact points.
+	if c.At(100) != 4 {
+		t.Errorf("exact point: got %g, want 4", c.At(100))
+	}
+	// Log-interpolated midpoint between 1 Hz and 100 Hz is 10 Hz.
+	if got := c.At(10); !almost(got, 7, 1e-9) {
+		t.Errorf("midpoint: got %g, want 7", got)
+	}
+}
+
+func TestESRCurveMonotoneOnMonotoneData(t *testing.T) {
+	c, err := NewESRCurve(
+		ESRPoint{Hz: 1, Ohm: 10},
+		ESRPoint{Hz: 10, Ohm: 8},
+		ESRPoint{Hz: 100, Ohm: 4},
+		ESRPoint{Hz: 1000, Ohm: 2},
+		ESRPoint{Hz: 10000, Ohm: 1},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(aRaw, bRaw float64) bool {
+		a := math.Abs(math.Mod(aRaw, 1e5)) + 0.1
+		b := math.Abs(math.Mod(bRaw, 1e5)) + 0.1
+		if a > b {
+			a, b = b, a
+		}
+		return c.At(a) >= c.At(b) // ESR must not increase with frequency
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestESRCurveErrors(t *testing.T) {
+	if _, err := NewESRCurve(); err == nil {
+		t.Error("empty curve accepted")
+	}
+	if _, err := NewESRCurve(ESRPoint{Hz: 0, Ohm: 1}); err == nil {
+		t.Error("zero frequency accepted")
+	}
+	if _, err := NewESRCurve(ESRPoint{Hz: 1, Ohm: -1}); err == nil {
+		t.Error("negative ESR accepted")
+	}
+	if _, err := NewESRCurve(ESRPoint{Hz: 5, Ohm: 1}, ESRPoint{Hz: 5, Ohm: 2}); err == nil {
+		t.Error("duplicate frequency accepted")
+	}
+}
+
+func TestESRForPulseWidth(t *testing.T) {
+	c, _ := NewESRCurve(
+		ESRPoint{Hz: 1, Ohm: 10},
+		ESRPoint{Hz: 10000, Ohm: 1},
+	)
+	// 100 ms pulse → 5 Hz; must see near-LF ESR.
+	slow := c.ForPulseWidth(100e-3)
+	// 1 ms pulse → 500 Hz; must see lower ESR.
+	fast := c.ForPulseWidth(1e-3)
+	if !(slow > fast) {
+		t.Errorf("slow pulse ESR (%g) should exceed fast pulse ESR (%g)", slow, fast)
+	}
+	if got := c.ForPulseWidth(0); got != 1 {
+		t.Errorf("zero width should clamp to HF limit, got %g", got)
+	}
+}
+
+func TestFlatCurve(t *testing.T) {
+	c := Flat(4.7)
+	for _, hz := range []float64{0.1, 1, 1000, 1e6} {
+		if c.At(hz) != 4.7 {
+			t.Fatalf("Flat curve not flat at %g Hz", hz)
+		}
+	}
+}
+
+func TestAging(t *testing.T) {
+	fresh := Aging{LifeFraction: 0}
+	if fresh.CapacitanceFactor() != 1 || fresh.ESRFactor() != 1 || fresh.Dead() {
+		t.Error("fresh aging factors wrong")
+	}
+	eol := Aging{LifeFraction: 1}
+	if !almost(eol.CapacitanceFactor(), 0.8, 1e-12) {
+		t.Errorf("EOL capacitance factor = %g, want 0.8", eol.CapacitanceFactor())
+	}
+	if !almost(eol.ESRFactor(), 2.0, 1e-12) {
+		t.Errorf("EOL ESR factor = %g, want 2.0", eol.ESRFactor())
+	}
+	if !eol.Dead() {
+		t.Error("EOL should be dead")
+	}
+	// Clamped outside [0,1].
+	over := Aging{LifeFraction: 5}
+	if over.ESRFactor() != 2 || over.CapacitanceFactor() != 0.8 {
+		t.Error("aging factors must clamp")
+	}
+	under := Aging{LifeFraction: -1}
+	if under.ESRFactor() != 1 || under.CapacitanceFactor() != 1 {
+		t.Error("negative life fraction must clamp to fresh")
+	}
+}
+
+func TestAgingApply(t *testing.T) {
+	b := Branch{C: 45e-3, ESR: 1.5}
+	aged := Aging{LifeFraction: 0.5}.Apply(b)
+	if !almost(aged.C, 45e-3*0.9, 1e-12) {
+		t.Errorf("aged C = %g", aged.C)
+	}
+	if !almost(aged.ESR, 1.5*1.5, 1e-12) {
+		t.Errorf("aged ESR = %g", aged.ESR)
+	}
+	if b.C != 45e-3 {
+		t.Error("Apply must not mutate the input")
+	}
+}
+
+func TestAssembleBank(t *testing.T) {
+	p := Part{PartNumber: "CPX3225A752D", Tech: Supercap, C: 7.5e-3, ESR: 9, Volume: 7.0, DCL: 3.3e-9}
+	b, err := AssembleBank(p, 45e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 6 {
+		t.Fatalf("45 mF from 7.5 mF parts should take 6 parts, got %d", b.Count)
+	}
+	if !almost(b.C(), 45e-3, 1e-12) {
+		t.Errorf("bank C = %g", b.C())
+	}
+	if !almost(b.ESR(), 1.5, 1e-12) {
+		t.Errorf("bank ESR = %g, want 1.5 (9Ω/6)", b.ESR())
+	}
+	if !almost(b.Volume(), 42, 1e-9) {
+		t.Errorf("bank volume = %g", b.Volume())
+	}
+	if !almost(b.DCL(), 19.8e-9, 1e-15) {
+		t.Errorf("bank DCL = %g, want ~20 nA", b.DCL())
+	}
+	br := b.Branch("bank", 2.4)
+	if br.C != b.C() || br.ESR != b.ESR() || br.Voltage != 2.4 {
+		t.Error("Branch conversion mismatched")
+	}
+}
+
+func TestAssembleBankErrors(t *testing.T) {
+	if _, err := AssembleBank(Part{C: 0}, 45e-3); err == nil {
+		t.Error("zero-capacitance part accepted")
+	}
+	if _, err := AssembleBank(Part{C: 1e-3}, 0); err == nil {
+		t.Error("zero target accepted")
+	}
+}
+
+func TestBankProperties(t *testing.T) {
+	f := func(cRaw, targetRaw float64) bool {
+		c := math.Abs(math.Mod(cRaw, 0.01)) + 1e-6
+		target := math.Abs(math.Mod(targetRaw, 0.1)) + 1e-6
+		p := Part{C: c, ESR: 2, Volume: 3, DCL: 1e-9}
+		b, err := AssembleBank(p, target)
+		if err != nil {
+			return false
+		}
+		// Bank must meet the target, and removing one part must not.
+		if b.C() < target-1e-15 {
+			return false
+		}
+		if b.Count > 1 && p.C*float64(b.Count-1) >= target {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTechnologyString(t *testing.T) {
+	names := map[Technology]string{
+		Ceramic:      "ceramic",
+		Tantalum:     "tantalum",
+		Electrolytic: "electrolytic",
+		Supercap:     "supercapacitor",
+	}
+	for tech, want := range names {
+		if tech.String() != want {
+			t.Errorf("%d.String() = %q, want %q", tech, tech.String(), want)
+		}
+	}
+	if Technology(99).String() == "" {
+		t.Error("unknown technology should still render")
+	}
+	if len(Technologies()) != int(numTechnologies) {
+		t.Error("Technologies() out of sync")
+	}
+}
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }

@@ -1,0 +1,223 @@
+// Package charact implements the power-system characterization procedures
+// of Section IV-B. Datasheet ESR values are too inaccurate for Culpeo-PG —
+// "the ESR experienced by a load changes with the load's frequency ... We
+// instead derive a curve of ESR versus frequency via direct measurement of
+// the power system" — so this package measures:
+//
+//   - the effective ESR-versus-frequency curve, by applying current pulses
+//     of different widths and observing the rebounding component of the
+//     terminal-voltage drop (the in-silico version of an impedance-analyzer
+//     sweep);
+//   - the output booster's linear efficiency model η(V) = mV + b, by
+//     loading the system at several buffer voltages and fitting
+//     P_out/(I_in·V_t) with least squares.
+//
+// Characterization runs on isolated clones of the configuration, so it
+// never perturbs a live system.
+package charact
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"culpeo/internal/booster"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/trace"
+)
+
+// DefaultPulseWidths is the impedance sweep's pulse-width grid, spanning
+// the paper's load range (1 ms – 1 s, i.e. 0.5 Hz – 500 Hz equivalent).
+func DefaultPulseWidths() []float64 {
+	return []float64{1e-3, 3e-3, 10e-3, 30e-3, 100e-3, 300e-3, 1.0}
+}
+
+// clone isolates a configuration.
+func clone(cfg powersys.Config) powersys.Config {
+	out := cfg
+	out.Storage = cfg.Storage.Clone()
+	return out
+}
+
+// MeasureESRAt applies one current pulse of the given width and test
+// current and returns the effective ESR seen at that pulse width: the
+// rebounding component of the drop divided by the booster's input current
+// at the minimum.
+func MeasureESRAt(cfg powersys.Config, width, iTest float64) (float64, error) {
+	if width <= 0 || iTest <= 0 {
+		return 0, fmt.Errorf("charact: non-positive width %g or current %g", width, iTest)
+	}
+	c := clone(cfg)
+	sys, err := powersys.New(c)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.ChargeTo(c.VHigh); err != nil {
+		return 0, err
+	}
+	sys.Monitor().Force(true)
+	rec := trace.NewRecorder(1)
+	res := sys.Run(load.Uniform{ID: "esr-probe", ILoad: iTest, TPulse: width},
+		powersys.RunOptions{Recorder: rec})
+	if !res.Completed {
+		return 0, fmt.Errorf("charact: probe pulse (%.3g A, %.3g s) browned out — lower the test current", iTest, width)
+	}
+	// Find the input current at the minimum-voltage sample.
+	var iin float64
+	min := math.Inf(1)
+	for _, s := range rec.Samples() {
+		if s.VTerm < min {
+			min = s.VTerm
+			iin = s.IIn
+		}
+	}
+	if iin <= 0 {
+		return 0, errors.New("charact: no input current observed")
+	}
+	vdelta := res.VFinal - res.VMin
+	if vdelta < 0 {
+		vdelta = 0
+	}
+	return vdelta / iin, nil
+}
+
+// MeasureESRCurve sweeps pulse widths and returns the measured
+// ESR-versus-frequency curve (frequency = 1/(2·width), matching
+// capacitor.ESRCurve.ForPulseWidth). Widths defaults to
+// DefaultPulseWidths; iTest defaults to 10 mA.
+func MeasureESRCurve(cfg powersys.Config, widths []float64, iTest float64) (*capacitor.ESRCurve, error) {
+	if len(widths) == 0 {
+		widths = DefaultPulseWidths()
+	}
+	if iTest <= 0 {
+		iTest = 10e-3
+	}
+	points := make([]capacitor.ESRPoint, 0, len(widths))
+	for _, w := range widths {
+		r, err := MeasureESRAt(cfg, w, iTest)
+		if err != nil {
+			return nil, err
+		}
+		points = append(points, capacitor.ESRPoint{Hz: 1 / (2 * w), Ohm: r})
+	}
+	return capacitor.NewESRCurve(points...)
+}
+
+// MeasureEfficiencyAt loads the system with iTest at buffer voltage v and
+// returns the observed conversion efficiency η = P_out/(I_in·V_t) averaged
+// over the pulse.
+func MeasureEfficiencyAt(cfg powersys.Config, v, iTest float64) (float64, error) {
+	if v <= cfg.VOff || v > cfg.VHigh {
+		return 0, fmt.Errorf("charact: probe voltage %g outside window", v)
+	}
+	c := clone(cfg)
+	sys, err := powersys.New(c)
+	if err != nil {
+		return 0, err
+	}
+	if err := sys.ChargeTo(c.VHigh); err != nil {
+		return 0, err
+	}
+	if err := sys.DischargeTo(v); err != nil {
+		return 0, err
+	}
+	sys.Monitor().Force(true)
+	rec := trace.NewRecorder(1)
+	res := sys.Run(load.Uniform{ID: "eff-probe", ILoad: iTest, TPulse: 5e-3},
+		powersys.RunOptions{Recorder: rec, SkipRebound: true})
+	if !res.Completed {
+		return 0, fmt.Errorf("charact: efficiency probe browned out at %g V", v)
+	}
+	var sum float64
+	var n int
+	pout := cfg.Output.VOut * iTest
+	for _, s := range rec.Samples() {
+		if s.IIn <= 0 || s.VTerm <= 0 {
+			continue
+		}
+		sum += pout / (s.IIn * s.VTerm)
+		n++
+	}
+	if n == 0 {
+		return 0, errors.New("charact: no usable efficiency samples")
+	}
+	eta := sum / float64(n)
+	if eta <= 0 || eta > 1 {
+		return 0, fmt.Errorf("charact: implausible efficiency %g", eta)
+	}
+	return eta, nil
+}
+
+// MeasureEfficiencyLine probes several buffer voltages across the operating
+// window and least-squares fits η(V) = mV + b. Points defaults to 6.
+func MeasureEfficiencyLine(cfg powersys.Config, points int, iTest float64) (booster.EfficiencyLine, error) {
+	if points < 2 {
+		points = 6
+	}
+	if iTest <= 0 {
+		iTest = 10e-3
+	}
+	var xs, ys []float64
+	// Keep probes clear of the brown-out cliff: the probe's own ESR drop
+	// (I_in·R, roughly double the load current through a high-ESR bank)
+	// must not take the terminal below V_off mid-measurement.
+	lo := cfg.VOff + 0.15
+	hi := cfg.VHigh - 0.02
+	for i := 0; i < points; i++ {
+		v := lo + (hi-lo)*float64(i)/float64(points-1)
+		eta, err := MeasureEfficiencyAt(cfg, v, iTest)
+		if err != nil {
+			return booster.EfficiencyLine{}, err
+		}
+		xs = append(xs, v)
+		ys = append(ys, eta)
+	}
+	m, b := leastSquares(xs, ys)
+	return booster.EfficiencyLine{M: m, B: b, Min: 0.05, Max: 0.98}, nil
+}
+
+// leastSquares fits y = m·x + b.
+func leastSquares(xs, ys []float64) (m, b float64) {
+	n := float64(len(xs))
+	var sx, sy, sxx, sxy float64
+	for i := range xs {
+		sx += xs[i]
+		sy += ys[i]
+		sxx += xs[i] * xs[i]
+		sxy += xs[i] * ys[i]
+	}
+	den := n*sxx - sx*sx
+	if den == 0 {
+		return 0, sy / n
+	}
+	m = (n*sxy - sx*sy) / den
+	b = (sy - m*sx) / n
+	return m, b
+}
+
+// Characterize measures everything Culpeo-PG needs from a power system and
+// assembles the PowerModel: capacitance from the design (datasheet), ESR
+// curve and efficiency line from measurement. This is the full §IV-B
+// workflow: "the power system's ESR characteristics are profiled
+// independently of the load".
+func Characterize(cfg powersys.Config) (core.PowerModel, error) {
+	esr, err := MeasureESRCurve(cfg, nil, 0)
+	if err != nil {
+		return core.PowerModel{}, err
+	}
+	eff, err := MeasureEfficiencyLine(cfg, 0, 0)
+	if err != nil {
+		return core.PowerModel{}, err
+	}
+	return core.PowerModel{
+		C:     cfg.Storage.TotalCapacitance(),
+		ESR:   esr,
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   eff,
+	}, nil
+}

@@ -1,0 +1,177 @@
+package charact
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+)
+
+func TestMeasureESRFlatSystem(t *testing.T) {
+	// A single-branch bank has frequency-independent ESR; the measurement
+	// must recover it across the sweep.
+	cfg := powersys.Capybara() // 5 Ω net
+	curve, err := MeasureESRCurve(cfg, nil, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, hz := range []float64{1, 10, 100} {
+		got := curve.At(hz)
+		if math.Abs(got-5.0) > 0.6 {
+			t.Errorf("measured ESR at %g Hz = %g, want ≈5 Ω", hz, got)
+		}
+	}
+}
+
+func TestMeasureESRTwoBranchDescends(t *testing.T) {
+	// A two-branch supercap model shows lower ESR to fast pulses; the
+	// measured curve must descend with frequency.
+	branches := capacitor.SupercapBranches("sc", 45e-3, 6.0, 1.0, 0.05, 2.56)
+	net, err := capacitor.NewNetwork(branches...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := powersys.Capybara()
+	cfg.Storage = net
+	curve, err := MeasureESRCurve(cfg, nil, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := curve.ForPulseWidth(1.0)  // 0.5 Hz
+	fast := curve.ForPulseWidth(1e-3) // 500 Hz
+	if !(slow > fast+0.5) {
+		t.Errorf("slow ESR %g should exceed fast ESR %g", slow, fast)
+	}
+	// The slow limit approaches the bulk resistance; the fast limit
+	// approaches the parallel combination (6∥1 ≈ 0.86 Ω).
+	if slow < 4.0 || slow > 7.0 {
+		t.Errorf("slow-limit ESR = %g, want near the 6 Ω bulk", slow)
+	}
+	if fast > 3.0 {
+		t.Errorf("fast-limit ESR = %g, want near the parallel combination", fast)
+	}
+}
+
+func TestMeasureESRErrors(t *testing.T) {
+	cfg := powersys.Capybara()
+	if _, err := MeasureESRAt(cfg, 0, 10e-3); err == nil {
+		t.Error("zero width accepted")
+	}
+	if _, err := MeasureESRAt(cfg, 10e-3, 0); err == nil {
+		t.Error("zero current accepted")
+	}
+	// A test current far past the deliverable power must report brown-out.
+	if _, err := MeasureESRAt(cfg, 100e-3, 1.0); err == nil {
+		t.Error("brown-out probe accepted")
+	}
+}
+
+func TestMeasureEfficiencyLine(t *testing.T) {
+	cfg := powersys.Capybara()
+	line, err := MeasureEfficiencyLine(cfg, 6, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := cfg.Output.Efficiency
+	// The fitted line tracks the configured one across the window. (The
+	// measurement sees η at the dropped terminal voltage, so compare by
+	// evaluation, with tolerance for the ESR-induced shift.)
+	for _, v := range []float64{1.8, 2.1, 2.4} {
+		if math.Abs(line.At(v)-truth.At(v)) > 0.05 {
+			t.Errorf("fitted η(%g) = %g, configured %g", v, line.At(v), truth.At(v))
+		}
+	}
+	// Monotone increasing fit (positive slope), as Culpeo-R assumes.
+	if line.M <= 0 {
+		t.Errorf("fitted slope = %g, want positive", line.M)
+	}
+}
+
+func TestMeasureEfficiencyErrors(t *testing.T) {
+	cfg := powersys.Capybara()
+	if _, err := MeasureEfficiencyAt(cfg, cfg.VOff-0.1, 10e-3); err == nil {
+		t.Error("probe below window accepted")
+	}
+	if _, err := MeasureEfficiencyAt(cfg, cfg.VHigh+0.1, 10e-3); err == nil {
+		t.Error("probe above window accepted")
+	}
+}
+
+func TestCharacterizeEndToEnd(t *testing.T) {
+	// The fully measured model must produce safe PG estimates against the
+	// same system's ground truth — closing the §IV-B loop without ever
+	// reading the "datasheet" ESR.
+	cfg := powersys.Capybara()
+	model, err := Characterize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := model.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	h, err := harness.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pg := profiler.PG{Model: model}
+	for _, task := range []load.Profile{
+		load.NewPulse(25e-3, 10e-3),
+		load.NewUniform(10e-3, 100e-3),
+		load.BLERadio(),
+	} {
+		gt, err := h.GroundTruth(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		est, err := pg.Estimate(task)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if harness.Classify(est.VSafe, gt) == harness.Unsafe {
+			t.Errorf("%s: measured-model estimate %g unsafe vs truth %g", task.Name(), est.VSafe, gt)
+		}
+		if h.ErrorPercent(est.VSafe, gt) > 20 {
+			t.Errorf("%s: measured-model estimate overshoots: %+.1f%%",
+				task.Name(), h.ErrorPercent(est.VSafe, gt))
+		}
+	}
+}
+
+func TestLeastSquares(t *testing.T) {
+	m, b := leastSquares([]float64{0, 1, 2}, []float64{1, 3, 5})
+	if math.Abs(m-2) > 1e-12 || math.Abs(b-1) > 1e-12 {
+		t.Errorf("fit = %g, %g; want 2, 1", m, b)
+	}
+	// Degenerate: all same x → slope 0, intercept mean.
+	m, b = leastSquares([]float64{1, 1}, []float64{2, 4})
+	if m != 0 || b != 3 {
+		t.Errorf("degenerate fit = %g, %g", m, b)
+	}
+}
+
+func TestSupercapBranches(t *testing.T) {
+	bs := capacitor.SupercapBranches("sc", 45e-3, 6, 1, 0.05, 2.4)
+	if len(bs) != 2 {
+		t.Fatalf("branches = %d", len(bs))
+	}
+	if math.Abs(bs[0].C+bs[1].C-45e-3) > 1e-12 {
+		t.Error("capacitance not conserved")
+	}
+	if bs[0].ESR != 6 || bs[1].ESR != 1 {
+		t.Error("ESRs misassigned")
+	}
+	// Degenerate fractions.
+	if got := capacitor.SupercapBranches("sc", 1e-3, 6, 1, 0, 2.4); len(got) != 1 {
+		t.Error("zero fraction should collapse to one branch")
+	}
+	if got := capacitor.SupercapBranches("sc", 1e-3, 6, 1, 0.9, 2.4); math.Abs(got[1].C-0.5e-3) > 1e-12 {
+		t.Error("fraction should clamp at 0.5")
+	}
+	if got := capacitor.SupercapBranches("sc", 1e-3, 6, 1, -0.2, 2.4); len(got) != 1 {
+		t.Error("negative fraction should clamp to zero")
+	}
+}

@@ -1,0 +1,234 @@
+// Package chargetypes implements the paper's first future-work direction
+// (Section IX, "Language Constructs"): a charge-state type system for
+// intermittent programs, in the spirit of Energy Types, but voltage-aware.
+//
+// Energy-Types-style systems associate program elements with energy-
+// availability levels and enforce that high-availability elements may call
+// low-availability ones, not vice versa. The paper's observation: "A
+// program element could take little energy but have a high ESR drop.
+// Calling this element with little energy respects the invariant but could
+// cause the system to fail."
+//
+// This package provides both disciplines over the same program
+// representation:
+//
+//   - EnergyDiscipline types each operation by its energy cost alone
+//     (VE) — the classic, ESR-blind invariant;
+//   - VoltageDiscipline types each operation by its full Culpeo V_safe
+//     (energy + worst-case ESR drop).
+//
+// Infer computes the minimal consistent entry level for every operation
+// over the call graph (a DAG; cycles are rejected), and Check validates
+// declared levels. The package's tests demonstrate the paper's point: a
+// program that energy-typing accepts can fail on real (simulated)
+// hardware, while voltage-typing rejects it.
+package chargetypes
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"culpeo/internal/core"
+)
+
+// Call is an invocation site inside an operation: the callee runs after
+// the caller has consumed afterVE volts of its own energy budget.
+type Call struct {
+	Callee string
+	// AfterVE is the caller's energy-voltage consumed before this call
+	// (0 = the call happens first thing).
+	AfterVE float64
+}
+
+// Op is one program element with its Culpeo characterization and its
+// outgoing calls.
+type Op struct {
+	ID    string
+	Est   core.Estimate
+	Calls []Call
+}
+
+// Program is a set of operations forming a call DAG.
+type Program struct {
+	VOff  float64
+	VHigh float64
+	Ops   []Op
+}
+
+// Validate checks structural sanity: unique IDs, known callees,
+// non-negative costs.
+func (p Program) Validate() error {
+	if p.VOff <= 0 || p.VHigh <= p.VOff {
+		return fmt.Errorf("chargetypes: invalid window [%g, %g]", p.VOff, p.VHigh)
+	}
+	if len(p.Ops) == 0 {
+		return errors.New("chargetypes: empty program")
+	}
+	ids := map[string]bool{}
+	for _, op := range p.Ops {
+		if op.ID == "" {
+			return errors.New("chargetypes: operation without ID")
+		}
+		if ids[op.ID] {
+			return fmt.Errorf("chargetypes: duplicate operation %s", op.ID)
+		}
+		ids[op.ID] = true
+		if op.Est.VE < 0 || op.Est.VDelta < 0 {
+			return fmt.Errorf("chargetypes: operation %s has negative costs", op.ID)
+		}
+	}
+	for _, op := range p.Ops {
+		for _, c := range op.Calls {
+			if !ids[c.Callee] {
+				return fmt.Errorf("chargetypes: %s calls unknown %s", op.ID, c.Callee)
+			}
+			if c.AfterVE < 0 || c.AfterVE > op.Est.VE+1e-12 {
+				return fmt.Errorf("chargetypes: %s call to %s at AfterVE %g outside [0, %g]",
+					op.ID, c.Callee, c.AfterVE, op.Est.VE)
+			}
+		}
+	}
+	return nil
+}
+
+// Discipline is a typing discipline: how an operation's own requirement is
+// derived from its Culpeo estimate.
+type Discipline int
+
+const (
+	// EnergyDiscipline types by energy alone: requirement = V_off + VE.
+	// This is the classic Energy-Types invariant — and the one ESR breaks.
+	EnergyDiscipline Discipline = iota
+	// VoltageDiscipline types by the full V_safe (energy + ESR penalty).
+	VoltageDiscipline
+)
+
+func (d Discipline) String() string {
+	if d == EnergyDiscipline {
+		return "energy"
+	}
+	return "voltage"
+}
+
+// ownRequirement is the operation's entry requirement under the
+// discipline, ignoring calls.
+func ownRequirement(d Discipline, vOff float64, op Op) float64 {
+	switch d {
+	case EnergyDiscipline:
+		return vOff + op.Est.VE
+	default:
+		// The full Culpeo V_safe; fall back to its decomposition when the
+		// caller populated only VE/VDelta.
+		if op.Est.VSafe > 0 {
+			return op.Est.VSafe
+		}
+		return vOff + op.Est.VE + op.Est.VDelta
+	}
+}
+
+// Levels maps operation IDs to their inferred (or declared) entry levels:
+// the buffer voltage that must be guaranteed when the operation starts.
+type Levels map[string]float64
+
+// Infer computes the minimal consistent level assignment under the
+// discipline:
+//
+//	level(op) = max( own(op), max over calls (AfterVE + level(callee)) )
+//
+// It returns an error for cyclic call graphs (recursion needs a different
+// treatment) and reports operations whose level exceeds V_high — the
+// program cannot be driven even from a full buffer.
+func Infer(p Program, d Discipline) (Levels, []string, error) {
+	if err := p.Validate(); err != nil {
+		return nil, nil, err
+	}
+	byID := map[string]Op{}
+	for _, op := range p.Ops {
+		byID[op.ID] = op
+	}
+	levels := Levels{}
+	state := map[string]int{} // 0 unvisited, 1 in progress, 2 done
+	var visit func(id string) (float64, error)
+	visit = func(id string) (float64, error) {
+		switch state[id] {
+		case 1:
+			return 0, fmt.Errorf("chargetypes: call cycle through %s", id)
+		case 2:
+			return levels[id], nil
+		}
+		state[id] = 1
+		op := byID[id]
+		lvl := ownRequirement(d, p.VOff, op)
+		for _, c := range op.Calls {
+			sub, err := visit(c.Callee)
+			if err != nil {
+				return 0, err
+			}
+			if need := c.AfterVE + sub; need > lvl {
+				lvl = need
+			}
+		}
+		state[id] = 2
+		levels[id] = lvl
+		return lvl, nil
+	}
+	for _, op := range p.Ops {
+		if _, err := visit(op.ID); err != nil {
+			return nil, nil, err
+		}
+	}
+	var infeasible []string
+	for id, lvl := range levels {
+		if lvl > p.VHigh {
+			infeasible = append(infeasible, id)
+		}
+	}
+	sort.Strings(infeasible)
+	return levels, infeasible, nil
+}
+
+// Violation describes a typing error found by Check.
+type Violation struct {
+	Op     string
+	Callee string  // empty for an own-requirement violation
+	Have   float64 // declared level
+	Need   float64 // required level
+}
+
+func (v Violation) String() string {
+	if v.Callee == "" {
+		return fmt.Sprintf("%s: declared level %.3f below own requirement %.3f", v.Op, v.Have, v.Need)
+	}
+	return fmt.Sprintf("%s → %s: level %.3f at call site below callee requirement %.3f",
+		v.Op, v.Callee, v.Have, v.Need)
+}
+
+// Check validates declared levels under a discipline: every operation's
+// level must cover its own requirement, and at every call site the
+// remaining level must cover the callee's declared level. A nil result is
+// a well-typed program.
+func Check(p Program, d Discipline, declared Levels) ([]Violation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	for _, op := range p.Ops {
+		if _, ok := declared[op.ID]; !ok {
+			return nil, fmt.Errorf("chargetypes: no declared level for %s", op.ID)
+		}
+	}
+	var out []Violation
+	for _, op := range p.Ops {
+		have := declared[op.ID]
+		if need := ownRequirement(d, p.VOff, op); have < need-1e-12 {
+			out = append(out, Violation{Op: op.ID, Have: have, Need: need})
+		}
+		for _, c := range op.Calls {
+			remaining := have - c.AfterVE
+			if need := declared[c.Callee]; remaining < need-1e-12 {
+				out = append(out, Violation{Op: op.ID, Callee: c.Callee, Have: remaining, Need: need})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,207 @@
+package chargetypes
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+)
+
+// radioProgram is the paper's §IX scenario: a compute element that invokes
+// a radio element. The radio "could take little energy but have a high ESR
+// drop".
+func radioProgram(t *testing.T) (Program, load.Profile, load.Profile) {
+	t.Helper()
+	cfg := powersys.Capybara()
+	model := core.PowerModel{
+		C:    cfg.Storage.TotalCapacitance(),
+		ESR:  capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut: cfg.Output.VOut, VOff: cfg.VOff, VHigh: cfg.VHigh,
+		Eff: cfg.Output.Efficiency,
+	}
+	pg := profiler.PG{Model: model}
+	computeLoad := load.NewUniform(2e-3, 200e-3) // lots of energy, tiny drop
+	radioLoad := load.NewUniform(50e-3, 5e-3)    // tiny energy, huge drop
+	computeEst, err := pg.Estimate(computeLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	radioEst, err := pg.Estimate(radioLoad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Program{
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Ops: []Op{
+			{
+				ID:  "compute",
+				Est: computeEst,
+				// The radio is invoked at the end of compute's work.
+				Calls: []Call{{Callee: "radio", AfterVE: computeEst.VE}},
+			},
+			{ID: "radio", Est: radioEst},
+		},
+	}
+	return prog, computeLoad, radioLoad
+}
+
+func TestValidate(t *testing.T) {
+	prog, _, _ := radioProgram(t)
+	if err := prog.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []Program{
+		{VOff: 0, VHigh: 2, Ops: []Op{{ID: "x"}}},
+		{VOff: 1.6, VHigh: 2.56},
+		{VOff: 1.6, VHigh: 2.56, Ops: []Op{{ID: ""}}},
+		{VOff: 1.6, VHigh: 2.56, Ops: []Op{{ID: "a"}, {ID: "a"}}},
+		{VOff: 1.6, VHigh: 2.56, Ops: []Op{{ID: "a", Calls: []Call{{Callee: "ghost"}}}}},
+		{VOff: 1.6, VHigh: 2.56, Ops: []Op{{ID: "a", Est: core.Estimate{VE: -1}}}},
+		{VOff: 1.6, VHigh: 2.56, Ops: []Op{
+			{ID: "a", Est: core.Estimate{VE: 0.1}, Calls: []Call{{Callee: "b", AfterVE: 0.5}}},
+			{ID: "b"},
+		}},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Errorf("bad program %d accepted", i)
+		}
+	}
+}
+
+func TestInferCycleRejected(t *testing.T) {
+	prog := Program{VOff: 1.6, VHigh: 2.56, Ops: []Op{
+		{ID: "a", Calls: []Call{{Callee: "b"}}},
+		{ID: "b", Calls: []Call{{Callee: "a"}}},
+	}}
+	if _, _, err := Infer(prog, VoltageDiscipline); err == nil {
+		t.Error("cyclic program accepted")
+	}
+}
+
+func TestDisciplinesDivergeOnHighDropElement(t *testing.T) {
+	// The §IX claim, end to end: energy typing accepts a level for the
+	// radio that voltage typing rejects — and the simulator agrees with
+	// voltage typing.
+	prog, _, radioLoad := radioProgram(t)
+
+	eLevels, eInfeasible, err := Infer(prog, EnergyDiscipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vLevels, vInfeasible, err := Infer(prog, VoltageDiscipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eInfeasible) != 0 || len(vInfeasible) != 0 {
+		t.Fatalf("program should fit the buffer: %v %v", eInfeasible, vInfeasible)
+	}
+	// Energy typing assigns the radio a level barely above V_off (its
+	// energy is tiny); voltage typing demands the ESR headroom too.
+	if !(vLevels["radio"] > eLevels["radio"]+0.2) {
+		t.Fatalf("voltage level (%g) should exceed energy level (%g) by the ESR drop",
+			vLevels["radio"], eLevels["radio"])
+	}
+
+	// The energy-typed level is well-typed under EnergyDiscipline...
+	if v, err := Check(prog, EnergyDiscipline, eLevels); err != nil || len(v) != 0 {
+		t.Fatalf("energy levels should energy-typecheck: %v %v", v, err)
+	}
+	// ...but ill-typed under VoltageDiscipline.
+	v, err := Check(prog, VoltageDiscipline, eLevels)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v) == 0 {
+		t.Fatal("voltage discipline accepted energy-only levels")
+	}
+	for _, viol := range v {
+		if viol.String() == "" {
+			t.Error("violation without description")
+		}
+	}
+
+	// And the hardware agrees: launching the radio at its energy-typed
+	// level fails; at its voltage-typed level it completes.
+	h, err := harness.New(powersys.Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.RunAt(eLevels["radio"], radioLoad, powersys.RunOptions{SkipRebound: true})
+	if res.Completed && res.VMin >= 1.6 {
+		t.Error("energy-typed level unexpectedly survived on hardware")
+	}
+	res = h.RunAt(vLevels["radio"], radioLoad, powersys.RunOptions{SkipRebound: true})
+	if !res.Completed || res.VMin < 1.6 {
+		t.Error("voltage-typed level failed on hardware")
+	}
+}
+
+func TestInferPropagatesThroughCalls(t *testing.T) {
+	prog, _, _ := radioProgram(t)
+	levels, _, err := Infer(prog, VoltageDiscipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// compute's level must cover its energy plus the radio's level at the
+	// call site.
+	computeOp := prog.Ops[0]
+	want := computeOp.Calls[0].AfterVE + levels["radio"]
+	if levels["compute"] < want-1e-12 {
+		t.Errorf("compute level %g below call-site requirement %g", levels["compute"], want)
+	}
+	// Inferred levels always typecheck.
+	if v, err := Check(prog, VoltageDiscipline, levels); err != nil || len(v) != 0 {
+		t.Fatalf("inferred levels do not typecheck: %v %v", v, err)
+	}
+}
+
+func TestInferFlagsInfeasible(t *testing.T) {
+	prog := Program{VOff: 1.6, VHigh: 2.56, Ops: []Op{
+		{ID: "monster", Est: core.Estimate{VSafe: 3.2, VE: 0.5, VDelta: 1.1}},
+	}}
+	_, infeasible, err := Infer(prog, VoltageDiscipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(infeasible) != 1 || infeasible[0] != "monster" {
+		t.Errorf("infeasible = %v", infeasible)
+	}
+	// Energy discipline is oblivious: 1.6+0.5 fits.
+	_, eInfeasible, err := Infer(prog, EnergyDiscipline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eInfeasible) != 0 {
+		t.Error("energy discipline should miss the ESR infeasibility")
+	}
+}
+
+func TestCheckMissingLevel(t *testing.T) {
+	prog, _, _ := radioProgram(t)
+	if _, err := Check(prog, VoltageDiscipline, Levels{"compute": 2.5}); err == nil {
+		t.Error("missing level accepted")
+	}
+}
+
+func TestDisciplineString(t *testing.T) {
+	if EnergyDiscipline.String() != "energy" || VoltageDiscipline.String() != "voltage" {
+		t.Error("discipline names wrong")
+	}
+}
+
+func TestOwnRequirementFallback(t *testing.T) {
+	// Without a populated VSafe, the voltage discipline reconstructs the
+	// requirement from the decomposition.
+	op := Op{ID: "x", Est: core.Estimate{VE: 0.1, VDelta: 0.3}}
+	got := ownRequirement(VoltageDiscipline, 1.6, op)
+	if math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("fallback requirement = %g, want 2.0", got)
+	}
+}

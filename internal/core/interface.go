@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// TaskID identifies a software task in the Culpeo tables.
+type TaskID string
+
+// BufferID identifies an energy-buffer configuration. Systems with a
+// reconfigurable energy storage array (Capybara, Morphy) tag per-task data
+// with the active configuration (Section V-B); fixed-buffer systems use the
+// default empty ID.
+type BufferID string
+
+// Probe abstracts the voltage-capture mechanism behind the Culpeo runtime:
+// either the interrupt-driven ADC sampler (Culpeo-R-ISR, Section V-C) or
+// the memory-mapped peripheral block (Culpeo-µArch, Section V-D). Package
+// profiler provides both.
+type Probe interface {
+	// Start begins profiling: record V_start and reset minimum tracking.
+	Start()
+	// End latches the in-task minimum and switches to rebound (maximum)
+	// tracking.
+	End()
+	// ReboundEnd stops tracking and returns the completed observation.
+	ReboundEnd() Observation
+}
+
+// Interface is the Culpeo charge-management interface of Table I. A
+// scheduler calls the Profile functions around task executions, then
+// ComputeVSafe and the Get accessors to make dispatch decisions. All
+// methods are safe for concurrent use.
+type Interface struct {
+	mu      sync.Mutex
+	model   PowerModel
+	probe   Probe
+	buffer  BufferID
+	active  bool // a profile is in progress
+	aborted bool // the in-progress profile was invalidated
+
+	profiles  map[BufferID]map[TaskID]Observation
+	estimates map[BufferID]map[TaskID]Estimate
+}
+
+// NewInterface builds the runtime interface around a power model and a
+// probe.
+func NewInterface(model PowerModel, probe Probe) (*Interface, error) {
+	if err := model.Validate(); err != nil {
+		return nil, err
+	}
+	if probe == nil {
+		return nil, fmt.Errorf("core: nil probe")
+	}
+	return &Interface{
+		model:     model,
+		probe:     probe,
+		profiles:  map[BufferID]map[TaskID]Observation{},
+		estimates: map[BufferID]map[TaskID]Estimate{},
+	}, nil
+}
+
+// Model returns the power model.
+func (c *Interface) Model() PowerModel { return c.model }
+
+// SetBuffer selects the active energy-buffer configuration; subsequent
+// profile and get operations are keyed by it.
+func (c *Interface) SetBuffer(id BufferID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.buffer = id
+}
+
+// Buffer returns the active buffer configuration.
+func (c *Interface) Buffer() BufferID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.buffer
+}
+
+// ProfileStart begins profiling the next task execution (Table I:
+// profile_start()).
+func (c *Interface) ProfileStart() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.active = true
+	c.aborted = false
+	c.probe.Start()
+}
+
+// AbortProfile invalidates an in-progress profile (e.g. the task failed or
+// was preempted); the pending observation is discarded at ProfileEnd.
+func (c *Interface) AbortProfile() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.aborted = true
+}
+
+// ProfileEnd marks the task complete and begins rebound tracking (Table I:
+// profile_end(id)). It returns an error when no profile is in progress.
+func (c *Interface) ProfileEnd(id TaskID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active {
+		return fmt.Errorf("core: profile_end(%s) without profile_start", id)
+	}
+	c.probe.End()
+	return nil
+}
+
+// ReboundEnd finishes the profile: the probe's maximum tracking stops and
+// the observation is stored in the per-task table (Table I:
+// rebound_end(id)).
+func (c *Interface) ReboundEnd(id TaskID) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if !c.active {
+		return fmt.Errorf("core: rebound_end(%s) without profile_start", id)
+	}
+	obs := c.probe.ReboundEnd()
+	c.active = false
+	if c.aborted {
+		c.aborted = false
+		return nil
+	}
+	if err := obs.Validate(); err != nil {
+		return fmt.Errorf("core: rebound_end(%s): %w", id, err)
+	}
+	tbl := c.profiles[c.buffer]
+	if tbl == nil {
+		tbl = map[TaskID]Observation{}
+		c.profiles[c.buffer] = tbl
+	}
+	tbl[id] = obs
+	return nil
+}
+
+// ComputeVSafe performs the Culpeo-R V_safe and V_delta calculation for the
+// task using its stored profile (Table I: compute_vsafe(id)). If the task's
+// profile table entry is unpopulated this is a no-op, matching the paper.
+func (c *Interface) ComputeVSafe(id TaskID) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	obs, ok := c.profiles[c.buffer][id]
+	if !ok {
+		return
+	}
+	est, err := VSafeR(c.model, obs)
+	if err != nil {
+		return
+	}
+	tbl := c.estimates[c.buffer]
+	if tbl == nil {
+		tbl = map[TaskID]Estimate{}
+		c.estimates[c.buffer] = tbl
+	}
+	tbl[id] = est
+}
+
+// SetStatic installs a compile-time estimate (Culpeo-PG values baked into
+// the program image, Section V-A).
+func (c *Interface) SetStatic(id TaskID, e Estimate) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	tbl := c.estimates[c.buffer]
+	if tbl == nil {
+		tbl = map[TaskID]Estimate{}
+		c.estimates[c.buffer] = tbl
+	}
+	tbl[id] = e
+}
+
+// GetVSafe returns the task's V_safe, or V_high when no valid value exists
+// (Table I: get_vsafe(id) — "otherwise returning V_high", the conservative
+// default that only dispatches on a full buffer).
+func (c *Interface) GetVSafe(id TaskID) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.estimates[c.buffer][id]; ok {
+		return e.VSafe
+	}
+	return c.model.VHigh
+}
+
+// GetVDrop returns the task's worst-case ESR drop V_delta, or −1 when no
+// valid value exists (Table I: get_vdrop(id)).
+func (c *Interface) GetVDrop(id TaskID) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if e, ok := c.estimates[c.buffer][id]; ok {
+		return e.VDelta
+	}
+	return -1
+}
+
+// Estimate returns the full estimate and whether one exists.
+func (c *Interface) Estimate(id TaskID) (Estimate, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e, ok := c.estimates[c.buffer][id]
+	return e, ok
+}
+
+// Observation returns the stored raw profile and whether one exists.
+func (c *Interface) Observation(id TaskID) (Observation, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	o, ok := c.profiles[c.buffer][id]
+	return o, ok
+}
+
+// Invalidate clears all profiles and estimates for the active buffer —
+// schedulers that monitor charge rate call this when incoming power changes
+// beyond a threshold to trigger re-profiling (Section V-B).
+func (c *Interface) Invalidate() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.profiles, c.buffer)
+	delete(c.estimates, c.buffer)
+}
+
+// Tasks lists the task IDs with estimates in the active buffer, sorted.
+func (c *Interface) Tasks() []TaskID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var ids []TaskID
+	for id := range c.estimates[c.buffer] {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
+}
+
+// SeqVSafe composes V_safe_multi for an ordered task chain from the stored
+// estimates. ok is false when any task lacks an estimate.
+func (c *Interface) SeqVSafe(ids []TaskID) (float64, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	reqs := make([]TaskReq, 0, len(ids))
+	for _, id := range ids {
+		e, found := c.estimates[c.buffer][id]
+		if !found {
+			return c.model.VHigh, false
+		}
+		reqs = append(reqs, e.Req(string(id)))
+	}
+	return VSafeMulti(c.model.VOff, reqs), true
+}

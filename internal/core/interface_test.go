@@ -1,0 +1,222 @@
+package core
+
+import (
+	"sync"
+	"testing"
+)
+
+// fakeProbe replays scripted observations.
+type fakeProbe struct {
+	obs     []Observation
+	i       int
+	started bool
+	ended   bool
+}
+
+func (p *fakeProbe) Start() { p.started = true; p.ended = false }
+func (p *fakeProbe) End()   { p.ended = true }
+func (p *fakeProbe) ReboundEnd() Observation {
+	o := p.obs[p.i%len(p.obs)]
+	p.i++
+	p.started = false
+	return o
+}
+
+func newTestInterface(t *testing.T, obs ...Observation) (*Interface, *fakeProbe) {
+	t.Helper()
+	if len(obs) == 0 {
+		obs = []Observation{{VStart: 2.4, VMin: 1.95, VFinal: 2.25}}
+	}
+	p := &fakeProbe{obs: obs}
+	c, err := NewInterface(testModel(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c, p
+}
+
+func TestInterfaceLifecycle(t *testing.T) {
+	c, p := newTestInterface(t)
+	c.ProfileStart()
+	if !p.started {
+		t.Error("probe not started")
+	}
+	if err := c.ProfileEnd("radio"); err != nil {
+		t.Fatal(err)
+	}
+	if !p.ended {
+		t.Error("probe not ended")
+	}
+	if err := c.ReboundEnd("radio"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Observation("radio"); !ok {
+		t.Fatal("observation not stored")
+	}
+	// Before ComputeVSafe, the defaults of Table I apply.
+	if got := c.GetVSafe("radio"); got != c.Model().VHigh {
+		t.Errorf("GetVSafe default = %g, want VHigh", got)
+	}
+	if got := c.GetVDrop("radio"); got != -1 {
+		t.Errorf("GetVDrop default = %g, want -1", got)
+	}
+	c.ComputeVSafe("radio")
+	if got := c.GetVSafe("radio"); got >= c.Model().VHigh || got <= c.Model().VOff {
+		t.Errorf("computed VSafe = %g out of window", got)
+	}
+	if got := c.GetVDrop("radio"); got <= 0 {
+		t.Errorf("computed VDrop = %g", got)
+	}
+	if _, ok := c.Estimate("radio"); !ok {
+		t.Error("estimate not retrievable")
+	}
+}
+
+func TestInterfaceComputeVSafeNoProfileIsNoop(t *testing.T) {
+	c, _ := newTestInterface(t)
+	c.ComputeVSafe("ghost") // must not panic or store anything
+	if got := c.GetVSafe("ghost"); got != c.Model().VHigh {
+		t.Error("no-op compute stored something")
+	}
+}
+
+func TestInterfaceMisuseErrors(t *testing.T) {
+	c, _ := newTestInterface(t)
+	if err := c.ProfileEnd("x"); err == nil {
+		t.Error("profile_end without start accepted")
+	}
+	if err := c.ReboundEnd("x"); err == nil {
+		t.Error("rebound_end without start accepted")
+	}
+}
+
+func TestInterfaceAbort(t *testing.T) {
+	c, _ := newTestInterface(t)
+	c.ProfileStart()
+	c.AbortProfile()
+	if err := c.ProfileEnd("radio"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReboundEnd("radio"); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Observation("radio"); ok {
+		t.Error("aborted profile stored an observation")
+	}
+}
+
+func TestInterfaceRejectsInvalidObservation(t *testing.T) {
+	c, _ := newTestInterface(t, Observation{VStart: 1.0, VMin: 2.0, VFinal: 1.5})
+	c.ProfileStart()
+	_ = c.ProfileEnd("bad")
+	if err := c.ReboundEnd("bad"); err == nil {
+		t.Error("invalid observation accepted")
+	}
+}
+
+func TestInterfaceBufferConfigurations(t *testing.T) {
+	c, _ := newTestInterface(t)
+	profileAndCompute := func(id TaskID) {
+		c.ProfileStart()
+		_ = c.ProfileEnd(id)
+		_ = c.ReboundEnd(id)
+		c.ComputeVSafe(id)
+	}
+	c.SetBuffer("bank-A")
+	profileAndCompute("radio")
+	vA := c.GetVSafe("radio")
+	// Switch configuration: values must not leak across buffers
+	// (Section V-B: "Future get queries must then specify a buffer
+	// configuration").
+	c.SetBuffer("bank-B")
+	if got := c.GetVSafe("radio"); got != c.Model().VHigh {
+		t.Errorf("buffer B sees buffer A's estimate: %g", got)
+	}
+	c.SetBuffer("bank-A")
+	if got := c.GetVSafe("radio"); got != vA {
+		t.Error("buffer A's estimate lost")
+	}
+	if c.Buffer() != "bank-A" {
+		t.Error("Buffer() wrong")
+	}
+}
+
+func TestInterfaceInvalidate(t *testing.T) {
+	c, _ := newTestInterface(t)
+	c.ProfileStart()
+	_ = c.ProfileEnd("radio")
+	_ = c.ReboundEnd("radio")
+	c.ComputeVSafe("radio")
+	c.Invalidate()
+	if got := c.GetVSafe("radio"); got != c.Model().VHigh {
+		t.Error("invalidate did not clear estimates")
+	}
+	if _, ok := c.Observation("radio"); ok {
+		t.Error("invalidate did not clear profiles")
+	}
+}
+
+func TestInterfaceSetStaticAndTasks(t *testing.T) {
+	c, _ := newTestInterface(t)
+	c.SetStatic("pg-task", Estimate{VSafe: 2.2, VDelta: 0.3, VE: 0.1})
+	if got := c.GetVSafe("pg-task"); got != 2.2 {
+		t.Errorf("static VSafe = %g", got)
+	}
+	c.SetStatic("another", Estimate{VSafe: 2.0, VDelta: 0.1, VE: 0.05})
+	ids := c.Tasks()
+	if len(ids) != 2 || ids[0] != "another" || ids[1] != "pg-task" {
+		t.Errorf("Tasks() = %v", ids)
+	}
+}
+
+func TestInterfaceSeqVSafe(t *testing.T) {
+	c, _ := newTestInterface(t)
+	c.SetStatic("sense", Estimate{VSafe: 1.75, VDelta: 0.05, VE: 0.08})
+	c.SetStatic("radio", Estimate{VSafe: 2.15, VDelta: 0.45, VE: 0.12})
+	v, ok := c.SeqVSafe([]TaskID{"sense", "radio"})
+	if !ok {
+		t.Fatal("sequence incomplete")
+	}
+	want := VSafeMulti(c.Model().VOff, []TaskReq{
+		{ID: "sense", VE: 0.08, VDelta: 0.05},
+		{ID: "radio", VE: 0.12, VDelta: 0.45},
+	})
+	if v != want {
+		t.Errorf("SeqVSafe = %g, want %g", v, want)
+	}
+	// Missing estimate falls back conservatively.
+	v, ok = c.SeqVSafe([]TaskID{"sense", "ghost"})
+	if ok || v != c.Model().VHigh {
+		t.Errorf("missing estimate: got %g, %v", v, ok)
+	}
+}
+
+func TestInterfaceConcurrency(t *testing.T) {
+	c, _ := newTestInterface(t)
+	c.SetStatic("t", Estimate{VSafe: 2.0, VDelta: 0.2, VE: 0.1})
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 200; j++ {
+				_ = c.GetVSafe("t")
+				_ = c.GetVDrop("t")
+				c.SetStatic("t2", Estimate{VSafe: 2.1})
+				_, _ = c.SeqVSafe([]TaskID{"t", "t2"})
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+func TestNewInterfaceValidation(t *testing.T) {
+	if _, err := NewInterface(testModel(), nil); err == nil {
+		t.Error("nil probe accepted")
+	}
+	m := testModel()
+	m.C = -1
+	if _, err := NewInterface(m, &fakeProbe{obs: []Observation{{}}}); err == nil {
+		t.Error("bad model accepted")
+	}
+}

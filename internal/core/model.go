@@ -1,0 +1,289 @@
+// Package core implements the paper's primary contribution: the Culpeo
+// voltage-aware charge model (Section IV) and the Culpeo hardware/software
+// interface (Table I).
+//
+// The model produces V_safe — the minimum energy-buffer voltage at which a
+// task can start and run to completion without the terminal voltage dipping
+// below the power-off threshold V_off — accounting for both the voltage
+// drop due to consumed energy and the transient drop due to the buffer's
+// equivalent series resistance (ESR).
+//
+// Two mathematical implementations are provided, matching the paper:
+//
+//   - Culpeo-PG (profile guided, Section IV-C / Algorithm 1): a compile-time
+//     analysis over a task's measured current trace plus a power-system
+//     model.
+//   - Culpeo-R (runtime, Section IV-D / Equations 1 and 3): an online
+//     calculation from only three observed voltages (V_start, V_min,
+//     V_final), cheap enough for a low-power MCU.
+//
+// Task sequences compose through the penalty recursion of Section IV-A,
+// yielding V_safe_multi.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"culpeo/internal/booster"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+)
+
+// PowerModel is what Culpeo knows about the target power system
+// (Section IV-B): nominal capacitance from the datasheet, the measured
+// ESR-versus-frequency curve, the output booster's regulated voltage and
+// linear efficiency model, and the monitor window.
+type PowerModel struct {
+	C     float64                // nominal buffer capacitance (F)
+	ESR   *capacitor.ESRCurve    // measured ESR vs frequency
+	VOut  float64                // output booster regulated voltage
+	VOff  float64                // power-off threshold
+	VHigh float64                // fully-charged voltage
+	Eff   booster.EfficiencyLine // η(V) of the output booster
+	Aging capacitor.Aging        // optional lifetime drift applied to C/ESR
+
+	// OmitESRLoss makes VSafePG account only the booster's input energy,
+	// exactly as the paper's Algorithm 1 (line 6) does. The default (false)
+	// additionally books the I²R heat dissipated in the ESR itself, which
+	// removes the paper's documented Culpeo-PG failures on high-energy
+	// loads ("likely due to compounding errors in the output booster
+	// efficiency model" — a large share of which is this missing term).
+	OmitESRLoss bool
+}
+
+// Validate reports whether the model is usable.
+func (m PowerModel) Validate() error {
+	switch {
+	case m.C <= 0:
+		return fmt.Errorf("core: non-positive capacitance %g", m.C)
+	case m.ESR == nil:
+		return errors.New("core: missing ESR curve")
+	case m.VOut <= 0:
+		return fmt.Errorf("core: non-positive VOut %g", m.VOut)
+	case m.VOff <= 0 || m.VHigh <= m.VOff:
+		return fmt.Errorf("core: invalid window [%g, %g]", m.VOff, m.VHigh)
+	}
+	return m.Eff.Validate()
+}
+
+// EffectiveC returns the capacitance after aging.
+func (m PowerModel) EffectiveC() float64 { return m.C * m.Aging.CapacitanceFactor() }
+
+// EffectiveESR returns the aged ESR for a load whose widest pulse lasts w
+// seconds.
+func (m PowerModel) EffectiveESR(w float64) float64 {
+	return m.ESR.ForPulseWidth(w) * m.Aging.ESRFactor()
+}
+
+// OperatingRange returns VHigh − VOff.
+func (m PowerModel) OperatingRange() float64 { return m.VHigh - m.VOff }
+
+// Estimate is the output of a V_safe calculation.
+type Estimate struct {
+	VSafe  float64 // minimum safe starting voltage for the task
+	VDelta float64 // worst-case ESR-induced drop the task produces
+	// VE is the voltage "cost" of the task's consumed energy alone: the
+	// amount the open-circuit voltage drops end to end when starting at
+	// VSafe. Schedulers use it in the V_safe_multi composition.
+	VE float64
+}
+
+// PGGuard is the profiling-precision guard added to every Culpeo-PG
+// result. Algorithm 1's worst-case construction places the terminal voltage
+// exactly at V_off at the bottom of the deepest drop; near that operating
+// point the terminal's sensitivity to the starting voltage exceeds unity
+// (the booster draws more current as the capacitor sags), so measurement
+// noise in the profiled current trace would otherwise turn an exact
+// estimate into a marginal one. Ten millivolts is about 1 % of the
+// operating range — well inside the "performant" band of Figure 10.
+const PGGuard = 10e-3
+
+// VSafePG implements Algorithm 1: Culpeo-PG's reverse walk over a task's
+// current trace. At each step it computes the energy drawn through the
+// booster, estimates the capacitor voltage, derives the ESR drop from the
+// booster's input current, and propagates the voltage requirement backwards
+// with the penalty rule. The trace holds load current at V_out; the model
+// supplies everything else.
+func VSafePG(m PowerModel, tr load.Trace) (Estimate, error) {
+	if err := m.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if len(tr.Samples) == 0 {
+		return Estimate{VSafe: m.VOff}, nil
+	}
+	dt := tr.Dt()
+	c := m.EffectiveC()
+	r := m.EffectiveESR(load.WidestPulse(tr, tr.Rate))
+
+	// v is V[i+1] during the reverse walk; the base case is V_off: after the
+	// final step the voltage must still be at the operating threshold.
+	v := m.VOff
+	var maxVDelta float64
+	var sumVE float64
+	for i := len(tr.Samples) - 1; i >= 0; i-- {
+		iLoad := tr.Samples[i]
+		if iLoad < 0 {
+			return Estimate{}, fmt.Errorf("core: negative current sample %d", i)
+		}
+		// ESTVCAP: estimate the terminal voltage during this step. When the
+		// task starts at exactly V_safe, the buffer's open-circuit voltage
+		// sits near the requirement of the next step (V[i+1]) and the
+		// terminal sags below it by the ESR drop. As V_cap decreases, the
+		// booster draws more current, which deepens the drop — so iterate
+		// the coupled estimate, never assuming a terminal above V_off's
+		// floor (the worst case the estimate must survive).
+		vnext := v
+		if vnext < m.VOff {
+			vnext = m.VOff
+		}
+		vcap := vnext
+		var eta, iin, vdelta float64
+		for k := 0; k < 12; k++ {
+			eta = m.Eff.At(vcap)
+			iin = iLoad * m.VOut / (eta * vcap)
+			vdelta = iin * r
+			est := vnext - vdelta
+			if est < m.VOff {
+				est = m.VOff
+			}
+			vcap = est
+		}
+		// Energy removed from storage by step i. The booster's input energy
+		// is I_in·V_cap·dt = I·V_out·dt/η; the ESR additionally dissipates
+		// I_in²·R·dt as heat, so the storage sees I_in·(V_cap + V_delta)·dt
+		// — the input current times the open-circuit voltage.
+		e := iLoad * m.VOut * dt / eta
+		if !m.OmitESRLoss {
+			e += iin * iin * r * dt
+		}
+		if vdelta > maxVDelta {
+			maxVDelta = vdelta
+		}
+		// Voltage penalty: the starting voltage must both survive this
+		// step's ESR drop and satisfy the next step's requirement.
+		vpenalty := m.VOff + vdelta
+		if v > vpenalty {
+			vpenalty = v
+		}
+		next := math.Sqrt(2*e/c + vpenalty*vpenalty)
+		sumVE += next - vpenalty
+		v = next
+	}
+	// The guard keeps the worst-case construction off the exact cliff; see
+	// PGGuard. A result above VHigh is still valid output — the caller
+	// compares against VHigh to learn the task cannot run on this buffer
+	// (Section III: "if a task's V_safe value is higher than what the
+	// energy buffer can provide, the programmer knows they must correct the
+	// task division").
+	return Estimate{VSafe: v + PGGuard, VDelta: maxVDelta, VE: sumVE}, nil
+}
+
+// Observation is what Culpeo-R's profiling captures for one task execution:
+// the starting voltage, the minimum voltage seen while the task ran, and the
+// final voltage after the post-task rebound settled (Figure 8a).
+type Observation struct {
+	VStart float64
+	VMin   float64
+	VFinal float64
+}
+
+// Validate checks physical ordering: VMin ≤ VFinal ≤ VStart.
+func (o Observation) Validate() error {
+	if o.VMin > o.VFinal+1e-9 {
+		return fmt.Errorf("core: observation VMin %g above VFinal %g", o.VMin, o.VFinal)
+	}
+	if o.VFinal > o.VStart+1e-9 {
+		return fmt.Errorf("core: observation VFinal %g above VStart %g", o.VFinal, o.VStart)
+	}
+	if o.VMin <= 0 {
+		return fmt.Errorf("core: non-positive VMin %g", o.VMin)
+	}
+	return nil
+}
+
+// VDelta returns the observed ESR drop: the rebound from the in-task
+// minimum to the settled final voltage.
+func (o Observation) VDelta() float64 { return o.VFinal - o.VMin }
+
+// VSafeR implements the Culpeo-R calculation (Section IV-D): from one
+// profiled execution at an arbitrary starting voltage, produce a V_safe
+// estimate valid for a worst-case execution that ends exactly at V_off.
+//
+//	V_delta_safe = V_delta · (V_min·η(V_min)) / (V_off·η(V_off))   (Eq. 1c)
+//	V_safe_E²    = η(V_start)/η(V_off) · (V_start² − V_final²) + V_off²  (Eq. 3)
+//	V_safe       = V_safe_E + V_delta_safe
+func VSafeR(m PowerModel, o Observation) (Estimate, error) {
+	if err := m.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	if err := o.Validate(); err != nil {
+		return Estimate{}, err
+	}
+	vdelta := o.VDelta()
+	// Equation 1c: scale the observed drop to the worst case at V_off.
+	// Efficiency falls as voltage falls, so the same load at V_off draws
+	// more current and drops further.
+	vdeltaSafe := vdelta * (o.VMin * m.Eff.At(o.VMin)) / (m.VOff * m.Eff.At(m.VOff))
+
+	// Equation 3: energy-equivalent starting voltage with η collapsed to
+	// known constants.
+	vsafeE2 := m.Eff.At(o.VStart)/m.Eff.At(m.VOff)*(o.VStart*o.VStart-o.VFinal*o.VFinal) + m.VOff*m.VOff
+	if vsafeE2 < 0 {
+		vsafeE2 = m.VOff * m.VOff
+	}
+	vsafeE := math.Sqrt(vsafeE2)
+
+	return Estimate{
+		VSafe:  vsafeE + vdeltaSafe,
+		VDelta: vdeltaSafe,
+		VE:     vsafeE - m.VOff,
+	}, nil
+}
+
+// VSafeE2Exact numerically solves Equation 2c without collapsing η(V) to a
+// constant: find V_safe_E such that ∫_{V_off}^{V_safe_E} η(V)·V dV equals
+// ∫_{V_final}^{V_start} η(V)·V dV. The paper avoids this on-device because
+// it needs cubic roots; we provide it as the reference the Eq. 3
+// approximation is benchmarked against (ablation).
+func VSafeE2Exact(m PowerModel, o Observation) (float64, error) {
+	if err := m.Validate(); err != nil {
+		return 0, err
+	}
+	if err := o.Validate(); err != nil {
+		return 0, err
+	}
+	target := etaVIntegral(m.Eff, o.VFinal, o.VStart)
+	// Bisect V in [VOff, 2·VHigh] for ∫_{VOff}^{V} η·v dv = target.
+	lo, hi := m.VOff, 2*m.VHigh
+	for i := 0; i < 80; i++ {
+		mid := 0.5 * (lo + hi)
+		if etaVIntegral(m.Eff, m.VOff, mid) < target {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	return 0.5 * (lo + hi), nil
+}
+
+// etaVIntegral computes ∫_a^b η(v)·v dv for the clamped-line efficiency by
+// Simpson's rule on a fine grid (the integrand is piecewise smooth).
+func etaVIntegral(eff booster.EfficiencyLine, a, b float64) float64 {
+	if b <= a {
+		return 0
+	}
+	const n = 256 // even
+	h := (b - a) / n
+	sum := eff.At(a)*a + eff.At(b)*b
+	for i := 1; i < n; i++ {
+		v := a + float64(i)*h
+		w := 2.0
+		if i%2 == 1 {
+			w = 4.0
+		}
+		sum += w * eff.At(v) * v
+	}
+	return sum * h / 3
+}

@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// TaskReq is the per-task information V_safe_multi composition needs: the
+// voltage cost of the task's consumed energy, V(E_i), and its worst-case
+// ESR drop, V_delta_i. Both come from an Estimate (VE and VDelta).
+type TaskReq struct {
+	ID     string
+	VE     float64 // voltage consumed by the task's energy, additive model
+	VDelta float64 // worst-case ESR drop while the task runs
+}
+
+// Req converts an Estimate into the sequencing requirement.
+func (e Estimate) Req(id string) TaskReq {
+	return TaskReq{ID: id, VE: e.VE, VDelta: e.VDelta}
+}
+
+// Penalty computes the corrective term of Section IV-A for a task with ESR
+// drop vDelta followed by a task requiring vSafeNext:
+//
+//	penalty = V_off + V_delta − V_safe_next   if V_off + V_delta > V_safe_next
+//	          0                               otherwise
+//
+// If the next task's requirement is already high enough to tolerate this
+// task's transient drop, the rebound "repays" the penalty.
+func Penalty(vOff, vDelta, vSafeNext float64) float64 {
+	if p := vOff + vDelta - vSafeNext; p > 0 {
+		return p
+	}
+	return 0
+}
+
+// VSafeSeq computes the safe starting voltage for every suffix of a task
+// sequence via the paper's recursion:
+//
+//	V_safe_final = V(E_final) + penalty_final + V_off
+//	V_safe_i     = V(E_i) + penalty_i + V_safe_{i+1}
+//
+// result[i] is the voltage required before task i so that tasks i..n-1 all
+// complete; result[0] is V_safe_multi. An empty sequence yields nil.
+func VSafeSeq(vOff float64, tasks []TaskReq) []float64 {
+	if len(tasks) == 0 {
+		return nil
+	}
+	out := make([]float64, len(tasks))
+	next := vOff // base case: after the last task, voltage must be ≥ V_off
+	for i := len(tasks) - 1; i >= 0; i-- {
+		p := Penalty(vOff, tasks[i].VDelta, next)
+		out[i] = tasks[i].VE + p + next
+		next = out[i]
+	}
+	return out
+}
+
+// VSafeMulti returns the safe starting voltage for the whole sequence
+// (Section IV-A's V_safe_multi).
+func VSafeMulti(vOff float64, tasks []TaskReq) float64 {
+	vs := VSafeSeq(vOff, tasks)
+	if vs == nil {
+		return vOff
+	}
+	return vs[0]
+}
+
+// CheckSeq verifies the paper's proof-sketch invariant on a computed
+// sequence: starting at result[0] and paying each task's V(E) in turn, the
+// running voltage never dips below V_off even at the bottom of each task's
+// ESR drop. It returns an error naming the first violating task; a nil
+// error certifies the schedule under the additive model.
+func CheckSeq(vOff float64, tasks []TaskReq, vs []float64) error {
+	if len(vs) != len(tasks) {
+		return fmt.Errorf("core: %d requirements for %d tasks", len(vs), len(tasks))
+	}
+	if len(tasks) == 0 {
+		return nil
+	}
+	v := vs[0]
+	for i, tk := range tasks {
+		if v+1e-12 < vs[i] {
+			return fmt.Errorf("core: task %d (%s): voltage %g below requirement %g", i, tk.ID, v, vs[i])
+		}
+		// Bottom of the ESR drop while this task runs.
+		if v-tk.VE-tk.VDelta < vOff-1e-9 {
+			return fmt.Errorf("core: task %d (%s): ESR drop bottoms at %g, below V_off %g",
+				i, tk.ID, v-tk.VE-tk.VDelta, vOff)
+		}
+		v -= tk.VE // the ESR component rebounds; only energy persists
+		if v < vOff-1e-9 {
+			return fmt.Errorf("core: task %d (%s): post-task voltage %g below V_off", i, tk.ID, v)
+		}
+	}
+	return nil
+}
+
+// Feasible implements Theorem 1's corrected feasibility test for a task
+// sequence: given the current buffer voltage v, the sequence is feasible iff
+// v ≥ V_safe_multi. (The energy-positivity conjunct of the theorem is
+// implied in the additive voltage model: V_safe_multi already reserves
+// V(E_i) for every task above V_off.)
+func Feasible(v, vOff float64, tasks []TaskReq) bool {
+	return v >= VSafeMulti(vOff, tasks)
+}

@@ -1,0 +1,25 @@
+package expt
+
+import (
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/powersys"
+)
+
+// flatESR wraps capacitor.Flat for brevity inside this package.
+func flatESR(ohm float64) *capacitor.ESRCurve { return capacitor.Flat(ohm) }
+
+// capybaraModel builds the Culpeo power model for a Capybara-style
+// configuration, with an ESR-versus-frequency curve measured from the
+// power system (Section IV-B): the supercapacitor bank shows higher ESR to
+// slow loads than to fast ones.
+func capybaraModel(cfg powersys.Config) core.PowerModel {
+	return core.PowerModel{
+		C:     cfg.Storage.TotalCapacitance(),
+		ESR:   flatESR(cfg.Storage.Main().ESR),
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   cfg.Output.Efficiency,
+	}
+}

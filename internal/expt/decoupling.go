@@ -1,0 +1,70 @@
+package expt
+
+import (
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/units"
+)
+
+// DecouplingRow is one point of the Section II-D decoupling experiment:
+// the residual ESR drop of a sustained 50 mA/100 ms load from a 33 mF
+// supercapacitor with a given amount of decoupling capacitance.
+type DecouplingRow struct {
+	Decoupling float64 // farads
+	ESRDrop    float64 // volts of drop that rebounds after the load
+	DropPctOp  float64 // as a percentage of the 0.96 V operating range
+}
+
+// Decoupling sweeps decoupling capacitance from none to the paper's
+// abnormally high 6.4 mF.
+func Decoupling() ([]DecouplingRow, error) {
+	sweep := []float64{0, 400e-6, 800e-6, 1.6e-3, 3.2e-3, 6.4e-3}
+	var rows []DecouplingRow
+	for _, cd := range sweep {
+		branches := []*capacitor.Branch{
+			// The paper's 33 mF supercapacitor: its ~200 mV residual drop at
+			// 50 mA implies roughly 3 Ω of effective ESR at this pulse width.
+			{Name: "main", C: 33e-3, ESR: 3.0, Voltage: 2.56},
+		}
+		if cd > 0 {
+			branches = append(branches, &capacitor.Branch{
+				Name: "decoupling", C: cd, ESR: 0.05, Voltage: 2.56,
+			})
+		}
+		net, err := capacitor.NewNetwork(branches...)
+		if err != nil {
+			return nil, err
+		}
+		cfg := powersys.Capybara()
+		cfg.Storage = net
+		sys, err := powersys.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Monitor().Force(true)
+		res := sys.Run(load.NewUniform(50e-3, 100e-3), powersys.RunOptions{})
+		drop := res.VFinal - res.VMin // the rebounding (ESR) component
+		rows = append(rows, DecouplingRow{
+			Decoupling: cd,
+			ESRDrop:    drop,
+			DropPctOp:  drop / (cfg.VHigh - cfg.VOff) * 100,
+		})
+	}
+	return rows, nil
+}
+
+// DecouplingTable renders the rows.
+func DecouplingTable(rows []DecouplingRow) *Table {
+	t := &Table{
+		Title:  "Section II-D: decoupling capacitance vs ESR drop (50 mA / 100 ms, 33 mF bank)",
+		Header: []string{"decoupling", "ESR drop", "% of operating range"},
+		Caption: "Decoupling capacitors absorb transients, not sustained " +
+			"loads: even an abnormally large 6.4 mF leaves a drop worth a " +
+			"double-digit share of the operating range.",
+	}
+	for _, r := range rows {
+		t.Add(units.FormatF(r.Decoupling), f3(r.ESRDrop)+" V", f1(r.DropPctOp))
+	}
+	return t
+}

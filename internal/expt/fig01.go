@@ -1,0 +1,143 @@
+package expt
+
+import (
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/trace"
+)
+
+// Fig1bResult decomposes a load's voltage drop into its energy and ESR
+// components — the phenomenon of Figure 1(b).
+type Fig1bResult struct {
+	VBefore    float64 // terminal voltage before the load
+	VMin       float64 // minimum terminal voltage under load
+	VAfter     float64 // terminal voltage after the rebound settles
+	TotalDrop  float64 // VBefore − VMin
+	EnergyDrop float64 // VBefore − VAfter: the part energy accounting sees
+	ESRDrop    float64 // VAfter − VMin: the part energy accounting misses
+	Trace      *trace.Recorder
+}
+
+// Fig1b runs a 50 mA, 100 ms load on the Capybara bank from 2.45 V and
+// separates the measured drop into consumed energy and the ESR drop that
+// rebounds.
+func Fig1b() (Fig1bResult, error) {
+	cfg := powersys.Capybara()
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		return Fig1bResult{}, err
+	}
+	if err := sys.DischargeTo(2.45); err != nil {
+		return Fig1bResult{}, err
+	}
+	sys.Monitor().Force(true)
+	rec := trace.NewRecorder(8)
+	res := sys.Run(load.LoRa(), powersys.RunOptions{Recorder: rec})
+	out := Fig1bResult{
+		VBefore: res.VStart,
+		VMin:    res.VMin,
+		VAfter:  res.VFinal,
+		Trace:   rec,
+	}
+	out.TotalDrop = out.VBefore - out.VMin
+	out.EnergyDrop = out.VBefore - out.VAfter
+	out.ESRDrop = out.VAfter - out.VMin
+	return out, nil
+}
+
+// Fig1bTable renders the decomposition.
+func (r Fig1bResult) Table() *Table {
+	t := &Table{
+		Title:  "Figure 1(b): ESR drop and rebound (50 mA / 100 ms on the 45 mF bank)",
+		Header: []string{"quantity", "volts"},
+		Caption: "The 'missed drop' is the ESR component: invisible to " +
+			"energy-only charge accounting, but able to cross V_off.",
+	}
+	t.Add("V before load", f3(r.VBefore))
+	t.Add("V minimum under load", f3(r.VMin))
+	t.Add("V after rebound", f3(r.VAfter))
+	t.Add("total drop", f3(r.TotalDrop))
+	t.Add("drop due to consumed energy", f3(r.EnergyDrop))
+	t.Add("missed drop due to ESR", f3(r.ESRDrop))
+	return t
+}
+
+// Fig4Result reproduces Figure 4: a LoRa transmission on a high-ESR
+// capacitor powers the device off while ample stored energy remains.
+type Fig4Result struct {
+	VStart           float64
+	PowerFailed      bool
+	FailTime         float64
+	EnergyBefore     float64
+	EnergyAfter      float64
+	EnergyRemainPct  float64
+	ThresholdPctOfOp float64 // starting point (as % of operating range) below which the radio fails
+}
+
+// Fig4 runs the motivating example exactly as the paper illustrates it: a
+// 50 mA load drawn directly from a 10 Ω-ESR, 45 mF capacitor in a
+// 2.4 V–1.6 V window. (The figure abstracts the booster away — 50 mA flows
+// through the capacitor itself, producing the quoted 500 mV drop. With a
+// boost converter in the path, 10 Ω could not even deliver the load.)
+func Fig4() (Fig4Result, error) {
+	const (
+		c, esr       = 45e-3, 10.0
+		vOff, vHigh  = 1.6, 2.4
+		iLoad, tLoad = 50e-3, 100e-3
+		dt           = 8e-6
+	)
+	run := func(vStart float64) (failed bool, remainPct, failT float64) {
+		voc := vStart
+		e0 := 0.5 * c * voc * voc
+		steps := int(tLoad / dt)
+		for i := 0; i < steps; i++ {
+			vt := voc - iLoad*esr
+			if vt < vOff {
+				return true, 0.5 * c * voc * voc / e0 * 100, float64(i) * dt
+			}
+			voc -= iLoad * dt / c
+		}
+		return false, 0.5 * c * voc * voc / e0 * 100, 0
+	}
+
+	out := Fig4Result{VStart: 2.0}
+	failed, remain, failT := run(2.0)
+	out.PowerFailed = failed
+	out.EnergyRemainPct = remain
+	out.FailTime = failT
+	out.EnergyBefore = 0.5 * c * 2.0 * 2.0
+	out.EnergyAfter = out.EnergyBefore * remain / 100
+
+	// Minimum safe starting fraction of the operating range: the 500 mV
+	// drop plus the consumed charge (the paper quotes ≈64.5 %).
+	lo, hi := vOff, vHigh
+	for i := 0; i < 40; i++ {
+		mid := 0.5 * (lo + hi)
+		if f, _, _ := run(mid); f {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	out.ThresholdPctOfOp = (hi - vOff) / (vHigh - vOff) * 100
+	return out, nil
+}
+
+// Table renders the Figure 4 narrative.
+func (r Fig4Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 4: power-off despite stored energy (10 Ω ESR, 50 mA LoRa)",
+		Header: []string{"quantity", "value"},
+		Caption: "Energy-wise the packet is cheap, but the ESR drop crosses " +
+			"V_off: the device turns off with most of its energy stranded.",
+	}
+	t.Add("start voltage", f3(r.VStart)+" V")
+	if r.PowerFailed {
+		t.Add("outcome", "POWER FAILURE at t="+f3(r.FailTime)+" s")
+	} else {
+		t.Add("outcome", "completed")
+	}
+	t.Add("stored energy remaining", f1(r.EnergyRemainPct)+" %")
+	t.Add("min safe start (% of 2.4–1.6 V range)", f1(r.ThresholdPctOfOp)+" %")
+	return t
+}

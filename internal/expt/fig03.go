@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"culpeo/internal/capacitor"
+	"culpeo/internal/partsdb"
+	"culpeo/internal/units"
+)
+
+// Fig3Result is the volume-versus-ESR sweep of Figure 3.
+type Fig3Result struct {
+	Banks     []capacitor.Bank
+	Summaries []partsdb.Summary
+}
+
+// Fig3 assembles 45 mF banks from the synthetic part catalogue.
+func Fig3() Fig3Result {
+	banks := partsdb.BankSweep(partsdb.Catalog(partsdb.DefaultSeed), partsdb.TargetBankC)
+	return Fig3Result{Banks: banks, Summaries: partsdb.Summarize(banks)}
+}
+
+// Table renders the per-technology summary (the figure's annotations).
+func (r Fig3Result) Table() *Table {
+	t := &Table{
+		Title:  "Figure 3: 45 mF banks — volume vs ESR by capacitor technology",
+		Header: []string{"technology", "banks", "min volume", "ESR @ min", "parts @ min", "DCL @ min"},
+		Caption: "Supercapacitors reach the smallest volume with few parts and " +
+			"nA leakage, at the cost of the highest ESR — the cost Culpeo addresses.",
+	}
+	for _, s := range r.Summaries {
+		t.Add(
+			s.Tech.String(),
+			f0(float64(s.Banks)),
+			f1(s.MinVolume)+" mm³",
+			units.FormatOhm(s.ESRAtMin),
+			f0(float64(s.PartsAtMin)),
+			units.FormatA(s.DCLAtMin),
+		)
+	}
+	return t
+}
+
+// Points renders the full scatter as CSV-ready rows (volume mm³, ESR Ω,
+// technology) — the figure's point cloud.
+func (r Fig3Result) Points() *Table {
+	t := &Table{
+		Title:  "Figure 3 point cloud",
+		Header: []string{"volume_mm3", "esr_ohm", "parts", "dcl_a", "technology"},
+	}
+	for _, b := range r.Banks {
+		t.Add(
+			f1(b.Volume()),
+			f3(b.ESR()),
+			f0(float64(b.Count)),
+			units.FormatA(b.DCL()),
+			b.Part.Tech.String(),
+		)
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+package expt
+
+import (
+	"fmt"
+
+	"culpeo/internal/baseline"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// Fig6Row is one bar of Figure 6: an estimator's V_safe error on one pulse
+// load, as a percentage of the operating range. Positive errors are
+// conservative (the task still completes); negative errors cause failures.
+type Fig6Row struct {
+	Load        string
+	Estimator   string
+	GroundTruth float64
+	Estimate    float64
+	ErrorPct    float64
+	Verdict     harness.Verdict
+}
+
+// Fig6 evaluates the three energy-only estimators on the six pulse+compute
+// loads of Figure 6.
+func Fig6() ([]Fig6Row, error) {
+	h, err := harness.New(powersys.Capybara())
+	if err != nil {
+		return nil, err
+	}
+	estimators := []baseline.Kind{baseline.EnergyDirect, baseline.CatnapSlow, baseline.CatnapMeasured}
+	var rows []Fig6Row
+	for _, task := range load.Fig6Loads() {
+		gt, err := h.GroundTruth(task)
+		if err != nil {
+			return nil, fmt.Errorf("expt: fig6 %s: %w", task.Name(), err)
+		}
+		for _, k := range estimators {
+			est := baseline.Estimate(k, h, task)
+			rows = append(rows, Fig6Row{
+				Load:        task.Name(),
+				Estimator:   k.String(),
+				GroundTruth: gt,
+				Estimate:    est,
+				ErrorPct:    h.ErrorPercent(est, gt),
+				Verdict:     harness.Classify(est, gt),
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig6Table renders the rows.
+func Fig6Table(rows []Fig6Row) *Table {
+	t := &Table{
+		Title:  "Figure 6: V_safe error of energy-only estimators (% of operating range)",
+		Header: []string{"load (pulse + 100ms compute)", "estimator", "truth V", "estimate V", "error %", "verdict"},
+		Caption: "Negative error means the estimator starts the task too low " +
+			"and it fails — 'determining the safe starting voltage by energy " +
+			"cost alone results in task failure most of the time'.",
+	}
+	for _, r := range rows {
+		t.Add(r.Load, r.Estimator, f3(r.GroundTruth), f3(r.Estimate), f1(r.ErrorPct), r.Verdict.String())
+	}
+	return t
+}

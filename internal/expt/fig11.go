@@ -1,0 +1,105 @@
+package expt
+
+import (
+	"fmt"
+
+	"culpeo/internal/baseline"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+)
+
+// Fig11Row is one arrow of Figure 11: an estimator's V_safe for a real
+// peripheral (arrow top) and the minimum voltage observed when actually
+// started there (arrow bottom). Safe and performant means the bottom lands
+// just above V_off.
+type Fig11Row struct {
+	Peripheral string
+	Estimator  string
+	VSafe      float64
+	VMin       float64
+	Completed  bool
+}
+
+// Fig11Estimators lists the figure's estimators in display order.
+var Fig11Estimators = []string{"Energy-V", "Catnap", "Culpeo-PG", "Culpeo-R"}
+
+// Fig11Peripherals returns the figure's three real-peripheral loads.
+func Fig11Peripherals() []load.Profile {
+	return []load.Profile{load.Gesture(), load.BLERadio(), load.ComputeAccel()}
+}
+
+// Fig11 computes each estimator's V_safe for each peripheral and validates
+// it by running the peripheral from that voltage.
+func Fig11() ([]Fig11Row, error) {
+	cfg := powersys.Capybara()
+	h, err := harness.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	model := capybaraModel(cfg)
+	pg := profiler.PG{Model: model}
+
+	estimate := func(name string, task load.Profile) (float64, error) {
+		switch name {
+		case "Energy-V":
+			return baseline.Estimate(baseline.EnergyV, h, task), nil
+		case "Catnap":
+			return baseline.Estimate(baseline.CatnapMeasured, h, task), nil
+		case "Culpeo-PG":
+			est, err := pg.Estimate(task)
+			return est.VSafe, err
+		case "Culpeo-R":
+			sys := h.NewSystem()
+			sys.Monitor().Force(true)
+			est, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0)
+			return est.VSafe, err
+		}
+		return 0, fmt.Errorf("expt: unknown estimator %q", name)
+	}
+
+	var rows []Fig11Row
+	for _, task := range Fig11Peripherals() {
+		for _, name := range Fig11Estimators {
+			v, err := estimate(name, task)
+			if err != nil {
+				return nil, fmt.Errorf("expt: fig11 %s/%s: %w", task.Name(), name, err)
+			}
+			if v < cfg.VOff {
+				v = cfg.VOff // can't start below the power-off threshold
+			}
+			if v > cfg.VHigh {
+				v = cfg.VHigh
+			}
+			res := h.RunAt(v, task, powersys.RunOptions{SkipRebound: true})
+			rows = append(rows, Fig11Row{
+				Peripheral: task.Name(),
+				Estimator:  name,
+				VSafe:      v,
+				VMin:       res.VMin,
+				Completed:  res.Completed && res.VMin >= cfg.VOff,
+			})
+		}
+	}
+	return rows, nil
+}
+
+// Fig11Table renders the rows.
+func Fig11Table(rows []Fig11Row) *Table {
+	t := &Table{
+		Title:  "Figure 11: real-peripheral V_safe (arrow top) and observed V_min (arrow bottom)",
+		Header: []string{"peripheral", "estimator", "V_safe", "V_min", "outcome"},
+		Caption: "Energy-V and CatNap start the peripherals so low the device " +
+			"powers off (V_min below 1.6 V); both Culpeo variants complete with " +
+			"V_min just above V_off.",
+	}
+	for _, r := range rows {
+		out := "POWER FAILURE"
+		if r.Completed {
+			out = "completed"
+		}
+		t.Add(r.Peripheral, r.Estimator, f3(r.VSafe), f3(r.VMin), out)
+	}
+	return t
+}

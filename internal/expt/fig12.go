@@ -1,0 +1,189 @@
+package expt
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"culpeo/internal/apps"
+	"culpeo/internal/sched"
+)
+
+// Fig12Row is one bar of Figure 12: events captured for one application
+// stream under one scheduler, averaged over trials.
+type Fig12Row struct {
+	Stream        string
+	Scheduler     string
+	CapturePct    float64
+	Events        int
+	Captured      int
+	PowerFailures int
+}
+
+// Trials is the paper's trial count per configuration.
+const Trials = 3
+
+// Fig12Opts tunes the experiment (benchmarks use a shorter horizon).
+type Fig12Opts struct {
+	Horizon float64 // 0 = apps.DefaultHorizon (300 s)
+	Trials  int     // 0 = Trials
+}
+
+// Fig12 runs PS, RR and NMR under CatNap and Culpeo.
+func Fig12(opt Fig12Opts) ([]Fig12Row, error) {
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		horizon = apps.DefaultHorizon
+	}
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = Trials
+	}
+
+	type key struct{ stream, policy string }
+	acc := map[key]*Fig12Row{}
+
+	for _, app := range apps.All() {
+		for _, mk := range []func() sched.Policy{
+			func() sched.Policy { return sched.NewCatNapPolicy() },
+			func() sched.Policy { return sched.NewCulpeoPolicy(app.Model()) },
+		} {
+			for trial := 0; trial < trials; trial++ {
+				pol := mk()
+				dev, err := app.NewDevice(pol)
+				if err != nil {
+					return nil, fmt.Errorf("expt: fig12 %s/%s: %w", app.Name, pol.Name(), err)
+				}
+				streams := app.Streams(horizon, rand.New(rand.NewSource(int64(trial)+1)))
+				met, err := dev.Run(streams, horizon)
+				if err != nil {
+					return nil, fmt.Errorf("expt: fig12 %s/%s: %w", app.Name, pol.Name(), err)
+				}
+				for name, sm := range met.PerStream {
+					k := key{name, pol.Name()}
+					r := acc[k]
+					if r == nil {
+						r = &Fig12Row{Stream: name, Scheduler: pol.Name()}
+						acc[k] = r
+					}
+					r.Events += sm.Events
+					r.Captured += sm.Captured
+					r.PowerFailures += met.PowerFailures
+				}
+			}
+		}
+	}
+
+	var rows []Fig12Row
+	for _, r := range acc {
+		if r.Events > 0 {
+			r.CapturePct = float64(r.Captured) / float64(r.Events) * 100
+		} else {
+			r.CapturePct = 100
+		}
+		rows = append(rows, *r)
+	}
+	order := map[string]int{"PS": 0, "RR": 1, "NMR-mic": 2, "NMR-BLE": 3}
+	sort.Slice(rows, func(i, j int) bool {
+		if order[rows[i].Stream] != order[rows[j].Stream] {
+			return order[rows[i].Stream] < order[rows[j].Stream]
+		}
+		return rows[i].Scheduler < rows[j].Scheduler
+	})
+	return rows, nil
+}
+
+// Fig12Table renders the rows.
+func Fig12Table(rows []Fig12Row) *Table {
+	t := &Table{
+		Title:  "Figure 12: events captured (%) — full applications",
+		Header: []string{"stream", "scheduler", "captured %", "captured/events", "power failures"},
+		Caption: "Culpeo's V_safe estimates eliminate the unexpected power " +
+			"failures that make CatNap miss events and spend time recharging.",
+	}
+	for _, r := range rows {
+		t.Add(r.Stream, r.Scheduler, f1(r.CapturePct),
+			fmt.Sprintf("%d/%d", r.Captured, r.Events), f0(float64(r.PowerFailures)))
+	}
+	return t
+}
+
+// Fig13Row is one bar of Figure 13: capture rate at a given event-rate
+// regime.
+type Fig13Row struct {
+	App        string
+	Rate       apps.Rate
+	Scheduler  string
+	CapturePct float64
+	Events     int
+	Captured   int
+}
+
+// Fig13 sweeps PS and RR over the slow/achievable/too-fast regimes.
+func Fig13(opt Fig12Opts) ([]Fig13Row, error) {
+	horizon := opt.Horizon
+	if horizon <= 0 {
+		horizon = apps.DefaultHorizon
+	}
+	trials := opt.Trials
+	if trials <= 0 {
+		trials = Trials
+	}
+
+	var rows []Fig13Row
+	for _, rate := range []apps.Rate{apps.Slow, apps.Achievable, apps.TooFast} {
+		for _, mkApp := range []func(apps.Rate) apps.App{apps.PeriodicSensingAt, apps.ResponsiveReportingAt} {
+			app := mkApp(rate)
+			for _, mkPol := range []func() sched.Policy{
+				func() sched.Policy { return sched.NewCatNapPolicy() },
+				func() sched.Policy { return sched.NewCulpeoPolicy(app.Model()) },
+			} {
+				events, captured := 0, 0
+				var polName string
+				for trial := 0; trial < trials; trial++ {
+					pol := mkPol()
+					polName = pol.Name()
+					dev, err := app.NewDevice(pol)
+					if err != nil {
+						return nil, err
+					}
+					streams := app.Streams(horizon, rand.New(rand.NewSource(int64(trial)+1)))
+					met, err := dev.Run(streams, horizon)
+					if err != nil {
+						return nil, err
+					}
+					for _, sm := range met.PerStream {
+						events += sm.Events
+						captured += sm.Captured
+					}
+				}
+				pct := 100.0
+				if events > 0 {
+					pct = float64(captured) / float64(events) * 100
+				}
+				rows = append(rows, Fig13Row{
+					App: app.Name, Rate: rate, Scheduler: polName,
+					CapturePct: pct, Events: events, Captured: captured,
+				})
+			}
+		}
+	}
+	return rows, nil
+}
+
+// Fig13Table renders the rows.
+func Fig13Table(rows []Fig13Row) *Table {
+	t := &Table{
+		Title:  "Figure 13: events captured (%) vs event-arrival regime",
+		Header: []string{"app", "rate", "scheduler", "captured %", "captured/events"},
+		Caption: "Culpeo makes the plot make sense: feasible rates are " +
+			"captured nearly fully. CatNap sees little or inverted benefit from " +
+			"slowing down — more idle time lets its background work discharge " +
+			"the buffer further before the next event.",
+	}
+	for _, r := range rows {
+		t.Add(r.App, r.Rate.String(), r.Scheduler, f1(r.CapturePct),
+			fmt.Sprintf("%d/%d", r.Captured, r.Events))
+	}
+	return t
+}

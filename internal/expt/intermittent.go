@@ -1,0 +1,214 @@
+package expt
+
+import (
+	"culpeo/internal/capacitor"
+	"culpeo/internal/intermittent"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// IntermittentRow is one gate's outcome on the intermittent pipeline.
+type IntermittentRow struct {
+	Gate           string
+	Iterations     int
+	Reexecutions   int
+	PowerFailures  int
+	WastedEnergy   float64
+	UsefulEnergy   float64
+	WastedPct      float64
+	LiveLocked     bool
+	LiveLockedTask string
+}
+
+// intermittentConfig builds the marginal device used by the intermittent
+// experiments: a 15 mF, 15 Ω buffer.
+func intermittentConfig() (powersys.Config, error) {
+	part := capacitor.Part{
+		PartNumber: "CPX3225A752D", Tech: capacitor.Supercap,
+		C: 7.5e-3, ESR: 30, Volume: 7.04, DCL: 3.3e-9,
+	}
+	bank, err := capacitor.AssembleBank(part, 15e-3)
+	if err != nil {
+		return powersys.Config{}, err
+	}
+	cfg := powersys.Capybara()
+	net, err := capacitor.NewNetwork(bank.Branch("main", cfg.VHigh))
+	if err != nil {
+		return powersys.Config{}, err
+	}
+	cfg.Storage = net
+	cfg.DT = 40e-6
+	return cfg, nil
+}
+
+// Intermittent runs the sense→process→report pipeline under the three
+// dispatch gates on the marginal buffer (the Section I motivation:
+// opportunistic execution wastes energy on doomed attempts; energy gating
+// still misses the ESR drop; Culpeo gating avoids both).
+func Intermittent(horizon float64) ([]IntermittentRow, error) {
+	if horizon <= 0 {
+		horizon = 60
+	}
+	cfg, err := intermittentConfig()
+	if err != nil {
+		return nil, err
+	}
+	model := capybaraModel(cfg)
+	prog := intermittent.Program{
+		Name: "sense-pipeline",
+		Tasks: []intermittent.AtomicTask{
+			{ID: "sample", Profile: load.IMURead(16)},
+			{ID: "process", Profile: load.FFT(128)},
+			{ID: "report", Profile: load.NewUniform(20e-3, 20e-3)},
+		},
+	}
+
+	culpeoGate, err := intermittent.NewCulpeoGate(model, prog)
+	if err != nil {
+		return nil, err
+	}
+	energyGate, err := intermittent.NewEnergyGate(cfg, prog)
+	if err != nil {
+		return nil, err
+	}
+	gates := []intermittent.Gate{intermittent.Opportunistic{}, energyGate, culpeoGate}
+
+	var rows []IntermittentRow
+	for _, g := range gates {
+		c := cfg
+		c.Storage = cfg.Storage.Clone()
+		sys, err := powersys.New(c)
+		if err != nil {
+			return nil, err
+		}
+		if err := sys.ChargeTo(c.VHigh); err != nil {
+			return nil, err
+		}
+		rt := &intermittent.Runtime{Sys: sys, Harvest: 1.5e-3, Gate: g, MaxAttempts: 1000}
+		res, err := rt.Run(prog, horizon)
+		if err != nil {
+			return nil, err
+		}
+		row := IntermittentRow{
+			Gate:           g.Name(),
+			Iterations:     res.Iterations,
+			Reexecutions:   res.Reexecutions,
+			PowerFailures:  res.PowerFailures,
+			WastedEnergy:   res.WastedEnergy,
+			UsefulEnergy:   res.UsefulEnergy,
+			LiveLocked:     res.LiveLocked,
+			LiveLockedTask: res.LiveLockedTask,
+		}
+		if total := res.WastedEnergy + res.UsefulEnergy; total > 0 {
+			row.WastedPct = res.WastedEnergy / total * 100
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// IntermittentTable renders the rows.
+func IntermittentTable(rows []IntermittentRow) *Table {
+	t := &Table{
+		Title:  "Intermittent execution: dispatch gates on a marginal 15 mF / 15 Ω buffer (60 s)",
+		Header: []string{"gate", "iterations", "re-executions", "power failures", "wasted energy %"},
+		Caption: "Opportunistic and energy-only dispatch burn energy and " +
+			"recharge time on attempts the ESR drop dooms; the Culpeo gate " +
+			"waits instead — zero failures and zero waste at comparable " +
+			"throughput. (Under deadlines the failures translate into missed " +
+			"events — Figure 12.)",
+	}
+	for _, r := range rows {
+		t.Add(r.Gate,
+			f0(float64(r.Iterations)),
+			f0(float64(r.Reexecutions)),
+			f0(float64(r.PowerFailures)),
+			f1(r.WastedPct),
+		)
+	}
+	return t
+}
+
+// DecomposeRow is the task-division demo: an energy-infeasible task is
+// flagged at compile time and split until each chunk fits.
+type DecomposeRow struct {
+	Chunks       int
+	ChunkVSafe   float64 // the first chunk's requirement
+	Feasible     bool
+	IterationsIn int // pipeline iterations completed in the demo window
+}
+
+// Decompose demonstrates Culpeo-guided task division on a task whose
+// energy exceeds the buffer (10 mA for 3 s on 15 mF).
+func Decompose(horizon float64) ([]DecomposeRow, error) {
+	if horizon <= 0 {
+		horizon = 120
+	}
+	cfg, err := intermittentConfig()
+	if err != nil {
+		return nil, err
+	}
+	model := capybaraModel(cfg)
+	big := intermittent.AtomicTask{ID: "bigjob", Profile: load.NewUniform(10e-3, 3.0)}
+
+	var rows []DecomposeRow
+	for _, n := range []int{1, 2, 4, 8} {
+		chunks := load.SplitEven(big.Profile, n)
+		tasks := make([]intermittent.AtomicTask, n)
+		for i, c := range chunks {
+			tasks[i] = intermittent.AtomicTask{ID: c.Name(), Profile: c}
+		}
+		prog := intermittent.Program{Name: "split", Tasks: tasks}
+		ests, err := intermittent.Estimates(model, prog)
+		if err != nil {
+			return nil, err
+		}
+		feasible := true
+		for _, e := range ests {
+			if e.VSafe > model.VHigh {
+				feasible = false
+				break
+			}
+		}
+		row := DecomposeRow{Chunks: n, ChunkVSafe: ests[0].VSafe, Feasible: feasible}
+		if feasible {
+			gate, err := intermittent.NewCulpeoGate(model, prog)
+			if err != nil {
+				return nil, err
+			}
+			c := cfg
+			c.Storage = cfg.Storage.Clone()
+			sys, err := powersys.New(c)
+			if err != nil {
+				return nil, err
+			}
+			rt := &intermittent.Runtime{Sys: sys, Harvest: 2.5e-3, Gate: gate}
+			res, err := rt.Run(prog, horizon)
+			if err != nil {
+				return nil, err
+			}
+			row.IterationsIn = res.Iterations
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// DecomposeTable renders the rows.
+func DecomposeTable(rows []DecomposeRow) *Table {
+	t := &Table{
+		Title:  "Task division guided by V_safe: 10 mA × 3 s job on a 15 mF buffer",
+		Header: []string{"chunks", "chunk V_safe", "feasible", "iterations (120 s)"},
+		Caption: "Whole, the job's V_safe exceeds V_high — Culpeo-PG flags it " +
+			"at compile time instead of letting the device livelock. Split " +
+			"finely enough, every chunk fits and the job makes progress.",
+	}
+	for _, r := range rows {
+		feas := "no (V_safe > V_high)"
+		if r.Feasible {
+			feas = "yes"
+		}
+		t.Add(f0(float64(r.Chunks)), f3(r.ChunkVSafe), feas, f0(float64(r.IterationsIn)))
+	}
+	return t
+}

@@ -1,0 +1,109 @@
+// Package expt contains one driver per table and figure of the paper's
+// evaluation. Each driver returns typed rows; the Render helpers print the
+// same tables/series the paper reports. cmd/culpeo and the repository's
+// benchmarks both call into this package, so the numbers in the README can
+// be regenerated from either.
+package expt
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a simple text table.
+type Table struct {
+	Title   string
+	Header  []string
+	Rows    [][]string
+	Caption string
+}
+
+// Add appends a row.
+func (t *Table) Add(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(w, "%s\n%s\n", t.Title, strings.Repeat("=", len([]rune(t.Title)))); err != nil {
+			return err
+		}
+	}
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len([]rune(h))
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len([]rune(c)) > widths[i] {
+				widths[i] = len([]rune(c))
+			}
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			if pad := widths[i] - len([]rune(c)); pad > 0 {
+				sb.WriteString(strings.Repeat(" ", pad))
+			}
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if _, err := fmt.Fprintln(w, line(t.Header)); err != nil {
+		return err
+	}
+	total := 0
+	for _, wd := range widths {
+		total += wd + 2
+	}
+	if _, err := fmt.Fprintln(w, strings.Repeat("-", total-2)); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(w, line(r)); err != nil {
+			return err
+		}
+	}
+	if t.Caption != "" {
+		if _, err := fmt.Fprintf(w, "\n%s\n", t.Caption); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(w)
+	return err
+}
+
+// CSV writes the table as CSV.
+func (t *Table) CSV(w io.Writer) error {
+	esc := func(s string) string {
+		if strings.ContainsAny(s, ",\"\n") {
+			return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+		}
+		return s
+	}
+	row := func(cells []string) error {
+		out := make([]string, len(cells))
+		for i, c := range cells {
+			out[i] = esc(c)
+		}
+		_, err := fmt.Fprintln(w, strings.Join(out, ","))
+		return err
+	}
+	if err := row(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := row(r); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f0(v float64) string { return fmt.Sprintf("%.0f", v) }

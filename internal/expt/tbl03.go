@@ -1,0 +1,55 @@
+package expt
+
+import (
+	"culpeo/internal/load"
+	"culpeo/internal/units"
+)
+
+// Tbl3Row describes one load of Table III.
+type Tbl3Row struct {
+	Name     string
+	Kind     string
+	Peak     float64
+	Duration float64
+	Energy   float64 // at the 2.55 V rail
+	Widest   float64 // widest pulse (drives ESR selection)
+}
+
+// Tbl3 catalogues the evaluation's loads: the synthetic sweeps plus the
+// three peripheral traces.
+func Tbl3() []Tbl3Row {
+	var rows []Tbl3Row
+	add := func(kind string, ps ...load.Profile) {
+		for _, p := range ps {
+			rows = append(rows, Tbl3Row{
+				Name:     p.Name(),
+				Kind:     kind,
+				Peak:     load.PeakCurrent(p, 125e3),
+				Duration: p.Duration(),
+				Energy:   load.Energy(p, 2.55, 125e3),
+				Widest:   load.WidestPulse(p, 125e3),
+			})
+		}
+	}
+	add("uniform", load.TableIIIUniform()...)
+	add("pulse", load.TableIIIPulse()...)
+	add("peripheral", load.Gesture(), load.BLERadio(), load.ComputeAccel())
+	return rows
+}
+
+// Tbl3Table renders the rows.
+func Tbl3Table(rows []Tbl3Row) *Table {
+	t := &Table{
+		Title:  "Table III: evaluation loads",
+		Header: []string{"load", "kind", "peak", "duration", "energy @2.55V", "widest pulse"},
+	}
+	for _, r := range rows {
+		t.Add(r.Name, r.Kind,
+			units.FormatA(r.Peak),
+			units.FormatS(r.Duration),
+			units.Format(r.Energy, "J"),
+			units.FormatS(r.Widest),
+		)
+	}
+	return t
+}

@@ -1,0 +1,171 @@
+// Package fixedpoint implements the Culpeo-R V_safe calculation in Q16.16
+// integer arithmetic — the form it takes on the paper's target MCUs, which
+// have no floating-point unit and for which "multiple cubic root operations
+// ... are expensive" (Section IV-D). Equation 3's collapsed-efficiency form
+// exists precisely so the on-device math stays in cheap multiplies, one
+// divide, and one square root.
+//
+// The package provides the Q16.16 primitive operations (multiply, divide,
+// integer-Newton square root), the fixed-point VSafeR, and operation
+// counting so the cost claim is checkable: the whole calculation runs in a
+// few tens of integer operations.
+package fixedpoint
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Q is a Q16.16 fixed-point number: value = Q / 65536.
+type Q int64
+
+// One is 1.0 in Q16.16.
+const One Q = 1 << 16
+
+// FromFloat converts a float64 to Q16.16 (round to nearest).
+func FromFloat(f float64) Q {
+	return Q(math.Round(f * 65536))
+}
+
+// Float converts back to float64.
+func (q Q) Float() float64 { return float64(q) / 65536 }
+
+// String renders the value.
+func (q Q) String() string { return fmt.Sprintf("%.5f", q.Float()) }
+
+// Ops counts the integer operations a calculation performed, standing in
+// for MCU cycle estimates (a 16×16→32 multiply is 1, a divide is ~1 op
+// here but tens of cycles on an MSP430 — the *count* is what matters).
+type Ops struct {
+	Mul, Div, Sqrt, AddSub int
+}
+
+// Total returns the summed count.
+func (o Ops) Total() int { return o.Mul + o.Div + o.Sqrt + o.AddSub }
+
+// Mul multiplies two Q16.16 values.
+func Mul(a, b Q, ops *Ops) Q {
+	if ops != nil {
+		ops.Mul++
+	}
+	return Q((int64(a) * int64(b)) >> 16)
+}
+
+// Div divides a by b.
+func Div(a, b Q, ops *Ops) (Q, error) {
+	if b == 0 {
+		return 0, errors.New("fixedpoint: division by zero")
+	}
+	if ops != nil {
+		ops.Div++
+	}
+	return Q((int64(a) << 16) / int64(b)), nil
+}
+
+// Sqrt computes the square root of a non-negative Q16.16 value with an
+// integer Newton iteration (the routine an MCU math library would use).
+func Sqrt(a Q, ops *Ops) (Q, error) {
+	if a < 0 {
+		return 0, errors.New("fixedpoint: sqrt of negative")
+	}
+	if ops != nil {
+		ops.Sqrt++
+	}
+	if a == 0 {
+		return 0, nil
+	}
+	// sqrt(a/65536)*65536 = sqrt(a*65536) = sqrt(a<<16).
+	x := int64(a) << 16
+	// Initial guess: 1 << ((bitlen+1)/2).
+	guess := int64(1) << ((bits(x) + 1) / 2)
+	for i := 0; i < 24; i++ {
+		next := (guess + x/guess) >> 1
+		if next >= guess {
+			break
+		}
+		guess = next
+	}
+	return Q(guess), nil
+}
+
+func bits(x int64) int {
+	n := 0
+	for x > 0 {
+		x >>= 1
+		n++
+	}
+	return n
+}
+
+// Model is the compile-time-constant part of the Culpeo-R calculation,
+// pre-converted to fixed point: the efficiency line and the window. The
+// MCU stores these five constants; everything else is measured.
+type Model struct {
+	M, B  Q // η(V) = M·V + B
+	EtaLo Q // clamp bounds of the line
+	EtaHi Q
+	VOff  Q
+}
+
+// NewModel converts the float model parameters.
+func NewModel(m, b, etaLo, etaHi, vOff float64) Model {
+	return Model{
+		M: FromFloat(m), B: FromFloat(b),
+		EtaLo: FromFloat(etaLo), EtaHi: FromFloat(etaHi),
+		VOff: FromFloat(vOff),
+	}
+}
+
+// eta evaluates the clamped efficiency line.
+func (md Model) eta(v Q, ops *Ops) Q {
+	e := Mul(md.M, v, ops) + md.B
+	if ops != nil {
+		ops.AddSub++
+	}
+	if e < md.EtaLo {
+		return md.EtaLo
+	}
+	if e > md.EtaHi {
+		return md.EtaHi
+	}
+	return e
+}
+
+// VSafeR is the on-device Culpeo-R calculation (Equations 1c and 3) in
+// Q16.16. Inputs are the three profiled voltages; the returned Ops records
+// the integer-operation budget the MCU spends.
+func VSafeR(md Model, vStart, vMin, vFinal Q) (vsafe Q, ops Ops, err error) {
+	if vMin <= 0 || vMin > vFinal || vFinal > vStart {
+		return 0, ops, errors.New("fixedpoint: invalid observation ordering")
+	}
+	// Equation 1c: Vδ_safe = (V_final − V_min) · (V_min·η(V_min)) / (V_off·η(V_off)).
+	vdelta := vFinal - vMin
+	ops.AddSub++
+	num := Mul(vMin, md.eta(vMin, &ops), &ops)
+	den := Mul(md.VOff, md.eta(md.VOff, &ops), &ops)
+	scale, err := Div(num, den, &ops)
+	if err != nil {
+		return 0, ops, err
+	}
+	vdeltaSafe := Mul(vdelta, scale, &ops)
+
+	// Equation 3: V_safe_E² = η(V_start)/η(V_off) · (V_start² − V_final²) + V_off².
+	ratio, err := Div(md.eta(vStart, &ops), md.eta(md.VOff, &ops), &ops)
+	if err != nil {
+		return 0, ops, err
+	}
+	d2 := Mul(vStart, vStart, &ops) - Mul(vFinal, vFinal, &ops)
+	ops.AddSub++
+	if d2 < 0 {
+		d2 = 0
+	}
+	e2 := Mul(ratio, d2, &ops) + Mul(md.VOff, md.VOff, &ops)
+	ops.AddSub++
+	vsafeE, err := Sqrt(e2, &ops)
+	if err != nil {
+		return 0, ops, err
+	}
+	ops.AddSub++
+	return vsafeE + vdeltaSafe, ops, nil
+}

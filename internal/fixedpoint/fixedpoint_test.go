@@ -1,0 +1,165 @@
+package fixedpoint
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"culpeo/internal/booster"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+)
+
+func TestQConversion(t *testing.T) {
+	cases := []float64{0, 1, 2.56, 1.6, 0.72, -0.5, 3.14159}
+	for _, f := range cases {
+		q := FromFloat(f)
+		if math.Abs(q.Float()-f) > 1.0/65536 {
+			t.Errorf("round trip %g → %g", f, q.Float())
+		}
+	}
+	if One.Float() != 1.0 {
+		t.Error("One wrong")
+	}
+	if FromFloat(2.5).String() != "2.50000" {
+		t.Errorf("String = %q", FromFloat(2.5).String())
+	}
+}
+
+func TestMulDiv(t *testing.T) {
+	var ops Ops
+	a, b := FromFloat(2.4), FromFloat(0.75)
+	if got := Mul(a, b, &ops).Float(); math.Abs(got-1.8) > 1e-4 {
+		t.Errorf("mul = %g", got)
+	}
+	q, err := Div(a, b, &ops)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(q.Float()-3.2) > 1e-4 {
+		t.Errorf("div = %g", q.Float())
+	}
+	if _, err := Div(a, 0, &ops); err == nil {
+		t.Error("division by zero accepted")
+	}
+	// The rejected division-by-zero never reaches the ALU, so only one
+	// divide is booked.
+	if ops.Mul != 1 || ops.Div != 1 {
+		t.Errorf("ops miscounted: %+v", ops)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	var ops Ops
+	for _, f := range []float64{0, 0.25, 1, 2, 2.56, 6.5536, 100} {
+		q, err := Sqrt(FromFloat(f), &ops)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(q.Float()-math.Sqrt(f)) > 2.0/65536+1e-9 {
+			t.Errorf("sqrt(%g) = %g, want %g", f, q.Float(), math.Sqrt(f))
+		}
+	}
+	if _, err := Sqrt(-One, &ops); err == nil {
+		t.Error("sqrt of negative accepted")
+	}
+}
+
+func TestSqrtProperty(t *testing.T) {
+	f := func(raw float64) bool {
+		v := math.Abs(math.Mod(raw, 1000))
+		q, err := Sqrt(FromFloat(v), nil)
+		if err != nil {
+			return false
+		}
+		return math.Abs(q.Float()-math.Sqrt(v)) < 1e-3*math.Sqrt(v)+1e-4
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func refModel() (core.PowerModel, Model) {
+	eff := booster.DefaultEfficiency()
+	m := core.PowerModel{
+		C:    45e-3,
+		ESR:  capacitor.Flat(5),
+		VOut: 2.55, VOff: 1.6, VHigh: 2.56,
+		Eff: eff,
+	}
+	fm := NewModel(eff.M, eff.B, eff.Min, eff.Max, m.VOff)
+	return m, fm
+}
+
+func TestVSafeRMatchesFloat(t *testing.T) {
+	m, fm := refModel()
+	rng := rand.New(rand.NewSource(9))
+	for i := 0; i < 300; i++ {
+		vstart := 1.7 + rng.Float64()*0.8
+		vfinal := vstart - rng.Float64()*(vstart-1.62)
+		vmin := vfinal - rng.Float64()*(vfinal-1.3)
+		if vmin <= 0 {
+			continue
+		}
+		obs := core.Observation{VStart: vstart, VMin: vmin, VFinal: vfinal}
+		want, err := core.VSafeR(m, obs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _, err := VSafeR(fm, FromFloat(vstart), FromFloat(vmin), FromFloat(vfinal))
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Q16.16 rounding across ~15 operations: a couple of millivolts.
+		if math.Abs(got.Float()-want.VSafe) > 3e-3 {
+			t.Fatalf("fixed %g vs float %g for %+v", got.Float(), want.VSafe, obs)
+		}
+	}
+}
+
+func TestVSafeRValidation(t *testing.T) {
+	_, fm := refModel()
+	if _, _, err := VSafeR(fm, FromFloat(2.0), FromFloat(2.2), FromFloat(2.1)); err == nil {
+		t.Error("invalid ordering accepted")
+	}
+	if _, _, err := VSafeR(fm, FromFloat(2.0), 0, FromFloat(1.9)); err == nil {
+		t.Error("zero vmin accepted")
+	}
+}
+
+func TestVSafeROperationBudget(t *testing.T) {
+	// The whole on-device calculation fits in a few tens of integer
+	// operations — the practicality claim of Section IV-D.
+	_, fm := refModel()
+	_, ops, err := VSafeR(fm, FromFloat(2.4), FromFloat(1.95), FromFloat(2.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops.Sqrt != 1 {
+		t.Errorf("sqrt count = %d, want exactly 1 (Eq. 3's design goal)", ops.Sqrt)
+	}
+	if ops.Div > 3 {
+		t.Errorf("divide count = %d, want ≤3", ops.Div)
+	}
+	if ops.Total() > 40 {
+		t.Errorf("total ops = %d — not MCU-practical", ops.Total())
+	}
+	if ops.Total() == 0 {
+		t.Error("ops not counted")
+	}
+}
+
+func TestModelEtaClamps(t *testing.T) {
+	_, fm := refModel()
+	if got := fm.eta(FromFloat(-10), nil); got != fm.EtaLo {
+		t.Error("low clamp failed")
+	}
+	if got := fm.eta(FromFloat(10), nil); got != fm.EtaHi {
+		t.Error("high clamp failed")
+	}
+	mid := fm.eta(FromFloat(2.0), nil).Float()
+	if math.Abs(mid-(0.1875*2.0+0.42)) > 1e-3 {
+		t.Errorf("eta(2.0) = %g", mid)
+	}
+}

@@ -1,0 +1,192 @@
+// Package harness reproduces the paper's hardware test harness
+// (Section VI-A): it charges the supercapacitor bank to V_high, disables the
+// charging circuit, discharges the capacitor to a chosen V_start, applies a
+// load profile, and observes whether the task completes without power
+// failure. Its brute-force binary search produces the "known-good" V_safe
+// values every estimator is judged against.
+package harness
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// Tolerance is the paper's search tolerance: the harness finds a V_start at
+// which the minimum voltage during the run lands within 5 mV of V_off.
+const Tolerance = 5e-3
+
+// Harness drives repeated isolated runs of a power-system configuration.
+// Each run clones the configured storage network, so trials are independent.
+type Harness struct {
+	cfg powersys.Config
+}
+
+// New builds a harness around a template configuration. The configuration's
+// storage network is treated as a prototype and never mutated.
+func New(cfg powersys.Config) (*Harness, error) {
+	if cfg.Storage == nil {
+		return nil, errors.New("harness: config needs storage")
+	}
+	// Validate once by constructing a throwaway system.
+	if _, err := powersys.New(cloneCfg(cfg)); err != nil {
+		return nil, err
+	}
+	return &Harness{cfg: cfg}, nil
+}
+
+// Config returns the template configuration.
+func (h *Harness) Config() powersys.Config { return h.cfg }
+
+func cloneCfg(cfg powersys.Config) powersys.Config {
+	out := cfg
+	out.Storage = cfg.Storage.Clone()
+	return out
+}
+
+// NewSystem returns a fresh, isolated system charged to V_high with the
+// output booster armed.
+func (h *Harness) NewSystem() *powersys.System {
+	sys, err := powersys.New(cloneCfg(h.cfg))
+	if err != nil {
+		panic(err) // unreachable: validated in New
+	}
+	if err := sys.ChargeTo(h.cfg.VHigh); err != nil {
+		panic(err)
+	}
+	return sys
+}
+
+// RunAt charges to V_high, discharges to vStart, disables incoming power
+// (the worst case: the V_safe value must ensure the task completes on stored
+// energy alone), force-enables delivery, and applies the profile.
+func (h *Harness) RunAt(vStart float64, p load.Profile, opt powersys.RunOptions) powersys.RunResult {
+	sys := h.NewSystem()
+	if err := sys.DischargeTo(vStart); err != nil {
+		panic(err)
+	}
+	sys.Monitor().Force(true)
+	opt.HarvestPower = 0
+	return sys.Run(p, opt)
+}
+
+// RunAtWithSystem behaves like RunAt but also returns the system so callers
+// can inspect post-run state.
+func (h *Harness) RunAtWithSystem(vStart float64, p load.Profile, opt powersys.RunOptions) (powersys.RunResult, *powersys.System) {
+	sys := h.NewSystem()
+	if err := sys.DischargeTo(vStart); err != nil {
+		panic(err)
+	}
+	sys.Monitor().Force(true)
+	opt.HarvestPower = 0
+	return sys.Run(p, opt), sys
+}
+
+// GroundTruth finds the profile's true V_safe by binary search: the lowest
+// starting voltage from which the run completes with V_min within Tolerance
+// above V_off. It returns an error when even V_high cannot complete the
+// profile (the task is infeasible on this buffer — the situation Culpeo-PG
+// warns programmers about at compile time). Incoming power is disabled
+// (the worst case); use GroundTruthWith for a harvest-subsidized truth.
+func (h *Harness) GroundTruth(p load.Profile) (float64, error) {
+	return h.GroundTruthWith(p, 0)
+}
+
+// GroundTruthWith finds the true V_safe with constant harvested power
+// flowing during the run — the operating condition Culpeo-R profiles under
+// when schedulers re-profile per power level (Section V-B).
+func (h *Harness) GroundTruthWith(p load.Profile, harvest float64) (float64, error) {
+	vOff, vHigh := h.cfg.VOff, h.cfg.VHigh
+
+	safe := func(v float64) (bool, float64) {
+		sys := h.NewSystem()
+		if err := sys.DischargeTo(v); err != nil {
+			panic(err)
+		}
+		sys.Monitor().Force(true)
+		res := sys.Run(p, powersys.RunOptions{SkipRebound: true, HarvestPower: harvest})
+		return res.Completed && res.VMin >= vOff, res.VMin
+	}
+
+	okHigh, _ := safe(vHigh)
+	if !okHigh {
+		return 0, fmt.Errorf("harness: %s infeasible even from V_high=%g", p.Name(), vHigh)
+	}
+	okLow, _ := safe(vOff)
+	if okLow {
+		// Degenerate: even starting at V_off survives (zero-load profile).
+		return vOff, nil
+	}
+
+	lo, hi := vOff, vHigh
+	for i := 0; i < 60; i++ {
+		mid := 0.5 * (lo + hi)
+		ok, vmin := safe(mid)
+		if ok {
+			hi = mid
+			if vmin-vOff <= Tolerance {
+				break
+			}
+		} else {
+			lo = mid
+		}
+		if hi-lo < 0.1e-3 {
+			break
+		}
+	}
+	return hi, nil
+}
+
+// ValidateEstimate classifies an estimator's V_safe against the ground
+// truth following the paper's analysis: estimates more than 20 mV below the
+// true V_safe reliably cause failures; estimates within 20 mV below cause
+// failures some of the time; estimates at or above are safe.
+type Verdict int
+
+const (
+	// Safe: estimate ≥ ground truth.
+	Safe Verdict = iota
+	// Marginal: within 20 mV below ground truth — fails some of the time.
+	Marginal
+	// Unsafe: more than 20 mV below ground truth — reliably fails.
+	Unsafe
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Safe:
+		return "safe"
+	case Marginal:
+		return "marginal"
+	case Unsafe:
+		return "unsafe"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Classify applies the 20 mV rule.
+func Classify(estimate, groundTruth float64) Verdict {
+	switch {
+	case estimate >= groundTruth:
+		return Safe
+	case groundTruth-estimate <= 20e-3:
+		return Marginal
+	default:
+		return Unsafe
+	}
+}
+
+// ErrorPercent expresses estimate − groundTruth as a percentage of the
+// operating range (V_high − V_off), the y-axis of Figures 6 and 10.
+// Positive = conservative (safe); negative = unsafe.
+func (h *Harness) ErrorPercent(estimate, groundTruth float64) float64 {
+	r := h.cfg.VHigh - h.cfg.VOff
+	if r <= 0 {
+		return math.NaN()
+	}
+	return (estimate - groundTruth) / r * 100
+}

@@ -1,0 +1,184 @@
+package harness
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+func newHarness(t *testing.T) *Harness {
+	t.Helper()
+	h, err := New(powersys.Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestNewValidates(t *testing.T) {
+	cfg := powersys.Capybara()
+	cfg.Storage = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil storage accepted")
+	}
+	cfg = powersys.Capybara()
+	cfg.VOff = 3.0
+	if _, err := New(cfg); err == nil {
+		t.Error("invalid window accepted")
+	}
+}
+
+func TestRunsAreIsolated(t *testing.T) {
+	h := newHarness(t)
+	p := load.LoRa()
+	a := h.RunAt(2.4, p, powersys.RunOptions{SkipRebound: true})
+	b := h.RunAt(2.4, p, powersys.RunOptions{SkipRebound: true})
+	if a.VMin != b.VMin || a.EnergyUsed != b.EnergyUsed {
+		t.Error("identical trials diverged — state leaked between runs")
+	}
+	// Template storage untouched.
+	if got := h.Config().Storage.Main().Voltage; got != 2.56 {
+		t.Errorf("template storage mutated: %g", got)
+	}
+}
+
+func TestRunAtStartsWhereAsked(t *testing.T) {
+	h := newHarness(t)
+	res := h.RunAt(2.1, load.NewUniform(5e-3, 1e-3), powersys.RunOptions{SkipRebound: true})
+	if math.Abs(res.VStart-2.1) > 1e-9 {
+		t.Errorf("VStart = %g, want 2.1", res.VStart)
+	}
+}
+
+func TestGroundTruthLoRa(t *testing.T) {
+	h := newHarness(t)
+	vsafe, err := h.GroundTruth(load.LoRa())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Config()
+	if vsafe <= cfg.VOff || vsafe >= cfg.VHigh {
+		t.Fatalf("vsafe = %g outside the operating window", vsafe)
+	}
+	// Starting at the ground truth completes with V_min just above V_off.
+	res := h.RunAt(vsafe, load.LoRa(), powersys.RunOptions{SkipRebound: true})
+	if !res.Completed {
+		t.Fatal("run at ground-truth vsafe failed")
+	}
+	if res.VMin < cfg.VOff {
+		t.Errorf("VMin %g below VOff", res.VMin)
+	}
+	if res.VMin > cfg.VOff+3*Tolerance {
+		t.Errorf("VMin %g too conservative for a ground-truth search", res.VMin)
+	}
+	// Starting 25 mV below must fail (the paper's 20 mV reliability band).
+	res = h.RunAt(vsafe-25e-3, load.LoRa(), powersys.RunOptions{SkipRebound: true})
+	if res.Completed && res.VMin >= cfg.VOff {
+		t.Error("run well below ground truth should fail")
+	}
+}
+
+func TestGroundTruthOrdering(t *testing.T) {
+	// Heavier loads need higher safe voltages.
+	h := newHarness(t)
+	light, err := h.GroundTruth(load.NewUniform(5e-3, 10e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	heavy, err := h.GroundTruth(load.NewUniform(50e-3, 10e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(heavy > light) {
+		t.Errorf("50 mA vsafe (%g) should exceed 5 mA vsafe (%g)", heavy, light)
+	}
+	// Longer pulses need more than shorter at the same current.
+	short, _ := h.GroundTruth(load.NewUniform(25e-3, 1e-3))
+	long, _ := h.GroundTruth(load.NewUniform(25e-3, 100e-3))
+	if !(long > short) {
+		t.Errorf("100 ms vsafe (%g) should exceed 1 ms vsafe (%g)", long, short)
+	}
+}
+
+func TestGroundTruthInfeasible(t *testing.T) {
+	h := newHarness(t)
+	// An absurd load no buffer state can serve.
+	if _, err := h.GroundTruth(load.NewUniform(5, 100e-3)); err == nil {
+		t.Error("infeasible profile should error")
+	}
+}
+
+func TestGroundTruthZeroLoad(t *testing.T) {
+	h := newHarness(t)
+	v, err := h.GroundTruth(load.Uniform{ID: "nil", ILoad: 0, TPulse: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Leakage makes exactly-V_off marginal, so the search may settle a few
+	// millivolts above; anything beyond 10 mV would be wrong for a no-op.
+	if v < h.Config().VOff || v > h.Config().VOff+10e-3 {
+		t.Errorf("zero load vsafe = %g, want ≈VOff", v)
+	}
+}
+
+func TestClassify(t *testing.T) {
+	if Classify(2.10, 2.10) != Safe {
+		t.Error("equal should be safe")
+	}
+	if Classify(2.15, 2.10) != Safe {
+		t.Error("above should be safe")
+	}
+	if Classify(2.09, 2.10) != Marginal {
+		t.Error("10 mV below should be marginal")
+	}
+	if Classify(2.05, 2.10) != Unsafe {
+		t.Error("50 mV below should be unsafe")
+	}
+	for v, s := range map[Verdict]string{Safe: "safe", Marginal: "marginal", Unsafe: "unsafe"} {
+		if v.String() != s {
+			t.Errorf("%d.String() = %q", v, v.String())
+		}
+	}
+	if Verdict(9).String() == "" {
+		t.Error("unknown verdict should render")
+	}
+}
+
+func TestErrorPercent(t *testing.T) {
+	h := newHarness(t)
+	// Operating range 0.96 V: a +96 mV error is +10 %.
+	got := h.ErrorPercent(2.196, 2.100)
+	if math.Abs(got-10) > 1e-6 {
+		t.Errorf("error percent = %g, want 10", got)
+	}
+	if got := h.ErrorPercent(2.0, 2.1); got >= 0 {
+		t.Error("unsafe estimate should be negative")
+	}
+}
+
+func TestGroundTruthWithHarvest(t *testing.T) {
+	// Harvest subsidizes long tasks: the true V_safe with incoming power is
+	// lower than the dark-condition truth.
+	h := newHarness(t)
+	task := load.ComputeAccel() // 1.1 s — plenty of time to harvest
+	dark, err := h.GroundTruth(task)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lit, err := h.GroundTruthWith(task, 10e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(lit < dark-5e-3) {
+		t.Errorf("harvested truth (%g) should sit below dark truth (%g)", lit, dark)
+	}
+	// Short pulses barely benefit.
+	pulse := load.NewUniform(25e-3, 1e-3)
+	darkP, _ := h.GroundTruth(pulse)
+	litP, _ := h.GroundTruthWith(pulse, 10e-3)
+	if math.Abs(darkP-litP) > 10e-3 {
+		t.Errorf("1 ms pulse should be harvest-insensitive: %g vs %g", darkP, litP)
+	}
+}

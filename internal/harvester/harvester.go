@@ -1,0 +1,267 @@
+// Package harvester models environmental energy sources for an
+// energy-harvesting device: constant bench supplies, diurnal solar
+// profiles, cloud-shadowed solar, RF burst harvesting, and recorded-trace
+// playback (the paper's evaluation uses "constant, weak harvestable power,
+// matched to a solar harvester"; Section V-B's re-profiling policy reacts
+// when harvested power changes beyond a threshold).
+//
+// A Source maps simulation time to instantaneous harvested power at the
+// harvester output (before the input booster's conversion loss). All
+// sources are deterministic; stochastic ones take a seed.
+package harvester
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Source supplies harvested power over time.
+type Source interface {
+	// Power returns the harvested power (watts) at time t seconds.
+	Power(t float64) float64
+	// Name identifies the source in reports.
+	Name() string
+}
+
+// Constant is a fixed-power source (a bench supply, or strong steady sun).
+type Constant struct {
+	P  float64
+	ID string
+}
+
+func (c Constant) Power(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	return c.P
+}
+
+func (c Constant) Name() string {
+	if c.ID != "" {
+		return c.ID
+	}
+	return fmt.Sprintf("constant-%gW", c.P)
+}
+
+// Solar is a clear-sky diurnal profile: zero at night, a raised-cosine bump
+// peaking at solar noon.
+type Solar struct {
+	// Peak is the power at solar noon (W).
+	Peak float64
+	// DayLength is the daylight duration in seconds (e.g. 12*3600).
+	DayLength float64
+	// Sunrise is the time-of-day offset of sunrise in seconds.
+	Sunrise float64
+	// PeriodDays repeats the cycle; 0 means one day of 24 h.
+	Period float64
+}
+
+// NewSolar builds a 12-hour daylight profile peaking at peak watts.
+func NewSolar(peak float64) Solar {
+	return Solar{Peak: peak, DayLength: 12 * 3600, Sunrise: 6 * 3600, Period: 24 * 3600}
+}
+
+func (s Solar) Power(t float64) float64 {
+	if t < 0 || s.DayLength <= 0 {
+		return 0
+	}
+	period := s.Period
+	if period <= 0 {
+		period = 24 * 3600
+	}
+	tod := math.Mod(t, period)
+	x := (tod - s.Sunrise) / s.DayLength
+	if x < 0 || x > 1 {
+		return 0
+	}
+	// Raised cosine: 0 at sunrise/sunset, Peak at midday.
+	return s.Peak * 0.5 * (1 - math.Cos(2*math.Pi*x))
+}
+
+func (s Solar) Name() string { return fmt.Sprintf("solar-%gW", s.Peak) }
+
+// CloudySolar modulates a base source with random cloud shadows: power
+// drops to Attenuation of the base for exponentially distributed periods.
+// Deterministic per seed: shadows are pre-generated on first use for the
+// configured horizon.
+type CloudySolar struct {
+	Base        Source
+	Attenuation float64 // multiplier while shadowed, e.g. 0.2
+	MeanSunny   float64 // mean un-shadowed interval (s)
+	MeanCloudy  float64 // mean shadow duration (s)
+	Horizon     float64 // pre-generated schedule length (s)
+	Seed        int64
+
+	schedule []shadow // sorted by start
+	built    bool
+}
+
+type shadow struct{ start, end float64 }
+
+// build pre-generates the shadow schedule.
+func (c *CloudySolar) build() {
+	if c.built {
+		return
+	}
+	c.built = true
+	rng := rand.New(rand.NewSource(c.Seed))
+	horizon := c.Horizon
+	if horizon <= 0 {
+		horizon = 24 * 3600
+	}
+	meanSunny := c.MeanSunny
+	if meanSunny <= 0 {
+		meanSunny = 300
+	}
+	meanCloudy := c.MeanCloudy
+	if meanCloudy <= 0 {
+		meanCloudy = 60
+	}
+	t := rng.ExpFloat64() * meanSunny
+	for t < horizon {
+		d := rng.ExpFloat64() * meanCloudy
+		c.schedule = append(c.schedule, shadow{start: t, end: t + d})
+		t += d + rng.ExpFloat64()*meanSunny
+	}
+}
+
+func (c *CloudySolar) Power(t float64) float64 {
+	c.build()
+	p := c.Base.Power(t)
+	i := sort.Search(len(c.schedule), func(i int) bool { return c.schedule[i].end > t })
+	if i < len(c.schedule) && c.schedule[i].start <= t {
+		att := c.Attenuation
+		if att < 0 {
+			att = 0
+		}
+		return p * att
+	}
+	return p
+}
+
+func (c *CloudySolar) Name() string { return "cloudy-" + c.Base.Name() }
+
+// Shadowed reports whether time t falls inside a cloud shadow (tests and
+// re-profiling experiments use this).
+func (c *CloudySolar) Shadowed(t float64) bool {
+	c.build()
+	i := sort.Search(len(c.schedule), func(i int) bool { return c.schedule[i].end > t })
+	return i < len(c.schedule) && c.schedule[i].start <= t
+}
+
+// RFBurst models radio-frequency harvesting: short, strong bursts (a reader
+// passing by) over a weak ambient floor.
+type RFBurst struct {
+	Floor    float64 // ambient power (W)
+	Burst    float64 // power during a burst (W)
+	Period   float64 // burst repetition period (s)
+	Duration float64 // burst length (s)
+}
+
+func (r RFBurst) Power(t float64) float64 {
+	if t < 0 || r.Period <= 0 {
+		return r.Floor
+	}
+	if math.Mod(t, r.Period) < r.Duration {
+		return r.Burst
+	}
+	return r.Floor
+}
+
+func (r RFBurst) Name() string { return fmt.Sprintf("rf-%gW-burst", r.Burst) }
+
+// TracePoint is one sample of a recorded harvest trace.
+type TracePoint struct {
+	T float64 // seconds
+	P float64 // watts
+}
+
+// Trace plays back a recorded harvest time series with step interpolation
+// (the Ekho-style repeatable-trace methodology the paper cites).
+type Trace struct {
+	ID     string
+	Points []TracePoint // ascending by T
+}
+
+// NewTrace validates and builds a playback source.
+func NewTrace(id string, points []TracePoint) (*Trace, error) {
+	if len(points) == 0 {
+		return nil, errors.New("harvester: empty trace")
+	}
+	for i := range points {
+		if points[i].P < 0 {
+			return nil, fmt.Errorf("harvester: negative power at point %d", i)
+		}
+		if i > 0 && points[i].T <= points[i-1].T {
+			return nil, fmt.Errorf("harvester: non-ascending time at point %d", i)
+		}
+	}
+	return &Trace{ID: id, Points: points}, nil
+}
+
+func (tr *Trace) Power(t float64) float64 {
+	ps := tr.Points
+	if t < ps[0].T {
+		return 0
+	}
+	i := sort.Search(len(ps), func(i int) bool { return ps[i].T > t })
+	return ps[i-1].P
+}
+
+func (tr *Trace) Name() string { return tr.ID }
+
+// Mean integrates a source's average power over [0, horizon] at the given
+// resolution (s). Useful for feasibility budgeting.
+func Mean(s Source, horizon, dt float64) float64 {
+	if horizon <= 0 || dt <= 0 {
+		return 0
+	}
+	n := int(horizon / dt)
+	if n == 0 {
+		n = 1
+	}
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += s.Power(float64(i) * dt)
+	}
+	return sum / float64(n)
+}
+
+// ChangeDetector implements the Section V-B re-profiling trigger: it
+// watches harvested power and reports when the level moves more than
+// Threshold (relative) away from the reference established at the last
+// trigger (or construction).
+type ChangeDetector struct {
+	// Threshold is the relative change that triggers, e.g. 0.5 for ±50 %.
+	Threshold float64
+	ref       float64
+	armed     bool
+}
+
+// NewChangeDetector builds a detector referenced to the initial power.
+func NewChangeDetector(threshold, initial float64) *ChangeDetector {
+	return &ChangeDetector{Threshold: threshold, ref: initial, armed: true}
+}
+
+// Observe feeds a power sample; it returns true when the change exceeds the
+// threshold, re-referencing to the new level (so each regime change
+// triggers once).
+func (d *ChangeDetector) Observe(p float64) bool {
+	if !d.armed {
+		d.ref = p
+		d.armed = true
+		return false
+	}
+	base := math.Max(d.ref, 1e-12)
+	if math.Abs(p-d.ref)/base > d.Threshold {
+		d.ref = p
+		return true
+	}
+	return false
+}
+
+// Reference returns the current reference level.
+func (d *ChangeDetector) Reference() float64 { return d.ref }

@@ -1,0 +1,206 @@
+package harvester
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstant(t *testing.T) {
+	c := Constant{P: 2.5e-3}
+	if c.Power(10) != 2.5e-3 {
+		t.Error("constant power wrong")
+	}
+	if c.Power(-1) != 0 {
+		t.Error("negative time should yield 0")
+	}
+	if c.Name() != "constant-0.0025W" {
+		t.Errorf("name = %q", c.Name())
+	}
+	if (Constant{P: 1, ID: "bench"}).Name() != "bench" {
+		t.Error("custom name ignored")
+	}
+}
+
+func TestSolarShape(t *testing.T) {
+	s := NewSolar(10e-3)
+	// Night is dark.
+	if s.Power(0) != 0 || s.Power(3*3600) != 0 || s.Power(22*3600) != 0 {
+		t.Error("night should be dark")
+	}
+	// Noon peaks.
+	noon := s.Power(12 * 3600)
+	if math.Abs(noon-10e-3) > 1e-9 {
+		t.Errorf("noon power = %g", noon)
+	}
+	// Morning rises monotonically toward noon.
+	if !(s.Power(8*3600) < s.Power(10*3600) && s.Power(10*3600) < noon) {
+		t.Error("morning should rise")
+	}
+	// Sunrise/sunset edges are ~zero.
+	if s.Power(6*3600+1) > 1e-6 || s.Power(18*3600-1) > 1e-6 {
+		t.Error("edges should be near zero")
+	}
+	// Periodic: next day repeats.
+	if math.Abs(s.Power(12*3600)-s.Power(36*3600)) > 1e-12 {
+		t.Error("diurnal cycle should repeat")
+	}
+	if s.Power(-5) != 0 {
+		t.Error("negative time should be dark")
+	}
+}
+
+func TestSolarProperty(t *testing.T) {
+	s := NewSolar(5e-3)
+	f := func(raw float64) bool {
+		tt := math.Abs(math.Mod(raw, 48*3600))
+		p := s.Power(tt)
+		return p >= 0 && p <= 5e-3+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCloudySolar(t *testing.T) {
+	c := &CloudySolar{
+		Base:        Constant{P: 10e-3},
+		Attenuation: 0.2,
+		MeanSunny:   100,
+		MeanCloudy:  50,
+		Horizon:     10000,
+		Seed:        1,
+	}
+	// Deterministic.
+	c2 := &CloudySolar{Base: Constant{P: 10e-3}, Attenuation: 0.2, MeanSunny: 100, MeanCloudy: 50, Horizon: 10000, Seed: 1}
+	sawShadow, sawSun := false, false
+	for tt := 0.0; tt < 10000; tt += 10 {
+		p1, p2 := c.Power(tt), c2.Power(tt)
+		if p1 != p2 {
+			t.Fatal("cloudy source not deterministic")
+		}
+		if c.Shadowed(tt) {
+			sawShadow = true
+			if math.Abs(p1-2e-3) > 1e-12 {
+				t.Fatalf("shadowed power = %g, want 0.002", p1)
+			}
+		} else {
+			sawSun = true
+			if math.Abs(p1-10e-3) > 1e-12 {
+				t.Fatalf("sunny power = %g", p1)
+			}
+		}
+	}
+	if !sawShadow || !sawSun {
+		t.Error("schedule should include both regimes")
+	}
+	if c.Name() != "cloudy-constant-0.01W" {
+		t.Errorf("name = %q", c.Name())
+	}
+	// Negative attenuation clamps to zero.
+	neg := &CloudySolar{Base: Constant{P: 1}, Attenuation: -1, MeanSunny: 1, MeanCloudy: 1e6, Horizon: 100, Seed: 2}
+	for tt := 0.0; tt < 100; tt += 1 {
+		if neg.Shadowed(tt) && neg.Power(tt) != 0 {
+			t.Fatal("negative attenuation should clamp to 0")
+		}
+	}
+}
+
+func TestRFBurst(t *testing.T) {
+	r := RFBurst{Floor: 50e-6, Burst: 20e-3, Period: 10, Duration: 0.5}
+	if r.Power(0.2) != 20e-3 {
+		t.Error("burst power wrong")
+	}
+	if r.Power(5) != 50e-6 {
+		t.Error("floor power wrong")
+	}
+	if r.Power(10.1) != 20e-3 {
+		t.Error("burst should repeat")
+	}
+	if (RFBurst{Floor: 1e-6}).Power(5) != 1e-6 {
+		t.Error("degenerate period should return floor")
+	}
+	if r.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestTrace(t *testing.T) {
+	tr, err := NewTrace("field", []TracePoint{{0, 1e-3}, {10, 5e-3}, {20, 2e-3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.Power(5) != 1e-3 {
+		t.Error("step interpolation wrong")
+	}
+	if tr.Power(10) != 5e-3 {
+		t.Error("exact point wrong")
+	}
+	if tr.Power(100) != 2e-3 {
+		t.Error("past end should hold last value")
+	}
+	if tr.Power(-1) != 0 {
+		t.Error("before start should be 0")
+	}
+	if tr.Name() != "field" {
+		t.Error("name wrong")
+	}
+}
+
+func TestTraceValidation(t *testing.T) {
+	if _, err := NewTrace("x", nil); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := NewTrace("x", []TracePoint{{0, -1}}); err == nil {
+		t.Error("negative power accepted")
+	}
+	if _, err := NewTrace("x", []TracePoint{{0, 1}, {0, 2}}); err == nil {
+		t.Error("non-ascending time accepted")
+	}
+}
+
+func TestMean(t *testing.T) {
+	if got := Mean(Constant{P: 4e-3}, 100, 0.1); math.Abs(got-4e-3) > 1e-12 {
+		t.Errorf("mean of constant = %g", got)
+	}
+	// Solar day mean is well below peak.
+	s := NewSolar(10e-3)
+	m := Mean(s, 24*3600, 60)
+	if !(m > 1e-3 && m < 6e-3) {
+		t.Errorf("solar daily mean = %g", m)
+	}
+	if Mean(Constant{P: 1}, 0, 1) != 0 || Mean(Constant{P: 1}, 1, 0) != 0 {
+		t.Error("degenerate mean should be 0")
+	}
+}
+
+func TestChangeDetector(t *testing.T) {
+	d := NewChangeDetector(0.5, 2e-3)
+	// Small drift: no trigger.
+	if d.Observe(2.4e-3) {
+		t.Error("20% drift should not trigger at 50% threshold")
+	}
+	// Big drop: trigger and re-reference.
+	if !d.Observe(0.5e-3) {
+		t.Error("75% drop should trigger")
+	}
+	if d.Reference() != 0.5e-3 {
+		t.Error("reference not updated")
+	}
+	// Stable at the new level: no trigger.
+	if d.Observe(0.55e-3) {
+		t.Error("stable new level should not re-trigger")
+	}
+	// Recovery triggers again.
+	if !d.Observe(2e-3) {
+		t.Error("recovery should trigger")
+	}
+}
+
+func TestChangeDetectorFromZero(t *testing.T) {
+	d := NewChangeDetector(0.5, 0)
+	// Any nonzero power is an infinite relative change from zero.
+	if !d.Observe(1e-3) {
+		t.Error("power appearing from zero should trigger")
+	}
+}

@@ -1,0 +1,331 @@
+// Package intermittent implements a task-based intermittent-execution
+// runtime — the software substrate the paper's introduction motivates.
+// A program is an ordered sequence of *atomic tasks* (Alpaca/Chain-style):
+// completed tasks persist across power failures, but a task interrupted by
+// a power failure re-executes from its beginning after the device
+// recharges. "Trying to execute a task with insufficient stored energy
+// dooms the device to fail and not only imposes the cost of powering off,
+// recharging, restarting, and re-execution, but risks prolonged
+// non-termination" (Section I).
+//
+// Three dispatch gates are provided:
+//
+//   - Opportunistic: run the next task whenever power is on (the behaviour
+//     of early intermittent systems);
+//   - EnergyGate: run when the buffer's stored energy covers an
+//     energy-only per-task estimate (CatNap-class reasoning);
+//   - CulpeoGate: run when the buffer voltage meets the task's V_safe.
+//
+// The package also provides Culpeo-guided task decomposition
+// (DecomposeFeasible): splitting a task whose V_safe exceeds V_high into
+// the smallest number of chunks that each fit the buffer — the §III
+// workflow where "the programmer knows they must correct the task
+// division".
+package intermittent
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+)
+
+// AtomicTask is one unit of atomic re-execution.
+type AtomicTask struct {
+	ID      string
+	Profile load.Profile
+}
+
+// Program is an ordered task sequence executed in a loop (sense → process
+// → transmit → repeat).
+type Program struct {
+	Name  string
+	Tasks []AtomicTask
+}
+
+// Validate checks the program.
+func (p Program) Validate() error {
+	if len(p.Tasks) == 0 {
+		return errors.New("intermittent: empty program")
+	}
+	seen := map[string]bool{}
+	for _, t := range p.Tasks {
+		if t.Profile == nil {
+			return fmt.Errorf("intermittent: task %s has no profile", t.ID)
+		}
+		if seen[t.ID] {
+			return fmt.Errorf("intermittent: duplicate task %s", t.ID)
+		}
+		seen[t.ID] = true
+	}
+	return nil
+}
+
+// Gate decides whether the runtime may start the given task now.
+type Gate interface {
+	Name() string
+	// Ready reports whether task idx may start at terminal voltage v.
+	Ready(idx int, v float64) bool
+}
+
+// Opportunistic starts any task the moment power is available.
+type Opportunistic struct{}
+
+func (Opportunistic) Name() string            { return "opportunistic" }
+func (Opportunistic) Ready(int, float64) bool { return true }
+
+// EnergyGate requires the buffer to hold the task's measured energy above
+// V_off: v ≥ sqrt(V_off² + ΔV²). ESR-blind.
+type EnergyGate struct {
+	VOff    float64
+	DeltaV2 []float64 // per-task V_start²−V_end² measured from a full buffer
+}
+
+func (EnergyGate) Name() string { return "energy" }
+
+func (g EnergyGate) Ready(idx int, v float64) bool {
+	if idx < 0 || idx >= len(g.DeltaV2) {
+		return false
+	}
+	return v >= math.Sqrt(g.VOff*g.VOff+g.DeltaV2[idx])
+}
+
+// CulpeoGate requires v ≥ V_safe per task.
+type CulpeoGate struct {
+	VSafe []float64
+}
+
+func (CulpeoGate) Name() string { return "culpeo" }
+
+func (g CulpeoGate) Ready(idx int, v float64) bool {
+	if idx < 0 || idx >= len(g.VSafe) {
+		return false
+	}
+	return v >= g.VSafe[idx]
+}
+
+// Result summarizes an intermittent execution.
+type Result struct {
+	// Iterations counts complete passes through the program.
+	Iterations int
+	// TasksCompleted counts committed tasks (including repeats across
+	// iterations).
+	TasksCompleted int
+	// Reexecutions counts task attempts that were destroyed by a power
+	// failure and had to restart.
+	Reexecutions int
+	// PowerFailures counts monitor power-off events.
+	PowerFailures int
+	// WastedEnergy is the storage energy consumed by failed attempts.
+	WastedEnergy float64
+	// UsefulEnergy is the storage energy consumed by committed attempts.
+	UsefulEnergy float64
+	// SimTime is how long the run took in simulated seconds.
+	SimTime float64
+	// LiveLocked is set when a single task failed MaxAttempts times in a
+	// row — the prolonged non-termination the paper warns about.
+	LiveLocked bool
+	// LiveLockedTask names the offending task.
+	LiveLockedTask string
+}
+
+// Runtime executes a program intermittently on a simulated device.
+type Runtime struct {
+	Sys     *powersys.System
+	Harvest float64
+	Gate    Gate
+	// MaxAttempts bounds consecutive failures of one task before declaring
+	// livelock; 0 = 25.
+	MaxAttempts int
+}
+
+// Run executes the program in a loop until horizon (simulated seconds) or
+// livelock.
+func (r *Runtime) Run(prog Program, horizon float64) (Result, error) {
+	if err := prog.Validate(); err != nil {
+		return Result{}, err
+	}
+	if r.Sys == nil || r.Gate == nil {
+		return Result{}, errors.New("intermittent: runtime needs a system and a gate")
+	}
+	maxAttempts := r.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 25
+	}
+
+	var res Result
+	failures0 := r.Sys.Failures()
+	idx := 0
+	attempts := 0
+	for r.Sys.Now() < horizon {
+		// Wait for power and for the gate.
+		if !r.Sys.On() {
+			r.Sys.Step(0, r.Harvest)
+			continue
+		}
+		if !r.Gate.Ready(idx, r.Sys.VTerm()) {
+			// Charge toward readiness; if the gate can never be satisfied
+			// (requirement above V_high), this shows up as livelock via the
+			// horizon — Culpeo avoids it up front via FeasibleOn.
+			r.Sys.Step(load.SleepCurrent, r.Harvest)
+			continue
+		}
+		task := prog.Tasks[idx]
+		e0 := r.Sys.Config().Storage.TotalEnergy()
+		run := r.Sys.Run(task.Profile, powersys.RunOptions{
+			HarvestPower: r.Harvest,
+			SkipRebound:  true,
+		})
+		used := e0 - r.Sys.Config().Storage.TotalEnergy()
+		if run.Completed {
+			res.TasksCompleted++
+			res.UsefulEnergy += used
+			idx++
+			attempts = 0
+			if idx == len(prog.Tasks) {
+				idx = 0
+				res.Iterations++
+			}
+			continue
+		}
+		// Power failure: the attempt is destroyed; the device must fully
+		// recharge (hysteresis) and the task restarts from scratch.
+		res.Reexecutions++
+		res.WastedEnergy += used
+		attempts++
+		if attempts >= maxAttempts {
+			res.LiveLocked = true
+			res.LiveLockedTask = task.ID
+			break
+		}
+	}
+	res.PowerFailures = r.Sys.Failures() - failures0
+	res.SimTime = r.Sys.Now()
+	return res, nil
+}
+
+// Estimates profiles every task of a program with Culpeo-PG and returns the
+// per-task estimates, in program order.
+func Estimates(model core.PowerModel, prog Program) ([]core.Estimate, error) {
+	if err := prog.Validate(); err != nil {
+		return nil, err
+	}
+	pg := profiler.PG{Model: model}
+	out := make([]core.Estimate, len(prog.Tasks))
+	for i, t := range prog.Tasks {
+		est, err := pg.Estimate(t.Profile)
+		if err != nil {
+			return nil, fmt.Errorf("intermittent: estimating %s: %w", t.ID, err)
+		}
+		out[i] = est
+	}
+	return out, nil
+}
+
+// FeasibleOn reports whether every task of the program can run on a buffer
+// charged to V_high — the compile-time termination check of §III/§VIII. It
+// returns the first infeasible task's index, or -1 when all fit.
+func FeasibleOn(model core.PowerModel, prog Program) (int, error) {
+	ests, err := Estimates(model, prog)
+	if err != nil {
+		return -1, err
+	}
+	for i, e := range ests {
+		if e.VSafe > model.VHigh {
+			return i, nil
+		}
+	}
+	return -1, nil
+}
+
+// NewCulpeoGate builds a Culpeo gate from Culpeo-PG estimates.
+func NewCulpeoGate(model core.PowerModel, prog Program) (CulpeoGate, error) {
+	ests, err := Estimates(model, prog)
+	if err != nil {
+		return CulpeoGate{}, err
+	}
+	vs := make([]float64, len(ests))
+	for i, e := range ests {
+		vs[i] = e.VSafe
+	}
+	return CulpeoGate{VSafe: vs}, nil
+}
+
+// NewEnergyGate measures each task's energy cost from a full buffer on an
+// isolated copy of the system (the CatNap methodology) and builds the
+// energy-only gate.
+func NewEnergyGate(cfg powersys.Config, prog Program) (EnergyGate, error) {
+	if err := prog.Validate(); err != nil {
+		return EnergyGate{}, err
+	}
+	d2 := make([]float64, len(prog.Tasks))
+	for i, t := range prog.Tasks {
+		c := cfg
+		c.Storage = cfg.Storage.Clone()
+		sys, err := powersys.New(c)
+		if err != nil {
+			return EnergyGate{}, err
+		}
+		if err := sys.ChargeTo(c.VHigh); err != nil {
+			return EnergyGate{}, err
+		}
+		sys.Monitor().Force(true)
+		res := sys.Run(t.Profile, powersys.RunOptions{SkipRebound: true})
+		if !res.Completed {
+			// Unmeasurable task: demand a full buffer.
+			d2[i] = c.VHigh*c.VHigh - c.VOff*c.VOff
+			continue
+		}
+		d := res.VStart*res.VStart - res.VEndImmediate*res.VEndImmediate
+		if d < 0 {
+			d = 0
+		}
+		d2[i] = d
+	}
+	return EnergyGate{VOff: cfg.VOff, DeltaV2: d2}, nil
+}
+
+// DecomposeFeasible splits one oversized task into the smallest number of
+// equal-duration atomic chunks whose individual V_safe fits the buffer
+// (V_safe ≤ V_high), up to maxChunks. This is the §III task-division
+// workflow, automated: Culpeo-PG tells the programmer a task cannot run;
+// the decomposer finds a division that can.
+//
+// Splitting helps because completed chunks persist: each chunk's energy
+// must fit the buffer, but the whole task's energy no longer has to.
+// A chunk whose instantaneous load alone exceeds the buffer's deliverable
+// power can never become feasible by splitting; in that case an error is
+// returned.
+func DecomposeFeasible(model core.PowerModel, task AtomicTask, maxChunks int) ([]AtomicTask, error) {
+	if maxChunks < 1 {
+		maxChunks = 1
+	}
+	pg := profiler.PG{Model: model}
+	for n := 1; n <= maxChunks; n++ {
+		chunks := load.SplitEven(task.Profile, n)
+		ok := true
+		for _, c := range chunks {
+			est, err := pg.Estimate(c)
+			if err != nil {
+				return nil, err
+			}
+			if est.VSafe > model.VHigh {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out := make([]AtomicTask, n)
+			for i, c := range chunks {
+				out[i] = AtomicTask{ID: fmt.Sprintf("%s.%d", task.ID, i+1), Profile: c}
+			}
+			return out, nil
+		}
+	}
+	return nil, fmt.Errorf("intermittent: %s infeasible even in %d chunks (peak load exceeds the buffer's deliverable power)",
+		task.ID, maxChunks)
+}

@@ -1,0 +1,94 @@
+package load
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// TraceFromCSV parses a current trace captured by an external power monitor
+// (the paper's Culpeo-PG "interfaces with current measurement instruments"
+// such as the STM32 power shield). Two formats are accepted:
+//
+//   - one column: current samples in amperes at the given rate;
+//   - two columns: time_s,current_A rows at a fixed rate (the rate is
+//     inferred from the first two timestamps; the rate argument is then
+//     ignored unless the file has a single row).
+//
+// A header row is skipped when its first field is not numeric. Blank lines
+// and lines starting with '#' are ignored.
+func TraceFromCSV(r io.Reader, id string, rate float64) (Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var samples []float64
+	var times []float64
+	twoCol := false
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Split(text, ",")
+		first, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+		if err != nil {
+			if len(samples) == 0 {
+				continue // header row
+			}
+			return Trace{}, fmt.Errorf("load: csv line %d: bad number %q", line, fields[0])
+		}
+		switch len(fields) {
+		case 1:
+			samples = append(samples, first)
+		case 2:
+			cur, err := strconv.ParseFloat(strings.TrimSpace(fields[1]), 64)
+			if err != nil {
+				return Trace{}, fmt.Errorf("load: csv line %d: bad current %q", line, fields[1])
+			}
+			twoCol = true
+			times = append(times, first)
+			samples = append(samples, cur)
+		default:
+			return Trace{}, fmt.Errorf("load: csv line %d: %d columns (want 1 or 2)", line, len(fields))
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return Trace{}, err
+	}
+	if len(samples) == 0 {
+		return Trace{}, fmt.Errorf("load: csv contains no samples")
+	}
+	for i, s := range samples {
+		if s < 0 {
+			return Trace{}, fmt.Errorf("load: csv sample %d negative (%g)", i, s)
+		}
+	}
+	if twoCol && len(times) >= 2 {
+		dt := times[1] - times[0]
+		if dt <= 0 {
+			return Trace{}, fmt.Errorf("load: csv timestamps not ascending")
+		}
+		rate = 1 / dt
+	}
+	if rate <= 0 {
+		rate = SampleRateDefault
+	}
+	return Trace{ID: id, Rate: rate, Samples: samples}, nil
+}
+
+// WriteCSV writes the trace as time_s,current_A rows with a header.
+func (tr Trace) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "time_s,current_A"); err != nil {
+		return err
+	}
+	dt := tr.Dt()
+	for i, s := range tr.Samples {
+		if _, err := fmt.Fprintf(w, "%.9g,%.9g\n", float64(i)*dt, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,309 @@
+// Package load models the load-side current demand of an energy-harvesting
+// device: the synthetic Uniform and Pulse profiles of Table III, the three
+// real-peripheral signatures used in Figure 11 (gesture recognition, BLE
+// radio, MNIST compute acceleration), and the peripheral operations used by
+// the full applications of Section VI-B (IMU, photoresistor, microphone,
+// FFT, encryption, BLE listen).
+//
+// A Profile maps time since the operation started to the current drawn from
+// the output booster's regulated rail (V_out). Profiles compose by
+// concatenation and superposition, and can be sampled into discrete current
+// traces (the 125 kHz captures Culpeo-PG ingests).
+package load
+
+import (
+	"fmt"
+	"math"
+)
+
+// Profile is a deterministic current-versus-time demand placed on the
+// regulated output rail.
+type Profile interface {
+	// Current returns the instantaneous load current (amperes at V_out) at
+	// time t seconds after the operation starts. t outside [0, Duration())
+	// returns 0.
+	Current(t float64) float64
+	// Duration returns the length of the operation in seconds.
+	Duration() float64
+	// Name identifies the profile in reports.
+	Name() string
+}
+
+// Uniform is Table III's uniform load: a single rectangular pulse of Iload
+// for Tpulse.
+type Uniform struct {
+	ID     string
+	ILoad  float64 // amperes
+	TPulse float64 // seconds
+}
+
+// NewUniform builds a named uniform profile.
+func NewUniform(iLoad, tPulse float64) Uniform {
+	return Uniform{
+		ID:     fmt.Sprintf("uniform-%gmA-%gms", iLoad*1e3, tPulse*1e3),
+		ILoad:  iLoad,
+		TPulse: tPulse,
+	}
+}
+
+func (u Uniform) Current(t float64) float64 {
+	if t < 0 || t >= u.TPulse {
+		return 0
+	}
+	return u.ILoad
+}
+func (u Uniform) Duration() float64 { return u.TPulse }
+func (u Uniform) Name() string      { return u.ID }
+
+// Pulse is Table III's pulsed load: a high current pulse (Iload for Tpulse)
+// followed by TCompute of low-power compute at ICompute — "representing
+// peripheral activation followed by low-power computing".
+type Pulse struct {
+	ID       string
+	ILoad    float64
+	TPulse   float64
+	ICompute float64
+	TCompute float64
+}
+
+// NewPulse builds the paper's pulse-plus-compute profile with the standard
+// 1.5 mA, 100 ms compute tail.
+func NewPulse(iLoad, tPulse float64) Pulse {
+	return Pulse{
+		ID:       fmt.Sprintf("pulse-%gmA-%gms", iLoad*1e3, tPulse*1e3),
+		ILoad:    iLoad,
+		TPulse:   tPulse,
+		ICompute: 1.5e-3,
+		TCompute: 100e-3,
+	}
+}
+
+func (p Pulse) Current(t float64) float64 {
+	switch {
+	case t < 0:
+		return 0
+	case t < p.TPulse:
+		return p.ILoad
+	case t < p.TPulse+p.TCompute:
+		return p.ICompute
+	default:
+		return 0
+	}
+}
+func (p Pulse) Duration() float64 { return p.TPulse + p.TCompute }
+func (p Pulse) Name() string      { return p.ID }
+
+// Seq concatenates profiles back to back.
+type Seq struct {
+	ID    string
+	Parts []Profile
+}
+
+// NewSeq builds a sequence profile.
+func NewSeq(id string, parts ...Profile) Seq { return Seq{ID: id, Parts: parts} }
+
+func (s Seq) Current(t float64) float64 {
+	if t < 0 {
+		return 0
+	}
+	for _, p := range s.Parts {
+		d := p.Duration()
+		if t < d {
+			return p.Current(t)
+		}
+		t -= d
+	}
+	return 0
+}
+
+func (s Seq) Duration() float64 {
+	var d float64
+	for _, p := range s.Parts {
+		d += p.Duration()
+	}
+	return d
+}
+func (s Seq) Name() string { return s.ID }
+
+// Offset adds a constant baseline current (e.g. MCU active current or ADC
+// profiling overhead) on top of another profile for its whole duration.
+type Offset struct {
+	Base Profile
+	Add  float64
+	ID   string
+}
+
+func (o Offset) Current(t float64) float64 {
+	if t < 0 || t >= o.Duration() {
+		return 0
+	}
+	return o.Base.Current(t) + o.Add
+}
+func (o Offset) Duration() float64 { return o.Base.Duration() }
+func (o Offset) Name() string {
+	if o.ID != "" {
+		return o.ID
+	}
+	return o.Base.Name() + "+offset"
+}
+
+// Ramp rises linearly from I0 to I1 over T — used to synthesize the MNIST
+// compute-acceleration trace's staged activity.
+type Ramp struct {
+	ID     string
+	I0, I1 float64
+	T      float64
+}
+
+func (r Ramp) Current(t float64) float64 {
+	if t < 0 || t >= r.T || r.T <= 0 {
+		return 0
+	}
+	return r.I0 + (r.I1-r.I0)*(t/r.T)
+}
+func (r Ramp) Duration() float64 { return r.T }
+func (r Ramp) Name() string      { return r.ID }
+
+// Trace is a sampled current profile at a fixed rate — the artifact
+// Culpeo-PG ingests (captured at 125 kHz in the paper's prototype).
+type Trace struct {
+	ID      string
+	Rate    float64   // samples per second
+	Samples []float64 // amperes
+}
+
+// SampleRateDefault is the paper's profiling sample rate.
+const SampleRateDefault = 125e3
+
+// Sample discretizes p at rate samples/second (left-edge sampling).
+func Sample(p Profile, rate float64) Trace {
+	if rate <= 0 {
+		rate = SampleRateDefault
+	}
+	n := int(math.Ceil(p.Duration() * rate))
+	if n == 0 {
+		n = 1
+	}
+	s := make([]float64, n)
+	dt := 1 / rate
+	for i := range s {
+		s[i] = p.Current(float64(i) * dt)
+	}
+	return Trace{ID: p.Name(), Rate: rate, Samples: s}
+}
+
+func (tr Trace) Current(t float64) float64 {
+	if t < 0 || len(tr.Samples) == 0 {
+		return 0
+	}
+	i := int(t * tr.Rate)
+	if i >= len(tr.Samples) {
+		return 0
+	}
+	return tr.Samples[i]
+}
+func (tr Trace) Duration() float64 { return float64(len(tr.Samples)) / tr.Rate }
+func (tr Trace) Name() string      { return tr.ID }
+
+// Dt returns the sampling interval.
+func (tr Trace) Dt() float64 { return 1 / tr.Rate }
+
+// Energy returns the total charge-side energy of a profile delivered at the
+// regulated rail voltage vOut: ∫ I(t)·V_out dt, integrated at the given
+// resolution (samples per second; <=0 uses the default rate).
+func Energy(p Profile, vOut, rate float64) float64 {
+	tr := Sample(p, rate)
+	dt := tr.Dt()
+	var e float64
+	for _, i := range tr.Samples {
+		e += i * vOut * dt
+	}
+	return e
+}
+
+// PeakCurrent returns the maximum instantaneous current of the profile.
+func PeakCurrent(p Profile, rate float64) float64 {
+	tr := Sample(p, rate)
+	var m float64
+	for _, i := range tr.Samples {
+		if i > m {
+			m = i
+		}
+	}
+	return m
+}
+
+// WidestPulse returns the duration of the longest contiguous run of samples
+// at or above half the profile's peak current — the "width of the largest
+// current pulse, excluding high frequency noise" that Culpeo-PG uses to
+// select an ESR value from the measured ESR-versus-frequency curve
+// (Section V-A).
+func WidestPulse(p Profile, rate float64) float64 {
+	tr := Sample(p, rate)
+	peak := 0.0
+	for _, i := range tr.Samples {
+		if i > peak {
+			peak = i
+		}
+	}
+	if peak == 0 {
+		return 0
+	}
+	thresh := peak / 2
+	dt := tr.Dt()
+	best, run := 0, 0
+	for _, i := range tr.Samples {
+		if i >= thresh {
+			run++
+			if run > best {
+				best = run
+			}
+		} else {
+			run = 0
+		}
+	}
+	return float64(best) * dt
+}
+
+// Window exposes the sub-interval [Start, Start+Dur) of a base profile as
+// a standalone profile — the building block for splitting an oversized
+// atomic task into feasible chunks.
+type Window struct {
+	ID    string
+	Base  Profile
+	Start float64
+	Dur   float64
+}
+
+func (w Window) Current(t float64) float64 {
+	if t < 0 || t >= w.Dur {
+		return 0
+	}
+	return w.Base.Current(w.Start + t)
+}
+func (w Window) Duration() float64 { return w.Dur }
+func (w Window) Name() string {
+	if w.ID != "" {
+		return w.ID
+	}
+	return fmt.Sprintf("%s[%g:%g]", w.Base.Name(), w.Start, w.Start+w.Dur)
+}
+
+// SplitEven cuts a profile into n equal-duration windows.
+func SplitEven(p Profile, n int) []Profile {
+	if n < 1 {
+		n = 1
+	}
+	total := p.Duration()
+	chunk := total / float64(n)
+	out := make([]Profile, n)
+	for i := 0; i < n; i++ {
+		out[i] = Window{
+			ID:    fmt.Sprintf("%s.%d/%d", p.Name(), i+1, n),
+			Base:  p,
+			Start: float64(i) * chunk,
+			Dur:   chunk,
+		}
+	}
+	return out
+}

@@ -1,0 +1,277 @@
+package load
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestUniform(t *testing.T) {
+	u := NewUniform(50e-3, 100e-3)
+	if u.Name() != "uniform-50mA-100ms" {
+		t.Errorf("name = %q", u.Name())
+	}
+	if u.Duration() != 100e-3 {
+		t.Errorf("duration = %g", u.Duration())
+	}
+	if u.Current(-1) != 0 || u.Current(0.2) != 0 {
+		t.Error("current outside window should be 0")
+	}
+	if u.Current(0.05) != 50e-3 {
+		t.Error("current inside window wrong")
+	}
+	if u.Current(0) != 50e-3 {
+		t.Error("left edge should be inside")
+	}
+	if u.Current(100e-3) != 0 {
+		t.Error("right edge should be outside")
+	}
+}
+
+func TestPulse(t *testing.T) {
+	p := NewPulse(25e-3, 10e-3)
+	if p.Duration() != 110e-3 {
+		t.Errorf("duration = %g", p.Duration())
+	}
+	if p.Current(5e-3) != 25e-3 {
+		t.Error("pulse phase current wrong")
+	}
+	if p.Current(50e-3) != 1.5e-3 {
+		t.Error("compute tail current wrong")
+	}
+	if p.Current(200e-3) != 0 {
+		t.Error("after end should be 0")
+	}
+}
+
+func TestSeq(t *testing.T) {
+	s := NewSeq("s", NewUniform(10e-3, 1e-3), NewUniform(20e-3, 2e-3))
+	if s.Duration() != 3e-3 {
+		t.Errorf("seq duration = %g", s.Duration())
+	}
+	if s.Current(0.5e-3) != 10e-3 {
+		t.Error("first part current wrong")
+	}
+	if s.Current(2e-3) != 20e-3 {
+		t.Error("second part current wrong")
+	}
+	if s.Current(5e-3) != 0 {
+		t.Error("past end should be 0")
+	}
+	if s.Current(-1e-3) != 0 {
+		t.Error("before start should be 0")
+	}
+}
+
+func TestOffset(t *testing.T) {
+	o := Offset{Base: NewUniform(10e-3, 1e-3), Add: 1e-3}
+	if o.Current(0.5e-3) != 11e-3 {
+		t.Error("offset not added")
+	}
+	if o.Current(2e-3) != 0 {
+		t.Error("offset must not extend past base duration")
+	}
+	if o.Duration() != 1e-3 {
+		t.Error("duration should match base")
+	}
+	if o.Name() != "uniform-10mA-1ms+offset" {
+		t.Errorf("name = %q", o.Name())
+	}
+	named := Offset{Base: NewUniform(1, 1), Add: 0, ID: "custom"}
+	if named.Name() != "custom" {
+		t.Error("custom name ignored")
+	}
+}
+
+func TestRamp(t *testing.T) {
+	r := Ramp{ID: "r", I0: 0, I1: 10e-3, T: 10e-3}
+	if r.Current(0) != 0 {
+		t.Error("ramp start wrong")
+	}
+	if got := r.Current(5e-3); math.Abs(got-5e-3) > 1e-15 {
+		t.Errorf("ramp midpoint = %g", got)
+	}
+	if r.Current(20e-3) != 0 {
+		t.Error("past ramp should be 0")
+	}
+	zero := Ramp{T: 0}
+	if zero.Current(0) != 0 {
+		t.Error("degenerate ramp should be 0")
+	}
+}
+
+func TestSampleAndTrace(t *testing.T) {
+	u := NewUniform(10e-3, 1e-3)
+	tr := Sample(u, 10e3) // 0.1 ms per sample → 10 samples
+	if len(tr.Samples) != 10 {
+		t.Fatalf("sample count = %d, want 10", len(tr.Samples))
+	}
+	for i, s := range tr.Samples {
+		if s != 10e-3 {
+			t.Fatalf("sample %d = %g", i, s)
+		}
+	}
+	if tr.Duration() != 1e-3 {
+		t.Errorf("trace duration = %g", tr.Duration())
+	}
+	if tr.Current(0.55e-3) != 10e-3 {
+		t.Error("trace lookup wrong")
+	}
+	if tr.Current(2e-3) != 0 || tr.Current(-1) != 0 {
+		t.Error("trace out of range should be 0")
+	}
+	if tr.Dt() != 1e-4 {
+		t.Errorf("dt = %g", tr.Dt())
+	}
+}
+
+func TestSampleDefaults(t *testing.T) {
+	tr := Sample(NewUniform(1e-3, 1e-3), 0)
+	if tr.Rate != SampleRateDefault {
+		t.Error("default rate not applied")
+	}
+	empty := Trace{Rate: 1000}
+	if empty.Current(0) != 0 {
+		t.Error("empty trace should read 0")
+	}
+}
+
+func TestEnergy(t *testing.T) {
+	// 10 mA for 100 ms at 2.55 V = 2.55 mJ.
+	u := NewUniform(10e-3, 100e-3)
+	e := Energy(u, 2.55, 125e3)
+	want := 10e-3 * 100e-3 * 2.55
+	if math.Abs(e-want)/want > 1e-3 {
+		t.Errorf("energy = %g, want %g", e, want)
+	}
+}
+
+func TestEnergyAdditivity(t *testing.T) {
+	f := func(i1Raw, i2Raw float64) bool {
+		i1 := math.Abs(math.Mod(i1Raw, 0.05)) + 1e-4
+		i2 := math.Abs(math.Mod(i2Raw, 0.05)) + 1e-4
+		a := NewUniform(i1, 10e-3)
+		b := NewUniform(i2, 20e-3)
+		s := NewSeq("ab", a, b)
+		ea := Energy(a, 2.55, 50e3)
+		eb := Energy(b, 2.55, 50e3)
+		es := Energy(s, 2.55, 50e3)
+		return math.Abs(es-(ea+eb)) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPeakCurrent(t *testing.T) {
+	p := NewPulse(25e-3, 10e-3)
+	if got := PeakCurrent(p, 125e3); got != 25e-3 {
+		t.Errorf("peak = %g", got)
+	}
+}
+
+func TestWidestPulse(t *testing.T) {
+	// A 10 ms pulse at 25 mA with a 100 ms 1.5 mA tail: the tail is below
+	// half-peak, so the widest pulse is the 10 ms head.
+	p := NewPulse(25e-3, 10e-3)
+	w := WidestPulse(p, 125e3)
+	if math.Abs(w-10e-3) > 0.2e-3 {
+		t.Errorf("widest pulse = %g, want ~10ms", w)
+	}
+	// A uniform load is one long pulse.
+	u := NewUniform(5e-3, 100e-3)
+	w = WidestPulse(u, 125e3)
+	if math.Abs(w-100e-3) > 0.2e-3 {
+		t.Errorf("uniform widest pulse = %g, want ~100ms", w)
+	}
+	// Zero profile.
+	if WidestPulse(Uniform{ILoad: 0, TPulse: 1e-3}, 125e3) != 0 {
+		t.Error("zero profile should have zero pulse width")
+	}
+}
+
+func TestPeripheralShapes(t *testing.T) {
+	cases := []struct {
+		p        Profile
+		peak     float64
+		duration float64
+		tol      float64
+	}{
+		{Gesture(), 25e-3, 3.5e-3, 0.1e-3},
+		{BLERadio(), 13e-3, 17e-3, 0.1e-3},
+		{ComputeAccel(), 6e-3, 1.1, 0.01},
+		{LoRa(), 50e-3, 100e-3, 1e-6},
+	}
+	for _, c := range cases {
+		if got := PeakCurrent(c.p, 125e3); math.Abs(got-c.peak) > 1e-9 {
+			t.Errorf("%s peak = %g, want %g", c.p.Name(), got, c.peak)
+		}
+		if got := c.p.Duration(); math.Abs(got-c.duration) > c.tol {
+			t.Errorf("%s duration = %g, want %g", c.p.Name(), got, c.duration)
+		}
+	}
+}
+
+func TestApplicationPeripherals(t *testing.T) {
+	// All app peripherals must be non-trivial, finite profiles.
+	for _, p := range []Profile{
+		IMURead(32), PhotoRead(), MicRead(256, 12e3), FFT(256),
+		Encrypt(192), BLEListen(2.0),
+	} {
+		if p.Duration() <= 0 {
+			t.Errorf("%s has non-positive duration", p.Name())
+		}
+		if Energy(p, 2.55, 50e3) <= 0 {
+			t.Errorf("%s consumes no energy", p.Name())
+		}
+		if PeakCurrent(p, 50e3) > 100e-3 {
+			t.Errorf("%s peak current implausibly high", p.Name())
+		}
+	}
+	// Degenerate arguments take defaults rather than exploding.
+	if IMURead(0).Duration() <= 0 || MicRead(0, 0).Duration() <= 0 ||
+		FFT(0).Duration() <= 0 || Encrypt(0).Duration() <= 0 {
+		t.Error("degenerate peripheral arguments mishandled")
+	}
+}
+
+func TestMicReadDuration(t *testing.T) {
+	// 256 samples at 12 kHz ≈ 21.3 ms of sampling.
+	p := MicRead(256, 12e3)
+	want := 2e-3 + 256.0/12e3
+	if math.Abs(p.Duration()-want) > 1e-9 {
+		t.Errorf("mic duration = %g, want %g", p.Duration(), want)
+	}
+}
+
+func TestTableIIISweeps(t *testing.T) {
+	u := TableIIIUniform()
+	p := TableIIIPulse()
+	if len(u) != 12 || len(p) != 12 {
+		t.Fatalf("sweep sizes = %d, %d; want 12, 12", len(u), len(p))
+	}
+	for _, pr := range p {
+		pu := pr.(Pulse)
+		if pu.ICompute != 1.5e-3 || pu.TCompute != 100e-3 {
+			t.Errorf("%s: compute tail wrong", pu.Name())
+		}
+	}
+}
+
+func TestFig10AndFig6Loads(t *testing.T) {
+	u, p := Fig10Loads()
+	if len(u) != 9 || len(p) != 9 {
+		t.Fatalf("fig10 loads = %d uniform, %d pulse; want 9, 9", len(u), len(p))
+	}
+	if len(Fig6Loads()) != 6 {
+		t.Fatalf("fig6 loads = %d, want 6", len(Fig6Loads()))
+	}
+	// Names must be unique (they key result tables).
+	seen := map[string]bool{}
+	for _, pr := range append(append([]Profile{}, u...), p...) {
+		if seen[pr.Name()] {
+			t.Errorf("duplicate profile name %q", pr.Name())
+		}
+		seen[pr.Name()] = true
+	}
+}

@@ -1,0 +1,196 @@
+package mcu
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestADCValidate(t *testing.T) {
+	for _, a := range []ADC{MSP430ADC12(), MicroArch8()} {
+		if err := a.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", a.Name, err)
+		}
+	}
+	bad := []ADC{
+		{Bits: 0, VRef: 2.5, SampleRate: 1e3},
+		{Bits: 32, VRef: 2.5, SampleRate: 1e3},
+		{Bits: 8, VRef: 0, SampleRate: 1e3},
+		{Bits: 8, VRef: 2.5, SampleRate: 0},
+		{Bits: 8, VRef: 2.5, SampleRate: 1e3, SupplyCurrent: -1},
+	}
+	for i, a := range bad {
+		if err := a.Validate(); err == nil {
+			t.Errorf("bad ADC %d accepted", i)
+		}
+	}
+}
+
+func TestADCQuantization(t *testing.T) {
+	a := MicroArch8()
+	if a.MaxCode() != 255 {
+		t.Fatalf("max code = %d", a.MaxCode())
+	}
+	if math.Abs(a.LSB()-2.56/255) > 1e-12 {
+		t.Fatalf("LSB = %g", a.LSB())
+	}
+	// Full scale and beyond clamp.
+	if a.Quantize(2.56) != 255 || a.Quantize(5.0) != 255 {
+		t.Error("full-scale clamp failed")
+	}
+	// Negative clamps to zero.
+	if a.Quantize(-1) != 0 {
+		t.Error("negative clamp failed")
+	}
+	// Truncation: a voltage just below a code boundary stays at the lower
+	// code.
+	v := a.Voltage(100)
+	if a.Quantize(v+a.LSB()*0.99) != 100 {
+		t.Error("truncation semantics wrong")
+	}
+	if a.Quantize(v+a.LSB()*1.01) != 101 {
+		t.Error("code increment wrong")
+	}
+}
+
+func TestADCReadErrorBound(t *testing.T) {
+	f := func(raw float64) bool {
+		a := MSP430ADC12()
+		v := math.Abs(math.Mod(raw, a.VRef))
+		r := a.Read(v)
+		return r <= v+1e-12 && v-r <= a.LSB()+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestADCResolutionOrdering(t *testing.T) {
+	// 12-bit error bound is 16× tighter than 8-bit.
+	if !(MSP430ADC12().LSB() < MicroArch8().LSB()/10) {
+		t.Error("12-bit LSB should be ~16× smaller")
+	}
+	// The µArch ADC draws ~3 orders of magnitude less current.
+	if !(MicroArch8().SupplyCurrent < MSP430ADC12().SupplyCurrent/100) {
+		t.Error("µArch ADC should be far lower power")
+	}
+}
+
+func TestCaptureModeString(t *testing.T) {
+	if CaptureMin.String() != "min" || CaptureMax.String() != "max" {
+		t.Error("mode strings wrong")
+	}
+}
+
+func TestCulpeoBlockMinCapture(t *testing.T) {
+	b := NewCulpeoBlock()
+	b.Configure(true)
+	b.Prepare(CaptureMin)
+	if b.Read() != b.ADC.MaxCode() {
+		t.Fatal("prepare(min) must set capture to 0xFF")
+	}
+	b.Sample(CaptureMin)
+	// Feed a dip: 2.4 → 1.9 → 2.2. Ticks spaced at the block clock.
+	times := []float64{0, 10e-6, 20e-6, 30e-6}
+	volts := []float64{2.4, 2.0, 1.9, 2.2}
+	for i := range times {
+		b.Tick(times[i], volts[i])
+	}
+	got := b.ReadVoltage()
+	if math.Abs(got-1.9) > b.ADC.LSB() {
+		t.Errorf("captured min = %g, want ≈1.9", got)
+	}
+}
+
+func TestCulpeoBlockMaxCapture(t *testing.T) {
+	b := NewCulpeoBlock()
+	b.Configure(true)
+	b.Prepare(CaptureMax)
+	if b.Read() != 0 {
+		t.Fatal("prepare(max) must set capture to 0x00")
+	}
+	b.Sample(CaptureMax)
+	times := []float64{0, 10e-6, 20e-6}
+	volts := []float64{1.9, 2.3, 2.1}
+	for i := range times {
+		b.Tick(times[i], volts[i])
+	}
+	if got := b.ReadVoltage(); math.Abs(got-2.3) > b.ADC.LSB() {
+		t.Errorf("captured max = %g, want ≈2.3", got)
+	}
+}
+
+func TestCulpeoBlockClockDecimation(t *testing.T) {
+	b := NewCulpeoBlock() // 100 kHz clock = 10 µs period
+	b.Configure(true)
+	b.Prepare(CaptureMin)
+	b.Sample(CaptureMin)
+	// A 3 µs dip between clock edges must be missed.
+	b.Tick(0, 2.4)
+	b.Tick(3e-6, 1.7) // too soon after the last conversion
+	b.Tick(10e-6, 2.4)
+	if got := b.ReadVoltage(); got < 2.3 {
+		t.Errorf("sub-period dip should be missed, got %g", got)
+	}
+}
+
+func TestCulpeoBlockDisabled(t *testing.T) {
+	b := NewCulpeoBlock()
+	b.Prepare(CaptureMin)
+	b.Sample(CaptureMin) // not enabled: sampling must not arm
+	b.Tick(0, 1.0)
+	if b.Read() != b.ADC.MaxCode() {
+		t.Error("disabled block sampled anyway")
+	}
+	if b.SupplyCurrent() != 0 {
+		t.Error("disabled block draws current")
+	}
+	b.Configure(true)
+	if b.SupplyCurrent() != b.ADC.SupplyCurrent {
+		t.Error("enabled block should draw ADC current")
+	}
+	if !b.Enabled() {
+		t.Error("Enabled() wrong")
+	}
+	// Disabling stops sampling but keeps the capture value.
+	b.Sample(CaptureMin)
+	b.Tick(0, 2.0)
+	v := b.Read()
+	b.Configure(false)
+	b.Tick(10e-6, 1.0)
+	if b.Read() != v {
+		t.Error("capture value lost or updated while disabled")
+	}
+}
+
+func TestCulpeoBlockStop(t *testing.T) {
+	b := NewCulpeoBlock()
+	b.Configure(true)
+	b.Prepare(CaptureMin)
+	b.Sample(CaptureMin)
+	b.Tick(0, 2.0)
+	b.Stop()
+	b.Tick(20e-6, 1.0)
+	if got := b.ReadVoltage(); got < 1.9 {
+		t.Errorf("stopped block kept sampling: %g", got)
+	}
+}
+
+func TestCulpeoBlockMinMaxSwitch(t *testing.T) {
+	// The profile_end sequence: read min, then track max without losing it.
+	b := NewCulpeoBlock()
+	b.Configure(true)
+	b.Prepare(CaptureMin)
+	b.Sample(CaptureMin)
+	b.Tick(0, 2.4)
+	b.Tick(10e-6, 1.9)
+	min := b.ReadVoltage()
+	b.Prepare(CaptureMax)
+	b.Sample(CaptureMax)
+	b.Tick(20e-6, 2.0)
+	b.Tick(30e-6, 2.2)
+	max := b.ReadVoltage()
+	if !(min < 2.0 && max > 2.1) {
+		t.Errorf("min/max switch broken: min=%g max=%g", min, max)
+	}
+}

@@ -1,0 +1,159 @@
+package partsdb
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/capacitor"
+)
+
+func TestCatalogDeterministic(t *testing.T) {
+	a := Catalog(DefaultSeed)
+	b := Catalog(DefaultSeed)
+	if len(a) != len(b) || len(a) != 4*DefaultPartsPerTech {
+		t.Fatalf("catalog sizes: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("catalog not deterministic at %d", i)
+		}
+	}
+	c := Catalog(DefaultSeed + 1)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical catalogues")
+	}
+}
+
+func TestCatalogPhysicalSanity(t *testing.T) {
+	for _, p := range Catalog(DefaultSeed) {
+		if p.C <= 0 || p.ESR <= 0 || p.Volume <= 0 || p.DCL < 0 {
+			t.Fatalf("unphysical part %+v", p)
+		}
+		if p.PartNumber == "" {
+			t.Fatal("part without part number")
+		}
+	}
+}
+
+func TestBankSweepSorted(t *testing.T) {
+	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	if len(banks) == 0 {
+		t.Fatal("no banks assembled")
+	}
+	for i := 1; i < len(banks); i++ {
+		if banks[i].Volume() < banks[i-1].Volume() {
+			t.Fatal("sweep not sorted by volume")
+		}
+	}
+	for _, b := range banks {
+		if b.C() < TargetBankC-1e-12 {
+			t.Fatalf("bank under target: %v", b)
+		}
+	}
+}
+
+func TestFigure3Shape(t *testing.T) {
+	// The figure's qualitative claims, which the synthetic catalogue must
+	// reproduce.
+	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	sums := Summarize(banks)
+	byTech := map[capacitor.Technology]Summary{}
+	for _, s := range sums {
+		byTech[s.Tech] = s
+	}
+	super := byTech[capacitor.Supercap]
+	ceramic := byTech[capacitor.Ceramic]
+	tant := byTech[capacitor.Tantalum]
+	elec := byTech[capacitor.Electrolytic]
+
+	// 1. Supercapacitors give the smallest bank of all technologies.
+	for _, other := range []Summary{ceramic, tant, elec} {
+		if !(super.MinVolume < other.MinVolume) {
+			t.Errorf("supercap bank (%.0f mm³) should be smaller than %s (%.0f mm³)",
+				super.MinVolume, other.Tech, other.MinVolume)
+		}
+	}
+	// 2. ...with single-digit part count and ~tens of nA leakage.
+	if super.PartsAtMin > 16 {
+		t.Errorf("supercap part count = %d, want single digits", super.PartsAtMin)
+	}
+	if super.DCLAtMin > 200e-9 {
+		t.Errorf("supercap bank DCL = %g, want tens of nA", super.DCLAtMin)
+	}
+	// 3. ...but the highest ESR.
+	for _, other := range []Summary{ceramic, tant, elec} {
+		if !(super.ESRAtMin > other.ESRAtMin) {
+			t.Errorf("supercap ESR (%g) should exceed %s (%g)",
+				super.ESRAtMin, other.Tech, other.ESRAtMin)
+		}
+	}
+	// 4. Ceramic banks need an impractical number of parts (>1000).
+	if ceramic.PartsAtMin < 1000 {
+		t.Errorf("ceramic part count = %d, want thousands", ceramic.PartsAtMin)
+	}
+	// 5. The smallest tantalum banks leak milliamps.
+	if tant.DCLAtMin < 1e-3 {
+		t.Errorf("tantalum bank DCL = %g, want mA-scale", tant.DCLAtMin)
+	}
+	// 6. Electrolytic banks are orders of magnitude larger than supercaps.
+	if !(elec.MinVolume > 50*super.MinVolume) {
+		t.Errorf("electrolytic bank (%.0f mm³) should dwarf supercap (%.0f mm³)",
+			elec.MinVolume, super.MinVolume)
+	}
+}
+
+func TestSupercapAnchor(t *testing.T) {
+	// A CPX3225A-class 7.5 mF part must make a ~6-part, ~20 nA, sub-100 mm³
+	// 45 mF bank — the "This Work" annotation of Figure 3.
+	p := capacitor.Part{
+		PartNumber: "CPX3225A752D", Tech: capacitor.Supercap,
+		C: 7.5e-3, ESR: 9, Volume: 7.04, DCL: 3.3e-9,
+	}
+	b, err := capacitor.AssembleBank(p, TargetBankC)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Count != 6 {
+		t.Errorf("parts = %d, want 6", b.Count)
+	}
+	if math.Abs(b.DCL()-19.8e-9) > 1e-12 {
+		t.Errorf("DCL = %g, want ≈20 nA", b.DCL())
+	}
+	if b.Volume() > 100 {
+		t.Errorf("volume = %g mm³, want rice-grain scale", b.Volume())
+	}
+}
+
+func TestSummarizeCountsAllBanks(t *testing.T) {
+	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	sums := Summarize(banks)
+	total := 0
+	for _, s := range sums {
+		total += s.Banks
+	}
+	if total != len(banks) {
+		t.Errorf("summaries cover %d banks of %d", total, len(banks))
+	}
+	if len(sums) != 4 {
+		t.Errorf("technologies summarized = %d", len(sums))
+	}
+}
+
+func TestBestByVolume(t *testing.T) {
+	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	best := BestByVolume(banks)
+	for tech, b := range best {
+		for _, other := range banks {
+			if other.Part.Tech == tech && other.Volume() < b.Volume() {
+				t.Fatalf("%s: found smaller bank than 'best'", tech)
+			}
+		}
+	}
+}

@@ -1,0 +1,172 @@
+package powersys
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"culpeo/internal/capacitor"
+)
+
+// TestChaosInvariants drives randomized load/harvest sequences through
+// randomized storage networks and checks the physical invariants no step
+// may violate, whatever the inputs:
+//
+//  1. branch voltages stay in [0, ∞) and finite;
+//  2. without harvest, total stored energy never increases;
+//  3. the terminal voltage never exceeds the highest branch voltage while
+//     discharging (ESR only drops it);
+//  4. the monitor only serves load while on, and cuts within the step that
+//     crosses V_off;
+//  5. reported input current is non-negative under load.
+func TestChaosInvariants(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+
+		// Random network: 1–3 branches.
+		nb := 1 + rng.Intn(3)
+		branches := make([]*capacitor.Branch, nb)
+		for i := range branches {
+			branches[i] = &capacitor.Branch{
+				Name:    "b",
+				C:       1e-3 + rng.Float64()*50e-3,
+				ESR:     0.01 + rng.Float64()*10,
+				Leakage: rng.Float64() * 1e-6,
+				Voltage: 1.0 + rng.Float64()*1.6,
+			}
+		}
+		net, err := capacitor.NewNetwork(branches...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Capybara()
+		cfg.Storage = net
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rng.Intn(2) == 0 {
+			sys.Monitor().Force(true)
+		}
+
+		harvestOn := rng.Intn(2) == 0
+		prevEnergy := net.TotalEnergy()
+		for step := 0; step < 3000; step++ {
+			iLoad := 0.0
+			if rng.Intn(3) != 0 {
+				iLoad = rng.Float64() * 80e-3
+			}
+			harvest := 0.0
+			if harvestOn && rng.Intn(2) == 0 {
+				harvest = rng.Float64() * 20e-3
+			}
+			info := sys.Step(iLoad, harvest)
+
+			// (1) physical branch state.
+			maxV := 0.0
+			for _, b := range net.Branches {
+				if b.Voltage < 0 || math.IsNaN(b.Voltage) || math.IsInf(b.Voltage, 0) {
+					t.Fatalf("seed %d step %d: unphysical branch voltage %g", seed, step, b.Voltage)
+				}
+				if b.Voltage > maxV {
+					maxV = b.Voltage
+				}
+			}
+			// (2) energy bookkeeping without harvest.
+			e := net.TotalEnergy()
+			if harvest == 0 && e > prevEnergy+1e-12 {
+				t.Fatalf("seed %d step %d: free energy (%g → %g)", seed, step, prevEnergy, e)
+			}
+			prevEnergy = e
+			// (3) terminal under discharge.
+			if info.ILoad > 0 && info.VTerm > maxV+1e-9 {
+				t.Fatalf("seed %d step %d: terminal %g above open-circuit %g under load",
+					seed, step, info.VTerm, maxV)
+			}
+			if math.IsNaN(info.VTerm) || math.IsInf(info.VTerm, 0) {
+				t.Fatalf("seed %d step %d: non-finite terminal", seed, step)
+			}
+			// (4) service gating.
+			if info.ILoad > 0 && !(info.On || info.Failed) {
+				t.Fatalf("seed %d step %d: load served while off", seed, step)
+			}
+			// (5) current sign.
+			if info.ILoad > 0 && info.IIn < -1e-9 {
+				t.Fatalf("seed %d step %d: negative input current %g", seed, step, info.IIn)
+			}
+		}
+	}
+}
+
+// TestChaosRunNeverPanics exercises Run/Rebound with randomized profiles
+// from randomized states.
+func TestChaosRunNeverPanics(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 30; trial++ {
+		cfg := Capybara()
+		cfg.Storage = cfg.Storage.Clone()
+		sys, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		start := 1.4 + rng.Float64()*1.2
+		if err := sys.ChargeTo(2.56); err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.DischargeTo(start); err != nil {
+			t.Fatal(err)
+		}
+		sys.Monitor().Force(rng.Intn(2) == 0)
+		p := randomProfile(rng)
+		res := sys.Run(p, RunOptions{
+			HarvestPower: rng.Float64() * 10e-3,
+			SkipRebound:  rng.Intn(2) == 0,
+		})
+		if math.IsNaN(res.VMin) && res.Duration > 0 {
+			t.Fatalf("trial %d: NaN VMin", trial)
+		}
+		if res.Completed && res.PowerFailed {
+			t.Fatalf("trial %d: contradictory outcome", trial)
+		}
+		if res.VFinal < 0 || res.VStart < 0 {
+			t.Fatalf("trial %d: negative voltages %+v", trial, res)
+		}
+	}
+}
+
+// randomProfile builds a random piecewise load.
+func randomProfile(rng *rand.Rand) profileSeq {
+	n := 1 + rng.Intn(4)
+	parts := make([]segment, n)
+	for i := range parts {
+		parts[i] = segment{
+			i: rng.Float64() * 60e-3,
+			t: 1e-4 + rng.Float64()*50e-3,
+		}
+	}
+	return profileSeq(parts)
+}
+
+type segment struct{ i, t float64 }
+
+type profileSeq []segment
+
+func (p profileSeq) Current(t float64) float64 {
+	for _, s := range p {
+		if t < s.t {
+			return s.i
+		}
+		t -= s.t
+	}
+	return 0
+}
+
+func (p profileSeq) Duration() float64 {
+	var d float64
+	for _, s := range p {
+		d += s.t
+	}
+	return d
+}
+
+func (p profileSeq) Name() string { return "chaos" }

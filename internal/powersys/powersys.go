@@ -1,0 +1,477 @@
+// Package powersys is a fixed-timestep circuit simulator for the
+// energy-harvesting power system of Figure 2: harvester → input booster →
+// capacitor network (with ESR) → output booster → load, gated by a
+// V_high/V_off voltage monitor.
+//
+// Each step solves Kirchhoff's current law at the capacitor terminal node:
+// the output booster demands P_in(V_t) = V_out·I_load/η(V_t) while each
+// storage branch i supplies (V_i − V_t)/R_i. The ESR-induced voltage drop
+// that motivates Culpeo — and its rebound when the load is removed — are
+// emergent properties of this solution, not modelled as special cases.
+package powersys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"culpeo/internal/booster"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+	"culpeo/internal/trace"
+)
+
+// DefaultDT is the default integration timestep: 8 µs, matching the paper's
+// 125 kHz profiling rate.
+const DefaultDT = 8e-6
+
+// Config assembles a power system.
+type Config struct {
+	Storage *capacitor.Network
+	Output  booster.Output
+	Input   booster.Input
+	VHigh   float64 // monitor turn-on threshold
+	VOff    float64 // monitor power-off threshold
+	DT      float64 // integration step; 0 = DefaultDT
+}
+
+// Capybara returns the evaluated hardware configuration (Section VI-A):
+// V_off 1.6 V, V_high 2.56 V, V_out 2.55 V, and a 45 mF bank of dense
+// supercapacitors (six 7.5 mF CPX3225A-class parts, ~30 Ω each at the load
+// frequencies that matter, giving ~5 Ω net bank ESR and ~20 nA leakage)
+// charged to V_high. The net ESR matches the paper's measured behaviour: a
+// 50 mA load produces a ~0.35 V ESR drop (Figure 1b).
+func Capybara() Config {
+	part := capacitor.Part{
+		PartNumber: "CPX3225A752D", Tech: capacitor.Supercap,
+		C: 7.5e-3, ESR: 30, Volume: 7.04, DCL: 3.3e-9, MaxVoltage: 2.7,
+	}
+	bank, err := capacitor.AssembleBank(part, 45e-3)
+	if err != nil {
+		panic(err) // unreachable: constants are valid
+	}
+	net, err := capacitor.NewNetwork(bank.Branch("main", 2.56))
+	if err != nil {
+		panic(err)
+	}
+	return Config{
+		Storage: net,
+		Output:  booster.DefaultOutput(),
+		Input:   booster.DefaultInput(),
+		VHigh:   2.56,
+		VOff:    1.6,
+		DT:      DefaultDT,
+	}
+}
+
+// System is a running power-system simulation.
+type System struct {
+	cfg     Config
+	monitor *booster.Monitor
+	t       float64
+	lastVT  float64
+	// failures counts monitor power-off events.
+	failures int
+	// scratch holds per-branch currents between steps, so the hot path
+	// stays allocation-free.
+	scratch []float64
+}
+
+// New validates the configuration and builds a system. The monitor starts
+// enabled if the buffer is already at/above V_high, otherwise disabled.
+func New(cfg Config) (*System, error) {
+	if cfg.Storage == nil || len(cfg.Storage.Branches) == 0 {
+		return nil, errors.New("powersys: config needs a storage network")
+	}
+	for _, b := range cfg.Storage.Branches {
+		if err := b.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Output.Validate(); err != nil {
+		return nil, err
+	}
+	if err := cfg.Input.Validate(); err != nil {
+		return nil, err
+	}
+	mon, err := booster.NewMonitor(cfg.VHigh, cfg.VOff)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.DT <= 0 {
+		cfg.DT = DefaultDT
+	}
+	s := &System{cfg: cfg, monitor: mon, scratch: make([]float64, len(cfg.Storage.Branches))}
+	s.lastVT = cfg.Storage.OpenCircuitVoltage()
+	mon.Observe(s.lastVT)
+	return s, nil
+}
+
+// Config returns the system's configuration.
+func (s *System) Config() Config { return s.cfg }
+
+// Monitor exposes the voltage monitor (the harness forces its state to
+// isolate the power system, as the paper's modified Capybara does).
+func (s *System) Monitor() *booster.Monitor { return s.monitor }
+
+// Now returns the simulation time in seconds.
+func (s *System) Now() float64 { return s.t }
+
+// Failures returns how many times the monitor has cut power.
+func (s *System) Failures() int { return s.failures }
+
+// VTerm returns the most recently solved terminal voltage.
+func (s *System) VTerm() float64 { return s.lastVT }
+
+// DT returns the integration step.
+func (s *System) DT() float64 { return s.cfg.DT }
+
+// On reports whether the output booster is currently enabled.
+func (s *System) On() bool { return s.monitor.On() }
+
+// StepInfo describes one integration step.
+type StepInfo struct {
+	T      float64 // time at the end of the step
+	VTerm  float64 // terminal node voltage during the step
+	VOC    float64 // main branch open-circuit voltage after the step
+	IIn    float64 // total current drawn from storage by the booster
+	ILoad  float64 // load current actually served (0 if power is off)
+	On     bool    // monitor state after the step
+	Failed bool    // true when this step caused a power-off
+}
+
+// Step advances the simulation by one DT with the given demanded load
+// current (at V_out) and harvested power (at the harvester output).
+func (s *System) Step(iLoad, pHarvest float64) StepInfo {
+	dt := s.cfg.DT
+	wasOn := s.monitor.On()
+
+	served := iLoad
+	if !wasOn || served < 0 {
+		served = 0
+	}
+
+	// Fixed-point iteration on the terminal voltage: η depends on V_t which
+	// depends on the drawn power which depends on η. Three rounds converge
+	// to well under a millivolt for realistic efficiency slopes.
+	vt := s.lastVT
+	if vt <= 0 {
+		vt = s.cfg.Storage.OpenCircuitVoltage()
+	}
+	var iin float64
+	var currents []float64
+	ok := true
+	for iter := 0; iter < 3; iter++ {
+		pin := s.cfg.Output.InputPower(served, vt)
+		var nvt float64
+		nvt, currents, ok = solveNode(s.cfg.Storage.Branches, pin, s.scratch)
+		if !ok {
+			break
+		}
+		vt = nvt
+	}
+
+	failed := false
+	if !ok {
+		// The buffer cannot source the demanded power through its ESR: the
+		// booster's input collapses. Discharge at the maximum-power point and
+		// cut the output.
+		vt, currents = maxPowerPoint(s.cfg.Storage.Branches, s.scratch)
+		failed = true
+	}
+
+	// Integrate branch state: discharge by solved currents, charge from the
+	// harvester into the main branch.
+	for i, b := range s.cfg.Storage.Branches {
+		b.Discharge(currents[i], dt)
+	}
+	main := s.cfg.Storage.Main()
+	ichg := s.cfg.Input.ChargeCurrent(pHarvest, main.Voltage)
+	if ichg > 0 {
+		main.Charge(ichg, dt)
+	}
+
+	iin = 0
+	for _, c := range currents {
+		iin += c
+	}
+
+	// Hysteresis on the terminal voltage the monitor sees.
+	if failed {
+		s.monitor.Observe(0)
+	} else {
+		s.monitor.Observe(vt)
+	}
+	if wasOn && !s.monitor.On() {
+		failed = true
+	}
+	if failed {
+		s.failures++
+	}
+
+	s.lastVT = vt
+	s.t += dt
+	return StepInfo{
+		T: s.t, VTerm: vt, VOC: main.Voltage, IIn: iin,
+		ILoad: served, On: s.monitor.On(), Failed: failed,
+	}
+}
+
+// solveNode finds the terminal voltage V_t satisfying
+// Σ (V_i − V_t)/R_i = pin/V_t and returns per-branch currents (positive =
+// discharging the branch). ok is false when the network cannot deliver pin
+// (brown-out). With pin == 0 the solution is the conductance-weighted mean
+// of branch voltages (pure redistribution). scratch, when large enough,
+// backs the returned slice to avoid per-step allocation; pass nil to
+// allocate.
+func solveNode(branches []*capacitor.Branch, pin float64, scratch []float64) (float64, []float64, bool) {
+	const rMin = 1e-6 // clamp for near-zero ESR branches
+	currents := scratch
+	if cap(currents) < len(branches) {
+		currents = make([]float64, len(branches))
+	} else {
+		currents = currents[:len(branches)]
+		for i := range currents {
+			currents[i] = 0
+		}
+	}
+
+	var sumG, sumGV float64
+	for _, b := range branches {
+		r := b.ESR
+		if r < rMin {
+			r = rMin
+		}
+		g := 1 / r
+		sumG += g
+		sumGV += g * b.Voltage
+	}
+	vavg := sumGV / sumG
+
+	var vt float64
+	if pin <= 0 {
+		vt = vavg
+	} else if len(branches) == 1 {
+		// Closed-form quadratic for the common single-bank case.
+		r := branches[0].ESR
+		if r < rMin {
+			r = rMin
+		}
+		iin, ok := booster.InputCurrentQuadratic(branches[0].Voltage, r, pin)
+		if !ok {
+			return 0, currents, false
+		}
+		vt = branches[0].Voltage - iin*r
+		currents[0] = iin
+		return vt, currents, true
+	} else {
+		// f(V) = Σ(V_i−V)/R_i − pin/V = sumGV − sumG·V − pin/V.
+		// f peaks at V* = sqrt(pin/sumG); the stable root is in [V*, vavg].
+		f := func(v float64) float64 { return sumGV - sumG*v - pin/v }
+		vstar := math.Sqrt(pin / sumG)
+		if vstar >= vavg || f(vstar) < 0 {
+			return 0, currents, false
+		}
+		lo, hi := vstar, vavg
+		for i := 0; i < 64; i++ {
+			mid := 0.5 * (lo + hi)
+			if f(mid) >= 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		vt = 0.5 * (lo + hi)
+	}
+
+	for i, b := range branches {
+		r := b.ESR
+		if r < rMin {
+			r = rMin
+		}
+		currents[i] = (b.Voltage - vt) / r
+	}
+	return vt, currents, true
+}
+
+// maxPowerPoint returns the terminal voltage and branch currents at the
+// network's maximum deliverable power — the state the system collapses
+// through during a brown-out.
+func maxPowerPoint(branches []*capacitor.Branch, scratch []float64) (float64, []float64) {
+	const rMin = 1e-6
+	var sumG, sumGV float64
+	for _, b := range branches {
+		r := b.ESR
+		if r < rMin {
+			r = rMin
+		}
+		sumG += 1 / r
+		sumGV += b.Voltage / r
+	}
+	vt := 0.5 * sumGV / sumG // half the open-node voltage
+	currents := scratch
+	if cap(currents) < len(branches) {
+		currents = make([]float64, len(branches))
+	} else {
+		currents = currents[:len(branches)]
+	}
+	for i, b := range branches {
+		r := b.ESR
+		if r < rMin {
+			r = rMin
+		}
+		currents[i] = (b.Voltage - vt) / r
+	}
+	return vt, currents
+}
+
+// RunResult summarizes the execution of one load profile.
+type RunResult struct {
+	Completed     bool    // the profile ran to the end without power failure
+	PowerFailed   bool    // the monitor cut power during the run
+	VStart        float64 // terminal voltage just before the load was applied
+	VMin          float64 // minimum terminal voltage while the load ran
+	VEndImmediate float64 // terminal voltage at the instant the load ended
+	VFinal        float64 // terminal voltage after the rebound settled
+	Duration      float64 // how long the profile ran before finishing/failing
+	EnergyUsed    float64 // energy removed from storage during the run
+	FailTime      float64 // time of the power failure (if any)
+}
+
+// RunOptions controls Run.
+type RunOptions struct {
+	// HarvestPower is the constant harvested power during the run (W).
+	HarvestPower float64
+	// ReboundTimeout bounds how long to wait for the rebound to settle
+	// after the load ends. 0 = 1 s.
+	ReboundTimeout float64
+	// Recorder, when non-nil, receives every step.
+	Recorder *trace.Recorder
+	// Baseline is an extra constant current drawn for the entire run on top
+	// of the profile (e.g. MCU active current or profiling ADC current).
+	Baseline float64
+	// SkipRebound skips the post-load settle phase (VFinal = VEndImmediate).
+	SkipRebound bool
+	// OnStep, when non-nil, observes every integration step (profilers use
+	// this to sample the terminal voltage like an ADC would).
+	OnStep func(StepInfo)
+}
+
+// Run applies a load profile from the system's current state and reports
+// the voltages the Culpeo estimators need. The caller is responsible for
+// putting the system in the desired starting state (see package harness).
+func (s *System) Run(p load.Profile, opt RunOptions) RunResult {
+	dt := s.cfg.DT
+	res := RunResult{VStart: s.terminalAtRest(), VMin: math.Inf(1)}
+
+	dur := p.Duration()
+	steps := int(math.Ceil(dur / dt))
+	for i := 0; i < steps; i++ {
+		t := float64(i) * dt
+		iLoad := p.Current(t) + opt.Baseline
+		e0 := s.cfg.Storage.TotalEnergy()
+		info := s.Step(iLoad, opt.HarvestPower)
+		res.EnergyUsed += e0 - s.cfg.Storage.TotalEnergy()
+		if opt.OnStep != nil {
+			opt.OnStep(info)
+		}
+		if opt.Recorder != nil {
+			opt.Recorder.Add(trace.Sample{
+				T: info.T, VTerm: info.VTerm, VOC: info.VOC,
+				ILoad: info.ILoad, IIn: info.IIn,
+			})
+		}
+		if info.VTerm < res.VMin {
+			res.VMin = info.VTerm
+		}
+		if info.Failed {
+			res.PowerFailed = true
+			res.FailTime = info.T
+			res.Duration = t + dt
+			res.VEndImmediate = info.VTerm
+			res.VFinal = info.VTerm
+			return res
+		}
+	}
+	res.Completed = true
+	res.Duration = dur
+	res.VEndImmediate = s.lastVT
+
+	if opt.SkipRebound {
+		res.VFinal = res.VEndImmediate
+		return res
+	}
+	res.VFinal = s.Rebound(opt)
+	return res
+}
+
+// Rebound lets the network relax with no load until the terminal voltage
+// stops rising (or the timeout elapses) and returns the settled voltage.
+// The paper's Culpeo-R-ISR sleeps in 50 ms intervals watching for the
+// maximum; we integrate until dV over 10 ms falls under 50 µV.
+func (s *System) Rebound(opt RunOptions) float64 {
+	dt := s.cfg.DT
+	timeout := opt.ReboundTimeout
+	if timeout <= 0 {
+		timeout = 1.0
+	}
+	window := int(math.Max(1, 10e-3/dt))
+	prev := s.lastVT
+	steps := int(timeout / dt)
+	for i := 0; i < steps; i++ {
+		info := s.Step(load.SleepCurrent, opt.HarvestPower)
+		if opt.OnStep != nil {
+			opt.OnStep(info)
+		}
+		if opt.Recorder != nil {
+			opt.Recorder.Add(trace.Sample{
+				T: info.T, VTerm: info.VTerm, VOC: info.VOC,
+				ILoad: info.ILoad, IIn: info.IIn,
+			})
+		}
+		if i%window == window-1 {
+			if math.Abs(info.VTerm-prev) < 50e-6 {
+				return info.VTerm
+			}
+			prev = info.VTerm
+		}
+	}
+	return s.lastVT
+}
+
+// terminalAtRest returns the no-load terminal voltage from the current
+// branch state without advancing time.
+func (s *System) terminalAtRest() float64 {
+	vt, _, _ := solveNode(s.cfg.Storage.Branches, 0, s.scratch)
+	return vt
+}
+
+// ChargeTo recharges the buffer to the target voltage using direct charge
+// injection (the test harness's bench supply) and returns an error if the
+// target is not plausible. It also re-arms the monitor when the target
+// reaches V_high.
+func (s *System) ChargeTo(v float64) error {
+	if v <= 0 {
+		return fmt.Errorf("powersys: cannot charge to %g V", v)
+	}
+	s.cfg.Storage.SetAll(v)
+	s.lastVT = v
+	s.monitor.Observe(v)
+	return nil
+}
+
+// DischargeTo drains the buffer to the target open-circuit voltage (the
+// harness's controlled discharge before applying a profile at a chosen
+// V_start). The monitor state is preserved.
+func (s *System) DischargeTo(v float64) error {
+	if v < 0 {
+		return fmt.Errorf("powersys: cannot discharge to %g V", v)
+	}
+	for _, b := range s.cfg.Storage.Branches {
+		if b.Voltage > v {
+			b.Voltage = v
+		}
+	}
+	s.lastVT = s.terminalAtRest()
+	return nil
+}

@@ -1,0 +1,464 @@
+package powersys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+	"culpeo/internal/trace"
+)
+
+func newTestSystem(t *testing.T, esr float64) *System {
+	t.Helper()
+	net, err := capacitor.NewNetwork(&capacitor.Branch{
+		Name: "main", C: 45e-3, ESR: esr, Voltage: 2.56,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Capybara()
+	cfg.Storage = net
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCapybaraConfig(t *testing.T) {
+	cfg := Capybara()
+	if cfg.VOff != 1.6 || cfg.VHigh != 2.56 {
+		t.Errorf("window = [%g, %g]", cfg.VOff, cfg.VHigh)
+	}
+	main := cfg.Storage.Main()
+	if math.Abs(main.C-45e-3) > 1e-12 {
+		t.Errorf("bank C = %g", main.C)
+	}
+	if math.Abs(main.ESR-5.0) > 1e-12 {
+		t.Errorf("bank ESR = %g (six 30Ω parts in parallel)", main.ESR)
+	}
+	if main.Leakage > 25e-9 {
+		t.Errorf("bank leakage = %g, want ~20 nA", main.Leakage)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.On() {
+		t.Error("system charged to VHigh should start enabled")
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	cfg := Capybara()
+	cfg.Storage = nil
+	if _, err := New(cfg); err == nil {
+		t.Error("nil storage accepted")
+	}
+	cfg = Capybara()
+	cfg.VHigh, cfg.VOff = 1.0, 2.0
+	if _, err := New(cfg); err == nil {
+		t.Error("inverted window accepted")
+	}
+	cfg = Capybara()
+	cfg.Output.VOut = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("bad output accepted")
+	}
+	cfg = Capybara()
+	cfg.Input.Efficiency = 2
+	if _, err := New(cfg); err == nil {
+		t.Error("bad input accepted")
+	}
+	cfg = Capybara()
+	cfg.Storage.Main().C = -1
+	if _, err := New(cfg); err == nil {
+		t.Error("bad branch accepted")
+	}
+}
+
+func TestESRDropAndRebound(t *testing.T) {
+	// The Figure 1(b) phenomenon: applying a load instantly drops the
+	// terminal voltage by ~I_in·ESR; removing it rebounds most of the drop.
+	s := newTestSystem(t, 1.5)
+	v0 := s.VTerm()
+	var under float64
+	for i := 0; i < 1000; i++ { // 8 ms at 50 mA
+		info := s.Step(50e-3, 0)
+		under = info.VTerm
+	}
+	drop := v0 - under
+	if drop < 0.05 {
+		t.Fatalf("ESR drop too small: %g V", drop)
+	}
+	// Let it rebound.
+	var after float64
+	for i := 0; i < 1000; i++ {
+		info := s.Step(0, 0)
+		after = info.VTerm
+	}
+	rebound := after - under
+	if rebound < 0.8*drop {
+		t.Fatalf("rebound %g V should recover most of the %g V drop", rebound, drop)
+	}
+	// The energy actually consumed in 8 ms at ~60 mW is small: after
+	// rebound we should be within ~20 mV of the start.
+	if v0-after > 0.05 {
+		t.Errorf("post-rebound voltage %g too far below start %g", after, v0)
+	}
+}
+
+func TestESRDropScalesWithESR(t *testing.T) {
+	drop := func(esr float64) float64 {
+		s := newTestSystem(t, esr)
+		v0 := s.VTerm()
+		var v float64
+		for i := 0; i < 100; i++ {
+			v = s.Step(50e-3, 0).VTerm
+		}
+		return v0 - v
+	}
+	low, high := drop(0.1), drop(3.0)
+	if !(high > 5*low) {
+		t.Errorf("drop at 3Ω (%g) should dwarf drop at 0.1Ω (%g)", high, low)
+	}
+}
+
+func TestFigure4PowerOffWithStoredEnergy(t *testing.T) {
+	// 10 Ω ESR + 50 mA LoRa-class draw: ~500 mV drop — the device powers
+	// off while ample energy remains (Figure 4).
+	net, _ := capacitor.NewNetwork(&capacitor.Branch{
+		Name: "main", C: 45e-3, ESR: 10, Voltage: 2.0,
+	})
+	cfg := Capybara()
+	cfg.Storage = net
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Monitor().Force(true)
+	e0 := net.TotalEnergy()
+	res := s.Run(load.LoRa(), RunOptions{})
+	if res.Completed {
+		t.Fatal("expected power failure from ESR drop")
+	}
+	if !res.PowerFailed {
+		t.Fatal("PowerFailed flag not set")
+	}
+	// Most of the stored energy must remain: this is the paper's point.
+	if rem := net.TotalEnergy(); rem < 0.8*e0 {
+		t.Errorf("remaining energy %g of %g — failure should strand energy", rem, e0)
+	}
+}
+
+func TestRunCompletesAtHighVoltage(t *testing.T) {
+	s := newTestSystem(t, 1.5)
+	res := s.Run(load.LoRa(), RunOptions{})
+	if !res.Completed || res.PowerFailed {
+		t.Fatalf("LoRa from 2.56 V should complete: %+v", res)
+	}
+	if !(res.VMin < res.VStart) {
+		t.Error("VMin should be below VStart under load")
+	}
+	if !(res.VFinal > res.VMin) {
+		t.Error("VFinal should rebound above VMin")
+	}
+	if !(res.VFinal <= res.VStart) {
+		t.Error("VFinal cannot exceed VStart without harvest")
+	}
+	if res.EnergyUsed <= 0 {
+		t.Error("energy must be consumed")
+	}
+	if res.Duration != load.LoRa().Duration() {
+		t.Errorf("duration = %g", res.Duration)
+	}
+}
+
+func TestRunRecordsTrace(t *testing.T) {
+	s := newTestSystem(t, 1.5)
+	rec := trace.NewRecorder(1)
+	res := s.Run(load.NewUniform(10e-3, 5e-3), RunOptions{Recorder: rec, SkipRebound: true})
+	if !res.Completed {
+		t.Fatal("run failed")
+	}
+	wantSteps := int(math.Ceil(5e-3 / s.DT()))
+	if rec.Len() != wantSteps {
+		t.Errorf("trace samples = %d, want %d", rec.Len(), wantSteps)
+	}
+	if math.Abs(rec.MinVTerm()-res.VMin) > 1e-12 {
+		t.Error("trace min disagrees with run min")
+	}
+}
+
+func TestHysteresisRecharge(t *testing.T) {
+	// After a power failure the device must recharge fully to V_high before
+	// the output is re-enabled (Section II-A).
+	net, _ := capacitor.NewNetwork(&capacitor.Branch{
+		Name: "main", C: 5e-3, ESR: 5, Voltage: 1.7,
+	})
+	cfg := Capybara()
+	cfg.Storage = net
+	s, _ := New(cfg)
+	s.Monitor().Force(true)
+	// Hard load crashes it.
+	for i := 0; i < 2000 && s.On(); i++ {
+		s.Step(50e-3, 0)
+	}
+	if s.On() {
+		t.Fatal("load should have crashed the device")
+	}
+	if s.Failures() == 0 {
+		t.Error("failure not counted")
+	}
+	// Recharge with strong harvest; output stays off until V_high.
+	reEnabled := false
+	for i := 0; i < 4_000_000; i++ {
+		info := s.Step(0, 50e-3)
+		if info.On {
+			reEnabled = true
+			if info.VOC < cfg.VHigh-0.05 {
+				t.Errorf("re-enabled at %g V, before VHigh", info.VOC)
+			}
+			break
+		}
+	}
+	if !reEnabled {
+		t.Fatal("device never recharged to VHigh")
+	}
+}
+
+func TestHarvestCharges(t *testing.T) {
+	net, _ := capacitor.NewNetwork(&capacitor.Branch{
+		Name: "main", C: 45e-3, ESR: 1.5, Voltage: 2.0,
+	})
+	cfg := Capybara()
+	cfg.Storage = net
+	s, _ := New(cfg)
+	v0 := net.Main().Voltage
+	for i := 0; i < 10000; i++ {
+		s.Step(0, 10e-3)
+	}
+	if !(net.Main().Voltage > v0) {
+		t.Error("harvest should charge the buffer")
+	}
+	// Charging stops at VHigh.
+	net.Main().Voltage = cfg.VHigh
+	for i := 0; i < 100; i++ {
+		s.Step(0, 10e-3)
+	}
+	if net.Main().Voltage > cfg.VHigh+1e-6 {
+		t.Error("charging must stop at VHigh")
+	}
+}
+
+func TestDecouplingReducesDrop(t *testing.T) {
+	// Decoupling capacitance shaves the instantaneous drop for short pulses
+	// but cannot absorb sustained loads (Section II-D).
+	drop := func(withDecoupling bool, pulse float64) float64 {
+		branches := []*capacitor.Branch{
+			{Name: "main", C: 33e-3, ESR: 3, Voltage: 2.4},
+		}
+		if withDecoupling {
+			branches = append(branches, &capacitor.Branch{
+				Name: "decoupling", C: 400e-6, ESR: 0.05, Voltage: 2.4,
+			})
+		}
+		net, err := capacitor.NewNetwork(branches...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Capybara()
+		cfg.Storage = net
+		s, _ := New(cfg)
+		s.Monitor().Force(true)
+		res := s.Run(load.NewUniform(50e-3, pulse), RunOptions{SkipRebound: true})
+		return 2.4 - res.VMin
+	}
+	// Short transient: decoupling helps a lot.
+	short := pulseDropRatio(drop, 1e-3)
+	if !(short < 0.7) {
+		t.Errorf("decoupling should absorb a 1 ms transient (ratio %g)", short)
+	}
+	// Sustained 100 ms load: decoupling barely helps.
+	long := pulseDropRatio(drop, 100e-3)
+	if !(long > 0.7) {
+		t.Errorf("decoupling should not absorb a sustained load (ratio %g)", long)
+	}
+}
+
+func pulseDropRatio(drop func(bool, float64) float64, pulse float64) float64 {
+	with := drop(true, pulse)
+	without := drop(false, pulse)
+	return with / without
+}
+
+func TestChargeDischargeHarness(t *testing.T) {
+	s := newTestSystem(t, 1.5)
+	if err := s.ChargeTo(2.56); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.DischargeTo(2.0); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Storage.Main().Voltage; math.Abs(got-2.0) > 1e-12 {
+		t.Errorf("discharge target missed: %g", got)
+	}
+	// DischargeTo must never raise voltage.
+	if err := s.DischargeTo(2.3); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Config().Storage.Main().Voltage; got > 2.0 {
+		t.Error("DischargeTo raised the voltage")
+	}
+	if err := s.ChargeTo(-1); err == nil {
+		t.Error("negative charge target accepted")
+	}
+	if err := s.DischargeTo(-1); err == nil {
+		t.Error("negative discharge target accepted")
+	}
+}
+
+func TestEnergyConservation(t *testing.T) {
+	// Without harvest, storage energy decreases monotonically under load and
+	// the decrease is at least the energy delivered to the load (booster
+	// losses and ESR losses are both positive).
+	s := newTestSystem(t, 1.5)
+	e0 := s.Config().Storage.TotalEnergy()
+	p := load.NewUniform(25e-3, 50e-3)
+	res := s.Run(p, RunOptions{SkipRebound: true})
+	if !res.Completed {
+		t.Fatal("run failed")
+	}
+	delivered := load.Energy(p, s.Config().Output.VOut, 125e3)
+	used := e0 - s.Config().Storage.TotalEnergy()
+	if used < delivered {
+		t.Errorf("storage gave up %g J but load received %g J — free energy", used, delivered)
+	}
+	if used > 3*delivered {
+		t.Errorf("losses implausibly high: used %g J for %g J delivered", used, delivered)
+	}
+	if math.Abs(used-res.EnergyUsed) > 1e-9 {
+		t.Errorf("EnergyUsed accounting off: %g vs %g", res.EnergyUsed, used)
+	}
+}
+
+func TestSolveNodeProperties(t *testing.T) {
+	f := func(vRaw, rRaw, pRaw float64) bool {
+		v := math.Abs(math.Mod(vRaw, 2)) + 0.5
+		r := math.Abs(math.Mod(rRaw, 5)) + 0.01
+		pin := math.Abs(math.Mod(pRaw, 0.3))
+		b := []*capacitor.Branch{{Name: "b", C: 1e-3, ESR: r, Voltage: v}}
+		vt, cur, ok := solveNode(b, pin, nil)
+		if !ok {
+			return pin > 0.9*v*v/(4*r) // only near/above max power
+		}
+		// KCL: branch current equals booster current, power balance holds.
+		if pin > 0 {
+			bal := cur[0] * vt
+			if math.Abs(bal-pin) > 1e-6*math.Max(pin, 1) {
+				return false
+			}
+		}
+		return vt <= v+1e-12 && vt > 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSolveNodeMultiBranchConsistency(t *testing.T) {
+	// Two identical branches must behave like one branch with half the ESR.
+	one, _ := capacitor.NewNetwork(&capacitor.Branch{Name: "a", C: 2e-3, ESR: 1, Voltage: 2.4})
+	two, _ := capacitor.NewNetwork(
+		&capacitor.Branch{Name: "a", C: 1e-3, ESR: 2, Voltage: 2.4},
+		&capacitor.Branch{Name: "b", C: 1e-3, ESR: 2, Voltage: 2.4},
+	)
+	pin := 0.1
+	v1, c1, ok1 := solveNode(one.Branches, pin, nil)
+	v2, c2, ok2 := solveNode(two.Branches, pin, nil)
+	if !ok1 || !ok2 {
+		t.Fatal("solver failed")
+	}
+	if math.Abs(v1-v2) > 1e-9 {
+		t.Errorf("equivalent networks disagree: %g vs %g", v1, v2)
+	}
+	if math.Abs(c1[0]-(c2[0]+c2[1])) > 1e-9 {
+		t.Errorf("total current disagrees: %g vs %g", c1[0], c2[0]+c2[1])
+	}
+}
+
+func TestBrownoutDetection(t *testing.T) {
+	// Demand beyond voc²/(4R): solver must report failure and Step must cut
+	// power.
+	net, _ := capacitor.NewNetwork(&capacitor.Branch{
+		Name: "main", C: 45e-3, ESR: 20, Voltage: 1.8,
+	})
+	cfg := Capybara()
+	cfg.Storage = net
+	s, _ := New(cfg)
+	s.Monitor().Force(true)
+	info := s.Step(0.5, 0) // 0.5 A is far beyond deliverable
+	if !info.Failed {
+		t.Error("brown-out step should report failure")
+	}
+	if s.On() {
+		t.Error("brown-out should cut power")
+	}
+}
+
+func TestStepWhileOff(t *testing.T) {
+	net, _ := capacitor.NewNetwork(&capacitor.Branch{
+		Name: "main", C: 45e-3, ESR: 1.5, Voltage: 2.0, // below VHigh
+	})
+	cfg := Capybara()
+	cfg.Storage = net
+	s, _ := New(cfg)
+	if s.On() {
+		t.Fatal("should start off below VHigh")
+	}
+	v0 := net.Main().Voltage
+	info := s.Step(50e-3, 0) // load demanded but power is off
+	if info.ILoad != 0 {
+		t.Error("load served while off")
+	}
+	if math.Abs(net.Main().Voltage-v0) > 1e-9 {
+		t.Error("buffer discharged while off")
+	}
+}
+
+func TestDefaultDTApplied(t *testing.T) {
+	cfg := Capybara()
+	cfg.DT = 0
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.DT() != DefaultDT {
+		t.Errorf("DT = %g, want default", s.DT())
+	}
+}
+
+func TestRunBaselineCurrent(t *testing.T) {
+	// A baseline (profiling overhead) increases the energy drawn.
+	mk := func(base float64) float64 {
+		s := newTestSystem(t, 1.5)
+		res := s.Run(load.NewUniform(10e-3, 50e-3), RunOptions{Baseline: base, SkipRebound: true})
+		return res.EnergyUsed
+	}
+	if !(mk(1e-3) > mk(0)) {
+		t.Error("baseline current should cost energy")
+	}
+}
+
+func TestMaxPowerPoint(t *testing.T) {
+	b := []*capacitor.Branch{{Name: "m", C: 1e-3, ESR: 2, Voltage: 2.0}}
+	vt, cur := maxPowerPoint(b, nil)
+	if math.Abs(vt-1.0) > 1e-12 {
+		t.Errorf("max power point voltage = %g, want voc/2", vt)
+	}
+	if math.Abs(cur[0]-0.5) > 1e-12 {
+		t.Errorf("max power point current = %g, want 0.5", cur[0])
+	}
+}

@@ -1,0 +1,177 @@
+// Package prob implements the paper's second future-work direction
+// (Section IX, "Probabilistic Resource Reasoning"): completion-probability
+// bounds for tasks whose cost varies run to run (e.g. input-dependent
+// "knob" values), with voltage modelled as a resource.
+//
+// Compile-time tools bound completion probability from energy
+// distributions; the paper's point is that "a task could with all
+// likelihood have enough energy to run and still fail" because of the ESR
+// drop. This package provides both bounds over the same task
+// distribution:
+//
+//   - EnergyQuantileVSafe: the energy-only probabilistic bound — the
+//     starting voltage whose stored energy covers the task's energy at the
+//     target quantile. ESR-blind.
+//   - VSafeQuantile: the voltage-aware bound — the lowest starting voltage
+//     at which the Monte-Carlo completion probability (measured on the
+//     full simulator) reaches the target.
+//
+// Everything is deterministic per seed.
+package prob
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// TaskDist generates task instances: each Sample is one possible execution
+// of the task (e.g. a matrix multiply whose input dimension varies).
+type TaskDist interface {
+	Name() string
+	// Sample draws one execution's load profile.
+	Sample(rng *rand.Rand) load.Profile
+}
+
+// KnobPulse is a pulse task whose duration (the "knob") is uniform in
+// [TMin, TMax] — the paper's matrix-dimension example in load form.
+type KnobPulse struct {
+	ID         string
+	ILoad      float64
+	TMin, TMax float64
+	// Compute tail, as in Table III's pulse loads; zero disables it.
+	ICompute, TCompute float64
+}
+
+func (k KnobPulse) Name() string {
+	if k.ID != "" {
+		return k.ID
+	}
+	return fmt.Sprintf("knob-pulse-%gmA", k.ILoad*1e3)
+}
+
+func (k KnobPulse) Sample(rng *rand.Rand) load.Profile {
+	t := k.TMin + rng.Float64()*(k.TMax-k.TMin)
+	p := load.Pulse{
+		ID:       k.Name(),
+		ILoad:    k.ILoad,
+		TPulse:   t,
+		ICompute: k.ICompute,
+		TCompute: k.TCompute,
+	}
+	return p
+}
+
+// KnobMix draws uniformly from a set of concrete profiles (e.g. the
+// different code paths a task can take).
+type KnobMix struct {
+	ID       string
+	Profiles []load.Profile
+}
+
+func (k KnobMix) Name() string { return k.ID }
+
+func (k KnobMix) Sample(rng *rand.Rand) load.Profile {
+	return k.Profiles[rng.Intn(len(k.Profiles))]
+}
+
+// CompletionProb estimates P(task completes | started at vStart) by n
+// Monte-Carlo trials on isolated copies of the power system.
+func CompletionProb(cfg powersys.Config, d TaskDist, vStart float64, n int, seed int64) (float64, error) {
+	if d == nil || n <= 0 {
+		return 0, errors.New("prob: need a distribution and positive trials")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	ok := 0
+	for i := 0; i < n; i++ {
+		task := d.Sample(rng)
+		c := cfg
+		c.Storage = cfg.Storage.Clone()
+		sys, err := powersys.New(c)
+		if err != nil {
+			return 0, err
+		}
+		if err := sys.ChargeTo(c.VHigh); err != nil {
+			return 0, err
+		}
+		if err := sys.DischargeTo(vStart); err != nil {
+			return 0, err
+		}
+		sys.Monitor().Force(true)
+		res := sys.Run(task, powersys.RunOptions{SkipRebound: true})
+		if res.Completed && res.VMin >= c.VOff {
+			ok++
+		}
+	}
+	return float64(ok) / float64(n), nil
+}
+
+// VSafeQuantile finds the lowest starting voltage whose Monte-Carlo
+// completion probability is at least target (e.g. 0.99). Completion
+// probability is monotone in the starting voltage, so bisection applies.
+// It returns an error when even V_high cannot reach the target.
+func VSafeQuantile(cfg powersys.Config, d TaskDist, target float64, n int, seed int64) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("prob: target %g outside (0,1]", target)
+	}
+	pHigh, err := CompletionProb(cfg, d, cfg.VHigh, n, seed)
+	if err != nil {
+		return 0, err
+	}
+	if pHigh < target {
+		return 0, fmt.Errorf("prob: %s reaches only %.3f completion even from V_high", d.Name(), pHigh)
+	}
+	lo, hi := cfg.VOff, cfg.VHigh
+	for i := 0; i < 20; i++ {
+		mid := 0.5 * (lo + hi)
+		p, err := CompletionProb(cfg, d, mid, n, seed)
+		if err != nil {
+			return 0, err
+		}
+		if p >= target {
+			hi = mid
+		} else {
+			lo = mid
+		}
+		if hi-lo < 2e-3 {
+			break
+		}
+	}
+	return hi, nil
+}
+
+// EnergyQuantileVSafe is the energy-only probabilistic bound: sample n
+// task energies, take the target quantile, and return the voltage whose
+// stored energy above V_off covers it — the reasoning of compile-time
+// energy tools, which "can incorrectly conclude a task likely terminates
+// when ESR drops will actually pull the voltage beneath the power-off
+// threshold".
+func EnergyQuantileVSafe(cfg powersys.Config, d TaskDist, target float64, n int, seed int64) (float64, error) {
+	if target <= 0 || target > 1 {
+		return 0, fmt.Errorf("prob: target %g outside (0,1]", target)
+	}
+	if d == nil || n <= 0 {
+		return 0, errors.New("prob: need a distribution and positive trials")
+	}
+	rng := rand.New(rand.NewSource(seed))
+	energies := make([]float64, n)
+	for i := range energies {
+		energies[i] = load.Energy(d.Sample(rng), cfg.Output.VOut, 0)
+	}
+	sort.Float64s(energies)
+	idx := int(target*float64(n)) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= n {
+		idx = n - 1
+	}
+	e := energies[idx]
+	c := cfg.Storage.TotalCapacitance()
+	return math.Sqrt(cfg.VOff*cfg.VOff + 2*e/c), nil
+}

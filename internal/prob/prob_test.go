@@ -1,0 +1,173 @@
+package prob
+
+import (
+	"math/rand"
+	"testing"
+
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+func knobTask() KnobPulse {
+	// A 25 mA pulse whose duration varies 2–20 ms with a compute tail: the
+	// ESR drop is ~constant across the knob, so the energy distribution is
+	// wide but the voltage requirement is dominated by the drop.
+	return KnobPulse{
+		ID: "knob-radio", ILoad: 25e-3, TMin: 2e-3, TMax: 20e-3,
+		ICompute: 1.5e-3, TCompute: 100e-3,
+	}
+}
+
+func TestKnobPulseSampling(t *testing.T) {
+	k := knobTask()
+	rng := rand.New(rand.NewSource(1))
+	sawShort, sawLong := false, false
+	for i := 0; i < 200; i++ {
+		p := k.Sample(rng)
+		d := p.Duration() - 100e-3 // strip the tail
+		if d < 2e-3-1e-9 || d > 20e-3+1e-9 {
+			t.Fatalf("knob outside range: %g", d)
+		}
+		if d < 5e-3 {
+			sawShort = true
+		}
+		if d > 17e-3 {
+			sawLong = true
+		}
+	}
+	if !sawShort || !sawLong {
+		t.Error("knob not exploring its range")
+	}
+	if k.Name() != "knob-radio" {
+		t.Error("name wrong")
+	}
+	if (KnobPulse{ILoad: 5e-3}).Name() == "" {
+		t.Error("default name empty")
+	}
+}
+
+func TestKnobMix(t *testing.T) {
+	m := KnobMix{ID: "mix", Profiles: []load.Profile{
+		load.NewUniform(5e-3, 1e-3),
+		load.NewUniform(10e-3, 1e-3),
+	}}
+	rng := rand.New(rand.NewSource(2))
+	seen := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		seen[m.Sample(rng).Name()] = true
+	}
+	if len(seen) != 2 {
+		t.Error("mix not drawing all profiles")
+	}
+	if m.Name() != "mix" {
+		t.Error("name wrong")
+	}
+}
+
+func TestCompletionProbMonotone(t *testing.T) {
+	cfg := powersys.Capybara()
+	d := knobTask()
+	low, err := CompletionProb(cfg, d, 1.75, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	high, err := CompletionProb(cfg, d, 2.4, 40, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(high >= low) {
+		t.Errorf("completion probability not monotone: %g @1.75 vs %g @2.4", low, high)
+	}
+	if high < 0.99 {
+		t.Errorf("from 2.4 V the knob task should always complete: %g", high)
+	}
+	// Deterministic per seed.
+	again, _ := CompletionProb(cfg, d, 1.75, 40, 7)
+	if again != low {
+		t.Error("Monte Carlo not deterministic per seed")
+	}
+}
+
+func TestCompletionProbValidation(t *testing.T) {
+	cfg := powersys.Capybara()
+	if _, err := CompletionProb(cfg, nil, 2.0, 10, 1); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := CompletionProb(cfg, knobTask(), 2.0, 0, 1); err == nil {
+		t.Error("zero trials accepted")
+	}
+}
+
+func TestEnergyBoundIsOptimistic(t *testing.T) {
+	// The §IX headline: the 99th-percentile *energy* bound is far below
+	// what actually completes 99% of the time, because the ESR drop is
+	// invisible to energy reasoning.
+	cfg := powersys.Capybara()
+	d := knobTask()
+	const target, n, seed = 0.95, 60, 11
+
+	eBound, err := EnergyQuantileVSafe(cfg, d, target, 200, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vBound, err := VSafeQuantile(cfg, d, target, n, seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(vBound > eBound+0.1) {
+		t.Fatalf("voltage bound (%g) should exceed energy bound (%g) by the ESR drop", vBound, eBound)
+	}
+	// Starting at the energy bound fails most of the time.
+	pEnergy, err := CompletionProb(cfg, d, eBound, n, seed+1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pEnergy > 0.2 {
+		t.Errorf("energy bound completes %g of runs — should be doomed", pEnergy)
+	}
+	// Starting at the voltage bound meets the target (fresh seed).
+	pVolt, err := CompletionProb(cfg, d, vBound, n, seed+2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pVolt < target-0.1 {
+		t.Errorf("voltage bound completes only %g of runs", pVolt)
+	}
+}
+
+func TestVSafeQuantileValidation(t *testing.T) {
+	cfg := powersys.Capybara()
+	if _, err := VSafeQuantile(cfg, knobTask(), 0, 10, 1); err == nil {
+		t.Error("zero target accepted")
+	}
+	if _, err := VSafeQuantile(cfg, knobTask(), 1.5, 10, 1); err == nil {
+		t.Error("target above 1 accepted")
+	}
+	// An infeasible distribution errors out.
+	doomed := KnobPulse{ILoad: 0.8, TMin: 10e-3, TMax: 20e-3}
+	if _, err := VSafeQuantile(cfg, doomed, 0.9, 10, 1); err == nil {
+		t.Error("infeasible distribution accepted")
+	}
+}
+
+func TestEnergyQuantileValidation(t *testing.T) {
+	cfg := powersys.Capybara()
+	if _, err := EnergyQuantileVSafe(cfg, nil, 0.9, 10, 1); err == nil {
+		t.Error("nil distribution accepted")
+	}
+	if _, err := EnergyQuantileVSafe(cfg, knobTask(), 0, 10, 1); err == nil {
+		t.Error("zero target accepted")
+	}
+	// Quantile ordering: a higher target never lowers the bound.
+	lo, err := EnergyQuantileVSafe(cfg, knobTask(), 0.5, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hi, err := EnergyQuantileVSafe(cfg, knobTask(), 0.99, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(hi >= lo) {
+		t.Errorf("quantile bound not monotone: %g vs %g", lo, hi)
+	}
+}

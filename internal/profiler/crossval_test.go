@@ -1,0 +1,144 @@
+package profiler
+
+import (
+	"fmt"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// TestSafetyMatrix cross-validates every estimator across an ESR × load
+// grid — the central correctness claim of the system, as a regression
+// fence: Culpeo-PG and Culpeo-R stay safe (or marginal) everywhere the
+// task is feasible, regardless of how resistive the bank is.
+func TestSafetyMatrix(t *testing.T) {
+	if testing.Short() {
+		t.Skip("grid of ground-truth searches")
+	}
+	esrs := []float64{1, 3, 5, 8}
+	tasks := []load.Profile{
+		load.NewUniform(10e-3, 10e-3),
+		load.NewUniform(25e-3, 10e-3),
+		load.NewPulse(25e-3, 10e-3),
+		load.BLERadio(),
+	}
+	for _, esr := range esrs {
+		esr := esr
+		t.Run(fmt.Sprintf("esr=%g", esr), func(t *testing.T) {
+			net, err := capacitor.NewNetwork(&capacitor.Branch{
+				Name: "main", C: 45e-3, ESR: esr, Voltage: 2.56,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg := powersys.Capybara()
+			cfg.Storage = net
+			h, err := harness.New(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			model := core.PowerModel{
+				C:    45e-3,
+				ESR:  capacitor.Flat(esr),
+				VOut: cfg.Output.VOut, VOff: cfg.VOff, VHigh: cfg.VHigh,
+				Eff: cfg.Output.Efficiency,
+			}
+			for _, task := range tasks {
+				gt, err := h.GroundTruth(task)
+				if err != nil {
+					continue // infeasible at this ESR: nothing to validate
+				}
+				pgEst, err := PG{Model: model}.Estimate(task)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if harness.Classify(pgEst.VSafe, gt) == harness.Unsafe {
+					t.Errorf("PG unsafe on %s: %g vs %g", task.Name(), pgEst.VSafe, gt)
+				}
+				sys := h.NewSystem()
+				sys.Monitor().Force(true)
+				rEst, err := REstimate(model, sys, NewISRProbe(sys.VTerm), task, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if harness.Classify(rEst.VSafe, gt) == harness.Unsafe {
+					t.Errorf("R-ISR unsafe on %s: %g vs %g", task.Name(), rEst.VSafe, gt)
+				}
+				// Neither estimator wildly overshoots (stays dispatchable).
+				for name, v := range map[string]float64{"PG": pgEst.VSafe, "R": rEst.VSafe} {
+					if v < cfg.VHigh && h.ErrorPercent(v, gt) > 25 {
+						t.Errorf("%s on %s at ESR %g overshoots: %+.1f%%",
+							name, task.Name(), esr, h.ErrorPercent(v, gt))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestChainCompositionMatchesSimulatedChain validates V_safe_multi against
+// the simulator: a chain's composed requirement must be safe for — and
+// reasonably close to — the ground truth of running the same tasks back to
+// back in one discharge.
+func TestChainCompositionMatchesSimulatedChain(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ground-truth search")
+	}
+	cfg := powersys.Capybara()
+	h, err := harness.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := core.PowerModel{
+		C:    cfg.Storage.TotalCapacitance(),
+		ESR:  capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut: cfg.Output.VOut, VOff: cfg.VOff, VHigh: cfg.VHigh,
+		Eff: cfg.Output.Efficiency,
+	}
+
+	chains := [][]load.Profile{
+		{load.IMURead(32), load.Encrypt(192), load.BLERadio()},
+		{load.PhotoRead(), load.NewUniform(25e-3, 10e-3)},
+		{load.NewUniform(5e-3, 50e-3), load.NewUniform(50e-3, 5e-3)},
+	}
+	for ci, chain := range chains {
+		// Composed requirement from per-task Culpeo-R estimates.
+		var reqs []core.TaskReq
+		for ti, task := range chain {
+			sys := h.NewSystem()
+			sys.Monitor().Force(true)
+			est, err := REstimate(model, sys, NewISRProbe(sys.VTerm), task, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+			reqs = append(reqs, est.Req(fmt.Sprintf("c%d-t%d", ci, ti)))
+		}
+		composed := core.VSafeMulti(cfg.VOff, reqs)
+
+		// Ground truth of the whole chain as one back-to-back profile.
+		seq := load.NewSeq(fmt.Sprintf("chain-%d", ci), chain...)
+		gt, err := h.GroundTruth(seq)
+		if err != nil {
+			t.Fatalf("chain %d infeasible: %v", ci, err)
+		}
+		// Safe within the paper's 20 mV band.
+		if composed < gt-20e-3 {
+			t.Errorf("chain %d: composed %g below truth %g", ci, composed, gt)
+		}
+		// And not uselessly conservative.
+		if h.ErrorPercent(composed, gt) > 25 {
+			t.Errorf("chain %d: composed %g overshoots truth %g (%+.1f%%)",
+				ci, composed, gt, h.ErrorPercent(composed, gt))
+		}
+		// Launching the chain at the composed requirement (plus the
+		// deployment margin) completes.
+		res := h.RunAt(composed+20e-3, seq, powersys.RunOptions{SkipRebound: true})
+		if !res.Completed || res.VMin < cfg.VOff {
+			t.Errorf("chain %d fails at its composed requirement: VMin %g", ci, res.VMin)
+		}
+	}
+}

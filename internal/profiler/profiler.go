@@ -1,0 +1,295 @@
+// Package profiler operationalizes the Culpeo charge model: it produces the
+// observations (Culpeo-R) and current-trace analyses (Culpeo-PG) that feed
+// V_safe calculations.
+//
+// Three implementations mirror the paper's Section V:
+//
+//   - PG: offline, profile-guided — samples a task's current profile at
+//     125 kHz on continuous power and runs Algorithm 1 against the power
+//     system model.
+//   - ISRProbe (Culpeo-R-ISR): a 1 ms timer interrupt reads the MCU's
+//     12-bit ADC during the task and wakes every 50 ms during the rebound.
+//     The ADC's supply current is charged to the task being profiled.
+//   - UArchProbe (Culpeo-µArch): the memory-mapped peripheral block samples
+//     at 100 kHz with an 8-bit ADC and a hardware comparator; the CPU only
+//     touches it at task boundaries.
+package profiler
+
+import (
+	"math"
+
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/mcu"
+	"culpeo/internal/powersys"
+)
+
+// PG is the profile-guided, compile-time analysis (Culpeo-PG).
+type PG struct {
+	// Model describes the target power system (built from datasheets plus
+	// the measured ESR curve).
+	Model core.PowerModel
+	// SampleRate of the captured current trace; 0 = 125 kHz.
+	SampleRate float64
+}
+
+// Estimate profiles the task's current on continuous power (exact in
+// simulation: we sample the profile directly, as a bench power monitor
+// would) and applies Algorithm 1.
+func (p PG) Estimate(task load.Profile) (core.Estimate, error) {
+	rate := p.SampleRate
+	if rate <= 0 {
+		rate = load.SampleRateDefault
+	}
+	return core.VSafePG(p.Model, load.Sample(task, rate))
+}
+
+// Sampler is a voltage-capture mechanism driven by the simulation loop. It
+// doubles as the core.Probe the Culpeo interface needs: Start/End/ReboundEnd
+// frame a task execution while Tick delivers terminal-voltage samples.
+type Sampler interface {
+	core.Probe
+	// Tick presents the live terminal voltage at simulation time t.
+	Tick(t, v float64)
+	// ExtraCurrent returns the additional load the profiling mechanism
+	// imposes right now (ADC supply current).
+	ExtraCurrent() float64
+}
+
+type phase int
+
+const (
+	phaseIdle phase = iota
+	phaseTask
+	phaseRebound
+)
+
+// ISRProbe implements Culpeo-R-ISR (Section V-C): a hardware timer ISR
+// samples the on-chip ADC every Period during the task; after profile_end
+// the MCU sleeps, waking every ReboundPeriod to track the rebound maximum.
+type ISRProbe struct {
+	ADC           mcu.ADC
+	Period        float64 // task-phase sampling period (1 ms in the paper)
+	ReboundPeriod float64 // rebound-phase wake period (50 ms in the paper)
+
+	// Source supplies the instantaneous terminal voltage for the reads the
+	// CPU performs outside the tick stream (V_start at profile_start).
+	Source func() float64
+
+	ph       phase
+	vstart   float64
+	minV     float64
+	maxV     float64
+	lastT    float64
+	havePrev bool
+}
+
+// NewISRProbe builds the paper-configured ISR probe.
+func NewISRProbe(source func() float64) *ISRProbe {
+	return &ISRProbe{
+		ADC:           mcu.MSP430ADC12(),
+		Period:        1e-3,
+		ReboundPeriod: 50e-3,
+		Source:        source,
+	}
+}
+
+// Start implements profile_start: record V_start and arm minimum tracking.
+// The hardware timer fires its first interrupt one full Period after being
+// enabled, so the first in-task sample lands at t_start + Period — which is
+// exactly why the ISR variant misses the minimum of sub-period pulses
+// (Section VII-A's 50 mA/1 ms observation).
+func (p *ISRProbe) Start() {
+	p.ph = phaseTask
+	p.vstart = p.ADC.Read(p.Source())
+	p.minV = p.vstart
+	p.maxV = 0
+	p.havePrev = false
+}
+
+// End implements profile_end: stop the task-phase timer and begin rebound
+// (maximum) tracking with the MCU sleeping between samples.
+func (p *ISRProbe) End() {
+	p.ph = phaseRebound
+	p.havePrev = false
+}
+
+// ReboundEnd stops tracking and returns the observation. If the rebound
+// never produced a sample (e.g. zero rebound window) the final voltage is
+// read directly.
+func (p *ISRProbe) ReboundEnd() core.Observation {
+	if p.maxV == 0 {
+		p.maxV = p.ADC.Read(p.Source())
+	}
+	p.ph = phaseIdle
+	obs := core.Observation{VStart: p.vstart, VMin: p.minV, VFinal: p.maxV}
+	// Quantization can leave VFinal a code below VMin for drop-free tasks;
+	// clamp to a physical ordering.
+	if obs.VFinal < obs.VMin {
+		obs.VFinal = obs.VMin
+	}
+	if obs.VFinal > obs.VStart {
+		obs.VFinal = obs.VStart
+	}
+	return obs
+}
+
+// Tick delivers the live terminal voltage; the probe subsamples it at its
+// configured periods, quantized through its ADC.
+func (p *ISRProbe) Tick(t, v float64) {
+	var period float64
+	switch p.ph {
+	case phaseTask:
+		period = p.Period
+	case phaseRebound:
+		period = p.ReboundPeriod
+	default:
+		return
+	}
+	if !p.havePrev {
+		// Arm the timer: the first conversion happens one period from now.
+		p.lastT = t
+		p.havePrev = true
+		return
+	}
+	if t-p.lastT < period*(1-1e-9) {
+		return
+	}
+	p.lastT = t
+	r := p.ADC.Read(v)
+	switch p.ph {
+	case phaseTask:
+		if r < p.minV {
+			p.minV = r
+		}
+	case phaseRebound:
+		if r > p.maxV {
+			p.maxV = r
+		}
+	}
+}
+
+// ExtraCurrent charges the ADC's supply current to the profiled task during
+// the task phase. During the rebound the MCU sleeps between samples, so the
+// amortized draw is the ADC current scaled by its duty cycle (a 100 µs
+// conversion every ReboundPeriod).
+func (p *ISRProbe) ExtraCurrent() float64 {
+	switch p.ph {
+	case phaseTask:
+		return p.ADC.SupplyCurrent
+	case phaseRebound:
+		duty := 100e-6 / p.ReboundPeriod
+		return p.ADC.SupplyCurrent * duty
+	default:
+		return 0
+	}
+}
+
+// UArchProbe implements Culpeo-µArch (Section V-D): the peripheral block
+// does all sampling in hardware; the CPU issues Table II commands at task
+// boundaries only.
+type UArchProbe struct {
+	Block  *mcu.CulpeoBlock
+	Source func() float64
+
+	vstart float64
+	minV   float64
+	active bool
+}
+
+// NewUArchProbe builds the prototype-configured probe.
+func NewUArchProbe(source func() float64) *UArchProbe {
+	return &UArchProbe{Block: mcu.NewCulpeoBlock(), Source: source}
+}
+
+// Start implements profile_start via the driver sequence of Section V-D:
+// configure(on), read V_start, prepare(min), sample(min).
+func (p *UArchProbe) Start() {
+	p.Block.Configure(true)
+	p.vstart = p.Block.ADC.Read(p.Source())
+	p.Block.Prepare(mcu.CaptureMin)
+	p.Block.Sample(mcu.CaptureMin)
+	p.active = true
+}
+
+// End implements profile_end: read the minimum, then switch to maximum
+// tracking for the rebound.
+func (p *UArchProbe) End() {
+	p.minV = p.Block.ReadVoltage()
+	p.Block.Prepare(mcu.CaptureMax)
+	p.Block.Sample(mcu.CaptureMax)
+}
+
+// ReboundEnd implements rebound_done: read the maximum and disable the
+// block.
+func (p *UArchProbe) ReboundEnd() core.Observation {
+	maxV := p.Block.ReadVoltage()
+	p.Block.Stop()
+	p.Block.Configure(false)
+	p.active = false
+	obs := core.Observation{VStart: p.vstart, VMin: p.minV, VFinal: maxV}
+	if obs.VFinal < obs.VMin {
+		obs.VFinal = obs.VMin
+	}
+	if obs.VFinal > obs.VStart {
+		obs.VFinal = obs.VStart
+	}
+	return obs
+}
+
+// Tick clocks the peripheral block.
+func (p *UArchProbe) Tick(t, v float64) { p.Block.Tick(t, v) }
+
+// ExtraCurrent returns the block's supply draw (nanoamps — effectively
+// free, which is the design's point).
+func (p *UArchProbe) ExtraCurrent() float64 { return p.Block.SupplyCurrent() }
+
+// DriveTask runs one task on the system while ticking the sampler. It does
+// NOT frame the profile: the caller (typically the Table I interface) calls
+// Start before and End after. The sampler's extra supply current is charged
+// to the run, as it is on real hardware.
+func DriveTask(sys *powersys.System, s Sampler, task load.Profile, harvest float64) powersys.RunResult {
+	return sys.Run(task, powersys.RunOptions{
+		HarvestPower: harvest,
+		Baseline:     s.ExtraCurrent(),
+		SkipRebound:  true,
+		OnStep:       func(info powersys.StepInfo) { s.Tick(info.T, info.VTerm) },
+	})
+}
+
+// DriveRebound lets the system's voltage rebound while ticking the sampler
+// (which should be in its maximum-tracking phase) and returns the settled
+// voltage.
+func DriveRebound(sys *powersys.System, s Sampler, harvest float64) float64 {
+	return sys.Rebound(powersys.RunOptions{
+		HarvestPower: harvest,
+		OnStep:       func(info powersys.StepInfo) { s.Tick(info.T, info.VTerm) },
+	})
+}
+
+// ProfileRun executes one full framed profile: Start, run the task, End,
+// settle the rebound, ReboundEnd. It returns the observation alongside the
+// raw run result. The system must already be at the desired starting state
+// with delivery enabled. harvest is the incoming power during the run.
+func ProfileRun(sys *powersys.System, s Sampler, task load.Profile, harvest float64) (core.Observation, powersys.RunResult) {
+	s.Start()
+	res := DriveTask(sys, s, task, harvest)
+	s.End()
+	if !res.Completed {
+		// Task failed: no valid profile (the scheduler aborts it).
+		return s.ReboundEnd(), res
+	}
+	res.VFinal = DriveRebound(sys, s, harvest)
+	return s.ReboundEnd(), res
+}
+
+// REstimate profiles the task once with the sampler starting from the
+// system's current state and returns the Culpeo-R estimate.
+func REstimate(model core.PowerModel, sys *powersys.System, s Sampler, task load.Profile, harvest float64) (core.Estimate, error) {
+	obs, res := ProfileRun(sys, s, task, harvest)
+	if !res.Completed {
+		// Conservative fallback: an estimate demanding a full buffer.
+		return core.Estimate{VSafe: model.VHigh, VDelta: math.NaN()}, nil
+	}
+	return core.VSafeR(model, obs)
+}

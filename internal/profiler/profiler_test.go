@@ -1,0 +1,217 @@
+package profiler
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+func testModel() core.PowerModel {
+	cfg := powersys.Capybara()
+	return core.PowerModel{
+		C:     cfg.Storage.TotalCapacitance(),
+		ESR:   capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   cfg.Output.Efficiency,
+	}
+}
+
+func newHarness(t *testing.T) *harness.Harness {
+	t.Helper()
+	h, err := harness.New(powersys.Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h
+}
+
+func TestPGEstimateSafeForTableLoads(t *testing.T) {
+	h := newHarness(t)
+	pg := PG{Model: testModel()}
+	for _, p := range load.Fig6Loads() {
+		est, err := pg.Estimate(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		gt, err := h.GroundTruth(p)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name(), err)
+		}
+		if v := harness.Classify(est.VSafe, gt); v == harness.Unsafe {
+			t.Errorf("%s: Culpeo-PG estimate %g unsafe vs ground truth %g",
+				p.Name(), est.VSafe, gt)
+		}
+		// Performant: within 15 % of the operating range above truth.
+		if errPct := h.ErrorPercent(est.VSafe, gt); errPct > 15 {
+			t.Errorf("%s: Culpeo-PG overshoot %g%%", p.Name(), errPct)
+		}
+	}
+}
+
+func profileAt(t *testing.T, h *harness.Harness, mk func(src func() float64) Sampler, task load.Profile, vStart float64) (core.Observation, powersys.RunResult) {
+	t.Helper()
+	sys := h.NewSystem()
+	if err := sys.DischargeTo(vStart); err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	s := mk(sys.VTerm)
+	return ProfileRun(sys, s, task, 0)
+}
+
+func TestISRProbeObservation(t *testing.T) {
+	h := newHarness(t)
+	obs, res := profileAt(t, h, func(src func() float64) Sampler { return NewISRProbe(src) },
+		load.NewPulse(25e-3, 10e-3), 2.4)
+	if !res.Completed {
+		t.Fatal("profiling run failed")
+	}
+	if err := obs.Validate(); err != nil {
+		t.Fatalf("invalid observation: %v (obs=%+v)", err, obs)
+	}
+	// V_start near 2.4 (quantized down by at most one 12-bit LSB).
+	if obs.VStart > 2.4 || obs.VStart < 2.4-2e-3 {
+		t.Errorf("VStart = %g", obs.VStart)
+	}
+	// The minimum must reflect the ESR drop of a 25 mA pulse through 1.5 Ω
+	// (tens of millivolts at least).
+	if obs.VStart-obs.VMin < 30e-3 {
+		t.Errorf("observed drop too small: %g", obs.VStart-obs.VMin)
+	}
+	// And rebound recovers most of it.
+	if obs.VFinal-obs.VMin < 0.3*(obs.VStart-obs.VMin) {
+		t.Errorf("rebound too small: min=%g final=%g", obs.VMin, obs.VFinal)
+	}
+}
+
+func TestUArchProbeObservation(t *testing.T) {
+	h := newHarness(t)
+	obs, res := profileAt(t, h, func(src func() float64) Sampler { return NewUArchProbe(src) },
+		load.NewPulse(25e-3, 10e-3), 2.4)
+	if !res.Completed {
+		t.Fatal("profiling run failed")
+	}
+	if err := obs.Validate(); err != nil {
+		t.Fatalf("invalid observation: %v (obs=%+v)", err, obs)
+	}
+	if obs.VStart-obs.VMin < 30e-3 {
+		t.Errorf("observed drop too small: %g", obs.VStart-obs.VMin)
+	}
+}
+
+func TestISRMissesFastMinimum(t *testing.T) {
+	// The paper's Figure 10 quirk: Culpeo-R-ISR's 1 ms sampling misses the
+	// minimum of a 1 ms, 50 mA pulse, while the 100 kHz µArch block sees it.
+	h := newHarness(t)
+	task := load.NewPulse(50e-3, 1e-3)
+	isrObs, _ := profileAt(t, h, func(src func() float64) Sampler { return NewISRProbe(src) }, task, 2.4)
+	uaObs, _ := profileAt(t, h, func(src func() float64) Sampler { return NewUArchProbe(src) }, task, 2.4)
+	if !(uaObs.VDelta() > isrObs.VDelta()+20e-3) {
+		t.Errorf("µArch VDelta %g should exceed ISR VDelta %g for a 1 ms pulse",
+			uaObs.VDelta(), isrObs.VDelta())
+	}
+}
+
+func TestProbesReportExtraCurrent(t *testing.T) {
+	isr := NewISRProbe(func() float64 { return 2.4 })
+	if isr.ExtraCurrent() != 0 {
+		t.Error("idle ISR probe draws current")
+	}
+	isr.Start()
+	if isr.ExtraCurrent() != isr.ADC.SupplyCurrent {
+		t.Error("task-phase ISR probe should draw full ADC current")
+	}
+	isr.End()
+	if got := isr.ExtraCurrent(); got <= 0 || got >= isr.ADC.SupplyCurrent {
+		t.Errorf("rebound-phase ISR draw should be duty-cycled: %g", got)
+	}
+	isr.ReboundEnd()
+	if isr.ExtraCurrent() != 0 {
+		t.Error("finished ISR probe draws current")
+	}
+
+	ua := NewUArchProbe(func() float64 { return 2.4 })
+	if ua.ExtraCurrent() != 0 {
+		t.Error("idle µArch probe draws current")
+	}
+	ua.Start()
+	if ua.ExtraCurrent() <= 0 || ua.ExtraCurrent() > 100e-9 {
+		t.Errorf("µArch draw should be nanoamps: %g", ua.ExtraCurrent())
+	}
+	ua.ReboundEnd()
+	if ua.ExtraCurrent() != 0 {
+		t.Error("disabled µArch probe draws current")
+	}
+}
+
+func TestREstimateSafety(t *testing.T) {
+	// Culpeo-R estimates (both probes) must be safe for the Figure 6 loads.
+	h := newHarness(t)
+	model := testModel()
+	for _, task := range load.Fig6Loads() {
+		gt, err := h.GroundTruth(task)
+		if err != nil {
+			t.Fatalf("%s: %v", task.Name(), err)
+		}
+		for _, mk := range []struct {
+			name string
+			f    func(src func() float64) Sampler
+		}{
+			{"isr", func(src func() float64) Sampler { return NewISRProbe(src) }},
+			{"uarch", func(src func() float64) Sampler { return NewUArchProbe(src) }},
+		} {
+			sys := h.NewSystem()
+			sys.Monitor().Force(true)
+			est, err := REstimate(model, sys, mk.f(sys.VTerm), task, 0)
+			if err != nil {
+				t.Fatalf("%s/%s: %v", task.Name(), mk.name, err)
+			}
+			if v := harness.Classify(est.VSafe, gt); v == harness.Unsafe {
+				t.Errorf("%s/%s: estimate %g unsafe vs truth %g",
+					task.Name(), mk.name, est.VSafe, gt)
+			}
+		}
+	}
+}
+
+func TestREstimateFailedRunFallsBack(t *testing.T) {
+	// Profiling a task that fails yields the conservative V_high fallback.
+	model := testModel()
+	h := newHarness(t)
+	sys := h.NewSystem()
+	if err := sys.DischargeTo(1.65); err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	est, err := REstimate(model, sys, NewISRProbe(sys.VTerm), load.LoRa(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.VSafe != model.VHigh {
+		t.Errorf("fallback VSafe = %g, want VHigh", est.VSafe)
+	}
+	if !math.IsNaN(est.VDelta) {
+		t.Error("fallback VDelta should be NaN")
+	}
+}
+
+func TestPGSampleRateDefault(t *testing.T) {
+	pg := PG{Model: testModel(), SampleRate: 0}
+	if _, err := pg.Estimate(load.Gesture()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestProbesAsCoreProbe(t *testing.T) {
+	// Both probes satisfy core.Probe and integrate with the Table I
+	// interface.
+	var _ core.Probe = NewISRProbe(func() float64 { return 2.4 })
+	var _ core.Probe = NewUArchProbe(func() float64 { return 2.4 })
+}

@@ -1,0 +1,248 @@
+// Package reconfig models a software-defined, reconfigurable energy
+// storage array (Capybara / Morphy class hardware, paper §V-B): the device
+// carries several capacitor banks and connects a chosen subset to the rail
+// through low-resistance switches. Culpeo "models a system's energy buffer
+// as a capacitor in series with a variable resistor, capturing the effect
+// of low resistance connections", and tags per-task profiling data with a
+// buffer identifier so V_safe tables are kept per configuration.
+//
+// The package provides the array model, per-configuration power models,
+// profiling a task across every configuration into one core.Interface
+// (exercising SetBuffer), and a configuration chooser that picks the
+// feasible configuration with the fastest recharge-to-V_safe — small banks
+// recharge quickly for small tasks, large banks enable energy-hungry ones.
+package reconfig
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+)
+
+// Bank is one physical capacitor bank of the array.
+type Bank struct {
+	Name string
+	C    float64 // farads
+	ESR  float64 // ohms, the bank's own ESR
+}
+
+// Array is the reconfigurable storage.
+type Array struct {
+	Banks []Bank
+	// SwitchESR is the series resistance each engaged switch adds.
+	SwitchESR float64
+	// configs maps a configuration ID to the engaged bank indices.
+	configs map[core.BufferID][]int
+}
+
+// NewArray builds an array from banks.
+func NewArray(switchESR float64, banks ...Bank) (*Array, error) {
+	if len(banks) == 0 {
+		return nil, errors.New("reconfig: array needs banks")
+	}
+	for _, b := range banks {
+		if b.C <= 0 || b.ESR < 0 {
+			return nil, fmt.Errorf("reconfig: bank %q unphysical", b.Name)
+		}
+	}
+	if switchESR < 0 {
+		return nil, errors.New("reconfig: negative switch ESR")
+	}
+	return &Array{Banks: banks, SwitchESR: switchESR, configs: map[core.BufferID][]int{}}, nil
+}
+
+// Define registers a configuration: the subset of banks engaged in
+// parallel.
+func (a *Array) Define(id core.BufferID, bankIdx ...int) error {
+	if len(bankIdx) == 0 {
+		return fmt.Errorf("reconfig: configuration %s engages no banks", id)
+	}
+	seen := map[int]bool{}
+	for _, i := range bankIdx {
+		if i < 0 || i >= len(a.Banks) {
+			return fmt.Errorf("reconfig: configuration %s: bank %d out of range", id, i)
+		}
+		if seen[i] {
+			return fmt.Errorf("reconfig: configuration %s: duplicate bank %d", id, i)
+		}
+		seen[i] = true
+	}
+	a.configs[id] = append([]int(nil), bankIdx...)
+	return nil
+}
+
+// Configs lists defined configuration IDs, sorted.
+func (a *Array) Configs() []core.BufferID {
+	out := make([]core.BufferID, 0, len(a.configs))
+	for id := range a.configs {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Network builds the storage network for a configuration at the given
+// initial voltage: each engaged bank is a branch whose ESR includes the
+// switch resistance.
+func (a *Array) Network(id core.BufferID, v float64) (*capacitor.Network, error) {
+	idx, ok := a.configs[id]
+	if !ok {
+		return nil, fmt.Errorf("reconfig: unknown configuration %s", id)
+	}
+	branches := make([]*capacitor.Branch, 0, len(idx))
+	for _, i := range idx {
+		b := a.Banks[i]
+		branches = append(branches, &capacitor.Branch{
+			Name:    b.Name,
+			C:       b.C,
+			ESR:     b.ESR + a.SwitchESR,
+			Voltage: v,
+		})
+	}
+	return capacitor.NewNetwork(branches...)
+}
+
+// Capacitance returns a configuration's total capacitance.
+func (a *Array) Capacitance(id core.BufferID) (float64, error) {
+	net, err := a.Network(id, 0)
+	if err != nil {
+		return 0, err
+	}
+	return net.TotalCapacitance(), nil
+}
+
+// EffectiveESR returns the configuration's parallel-combined ESR (with
+// switch resistance).
+func (a *Array) EffectiveESR(id core.BufferID) (float64, error) {
+	idx, ok := a.configs[id]
+	if !ok {
+		return 0, fmt.Errorf("reconfig: unknown configuration %s", id)
+	}
+	var g float64
+	for _, i := range idx {
+		r := a.Banks[i].ESR + a.SwitchESR
+		if r <= 0 {
+			r = 1e-6
+		}
+		g += 1 / r
+	}
+	return 1 / g, nil
+}
+
+// SystemConfig builds a full power-system configuration for a
+// configuration ID, based on a template (boosters and window come from the
+// template; storage is replaced).
+func (a *Array) SystemConfig(id core.BufferID, template powersys.Config) (powersys.Config, error) {
+	net, err := a.Network(id, template.VHigh)
+	if err != nil {
+		return powersys.Config{}, err
+	}
+	out := template
+	out.Storage = net
+	return out, nil
+}
+
+// Model derives the Culpeo power model for a configuration.
+func (a *Array) Model(id core.BufferID, template powersys.Config) (core.PowerModel, error) {
+	c, err := a.Capacitance(id)
+	if err != nil {
+		return core.PowerModel{}, err
+	}
+	r, err := a.EffectiveESR(id)
+	if err != nil {
+		return core.PowerModel{}, err
+	}
+	return core.PowerModel{
+		C:     c,
+		ESR:   capacitor.Flat(r),
+		VOut:  template.Output.VOut,
+		VOff:  template.VOff,
+		VHigh: template.VHigh,
+		Eff:   template.Output.Efficiency,
+	}, nil
+}
+
+// ProfileAcross profiles one task on every defined configuration with
+// Culpeo-PG, storing per-buffer estimates into the interface via SetBuffer
+// — the §V-B workflow ("Culpeo-R tags per-task data with a buffer
+// identifier. Future get queries must then specify a buffer
+// configuration"). The interface's active buffer is restored afterwards.
+func (a *Array) ProfileAcross(iface *core.Interface, template powersys.Config, id core.TaskID, task load.Profile) error {
+	prev := iface.Buffer()
+	defer iface.SetBuffer(prev)
+	for _, cfgID := range a.Configs() {
+		model, err := a.Model(cfgID, template)
+		if err != nil {
+			return err
+		}
+		est, err := profiler.PG{Model: model}.Estimate(task)
+		if err != nil {
+			return err
+		}
+		iface.SetBuffer(cfgID)
+		iface.SetStatic(id, est)
+	}
+	return nil
+}
+
+// Choice is a configuration recommendation for a task.
+type Choice struct {
+	Config core.BufferID
+	VSafe  float64
+	// RechargeTime estimates charging the configuration from V_off to
+	// V_safe at the given harvested power (seconds).
+	RechargeTime float64
+	Feasible     bool
+}
+
+// Choose ranks configurations for a task: feasible ones (V_safe ≤ V_high)
+// first, by estimated recharge time to V_safe at harvest watts. The §III
+// use case: "the programmer can also use V_safe as a guide to configure
+// the energy buffer".
+func (a *Array) Choose(iface *core.Interface, template powersys.Config, id core.TaskID, harvest float64) ([]Choice, error) {
+	if harvest <= 0 {
+		return nil, errors.New("reconfig: non-positive harvest")
+	}
+	prev := iface.Buffer()
+	defer iface.SetBuffer(prev)
+	etaIn := template.Input.Efficiency
+	var out []Choice
+	for _, cfgID := range a.Configs() {
+		iface.SetBuffer(cfgID)
+		est, ok := iface.Estimate(id)
+		if !ok {
+			continue
+		}
+		c, err := a.Capacitance(cfgID)
+		if err != nil {
+			return nil, err
+		}
+		vs := est.VSafe
+		feasible := vs <= template.VHigh
+		t := 0.0
+		if feasible {
+			// E = ½C(V_safe² − V_off²) delivered at harvest·η_in.
+			t = 0.5 * c * (vs*vs - template.VOff*template.VOff) / (harvest * etaIn)
+		}
+		out = append(out, Choice{Config: cfgID, VSafe: vs, RechargeTime: t, Feasible: feasible})
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("reconfig: no profiled configurations for task %s", id)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Feasible != out[j].Feasible {
+			return out[i].Feasible
+		}
+		if out[i].Feasible {
+			return out[i].RechargeTime < out[j].RechargeTime
+		}
+		return out[i].VSafe < out[j].VSafe
+	})
+	return out, nil
+}

@@ -1,0 +1,226 @@
+package reconfig
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/core"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// capybaraArray builds a three-bank array: one small fast bank and two
+// large dense banks.
+func capybaraArray(t *testing.T) *Array {
+	t.Helper()
+	a, err := NewArray(0.05,
+		Bank{Name: "small", C: 7.5e-3, ESR: 30},
+		Bank{Name: "big-1", C: 22.5e-3, ESR: 10},
+		Bank{Name: "big-2", C: 22.5e-3, ESR: 10},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Define("small", 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Define("big", 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Define("all", 0, 1, 2); err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestNewArrayValidation(t *testing.T) {
+	if _, err := NewArray(0.05); err == nil {
+		t.Error("empty array accepted")
+	}
+	if _, err := NewArray(0.05, Bank{Name: "x", C: 0}); err == nil {
+		t.Error("zero-C bank accepted")
+	}
+	if _, err := NewArray(-1, Bank{Name: "x", C: 1e-3}); err == nil {
+		t.Error("negative switch ESR accepted")
+	}
+}
+
+func TestDefineValidation(t *testing.T) {
+	a := capybaraArray(t)
+	if err := a.Define("none"); err == nil {
+		t.Error("empty configuration accepted")
+	}
+	if err := a.Define("oob", 7); err == nil {
+		t.Error("out-of-range bank accepted")
+	}
+	if err := a.Define("dup", 0, 0); err == nil {
+		t.Error("duplicate bank accepted")
+	}
+	ids := a.Configs()
+	if len(ids) != 3 || ids[0] != "all" || ids[1] != "big" || ids[2] != "small" {
+		t.Errorf("Configs() = %v", ids)
+	}
+}
+
+func TestNetworkAndAggregates(t *testing.T) {
+	a := capybaraArray(t)
+	net, err := a.Network("big", 2.4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(net.Branches) != 2 {
+		t.Fatalf("branches = %d", len(net.Branches))
+	}
+	// Switch resistance is added per branch.
+	if net.Branches[0].ESR != 10.05 {
+		t.Errorf("branch ESR = %g", net.Branches[0].ESR)
+	}
+	c, err := a.Capacitance("big")
+	if err != nil || math.Abs(c-45e-3) > 1e-12 {
+		t.Errorf("capacitance = %g, err %v", c, err)
+	}
+	r, err := a.EffectiveESR("big")
+	if err != nil || math.Abs(r-10.05/2) > 1e-9 {
+		t.Errorf("effective ESR = %g, err %v", r, err)
+	}
+	if _, err := a.Network("ghost", 2.4); err == nil {
+		t.Error("unknown configuration accepted")
+	}
+	if _, err := a.Capacitance("ghost"); err == nil {
+		t.Error("unknown configuration accepted")
+	}
+	if _, err := a.EffectiveESR("ghost"); err == nil {
+		t.Error("unknown configuration accepted")
+	}
+}
+
+func TestSystemConfigRuns(t *testing.T) {
+	a := capybaraArray(t)
+	cfg, err := a.SystemConfig("all", powersys.Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	res := sys.Run(load.NewUniform(10e-3, 5e-3), powersys.RunOptions{SkipRebound: true})
+	if !res.Completed {
+		t.Error("light load should run on the full array")
+	}
+}
+
+func TestProfileAcrossAndPerBufferTables(t *testing.T) {
+	a := capybaraArray(t)
+	template := powersys.Capybara()
+	iface, err := core.NewInterface(mustModel(t, a, "all", template), nullProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := load.NewUniform(25e-3, 10e-3)
+	if err := a.ProfileAcross(iface, template, "radio", task); err != nil {
+		t.Fatal(err)
+	}
+	// Each configuration has its own estimate; the small bank's is the
+	// largest (30 Ω through one bank) and exceeds V_high (infeasible).
+	vsafes := map[core.BufferID]float64{}
+	for _, id := range a.Configs() {
+		iface.SetBuffer(id)
+		v := iface.GetVSafe("radio")
+		vsafes[id] = v
+	}
+	if !(vsafes["small"] > vsafes["big"] && vsafes["big"] > vsafes["all"]) {
+		t.Errorf("V_safe ordering wrong: %v", vsafes)
+	}
+	if vsafes["small"] <= template.VHigh {
+		t.Errorf("25 mA on the lone 30 Ω bank should be infeasible, got %g", vsafes["small"])
+	}
+	// The active buffer is restored after profiling.
+	iface.SetBuffer("")
+	if iface.Buffer() != "" {
+		t.Error("buffer not restorable")
+	}
+}
+
+func TestChooseRanksByRechargeTime(t *testing.T) {
+	a := capybaraArray(t)
+	template := powersys.Capybara()
+	iface, err := core.NewInterface(mustModel(t, a, "all", template), nullProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := load.NewUniform(25e-3, 10e-3)
+	if err := a.ProfileAcross(iface, template, "radio", task); err != nil {
+		t.Fatal(err)
+	}
+	choices, err := a.Choose(iface, template, "radio", 2.5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(choices) != 3 {
+		t.Fatalf("choices = %d", len(choices))
+	}
+	// Feasible configurations come first; the winner minimizes recharge
+	// time; the infeasible small bank is last.
+	if !choices[0].Feasible {
+		t.Fatal("best choice infeasible")
+	}
+	if choices[len(choices)-1].Config != "small" {
+		t.Errorf("infeasible small bank should rank last: %+v", choices)
+	}
+	for i := 1; i < len(choices); i++ {
+		if choices[i-1].Feasible && choices[i].Feasible &&
+			choices[i-1].RechargeTime > choices[i].RechargeTime {
+			t.Error("feasible choices not sorted by recharge time")
+		}
+	}
+	// The chosen configuration actually completes the task from its V_safe.
+	best := choices[0]
+	cfg, err := a.SystemConfig(best.Config, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := harness.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := h.RunAt(best.VSafe, task, powersys.RunOptions{SkipRebound: true})
+	if !res.Completed {
+		t.Errorf("chosen configuration %s fails at its own V_safe", best.Config)
+	}
+}
+
+func TestChooseErrors(t *testing.T) {
+	a := capybaraArray(t)
+	template := powersys.Capybara()
+	iface, err := core.NewInterface(mustModel(t, a, "all", template), nullProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := a.Choose(iface, template, "radio", 0); err == nil {
+		t.Error("zero harvest accepted")
+	}
+	if _, err := a.Choose(iface, template, "unprofiled", 1e-3); err == nil {
+		t.Error("unprofiled task accepted")
+	}
+}
+
+func mustModel(t *testing.T, a *Array, id core.BufferID, template powersys.Config) core.PowerModel {
+	t.Helper()
+	m, err := a.Model(id, template)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// nullProbe satisfies core.Probe for interfaces that only use SetStatic.
+type nullProbe struct{}
+
+func (nullProbe) Start() {}
+func (nullProbe) End()   {}
+func (nullProbe) ReboundEnd() core.Observation {
+	return core.Observation{VStart: 1, VMin: 1, VFinal: 1}
+}

@@ -1,0 +1,115 @@
+package sched
+
+import (
+	"fmt"
+	"io"
+
+	"culpeo/internal/core"
+)
+
+// EventKind classifies a scheduler log entry.
+type EventKind int
+
+const (
+	// EvChainStart: a high-priority chain was dispatched.
+	EvChainStart EventKind = iota
+	// EvChainDone: the chain completed within its deadline.
+	EvChainDone
+	// EvChainFail: a task in the chain suffered a power failure.
+	EvChainFail
+	// EvDeadlineMiss: an event's deadline passed unserved.
+	EvDeadlineMiss
+	// EvRecharged: the device finished a post-failure full recharge.
+	EvRecharged
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case EvChainStart:
+		return "chain-start"
+	case EvChainDone:
+		return "chain-done"
+	case EvChainFail:
+		return "CHAIN-FAIL"
+	case EvDeadlineMiss:
+		return "DEADLINE-MISS"
+	case EvRecharged:
+		return "recharged"
+	default:
+		return fmt.Sprintf("event(%d)", int(k))
+	}
+}
+
+// Event is one scheduler log entry.
+type Event struct {
+	T      float64 // simulation time
+	Kind   EventKind
+	Stream string      // event stream, when applicable
+	Task   core.TaskID // failing task, when applicable
+	V      float64     // terminal voltage at the moment
+}
+
+// String renders one line.
+func (e Event) String() string {
+	s := fmt.Sprintf("t=%8.3fs  %-13s v=%.3f", e.T, e.Kind, e.V)
+	if e.Stream != "" {
+		s += "  stream=" + e.Stream
+	}
+	if e.Task != "" {
+		s += "  task=" + string(e.Task)
+	}
+	return s
+}
+
+// EventLog collects scheduler events, bounded to Cap entries (0 = 4096).
+// Attach one to Device.Log to trace a run.
+type EventLog struct {
+	Cap    int
+	Events []Event
+	// Dropped counts entries discarded after the cap was reached.
+	Dropped int
+}
+
+func (l *EventLog) add(e Event) {
+	if l == nil {
+		return
+	}
+	capN := l.Cap
+	if capN <= 0 {
+		capN = 4096
+	}
+	if len(l.Events) >= capN {
+		l.Dropped++
+		return
+	}
+	l.Events = append(l.Events, e)
+}
+
+// Count returns how many events of the kind were logged.
+func (l *EventLog) Count(k EventKind) int {
+	if l == nil {
+		return 0
+	}
+	n := 0
+	for _, e := range l.Events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Render writes the log as text lines.
+func (l *EventLog) Render(w io.Writer) error {
+	for _, e := range l.Events {
+		if _, err := fmt.Fprintln(w, e.String()); err != nil {
+			return err
+		}
+	}
+	if l.Dropped > 0 {
+		if _, err := fmt.Fprintf(w, "(+%d events dropped past cap)\n", l.Dropped); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,305 @@
+// Package sched implements the charge-management schedulers of the paper's
+// application evaluation (Sections VI-B and VII-B/C):
+//
+//   - CatNap: the state-of-the-art energy-only scheduler. It estimates each
+//     task's cost from a quick voltage measurement at task completion and
+//     dispatches whenever the buffer holds "enough energy". ESR-induced
+//     drops violate its feasibility assumption, causing unexpected power
+//     failures.
+//   - Culpeo: the same scheduler with its feasibility test replaced by
+//     Theorem 1 — a task chain starts only when the buffer voltage is at or
+//     above the chain's V_safe_multi from the Culpeo runtime interface.
+//
+// Both schedulers run event-driven applications: high-priority task chains
+// triggered by periodic or Poisson event streams with deadlines, plus a
+// low-priority background task that runs on surplus energy.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// Priority of a task.
+type Priority int
+
+const (
+	// Low priority work runs opportunistically on surplus energy.
+	Low Priority = iota
+	// High priority work responds to events under a deadline.
+	High
+)
+
+// Task is a schedulable unit of work.
+type Task struct {
+	ID       core.TaskID
+	Profile  load.Profile
+	Priority Priority
+}
+
+// Stream is one event source of an application: arrivals trigger a chain of
+// high-priority tasks that must complete within Deadline of the arrival.
+type Stream struct {
+	Name     string
+	Arrivals []float64 // absolute arrival times, ascending
+	Chain    []core.TaskID
+	Deadline float64 // seconds after arrival
+}
+
+// PeriodicArrivals generates arrivals every period up to horizon, starting
+// at the first period boundary.
+func PeriodicArrivals(period, horizon float64) []float64 {
+	var out []float64
+	for t := period; t < horizon; t += period {
+		out = append(out, t)
+	}
+	return out
+}
+
+// PoissonArrivals generates a Poisson process with mean inter-arrival
+// lambda seconds up to horizon, deterministic for a given rng.
+func PoissonArrivals(rng *rand.Rand, lambda, horizon float64) []float64 {
+	var out []float64
+	t := 0.0
+	for {
+		t += rng.ExpFloat64() * lambda
+		if t >= horizon {
+			return out
+		}
+		out = append(out, t)
+	}
+}
+
+// Policy is the dispatch test under evaluation: it decides when a
+// high-priority chain may start and how far background work may drain the
+// buffer.
+type Policy interface {
+	Name() string
+	// Prepare profiles the task set before the application starts (the
+	// evaluation profiles once, since harvested power is stable).
+	Prepare(d *Device) error
+	// ChainReady reports whether the chain may start at buffer voltage v.
+	ChainReady(chain []core.TaskID, v float64) bool
+	// BackgroundFloor returns the voltage above which low-priority work may
+	// run, given the chain it must stay ready for.
+	BackgroundFloor(chain []core.TaskID) float64
+}
+
+// Device is a simulated energy-harvesting device running an event-driven
+// application under a scheduling policy.
+type Device struct {
+	Sys        *powersys.System
+	Harvest    float64 // constant harvested power (W)
+	Tasks      map[core.TaskID]Task
+	Background *Task // optional low-priority task
+	Policy     Policy
+
+	// IdleChunk bounds how long the device sleeps per scheduling decision.
+	// 0 = 5 ms.
+	IdleChunk float64
+	// Log, when non-nil, records dispatches, failures and deadline misses.
+	Log *EventLog
+}
+
+// NewDevice wires a device.
+func NewDevice(sys *powersys.System, harvest float64, tasks []Task, background *Task, policy Policy) (*Device, error) {
+	if sys == nil || policy == nil {
+		return nil, errors.New("sched: device needs a system and a policy")
+	}
+	m := map[core.TaskID]Task{}
+	for _, t := range tasks {
+		if t.Profile == nil {
+			return nil, fmt.Errorf("sched: task %s has no profile", t.ID)
+		}
+		if _, dup := m[t.ID]; dup {
+			return nil, fmt.Errorf("sched: duplicate task %s", t.ID)
+		}
+		m[t.ID] = t
+	}
+	return &Device{Sys: sys, Harvest: harvest, Tasks: m, Background: background, Policy: policy}, nil
+}
+
+// Metrics summarizes an application run.
+type Metrics struct {
+	// PerStream maps stream name to (events, captured).
+	PerStream map[string]StreamMetrics
+	// PowerFailures counts monitor power-off events during the run.
+	PowerFailures int
+	// BackgroundRuns counts completed low-priority executions.
+	BackgroundRuns int
+	// SimTime is the simulated duration.
+	SimTime float64
+}
+
+// StreamMetrics counts one stream's outcomes.
+type StreamMetrics struct {
+	Events   int
+	Captured int
+}
+
+// CaptureRate returns captured/events as a percentage (100 when no events).
+func (m StreamMetrics) CaptureRate() float64 {
+	if m.Events == 0 {
+		return 100
+	}
+	return float64(m.Captured) / float64(m.Events) * 100
+}
+
+// pendingEvent is an arrival waiting to be served.
+type pendingEvent struct {
+	stream   int
+	arrival  float64
+	deadline float64
+}
+
+// Run executes the application until horizon and returns metrics. Events
+// are served in arrival order; an event is captured when its whole chain
+// completes by its deadline. A power failure mid-chain forces a full
+// recharge to V_high before anything else runs (Section II-A), and the
+// event is lost if its deadline passes meanwhile.
+func (d *Device) Run(streams []Stream, horizon float64) (Metrics, error) {
+	if err := d.Policy.Prepare(d); err != nil {
+		return Metrics{}, err
+	}
+	met := Metrics{PerStream: map[string]StreamMetrics{}}
+	for _, s := range streams {
+		sm := met.PerStream[s.Name]
+		sm.Events += len(s.Arrivals)
+		met.PerStream[s.Name] = sm
+	}
+
+	// Merge arrivals.
+	var queue []pendingEvent
+	for si, s := range streams {
+		for _, a := range s.Arrivals {
+			queue = append(queue, pendingEvent{stream: si, arrival: a, deadline: a + s.Deadline})
+		}
+	}
+	sort.Slice(queue, func(i, j int) bool { return queue[i].arrival < queue[j].arrival })
+
+	idle := d.IdleChunk
+	if idle <= 0 {
+		idle = 5e-3
+	}
+
+	failures0 := d.Sys.Failures()
+	qi := 0
+	for d.Sys.Now() < horizon {
+		now := d.Sys.Now()
+
+		// Drop events whose deadline already passed while we were busy.
+		for qi < len(queue) && queue[qi].deadline <= now {
+			d.Log.add(Event{T: now, Kind: EvDeadlineMiss,
+				Stream: streams[queue[qi].stream].Name, V: d.Sys.VTerm()})
+			qi++
+		}
+
+		var ev *pendingEvent
+		if qi < len(queue) && queue[qi].arrival <= now {
+			ev = &queue[qi]
+		}
+
+		if ev != nil {
+			s := streams[ev.stream]
+			if d.Policy.ChainReady(s.Chain, d.Sys.VTerm()) && d.Sys.On() {
+				d.Log.add(Event{T: now, Kind: EvChainStart, Stream: s.Name, V: d.Sys.VTerm()})
+				ok := d.runChain(s.Name, s.Chain, ev.deadline)
+				if ok && d.Sys.Now() <= ev.deadline {
+					sm := met.PerStream[s.Name]
+					sm.Captured++
+					met.PerStream[s.Name] = sm
+					d.Log.add(Event{T: d.Sys.Now(), Kind: EvChainDone, Stream: s.Name, V: d.Sys.VTerm()})
+				}
+				qi++
+				continue
+			}
+			// Not ready: charge toward readiness; give up when the deadline
+			// passes (the event is dropped by the loop head).
+			d.idleStep(math.Min(idle, ev.deadline-now))
+			continue
+		}
+
+		// No pending event: background work on surplus energy, else sleep.
+		next := horizon
+		if qi < len(queue) {
+			next = math.Min(next, queue[qi].arrival)
+		}
+		if d.Background != nil && d.Sys.On() {
+			floor := d.Policy.BackgroundFloor(upcomingChain(streams, queue, qi))
+			if d.Sys.VTerm() > floor {
+				res := d.Sys.Run(d.Background.Profile, powersys.RunOptions{
+					HarvestPower: d.Harvest, SkipRebound: true,
+				})
+				if res.Completed {
+					met.BackgroundRuns++
+				}
+				continue
+			}
+		}
+		d.idleStep(math.Min(idle, next-now))
+	}
+
+	met.PowerFailures = d.Sys.Failures() - failures0
+	met.SimTime = d.Sys.Now()
+	return met, nil
+}
+
+// upcomingChain returns the chain of the next queued event (for background
+// floor decisions), or the first stream's chain when the queue is drained.
+func upcomingChain(streams []Stream, queue []pendingEvent, qi int) []core.TaskID {
+	if qi < len(queue) {
+		return streams[queue[qi].stream].Chain
+	}
+	if len(streams) > 0 {
+		return streams[0].Chain
+	}
+	return nil
+}
+
+// runChain executes the chain's tasks back to back. It returns false when
+// any task suffers a power failure; in that case the device recharges to
+// V_high before returning (hysteresis), consuming wall-clock time.
+func (d *Device) runChain(stream string, chain []core.TaskID, deadline float64) bool {
+	for _, id := range chain {
+		t, ok := d.Tasks[id]
+		if !ok {
+			return false
+		}
+		res := d.Sys.Run(t.Profile, powersys.RunOptions{
+			HarvestPower: d.Harvest, SkipRebound: true,
+		})
+		if !res.Completed {
+			d.Log.add(Event{T: d.Sys.Now(), Kind: EvChainFail, Stream: stream, Task: id, V: res.VMin})
+			d.rechargeToOn(deadline + 120)
+			d.Log.add(Event{T: d.Sys.Now(), Kind: EvRecharged, Stream: stream, V: d.Sys.VTerm()})
+			return false
+		}
+	}
+	return true
+}
+
+// idleStep sleeps the device for up to dur while harvesting.
+func (d *Device) idleStep(dur float64) {
+	if dur <= 0 {
+		dur = d.Sys.DT()
+	}
+	steps := int(math.Ceil(dur / d.Sys.DT()))
+	for i := 0; i < steps; i++ {
+		d.Sys.Step(load.SleepCurrent, d.Harvest)
+	}
+}
+
+// rechargeToOn steps with no load until the monitor re-enables delivery or
+// the absolute time limit passes.
+func (d *Device) rechargeToOn(limit float64) {
+	for !d.Sys.On() && d.Sys.Now() < limit {
+		d.Sys.Step(0, d.Harvest)
+	}
+}

@@ -1,0 +1,340 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+)
+
+func TestPeriodicArrivals(t *testing.T) {
+	a := PeriodicArrivals(4.5, 300)
+	if len(a) != 66 {
+		t.Fatalf("arrivals = %d, want 66", len(a))
+	}
+	if a[0] != 4.5 || a[1] != 9.0 {
+		t.Error("arrival spacing wrong")
+	}
+	for _, x := range a {
+		if x >= 300 {
+			t.Fatal("arrival past horizon")
+		}
+	}
+	if len(PeriodicArrivals(10, 5)) != 0 {
+		t.Error("short horizon should have no arrivals")
+	}
+}
+
+func TestPoissonArrivals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	a := PoissonArrivals(rng, 45, 10000)
+	if len(a) < 150 || len(a) > 300 {
+		t.Fatalf("arrival count = %d, want ≈222", len(a))
+	}
+	// Ascending and inside the horizon.
+	for i, x := range a {
+		if x >= 10000 || (i > 0 && x <= a[i-1]) {
+			t.Fatal("arrivals not ascending within horizon")
+		}
+	}
+	// Mean inter-arrival ≈ λ.
+	mean := a[len(a)-1] / float64(len(a))
+	if math.Abs(mean-45)/45 > 0.2 {
+		t.Errorf("mean inter-arrival = %g, want ≈45", mean)
+	}
+	// Deterministic per seed.
+	b := PoissonArrivals(rand.New(rand.NewSource(7)), 45, 10000)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("Poisson arrivals not deterministic")
+		}
+	}
+}
+
+func TestStreamMetricsCaptureRate(t *testing.T) {
+	if (StreamMetrics{Events: 0}).CaptureRate() != 100 {
+		t.Error("no events should be 100%")
+	}
+	if got := (StreamMetrics{Events: 4, Captured: 1}).CaptureRate(); got != 25 {
+		t.Errorf("capture rate = %g", got)
+	}
+}
+
+// testApp builds a minimal single-task application on the Capybara system.
+func testApp(t *testing.T, policy Policy) (*Device, []Stream) {
+	t.Helper()
+	cfg := powersys.Capybara()
+	cfg.DT = 40e-6
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	task := Task{ID: "blip", Profile: load.NewUniform(10e-3, 5e-3), Priority: High}
+	bg := Task{ID: "bg", Profile: load.PhotoRead(), Priority: Low}
+	dev, err := NewDevice(sys, 2.5e-3, []Task{task}, &bg, policy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := []Stream{{
+		Name:     "blips",
+		Arrivals: PeriodicArrivals(2.0, 20),
+		Chain:    []core.TaskID{"blip"},
+		Deadline: 2.0,
+	}}
+	return dev, streams
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	cfg := powersys.Capybara()
+	sys, _ := powersys.New(cfg)
+	if _, err := NewDevice(nil, 0, nil, nil, NewCatNapPolicy()); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := NewDevice(sys, 0, nil, nil, nil); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewDevice(sys, 0, []Task{{ID: "x"}}, nil, NewCatNapPolicy()); err == nil {
+		t.Error("task without profile accepted")
+	}
+	dup := []Task{
+		{ID: "x", Profile: load.PhotoRead()},
+		{ID: "x", Profile: load.PhotoRead()},
+	}
+	if _, err := NewDevice(sys, 0, dup, nil, NewCatNapPolicy()); err == nil {
+		t.Error("duplicate task accepted")
+	}
+}
+
+func TestDeviceRunsLightApp(t *testing.T) {
+	dev, streams := testApp(t, NewCatNapPolicy())
+	met, err := dev.Run(streams, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := met.PerStream["blips"]
+	if sm.Events != 9 {
+		t.Fatalf("events = %d", sm.Events)
+	}
+	// A 10 mA, 5 ms blip every 2 s is trivially sustainable: everything
+	// captured under either policy.
+	if sm.Captured != sm.Events {
+		t.Errorf("captured %d of %d light events", sm.Captured, sm.Events)
+	}
+	if met.PowerFailures != 0 {
+		t.Errorf("power failures = %d", met.PowerFailures)
+	}
+	if met.BackgroundRuns == 0 {
+		t.Error("background never ran despite surplus")
+	}
+	if met.SimTime < 20 {
+		t.Errorf("sim time = %g", met.SimTime)
+	}
+}
+
+func TestCulpeoPolicyPrepares(t *testing.T) {
+	cfg := powersys.Capybara()
+	model := core.PowerModel{
+		C:    cfg.Storage.TotalCapacitance(),
+		ESR:  capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut: cfg.Output.VOut, VOff: cfg.VOff, VHigh: cfg.VHigh,
+		Eff: cfg.Output.Efficiency,
+	}
+	pol := NewCulpeoPolicy(model)
+	dev, _ := testApp(t, pol)
+	if err := pol.Prepare(dev); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := pol.Interface().Estimate("blip"); !ok {
+		t.Error("task not profiled")
+	}
+	if _, ok := pol.Interface().Estimate("bg"); !ok {
+		t.Error("background not profiled")
+	}
+	need := pol.BackgroundFloor([]core.TaskID{"blip"})
+	if need <= cfg.VOff || need >= cfg.VHigh {
+		t.Errorf("floor = %g out of window", need)
+	}
+	// ChainReady consistent with the floor ordering.
+	if pol.ChainReady([]core.TaskID{"blip"}, cfg.VOff) {
+		t.Error("ready at V_off should be false")
+	}
+	if !pol.ChainReady([]core.TaskID{"blip"}, cfg.VHigh) {
+		t.Error("ready at V_high should be true")
+	}
+}
+
+func TestCatNapUnderestimatesPulseChain(t *testing.T) {
+	// The core of the paper: for a chain ending in a high-current pulse,
+	// CatNap's energy-only requirement sits far below Culpeo's ESR-aware
+	// requirement.
+	cfg := powersys.Capybara()
+	cfg.DT = 40e-6
+	sys, _ := powersys.New(cfg)
+	pulse := Task{ID: "radio", Profile: load.NewUniform(50e-3, 10e-3), Priority: High}
+	cat := NewCatNapPolicy()
+	model := core.PowerModel{
+		C:    cfg.Storage.TotalCapacitance(),
+		ESR:  capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut: cfg.Output.VOut, VOff: cfg.VOff, VHigh: cfg.VHigh,
+		Eff: cfg.Output.Efficiency,
+	}
+	cul := NewCulpeoPolicy(model)
+	devCat, _ := NewDevice(sys, 0, []Task{pulse}, nil, cat)
+	if err := cat.Prepare(devCat); err != nil {
+		t.Fatal(err)
+	}
+	if err := cul.Prepare(devCat); err != nil {
+		t.Fatal(err)
+	}
+	chain := []core.TaskID{"radio"}
+	catNeed := cat.need(chain)
+	culNeed := cul.need(chain)
+	if !(culNeed > catNeed+0.1) {
+		t.Errorf("Culpeo need %g should exceed CatNap need %g by the ESR penalty",
+			culNeed, catNeed)
+	}
+	// A voltage CatNap accepts but Culpeo rejects must actually fail.
+	mid := (catNeed + culNeed) / 2
+	if !cat.ChainReady(chain, mid) || cul.ChainReady(chain, mid) {
+		t.Fatalf("mid voltage %g should split the policies", mid)
+	}
+	trial, _ := powersys.New(powersys.Capybara())
+	if err := trial.DischargeTo(mid); err != nil {
+		t.Fatal(err)
+	}
+	trial.Monitor().Force(true)
+	res := trial.Run(pulse.Profile, powersys.RunOptions{SkipRebound: true})
+	if res.Completed && res.VMin >= cfg.VOff {
+		t.Errorf("run at CatNap-approved %g V unexpectedly survived (VMin %g)", mid, res.VMin)
+	}
+}
+
+func TestDeadlineMissWhenNotReady(t *testing.T) {
+	// An event arriving while the buffer is far below the requirement and
+	// with a tight deadline must be dropped, not served late.
+	cfg := powersys.Capybara()
+	cfg.DT = 40e-6
+	sys, _ := powersys.New(cfg)
+	sys.DischargeTo(1.65)
+	sys.Monitor().Force(true)
+	task := Task{ID: "radio", Profile: load.NewUniform(50e-3, 10e-3), Priority: High}
+	pol := NewCatNapPolicy()
+	dev, err := NewDevice(sys, 0.1e-3, []Task{task}, nil, pol) // feeble harvest
+	if err != nil {
+		t.Fatal(err)
+	}
+	streams := []Stream{{
+		Name:     "r",
+		Arrivals: []float64{0.1},
+		Chain:    []core.TaskID{"radio"},
+		Deadline: 0.5,
+	}}
+	met, err := dev.Run(streams, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PerStream["r"].Captured != 0 {
+		t.Error("unservable event was captured")
+	}
+}
+
+func TestDispatchMarginAppliedSymmetrically(t *testing.T) {
+	if DispatchMargin <= 0 || DispatchMargin > 50e-3 {
+		t.Errorf("dispatch margin %g outside the paper's uncertainty band", DispatchMargin)
+	}
+}
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	// Run the light app with a log attached: starts and completions appear;
+	// nothing fails.
+	dev, streams := testApp(t, NewCatNapPolicy())
+	log := &EventLog{}
+	dev.Log = log
+	if _, err := dev.Run(streams, 20); err != nil {
+		t.Fatal(err)
+	}
+	if log.Count(EvChainStart) == 0 || log.Count(EvChainDone) == 0 {
+		t.Errorf("lifecycle events missing: %d starts, %d dones",
+			log.Count(EvChainStart), log.Count(EvChainDone))
+	}
+	if log.Count(EvChainFail) != 0 {
+		t.Error("light app should not fail")
+	}
+	var sb strings.Builder
+	if err := log.Render(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "chain-start") {
+		t.Error("render missing entries")
+	}
+	// Every event line renders.
+	for _, e := range log.Events {
+		if e.String() == "" {
+			t.Fatal("unrenderable event")
+		}
+	}
+}
+
+func TestEventLogCap(t *testing.T) {
+	l := &EventLog{Cap: 2}
+	for i := 0; i < 5; i++ {
+		l.add(Event{T: float64(i)})
+	}
+	if len(l.Events) != 2 || l.Dropped != 3 {
+		t.Errorf("cap not enforced: %d events, %d dropped", len(l.Events), l.Dropped)
+	}
+	var nilLog *EventLog
+	nilLog.add(Event{}) // must not panic
+	if nilLog.Count(EvChainStart) != 0 {
+		t.Error("nil log count wrong")
+	}
+}
+
+func TestEventKindStrings(t *testing.T) {
+	for _, k := range []EventKind{EvChainStart, EvChainDone, EvChainFail, EvDeadlineMiss, EvRecharged} {
+		if k.String() == "" {
+			t.Errorf("kind %d has no name", k)
+		}
+	}
+	if EventKind(99).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}
+
+func TestCulpeoPolicyWithUArchProbe(t *testing.T) {
+	cfg := powersys.Capybara()
+	model := core.PowerModel{
+		C:    cfg.Storage.TotalCapacitance(),
+		ESR:  capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut: cfg.Output.VOut, VOff: cfg.VOff, VHigh: cfg.VHigh,
+		Eff: cfg.Output.Efficiency,
+	}
+	pol := NewCulpeoPolicyWithProbe(model, func(src func() float64) profiler.Sampler {
+		return profiler.NewUArchProbe(src)
+	})
+	dev, streams := testApp(t, pol)
+	met, err := dev.Run(streams, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PerStream["blips"].CaptureRate() < 99 {
+		t.Errorf("µArch-profiled policy capture = %g", met.PerStream["blips"].CaptureRate())
+	}
+	// The µArch-profiled requirement stays close to the ISR-profiled one.
+	isr := NewCulpeoPolicy(model)
+	devISR, _ := testApp(t, isr)
+	if err := isr.Prepare(devISR); err != nil {
+		t.Fatal(err)
+	}
+	a := pol.BackgroundFloor([]core.TaskID{"blip"})
+	b := isr.BackgroundFloor([]core.TaskID{"blip"})
+	if math.Abs(a-b) > 50e-3 {
+		t.Errorf("probe choice moved the floor too far: %g vs %g", a, b)
+	}
+}

@@ -1,0 +1,156 @@
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// PlotOptions configures the ASCII rendering of a voltage trace.
+type PlotOptions struct {
+	// Width is the number of time columns; 0 = 72.
+	Width int
+	// Height is the number of voltage rows; 0 = 16.
+	Height int
+	// VMin/VMax pin the vertical axis; both zero = auto-scale with margin.
+	VMin, VMax float64
+	// Marker draws a horizontal reference line at this voltage (e.g.
+	// V_off); NaN/0 disables it.
+	Marker float64
+	// MarkerLabel annotates the reference line.
+	MarkerLabel string
+}
+
+// Plot renders the recorded terminal voltage as an ASCII chart — the
+// quick-look view an engineer gets from an oscilloscope. Each column
+// aggregates the samples in its time slice; the band between the slice's
+// min and max voltage is filled, so ESR drops show as solid dips.
+func (r *Recorder) Plot(w io.Writer, opt PlotOptions) error {
+	samples := r.Samples()
+	if len(samples) == 0 {
+		_, err := fmt.Fprintln(w, "(no samples)")
+		return err
+	}
+	width := opt.Width
+	if width <= 0 {
+		width = 72
+	}
+	height := opt.Height
+	if height <= 0 {
+		height = 16
+	}
+
+	lo, hi := opt.VMin, opt.VMax
+	if lo == 0 && hi == 0 {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		for _, s := range samples {
+			lo = math.Min(lo, s.VTerm)
+			hi = math.Max(hi, s.VTerm)
+		}
+		if opt.Marker != 0 && !math.IsNaN(opt.Marker) {
+			lo = math.Min(lo, opt.Marker)
+			hi = math.Max(hi, opt.Marker)
+		}
+		pad := (hi - lo) * 0.08
+		if pad == 0 {
+			pad = 0.01
+		}
+		lo -= pad
+		hi += pad
+	}
+	if hi <= lo {
+		hi = lo + 1e-6
+	}
+
+	// Column aggregation: per-column [min, max] voltage band.
+	t0 := samples[0].T
+	t1 := samples[len(samples)-1].T
+	span := t1 - t0
+	if span <= 0 {
+		span = 1e-9
+	}
+	colLo := make([]float64, width)
+	colHi := make([]float64, width)
+	for i := range colLo {
+		colLo[i] = math.Inf(1)
+		colHi[i] = math.Inf(-1)
+	}
+	for _, s := range samples {
+		c := int(float64(width-1) * (s.T - t0) / span)
+		colLo[c] = math.Min(colLo[c], s.VTerm)
+		colHi[c] = math.Max(colHi[c], s.VTerm)
+	}
+
+	row := func(v float64) int {
+		f := (v - lo) / (hi - lo)
+		r := int(math.Round(f * float64(height-1)))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return height - 1 - r // row 0 is the top
+	}
+	markerRow := -1
+	if opt.Marker != 0 && !math.IsNaN(opt.Marker) {
+		markerRow = row(opt.Marker)
+	}
+
+	grid := make([][]byte, height)
+	for y := range grid {
+		grid[y] = []byte(strings.Repeat(" ", width))
+		if y == markerRow {
+			for x := range grid[y] {
+				grid[y][x] = '-'
+			}
+		}
+	}
+	prev := -1
+	for x := 0; x < width; x++ {
+		if math.IsInf(colLo[x], 1) {
+			continue
+		}
+		top, bot := row(colHi[x]), row(colLo[x])
+		for y := top; y <= bot; y++ {
+			grid[y][x] = '#'
+		}
+		// Connect to the previous column so slow ramps stay contiguous.
+		if prev >= 0 {
+			a, b := prev, top
+			if a > b {
+				a, b = b, a
+			}
+			for y := a; y <= b; y++ {
+				if grid[y][x] == ' ' || grid[y][x] == '-' {
+					grid[y][x] = '#'
+				}
+			}
+		}
+		prev = bot
+	}
+
+	for y := 0; y < height; y++ {
+		label := "        "
+		switch y {
+		case 0:
+			label = fmt.Sprintf("%7.3fV", hi)
+		case height - 1:
+			label = fmt.Sprintf("%7.3fV", lo)
+		case markerRow:
+			if opt.MarkerLabel != "" {
+				label = fmt.Sprintf("%7s ", opt.MarkerLabel)
+			} else {
+				label = fmt.Sprintf("%7.3fV", opt.Marker)
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(grid[y])); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintf(w, "%8s +%s\n%8s  %-8s%*s\n",
+		"", strings.Repeat("-", width),
+		"", fmt.Sprintf("%.4gs", t0), width-8, fmt.Sprintf("%.4gs", t1))
+	return err
+}

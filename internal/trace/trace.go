@@ -1,0 +1,138 @@
+// Package trace records time-series measurements from the power-system
+// simulator — the in-silico equivalent of the paper's Saleae logic analyzer
+// and TI current-sense harness (Section VI-A) — and computes the summary
+// statistics (minimum voltage, final voltage, voltage at a delay) the
+// estimators consume.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Sample is one measurement row.
+type Sample struct {
+	T     float64 // seconds since recording started
+	VTerm float64 // capacitor terminal (node) voltage
+	VOC   float64 // main buffer open-circuit voltage
+	ILoad float64 // load current at V_out
+	IIn   float64 // current drawn from the buffer by the output booster
+}
+
+// Recorder accumulates samples with optional decimation.
+type Recorder struct {
+	// Every keeps one sample per Every added (1 = keep all). Zero behaves
+	// like 1.
+	Every   int
+	samples []Sample
+	n       int
+}
+
+// NewRecorder returns a recorder keeping every n-th sample.
+func NewRecorder(every int) *Recorder {
+	if every < 1 {
+		every = 1
+	}
+	return &Recorder{Every: every}
+}
+
+// Add appends a sample, honouring decimation.
+func (r *Recorder) Add(s Sample) {
+	every := r.Every
+	if every < 1 {
+		every = 1
+	}
+	if r.n%every == 0 {
+		r.samples = append(r.samples, s)
+	}
+	r.n++
+}
+
+// Len returns the number of retained samples.
+func (r *Recorder) Len() int { return len(r.samples) }
+
+// Samples returns the retained samples (not a copy; callers must not
+// mutate).
+func (r *Recorder) Samples() []Sample { return r.samples }
+
+// Reset clears the recorder for reuse.
+func (r *Recorder) Reset() {
+	r.samples = r.samples[:0]
+	r.n = 0
+}
+
+// MinVTerm returns the minimum recorded terminal voltage, or +Inf when
+// empty.
+func (r *Recorder) MinVTerm() float64 {
+	m := math.Inf(1)
+	for _, s := range r.samples {
+		if s.VTerm < m {
+			m = s.VTerm
+		}
+	}
+	return m
+}
+
+// MaxVTerm returns the maximum recorded terminal voltage, or -Inf when
+// empty.
+func (r *Recorder) MaxVTerm() float64 {
+	m := math.Inf(-1)
+	for _, s := range r.samples {
+		if s.VTerm > m {
+			m = s.VTerm
+		}
+	}
+	return m
+}
+
+// At returns the sample nearest to time t. ok is false when the recorder is
+// empty.
+func (r *Recorder) At(t float64) (Sample, bool) {
+	if len(r.samples) == 0 {
+		return Sample{}, false
+	}
+	i := sort.Search(len(r.samples), func(i int) bool { return r.samples[i].T >= t })
+	if i == len(r.samples) {
+		return r.samples[len(r.samples)-1], true
+	}
+	if i == 0 {
+		return r.samples[0], true
+	}
+	// Choose the closer neighbour.
+	if t-r.samples[i-1].T <= r.samples[i].T-t {
+		return r.samples[i-1], true
+	}
+	return r.samples[i], true
+}
+
+// Last returns the final sample.
+func (r *Recorder) Last() (Sample, bool) {
+	if len(r.samples) == 0 {
+		return Sample{}, false
+	}
+	return r.samples[len(r.samples)-1], true
+}
+
+// First returns the first sample.
+func (r *Recorder) First() (Sample, bool) {
+	if len(r.samples) == 0 {
+		return Sample{}, false
+	}
+	return r.samples[0], true
+}
+
+// WriteCSV streams the samples as CSV with a header row.
+func (r *Recorder) WriteCSV(w io.Writer) error {
+	if _, err := fmt.Fprintln(w, "t_s,v_term_V,v_oc_V,i_load_A,i_in_A"); err != nil {
+		return err
+	}
+	for _, s := range r.samples {
+		if _, err := fmt.Fprintf(w, "%.9g,%.9g,%.9g,%.9g,%.9g\n",
+			s.T, s.VTerm, s.VOC, s.ILoad, s.IIn); err != nil {
+			return err
+		}
+	}
+	return nil
+}

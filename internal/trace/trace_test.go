@@ -1,0 +1,191 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func fill(r *Recorder, n int) {
+	for i := 0; i < n; i++ {
+		t := float64(i) * 1e-3
+		r.Add(Sample{T: t, VTerm: 2.0 + 0.1*math.Sin(float64(i)), VOC: 2.1, ILoad: 0.01, IIn: 0.012})
+	}
+}
+
+func TestRecorderBasics(t *testing.T) {
+	r := NewRecorder(1)
+	if _, ok := r.Last(); ok {
+		t.Error("empty recorder should have no last sample")
+	}
+	if _, ok := r.First(); ok {
+		t.Error("empty recorder should have no first sample")
+	}
+	if _, ok := r.At(0); ok {
+		t.Error("empty recorder should have no At sample")
+	}
+	if !math.IsInf(r.MinVTerm(), 1) || !math.IsInf(r.MaxVTerm(), -1) {
+		t.Error("empty min/max should be infinities")
+	}
+	fill(r, 100)
+	if r.Len() != 100 {
+		t.Fatalf("len = %d", r.Len())
+	}
+	first, _ := r.First()
+	last, _ := r.Last()
+	if first.T != 0 || last.T != 99e-3 {
+		t.Errorf("first/last T = %g/%g", first.T, last.T)
+	}
+	if r.MinVTerm() < 1.9 || r.MaxVTerm() > 2.1 {
+		t.Error("min/max out of expected band")
+	}
+}
+
+func TestRecorderDecimation(t *testing.T) {
+	r := NewRecorder(10)
+	fill(r, 100)
+	if r.Len() != 10 {
+		t.Fatalf("decimated len = %d, want 10", r.Len())
+	}
+	// Zero/negative Every behaves like 1.
+	r2 := NewRecorder(0)
+	fill(r2, 5)
+	if r2.Len() != 5 {
+		t.Errorf("Every=0 len = %d, want 5", r2.Len())
+	}
+}
+
+func TestRecorderAt(t *testing.T) {
+	r := NewRecorder(1)
+	fill(r, 100)
+	s, ok := r.At(50.4e-3)
+	if !ok {
+		t.Fatal("At failed")
+	}
+	if math.Abs(s.T-50e-3) > 1e-12 {
+		t.Errorf("nearest sample T = %g, want 0.050", s.T)
+	}
+	// Clamps at the ends.
+	s, _ = r.At(-1)
+	if s.T != 0 {
+		t.Error("At before start should clamp to first")
+	}
+	s, _ = r.At(10)
+	if s.T != 99e-3 {
+		t.Error("At past end should clamp to last")
+	}
+	// Rounds to the closer neighbour above.
+	s, _ = r.At(50.6e-3)
+	if math.Abs(s.T-51e-3) > 1e-12 {
+		t.Errorf("nearest-above failed: %g", s.T)
+	}
+}
+
+func TestRecorderReset(t *testing.T) {
+	r := NewRecorder(1)
+	fill(r, 10)
+	r.Reset()
+	if r.Len() != 0 {
+		t.Error("reset did not clear")
+	}
+	fill(r, 3)
+	if r.Len() != 3 {
+		t.Error("reuse after reset broken")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	r := NewRecorder(1)
+	r.Add(Sample{T: 0.001, VTerm: 2.5, VOC: 2.51, ILoad: 0.05, IIn: 0.06})
+	var sb strings.Builder
+	if err := r.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("csv lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "t_s,") {
+		t.Error("missing header")
+	}
+	if !strings.Contains(lines[1], "0.001") || !strings.Contains(lines[1], "2.5") {
+		t.Errorf("row content wrong: %q", lines[1])
+	}
+}
+
+func TestPlotRendersShape(t *testing.T) {
+	r := NewRecorder(1)
+	// A dip: 2.4 → 1.9 → 2.3.
+	for i := 0; i < 300; i++ {
+		v := 2.4
+		if i >= 100 && i < 200 {
+			v = 1.9
+		} else if i >= 200 {
+			v = 2.3
+		}
+		r.Add(Sample{T: float64(i) * 1e-3, VTerm: v})
+	}
+	var sb strings.Builder
+	if err := r.Plot(&sb, PlotOptions{Width: 60, Height: 12, Marker: 1.6, MarkerLabel: "V_off"}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "#") {
+		t.Error("no plotted samples")
+	}
+	if !strings.Contains(out, "V_off") {
+		t.Error("marker label missing")
+	}
+	if !strings.Contains(out, "V |") && !strings.Contains(out, "V  |") {
+		t.Error("axis labels missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 12+2 { // rows + axis + time labels
+		t.Errorf("plot lines = %d", len(lines))
+	}
+	// The dip must appear: a '#' in the lower half of the chart, in the
+	// middle third of the time axis.
+	foundDip := false
+	for _, row := range lines[6:10] {
+		if len(row) > 50 && strings.Contains(row[30:50], "#") {
+			foundDip = true
+		}
+	}
+	if !foundDip {
+		t.Error("dip not visible in lower rows")
+	}
+}
+
+func TestPlotEmptyAndDegenerate(t *testing.T) {
+	r := NewRecorder(1)
+	var sb strings.Builder
+	if err := r.Plot(&sb, PlotOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "no samples") {
+		t.Error("empty plot should say so")
+	}
+	// A single flat sample must not divide by zero.
+	r.Add(Sample{T: 1, VTerm: 2.0})
+	sb.Reset()
+	if err := r.Plot(&sb, PlotOptions{Width: 10, Height: 4}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "#") {
+		t.Error("single sample not plotted")
+	}
+}
+
+func TestPlotPinnedAxis(t *testing.T) {
+	r := NewRecorder(1)
+	r.Add(Sample{T: 0, VTerm: 2.0})
+	r.Add(Sample{T: 1, VTerm: 2.1})
+	var sb strings.Builder
+	if err := r.Plot(&sb, PlotOptions{Width: 20, Height: 6, VMin: 1.6, VMax: 2.56}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "2.560V") || !strings.Contains(sb.String(), "1.600V") {
+		t.Error("pinned axis labels missing")
+	}
+}

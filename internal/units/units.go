@@ -1,0 +1,170 @@
+// Package units provides SI-unit helpers shared across the Culpeo
+// simulator and charge model.
+//
+// All physical quantities in this module are plain float64 values in base SI
+// units: volts, amperes, ohms, farads, seconds, watts, joules, cubic
+// millimetres (the one non-SI exception, matching capacitor datasheets).
+// This package holds the formatting, parsing, and tolerant-comparison
+// helpers so the rest of the code can stay unit-disciplined without
+// wrapper types on every arithmetic expression.
+package units
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Common scale factors.
+const (
+	Milli = 1e-3
+	Micro = 1e-6
+	Nano  = 1e-9
+	Kilo  = 1e3
+	Mega  = 1e6
+)
+
+// ApproxEqual reports whether a and b are equal within tol (absolute).
+func ApproxEqual(a, b, tol float64) bool {
+	return math.Abs(a-b) <= tol
+}
+
+// RelEqual reports whether a and b are equal within rel (relative to the
+// larger magnitude), falling back to an absolute tolerance near zero.
+func RelEqual(a, b, rel float64) bool {
+	m := math.Max(math.Abs(a), math.Abs(b))
+	if m < 1e-12 {
+		return true
+	}
+	return math.Abs(a-b) <= rel*m
+}
+
+// Clamp limits v to [lo, hi].
+func Clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Lerp linearly interpolates between a and b by t in [0,1].
+func Lerp(a, b, t float64) float64 { return a + (b-a)*t }
+
+// siPrefix returns the best engineering prefix and scale for v.
+func siPrefix(v float64) (string, float64) {
+	a := math.Abs(v)
+	switch {
+	case a == 0:
+		return "", 1
+	case a >= 1e6:
+		return "M", 1e-6
+	case a >= 1e3:
+		return "k", 1e-3
+	case a >= 1:
+		return "", 1
+	case a >= 1e-3:
+		return "m", 1e3
+	case a >= 1e-6:
+		return "µ", 1e6
+	case a >= 1e-9:
+		return "n", 1e9
+	default:
+		return "p", 1e12
+	}
+}
+
+// Format renders v with an engineering SI prefix and the given unit symbol,
+// e.g. Format(0.045, "F") == "45mF".
+func Format(v float64, unit string) string {
+	p, s := siPrefix(v)
+	x := v * s
+	// Trim trailing zeros for clean tables.
+	str := strconv.FormatFloat(x, 'g', 4, 64)
+	return str + p + unit
+}
+
+// FormatV, FormatA, FormatOhm, FormatF, FormatS, FormatW are convenience
+// wrappers for the most common quantities.
+func FormatV(v float64) string   { return Format(v, "V") }
+func FormatA(v float64) string   { return Format(v, "A") }
+func FormatOhm(v float64) string { return Format(v, "Ω") }
+func FormatF(v float64) string   { return Format(v, "F") }
+func FormatS(v float64) string   { return Format(v, "s") }
+func FormatW(v float64) string   { return Format(v, "W") }
+
+// Parse parses a value with an optional SI prefix and unit suffix, e.g.
+// "45mF", "10ms", "50mA", "2.4V", "10Ω", "120u". The unit letters themselves
+// are ignored; only the prefix scales the value.
+func Parse(s string) (float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, fmt.Errorf("units: empty value")
+	}
+	// Split the leading numeric portion from the suffix.
+	i := 0
+	for i < len(s) {
+		c := s[i]
+		if (c >= '0' && c <= '9') || c == '.' || c == '-' || c == '+' || c == 'e' || c == 'E' {
+			// Guard: 'e'/'E' only counts as part of the number when followed
+			// by a digit or sign (exponent); otherwise it starts the suffix.
+			if c == 'e' || c == 'E' {
+				if i+1 >= len(s) {
+					break
+				}
+				n := s[i+1]
+				if !(n >= '0' && n <= '9') && n != '-' && n != '+' {
+					break
+				}
+			}
+			i++
+			continue
+		}
+		break
+	}
+	num, suffix := s[:i], s[i:]
+	v, err := strconv.ParseFloat(num, 64)
+	if err != nil {
+		return 0, fmt.Errorf("units: bad number %q: %v", s, err)
+	}
+	suffix = strings.TrimSpace(suffix)
+	if suffix == "" {
+		return v, nil
+	}
+	switch suffix[0] {
+	case 'p':
+		v *= 1e-12
+	case 'n':
+		v *= Nano
+	case 'u':
+		v *= Micro
+	case 'm':
+		// Ambiguity: "m" could be milli or the unit metre; for our domain it
+		// is always milli (mV, mA, mF, ms, mΩ).
+		v *= Milli
+	case 'k':
+		v *= Kilo
+	case 'M':
+		v *= Mega
+	}
+	if strings.HasPrefix(suffix, "µ") {
+		v *= Micro
+	}
+	return v, nil
+}
+
+// EnergyCap returns the energy stored in capacitance c at voltage v:
+// E = ½CV².
+func EnergyCap(c, v float64) float64 { return 0.5 * c * v * v }
+
+// VoltageForEnergy returns the voltage a capacitance c must hold to store
+// energy e: V = sqrt(2E/C). It returns 0 for non-positive inputs.
+func VoltageForEnergy(c, e float64) float64 {
+	if c <= 0 || e <= 0 {
+		return 0
+	}
+	return math.Sqrt(2 * e / c)
+}
