@@ -1,0 +1,35 @@
+# Development entry points. `make check` is the gate a change must pass:
+# static analysis, a full build, the unit/property suites under the race
+# detector, and the golden-file regression corpus.
+
+GO ?= go
+
+.PHONY: build vet test race golden golden-update bench check
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./... -count=1
+
+# The expt suite includes the chaos test (all sweep drivers concurrently),
+# so this is the cell-isolation proof as well as a unit-test run.
+race:
+	$(GO) test -race ./... -count=1
+
+# Compare every recorded experiment output byte-for-byte, including the
+# workers=1/4/NumCPU invariance sweep.
+golden:
+	$(GO) test ./internal/expt -run 'TestGolden' -count=1
+
+# Re-record the corpus after an intended behaviour change. Review the diff.
+golden-update:
+	$(GO) test ./internal/expt -run 'TestGolden' -update -count=1
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .
+
+check: vet build race golden

@@ -2,19 +2,29 @@
 // evaluation. Each BenchmarkFigXX runs the corresponding experiment driver
 // end to end, so `go test -bench=. -benchmem` doubles as the full
 // reproduction sweep; see EXPERIMENTS.md for the recorded outputs.
+//
+// Hygiene rules for this file: every benchmark that allocates reports its
+// allocations (b.ReportAllocs), and every benchmark that needs randomness
+// builds its own seeded rand.New(rand.NewSource(...)) so runs are
+// reproducible and independent of the global source.
 package culpeo_test
 
 import (
+	"context"
+	"fmt"
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"culpeo"
 	"culpeo/internal/expt"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
+	"culpeo/internal/sweep"
 )
 
 func BenchmarkFig01b(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Fig1b(); err != nil {
 			b.Fatal(err)
@@ -23,8 +33,13 @@ func BenchmarkFig01b(b *testing.B) {
 }
 
 func BenchmarkFig03(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		r := expt.Fig3()
+		r, err := expt.Fig3(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
 		if len(r.Banks) == 0 {
 			b.Fatal("no banks")
 		}
@@ -32,6 +47,7 @@ func BenchmarkFig03(b *testing.B) {
 }
 
 func BenchmarkFig04(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Fig4(); err != nil {
 			b.Fatal(err)
@@ -40,14 +56,17 @@ func BenchmarkFig04(b *testing.B) {
 }
 
 func BenchmarkFig05(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Fig5(); err != nil {
+		if _, err := expt.Fig5(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkFig06(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Fig6(); err != nil {
 			b.Fatal(err)
@@ -56,24 +75,34 @@ func BenchmarkFig06(b *testing.B) {
 }
 
 func BenchmarkTable03(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if rows := expt.Tbl3(); len(rows) != 27 {
+		rows, err := expt.Tbl3(ctx)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 27 {
 			b.Fatal("bad catalogue")
 		}
 	}
 }
 
 func BenchmarkFig10(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Fig10(); err != nil {
+		if _, err := expt.Fig10(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkFig11(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Fig11(); err != nil {
+		if _, err := expt.Fig11(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -83,22 +112,27 @@ func BenchmarkFig11(b *testing.B) {
 // full bench sweep stays minutes-scale; `cmd/culpeo fig12` runs the paper's
 // full five-minute, three-trial version.
 func BenchmarkFig12(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Fig12(expt.Fig12Opts{Horizon: 45, Trials: 1}); err != nil {
+		if _, err := expt.Fig12(ctx, expt.Fig12Opts{Horizon: 45, Trials: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkFig13(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Fig13(expt.Fig12Opts{Horizon: 45, Trials: 1}); err != nil {
+		if _, err := expt.Fig13(ctx, expt.Fig12Opts{Horizon: 45, Trials: 1}); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
 func BenchmarkDecoupling(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Decoupling(); err != nil {
 			b.Fatal(err)
@@ -106,12 +140,49 @@ func BenchmarkDecoupling(b *testing.B) {
 	}
 }
 
+// --- sweep engine: serial vs parallel on the same drivers ----------------
+
+// BenchmarkSweepParallel runs representative drivers with the worker pool
+// pinned to 1 and to NumCPU, so `benchstat` shows the parallel speedup
+// directly. On a single-core host both sub-benchmarks coincide.
+func BenchmarkSweepParallel(b *testing.B) {
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		ctx := sweep.WithWorkers(context.Background(), workers)
+		b.Run(fmt.Sprintf("fig10/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig10(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("fig11/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Fig11(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run(fmt.Sprintf("tbl3/workers=%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := expt.Tbl3(ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- ablation benches: design choices called out in DESIGN.md -----------
 
 // BenchmarkAblationTimestep measures the cost of finer integration steps.
 func BenchmarkAblationTimestep(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.TimestepSweep(); err != nil {
+		if _, err := expt.TimestepSweep(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -119,8 +190,10 @@ func BenchmarkAblationTimestep(b *testing.B) {
 
 // BenchmarkAblationADCBits measures the resolution sweep.
 func BenchmarkAblationADCBits(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.ADCBitsSweep(); err != nil {
+		if _, err := expt.ADCBitsSweep(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -128,8 +201,10 @@ func BenchmarkAblationADCBits(b *testing.B) {
 
 // BenchmarkAblationISRPeriod measures the sampling-period sweep.
 func BenchmarkAblationISRPeriod(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.ISRPeriodSweep(); err != nil {
+		if _, err := expt.ISRPeriodSweep(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -137,8 +212,10 @@ func BenchmarkAblationISRPeriod(b *testing.B) {
 
 // BenchmarkAblationESRLoss measures the Algorithm 1 I²R comparison.
 func BenchmarkAblationESRLoss(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.ESRLossSweep(); err != nil {
+		if _, err := expt.ESRLossSweep(ctx); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -153,6 +230,7 @@ func BenchmarkSimStepSingleBranch(b *testing.B) {
 		b.Fatal(err)
 	}
 	sys.Monitor().Force(true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Step(10e-3, 1e-3)
@@ -179,6 +257,7 @@ func BenchmarkSimStepMultiBranch(b *testing.B) {
 		b.Fatal(err)
 	}
 	sys.Monitor().Force(true)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		sys.Step(10e-3, 1e-3)
@@ -192,6 +271,7 @@ func BenchmarkSimStepMultiBranch(b *testing.B) {
 func BenchmarkVSafePG(b *testing.B) {
 	model := culpeo.ModelFor(culpeo.Capybara())
 	tr := load.Sample(load.LoRa(), 125e3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := culpeo.VSafePG(model, tr); err != nil {
@@ -204,6 +284,7 @@ func BenchmarkVSafePG(b *testing.B) {
 func BenchmarkVSafeR(b *testing.B) {
 	model := culpeo.ModelFor(culpeo.Capybara())
 	obs := culpeo.Observation{VStart: 2.4, VMin: 1.95, VFinal: 2.25}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := culpeo.VSafeR(model, obs); err != nil {
@@ -219,6 +300,7 @@ func BenchmarkVSafeMulti(b *testing.B) {
 	for i := range tasks {
 		tasks[i] = culpeo.TaskReq{VE: rng.Float64() * 0.2, VDelta: rng.Float64() * 0.4}
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = culpeo.VSafeMulti(1.6, tasks)
@@ -233,6 +315,7 @@ func BenchmarkGroundTruth(b *testing.B) {
 		b.Fatal(err)
 	}
 	task := culpeo.PulseLoad(25e-3, 10e-3)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := h.GroundTruth(task); err != nil {
@@ -243,6 +326,7 @@ func BenchmarkGroundTruth(b *testing.B) {
 
 // BenchmarkCharact measures the §IV-B impedance characterization sweep.
 func BenchmarkCharact(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Charact(); err != nil {
 			b.Fatal(err)
@@ -252,6 +336,7 @@ func BenchmarkCharact(b *testing.B) {
 
 // BenchmarkReprofile measures the §V-B re-profiling experiment.
 func BenchmarkReprofile(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.Reprofile(); err != nil {
 			b.Fatal(err)
@@ -262,8 +347,10 @@ func BenchmarkReprofile(b *testing.B) {
 // BenchmarkIntermittent measures the dispatch-gate comparison (trimmed
 // 20 s horizon; `cmd/culpeo intermittent` runs the full version).
 func BenchmarkIntermittent(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Intermittent(20); err != nil {
+		if _, err := expt.Intermittent(ctx, 20); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -271,8 +358,10 @@ func BenchmarkIntermittent(b *testing.B) {
 
 // BenchmarkDecompose measures the task-division sweep.
 func BenchmarkDecompose(b *testing.B) {
+	b.ReportAllocs()
+	ctx := context.Background()
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Decompose(60); err != nil {
+		if _, err := expt.Decompose(ctx, 60); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -281,6 +370,7 @@ func BenchmarkDecompose(b *testing.B) {
 // BenchmarkCharacterizeModel measures the full power-model measurement.
 func BenchmarkCharacterizeModel(b *testing.B) {
 	cfg := culpeo.Capybara()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := culpeo.Characterize(cfg); err != nil {
@@ -291,6 +381,7 @@ func BenchmarkCharacterizeModel(b *testing.B) {
 
 // BenchmarkFutureWork measures the §IX extension demonstrations.
 func BenchmarkFutureWork(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := expt.ChargeTypes(); err != nil {
 			b.Fatal(err)

@@ -21,55 +21,100 @@
 //	culpeo all         everything above
 //
 // Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
-// the application experiments; -points dumps Figure 3's full point cloud.
+// the application experiments; -points dumps Figure 3's full point cloud;
+// -workers bounds the parallel sweep pool (0 = GOMAXPROCS). Interrupting
+// the process (Ctrl-C) cancels in-flight sweeps.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"strings"
+	"syscall"
 
 	"culpeo/internal/expt"
+	"culpeo/internal/sweep"
 )
 
 func main() {
-	fs := flag.NewFlagSet("culpeo", flag.ExitOnError)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// realMain is main with its dependencies injected, so the error paths are
+// testable without exec'ing the binary.
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("culpeo", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	csv := fs.Bool("csv", false, "emit CSV instead of text tables")
 	horizon := fs.Float64("horizon", 0, "application experiment horizon in seconds (0 = paper's 300 s)")
 	trials := fs.Int("trials", 0, "application experiment trials (0 = paper's 3)")
 	points := fs.Bool("points", false, "with fig3: dump the full point cloud")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	fs.Usage = func() {
-		fmt.Fprintf(os.Stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent futurework all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent futurework all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
-	args := os.Args[1:]
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
-	var cmds []string
-	var flagArgs []string
-	for _, a := range args {
-		if len(a) > 0 && a[0] == '-' {
-			flagArgs = append(flagArgs, a)
-		} else {
-			cmds = append(cmds, a)
-		}
-	}
+	cmds, flagArgs := splitArgs(fs, args)
 	if err := fs.Parse(flagArgs); err != nil {
-		os.Exit(2)
+		return 2
 	}
 	if len(cmds) == 0 {
 		fs.Usage()
-		os.Exit(2)
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "culpeo: -workers must be >= 0, got %d\n", *workers)
+		return 2
+	}
+	if *workers > 0 {
+		ctx = sweep.WithWorkers(ctx, *workers)
 	}
 
-	out := os.Stdout
 	opt := expt.Fig12Opts{Horizon: *horizon, Trials: *trials}
 	for _, cmd := range cmds {
-		if err := run(out, cmd, *csv, *points, opt); err != nil {
-			fmt.Fprintf(os.Stderr, "culpeo %s: %v\n", cmd, err)
-			os.Exit(1)
+		if err := run(ctx, stdout, cmd, *csv, *points, opt); err != nil {
+			fmt.Fprintf(stderr, "culpeo %s: %v\n", cmd, err)
+			return 1
 		}
 	}
+	return 0
+}
+
+// splitArgs separates experiment names from flags so both orders work. A
+// non-boolean flag given as "-horizon 20" keeps its space-separated value.
+func splitArgs(fs *flag.FlagSet, args []string) (cmds, flags []string) {
+	isBool := func(name string) bool {
+		f := fs.Lookup(name)
+		if f == nil {
+			return true // unknown flag: let Parse report it
+		}
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		return ok && b.IsBoolFlag()
+	}
+	for i := 0; i < len(args); i++ {
+		a := args[i]
+		if len(a) == 0 || a[0] != '-' {
+			cmds = append(cmds, a)
+			continue
+		}
+		flags = append(flags, a)
+		name := strings.TrimLeft(a, "-")
+		if strings.ContainsRune(name, '=') {
+			continue
+		}
+		if !isBool(name) && i+1 < len(args) {
+			i++
+			flags = append(flags, args[i])
+		}
+	}
+	return cmds, flags
 }
 
 func emit(w io.Writer, t *expt.Table, csv bool) error {
@@ -79,7 +124,7 @@ func emit(w io.Writer, t *expt.Table, csv bool) error {
 	return t.Render(w)
 }
 
-func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
+func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
 	switch cmd {
 	case "fig1b":
 		r, err := expt.Fig1b()
@@ -88,7 +133,10 @@ func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
 		}
 		return emit(w, r.Table(), csv)
 	case "fig3":
-		r := expt.Fig3()
+		r, err := expt.Fig3(ctx)
+		if err != nil {
+			return err
+		}
 		if points {
 			return emit(w, r.Points(), csv)
 		}
@@ -100,7 +148,7 @@ func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
 		}
 		return emit(w, r.Table(), csv)
 	case "fig5":
-		r, err := expt.Fig5()
+		r, err := expt.Fig5(ctx)
 		if err != nil {
 			return err
 		}
@@ -112,27 +160,31 @@ func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
 		}
 		return emit(w, expt.Fig6Table(rows), csv)
 	case "tbl3":
-		return emit(w, expt.Tbl3Table(expt.Tbl3()), csv)
+		rows, err := expt.Tbl3(ctx)
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.Tbl3Table(rows), csv)
 	case "fig10":
-		rows, err := expt.Fig10()
+		rows, err := expt.Fig10(ctx)
 		if err != nil {
 			return err
 		}
 		return emit(w, expt.Fig10Table(rows), csv)
 	case "fig11":
-		rows, err := expt.Fig11()
+		rows, err := expt.Fig11(ctx)
 		if err != nil {
 			return err
 		}
 		return emit(w, expt.Fig11Table(rows), csv)
 	case "fig12":
-		rows, err := expt.Fig12(opt)
+		rows, err := expt.Fig12(ctx, opt)
 		if err != nil {
 			return err
 		}
 		return emit(w, expt.Fig12Table(rows), csv)
 	case "fig13":
-		rows, err := expt.Fig13(opt)
+		rows, err := expt.Fig13(ctx, opt)
 		if err != nil {
 			return err
 		}
@@ -144,28 +196,28 @@ func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
 		}
 		return emit(w, expt.DecouplingTable(rows), csv)
 	case "ablations":
-		ts, err := expt.TimestepSweep()
+		ts, err := expt.TimestepSweep(ctx)
 		if err != nil {
 			return err
 		}
 		if err := emit(w, expt.TimestepTable(ts), csv); err != nil {
 			return err
 		}
-		ab, err := expt.ADCBitsSweep()
+		ab, err := expt.ADCBitsSweep(ctx)
 		if err != nil {
 			return err
 		}
 		if err := emit(w, expt.ADCBitsTable(ab), csv); err != nil {
 			return err
 		}
-		ip, err := expt.ISRPeriodSweep()
+		ip, err := expt.ISRPeriodSweep(ctx)
 		if err != nil {
 			return err
 		}
 		if err := emit(w, expt.ISRPeriodTable(ip), csv); err != nil {
 			return err
 		}
-		el, err := expt.ESRLossSweep()
+		el, err := expt.ESRLossSweep(ctx)
 		if err != nil {
 			return err
 		}
@@ -177,14 +229,14 @@ func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
 		}
 		return emit(w, expt.ReprofileTable(rows), csv)
 	case "intermittent":
-		rows, err := expt.Intermittent(60)
+		rows, err := expt.Intermittent(ctx, 60)
 		if err != nil {
 			return err
 		}
 		if err := emit(w, expt.IntermittentTable(rows), csv); err != nil {
 			return err
 		}
-		dec, err := expt.Decompose(120)
+		dec, err := expt.Decompose(ctx, 120)
 		if err != nil {
 			return err
 		}
@@ -214,7 +266,7 @@ func run(w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
 			"fig10", "fig11", "fig12", "fig13", "decoupling", "ablations",
 			"charact", "reprofile", "intermittent", "futurework",
 		} {
-			if err := run(w, c, csv, points, opt); err != nil {
+			if err := run(ctx, w, c, csv, points, opt); err != nil {
 				return err
 			}
 		}

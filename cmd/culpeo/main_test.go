@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"flag"
 	"strings"
 	"testing"
 
@@ -9,11 +11,12 @@ import (
 
 func TestRunFastExperiments(t *testing.T) {
 	// The cheap subcommands end to end, in both output modes.
+	ctx := context.Background()
 	opt := expt.Fig12Opts{Horizon: 10, Trials: 1}
 	for _, cmd := range []string{"fig1b", "fig3", "fig4", "fig5", "tbl3", "decoupling"} {
 		for _, csv := range []bool{false, true} {
 			var sb strings.Builder
-			if err := run(&sb, cmd, csv, false, opt); err != nil {
+			if err := run(ctx, &sb, cmd, csv, false, opt); err != nil {
 				t.Fatalf("%s (csv=%v): %v", cmd, csv, err)
 			}
 			if sb.Len() == 0 {
@@ -28,7 +31,7 @@ func TestRunFastExperiments(t *testing.T) {
 
 func TestRunFig3Points(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig3", true, true, expt.Fig12Opts{}); err != nil {
+	if err := run(context.Background(), &sb, "fig3", true, true, expt.Fig12Opts{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(sb.String(), "volume_mm3,") {
@@ -42,7 +45,96 @@ func TestRunFig3Points(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(&sb, "fig99", false, false, expt.Fig12Opts{}); err == nil {
+	if err := run(context.Background(), &sb, "fig99", false, false, expt.Fig12Opts{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
+}
+
+// TestRealMainErrors drives the binary's error paths end to end: each bad
+// invocation must exit non-zero and say something usable on stderr.
+func TestRealMainErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string // substring of stderr
+	}{
+		{"no args", nil, 2, "usage: culpeo"},
+		{"unknown experiment", []string{"fig99"}, 1, `unknown experiment "fig99"`},
+		{"unknown flag", []string{"-bogus", "fig3"}, 2, "flag provided but not defined"},
+		{"bad flag value", []string{"-trials", "three", "fig12"}, 2, "invalid value"},
+		{"negative workers", []string{"-workers", "-2", "tbl3"}, 2, "-workers must be >= 0"},
+		{"flags only, no experiment", []string{"-csv"}, 2, "usage: culpeo"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := realMain(context.Background(), tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRealMainSpaceSeparatedFlagValues covers the fixed arg splitter: a
+// non-boolean flag's value may follow as its own argument without being
+// mistaken for an experiment name.
+func TestRealMainSpaceSeparatedFlagValues(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := realMain(context.Background(), []string{"tbl3", "-workers", "2", "-csv"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "load,kind,") {
+		t.Errorf("csv output wrong: %q", firstLine(stdout.String()))
+	}
+}
+
+func TestSplitArgs(t *testing.T) {
+	cases := []struct {
+		args      []string
+		wantCmds  []string
+		wantFlags []string
+	}{
+		{[]string{"fig12", "-horizon", "20", "-trials", "1"}, []string{"fig12"}, []string{"-horizon", "20", "-trials", "1"}},
+		{[]string{"-csv", "fig3", "fig4"}, []string{"fig3", "fig4"}, []string{"-csv"}},
+		{[]string{"-horizon=20", "fig12"}, []string{"fig12"}, []string{"-horizon=20"}},
+		{[]string{"-workers", "4", "all"}, []string{"all"}, []string{"-workers", "4"}},
+	}
+	for _, tc := range cases {
+		// Mirror realMain's flag-set shape: bools and value flags.
+		fs := flag.NewFlagSet("culpeo", flag.ContinueOnError)
+		fs.Bool("csv", false, "")
+		fs.Bool("points", false, "")
+		fs.Float64("horizon", 0, "")
+		fs.Int("trials", 0, "")
+		fs.Int("workers", 0, "")
+		cmds, flags := splitArgs(fs, tc.args)
+		if !equalStrings(cmds, tc.wantCmds) || !equalStrings(flags, tc.wantFlags) {
+			t.Errorf("splitArgs(%v) = %v, %v; want %v, %v", tc.args, cmds, flags, tc.wantCmds, tc.wantFlags)
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func equalStrings(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }

@@ -4,93 +4,221 @@
 //
 //	simulate -i 50mA -t 100ms -vstart 2.3 > trace.csv
 //	simulate -peripheral ble -vstart 2.0 -esr 5 -dec 400uF
+//	simulate -i 50mA -t 10ms -shape pulse -vsweep 1.8,2.0,2.2,2.4
 //
-// Columns: t_s, v_term_V, v_oc_V, i_load_A, i_in_A.
+// Columns: t_s, v_term_V, v_oc_V, i_load_A, i_in_A. With -vsweep, the
+// starting voltages run concurrently on the sweep pool (-workers bounds it)
+// and a per-voltage summary table replaces the trace.
 package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
 
 	"culpeo/internal/capacitor"
+	"culpeo/internal/expt"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
+	"culpeo/internal/sweep"
 	"culpeo/internal/trace"
 	"culpeo/internal/units"
 )
 
 func main() {
-	var (
-		iStr       = flag.String("i", "50mA", "load current")
-		tStr       = flag.String("t", "100ms", "pulse duration")
-		shape      = flag.String("shape", "uniform", "load shape: uniform | pulse")
-		peripheral = flag.String("peripheral", "", "peripheral profile: gesture | ble | mnist | lora")
-		vStart     = flag.Float64("vstart", 2.4, "starting voltage (V)")
-		cStr       = flag.String("c", "45mF", "buffer capacitance")
-		esr        = flag.Float64("esr", 5.0, "buffer ESR (Ω)")
-		decStr     = flag.String("dec", "0", "decoupling capacitance (e.g. 400uF; 0 = none)")
-		harvest    = flag.Float64("harvest", 0, "harvested power (W)")
-		every      = flag.Int("every", 4, "keep one sample per N steps")
-		rebound    = flag.Bool("rebound", true, "record the post-load rebound")
-		plot       = flag.Bool("plot", false, "render an ASCII voltage chart to stderr instead of CSV to stdout")
-	)
-	flag.Parse()
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
 
-	task, err := pickLoad(*peripheral, *iStr, *tStr, *shape)
-	if err != nil {
-		fatal(err)
+type params struct {
+	iStr, tStr, shape, peripheral string
+	vStart                        float64
+	vSweep                        string
+	cStr, decStr                  string
+	esr, harvest                  float64
+	every                         int
+	rebound, plot                 bool
+}
+
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("simulate", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var p params
+	fs.StringVar(&p.iStr, "i", "50mA", "load current")
+	fs.StringVar(&p.tStr, "t", "100ms", "pulse duration")
+	fs.StringVar(&p.shape, "shape", "uniform", "load shape: uniform | pulse")
+	fs.StringVar(&p.peripheral, "peripheral", "", "peripheral profile: gesture | ble | mnist | lora")
+	fs.Float64Var(&p.vStart, "vstart", 2.4, "starting voltage (V)")
+	fs.StringVar(&p.vSweep, "vsweep", "", "comma-separated starting voltages; emits a summary table instead of a trace")
+	fs.StringVar(&p.cStr, "c", "45mF", "buffer capacitance")
+	fs.Float64Var(&p.esr, "esr", 5.0, "buffer ESR (Ω)")
+	fs.StringVar(&p.decStr, "dec", "0", "decoupling capacitance (e.g. 400uF; 0 = none)")
+	fs.Float64Var(&p.harvest, "harvest", 0, "harvested power (W)")
+	fs.IntVar(&p.every, "every", 4, "keep one sample per N steps")
+	fs.BoolVar(&p.rebound, "rebound", true, "record the post-load rebound")
+	fs.BoolVar(&p.plot, "plot", false, "render an ASCII voltage chart to stderr instead of CSV to stdout")
+	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	if err := fs.Parse(args); err != nil {
+		return 2
 	}
-	c, err := units.Parse(*cStr)
-	if err != nil {
-		fatal(fmt.Errorf("bad -c: %w", err))
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "simulate: -workers must be >= 0, got %d\n", *workers)
+		return 2
 	}
-	dec, err := units.Parse(*decStr)
+	if *workers > 0 {
+		ctx = sweep.WithWorkers(ctx, *workers)
+	}
+	if err := simulate(ctx, stdout, stderr, p); err != nil {
+		fmt.Fprintln(stderr, "simulate:", err)
+		return 1
+	}
+	return 0
+}
+
+func simulate(ctx context.Context, stdout, stderr io.Writer, p params) error {
+	task, err := pickLoad(p.peripheral, p.iStr, p.tStr, p.shape)
 	if err != nil {
-		fatal(fmt.Errorf("bad -dec: %w", err))
+		return err
+	}
+	c, err := units.Parse(p.cStr)
+	if err != nil {
+		return fmt.Errorf("bad -c: %w", err)
+	}
+	dec, err := units.Parse(p.decStr)
+	if err != nil {
+		return fmt.Errorf("bad -dec: %w", err)
 	}
 
-	branches := []*capacitor.Branch{{Name: "main", C: c, ESR: *esr, Voltage: *vStart}}
-	if dec > 0 {
-		branches = append(branches, &capacitor.Branch{Name: "decoupling", C: dec, ESR: 0.05, Voltage: *vStart})
+	newSystem := func(vStart float64) (*powersys.System, error) {
+		branches := []*capacitor.Branch{{Name: "main", C: c, ESR: p.esr, Voltage: vStart}}
+		if dec > 0 {
+			branches = append(branches, &capacitor.Branch{Name: "decoupling", C: dec, ESR: 0.05, Voltage: vStart})
+		}
+		net, err := capacitor.NewNetwork(branches...)
+		if err != nil {
+			return nil, err
+		}
+		cfg := powersys.Capybara()
+		cfg.Storage = net
+		sys, err := powersys.New(cfg)
+		if err != nil {
+			return nil, err
+		}
+		sys.Monitor().Force(true)
+		return sys, nil
 	}
-	net, err := capacitor.NewNetwork(branches...)
-	if err != nil {
-		fatal(err)
-	}
-	cfg := powersys.Capybara()
-	cfg.Storage = net
-	sys, err := powersys.New(cfg)
-	if err != nil {
-		fatal(err)
-	}
-	sys.Monitor().Force(true)
 
-	rec := trace.NewRecorder(*every)
+	if p.vSweep != "" {
+		voltages, err := parseVSweep(p.vSweep)
+		if err != nil {
+			return err
+		}
+		return vSweep(ctx, stdout, task, voltages, p.harvest, !p.rebound, newSystem)
+	}
+
+	sys, err := newSystem(p.vStart)
+	if err != nil {
+		return err
+	}
+	rec := trace.NewRecorder(p.every)
 	res := sys.Run(task, powersys.RunOptions{
-		HarvestPower: *harvest,
+		HarvestPower: p.harvest,
 		Recorder:     rec,
-		SkipRebound:  !*rebound,
+		SkipRebound:  !p.rebound,
 	})
 
-	if *plot {
-		if err := rec.Plot(os.Stderr, trace.PlotOptions{
-			Marker: cfg.VOff, MarkerLabel: "V_off",
+	if p.plot {
+		if err := rec.Plot(stderr, trace.PlotOptions{
+			Marker: powersys.Capybara().VOff, MarkerLabel: "V_off",
 		}); err != nil {
-			fatal(err)
+			return err
 		}
 	} else {
-		w := bufio.NewWriter(os.Stdout)
+		w := bufio.NewWriter(stdout)
 		defer w.Flush()
 		if err := rec.WriteCSV(w); err != nil {
-			fatal(err)
+			return err
 		}
 	}
-	fmt.Fprintf(os.Stderr,
+	fmt.Fprintf(stderr,
 		"simulate: %s from %.3f V: completed=%v v_min=%.3f v_final=%.3f energy_used=%s samples=%d\n",
 		task.Name(), res.VStart, res.Completed, res.VMin, res.VFinal,
 		units.Format(res.EnergyUsed, "J"), rec.Len())
+	return nil
+}
+
+// parseVSweep parses "1.8,2.0,2.4" into voltages, rejecting junk early so
+// the sweep never launches half-configured.
+func parseVSweep(s string) ([]float64, error) {
+	parts := strings.Split(s, ",")
+	voltages := make([]float64, 0, len(parts))
+	for _, part := range parts {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		v, err := strconv.ParseFloat(part, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad -vsweep entry %q: %w", part, err)
+		}
+		if v <= 0 {
+			return nil, fmt.Errorf("bad -vsweep entry %q: voltage must be positive", part)
+		}
+		voltages = append(voltages, v)
+	}
+	if len(voltages) == 0 {
+		return nil, fmt.Errorf("-vsweep lists no voltages")
+	}
+	return voltages, nil
+}
+
+// vSweep runs the load from each starting voltage, one independent system
+// per sweep cell, and renders a summary table in input order.
+func vSweep(ctx context.Context, stdout io.Writer, task load.Profile, voltages []float64,
+	harvest float64, skipRebound bool, newSystem func(float64) (*powersys.System, error)) error {
+	type row struct {
+		res powersys.RunResult
+	}
+	rows, err := sweep.Map(ctx, voltages, func(_ context.Context, _ int, v float64) (row, error) {
+		sys, err := newSystem(v)
+		if err != nil {
+			return row{}, err
+		}
+		return row{res: sys.Run(task, powersys.RunOptions{
+			HarvestPower: harvest,
+			SkipRebound:  skipRebound,
+		})}, nil
+	})
+	if err != nil {
+		return err
+	}
+
+	tbl := &expt.Table{
+		Title:  fmt.Sprintf("Starting-voltage sweep: %s", task.Name()),
+		Header: []string{"V_start", "completed", "V_min", "V_final", "energy used"},
+	}
+	for i, r := range rows {
+		completed := "POWER FAILURE"
+		if r.res.Completed {
+			completed = "yes"
+		}
+		tbl.Add(
+			fmt.Sprintf("%.3f", voltages[i]),
+			completed,
+			fmt.Sprintf("%.3f", r.res.VMin),
+			fmt.Sprintf("%.3f", r.res.VFinal),
+			units.Format(r.res.EnergyUsed, "J"),
+		)
+	}
+	return tbl.Render(stdout)
 }
 
 func pickLoad(peripheral, iStr, tStr, shape string) (load.Profile, error) {
@@ -119,9 +247,4 @@ func pickLoad(peripheral, iStr, tStr, shape string) (load.Profile, error) {
 		return load.NewPulse(i, t), nil
 	}
 	return load.NewUniform(i, t), nil
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "simulate:", err)
-	os.Exit(1)
 }

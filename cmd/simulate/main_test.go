@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"context"
+	"strings"
+	"testing"
+)
 
 func TestPickLoad(t *testing.T) {
 	p, err := pickLoad("", "50mA", "100ms", "uniform")
@@ -31,4 +35,100 @@ func TestPickLoad(t *testing.T) {
 	if _, err := pickLoad("", "5mA", "bad", "uniform"); err == nil {
 		t.Error("bad duration accepted")
 	}
+}
+
+func TestParseVSweep(t *testing.T) {
+	vs, err := parseVSweep("1.8, 2.0,2.4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 3 || vs[0] != 1.8 || vs[2] != 2.4 {
+		t.Errorf("parsed %v", vs)
+	}
+	for _, bad := range []string{"", ",,", "1.8,abc", "0,2.0", "-1.5"} {
+		if _, err := parseVSweep(bad); err == nil {
+			t.Errorf("parseVSweep(%q) accepted", bad)
+		}
+	}
+}
+
+// TestRealMainErrors drives the binary's error paths: each bad invocation
+// must exit non-zero with a usable message on stderr.
+func TestRealMainErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"unknown flag", []string{"-frobnicate"}, 2, "flag provided but not defined"},
+		{"bad flag value", []string{"-vstart", "high"}, 2, "invalid value"},
+		{"negative workers", []string{"-workers", "-3"}, 2, "-workers must be >= 0"},
+		{"unknown peripheral", []string{"-peripheral", "ghost"}, 1, `unknown peripheral "ghost"`},
+		{"bad capacitance", []string{"-c", "xyz"}, 1, "bad -c"},
+		{"bad decoupling", []string{"-dec", "junk"}, 1, "bad -dec"},
+		{"bad vsweep entry", []string{"-vsweep", "1.8,abc"}, 1, "bad -vsweep entry"},
+		{"empty vsweep", []string{"-vsweep", ",,"}, 1, "-vsweep lists no voltages"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := realMain(context.Background(), tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRealMainTrace checks the single-run CSV path end to end.
+func TestRealMainTrace(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := realMain(context.Background(), []string{"-i", "10mA", "-t", "10ms", "-vstart", "2.4"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if !strings.HasPrefix(stdout.String(), "t_s,") {
+		t.Errorf("trace header wrong: %q", firstLine(stdout.String()))
+	}
+	if !strings.Contains(stderr.String(), "completed=true") {
+		t.Errorf("summary missing: %q", stderr.String())
+	}
+}
+
+// TestRealMainVSweep checks the parallel starting-voltage sweep: one table
+// row per requested voltage, in input order, independent of worker count.
+func TestRealMainVSweep(t *testing.T) {
+	for _, workers := range []string{"1", "4"} {
+		var stdout, stderr strings.Builder
+		code := realMain(context.Background(),
+			[]string{"-i", "50mA", "-t", "10ms", "-shape", "pulse", "-vsweep", "1.8,2.0,2.2,2.4", "-workers", workers},
+			&stdout, &stderr)
+		if code != 0 {
+			t.Fatalf("workers=%s: exit = %d, stderr: %s", workers, code, stderr.String())
+		}
+		out := stdout.String()
+		if !strings.Contains(out, "Starting-voltage sweep") {
+			t.Errorf("workers=%s: missing table title:\n%s", workers, out)
+		}
+		for _, v := range []string{"1.800", "2.000", "2.200", "2.400"} {
+			if !strings.Contains(out, v) {
+				t.Errorf("workers=%s: missing row for %s V:\n%s", workers, v, out)
+			}
+		}
+		// Rows must appear in input order regardless of scheduling.
+		if strings.Index(out, "1.800") > strings.Index(out, "2.400") {
+			t.Errorf("workers=%s: rows out of order:\n%s", workers, out)
+		}
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
 }

@@ -8,13 +8,19 @@
 //
 // The output lists, for each estimator: the V_safe estimate, its error
 // versus ground truth as a percentage of the operating range, and whether a
-// task launched at the estimate survives.
+// task launched at the estimate survives. The estimators run concurrently
+// on the sweep pool (-workers bounds it); rows print in a fixed order
+// regardless of worker count.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"culpeo/internal/baseline"
 	"culpeo/internal/capacitor"
@@ -24,67 +30,112 @@ import (
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
+	"culpeo/internal/sweep"
 	"culpeo/internal/units"
 )
 
 func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("vsafe", flag.ContinueOnError)
+	fs.SetOutput(stderr)
 	var (
-		iStr       = flag.String("i", "25mA", "load current (e.g. 50mA)")
-		tStr       = flag.String("t", "10ms", "pulse duration (e.g. 100ms)")
-		shape      = flag.String("shape", "pulse", "load shape: uniform | pulse (pulse adds 100ms of 1.5mA compute)")
-		peripheral = flag.String("peripheral", "", "use a peripheral profile instead: gesture | ble | mnist | lora")
-		traceFile  = flag.String("trace", "", "use a captured current trace (CSV: current_A rows, or time_s,current_A)")
-		traceRate  = flag.Float64("rate", 125e3, "sample rate for one-column -trace files (Hz)")
-		cStr       = flag.String("c", "45mF", "buffer capacitance")
-		esr        = flag.Float64("esr", 5.0, "buffer ESR in ohms")
-		vOff       = flag.Float64("voff", 1.6, "power-off threshold (V)")
-		vHigh      = flag.Float64("vhigh", 2.56, "fully-charged voltage (V)")
-		life       = flag.Float64("age", 0, "capacitor life fraction consumed [0..1] (C fades, ESR doubles)")
+		iStr       = fs.String("i", "25mA", "load current (e.g. 50mA)")
+		tStr       = fs.String("t", "10ms", "pulse duration (e.g. 100ms)")
+		shape      = fs.String("shape", "pulse", "load shape: uniform | pulse (pulse adds 100ms of 1.5mA compute)")
+		peripheral = fs.String("peripheral", "", "use a peripheral profile instead: gesture | ble | mnist | lora")
+		traceFile  = fs.String("trace", "", "use a captured current trace (CSV: current_A rows, or time_s,current_A)")
+		traceRate  = fs.Float64("rate", 125e3, "sample rate for one-column -trace files (Hz)")
+		cStr       = fs.String("c", "45mF", "buffer capacitance")
+		esr        = fs.Float64("esr", 5.0, "buffer ESR in ohms")
+		vOff       = fs.Float64("voff", 1.6, "power-off threshold (V)")
+		vHigh      = fs.Float64("vhigh", 2.56, "fully-charged voltage (V)")
+		life       = fs.Float64("age", 0, "capacitor life fraction consumed [0..1] (C fades, ESR doubles)")
+		workers    = fs.Int("workers", 0, "parallel estimator workers (0 = GOMAXPROCS)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *workers < 0 {
+		fmt.Fprintf(stderr, "vsafe: -workers must be >= 0, got %d\n", *workers)
+		return 2
+	}
+	if *workers > 0 {
+		ctx = sweep.WithWorkers(ctx, *workers)
+	}
+	if err := vsafe(ctx, stdout, params{
+		iStr: *iStr, tStr: *tStr, shape: *shape, peripheral: *peripheral,
+		traceFile: *traceFile, traceRate: *traceRate,
+		cStr: *cStr, esr: *esr, vOff: *vOff, vHigh: *vHigh, life: *life,
+	}); err != nil {
+		fmt.Fprintln(stderr, "vsafe:", err)
+		return 1
+	}
+	return 0
+}
+
+type params struct {
+	iStr, tStr, shape, peripheral string
+	traceFile                     string
+	traceRate                     float64
+	cStr                          string
+	esr, vOff, vHigh, life        float64
+}
+
+func vsafe(ctx context.Context, stdout io.Writer, p params) error {
+	if p.vOff >= p.vHigh {
+		return fmt.Errorf("invalid voltage window: -voff (%.3g) must be below -vhigh (%.3g)", p.vOff, p.vHigh)
+	}
+	if p.life < 0 || p.life > 1 {
+		return fmt.Errorf("bad -age: life fraction %g outside [0..1]", p.life)
+	}
 
 	var task load.Profile
-	if *traceFile != "" {
-		f, err := os.Open(*traceFile)
+	if p.traceFile != "" {
+		f, err := os.Open(p.traceFile)
 		if err != nil {
-			fatal(err)
+			return fmt.Errorf("cannot read -trace: %w", err)
 		}
-		tr, err := load.TraceFromCSV(f, *traceFile, *traceRate)
+		tr, err := load.TraceFromCSV(f, p.traceFile, p.traceRate)
 		f.Close()
 		if err != nil {
-			fatal(err)
+			return err
 		}
 		task = tr
 	} else {
 		var err error
-		task, err = pickLoad(*peripheral, *iStr, *tStr, *shape)
+		task, err = pickLoad(p.peripheral, p.iStr, p.tStr, p.shape)
 		if err != nil {
-			fatal(err)
+			return err
 		}
 	}
 
-	c, err := units.Parse(*cStr)
+	c, err := units.Parse(p.cStr)
 	if err != nil {
-		fatal(fmt.Errorf("bad -c: %w", err))
+		return fmt.Errorf("bad -c: %w", err)
 	}
-	aging := capacitor.Aging{LifeFraction: *life}
-	aged := aging.Apply(capacitor.Branch{Name: "main", C: c, ESR: *esr})
-	aged.Voltage = *vHigh
+	aging := capacitor.Aging{LifeFraction: p.life}
+	aged := aging.Apply(capacitor.Branch{Name: "main", C: c, ESR: p.esr})
+	aged.Voltage = p.vHigh
 	net, err := capacitor.NewNetwork(&aged)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	cfg := powersys.Capybara()
 	cfg.Storage = net
-	cfg.VOff, cfg.VHigh = *vOff, *vHigh
+	cfg.VOff, cfg.VHigh = p.vOff, p.vHigh
 
 	h, err := harness.New(cfg)
 	if err != nil {
-		fatal(err)
+		return err
 	}
 	model := core.PowerModel{
 		C:     c, // nominal; aging passed to the model separately
-		ESR:   capacitor.Flat(*esr),
+		ESR:   capacitor.Flat(p.esr),
 		VOut:  cfg.Output.VOut,
 		VOff:  cfg.VOff,
 		VHigh: cfg.VHigh,
@@ -92,49 +143,83 @@ func main() {
 		Aging: aging,
 	}
 
-	fmt.Printf("load: %s   buffer: %s @ %s (aged ×%.2f ESR)   window: %.2f–%.2f V\n\n",
+	fmt.Fprintf(stdout, "load: %s   buffer: %s @ %s (aged ×%.2f ESR)   window: %.2f–%.2f V\n\n",
 		task.Name(), units.FormatF(aged.C), units.FormatOhm(aged.ESR),
 		aging.ESRFactor(), cfg.VOff, cfg.VHigh)
 
 	gt, err := h.GroundTruth(task)
 	if err != nil {
-		fatal(fmt.Errorf("this load cannot run on this buffer at any voltage: %w", err))
+		return fmt.Errorf("this load cannot run on this buffer at any voltage: %w", err)
+	}
+
+	// Each estimator is one sweep cell: it owns its probe system, produces
+	// an estimate, and validates the launch with an independent run. Cells
+	// that cannot produce an estimate are skipped, matching the serial
+	// behaviour.
+	type est struct {
+		name string
+		fn   func() (float64, error)
+	}
+	ests := []est{
+		{"Culpeo-PG", func() (float64, error) {
+			e, err := profiler.PG{Model: model}.Estimate(task)
+			return e.VSafe, err
+		}},
+		{"Culpeo-R (ISR)", func() (float64, error) {
+			sys := h.NewSystem()
+			sys.Monitor().Force(true)
+			e, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0)
+			return e.VSafe, err
+		}},
+		{"Culpeo-R (µArch)", func() (float64, error) {
+			sys := h.NewSystem()
+			sys.Monitor().Force(true)
+			e, err := profiler.REstimate(model, sys, profiler.NewUArchProbe(sys.VTerm), task, 0)
+			return e.VSafe, err
+		}},
+	}
+	for _, k := range baseline.Kinds() {
+		k := k
+		ests = append(ests, est{k.String(), func() (float64, error) {
+			return baseline.Estimate(k, h, task), nil
+		}})
+	}
+
+	type row struct {
+		name, vsafe, errPct, outcome string
+		skip                         bool
+	}
+	rows, err := sweep.Map(ctx, ests, func(_ context.Context, _ int, e est) (row, error) {
+		v, err := e.fn()
+		if err != nil {
+			return row{skip: true}, nil
+		}
+		res := h.RunAt(clamp(v, cfg.VOff, cfg.VHigh), task, powersys.RunOptions{SkipRebound: true})
+		outcome := "POWER FAILURE"
+		if res.Completed && res.VMin >= cfg.VOff {
+			outcome = fmt.Sprintf("completes (V_min %.3f)", res.VMin)
+		}
+		return row{
+			name:    e.name,
+			vsafe:   fmt.Sprintf("%.3f", v),
+			errPct:  fmt.Sprintf("%+.1f", h.ErrorPercent(v, gt)),
+			outcome: outcome,
+		}, nil
+	})
+	if err != nil {
+		return err
 	}
 
 	tbl := &expt.Table{
 		Header: []string{"estimator", "V_safe", "error %", "launch outcome"},
 	}
 	tbl.Add("ground truth (brute force)", fmt.Sprintf("%.3f", gt), "0.0", "completes")
-
-	addRow := func(name string, v float64) {
-		res := h.RunAt(clamp(v, cfg.VOff, cfg.VHigh), task, powersys.RunOptions{SkipRebound: true})
-		outcome := "POWER FAILURE"
-		if res.Completed && res.VMin >= cfg.VOff {
-			outcome = fmt.Sprintf("completes (V_min %.3f)", res.VMin)
+	for _, r := range rows {
+		if !r.skip {
+			tbl.Add(r.name, r.vsafe, r.errPct, r.outcome)
 		}
-		tbl.Add(name, fmt.Sprintf("%.3f", v), fmt.Sprintf("%+.1f", h.ErrorPercent(v, gt)), outcome)
 	}
-
-	pg := profiler.PG{Model: model}
-	if est, err := pg.Estimate(task); err == nil {
-		addRow("Culpeo-PG", est.VSafe)
-	}
-	sys := h.NewSystem()
-	sys.Monitor().Force(true)
-	if est, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0); err == nil {
-		addRow("Culpeo-R (ISR)", est.VSafe)
-	}
-	sys = h.NewSystem()
-	sys.Monitor().Force(true)
-	if est, err := profiler.REstimate(model, sys, profiler.NewUArchProbe(sys.VTerm), task, 0); err == nil {
-		addRow("Culpeo-R (µArch)", est.VSafe)
-	}
-	for _, k := range baseline.Kinds() {
-		addRow(k.String(), baseline.Estimate(k, h, task))
-	}
-	if err := tbl.Render(os.Stdout); err != nil {
-		fatal(err)
-	}
+	return tbl.Render(stdout)
 }
 
 func pickLoad(peripheral, iStr, tStr, shape string) (load.Profile, error) {
@@ -176,9 +261,4 @@ func clamp(v, lo, hi float64) float64 {
 		return hi
 	}
 	return v
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "vsafe:", err)
-	os.Exit(1)
 }

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"context"
+	"strings"
 	"testing"
 )
 
@@ -51,5 +53,55 @@ func TestPickLoadErrors(t *testing.T) {
 func TestClamp(t *testing.T) {
 	if clamp(5, 1, 3) != 3 || clamp(0, 1, 3) != 1 || clamp(2, 1, 3) != 2 {
 		t.Error("clamp wrong")
+	}
+}
+
+// TestRealMainErrors drives the binary's error paths: each bad invocation
+// must exit non-zero with a usable message on stderr.
+func TestRealMainErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		args     []string
+		wantCode int
+		wantErr  string
+	}{
+		{"unknown flag", []string{"-frobnicate"}, 2, "flag provided but not defined"},
+		{"bad flag value", []string{"-esr", "five"}, 2, "invalid value"},
+		{"negative workers", []string{"-workers", "-1"}, 2, "-workers must be >= 0"},
+		{"unknown peripheral", []string{"-peripheral", "warpdrive"}, 1, `unknown peripheral "warpdrive"`},
+		{"bad current", []string{"-i", "notanumber"}, 1, "bad -i"},
+		{"bad capacitance", []string{"-c", "xyz"}, 1, "bad -c"},
+		{"missing trace file", []string{"-trace", "/nonexistent/trace.csv"}, 1, "cannot read -trace"},
+		{"inverted voltage window", []string{"-voff", "2.5", "-vhigh", "1.8"}, 1, "invalid voltage window"},
+		{"degenerate voltage window", []string{"-voff", "2.0", "-vhigh", "2.0"}, 1, "invalid voltage window"},
+		{"bad age", []string{"-age", "1.5"}, 1, "bad -age"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var stdout, stderr strings.Builder
+			code := realMain(context.Background(), tc.args, &stdout, &stderr)
+			if code != tc.wantCode {
+				t.Errorf("exit = %d, want %d (stderr: %s)", code, tc.wantCode, stderr.String())
+			}
+			if !strings.Contains(stderr.String(), tc.wantErr) {
+				t.Errorf("stderr %q missing %q", stderr.String(), tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestRealMainHappyPath runs one full estimation end to end and checks the
+// table shape: the ground-truth row plus at least the Culpeo estimators.
+func TestRealMainHappyPath(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := realMain(context.Background(), []string{"-i", "25mA", "-t", "10ms", "-workers", "2"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	out := stdout.String()
+	for _, want := range []string{"ground truth (brute force)", "Culpeo-PG", "Culpeo-R (ISR)", "Culpeo-R (µArch)"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
 	}
 }

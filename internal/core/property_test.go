@@ -1,0 +1,187 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"culpeo/internal/booster"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+)
+
+// Property-based tests: the V_safe invariants must hold for *every* valid
+// power system and load, not just the Capybara configuration the figures
+// use. Models and loads are drawn from the physically plausible ranges of
+// the paper's evaluation (millifarad buffers, ohms of ESR, a boost
+// converter window around 2 V).
+
+const propIters = 200
+
+// randModel draws a valid PowerModel: C ∈ [1, 100] mF, flat ESR ∈ [0.1,
+// 20] Ω, VOff ∈ [1.2, 1.8] V with a [0.5, 1.5] V operating window, and an
+// increasing efficiency line (M > 0, the Culpeo-R assumption).
+func randModel(rng *rand.Rand) PowerModel {
+	vOff := 1.2 + 0.6*rng.Float64()
+	return PowerModel{
+		C:     1e-3 + 99e-3*rng.Float64(),
+		ESR:   capacitor.Flat(0.1 + 19.9*rng.Float64()),
+		VOut:  2.55,
+		VOff:  vOff,
+		VHigh: vOff + 0.5 + rng.Float64(),
+		Eff: booster.EfficiencyLine{
+			M:   0.05 + 0.25*rng.Float64(),
+			B:   0.3 + 0.2*rng.Float64(),
+			Min: 0.05,
+			Max: 0.98,
+		},
+	}
+}
+
+// randLoad draws a uniform or pulse load: 1–50 mA for 1–100 ms.
+func randLoad(rng *rand.Rand) load.Profile {
+	i := 1e-3 + 49e-3*rng.Float64()
+	t := 1e-3 + 99e-3*rng.Float64()
+	if rng.Intn(2) == 0 {
+		return load.NewUniform(i, t)
+	}
+	return load.NewPulse(i, t)
+}
+
+const propRate = 25e3 // trace sample rate; 25 kHz keeps 200 iterations fast
+
+// TestPropVSafePGAboveVOff: a safe starting voltage can never sit below the
+// power-off threshold — V_off is the recursion's base case and every step
+// only adds requirement.
+func TestPropVSafePGAboveVOff(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for iter := 0; iter < propIters; iter++ {
+		m := randModel(rng)
+		task := randLoad(rng)
+		est, err := VSafePG(m, load.Sample(task, propRate))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if est.VSafe < m.VOff {
+			t.Fatalf("iter %d: VSafe %g below VOff %g (model %+v, load %s)",
+				iter, est.VSafe, m.VOff, m, task.Name())
+		}
+		if est.VDelta < 0 || est.VE < 0 {
+			t.Fatalf("iter %d: negative components %+v", iter, est)
+		}
+	}
+}
+
+// TestPropVSafePGMonotoneInEnergy: asking for more work can never lower the
+// requirement. Both scalings grow task energy — a higher current also
+// deepens the ESR drop, a longer run only adds steps to the reverse walk.
+func TestPropVSafePGMonotoneInEnergy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for iter := 0; iter < propIters; iter++ {
+		m := randModel(rng)
+		i := 1e-3 + 30e-3*rng.Float64()
+		dur := 1e-3 + 50e-3*rng.Float64()
+
+		base, err := VSafePG(m, load.Sample(load.NewUniform(i, dur), propRate))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		moreCurrent, err := VSafePG(m, load.Sample(load.NewUniform(i*1.5, dur), propRate))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		longer, err := VSafePG(m, load.Sample(load.NewUniform(i, dur*2), propRate))
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if moreCurrent.VSafe < base.VSafe-1e-9 {
+			t.Fatalf("iter %d: 1.5× current lowered VSafe: %g -> %g (C=%g ESR=%g)",
+				iter, base.VSafe, moreCurrent.VSafe, m.C, m.EffectiveESR(dur))
+		}
+		if longer.VSafe < base.VSafe-1e-9 {
+			t.Fatalf("iter %d: 2× duration lowered VSafe: %g -> %g",
+				iter, base.VSafe, longer.VSafe)
+		}
+	}
+}
+
+// TestPropVSafeMultiDominates: the sequence requirement covers every
+// member. V_safe_multi must be at least each task's standalone V_safe
+// (VE + VDelta + V_off) — otherwise a schedule certified feasible could
+// still brown out inside one of its tasks.
+func TestPropVSafeMultiDominates(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for iter := 0; iter < propIters; iter++ {
+		vOff := 1.2 + 0.6*rng.Float64()
+		n := 1 + rng.Intn(8)
+		tasks := make([]TaskReq, n)
+		for i := range tasks {
+			tasks[i] = TaskReq{
+				VE:     rng.Float64() * 0.3,
+				VDelta: rng.Float64() * 0.5,
+			}
+		}
+		multi := VSafeMulti(vOff, tasks)
+		for i, tk := range tasks {
+			single := tk.VE + tk.VDelta + vOff
+			if multi < single-1e-9 {
+				t.Fatalf("iter %d: VSafeMulti %g below task %d's own requirement %g",
+					iter, multi, i, single)
+			}
+		}
+		// And the recursion's own certificate must accept its output.
+		if err := CheckSeq(vOff, tasks, VSafeSeq(vOff, tasks)); err != nil {
+			t.Fatalf("iter %d: CheckSeq rejected VSafeSeq's output: %v", iter, err)
+		}
+	}
+}
+
+// TestPropVSafeSeqSuffixMonotone: prefix requirements dominate suffix
+// requirements — running more of the sequence can only need more voltage.
+func TestPropVSafeSeqSuffixMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for iter := 0; iter < propIters; iter++ {
+		vOff := 1.2 + 0.6*rng.Float64()
+		n := 2 + rng.Intn(7)
+		tasks := make([]TaskReq, n)
+		for i := range tasks {
+			tasks[i] = TaskReq{VE: rng.Float64() * 0.3, VDelta: rng.Float64() * 0.5}
+		}
+		vs := VSafeSeq(vOff, tasks)
+		for i := 1; i < len(vs); i++ {
+			if vs[i-1] < vs[i]-1e-12 {
+				t.Fatalf("iter %d: requirement grew along the suffix: vs[%d]=%g < vs[%d]=%g",
+					iter, i-1, vs[i-1], i, vs[i])
+			}
+		}
+		if vs[len(vs)-1] < vOff {
+			t.Fatalf("iter %d: final requirement %g below VOff", iter, vs[len(vs)-1])
+		}
+	}
+}
+
+// TestPropVSafeRAboveVOff: the runtime calculation shares the PG
+// invariant — whatever was observed, the corrected estimate keeps the
+// worst-case execution at or above V_off.
+func TestPropVSafeRAboveVOff(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for iter := 0; iter < propIters; iter++ {
+		m := randModel(rng)
+		// A physically ordered observation inside the operating window:
+		// VMin ≤ VFinal ≤ VStart.
+		vStart := m.VOff + m.OperatingRange()*rng.Float64()
+		vFinal := m.VOff + (vStart-m.VOff)*rng.Float64()
+		vMin := m.VOff*0.5 + (vFinal-m.VOff*0.5)*rng.Float64()
+		est, err := VSafeR(m, Observation{VStart: vStart, VMin: vMin, VFinal: vFinal})
+		if err != nil {
+			t.Fatalf("iter %d: %v", iter, err)
+		}
+		if est.VSafe < m.VOff-1e-9 {
+			t.Fatalf("iter %d: VSafe %g below VOff %g (obs %.3f/%.3f/%.3f)",
+				iter, est.VSafe, m.VOff, vStart, vMin, vFinal)
+		}
+		if math.IsNaN(est.VSafe) || math.IsInf(est.VSafe, 0) {
+			t.Fatalf("iter %d: non-finite VSafe", iter)
+		}
+	}
+}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"culpeo/internal/core"
@@ -8,6 +9,7 @@ import (
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
+	"culpeo/internal/sweep"
 	"culpeo/internal/units"
 )
 
@@ -20,24 +22,27 @@ type TimestepRow struct {
 	ErrVsFinest float64
 }
 
-// TimestepSweep runs the reference 50 mA/10 ms pulse at a range of steps.
-func TimestepSweep() ([]TimestepRow, error) {
+// TimestepSweep runs the reference 50 mA/10 ms pulse at a range of steps,
+// one integration step per sweep cell.
+func TimestepSweep(ctx context.Context) ([]TimestepRow, error) {
 	steps := []float64{1e-6, 2e-6, 4e-6, 8e-6, 20e-6, 40e-6, 100e-6}
-	task := load.NewPulse(50e-3, 10e-3)
-	var rows []TimestepRow
-	for _, dt := range steps {
+	rows, err := sweep.Map(ctx, steps, func(_ context.Context, _ int, dt float64) (TimestepRow, error) {
+		task := load.NewPulse(50e-3, 10e-3)
 		cfg := powersys.Capybara()
 		cfg.DT = dt
 		sys, err := powersys.New(cfg)
 		if err != nil {
-			return nil, err
+			return TimestepRow{}, err
 		}
 		if err := sys.DischargeTo(2.2); err != nil {
-			return nil, err
+			return TimestepRow{}, err
 		}
 		sys.Monitor().Force(true)
 		res := sys.Run(task, powersys.RunOptions{SkipRebound: true})
-		rows = append(rows, TimestepRow{DT: dt, VMin: res.VMin})
+		return TimestepRow{DT: dt, VMin: res.VMin}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	ref := rows[0].VMin
 	for i := range rows {
@@ -68,8 +73,9 @@ type ADCBitsRow struct {
 	Verdict  harness.Verdict
 }
 
-// ADCBitsSweep runs the µArch probe at 6–14 bits on the reference pulse.
-func ADCBitsSweep() ([]ADCBitsRow, error) {
+// ADCBitsSweep runs the µArch probe at 6–14 bits on the reference pulse,
+// one resolution per sweep cell.
+func ADCBitsSweep(ctx context.Context) ([]ADCBitsRow, error) {
 	cfg := powersys.Capybara()
 	h, err := harness.New(cfg)
 	if err != nil {
@@ -81,24 +87,22 @@ func ADCBitsSweep() ([]ADCBitsRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []ADCBitsRow
-	for _, bits := range []int{6, 8, 10, 12, 14} {
+	return sweep.Map(ctx, []int{6, 8, 10, 12, 14}, func(_ context.Context, _ int, bits int) (ADCBitsRow, error) {
 		sys := h.NewSystem()
 		sys.Monitor().Force(true)
 		probe := profiler.NewUArchProbe(sys.VTerm)
 		probe.Block.ADC.Bits = bits
 		est, err := profiler.REstimate(model, sys, probe, task, 0)
 		if err != nil {
-			return nil, err
+			return ADCBitsRow{}, err
 		}
-		rows = append(rows, ADCBitsRow{
+		return ADCBitsRow{
 			Bits:     bits,
 			Estimate: est.VSafe,
 			ErrorPct: h.ErrorPercent(est.VSafe, gt),
 			Verdict:  harness.Classify(est.VSafe, gt),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ADCBitsTable renders the sweep.
@@ -125,8 +129,9 @@ type ISRPeriodRow struct {
 	Verdict  harness.Verdict
 }
 
-// ISRPeriodSweep profiles a 50 mA/1 ms pulse at several ISR periods.
-func ISRPeriodSweep() ([]ISRPeriodRow, error) {
+// ISRPeriodSweep profiles a 50 mA/1 ms pulse at several ISR periods, one
+// period per sweep cell.
+func ISRPeriodSweep(ctx context.Context) ([]ISRPeriodRow, error) {
 	cfg := powersys.Capybara()
 	h, err := harness.New(cfg)
 	if err != nil {
@@ -138,28 +143,27 @@ func ISRPeriodSweep() ([]ISRPeriodRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	var rows []ISRPeriodRow
-	for _, period := range []float64{0.1e-3, 0.25e-3, 0.5e-3, 1e-3, 2e-3, 5e-3} {
+	periods := []float64{0.1e-3, 0.25e-3, 0.5e-3, 1e-3, 2e-3, 5e-3}
+	return sweep.Map(ctx, periods, func(_ context.Context, _ int, period float64) (ISRPeriodRow, error) {
 		sys := h.NewSystem()
 		sys.Monitor().Force(true)
 		probe := profiler.NewISRProbe(sys.VTerm)
 		probe.Period = period
 		obs, res := profiler.ProfileRun(sys, probe, task, 0)
 		if !res.Completed {
-			return nil, fmt.Errorf("expt: ISR sweep run failed at period %g", period)
+			return ISRPeriodRow{}, fmt.Errorf("expt: ISR sweep run failed at period %g", period)
 		}
 		est, err := core.VSafeR(model, obs)
 		if err != nil {
-			return nil, err
+			return ISRPeriodRow{}, err
 		}
-		rows = append(rows, ISRPeriodRow{
+		return ISRPeriodRow{
 			Period:   period,
 			VDelta:   obs.VDelta(),
 			Estimate: est.VSafe,
 			Verdict:  harness.Classify(est.VSafe, gt),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ISRPeriodTable renders the sweep.
@@ -191,8 +195,9 @@ type ESRLossRow struct {
 }
 
 // ESRLossSweep evaluates the two PG variants on energy-heavy loads, where
-// the paper reports its PG failing.
-func ESRLossSweep() ([]ESRLossRow, error) {
+// the paper reports its PG failing. One load per sweep cell, each owning
+// its ground-truth search and both estimates.
+func ESRLossSweep(ctx context.Context) ([]ESRLossRow, error) {
 	cfg := powersys.Capybara()
 	h, err := harness.New(cfg)
 	if err != nil {
@@ -208,21 +213,20 @@ func ESRLossSweep() ([]ESRLossRow, error) {
 		load.NewPulse(50e-3, 10e-3),
 		load.NewUniform(50e-3, 100e-3),
 	}
-	var rows []ESRLossRow
-	for _, task := range tasks {
+	return sweep.Map(ctx, tasks, func(_ context.Context, _ int, task load.Profile) (ESRLossRow, error) {
 		gt, err := h.GroundTruth(task)
 		if err != nil {
-			return nil, err
+			return ESRLossRow{}, err
 		}
 		with, err := profiler.PG{Model: model}.Estimate(task)
 		if err != nil {
-			return nil, err
+			return ESRLossRow{}, err
 		}
 		without, err := profiler.PG{Model: paper}.Estimate(task)
 		if err != nil {
-			return nil, err
+			return ESRLossRow{}, err
 		}
-		rows = append(rows, ESRLossRow{
+		return ESRLossRow{
 			Load:          task.Name(),
 			GroundTruth:   gt,
 			WithLoss:      with.VSafe,
@@ -230,9 +234,8 @@ func ESRLossSweep() ([]ESRLossRow, error) {
 			PaperExact:    without.VSafe,
 			PaperExactPct: h.ErrorPercent(without.VSafe, gt),
 			PaperVerdict:  harness.Classify(without.VSafe, gt),
-		})
-	}
-	return rows, nil
+		}, nil
+	})
 }
 
 // ESRLossTable renders the comparison.

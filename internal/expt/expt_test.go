@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -95,7 +96,10 @@ func TestFig4(t *testing.T) {
 }
 
 func TestFig3(t *testing.T) {
-	r := Fig3()
+	r, err := Fig3(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(r.Banks) == 0 || len(r.Summaries) != 4 {
 		t.Fatalf("banks=%d summaries=%d", len(r.Banks), len(r.Summaries))
 	}
@@ -108,7 +112,7 @@ func TestFig3(t *testing.T) {
 }
 
 func TestFig5(t *testing.T) {
-	r, err := Fig5()
+	r, err := Fig5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +154,7 @@ func TestFig6(t *testing.T) {
 }
 
 func TestFig10(t *testing.T) {
-	rows, err := Fig10()
+	rows, err := Fig10(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -199,7 +203,7 @@ func TestFig10(t *testing.T) {
 }
 
 func TestFig11(t *testing.T) {
-	rows, err := Fig11()
+	rows, err := Fig11(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -235,7 +239,10 @@ func TestFig11(t *testing.T) {
 }
 
 func TestTbl3(t *testing.T) {
-	rows := Tbl3()
+	rows, err := Tbl3(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(rows) != 27 { // 12 uniform + 12 pulse + 3 peripherals
 		t.Fatalf("rows = %d, want 27", len(rows))
 	}
@@ -277,7 +284,7 @@ func TestFig12Short(t *testing.T) {
 	if testing.Short() {
 		t.Skip("application sims are seconds-long")
 	}
-	rows, err := Fig12(Fig12Opts{Horizon: 60, Trials: 1})
+	rows, err := Fig12(context.Background(), Fig12Opts{Horizon: 60, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +308,7 @@ func TestFig13Short(t *testing.T) {
 	if testing.Short() {
 		t.Skip("application sims are seconds-long")
 	}
-	rows, err := Fig13(Fig12Opts{Horizon: 60, Trials: 1})
+	rows, err := Fig13(context.Background(), Fig12Opts{Horizon: 60, Trials: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -320,7 +327,7 @@ func TestFig13Short(t *testing.T) {
 }
 
 func TestTimestepSweep(t *testing.T) {
-	rows, err := TimestepSweep()
+	rows, err := TimestepSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -339,7 +346,7 @@ func TestTimestepSweep(t *testing.T) {
 }
 
 func TestADCBitsSweep(t *testing.T) {
-	rows, err := ADCBitsSweep()
+	rows, err := ADCBitsSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -362,7 +369,7 @@ func TestADCBitsSweep(t *testing.T) {
 }
 
 func TestISRPeriodSweep(t *testing.T) {
-	rows, err := ISRPeriodSweep()
+	rows, err := ISRPeriodSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -380,7 +387,7 @@ func TestISRPeriodSweep(t *testing.T) {
 }
 
 func TestESRLossSweep(t *testing.T) {
-	rows, err := ESRLossSweep()
+	rows, err := ESRLossSweep(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -452,7 +459,7 @@ func TestIntermittentExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("intermittent sims are seconds-long")
 	}
-	rows, err := Intermittent(60)
+	rows, err := Intermittent(context.Background(), 60)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -482,7 +489,7 @@ func TestDecomposeExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("intermittent sims are seconds-long")
 	}
-	rows, err := Decompose(120)
+	rows, err := Decompose(context.Background(), 120)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"culpeo/internal/capacitor"
 	"culpeo/internal/partsdb"
 	"culpeo/internal/units"
@@ -12,10 +14,14 @@ type Fig3Result struct {
 	Summaries []partsdb.Summary
 }
 
-// Fig3 assembles 45 mF banks from the synthetic part catalogue.
-func Fig3() Fig3Result {
-	banks := partsdb.BankSweep(partsdb.Catalog(partsdb.DefaultSeed), partsdb.TargetBankC)
-	return Fig3Result{Banks: banks, Summaries: partsdb.Summarize(banks)}
+// Fig3 assembles 45 mF banks from the synthetic part catalogue. The 2000
+// per-part assembly cells run on the sweep worker pool.
+func Fig3(ctx context.Context) (Fig3Result, error) {
+	banks, err := partsdb.BankSweep(ctx, partsdb.Catalog(partsdb.DefaultSeed), partsdb.TargetBankC)
+	if err != nil {
+		return Fig3Result{}, err
+	}
+	return Fig3Result{Banks: banks, Summaries: partsdb.Summarize(banks)}, nil
 }
 
 // Table renders the per-technology summary (the figure's annotations).

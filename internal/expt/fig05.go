@@ -1,10 +1,14 @@
 package expt
 
 import (
+	"context"
+	"fmt"
+
 	"culpeo/internal/core"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/sched"
+	"culpeo/internal/sweep"
 )
 
 // Fig5Result reproduces Figure 5: CatNap builds a feasible-looking schedule
@@ -25,46 +29,79 @@ type Fig5Result struct {
 	CulpeoWouldDispatch bool
 }
 
-// Fig5 runs the scenario: tick τ = 1 s, sense is the IMU-style read, radio
-// is a 50 mA/10 ms pulse.
-func Fig5() (Fig5Result, error) {
+// fig5Tasks builds the scenario's task set: sense is the IMU-style read,
+// radio is a 50 mA/10 ms pulse.
+func fig5Tasks() (sched.Task, sched.Task) {
+	sense := sched.Task{ID: "sense", Profile: load.IMURead(16), Priority: sched.High}
+	radio := sched.Task{ID: "radio", Profile: load.NewUniform(50e-3, 10e-3), Priority: sched.High}
+	return sense, radio
+}
+
+// fig5Policy builds and prepares one policy on its own device and power
+// system — one sweep cell's worth of isolated state.
+func fig5Policy(mk func(cfg powersys.Config) sched.Policy) (sched.Policy, error) {
 	cfg := powersys.Capybara()
 	cfg.DT = 40e-6
 	sys, err := powersys.New(cfg)
 	if err != nil {
-		return Fig5Result{}, err
+		return nil, err
 	}
-	sense := sched.Task{ID: "sense", Profile: load.IMURead(16), Priority: sched.High}
-	radio := sched.Task{ID: "radio", Profile: load.NewUniform(50e-3, 10e-3), Priority: sched.High}
+	sense, radio := fig5Tasks()
+	pol := mk(cfg)
 	dev, err := sched.NewDevice(sys, 0, []sched.Task{sense, radio}, nil, sched.NewCatNapPolicy())
 	if err != nil {
-		return Fig5Result{}, err
+		return nil, err
 	}
-	cat := sched.NewCatNapPolicy()
-	if err := cat.Prepare(dev); err != nil {
-		return Fig5Result{}, err
+	if err := pol.Prepare(dev); err != nil {
+		return nil, err
 	}
-	model := core.PowerModel{
-		C:    cfg.Storage.TotalCapacitance(),
-		ESR:  flatESR(cfg.Storage.Main().ESR),
-		VOut: cfg.Output.VOut, VOff: cfg.VOff, VHigh: cfg.VHigh,
-		Eff: cfg.Output.Efficiency,
+	return pol, nil
+}
+
+// Fig5 runs the scenario with tick τ = 1 s. The three requirement probes
+// (CatNap on radio, Culpeo on radio, CatNap on the sense+radio pair) are
+// independent binary searches over isolated devices, so they run as sweep
+// cells.
+func Fig5(ctx context.Context) (Fig5Result, error) {
+	newCat := func(powersys.Config) sched.Policy { return sched.NewCatNapPolicy() }
+	newCul := func(cfg powersys.Config) sched.Policy { return sched.NewCulpeoPolicy(capybaraModel(cfg)) }
+
+	type probe struct {
+		mk    func(powersys.Config) sched.Policy
+		chain []core.TaskID
 	}
-	cul := sched.NewCulpeoPolicy(model)
-	if err := cul.Prepare(dev); err != nil {
-		return Fig5Result{}, err
+	probes := []probe{
+		{newCat, []core.TaskID{"radio"}},
+		{newCul, []core.TaskID{"radio"}},
+		{newCat, []core.TaskID{"sense", "radio"}},
+	}
+	type probed struct {
+		need float64
+		pol  sched.Policy
+	}
+	cells, err := sweep.Map(ctx, probes, func(_ context.Context, _ int, p probe) (probed, error) {
+		pol, err := fig5Policy(p.mk)
+		if err != nil {
+			return probed{}, err
+		}
+		return probed{need: needOf(pol, p.chain), pol: pol}, nil
+	})
+	if err != nil {
+		return Fig5Result{}, fmt.Errorf("expt: fig5: %w", err)
 	}
 
-	out := Fig5Result{}
-	radioChain := []core.TaskID{"radio"}
-	out.CatNapNeedRadio = needOf(cat, radioChain)
-	out.CulpeoNeedRadio = needOf(cul, radioChain)
+	out := Fig5Result{
+		CatNapNeedRadio: cells[0].need,
+		CulpeoNeedRadio: cells[1].need,
+	}
 
 	// The failing slot of Figure 5(c): sense and radio share one discharge
 	// (τ6 → τ7). CatNap deems the pair feasible whenever the energy sum
 	// fits, so dispatch at exactly its combined requirement.
+	sense, radio := fig5Tasks()
 	both := []core.TaskID{"sense", "radio"}
-	dispatch := needOf(cat, both)
+	dispatch := cells[2].need
+	cfg := powersys.Capybara()
 	trial, err := powersys.New(powersys.Capybara())
 	if err != nil {
 		return out, err
@@ -80,7 +117,7 @@ func Fig5() (Fig5Result, error) {
 	}
 	out.RadioFailed = !res.Completed || res.VMin < cfg.VOff
 	out.VMin = res.VMin
-	out.CulpeoWouldDispatch = cul.ChainReady(both, dispatch)
+	out.CulpeoWouldDispatch = cells[1].pol.ChainReady(both, dispatch)
 	return out, nil
 }
 

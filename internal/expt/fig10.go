@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"culpeo/internal/baseline"
@@ -8,6 +9,7 @@ import (
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
+	"culpeo/internal/sweep"
 )
 
 // Fig10Row is one bar of Figure 10: one estimator's error on one load.
@@ -24,69 +26,84 @@ type Fig10Row struct {
 // Fig10Estimators lists the figure's estimators in display order.
 var Fig10Estimators = []string{"Catnap", "Culpeo-PG", "Culpeo-ISR", "Culpeo-uArch"}
 
+// fig10Estimate runs one estimator on one load. Every call builds its own
+// power system, so concurrent calls share nothing mutable.
+func fig10Estimate(h *harness.Harness, name string, task load.Profile) (float64, error) {
+	model := capybaraModel(h.Config())
+	switch name {
+	case "Catnap":
+		return baseline.Estimate(baseline.CatnapMeasured, h, task), nil
+	case "Culpeo-PG":
+		est, err := profiler.PG{Model: model}.Estimate(task)
+		return est.VSafe, err
+	case "Culpeo-ISR":
+		sys := h.NewSystem()
+		sys.Monitor().Force(true)
+		est, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0)
+		return est.VSafe, err
+	case "Culpeo-uArch":
+		sys := h.NewSystem()
+		sys.Monitor().Force(true)
+		est, err := profiler.REstimate(model, sys, profiler.NewUArchProbe(sys.VTerm), task, 0)
+		return est.VSafe, err
+	}
+	return 0, fmt.Errorf("expt: unknown estimator %q", name)
+}
+
 // Fig10 evaluates CatNap and the three Culpeo implementations on the nine
-// uniform and nine pulsed loads of Figure 10.
-func Fig10() ([]Fig10Row, error) {
+// uniform and nine pulsed loads of Figure 10. Each load is one sweep cell:
+// the cell finds the brute-force ground truth and scores all four
+// estimators against it on cell-private power systems.
+func Fig10(ctx context.Context) ([]Fig10Row, error) {
 	cfg := powersys.Capybara()
 	h, err := harness.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	model := capybaraModel(cfg)
-	pg := profiler.PG{Model: model}
-
-	estimate := func(name string, task load.Profile) (float64, error) {
-		switch name {
-		case "Catnap":
-			return baseline.Estimate(baseline.CatnapMeasured, h, task), nil
-		case "Culpeo-PG":
-			est, err := pg.Estimate(task)
-			return est.VSafe, err
-		case "Culpeo-ISR":
-			sys := h.NewSystem()
-			sys.Monitor().Force(true)
-			est, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0)
-			return est.VSafe, err
-		case "Culpeo-uArch":
-			sys := h.NewSystem()
-			sys.Monitor().Force(true)
-			est, err := profiler.REstimate(model, sys, profiler.NewUArchProbe(sys.VTerm), task, 0)
-			return est.VSafe, err
-		}
-		return 0, fmt.Errorf("expt: unknown estimator %q", name)
-	}
 
 	uniform, pulse := load.Fig10Loads()
-	var rows []Fig10Row
-	run := func(tasks []load.Profile, shape string) error {
-		for _, task := range tasks {
-			gt, err := h.GroundTruth(task)
-			if err != nil {
-				return fmt.Errorf("expt: fig10 %s: %w", task.Name(), err)
-			}
-			for _, name := range Fig10Estimators {
-				est, err := estimate(name, task)
-				if err != nil {
-					return fmt.Errorf("expt: fig10 %s/%s: %w", task.Name(), name, err)
-				}
-				rows = append(rows, Fig10Row{
-					Load:        task.Name(),
-					Shape:       shape,
-					Estimator:   name,
-					GroundTruth: gt,
-					Estimate:    est,
-					ErrorPct:    h.ErrorPercent(est, gt),
-					Verdict:     harness.Classify(est, gt),
-				})
-			}
+	type cell struct {
+		task  load.Profile
+		shape string
+	}
+	cells := make([]cell, 0, len(uniform)+len(pulse))
+	for _, task := range uniform {
+		cells = append(cells, cell{task, "uniform"})
+	}
+	for _, task := range pulse {
+		cells = append(cells, cell{task, "pulse"})
+	}
+
+	perLoad, err := sweep.Map(ctx, cells, func(_ context.Context, _ int, c cell) ([]Fig10Row, error) {
+		gt, err := h.GroundTruth(c.task)
+		if err != nil {
+			return nil, fmt.Errorf("expt: fig10 %s: %w", c.task.Name(), err)
 		}
-		return nil
-	}
-	if err := run(uniform, "uniform"); err != nil {
+		rows := make([]Fig10Row, 0, len(Fig10Estimators))
+		for _, name := range Fig10Estimators {
+			est, err := fig10Estimate(h, name, c.task)
+			if err != nil {
+				return nil, fmt.Errorf("expt: fig10 %s/%s: %w", c.task.Name(), name, err)
+			}
+			rows = append(rows, Fig10Row{
+				Load:        c.task.Name(),
+				Shape:       c.shape,
+				Estimator:   name,
+				GroundTruth: gt,
+				Estimate:    est,
+				ErrorPct:    h.ErrorPercent(est, gt),
+				Verdict:     harness.Classify(est, gt),
+			})
+		}
+		return rows, nil
+	})
+	if err != nil {
 		return nil, err
 	}
-	if err := run(pulse, "pulse"); err != nil {
-		return nil, err
+
+	var rows []Fig10Row
+	for _, r := range perLoad {
+		rows = append(rows, r...)
 	}
 	return rows, nil
 }

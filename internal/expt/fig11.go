@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"culpeo/internal/baseline"
@@ -8,6 +9,7 @@ import (
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
+	"culpeo/internal/sweep"
 )
 
 // Fig11Row is one arrow of Figure 11: an estimator's V_safe for a real
@@ -30,57 +32,63 @@ func Fig11Peripherals() []load.Profile {
 	return []load.Profile{load.Gesture(), load.BLERadio(), load.ComputeAccel()}
 }
 
+// fig11Estimate runs one estimator on one peripheral, on private systems.
+func fig11Estimate(h *harness.Harness, name string, task load.Profile) (float64, error) {
+	model := capybaraModel(h.Config())
+	switch name {
+	case "Energy-V":
+		return baseline.Estimate(baseline.EnergyV, h, task), nil
+	case "Catnap":
+		return baseline.Estimate(baseline.CatnapMeasured, h, task), nil
+	case "Culpeo-PG":
+		est, err := profiler.PG{Model: model}.Estimate(task)
+		return est.VSafe, err
+	case "Culpeo-R":
+		sys := h.NewSystem()
+		sys.Monitor().Force(true)
+		est, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0)
+		return est.VSafe, err
+	}
+	return 0, fmt.Errorf("expt: unknown estimator %q", name)
+}
+
 // Fig11 computes each estimator's V_safe for each peripheral and validates
-// it by running the peripheral from that voltage.
-func Fig11() ([]Fig11Row, error) {
+// it by running the peripheral from that voltage. The peripheral × estimator
+// grid runs on the sweep pool — every cell is an isolated estimate-then-
+// validate simulation.
+func Fig11(ctx context.Context) ([]Fig11Row, error) {
 	cfg := powersys.Capybara()
 	h, err := harness.New(cfg)
 	if err != nil {
 		return nil, err
 	}
-	model := capybaraModel(cfg)
-	pg := profiler.PG{Model: model}
+	peripherals := Fig11Peripherals()
 
-	estimate := func(name string, task load.Profile) (float64, error) {
-		switch name {
-		case "Energy-V":
-			return baseline.Estimate(baseline.EnergyV, h, task), nil
-		case "Catnap":
-			return baseline.Estimate(baseline.CatnapMeasured, h, task), nil
-		case "Culpeo-PG":
-			est, err := pg.Estimate(task)
-			return est.VSafe, err
-		case "Culpeo-R":
-			sys := h.NewSystem()
-			sys.Monitor().Force(true)
-			est, err := profiler.REstimate(model, sys, profiler.NewISRProbe(sys.VTerm), task, 0)
-			return est.VSafe, err
+	g := sweep.NewGrid(len(peripherals), len(Fig11Estimators))
+	rows, err := sweep.Run(ctx, g, func(_ context.Context, c sweep.Cell) (Fig11Row, error) {
+		task := peripherals[c.Coords[0]]
+		name := Fig11Estimators[c.Coords[1]]
+		v, err := fig11Estimate(h, name, task)
+		if err != nil {
+			return Fig11Row{}, fmt.Errorf("expt: fig11 %s/%s: %w", task.Name(), name, err)
 		}
-		return 0, fmt.Errorf("expt: unknown estimator %q", name)
-	}
-
-	var rows []Fig11Row
-	for _, task := range Fig11Peripherals() {
-		for _, name := range Fig11Estimators {
-			v, err := estimate(name, task)
-			if err != nil {
-				return nil, fmt.Errorf("expt: fig11 %s/%s: %w", task.Name(), name, err)
-			}
-			if v < cfg.VOff {
-				v = cfg.VOff // can't start below the power-off threshold
-			}
-			if v > cfg.VHigh {
-				v = cfg.VHigh
-			}
-			res := h.RunAt(v, task, powersys.RunOptions{SkipRebound: true})
-			rows = append(rows, Fig11Row{
-				Peripheral: task.Name(),
-				Estimator:  name,
-				VSafe:      v,
-				VMin:       res.VMin,
-				Completed:  res.Completed && res.VMin >= cfg.VOff,
-			})
+		if v < cfg.VOff {
+			v = cfg.VOff // can't start below the power-off threshold
 		}
+		if v > cfg.VHigh {
+			v = cfg.VHigh
+		}
+		res := h.RunAt(v, task, powersys.RunOptions{SkipRebound: true})
+		return Fig11Row{
+			Peripheral: task.Name(),
+			Estimator:  name,
+			VSafe:      v,
+			VMin:       res.VMin,
+			Completed:  res.Completed && res.VMin >= cfg.VOff,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return rows, nil
 }

@@ -1,12 +1,14 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
 
 	"culpeo/internal/apps"
 	"culpeo/internal/sched"
+	"culpeo/internal/sweep"
 )
 
 // Fig12Row is one bar of Figure 12: events captured for one application
@@ -29,8 +31,36 @@ type Fig12Opts struct {
 	Trials  int     // 0 = Trials
 }
 
-// Fig12 runs PS, RR and NMR under CatNap and Culpeo.
-func Fig12(opt Fig12Opts) ([]Fig12Row, error) {
+// fig12Policies returns the two scheduler constructors compared throughout
+// the application experiments.
+func fig12Policies() []func(app apps.App) sched.Policy {
+	return []func(app apps.App) sched.Policy{
+		func(apps.App) sched.Policy { return sched.NewCatNapPolicy() },
+		func(app apps.App) sched.Policy { return sched.NewCulpeoPolicy(app.Model()) },
+	}
+}
+
+// fig12Trial runs one (app, policy, trial) cell: a full device simulation
+// over the horizon with a cell-private device, policy and trial-seeded RNG.
+func fig12Trial(app apps.App, mk func(apps.App) sched.Policy, trial int, horizon float64) (sched.Metrics, string, error) {
+	pol := mk(app)
+	dev, err := app.NewDevice(pol)
+	if err != nil {
+		return sched.Metrics{}, "", fmt.Errorf("expt: %s/%s: %w", app.Name, pol.Name(), err)
+	}
+	streams := app.Streams(horizon, rand.New(rand.NewSource(int64(trial)+1)))
+	met, err := dev.Run(streams, horizon)
+	if err != nil {
+		return sched.Metrics{}, "", fmt.Errorf("expt: %s/%s: %w", app.Name, pol.Name(), err)
+	}
+	return met, pol.Name(), nil
+}
+
+// Fig12 runs PS, RR and NMR under CatNap and Culpeo. The app × policy ×
+// trial grid runs on the sweep pool; every cell is one independent device
+// simulation, and the per-stream accumulation happens afterwards in cell
+// order (addition commutes, so the totals equal the serial path's).
+func Fig12(ctx context.Context, opt Fig12Opts) ([]Fig12Row, error) {
 	horizon := opt.Horizon
 	if horizon <= 0 {
 		horizon = apps.DefaultHorizon
@@ -40,37 +70,38 @@ func Fig12(opt Fig12Opts) ([]Fig12Row, error) {
 		trials = Trials
 	}
 
+	allApps := apps.All()
+	policies := fig12Policies()
+	type cell struct {
+		met sched.Metrics
+		pol string
+	}
+	g := sweep.NewGrid(len(allApps), len(policies), trials)
+	cells, err := sweep.Run(ctx, g, func(_ context.Context, c sweep.Cell) (cell, error) {
+		app := allApps[c.Coords[0]]
+		met, pol, err := fig12Trial(app, policies[c.Coords[1]], c.Coords[2], horizon)
+		if err != nil {
+			return cell{}, fmt.Errorf("expt: fig12 cell: %w", err)
+		}
+		return cell{met: met, pol: pol}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	type key struct{ stream, policy string }
 	acc := map[key]*Fig12Row{}
-
-	for _, app := range apps.All() {
-		for _, mk := range []func() sched.Policy{
-			func() sched.Policy { return sched.NewCatNapPolicy() },
-			func() sched.Policy { return sched.NewCulpeoPolicy(app.Model()) },
-		} {
-			for trial := 0; trial < trials; trial++ {
-				pol := mk()
-				dev, err := app.NewDevice(pol)
-				if err != nil {
-					return nil, fmt.Errorf("expt: fig12 %s/%s: %w", app.Name, pol.Name(), err)
-				}
-				streams := app.Streams(horizon, rand.New(rand.NewSource(int64(trial)+1)))
-				met, err := dev.Run(streams, horizon)
-				if err != nil {
-					return nil, fmt.Errorf("expt: fig12 %s/%s: %w", app.Name, pol.Name(), err)
-				}
-				for name, sm := range met.PerStream {
-					k := key{name, pol.Name()}
-					r := acc[k]
-					if r == nil {
-						r = &Fig12Row{Stream: name, Scheduler: pol.Name()}
-						acc[k] = r
-					}
-					r.Events += sm.Events
-					r.Captured += sm.Captured
-					r.PowerFailures += met.PowerFailures
-				}
+	for _, c := range cells {
+		for name, sm := range c.met.PerStream {
+			k := key{name, c.pol}
+			r := acc[k]
+			if r == nil {
+				r = &Fig12Row{Stream: name, Scheduler: c.pol}
+				acc[k] = r
 			}
+			r.Events += sm.Events
+			r.Captured += sm.Captured
+			r.PowerFailures += c.met.PowerFailures
 		}
 	}
 
@@ -119,8 +150,9 @@ type Fig13Row struct {
 	Captured   int
 }
 
-// Fig13 sweeps PS and RR over the slow/achievable/too-fast regimes.
-func Fig13(opt Fig12Opts) ([]Fig13Row, error) {
+// Fig13 sweeps PS and RR over the slow/achievable/too-fast regimes. The
+// rate × app × policy × trial grid runs on the sweep pool.
+func Fig13(ctx context.Context, opt Fig12Opts) ([]Fig13Row, error) {
 	horizon := opt.Horizon
 	if horizon <= 0 {
 		horizon = apps.DefaultHorizon
@@ -130,29 +162,38 @@ func Fig13(opt Fig12Opts) ([]Fig13Row, error) {
 		trials = Trials
 	}
 
+	rates := []apps.Rate{apps.Slow, apps.Achievable, apps.TooFast}
+	mkApps := []func(apps.Rate) apps.App{apps.PeriodicSensingAt, apps.ResponsiveReportingAt}
+	policies := fig12Policies()
+
+	type cell struct {
+		met sched.Metrics
+		pol string
+	}
+	g := sweep.NewGrid(len(rates), len(mkApps), len(policies), trials)
+	cells, err := sweep.Run(ctx, g, func(_ context.Context, c sweep.Cell) (cell, error) {
+		app := mkApps[c.Coords[1]](rates[c.Coords[0]])
+		met, pol, err := fig12Trial(app, policies[c.Coords[2]], c.Coords[3], horizon)
+		if err != nil {
+			return cell{}, fmt.Errorf("expt: fig13 cell: %w", err)
+		}
+		return cell{met: met, pol: pol}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
 	var rows []Fig13Row
-	for _, rate := range []apps.Rate{apps.Slow, apps.Achievable, apps.TooFast} {
-		for _, mkApp := range []func(apps.Rate) apps.App{apps.PeriodicSensingAt, apps.ResponsiveReportingAt} {
+	for ri, rate := range rates {
+		for ai, mkApp := range mkApps {
 			app := mkApp(rate)
-			for _, mkPol := range []func() sched.Policy{
-				func() sched.Policy { return sched.NewCatNapPolicy() },
-				func() sched.Policy { return sched.NewCulpeoPolicy(app.Model()) },
-			} {
+			for pi := range policies {
 				events, captured := 0, 0
 				var polName string
 				for trial := 0; trial < trials; trial++ {
-					pol := mkPol()
-					polName = pol.Name()
-					dev, err := app.NewDevice(pol)
-					if err != nil {
-						return nil, err
-					}
-					streams := app.Streams(horizon, rand.New(rand.NewSource(int64(trial)+1)))
-					met, err := dev.Run(streams, horizon)
-					if err != nil {
-						return nil, err
-					}
-					for _, sm := range met.PerStream {
+					c := cells[((ri*len(mkApps)+ai)*len(policies)+pi)*trials+trial]
+					polName = c.pol
+					for _, sm := range c.met.PerStream {
 						events += sm.Events
 						captured += sm.Captured
 					}

@@ -1,0 +1,215 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"testing"
+
+	"culpeo/internal/sweep"
+)
+
+// update rewrites the golden corpus:
+//
+//	go test ./internal/expt -run TestGolden -update
+var update = flag.Bool("update", false, "rewrite the golden files under testdata/golden")
+
+// goldenEntry is one recorded experiment output. The generator must be
+// fully deterministic: fixed seeds, fixed grids, no wall-clock input.
+type goldenEntry struct {
+	name string
+	long bool // skipped under -short (seconds-long simulations)
+	gen  func(ctx context.Context, w io.Writer) error
+}
+
+// goldenCorpus covers every sweep-refactored driver (the outputs that
+// must stay byte-identical across worker counts) plus the fig3 point
+// cloud, which exercises BankSweep's order preservation over ~2000 cells.
+func goldenCorpus() []goldenEntry {
+	return []goldenEntry{
+		{name: "fig03", gen: func(ctx context.Context, w io.Writer) error {
+			r, err := Fig3(ctx)
+			if err != nil {
+				return err
+			}
+			if err := r.Table().Render(w); err != nil {
+				return err
+			}
+			return r.Points().CSV(w)
+		}},
+		{name: "fig05", gen: func(ctx context.Context, w io.Writer) error {
+			r, err := Fig5(ctx)
+			if err != nil {
+				return err
+			}
+			return r.Table().Render(w)
+		}},
+		{name: "tbl03", gen: func(ctx context.Context, w io.Writer) error {
+			rows, err := Tbl3(ctx)
+			if err != nil {
+				return err
+			}
+			return Tbl3Table(rows).Render(w)
+		}},
+		{name: "fig10", gen: func(ctx context.Context, w io.Writer) error {
+			rows, err := Fig10(ctx)
+			if err != nil {
+				return err
+			}
+			return Fig10Table(rows).Render(w)
+		}},
+		{name: "fig11", gen: func(ctx context.Context, w io.Writer) error {
+			rows, err := Fig11(ctx)
+			if err != nil {
+				return err
+			}
+			return Fig11Table(rows).Render(w)
+		}},
+		{name: "ablations", gen: func(ctx context.Context, w io.Writer) error {
+			ts, err := TimestepSweep(ctx)
+			if err != nil {
+				return err
+			}
+			if err := TimestepTable(ts).Render(w); err != nil {
+				return err
+			}
+			ab, err := ADCBitsSweep(ctx)
+			if err != nil {
+				return err
+			}
+			if err := ADCBitsTable(ab).Render(w); err != nil {
+				return err
+			}
+			ip, err := ISRPeriodSweep(ctx)
+			if err != nil {
+				return err
+			}
+			if err := ISRPeriodTable(ip).Render(w); err != nil {
+				return err
+			}
+			el, err := ESRLossSweep(ctx)
+			if err != nil {
+				return err
+			}
+			return ESRLossTable(el).Render(w)
+		}},
+		{name: "fig12", long: true, gen: func(ctx context.Context, w io.Writer) error {
+			rows, err := Fig12(ctx, Fig12Opts{Horizon: 20, Trials: 1})
+			if err != nil {
+				return err
+			}
+			return Fig12Table(rows).Render(w)
+		}},
+		{name: "fig13", long: true, gen: func(ctx context.Context, w io.Writer) error {
+			rows, err := Fig13(ctx, Fig12Opts{Horizon: 20, Trials: 1})
+			if err != nil {
+				return err
+			}
+			return Fig13Table(rows).Render(w)
+		}},
+		{name: "intermittent", long: true, gen: func(ctx context.Context, w io.Writer) error {
+			rows, err := Intermittent(ctx, 10)
+			if err != nil {
+				return err
+			}
+			if err := IntermittentTable(rows).Render(w); err != nil {
+				return err
+			}
+			dec, err := Decompose(ctx, 30)
+			if err != nil {
+				return err
+			}
+			return DecomposeTable(dec).Render(w)
+		}},
+	}
+}
+
+func goldenPath(name string) string {
+	return filepath.Join("testdata", "golden", name+".golden")
+}
+
+func renderGolden(t *testing.T, e goldenEntry, ctx context.Context) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := e.gen(ctx, &buf); err != nil {
+		t.Fatalf("%s: %v", e.name, err)
+	}
+	return buf.Bytes()
+}
+
+// TestGolden locks every recorded experiment output: a behaviour change
+// anywhere in the simulation stack shows up as a golden diff, reviewed and
+// re-recorded explicitly with -update.
+func TestGolden(t *testing.T) {
+	for _, e := range goldenCorpus() {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			if e.long && testing.Short() {
+				t.Skip("seconds-long simulation")
+			}
+			got := renderGolden(t, e, context.Background())
+			path := goldenPath(e.name)
+			if *update {
+				if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("no golden file (run `go test ./internal/expt -run TestGolden -update`): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("output differs from %s (re-record with -update if intended)\n%s",
+					path, diffHint(want, got))
+			}
+		})
+	}
+}
+
+// TestGoldenWorkerInvariance is the determinism contract of the sweep
+// engine: the same experiment must produce byte-identical output whether it
+// runs on 1 worker, 4 workers, or every core.
+func TestGoldenWorkerInvariance(t *testing.T) {
+	workerCounts := []int{1, 4, runtime.NumCPU()}
+	for _, e := range goldenCorpus() {
+		e := e
+		t.Run(e.name, func(t *testing.T) {
+			if e.long && testing.Short() {
+				t.Skip("seconds-long simulation")
+			}
+			ref := renderGolden(t, e, sweep.WithWorkers(context.Background(), workerCounts[0]))
+			for _, n := range workerCounts[1:] {
+				got := renderGolden(t, e, sweep.WithWorkers(context.Background(), n))
+				if !bytes.Equal(ref, got) {
+					t.Errorf("workers=%d output differs from workers=1\n%s", n, diffHint(ref, got))
+				}
+			}
+		})
+	}
+}
+
+// diffHint points at the first differing line so golden failures are
+// readable without an external diff tool.
+func diffHint(want, got []byte) string {
+	wantLines := bytes.Split(want, []byte("\n"))
+	gotLines := bytes.Split(got, []byte("\n"))
+	n := len(wantLines)
+	if len(gotLines) < n {
+		n = len(gotLines)
+	}
+	for i := 0; i < n; i++ {
+		if !bytes.Equal(wantLines[i], gotLines[i]) {
+			return fmt.Sprintf("first difference at line %d:\n-%s\n+%s", i+1, wantLines[i], gotLines[i])
+		}
+	}
+	return fmt.Sprintf("line counts differ: want %d, got %d", len(wantLines), len(gotLines))
+}

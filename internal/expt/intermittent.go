@@ -1,10 +1,13 @@
 package expt
 
 import (
+	"context"
+
 	"culpeo/internal/capacitor"
 	"culpeo/internal/intermittent"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
+	"culpeo/internal/sweep"
 )
 
 // IntermittentRow is one gate's outcome on the intermittent pipeline.
@@ -41,11 +44,25 @@ func intermittentConfig() (powersys.Config, error) {
 	return cfg, nil
 }
 
+// intermittentProgram builds the sense→process→report pipeline.
+func intermittentProgram() intermittent.Program {
+	return intermittent.Program{
+		Name: "sense-pipeline",
+		Tasks: []intermittent.AtomicTask{
+			{ID: "sample", Profile: load.IMURead(16)},
+			{ID: "process", Profile: load.FFT(128)},
+			{ID: "report", Profile: load.NewUniform(20e-3, 20e-3)},
+		},
+	}
+}
+
 // Intermittent runs the sense→process→report pipeline under the three
 // dispatch gates on the marginal buffer (the Section I motivation:
 // opportunistic execution wastes energy on doomed attempts; energy gating
-// still misses the ESR drop; Culpeo gating avoids both).
-func Intermittent(horizon float64) ([]IntermittentRow, error) {
+// still misses the ESR drop; Culpeo gating avoids both). The three gates
+// are independent long simulations, so each is one sweep cell with its own
+// gate, runtime and cloned storage network.
+func Intermittent(ctx context.Context, horizon float64) ([]IntermittentRow, error) {
 	if horizon <= 0 {
 		horizon = 60
 	}
@@ -54,40 +71,32 @@ func Intermittent(horizon float64) ([]IntermittentRow, error) {
 		return nil, err
 	}
 	model := capybaraModel(cfg)
-	prog := intermittent.Program{
-		Name: "sense-pipeline",
-		Tasks: []intermittent.AtomicTask{
-			{ID: "sample", Profile: load.IMURead(16)},
-			{ID: "process", Profile: load.FFT(128)},
-			{ID: "report", Profile: load.NewUniform(20e-3, 20e-3)},
-		},
+	prog := intermittentProgram()
+
+	mkGates := []func() (intermittent.Gate, error){
+		func() (intermittent.Gate, error) { return intermittent.Opportunistic{}, nil },
+		func() (intermittent.Gate, error) { return intermittent.NewEnergyGate(cfg, prog) },
+		func() (intermittent.Gate, error) { return intermittent.NewCulpeoGate(model, prog) },
 	}
 
-	culpeoGate, err := intermittent.NewCulpeoGate(model, prog)
-	if err != nil {
-		return nil, err
-	}
-	energyGate, err := intermittent.NewEnergyGate(cfg, prog)
-	if err != nil {
-		return nil, err
-	}
-	gates := []intermittent.Gate{intermittent.Opportunistic{}, energyGate, culpeoGate}
-
-	var rows []IntermittentRow
-	for _, g := range gates {
+	return sweep.Map(ctx, mkGates, func(_ context.Context, _ int, mk func() (intermittent.Gate, error)) (IntermittentRow, error) {
+		g, err := mk()
+		if err != nil {
+			return IntermittentRow{}, err
+		}
 		c := cfg
 		c.Storage = cfg.Storage.Clone()
 		sys, err := powersys.New(c)
 		if err != nil {
-			return nil, err
+			return IntermittentRow{}, err
 		}
 		if err := sys.ChargeTo(c.VHigh); err != nil {
-			return nil, err
+			return IntermittentRow{}, err
 		}
 		rt := &intermittent.Runtime{Sys: sys, Harvest: 1.5e-3, Gate: g, MaxAttempts: 1000}
 		res, err := rt.Run(prog, horizon)
 		if err != nil {
-			return nil, err
+			return IntermittentRow{}, err
 		}
 		row := IntermittentRow{
 			Gate:           g.Name(),
@@ -102,9 +111,8 @@ func Intermittent(horizon float64) ([]IntermittentRow, error) {
 		if total := res.WastedEnergy + res.UsefulEnergy; total > 0 {
 			row.WastedPct = res.WastedEnergy / total * 100
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // IntermittentTable renders the rows.
@@ -139,8 +147,9 @@ type DecomposeRow struct {
 }
 
 // Decompose demonstrates Culpeo-guided task division on a task whose
-// energy exceeds the buffer (10 mA for 3 s on 15 mF).
-func Decompose(horizon float64) ([]DecomposeRow, error) {
+// energy exceeds the buffer (10 mA for 3 s on 15 mF). Each split factor is
+// one sweep cell running an independent gated pipeline.
+func Decompose(ctx context.Context, horizon float64) ([]DecomposeRow, error) {
 	if horizon <= 0 {
 		horizon = 120
 	}
@@ -149,10 +158,9 @@ func Decompose(horizon float64) ([]DecomposeRow, error) {
 		return nil, err
 	}
 	model := capybaraModel(cfg)
-	big := intermittent.AtomicTask{ID: "bigjob", Profile: load.NewUniform(10e-3, 3.0)}
 
-	var rows []DecomposeRow
-	for _, n := range []int{1, 2, 4, 8} {
+	return sweep.Map(ctx, []int{1, 2, 4, 8}, func(_ context.Context, _ int, n int) (DecomposeRow, error) {
+		big := intermittent.AtomicTask{ID: "bigjob", Profile: load.NewUniform(10e-3, 3.0)}
 		chunks := load.SplitEven(big.Profile, n)
 		tasks := make([]intermittent.AtomicTask, n)
 		for i, c := range chunks {
@@ -161,7 +169,7 @@ func Decompose(horizon float64) ([]DecomposeRow, error) {
 		prog := intermittent.Program{Name: "split", Tasks: tasks}
 		ests, err := intermittent.Estimates(model, prog)
 		if err != nil {
-			return nil, err
+			return DecomposeRow{}, err
 		}
 		feasible := true
 		for _, e := range ests {
@@ -174,24 +182,23 @@ func Decompose(horizon float64) ([]DecomposeRow, error) {
 		if feasible {
 			gate, err := intermittent.NewCulpeoGate(model, prog)
 			if err != nil {
-				return nil, err
+				return DecomposeRow{}, err
 			}
 			c := cfg
 			c.Storage = cfg.Storage.Clone()
 			sys, err := powersys.New(c)
 			if err != nil {
-				return nil, err
+				return DecomposeRow{}, err
 			}
 			rt := &intermittent.Runtime{Sys: sys, Harvest: 2.5e-3, Gate: gate}
 			res, err := rt.Run(prog, horizon)
 			if err != nil {
-				return nil, err
+				return DecomposeRow{}, err
 			}
 			row.IterationsIn = res.Iterations
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // DecomposeTable renders the rows.

@@ -1,0 +1,48 @@
+package expt
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"culpeo/internal/sweep"
+)
+
+// TestRaceChaos runs every sweep-backed driver concurrently with an
+// oversubscribed worker pool. It proves the cell-isolation contract (each
+// cell owns its System, RNG and policies; shared inputs are read-only)
+// under `go test -race ./internal/expt`: any hidden shared mutable state
+// between cells or between drivers trips the detector.
+func TestRaceChaos(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos run is seconds-long")
+	}
+	// More workers than cores (and than most grids) to force interleaving.
+	ctx := sweep.WithWorkers(context.Background(), 8)
+
+	var wg sync.WaitGroup
+	run := func(name string, fn func() error) {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := fn(); err != nil {
+				t.Errorf("%s: %v", name, err)
+			}
+		}()
+	}
+
+	run("fig3", func() error { _, err := Fig3(ctx); return err })
+	run("fig5", func() error { _, err := Fig5(ctx); return err })
+	run("tbl3", func() error { _, err := Tbl3(ctx); return err })
+	run("fig10", func() error { _, err := Fig10(ctx); return err })
+	run("fig11", func() error { _, err := Fig11(ctx); return err })
+	run("fig12", func() error { _, err := Fig12(ctx, Fig12Opts{Horizon: 10, Trials: 1}); return err })
+	run("fig13", func() error { _, err := Fig13(ctx, Fig12Opts{Horizon: 10, Trials: 1}); return err })
+	run("timestep", func() error { _, err := TimestepSweep(ctx); return err })
+	run("adcbits", func() error { _, err := ADCBitsSweep(ctx); return err })
+	run("isrperiod", func() error { _, err := ISRPeriodSweep(ctx); return err })
+	run("esrloss", func() error { _, err := ESRLossSweep(ctx); return err })
+	run("intermittent", func() error { _, err := Intermittent(ctx, 5); return err })
+	run("decompose", func() error { _, err := Decompose(ctx, 10); return err })
+	wg.Wait()
+}

@@ -1,7 +1,10 @@
 package expt
 
 import (
+	"context"
+
 	"culpeo/internal/load"
+	"culpeo/internal/sweep"
 	"culpeo/internal/units"
 )
 
@@ -16,25 +19,33 @@ type Tbl3Row struct {
 }
 
 // Tbl3 catalogues the evaluation's loads: the synthetic sweeps plus the
-// three peripheral traces.
-func Tbl3() []Tbl3Row {
-	var rows []Tbl3Row
+// three peripheral traces. Each load's characterization (peak, energy,
+// widest pulse — all 125 kHz trace scans) is one sweep cell.
+func Tbl3(ctx context.Context) ([]Tbl3Row, error) {
+	type cell struct {
+		p    load.Profile
+		kind string
+	}
+	var cells []cell
 	add := func(kind string, ps ...load.Profile) {
 		for _, p := range ps {
-			rows = append(rows, Tbl3Row{
-				Name:     p.Name(),
-				Kind:     kind,
-				Peak:     load.PeakCurrent(p, 125e3),
-				Duration: p.Duration(),
-				Energy:   load.Energy(p, 2.55, 125e3),
-				Widest:   load.WidestPulse(p, 125e3),
-			})
+			cells = append(cells, cell{p, kind})
 		}
 	}
 	add("uniform", load.TableIIIUniform()...)
 	add("pulse", load.TableIIIPulse()...)
 	add("peripheral", load.Gesture(), load.BLERadio(), load.ComputeAccel())
-	return rows
+
+	return sweep.Map(ctx, cells, func(_ context.Context, _ int, c cell) (Tbl3Row, error) {
+		return Tbl3Row{
+			Name:     c.p.Name(),
+			Kind:     c.kind,
+			Peak:     load.PeakCurrent(c.p, 125e3),
+			Duration: c.p.Duration(),
+			Energy:   load.Energy(c.p, 2.55, 125e3),
+			Widest:   load.WidestPulse(c.p, 125e3),
+		}, nil
+	})
 }
 
 // Tbl3Table renders the rows.

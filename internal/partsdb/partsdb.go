@@ -20,12 +20,14 @@
 package partsdb
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
 	"sort"
 
 	"culpeo/internal/capacitor"
+	"culpeo/internal/sweep"
 )
 
 // DefaultSeed reproduces the catalogue used by the repository's figures.
@@ -105,19 +107,33 @@ func Catalog(seed int64) []capacitor.Part {
 	return all
 }
 
-// BankSweep assembles a targetC bank from every part and returns them
-// sorted by volume.
-func BankSweep(parts []capacitor.Part, targetC float64) []capacitor.Bank {
-	banks := make([]capacitor.Bank, 0, len(parts))
-	for _, p := range parts {
+// BankSweep assembles a targetC bank from every part, in parallel, and
+// returns them sorted by volume. Parts that cannot reach the target (e.g.
+// per-part C too far off) are skipped, matching the distributor-catalogue
+// reality that not every listed part yields a buildable bank.
+func BankSweep(ctx context.Context, parts []capacitor.Part, targetC float64) ([]capacitor.Bank, error) {
+	type cell struct {
+		bank capacitor.Bank
+		ok   bool
+	}
+	cells, err := sweep.Map(ctx, parts, func(_ context.Context, _ int, p capacitor.Part) (cell, error) {
 		b, err := capacitor.AssembleBank(p, targetC)
 		if err != nil {
-			continue
+			return cell{}, nil // unbuildable part: skip, not a sweep failure
 		}
-		banks = append(banks, b)
+		return cell{bank: b, ok: true}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	banks := make([]capacitor.Bank, 0, len(cells))
+	for _, c := range cells {
+		if c.ok {
+			banks = append(banks, c.bank)
+		}
 	}
 	sort.Slice(banks, func(i, j int) bool { return banks[i].Volume() < banks[j].Volume() })
-	return banks
+	return banks, nil
 }
 
 // BestByVolume returns, per technology, the bank with the smallest total

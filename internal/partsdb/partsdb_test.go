@@ -1,6 +1,7 @@
 package partsdb
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -43,7 +44,10 @@ func TestCatalogPhysicalSanity(t *testing.T) {
 }
 
 func TestBankSweepSorted(t *testing.T) {
-	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	banks, err := BankSweep(context.Background(), Catalog(DefaultSeed), TargetBankC)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(banks) == 0 {
 		t.Fatal("no banks assembled")
 	}
@@ -62,7 +66,10 @@ func TestBankSweepSorted(t *testing.T) {
 func TestFigure3Shape(t *testing.T) {
 	// The figure's qualitative claims, which the synthetic catalogue must
 	// reproduce.
-	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	banks, err := BankSweep(context.Background(), Catalog(DefaultSeed), TargetBankC)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sums := Summarize(banks)
 	byTech := map[capacitor.Technology]Summary{}
 	for _, s := range sums {
@@ -132,7 +139,10 @@ func TestSupercapAnchor(t *testing.T) {
 }
 
 func TestSummarizeCountsAllBanks(t *testing.T) {
-	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	banks, err := BankSweep(context.Background(), Catalog(DefaultSeed), TargetBankC)
+	if err != nil {
+		t.Fatal(err)
+	}
 	sums := Summarize(banks)
 	total := 0
 	for _, s := range sums {
@@ -147,7 +157,10 @@ func TestSummarizeCountsAllBanks(t *testing.T) {
 }
 
 func TestBestByVolume(t *testing.T) {
-	banks := BankSweep(Catalog(DefaultSeed), TargetBankC)
+	banks, err := BankSweep(context.Background(), Catalog(DefaultSeed), TargetBankC)
+	if err != nil {
+		t.Fatal(err)
+	}
 	best := BestByVolume(banks)
 	for tech, b := range best {
 		for _, other := range banks {

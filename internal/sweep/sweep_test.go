@@ -1,0 +1,244 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestGridShape(t *testing.T) {
+	g := NewGrid(3, 4, 2)
+	if g.Size() != 24 {
+		t.Fatalf("size = %d", g.Size())
+	}
+	// Row-major: last dimension fastest.
+	if got := g.Coords(0); got[0] != 0 || got[1] != 0 || got[2] != 0 {
+		t.Errorf("coords(0) = %v", got)
+	}
+	if got := g.Coords(1); got[0] != 0 || got[1] != 0 || got[2] != 1 {
+		t.Errorf("coords(1) = %v", got)
+	}
+	if got := g.Coords(23); got[0] != 2 || got[1] != 3 || got[2] != 1 {
+		t.Errorf("coords(23) = %v", got)
+	}
+	// Enumeration matches the nested loops it replaces.
+	i := 0
+	for a := 0; a < 3; a++ {
+		for b := 0; b < 4; b++ {
+			for c := 0; c < 2; c++ {
+				got := g.Coords(i)
+				if got[0] != a || got[1] != b || got[2] != c {
+					t.Fatalf("coords(%d) = %v, want [%d %d %d]", i, got, a, b, c)
+				}
+				i++
+			}
+		}
+	}
+}
+
+func TestGridDegenerate(t *testing.T) {
+	if NewGrid().Size() != 1 {
+		t.Error("zero-dimension grid should have one cell")
+	}
+	if NewGrid(3, 0, 2).Size() != 0 {
+		t.Error("zero extent should empty the grid")
+	}
+	if Of(5).Size() != 5 {
+		t.Error("Of(5) size")
+	}
+}
+
+func TestRunOrderPreserved(t *testing.T) {
+	for _, workers := range []int{1, 2, 4, 16} {
+		out, err := Run(context.Background(), Of(100), func(_ context.Context, c Cell) (int, error) {
+			return c.Index * c.Index, nil
+		}, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+}
+
+func TestRunBoundsConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, max atomic.Int64
+	_, err := Run(context.Background(), Of(50), func(_ context.Context, c Cell) (struct{}, error) {
+		n := cur.Add(1)
+		for {
+			m := max.Load()
+			if n <= m || max.CompareAndSwap(m, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		cur.Add(-1)
+		return struct{}{}, nil
+	}, Workers(workers))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m := max.Load(); m > workers {
+		t.Errorf("observed %d concurrent cells, bound %d", m, workers)
+	}
+}
+
+func TestRunError(t *testing.T) {
+	sentinel := errors.New("boom")
+	out, err := Run(context.Background(), NewGrid(4, 5), func(_ context.Context, c Cell) (int, error) {
+		if c.Coords[0] == 2 && c.Coords[1] == 3 {
+			return 0, sentinel
+		}
+		return 1, nil
+	}, Workers(4))
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("not a CellError: %v", err)
+	}
+	if ce.Index != 13 || ce.Coords[0] != 2 || ce.Coords[1] != 3 {
+		t.Errorf("cell error position: %+v", ce)
+	}
+	if !strings.Contains(err.Error(), "cell 13") {
+		t.Errorf("error message should name the cell: %v", err)
+	}
+	_ = out
+}
+
+func TestRunLowestErrorWins(t *testing.T) {
+	// With many failing cells the reported one is the lowest index, no
+	// matter how the pool schedules them.
+	for trial := 0; trial < 5; trial++ {
+		_, err := Run(context.Background(), Of(64), func(_ context.Context, c Cell) (int, error) {
+			if c.Index%7 == 3 { // 3, 10, 17, ...
+				return 0, fmt.Errorf("cell failure %d", c.Index)
+			}
+			return 0, nil
+		}, Workers(8))
+		var ce *CellError
+		if !errors.As(err, &ce) {
+			t.Fatalf("err = %v", err)
+		}
+		if ce.Index != 3 {
+			t.Fatalf("reported cell %d, want 3", ce.Index)
+		}
+	}
+}
+
+func TestRunPanicRecovered(t *testing.T) {
+	_, err := Run(context.Background(), Of(8), func(_ context.Context, c Cell) (int, error) {
+		if c.Index == 5 {
+			panic("kaboom")
+		}
+		return 0, nil
+	}, Workers(2))
+	if err == nil || !strings.Contains(err.Error(), "panic: kaboom") {
+		t.Fatalf("panic not surfaced: %v", err)
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) || ce.Index != 5 {
+		t.Fatalf("panic cell not identified: %v", err)
+	}
+}
+
+func TestRunCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	release := make(chan struct{})
+	var once sync.Once
+	_, err := Run(ctx, Of(1000), func(ctx context.Context, c Cell) (int, error) {
+		started.Add(1)
+		once.Do(func() { cancel(); close(release) })
+		<-release
+		return 0, nil
+	}, Workers(2))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if n := started.Load(); n > 10 {
+		t.Errorf("cancellation did not stop the feed: %d cells started", n)
+	}
+}
+
+func TestRunEmptyGrid(t *testing.T) {
+	out, err := Run(context.Background(), NewGrid(0, 4), func(_ context.Context, c Cell) (int, error) {
+		t.Fatal("cell ran on empty grid")
+		return 0, nil
+	})
+	if err != nil || len(out) != 0 {
+		t.Fatalf("out=%v err=%v", out, err)
+	}
+}
+
+func TestMap(t *testing.T) {
+	items := []string{"a", "bb", "ccc"}
+	out, err := Map(context.Background(), items, func(_ context.Context, i int, s string) (int, error) {
+		return len(s) + i, nil
+	}, Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, want := range []int{1, 3, 5} {
+		if out[i] != want {
+			t.Errorf("out[%d] = %d, want %d", i, out[i], want)
+		}
+	}
+}
+
+func TestWorkersFromContext(t *testing.T) {
+	ctx := WithWorkers(context.Background(), 7)
+	if WorkersFromContext(ctx) != 7 {
+		t.Error("context carrier lost the count")
+	}
+	if WorkersFromContext(context.Background()) != 0 {
+		t.Error("bare context should report 0")
+	}
+	// The option overrides the context.
+	if n := resolveWorkers(ctx, options{workers: 2}, 100); n != 2 {
+		t.Errorf("option should win: %d", n)
+	}
+	if n := resolveWorkers(ctx, options{}, 100); n != 7 {
+		t.Errorf("context should win over default: %d", n)
+	}
+	// Never more workers than cells.
+	if n := resolveWorkers(ctx, options{}, 3); n != 3 {
+		t.Errorf("workers should clamp to cells: %d", n)
+	}
+}
+
+func TestRunDeterministicWithSeededCells(t *testing.T) {
+	// The engine's contract: per-cell seeding makes output independent of
+	// the worker count. This is the in-miniature version of the golden
+	// suite in internal/expt.
+	run := func(workers int) []int64 {
+		out, err := Run(context.Background(), Of(32), func(_ context.Context, c Cell) (int64, error) {
+			// Deterministic per-cell pseudo-randomness seeded by index.
+			x := int64(c.Index)*6364136223846793005 + 1442695040888963407
+			return x ^ (x >> 31), nil
+		}, Workers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 16} {
+		got := run(w)
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("workers=%d diverged at cell %d", w, i)
+			}
+		}
+	}
+}
