@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update bench check
+.PHONY: build vet test race golden golden-update soak bench check
 
 build:
 	$(GO) build ./...
@@ -29,7 +29,13 @@ golden:
 golden-update:
 	$(GO) test ./internal/expt -run 'TestGolden' -update -count=1
 
+# Robustness soak: the full gate × fault matrix checked against its golden
+# record, plus the fault-spec parser fuzz seeds and degradation suites.
+soak:
+	$(GO) test ./internal/expt -run 'TestGolden/soak' -count=1
+	$(GO) test ./internal/faults ./internal/intermittent -count=1
+
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
 
-check: vet build race golden
+check: vet build race golden soak

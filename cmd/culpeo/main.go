@@ -17,6 +17,7 @@
 //	culpeo charact     power-system impedance characterization (Section IV-B)
 //	culpeo reprofile   re-profiling under changing harvest (Section V-B)
 //	culpeo intermittent  intermittent-execution gates + task division (Section I/III)
+//	culpeo soak        robustness soak: dispatch gates × injected faults
 //	culpeo futurework  §IX extensions: charge-state typing, probabilistic bounds
 //	culpeo all         everything above
 //
@@ -57,7 +58,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	points := fs.Bool("points", false, "with fig3: dump the full point cloud")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent futurework all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
@@ -241,6 +242,12 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, opt exp
 			return err
 		}
 		return emit(w, expt.DecomposeTable(dec), csv)
+	case "soak":
+		rows, err := expt.Soak(ctx, expt.SoakOpts{Horizon: opt.Horizon})
+		if err != nil {
+			return err
+		}
+		return emit(w, expt.SoakTable(rows), csv)
 	case "futurework":
 		ct, err := expt.ChargeTypes()
 		if err != nil {
@@ -264,7 +271,7 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, opt exp
 		for _, c := range []string{
 			"fig1b", "fig3", "fig4", "fig5", "fig6", "tbl3",
 			"fig10", "fig11", "fig12", "fig13", "decoupling", "ablations",
-			"charact", "reprofile", "intermittent", "futurework",
+			"charact", "reprofile", "intermittent", "soak", "futurework",
 		} {
 			if err := run(ctx, w, c, csv, points, opt); err != nil {
 				return err

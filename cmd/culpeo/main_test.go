@@ -138,3 +138,22 @@ func equalStrings(a, b []string) bool {
 	}
 	return true
 }
+
+// TestRunSoak drives the robustness-soak subcommand at a trimmed horizon:
+// every gate × fault row must render, and the culpeo+adaptive gate must
+// report a row for the harsh measurement-chain fault.
+func TestRunSoak(t *testing.T) {
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, "soak", false, false, expt.Fig12Opts{Horizon: 3}); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{"Robustness soak", "energy", "culpeo+adaptive", "adc/harsh", "age/eol"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("soak output missing %q", want)
+		}
+	}
+	if rows := strings.Count(out, "\n"); rows < 36 {
+		t.Errorf("soak table has %d lines, want the full 36-cell matrix", rows)
+	}
+}

@@ -5,10 +5,14 @@
 //	simulate -i 50mA -t 100ms -vstart 2.3 > trace.csv
 //	simulate -peripheral ble -vstart 2.0 -esr 5 -dec 400uF
 //	simulate -i 50mA -t 10ms -shape pulse -vsweep 1.8,2.0,2.2,2.4
+//	simulate -i 50mA -t 100ms -harvest 5mW -faults "dropout:at=20ms,dur=30ms;age:life=0.5"
 //
 // Columns: t_s, v_term_V, v_oc_V, i_load_A, i_in_A. With -vsweep, the
 // starting voltages run concurrently on the sweep pool (-workers bounds it)
-// and a per-voltage summary table replaces the trace.
+// and a per-voltage summary table replaces the trace. -faults injects
+// hardware faults from a fault-spec string (see internal/faults): supply
+// dropout/sag, capacitor aging/ESR drift, leakage, and measurement-chain
+// errors, applied to the simulated physics.
 package main
 
 import (
@@ -25,6 +29,7 @@ import (
 
 	"culpeo/internal/capacitor"
 	"culpeo/internal/expt"
+	"culpeo/internal/faults"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/sweep"
@@ -46,6 +51,7 @@ type params struct {
 	esr, harvest                  float64
 	every                         int
 	rebound, plot                 bool
+	faultsStr                     string
 }
 
 func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
@@ -65,6 +71,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	fs.IntVar(&p.every, "every", 4, "keep one sample per N steps")
 	fs.BoolVar(&p.rebound, "rebound", true, "record the post-load rebound")
 	fs.BoolVar(&p.plot, "plot", false, "render an ASCII voltage chart to stderr instead of CSV to stdout")
+	fs.StringVar(&p.faultsStr, "faults", "", `inject faults, e.g. "dropout:at=20ms,dur=30ms;age:life=0.5" (see internal/faults)`)
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -96,7 +103,13 @@ func simulate(ctx context.Context, stdout, stderr io.Writer, p params) error {
 	if err != nil {
 		return fmt.Errorf("bad -dec: %w", err)
 	}
+	spec, err := faults.Parse(p.faultsStr)
+	if err != nil {
+		return fmt.Errorf("bad -faults: %w", err)
+	}
 
+	// Each system gets a private injector so concurrent -vsweep cells never
+	// share the fault RNG streams; identical seeds keep the cells comparable.
 	newSystem := func(vStart float64) (*powersys.System, error) {
 		branches := []*capacitor.Branch{{Name: "main", C: c, ESR: p.esr, Voltage: vStart}}
 		if dec > 0 {
@@ -106,11 +119,16 @@ func simulate(ctx context.Context, stdout, stderr io.Writer, p params) error {
 		if err != nil {
 			return nil, err
 		}
+		in := faults.New(spec)
+		in.ApplyStorage(net)
 		cfg := powersys.Capybara()
 		cfg.Storage = net
 		sys, err := powersys.New(cfg)
 		if err != nil {
 			return nil, err
+		}
+		if in != nil {
+			sys.Inject(in)
 		}
 		sys.Monitor().Force(true)
 		return sys, nil

@@ -2,6 +2,7 @@ package main
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -131,4 +132,53 @@ func firstLine(s string) string {
 		return s[:i]
 	}
 	return s
+}
+
+// TestRealMainFaults checks the fault-injection flag end to end: a mid-run
+// harvester dropout plus end-of-life aging must change the physics (lower
+// final voltage than the clean run), and spec errors must be reported.
+func TestRealMainFaults(t *testing.T) {
+	runOnce := func(args ...string) (string, string, int) {
+		var stdout, stderr strings.Builder
+		code := realMain(context.Background(), args, &stdout, &stderr)
+		return stdout.String(), stderr.String(), code
+	}
+
+	base := []string{"-i", "10mA", "-t", "100ms", "-vstart", "2.4", "-harvest", "0.02"}
+	_, cleanErr, code := runOnce(base...)
+	if code != 0 {
+		t.Fatalf("clean run failed: %s", cleanErr)
+	}
+	faulted := append(append([]string{}, base...),
+		"-faults", "dropout:at=10ms;age:life=1")
+	_, faultErr, code := runOnce(faulted...)
+	if code != 0 {
+		t.Fatalf("faulted run failed: %s", faultErr)
+	}
+	vFinal := func(stderr string) float64 {
+		i := strings.Index(stderr, "v_final=")
+		if i < 0 {
+			t.Fatalf("no v_final in summary: %q", stderr)
+		}
+		var v float64
+		fmt.Sscanf(stderr[i:], "v_final=%f", &v)
+		return v
+	}
+	if vc, vf := vFinal(cleanErr), vFinal(faultErr); !(vf < vc) {
+		t.Errorf("faults had no effect: clean v_final=%g faulted v_final=%g", vc, vf)
+	}
+
+	if _, stderr, code := runOnce("-faults", "meteor:x=1"); code != 1 || !strings.Contains(stderr, "bad -faults") {
+		t.Errorf("bad spec: code=%d stderr=%q", code, stderr)
+	}
+
+	// Fault injection composes with the concurrent -vsweep path.
+	out, stderr, code := runOnce("-i", "50mA", "-t", "10ms", "-shape", "pulse",
+		"-vsweep", "1.8,2.4", "-faults", "seed:3;noise:sigma=1mV;esr:factor=2", "-workers", "4")
+	if code != 0 {
+		t.Fatalf("faulted vsweep failed: %s", stderr)
+	}
+	if !strings.Contains(out, "Starting-voltage sweep") {
+		t.Errorf("faulted vsweep output wrong:\n%s", out)
+	}
 }

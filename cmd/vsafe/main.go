@@ -147,7 +147,7 @@ func vsafe(ctx context.Context, stdout io.Writer, p params) error {
 		task.Name(), units.FormatF(aged.C), units.FormatOhm(aged.ESR),
 		aging.ESRFactor(), cfg.VOff, cfg.VHigh)
 
-	gt, err := h.GroundTruth(task)
+	gt, err := h.GroundTruthCtx(ctx, task, 0)
 	if err != nil {
 		return fmt.Errorf("this load cannot run on this buffer at any voltage: %w", err)
 	}

@@ -257,6 +257,15 @@ func (a Aging) Apply(b Branch) Branch {
 	return b
 }
 
+// ApplyNetwork ages every branch of the network in place. Callers that need
+// the fresh network preserved should Clone it first.
+func (a Aging) ApplyNetwork(n *Network) {
+	for _, b := range n.Branches {
+		aged := a.Apply(*b)
+		b.C, b.ESR = aged.C, aged.ESR
+	}
+}
+
 // SupercapBranches models a supercapacitor's frequency-dependent impedance
 // as two storage branches sharing the terminal node: the bulk capacitance
 // behind the low-frequency ESR, plus a small fast branch behind the

@@ -1,0 +1,121 @@
+package core
+
+// AdaptiveMargin is a graceful-degradation guard on dispatch decisions: an
+// extra voltage margin added to V_safe that inflates exponentially when a
+// task suffers an unexpected power failure (the estimate or the measurement
+// chain is wrong for the current conditions) and decays back toward the
+// base after sustained success. It is the runtime's defense when the world
+// the estimates were profiled in no longer matches the world the system
+// runs in — aged capacitors, sagging harvesters, a biased ADC.
+//
+// The zero value is a usable no-op (all margins 0, never inflates past 0).
+// Typical configuration is DefaultAdaptiveMargin. AdaptiveMargin is not
+// safe for concurrent use; each scheduler or runtime owns its own.
+type AdaptiveMargin struct {
+	// Base is the steady-state margin (V) applied when everything works.
+	Base float64
+	// Max caps the inflated margin (V); 0 means Base (never inflate).
+	Max float64
+	// Floor is the smallest margin inflation starts from (V) when Base is
+	// tiny or zero, so the first failure still produces a real step.
+	Floor float64
+	// Inflate is the multiplicative step applied per failure; values <= 1
+	// disable inflation. A failed dispatch doubles the margin by default.
+	Inflate float64
+	// DecayAfter is how many consecutive successes earn one decay step
+	// (margin divided by Inflate); 0 disables decay.
+	DecayAfter int
+
+	cur      float64 // current margin above zero; tracks [Base, Max]
+	started  bool
+	streak   int // consecutive successes since the last failure/decay
+	failures int // lifetime failure count, for reporting
+}
+
+// DefaultAdaptiveMargin is tuned for the Capybara-class systems in this
+// repo: 20 mV base (the dispatch margin the schedulers already use), a
+// 200 mV ceiling (about half the worst ESR drop of the heavy radio tasks),
+// doubling on failure from a 5 mV floor, decaying after 3 clean tasks.
+func DefaultAdaptiveMargin() *AdaptiveMargin {
+	return &AdaptiveMargin{Base: 20e-3, Max: 200e-3, Floor: 5e-3, Inflate: 2, DecayAfter: 3}
+}
+
+// Margin returns the guard voltage to add to V_safe right now.
+func (m *AdaptiveMargin) Margin() float64 {
+	if m == nil {
+		return 0
+	}
+	if !m.started {
+		return m.Base
+	}
+	return m.cur
+}
+
+// Failure records an unexpected power failure: the margin inflates
+// multiplicatively (starting from max(Base, Floor)) up to Max, and the
+// success streak resets.
+func (m *AdaptiveMargin) Failure() {
+	if m == nil {
+		return
+	}
+	m.ensure()
+	m.failures++
+	m.streak = 0
+	if m.Inflate <= 1 {
+		return
+	}
+	next := m.cur
+	if next < m.Floor {
+		next = m.Floor
+	}
+	next *= m.Inflate
+	if max := m.max(); next > max {
+		next = max
+	}
+	if next > m.cur {
+		m.cur = next
+	}
+}
+
+// Success records a completed task. After DecayAfter consecutive successes
+// the margin decays one multiplicative step back toward Base.
+func (m *AdaptiveMargin) Success() {
+	if m == nil {
+		return
+	}
+	m.ensure()
+	if m.DecayAfter <= 0 || m.Inflate <= 1 {
+		return
+	}
+	m.streak++
+	if m.streak < m.DecayAfter || m.cur <= m.Base {
+		return
+	}
+	m.streak = 0
+	m.cur /= m.Inflate
+	if m.cur < m.Base {
+		m.cur = m.Base
+	}
+}
+
+// Failures returns the lifetime failure count.
+func (m *AdaptiveMargin) Failures() int {
+	if m == nil {
+		return 0
+	}
+	return m.failures
+}
+
+func (m *AdaptiveMargin) ensure() {
+	if !m.started {
+		m.cur = m.Base
+		m.started = true
+	}
+}
+
+func (m *AdaptiveMargin) max() float64 {
+	if m.Max < m.Base {
+		return m.Base
+	}
+	return m.Max
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestAdaptiveMarginNilAndZero(t *testing.T) {
+	var nilM *AdaptiveMargin
+	if nilM.Margin() != 0 || nilM.Failures() != 0 {
+		t.Error("nil margin must read as zero")
+	}
+	nilM.Failure() // must not panic
+	nilM.Success()
+
+	var zero AdaptiveMargin
+	zero.Failure()
+	if zero.Margin() != 0 {
+		t.Errorf("zero-value margin inflated to %g", zero.Margin())
+	}
+}
+
+func TestAdaptiveMarginInflatesAndCaps(t *testing.T) {
+	m := DefaultAdaptiveMargin()
+	if m.Margin() != 20e-3 {
+		t.Fatalf("base margin = %g", m.Margin())
+	}
+	want := []float64{40e-3, 80e-3, 160e-3, 200e-3, 200e-3}
+	for i, w := range want {
+		m.Failure()
+		if got := m.Margin(); math.Abs(got-w) > 1e-12 {
+			t.Fatalf("after %d failures margin = %g, want %g", i+1, got, w)
+		}
+	}
+	if m.Failures() != len(want) {
+		t.Errorf("failure count = %d", m.Failures())
+	}
+}
+
+func TestAdaptiveMarginDecays(t *testing.T) {
+	m := DefaultAdaptiveMargin()
+	m.Failure()
+	m.Failure() // 80 mV
+	for i := 0; i < m.DecayAfter-1; i++ {
+		m.Success()
+	}
+	if got := m.Margin(); math.Abs(got-80e-3) > 1e-12 {
+		t.Fatalf("decayed before DecayAfter successes: %g", got)
+	}
+	m.Success() // third consecutive success: one decay step
+	if got := m.Margin(); math.Abs(got-40e-3) > 1e-12 {
+		t.Fatalf("after decay step margin = %g, want 40 mV", got)
+	}
+	// Decay never drops below Base.
+	for i := 0; i < 20; i++ {
+		m.Success()
+	}
+	if got := m.Margin(); math.Abs(got-m.Base) > 1e-12 {
+		t.Errorf("decayed below base: %g", got)
+	}
+}
+
+func TestAdaptiveMarginFloor(t *testing.T) {
+	// With a zero base, the floor gives the first failure a real step.
+	m := &AdaptiveMargin{Base: 0, Max: 100e-3, Floor: 5e-3, Inflate: 2, DecayAfter: 1}
+	m.Failure()
+	if got := m.Margin(); math.Abs(got-10e-3) > 1e-12 {
+		t.Fatalf("first failure from floor = %g, want 10 mV", got)
+	}
+	// A failure resets the success streak.
+	m.Success()
+	m.Failure()
+	if got := m.Margin(); got <= 5e-3 {
+		t.Errorf("failure after decay should re-inflate, margin = %g", got)
+	}
+}

@@ -83,7 +83,7 @@ func ADCBitsSweep(ctx context.Context) ([]ADCBitsRow, error) {
 	}
 	model := capybaraModel(cfg)
 	task := load.NewPulse(25e-3, 10e-3)
-	gt, err := h.GroundTruth(task)
+	gt, err := h.GroundTruthCtx(ctx, task, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -139,7 +139,7 @@ func ISRPeriodSweep(ctx context.Context) ([]ISRPeriodRow, error) {
 	}
 	model := capybaraModel(cfg)
 	task := load.NewPulse(50e-3, 1e-3)
-	gt, err := h.GroundTruth(task)
+	gt, err := h.GroundTruthCtx(ctx, task, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -213,8 +213,8 @@ func ESRLossSweep(ctx context.Context) ([]ESRLossRow, error) {
 		load.NewPulse(50e-3, 10e-3),
 		load.NewUniform(50e-3, 100e-3),
 	}
-	return sweep.Map(ctx, tasks, func(_ context.Context, _ int, task load.Profile) (ESRLossRow, error) {
-		gt, err := h.GroundTruth(task)
+	return sweep.Map(ctx, tasks, func(cctx context.Context, _ int, task load.Profile) (ESRLossRow, error) {
+		gt, err := h.GroundTruthCtx(cctx, task, 0)
 		if err != nil {
 			return ESRLossRow{}, err
 		}

@@ -74,8 +74,8 @@ func Fig10(ctx context.Context) ([]Fig10Row, error) {
 		cells = append(cells, cell{task, "pulse"})
 	}
 
-	perLoad, err := sweep.Map(ctx, cells, func(_ context.Context, _ int, c cell) ([]Fig10Row, error) {
-		gt, err := h.GroundTruth(c.task)
+	perLoad, err := sweep.Map(ctx, cells, func(cctx context.Context, _ int, c cell) ([]Fig10Row, error) {
+		gt, err := h.GroundTruthCtx(cctx, c.task, 0)
 		if err != nil {
 			return nil, fmt.Errorf("expt: fig10 %s: %w", c.task.Name(), err)
 		}

@@ -98,6 +98,13 @@ func goldenCorpus() []goldenEntry {
 			}
 			return ESRLossTable(el).Render(w)
 		}},
+		{name: "soak", gen: func(ctx context.Context, w io.Writer) error {
+			rows, err := Soak(ctx, SoakOpts{Horizon: 20})
+			if err != nil {
+				return err
+			}
+			return SoakTable(rows).Render(w)
+		}},
 		{name: "fig12", long: true, gen: func(ctx context.Context, w io.Writer) error {
 			rows, err := Fig12(ctx, Fig12Opts{Horizon: 20, Trials: 1})
 			if err != nil {

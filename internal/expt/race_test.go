@@ -44,5 +44,8 @@ func TestRaceChaos(t *testing.T) {
 	run("esrloss", func() error { _, err := ESRLossSweep(ctx); return err })
 	run("intermittent", func() error { _, err := Intermittent(ctx, 5); return err })
 	run("decompose", func() error { _, err := Decompose(ctx, 10); return err })
+	// The soak shares the pool with everything above while its cells own
+	// seeded fault injectors — the injector RNG streams must be cell-private.
+	run("soak", func() error { _, err := Soak(ctx, SoakOpts{Horizon: 5}); return err })
 	wg.Wait()
 }

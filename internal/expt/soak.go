@@ -1,0 +1,272 @@
+package expt
+
+import (
+	"context"
+	"fmt"
+
+	"culpeo/internal/core"
+	"culpeo/internal/faults"
+	"culpeo/internal/intermittent"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+	"culpeo/internal/sweep"
+)
+
+// soakHarvest is the incoming power during the soak: enough to recharge in
+// seconds, but below the pipeline's flat-out burn rate, so every gate ends
+// up riding its dispatch threshold — the regime where wrong thresholds
+// brown the device out.
+const soakHarvest = 10e-3
+
+// SoakOpts configures the robustness soak.
+type SoakOpts struct {
+	// Horizon is the simulated duration per cell (s); 0 = 20.
+	Horizon float64
+}
+
+// SoakRow is one (gate, fault) cell of the robustness matrix.
+type SoakRow struct {
+	Gate       string
+	Fault      string // fault class/severity label
+	Spec       string // the fault-spec string the cell ran under
+	Iterations int
+	// Violations counts Theorem-1 violations: dispatched tasks destroyed
+	// by a power failure (re-executions).
+	Violations    int
+	Completed     int // committed task executions
+	Escalations   int
+	CompletionPct float64 // committed / attempted
+	WastedPct     float64 // energy burnt by doomed attempts
+	// SlowdownX is this cell's latency overhead: nominal iterations of the
+	// same gate divided by this cell's iterations (1.0 = no overhead; 0
+	// when the cell made no progress).
+	SlowdownX  float64
+	LiveLocked bool
+}
+
+// soakProgram is the pipeline under soak: sense → process → report. The
+// report task's ESR drop (~0.3 V on the fresh 15 Ω bank, ~0.6 V at end of
+// life) is what separates energy-only from V_safe dispatch.
+func soakProgram() intermittent.Program {
+	return intermittent.Program{
+		Name: "soak-pipeline",
+		Tasks: []intermittent.AtomicTask{
+			{ID: "sample", Profile: load.IMURead(16)},
+			{ID: "process", Profile: load.FFT(128)},
+			{ID: "report", Profile: load.NewUniform(10e-3, 20e-3)},
+		},
+	}
+}
+
+// soakFault is one fault class/severity of the matrix.
+type soakFault struct {
+	Name string
+	Spec string
+}
+
+// soakFaults is the injected-fault matrix: supply, storage and
+// measurement-chain classes, each at a mild and a harsh severity.
+func soakFaults() []soakFault {
+	return []soakFault{
+		{"none", ""},
+		{"dropout/mild", "dropout:at=0.5,dur=200ms,period=2s"},
+		{"dropout/harsh", "dropout:at=0.3,dur=600ms,period=1.2s"},
+		{"sag/mild", "sag:frac=0.7"},
+		{"sag/harsh", "sag:frac=0.35"},
+		{"leak/mild", "leak:i=500uA"},
+		{"leak/harsh", "leak:i=3mA,at=1s,dur=1s,period=3s"},
+		{"esr/drift", "esr:factor=1.5"},
+		{"age/mid", "age:life=0.5"},
+		{"age/eol", "age:life=1"},
+		{"adc/mild", "seed:11;offset:v=8mV;noise:sigma=2mV"},
+		{"adc/harsh", "seed:11;offset:v=10mV;gain:factor=1.003;noise:sigma=3mV;stuck:bit=2;jitter:sigma=200us"},
+	}
+}
+
+// soakGates names the dispatch policies under soak: the ESR-blind
+// energy-only baseline, the Culpeo V_safe gate, and the Culpeo gate with
+// the adaptive guard margin plus degradation (backoff + escalation).
+var soakGates = []string{"energy", "culpeo", "culpeo+adaptive"}
+
+// Soak runs the estimator × fault class × severity robustness matrix on the
+// sweep pool: every (gate, fault) pair is an independent cell owning its
+// injector, storage network, gate and runtime. Gates are built by
+// (re)profiling on the faulted hardware through the faulted measurement
+// chain — the Section V-B story: Culpeo re-profiles when conditions change,
+// so wear and chain error are captured in the estimates, and the adaptive
+// margin guards the residual.
+func Soak(ctx context.Context, opts SoakOpts) ([]SoakRow, error) {
+	horizon := opts.Horizon
+	if horizon <= 0 {
+		horizon = 20
+	}
+	cfg, err := intermittentConfig()
+	if err != nil {
+		return nil, err
+	}
+	prog := soakProgram()
+
+	type cell struct {
+		gate  string
+		fault soakFault
+	}
+	var cells []cell
+	for _, g := range soakGates {
+		for _, f := range soakFaults() {
+			cells = append(cells, cell{g, f})
+		}
+	}
+
+	rows, err := sweep.Map(ctx, cells, func(_ context.Context, _ int, c cell) (SoakRow, error) {
+		return soakCell(cfg, prog, c.gate, c.fault, horizon)
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Latency overhead versus the same gate's nominal cell.
+	nominal := map[string]int{}
+	for _, r := range rows {
+		if r.Fault == "none" {
+			nominal[r.Gate] = r.Iterations
+		}
+	}
+	for i := range rows {
+		if n, it := nominal[rows[i].Gate], rows[i].Iterations; it > 0 && n > 0 {
+			rows[i].SlowdownX = float64(n) / float64(it)
+		}
+	}
+	return rows, nil
+}
+
+// soakCell runs one (gate, fault) combination.
+func soakCell(cfg powersys.Config, prog intermittent.Program, gateName string, fault soakFault, horizon float64) (SoakRow, error) {
+	in, err := faults.NewFromString(fault.Spec)
+	if err != nil {
+		return SoakRow{}, err
+	}
+
+	// The cell's hardware: cloned storage with wear faults applied.
+	c := cfg
+	c.Storage = cfg.Storage.Clone()
+	in.ApplyStorage(c.Storage)
+	model := capybaraModel(c)
+
+	var gate intermittent.Gate
+	if gateName == "energy" {
+		gate, err = intermittent.NewEnergyGate(c, prog)
+	} else {
+		gate, err = soakCulpeoGate(c, model, prog, in)
+	}
+	if err != nil {
+		return SoakRow{}, fmt.Errorf("expt: soak %s/%s gate: %w", gateName, fault.Name, err)
+	}
+
+	cc := c
+	cc.Storage = c.Storage.Clone()
+	sys, err := powersys.New(cc)
+	if err != nil {
+		return SoakRow{}, err
+	}
+	if in != nil {
+		sys.Inject(in)
+	}
+	if err := sys.ChargeTo(cc.VHigh); err != nil {
+		return SoakRow{}, err
+	}
+
+	rt := &intermittent.Runtime{
+		Sys: sys, Harvest: soakHarvest, Gate: gate, MaxAttempts: 1000,
+		Read: in.WrapRead(sys.VTerm, sys.Now),
+	}
+	if gateName == "culpeo+adaptive" {
+		// The base margin budgets the measurement chain's worst-case error
+		// (offset + gain at V_high + noise peaks + a stuck bit ≈ 50 mV for
+		// the harsh ADC row) the way a deployment sizes it from the ADC's
+		// total-unadjusted-error spec; inflation then guards whatever the
+		// budget missed.
+		rt.Margin = &core.AdaptiveMargin{
+			Base: 50e-3, Max: 200e-3, Floor: 10e-3, Inflate: 2, DecayAfter: 4,
+		}
+		rt.Degrade = &intermittent.Degrade{Model: &model}
+	}
+	res, err := rt.Run(prog, horizon)
+	if err != nil {
+		return SoakRow{}, fmt.Errorf("expt: soak %s/%s: %w", gateName, fault.Name, err)
+	}
+
+	row := SoakRow{
+		Gate: gateName, Fault: fault.Name, Spec: fault.Spec,
+		Iterations: res.Iterations, Violations: res.Reexecutions,
+		Completed: res.TasksCompleted, Escalations: res.Escalations,
+		LiveLocked: res.LiveLocked,
+	}
+	if att := res.TasksCompleted + res.Reexecutions; att > 0 {
+		row.CompletionPct = float64(res.TasksCompleted) / float64(att) * 100
+	}
+	if total := res.WastedEnergy + res.UsefulEnergy; total > 0 {
+		row.WastedPct = res.WastedEnergy / total * 100
+	}
+	return row, nil
+}
+
+// soakCulpeoGate builds the Culpeo gate the way the runtime would on the
+// deployed device: Culpeo-R profiling of each task on the (possibly worn)
+// hardware, observed through the (possibly faulty) measurement chain, at
+// zero harvest (the worst case).
+func soakCulpeoGate(c powersys.Config, model core.PowerModel, prog intermittent.Program, in *faults.Injector) (intermittent.CulpeoGate, error) {
+	vs := make([]float64, len(prog.Tasks))
+	for i, task := range prog.Tasks {
+		cc := c
+		cc.Storage = c.Storage.Clone()
+		sys, err := powersys.New(cc)
+		if err != nil {
+			return intermittent.CulpeoGate{}, err
+		}
+		if in != nil {
+			sys.Inject(in)
+		}
+		if err := sys.ChargeTo(cc.VHigh); err != nil {
+			return intermittent.CulpeoGate{}, err
+		}
+		sys.Monitor().Force(true)
+		probe := profiler.NewISRProbe(in.WrapRead(sys.VTerm, sys.Now))
+		est, err := profiler.REstimate(model, sys, in.WrapSampler(probe), task.Profile, 0)
+		if err != nil {
+			return intermittent.CulpeoGate{}, err
+		}
+		vs[i] = est.VSafe
+	}
+	return intermittent.CulpeoGate{VSafe: vs}, nil
+}
+
+// SoakTable renders the matrix.
+func SoakTable(rows []SoakRow) *Table {
+	t := &Table{
+		Title: "Robustness soak: dispatch gates × injected faults (15 mF / 15 Ω buffer)",
+		Header: []string{"gate", "fault", "iterations", "violations",
+			"completion %", "wasted %", "escalations", "slowdown ×"},
+		Caption: "A violation is a dispatched task destroyed by a power " +
+			"failure — the event Theorem 1 promises never happens. The " +
+			"energy-only gate violates under nominal conditions already and " +
+			"degrades further under faults; the Culpeo gate re-profiled on " +
+			"the faulted hardware sustains the guarantee, trading throughput " +
+			"(slowdown, stalls at end-of-life) instead of correctness.",
+	}
+	for _, r := range rows {
+		slow := "-"
+		if r.SlowdownX > 0 {
+			slow = f1(r.SlowdownX)
+		}
+		t.Add(r.Gate, r.Fault,
+			f0(float64(r.Iterations)),
+			f0(float64(r.Violations)),
+			f1(r.CompletionPct),
+			f1(r.WastedPct),
+			f0(float64(r.Escalations)),
+			slow,
+		)
+	}
+	return t
+}

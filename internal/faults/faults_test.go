@@ -1,0 +1,335 @@
+package faults
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/harvester"
+	"culpeo/internal/mcu"
+)
+
+func TestParseEmpty(t *testing.T) {
+	for _, s := range []string{"", "  ", ";", " ; "} {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		if !spec.Empty() || spec.Seed != 1 {
+			t.Errorf("Parse(%q) = %+v, want empty with seed 1", s, spec)
+		}
+		if New(spec) != nil {
+			t.Errorf("New(empty) must be nil")
+		}
+	}
+}
+
+func TestParseSeed(t *testing.T) {
+	spec, err := Parse("seed:7;dropout")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 7 {
+		t.Errorf("seed = %d, want 7", spec.Seed)
+	}
+	// Explicit seed:0 is honoured (the default is 1, not 0).
+	spec, err = Parse("seed:0;noise:sigma=1mV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Seed != 0 {
+		t.Errorf("seed = %d, want 0", spec.Seed)
+	}
+}
+
+func TestParseUnits(t *testing.T) {
+	spec, err := Parse("dropout:at=500ms,dur=200ms,period=2s;leak:i=500uA;noise:sigma=5mV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spec.Faults) != 3 {
+		t.Fatalf("faults = %d, want 3", len(spec.Faults))
+	}
+	d := spec.Faults[0]
+	if d.Win.At != 0.5 || d.Win.Dur != 0.2 || d.Win.Period != 2 {
+		t.Errorf("dropout window = %+v", d.Win)
+	}
+	if spec.Faults[1].V != 500e-6 {
+		t.Errorf("leak i = %g, want 500 µA", spec.Faults[1].V)
+	}
+	if spec.Faults[2].V != 5e-3 {
+		t.Errorf("noise sigma = %g, want 5 mV", spec.Faults[2].V)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"seed",                   // seed without value
+		"seed:x",                 // non-numeric seed
+		"seed:1.5",               // fractional seed
+		"meteor",                 // unknown kind
+		"sag",                    // missing required key
+		"sag:frac=1.5",           // out of range
+		"sag:frac=0.5,frac=0.6",  // duplicate key
+		"sag:frac",               // not key=value
+		"leak:i=0",               // zero leak
+		"leak:i=2",               // 2 A leak is a short, not a fault
+		"age:life=2",             // beyond end of life
+		"esr:factor=0",           // zero multiplier
+		"offset:v=2",             // ±1 V bound
+		"gain:factor=0",          // zero gain
+		"noise:sigma=-1mV",       // negative sigma
+		"stuck:bit=12",           // 12-bit ADC has bits 0..11
+		"stuck:bit=3,val=2",      // val must be 0/1
+		"stuck:val=1",            // missing bit
+		"jitter:sigma=1",         // 1 s jitter is out of range
+		"dropout:dur=-1",         // negative window
+		"dropout:period=1",       // period without dur
+		"dropout:dur=2s,period=1s", // dur exceeds period
+		"dropout:frac=0.5",       // key from another kind
+		"noise:sigma=1mV,x=2",    // unknown key
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) accepted", s)
+		}
+	}
+}
+
+func TestSpecStringRoundTrip(t *testing.T) {
+	specs := []string{
+		"dropout",
+		"dropout:at=0.3,dur=0.6,period=1.2",
+		"seed:11;offset:v=0.01;gain:factor=1.003;noise:sigma=0.003;stuck:bit=2;jitter:sigma=0.0002",
+		"sag:frac=0.35;leak:at=1,dur=1,i=0.003,period=3",
+		"age:life=0.5;esr:factor=1.5",
+		"stuck:bit=5,val=0",
+	}
+	for _, s := range specs {
+		spec, err := Parse(s)
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", s, err)
+		}
+		again, err := Parse(spec.String())
+		if err != nil {
+			t.Fatalf("Parse(String(%q)) = Parse(%q): %v", s, spec.String(), err)
+		}
+		if !reflect.DeepEqual(spec, again) {
+			t.Errorf("round trip of %q: %+v != %+v", s, spec, again)
+		}
+	}
+}
+
+func TestWindowActive(t *testing.T) {
+	cases := []struct {
+		w    Window
+		t    float64
+		want bool
+	}{
+		{Window{}, 0, true},                          // zero window = always
+		{Window{}, 1e9, true},
+		{Window{At: 2}, 1.9, false},                  // open-ended from At
+		{Window{At: 2}, 2.0, true},
+		{Window{At: 2, Dur: 0.5}, 2.4, true},         // one burst
+		{Window{At: 2, Dur: 0.5}, 2.6, false},
+		{Window{At: 1, Dur: 0.2, Period: 1}, 1.1, true}, // repeating burst
+		{Window{At: 1, Dur: 0.2, Period: 1}, 1.5, false},
+		{Window{At: 1, Dur: 0.2, Period: 1}, 2.1, true},
+		{Window{At: 1, Dur: 0.2, Period: 1}, 2.9, false},
+	}
+	for _, c := range cases {
+		if got := c.w.Active(c.t); got != c.want {
+			t.Errorf("%+v.Active(%g) = %v", c.w, c.t, got)
+		}
+	}
+}
+
+func TestNilInjectorIsIdentity(t *testing.T) {
+	var in *Injector
+	if got := in.HarvestPower(1, 5e-3); got != 5e-3 {
+		t.Error("nil HarvestPower not identity")
+	}
+	if got := in.LeakageCurrent(1); got != 0 {
+		t.Error("nil LeakageCurrent not zero")
+	}
+	if got := in.Read(1, 2.2); got != 2.2 {
+		t.Error("nil Read not identity")
+	}
+	if got := in.SampleTime(1); got != 1 {
+		t.Error("nil SampleTime not identity")
+	}
+	in.ApplyStorage(nil) // must not panic
+	read := func() float64 { return 2.0 }
+	if got := in.WrapRead(read, func() float64 { return 0 })(); got != 2.0 {
+		t.Error("nil WrapRead not identity")
+	}
+	if in.Spec().Seed != 0 || !in.Spec().Empty() {
+		t.Error("nil Spec() not zero")
+	}
+}
+
+func TestSupplyFaults(t *testing.T) {
+	in, err := NewFromString("dropout:at=1,dur=0.5;sag:frac=0.5,at=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.HarvestPower(0.5, 10e-3); got != 10e-3 {
+		t.Errorf("before any window: %g", got)
+	}
+	if got := in.HarvestPower(1.2, 10e-3); got != 0 {
+		t.Errorf("inside dropout: %g, want 0", got)
+	}
+	if got := in.HarvestPower(3.5, 10e-3); got != 5e-3 {
+		t.Errorf("inside sag: %g, want 5 mW", got)
+	}
+
+	src := in.WrapHarvester(harvester.Constant{P: 10e-3})
+	if got := src.Power(1.2); got != 0 {
+		t.Errorf("wrapped harvester inside dropout: %g", got)
+	}
+}
+
+func TestLeakageCurrent(t *testing.T) {
+	in, err := NewFromString("leak:i=500uA;leak:i=1mA,at=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.LeakageCurrent(1); got != 500e-6 {
+		t.Errorf("leak at t=1: %g", got)
+	}
+	if got := in.LeakageCurrent(3); got != 1.5e-3 {
+		t.Errorf("leaks must sum: %g", got)
+	}
+}
+
+func TestApplyStorage(t *testing.T) {
+	fresh, err := capacitor.NewNetwork(&capacitor.Branch{Name: "main", C: 45e-3, ESR: 5, Voltage: 2.56})
+	if err != nil {
+		t.Fatal(err)
+	}
+	in, err := NewFromString("age:life=1;esr:factor=1.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := fresh.Clone()
+	in.ApplyStorage(n)
+	aging := capacitor.Aging{LifeFraction: 1}
+	wantESR := 5.0 * aging.ESRFactor() * 1.5
+	if got := n.Main().ESR; math.Abs(got-wantESR) > 1e-12 {
+		t.Errorf("aged+drifted ESR = %g, want %g", got, wantESR)
+	}
+	if got := n.TotalCapacitance(); got >= 45e-3 {
+		t.Errorf("end-of-life capacitance %g did not fade", got)
+	}
+	if fresh.Main().ESR != 5 {
+		t.Error("ApplyStorage mutated the cloned-from network")
+	}
+}
+
+func TestReadChain(t *testing.T) {
+	in, err := NewFromString("gain:factor=1.01")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := in.Read(0, 2.0), 2.02; math.Abs(got-want) > 1e-12 {
+		t.Errorf("gain read = %g, want %g", got, want)
+	}
+	in, err = NewFromString("offset:v=-10mV")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := in.Read(0, 2.0), 1.99; math.Abs(got-want) > 1e-12 {
+		t.Errorf("offset read = %g, want %g", got, want)
+	}
+	// A windowed measurement fault is inert outside its window.
+	in, err = NewFromString("offset:v=100mV,at=5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Read(1, 2.0); got != 2.0 {
+		t.Errorf("windowed offset leaked outside window: %g", got)
+	}
+	// Reads never go negative.
+	in, err = NewFromString("offset:v=-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.Read(0, 0.5); got != 0 {
+		t.Errorf("negative read not clamped: %g", got)
+	}
+}
+
+func TestStuckBit(t *testing.T) {
+	adc := mcu.MSP430ADC12()
+	v := 2.0
+
+	in, err := NewFromString("stuck:bit=0") // stuck-at-1 by default
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := adc.Voltage(adc.Quantize(v) | 1)
+	if got := in.Read(0, v); got != want {
+		t.Errorf("stuck-at-1 bit 0: %g, want %g", got, want)
+	}
+
+	in, err = NewFromString("stuck:bit=3,val=0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want = adc.Voltage(adc.Quantize(v) &^ (1 << 3))
+	if got := in.Read(0, v); got != want {
+		t.Errorf("stuck-at-0 bit 3: %g, want %g", got, want)
+	}
+}
+
+func TestStochasticDeterminism(t *testing.T) {
+	const spec = "seed:9;noise:sigma=5mV;jitter:sigma=1ms"
+	a, err := NewFromString(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFromString(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sawNoise, sawJitter bool
+	for i := 0; i < 100; i++ {
+		t0 := float64(i) * 1e-3
+		av, bv := a.Read(t0, 2.2), b.Read(t0, 2.2)
+		if av != bv {
+			t.Fatalf("same seed diverged at sample %d: %g vs %g", i, av, bv)
+		}
+		if av != 2.2 {
+			sawNoise = true
+		}
+		at, bt := a.SampleTime(t0), b.SampleTime(t0)
+		if at != bt {
+			t.Fatalf("same seed jitter diverged at sample %d", i)
+		}
+		if at != t0 {
+			sawJitter = true
+		}
+		if at < 0 {
+			t.Fatalf("jittered time went negative: %g", at)
+		}
+	}
+	if !sawNoise || !sawJitter {
+		t.Error("stochastic faults never perturbed anything")
+	}
+
+	// A different seed draws a different stream.
+	c, err := NewFromString("seed:10;noise:sigma=5mV;jitter:sigma=1ms")
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := 0; i < 16; i++ {
+		if a.Read(1, 2.2) != c.Read(1, 2.2) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical noise")
+	}
+}

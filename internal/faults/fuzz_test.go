@@ -1,0 +1,56 @@
+package faults
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the fault-spec parser never panics, that accepted specs
+// are in range, and that the canonical String form round-trips.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed:7;dropout:at=2s,dur=300ms,period=1.5s;noise:sigma=5mV",
+		"sag:frac=0.35",
+		"leak:i=500uA;leak:i=1mA,at=2",
+		"age:life=0.5;esr:factor=1.5",
+		"seed:11;offset:v=10mV;gain:factor=1.003;stuck:bit=2;jitter:sigma=200us",
+		"stuck:bit=5,val=0",
+		"dropout;;dropout",
+		"seed:-3;noise:sigma=0",
+		strings.Repeat("dropout;", 50),
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			return
+		}
+		for _, fl := range spec.Faults {
+			if fl.Win.At < 0 || fl.Win.Dur < 0 || fl.Win.Period < 0 {
+				t.Fatalf("accepted negative window: %+v", fl)
+			}
+			if fl.Win.Period > 0 && (fl.Win.Dur <= 0 || fl.Win.Dur > fl.Win.Period) {
+				t.Fatalf("accepted inconsistent window: %+v", fl)
+			}
+			if fl.Kind == Stuck && (fl.Bit < 0 || fl.Bit > 11) {
+				t.Fatalf("accepted out-of-range stuck bit: %+v", fl)
+			}
+		}
+		// The canonical form must parse back to the same spec.
+		canon := spec.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, again.String())
+		}
+		// Building the injector from any accepted spec must not panic, and
+		// the injector must echo its spec.
+		if in := New(spec); in != nil && in.Spec().String() != canon {
+			t.Fatalf("injector spec mismatch: %q vs %q", in.Spec().String(), canon)
+		}
+	})
+}

@@ -1,0 +1,225 @@
+package faults
+
+import (
+	"math/rand"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/harvester"
+	"culpeo/internal/mcu"
+	"culpeo/internal/profiler"
+)
+
+// Injector evaluates a Spec against the running simulation. It satisfies
+// powersys.Injector (supply/storage plane) and supplies measurement-chain
+// wrappers for voltage-read closures and profiler samplers.
+//
+// Every method is safe on a nil receiver and degenerates to the identity,
+// so call sites can hold an *Injector unconditionally. An Injector is NOT
+// safe for concurrent use (stochastic faults advance rand streams); give
+// each sweep cell its own via New or NewFromString.
+type Injector struct {
+	spec Spec
+	// rngs[i] is the dedicated stream for spec.Faults[i] when the kind is
+	// stochastic (Noise, Jitter), else nil. Streams derive from the spec
+	// seed plus the fault index, so draws are independent of fault order
+	// evaluation and of how many other injectors exist.
+	rngs []*rand.Rand
+	adc  mcu.ADC // quantizer for stuck-bit faults
+
+	hasSupply  bool // any Dropout/Sag fault present
+	hasStorage bool // any Age/ESRDrift fault present
+	hasLeak    bool // any Leak fault present
+	hasMeasure bool // any Offset/Gain/Noise/Stuck fault present
+	hasJitter  bool // any Jitter fault present
+}
+
+// New builds an injector for a parsed spec. An empty spec yields a nil
+// injector, keeping the nominal path branch-free at call sites.
+func New(spec Spec) *Injector {
+	if spec.Empty() {
+		return nil
+	}
+	in := &Injector{
+		spec: spec,
+		rngs: make([]*rand.Rand, len(spec.Faults)),
+		adc:  mcu.MSP430ADC12(),
+	}
+	for i, f := range spec.Faults {
+		switch f.Kind {
+		case Dropout, Sag:
+			in.hasSupply = true
+		case Leak:
+			in.hasLeak = true
+		case Age, ESRDrift:
+			in.hasStorage = true
+		case Offset, Gain, Noise, Stuck:
+			in.hasMeasure = true
+		case Jitter:
+			in.hasJitter = true
+		}
+		if f.Kind == Noise || f.Kind == Jitter {
+			// Golden-ratio-style spread keeps neighbouring fault streams
+			// decorrelated even for small seeds.
+			in.rngs[i] = rand.New(rand.NewSource(spec.Seed*0x9E3779B9 + int64(i)*0x517CC1B7 + 0x2545F491))
+		}
+	}
+	return in
+}
+
+// NewFromString parses and builds in one step; "" yields a nil injector.
+func NewFromString(s string) (*Injector, error) {
+	spec, err := Parse(s)
+	if err != nil {
+		return nil, err
+	}
+	return New(spec), nil
+}
+
+// Spec returns the parsed specification (zero value for a nil injector).
+func (in *Injector) Spec() Spec {
+	if in == nil {
+		return Spec{}
+	}
+	return in.spec
+}
+
+// HarvestPower transforms harvested power at time t (powersys.Injector).
+func (in *Injector) HarvestPower(t, p float64) float64 {
+	if in == nil || !in.hasSupply {
+		return p
+	}
+	for _, f := range in.spec.Faults {
+		switch f.Kind {
+		case Dropout:
+			if f.Win.Active(t) {
+				p = 0
+			}
+		case Sag:
+			if f.Win.Active(t) {
+				p *= f.V
+			}
+		}
+	}
+	return p
+}
+
+// LeakageCurrent returns the extra current (A) drained from the main
+// storage branch at time t (powersys.Injector).
+func (in *Injector) LeakageCurrent(t float64) float64 {
+	if in == nil || !in.hasLeak {
+		return 0
+	}
+	var i float64
+	for _, f := range in.spec.Faults {
+		if f.Kind == Leak && f.Win.Active(t) {
+			i += f.V
+		}
+	}
+	return i
+}
+
+// ApplyStorage applies the storage-plane faults (aging, ESR drift) to a
+// network in place, once, before simulation starts. Time windows are
+// ignored: wear is a state of the hardware, not a transient.
+func (in *Injector) ApplyStorage(n *capacitor.Network) {
+	if in == nil || !in.hasStorage {
+		return
+	}
+	for _, f := range in.spec.Faults {
+		switch f.Kind {
+		case Age:
+			capacitor.Aging{LifeFraction: f.V}.ApplyNetwork(n)
+		case ESRDrift:
+			for _, b := range n.Branches {
+				b.ESR *= f.V
+			}
+		}
+	}
+}
+
+// Read passes a voltage sample taken at time t through the measurement
+// chain: gain error, then offset, then Gaussian noise, then stuck-bit
+// quantization. Without a stuck fault the value stays continuous (offset
+// and gain model analog front-end error, not conversion).
+func (in *Injector) Read(t, v float64) float64 {
+	if in == nil || !in.hasMeasure {
+		return v
+	}
+	for i, f := range in.spec.Faults {
+		if !f.Win.Active(t) {
+			continue
+		}
+		switch f.Kind {
+		case Gain:
+			v *= f.V
+		case Offset:
+			v += f.V
+		case Noise:
+			v += in.rngs[i].NormFloat64() * f.V
+		case Stuck:
+			code := in.adc.Quantize(v)
+			if f.High {
+				code |= 1 << f.Bit
+			} else {
+				code &^= 1 << f.Bit
+			}
+			v = in.adc.Voltage(code)
+		}
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v
+}
+
+// SampleTime perturbs a sample timestamp with the configured jitter.
+func (in *Injector) SampleTime(t float64) float64 {
+	if in == nil || !in.hasJitter {
+		return t
+	}
+	out := t
+	for i, f := range in.spec.Faults {
+		if f.Kind == Jitter && f.Win.Active(t) {
+			out += in.rngs[i].NormFloat64() * f.V
+		}
+	}
+	if out < 0 {
+		out = 0
+	}
+	return out
+}
+
+// Measure combines SampleTime and Read — the transform a wrapped probe
+// sees for each tick.
+func (in *Injector) Measure(t, v float64) (float64, float64) {
+	return in.SampleTime(t), in.Read(t, v)
+}
+
+// WrapRead routes a voltage-read closure (a gate or scheduler's view of
+// the terminal voltage) through the measurement chain, stamping samples
+// with the simulation clock now. Identity when no measurement faults are
+// configured.
+func (in *Injector) WrapRead(read, now func() float64) func() float64 {
+	if in == nil || !in.hasMeasure {
+		return read
+	}
+	return func() float64 { return in.Read(now(), read()) }
+}
+
+// WrapSampler corrupts what a profiler probe observes. Identity when no
+// measurement-chain faults are configured.
+func (in *Injector) WrapSampler(s profiler.Sampler) profiler.Sampler {
+	if in == nil || (!in.hasMeasure && !in.hasJitter) {
+		return s
+	}
+	return profiler.Perturbed{Inner: s, Measure: in.Measure}
+}
+
+// WrapHarvester layers the supply-plane faults over a harvest source.
+// Identity when none are configured.
+func (in *Injector) WrapHarvester(src harvester.Source) harvester.Source {
+	if in == nil || !in.hasSupply {
+		return src
+	}
+	return harvester.Perturbed{Base: src, F: in.HarvestPower, Label: "faults"}
+}

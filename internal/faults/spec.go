@@ -1,0 +1,372 @@
+// Package faults provides composable, seeded fault injectors for the
+// simulation stack. A Spec — parsed from a compact string such as
+//
+//	seed:7;dropout:at=2s,dur=300ms,period=1.5s;noise:sigma=5mV
+//
+// — describes perturbations on three planes of the power system:
+//
+//   - supply:  harvester dropout windows and power sag
+//   - storage: capacitor aging (capacitance fade + ESR drift), extra
+//     leakage current drained straight from the main branch
+//   - measurement: the chain feeding Culpeo-R probes and gate decisions
+//     (ADC offset/gain error, Gaussian noise, stuck bits, sample jitter)
+//
+// Injection is strictly opt-in: a nil *Injector is a valid no-op on every
+// method, and the nominal simulation path never pays for faults it does
+// not carry. All stochastic faults draw from rand sources derived from the
+// spec seed and the fault's position in the spec, so a run is reproducible
+// bit-for-bit regardless of worker count as long as each sweep cell owns
+// its own Injector.
+package faults
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"culpeo/internal/units"
+)
+
+// Kind names one fault mechanism.
+type Kind string
+
+const (
+	// Dropout forces harvested power to zero inside the window.
+	Dropout Kind = "dropout"
+	// Sag multiplies harvested power by frac inside the window.
+	Sag Kind = "sag"
+	// Leak drains an extra current i (A) from the main storage branch.
+	Leak Kind = "leak"
+	// Age applies capacitor.Aging{LifeFraction: life} to every branch.
+	Age Kind = "age"
+	// ESRDrift multiplies every branch ESR by factor.
+	ESRDrift Kind = "esr"
+	// Offset adds v volts to every measured voltage.
+	Offset Kind = "offset"
+	// Gain multiplies every measured voltage by factor.
+	Gain Kind = "gain"
+	// Noise adds zero-mean Gaussian noise with deviation sigma volts.
+	Noise Kind = "noise"
+	// Stuck forces ADC code bit `bit` to `val` (0 or 1), quantizing the
+	// measurement through a 12-bit converter to do so.
+	Stuck Kind = "stuck"
+	// Jitter shifts each sample timestamp by Gaussian noise with
+	// deviation sigma seconds.
+	Jitter Kind = "jitter"
+)
+
+// Window bounds when a fault is active. The zero value means "always".
+// With Dur > 0 the fault is active for Dur seconds starting at At; with
+// Period > 0 as well, that burst repeats every Period seconds.
+type Window struct {
+	At     float64 // start time (s)
+	Dur    float64 // active duration per burst (s); 0 = open-ended
+	Period float64 // burst repeat interval (s); 0 = one burst
+}
+
+// Active reports whether the window covers simulation time t.
+func (w Window) Active(t float64) bool {
+	if t < w.At {
+		return false
+	}
+	if w.Dur <= 0 {
+		return true
+	}
+	t -= w.At
+	if w.Period > 0 {
+		t = math.Mod(t, w.Period)
+	}
+	return t < w.Dur
+}
+
+func (w Window) zero() bool { return w.At == 0 && w.Dur == 0 && w.Period == 0 }
+
+// Fault is one parsed clause of a Spec.
+type Fault struct {
+	Kind Kind
+	Win  Window
+	// V is the kind's primary magnitude: frac for Sag, amps for Leak,
+	// life fraction for Age, multiplier for ESRDrift and Gain, volts for
+	// Offset and Noise, seconds for Jitter. Unused by Dropout and Stuck.
+	V float64
+	// Bit and High configure Stuck: which ADC code bit, and whether it is
+	// stuck at 1 (true) or 0.
+	Bit  int
+	High bool
+}
+
+// Spec is a full parsed fault specification.
+type Spec struct {
+	// Seed feeds the stochastic faults (Noise, Jitter). Parse defaults it
+	// to 1 when the string has no seed clause, so an explicit seed:0 is
+	// honoured.
+	Seed   int64
+	Faults []Fault
+}
+
+// Empty reports whether the spec carries no faults at all.
+func (s Spec) Empty() bool { return len(s.Faults) == 0 }
+
+// windowKinds may carry at/dur/period keys. Measurement faults accept
+// them too (a drifting offset is a windowed offset), so every kind is
+// windowable; this set exists only for documentation symmetry.
+var kindKeys = map[Kind][]string{
+	Dropout:  {},
+	Sag:      {"frac"},
+	Leak:     {"i"},
+	Age:      {"life"},
+	ESRDrift: {"factor"},
+	Offset:   {"v"},
+	Gain:     {"factor"},
+	Noise:    {"sigma"},
+	Stuck:    {"bit", "val"},
+	Jitter:   {"sigma"},
+}
+
+// Parse builds a Spec from its string form. The grammar is
+//
+//	spec   = clause *( ";" clause )
+//	clause = "seed:" integer
+//	       | kind [ ":" key "=" value *( "," key "=" value ) ]
+//
+// where values go through units.Parse, so "300ms", "5mV" and "0.6" all
+// work. Unknown kinds, unknown keys, missing required keys and
+// out-of-range magnitudes are errors. An empty string parses to an empty
+// Spec.
+func Parse(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		head, rest, hasRest := strings.Cut(clause, ":")
+		head = strings.TrimSpace(strings.ToLower(head))
+		if head == "seed" {
+			if !hasRest {
+				return Spec{}, fmt.Errorf("faults: seed clause needs a value (seed:N)")
+			}
+			v, err := units.Parse(strings.TrimSpace(rest))
+			if err != nil || v != math.Trunc(v) || math.Abs(v) > 1e18 {
+				return Spec{}, fmt.Errorf("faults: bad seed %q", rest)
+			}
+			spec.Seed = int64(v)
+			continue
+		}
+		f, err := parseClause(Kind(head), rest, hasRest)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Faults = append(spec.Faults, f)
+	}
+	return spec, nil
+}
+
+func parseClause(kind Kind, rest string, hasRest bool) (Fault, error) {
+	allowed, ok := kindKeys[kind]
+	if !ok {
+		return Fault{}, fmt.Errorf("faults: unknown fault kind %q", kind)
+	}
+	f := Fault{Kind: kind, High: true} // stuck-at-1 unless val=0
+	kv := map[string]float64{}
+	if hasRest {
+		for _, pair := range strings.Split(rest, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(pair, "=")
+			if !ok {
+				return Fault{}, fmt.Errorf("faults: %s: expected key=value, got %q", kind, pair)
+			}
+			key = strings.TrimSpace(strings.ToLower(key))
+			if !keyAllowed(key, allowed) {
+				return Fault{}, fmt.Errorf("faults: %s: unknown key %q", kind, key)
+			}
+			x, err := units.Parse(strings.TrimSpace(val))
+			if err != nil {
+				return Fault{}, fmt.Errorf("faults: %s: bad value for %s: %v", kind, key, err)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return Fault{}, fmt.Errorf("faults: %s: %s must be finite", kind, key)
+			}
+			if _, dup := kv[key]; dup {
+				return Fault{}, fmt.Errorf("faults: %s: duplicate key %q", kind, key)
+			}
+			kv[key] = x
+		}
+	}
+	// Window keys, shared by every kind.
+	f.Win = Window{At: kv["at"], Dur: kv["dur"], Period: kv["period"]}
+	if f.Win.At < 0 || f.Win.Dur < 0 || f.Win.Period < 0 {
+		return Fault{}, fmt.Errorf("faults: %s: window times must be >= 0", kind)
+	}
+	if f.Win.Period > 0 && f.Win.Dur <= 0 {
+		return Fault{}, fmt.Errorf("faults: %s: period needs dur", kind)
+	}
+	if f.Win.Period > 0 && f.Win.Dur > f.Win.Period {
+		return Fault{}, fmt.Errorf("faults: %s: dur exceeds period", kind)
+	}
+
+	need := func(key string) (float64, error) {
+		v, ok := kv[key]
+		if !ok {
+			return 0, fmt.Errorf("faults: %s: missing required key %q", kind, key)
+		}
+		return v, nil
+	}
+	var err error
+	switch kind {
+	case Dropout:
+		// window-only fault
+	case Sag:
+		if f.V, err = need("frac"); err != nil {
+			return Fault{}, err
+		}
+		if f.V < 0 || f.V > 1 {
+			return Fault{}, fmt.Errorf("faults: sag frac must be in [0,1], got %g", f.V)
+		}
+	case Leak:
+		if f.V, err = need("i"); err != nil {
+			return Fault{}, err
+		}
+		if f.V <= 0 || f.V > 1 {
+			return Fault{}, fmt.Errorf("faults: leak i must be in (0,1] A, got %g", f.V)
+		}
+	case Age:
+		if f.V, err = need("life"); err != nil {
+			return Fault{}, err
+		}
+		if f.V < 0 || f.V > 1 {
+			return Fault{}, fmt.Errorf("faults: age life must be in [0,1], got %g", f.V)
+		}
+	case ESRDrift:
+		if f.V, err = need("factor"); err != nil {
+			return Fault{}, err
+		}
+		if f.V <= 0 || f.V > 100 {
+			return Fault{}, fmt.Errorf("faults: esr factor must be in (0,100], got %g", f.V)
+		}
+	case Offset:
+		if f.V, err = need("v"); err != nil {
+			return Fault{}, err
+		}
+		if math.Abs(f.V) > 1 {
+			return Fault{}, fmt.Errorf("faults: offset v must be within ±1 V, got %g", f.V)
+		}
+	case Gain:
+		if f.V, err = need("factor"); err != nil {
+			return Fault{}, err
+		}
+		if f.V <= 0 || f.V > 10 {
+			return Fault{}, fmt.Errorf("faults: gain factor must be in (0,10], got %g", f.V)
+		}
+	case Noise:
+		if f.V, err = need("sigma"); err != nil {
+			return Fault{}, err
+		}
+		if f.V < 0 || f.V > 1 {
+			return Fault{}, fmt.Errorf("faults: noise sigma must be in [0,1] V, got %g", f.V)
+		}
+	case Stuck:
+		bit, err := need("bit")
+		if err != nil {
+			return Fault{}, err
+		}
+		if bit != math.Trunc(bit) || bit < 0 || bit > 11 {
+			return Fault{}, fmt.Errorf("faults: stuck bit must be an integer in [0,11], got %g", bit)
+		}
+		f.Bit = int(bit)
+		if v, ok := kv["val"]; ok {
+			if v != 0 && v != 1 {
+				return Fault{}, fmt.Errorf("faults: stuck val must be 0 or 1, got %g", v)
+			}
+			f.High = v == 1
+		}
+	case Jitter:
+		if f.V, err = need("sigma"); err != nil {
+			return Fault{}, err
+		}
+		if f.V < 0 || f.V > 0.1 {
+			return Fault{}, fmt.Errorf("faults: jitter sigma must be in [0,0.1] s, got %g", f.V)
+		}
+	}
+	return f, nil
+}
+
+func keyAllowed(key string, allowed []string) bool {
+	switch key {
+	case "at", "dur", "period":
+		return true
+	}
+	for _, k := range allowed {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the spec in canonical parseable form (sorted keys,
+// seconds/volts as plain numbers). Parse(s.String()) is equivalent to s.
+func (s Spec) String() string {
+	var parts []string
+	if s.Seed != 1 {
+		parts = append(parts, fmt.Sprintf("seed:%d", s.Seed))
+	}
+	for _, f := range s.Faults {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders one fault clause in canonical parseable form.
+func (f Fault) String() string {
+	kv := map[string]float64{}
+	switch f.Kind {
+	case Sag:
+		kv["frac"] = f.V
+	case Leak:
+		kv["i"] = f.V
+	case Age:
+		kv["life"] = f.V
+	case ESRDrift, Gain:
+		kv["factor"] = f.V
+	case Offset:
+		kv["v"] = f.V
+	case Noise, Jitter:
+		kv["sigma"] = f.V
+	case Stuck:
+		kv["bit"] = float64(f.Bit)
+		if !f.High {
+			kv["val"] = 0
+		}
+	}
+	if !f.Win.zero() {
+		kv["at"] = f.Win.At
+		if f.Win.Dur > 0 {
+			kv["dur"] = f.Win.Dur
+		}
+		if f.Win.Period > 0 {
+			kv["period"] = f.Win.Period
+		}
+	}
+	if len(kv) == 0 {
+		return string(f.Kind)
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, len(keys))
+	for i, k := range keys {
+		pairs[i] = fmt.Sprintf("%s=%g", k, kv[k])
+	}
+	return string(f.Kind) + ":" + strings.Join(pairs, ",")
+}

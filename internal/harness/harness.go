@@ -7,6 +7,7 @@
 package harness
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -92,13 +93,20 @@ func (h *Harness) RunAtWithSystem(vStart float64, p load.Profile, opt powersys.R
 // warns programmers about at compile time). Incoming power is disabled
 // (the worst case); use GroundTruthWith for a harvest-subsidized truth.
 func (h *Harness) GroundTruth(p load.Profile) (float64, error) {
-	return h.GroundTruthWith(p, 0)
+	return h.GroundTruthCtx(context.Background(), p, 0)
 }
 
 // GroundTruthWith finds the true V_safe with constant harvested power
 // flowing during the run — the operating condition Culpeo-R profiles under
 // when schedulers re-profile per power level (Section V-B).
 func (h *Harness) GroundTruthWith(p load.Profile, harvest float64) (float64, error) {
+	return h.GroundTruthCtx(context.Background(), p, harvest)
+}
+
+// GroundTruthCtx is GroundTruthWith with cancellation: the binary search
+// checks ctx between trials, so a CLI interrupt stops a long known-good
+// search within one simulated run instead of finishing all ~60 iterations.
+func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest float64) (float64, error) {
 	vOff, vHigh := h.cfg.VOff, h.cfg.VHigh
 
 	safe := func(v float64) (bool, float64) {
@@ -111,9 +119,15 @@ func (h *Harness) GroundTruthWith(p load.Profile, harvest float64) (float64, err
 		return res.Completed && res.VMin >= vOff, res.VMin
 	}
 
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	okHigh, _ := safe(vHigh)
 	if !okHigh {
 		return 0, fmt.Errorf("harness: %s infeasible even from V_high=%g", p.Name(), vHigh)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
 	}
 	okLow, _ := safe(vOff)
 	if okLow {
@@ -123,6 +137,9 @@ func (h *Harness) GroundTruthWith(p load.Profile, harvest float64) (float64, err
 
 	lo, hi := vOff, vHigh
 	for i := 0; i < 60; i++ {
+		if err := ctx.Err(); err != nil {
+			return 0, err
+		}
 		mid := 0.5 * (lo + hi)
 		ok, vmin := safe(mid)
 		if ok {

@@ -265,3 +265,34 @@ func (d *ChangeDetector) Observe(p float64) bool {
 
 // Reference returns the current reference level.
 func (d *ChangeDetector) Reference() float64 { return d.ref }
+
+// Perturbed wraps a base source with a time-indexed power transform. It is
+// the composition point for supply-side fault injection: dropout windows,
+// sag, or any custom disturbance layered over an unmodified base source.
+type Perturbed struct {
+	Base Source
+	// F maps (time, base power) to the delivered power. A nil F is the
+	// identity.
+	F func(t, p float64) float64
+	// Label is appended to the base name for reports; defaults to
+	// "perturbed".
+	Label string
+}
+
+// Power applies the transform to the base source's output.
+func (p Perturbed) Power(t float64) float64 {
+	pw := p.Base.Power(t)
+	if p.F == nil {
+		return pw
+	}
+	return p.F(t, pw)
+}
+
+// Name identifies the wrapped source.
+func (p Perturbed) Name() string {
+	label := p.Label
+	if label == "" {
+		label = "perturbed"
+	}
+	return p.Base.Name() + "+" + label
+}

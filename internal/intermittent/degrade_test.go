@@ -1,0 +1,162 @@
+package intermittent
+
+import (
+	"math"
+	"testing"
+
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+func TestDegradeBackoff(t *testing.T) {
+	var nilD *Degrade
+	if nilD.backoff(3) != 0 {
+		t.Error("nil Degrade must not back off")
+	}
+	d := &Degrade{} // defaults: 25 mV base, 150 mV cap
+	if d.backoff(0) != 0 {
+		t.Error("no failures, no backoff")
+	}
+	want := []float64{25e-3, 75e-3, 150e-3, 150e-3}
+	for f, w := range want {
+		if got := d.backoff(f + 1); math.Abs(got-w) > 1e-12 {
+			t.Errorf("backoff(%d) = %g, want %g", f+1, got, w)
+		}
+	}
+	// Deep failure counts stay clamped (no overflow of the shift).
+	if got := d.backoff(1000); got != 150e-3 {
+		t.Errorf("backoff(1000) = %g", got)
+	}
+	custom := &Degrade{BackoffV: 10e-3, BackoffMax: 35e-3}
+	if got := custom.backoff(2); math.Abs(got-30e-3) > 1e-12 {
+		t.Errorf("custom backoff(2) = %g, want 30 mV", got)
+	}
+	if got := custom.backoff(3); got != 35e-3 {
+		t.Errorf("custom backoff cap: %g", got)
+	}
+}
+
+func TestDegradeMaxRetriesDefault(t *testing.T) {
+	var nilD *Degrade
+	if nilD.maxRetries() != 5 || (&Degrade{}).maxRetries() != 5 {
+		t.Error("default max retries must be 5")
+	}
+	if (&Degrade{MaxRetries: 2}).maxRetries() != 2 {
+		t.Error("explicit max retries ignored")
+	}
+}
+
+// TestEscalationDecomposesLivelockedTask drives the scenario of
+// TestLiveLockDetection — a task whose V_safe exceeds V_high, dispatched by
+// an oblivious gate — but with graceful degradation enabled: after
+// MaxRetries failures the runtime must decompose the task mid-run and then
+// make real progress instead of livelocking.
+func TestEscalationDecomposesLivelockedTask(t *testing.T) {
+	cfg := smallBufferConfig(t, 15e-3)
+	model := modelFor(cfg)
+	prog := Program{Name: "doomed", Tasks: []AtomicTask{
+		{ID: "bigjob", Profile: load.NewUniform(10e-3, 3.0)},
+	}}
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &Runtime{
+		Sys: sys, Harvest: 2.5e-3, Gate: Opportunistic{}, MaxAttempts: 50,
+		Degrade: &Degrade{MaxRetries: 2, MaxChunks: 16, Model: &model},
+	}
+	res, err := rt.Run(prog, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Escalations == 0 {
+		t.Fatalf("runtime never escalated: %+v", res)
+	}
+	if res.LiveLocked {
+		t.Fatalf("escalation did not break the livelock: %+v", res)
+	}
+	if res.Iterations == 0 {
+		t.Fatalf("decomposed program completed nothing: %+v", res)
+	}
+	// The original program the caller handed in must be untouched.
+	if len(prog.Tasks) != 1 || prog.Tasks[0].ID != "bigjob" {
+		t.Error("escalation mutated the caller's program")
+	}
+}
+
+// TestEscalationBoundedThenLivelock: when decomposition cannot help (the
+// peak load exceeds the buffer's deliverable power at any chunking), the
+// runtime must fall back to the livelock detector rather than loop in
+// escalation attempts.
+func TestEscalationBoundedThenLivelock(t *testing.T) {
+	cfg := smallBufferConfig(t, 15e-3)
+	model := modelFor(cfg)
+	prog := Program{Name: "monster", Tasks: []AtomicTask{
+		{ID: "monster", Profile: load.NewUniform(500e-3, 10e-3)},
+	}}
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt := &Runtime{
+		Sys: sys, Harvest: 2.5e-3, Gate: Opportunistic{}, MaxAttempts: 4,
+		Degrade: &Degrade{MaxRetries: 2, Model: &model},
+	}
+	res, err := rt.Run(prog, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Escalations != 0 {
+		t.Errorf("impossible task should not count an escalation: %+v", res)
+	}
+	if !res.LiveLocked || res.LiveLockedTask != "monster" {
+		t.Errorf("expected livelock fallback: %+v", res)
+	}
+}
+
+// TestAdaptiveMarginGuardsBiasedReads: a measurement chain that reads 60 mV
+// high makes the Culpeo gate dispatch early and fail; the adaptive margin
+// must absorb the bias after at most a few failures, and the margin-guarded
+// run must end with strictly fewer re-executions than the unguarded one.
+func TestAdaptiveMarginGuardsBiasedReads(t *testing.T) {
+	cfg := smallBufferConfig(t, 15e-3)
+	prog := Program{Name: "radio-loop", Tasks: []AtomicTask{
+		{ID: "radio", Profile: load.NewUniform(20e-3, 40e-3)},
+	}}
+	gate, err := NewCulpeoGate(modelFor(cfg), prog)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(margin *core.AdaptiveMargin) Result {
+		sys, err := powersys.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rt := &Runtime{
+			Sys: sys, Harvest: 2.5e-3, Gate: gate, MaxAttempts: 1000,
+			Read:   func() float64 { return sys.VTerm() + 60e-3 },
+			Margin: margin,
+		}
+		res, err := rt.Run(prog, 120)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	biased := run(nil)
+	if biased.Reexecutions == 0 {
+		t.Fatalf("+60 mV read bias never caused a failure — scenario not marginal: %+v", biased)
+	}
+	guarded := run(&core.AdaptiveMargin{
+		Base: 20e-3, Max: 200e-3, Floor: 5e-3, Inflate: 2, DecayAfter: 1000,
+	})
+	if guarded.Reexecutions >= biased.Reexecutions {
+		t.Errorf("margin did not reduce failures: %d vs %d",
+			guarded.Reexecutions, biased.Reexecutions)
+	}
+	if guarded.Iterations == 0 {
+		t.Error("guarded run made no progress")
+	}
+}

@@ -131,6 +131,67 @@ type Result struct {
 	LiveLocked bool
 	// LiveLockedTask names the offending task.
 	LiveLockedTask string
+	// Escalations counts non-termination escalations: a repeatedly failing
+	// task was decomposed into feasible chunks mid-run (see Degrade).
+	Escalations int
+}
+
+// Degrade configures graceful degradation for the runtime: bounded retry
+// with recharge-aware backoff, plus a non-termination detector that
+// escalates a repeatedly failing task to Culpeo-guided decomposition
+// instead of spinning forever.
+type Degrade struct {
+	// MaxRetries is how many consecutive failed attempts of one task the
+	// runtime tolerates before escalating; 0 = 5.
+	MaxRetries int
+	// BackoffV is the base of the recharge backoff: after f consecutive
+	// failures the gate threshold is effectively raised by
+	// min(BackoffMax, BackoffV·(2^f − 1)) volts, so each retry waits for
+	// the buffer to recharge further before trying again (the wait scales
+	// with harvest rate, not wall-clock). 0 = 25 mV.
+	BackoffV float64
+	// BackoffMax caps the backoff so thresholds stay reachable; 0 = 150 mV.
+	BackoffMax float64
+	// Model, when non-nil, enables escalation: after MaxRetries failures
+	// the task is split with DecomposeFeasible on this model and the gate
+	// is rebuilt from Culpeo-PG estimates of the new program.
+	Model *core.PowerModel
+	// MaxChunks bounds the decomposition; 0 = 8.
+	MaxChunks int
+	// MaxEscalations bounds how many times a run may decompose before
+	// declaring livelock; 0 = 4.
+	MaxEscalations int
+}
+
+func (d *Degrade) maxRetries() int {
+	if d == nil || d.MaxRetries <= 0 {
+		return 5
+	}
+	return d.MaxRetries
+}
+
+// backoff returns the extra recharge headroom demanded after f consecutive
+// failures of the current task.
+func (d *Degrade) backoff(f int) float64 {
+	if d == nil || f <= 0 {
+		return 0
+	}
+	base := d.BackoffV
+	if base <= 0 {
+		base = 25e-3
+	}
+	max := d.BackoffMax
+	if max <= 0 {
+		max = 150e-3
+	}
+	if f > 8 {
+		f = 8
+	}
+	b := base * float64(int(1)<<f-1)
+	if b > max {
+		b = max
+	}
+	return b
 }
 
 // Runtime executes a program intermittently on a simulated device.
@@ -141,6 +202,26 @@ type Runtime struct {
 	// MaxAttempts bounds consecutive failures of one task before declaring
 	// livelock; 0 = 25.
 	MaxAttempts int
+
+	// Read, when non-nil, replaces Sys.VTerm as the voltage the gate sees
+	// — the hook for a faulty measurement chain. The physics still runs on
+	// the true voltage.
+	Read func() float64
+	// Margin, when non-nil, is an adaptive guard subtracted from the
+	// measured voltage before every gate decision; failures inflate it and
+	// sustained success decays it.
+	Margin *core.AdaptiveMargin
+	// Degrade, when non-nil, enables bounded retry with recharge-aware
+	// backoff and escalation to decomposition (see Degrade).
+	Degrade *Degrade
+}
+
+// read returns the voltage the runtime believes, through Read when set.
+func (r *Runtime) read() float64 {
+	if r.Read != nil {
+		return r.Read()
+	}
+	return r.Sys.VTerm()
 }
 
 // Run executes the program in a loop until horizon (simulated seconds) or
@@ -157,17 +238,27 @@ func (r *Runtime) Run(prog Program, horizon float64) (Result, error) {
 		maxAttempts = 25
 	}
 
+	gate := r.Gate
+	maxEscalations := 4
+	if r.Degrade != nil && r.Degrade.MaxEscalations > 0 {
+		maxEscalations = r.Degrade.MaxEscalations
+	}
+
 	var res Result
 	failures0 := r.Sys.Failures()
 	idx := 0
 	attempts := 0
+	escalateFailed := false
 	for r.Sys.Now() < horizon {
 		// Wait for power and for the gate.
 		if !r.Sys.On() {
 			r.Sys.Step(0, r.Harvest)
 			continue
 		}
-		if !r.Gate.Ready(idx, r.Sys.VTerm()) {
+		// The gate judges the measured voltage minus the adaptive guard
+		// margin and the retry backoff: after failures the runtime demands
+		// a correspondingly fuller buffer before trying again.
+		if !gate.Ready(idx, r.read()-r.Margin.Margin()-r.Degrade.backoff(attempts)) {
 			// Charge toward readiness; if the gate can never be satisfied
 			// (requirement above V_high), this shows up as livelock via the
 			// horizon — Culpeo avoids it up front via FeasibleOn.
@@ -184,19 +275,42 @@ func (r *Runtime) Run(prog Program, horizon float64) (Result, error) {
 		if run.Completed {
 			res.TasksCompleted++
 			res.UsefulEnergy += used
+			r.Margin.Success()
 			idx++
 			attempts = 0
+			escalateFailed = false
 			if idx == len(prog.Tasks) {
 				idx = 0
 				res.Iterations++
 			}
 			continue
 		}
+		if errors.Is(run.Err, powersys.ErrDiverged) {
+			// The model broke — this is not a power failure to retry.
+			return res, fmt.Errorf("intermittent: task %s at t=%.3fs: %w", task.ID, run.FailTime, run.Err)
+		}
 		// Power failure: the attempt is destroyed; the device must fully
 		// recharge (hysteresis) and the task restarts from scratch.
 		res.Reexecutions++
 		res.WastedEnergy += used
+		r.Margin.Failure()
 		attempts++
+		if r.Degrade != nil && r.Degrade.Model != nil && !escalateFailed &&
+			attempts >= r.Degrade.maxRetries() && res.Escalations < maxEscalations {
+			// Non-termination detector: the task keeps dying despite backoff.
+			// Split it into chunks that individually fit the buffer and
+			// rebuild the gate from Culpeo-PG estimates of the new program.
+			if next, ngate, err := r.escalate(prog, idx, task); err == nil {
+				prog = next
+				gate = ngate
+				res.Escalations++
+				attempts = 0
+				continue
+			}
+			// Decomposition can't help (already minimal, or peak load too
+			// high): fall through to the livelock detector.
+			escalateFailed = true
+		}
 		if attempts >= maxAttempts {
 			res.LiveLocked = true
 			res.LiveLockedTask = task.ID
@@ -206,6 +320,33 @@ func (r *Runtime) Run(prog Program, horizon float64) (Result, error) {
 	res.PowerFailures = r.Sys.Failures() - failures0
 	res.SimTime = r.Sys.Now()
 	return res, nil
+}
+
+// escalate splits the failing task at idx into feasible chunks and rebuilds
+// the program and gate. The caller's task slice is never mutated. An error
+// means decomposition cannot make progress.
+func (r *Runtime) escalate(prog Program, idx int, task AtomicTask) (Program, Gate, error) {
+	maxChunks := r.Degrade.MaxChunks
+	if maxChunks <= 0 {
+		maxChunks = 8
+	}
+	chunks, err := DecomposeFeasible(*r.Degrade.Model, task, maxChunks)
+	if err != nil {
+		return prog, nil, err
+	}
+	if len(chunks) < 2 {
+		return prog, nil, fmt.Errorf("intermittent: %s is already minimal", task.ID)
+	}
+	tasks := make([]AtomicTask, 0, len(prog.Tasks)+len(chunks)-1)
+	tasks = append(tasks, prog.Tasks[:idx]...)
+	tasks = append(tasks, chunks...)
+	tasks = append(tasks, prog.Tasks[idx+1:]...)
+	next := Program{Name: prog.Name, Tasks: tasks}
+	gate, err := NewCulpeoGate(*r.Degrade.Model, next)
+	if err != nil {
+		return prog, nil, err
+	}
+	return next, gate, nil
 }
 
 // Estimates profiles every task of a program with Culpeo-PG and returns the

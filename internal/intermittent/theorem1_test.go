@@ -1,0 +1,78 @@
+package intermittent
+
+import (
+	"math/rand"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// TestTheorem1Property is the paper's central guarantee as a property test:
+// on a fault-free device, a program dispatched through the Culpeo gate
+// never suffers a Theorem-1 violation (a dispatched task destroyed by a
+// power failure), across randomized buffers, programs and harvest rates.
+// The seed is fixed so the sampled configurations are reproducible.
+func TestTheorem1Property(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	trials := 6
+	if testing.Short() {
+		trials = 3
+	}
+	for trial := 0; trial < trials; trial++ {
+		c := 20e-3 + rng.Float64()*30e-3 // 20–50 mF
+		esr := 1 + rng.Float64()*7       // 1–8 Ω
+		cfg := powersys.Capybara()
+		net, err := capacitor.NewNetwork(&capacitor.Branch{
+			Name: "main", C: c, ESR: esr, Voltage: cfg.VHigh,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Storage = net
+		cfg.DT = 40e-6
+
+		nTasks := 1 + rng.Intn(3)
+		prog := Program{Name: "random"}
+		for i := 0; i < nTasks; i++ {
+			amps := 2e-3 + rng.Float64()*23e-3 // 2–25 mA
+			dur := 5e-3 + rng.Float64()*95e-3  // 5–100 ms
+			var p load.Profile
+			if rng.Intn(2) == 0 {
+				p = load.NewUniform(amps, dur)
+			} else {
+				p = load.NewPulse(amps, dur)
+			}
+			prog.Tasks = append(prog.Tasks, AtomicTask{ID: string(rune('a' + i)), Profile: p})
+		}
+
+		model := modelFor(cfg)
+		if idx, err := FeasibleOn(model, prog); err != nil || idx >= 0 {
+			// An infeasible draw proves nothing about dispatch: skip it the
+			// way Culpeo-PG rejects it at compile time.
+			continue
+		}
+		gate, err := NewCulpeoGate(model, prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := powersys.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		harvest := rng.Float64() * 5e-3
+		rt := &Runtime{Sys: sys, Harvest: harvest, Gate: gate, MaxAttempts: 1000}
+		res, err := rt.Run(prog, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Reexecutions != 0 || res.PowerFailures != 0 {
+			t.Errorf("trial %d (C=%.3g ESR=%.2g harvest=%.3g, %d tasks): %d violations, %d power failures",
+				trial, c, esr, harvest, nTasks, res.Reexecutions, res.PowerFailures)
+		}
+		if res.TasksCompleted == 0 {
+			t.Errorf("trial %d: gate starved the program entirely", trial)
+		}
+	}
+}

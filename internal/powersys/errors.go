@@ -1,0 +1,32 @@
+package powersys
+
+import "errors"
+
+// Sentinel errors let schedulers and soak drivers distinguish "the power
+// system browned out" (expected physics, retry after recharge) from "the
+// numerics broke" (a model bug or absurd injected state, abort) without
+// string-matching. Both are carried on RunResult.Err and match with
+// errors.Is.
+var (
+	// ErrBrownout marks a run that ended in a power failure: the network
+	// could not deliver the demanded power through its ESR, or the monitor
+	// cut the output at V_off.
+	ErrBrownout = errors.New("powersys: brownout")
+	// ErrDiverged marks a run whose nodal solution left the realm of
+	// finite numbers — the model broke, the result is meaningless.
+	ErrDiverged = errors.New("powersys: numerical divergence")
+)
+
+// Injector perturbs the physical inputs of each integration step — the
+// supply/storage hook package faults drives. A nil injector (the default)
+// leaves the nominal path untouched and costs one pointer check per step.
+type Injector interface {
+	// HarvestPower transforms the harvested power arriving at time t (s).
+	HarvestPower(t, p float64) float64
+	// LeakageCurrent returns extra current (A) drained directly from the
+	// main storage branch at time t; values <= 0 mean none.
+	LeakageCurrent(t float64) float64
+}
+
+// Inject attaches a fault injector to the system (nil detaches it).
+func (s *System) Inject(in Injector) { s.inject = in }

@@ -1,0 +1,106 @@
+package powersys
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"culpeo/internal/load"
+)
+
+func TestRunErrNilOnSuccess(t *testing.T) {
+	sys, err := New(Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ChargeTo(2.56); err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	res := sys.Run(load.NewUniform(5e-3, 10e-3), RunOptions{SkipRebound: true})
+	if !res.Completed || res.Err != nil {
+		t.Fatalf("clean run: completed=%v err=%v", res.Completed, res.Err)
+	}
+}
+
+func TestRunErrBrownout(t *testing.T) {
+	sys, err := New(Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ChargeTo(2.56); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DischargeTo(1.65); err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	res := sys.Run(load.NewUniform(50e-3, 200e-3), RunOptions{SkipRebound: true})
+	if res.Completed {
+		t.Fatal("overload from 1.65 V should brown out")
+	}
+	if !errors.Is(res.Err, ErrBrownout) {
+		t.Errorf("err = %v, want ErrBrownout", res.Err)
+	}
+	if errors.Is(res.Err, ErrDiverged) {
+		t.Error("brownout misreported as divergence")
+	}
+}
+
+func TestRunErrDiverged(t *testing.T) {
+	// The injector guards filter non-finite inputs (NaN harvest or leak is
+	// dropped, infinite leak clamps to 0 V), so the only way the nodal
+	// solution diverges is broken model state itself — the "NaN branch
+	// voltage" case the Step documentation names. Poison it directly.
+	sys, err := New(Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ChargeTo(2.56); err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	sys.cfg.Storage.Main().Voltage = math.NaN()
+	res := sys.Run(load.NewUniform(5e-3, 20e-3), RunOptions{SkipRebound: true})
+	if res.Completed {
+		t.Fatal("NaN-poisoned run reported success")
+	}
+	if !errors.Is(res.Err, ErrDiverged) {
+		t.Errorf("err = %v, want ErrDiverged", res.Err)
+	}
+	if errors.Is(ErrDiverged, ErrBrownout) {
+		t.Error("sentinels must stay distinct")
+	}
+}
+
+// leakInjector drains a constant extra current, for checking the injector's
+// storage-drain hook feeds the real physics.
+type leakInjector struct{ i float64 }
+
+func (leakInjector) HarvestPower(_, p float64) float64 { return p }
+func (l leakInjector) LeakageCurrent(float64) float64  { return l.i }
+
+func TestInjectedLeakDrainsStorage(t *testing.T) {
+	run := func(leak float64) float64 {
+		sys, err := New(Capybara())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := sys.ChargeTo(2.4); err != nil {
+			t.Fatal(err)
+		}
+		sys.Monitor().Force(true)
+		if leak > 0 {
+			sys.Inject(leakInjector{i: leak})
+		}
+		res := sys.Run(load.NewUniform(1e-3, 100e-3), RunOptions{SkipRebound: true})
+		if !res.Completed {
+			t.Fatal("light load failed")
+		}
+		return res.VFinal
+	}
+	clean, leaky := run(0), run(5e-3)
+	if !(leaky < clean-1e-3) {
+		t.Errorf("5 mA leak left V_final %g vs clean %g", leaky, clean)
+	}
+}

@@ -75,6 +75,9 @@ type System struct {
 	// scratch holds per-branch currents between steps, so the hot path
 	// stays allocation-free.
 	scratch []float64
+	// inject, when non-nil, perturbs harvest power and drains extra
+	// leakage each step (see Inject).
+	inject Injector
 }
 
 // New validates the configuration and builds a system. The monitor starts
@@ -136,8 +139,9 @@ type StepInfo struct {
 	VOC    float64 // main branch open-circuit voltage after the step
 	IIn    float64 // total current drawn from storage by the booster
 	ILoad  float64 // load current actually served (0 if power is off)
-	On     bool    // monitor state after the step
-	Failed bool    // true when this step caused a power-off
+	On       bool // monitor state after the step
+	Failed   bool // true when this step caused a power-off
+	Diverged bool // true when the nodal solution became non-finite
 }
 
 // Step advances the simulation by one DT with the given demanded load
@@ -145,6 +149,9 @@ type StepInfo struct {
 func (s *System) Step(iLoad, pHarvest float64) StepInfo {
 	dt := s.cfg.DT
 	wasOn := s.monitor.On()
+	if s.inject != nil {
+		pHarvest = s.inject.HarvestPower(s.t, pHarvest)
+	}
 
 	served := iLoad
 	if !wasOn || served < 0 {
@@ -180,6 +187,14 @@ func (s *System) Step(iLoad, pHarvest float64) StepInfo {
 		failed = true
 	}
 
+	// Non-finite terminal voltage means the model state itself is broken
+	// (NaN branch voltage, absurd injected parameters): flag it so callers
+	// can tell ErrDiverged from an ordinary brownout.
+	diverged := math.IsNaN(vt) || math.IsInf(vt, 0)
+	if diverged {
+		failed = true
+	}
+
 	// Integrate branch state: discharge by solved currents, charge from the
 	// harvester into the main branch.
 	for i, b := range s.cfg.Storage.Branches {
@@ -189,6 +204,11 @@ func (s *System) Step(iLoad, pHarvest float64) StepInfo {
 	ichg := s.cfg.Input.ChargeCurrent(pHarvest, main.Voltage)
 	if ichg > 0 {
 		main.Charge(ichg, dt)
+	}
+	if s.inject != nil {
+		if il := s.inject.LeakageCurrent(s.t); il > 0 {
+			main.Discharge(il, dt)
+		}
 	}
 
 	iin = 0
@@ -213,7 +233,7 @@ func (s *System) Step(iLoad, pHarvest float64) StepInfo {
 	s.t += dt
 	return StepInfo{
 		T: s.t, VTerm: vt, VOC: main.Voltage, IIn: iin,
-		ILoad: served, On: s.monitor.On(), Failed: failed,
+		ILoad: served, On: s.monitor.On(), Failed: failed, Diverged: diverged,
 	}
 }
 
@@ -336,6 +356,10 @@ type RunResult struct {
 	Duration      float64 // how long the profile ran before finishing/failing
 	EnergyUsed    float64 // energy removed from storage during the run
 	FailTime      float64 // time of the power failure (if any)
+	// Err is nil on completion, ErrBrownout on a power failure, and
+	// ErrDiverged when the nodal solution became non-finite (match with
+	// errors.Is).
+	Err error
 }
 
 // RunOptions controls Run.
@@ -386,6 +410,10 @@ func (s *System) Run(p load.Profile, opt RunOptions) RunResult {
 		}
 		if info.Failed {
 			res.PowerFailed = true
+			res.Err = ErrBrownout
+			if info.Diverged {
+				res.Err = ErrDiverged
+			}
 			res.FailTime = info.T
 			res.Duration = t + dt
 			res.VEndImmediate = info.VTerm

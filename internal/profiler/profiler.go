@@ -293,3 +293,35 @@ func REstimate(model core.PowerModel, sys *powersys.System, s Sampler, task load
 	}
 	return core.VSafeR(model, obs)
 }
+
+// Perturbed threads a Sampler's tick stream through a measurement-chain
+// transform: the hook fault injection uses to corrupt what a probe observes
+// (ADC offset/gain/noise/stuck bits on the voltage, jitter on the sample
+// timestamp) without the probe knowing. Start/End/ReboundEnd framing and the
+// probe's own load current pass through untouched.
+type Perturbed struct {
+	Inner Sampler
+	// Measure maps a (time, voltage) sample to what the chain reports.
+	// A nil Measure is the identity.
+	Measure func(t, v float64) (float64, float64)
+}
+
+// Start begins profiling on the wrapped sampler.
+func (p Perturbed) Start() { p.Inner.Start() }
+
+// End latches the in-task minimum on the wrapped sampler.
+func (p Perturbed) End() { p.Inner.End() }
+
+// ReboundEnd completes the observation on the wrapped sampler.
+func (p Perturbed) ReboundEnd() core.Observation { return p.Inner.ReboundEnd() }
+
+// Tick delivers the perturbed sample to the wrapped sampler.
+func (p Perturbed) Tick(t, v float64) {
+	if p.Measure != nil {
+		t, v = p.Measure(t, v)
+	}
+	p.Inner.Tick(t, v)
+}
+
+// ExtraCurrent reports the wrapped sampler's own load.
+func (p Perturbed) ExtraCurrent() float64 { return p.Inner.ExtraCurrent() }

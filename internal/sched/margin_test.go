@@ -1,0 +1,55 @@
+package sched
+
+import (
+	"testing"
+
+	"culpeo/internal/core"
+)
+
+// TestReadVGatesDispatch proves the scheduler's dispatch decisions consult
+// the pluggable voltage read: a chain that reads zero volts must never
+// dispatch, even though the true rail is healthy.
+func TestReadVGatesDispatch(t *testing.T) {
+	dev, streams := testApp(t, NewCatNapPolicy())
+	dev.ReadV = func() float64 { return 0 }
+	met, err := dev.Run(streams, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PerStream["blips"].Captured != 0 {
+		t.Errorf("captured %d events on a dead measurement chain",
+			met.PerStream["blips"].Captured)
+	}
+	if met.BackgroundRuns != 0 {
+		t.Errorf("background ran %d times on a dead measurement chain", met.BackgroundRuns)
+	}
+}
+
+// TestMarginGatesDispatch proves the adaptive guard margin is subtracted
+// from every dispatch decision: an absurd margin blocks everything, while
+// the default margin leaves a trivially sustainable app untouched.
+func TestMarginGatesDispatch(t *testing.T) {
+	dev, streams := testApp(t, NewCatNapPolicy())
+	dev.Margin = &core.AdaptiveMargin{Base: 10} // 10 V: nothing can clear it
+	met, err := dev.Run(streams, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.PerStream["blips"].Captured != 0 {
+		t.Errorf("captured %d events past a 10 V margin", met.PerStream["blips"].Captured)
+	}
+
+	dev, streams = testApp(t, NewCatNapPolicy())
+	dev.Margin = core.DefaultAdaptiveMargin()
+	met, err = dev.Run(streams, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := met.PerStream["blips"]
+	if sm.Captured != sm.Events || sm.Events == 0 {
+		t.Errorf("default margin broke the light app: %d of %d", sm.Captured, sm.Events)
+	}
+	if dev.Margin.Failures() != 0 {
+		t.Errorf("clean run recorded %d margin failures", dev.Margin.Failures())
+	}
+}

@@ -106,6 +106,25 @@ type Device struct {
 	IdleChunk float64
 	// Log, when non-nil, records dispatches, failures and deadline misses.
 	Log *EventLog
+
+	// ReadV, when non-nil, replaces Sys.VTerm as the voltage the scheduler
+	// sees for dispatch decisions — the hook for a faulty measurement
+	// chain. The physics still runs on the true voltage.
+	ReadV func() float64
+	// Margin, when non-nil, adds an adaptive guard voltage on top of every
+	// dispatch test: chains wait until the measured voltage clears the
+	// policy threshold plus the margin. Failures inflate it, sustained
+	// success decays it (graceful degradation under conditions the
+	// profiles didn't see).
+	Margin *core.AdaptiveMargin
+}
+
+// readV returns the voltage the scheduler believes, through ReadV when set.
+func (d *Device) readV() float64 {
+	if d.ReadV != nil {
+		return d.ReadV()
+	}
+	return d.Sys.VTerm()
 }
 
 // NewDevice wires a device.
@@ -208,7 +227,7 @@ func (d *Device) Run(streams []Stream, horizon float64) (Metrics, error) {
 
 		if ev != nil {
 			s := streams[ev.stream]
-			if d.Policy.ChainReady(s.Chain, d.Sys.VTerm()) && d.Sys.On() {
+			if d.Policy.ChainReady(s.Chain, d.readV()-d.Margin.Margin()) && d.Sys.On() {
 				d.Log.add(Event{T: now, Kind: EvChainStart, Stream: s.Name, V: d.Sys.VTerm()})
 				ok := d.runChain(s.Name, s.Chain, ev.deadline)
 				if ok && d.Sys.Now() <= ev.deadline {
@@ -233,7 +252,7 @@ func (d *Device) Run(streams []Stream, horizon float64) (Metrics, error) {
 		}
 		if d.Background != nil && d.Sys.On() {
 			floor := d.Policy.BackgroundFloor(upcomingChain(streams, queue, qi))
-			if d.Sys.VTerm() > floor {
+			if d.readV()-d.Margin.Margin() > floor {
 				res := d.Sys.Run(d.Background.Profile, powersys.RunOptions{
 					HarvestPower: d.Harvest, SkipRebound: true,
 				})
@@ -276,11 +295,13 @@ func (d *Device) runChain(stream string, chain []core.TaskID, deadline float64) 
 			HarvestPower: d.Harvest, SkipRebound: true,
 		})
 		if !res.Completed {
+			d.Margin.Failure()
 			d.Log.add(Event{T: d.Sys.Now(), Kind: EvChainFail, Stream: stream, Task: id, V: res.VMin})
 			d.rechargeToOn(deadline + 120)
 			d.Log.add(Event{T: d.Sys.Now(), Kind: EvRecharged, Stream: stream, V: d.Sys.VTerm()})
 			return false
 		}
+		d.Margin.Success()
 	}
 	return true
 }
