@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak bench check
+.PHONY: build vet test race golden golden-update soak alloc bench check
 
 build:
 	$(GO) build ./...
@@ -35,7 +35,17 @@ soak:
 	$(GO) test ./internal/expt -run 'TestGolden/soak' -count=1
 	$(GO) test ./internal/faults ./internal/intermittent -count=1
 
+# Zero-alloc guard for the simulator hot loop (testing.AllocsPerRun needs a
+# non-race build, so this runs alongside `race` rather than inside it).
+alloc:
+	$(GO) test ./internal/powersys -run 'AllocFree' -count=1
+
+# Performance trajectory: the go-test benchmark sweep, then the recorded
+# BENCH_culpeo.json artifact and its validation gate (fails on malformed or
+# missing artifacts).
 bench:
 	$(GO) test -bench=. -benchmem -run '^$$' .
+	$(GO) run ./cmd/culpeo bench
+	$(GO) run ./cmd/culpeo benchcheck
 
-check: vet build race golden soak
+check: vet build alloc race golden soak

@@ -324,6 +324,39 @@ func BenchmarkGroundTruth(b *testing.B) {
 	}
 }
 
+// BenchmarkSweepFastPath measures the end-to-end ground-truth sweep on both
+// steppers — the ratio of the two sub-benchmarks is the fast-path speedup
+// `culpeo bench` records in BENCH_culpeo.json.
+func BenchmarkSweepFastPath(b *testing.B) {
+	tasks := []load.Profile{
+		load.NewUniform(50e-3, 20e-3),
+		load.NewPulse(50e-3, 5e-3),
+		load.Gesture(),
+		load.BLERadio(),
+	}
+	for _, mode := range []struct {
+		name string
+		fast bool
+	}{{"exact", false}, {"fast", true}} {
+		b.Run(mode.name, func(b *testing.B) {
+			h, err := culpeo.NewHarness(culpeo.Capybara())
+			if err != nil {
+				b.Fatal(err)
+			}
+			h.Fast = mode.fast
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, task := range tasks {
+					if _, err := h.GroundTruth(task); err != nil {
+						b.Fatal(err)
+					}
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkCharact measures the §IV-B impedance characterization sweep.
 func BenchmarkCharact(b *testing.B) {
 	b.ReportAllocs()

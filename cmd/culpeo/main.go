@@ -19,12 +19,17 @@
 //	culpeo intermittent  intermittent-execution gates + task division (Section I/III)
 //	culpeo soak        robustness soak: dispatch gates × injected faults
 //	culpeo futurework  §IX extensions: charge-state typing, probabilistic bounds
-//	culpeo all         everything above
+//	culpeo bench       record the performance trajectory to BENCH_culpeo.json
+//	culpeo benchcheck  validate the committed BENCH_culpeo.json artifact
+//	culpeo all         everything above except bench/benchcheck
 //
 // Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
 // the application experiments; -points dumps Figure 3's full point cloud;
-// -workers bounds the parallel sweep pool (0 = GOMAXPROCS). Interrupting
-// the process (Ctrl-C) cancels in-flight sweeps.
+// -workers bounds the parallel sweep pool (0 = GOMAXPROCS); -fast switches
+// the simulations onto the analytic segment-advance stepper (within a
+// millivolt of the exact stepper but not bit-identical — golden outputs are
+// produced without it); -cpuprofile/-memprofile write runtime/pprof
+// profiles. Interrupting the process (Ctrl-C) cancels in-flight sweeps.
 package main
 
 import (
@@ -37,7 +42,9 @@ import (
 	"strings"
 	"syscall"
 
+	"culpeo/internal/benchrun"
 	"culpeo/internal/expt"
+	"culpeo/internal/prof"
 	"culpeo/internal/sweep"
 )
 
@@ -57,8 +64,12 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	trials := fs.Int("trials", 0, "application experiment trials (0 = paper's 3)")
 	points := fs.Bool("points", false, "with fig3: dump the full point cloud")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	fast := fs.Bool("fast", false, "use the analytic fast-path stepper (sub-mV of exact, not bit-identical)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
+	benchout := fs.String("benchout", "BENCH_culpeo.json", "bench/benchcheck: the report artifact path")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
@@ -77,10 +88,23 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *workers > 0 {
 		ctx = sweep.WithWorkers(ctx, *workers)
 	}
+	if *fast {
+		ctx = expt.WithFast(ctx)
+	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "culpeo:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "culpeo: profile:", err)
+		}
+	}()
 
 	opt := expt.Fig12Opts{Horizon: *horizon, Trials: *trials}
 	for _, cmd := range cmds {
-		if err := run(ctx, stdout, cmd, *csv, *points, opt); err != nil {
+		if err := run(ctx, stdout, cmd, *csv, *points, *benchout, opt); err != nil {
 			fmt.Fprintf(stderr, "culpeo %s: %v\n", cmd, err)
 			return 1
 		}
@@ -125,8 +149,44 @@ func emit(w io.Writer, t *expt.Table, csv bool) error {
 	return t.Render(w)
 }
 
-func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, opt expt.Fig12Opts) error {
+// benchTable renders the bench report for the terminal; the JSON artifact
+// is the canonical record.
+func benchTable(rep *benchrun.Report) *expt.Table {
+	t := &expt.Table{
+		Title:  "Performance trajectory (BENCH_culpeo.json)",
+		Header: []string{"benchmark", "ns/op", "B/op", "allocs/op", "iters"},
+		Caption: fmt.Sprintf(
+			"fast-path speedup %.2fx on the end-to-end sweep; V_safe cache %d hits / %d misses (%.1f%% hit rate); %s %s/%s, %d CPUs.",
+			rep.FastPathSpeedup, rep.VSafeCache.Hits, rep.VSafeCache.Misses,
+			rep.VSafeCache.HitRate*100, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU),
+	}
+	for _, b := range rep.Benchmarks {
+		t.Add(b.Name, fmt.Sprintf("%.0f", b.NsPerOp), fmt.Sprintf("%d", b.BytesPerOp),
+			fmt.Sprintf("%d", b.AllocsPerOp), fmt.Sprintf("%d", b.Iterations))
+	}
+	return t
+}
+
+func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchout string, opt expt.Fig12Opts) error {
 	switch cmd {
+	case "bench":
+		rep, err := benchrun.Collect()
+		if err != nil {
+			return err
+		}
+		if err := benchrun.Write(benchout, rep); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "wrote %s\n", benchout)
+		return emit(w, benchTable(rep), csv)
+	case "benchcheck":
+		rep, err := benchrun.Read(benchout)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "benchcheck: %s ok (%d benchmarks, %.2fx fast-path speedup, %.0f%% cache hit rate)\n",
+			benchout, len(rep.Benchmarks), rep.FastPathSpeedup, rep.VSafeCache.HitRate*100)
+		return nil
 	case "fig1b":
 		r, err := expt.Fig1b()
 		if err != nil {
@@ -273,7 +333,7 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, opt exp
 			"fig10", "fig11", "fig12", "fig13", "decoupling", "ablations",
 			"charact", "reprofile", "intermittent", "soak", "futurework",
 		} {
-			if err := run(ctx, w, c, csv, points, opt); err != nil {
+			if err := run(ctx, w, c, csv, points, benchout, opt); err != nil {
 				return err
 			}
 		}

@@ -3,9 +3,12 @@ package main
 import (
 	"context"
 	"flag"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 
+	"culpeo/internal/benchrun"
 	"culpeo/internal/expt"
 )
 
@@ -16,7 +19,7 @@ func TestRunFastExperiments(t *testing.T) {
 	for _, cmd := range []string{"fig1b", "fig3", "fig4", "fig5", "tbl3", "decoupling"} {
 		for _, csv := range []bool{false, true} {
 			var sb strings.Builder
-			if err := run(ctx, &sb, cmd, csv, false, opt); err != nil {
+			if err := run(ctx, &sb, cmd, csv, false, "", opt); err != nil {
 				t.Fatalf("%s (csv=%v): %v", cmd, csv, err)
 			}
 			if sb.Len() == 0 {
@@ -31,7 +34,7 @@ func TestRunFastExperiments(t *testing.T) {
 
 func TestRunFig3Points(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "fig3", true, true, expt.Fig12Opts{}); err != nil {
+	if err := run(context.Background(), &sb, "fig3", true, true, "", expt.Fig12Opts{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.HasPrefix(sb.String(), "volume_mm3,") {
@@ -45,7 +48,7 @@ func TestRunFig3Points(t *testing.T) {
 
 func TestRunUnknownExperiment(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "fig99", false, false, expt.Fig12Opts{}); err == nil {
+	if err := run(context.Background(), &sb, "fig99", false, false, "", expt.Fig12Opts{}); err == nil {
 		t.Error("unknown experiment accepted")
 	}
 }
@@ -120,6 +123,36 @@ func TestSplitArgs(t *testing.T) {
 	}
 }
 
+// TestRunBenchcheck validates the artifact gate: a well-formed report
+// passes, a malformed one fails the subcommand. (The bench subcommand
+// itself runs the full ~10 s measurement suite, so it is exercised by
+// `make bench`, not unit tests.)
+func TestRunBenchcheck(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_culpeo.json")
+	rep := &benchrun.Report{
+		Schema: benchrun.Schema, GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 4,
+		Benchmarks:      []benchrun.Benchmark{{Name: "step/single-branch", NsPerOp: 100, Iterations: 10}},
+		VSafeCache:      benchrun.CacheStats{Hits: 9, Misses: 1, HitRate: 0.9},
+		FastPathSpeedup: 2.5,
+	}
+	if err := benchrun.Write(path, rep); err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	if err := run(context.Background(), &sb, "benchcheck", false, false, path, expt.Fig12Opts{}); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "ok") || !strings.Contains(sb.String(), "2.50x") {
+		t.Errorf("benchcheck output: %q", sb.String())
+	}
+	if err := os.WriteFile(path, []byte("{}\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), &sb, "benchcheck", false, false, path, expt.Fig12Opts{}); err == nil {
+		t.Error("benchcheck accepted a malformed artifact")
+	}
+}
+
 func firstLine(s string) string {
 	if i := strings.IndexByte(s, '\n'); i >= 0 {
 		return s[:i]
@@ -144,7 +177,7 @@ func equalStrings(a, b []string) bool {
 // report a row for the harsh measurement-chain fault.
 func TestRunSoak(t *testing.T) {
 	var sb strings.Builder
-	if err := run(context.Background(), &sb, "soak", false, false, expt.Fig12Opts{Horizon: 3}); err != nil {
+	if err := run(context.Background(), &sb, "soak", false, false, "", expt.Fig12Opts{Horizon: 3}); err != nil {
 		t.Fatal(err)
 	}
 	out := sb.String()

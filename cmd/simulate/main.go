@@ -32,6 +32,7 @@ import (
 	"culpeo/internal/faults"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
+	"culpeo/internal/prof"
 	"culpeo/internal/sweep"
 	"culpeo/internal/trace"
 	"culpeo/internal/units"
@@ -50,7 +51,7 @@ type params struct {
 	cStr, decStr                  string
 	esr, harvest                  float64
 	every                         int
-	rebound, plot                 bool
+	rebound, plot, fast           bool
 	faultsStr                     string
 }
 
@@ -72,7 +73,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	fs.BoolVar(&p.rebound, "rebound", true, "record the post-load rebound")
 	fs.BoolVar(&p.plot, "plot", false, "render an ASCII voltage chart to stderr instead of CSV to stdout")
 	fs.StringVar(&p.faultsStr, "faults", "", `inject faults, e.g. "dropout:at=20ms,dur=30ms;age:life=0.5" (see internal/faults)`)
+	fs.BoolVar(&p.fast, "fast", false, "use the analytic fast-path stepper (trace recording and faults fall back to exact)")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
+	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -83,6 +87,16 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *workers > 0 {
 		ctx = sweep.WithWorkers(ctx, *workers)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "simulate:", err)
+		return 2
+	}
+	defer func() {
+		if err := stopProf(); err != nil {
+			fmt.Fprintln(stderr, "simulate: profile:", err)
+		}
+	}()
 	if err := simulate(ctx, stdout, stderr, p); err != nil {
 		fmt.Fprintln(stderr, "simulate:", err)
 		return 1
@@ -139,7 +153,7 @@ func simulate(ctx context.Context, stdout, stderr io.Writer, p params) error {
 		if err != nil {
 			return err
 		}
-		return vSweep(ctx, stdout, task, voltages, p.harvest, !p.rebound, newSystem)
+		return vSweep(ctx, stdout, task, voltages, p.harvest, !p.rebound, p.fast, newSystem)
 	}
 
 	sys, err := newSystem(p.vStart)
@@ -151,6 +165,7 @@ func simulate(ctx context.Context, stdout, stderr io.Writer, p params) error {
 		HarvestPower: p.harvest,
 		Recorder:     rec,
 		SkipRebound:  !p.rebound,
+		Fast:         p.fast, // best-effort: the recorder forces exact stepping
 	})
 
 	if p.plot {
@@ -201,7 +216,7 @@ func parseVSweep(s string) ([]float64, error) {
 // vSweep runs the load from each starting voltage, one independent system
 // per sweep cell, and renders a summary table in input order.
 func vSweep(ctx context.Context, stdout io.Writer, task load.Profile, voltages []float64,
-	harvest float64, skipRebound bool, newSystem func(float64) (*powersys.System, error)) error {
+	harvest float64, skipRebound, fast bool, newSystem func(float64) (*powersys.System, error)) error {
 	type row struct {
 		res powersys.RunResult
 	}
@@ -213,6 +228,7 @@ func vSweep(ctx context.Context, stdout io.Writer, task load.Profile, voltages [
 		return row{res: sys.Run(task, powersys.RunOptions{
 			HarvestPower: harvest,
 			SkipRebound:  skipRebound,
+			Fast:         fast,
 		})}, nil
 	})
 	if err != nil {

@@ -1,0 +1,115 @@
+package benchrun
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// sample returns a well-formed synthetic report. Collect itself is exercised
+// by `culpeo bench` (and takes ~10 s), so the unit tests work on synthetic
+// data.
+func sample() *Report {
+	return &Report{
+		Schema:    Schema,
+		GoVersion: "go1.22",
+		GOOS:      "linux",
+		GOARCH:    "amd64",
+		NumCPU:    8,
+		Benchmarks: []Benchmark{
+			{Name: "step/single-branch", NsPerOp: 120.5, AllocsPerOp: 0, BytesPerOp: 0, Iterations: 9_000_000},
+			{Name: "sweep/exact-uncached", NsPerOp: 2.1e8, AllocsPerOp: 40, BytesPerOp: 8192, Iterations: 6},
+			{Name: "sweep/fast-warm-cache", NsPerOp: 0.6e8, AllocsPerOp: 38, BytesPerOp: 8000, Iterations: 20},
+		},
+		VSafeCache:      CacheStats{Hits: 96, Misses: 4, HitRate: 0.96},
+		FastPathSpeedup: 3.5,
+	}
+}
+
+func TestValidateAcceptsWellFormed(t *testing.T) {
+	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidateRejectsMalformed(t *testing.T) {
+	cases := map[string]func(*Report){
+		"wrong schema":     func(r *Report) { r.Schema = 99 },
+		"no go version":    func(r *Report) { r.GoVersion = "" },
+		"no cpus":          func(r *Report) { r.NumCPU = 0 },
+		"no benchmarks":    func(r *Report) { r.Benchmarks = nil },
+		"unnamed bench":    func(r *Report) { r.Benchmarks[0].Name = "" },
+		"zero ns":          func(r *Report) { r.Benchmarks[0].NsPerOp = 0 },
+		"nan ns":           func(r *Report) { r.Benchmarks[0].NsPerOp = math.NaN() },
+		"negative allocs":  func(r *Report) { r.Benchmarks[0].AllocsPerOp = -1 },
+		"zero iterations":  func(r *Report) { r.Benchmarks[0].Iterations = 0 },
+		"hit rate over 1":  func(r *Report) { r.VSafeCache.HitRate = 1.5 },
+		"zero speedup":     func(r *Report) { r.FastPathSpeedup = 0 },
+		"infinite speedup": func(r *Report) { r.FastPathSpeedup = math.Inf(1) },
+	}
+	for name, corrupt := range cases {
+		r := sample()
+		corrupt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed report", name)
+		}
+	}
+	var nilRep *Report
+	if err := nilRep.Validate(); err == nil {
+		t.Error("nil report validated")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_culpeo.json")
+	want := sample()
+	if err := Write(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FastPathSpeedup != want.FastPathSpeedup ||
+		got.VSafeCache != want.VSafeCache ||
+		len(got.Benchmarks) != len(want.Benchmarks) ||
+		got.Benchmarks[0] != want.Benchmarks[0] {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasSuffix(string(data), "}\n") {
+		t.Error("artifact must end with a newline for stable diffs")
+	}
+}
+
+func TestWriteRejectsInvalid(t *testing.T) {
+	r := sample()
+	r.FastPathSpeedup = -1
+	if err := Write(filepath.Join(t.TempDir(), "x.json"), r); err == nil {
+		t.Fatal("Write accepted an invalid report")
+	}
+}
+
+func TestReadRejectsMalformedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_culpeo.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read accepted malformed JSON")
+	}
+	if err := os.WriteFile(path, []byte(`{"schema":1}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(path); err == nil {
+		t.Fatal("Read accepted a semantically invalid report")
+	}
+	if _, err := Read(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("Read accepted a missing file")
+	}
+}

@@ -176,6 +176,14 @@ func NewESRCurve(points ...ESRPoint) (*ESRCurve, error) {
 	return &ESRCurve{points: ps}, nil
 }
 
+// Points returns the curve's measurement points, sorted ascending by
+// frequency. The slice is a copy; curves compare and hash by value (two
+// independently built curves with the same points are the same
+// characteristic — see core.PowerModel.Fingerprint).
+func (c *ESRCurve) Points() []ESRPoint {
+	return append([]ESRPoint(nil), c.points...)
+}
+
 // At returns the ESR at frequency hz using log-frequency linear
 // interpolation, clamping outside the measured range.
 func (c *ESRCurve) At(hz float64) float64 {

@@ -1,0 +1,236 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"culpeo/internal/booster"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+)
+
+func cacheModel() PowerModel {
+	return PowerModel{
+		C:     45e-3,
+		ESR:   capacitor.Flat(5),
+		VOut:  2.55,
+		VOff:  1.6,
+		VHigh: 2.56,
+		Eff:   booster.DefaultEfficiency(),
+	}
+}
+
+func cacheTrace(i float64) load.Trace {
+	return load.Sample(load.NewUniform(i, 5e-3), 125e3)
+}
+
+// TestVSafeCacheReturnsExactValues: a cached result must be bit-identical
+// to a direct computation — the property that keeps golden outputs stable
+// with the cache always on.
+func TestVSafeCacheReturnsExactValues(t *testing.T) {
+	m, tr := cacheModel(), cacheTrace(30e-3)
+	want, err := VSafePG(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := NewVSafeCache(8)
+	for i := 0; i < 3; i++ {
+		got, err := c.PG(m, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("lookup %d: cache returned %+v, direct %+v", i, got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 || st.Hits != 2 {
+		t.Fatalf("stats = %+v, want 1 miss + 2 hits", st)
+	}
+	if st.HitRate() < 0.6 || st.HitRate() > 0.7 {
+		t.Fatalf("hit rate = %v, want 2/3", st.HitRate())
+	}
+}
+
+// TestVSafeCacheKeySensitivity: any model or trace parameter that changes
+// the result must change the key.
+func TestVSafeCacheKeySensitivity(t *testing.T) {
+	base, tr := cacheModel(), cacheTrace(30e-3)
+	mods := map[string]PowerModel{}
+	m := base
+	m.C = 40e-3
+	mods["capacitance"] = m
+	m = base
+	m.ESR = capacitor.Flat(7)
+	mods["esr"] = m
+	m = base
+	m.Aging = capacitor.Aging{LifeFraction: 0.5}
+	mods["aging"] = m
+	m = base
+	m.OmitESRLoss = true
+	mods["omit-esr-loss"] = m
+	m = base
+	m.Eff.M += 0.01
+	mods["efficiency"] = m
+
+	baseFP := base.Fingerprint()
+	for name, mod := range mods {
+		if mod.Fingerprint() == baseFP {
+			t.Errorf("%s change did not change the model fingerprint", name)
+		}
+	}
+	if TraceFingerprint(tr) == TraceFingerprint(cacheTrace(31e-3)) {
+		t.Error("different waveforms share a trace fingerprint")
+	}
+	// Same points, independently built curve: same characteristic.
+	m = base
+	m.ESR = capacitor.Flat(5)
+	if m.Fingerprint() != baseFP {
+		t.Error("identical ESR curves built separately must fingerprint equal")
+	}
+	// Renamed trace: same waveform, same key.
+	renamed := tr
+	renamed.ID = "other-name"
+	if TraceFingerprint(renamed) != TraceFingerprint(tr) {
+		t.Error("trace ID must not influence the fingerprint")
+	}
+}
+
+// TestVSafeCacheLRUEviction: capacity bounds residency and evicts the
+// least recently used line.
+func TestVSafeCacheLRUEviction(t *testing.T) {
+	m := cacheModel()
+	c := NewVSafeCache(2)
+	t1, t2, t3 := cacheTrace(10e-3), cacheTrace(20e-3), cacheTrace(30e-3)
+	mustPG := func(tr load.Trace) {
+		t.Helper()
+		if _, err := c.PG(m, tr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	mustPG(t1)
+	mustPG(t2)
+	mustPG(t1) // touch t1: t2 becomes LRU
+	mustPG(t3) // evicts t2
+	if st := c.Stats(); st.Len != 2 {
+		t.Fatalf("len = %d, want 2", st.Len)
+	}
+	before := c.Stats().Misses
+	mustPG(t2) // must recompute (its insert evicts t1, the then-LRU)
+	if c.Stats().Misses != before+1 {
+		t.Fatal("expected t2 to have been evicted as LRU")
+	}
+	before = c.Stats().Hits
+	mustPG(t3) // still resident
+	if c.Stats().Hits != before+1 {
+		t.Fatal("expected t3 to still be resident")
+	}
+}
+
+// TestVSafeCacheNilSafe: a nil cache computes without memoizing.
+func TestVSafeCacheNilSafe(t *testing.T) {
+	var c *VSafeCache
+	m, tr := cacheModel(), cacheTrace(25e-3)
+	want, err := VSafePG(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PG(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("nil cache returned %+v, want %+v", got, want)
+	}
+	if st := c.Stats(); st != (VSafeCacheStats{}) {
+		t.Fatalf("nil cache stats = %+v", st)
+	}
+	c.Reset() // must not panic
+}
+
+// TestVSafeCacheErrorUncached: input-validation failures pass through and
+// never occupy a line.
+func TestVSafeCacheErrorUncached(t *testing.T) {
+	c := NewVSafeCache(8)
+	tr := load.Trace{Rate: 125e3, Samples: []float64{-1}}
+	if _, err := c.PG(cacheModel(), tr); err == nil {
+		t.Fatal("expected a negative-sample error")
+	}
+	if st := c.Stats(); st.Len != 0 {
+		t.Fatalf("error result was cached: %+v", st)
+	}
+}
+
+// TestVSafeCacheConcurrent hammers one cache from many goroutines over a
+// small key set; run under -race this is the concurrency-safety proof.
+func TestVSafeCacheConcurrent(t *testing.T) {
+	m := cacheModel()
+	c := NewVSafeCache(4)
+	traces := []load.Trace{cacheTrace(10e-3), cacheTrace(20e-3), cacheTrace(30e-3)}
+	want := make([]Estimate, len(traces))
+	for i, tr := range traces {
+		var err error
+		want[i], err = VSafePG(m, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (g + i) % len(traces)
+				got, err := c.PG(m, traces[k])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want[k] {
+					t.Errorf("concurrent lookup returned %+v, want %+v", got, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	if st := c.Stats(); st.Hits+st.Misses != 8*50 {
+		t.Fatalf("lookups accounted %d, want %d", st.Hits+st.Misses, 8*50)
+	}
+}
+
+// TestInterfaceGeneration: estimate-visible mutations advance the counter;
+// reads do not.
+func TestInterfaceGeneration(t *testing.T) {
+	iface, err := NewInterface(cacheModel(), stubProbe{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g0 := iface.Generation()
+	iface.SetStatic("a", Estimate{VSafe: 2.0})
+	if iface.Generation() == g0 {
+		t.Fatal("SetStatic must advance the generation")
+	}
+	g1 := iface.Generation()
+	iface.GetVSafe("a")
+	iface.SeqVSafe([]TaskID{"a"})
+	if iface.Generation() != g1 {
+		t.Fatal("reads must not advance the generation")
+	}
+	iface.Invalidate()
+	if iface.Generation() == g1 {
+		t.Fatal("Invalidate must advance the generation")
+	}
+	g2 := iface.Generation()
+	iface.SetBuffer("alt")
+	if iface.Generation() == g2 {
+		t.Fatal("SetBuffer must advance the generation")
+	}
+}
+
+type stubProbe struct{}
+
+func (stubProbe) Start()                  {}
+func (stubProbe) End()                    {}
+func (stubProbe) ReboundEnd() Observation { return Observation{VStart: 2, VMin: 1.9, VFinal: 2} }

@@ -43,6 +43,11 @@ type Interface struct {
 
 	profiles  map[BufferID]map[TaskID]Observation
 	estimates map[BufferID]map[TaskID]Estimate
+	// gen counts estimate-visible mutations (stores, invalidations, buffer
+	// switches). Callers that memoize derived values — the scheduler's
+	// chain requirements — compare generations instead of re-reading the
+	// tables on every dispatch test.
+	gen uint64
 }
 
 // NewInterface builds the runtime interface around a power model and a
@@ -71,6 +76,7 @@ func (c *Interface) SetBuffer(id BufferID) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.buffer = id
+	c.gen++
 }
 
 // Buffer returns the active buffer configuration.
@@ -157,6 +163,7 @@ func (c *Interface) ComputeVSafe(id TaskID) {
 		c.estimates[c.buffer] = tbl
 	}
 	tbl[id] = est
+	c.gen++
 }
 
 // SetStatic installs a compile-time estimate (Culpeo-PG values baked into
@@ -170,6 +177,7 @@ func (c *Interface) SetStatic(id TaskID, e Estimate) {
 		c.estimates[c.buffer] = tbl
 	}
 	tbl[id] = e
+	c.gen++
 }
 
 // GetVSafe returns the task's V_safe, or V_high when no valid value exists
@@ -219,6 +227,7 @@ func (c *Interface) Invalidate() {
 	defer c.mu.Unlock()
 	delete(c.profiles, c.buffer)
 	delete(c.estimates, c.buffer)
+	c.gen++
 }
 
 // Tasks lists the task IDs with estimates in the active buffer, sorted.
@@ -231,6 +240,15 @@ func (c *Interface) Tasks() []TaskID {
 	}
 	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	return ids
+}
+
+// Generation returns a counter that advances on every estimate-visible
+// mutation (ComputeVSafe/SetStatic stores, Invalidate, SetBuffer). A cached
+// value derived from the tables is valid while the generation is unchanged.
+func (c *Interface) Generation() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.gen
 }
 
 // SeqVSafe composes V_safe_multi for an ordered task chain from the stored

@@ -1,0 +1,22 @@
+package expt
+
+import "context"
+
+// fastKey is the context key carrying the fast-path request through the
+// experiment entry points (the CLIs set it from their -fast flags).
+type fastKey struct{}
+
+// WithFast marks the context so experiments run their power-system
+// simulations on the analytic segment-advance stepper
+// (powersys.RunOptions.Fast). Golden outputs are produced without it; the
+// fast path trades bit-identity for wall-clock, staying within the
+// sub-millivolt envelope the equivalence tests enforce.
+func WithFast(ctx context.Context) context.Context {
+	return context.WithValue(ctx, fastKey{}, true)
+}
+
+// FastEnabled reports whether WithFast was applied to the context.
+func FastEnabled(ctx context.Context) bool {
+	on, _ := ctx.Value(fastKey{}).(bool)
+	return on
+}

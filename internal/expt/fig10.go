@@ -60,6 +60,7 @@ func Fig10(ctx context.Context) ([]Fig10Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.Fast = FastEnabled(ctx)
 
 	uniform, pulse := load.Fig10Loads()
 	type cell struct {

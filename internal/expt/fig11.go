@@ -62,6 +62,7 @@ func Fig11(ctx context.Context) ([]Fig11Row, error) {
 	if err != nil {
 		return nil, err
 	}
+	h.Fast = FastEnabled(ctx)
 	peripherals := Fig11Peripherals()
 
 	g := sweep.NewGrid(len(peripherals), len(Fig11Estimators))

@@ -42,12 +42,13 @@ func fig12Policies() []func(app apps.App) sched.Policy {
 
 // fig12Trial runs one (app, policy, trial) cell: a full device simulation
 // over the horizon with a cell-private device, policy and trial-seeded RNG.
-func fig12Trial(app apps.App, mk func(apps.App) sched.Policy, trial int, horizon float64) (sched.Metrics, string, error) {
+func fig12Trial(app apps.App, mk func(apps.App) sched.Policy, trial int, horizon float64, fast bool) (sched.Metrics, string, error) {
 	pol := mk(app)
 	dev, err := app.NewDevice(pol)
 	if err != nil {
 		return sched.Metrics{}, "", fmt.Errorf("expt: %s/%s: %w", app.Name, pol.Name(), err)
 	}
+	dev.Fast = fast
 	streams := app.Streams(horizon, rand.New(rand.NewSource(int64(trial)+1)))
 	met, err := dev.Run(streams, horizon)
 	if err != nil {
@@ -79,7 +80,7 @@ func Fig12(ctx context.Context, opt Fig12Opts) ([]Fig12Row, error) {
 	g := sweep.NewGrid(len(allApps), len(policies), trials)
 	cells, err := sweep.Run(ctx, g, func(_ context.Context, c sweep.Cell) (cell, error) {
 		app := allApps[c.Coords[0]]
-		met, pol, err := fig12Trial(app, policies[c.Coords[1]], c.Coords[2], horizon)
+		met, pol, err := fig12Trial(app, policies[c.Coords[1]], c.Coords[2], horizon, FastEnabled(ctx))
 		if err != nil {
 			return cell{}, fmt.Errorf("expt: fig12 cell: %w", err)
 		}
@@ -173,7 +174,7 @@ func Fig13(ctx context.Context, opt Fig12Opts) ([]Fig13Row, error) {
 	g := sweep.NewGrid(len(rates), len(mkApps), len(policies), trials)
 	cells, err := sweep.Run(ctx, g, func(_ context.Context, c sweep.Cell) (cell, error) {
 		app := mkApps[c.Coords[1]](rates[c.Coords[0]])
-		met, pol, err := fig12Trial(app, policies[c.Coords[2]], c.Coords[3], horizon)
+		met, pol, err := fig12Trial(app, policies[c.Coords[2]], c.Coords[3], horizon, FastEnabled(ctx))
 		if err != nil {
 			return cell{}, fmt.Errorf("expt: fig13 cell: %w", err)
 		}

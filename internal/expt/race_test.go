@@ -2,9 +2,14 @@ package expt
 
 import (
 	"context"
+	"runtime"
 	"sync"
 	"testing"
 
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
 	"culpeo/internal/sweep"
 )
 
@@ -47,5 +52,33 @@ func TestRaceChaos(t *testing.T) {
 	// The soak shares the pool with everything above while its cells own
 	// seeded fault injectors — the injector RNG streams must be cell-private.
 	run("soak", func() error { _, err := Soak(ctx, SoakOpts{Horizon: 5}); return err })
+	// Fast-path fig10 alongside the exact one above: both route every
+	// Culpeo-PG estimate through the shared default V_safe cache, so the
+	// same LRU takes concurrent hit/miss traffic from two driver sweeps.
+	run("fig10-fast", func() error { _, err := Fig10(WithFast(ctx)); return err })
+	// And a dedicated hammer: workers=NumCPU sweeps over the Table III
+	// catalogue against one under-sized cache, forcing concurrent misses,
+	// hits and evictions on every round.
+	run("vsafe-cache", func() error {
+		ctxN := sweep.WithWorkers(context.Background(), runtime.NumCPU())
+		pg := profiler.PG{
+			Model: capybaraModel(powersys.Capybara()),
+			Cache: core.NewVSafeCache(4),
+		}
+		tasks := append(load.TableIIIUniform(), load.TableIIIPulse()...)
+		for round := 0; round < 3; round++ {
+			if _, err := sweep.Map(ctxN, tasks, func(_ context.Context, _ int, task load.Profile) (float64, error) {
+				est, err := pg.Estimate(task)
+				return est.VSafe, err
+			}); err != nil {
+				return err
+			}
+		}
+		st := pg.Cache.Stats()
+		if st.Hits+st.Misses == 0 {
+			t.Error("vsafe-cache: no traffic reached the cache")
+		}
+		return nil
+	})
 	wg.Wait()
 }

@@ -24,6 +24,12 @@ const Tolerance = 5e-3
 // Each run clones the configured storage network, so trials are independent.
 type Harness struct {
 	cfg powersys.Config
+
+	// Fast requests the analytic segment-advance stepper for every run the
+	// harness performs (see powersys.RunOptions.Fast). Ground-truth searches
+	// stay within the fast path's sub-millivolt envelope of the exact
+	// stepper, well inside the harness's 5 mV Tolerance.
+	Fast bool
 }
 
 // New builds a harness around a template configuration. The configuration's
@@ -71,6 +77,7 @@ func (h *Harness) RunAt(vStart float64, p load.Profile, opt powersys.RunOptions)
 	}
 	sys.Monitor().Force(true)
 	opt.HarvestPower = 0
+	opt.Fast = opt.Fast || h.Fast
 	return sys.Run(p, opt)
 }
 
@@ -83,6 +90,7 @@ func (h *Harness) RunAtWithSystem(vStart float64, p load.Profile, opt powersys.R
 	}
 	sys.Monitor().Force(true)
 	opt.HarvestPower = 0
+	opt.Fast = opt.Fast || h.Fast
 	return sys.Run(p, opt), sys
 }
 
@@ -115,7 +123,7 @@ func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest fl
 			panic(err)
 		}
 		sys.Monitor().Force(true)
-		res := sys.Run(p, powersys.RunOptions{SkipRebound: true, HarvestPower: harvest})
+		res := sys.Run(p, powersys.RunOptions{SkipRebound: true, HarvestPower: harvest, Fast: h.Fast})
 		return res.Completed && res.VMin >= vOff, res.VMin
 	}
 

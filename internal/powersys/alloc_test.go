@@ -1,0 +1,75 @@
+// The zero-alloc guard for the simulator hot loop. Kept out of race builds:
+// the race runtime inserts its own allocations and breaks AllocsPerRun.
+
+//go:build !race
+
+package powersys
+
+import (
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+)
+
+func allocSystem(t testing.TB, multi bool) *System {
+	t.Helper()
+	cfg := Capybara()
+	if multi {
+		net, err := capacitor.NewNetwork(
+			&capacitor.Branch{Name: "main", C: 45e-3, ESR: 5, Voltage: 2.56},
+			&capacitor.Branch{Name: "decoupling", C: 400e-6, ESR: 0.05, Voltage: 2.56},
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Storage = net
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	return sys
+}
+
+// TestStepAllocFree locks in the scratch ownership contract: Step allocates
+// nothing in steady state, for both the single-branch closed-form solve and
+// the multi-branch bisection.
+func TestStepAllocFree(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		multi bool
+	}{{"single-branch", false}, {"multi-branch", true}} {
+		sys := allocSystem(t, tc.multi)
+		if allocs := testing.AllocsPerRun(200, func() {
+			sys.Step(50e-3, 1e-3)
+			if sys.VTerm() < 1.8 {
+				sys.cfg.Storage.SetAll(2.4)
+				sys.lastVT = 2.4
+			}
+		}); allocs != 0 {
+			t.Errorf("%s: Step allocates %.0f objects/op, want 0", tc.name, allocs)
+		}
+	}
+}
+
+// TestRunAllocFree extends the guard to whole Run calls on both steppers:
+// the run loop, the fast path's macro-stepping and the rebound must all
+// live off the System's scratch.
+func TestRunAllocFree(t *testing.T) {
+	// Pre-box the concrete profile: the interface conversion at the call
+	// site is the caller's allocation, not Run's.
+	var task load.Profile = load.NewPulse(30e-3, 2e-3)
+	for _, fast := range []bool{false, true} {
+		sys := allocSystem(t, false)
+		opt := RunOptions{SkipRebound: true, Fast: fast}
+		if allocs := testing.AllocsPerRun(10, func() {
+			sys.cfg.Storage.SetAll(2.4)
+			sys.lastVT = 2.4
+			sys.Run(task, opt)
+		}); allocs != 0 {
+			t.Errorf("Run(fast=%v) allocates %.0f objects/op, want 0", fast, allocs)
+		}
+	}
+}

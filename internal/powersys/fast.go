@@ -1,0 +1,330 @@
+// Analytic segment advance: the opt-in fast path behind RunOptions.Fast.
+//
+// The exact stepper integrates every DT tick (8 µs) even when nothing
+// interesting happens — a constant served load draining an RC bank between
+// monitor thresholds. This file detects those quiescent segments and
+// advances the branch dynamics in closed form over whole blocks of ticks:
+// one nodal solve gives the per-branch discharge currents, which (with the
+// harvester's charge current) give each branch's dV/dt; an RK2 midpoint
+// step then advances all branch voltages by up to fastEpsV at once. Near a
+// monitor threshold, or whenever a macro step would cross one, the fast
+// path falls back to bursts of exact Step calls so hysteresis transitions,
+// brownout bookkeeping and failure verdicts stay bit-exact with the slow
+// path. Divergence from the exact stepper is bounded by the macro-step
+// voltage budget (< 1 mV; see TestFastEquivalence).
+package powersys
+
+import (
+	"math"
+
+	"culpeo/internal/load"
+)
+
+const (
+	// fastEpsV bounds how far any branch's open-circuit voltage may move in
+	// one macro step. The terminal voltage tracks the branch voltages with
+	// near-unity sensitivity in the quiescent regime, so this is also the
+	// interior error bound versus the exact stepper.
+	fastEpsV = 0.5e-3
+	// fastHazard is the distance from a monitor threshold inside which the
+	// fast path ticks exactly: hysteresis transitions and the failure
+	// verdicts that hang off them must come from the exact stepper.
+	fastHazard = 2e-3
+	// fastBurst is how many exact ticks to run per fallback burst.
+	fastBurst = 16
+)
+
+// fastEligible reports whether this run may use the analytic segment
+// advance. Fault injectors perturb state per tick (active fault windows),
+// and Recorder/OnStep observers need every tick, so those runs keep the
+// exact stepper.
+func (s *System) fastEligible(opt RunOptions) bool {
+	return s.inject == nil && opt.Recorder == nil && opt.OnStep == nil
+}
+
+// runFast is Run's fast path. It scans the profile for runs of ticks with
+// identical demanded current — sampling p.Current on exactly the tick grid
+// the exact loop uses — and advances each segment with advanceSegment.
+func (s *System) runFast(p load.Profile, opt RunOptions) RunResult {
+	dt := s.cfg.DT
+	res := RunResult{VStart: s.terminalAtRest(), VMin: math.Inf(1)}
+
+	dur := p.Duration()
+	steps := int(math.Ceil(dur / dt))
+	k := 0
+	for k < steps {
+		iLoad := p.Current(float64(k)*dt) + opt.Baseline
+		end := k + 1
+		for end < steps && p.Current(float64(end)*dt)+opt.Baseline == iLoad {
+			end++
+		}
+		adv := s.advanceSegment(iLoad, opt.HarvestPower, end-k, &res)
+		k += adv.ticks
+		if adv.failed {
+			res.PowerFailed = true
+			res.Err = ErrBrownout
+			if adv.diverged {
+				res.Err = ErrDiverged
+			}
+			res.FailTime = s.t
+			res.Duration = float64(k) * dt
+			res.VEndImmediate = s.lastVT
+			res.VFinal = s.lastVT
+			return res
+		}
+	}
+	res.Completed = true
+	res.Duration = dur
+	res.VEndImmediate = s.lastVT
+
+	if opt.SkipRebound {
+		res.VFinal = res.VEndImmediate
+		return res
+	}
+	res.VFinal = s.reboundFast(opt)
+	return res
+}
+
+// segmentAdvance reports how far advanceSegment got and how it ended.
+type segmentAdvance struct {
+	ticks    int
+	failed   bool
+	diverged bool
+}
+
+// advanceSegment moves the simulation forward by up to maxTicks ticks of
+// constant demanded load current, macro-stepping where safe and running
+// exact Step bursts where not. EnergyUsed and VMin accumulate into res
+// exactly as the exact loop would (energy telescopes per segment; VMin is
+// sampled at every solved terminal voltage).
+func (s *System) advanceSegment(iLoad, pHarvest float64, maxTicks int, res *RunResult) segmentAdvance {
+	dt := s.cfg.DT
+	done := 0
+	for done < maxTicks {
+		rem := maxTicks - done
+		if rem < 4 {
+			// Too short to amortize a macro step's three solves.
+			b := s.tickBurst(iLoad, pHarvest, rem, res)
+			done += b.ticks
+			if b.failed {
+				return segmentAdvance{done, true, b.diverged}
+			}
+			continue
+		}
+
+		served := iLoad
+		if !s.monitor.On() || served < 0 {
+			served = 0
+		}
+		vt, ok := s.solveTerminal(served, s.lastVT)
+		if !ok || s.nearThreshold(vt) {
+			// Collapsing or hazard band: hand the crossing to the exact
+			// stepper so hysteresis and brownout bookkeeping stay exact.
+			n := fastBurst
+			if n > rem {
+				n = rem
+			}
+			b := s.tickBurst(iLoad, pHarvest, n, res)
+			done += b.ticks
+			if b.failed {
+				return segmentAdvance{done, true, b.diverged}
+			}
+			continue
+		}
+
+		maxSlope := s.stateDeriv(pHarvest, s.fastF0)
+		hTicks := rem
+		if maxSlope > 0 {
+			// Compare in float first: a near-zero slope makes the ratio
+			// overflow an int conversion.
+			if ht := fastEpsV / (maxSlope * dt); ht < float64(hTicks) {
+				hTicks = int(ht)
+			}
+		}
+		stepped := false
+		for hTicks >= 2 {
+			if s.tryMacroStep(served, pHarvest, vt, hTicks, res) {
+				done += hTicks
+				stepped = true
+				break
+			}
+			hTicks /= 2
+		}
+		if stepped {
+			continue
+		}
+		// Even a two-tick macro step was rejected (threshold or clamp in
+		// reach): integrate exactly for a burst.
+		n := fastBurst
+		if n > rem {
+			n = rem
+		}
+		b := s.tickBurst(iLoad, pHarvest, n, res)
+		done += b.ticks
+		if b.failed {
+			return segmentAdvance{done, true, b.diverged}
+		}
+	}
+	return segmentAdvance{done, false, false}
+}
+
+// tickBurst runs n exact Steps with the exact loop's bookkeeping.
+func (s *System) tickBurst(iLoad, pHarvest float64, n int, res *RunResult) segmentAdvance {
+	for i := 0; i < n; i++ {
+		e0 := s.cfg.Storage.TotalEnergy()
+		info := s.Step(iLoad, pHarvest)
+		res.EnergyUsed += e0 - s.cfg.Storage.TotalEnergy()
+		if info.VTerm < res.VMin {
+			res.VMin = info.VTerm
+		}
+		if info.Failed {
+			return segmentAdvance{i + 1, true, info.Diverged}
+		}
+	}
+	return segmentAdvance{n, false, false}
+}
+
+// stateDeriv fills dst with each branch's dV/dt from the currents of the
+// most recent solve (s.scratch), mirroring Step's integration: every branch
+// discharges by its solved current plus leakage; the main branch
+// additionally takes the harvester's charge current (which Step applies as
+// a Charge call, incurring the leakage term a second time). Returns the
+// largest |dV/dt| across branches.
+func (s *System) stateDeriv(pHarvest float64, dst []float64) float64 {
+	maxSlope := 0.0
+	for i, b := range s.cfg.Storage.Branches {
+		f := -(s.scratch[i] + b.Leakage) / b.C
+		if i == 0 {
+			if ichg := s.cfg.Input.ChargeCurrent(pHarvest, b.Voltage); ichg > 0 {
+				f += (ichg - b.Leakage) / b.C
+			}
+		}
+		dst[i] = f
+		if a := math.Abs(f); a > maxSlope {
+			maxSlope = a
+		}
+	}
+	return maxSlope
+}
+
+// tryMacroStep advances every branch by hTicks ticks with one RK2 midpoint
+// step. On entry s.fastF0 holds the state derivative and vt the solved
+// terminal voltage at the current state. The step is rejected — state
+// restored, false returned — when the midpoint or endpoint solve fails,
+// lands near a monitor threshold, would clamp a branch at zero, or the
+// main branch would cross the input booster's charge-cutoff voltage (a
+// derivative discontinuity the midpoint cannot see).
+func (s *System) tryMacroStep(served, pHarvest, vt float64, hTicks int, res *RunResult) bool {
+	branches := s.cfg.Storage.Branches
+	h := float64(hTicks) * s.cfg.DT
+	e0 := s.cfg.Storage.TotalEnergy()
+
+	for i, b := range branches {
+		s.fastV0[i] = b.Voltage
+		b.Voltage = s.fastV0[i] + 0.5*h*s.fastF0[i]
+	}
+	vtMid, ok := s.solveTerminal(served, vt)
+	if !ok || s.vtUnsafe(vtMid) || s.anyBranchNegative() {
+		s.restoreVoltages()
+		return false
+	}
+	s.stateDeriv(pHarvest, s.fastF1)
+	for i, b := range branches {
+		b.Voltage = s.fastV0[i] + h*s.fastF1[i]
+	}
+	vtEnd, ok := s.solveTerminal(served, vtMid)
+	if !ok || s.vtUnsafe(vtEnd) || s.anyBranchNegative() ||
+		crossesLevel(s.fastV0[0], branches[0].Voltage, s.cfg.Input.VHigh) {
+		s.restoreVoltages()
+		return false
+	}
+
+	res.EnergyUsed += e0 - s.cfg.Storage.TotalEnergy()
+	if vt < res.VMin {
+		res.VMin = vt
+	}
+	if vtMid < res.VMin {
+		res.VMin = vtMid
+	}
+	if vtEnd < res.VMin {
+		res.VMin = vtEnd
+	}
+	// No hysteresis transition is possible here (vtUnsafe keeps the step
+	// clear of both thresholds), so one Observe per macro step matches the
+	// exact loop's per-tick observations.
+	s.monitor.Observe(vtEnd)
+	s.lastVT = vtEnd
+	s.t += h
+	return true
+}
+
+// nearThreshold reports whether vt is inside the hazard band of the
+// threshold the monitor is currently watching.
+func (s *System) nearThreshold(vt float64) bool {
+	if s.monitor.On() {
+		return vt < s.cfg.VOff+fastHazard
+	}
+	return vt > s.cfg.VHigh-fastHazard
+}
+
+// vtUnsafe rejects macro-step candidates that land within fastEpsV of the
+// watched threshold (or beyond it): crossings belong to the exact stepper.
+func (s *System) vtUnsafe(vt float64) bool {
+	if s.monitor.On() {
+		return vt < s.cfg.VOff+fastEpsV
+	}
+	return vt > s.cfg.VHigh-fastEpsV
+}
+
+func (s *System) anyBranchNegative() bool {
+	for _, b := range s.cfg.Storage.Branches {
+		if b.Voltage < 0 {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *System) restoreVoltages() {
+	for i, b := range s.cfg.Storage.Branches {
+		b.Voltage = s.fastV0[i]
+	}
+}
+
+// crossesLevel reports whether moving from a to b crosses level.
+func crossesLevel(a, b, level float64) bool {
+	return (a < level) != (b < level)
+}
+
+// reboundFast is Rebound on the fast path: the same 50 µV-per-10 ms settle
+// criterion, checked on the same tick-grid window boundaries, with the
+// windows advanced analytically. Rebound bookkeeping matches the exact
+// path: no EnergyUsed or VMin accumulation, and per-step failures (the
+// monitor cutting out mid-settle) do not abort the settle loop.
+func (s *System) reboundFast(opt RunOptions) float64 {
+	dt := s.cfg.DT
+	timeout := opt.ReboundTimeout
+	if timeout <= 0 {
+		timeout = 1.0
+	}
+	window := int(math.Max(1, 10e-3/dt))
+	steps := int(timeout / dt)
+	discard := RunResult{VMin: math.Inf(1)}
+	prev := s.lastVT
+	done := 0
+	for done < steps {
+		n := window - done%window
+		if n > steps-done {
+			n = steps - done
+		}
+		adv := s.advanceSegment(load.SleepCurrent, opt.HarvestPower, n, &discard)
+		done += adv.ticks
+		if done%window == 0 {
+			if math.Abs(s.lastVT-prev) < 50e-6 {
+				return s.lastVT
+			}
+			prev = s.lastVT
+		}
+	}
+	return s.lastVT
+}

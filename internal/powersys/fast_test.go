@@ -1,0 +1,177 @@
+package powersys
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+)
+
+// fastTol is the equivalence bound the fast path must hold against the
+// exact stepper on every reported voltage.
+const fastTol = 1e-3
+
+// newEquivSystem builds a Capybara-style system, optionally with a
+// decoupling branch, charged and discharged to vStart with delivery forced
+// on — the harness's preparation sequence.
+func newEquivSystem(t *testing.T, multi bool, vStart float64) *System {
+	t.Helper()
+	cfg := Capybara()
+	if multi {
+		branches := []*capacitor.Branch{
+			{Name: "main", C: 45e-3, ESR: 5, Voltage: 2.56},
+			{Name: "decoupling", C: 400e-6, ESR: 0.05, Voltage: 2.56},
+		}
+		net, err := capacitor.NewNetwork(branches...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Storage = net
+	}
+	sys, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ChargeTo(cfg.VHigh); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DischargeTo(vStart); err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	return sys
+}
+
+func checkEquiv(t *testing.T, name string, exact, fast RunResult) {
+	t.Helper()
+	if exact.Completed != fast.Completed || exact.PowerFailed != fast.PowerFailed {
+		t.Fatalf("%s: verdict mismatch: exact completed=%v failed=%v, fast completed=%v failed=%v",
+			name, exact.Completed, exact.PowerFailed, fast.Completed, fast.PowerFailed)
+	}
+	if !errors.Is(fast.Err, exact.Err) && !errors.Is(exact.Err, fast.Err) {
+		t.Fatalf("%s: error mismatch: exact %v, fast %v", name, exact.Err, fast.Err)
+	}
+	check := func(field string, e, f float64) {
+		if math.Abs(e-f) > fastTol {
+			t.Errorf("%s: %s diverged: exact %.6f, fast %.6f (Δ %.3g V > %g V)",
+				name, field, e, f, math.Abs(e-f), fastTol)
+		}
+	}
+	check("VStart", exact.VStart, fast.VStart)
+	check("VMin", exact.VMin, fast.VMin)
+	check("VEndImmediate", exact.VEndImmediate, fast.VEndImmediate)
+	check("VFinal", exact.VFinal, fast.VFinal)
+}
+
+// TestFastEquivalence runs every golden-corpus load — the Table III
+// uniform/pulse catalogue, the Figure 10 grid and the real peripherals —
+// through both steppers across starting voltages from comfortably safe to
+// brownout-inducing, and requires sub-millivolt voltage agreement with
+// identical verdicts.
+func TestFastEquivalence(t *testing.T) {
+	uniform, pulse := load.Fig10Loads()
+	var tasks []load.Profile
+	tasks = append(tasks, uniform...)
+	tasks = append(tasks, pulse...)
+	tasks = append(tasks, load.TableIIIUniform()...)
+	tasks = append(tasks, load.TableIIIPulse()...)
+	tasks = append(tasks, load.Gesture(), load.BLERadio(), load.ComputeAccel(), load.LoRa())
+
+	vstarts := []float64{2.56, 2.2, 1.9, 1.7}
+	harvests := []float64{0, 5e-3}
+	for _, multi := range []bool{false, true} {
+		for _, task := range tasks {
+			for _, vstart := range vstarts {
+				for _, harvest := range harvests {
+					for _, rebound := range []bool{false, true} {
+						name := fmt.Sprintf("multi=%v/%s/v=%.2f/h=%.0fmW/rebound=%v",
+							multi, task.Name(), vstart, harvest*1e3, rebound)
+						opt := RunOptions{HarvestPower: harvest, SkipRebound: !rebound}
+						exact := newEquivSystem(t, multi, vstart).Run(task, opt)
+						optFast := opt
+						optFast.Fast = true
+						fast := newEquivSystem(t, multi, vstart).Run(task, optFast)
+						checkEquiv(t, name, exact, fast)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestFastEquivalenceBaseline covers the Baseline path (profiling ADC
+// current riding on the profile), which shifts the segment currents.
+func TestFastEquivalenceBaseline(t *testing.T) {
+	task := load.NewPulse(40e-3, 10e-3)
+	opt := RunOptions{Baseline: 150e-6, SkipRebound: true}
+	exact := newEquivSystem(t, false, 2.1).Run(task, opt)
+	opt.Fast = true
+	fast := newEquivSystem(t, false, 2.1).Run(task, opt)
+	checkEquiv(t, "baseline", exact, fast)
+}
+
+// TestFastFallsBackWithObservers: Recorder/OnStep runs must take the exact
+// path even with Fast set, tick for tick.
+func TestFastFallsBackWithObservers(t *testing.T) {
+	task := load.NewUniform(30e-3, 5e-3)
+	ticks := 0
+	res := newEquivSystem(t, false, 2.3).Run(task, RunOptions{
+		Fast:        true,
+		SkipRebound: true,
+		OnStep:      func(StepInfo) { ticks++ },
+	})
+	want := int(math.Ceil(task.Duration() / DefaultDT))
+	if ticks != want {
+		t.Fatalf("OnStep saw %d ticks, want %d (fast path must defer to exact when observed)", ticks, want)
+	}
+	if !res.Completed {
+		t.Fatalf("run failed unexpectedly: %+v", res)
+	}
+}
+
+// TestFastBrownoutVerdict pins the failure semantics: a load the buffer
+// cannot carry must brown out under both steppers with ErrBrownout and a
+// failure time within one hazard-band's worth of ticks.
+func TestFastBrownoutVerdict(t *testing.T) {
+	task := load.NewUniform(120e-3, 50e-3)
+	exact := newEquivSystem(t, false, 1.9).Run(task, RunOptions{SkipRebound: true})
+	fast := newEquivSystem(t, false, 1.9).Run(task, RunOptions{SkipRebound: true, Fast: true})
+	if !exact.PowerFailed || !fast.PowerFailed {
+		t.Fatalf("expected brownout on both paths: exact=%+v fast=%+v", exact, fast)
+	}
+	if !errors.Is(fast.Err, ErrBrownout) {
+		t.Fatalf("fast path error = %v, want ErrBrownout", fast.Err)
+	}
+	if d := math.Abs(exact.FailTime - fast.FailTime); d > 1e-3 {
+		t.Errorf("fail time diverged: exact %.6fs fast %.6fs", exact.FailTime, fast.FailTime)
+	}
+	checkEquiv(t, "brownout", exact, fast)
+}
+
+// TestFastSpeedup is a sanity floor, not a benchmark: the fast path must
+// beat the exact stepper by a wide margin on a quiescent profile. The
+// recorded trajectory lives in BENCH_culpeo.json (make bench).
+func TestFastSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	task := load.NewUniform(20e-3, 200e-3)
+	run := func(fast bool) time.Duration {
+		sys := newEquivSystem(t, false, 2.4)
+		start := time.Now()
+		res := sys.Run(task, RunOptions{SkipRebound: true, Fast: fast})
+		if !res.Completed {
+			t.Fatalf("fast=%v run failed: %+v", fast, res)
+		}
+		return time.Since(start)
+	}
+	exact := run(false)
+	fastD := run(true)
+	if fastD*2 > exact {
+		t.Errorf("fast path not at least 2x faster: exact %v, fast %v", exact, fastD)
+	}
+}

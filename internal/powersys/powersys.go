@@ -65,6 +65,13 @@ func Capybara() Config {
 }
 
 // System is a running power-system simulation.
+//
+// Scratch ownership contract: the per-branch slices below are owned by the
+// System and sized to len(Storage.Branches) at construction. Step,
+// solveTerminal, terminalAtRest and the fast path (fast.go) overwrite them
+// freely — their contents are only meaningful between a solve and the next
+// call into the System, and callers must never retain them. This is what
+// keeps the hot loop allocation-free (enforced by TestStepAllocFree).
 type System struct {
 	cfg     Config
 	monitor *booster.Monitor
@@ -72,9 +79,12 @@ type System struct {
 	lastVT  float64
 	// failures counts monitor power-off events.
 	failures int
-	// scratch holds per-branch currents between steps, so the hot path
-	// stays allocation-free.
+	// scratch holds the per-branch currents of the most recent nodal solve.
 	scratch []float64
+	// fastF0, fastF1, fastV0 back the fast path's macro-stepping: the
+	// per-branch state derivative at the step start, at the midpoint, and
+	// the saved branch voltages for rejection rollback.
+	fastF0, fastF1, fastV0 []float64
 	// inject, when non-nil, perturbs harvest power and drains extra
 	// leakage each step (see Inject).
 	inject Injector
@@ -104,7 +114,14 @@ func New(cfg Config) (*System, error) {
 	if cfg.DT <= 0 {
 		cfg.DT = DefaultDT
 	}
-	s := &System{cfg: cfg, monitor: mon, scratch: make([]float64, len(cfg.Storage.Branches))}
+	n := len(cfg.Storage.Branches)
+	s := &System{
+		cfg: cfg, monitor: mon,
+		scratch: make([]float64, n),
+		fastF0:  make([]float64, n),
+		fastF1:  make([]float64, n),
+		fastV0:  make([]float64, n),
+	}
 	s.lastVT = cfg.Storage.OpenCircuitVoltage()
 	mon.Observe(s.lastVT)
 	return s, nil
@@ -158,25 +175,8 @@ func (s *System) Step(iLoad, pHarvest float64) StepInfo {
 		served = 0
 	}
 
-	// Fixed-point iteration on the terminal voltage: η depends on V_t which
-	// depends on the drawn power which depends on η. Three rounds converge
-	// to well under a millivolt for realistic efficiency slopes.
-	vt := s.lastVT
-	if vt <= 0 {
-		vt = s.cfg.Storage.OpenCircuitVoltage()
-	}
-	var iin float64
-	var currents []float64
-	ok := true
-	for iter := 0; iter < 3; iter++ {
-		pin := s.cfg.Output.InputPower(served, vt)
-		var nvt float64
-		nvt, currents, ok = solveNode(s.cfg.Storage.Branches, pin, s.scratch)
-		if !ok {
-			break
-		}
-		vt = nvt
-	}
+	vt, ok := s.solveTerminal(served, s.lastVT)
+	currents := s.scratch
 
 	failed := false
 	if !ok {
@@ -211,7 +211,7 @@ func (s *System) Step(iLoad, pHarvest float64) StepInfo {
 		}
 	}
 
-	iin = 0
+	iin := 0.0
 	for _, c := range currents {
 		iin += c
 	}
@@ -237,6 +237,30 @@ func (s *System) Step(iLoad, pHarvest float64) StepInfo {
 	}
 }
 
+// solveTerminal runs the fixed-point iteration on the terminal voltage:
+// η depends on V_t which depends on the drawn power which depends on η.
+// Three rounds converge to well under a millivolt for realistic efficiency
+// slopes. warm seeds the iteration (callers pass the previous solution).
+// On success s.scratch holds the per-branch currents; ok is false when the
+// network cannot deliver the demanded power (brown-out), leaving vt at the
+// last converged value. The system state is not advanced.
+func (s *System) solveTerminal(served, warm float64) (vt float64, ok bool) {
+	vt = warm
+	if vt <= 0 {
+		vt = s.cfg.Storage.OpenCircuitVoltage()
+	}
+	ok = true
+	for iter := 0; iter < 3; iter++ {
+		pin := s.cfg.Output.InputPower(served, vt)
+		nvt, _, solved := solveNode(s.cfg.Storage.Branches, pin, s.scratch)
+		if !solved {
+			return vt, false
+		}
+		vt = nvt
+	}
+	return vt, ok
+}
+
 // solveNode finds the terminal voltage V_t satisfying
 // Σ (V_i − V_t)/R_i = pin/V_t and returns per-branch currents (positive =
 // discharging the branch). ok is false when the network cannot deliver pin
@@ -250,10 +274,10 @@ func solveNode(branches []*capacitor.Branch, pin float64, scratch []float64) (fl
 	if cap(currents) < len(branches) {
 		currents = make([]float64, len(branches))
 	} else {
+		// No zeroing pass: every success path below overwrites every
+		// element, and the failure paths return contents callers ignore
+		// (Step falls back to maxPowerPoint, which rewrites the slice).
 		currents = currents[:len(branches)]
-		for i := range currents {
-			currents[i] = 0
-		}
 	}
 
 	var sumG, sumGV float64
@@ -379,12 +403,24 @@ type RunOptions struct {
 	// OnStep, when non-nil, observes every integration step (profilers use
 	// this to sample the terminal voltage like an ADC would).
 	OnStep func(StepInfo)
+	// Fast opts into the analytic segment advance (fast.go): quiescent
+	// segments — constant demanded load, stable monitor state, no fault
+	// window — are advanced in closed form instead of tick-by-tick. The
+	// result tracks the exact stepper to within a millivolt on every
+	// reported voltage with identical completion/brownout verdicts (see
+	// TestFastEquivalence). The option is best-effort: runs that need
+	// per-tick observation (Recorder, OnStep) or carry a fault injector
+	// fall back to the exact stepper, which remains the default.
+	Fast bool
 }
 
 // Run applies a load profile from the system's current state and reports
 // the voltages the Culpeo estimators need. The caller is responsible for
 // putting the system in the desired starting state (see package harness).
 func (s *System) Run(p load.Profile, opt RunOptions) RunResult {
+	if opt.Fast && s.fastEligible(opt) {
+		return s.runFast(p, opt)
+	}
 	dt := s.cfg.DT
 	res := RunResult{VStart: s.terminalAtRest(), VMin: math.Inf(1)}
 

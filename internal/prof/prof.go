@@ -1,0 +1,56 @@
+// Package prof wires the standard runtime/pprof file profiles into the
+// CLIs' -cpuprofile/-memprofile flags.
+package prof
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// Start begins the profiles selected by the flag values (empty = off) and
+// returns a stop function that must run before process exit: it stops the
+// CPU profile and writes the heap profile. The caller defers stop and
+// reports its error; a failed Start leaves no profile running.
+func Start(cpu, mem string) (stop func() error, err error) {
+	var cpuFile *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("prof: %w", err)
+		}
+		cpuFile = f
+	}
+	stop = func() error {
+		var first error
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); first == nil {
+				first = err
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				if first == nil {
+					first = err
+				}
+				return first
+			}
+			runtime.GC() // settle the live set the heap profile reports
+			if err := pprof.WriteHeapProfile(f); err != nil && first == nil {
+				first = err
+			}
+			if err := f.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
+		return first
+	}
+	return stop, nil
+}

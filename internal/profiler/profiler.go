@@ -31,17 +31,32 @@ type PG struct {
 	Model core.PowerModel
 	// SampleRate of the captured current trace; 0 = 125 kHz.
 	SampleRate float64
+	// Cache overrides the memo the estimate routes through; nil selects the
+	// shared process-wide core.DefaultVSafeCache.
+	Cache *core.VSafeCache
+	// NoCache forces a direct computation, bypassing memoization entirely.
+	NoCache bool
 }
 
 // Estimate profiles the task's current on continuous power (exact in
 // simulation: we sample the profile directly, as a bench power monitor
-// would) and applies Algorithm 1.
+// would) and applies Algorithm 1. Results are memoized by (model, trace)
+// fingerprint — Algorithm 1 is pure, so cached and direct results are
+// bit-identical (see core.VSafeCache).
 func (p PG) Estimate(task load.Profile) (core.Estimate, error) {
 	rate := p.SampleRate
 	if rate <= 0 {
 		rate = load.SampleRateDefault
 	}
-	return core.VSafePG(p.Model, load.Sample(task, rate))
+	tr := load.Sample(task, rate)
+	switch {
+	case p.NoCache:
+		return core.VSafePG(p.Model, tr)
+	case p.Cache != nil:
+		return p.Cache.PG(p.Model, tr)
+	default:
+		return core.VSafePGCached(p.Model, tr)
+	}
 }
 
 // Sampler is a voltage-capture mechanism driven by the simulation loop. It

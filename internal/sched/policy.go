@@ -106,6 +106,19 @@ type CulpeoPolicy struct {
 	probe func(source func() float64) profiler.Sampler
 	bgReq core.TaskReq
 	hasBG bool
+
+	// needMemo caches per-chain requirements, validated against the
+	// interface's mutation generation: the dispatcher tests the same one or
+	// two chains on every scheduler quantum, and the estimates behind them
+	// only change on re-profiling. A generation mismatch drops the memo.
+	needMemo []needEntry
+	needGen  uint64
+}
+
+// needEntry is one memoized chain requirement.
+type needEntry struct {
+	chain []core.TaskID
+	v     float64
 }
 
 // NewCulpeoPolicy builds the policy around a power model (the same
@@ -180,10 +193,39 @@ func (p *CulpeoPolicy) Prepare(d *Device) error {
 	return nil
 }
 
-// need returns the chain's V_safe_multi plus the dispatch margin.
+// need returns the chain's V_safe_multi plus the dispatch margin, memoized
+// per chain while the interface generation is stable.
 func (p *CulpeoPolicy) need(chain []core.TaskID) float64 {
+	if gen := p.iface.Generation(); gen != p.needGen {
+		p.needMemo = p.needMemo[:0]
+		p.needGen = gen
+	}
+	for i := range p.needMemo {
+		if chainsEqual(p.needMemo[i].chain, chain) {
+			return p.needMemo[i].v
+		}
+	}
 	v, _ := p.iface.SeqVSafe(chain)
-	return v + DispatchMargin
+	v += DispatchMargin
+	p.needMemo = append(p.needMemo, needEntry{
+		chain: append([]core.TaskID(nil), chain...),
+		v:     v,
+	})
+	return v
+}
+
+// chainsEqual compares chains element-wise (no allocation, unlike joining
+// IDs into a map key).
+func chainsEqual(a, b []core.TaskID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 func (p *CulpeoPolicy) ChainReady(chain []core.TaskID, v float64) bool {

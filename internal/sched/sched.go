@@ -104,6 +104,10 @@ type Device struct {
 	// IdleChunk bounds how long the device sleeps per scheduling decision.
 	// 0 = 5 ms.
 	IdleChunk float64
+	// Fast requests the analytic segment-advance stepper for every task the
+	// device executes (see powersys.RunOptions.Fast). Idle stepping is
+	// unaffected — it already runs one Step per chunk.
+	Fast bool
 	// Log, when non-nil, records dispatches, failures and deadline misses.
 	Log *EventLog
 
@@ -254,7 +258,7 @@ func (d *Device) Run(streams []Stream, horizon float64) (Metrics, error) {
 			floor := d.Policy.BackgroundFloor(upcomingChain(streams, queue, qi))
 			if d.readV()-d.Margin.Margin() > floor {
 				res := d.Sys.Run(d.Background.Profile, powersys.RunOptions{
-					HarvestPower: d.Harvest, SkipRebound: true,
+					HarvestPower: d.Harvest, SkipRebound: true, Fast: d.Fast,
 				})
 				if res.Completed {
 					met.BackgroundRuns++
@@ -292,7 +296,7 @@ func (d *Device) runChain(stream string, chain []core.TaskID, deadline float64) 
 			return false
 		}
 		res := d.Sys.Run(t.Profile, powersys.RunOptions{
-			HarvestPower: d.Harvest, SkipRebound: true,
+			HarvestPower: d.Harvest, SkipRebound: true, Fast: d.Fast,
 		})
 		if !res.Completed {
 			d.Margin.Failure()
