@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak alloc bench check
+.PHONY: build vet test race golden golden-update soak alloc bench serve-smoke check
 
 build:
 	$(GO) build ./...
@@ -48,4 +48,12 @@ bench:
 	$(GO) run ./cmd/culpeo bench
 	$(GO) run ./cmd/culpeo benchcheck
 
-check: vet build alloc race golden soak
+# Out-of-process serving smoke: build the real culpeod binary, boot it on an
+# ephemeral port, exercise /healthz + /v1/vsafe + /v1/batch + /metrics, then
+# SIGTERM it and require a graceful drain with exit 0.
+serve-smoke:
+	$(GO) build -o /tmp/culpeod-smoke ./cmd/culpeod
+	$(GO) run ./internal/serve/smoke -bin /tmp/culpeod-smoke
+	rm -f /tmp/culpeod-smoke
+
+check: vet build alloc race golden soak serve-smoke

@@ -21,7 +21,8 @@
 //	culpeo futurework  §IX extensions: charge-state typing, probabilistic bounds
 //	culpeo bench       record the performance trajectory to BENCH_culpeo.json
 //	culpeo benchcheck  validate the committed BENCH_culpeo.json artifact
-//	culpeo all         everything above except bench/benchcheck
+//	culpeo loadtest    hammer the culpeod HTTP service and report throughput
+//	culpeo all         everything above except bench/benchcheck/loadtest
 //
 // Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
 // the application experiments; -points dumps Figure 3's full point cloud;
@@ -30,6 +31,11 @@
 // millivolt of the exact stepper but not bit-identical — golden outputs are
 // produced without it); -cpuprofile/-memprofile write runtime/pprof
 // profiles. Interrupting the process (Ctrl-C) cancels in-flight sweeps.
+//
+// loadtest drives POST /v1/vsafe with -concurrency closed-loop clients for
+// -duration against -addr (empty self-hosts an in-process server over real
+// loopback HTTP) and prints throughput with p50/p99 latency; -record merges
+// the result into the -benchout artifact as its "serving" section.
 package main
 
 import (
@@ -42,9 +48,12 @@ import (
 	"strings"
 	"syscall"
 
+	"time"
+
 	"culpeo/internal/benchrun"
 	"culpeo/internal/expt"
 	"culpeo/internal/prof"
+	"culpeo/internal/serve"
 	"culpeo/internal/sweep"
 )
 
@@ -67,9 +76,13 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	fast := fs.Bool("fast", false, "use the analytic fast-path stepper (sub-mV of exact, not bit-identical)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
-	benchout := fs.String("benchout", "BENCH_culpeo.json", "bench/benchcheck: the report artifact path")
+	benchout := fs.String("benchout", "BENCH_culpeo.json", "bench/benchcheck/loadtest: the report artifact path")
+	ltAddr := fs.String("addr", "", "loadtest: target base URL (empty = self-hosted in-process server)")
+	ltDuration := fs.Duration("duration", 3*time.Second, "loadtest: measurement window")
+	ltConcurrency := fs.Int("concurrency", 0, "loadtest: closed-loop clients (0 = 4×GOMAXPROCS)")
+	ltRecord := fs.Bool("record", false, "loadtest: merge serving stats into the -benchout artifact")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
@@ -104,12 +117,63 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 
 	opt := expt.Fig12Opts{Horizon: *horizon, Trials: *trials}
 	for _, cmd := range cmds {
-		if err := run(ctx, stdout, cmd, *csv, *points, *benchout, opt); err != nil {
+		var err error
+		if cmd == "loadtest" {
+			err = loadtest(ctx, stdout, *ltAddr, *ltDuration, *ltConcurrency, *ltRecord, *benchout)
+		} else {
+			err = run(ctx, stdout, cmd, *csv, *points, *benchout, opt)
+		}
+		if err != nil {
 			fmt.Fprintf(stderr, "culpeo %s: %v\n", cmd, err)
 			return 1
 		}
 	}
 	return 0
+}
+
+// loadtest drives the serving load generator and optionally records the
+// result as the bench artifact's serving section.
+func loadtest(ctx context.Context, w io.Writer, addr string, duration time.Duration, concurrency int, record bool, benchout string) error {
+	res, err := serve.LoadTest(ctx, serve.LoadTestOptions{
+		URL:         addr,
+		Duration:    duration,
+		Concurrency: concurrency,
+	})
+	if err != nil {
+		return err
+	}
+	target := addr
+	if res.SelfHosted {
+		target = "self-hosted loopback"
+	}
+	fmt.Fprintf(w, "loadtest: %s, %d clients, %.2f s\n", target, res.Concurrency, res.DurationSec)
+	fmt.Fprintf(w, "loadtest: %d requests (%d errors): %.0f req/s, p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n",
+		res.Requests, res.Errors, res.Throughput, res.P50Ms, res.P99Ms, res.MeanMs)
+	if res.SelfHosted {
+		fmt.Fprintf(w, "loadtest: V_safe cache hit rate %.1f%%\n", res.CacheHitRate*100)
+	}
+	if !record {
+		return nil
+	}
+	rep, err := benchrun.Read(benchout)
+	if err != nil {
+		return fmt.Errorf("-record needs a valid artifact (run `culpeo bench` first): %w", err)
+	}
+	rep.Serving = &benchrun.ServingStats{
+		ThroughputRPS: res.Throughput,
+		P50Ms:         res.P50Ms,
+		P99Ms:         res.P99Ms,
+		MeanMs:        res.MeanMs,
+		Requests:      res.Requests,
+		Concurrency:   res.Concurrency,
+		DurationSec:   res.DurationSec,
+		CacheHitRate:  res.CacheHitRate,
+	}
+	if err := benchrun.Write(benchout, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "loadtest: recorded serving stats into %s\n", benchout)
+	return nil
 }
 
 // splitArgs separates experiment names from flags so both orders work. A
@@ -186,6 +250,10 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		}
 		fmt.Fprintf(w, "benchcheck: %s ok (%d benchmarks, %.2fx fast-path speedup, %.0f%% cache hit rate)\n",
 			benchout, len(rep.Benchmarks), rep.FastPathSpeedup, rep.VSafeCache.HitRate*100)
+		if s := rep.Serving; s != nil {
+			fmt.Fprintf(w, "benchcheck: serving %.0f req/s, p50 %.3f ms, p99 %.3f ms over %d clients\n",
+				s.ThroughputRPS, s.P50Ms, s.P99Ms, s.Concurrency)
+		}
 		return nil
 	case "fig1b":
 		r, err := expt.Fig1b()

@@ -1,0 +1,112 @@
+// Command culpeod serves the Culpeo estimators over HTTP/JSON: V_safe
+// estimation (profile-guided and runtime), launch simulation and batched
+// estimation, all coalesced through one shared V_safe cache.
+//
+//	culpeod                      # listen on 127.0.0.1:8080
+//	culpeod -addr :9000          # all interfaces, port 9000
+//	culpeod -addr 127.0.0.1:0    # ephemeral port (printed on startup)
+//
+// Endpoints: POST /v1/vsafe, /v1/vsafe-r, /v1/simulate, /v1/batch;
+// GET /healthz, /metrics. See internal/serve for the wire contract.
+//
+// The daemon drains gracefully: on SIGTERM or SIGINT it stops accepting,
+// flips /healthz to 503 so load balancers stop routing, lets in-flight
+// requests finish, and exits 0 — or forces the remainder closed and exits 1
+// if the -drain-timeout hard deadline expires first.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"culpeo/internal/serve"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(realMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("culpeod", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	var (
+		addr         = fs.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+		maxInFlight  = fs.Int("max-inflight", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+		queueDepth   = fs.Int("queue-depth", serve.DefaultQueueDepth, "admission queue depth before 503s")
+		timeout      = fs.Duration("timeout", serve.DefaultTimeout, "per-request deadline")
+		cacheSize    = fs.Int("cache-size", 0, "V_safe cache entries (0 = default)")
+		workers      = fs.Int("workers", 0, "batch sweep workers (0 = GOMAXPROCS)")
+		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "hard deadline for graceful drain")
+	)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() > 0 {
+		fmt.Fprintf(stderr, "culpeod: unexpected arguments: %v\n", fs.Args())
+		return 2
+	}
+	if *queueDepth < 0 || *timeout <= 0 || *drainTimeout <= 0 {
+		fmt.Fprintln(stderr, "culpeod: -queue-depth must be >= 0; -timeout and -drain-timeout must be positive")
+		return 2
+	}
+
+	s := serve.New(serve.Config{
+		MaxInFlight: *maxInFlight,
+		QueueDepth:  *queueDepth,
+		Timeout:     *timeout,
+		CacheSize:   *cacheSize,
+		Workers:     *workers,
+	})
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(stderr, "culpeod:", err)
+		return 1
+	}
+	// The resolved address line is the startup contract: scripts (and the
+	// serve-smoke harness) parse it to find an ephemeral port.
+	fmt.Fprintf(stdout, "culpeod: listening on http://%s\n", ln.Addr())
+
+	httpSrv := &http.Server{
+		Handler:           s.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		fmt.Fprintln(stderr, "culpeod:", err)
+		return 1
+	case <-ctx.Done():
+	}
+
+	// Drain: stop routing (healthz 503), stop accepting, finish in-flight
+	// work, give up at the hard deadline.
+	fmt.Fprintln(stdout, "culpeod: draining")
+	s.SetDraining(true)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := httpSrv.Shutdown(drainCtx); err != nil {
+		_ = httpSrv.Close()
+		fmt.Fprintln(stderr, "culpeod: drain deadline expired:", err)
+		return 1
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(stderr, "culpeod:", err)
+		return 1
+	}
+	fmt.Fprintln(stdout, "culpeod: drained, exiting")
+	return 0
+}

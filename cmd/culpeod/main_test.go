@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read daemon output while realMain writes it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+// startDaemon runs realMain on an ephemeral port and returns the base URL,
+// a cancel that triggers the drain, and the exit-code channel.
+func startDaemon(t *testing.T, args ...string) (string, context.CancelFunc, <-chan int, *syncBuffer) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	out := &syncBuffer{}
+	code := make(chan int, 1)
+	go func() {
+		code <- realMain(ctx, append([]string{"-addr", "127.0.0.1:0"}, args...), out, io.Discard)
+	}()
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "listening on http://") {
+			line := s[strings.Index(s, "http://"):]
+			url := strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			return url, cancel, code, out
+		}
+		if time.Now().After(deadline) {
+			cancel()
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeAndDrain boots the daemon, exercises the endpoints, then cancels
+// (the in-process stand-in for SIGTERM) and requires a clean exit 0.
+func TestServeAndDrain(t *testing.T) {
+	url, cancel, code, out := startDaemon(t)
+	defer cancel()
+
+	resp, err := http.Get(url + "/healthz")
+	if err != nil {
+		t.Fatalf("healthz: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(url+"/v1/vsafe", "application/json",
+		strings.NewReader(`{"load":{"shape":"uniform","i":0.025,"t":0.01}}`))
+	if err != nil {
+		t.Fatalf("vsafe: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("vsafe status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), `"v_safe"`) {
+		t.Fatalf("vsafe body missing estimate: %s", body)
+	}
+
+	cancel()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d, want 0; output: %q", c, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain within 10s")
+	}
+	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "drained, exiting") {
+		t.Errorf("drain log lines missing from output: %q", s)
+	}
+}
+
+func TestFlagErrors(t *testing.T) {
+	cases := [][]string{
+		{"-nonsense"},
+		{"stray-positional"},
+		{"-timeout", "-5s"},
+		{"-queue-depth", "-1"},
+		{"-drain-timeout", "0s"},
+	}
+	for _, args := range cases {
+		if got := realMain(context.Background(), args, io.Discard, io.Discard); got != 2 {
+			t.Errorf("realMain(%v) = %d, want 2", args, got)
+		}
+	}
+}
+
+func TestBadListenAddr(t *testing.T) {
+	if got := realMain(context.Background(), []string{"-addr", "256.256.256.256:1"}, io.Discard, io.Discard); got != 1 {
+		t.Errorf("unlistenable address: exit %d, want 1", got)
+	}
+}

@@ -10,7 +10,10 @@
 // versus ground truth as a percentage of the operating range, and whether a
 // task launched at the estimate survives. The estimators run concurrently
 // on the sweep pool (-workers bounds it); rows print in a fixed order
-// regardless of worker count.
+// regardless of worker count. -fast switches the simulations onto the
+// analytic segment-advance stepper (within a millivolt of exact, not
+// bit-identical); -cpuprofile/-memprofile write runtime/pprof profiles —
+// the same knobs the culpeo driver exposes.
 package main
 
 import (
@@ -29,6 +32,7 @@ import (
 	"culpeo/internal/harness"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
+	"culpeo/internal/prof"
 	"culpeo/internal/profiler"
 	"culpeo/internal/sweep"
 	"culpeo/internal/units"
@@ -56,6 +60,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		vHigh      = fs.Float64("vhigh", 2.56, "fully-charged voltage (V)")
 		life       = fs.Float64("age", 0, "capacitor life fraction consumed [0..1] (C fades, ESR doubles)")
 		workers    = fs.Int("workers", 0, "parallel estimator workers (0 = GOMAXPROCS)")
+		fast       = fs.Bool("fast", false, "use the analytic fast-path stepper (sub-mV of exact, not bit-identical)")
+		cpuprofile = fs.String("cpuprofile", "", "write a CPU profile to this file")
+		memprofile = fs.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -67,15 +74,28 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if *workers > 0 {
 		ctx = sweep.WithWorkers(ctx, *workers)
 	}
+	stopProf, err := prof.Start(*cpuprofile, *memprofile)
+	if err != nil {
+		fmt.Fprintln(stderr, "vsafe:", err)
+		return 2
+	}
+	code := 0
 	if err := vsafe(ctx, stdout, params{
 		iStr: *iStr, tStr: *tStr, shape: *shape, peripheral: *peripheral,
 		traceFile: *traceFile, traceRate: *traceRate,
 		cStr: *cStr, esr: *esr, vOff: *vOff, vHigh: *vHigh, life: *life,
+		fast: *fast,
 	}); err != nil {
 		fmt.Fprintln(stderr, "vsafe:", err)
-		return 1
+		code = 1
 	}
-	return 0
+	if err := stopProf(); err != nil {
+		fmt.Fprintln(stderr, "vsafe: profile:", err)
+		if code == 0 {
+			code = 1
+		}
+	}
+	return code
 }
 
 type params struct {
@@ -84,6 +104,7 @@ type params struct {
 	traceRate                     float64
 	cStr                          string
 	esr, vOff, vHigh, life        float64
+	fast                          bool
 }
 
 func vsafe(ctx context.Context, stdout io.Writer, p params) error {
@@ -133,6 +154,7 @@ func vsafe(ctx context.Context, stdout io.Writer, p params) error {
 	if err != nil {
 		return err
 	}
+	h.Fast = p.fast
 	model := core.PowerModel{
 		C:     c, // nominal; aging passed to the model separately
 		ESR:   capacitor.Flat(p.esr),

@@ -2,6 +2,8 @@ package main
 
 import (
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -103,5 +105,52 @@ func TestRealMainHappyPath(t *testing.T) {
 		if !strings.Contains(out, want) {
 			t.Errorf("output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+// TestRealMainFast runs the same estimation on the analytic stepper; the
+// table must keep its shape (values may differ sub-mV from exact).
+func TestRealMainFast(t *testing.T) {
+	var stdout, stderr strings.Builder
+	code := realMain(context.Background(), []string{"-i", "25mA", "-t", "10ms", "-fast"}, &stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	if out := stdout.String(); !strings.Contains(out, "ground truth (brute force)") || !strings.Contains(out, "Culpeo-PG") {
+		t.Errorf("fast-path output lost the table:\n%s", out)
+	}
+}
+
+// TestRealMainProfiles exercises -cpuprofile/-memprofile via internal/prof:
+// both files must exist and be non-empty after a successful run.
+func TestRealMainProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	var stdout, stderr strings.Builder
+	code := realMain(context.Background(),
+		[]string{"-i", "25mA", "-t", "10ms", "-fast", "-cpuprofile", cpu, "-memprofile", mem},
+		&stdout, &stderr)
+	if code != 0 {
+		t.Fatalf("exit = %d, stderr: %s", code, stderr.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("profile missing: %v", err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+
+	// An unwritable profile path is a startup error (exit 2), reported
+	// before any estimation work happens.
+	stderr.Reset()
+	if code := realMain(context.Background(),
+		[]string{"-cpuprofile", filepath.Join(dir, "no", "such", "dir", "x.pprof")},
+		&stdout, &stderr); code != 2 {
+		t.Errorf("unwritable -cpuprofile: exit %d, want 2 (stderr: %s)", code, stderr.String())
 	}
 }

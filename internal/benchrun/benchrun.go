@@ -41,6 +41,20 @@ type CacheStats struct {
 	HitRate float64 `json:"hit_rate"`
 }
 
+// ServingStats records a `culpeo loadtest -record` run against the HTTP
+// service: sustained loopback throughput and latency quantiles for
+// cache-hot single V_safe queries.
+type ServingStats struct {
+	ThroughputRPS float64 `json:"throughput_rps"`
+	P50Ms         float64 `json:"p50_ms"`
+	P99Ms         float64 `json:"p99_ms"`
+	MeanMs        float64 `json:"mean_ms"`
+	Requests      uint64  `json:"requests"`
+	Concurrency   int     `json:"concurrency"`
+	DurationSec   float64 `json:"duration_sec"`
+	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
 // Report is the full bench trajectory written to BENCH_culpeo.json.
 type Report struct {
 	Schema    int    `json:"schema"`
@@ -55,6 +69,9 @@ type Report struct {
 	// sweep/fast-warm-cache ns/op: the end-to-end win of the analytic
 	// stepper plus memoized estimates.
 	FastPathSpeedup float64 `json:"fast_path_speedup"`
+	// Serving is the recorded loadtest of the culpeod service, when one has
+	// been run (`culpeo loadtest -record`); bench itself leaves it intact.
+	Serving *ServingStats `json:"serving,omitempty"`
 }
 
 // sweepTasks is the end-to-end workload: a spread of the evaluation
@@ -269,6 +286,22 @@ func (r *Report) Validate() error {
 	}
 	if !(r.FastPathSpeedup > 0) || math.IsInf(r.FastPathSpeedup, 0) {
 		return fmt.Errorf("benchrun: bad fast_path_speedup %v", r.FastPathSpeedup)
+	}
+	if s := r.Serving; s != nil {
+		switch {
+		case !(s.ThroughputRPS > 0) || math.IsInf(s.ThroughputRPS, 0):
+			return fmt.Errorf("benchrun: serving: bad throughput_rps %v", s.ThroughputRPS)
+		case !(s.P50Ms > 0) || s.P99Ms < s.P50Ms || math.IsInf(s.P99Ms, 0):
+			return fmt.Errorf("benchrun: serving: bad quantiles p50=%v p99=%v", s.P50Ms, s.P99Ms)
+		case s.Requests == 0:
+			return fmt.Errorf("benchrun: serving: zero requests")
+		case s.Concurrency <= 0:
+			return fmt.Errorf("benchrun: serving: concurrency %d", s.Concurrency)
+		case !(s.DurationSec > 0):
+			return fmt.Errorf("benchrun: serving: duration %v", s.DurationSec)
+		case s.CacheHitRate < 0 || s.CacheHitRate > 1 || math.IsNaN(s.CacheHitRate):
+			return fmt.Errorf("benchrun: serving: cache_hit_rate %v outside [0,1]", s.CacheHitRate)
+		}
 	}
 	return nil
 }

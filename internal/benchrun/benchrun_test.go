@@ -25,11 +25,20 @@ func sample() *Report {
 		},
 		VSafeCache:      CacheStats{Hits: 96, Misses: 4, HitRate: 0.96},
 		FastPathSpeedup: 3.5,
+		Serving: &ServingStats{
+			ThroughputRPS: 14000, P50Ms: 0.2, P99Ms: 1.1, MeanMs: 0.3,
+			Requests: 42000, Concurrency: 4, DurationSec: 3, CacheHitRate: 0.99,
+		},
 	}
 }
 
 func TestValidateAcceptsWellFormed(t *testing.T) {
 	if err := sample().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	r := sample()
+	r.Serving = nil // a bench-only artifact with no recorded loadtest is valid
+	if err := r.Validate(); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -48,6 +57,12 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		"hit rate over 1":  func(r *Report) { r.VSafeCache.HitRate = 1.5 },
 		"zero speedup":     func(r *Report) { r.FastPathSpeedup = 0 },
 		"infinite speedup": func(r *Report) { r.FastPathSpeedup = math.Inf(1) },
+		"serving zero throughput": func(r *Report) { r.Serving.ThroughputRPS = 0 },
+		"serving p99 below p50":   func(r *Report) { r.Serving.P99Ms = r.Serving.P50Ms / 2 },
+		"serving zero requests":   func(r *Report) { r.Serving.Requests = 0 },
+		"serving no concurrency":  func(r *Report) { r.Serving.Concurrency = 0 },
+		"serving zero duration":   func(r *Report) { r.Serving.DurationSec = 0 },
+		"serving bad hit rate":    func(r *Report) { r.Serving.CacheHitRate = 2 },
 	}
 	for name, corrupt := range cases {
 		r := sample()
@@ -75,7 +90,8 @@ func TestWriteReadRoundTrip(t *testing.T) {
 	if got.FastPathSpeedup != want.FastPathSpeedup ||
 		got.VSafeCache != want.VSafeCache ||
 		len(got.Benchmarks) != len(want.Benchmarks) ||
-		got.Benchmarks[0] != want.Benchmarks[0] {
+		got.Benchmarks[0] != want.Benchmarks[0] ||
+		got.Serving == nil || *got.Serving != *want.Serving {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, want)
 	}
 	data, err := os.ReadFile(path)

@@ -170,12 +170,17 @@ func (c *VSafeCache) PG(m PowerModel, tr load.Trace) (Estimate, error) {
 	return est, nil
 }
 
-// VSafeCacheStats is a point-in-time snapshot of cache effectiveness.
+// VSafeCacheStats is a point-in-time snapshot of cache effectiveness. It
+// marshals directly into the serving layer's /metrics document, so the JSON
+// field names are part of the metrics schema (see internal/serve).
 type VSafeCacheStats struct {
-	Hits     uint64
-	Misses   uint64
-	Len      int
-	Capacity int
+	Hits     uint64 `json:"hits"`
+	Misses   uint64 `json:"misses"`
+	Len      int    `json:"len"`
+	Capacity int    `json:"capacity"`
+	// Rate is hits/(hits+misses), filled by Stats so marshaled snapshots
+	// carry the headline number without the consumer re-deriving it.
+	Rate float64 `json:"hit_rate"`
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -194,7 +199,9 @@ func (c *VSafeCache) Stats() VSafeCacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return VSafeCacheStats{Hits: c.hits, Misses: c.misses, Len: c.order.Len(), Capacity: c.capacity}
+	s := VSafeCacheStats{Hits: c.hits, Misses: c.misses, Len: c.order.Len(), Capacity: c.capacity}
+	s.Rate = s.HitRate()
+	return s
 }
 
 // Reset drops all entries and zeroes the counters. Nil-safe.

@@ -2,14 +2,20 @@ package expt
 
 import (
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
 	"runtime"
+	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"culpeo/internal/core"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
+	"culpeo/internal/serve"
 	"culpeo/internal/sweep"
 )
 
@@ -77,6 +83,79 @@ func TestRaceChaos(t *testing.T) {
 		st := pg.Cache.Stats()
 		if st.Hits+st.Misses == 0 {
 			t.Error("vsafe-cache: no traffic reached the cache")
+		}
+		return nil
+	})
+	// The serving layer under the same chaos: an in-process HTTP server with
+	// an under-sized shared cache takes NumCPU closed-loop clients mixing
+	// single estimates, batches and canceled-mid-flight requests — admission
+	// control, middleware counters and the LRU all take concurrent traffic
+	// while the drivers above saturate the sweep pool.
+	run("serve-chaos", func() error {
+		srv := serve.New(serve.Config{
+			Cache:       core.NewVSafeCache(4),
+			MaxInFlight: 2,
+			QueueDepth:  2 * runtime.NumCPU(),
+		})
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		client := ts.Client()
+
+		single := func(i float64) string {
+			return fmt.Sprintf(`{"load":{"shape":"uniform","i":%g,"t":0.01}}`, i)
+		}
+		var cwg sync.WaitGroup
+		errCh := make(chan error, runtime.NumCPU())
+		for c := 0; c < runtime.NumCPU(); c++ {
+			c := c
+			cwg.Add(1)
+			go func() {
+				defer cwg.Done()
+				for round := 0; round < 6; round++ {
+					// Rotate currents so the 4-entry cache churns.
+					body := single(10e-3 + float64((c+round)%8)*5e-3)
+					switch round % 3 {
+					case 0: // single estimate
+						resp, err := client.Post(ts.URL+"/v1/vsafe", "application/json", strings.NewReader(body))
+						if err != nil {
+							errCh <- err
+							return
+						}
+						resp.Body.Close()
+					case 1: // batch of three, one malformed element
+						batch := fmt.Sprintf(`{"requests":[%s,{"load":{"shape":"nope"}},%s]}`, body, single(20e-3))
+						resp, err := client.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
+						if err != nil {
+							errCh <- err
+							return
+						}
+						resp.Body.Close()
+					case 2: // cancel mid-flight: the context threads into the run
+						cctx, cancel := context.WithTimeout(context.Background(), time.Duration(c%3)*100*time.Microsecond)
+						req, err := http.NewRequestWithContext(cctx, http.MethodPost,
+							ts.URL+"/v1/simulate", strings.NewReader(`{"load":{"shape":"uniform","i":0.001,"t":5}}`))
+						if err != nil {
+							cancel()
+							errCh <- err
+							return
+						}
+						req.Header.Set("Content-Type", "application/json")
+						if resp, err := client.Do(req); err == nil {
+							resp.Body.Close() // cancellation errors are the point, not failures
+						}
+						cancel()
+					}
+				}
+			}()
+		}
+		cwg.Wait()
+		close(errCh)
+		for err := range errCh {
+			return err
+		}
+		m := srv.Metrics()
+		if m.Endpoints["vsafe"].Requests == 0 || m.Endpoints["batch"].Requests == 0 {
+			t.Error("serve-chaos: endpoints saw no traffic")
 		}
 		return nil
 	})

@@ -112,8 +112,10 @@ func (h *Harness) GroundTruthWith(p load.Profile, harvest float64) (float64, err
 }
 
 // GroundTruthCtx is GroundTruthWith with cancellation: the binary search
-// checks ctx between trials, so a CLI interrupt stops a long known-good
-// search within one simulated run instead of finishing all ~60 iterations.
+// checks ctx between trials and threads it into every run (see
+// powersys.RunOptions.Ctx), so a CLI interrupt or a serving deadline stops
+// a long known-good search mid-simulation instead of finishing all ~60
+// iterations.
 func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest float64) (float64, error) {
 	vOff, vHigh := h.cfg.VOff, h.cfg.VHigh
 
@@ -123,7 +125,7 @@ func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest fl
 			panic(err)
 		}
 		sys.Monitor().Force(true)
-		res := sys.Run(p, powersys.RunOptions{SkipRebound: true, HarvestPower: harvest, Fast: h.Fast})
+		res := sys.Run(p, powersys.RunOptions{SkipRebound: true, HarvestPower: harvest, Fast: h.Fast, Ctx: ctx})
 		return res.Completed && res.VMin >= vOff, res.VMin
 	}
 
@@ -131,11 +133,13 @@ func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest fl
 		return 0, err
 	}
 	okHigh, _ := safe(vHigh)
-	if !okHigh {
-		return 0, fmt.Errorf("harness: %s infeasible even from V_high=%g", p.Name(), vHigh)
-	}
+	// Re-check before concluding: a cancellation that lands mid-run aborts
+	// the trial, which must not read as "infeasible".
 	if err := ctx.Err(); err != nil {
 		return 0, err
+	}
+	if !okHigh {
+		return 0, fmt.Errorf("harness: %s infeasible even from V_high=%g", p.Name(), vHigh)
 	}
 	okLow, _ := safe(vOff)
 	if okLow {

@@ -25,6 +25,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync"
 
 	"culpeo/internal/capacitor"
 	"culpeo/internal/sweep"
@@ -105,6 +106,60 @@ func Catalog(seed int64) []capacitor.Part {
 		all = append(all, CatalogTech(tech, DefaultPartsPerTech, seed)...)
 	}
 	return all
+}
+
+// Index provides part-number lookup over a catalogue — the resolution path
+// the serving layer takes when a request names a capacitor part instead of
+// spelling out C and ESR. The index is immutable after construction, so it
+// is safe for concurrent use.
+type Index struct {
+	byNumber map[string]capacitor.Part
+}
+
+// NewIndex builds a part-number index over a catalogue. Later duplicates of
+// a part number win, matching a distributor feed where re-listed parts
+// supersede earlier rows.
+func NewIndex(parts []capacitor.Part) *Index {
+	ix := &Index{byNumber: make(map[string]capacitor.Part, len(parts))}
+	for _, p := range parts {
+		ix.byNumber[p.PartNumber] = p
+	}
+	return ix
+}
+
+// Len returns how many distinct part numbers the index holds.
+func (ix *Index) Len() int { return len(ix.byNumber) }
+
+// Part looks up a part by its catalogue number.
+func (ix *Index) Part(number string) (capacitor.Part, bool) {
+	p, ok := ix.byNumber[number]
+	return p, ok
+}
+
+// Bank resolves a part number into an assembled bank of the target
+// capacitance (targetC <= 0 selects the figure's 45 mF).
+func (ix *Index) Bank(number string, targetC float64) (capacitor.Bank, error) {
+	p, ok := ix.Part(number)
+	if !ok {
+		return capacitor.Bank{}, fmt.Errorf("partsdb: unknown part %q", number)
+	}
+	if targetC <= 0 {
+		targetC = TargetBankC
+	}
+	return capacitor.AssembleBank(p, targetC)
+}
+
+var (
+	defaultIndexOnce sync.Once
+	defaultIndex     *Index
+)
+
+// DefaultIndex returns the process-wide index over the default-seed
+// catalogue, built lazily on first use (synthesizing 2,000 parts costs
+// milliseconds — too much per request, nothing at startup).
+func DefaultIndex() *Index {
+	defaultIndexOnce.Do(func() { defaultIndex = NewIndex(Catalog(DefaultSeed)) })
+	return defaultIndex
 }
 
 // BankSweep assembles a targetC bank from every part, in parallel, and

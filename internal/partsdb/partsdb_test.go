@@ -170,3 +170,43 @@ func TestBestByVolume(t *testing.T) {
 		}
 	}
 }
+
+func TestIndexLookup(t *testing.T) {
+	parts := Catalog(DefaultSeed)
+	ix := NewIndex(parts)
+	if ix.Len() != len(parts) {
+		t.Fatalf("index holds %d of %d parts", ix.Len(), len(parts))
+	}
+	for _, want := range []string{"supercapacitor-0000", "ceramic-0499", "tantalum-0042", "electrolytic-0007"} {
+		p, ok := ix.Part(want)
+		if !ok {
+			t.Fatalf("part %q missing from index", want)
+		}
+		if p.PartNumber != want {
+			t.Errorf("looked up %q, got %q", want, p.PartNumber)
+		}
+	}
+	if _, ok := ix.Part("unobtainium-9999"); ok {
+		t.Error("index resolved a nonexistent part")
+	}
+}
+
+func TestIndexBank(t *testing.T) {
+	ix := DefaultIndex()
+	b, err := ix.Bank("supercapacitor-0000", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.C() < TargetBankC {
+		t.Errorf("default-target bank C = %g, want >= %g", b.C(), TargetBankC)
+	}
+	if _, err := ix.Bank("unobtainium-9999", 0); err == nil {
+		t.Error("unknown part assembled a bank")
+	}
+}
+
+func TestDefaultIndexShared(t *testing.T) {
+	if DefaultIndex() != DefaultIndex() {
+		t.Error("DefaultIndex rebuilt per call")
+	}
+}

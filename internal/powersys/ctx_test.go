@@ -1,0 +1,88 @@
+package powersys
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"culpeo/internal/load"
+)
+
+func ctxSystem(t *testing.T) *System {
+	t.Helper()
+	sys, err := New(Capybara())
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	return sys
+}
+
+// TestRunCanceled proves a pre-canceled context aborts the run immediately
+// on both steppers: the result carries the context error, Completed stays
+// false, and no power-failure verdict is fabricated.
+func TestRunCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, fast := range []bool{false, true} {
+		sys := ctxSystem(t)
+		res := sys.Run(load.NewUniform(5e-3, 10), RunOptions{Ctx: ctx, SkipRebound: true, Fast: fast})
+		if res.Completed {
+			t.Errorf("fast=%v: canceled run reported Completed", fast)
+		}
+		if res.PowerFailed {
+			t.Errorf("fast=%v: canceled run reported PowerFailed", fast)
+		}
+		if !errors.Is(res.Err, context.Canceled) {
+			t.Errorf("fast=%v: Err = %v, want context.Canceled", fast, res.Err)
+		}
+		if res.Duration > 0.5 {
+			t.Errorf("fast=%v: canceled run simulated %g s", fast, res.Duration)
+		}
+	}
+}
+
+// TestRunDeadline exercises a deadline landing mid-run: a 10-second profile
+// under a context that expires almost immediately must return early with
+// DeadlineExceeded rather than simulating to the end.
+func TestRunDeadline(t *testing.T) {
+	ctx, cancel := context.WithTimeout(context.Background(), 1)
+	defer cancel()
+	<-ctx.Done() // the 1 ns deadline has certainly passed
+	sys := ctxSystem(t)
+	res := sys.Run(load.NewUniform(1e-3, 10), RunOptions{Ctx: ctx, SkipRebound: true})
+	if !errors.Is(res.Err, context.DeadlineExceeded) {
+		t.Fatalf("Err = %v, want context.DeadlineExceeded", res.Err)
+	}
+	if res.Completed || res.Duration >= 10 {
+		t.Fatalf("run was not abandoned: completed=%v duration=%g", res.Completed, res.Duration)
+	}
+}
+
+// TestRunNilCtxUnchanged locks in that runs without a context behave exactly
+// as before the option existed.
+func TestRunNilCtxUnchanged(t *testing.T) {
+	sys := ctxSystem(t)
+	res := sys.Run(load.NewUniform(5e-3, 50e-3), RunOptions{SkipRebound: true})
+	if !res.Completed || res.Err != nil {
+		t.Fatalf("nil-ctx run: completed=%v err=%v", res.Completed, res.Err)
+	}
+}
+
+// TestReboundCanceled: a canceled context stops the settle loop and returns
+// the last solved voltage instead of integrating out the full timeout.
+func TestReboundCanceled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	sys := ctxSystem(t)
+	// Drop some charge first so a real rebound would take a while.
+	sys.Run(load.NewUniform(50e-3, 20e-3), RunOptions{SkipRebound: true})
+	before := sys.Now()
+	v := sys.Rebound(RunOptions{Ctx: ctx})
+	if v <= 0 {
+		t.Fatalf("rebound voltage %g", v)
+	}
+	if sys.Now()-before > 10e-3 {
+		t.Fatalf("canceled rebound integrated %g s", sys.Now()-before)
+	}
+}

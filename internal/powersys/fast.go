@@ -53,6 +53,9 @@ func (s *System) runFast(p load.Profile, opt RunOptions) RunResult {
 	steps := int(math.Ceil(dur / dt))
 	k := 0
 	for k < steps {
+		if err := opt.canceled(); err != nil {
+			return s.abort(res, float64(k)*dt, err)
+		}
 		iLoad := p.Current(float64(k)*dt) + opt.Baseline
 		end := k + 1
 		for end < steps && p.Current(float64(end)*dt)+opt.Baseline == iLoad {
@@ -313,6 +316,9 @@ func (s *System) reboundFast(opt RunOptions) float64 {
 	prev := s.lastVT
 	done := 0
 	for done < steps {
+		if opt.canceled() != nil {
+			return s.lastVT
+		}
 		n := window - done%window
 		if n > steps-done {
 			n = steps - done

@@ -11,6 +11,7 @@
 package powersys
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -380,9 +381,9 @@ type RunResult struct {
 	Duration      float64 // how long the profile ran before finishing/failing
 	EnergyUsed    float64 // energy removed from storage during the run
 	FailTime      float64 // time of the power failure (if any)
-	// Err is nil on completion, ErrBrownout on a power failure, and
-	// ErrDiverged when the nodal solution became non-finite (match with
-	// errors.Is).
+	// Err is nil on completion, ErrBrownout on a power failure, ErrDiverged
+	// when the nodal solution became non-finite, and the context's error
+	// when RunOptions.Ctx was canceled mid-run (match with errors.Is).
 	Err error
 }
 
@@ -403,6 +404,13 @@ type RunOptions struct {
 	// OnStep, when non-nil, observes every integration step (profilers use
 	// this to sample the terminal voltage like an ADC would).
 	OnStep func(StepInfo)
+	// Ctx, when non-nil, lets long simulations be abandoned mid-run: the
+	// steppers poll it every ctxCheckInterval ticks (and the fast path per
+	// macro segment) and return early with Err set to ctx.Err() and
+	// Completed false. A nil Ctx costs one pointer check per poll point, so
+	// the hot loop stays allocation-free. Serving threads each request's
+	// deadline through here; CLIs thread their signal context.
+	Ctx context.Context
 	// Fast opts into the analytic segment advance (fast.go): quiescent
 	// segments — constant demanded load, stable monitor state, no fault
 	// window — are advanced in closed form instead of tick-by-tick. The
@@ -412,6 +420,36 @@ type RunOptions struct {
 	// per-tick observation (Recorder, OnStep) or carry a fault injector
 	// fall back to the exact stepper, which remains the default.
 	Fast bool
+}
+
+// ctxCheckInterval is how many exact ticks elapse between RunOptions.Ctx
+// polls: 512 ticks is ~4 ms of simulated time at the default step and a few
+// microseconds of wall clock, so cancellation lands promptly without the
+// poll showing up in profiles.
+const ctxCheckInterval = 512
+
+// canceled reports the context error carried by the options, or nil when no
+// context was supplied. It allocates nothing, preserving the hot loop's
+// zero-alloc contract.
+func (opt RunOptions) canceled() error {
+	if opt.Ctx == nil {
+		return nil
+	}
+	return opt.Ctx.Err()
+}
+
+// abort finalizes res for a run abandoned at simulated offset t: the
+// context error is surfaced on Err, Completed stays false, and the voltages
+// report the state at the moment of abandonment.
+func (s *System) abort(res RunResult, t float64, err error) RunResult {
+	res.Err = err
+	res.Duration = t
+	res.VEndImmediate = s.lastVT
+	res.VFinal = s.lastVT
+	if math.IsInf(res.VMin, 1) {
+		res.VMin = s.lastVT
+	}
+	return res
 }
 
 // Run applies a load profile from the system's current state and reports
@@ -428,6 +466,11 @@ func (s *System) Run(p load.Profile, opt RunOptions) RunResult {
 	steps := int(math.Ceil(dur / dt))
 	for i := 0; i < steps; i++ {
 		t := float64(i) * dt
+		if opt.Ctx != nil && i%ctxCheckInterval == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				return s.abort(res, t, err)
+			}
+		}
 		iLoad := p.Current(t) + opt.Baseline
 		e0 := s.cfg.Storage.TotalEnergy()
 		info := s.Step(iLoad, opt.HarvestPower)
@@ -483,6 +526,9 @@ func (s *System) Rebound(opt RunOptions) float64 {
 	prev := s.lastVT
 	steps := int(timeout / dt)
 	for i := 0; i < steps; i++ {
+		if opt.Ctx != nil && i%ctxCheckInterval == 0 && opt.Ctx.Err() != nil {
+			return s.lastVT
+		}
 		info := s.Step(load.SleepCurrent, opt.HarvestPower)
 		if opt.OnStep != nil {
 			opt.OnStep(info)

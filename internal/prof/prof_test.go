@@ -1,0 +1,104 @@
+package prof
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestStartDisabled(t *testing.T) {
+	stop, err := Start("", "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatalf("no-op stop: %v", err)
+	}
+}
+
+func TestCPUProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(path, "")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has something to record.
+	x := 0.0
+	for i := 0; i < 1_000_000; i++ {
+		x += float64(i) * 1e-9
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("CPU profile is empty")
+	}
+}
+
+func TestHeapProfileWritten(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "mem.pprof")
+	stop, err := Start("", path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() == 0 {
+		t.Error("heap profile is empty")
+	}
+}
+
+func TestBothProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.pprof")
+	mem := filepath.Join(dir, "mem.pprof")
+	stop, err := Start(cpu, mem)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cpu, mem} {
+		if _, err := os.Stat(p); err != nil {
+			t.Errorf("missing profile: %v", err)
+		}
+	}
+}
+
+func TestStartErrors(t *testing.T) {
+	bad := filepath.Join(t.TempDir(), "no", "such", "dir", "x.pprof")
+	if _, err := Start(bad, ""); err == nil {
+		t.Error("unwritable CPU path accepted")
+	}
+	// A failed Start must leave no CPU profile running: a second Start with
+	// a good path must succeed.
+	good := filepath.Join(t.TempDir(), "cpu.pprof")
+	stop, err := Start(good, "")
+	if err != nil {
+		t.Fatalf("Start after failed Start: %v", err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A bad heap path surfaces at stop time (the heap profile is written on
+	// exit), not at Start.
+	stop, err = Start("", bad)
+	if err != nil {
+		t.Fatalf("Start with deferred-bad mem path: %v", err)
+	}
+	if err := stop(); err == nil {
+		t.Error("unwritable heap path not reported by stop")
+	}
+}

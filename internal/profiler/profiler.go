@@ -59,6 +59,21 @@ func (p PG) Estimate(task load.Profile) (core.Estimate, error) {
 	}
 }
 
+// EstimateTrace applies Algorithm 1 to an already-captured current trace at
+// its own sample rate — the ingestion path for traces uploaded over the
+// serving API or loaded from CSV, where re-sampling through a Profile would
+// distort the waveform. Memoization routes exactly as Estimate's.
+func (p PG) EstimateTrace(tr load.Trace) (core.Estimate, error) {
+	switch {
+	case p.NoCache:
+		return core.VSafePG(p.Model, tr)
+	case p.Cache != nil:
+		return p.Cache.PG(p.Model, tr)
+	default:
+		return core.VSafePGCached(p.Model, tr)
+	}
+}
+
 // Sampler is a voltage-capture mechanism driven by the simulation loop. It
 // doubles as the core.Probe the Culpeo interface needs: Start/End/ReboundEnd
 // frame a task execution while Tick delivers terminal-voltage samples.

@@ -215,3 +215,57 @@ func TestProbesAsCoreProbe(t *testing.T) {
 	var _ core.Probe = NewISRProbe(func() float64 { return 2.4 })
 	var _ core.Probe = NewUArchProbe(func() float64 { return 2.4 })
 }
+
+// TestEstimateTraceMatchesEstimate: handing PG a pre-sampled trace must give
+// bit-identical results to sampling the profile itself, for every cache
+// routing (the serving layer's upload path relies on this equivalence).
+func TestEstimateTraceMatchesEstimate(t *testing.T) {
+	model := testModel()
+	task := load.NewPulse(25e-3, 10e-3)
+	tr := load.Sample(task, load.SampleRateDefault)
+	for _, tc := range []struct {
+		name string
+		pg   PG
+	}{
+		{"default-cache", PG{Model: model}},
+		{"private-cache", PG{Model: model, Cache: core.NewVSafeCache(4)}},
+		{"no-cache", PG{Model: model, NoCache: true}},
+	} {
+		want, err := tc.pg.Estimate(task)
+		if err != nil {
+			t.Fatalf("%s: Estimate: %v", tc.name, err)
+		}
+		got, err := tc.pg.EstimateTrace(tr)
+		if err != nil {
+			t.Fatalf("%s: EstimateTrace: %v", tc.name, err)
+		}
+		if got != want {
+			t.Errorf("%s: EstimateTrace = %+v, Estimate = %+v", tc.name, got, want)
+		}
+	}
+}
+
+// TestEstimateTraceOwnRate: a trace at a non-default rate is analyzed at
+// that rate, not resampled.
+func TestEstimateTraceOwnRate(t *testing.T) {
+	model := testModel()
+	task := load.NewUniform(25e-3, 10e-3)
+	coarse := load.Sample(task, 10e3)
+	fine := load.Sample(task, load.SampleRateDefault)
+	pg := PG{Model: model, NoCache: true}
+	ec, err := pg.EstimateTrace(coarse)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ef, err := pg.EstimateTrace(fine)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same waveform at different rates: close but not identical estimates.
+	if ec == ef {
+		t.Error("coarse trace produced the fine-rate estimate; rate ignored?")
+	}
+	if math.Abs(ec.VSafe-ef.VSafe) > 5e-3 {
+		t.Errorf("rates diverge too far: %g vs %g", ec.VSafe, ef.VSafe)
+	}
+}

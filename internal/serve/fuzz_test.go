@@ -1,0 +1,146 @@
+package serve
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"culpeo/internal/partsdb"
+)
+
+// testCatalog shares the process-wide index so fuzz iterations don't
+// re-synthesize the 2,000-part catalogue.
+func testCatalog() *partsdb.Index { return partsdb.DefaultIndex() }
+
+// fuzzSeeds are representative request bodies: the golden-corpus load
+// shapes, peripheral and trace forms, part-catalogue resolution, plus
+// near-miss malformations. The fuzzer mutates from here.
+var fuzzSeeds = []string{
+	`{"load":{"shape":"uniform","i":0.025,"t":0.01}}`,
+	`{"load":{"shape":"pulse","i":0.05,"t":0.1}}`,
+	`{"load":{"peripheral":"ble"}}`,
+	`{"load":{"peripheral":"gesture"}}`,
+	`{"load":{"samples":[0.01,0.02,0.015],"rate":125000}}`,
+	`{"power":{"c":0.033,"esr":3,"v_off":1.8,"v_high":2.4},"load":{"shape":"uniform","i":0.025,"t":0.01}}`,
+	`{"power":{"part":"supercapacitor-0000","bank_c":0.045},"load":{"shape":"pulse","i":0.05,"t":0.01}}`,
+	`{"power":{"age":0.5},"load":{"shape":"uniform","i":0.025,"t":0.01}}`,
+	`{"power":{"c":1e308,"esr":1e308},"load":{"shape":"uniform","i":1e308,"t":1e-308}}`,
+	`{"load":{"shape":"uniform","i":-1,"t":0}}`,
+	`{"load":{"samples":[-1,1e400,null]}}`,
+	`{"load":{}}`,
+	`{}`,
+	`null`,
+	`[]`,
+	`{"load":{"shape":"uniform","i":0.025,"t":0.01}} trailing`,
+	`{"power":{"v_off":0,"v_high":0}}`,
+	"\x00\xff",
+}
+
+// checkSpecErr asserts every resolution failure is the 400-mapped errSpec,
+// never an internal error class (and, implicitly via the fuzzer, never a
+// panic).
+func checkSpecErr(t *testing.T, err error) {
+	t.Helper()
+	if err != nil && !errors.Is(err, errSpec) {
+		t.Fatalf("resolution error not classified as a client error: %v", err)
+	}
+}
+
+// FuzzVSafeDecode drives the /v1/vsafe decode + resolve path with arbitrary
+// bytes: the contract is malformed input maps to a 400-class error and
+// nothing ever panics.
+func FuzzVSafeDecode(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	catalog := testCatalog()
+	f.Fuzz(func(t *testing.T, body string) {
+		var req VSafeRequest
+		if err := decodeBody(strings.NewReader(body), &req); err != nil {
+			checkSpecErr(t, err)
+			return
+		}
+		if _, err := req.Power.resolve(catalog); err != nil {
+			checkSpecErr(t, err)
+			return
+		}
+		_, err := req.Load.resolve()
+		checkSpecErr(t, err)
+	})
+}
+
+// FuzzBatchDecode covers the batch envelope: element counts, nested specs,
+// nulls in the array.
+func FuzzBatchDecode(f *testing.F) {
+	f.Add(`{"requests":[{"load":{"shape":"uniform","i":0.025,"t":0.01}},{"load":{"peripheral":"ble"}}]}`)
+	f.Add(`{"requests":[]}`)
+	f.Add(`{"requests":[null]}`)
+	f.Add(`{"requests":"nope"}`)
+	for _, s := range fuzzSeeds {
+		f.Add(`{"requests":[` + s + `]}`)
+	}
+	catalog := testCatalog()
+	f.Fuzz(func(t *testing.T, body string) {
+		var req BatchRequest
+		if err := decodeBody(strings.NewReader(body), &req); err != nil {
+			checkSpecErr(t, err)
+			return
+		}
+		for _, el := range req.Requests {
+			if _, err := el.Power.resolve(catalog); err != nil {
+				checkSpecErr(t, err)
+				continue
+			}
+			_, err := el.Load.resolve()
+			checkSpecErr(t, err)
+		}
+	})
+}
+
+// FuzzSimulateDecode covers the simulate body (v_start, harvest, fast).
+func FuzzSimulateDecode(f *testing.F) {
+	f.Add(`{"load":{"shape":"pulse","i":0.025,"t":0.01},"v_start":2.2,"harvest":0.001,"fast":true}`)
+	f.Add(`{"load":{"shape":"uniform","i":0.025,"t":0.01},"v_start":-1}`)
+	f.Add(`{"load":{"peripheral":"lora"},"harvest":1e308}`)
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	catalog := testCatalog()
+	f.Fuzz(func(t *testing.T, body string) {
+		var req SimulateRequest
+		if err := decodeBody(strings.NewReader(body), &req); err != nil {
+			checkSpecErr(t, err)
+			return
+		}
+		if _, err := req.Power.resolve(catalog); err != nil {
+			checkSpecErr(t, err)
+			return
+		}
+		_, err := req.Load.resolve()
+		checkSpecErr(t, err)
+	})
+}
+
+// FuzzVSafeRDecode covers the runtime-estimate body.
+func FuzzVSafeRDecode(f *testing.F) {
+	f.Add(`{"observation":{"v_start":2.4,"v_min":2.0,"v_final":2.2}}`)
+	f.Add(`{"observation":{"v_start":0,"v_min":0,"v_final":0}}`)
+	f.Add(`{"observation":{"v_start":-2.4,"v_min":2.0,"v_final":1e309}}`)
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	catalog := testCatalog()
+	f.Fuzz(func(t *testing.T, body string) {
+		var req VSafeRRequest
+		if err := decodeBody(strings.NewReader(body), &req); err != nil {
+			checkSpecErr(t, err)
+			return
+		}
+		if _, err := req.Power.resolve(catalog); err != nil {
+			checkSpecErr(t, err)
+			return
+		}
+		_, err := req.Observation.resolve()
+		checkSpecErr(t, err)
+	})
+}

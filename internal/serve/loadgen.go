@@ -1,0 +1,187 @@
+// The load generator behind `culpeo loadtest`: closed-loop concurrent
+// clients hammering POST /v1/vsafe over real loopback HTTP, reporting
+// sustained throughput and latency quantiles. Self-hosted mode (no target
+// URL) boots an in-process server on an ephemeral port, so one command
+// measures the full stack — admission queue, middleware, JSON codec,
+// cache-hot estimation — with no external setup.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// LoadTestOptions configures a load-generation run.
+type LoadTestOptions struct {
+	// URL targets a running daemon (e.g. "http://127.0.0.1:8080"); empty
+	// self-hosts an in-process server.
+	URL string
+	// Duration is the measurement window (<=0: 3 s).
+	Duration time.Duration
+	// Concurrency is the closed-loop client count (<=0: 4×GOMAXPROCS).
+	Concurrency int
+	// Body is the request body each client posts to /v1/vsafe; empty uses a
+	// fixed cache-hot single-estimate query, the serving fast path the
+	// throughput target is defined over.
+	Body []byte
+	// Server tunes the self-hosted server (ignored when URL is set).
+	Server Config
+}
+
+// LoadTestResult is the report of one run.
+type LoadTestResult struct {
+	Requests     uint64  `json:"requests"`
+	Errors       uint64  `json:"errors"`
+	DurationSec  float64 `json:"duration_sec"`
+	Throughput   float64 `json:"throughput_rps"`
+	MeanMs       float64 `json:"mean_ms"`
+	P50Ms        float64 `json:"p50_ms"`
+	P99Ms        float64 `json:"p99_ms"`
+	Concurrency  int     `json:"concurrency"`
+	SelfHosted   bool    `json:"self_hosted"`
+	CacheHitRate float64 `json:"cache_hit_rate"` // self-hosted only
+}
+
+// defaultLoadTestBody is the canonical cache-hot query: after the first
+// request misses, every later one coalesces onto the memoized estimate.
+const defaultLoadTestBody = `{"load":{"shape":"uniform","i":0.025,"t":0.01}}`
+
+// LoadTest runs closed-loop clients against /v1/vsafe until the duration
+// (or ctx) expires and aggregates latency quantiles across all of them.
+func LoadTest(ctx context.Context, opt LoadTestOptions) (LoadTestResult, error) {
+	if opt.Duration <= 0 {
+		opt.Duration = 3 * time.Second
+	}
+	if opt.Concurrency <= 0 {
+		opt.Concurrency = 4 * runtime.GOMAXPROCS(0)
+	}
+	body := opt.Body
+	if len(body) == 0 {
+		body = []byte(defaultLoadTestBody)
+	}
+
+	res := LoadTestResult{Concurrency: opt.Concurrency}
+	base := opt.URL
+	var self *Server
+	if base == "" {
+		// MaxInFlight defaults to GOMAXPROCS; with 4× closed-loop clients the
+		// overflow sits in the admission queue, so size it to hold them all —
+		// the loadtest measures service latency, not 503 turnaround.
+		cfg := opt.Server
+		if cfg.QueueDepth <= 0 {
+			cfg.QueueDepth = 4 * opt.Concurrency
+		}
+		self = New(cfg)
+		ts := httptest.NewServer(self.Handler())
+		defer ts.Close()
+		base = ts.URL
+		res.SelfHosted = true
+	}
+	target := base + "/v1/vsafe"
+
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        opt.Concurrency,
+		MaxIdleConnsPerHost: opt.Concurrency,
+	}}
+	defer client.CloseIdleConnections()
+
+	// One warm-up request: the cold Algorithm 1 miss should not pollute the
+	// steady-state quantiles (and it verifies the target answers at all).
+	warm, err := client.Post(target, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return res, fmt.Errorf("loadtest: target unreachable: %w", err)
+	}
+	io.Copy(io.Discard, warm.Body)
+	warm.Body.Close()
+	if warm.StatusCode != http.StatusOK {
+		return res, fmt.Errorf("loadtest: warm-up request got %s", warm.Status)
+	}
+
+	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
+	defer cancel()
+
+	var (
+		wg       sync.WaitGroup
+		errs     atomic.Uint64
+		perGorou = make([][]float64, opt.Concurrency) // latencies in ms
+	)
+	start := time.Now()
+	for g := 0; g < opt.Concurrency; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			lat := make([]float64, 0, 1<<14)
+			rd := bytes.NewReader(body)
+			for runCtx.Err() == nil {
+				rd.Reset(body)
+				t0 := time.Now()
+				resp, err := client.Post(target, "application/json", rd)
+				if err != nil {
+					if runCtx.Err() != nil {
+						break
+					}
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					errs.Add(1)
+					continue
+				}
+				lat = append(lat, float64(time.Since(t0))/1e6)
+			}
+			perGorou[g] = lat
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	var all []float64
+	for _, l := range perGorou {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+
+	res.Requests = uint64(len(all))
+	res.Errors = errs.Load()
+	res.DurationSec = elapsed.Seconds()
+	if res.DurationSec > 0 {
+		res.Throughput = float64(res.Requests) / res.DurationSec
+	}
+	if len(all) > 0 {
+		var sum float64
+		for _, v := range all {
+			sum += v
+		}
+		res.MeanMs = sum / float64(len(all))
+		res.P50Ms = quantile(all, 0.50)
+		res.P99Ms = quantile(all, 0.99)
+	}
+	if self != nil {
+		res.CacheHitRate = self.Cache().Stats().HitRate()
+	}
+	if res.Requests == 0 {
+		return res, fmt.Errorf("loadtest: no request completed in %v", opt.Duration)
+	}
+	return res, nil
+}
+
+// quantile reads the q-th quantile from sorted data (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}

@@ -1,0 +1,59 @@
+package serve
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestLoadTestSelfHosted runs a short self-hosted burst and sanity-checks
+// the aggregates. The real throughput acceptance run is `culpeo loadtest`;
+// here the window is small to keep the suite fast.
+func TestLoadTestSelfHosted(t *testing.T) {
+	res, err := LoadTest(context.Background(), LoadTestOptions{
+		Duration:    200 * time.Millisecond,
+		Concurrency: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Requests == 0 || res.Errors != 0 {
+		t.Fatalf("requests=%d errors=%d, want >0 / 0", res.Requests, res.Errors)
+	}
+	if !res.SelfHosted {
+		t.Error("empty URL should self-host")
+	}
+	if res.Throughput <= 0 {
+		t.Errorf("throughput %v, want > 0", res.Throughput)
+	}
+	if res.P50Ms <= 0 || res.P99Ms < res.P50Ms {
+		t.Errorf("quantiles p50=%v p99=%v malformed", res.P50Ms, res.P99Ms)
+	}
+	if res.CacheHitRate <= 0.5 {
+		t.Errorf("cache-hot workload hit rate %v, want > 0.5", res.CacheHitRate)
+	}
+}
+
+// TestLoadTestBadTarget fails fast when the target is unreachable.
+func TestLoadTestBadTarget(t *testing.T) {
+	_, err := LoadTest(context.Background(), LoadTestOptions{
+		URL:      "http://127.0.0.1:1",
+		Duration: 100 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("unreachable target should error")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	data := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if q := quantile(data, 0.5); q != 5 {
+		t.Errorf("p50 = %v, want 5", q)
+	}
+	if q := quantile(data, 0.99); q != 9 {
+		t.Errorf("p99 = %v, want 9 (nearest rank)", q)
+	}
+	if q := quantile(nil, 0.5); q != 0 {
+		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}

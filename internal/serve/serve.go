@@ -1,0 +1,485 @@
+// Package serve is the network face of the repository: an HTTP/JSON
+// service exposing V_safe estimation (profile-guided and runtime),
+// simulation verdicts and batched estimation over the same library code the
+// CLIs drive. One server owns one core.VSafeCache, so every endpoint —
+// single estimates, batch fan-outs, concurrent clients — coalesces
+// identical (model, trace) work into one memoized Algorithm 1 run, and the
+// /metrics document reports the cache's live hit rate next to the request
+// counters.
+//
+// The server is production-shaped rather than a bare mux:
+//
+//   - admission control: at most MaxInFlight requests execute while at most
+//     QueueDepth wait; beyond that clients get 503 + Retry-After
+//     immediately (backpressure, never unbounded queueing);
+//   - per-request deadlines: Timeout bounds every request, and the context
+//     threads through powersys.RunOptions.Ctx so a deadline abandons a
+//     simulation mid-run instead of finishing it for a dead client;
+//   - panic isolation: a panicking handler answers 500 and increments a
+//     counter without taking the process down — the same recovery
+//     discipline internal/sweep applies per cell (batch cells additionally
+//     get the sweep engine's own recovery);
+//   - graceful drain: SetDraining flips /healthz to 503 so load balancers
+//     stop routing, while in-flight work completes (cmd/culpeod pairs this
+//     with http.Server.Shutdown and a hard deadline).
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync/atomic"
+	"time"
+
+	"culpeo/internal/core"
+	"culpeo/internal/partsdb"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+	"culpeo/internal/sweep"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultQueueDepth = 64
+	DefaultTimeout    = 30 * time.Second
+	// maxBatch bounds a single batch request; larger workloads should shard
+	// across requests (each one admission-queue slot).
+	maxBatch = 4096
+)
+
+// Config tunes a Server. The zero value is serviceable: GOMAXPROCS
+// in-flight requests, a 64-deep admission queue, 30 s deadlines, the
+// default-sized V_safe cache and the default-seed part catalogue.
+type Config struct {
+	// MaxInFlight bounds concurrently executing requests (<=0: GOMAXPROCS).
+	MaxInFlight int
+	// QueueDepth bounds requests waiting for an execution slot (<=0:
+	// DefaultQueueDepth). The K+1st waiter is refused with 503.
+	QueueDepth int
+	// Timeout is the per-request deadline (<=0: DefaultTimeout).
+	Timeout time.Duration
+	// CacheSize sizes the server's V_safe cache (<=0: core default).
+	CacheSize int
+	// Cache overrides the server-owned cache entirely (tests share or
+	// undersize it; nil builds one of CacheSize).
+	Cache *core.VSafeCache
+	// Workers bounds the sweep pool a batch request fans out over (<=0:
+	// GOMAXPROCS).
+	Workers int
+	// Catalog resolves PowerSpec.Part (nil: partsdb.DefaultIndex()).
+	Catalog *partsdb.Index
+}
+
+// Server implements the culpeod HTTP API. Create with New, expose with
+// Handler.
+type Server struct {
+	cfg     Config
+	cache   *core.VSafeCache
+	catalog *partsdb.Index
+	met     *metrics
+	mux     *http.ServeMux
+
+	// slots is the execution semaphore (capacity MaxInFlight); queued
+	// counts waiters and is bounded by QueueDepth in admit.
+	slots  chan struct{}
+	queued atomic.Int64
+
+	// holdForTest, when non-nil, blocks every /v1 handler after admission
+	// until the channel yields — how the backpressure tests pin requests
+	// in-flight deterministically.
+	holdForTest chan struct{}
+}
+
+// endpointNames keys the per-endpoint metrics.
+var endpointNames = []string{"vsafe", "vsafe-r", "simulate", "batch", "healthz", "metrics"}
+
+// New builds a Server.
+func New(cfg Config) *Server {
+	if cfg.MaxInFlight <= 0 {
+		cfg.MaxInFlight = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = DefaultQueueDepth
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = DefaultTimeout
+	}
+	cache := cfg.Cache
+	if cache == nil {
+		cache = core.NewVSafeCache(cfg.CacheSize)
+	}
+	catalog := cfg.Catalog
+	if catalog == nil {
+		catalog = partsdb.DefaultIndex()
+	}
+	s := &Server{
+		cfg:     cfg,
+		cache:   cache,
+		catalog: catalog,
+		met:     newMetrics(endpointNames),
+		mux:     http.NewServeMux(),
+		slots:   make(chan struct{}, cfg.MaxInFlight),
+	}
+	s.mux.Handle("/v1/vsafe", s.api("vsafe", s.handleVSafe))
+	s.mux.Handle("/v1/vsafe-r", s.api("vsafe-r", s.handleVSafeR))
+	s.mux.Handle("/v1/simulate", s.api("simulate", s.handleSimulate))
+	s.mux.Handle("/v1/batch", s.api("batch", s.handleBatch))
+	s.mux.Handle("/healthz", s.observed("healthz", s.handleHealthz))
+	s.mux.Handle("/metrics", s.observed("metrics", s.handleMetrics))
+	return s
+}
+
+// Handler returns the root handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Cache exposes the server-owned V_safe cache (loadtest reports its
+// hit rate; tests reset it).
+func (s *Server) Cache() *core.VSafeCache { return s.cache }
+
+// SetDraining flips the drain flag: /healthz answers 503 so load balancers
+// stop routing while in-flight requests finish. Estimation endpoints keep
+// answering — during http.Server.Shutdown the listener is already closed,
+// and any straggler arriving on a kept-alive connection still deserves a
+// real response.
+func (s *Server) SetDraining(v bool) { s.met.drained.Store(v) }
+
+// Metrics snapshots the live metrics document.
+func (s *Server) Metrics() MetricsSnapshot {
+	return s.met.snapshot(s.queued.Load(), int64(len(s.slots)), s.cache.Stats())
+}
+
+// admission is the outcome of trying to enter the bounded queue.
+type admission int
+
+const (
+	admitOK admission = iota
+	admitFull
+	admitCanceled
+)
+
+// admit implements the bounded admission queue: take an execution slot if
+// one is free, otherwise wait — but only if fewer than QueueDepth requests
+// are already waiting. The bound is strict (checked with one atomic add),
+// so with K waiters the K+1st arrival is refused immediately.
+func (s *Server) admit(ctx context.Context) admission {
+	select {
+	case s.slots <- struct{}{}:
+		return admitOK
+	default:
+	}
+	if s.queued.Add(1) > int64(s.cfg.QueueDepth) {
+		s.queued.Add(-1)
+		s.met.queueFull.Add(1)
+		return admitFull
+	}
+	defer s.queued.Add(-1)
+	select {
+	case s.slots <- struct{}{}:
+		return admitOK
+	case <-ctx.Done():
+		return admitCanceled
+	}
+}
+
+func (s *Server) release() { <-s.slots }
+
+// statusWriter captures the status code a handler wrote so the metrics
+// middleware can classify the outcome.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (w *statusWriter) WriteHeader(code int) {
+	if w.status == 0 {
+		w.status = code
+	}
+	w.ResponseWriter.WriteHeader(code)
+}
+
+func (w *statusWriter) Write(b []byte) (int, error) {
+	if w.status == 0 {
+		w.status = http.StatusOK
+	}
+	return w.ResponseWriter.Write(b)
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v) // a write error means the client is gone
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	writeJSON(w, status, ErrorResponse{Error: err.Error()})
+}
+
+// observed wraps the cheap GET endpoints with panic isolation and metrics
+// but no admission control: health and metrics must answer while the work
+// endpoints are saturated — that is when they matter most.
+func (s *Server) observed(name string, fn http.HandlerFunc) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Add(1)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic: %v", rec))
+				}
+			}
+			s.met.record(name, sw.status, time.Since(start))
+		}()
+		fn(sw, r)
+	})
+}
+
+// api wraps a work endpoint with the full middleware stack: method check,
+// panic isolation, admission control with backpressure, the per-request
+// deadline, and outcome classification into HTTP statuses.
+func (s *Server) api(name string, fn func(ctx context.Context, r *http.Request) (any, error)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.panics.Add(1)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic: %v", rec))
+				}
+			}
+			s.met.record(name, sw.status, time.Since(start))
+		}()
+
+		if r.Method != http.MethodPost {
+			sw.Header().Set("Allow", http.MethodPost)
+			writeError(sw, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+
+		switch s.admit(r.Context()) {
+		case admitFull:
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, errors.New("admission queue full"))
+			return
+		case admitCanceled:
+			// The client gave up (or its deadline fired) while queued; the
+			// response is best-effort.
+			writeError(sw, http.StatusServiceUnavailable, errors.New("canceled while queued"))
+			return
+		}
+		defer s.release()
+
+		if s.holdForTest != nil {
+			select {
+			case <-s.holdForTest:
+			case <-r.Context().Done():
+			}
+		}
+
+		ctx, cancel := context.WithTimeout(r.Context(), s.cfg.Timeout)
+		defer cancel()
+		r.Body = http.MaxBytesReader(sw, r.Body, maxBodyBytes)
+
+		v, err := fn(ctx, r)
+		switch {
+		case err == nil:
+			writeJSON(sw, http.StatusOK, v)
+		case errors.Is(err, errSpec):
+			writeError(sw, http.StatusBadRequest, err)
+		case errors.Is(err, context.DeadlineExceeded):
+			s.met.timeouts.Add(1)
+			writeError(sw, http.StatusGatewayTimeout, errors.New("deadline exceeded"))
+		case errors.Is(err, context.Canceled):
+			// Client disconnect: nothing to deliver, but record honestly.
+			writeError(sw, statusClientClosed, err)
+		default:
+			writeError(sw, http.StatusInternalServerError, err)
+		}
+	})
+}
+
+// statusClientClosed mirrors nginx's non-standard 499 "client closed
+// request" for metrics classification.
+const statusClientClosed = 499
+
+// estimate is the shared core of /v1/vsafe and each batch element: resolve
+// both specs, route through the server's cache, answer bit-identically to
+// the library path.
+func (s *Server) estimate(ctx context.Context, req VSafeRequest) (EstimateResponse, error) {
+	if err := ctx.Err(); err != nil {
+		return EstimateResponse{}, err
+	}
+	rp, err := req.Power.resolve(s.catalog)
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	rl, err := req.Load.resolve()
+	if err != nil {
+		return EstimateResponse{}, err
+	}
+	pg := profiler.PG{Model: rp.model, Cache: s.cache}
+	var est core.Estimate
+	if rl.isTrace {
+		est, err = pg.EstimateTrace(rl.trace)
+	} else {
+		est, err = pg.Estimate(rl.profile)
+	}
+	if err != nil {
+		// Residual Algorithm 1 failures are input-data problems (the specs
+		// themselves already validated).
+		return EstimateResponse{}, specErrorf("estimate: %v", err)
+	}
+	return EstimateResponse{VSafe: est.VSafe, VDelta: est.VDelta, VE: est.VE}, nil
+}
+
+func (s *Server) handleVSafe(ctx context.Context, r *http.Request) (any, error) {
+	var req VSafeRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		return nil, err
+	}
+	return s.estimate(ctx, req)
+}
+
+func (s *Server) handleVSafeR(ctx context.Context, r *http.Request) (any, error) {
+	var req VSafeRRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	rp, err := req.Power.resolve(s.catalog)
+	if err != nil {
+		return nil, err
+	}
+	obs, err := req.Observation.resolve()
+	if err != nil {
+		return nil, err
+	}
+	est, err := core.VSafeR(rp.model, obs)
+	if err != nil {
+		return nil, specErrorf("vsafe-r: %v", err)
+	}
+	return EstimateResponse{VSafe: est.VSafe, VDelta: est.VDelta, VE: est.VE}, nil
+}
+
+func (s *Server) handleSimulate(ctx context.Context, r *http.Request) (any, error) {
+	var req SimulateRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		return nil, err
+	}
+	rp, err := req.Power.resolve(s.catalog)
+	if err != nil {
+		return nil, err
+	}
+	rl, err := req.Load.resolve()
+	if err != nil {
+		return nil, err
+	}
+	vStart := req.VStart
+	if vStart == 0 {
+		vStart = rp.cfg.VHigh
+	}
+	if !isFinite(vStart) || vStart < rp.cfg.VOff || vStart > rp.cfg.VHigh {
+		return nil, specErrorf("simulate: v_start %g outside [%g, %g]", vStart, rp.cfg.VOff, rp.cfg.VHigh)
+	}
+	if !isFinite(req.Harvest) || req.Harvest < 0 {
+		return nil, specErrorf("simulate: harvest %g", req.Harvest)
+	}
+
+	// The harness's launch-validation sequence: charge to V_high, discharge
+	// to the requested start, force delivery on, run.
+	sys, err := powersys.New(rp.cfg)
+	if err != nil {
+		return nil, specErrorf("simulate: %v", err)
+	}
+	if err := sys.ChargeTo(rp.cfg.VHigh); err != nil {
+		return nil, specErrorf("simulate: %v", err)
+	}
+	if err := sys.DischargeTo(vStart); err != nil {
+		return nil, specErrorf("simulate: %v", err)
+	}
+	sys.Monitor().Force(true)
+	res := sys.Run(rl.asProfile(), powersys.RunOptions{
+		SkipRebound:  true,
+		HarvestPower: req.Harvest,
+		Fast:         req.Fast,
+		Ctx:          ctx,
+	})
+	if res.Err != nil && (errors.Is(res.Err, context.DeadlineExceeded) || errors.Is(res.Err, context.Canceled)) {
+		return nil, res.Err
+	}
+	resp := SimulateResponse{
+		Completed:   res.Completed,
+		PowerFailed: res.PowerFailed,
+		VStart:      res.VStart,
+		VMin:        res.VMin,
+		VFinal:      res.VFinal,
+		Duration:    res.Duration,
+		EnergyUsed:  res.EnergyUsed,
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	return resp, nil
+}
+
+// handleBatch fans the elements out over the sweep worker pool. Results are
+// order-preserving and per-element: one malformed element reports its error
+// in place without failing its siblings. All elements share the server's
+// V_safe cache, so a batch of near-duplicate configurations coalesces into
+// few Algorithm 1 runs.
+func (s *Server) handleBatch(ctx context.Context, r *http.Request) (any, error) {
+	var req BatchRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		return nil, err
+	}
+	if len(req.Requests) == 0 {
+		return nil, specErrorf("batch: empty request list")
+	}
+	if len(req.Requests) > maxBatch {
+		return nil, specErrorf("batch: %d elements exceeds the %d cap", len(req.Requests), maxBatch)
+	}
+	results, err := sweep.Map(ctx, req.Requests, func(ctx context.Context, _ int, el VSafeRequest) (BatchResult, error) {
+		est, err := s.estimate(ctx, el)
+		if err != nil {
+			if ctx.Err() != nil {
+				return BatchResult{}, ctx.Err() // deadline: fail the batch, not the element
+			}
+			return BatchResult{Error: err.Error()}, nil
+		}
+		return BatchResult{Estimate: &est}, nil
+	}, sweep.Workers(s.cfg.Workers))
+	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr
+		}
+		return nil, err
+	}
+	return BatchResponse{Results: results}, nil
+}
+
+// HealthResponse is the /healthz body.
+type HealthResponse struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	draining := s.met.drained.Load()
+	status := http.StatusOK
+	if draining {
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, HealthResponse{OK: !draining, Draining: draining})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,580 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+)
+
+func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
+	t.Helper()
+	s := New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, ts
+}
+
+func postJSON(t *testing.T, url string, body any) *http.Response {
+	t.Helper()
+	b, err := json.Marshal(body)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("POST %s: %v", url, err)
+	}
+	return resp
+}
+
+func decodeResp[T any](t *testing.T, resp *http.Response, wantStatus int) T {
+	t.Helper()
+	defer resp.Body.Close()
+	if resp.StatusCode != wantStatus {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		t.Fatalf("status %d, want %d (error: %s)", resp.StatusCode, wantStatus, e.Error)
+	}
+	var v T
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatalf("decode response: %v", err)
+	}
+	return v
+}
+
+// defaultModel reconstructs the model the zero-value PowerSpec resolves to,
+// the way cmd/vsafe builds it.
+func defaultModel(t *testing.T) core.PowerModel {
+	t.Helper()
+	cfg := powersys.Capybara()
+	m := core.PowerModel{
+		C:     cfg.Storage.TotalCapacitance(),
+		ESR:   capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   cfg.Output.Efficiency,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("default model invalid: %v", err)
+	}
+	return m
+}
+
+// specForProfile maps a library profile back to its wire spec.
+func specForProfile(t *testing.T, p load.Profile) LoadSpec {
+	t.Helper()
+	switch l := p.(type) {
+	case load.Uniform:
+		return LoadSpec{Shape: "uniform", I: l.ILoad, T: l.TPulse}
+	case load.Pulse:
+		return LoadSpec{Shape: "pulse", I: l.ILoad, T: l.TPulse}
+	default:
+		t.Fatalf("no wire spec for profile %T", p)
+		return LoadSpec{}
+	}
+}
+
+// TestVSafeParity is the acceptance gate: for every golden-corpus load
+// (the full Table III synthetic grid plus the measured peripherals), the
+// served estimate must equal the library's profiler.PG result bit for bit —
+// same resolution path, same Algorithm 1, JSON float64 round-trip exact.
+func TestVSafeParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	model := defaultModel(t)
+
+	type pcase struct {
+		name string
+		spec LoadSpec
+		task load.Profile
+	}
+	var cases []pcase
+	for _, p := range load.TableIIIUniform() {
+		cases = append(cases, pcase{p.Name(), specForProfile(t, p), p})
+	}
+	for _, p := range load.TableIIIPulse() {
+		cases = append(cases, pcase{p.Name(), specForProfile(t, p), p})
+	}
+	for name, p := range map[string]load.Profile{
+		"gesture": load.Gesture(), "ble": load.BLERadio(),
+		"mnist": load.ComputeAccel(), "lora": load.LoRa(),
+	} {
+		cases = append(cases, pcase{"peripheral-" + name, LoadSpec{Peripheral: name}, p})
+	}
+
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := profiler.PG{Model: model}.Estimate(tc.task)
+			if err != nil {
+				t.Fatalf("library estimate: %v", err)
+			}
+			got := decodeResp[EstimateResponse](t,
+				postJSON(t, ts.URL+"/v1/vsafe", VSafeRequest{Load: tc.spec}), http.StatusOK)
+			if math.Float64bits(got.VSafe) != math.Float64bits(want.VSafe) ||
+				math.Float64bits(got.VDelta) != math.Float64bits(want.VDelta) ||
+				math.Float64bits(got.VE) != math.Float64bits(want.VE) {
+				t.Errorf("served estimate diverges from library:\n got  %+v\n want %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestVSafeParityNonDefaultPower extends parity to non-default power specs:
+// explicit C/ESR, shifted window, aged capacitors, and a catalogue part.
+func TestVSafeParityNonDefaultPower(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	task := load.NewPulse(50e-3, 10e-3)
+	spec := LoadSpec{Shape: "pulse", I: 50e-3, T: 10e-3}
+
+	cases := []struct {
+		name  string
+		power PowerSpec
+	}{
+		{"explicit-c-esr", PowerSpec{C: 33e-3, ESR: 3}},
+		{"shifted-window", PowerSpec{VOff: 1.8, VHigh: 2.4}},
+		{"aged", PowerSpec{Age: 0.5}},
+		{"part", PowerSpec{Part: "supercapacitor-0000"}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			rp, err := tc.power.resolve(s.catalog)
+			if err != nil {
+				t.Fatalf("resolve: %v", err)
+			}
+			want, err := profiler.PG{Model: rp.model}.Estimate(task)
+			if err != nil {
+				t.Fatalf("library estimate: %v", err)
+			}
+			got := decodeResp[EstimateResponse](t,
+				postJSON(t, ts.URL+"/v1/vsafe", VSafeRequest{Power: tc.power, Load: spec}), http.StatusOK)
+			if math.Float64bits(got.VSafe) != math.Float64bits(want.VSafe) {
+				t.Errorf("V_safe %v != library %v", got.VSafe, want.VSafe)
+			}
+		})
+	}
+}
+
+// TestVSafeTraceParity uploads raw samples and checks them against the
+// library's trace path.
+func TestVSafeTraceParity(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	model := defaultModel(t)
+	samples := make([]float64, 2000)
+	for i := range samples {
+		samples[i] = 10e-3 + 5e-3*math.Sin(float64(i)/50)
+	}
+	tr := load.Trace{ID: "uploaded", Rate: load.SampleRateDefault, Samples: samples}
+	want, err := profiler.PG{Model: model}.EstimateTrace(tr)
+	if err != nil {
+		t.Fatalf("library estimate: %v", err)
+	}
+	got := decodeResp[EstimateResponse](t,
+		postJSON(t, ts.URL+"/v1/vsafe", VSafeRequest{Load: LoadSpec{Samples: samples}}), http.StatusOK)
+	if math.Float64bits(got.VSafe) != math.Float64bits(want.VSafe) {
+		t.Errorf("V_safe %v != library %v", got.VSafe, want.VSafe)
+	}
+}
+
+func TestVSafeR(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	model := defaultModel(t)
+	obs := core.Observation{VStart: 2.4, VMin: 2.0, VFinal: 2.2}
+	want, err := core.VSafeR(model, obs)
+	if err != nil {
+		t.Fatalf("library VSafeR: %v", err)
+	}
+	got := decodeResp[EstimateResponse](t, postJSON(t, ts.URL+"/v1/vsafe-r", VSafeRRequest{
+		Observation: ObservationSpec{VStart: 2.4, VMin: 2.0, VFinal: 2.2},
+	}), http.StatusOK)
+	if math.Float64bits(got.VSafe) != math.Float64bits(want.VSafe) ||
+		math.Float64bits(got.VDelta) != math.Float64bits(want.VDelta) {
+		t.Errorf("served %+v != library %+v", got, want)
+	}
+
+	// Physically impossible ordering is a client error.
+	resp := postJSON(t, ts.URL+"/v1/vsafe-r", VSafeRRequest{
+		Observation: ObservationSpec{VStart: 2.0, VMin: 2.4, VFinal: 2.2},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid observation: status %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestSimulateVerdicts(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	// A modest pulse from V_high completes.
+	ok := decodeResp[SimulateResponse](t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Load: LoadSpec{Shape: "pulse", I: 25e-3, T: 10e-3},
+	}), http.StatusOK)
+	if !ok.Completed || ok.PowerFailed {
+		t.Errorf("modest pulse should complete: %+v", ok)
+	}
+
+	// An absurd current browns out.
+	bad := decodeResp[SimulateResponse](t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Load: LoadSpec{Shape: "uniform", I: 5, T: 1},
+	}), http.StatusOK)
+	if bad.Completed || !bad.PowerFailed {
+		t.Errorf("5 A load should brown out: %+v", bad)
+	}
+
+	// The fast path reaches the same verdicts.
+	fast := decodeResp[SimulateResponse](t, postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Load: LoadSpec{Shape: "pulse", I: 25e-3, T: 10e-3},
+		Fast: true,
+	}), http.StatusOK)
+	if !fast.Completed || fast.PowerFailed {
+		t.Errorf("fast path should complete: %+v", fast)
+	}
+
+	// v_start below the window is a client error.
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Load:   LoadSpec{Shape: "pulse", I: 25e-3, T: 10e-3},
+		VStart: 0.5,
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("low v_start: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestBatch checks order preservation, per-element errors and cache
+// coalescing across identical elements.
+func TestBatch(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	el := VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}}
+	bad := VSafeRequest{Load: LoadSpec{Shape: "nope", I: 1e-3, T: 1e-3}}
+	req := BatchRequest{Requests: []VSafeRequest{el, bad, el, el}}
+
+	got := decodeResp[BatchResponse](t, postJSON(t, ts.URL+"/v1/batch", req), http.StatusOK)
+	if len(got.Results) != 4 {
+		t.Fatalf("got %d results, want 4", len(got.Results))
+	}
+	if got.Results[1].Error == "" || got.Results[1].Estimate != nil {
+		t.Errorf("element 1 should fail in place: %+v", got.Results[1])
+	}
+	for _, i := range []int{0, 2, 3} {
+		if got.Results[i].Estimate == nil {
+			t.Fatalf("element %d missing estimate: %+v", i, got.Results[i])
+		}
+		if math.Float64bits(got.Results[i].Estimate.VSafe) != math.Float64bits(got.Results[0].Estimate.VSafe) {
+			t.Errorf("identical elements diverged: %v vs %v", got.Results[i].Estimate, got.Results[0].Estimate)
+		}
+	}
+	if st := s.Cache().Stats(); st.Hits < 2 {
+		t.Errorf("identical batch elements should coalesce through the cache: %+v", st)
+	}
+
+	for _, tc := range []struct {
+		name string
+		body BatchRequest
+	}{
+		{"empty", BatchRequest{}},
+	} {
+		resp := postJSON(t, ts.URL+"/v1/batch", tc.body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s batch: status %d, want 400", tc.name, resp.StatusCode)
+		}
+	}
+}
+
+// TestBackpressure saturates MaxInFlight=1 and fills the QueueDepth=2
+// admission queue with held requests, then asserts the K+1st arrival is
+// refused immediately with 503 + Retry-After and a queue-full count.
+func TestBackpressure(t *testing.T) {
+	s, ts := newTestServer(t, Config{MaxInFlight: 1, QueueDepth: 2})
+	hold := make(chan struct{})
+	s.holdForTest = hold
+
+	body := VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}}
+	var wg sync.WaitGroup
+	statuses := make([]int, 3)
+	for i := 0; i < 3; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			resp := postJSON(t, ts.URL+"/v1/vsafe", body)
+			resp.Body.Close()
+			statuses[i] = resp.StatusCode
+		}()
+	}
+
+	// Wait until one request holds the slot and two sit in the queue.
+	deadline := time.Now().Add(5 * time.Second)
+	for s.queued.Load() != 2 || len(s.slots) != 1 {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue never filled: queued=%d inflight=%d", s.queued.Load(), len(s.slots))
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	resp := postJSON(t, ts.URL+"/v1/vsafe", body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("over-capacity request: status %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", ra)
+	}
+	if got := s.Metrics().QueueFull; got != 1 {
+		t.Errorf("queue_full_total = %d, want 1", got)
+	}
+
+	close(hold)
+	wg.Wait()
+	for i, st := range statuses {
+		if st != http.StatusOK {
+			t.Errorf("held request %d finished with %d, want 200", i, st)
+		}
+	}
+	if qd := s.Metrics().QueueDepth; qd != 0 {
+		t.Errorf("queue depth after drain = %d, want 0", qd)
+	}
+}
+
+// TestTimeout threads the per-request deadline into powersys.Run: a
+// seconds-long simulation under a millisecond budget must abort with 504.
+func TestTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Timeout: 2 * time.Millisecond})
+	resp := postJSON(t, ts.URL+"/v1/simulate", SimulateRequest{
+		Load: LoadSpec{Shape: "uniform", I: 1e-3, T: 30},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if got := s.Metrics().Timeouts; got != 1 {
+		t.Errorf("timeouts_total = %d, want 1", got)
+	}
+}
+
+// TestPanicIsolation drives a panicking handler through the middleware: the
+// client sees a 500, the panic counter moves, the process survives.
+func TestPanicIsolation(t *testing.T) {
+	s := New(Config{})
+	h := s.api("vsafe", func(ctx context.Context, r *http.Request) (any, error) {
+		panic("handler bug")
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	resp, err := http.Post(ts.URL, "application/json", strings.NewReader("{}"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusInternalServerError {
+		t.Errorf("status %d, want 500", resp.StatusCode)
+	}
+	if got := s.Metrics().Panics; got != 1 {
+		t.Errorf("panics_total = %d, want 1", got)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	cases := []struct {
+		name, path, body string
+	}{
+		{"not-json", "/v1/vsafe", "hello"},
+		{"trailing-data", "/v1/vsafe", `{"load":{"shape":"uniform","i":0.025,"t":0.01}} extra`},
+		{"wrong-types", "/v1/vsafe", `{"load":{"shape":42}}`},
+		{"no-load-form", "/v1/vsafe", `{}`},
+		{"two-load-forms", "/v1/vsafe", `{"load":{"shape":"uniform","i":0.025,"t":0.01,"peripheral":"ble"}}`},
+		{"unknown-peripheral", "/v1/vsafe", `{"load":{"peripheral":"toaster"}}`},
+		{"negative-current", "/v1/vsafe", `{"load":{"shape":"uniform","i":-1,"t":0.01}}`},
+		{"over-duration-cap", "/v1/vsafe", `{"load":{"shape":"uniform","i":0.025,"t":3600}}`},
+		{"unknown-part", "/v1/vsafe", `{"power":{"part":"flux-capacitor"},"load":{"shape":"uniform","i":0.025,"t":0.01}}`},
+		{"part-conflict", "/v1/vsafe", `{"power":{"part":"supercapacitor-0000","c":0.01},"load":{"shape":"uniform","i":0.025,"t":0.01}}`},
+		{"bankc-without-part", "/v1/vsafe", `{"power":{"bank_c":0.01},"load":{"shape":"uniform","i":0.025,"t":0.01}}`},
+		{"inverted-window", "/v1/vsafe", `{"power":{"v_off":2.5,"v_high":1.6},"load":{"shape":"uniform","i":0.025,"t":0.01}}`},
+		{"bad-age", "/v1/vsafe", `{"power":{"age":2},"load":{"shape":"uniform","i":0.025,"t":0.01}}`},
+		{"negative-sample", "/v1/vsafe", `{"load":{"samples":[0.01,-0.5]}}`},
+		{"bad-rate", "/v1/vsafe", `{"load":{"samples":[0.01],"rate":-5}}`},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := http.Post(ts.URL+tc.path, "application/json", strings.NewReader(tc.body))
+			if err != nil {
+				t.Fatalf("POST: %v", err)
+			}
+			e := decodeResp[ErrorResponse](t, resp, http.StatusBadRequest)
+			if e.Error == "" {
+				t.Error("400 with empty error body")
+			}
+		})
+	}
+}
+
+func TestMethodNotAllowed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/v1/vsafe")
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET on work endpoint: status %d, want 405", resp.StatusCode)
+	}
+}
+
+func TestHealthzAndDrain(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	h := decodeResp[HealthResponse](t, mustGet(t, ts.URL+"/healthz"), http.StatusOK)
+	if !h.OK || h.Draining {
+		t.Errorf("healthy server reports %+v", h)
+	}
+	s.SetDraining(true)
+	hd := decodeResp[HealthResponse](t, mustGet(t, ts.URL+"/healthz"), http.StatusServiceUnavailable)
+	if hd.OK || !hd.Draining {
+		t.Errorf("draining server reports %+v", hd)
+	}
+	if !s.Metrics().Draining {
+		t.Error("metrics should report draining")
+	}
+	s.SetDraining(false)
+	resp := mustGet(t, ts.URL+"/healthz")
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Errorf("undrained healthz: %d", resp.StatusCode)
+	}
+}
+
+func mustGet(t *testing.T, url string) *http.Response {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	return resp
+}
+
+// TestMetricsDocument drives traffic of each outcome class and checks the
+// /metrics document accounts for all of it.
+func TestMetricsDocument(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	ok := postJSON(t, ts.URL+"/v1/vsafe", VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}})
+	ok.Body.Close()
+	again := postJSON(t, ts.URL+"/v1/vsafe", VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}})
+	again.Body.Close()
+	bad, err := http.Post(ts.URL+"/v1/vsafe", "application/json", strings.NewReader("junk"))
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	bad.Body.Close()
+
+	m := decodeResp[MetricsSnapshot](t, mustGet(t, ts.URL+"/metrics"), http.StatusOK)
+	ep := m.Endpoints["vsafe"]
+	if ep.Requests != 3 || ep.ClientErrors != 1 || ep.ServerErrors != 0 {
+		t.Errorf("vsafe endpoint counters %+v, want 3 requests / 1 client error", ep)
+	}
+	if m.Latency.Count < 3 {
+		t.Errorf("latency count %d, want >= 3", m.Latency.Count)
+	}
+	if n := len(m.Latency.Buckets); n != numBuckets+1 {
+		t.Errorf("bucket count %d, want %d", n, numBuckets+1)
+	}
+	last := m.Latency.Buckets[len(m.Latency.Buckets)-1]
+	if last.LE != 0 || last.Count != m.Latency.Count {
+		t.Errorf("terminal bucket %+v should be cumulative total %d", last, m.Latency.Count)
+	}
+	if m.VSafeCache.Hits < 1 || m.VSafeCache.Misses < 1 {
+		t.Errorf("cache stats %+v, want at least one hit and one miss", m.VSafeCache)
+	}
+	if m.InFlight != 0 || m.QueueDepth != 0 {
+		t.Errorf("idle gauges in_flight=%d queue_depth=%d, want 0/0", m.InFlight, m.QueueDepth)
+	}
+	if m.UptimeSec <= 0 {
+		t.Errorf("uptime %v, want > 0", m.UptimeSec)
+	}
+}
+
+// TestHistogram pins the bucket math directly.
+func TestHistogram(t *testing.T) {
+	var h histogram
+	h.Observe(50 * time.Microsecond)  // bucket 0 (<= 100 µs)
+	h.Observe(200 * time.Microsecond) // bucket 1 (<= 250 µs)
+	h.Observe(time.Minute)            // overflow
+	s := h.snapshot()
+	if s.Count != 3 {
+		t.Fatalf("count %d, want 3", s.Count)
+	}
+	if s.Buckets[0].Count != 1 {
+		t.Errorf("bucket 0 cumulative %d, want 1", s.Buckets[0].Count)
+	}
+	if s.Buckets[1].Count != 2 {
+		t.Errorf("bucket 1 cumulative %d, want 2", s.Buckets[1].Count)
+	}
+	if got := s.Buckets[len(s.Buckets)-1].Count; got != 3 {
+		t.Errorf("+Inf cumulative %d, want 3", got)
+	}
+	if s.MeanMs <= 0 {
+		t.Errorf("mean %v, want > 0", s.MeanMs)
+	}
+}
+
+// TestBatchSizeCap rejects oversized batches up front.
+func TestBatchSizeCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	reqs := make([]VSafeRequest, maxBatch+1)
+	for i := range reqs {
+		reqs[i] = VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}}
+	}
+	resp := postJSON(t, ts.URL+"/v1/batch", BatchRequest{Requests: reqs})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("oversized batch: status %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestSharedCacheAcrossEndpoints checks the single-server cache coalesces
+// work between /v1/vsafe and /v1/batch.
+func TestSharedCacheAcrossEndpoints(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+	spec := LoadSpec{Shape: "pulse", I: 30e-3, T: 5e-3}
+	resp := postJSON(t, ts.URL+"/v1/vsafe", VSafeRequest{Load: spec})
+	resp.Body.Close()
+	miss := s.Cache().Stats()
+	resp = postJSON(t, ts.URL+"/v1/batch", BatchRequest{Requests: []VSafeRequest{{Load: spec}}})
+	resp.Body.Close()
+	after := s.Cache().Stats()
+	if after.Hits != miss.Hits+1 {
+		t.Errorf("batch should hit the single-request cache entry: before %+v after %+v", miss, after)
+	}
+}
+
+func ExampleServer() {
+	s := New(Config{})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/vsafe", "application/json",
+		strings.NewReader(`{"load":{"shape":"uniform","i":0.025,"t":0.01}}`))
+	if err != nil {
+		fmt.Println("post:", err)
+		return
+	}
+	defer resp.Body.Close()
+	fmt.Println(resp.Status)
+	// Output: 200 OK
+}

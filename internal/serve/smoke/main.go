@@ -1,0 +1,183 @@
+// Command smoke is the `make serve-smoke` harness: it builds nothing
+// itself, but takes a culpeod binary (-bin), boots it on an ephemeral port,
+// exercises the serving surface end to end — /healthz, a single estimate, a
+// batch, /metrics — then sends SIGTERM and requires a graceful drain with
+// exit status 0. It is the out-of-process complement to the httptest
+// suites: the real binary, a real socket, a real signal.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"strings"
+	"sync"
+	"syscall"
+	"time"
+)
+
+func main() {
+	bin := flag.String("bin", "", "path to the culpeod binary")
+	timeout := flag.Duration("timeout", 30*time.Second, "overall smoke deadline")
+	flag.Parse()
+	if *bin == "" {
+		fmt.Fprintln(os.Stderr, "smoke: -bin is required")
+		os.Exit(2)
+	}
+	if err := smoke(*bin, *timeout); err != nil {
+		fmt.Fprintln(os.Stderr, "smoke: FAIL:", err)
+		os.Exit(1)
+	}
+	fmt.Println("smoke: ok")
+}
+
+func smoke(bin string, timeout time.Duration) error {
+	deadline := time.Now().Add(timeout)
+
+	// Capture stdout in a lock-guarded buffer rather than a pipe: cmd.Wait
+	// would close a pipe racily against our final read of the drain log.
+	out := &syncBuf{}
+	cmd := exec.Command(bin, "-addr", "127.0.0.1:0")
+	cmd.Stdout = out
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		return fmt.Errorf("start %s: %w", bin, err)
+	}
+	// On any failure path, make sure the daemon dies with us.
+	defer cmd.Process.Kill()
+
+	// The startup contract: the first stdout line announces the address.
+	var base string
+	for base == "" {
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon never announced an address; output: %q", out.String())
+		}
+		if s := out.String(); strings.Contains(s, "listening on http://") {
+			line := s[strings.Index(s, "http://"):]
+			base = strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	client := &http.Client{Timeout: 5 * time.Second}
+	get := func(path string) (int, []byte, error) {
+		resp, err := client.Get(base + path)
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+	post := func(path, body string) (int, []byte, error) {
+		resp, err := client.Post(base+path, "application/json", strings.NewReader(body))
+		if err != nil {
+			return 0, nil, err
+		}
+		defer resp.Body.Close()
+		b, err := io.ReadAll(resp.Body)
+		return resp.StatusCode, b, err
+	}
+
+	// 1. Health.
+	status, body, err := get("/healthz")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("healthz: status %d err %v", status, err)
+	}
+
+	// 2. A single estimate, decodable with a positive V_safe.
+	status, body, err = post("/v1/vsafe", `{"load":{"shape":"uniform","i":0.025,"t":0.01}}`)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("vsafe: status %d err %v body %s", status, err, body)
+	}
+	var est struct {
+		VSafe float64 `json:"v_safe"`
+	}
+	if err := json.Unmarshal(body, &est); err != nil || est.VSafe <= 0 {
+		return fmt.Errorf("vsafe: bad estimate %s (err %v)", body, err)
+	}
+
+	// 3. A batch: three elements, the middle one malformed in place.
+	status, body, err = post("/v1/batch",
+		`{"requests":[{"load":{"shape":"uniform","i":0.025,"t":0.01}},{"load":{"shape":"nope"}},{"load":{"peripheral":"ble"}}]}`)
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("batch: status %d err %v body %s", status, err, body)
+	}
+	var batch struct {
+		Results []struct {
+			Estimate *struct {
+				VSafe float64 `json:"v_safe"`
+			} `json:"estimate"`
+			Error string `json:"error"`
+		} `json:"results"`
+	}
+	if err := json.Unmarshal(body, &batch); err != nil {
+		return fmt.Errorf("batch: undecodable %s: %v", body, err)
+	}
+	if len(batch.Results) != 3 || batch.Results[0].Estimate == nil ||
+		batch.Results[1].Error == "" || batch.Results[2].Estimate == nil {
+		return fmt.Errorf("batch: wrong shape %s", body)
+	}
+
+	// 4. Metrics account for the traffic just sent.
+	status, body, err = get("/metrics")
+	if err != nil || status != http.StatusOK {
+		return fmt.Errorf("metrics: status %d err %v", status, err)
+	}
+	var met struct {
+		Endpoints map[string]struct {
+			Requests uint64 `json:"requests"`
+		} `json:"endpoints"`
+		VSafeCache struct {
+			Misses uint64 `json:"misses"`
+		} `json:"vsafe_cache"`
+	}
+	if err := json.Unmarshal(body, &met); err != nil {
+		return fmt.Errorf("metrics: undecodable %s: %v", body, err)
+	}
+	if met.Endpoints["vsafe"].Requests == 0 || met.Endpoints["batch"].Requests == 0 || met.VSafeCache.Misses == 0 {
+		return fmt.Errorf("metrics: counters did not move: %s", body)
+	}
+
+	// 5. SIGTERM → graceful drain → exit 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		return fmt.Errorf("SIGTERM: %w", err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			return fmt.Errorf("daemon exited non-zero after SIGTERM: %w", err)
+		}
+	case <-time.After(time.Until(deadline)):
+		return fmt.Errorf("daemon did not exit within the smoke deadline")
+	}
+	if log := out.String(); !strings.Contains(log, "drained, exiting") {
+		return fmt.Errorf("drain log missing 'drained, exiting': %q", log)
+	}
+	return nil
+}
+
+// syncBuf is a concurrency-safe stdout sink.
+type syncBuf struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (s *syncBuf) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuf) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}

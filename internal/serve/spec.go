@@ -1,0 +1,334 @@
+// Request and response shapes of the culpeod wire API, plus their
+// resolution into the library's types. Every field is optional; omitted
+// power-system parameters default to the evaluated Capybara configuration
+// (Section VI-A), so `{"load":{"shape":"uniform","i":0.025,"t":0.01}}` is a
+// complete request. Resolution is strict beyond that: a spec that names an
+// unknown part, an invalid voltage window or a malformed load is a client
+// error (HTTP 400), never a panic — the decoder fuzz suite enforces this.
+package serve
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/partsdb"
+	"culpeo/internal/powersys"
+)
+
+// maxBodyBytes bounds request bodies. A raw 125 kHz trace runs ~20 bytes a
+// sample in JSON, so this admits about ten seconds of capture — far beyond
+// any Table III task — while keeping a hostile body from exhausting memory.
+const maxBodyBytes = 32 << 20
+
+// PowerSpec describes the power system a request targets. Either name a
+// catalogue part (resolved through internal/partsdb into an assembled bank)
+// or give C/ESR explicitly; both default to the Capybara buffer.
+type PowerSpec struct {
+	// Part is a partsdb catalogue number (e.g. "supercapacitor-0000"). When
+	// set, C and ESR come from a bank of these parts and must not also be
+	// given explicitly.
+	Part string `json:"part,omitempty"`
+	// BankC is the target bank capacitance used with Part (F); 0 selects
+	// the figures' 45 mF.
+	BankC float64 `json:"bank_c,omitempty"`
+	// C is the explicit buffer capacitance (F); 0 selects Capybara's 45 mF.
+	C float64 `json:"c,omitempty"`
+	// ESR is the explicit buffer ESR (Ω); 0 selects Capybara's 5 Ω net.
+	ESR float64 `json:"esr,omitempty"`
+	// VOff and VHigh set the monitor window (V); 0 selects 1.6 / 2.56.
+	VOff  float64 `json:"v_off,omitempty"`
+	VHigh float64 `json:"v_high,omitempty"`
+	// Age is the capacitor life fraction consumed, in [0, 1]: capacitance
+	// fades and ESR doubles toward end of life.
+	Age float64 `json:"age,omitempty"`
+}
+
+// LoadSpec describes the task whose V_safe is wanted: a synthetic Table III
+// shape, a named real-peripheral profile, or a raw uploaded current trace.
+// Exactly one of Shape, Peripheral or Samples must be present.
+type LoadSpec struct {
+	// Shape is "uniform" or "pulse" (pulse adds the paper's 1.5 mA / 100 ms
+	// compute tail), parameterized by I and T.
+	Shape string  `json:"shape,omitempty"`
+	I     float64 `json:"i,omitempty"` // load current (A)
+	T     float64 `json:"t,omitempty"` // pulse duration (s)
+	// Peripheral selects a measured profile: gesture | ble | mnist | lora.
+	Peripheral string `json:"peripheral,omitempty"`
+	// Samples is a raw captured current trace (A), analyzed at Rate.
+	Samples []float64 `json:"samples,omitempty"`
+	// Rate is the sample rate of Samples in Hz; 0 selects 125 kHz.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// VSafeRequest is the body of POST /v1/vsafe and each element of a batch.
+type VSafeRequest struct {
+	Power PowerSpec `json:"power"`
+	Load  LoadSpec  `json:"load"`
+}
+
+// ObservationSpec carries the three voltages Culpeo-R computes from.
+type ObservationSpec struct {
+	VStart float64 `json:"v_start"`
+	VMin   float64 `json:"v_min"`
+	VFinal float64 `json:"v_final"`
+}
+
+// VSafeRRequest is the body of POST /v1/vsafe-r: a runtime estimate from
+// one observed execution (Equations 1a–1c and 3).
+type VSafeRRequest struct {
+	Power       PowerSpec       `json:"power"`
+	Observation ObservationSpec `json:"observation"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: launch the task at
+// VStart on a fresh system and report the verdict.
+type SimulateRequest struct {
+	Power PowerSpec `json:"power"`
+	Load  LoadSpec  `json:"load"`
+	// VStart is the starting terminal voltage; 0 launches from V_high.
+	VStart float64 `json:"v_start,omitempty"`
+	// Harvest is constant harvested power during the run (W).
+	Harvest float64 `json:"harvest,omitempty"`
+	// Fast opts into the analytic segment-advance stepper.
+	Fast bool `json:"fast,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []VSafeRequest `json:"requests"`
+}
+
+// EstimateResponse mirrors core.Estimate on the wire. encoding/json emits
+// float64 at full round-trip precision, so a served estimate is
+// bit-identical to the library's (the parity suite asserts this).
+type EstimateResponse struct {
+	VSafe  float64 `json:"v_safe"`
+	VDelta float64 `json:"v_delta"`
+	VE     float64 `json:"v_e"`
+}
+
+// SimulateResponse reports one launch verdict.
+type SimulateResponse struct {
+	Completed   bool    `json:"completed"`
+	PowerFailed bool    `json:"power_failed"`
+	VStart      float64 `json:"v_start"`
+	VMin        float64 `json:"v_min"`
+	VFinal      float64 `json:"v_final"`
+	Duration    float64 `json:"duration"`
+	EnergyUsed  float64 `json:"energy_used"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// BatchResult is one element of a batch response: an estimate or a
+// per-element error (one bad element never fails its siblings).
+type BatchResult struct {
+	Estimate *EstimateResponse `json:"estimate,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// BatchResponse is the body returned by POST /v1/batch.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// errSpec marks client-side specification errors (HTTP 400).
+var errSpec = errors.New("bad request")
+
+func specErrorf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", errSpec, fmt.Sprintf(format, args...))
+}
+
+// decodeBody unmarshals a bounded JSON body into dst, rejecting trailing
+// garbage. All decode failures are client errors.
+func decodeBody(r io.Reader, dst any) error {
+	dec := json.NewDecoder(io.LimitReader(r, maxBodyBytes))
+	if err := dec.Decode(dst); err != nil {
+		return specErrorf("decode: %v", err)
+	}
+	if dec.More() {
+		return specErrorf("decode: trailing data after JSON body")
+	}
+	return nil
+}
+
+// resolved is a PowerSpec turned into the library's working types: the
+// simulator configuration and the model the estimators consume.
+type resolved struct {
+	cfg   powersys.Config
+	model core.PowerModel
+}
+
+// Resolve validates the spec and produces the simulator configuration and
+// estimator model, resolving named parts through the catalogue index.
+// The construction mirrors cmd/vsafe exactly — nominal C with aging carried
+// on the model — so served estimates match the library bit for bit.
+func (p PowerSpec) resolve(catalog *partsdb.Index) (resolved, error) {
+	base := powersys.Capybara()
+	c := base.Storage.TotalCapacitance()
+	esr := base.Storage.Main().ESR
+	if p.Part != "" {
+		if p.C != 0 || p.ESR != 0 {
+			return resolved{}, specErrorf("power: part %q conflicts with explicit c/esr", p.Part)
+		}
+		if catalog == nil {
+			catalog = partsdb.DefaultIndex()
+		}
+		bank, err := catalog.Bank(p.Part, p.BankC)
+		if err != nil {
+			return resolved{}, specErrorf("power: %v", err)
+		}
+		c, esr = bank.C(), bank.ESR()
+	} else {
+		if p.BankC != 0 {
+			return resolved{}, specErrorf("power: bank_c requires part")
+		}
+		if p.C != 0 {
+			c = p.C
+		}
+		if p.ESR != 0 {
+			esr = p.ESR
+		}
+	}
+	vOff, vHigh := base.VOff, base.VHigh
+	if p.VOff != 0 {
+		vOff = p.VOff
+	}
+	if p.VHigh != 0 {
+		vHigh = p.VHigh
+	}
+	switch {
+	case !isFinite(c) || c <= 0:
+		return resolved{}, specErrorf("power: capacitance %g", c)
+	case !isFinite(esr) || esr < 0:
+		return resolved{}, specErrorf("power: esr %g", esr)
+	case !isFinite(vOff) || !isFinite(vHigh) || vOff <= 0 || vHigh <= vOff:
+		return resolved{}, specErrorf("power: invalid voltage window [%g, %g]", vOff, vHigh)
+	case !isFinite(p.Age) || p.Age < 0 || p.Age > 1:
+		return resolved{}, specErrorf("power: age %g outside [0, 1]", p.Age)
+	}
+
+	aging := capacitor.Aging{LifeFraction: p.Age}
+	aged := aging.Apply(capacitor.Branch{Name: "main", C: c, ESR: esr})
+	aged.Voltage = vHigh
+	net, err := capacitor.NewNetwork(&aged)
+	if err != nil {
+		return resolved{}, specErrorf("power: %v", err)
+	}
+	cfg := base
+	cfg.Storage = net
+	cfg.VOff, cfg.VHigh = vOff, vHigh
+
+	model := core.PowerModel{
+		C:     c, // nominal; aging carried on the model, as cmd/vsafe does
+		ESR:   capacitor.Flat(esr),
+		VOut:  cfg.Output.VOut,
+		VOff:  vOff,
+		VHigh: vHigh,
+		Eff:   cfg.Output.Efficiency,
+		Aging: aging,
+	}
+	if err := model.Validate(); err != nil {
+		return resolved{}, specErrorf("power: %v", err)
+	}
+	return resolved{cfg: cfg, model: model}, nil
+}
+
+// resolvedLoad is a LoadSpec turned into either a Profile (synthetic or
+// peripheral) or a raw Trace (uploaded samples).
+type resolvedLoad struct {
+	profile load.Profile // nil when trace-backed
+	trace   load.Trace
+	isTrace bool
+}
+
+func (l LoadSpec) resolve() (resolvedLoad, error) {
+	forms := 0
+	if l.Shape != "" {
+		forms++
+	}
+	if l.Peripheral != "" {
+		forms++
+	}
+	if len(l.Samples) > 0 {
+		forms++
+	}
+	if forms != 1 {
+		return resolvedLoad{}, specErrorf("load: give exactly one of shape, peripheral or samples")
+	}
+	switch {
+	case l.Peripheral != "":
+		switch l.Peripheral {
+		case "gesture":
+			return resolvedLoad{profile: load.Gesture()}, nil
+		case "ble":
+			return resolvedLoad{profile: load.BLERadio()}, nil
+		case "mnist":
+			return resolvedLoad{profile: load.ComputeAccel()}, nil
+		case "lora":
+			return resolvedLoad{profile: load.LoRa()}, nil
+		}
+		return resolvedLoad{}, specErrorf("load: unknown peripheral %q", l.Peripheral)
+	case len(l.Samples) > 0:
+		rate := l.Rate
+		if rate == 0 {
+			rate = load.SampleRateDefault
+		}
+		if !isFinite(rate) || rate <= 0 {
+			return resolvedLoad{}, specErrorf("load: sample rate %g", rate)
+		}
+		for i, s := range l.Samples {
+			if !isFinite(s) || s < 0 {
+				return resolvedLoad{}, specErrorf("load: sample %d = %g", i, s)
+			}
+		}
+		tr := load.Trace{ID: "uploaded", Rate: rate, Samples: l.Samples}
+		return resolvedLoad{trace: tr, isTrace: true}, nil
+	default:
+		if !isFinite(l.I) || l.I <= 0 || !isFinite(l.T) || l.T <= 0 {
+			return resolvedLoad{}, specErrorf("load: shape needs positive i and t, got i=%g t=%g", l.I, l.T)
+		}
+		if l.T > 60 {
+			return resolvedLoad{}, specErrorf("load: duration %g s beyond the 60 s serving cap", l.T)
+		}
+		switch l.Shape {
+		case "uniform":
+			return resolvedLoad{profile: load.NewUniform(l.I, l.T)}, nil
+		case "pulse":
+			return resolvedLoad{profile: load.NewPulse(l.I, l.T)}, nil
+		}
+		return resolvedLoad{}, specErrorf("load: unknown shape %q", l.Shape)
+	}
+}
+
+// asProfile returns the load as a Profile for simulation (a raw trace is
+// itself a Profile).
+func (r resolvedLoad) asProfile() load.Profile {
+	if r.isTrace {
+		return r.trace
+	}
+	return r.profile
+}
+
+func (o ObservationSpec) resolve() (core.Observation, error) {
+	obs := core.Observation{VStart: o.VStart, VMin: o.VMin, VFinal: o.VFinal}
+	if !isFinite(o.VStart) || !isFinite(o.VMin) || !isFinite(o.VFinal) {
+		return obs, specErrorf("observation: non-finite voltage")
+	}
+	if err := obs.Validate(); err != nil {
+		return obs, specErrorf("observation: %v", err)
+	}
+	return obs, nil
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
