@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak alloc bench serve-smoke check
+.PHONY: build vet test race golden golden-update soak alloc bench serve-smoke chaos check
 
 build:
 	$(GO) build ./...
@@ -56,4 +56,16 @@ serve-smoke:
 	$(GO) run ./internal/serve/smoke -bin /tmp/culpeod-smoke
 	rm -f /tmp/culpeod-smoke
 
-check: vet build alloc race golden soak serve-smoke
+# Resilience soak, reduced schedule, under the race detector: two culpeod
+# instances behind deterministic netchaos proxies, one client.Pool doing the
+# retry/failover/breaker/hedging work, three runs gated on 100% eventual
+# success, bit-exact parity with the library path, zero panics, and a
+# byte-identical golden transition log — plus the daemon drain-failover test.
+# For the full-length soak (240 calls, richer fault schedules) run:
+#   go test ./internal/expt -run TestChaosSoak -count=1
+# or, interactively: go run ./cmd/culpeo chaos
+chaos:
+	$(GO) test -race ./internal/expt -run 'TestChaosSoak' -short -count=1
+	$(GO) test -race ./cmd/culpeod -run 'TestDrainFailover' -count=1
+
+check: vet build alloc race golden soak serve-smoke chaos

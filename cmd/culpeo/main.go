@@ -22,7 +22,8 @@
 //	culpeo bench       record the performance trajectory to BENCH_culpeo.json
 //	culpeo benchcheck  validate the committed BENCH_culpeo.json artifact
 //	culpeo loadtest    hammer the culpeod HTTP service and report throughput
-//	culpeo all         everything above except bench/benchcheck/loadtest
+//	culpeo chaos       deterministic resilience soak: culpeod behind fault proxies
+//	culpeo all         everything above except bench/benchcheck/loadtest/chaos
 //
 // Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
 // the application experiments; -points dumps Figure 3's full point cloud;
@@ -36,6 +37,13 @@
 // -duration against -addr (empty self-hosts an in-process server over real
 // loopback HTTP) and prints throughput with p50/p99 latency; -record merges
 // the result into the -benchout artifact as its "serving" section.
+//
+// chaos boots two in-process culpeod servers behind deterministic
+// netchaos fault proxies (503 bursts, mid-headers resets, blackholes,
+// flap cycles), drives a mixed workload through the resilient client
+// pool, and gates on 100% eventual success, bit-exact parity with the
+// library path, zero server panics and a reproducible transition log;
+// -reduced runs the smaller `make chaos` workload.
 package main
 
 import (
@@ -81,8 +89,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	ltDuration := fs.Duration("duration", 3*time.Second, "loadtest: measurement window")
 	ltConcurrency := fs.Int("concurrency", 0, "loadtest: closed-loop clients (0 = 4×GOMAXPROCS)")
 	ltRecord := fs.Bool("record", false, "loadtest: merge serving stats into the -benchout artifact")
+	chaosReduced := fs.Bool("reduced", false, "chaos: run the reduced workload (the `make chaos` configuration)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest chaos all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
@@ -120,6 +129,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		var err error
 		if cmd == "loadtest" {
 			err = loadtest(ctx, stdout, *ltAddr, *ltDuration, *ltConcurrency, *ltRecord, *benchout)
+		} else if cmd == "chaos" {
+			err = chaos(ctx, stdout, *chaosReduced)
 		} else {
 			err = run(ctx, stdout, cmd, *csv, *points, *benchout, opt)
 		}
@@ -147,8 +158,8 @@ func loadtest(ctx context.Context, w io.Writer, addr string, duration time.Durat
 		target = "self-hosted loopback"
 	}
 	fmt.Fprintf(w, "loadtest: %s, %d clients, %.2f s\n", target, res.Concurrency, res.DurationSec)
-	fmt.Fprintf(w, "loadtest: %d requests (%d errors): %.0f req/s, p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n",
-		res.Requests, res.Errors, res.Throughput, res.P50Ms, res.P99Ms, res.MeanMs)
+	fmt.Fprintf(w, "loadtest: %d requests (%d errors, %d backpressure): %.0f req/s, p50 %.3f ms, p99 %.3f ms, mean %.3f ms\n",
+		res.Requests, res.Errors, res.Backpressure, res.Throughput, res.P50Ms, res.P99Ms, res.MeanMs)
 	if res.SelfHosted {
 		fmt.Fprintf(w, "loadtest: V_safe cache hit rate %.1f%%\n", res.CacheHitRate*100)
 	}
@@ -173,6 +184,25 @@ func loadtest(ctx context.Context, w io.Writer, addr string, duration time.Durat
 		return err
 	}
 	fmt.Fprintf(w, "loadtest: recorded serving stats into %s\n", benchout)
+	return nil
+}
+
+// chaos runs the deterministic resilience soak and prints its report; a
+// failed gate is the command's error (non-zero exit).
+func chaos(ctx context.Context, w io.Writer, reduced bool) error {
+	t0 := time.Now()
+	rep, err := expt.Chaos(ctx, expt.ChaosOpts{Reduced: reduced})
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nchaos: soak completed in %.1f s\n", time.Since(t0).Seconds())
+	if err := rep.Gate(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "chaos: all gates passed (eventual success, bit-exact parity, zero panics)")
 	return nil
 }
 

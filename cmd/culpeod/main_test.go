@@ -4,11 +4,15 @@ import (
 	"bytes"
 	"context"
 	"io"
+	"net"
 	"net/http"
 	"strings"
 	"sync"
 	"testing"
 	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/client"
 )
 
 // syncBuffer lets the test read daemon output while realMain writes it.
@@ -95,6 +99,137 @@ func TestServeAndDrain(t *testing.T) {
 	}
 	if s := out.String(); !strings.Contains(s, "draining") || !strings.Contains(s, "drained, exiting") {
 		t.Errorf("drain log lines missing from output: %q", s)
+	}
+}
+
+// waitForOutput polls the daemon's stdout until want appears.
+func waitForOutput(t *testing.T, out *syncBuffer, want string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !strings.Contains(out.String(), want) {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never printed %q; output: %q", want, out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestDrainFailover is the contract between culpeod's graceful drain and the
+// client pool: while one of two daemons drains with a request still in
+// flight, a client.Pool spanning both must keep every call succeeding by
+// failing over to the healthy instance — during the drain window, well
+// before the draining daemon's hard deadline.
+func TestDrainFailover(t *testing.T) {
+	// A generous -drain-timeout so a slow CI box cannot hit the hard
+	// deadline; the test releases the drain itself long before. -max-inflight
+	// keeps slots free next to the deliberately stalled request below.
+	urlA, cancelA, codeA, outA := startDaemon(t, "-drain-timeout", "30s", "-max-inflight", "4")
+	defer cancelA()
+	urlB, cancelB, codeB, _ := startDaemon(t)
+	defer cancelB()
+
+	pool, err := client.New(client.Config{
+		Backends:          []string{urlA, urlB},
+		DisableKeepAlives: true,
+		Budget:            10 * time.Second,
+		AttemptTimeout:    2 * time.Second,
+		MaxAttempts:       8,
+		BaseBackoff:       time.Millisecond,
+		MaxBackoff:        10 * time.Millisecond,
+		Breaker:           client.BreakerConfig{FailureThreshold: 2, CooldownCalls: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pool.Close()
+
+	req := api.VSafeRequest{Load: api.LoadSpec{Shape: "uniform", I: 0.02, T: 0.01}}
+	if _, err := pool.VSafe(context.Background(), req); err != nil {
+		t.Fatalf("baseline call with both daemons up: %v", err)
+	}
+
+	// Hold A's drain open: a request whose body never finishes arriving
+	// keeps one connection active, so http.Server.Shutdown must wait for it.
+	stall, err := net.Dial("tcp", strings.TrimPrefix(urlA, "http://"))
+	if err != nil {
+		t.Fatalf("dial A: %v", err)
+	}
+	defer stall.Close()
+	if _, err := io.WriteString(stall, "POST /v1/vsafe HTTP/1.1\r\n"+
+		"Host: culpeod\r\nContent-Type: application/json\r\n"+
+		"Content-Length: 512\r\n\r\n{"); err != nil {
+		t.Fatalf("write stalled request: %v", err)
+	}
+	// Wait until A has admitted it (the handler is now blocked reading the
+	// body) so the drain below is guaranteed to have in-flight work.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		resp, err := http.Get(urlA + "/metrics")
+		if err != nil {
+			t.Fatalf("metrics: %v", err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if strings.Contains(string(body), `"in_flight":1`) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("stalled request never admitted; metrics: %s", body)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	cancelA() // the in-process stand-in for SIGTERM
+	waitForOutput(t, outA, "draining")
+
+	// Mid-drain, A's listener is closed and the stalled request pins the
+	// shutdown. Every pool call must still succeed, riding over to B.
+	for i := 0; i < 12; i++ {
+		r := req
+		r.Load.I = 0.02 + float64(i)*1e-3
+		if _, err := pool.VSafe(context.Background(), r); err != nil {
+			t.Fatalf("call %d during drain: %v", i, err)
+		}
+	}
+	m := pool.Metrics()
+	if m.Successes != m.Calls {
+		t.Errorf("successes=%d calls=%d: calls were lost during drain", m.Successes, m.Calls)
+	}
+	if m.Failovers == 0 {
+		t.Error("pool never failed over away from the draining daemon")
+	}
+
+	// The drain must still be in progress — that proves the failover above
+	// happened during the drain window, not after A exited.
+	select {
+	case c := <-codeA:
+		t.Fatalf("daemon A exited (code %d) while its stalled request was still held", c)
+	default:
+	}
+
+	// Release the held request: A finishes its graceful drain well inside
+	// the 30s hard deadline and exits 0.
+	stall.Close()
+	select {
+	case c := <-codeA:
+		if c != 0 {
+			t.Fatalf("A exit code %d, want 0; output: %q", c, outA.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("A did not finish draining after the stalled request was released")
+	}
+	if s := outA.String(); !strings.Contains(s, "drained, exiting") {
+		t.Errorf("A's drain log incomplete: %q", s)
+	}
+
+	cancelB()
+	select {
+	case c := <-codeB:
+		if c != 0 {
+			t.Fatalf("B exit code %d, want 0", c)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("B did not drain")
 	}
 }
 

@@ -1,0 +1,139 @@
+// Package api is the wire contract of the culpeod service: the JSON
+// request and response shapes POSTed to /v1/* and returned by every
+// endpoint. It is a leaf package — no simulation imports — so both sides
+// of the wire can share one set of types: internal/serve resolves these
+// specs into library calls, and internal/client marshals them from
+// consumer code. Keeping the contract in one place is what makes the
+// client/server parity gates ("bit-identical to the library path")
+// checkable: there is exactly one definition of every field.
+package api
+
+// PowerSpec describes the power system a request targets. Either name a
+// catalogue part (resolved through internal/partsdb into an assembled bank)
+// or give C/ESR explicitly; both default to the Capybara buffer.
+type PowerSpec struct {
+	// Part is a partsdb catalogue number (e.g. "supercapacitor-0000"). When
+	// set, C and ESR come from a bank of these parts and must not also be
+	// given explicitly.
+	Part string `json:"part,omitempty"`
+	// BankC is the target bank capacitance used with Part (F); 0 selects
+	// the figures' 45 mF.
+	BankC float64 `json:"bank_c,omitempty"`
+	// C is the explicit buffer capacitance (F); 0 selects Capybara's 45 mF.
+	C float64 `json:"c,omitempty"`
+	// ESR is the explicit buffer ESR (Ω); 0 selects Capybara's 5 Ω net.
+	ESR float64 `json:"esr,omitempty"`
+	// VOff and VHigh set the monitor window (V); 0 selects 1.6 / 2.56.
+	VOff  float64 `json:"v_off,omitempty"`
+	VHigh float64 `json:"v_high,omitempty"`
+	// Age is the capacitor life fraction consumed, in [0, 1]: capacitance
+	// fades and ESR doubles toward end of life.
+	Age float64 `json:"age,omitempty"`
+}
+
+// LoadSpec describes the task whose V_safe is wanted: a synthetic Table III
+// shape, a named real-peripheral profile, or a raw uploaded current trace.
+// Exactly one of Shape, Peripheral or Samples must be present.
+type LoadSpec struct {
+	// Shape is "uniform" or "pulse" (pulse adds the paper's 1.5 mA / 100 ms
+	// compute tail), parameterized by I and T.
+	Shape string  `json:"shape,omitempty"`
+	I     float64 `json:"i,omitempty"` // load current (A)
+	T     float64 `json:"t,omitempty"` // pulse duration (s)
+	// Peripheral selects a measured profile: gesture | ble | mnist | lora.
+	Peripheral string `json:"peripheral,omitempty"`
+	// Samples is a raw captured current trace (A), analyzed at Rate.
+	Samples []float64 `json:"samples,omitempty"`
+	// Rate is the sample rate of Samples in Hz; 0 selects 125 kHz.
+	Rate float64 `json:"rate,omitempty"`
+}
+
+// VSafeRequest is the body of POST /v1/vsafe and each element of a batch.
+type VSafeRequest struct {
+	Power PowerSpec `json:"power"`
+	Load  LoadSpec  `json:"load"`
+}
+
+// ObservationSpec carries the three voltages Culpeo-R computes from.
+type ObservationSpec struct {
+	VStart float64 `json:"v_start"`
+	VMin   float64 `json:"v_min"`
+	VFinal float64 `json:"v_final"`
+}
+
+// VSafeRRequest is the body of POST /v1/vsafe-r: a runtime estimate from
+// one observed execution (Equations 1a–1c and 3).
+type VSafeRRequest struct {
+	Power       PowerSpec       `json:"power"`
+	Observation ObservationSpec `json:"observation"`
+}
+
+// SimulateRequest is the body of POST /v1/simulate: launch the task at
+// VStart on a fresh system and report the verdict.
+type SimulateRequest struct {
+	Power PowerSpec `json:"power"`
+	Load  LoadSpec  `json:"load"`
+	// VStart is the starting terminal voltage; 0 launches from V_high.
+	VStart float64 `json:"v_start,omitempty"`
+	// Harvest is constant harvested power during the run (W).
+	Harvest float64 `json:"harvest,omitempty"`
+	// Fast opts into the analytic segment-advance stepper.
+	Fast bool `json:"fast,omitempty"`
+}
+
+// BatchRequest is the body of POST /v1/batch.
+type BatchRequest struct {
+	Requests []VSafeRequest `json:"requests"`
+}
+
+// EstimateResponse mirrors core.Estimate on the wire. encoding/json emits
+// float64 at full round-trip precision, so a served estimate is
+// bit-identical to the library's (the parity suite asserts this).
+type EstimateResponse struct {
+	VSafe  float64 `json:"v_safe"`
+	VDelta float64 `json:"v_delta"`
+	VE     float64 `json:"v_e"`
+}
+
+// SimulateResponse reports one launch verdict.
+type SimulateResponse struct {
+	Completed   bool    `json:"completed"`
+	PowerFailed bool    `json:"power_failed"`
+	VStart      float64 `json:"v_start"`
+	VMin        float64 `json:"v_min"`
+	VFinal      float64 `json:"v_final"`
+	Duration    float64 `json:"duration"`
+	EnergyUsed  float64 `json:"energy_used"`
+	Error       string  `json:"error,omitempty"`
+}
+
+// BatchResult is one element of a batch response: an estimate or a
+// per-element error (one bad element never fails its siblings).
+type BatchResult struct {
+	Estimate *EstimateResponse `json:"estimate,omitempty"`
+	Error    string            `json:"error,omitempty"`
+}
+
+// BatchResponse is the body returned by POST /v1/batch.
+type BatchResponse struct {
+	Results []BatchResult `json:"results"`
+}
+
+// ErrorResponse is the body of every non-2xx reply.
+type ErrorResponse struct {
+	Error string `json:"error"`
+}
+
+// HealthResponse is the /healthz body. Draining means the daemon received
+// SIGTERM and load balancers (and client pools) should stop routing to it.
+type HealthResponse struct {
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+}
+
+// RequestIDHeader carries the request-correlation ID. The client sends a
+// fresh ID per attempt ("c<call>-a<attempt>"); the server echoes it (or
+// mints "culpeod-<n>" for bare requests), so one failing request is
+// traceable across the client log, a chaos proxy's event log and the
+// server's metrics document.
+const RequestIDHeader = "X-Request-Id"

@@ -1,0 +1,75 @@
+// The shared latency histogram: lock-free fixed-bucket counts snapshotted
+// into a cumulative wire document. internal/serve exports it under
+// /metrics; internal/client keeps one per backend so client-side latency
+// reads in exactly the same shape as server-side latency — correlating the
+// two during a chaos soak is a field-by-field comparison, not a format
+// translation.
+package api
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// LatencyBuckets are the histogram's upper bounds in seconds. The spread
+// covers a cache hit (~100 µs) through a cold ground-truth simulation
+// (seconds); the terminal +Inf bucket is implicit.
+var LatencyBuckets = [NumLatencyBuckets]float64{
+	100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3,
+	50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5, 5, 10,
+}
+
+// NumLatencyBuckets is the finite bucket count (the +Inf overflow bucket
+// is stored separately).
+const NumLatencyBuckets = 16
+
+// Histogram is a fixed-bound latency histogram safe for concurrent Observe.
+// The zero value is ready to use.
+type Histogram struct {
+	counts  [NumLatencyBuckets + 1]atomic.Uint64 // last = overflow (+Inf)
+	count   atomic.Uint64
+	sumNano atomic.Int64
+}
+
+// Observe records one latency sample.
+func (h *Histogram) Observe(d time.Duration) {
+	s := d.Seconds()
+	i := 0
+	for i < NumLatencyBuckets && s > LatencyBuckets[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNano.Add(int64(d))
+}
+
+// HistogramBucket is one cumulative bucket of the latency histogram: Count
+// observations took LE seconds or less (LE 0 marks the +Inf bucket).
+type HistogramBucket struct {
+	LE    float64 `json:"le_seconds"`
+	Count uint64  `json:"count"`
+}
+
+// HistogramSnapshot is the wire form of the latency histogram.
+type HistogramSnapshot struct {
+	Buckets []HistogramBucket `json:"buckets"`
+	Count   uint64            `json:"count"`
+	MeanMs  float64           `json:"mean_ms"`
+}
+
+// Snapshot renders the histogram as its cumulative wire form.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	var s HistogramSnapshot
+	cum := uint64(0)
+	for i, le := range LatencyBuckets {
+		cum += h.counts[i].Load()
+		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: cum})
+	}
+	cum += h.counts[NumLatencyBuckets].Load()
+	s.Buckets = append(s.Buckets, HistogramBucket{LE: 0, Count: cum})
+	s.Count = h.count.Load()
+	if s.Count > 0 {
+		s.MeanMs = float64(h.sumNano.Load()) / float64(s.Count) / 1e6
+	}
+	return s
+}

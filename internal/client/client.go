@@ -1,0 +1,722 @@
+// Package client is the production-grade Go client for culpeod: typed
+// methods for the four /v1/* endpoints, per-attempt deadlines carved out
+// of an overall per-call budget, exponential backoff with full jitter
+// that honors the server's Retry-After on 503, a circuit breaker per
+// backend, and a Pool that spreads load across N backends with
+// health-probe-driven ejection/readmission and optional hedged batch
+// requests.
+//
+// The retry loop is round-based: within a round every admissible backend
+// gets one attempt before the client sleeps at all, so a single dead
+// backend costs one failed attempt — not one backoff — per call. Only
+// when the whole round fails does the pool sleep, for
+// max(server Retry-After, jittered backoff), then start a fresh round.
+//
+// Every culpeod endpoint is pure estimation — requests carry no
+// server-side state — so retries can never double-apply an effect. That
+// idempotency is encoded explicitly (idempotent map below) rather than
+// assumed, so a future mutating endpoint has to opt in before the retry
+// loop will touch it.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"culpeo/internal/api"
+)
+
+// Endpoint paths, shared with internal/serve's mux.
+const (
+	PathVSafe    = "/v1/vsafe"
+	PathVSafeR   = "/v1/vsafe-r"
+	PathSimulate = "/v1/simulate"
+	PathBatch    = "/v1/batch"
+)
+
+// idempotent records, per endpoint, that a retry is safe. All current
+// endpoints are pure estimation; a future mutating endpoint must be added
+// as false and will then only ever be attempted once per call.
+var idempotent = map[string]bool{
+	PathVSafe:    true,
+	PathVSafeR:   true,
+	PathSimulate: true,
+	PathBatch:    true,
+}
+
+// maxResponseBytes bounds a response read (a full 4096-element batch
+// response is well under 1 MiB; 64 MiB mirrors the server's request cap).
+const maxResponseBytes = 64 << 20
+
+// Config tunes a Pool. The zero value of every field selects a sensible
+// production default; only Backends is required.
+type Config struct {
+	// Backends are the culpeod base URLs (e.g. "http://127.0.0.1:8080").
+	// Backend i is named "b<i>" in metrics and transition events, so logs
+	// stay stable across runs even when ports are ephemeral.
+	Backends []string
+
+	// HTTPClient overrides the transport (nil: a dedicated client).
+	HTTPClient *http.Client
+	// DisableKeepAlives forces one TCP connection per attempt. The chaos
+	// soak sets this so connection-indexed fault schedules line up 1:1
+	// with attempts.
+	DisableKeepAlives bool
+
+	// Budget is the overall wall-clock allowance for one call, covering
+	// every attempt and every backoff sleep (<=0: 15 s).
+	Budget time.Duration
+	// AttemptTimeout is the per-attempt deadline carved from the budget
+	// (<=0: 2 s). A blackholed connection costs one AttemptTimeout, not
+	// the whole budget.
+	AttemptTimeout time.Duration
+	// MaxAttempts caps total attempts per call (<=0: 8).
+	MaxAttempts int
+
+	// BaseBackoff seeds the exponential backoff (<=0: 25 ms); the sleep
+	// before round r is uniform in [0, min(MaxBackoff, BaseBackoff<<r)]
+	// ("full jitter"). MaxBackoff <=0 selects 1 s.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// RetryAfterCap bounds how long a server Retry-After is honored for
+	// (<=0: honored in full, up to the remaining budget).
+	RetryAfterCap time.Duration
+	// Seed fixes the jitter RNG for reproducible runs (0: seeded from 1).
+	Seed int64
+
+	// Breaker configures every backend's circuit breaker.
+	Breaker BreakerConfig
+
+	// ProbeInterval enables a background health-probe loop over all
+	// backends (0: no background probes).
+	ProbeInterval time.Duration
+	// ProbeEvery, when > 0, synchronously probes suspect backends (open
+	// breaker or ejected) every Nth call — deterministic, no timers; the
+	// chaos soak uses this instead of ProbeInterval.
+	ProbeEvery int
+	// ProbeTimeout bounds one health probe (<=0: 1 s).
+	ProbeTimeout time.Duration
+
+	// HedgeDelay, when > 0, arms hedged batch requests: if /v1/batch has
+	// not answered within HedgeDelay, the same request is issued to a
+	// second backend and the first response wins (the loser is canceled).
+	HedgeDelay time.Duration
+
+	// OnTransition observes breaker state changes and ejection /
+	// readmission events as they happen. Called synchronously from the
+	// call path; keep it fast.
+	OnTransition func(Event)
+}
+
+// Event is one pool-observed backend state change: a breaker transition
+// or a health-probe ejection/readmission. Call is the pool call counter
+// when the event fired, which is what makes a sequential chaos soak's
+// event log bit-reproducible.
+type Event struct {
+	Backend  string `json:"backend"`
+	Call     uint64 `json:"call"`
+	From, To string `json:"-"`
+	Cause    string `json:"cause"`
+}
+
+// String renders "call=12 b0 open->half-open (cooldown)" — the golden-log
+// line format.
+func (e Event) String() string {
+	return fmt.Sprintf("call=%d %s %s->%s (%s)", e.Call, e.Backend, e.From, e.To, e.Cause)
+}
+
+// HTTPError is a non-2xx response. Retryable reports whether the retry
+// loop may try again (5xx: the backend is unhealthy or shedding; 4xx: the
+// request itself is wrong and no backend will like it better).
+type HTTPError struct {
+	Status     int
+	RetryAfter time.Duration // parsed Retry-After, 0 if absent
+	RequestID  string        // server-echoed X-Request-Id
+	Body       string        // first line of the error body
+}
+
+func (e *HTTPError) Error() string {
+	msg := fmt.Sprintf("http %d", e.Status)
+	if e.Body != "" {
+		msg += ": " + e.Body
+	}
+	if e.RequestID != "" {
+		msg += " (request " + e.RequestID + ")"
+	}
+	return msg
+}
+
+// Retryable reports whether another attempt could succeed.
+func (e *HTTPError) Retryable() bool { return e.Status >= 500 }
+
+// backend is one culpeod instance as the pool sees it.
+type backend struct {
+	name    string // "b<i>" — stable across runs
+	base    string // normalized base URL, no trailing slash
+	brk     *Breaker
+	ejected atomic.Bool // health probe saw it down or draining
+	met     backendCounters
+}
+
+// Pool is a load-balancing, failure-isolating culpeod client. Safe for
+// concurrent use; Close releases the background prober and idle
+// connections.
+type Pool struct {
+	cfg  Config
+	http *http.Client
+	own  bool // we built http and own its transport
+
+	backends []*backend
+	rr       atomic.Uint64 // round-robin cursor
+	met      poolCounters
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	done      chan struct{}
+	wg        sync.WaitGroup
+	closeOnce sync.Once
+}
+
+// New builds a Pool over cfg.Backends.
+func New(cfg Config) (*Pool, error) {
+	if len(cfg.Backends) == 0 {
+		return nil, errors.New("client: no backends configured")
+	}
+	if cfg.Budget <= 0 {
+		cfg.Budget = 15 * time.Second
+	}
+	if cfg.AttemptTimeout <= 0 {
+		cfg.AttemptTimeout = 2 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 8
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 25 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = time.Second
+	}
+	if cfg.ProbeTimeout <= 0 {
+		cfg.ProbeTimeout = time.Second
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	p := &Pool{
+		cfg:  cfg,
+		rng:  rand.New(rand.NewSource(seed)),
+		done: make(chan struct{}),
+	}
+	if cfg.HTTPClient != nil {
+		p.http = cfg.HTTPClient
+	} else {
+		p.http = &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        64,
+			MaxIdleConnsPerHost: 16,
+			DisableKeepAlives:   cfg.DisableKeepAlives,
+		}}
+		p.own = true
+	}
+	for i, raw := range cfg.Backends {
+		u, err := url.Parse(raw)
+		if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+			return nil, fmt.Errorf("client: backend %d: bad base URL %q", i, raw)
+		}
+		b := &backend{
+			name: "b" + strconv.Itoa(i),
+			base: strings.TrimRight(raw, "/"),
+			brk:  NewBreaker(cfg.Breaker),
+		}
+		b.brk.onTransition = func(tr Transition) {
+			p.emit(Event{
+				Backend: b.name,
+				Call:    p.met.calls.Load(),
+				From:    tr.From.String(),
+				To:      tr.To.String(),
+				Cause:   tr.Cause,
+			})
+		}
+		p.backends = append(p.backends, b)
+	}
+	if cfg.ProbeInterval > 0 {
+		p.wg.Add(1)
+		go p.probeLoop()
+	}
+	return p, nil
+}
+
+// Close stops the background prober and releases idle connections. Safe
+// to call more than once.
+func (p *Pool) Close() {
+	p.closeOnce.Do(func() { close(p.done) })
+	p.wg.Wait()
+	if p.own {
+		if t, ok := p.http.Transport.(*http.Transport); ok {
+			t.CloseIdleConnections()
+		}
+	}
+}
+
+func (p *Pool) emit(ev Event) {
+	if p.cfg.OnTransition != nil {
+		p.cfg.OnTransition(ev)
+	}
+}
+
+// --- typed endpoint methods ---------------------------------------------
+
+// VSafe estimates V_safe ahead of time (POST /v1/vsafe).
+func (p *Pool) VSafe(ctx context.Context, req api.VSafeRequest) (api.EstimateResponse, error) {
+	var out api.EstimateResponse
+	err := p.call(ctx, PathVSafe, req, &out, false)
+	return out, err
+}
+
+// VSafeR estimates V_safe from one observed execution (POST /v1/vsafe-r).
+func (p *Pool) VSafeR(ctx context.Context, req api.VSafeRRequest) (api.EstimateResponse, error) {
+	var out api.EstimateResponse
+	err := p.call(ctx, PathVSafeR, req, &out, false)
+	return out, err
+}
+
+// Simulate launches the task once and reports the verdict (POST
+// /v1/simulate).
+func (p *Pool) Simulate(ctx context.Context, req api.SimulateRequest) (api.SimulateResponse, error) {
+	var out api.SimulateResponse
+	err := p.call(ctx, PathSimulate, req, &out, false)
+	return out, err
+}
+
+// Batch estimates many specs in one request (POST /v1/batch). Batch calls
+// are hedged when Config.HedgeDelay is set: they are the expensive,
+// long-tail endpoint where a second in-flight copy is worth its cost.
+func (p *Pool) Batch(ctx context.Context, req api.BatchRequest) (api.BatchResponse, error) {
+	var out api.BatchResponse
+	err := p.call(ctx, PathBatch, req, &out, true)
+	return out, err
+}
+
+// Do sends a pre-marshaled body to path through the full retry/failover
+// machinery and returns the raw response body. The escape hatch the load
+// generator uses.
+func (p *Pool) Do(ctx context.Context, path string, body []byte) ([]byte, error) {
+	return p.exec(ctx, path, body, false)
+}
+
+func (p *Pool) call(ctx context.Context, path string, req, out any, hedge bool) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("client: marshal %s request: %w", path, err)
+	}
+	raw, err := p.exec(ctx, path, body, hedge)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(raw, out); err != nil {
+		return fmt.Errorf("client: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// --- the call engine ----------------------------------------------------
+
+// exec runs one pool call: assign a call number, optionally probe suspect
+// backends, optionally hedge, then the round-based retry loop — all under
+// one budget.
+func (p *Pool) exec(ctx context.Context, path string, body []byte, hedge bool) ([]byte, error) {
+	call := p.met.calls.Add(1)
+	if n := p.cfg.ProbeEvery; n > 0 && call%uint64(n) == 0 {
+		p.probeSuspects(ctx)
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.cfg.Budget)
+	defer cancel()
+	if hedge && p.cfg.HedgeDelay > 0 && len(p.backends) > 1 {
+		if raw, ok := p.hedged(ctx, call, path, body); ok {
+			p.met.successes.Add(1)
+			return raw, nil
+		}
+		// Both hedge arms failed (or a second backend wasn't admissible):
+		// fall through to the sequential loop on the remaining budget.
+	}
+	return p.retryLoop(ctx, call, path, body)
+}
+
+// retryLoop is the round-based engine described in the package comment.
+func (p *Pool) retryLoop(ctx context.Context, call uint64, path string, body []byte) ([]byte, error) {
+	var (
+		lastErr    error
+		prev       *backend
+		attempts   int
+		round      int
+		retryAfter time.Duration
+		tried      = make(map[*backend]bool)
+	)
+	fail := func(reason string) ([]byte, error) {
+		p.met.failures.Add(1)
+		if lastErr != nil {
+			return nil, fmt.Errorf("client: %s %s after %d attempts: last error: %w", path, reason, attempts, lastErr)
+		}
+		return nil, fmt.Errorf("client: %s %s after %d attempts", path, reason, attempts)
+	}
+	for {
+		if ctx.Err() != nil {
+			return fail("budget exhausted")
+		}
+		if attempts >= p.cfg.MaxAttempts {
+			return fail("attempts exhausted")
+		}
+		b := p.pick(tried)
+		if b == nil {
+			// Round over: every backend tried, ejected or breaker-refused.
+			// Sleep max(server Retry-After, jittered backoff), then reset
+			// the round so every backend is a candidate again.
+			d := p.backoff(round)
+			if retryAfter > 0 {
+				ra := retryAfter
+				if cap := p.cfg.RetryAfterCap; cap > 0 && ra > cap {
+					ra = cap
+				}
+				if ra > d {
+					d = ra
+				}
+				p.met.retryAfterHonored.Add(1)
+				retryAfter = 0
+			}
+			if err := sleepCtx(ctx, d); err != nil {
+				return fail("budget exhausted")
+			}
+			round++
+			clear(tried)
+			prev = nil
+			continue
+		}
+		if attempts > 0 {
+			p.met.retries.Add(1)
+			if prev != nil && b != prev {
+				p.met.failovers.Add(1)
+			}
+		}
+		attempts++
+		raw, err := p.attempt(ctx, b, path, body, call, attempts)
+		if err == nil {
+			p.met.successes.Add(1)
+			return raw, nil
+		}
+		lastErr = err
+		tried[b] = true
+		prev = b
+		var he *HTTPError
+		if errors.As(err, &he) {
+			if !he.Retryable() {
+				p.met.failures.Add(1)
+				return nil, err
+			}
+			if he.RetryAfter > retryAfter {
+				retryAfter = he.RetryAfter
+			}
+		}
+		if !idempotent[path] {
+			// Non-idempotent endpoint: never re-send a request that may
+			// have reached the server.
+			p.met.failures.Add(1)
+			return nil, err
+		}
+	}
+}
+
+// pick selects the next admissible backend round-robin: pass 0 considers
+// healthy backends, pass 1 falls back to ejected ones (if every backend
+// is ejected — say, all draining — offering the request anyway beats
+// failing it). Each backend's breaker is consulted at most once.
+func (p *Pool) pick(tried map[*backend]bool) *backend {
+	n := len(p.backends)
+	start := int(p.rr.Add(1)-1) % n
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < n; i++ {
+			b := p.backends[(start+i)%n]
+			if tried[b] || b.ejected.Load() != (pass == 1) {
+				continue
+			}
+			if !b.brk.Allow() {
+				p.met.breakerRejects.Add(1)
+				tried[b] = true // don't re-consult this breaker in pass 1
+				continue
+			}
+			return b
+		}
+	}
+	return nil
+}
+
+// attempt issues one HTTP POST with its own deadline and records the
+// verdict on the backend's breaker. An attempt abandoned by the pool
+// itself (hedge sibling won, caller gave up) is no verdict at all: the
+// breaker slot is released and only the abandoned counter moves.
+func (p *Pool) attempt(parent context.Context, b *backend, path string, body []byte, call uint64, n int) ([]byte, error) {
+	actx, cancel := context.WithTimeout(parent, p.cfg.AttemptTimeout)
+	defer cancel()
+	p.met.attempts.Add(1)
+	b.met.attempts.Add(1)
+
+	abandoned := func() bool { return errors.Is(parent.Err(), context.Canceled) }
+	failure := func(format string, args ...any) ([]byte, error) {
+		if abandoned() {
+			p.met.abandoned.Add(1)
+			b.brk.Release()
+			return nil, fmt.Errorf("client: %s %s: abandoned: %w", b.name, path, parent.Err())
+		}
+		b.met.failures.Add(1)
+		b.brk.Failure()
+		return nil, fmt.Errorf("client: %s %s: %w", b.name, path, fmt.Errorf(format, args...))
+	}
+
+	req, err := http.NewRequestWithContext(actx, http.MethodPost, b.base+path, bytes.NewReader(body))
+	if err != nil {
+		return failure("build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.RequestIDHeader, "c"+strconv.FormatUint(call, 10)+"-a"+strconv.Itoa(n))
+
+	t0 := time.Now()
+	resp, err := p.http.Do(req)
+	if err != nil {
+		b.met.latency.Observe(time.Since(t0))
+		return failure("%w", err)
+	}
+	raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+	resp.Body.Close()
+	b.met.latency.Observe(time.Since(t0))
+	if rerr != nil {
+		return failure("truncated response: %w", rerr)
+	}
+	if resp.StatusCode == http.StatusOK {
+		b.met.successes.Add(1)
+		b.brk.Success()
+		return raw, nil
+	}
+	he := &HTTPError{
+		Status:     resp.StatusCode,
+		RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		RequestID:  resp.Header.Get(api.RequestIDHeader),
+		Body:       errorLine(raw),
+	}
+	if he.Retryable() {
+		b.met.failures.Add(1)
+		b.brk.Failure()
+	} else {
+		// A 4xx proves the backend alive and well; the request is the bug.
+		b.brk.Success()
+	}
+	return nil, fmt.Errorf("client: %s %s: %w", b.name, path, he)
+}
+
+// hedged races the call on two backends: launch on the first, arm a
+// timer, launch on the second if the first has not answered within
+// HedgeDelay, first success wins and the sibling is canceled. Returns
+// ok=false when hedging could not conclude (no second backend, primary
+// failed fast, both arms failed) — the caller falls back to the
+// sequential retry loop on the same budget.
+func (p *Pool) hedged(ctx context.Context, call uint64, path string, body []byte) ([]byte, bool) {
+	first := p.pick(map[*backend]bool{})
+	if first == nil {
+		return nil, false
+	}
+	second := p.pick(map[*backend]bool{first: true})
+	if second == nil {
+		first.brk.Release()
+		return nil, false
+	}
+
+	hctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	type result struct {
+		raw []byte
+		err error
+		b   *backend
+	}
+	resCh := make(chan result, 2)
+	launch := func(b *backend, attempt int) {
+		go func() {
+			raw, err := p.attempt(hctx, b, path, body, call, attempt)
+			resCh <- result{raw, err, b}
+		}()
+	}
+	launch(first, 1)
+	timer := time.NewTimer(p.cfg.HedgeDelay)
+	defer timer.Stop()
+
+	launched := 1
+	failed := 0
+	for {
+		select {
+		case r := <-resCh:
+			if r.err == nil {
+				if launched == 2 && r.b == second {
+					p.met.hedgeWins.Add(1)
+				}
+				cancel() // abandon the sibling; its goroutine drains into the buffered channel
+				return r.raw, true
+			}
+			failed++
+			if launched == 1 || failed == launched {
+				// Primary failed before the hedge fired, or both arms
+				// failed: the sequential loop handles it from here.
+				if launched == 1 {
+					second.brk.Release()
+				}
+				return nil, false
+			}
+		case <-timer.C:
+			if launched == 1 {
+				p.met.hedges.Add(1)
+				launch(second, 2)
+				launched = 2
+			}
+		case <-hctx.Done():
+			return nil, false
+		}
+	}
+}
+
+// backoff draws the full-jitter sleep for round r.
+func (p *Pool) backoff(round int) time.Duration {
+	cap := p.cfg.BaseBackoff << uint(round)
+	if cap > p.cfg.MaxBackoff || cap <= 0 {
+		cap = p.cfg.MaxBackoff
+	}
+	p.rngMu.Lock()
+	f := p.rng.Float64()
+	p.rngMu.Unlock()
+	return time.Duration(f * float64(cap))
+}
+
+// --- health probes ------------------------------------------------------
+
+// probeLoop is the background prober (Config.ProbeInterval).
+func (p *Pool) probeLoop() {
+	defer p.wg.Done()
+	t := time.NewTicker(p.cfg.ProbeInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-p.done:
+			return
+		case <-t.C:
+			for _, b := range p.backends {
+				p.probe(context.Background(), b)
+			}
+		}
+	}
+}
+
+// probeSuspects synchronously probes every backend the pool has stopped
+// trusting — ejected, or breaker not closed (Config.ProbeEvery).
+func (p *Pool) probeSuspects(ctx context.Context) {
+	for _, b := range p.backends {
+		if b.ejected.Load() || b.brk.State() != Closed {
+			p.probe(ctx, b)
+		}
+	}
+}
+
+// probe hits /healthz once and moves the backend between the healthy and
+// ejected sets. A draining backend is ejected exactly like a dead one —
+// it asked us to leave.
+func (p *Pool) probe(ctx context.Context, b *backend) {
+	b.met.probes.Add(1)
+	pctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+	defer cancel()
+	ok, cause := false, "probe failed"
+	req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.base+"/healthz", nil)
+	if err == nil {
+		resp, err := p.http.Do(req)
+		if err == nil {
+			raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096))
+			resp.Body.Close()
+			var h api.HealthResponse
+			if rerr == nil && json.Unmarshal(raw, &h) == nil {
+				switch {
+				case h.Draining:
+					cause = "draining"
+				case resp.StatusCode == http.StatusOK && h.OK:
+					ok = true
+				}
+			}
+		}
+	}
+	if ok {
+		if b.ejected.CompareAndSwap(true, false) {
+			p.emit(Event{Backend: b.name, Call: p.met.calls.Load(), From: "ejected", To: "healthy", Cause: "probe ok"})
+		}
+		if b.brk.State() != Closed {
+			b.brk.Reset("probe ok")
+		}
+		return
+	}
+	b.met.probeFails.Add(1)
+	if !b.ejected.Swap(true) {
+		p.emit(Event{Backend: b.name, Call: p.met.calls.Load(), From: "healthy", To: "ejected", Cause: cause})
+	}
+}
+
+// --- helpers ------------------------------------------------------------
+
+// sleepCtx sleeps d or until ctx is done, whichever is first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// parseRetryAfter reads the delay-seconds form of Retry-After (the only
+// form culpeod emits).
+func parseRetryAfter(v string) time.Duration {
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// errorLine extracts the error string from an ErrorResponse body, falling
+// back to the first line of whatever was returned.
+func errorLine(raw []byte) string {
+	var er api.ErrorResponse
+	if json.Unmarshal(raw, &er) == nil && er.Error != "" {
+		return er.Error
+	}
+	s := strings.TrimSpace(string(raw))
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		s = s[:i]
+	}
+	if len(s) > 200 {
+		s = s[:200]
+	}
+	return s
+}

@@ -1,0 +1,436 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"culpeo/internal/api"
+)
+
+// fastCfg returns a config with millisecond-scale backoff so failure
+// tests stay fast; tests override what they exercise.
+func fastCfg(backends ...string) Config {
+	return Config{
+		Backends:    backends,
+		Budget:      5 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Seed:        42,
+	}
+}
+
+// estimateOK writes a fixed EstimateResponse.
+func estimateOK(w http.ResponseWriter) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprint(w, `{"v_safe":2.5,"v_delta":0.125,"v_e":2.375}`)
+}
+
+func newPool(t *testing.T, cfg Config) *Pool {
+	t.Helper()
+	p, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+func TestRetryThenSuccess(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		estimateOK(w)
+	}))
+	defer srv.Close()
+
+	p := newPool(t, fastCfg(srv.URL))
+	est, err := p.VSafe(context.Background(), api.VSafeRequest{})
+	if err != nil {
+		t.Fatalf("VSafe: %v", err)
+	}
+	if est.VSafe != 2.5 {
+		t.Fatalf("VSafe = %v, want 2.5", est.VSafe)
+	}
+	m := p.Metrics()
+	if m.Attempts != 3 || m.Retries != 2 || m.Successes != 1 || m.Failures != 0 {
+		t.Fatalf("metrics = %+v, want attempts=3 retries=2 successes=1", m)
+	}
+}
+
+func TestNoRetryOn4xx(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"load: shape unknown"}`, http.StatusBadRequest)
+	}))
+	defer srv.Close()
+
+	p := newPool(t, fastCfg(srv.URL))
+	_, err := p.VSafe(context.Background(), api.VSafeRequest{})
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want HTTPError 400", err)
+	}
+	if he.Body != "load: shape unknown" {
+		t.Fatalf("HTTPError.Body = %q", he.Body)
+	}
+	if n := hits.Load(); n != 1 {
+		t.Fatalf("server saw %d attempts, want 1 (4xx must not retry)", n)
+	}
+}
+
+func TestRetryAfterHonored(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) == 1 {
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"saturated"}`, http.StatusServiceUnavailable)
+			return
+		}
+		estimateOK(w)
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg(srv.URL)
+	cfg.RetryAfterCap = 30 * time.Millisecond
+	p := newPool(t, cfg)
+	t0 := time.Now()
+	if _, err := p.VSafe(context.Background(), api.VSafeRequest{}); err != nil {
+		t.Fatalf("VSafe: %v", err)
+	}
+	elapsed := time.Since(t0)
+	if elapsed < 20*time.Millisecond {
+		t.Fatalf("call returned in %v — Retry-After not honored", elapsed)
+	}
+	if elapsed > 900*time.Millisecond {
+		t.Fatalf("call took %v — RetryAfterCap not applied to the 1 s Retry-After", elapsed)
+	}
+	if m := p.Metrics(); m.RetryAfterHonored != 1 {
+		t.Fatalf("RetryAfterHonored = %d, want 1", m.RetryAfterHonored)
+	}
+}
+
+func TestBudgetExhausted(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg(srv.URL)
+	cfg.Budget = 100 * time.Millisecond
+	cfg.MaxAttempts = 1 << 20
+	p := newPool(t, cfg)
+	_, err := p.VSafe(context.Background(), api.VSafeRequest{})
+	if err == nil || !strings.Contains(err.Error(), "budget exhausted") {
+		t.Fatalf("err = %v, want budget exhausted", err)
+	}
+	var he *HTTPError
+	if !errors.As(err, &he) || he.Status != http.StatusInternalServerError {
+		t.Fatalf("err = %v, want wrapped HTTPError 500", err)
+	}
+	if m := p.Metrics(); m.Failures != 1 || m.Successes != 0 {
+		t.Fatalf("metrics = %+v, want failures=1", m)
+	}
+}
+
+func TestAttemptsExhausted(t *testing.T) {
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+
+	cfg := fastCfg(srv.URL)
+	cfg.MaxAttempts = 3
+	p := newPool(t, cfg)
+	_, err := p.VSafe(context.Background(), api.VSafeRequest{})
+	if err == nil || !strings.Contains(err.Error(), "attempts exhausted") {
+		t.Fatalf("err = %v, want attempts exhausted", err)
+	}
+	if n := hits.Load(); n != 3 {
+		t.Fatalf("server saw %d attempts, want 3", n)
+	}
+}
+
+func TestFailoverToHealthyBackend(t *testing.T) {
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		estimateOK(w)
+	}))
+	defer good.Close()
+
+	p := newPool(t, fastCfg(bad.URL, good.URL))
+	if _, err := p.VSafe(context.Background(), api.VSafeRequest{}); err != nil {
+		t.Fatalf("VSafe: %v", err)
+	}
+	m := p.Metrics()
+	if m.Failovers != 1 || m.Successes != 1 {
+		t.Fatalf("metrics = %+v, want failovers=1 successes=1", m)
+	}
+	// The failover happened within the round: no backoff sleep separates
+	// the b0 failure from the b1 attempt, so both land in one round trip.
+	if m.Backends[0].Attempts != 1 || m.Backends[1].Attempts != 1 {
+		t.Fatalf("backend attempts = %d/%d, want 1/1",
+			m.Backends[0].Attempts, m.Backends[1].Attempts)
+	}
+}
+
+func TestBreakerStopsOfferingDeadBackend(t *testing.T) {
+	var badHits atomic.Int64
+	bad := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		badHits.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}))
+	defer bad.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		estimateOK(w)
+	}))
+	defer good.Close()
+
+	var evMu sync.Mutex
+	var events []string
+	cfg := fastCfg(bad.URL, good.URL)
+	cfg.Breaker = BreakerConfig{FailureThreshold: 2, CooldownCalls: 1 << 20}
+	cfg.OnTransition = func(ev Event) {
+		evMu.Lock()
+		events = append(events, ev.String())
+		evMu.Unlock()
+	}
+	p := newPool(t, cfg)
+	for i := 0; i < 10; i++ {
+		if _, err := p.VSafe(context.Background(), api.VSafeRequest{}); err != nil {
+			t.Fatalf("call %d: %v", i, err)
+		}
+	}
+	m := p.Metrics()
+	if m.Successes != 10 {
+		t.Fatalf("successes = %d, want 10", m.Successes)
+	}
+	if n := badHits.Load(); n != 2 {
+		t.Fatalf("dead backend saw %d attempts, want exactly 2 (threshold)", n)
+	}
+	if m.BreakerRejects == 0 {
+		t.Fatal("breaker never rejected the open backend")
+	}
+	if st := m.Backends[0].BreakerState; st != "open" {
+		t.Fatalf("b0 breaker state = %q, want open", st)
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	if len(events) != 1 || !strings.Contains(events[0], "b0 closed->open (failures=2)") {
+		t.Fatalf("events = %v, want one b0 closed->open", events)
+	}
+}
+
+func TestBreakerRecoversViaHalfOpen(t *testing.T) {
+	var fail atomic.Bool
+	fail.Store(true)
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if fail.Load() {
+			http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+			return
+		}
+		estimateOK(w)
+	}))
+	defer srv.Close()
+	good := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		estimateOK(w)
+	}))
+	defer good.Close()
+
+	cfg := fastCfg(srv.URL, good.URL)
+	cfg.Breaker = BreakerConfig{FailureThreshold: 1, CooldownCalls: 2}
+	p := newPool(t, cfg)
+	// Call 1 trips b0's breaker (and fails over to b1).
+	if _, err := p.VSafe(context.Background(), api.VSafeRequest{}); err != nil {
+		t.Fatalf("call 1: %v", err)
+	}
+	fail.Store(false) // backend recovers
+	// Subsequent calls burn the event-counted cooldown, then a half-open
+	// trial lands on b0, succeeds, and the breaker closes.
+	for i := 0; i < 6; i++ {
+		if _, err := p.VSafe(context.Background(), api.VSafeRequest{}); err != nil {
+			t.Fatalf("call %d: %v", i+2, err)
+		}
+	}
+	if st := p.Metrics().Backends[0].BreakerState; st != "closed" {
+		t.Fatalf("b0 breaker state = %q, want closed after recovery", st)
+	}
+	if got := p.Metrics().Backends[0].Successes; got == 0 {
+		t.Fatal("recovered backend never served a success")
+	}
+}
+
+func TestProbeEjectsAndReadmits(t *testing.T) {
+	var draining atomic.Bool
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path == "/healthz" {
+			w.Header().Set("Content-Type", "application/json")
+			if draining.Load() {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprint(w, `{"ok":false,"draining":true}`)
+				return
+			}
+			fmt.Fprint(w, `{"ok":true,"draining":false}`)
+			return
+		}
+		estimateOK(w)
+	}))
+	defer srv.Close()
+
+	var evMu sync.Mutex
+	var events []string
+	cfg := fastCfg(srv.URL)
+	cfg.OnTransition = func(ev Event) {
+		evMu.Lock()
+		events = append(events, fmt.Sprintf("%s %s->%s (%s)", ev.Backend, ev.From, ev.To, ev.Cause))
+		evMu.Unlock()
+	}
+	p := newPool(t, cfg)
+	b := p.backends[0]
+
+	draining.Store(true)
+	p.probe(context.Background(), b)
+	if !b.ejected.Load() {
+		t.Fatal("probe did not eject a draining backend")
+	}
+	// An ejected sole backend still serves (pass-1 fallback): failing the
+	// call because everyone is draining would be strictly worse.
+	if _, err := p.VSafe(context.Background(), api.VSafeRequest{}); err != nil {
+		t.Fatalf("VSafe with sole backend ejected: %v", err)
+	}
+
+	draining.Store(false)
+	p.probe(context.Background(), b)
+	if b.ejected.Load() {
+		t.Fatal("probe did not readmit a recovered backend")
+	}
+	m := p.Metrics()
+	if m.Backends[0].Probes != 2 || m.Backends[0].ProbeFails != 1 {
+		t.Fatalf("probe counters = %d/%d, want 2/1", m.Backends[0].Probes, m.Backends[0].ProbeFails)
+	}
+	evMu.Lock()
+	defer evMu.Unlock()
+	want := []string{"b0 healthy->ejected (draining)", "b0 ejected->healthy (probe ok)"}
+	if len(events) != 2 || events[0] != want[0] || events[1] != want[1] {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+}
+
+func TestHedgedBatchSecondBackendWins(t *testing.T) {
+	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		select {
+		case <-time.After(300 * time.Millisecond):
+		case <-r.Context().Done():
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[{"estimate":{"v_safe":2.5,"v_delta":0.1,"v_e":2.4}}]}`)
+	}))
+	defer slow.Close()
+	fast := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"results":[{"estimate":{"v_safe":2.5,"v_delta":0.1,"v_e":2.4}}]}`)
+	}))
+	defer fast.Close()
+
+	cfg := fastCfg(slow.URL, fast.URL)
+	cfg.HedgeDelay = 20 * time.Millisecond
+	p := newPool(t, cfg)
+	t0 := time.Now()
+	resp, err := p.Batch(context.Background(), api.BatchRequest{Requests: []api.VSafeRequest{{}}})
+	if err != nil {
+		t.Fatalf("Batch: %v", err)
+	}
+	if len(resp.Results) != 1 || resp.Results[0].Estimate == nil {
+		t.Fatalf("batch response = %+v", resp)
+	}
+	if elapsed := time.Since(t0); elapsed > 250*time.Millisecond {
+		t.Fatalf("hedged batch took %v — hedge did not win", elapsed)
+	}
+	m := p.Metrics()
+	if m.Hedges != 1 || m.HedgeWins != 1 {
+		t.Fatalf("hedges/wins = %d/%d, want 1/1", m.Hedges, m.HedgeWins)
+	}
+	// The abandoned primary drains asynchronously; wait for the counter.
+	deadline := time.Now().Add(2 * time.Second)
+	for p.Metrics().Abandoned == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("abandoned hedge attempt never counted")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestRequestIDPerAttempt(t *testing.T) {
+	var mu sync.Mutex
+	var ids []string
+	var hits atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		mu.Lock()
+		ids = append(ids, r.Header.Get(api.RequestIDHeader))
+		mu.Unlock()
+		if hits.Add(1) == 1 {
+			http.Error(w, `{"error":"transient"}`, http.StatusInternalServerError)
+			return
+		}
+		estimateOK(w)
+	}))
+	defer srv.Close()
+
+	p := newPool(t, fastCfg(srv.URL))
+	if _, err := p.VSafe(context.Background(), api.VSafeRequest{}); err != nil {
+		t.Fatalf("VSafe: %v", err)
+	}
+	if _, err := p.VSafeR(context.Background(), api.VSafeRRequest{Observation: api.ObservationSpec{VStart: 2.5, VMin: 2.2, VFinal: 2.4}}); err != nil {
+		t.Fatalf("VSafeR: %v", err)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	want := []string{"c1-a1", "c1-a2", "c2-a1"}
+	if len(ids) != 3 || ids[0] != want[0] || ids[1] != want[1] || ids[2] != want[2] {
+		t.Fatalf("request IDs = %v, want %v", ids, want)
+	}
+}
+
+func TestNewRejectsBadConfig(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("New with no backends succeeded")
+	}
+	if _, err := New(Config{Backends: []string{"not a url"}}); err == nil {
+		t.Fatal("New with junk URL succeeded")
+	}
+	if _, err := New(Config{Backends: []string{"ftp://host"}}); err == nil {
+		t.Fatal("New with non-http scheme succeeded")
+	}
+}
+
+func TestDoRawPath(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		estimateOK(w)
+	}))
+	defer srv.Close()
+	p := newPool(t, fastCfg(srv.URL))
+	raw, err := p.Do(context.Background(), PathVSafe, []byte(`{}`))
+	if err != nil {
+		t.Fatalf("Do: %v", err)
+	}
+	if !strings.Contains(string(raw), `"v_safe":2.5`) {
+		t.Fatalf("raw = %s", raw)
+	}
+}

@@ -1,0 +1,102 @@
+// Client-side metrics, mirroring the shape of internal/serve's /metrics
+// document: monotonic counters plus a per-backend latency histogram using
+// the identical buckets (internal/api). A chaos soak reads the client
+// snapshot next to each server's snapshot and the numbers line up
+// field-for-field — attempts here, requests there; breaker state here,
+// draining flag there.
+package client
+
+import (
+	"sync/atomic"
+
+	"culpeo/internal/api"
+)
+
+// poolCounters aggregates pool-wide traffic.
+type poolCounters struct {
+	calls     atomic.Uint64 // public API calls
+	successes atomic.Uint64
+	failures  atomic.Uint64 // calls that exhausted budget/attempts
+	attempts  atomic.Uint64 // individual HTTP attempts
+	retries   atomic.Uint64 // attempts beyond the first of a call
+	failovers atomic.Uint64 // retries that moved to a different backend
+	abandoned atomic.Uint64 // attempts canceled because a sibling won (hedge)
+
+	retryAfterHonored atomic.Uint64 // sleeps driven by a server Retry-After
+	breakerRejects    atomic.Uint64 // candidate backends skipped by breakers
+
+	hedges    atomic.Uint64 // hedge attempts launched
+	hedgeWins atomic.Uint64 // hedges that answered before the primary
+}
+
+// backendCounters is one backend's share of the traffic.
+type backendCounters struct {
+	attempts   atomic.Uint64
+	successes  atomic.Uint64
+	failures   atomic.Uint64
+	probes     atomic.Uint64
+	probeFails atomic.Uint64
+	latency    api.Histogram
+}
+
+// BackendSnapshot is the wire form of one backend's client-side view.
+type BackendSnapshot struct {
+	Name         string                `json:"name"`
+	URL          string                `json:"url"`
+	BreakerState string                `json:"breaker_state"`
+	Ejected      bool                  `json:"ejected"`
+	Attempts     uint64                `json:"attempts"`
+	Successes    uint64                `json:"successes"`
+	Failures     uint64                `json:"failures"`
+	Probes       uint64                `json:"probes"`
+	ProbeFails   uint64                `json:"probe_failures"`
+	Latency      api.HistogramSnapshot `json:"latency"`
+}
+
+// MetricsSnapshot is the client-side metrics document.
+type MetricsSnapshot struct {
+	Calls             uint64            `json:"calls"`
+	Successes         uint64            `json:"successes"`
+	Failures          uint64            `json:"failures"`
+	Attempts          uint64            `json:"attempts"`
+	Retries           uint64            `json:"retries"`
+	Failovers         uint64            `json:"failovers"`
+	Abandoned         uint64            `json:"abandoned"`
+	RetryAfterHonored uint64            `json:"retry_after_honored"`
+	BreakerRejects    uint64            `json:"breaker_rejects"`
+	Hedges            uint64            `json:"hedges"`
+	HedgeWins         uint64            `json:"hedge_wins"`
+	Backends          []BackendSnapshot `json:"backends"`
+}
+
+// Metrics snapshots the pool's live counters.
+func (p *Pool) Metrics() MetricsSnapshot {
+	s := MetricsSnapshot{
+		Calls:             p.met.calls.Load(),
+		Successes:         p.met.successes.Load(),
+		Failures:          p.met.failures.Load(),
+		Attempts:          p.met.attempts.Load(),
+		Retries:           p.met.retries.Load(),
+		Failovers:         p.met.failovers.Load(),
+		Abandoned:         p.met.abandoned.Load(),
+		RetryAfterHonored: p.met.retryAfterHonored.Load(),
+		BreakerRejects:    p.met.breakerRejects.Load(),
+		Hedges:            p.met.hedges.Load(),
+		HedgeWins:         p.met.hedgeWins.Load(),
+	}
+	for _, b := range p.backends {
+		s.Backends = append(s.Backends, BackendSnapshot{
+			Name:         b.name,
+			URL:          b.base,
+			BreakerState: b.brk.State().String(),
+			Ejected:      b.ejected.Load(),
+			Attempts:     b.met.attempts.Load(),
+			Successes:    b.met.successes.Load(),
+			Failures:     b.met.failures.Load(),
+			Probes:       b.met.probes.Load(),
+			ProbeFails:   b.met.probeFails.Load(),
+			Latency:      b.met.latency.Snapshot(),
+		})
+	}
+	return s
+}

@@ -1,0 +1,534 @@
+// The chaos soak: the resilience acceptance gate for internal/client and
+// internal/netchaos. It boots two real culpeod backends (internal/serve)
+// behind two deterministic fault-injecting proxies, drives a mixed
+// workload — synthetic shapes, peripherals, Culpeo-R observations,
+// simulations and batches — through one client.Pool, and gates on four
+// properties at once:
+//
+//  1. every call eventually succeeds within its budget (the injected
+//     503 bursts, resets, blackholes and flaps are absorbed by retry,
+//     failover and the circuit breakers);
+//  2. every response is bit-identical (math.Float64bits) to the direct
+//     library path — resilience machinery must never corrupt a result;
+//  3. neither server panics;
+//  4. the breaker/failover transition log matches a golden file.
+//
+// Property 4 is what makes this a *deterministic* chaos test rather than
+// a flaky one: fault schedules live in connection-index space (netchaos),
+// the pool opens one connection per attempt (DisableKeepAlives), breaker
+// cooldowns are event-counted (CooldownCalls) and probes are synchronous
+// (ProbeEvery), so the full transition history is a pure function of the
+// schedules and the workload order. Three runs produce three identical
+// reports.
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/client"
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/netchaos"
+	"culpeo/internal/powersys"
+	"culpeo/internal/profiler"
+	"culpeo/internal/serve"
+)
+
+// The fault schedules, in connection-index space (0-based accepted
+// connections per proxy; probes and attempts each consume one index).
+// b0 is the rough neighborhood — 503 bursts, mid-headers resets,
+// blackholes and a two-connection flap cycle; b1 degrades more gently —
+// occasional 503s, slow drip-fed responses and a rare flap.
+const (
+	chaosScheduleB0 = "latency:d=1ms,from=0,count=2,every=9;" +
+		"h503:retryafter=1,from=4,count=2,every=17;" +
+		"reset:after=120,from=9,count=1,every=29;" +
+		"blackhole:from=23,count=1,every=41;" +
+		"down:from=33,count=2,every=37"
+	chaosScheduleB1 = "h503:retryafter=1,from=11,count=1,every=23;" +
+		"slow:chunk=48,delay=1ms,from=6,count=1,every=13;" +
+		"down:from=29,count=1,every=43"
+	// The hedge phase's asymmetry: b0 answers correctly but 250 ms late,
+	// far beyond the 40 ms hedge delay, so hedged batches fire a second
+	// attempt with a wide margin on either side.
+	chaosHedgeSlow = "latency:d=250ms"
+)
+
+// ChaosOpts configures a chaos soak run.
+type ChaosOpts struct {
+	// Reduced shrinks the workload (80 calls instead of 240) for the
+	// `make chaos` -race gate; the full soak is the default.
+	Reduced bool
+}
+
+// ChaosReport is the outcome of one soak: deterministic counters, the
+// transition log, and the parity/panic verdicts. Render writes the
+// golden-locked text form; Gate returns nil iff every property held.
+type ChaosReport struct {
+	Mode         string // "full" or "reduced"
+	Workload     int    // phase-A calls issued
+	Metrics      client.MetricsSnapshot
+	Transitions  []string // breaker/ejection events, in order
+	ParityOK     int      // responses proven bit-identical
+	Mismatches   []string // parity violations (want none)
+	CallErrors   []string // calls that failed outright (want none)
+	HedgeCalls   int      // phase-B hedged batch calls
+	HedgeOK      int      // ...that succeeded with parity intact
+	Hedges       uint64   // hedge attempts actually launched
+	ServerPanics [2]uint64
+}
+
+// Gate returns nil when the soak satisfied every acceptance property.
+func (r *ChaosReport) Gate() error {
+	if len(r.CallErrors) > 0 {
+		return fmt.Errorf("chaos: %d/%d calls failed (first: %s)", len(r.CallErrors), r.Workload, r.CallErrors[0])
+	}
+	if len(r.Mismatches) > 0 {
+		return fmt.Errorf("chaos: %d parity mismatches (first: %s)", len(r.Mismatches), r.Mismatches[0])
+	}
+	if r.HedgeOK != r.HedgeCalls {
+		return fmt.Errorf("chaos: hedged batches %d/%d ok", r.HedgeOK, r.HedgeCalls)
+	}
+	if r.Hedges == 0 {
+		return fmt.Errorf("chaos: no hedge ever fired against a 250 ms-slow primary")
+	}
+	if r.ServerPanics[0] != 0 || r.ServerPanics[1] != 0 {
+		return fmt.Errorf("chaos: server panics: b0=%d b1=%d", r.ServerPanics[0], r.ServerPanics[1])
+	}
+	return nil
+}
+
+// Render writes the deterministic report: schedules, pool and per-backend
+// counters, the verdict lines and the full transition log. Latencies and
+// wall-clock durations are deliberately absent — everything printed here
+// is a pure function of the schedules and the workload order, which is
+// what lets TestChaosSoak golden-lock the output.
+func (r *ChaosReport) Render(w io.Writer) error {
+	title := "chaos soak (" + r.Mode + ")"
+	if _, err := fmt.Fprintf(w, "%s\n%s\nschedule b0: %s\nschedule b1: %s\n\n",
+		title, strings.Repeat("=", len(title)), chaosScheduleB0, chaosScheduleB1); err != nil {
+		return err
+	}
+
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	pool := Table{Title: "pool", Header: []string{"counter", "value"}}
+	m := r.Metrics
+	pool.Add("calls", u(m.Calls))
+	pool.Add("successes", u(m.Successes))
+	pool.Add("failures", u(m.Failures))
+	pool.Add("attempts", u(m.Attempts))
+	pool.Add("retries", u(m.Retries))
+	pool.Add("failovers", u(m.Failovers))
+	pool.Add("abandoned", u(m.Abandoned))
+	pool.Add("retry-after honored", u(m.RetryAfterHonored))
+	pool.Add("breaker rejects", u(m.BreakerRejects))
+	if err := pool.Render(w); err != nil {
+		return err
+	}
+
+	bk := Table{Title: "backends", Header: []string{"backend", "attempts", "ok", "fail", "probes", "probe-fails", "breaker", "ejected"}}
+	for _, b := range m.Backends {
+		bk.Add(b.Name, u(b.Attempts), u(b.Successes), u(b.Failures),
+			u(b.Probes), u(b.ProbeFails), b.BreakerState, strconv.FormatBool(b.Ejected))
+	}
+	if err := bk.Render(w); err != nil {
+		return err
+	}
+
+	if _, err := fmt.Fprintf(w, "parity: %d/%d responses bit-identical to the library path (%d mismatches)\n",
+		r.ParityOK, r.Workload, len(r.Mismatches)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "hedged batch: %d/%d calls succeeded with parity intact\n", r.HedgeOK, r.HedgeCalls); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "call failures: %d\nserver panics: b0=%d b1=%d\n\n",
+		len(r.CallErrors), r.ServerPanics[0], r.ServerPanics[1]); err != nil {
+		return err
+	}
+	for _, e := range r.CallErrors {
+		if _, err := fmt.Fprintf(w, "FAILED %s\n", e); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Mismatches {
+		if _, err := fmt.Fprintf(w, "MISMATCH %s\n", e); err != nil {
+			return err
+		}
+	}
+
+	head := fmt.Sprintf("transitions (%d)", len(r.Transitions))
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", head, strings.Repeat("-", len(head))); err != nil {
+		return err
+	}
+	for _, t := range r.Transitions {
+		if _, err := fmt.Fprintln(w, t); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// chaosRef computes the direct library-path answers the served responses
+// must match bit for bit. The estimate model mirrors the zero-value
+// PowerSpec resolution (nominal C, flat ESR — the cmd/vsafe construction);
+// the simulation configuration mirrors it too: the storage network is
+// collapsed to one equivalent main branch, exactly as serve's resolver
+// builds it, and rebuilt fresh per run because a network is stateful.
+type chaosRef struct {
+	pg profiler.PG
+}
+
+func newChaosRef() *chaosRef {
+	return &chaosRef{pg: profiler.PG{
+		Model: capybaraModel(powersys.Capybara()),
+		Cache: core.NewVSafeCache(0),
+	}}
+}
+
+func (r *chaosRef) estimate(p load.Profile) (api.EstimateResponse, error) {
+	est, err := r.pg.Estimate(p)
+	if err != nil {
+		return api.EstimateResponse{}, err
+	}
+	return api.EstimateResponse{VSafe: est.VSafe, VDelta: est.VDelta, VE: est.VE}, nil
+}
+
+func (r *chaosRef) vsafeR(obs core.Observation) (api.EstimateResponse, error) {
+	est, err := core.VSafeR(r.pg.Model, obs)
+	if err != nil {
+		return api.EstimateResponse{}, err
+	}
+	return api.EstimateResponse{VSafe: est.VSafe, VDelta: est.VDelta, VE: est.VE}, nil
+}
+
+func (r *chaosRef) simulate(p load.Profile, fast bool) (api.SimulateResponse, error) {
+	base := powersys.Capybara()
+	var aging capacitor.Aging
+	aged := aging.Apply(capacitor.Branch{
+		Name: "main",
+		C:    base.Storage.TotalCapacitance(),
+		ESR:  base.Storage.Main().ESR,
+	})
+	aged.Voltage = base.VHigh
+	net, err := capacitor.NewNetwork(&aged)
+	if err != nil {
+		return api.SimulateResponse{}, err
+	}
+	cfg := base
+	cfg.Storage = net
+
+	sys, err := powersys.New(cfg)
+	if err != nil {
+		return api.SimulateResponse{}, err
+	}
+	if err := sys.ChargeTo(cfg.VHigh); err != nil {
+		return api.SimulateResponse{}, err
+	}
+	if err := sys.DischargeTo(cfg.VHigh); err != nil {
+		return api.SimulateResponse{}, err
+	}
+	sys.Monitor().Force(true)
+	res := sys.Run(p, powersys.RunOptions{SkipRebound: true, Fast: fast})
+	resp := api.SimulateResponse{
+		Completed:   res.Completed,
+		PowerFailed: res.PowerFailed,
+		VStart:      res.VStart,
+		VMin:        res.VMin,
+		VFinal:      res.VFinal,
+		Duration:    res.Duration,
+		EnergyUsed:  res.EnergyUsed,
+	}
+	if res.Err != nil {
+		resp.Error = res.Err.Error()
+	}
+	return resp, nil
+}
+
+// chaosBadShapeError is the per-element error the deliberately malformed
+// batch element must report (per-element isolation: its siblings succeed).
+const chaosBadShapeError = `bad request: load: unknown shape "nope"`
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func sameEstimate(got, want api.EstimateResponse) bool {
+	return sameBits(got.VSafe, want.VSafe) && sameBits(got.VDelta, want.VDelta) && sameBits(got.VE, want.VE)
+}
+
+func sameSimulate(got, want api.SimulateResponse) bool {
+	return got.Completed == want.Completed && got.PowerFailed == want.PowerFailed &&
+		sameBits(got.VStart, want.VStart) && sameBits(got.VMin, want.VMin) &&
+		sameBits(got.VFinal, want.VFinal) && sameBits(got.Duration, want.Duration) &&
+		sameBits(got.EnergyUsed, want.EnergyUsed) && got.Error == want.Error
+}
+
+// chaosBackend is one culpeod instance behind one chaos proxy.
+type chaosBackend struct {
+	srv   *serve.Server
+	ts    *httptest.Server
+	proxy *netchaos.Proxy
+	url   string // proxy-fronted base URL the pool dials
+}
+
+func startChaosBackend(schedule string) (*chaosBackend, error) {
+	spec, err := netchaos.Parse(schedule)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.New(serve.Config{})
+	ts := httptest.NewServer(srv.Handler())
+	proxy := netchaos.New(spec, strings.TrimPrefix(ts.URL, "http://"))
+	addr, err := proxy.Start()
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	return &chaosBackend{srv: srv, ts: ts, proxy: proxy, url: "http://" + addr}, nil
+}
+
+func (b *chaosBackend) close() {
+	b.proxy.Close()
+	b.ts.Close()
+}
+
+// Chaos runs the soak and returns its report. The error return covers
+// setup problems only; workload failures are reported via Gate so a test
+// can still render the partial report for diagnosis.
+func Chaos(ctx context.Context, opt ChaosOpts) (*ChaosReport, error) {
+	n, hedgeN := 240, 8
+	mode := "full"
+	if opt.Reduced {
+		n, hedgeN = 80, 4
+		mode = "reduced"
+	}
+	rep := &ChaosReport{Mode: mode, Workload: n, HedgeCalls: hedgeN}
+	ref := newChaosRef()
+
+	b0, err := startChaosBackend(chaosScheduleB0)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: backend b0: %w", err)
+	}
+	defer b0.close()
+	b1, err := startChaosBackend(chaosScheduleB1)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: backend b1: %w", err)
+	}
+	defer b1.close()
+
+	pool, err := client.New(client.Config{
+		Backends:          []string{b0.url, b1.url},
+		DisableKeepAlives: true, // one connection per attempt: schedules line up with attempts
+		Budget:            30 * time.Second,
+		AttemptTimeout:    400 * time.Millisecond, // ends a blackholed attempt
+		MaxAttempts:       12,
+		BaseBackoff:       2 * time.Millisecond,
+		MaxBackoff:        20 * time.Millisecond,
+		RetryAfterCap:     25 * time.Millisecond, // honor Retry-After, bounded for the soak
+		Seed:              7,
+		Breaker: client.BreakerConfig{
+			FailureThreshold: 2,
+			CooldownCalls:    3, // event-counted: no timers in the state machine
+		},
+		ProbeEvery:   13, // synchronous suspect probes: deterministic ordering
+		ProbeTimeout: 400 * time.Millisecond,
+		OnTransition: func(ev client.Event) {
+			rep.Transitions = append(rep.Transitions, ev.String())
+		},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: pool: %w", err)
+	}
+	defer pool.Close()
+
+	mismatch := func(call int, label, detail string) {
+		rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("call %d (%s): %s", call, label, detail))
+	}
+	callErr := func(call int, label string, err error) {
+		rep.CallErrors = append(rep.CallErrors, fmt.Sprintf("call %d (%s): %v", call, label, err))
+	}
+	checkEstimate := func(call int, label string, got api.EstimateResponse, refErr error, want api.EstimateResponse) {
+		if refErr != nil {
+			mismatch(call, label, "reference path failed: "+refErr.Error())
+			return
+		}
+		if !sameEstimate(got, want) {
+			mismatch(call, label, fmt.Sprintf("got %+v want %+v", got, want))
+			return
+		}
+		rep.ParityOK++
+	}
+
+	peripherals := []struct {
+		name    string
+		profile load.Profile
+	}{
+		{"gesture", load.Gesture()},
+		{"ble", load.BLERadio()},
+		{"mnist", load.ComputeAccel()},
+		{"lora", load.LoRa()},
+	}
+
+	// Phase A: the sequential mixed workload. Six request families cycle;
+	// parameters vary with the cycle count so the caches see fresh work.
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		call, k := i+1, i/6
+		switch i % 6 {
+		case 0: // uniform shape
+			iLoad, t := 0.005+0.001*float64(k%16), 0.01
+			got, err := pool.VSafe(ctx, api.VSafeRequest{Load: api.LoadSpec{Shape: "uniform", I: iLoad, T: t}})
+			if err != nil {
+				callErr(call, "uniform", err)
+				continue
+			}
+			want, rerr := ref.estimate(load.NewUniform(iLoad, t))
+			checkEstimate(call, "uniform", got, rerr, want)
+		case 1: // pulse shape
+			iLoad, t := 0.002+0.0005*float64(k%8), 0.02
+			got, err := pool.VSafe(ctx, api.VSafeRequest{Load: api.LoadSpec{Shape: "pulse", I: iLoad, T: t}})
+			if err != nil {
+				callErr(call, "pulse", err)
+				continue
+			}
+			want, rerr := ref.estimate(load.NewPulse(iLoad, t))
+			checkEstimate(call, "pulse", got, rerr, want)
+		case 2: // measured peripheral profile
+			p := peripherals[k%len(peripherals)]
+			got, err := pool.VSafe(ctx, api.VSafeRequest{Load: api.LoadSpec{Peripheral: p.name}})
+			if err != nil {
+				callErr(call, p.name, err)
+				continue
+			}
+			want, rerr := ref.estimate(p.profile)
+			checkEstimate(call, p.name, got, rerr, want)
+		case 3: // Culpeo-R runtime estimate
+			vMin := 2.0 + 0.005*float64(k%4)
+			obs := core.Observation{VStart: 2.5 - 0.01*float64(k%5), VMin: vMin, VFinal: vMin + 0.1}
+			got, err := pool.VSafeR(ctx, api.VSafeRRequest{
+				Observation: api.ObservationSpec{VStart: obs.VStart, VMin: obs.VMin, VFinal: obs.VFinal},
+			})
+			if err != nil {
+				callErr(call, "vsafe-r", err)
+				continue
+			}
+			want, rerr := ref.vsafeR(obs)
+			checkEstimate(call, "vsafe-r", got, rerr, want)
+		case 4: // full launch simulation, alternating exact and fast paths
+			iLoad, t, fast := 0.01+0.002*float64(k%5), 0.005, k%2 == 1
+			got, err := pool.Simulate(ctx, api.SimulateRequest{
+				Load: api.LoadSpec{Shape: "uniform", I: iLoad, T: t},
+				Fast: fast,
+			})
+			if err != nil {
+				callErr(call, "simulate", err)
+				continue
+			}
+			want, rerr := ref.simulate(load.NewUniform(iLoad, t), fast)
+			if rerr != nil {
+				mismatch(call, "simulate", "reference path failed: "+rerr.Error())
+				continue
+			}
+			if !sameSimulate(got, want) {
+				mismatch(call, "simulate", fmt.Sprintf("got %+v want %+v", got, want))
+				continue
+			}
+			rep.ParityOK++
+		case 5: // batch with a deliberately malformed middle element
+			a := 0.008 + 0.001*float64(k%10)
+			got, err := pool.Batch(ctx, api.BatchRequest{Requests: []api.VSafeRequest{
+				{Load: api.LoadSpec{Shape: "uniform", I: a, T: 0.01}},
+				{Load: api.LoadSpec{Shape: "nope", I: 1e-3, T: 1e-3}},
+				{Load: api.LoadSpec{Shape: "pulse", I: 0.003, T: 0.015}},
+			}})
+			if err != nil {
+				callErr(call, "batch", err)
+				continue
+			}
+			w0, e0 := ref.estimate(load.NewUniform(a, 0.01))
+			w2, e2 := ref.estimate(load.NewPulse(0.003, 0.015))
+			switch {
+			case e0 != nil || e2 != nil:
+				mismatch(call, "batch", "reference path failed")
+			case len(got.Results) != 3 || got.Results[0].Estimate == nil || got.Results[2].Estimate == nil:
+				mismatch(call, "batch", fmt.Sprintf("malformed result set: %+v", got.Results))
+			case got.Results[1].Error != chaosBadShapeError:
+				mismatch(call, "batch", fmt.Sprintf("element 1 error %q want %q", got.Results[1].Error, chaosBadShapeError))
+			case !sameEstimate(*got.Results[0].Estimate, w0) || !sameEstimate(*got.Results[2].Estimate, w2):
+				mismatch(call, "batch", "element estimates diverge from library path")
+			default:
+				rep.ParityOK++
+			}
+		}
+	}
+	rep.Metrics = pool.Metrics()
+
+	// Phase B: hedged batches. Fresh proxies give b0 a flat 250 ms of
+	// added latency while b1 stays clean; with a 40 ms hedge delay every
+	// b0-primary call fires a hedge, and whichever arm answers first must
+	// still answer bit-identically. (Which arm wins is timing, so only
+	// launch counts and parity — not win counts — are asserted.)
+	h0spec, err := netchaos.Parse(chaosHedgeSlow)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hedge schedule: %w", err)
+	}
+	h0 := netchaos.New(h0spec, strings.TrimPrefix(b0.ts.URL, "http://"))
+	h0addr, err := h0.Start()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hedge proxy: %w", err)
+	}
+	defer h0.Close()
+	h1 := netchaos.New(netchaos.Spec{Seed: 1}, strings.TrimPrefix(b1.ts.URL, "http://"))
+	h1addr, err := h1.Start()
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hedge proxy: %w", err)
+	}
+	defer h1.Close()
+
+	hpool, err := client.New(client.Config{
+		Backends:          []string{"http://" + h0addr, "http://" + h1addr},
+		DisableKeepAlives: true,
+		Budget:            10 * time.Second,
+		AttemptTimeout:    2 * time.Second,
+		Seed:              11,
+		HedgeDelay:        40 * time.Millisecond,
+		Breaker:           client.BreakerConfig{FailureThreshold: 2, CooldownCalls: 3},
+	})
+	if err != nil {
+		return nil, fmt.Errorf("chaos: hedge pool: %w", err)
+	}
+	defer hpool.Close()
+
+	for i := 0; i < hedgeN; i++ {
+		a := 0.012 + 0.001*float64(i)
+		got, err := hpool.Batch(ctx, api.BatchRequest{Requests: []api.VSafeRequest{
+			{Load: api.LoadSpec{Shape: "uniform", I: a, T: 0.01}},
+			{Load: api.LoadSpec{Shape: "pulse", I: 0.004, T: 0.012}},
+		}})
+		if err != nil {
+			continue
+		}
+		w0, e0 := ref.estimate(load.NewUniform(a, 0.01))
+		w1, e1 := ref.estimate(load.NewPulse(0.004, 0.012))
+		if e0 != nil || e1 != nil || len(got.Results) != 2 ||
+			got.Results[0].Estimate == nil || got.Results[1].Estimate == nil ||
+			!sameEstimate(*got.Results[0].Estimate, w0) || !sameEstimate(*got.Results[1].Estimate, w1) {
+			continue
+		}
+		rep.HedgeOK++
+	}
+	rep.Hedges = hpool.Metrics().Hedges
+
+	rep.ServerPanics = [2]uint64{b0.srv.Metrics().Panics, b1.srv.Metrics().Panics}
+	return rep, nil
+}

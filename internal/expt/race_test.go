@@ -86,6 +86,18 @@ func TestRaceChaos(t *testing.T) {
 		}
 		return nil
 	})
+	// The resilience stack under the same load: a reduced chaos soak —
+	// two serve instances behind netchaos proxies, one client.Pool doing
+	// retry/failover/breaker work — runs while the sweeps above saturate
+	// the machine. Only the gates are asserted here (success, parity, no
+	// panics); the byte-exact golden determinism is TestChaosSoak's job.
+	run("netchaos", func() error {
+		rep, err := Chaos(context.Background(), ChaosOpts{Reduced: true})
+		if err != nil {
+			return err
+		}
+		return rep.Gate()
+	})
 	// The serving layer under the same chaos: an in-process HTTP server with
 	// an under-sized shared cache takes NumCPU closed-loop clients mixing
 	// single estimates, batches and canceled-mid-flight requests — admission

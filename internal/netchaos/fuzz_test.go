@@ -1,0 +1,65 @@
+package netchaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParse checks the schedule parser never panics, that accepted specs
+// are internally consistent, and that the canonical String form is a
+// fixed point: Parse(s).String() re-parses to itself. Malformed specs
+// must come back as errors — a chaos schedule that panics the harness is
+// a chaos tool failing its own job.
+func FuzzParse(f *testing.F) {
+	for _, seed := range []string{
+		"",
+		"seed:7;latency:d=2ms;h503:retryafter=1,from=5,count=2,every=19",
+		"reset:after=200,from=11,count=1,every=23",
+		"blackhole:from=8,count=1,every=31",
+		"down:from=3,count=2,every=10;slow:chunk=64,delay=5ms",
+		"latency:d=250ms,jitter=50ms;h503",
+		"seed:-3;latency:jitter=1ms",
+		"h503:retryafter=0",
+		"slow",
+		"down;;down",
+		strings.Repeat("blackhole;", 50),
+		"latency:d=0.001",
+		"reset",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := Parse(s)
+		if err != nil {
+			return
+		}
+		for _, fl := range spec.Faults {
+			if fl.Win.From < 0 || fl.Win.Count < 0 || fl.Win.Every < 0 {
+				t.Fatalf("accepted negative window: %+v", fl)
+			}
+			if fl.Win.Every > 0 && (fl.Win.Count <= 0 || fl.Win.Count > fl.Win.Every) {
+				t.Fatalf("accepted inconsistent window: %+v", fl)
+			}
+			if fl.D < 0 || fl.Jitter < 0 || fl.Delay < 0 {
+				t.Fatalf("accepted negative duration: %+v", fl)
+			}
+			if fl.After < 0 || fl.RetryAfter < 0 || fl.Chunk < 0 {
+				t.Fatalf("accepted negative count: %+v", fl)
+			}
+			if fl.Kind == Latency && fl.D == 0 && fl.Jitter == 0 {
+				t.Fatalf("accepted no-op latency: %+v", fl)
+			}
+			if fl.Kind == Slow && (fl.Chunk == 0 || fl.Delay == 0) {
+				t.Fatalf("accepted undefaulted slow: %+v", fl)
+			}
+		}
+		canon := spec.String()
+		again, err := Parse(canon)
+		if err != nil {
+			t.Fatalf("canonical form %q of %q does not re-parse: %v", canon, s, err)
+		}
+		if again.String() != canon {
+			t.Fatalf("canonical form not a fixed point: %q -> %q", canon, again.String())
+		}
+	})
+}

@@ -1,0 +1,267 @@
+package netchaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"seed",                        // seed without value
+		"seed:x",                      // non-numeric seed
+		"seed:1.5",                    // fractional seed
+		"warp:d=1ms",                  // unknown kind
+		"latency:speed=1",             // unknown key
+		"latency",                     // latency without magnitude
+		"latency:d=1ms,d=2ms",         // duplicate key
+		"latency:d",                   // missing =
+		"latency:d=-1ms",              // negative duration
+		"latency:d=4000",              // > 3600 s
+		"reset:after=1.5",             // fractional count
+		"reset:after=-1",              // negative count
+		"h503:retryafter=5000",        // > 3600 s Retry-After
+		"down:every=5",                // every without count
+		"down:count=6,every=5",        // count exceeds every
+		"blackhole:from=2e12",         // count out of range
+		"latency:d=NaN",               // non-finite
+		"slow:chunk=0.5",              // fractional chunk
+	}
+	for _, c := range cases {
+		if _, err := Parse(c); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", c)
+		}
+	}
+}
+
+func TestParseAndCanonicalForm(t *testing.T) {
+	spec, err := Parse(" seed:7 ; latency:d=2ms ; h503:retryafter=1,from=5,count=2,every=19 ;; down ")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if spec.Seed != 7 || len(spec.Faults) != 3 {
+		t.Fatalf("spec = %+v", spec)
+	}
+	want := "seed:7;latency:d=0.002;h503:count=2,every=19,from=5,retryafter=1;down"
+	if got := spec.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	again, err := Parse(spec.String())
+	if err != nil || again.String() != want {
+		t.Fatalf("round trip: %v, %q", err, again.String())
+	}
+}
+
+func TestWindowActive(t *testing.T) {
+	cases := []struct {
+		w    Window
+		hits []int
+		miss []int
+	}{
+		{Window{}, []int{0, 1, 100}, nil},
+		{Window{From: 3}, []int{3, 4, 99}, []int{0, 2}},
+		{Window{From: 2, Count: 2}, []int{2, 3}, []int{0, 1, 4, 10}},
+		{Window{From: 1, Count: 1, Every: 3}, []int{1, 4, 7}, []int{0, 2, 3, 5, 6}},
+		{Window{From: 0, Count: 2, Every: 5}, []int{0, 1, 5, 6, 10}, []int{2, 3, 4, 7, 9}},
+	}
+	for _, c := range cases {
+		for _, i := range c.hits {
+			if !c.w.Active(i) {
+				t.Errorf("%+v.Active(%d) = false, want true", c.w, i)
+			}
+		}
+		for _, i := range c.miss {
+			if c.w.Active(i) {
+				t.Errorf("%+v.Active(%d) = true, want false", c.w, i)
+			}
+		}
+	}
+}
+
+// chaosClient returns an HTTP client that opens a fresh connection per
+// request, so connection indices line up 1:1 with requests.
+func chaosClient() *http.Client {
+	return &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   5 * time.Second,
+	}
+}
+
+// startProxy boots a backend + proxy pair and returns the proxy base URL.
+func startProxy(t *testing.T, specStr string) (*Proxy, string) {
+	t.Helper()
+	backend := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, strings.Repeat("x", 512))
+	}))
+	t.Cleanup(backend.Close)
+	spec, err := Parse(specStr)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", specStr, err)
+	}
+	p := New(spec, strings.TrimPrefix(backend.URL, "http://"))
+	addr, err := p.Start()
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p, "http://" + addr
+}
+
+func TestProxyCleanRelay(t *testing.T) {
+	p, base := startProxy(t, "")
+	resp, err := chaosClient().Get(base)
+	if err != nil {
+		t.Fatalf("GET through clean proxy: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(body) != 512 {
+		t.Fatalf("status %d, %d bytes", resp.StatusCode, len(body))
+	}
+	ev := p.Events()
+	if len(ev) != 1 || ev[0].Fate != "ok" {
+		t.Fatalf("events = %+v", ev)
+	}
+}
+
+func TestProxyH503(t *testing.T) {
+	_, base := startProxy(t, "h503:retryafter=2")
+	resp, err := chaosClient().Get(base)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status = %d, want 503", resp.StatusCode)
+	}
+	if ra := resp.Header.Get("Retry-After"); ra != "2" {
+		t.Fatalf("Retry-After = %q, want 2", ra)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	if !strings.Contains(string(body), "injected") {
+		t.Fatalf("body = %q", body)
+	}
+}
+
+func TestProxyDownResetsConnection(t *testing.T) {
+	_, base := startProxy(t, "down")
+	if _, err := chaosClient().Get(base); err == nil {
+		t.Fatal("GET through down proxy succeeded")
+	}
+}
+
+func TestProxyResetMidBody(t *testing.T) {
+	_, base := startProxy(t, "reset:after=100")
+	resp, err := chaosClient().Get(base)
+	if err == nil {
+		// The reset may land after headers were relayed; then the error
+		// surfaces on the body read.
+		_, rerr := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if rerr == nil {
+			t.Fatal("full body received through reset proxy")
+		}
+	}
+}
+
+func TestProxyLatency(t *testing.T) {
+	_, base := startProxy(t, "latency:d=80ms")
+	t0 := time.Now()
+	resp, err := chaosClient().Get(base)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if elapsed := time.Since(t0); elapsed < 80*time.Millisecond {
+		t.Fatalf("request took %v, want >= 80ms", elapsed)
+	}
+}
+
+func TestProxySlowStillCompletes(t *testing.T) {
+	_, base := startProxy(t, "slow:chunk=128,delay=2ms")
+	resp, err := chaosClient().Get(base)
+	if err != nil {
+		t.Fatalf("GET: %v", err)
+	}
+	body, rerr := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if rerr != nil || len(body) != 512 {
+		t.Fatalf("slow read: %v, %d bytes", rerr, len(body))
+	}
+}
+
+func TestProxyWindowedFateIsPerConnection(t *testing.T) {
+	p, base := startProxy(t, "h503:from=1,count=1,every=3")
+	client := chaosClient()
+	var statuses []int
+	for i := 0; i < 6; i++ {
+		resp, err := client.Get(base)
+		if err != nil {
+			t.Fatalf("GET %d: %v", i, err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		statuses = append(statuses, resp.StatusCode)
+	}
+	want := []int{200, 503, 200, 200, 503, 200}
+	for i := range want {
+		if statuses[i] != want[i] {
+			t.Fatalf("statuses = %v, want %v", statuses, want)
+		}
+	}
+	var fates []string
+	for _, ev := range p.Events() {
+		fates = append(fates, ev.Fate)
+	}
+	wantF := []string{"ok", "h503", "ok", "ok", "h503", "ok"}
+	if len(fates) != len(wantF) {
+		t.Fatalf("events = %v, want %v", fates, wantF)
+	}
+	for i := range wantF {
+		if fates[i] != wantF[i] {
+			t.Fatalf("events = %v, want %v", fates, wantF)
+		}
+	}
+}
+
+func TestProxyDeterministicEventLog(t *testing.T) {
+	const spec = "seed:7;latency:d=1ms,jitter=1ms;h503:from=2,count=1,every=3;down:from=4,count=1,every=5"
+	run := func() []Event {
+		p, base := startProxy(t, spec)
+		client := chaosClient()
+		for i := 0; i < 10; i++ {
+			resp, err := client.Get(base)
+			if err != nil {
+				continue // down connections error; that's the point
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		return p.Events()
+	}
+	a, b := run(), run()
+	if len(a) != 10 || len(b) != 10 {
+		t.Fatalf("event counts = %d/%d, want 10/10", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("run divergence at conn %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestProxyBlackholeTimesOut(t *testing.T) {
+	_, base := startProxy(t, "blackhole")
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   100 * time.Millisecond,
+	}
+	if _, err := client.Get(base); err == nil {
+		t.Fatal("GET through blackhole succeeded")
+	}
+}

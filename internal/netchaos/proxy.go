@@ -1,0 +1,309 @@
+// The proxy itself: a TCP reverse proxy that applies one Spec to the
+// connections it accepts. Each accepted connection gets a 0-based index;
+// the spec's windows decide that connection's fate (first matching
+// terminal clause wins — spec order is precedence) and its modifiers
+// (latency, slow writes compose with any fate). Everything stochastic
+// draws from an RNG derived from (spec seed, connection index), so a
+// sequential client sees a bit-reproducible fault sequence.
+package netchaos
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math/rand"
+	"net"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// Event records what the proxy did to one connection ("ok", "down",
+// "h503", "blackhole", "reset@N", optionally prefixed "latency+" /
+// "slow+").
+type Event struct {
+	Conn int    `json:"conn"`
+	Fate string `json:"fate"`
+}
+
+// Proxy is one chaos proxy instance in front of one backend.
+type Proxy struct {
+	spec   Spec
+	target string // upstream host:port
+
+	ln      net.Listener
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	conns   map[net.Conn]struct{}
+	events  []Event
+	nextIdx int
+	closed  bool
+}
+
+// New builds a proxy for the given upstream address (host:port). Call
+// Start to begin accepting.
+func New(spec Spec, target string) *Proxy {
+	return &Proxy{spec: spec, target: target, conns: make(map[net.Conn]struct{})}
+}
+
+// Start listens on an ephemeral localhost port and serves until Close.
+// It returns the proxy's listen address.
+func (p *Proxy) Start() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", fmt.Errorf("netchaos: listen: %w", err)
+	}
+	p.ln = ln
+	p.wg.Add(1)
+	go p.acceptLoop()
+	return ln.Addr().String(), nil
+}
+
+// Addr returns the listen address ("" before Start).
+func (p *Proxy) Addr() string {
+	if p.ln == nil {
+		return ""
+	}
+	return p.ln.Addr().String()
+}
+
+// Close stops accepting, severs every live connection and waits for the
+// connection handlers to finish.
+func (p *Proxy) Close() {
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		p.wg.Wait()
+		return
+	}
+	p.closed = true
+	ln := p.ln
+	for c := range p.conns {
+		c.Close()
+	}
+	p.mu.Unlock()
+	if ln != nil {
+		ln.Close()
+	}
+	p.wg.Wait()
+}
+
+// Events returns a copy of the per-connection event log in accept order.
+func (p *Proxy) Events() []Event {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]Event, len(p.events))
+	copy(out, p.events)
+	return out
+}
+
+func (p *Proxy) acceptLoop() {
+	defer p.wg.Done()
+	for {
+		conn, err := p.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			conn.Close()
+			return
+		}
+		idx := p.nextIdx
+		p.nextIdx++
+		p.conns[conn] = struct{}{}
+		p.mu.Unlock()
+		p.wg.Add(1)
+		go p.handle(conn, idx)
+	}
+}
+
+// track removes the connection from the live set when its handler exits.
+func (p *Proxy) untrack(conn net.Conn) {
+	p.mu.Lock()
+	delete(p.conns, conn)
+	p.mu.Unlock()
+	conn.Close()
+}
+
+func (p *Proxy) record(idx int, fate string) {
+	p.mu.Lock()
+	p.events = append(p.events, Event{Conn: idx, Fate: fate})
+	p.mu.Unlock()
+}
+
+// fate resolves connection idx against the spec: the composed latency
+// delay, the slow-write modifier (if any) and the first matching terminal
+// fault (nil = clean relay).
+func (p *Proxy) fate(idx int) (delay time.Duration, slow *Fault, terminal *Fault) {
+	var rng *rand.Rand // lazily built: only jittered latency needs it
+	sec := 0.0
+	for i := range p.spec.Faults {
+		f := &p.spec.Faults[i]
+		if !f.Win.Active(idx) {
+			continue
+		}
+		switch {
+		case f.Kind == Latency:
+			sec += f.D
+			if f.Jitter > 0 {
+				if rng == nil {
+					rng = rand.New(rand.NewSource(p.spec.Seed*1_000_003 + int64(idx)))
+				}
+				sec += rng.Float64() * f.Jitter
+			}
+		case f.Kind == Slow:
+			if slow == nil {
+				slow = f
+			}
+		case terminal == nil:
+			terminal = f
+		}
+	}
+	return time.Duration(sec * float64(time.Second)), slow, terminal
+}
+
+// rst closes the connection with a TCP RST (SetLinger(0)) so the client
+// sees a hard reset, not a graceful FIN.
+func rst(conn net.Conn) {
+	if tc, ok := conn.(*net.TCPConn); ok {
+		tc.SetLinger(0)
+	}
+	conn.Close()
+}
+
+func (p *Proxy) handle(conn net.Conn, idx int) {
+	defer p.wg.Done()
+	defer p.untrack(conn)
+
+	delay, slow, terminal := p.fate(idx)
+	prefix := ""
+	if delay > 0 {
+		prefix += "latency+"
+		time.Sleep(delay)
+	}
+	if slow != nil {
+		prefix += "slow+"
+	}
+
+	if terminal != nil {
+		switch terminal.Kind {
+		case Down:
+			p.record(idx, prefix+"down")
+			rst(conn)
+			return
+		case Blackhole:
+			p.record(idx, prefix+"blackhole")
+			// Swallow whatever the client sends and never answer; the
+			// client's per-attempt deadline ends this, or Close does.
+			io.Copy(io.Discard, conn)
+			return
+		case H503:
+			p.record(idx, prefix+"h503")
+			p.answer503(conn, terminal.RetryAfter)
+			return
+		case Reset:
+			p.record(idx, prefix+"reset@"+strconv.Itoa(terminal.After))
+			p.relay(conn, slow, terminal.After)
+			return
+		}
+	}
+	p.record(idx, prefix+"ok")
+	p.relay(conn, slow, -1)
+}
+
+// answer503 reads one HTTP request off the connection and answers a
+// culpeod-shaped 503 without involving the backend.
+func (p *Proxy) answer503(conn net.Conn, retryAfter int) {
+	br := bufio.NewReader(conn)
+	req, err := http.ReadRequest(br)
+	if err != nil {
+		rst(conn)
+		return
+	}
+	io.Copy(io.Discard, req.Body)
+	req.Body.Close()
+	body := `{"error":"injected: service unavailable"}` + "\n"
+	resp := "HTTP/1.1 503 Service Unavailable\r\n" +
+		"Content-Type: application/json\r\n" +
+		"Content-Length: " + strconv.Itoa(len(body)) + "\r\n"
+	if retryAfter > 0 {
+		resp += "Retry-After: " + strconv.Itoa(retryAfter) + "\r\n"
+	}
+	resp += "Connection: close\r\n\r\n" + body
+	conn.SetWriteDeadline(time.Now().Add(5 * time.Second))
+	io.WriteString(conn, resp)
+	conn.Close()
+}
+
+// relay tunnels bytes both ways. resetAfter >= 0 cuts the connection with
+// a RST once that many response bytes have been relayed; slow != nil
+// throttles the response into chunked, delayed writes.
+func (p *Proxy) relay(conn net.Conn, slow *Fault, resetAfter int) {
+	up, err := net.DialTimeout("tcp", p.target, 5*time.Second)
+	if err != nil {
+		rst(conn)
+		return
+	}
+	p.mu.Lock()
+	if p.closed {
+		p.mu.Unlock()
+		up.Close()
+		return
+	}
+	p.conns[up] = struct{}{}
+	p.mu.Unlock()
+	defer p.untrack(up)
+
+	// Request direction: plain copy; closing either side unblocks it.
+	go func() {
+		io.Copy(up, conn)
+		// Half-close toward the backend so it sees EOF if the client is
+		// done writing; full close happens when the handler returns.
+		if tc, ok := up.(*net.TCPConn); ok {
+			tc.CloseWrite()
+		}
+	}()
+
+	// Response direction, with the fault hooks.
+	var dst io.Writer = conn
+	if slow != nil {
+		dst = &slowWriter{w: conn, chunk: slow.Chunk, delay: time.Duration(slow.Delay * float64(time.Second))}
+	}
+	if resetAfter >= 0 {
+		io.CopyN(dst, up, int64(resetAfter))
+		rst(conn)
+		return
+	}
+	io.Copy(dst, up)
+	conn.Close()
+}
+
+// slowWriter drips bytes to w in chunk-sized writes separated by delay.
+type slowWriter struct {
+	w     io.Writer
+	chunk int
+	delay time.Duration
+}
+
+func (s *slowWriter) Write(b []byte) (int, error) {
+	total := 0
+	for len(b) > 0 {
+		n := s.chunk
+		if n > len(b) {
+			n = len(b)
+		}
+		wrote, err := s.w.Write(b[:n])
+		total += wrote
+		if err != nil {
+			return total, err
+		}
+		b = b[n:]
+		if len(b) > 0 {
+			time.Sleep(s.delay)
+		}
+	}
+	return total, nil
+}

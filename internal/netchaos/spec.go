@@ -1,0 +1,361 @@
+// Package netchaos is a deterministic fault-injecting TCP reverse proxy:
+// the network-plane sibling of internal/faults. Where faults perturbs the
+// physics a simulation sees, netchaos perturbs the wire a client sees — a
+// proxy sits in front of a real culpeod and injects added latency,
+// connection resets mid-body, 503 bursts, blackholes (accept, then
+// stall), slow partial writes and flap cycles, all on a parseable,
+// seeded schedule such as
+//
+//	seed:7;latency:d=2ms;h503:retryafter=1,from=5,count=2,every=19;reset:after=200,from=11,count=1,every=23
+//
+// Determinism is the design center. Faults are scheduled in
+// *connection-index* space, not wall-clock time: the window keys
+// from/count/every select 0-based accepted-connection indices (mirroring
+// faults.Window's at/dur/period in time space), so with HTTP keep-alives
+// disabled — one connection per attempt — the fate of every attempt is a
+// pure function of the schedule and the attempt order. Two identical
+// sequential runs see identical faults, which is what lets the chaos soak
+// golden-lock its breaker/failover transition log.
+package netchaos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"culpeo/internal/units"
+)
+
+// Kind names one network fault mechanism.
+type Kind string
+
+const (
+	// Latency delays the upstream connect by d (+ uniform jitter drawn
+	// from the seeded per-connection RNG).
+	Latency Kind = "latency"
+	// Reset forwards the request, then cuts the connection with a TCP RST
+	// after `after` response bytes have been relayed — a mid-body reset
+	// the client sees as a truncated read.
+	Reset Kind = "reset"
+	// H503 answers 503 Service Unavailable from the proxy itself (with
+	// Retry-After when retryafter > 0); the request never reaches the
+	// backend. Indistinguishable on the wire from culpeod shedding load.
+	H503 Kind = "h503"
+	// Blackhole accepts the connection, swallows the request and never
+	// answers; the client's per-attempt deadline is what ends it.
+	Blackhole Kind = "blackhole"
+	// Slow relays the response in `chunk`-byte pieces separated by
+	// `delay` pauses — a degraded link rather than a dead one.
+	Slow Kind = "slow"
+	// Down closes the connection with a RST the moment it is accepted —
+	// windowed with from/count/every it produces flap cycles.
+	Down Kind = "down"
+)
+
+// Window selects which accepted connections (0-based index) a fault
+// applies to. The zero value means "every connection". With Count > 0 the
+// fault covers Count consecutive connections starting at From; with Every
+// > 0 as well, that burst repeats every Every connections.
+type Window struct {
+	From  int // first affected connection index
+	Count int // connections per burst; 0 = open-ended
+	Every int // burst repeat interval; 0 = one burst
+}
+
+// Active reports whether the window covers connection index i.
+func (w Window) Active(i int) bool {
+	if i < w.From {
+		return false
+	}
+	if w.Count <= 0 {
+		return true
+	}
+	j := i - w.From
+	if w.Every > 0 {
+		j %= w.Every
+	}
+	return j < w.Count
+}
+
+func (w Window) zero() bool { return w.From == 0 && w.Count == 0 && w.Every == 0 }
+
+// Fault is one parsed clause of a Spec.
+type Fault struct {
+	Kind Kind
+	Win  Window
+
+	// Latency. Durations are float64 seconds (exact under the canonical
+	// %g round-trip; converted to time.Duration only at use time).
+	D      float64 // fixed added delay (s)
+	Jitter float64 // uniform extra delay in [0, Jitter) (s)
+
+	// Reset
+	After int // response bytes relayed before the RST
+
+	// H503
+	RetryAfter int // Retry-After seconds; 0 omits the header
+
+	// Slow
+	Chunk int     // bytes per write
+	Delay float64 // pause between writes (s)
+}
+
+// terminal reports whether the fault decides the connection's fate (at
+// most one terminal fault applies per connection; Latency and Slow are
+// modifiers and compose with any fate).
+func (f Fault) terminal() bool {
+	switch f.Kind {
+	case Reset, H503, Blackhole, Down:
+		return true
+	}
+	return false
+}
+
+// Spec is a full parsed netchaos schedule.
+type Spec struct {
+	// Seed feeds the per-connection jitter RNG. Parse defaults it to 1
+	// when the string has no seed clause, so an explicit seed:0 is
+	// honoured.
+	Seed   int64
+	Faults []Fault
+}
+
+// Empty reports whether the spec injects nothing.
+func (s Spec) Empty() bool { return len(s.Faults) == 0 }
+
+// kindKeys lists each kind's own keys; the window keys from/count/every
+// are accepted by every kind.
+var kindKeys = map[Kind][]string{
+	Latency:   {"d", "jitter"},
+	Reset:     {"after"},
+	H503:      {"retryafter"},
+	Blackhole: {},
+	Slow:      {"chunk", "delay"},
+	Down:      {},
+}
+
+// Parse builds a Spec from its string form. The grammar mirrors
+// internal/faults:
+//
+//	spec   = clause *( ";" clause )
+//	clause = "seed:" integer
+//	       | kind [ ":" key "=" value *( "," key "=" value ) ]
+//
+// where durations go through units.Parse ("250ms", "1.5s") and counts are
+// plain non-negative integers. Unknown kinds, unknown keys, duplicate
+// keys, non-finite or out-of-range values and inconsistent windows are
+// errors; Parse never panics. An empty string parses to an empty Spec.
+func Parse(s string) (Spec, error) {
+	spec := Spec{Seed: 1}
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return spec, nil
+	}
+	for _, clause := range strings.Split(s, ";") {
+		clause = strings.TrimSpace(clause)
+		if clause == "" {
+			continue
+		}
+		head, rest, hasRest := strings.Cut(clause, ":")
+		head = strings.TrimSpace(strings.ToLower(head))
+		if head == "seed" {
+			if !hasRest {
+				return Spec{}, fmt.Errorf("netchaos: seed clause needs a value (seed:N)")
+			}
+			v, err := units.Parse(strings.TrimSpace(rest))
+			if err != nil || v != math.Trunc(v) || math.Abs(v) > 1e18 {
+				return Spec{}, fmt.Errorf("netchaos: bad seed %q", rest)
+			}
+			spec.Seed = int64(v)
+			continue
+		}
+		f, err := parseClause(Kind(head), rest, hasRest)
+		if err != nil {
+			return Spec{}, err
+		}
+		spec.Faults = append(spec.Faults, f)
+	}
+	return spec, nil
+}
+
+func parseClause(kind Kind, rest string, hasRest bool) (Fault, error) {
+	allowed, ok := kindKeys[kind]
+	if !ok {
+		return Fault{}, fmt.Errorf("netchaos: unknown fault kind %q", kind)
+	}
+	f := Fault{Kind: kind}
+	kv := map[string]float64{}
+	if hasRest {
+		for _, pair := range strings.Split(rest, ",") {
+			pair = strings.TrimSpace(pair)
+			if pair == "" {
+				continue
+			}
+			key, val, ok := strings.Cut(pair, "=")
+			if !ok {
+				return Fault{}, fmt.Errorf("netchaos: %s: expected key=value, got %q", kind, pair)
+			}
+			key = strings.TrimSpace(strings.ToLower(key))
+			if !keyAllowed(key, allowed) {
+				return Fault{}, fmt.Errorf("netchaos: %s: unknown key %q", kind, key)
+			}
+			x, err := units.Parse(strings.TrimSpace(val))
+			if err != nil {
+				return Fault{}, fmt.Errorf("netchaos: %s: bad value for %s: %v", kind, key, err)
+			}
+			if math.IsNaN(x) || math.IsInf(x, 0) {
+				return Fault{}, fmt.Errorf("netchaos: %s: %s must be finite", kind, key)
+			}
+			if _, dup := kv[key]; dup {
+				return Fault{}, fmt.Errorf("netchaos: %s: duplicate key %q", kind, key)
+			}
+			kv[key] = x
+		}
+	}
+
+	count := func(key string) (int, error) {
+		v := kv[key]
+		if v != math.Trunc(v) || v < 0 || v > 1e9 {
+			return 0, fmt.Errorf("netchaos: %s: %s must be an integer in [0,1e9], got %g", kind, key, v)
+		}
+		return int(v), nil
+	}
+	dur := func(key string) (float64, error) {
+		v := kv[key]
+		if v < 0 || v > 3600 {
+			return 0, fmt.Errorf("netchaos: %s: %s must be in [0,3600] s, got %g", kind, key, v)
+		}
+		return v, nil
+	}
+
+	var err error
+	if f.Win.From, err = count("from"); err != nil {
+		return Fault{}, err
+	}
+	if f.Win.Count, err = count("count"); err != nil {
+		return Fault{}, err
+	}
+	if f.Win.Every, err = count("every"); err != nil {
+		return Fault{}, err
+	}
+	if f.Win.Every > 0 && f.Win.Count <= 0 {
+		return Fault{}, fmt.Errorf("netchaos: %s: every needs count", kind)
+	}
+	if f.Win.Every > 0 && f.Win.Count > f.Win.Every {
+		return Fault{}, fmt.Errorf("netchaos: %s: count exceeds every", kind)
+	}
+
+	switch kind {
+	case Latency:
+		if f.D, err = dur("d"); err != nil {
+			return Fault{}, err
+		}
+		if f.Jitter, err = dur("jitter"); err != nil {
+			return Fault{}, err
+		}
+		if f.D == 0 && f.Jitter == 0 {
+			return Fault{}, fmt.Errorf("netchaos: latency needs d or jitter")
+		}
+	case Reset:
+		if f.After, err = count("after"); err != nil {
+			return Fault{}, err
+		}
+	case H503:
+		if f.RetryAfter, err = count("retryafter"); err != nil {
+			return Fault{}, err
+		}
+		if f.RetryAfter > 3600 {
+			return Fault{}, fmt.Errorf("netchaos: h503 retryafter must be <= 3600 s, got %d", f.RetryAfter)
+		}
+	case Blackhole, Down:
+		// window-only fates
+	case Slow:
+		if f.Chunk, err = count("chunk"); err != nil {
+			return Fault{}, err
+		}
+		if f.Chunk == 0 {
+			f.Chunk = 64
+		}
+		if f.Delay, err = dur("delay"); err != nil {
+			return Fault{}, err
+		}
+		if f.Delay == 0 {
+			f.Delay = 0.001
+		}
+	}
+	return f, nil
+}
+
+func keyAllowed(key string, allowed []string) bool {
+	switch key {
+	case "from", "count", "every":
+		return true
+	}
+	for _, k := range allowed {
+		if k == key {
+			return true
+		}
+	}
+	return false
+}
+
+// String renders the spec in canonical parseable form. Parse(s.String())
+// is equivalent to s — the fuzz target holds this round-trip invariant.
+func (s Spec) String() string {
+	var parts []string
+	if s.Seed != 1 {
+		parts = append(parts, fmt.Sprintf("seed:%d", s.Seed))
+	}
+	for _, f := range s.Faults {
+		parts = append(parts, f.String())
+	}
+	return strings.Join(parts, ";")
+}
+
+// String renders one fault clause in canonical parseable form.
+func (f Fault) String() string {
+	kv := map[string]float64{}
+	switch f.Kind {
+	case Latency:
+		if f.D > 0 {
+			kv["d"] = f.D
+		}
+		if f.Jitter > 0 {
+			kv["jitter"] = f.Jitter
+		}
+	case Reset:
+		if f.After > 0 {
+			kv["after"] = float64(f.After)
+		}
+	case H503:
+		if f.RetryAfter > 0 {
+			kv["retryafter"] = float64(f.RetryAfter)
+		}
+	case Slow:
+		kv["chunk"] = float64(f.Chunk)
+		kv["delay"] = f.Delay
+	}
+	if !f.Win.zero() {
+		kv["from"] = float64(f.Win.From)
+		if f.Win.Count > 0 {
+			kv["count"] = float64(f.Win.Count)
+		}
+		if f.Win.Every > 0 {
+			kv["every"] = float64(f.Win.Every)
+		}
+	}
+	if len(kv) == 0 {
+		return string(f.Kind)
+	}
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	pairs := make([]string, len(keys))
+	for i, k := range keys {
+		pairs[i] = fmt.Sprintf("%s=%g", k, kv[k])
+	}
+	return string(f.Kind) + ":" + strings.Join(pairs, ",")
+}

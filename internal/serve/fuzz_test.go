@@ -60,11 +60,11 @@ func FuzzVSafeDecode(f *testing.F) {
 			checkSpecErr(t, err)
 			return
 		}
-		if _, err := req.Power.resolve(catalog); err != nil {
+		if _, err := resolvePower(req.Power, catalog); err != nil {
 			checkSpecErr(t, err)
 			return
 		}
-		_, err := req.Load.resolve()
+		_, err := resolveLoad(req.Load)
 		checkSpecErr(t, err)
 	})
 }
@@ -87,11 +87,11 @@ func FuzzBatchDecode(f *testing.F) {
 			return
 		}
 		for _, el := range req.Requests {
-			if _, err := el.Power.resolve(catalog); err != nil {
+			if _, err := resolvePower(el.Power, catalog); err != nil {
 				checkSpecErr(t, err)
 				continue
 			}
-			_, err := el.Load.resolve()
+			_, err := resolveLoad(el.Load)
 			checkSpecErr(t, err)
 		}
 	})
@@ -112,11 +112,11 @@ func FuzzSimulateDecode(f *testing.F) {
 			checkSpecErr(t, err)
 			return
 		}
-		if _, err := req.Power.resolve(catalog); err != nil {
+		if _, err := resolvePower(req.Power, catalog); err != nil {
 			checkSpecErr(t, err)
 			return
 		}
-		_, err := req.Load.resolve()
+		_, err := resolveLoad(req.Load)
 		checkSpecErr(t, err)
 	})
 }
@@ -136,11 +136,11 @@ func FuzzVSafeRDecode(f *testing.F) {
 			checkSpecErr(t, err)
 			return
 		}
-		if _, err := req.Power.resolve(catalog); err != nil {
+		if _, err := resolvePower(req.Power, catalog); err != nil {
 			checkSpecErr(t, err)
 			return
 		}
-		_, err := req.Observation.resolve()
+		_, err := resolveObservation(req.Observation)
 		checkSpecErr(t, err)
 	})
 }

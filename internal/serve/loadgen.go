@@ -4,13 +4,18 @@
 // URL) boots an in-process server on an ephemeral port, so one command
 // measures the full stack — admission queue, middleware, JSON codec,
 // cache-hot estimation — with no external setup.
+//
+// The workers drive internal/client (retries and breaker off — a
+// saturated server answering 503s is the measurement, not a dead
+// backend), and they are well-behaved under backpressure: a 503 is
+// counted separately from transport errors, and its Retry-After is
+// honored before the worker issues its next request.
 package serve
 
 import (
-	"bytes"
 	"context"
+	"errors"
 	"fmt"
-	"io"
 	"net/http"
 	"net/http/httptest"
 	"runtime"
@@ -18,6 +23,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"culpeo/internal/client"
 )
 
 // LoadTestOptions configures a load-generation run.
@@ -39,8 +46,13 @@ type LoadTestOptions struct {
 
 // LoadTestResult is the report of one run.
 type LoadTestResult struct {
-	Requests     uint64  `json:"requests"`
-	Errors       uint64  `json:"errors"`
+	Requests uint64 `json:"requests"`
+	// Errors counts transport failures and unexpected statuses.
+	Errors uint64 `json:"errors"`
+	// Backpressure counts 503 rejections — the server shedding load as
+	// designed, not failing; kept apart from Errors so a saturation run
+	// reads as saturation.
+	Backpressure uint64  `json:"backpressure"`
 	DurationSec  float64 `json:"duration_sec"`
 	Throughput   float64 `json:"throughput_rps"`
 	MeanMs       float64 `json:"mean_ms"`
@@ -86,33 +98,40 @@ func LoadTest(ctx context.Context, opt LoadTestOptions) (LoadTestResult, error) 
 		base = ts.URL
 		res.SelfHosted = true
 	}
-	target := base + "/v1/vsafe"
 
-	client := &http.Client{Transport: &http.Transport{
-		MaxIdleConns:        opt.Concurrency,
-		MaxIdleConnsPerHost: opt.Concurrency,
-	}}
-	defer client.CloseIdleConnections()
+	// One attempt per request and no breaker: the loadtest measures the
+	// server's raw turnaround, and a 503 burst must surface as
+	// backpressure here rather than trip failover machinery.
+	pool, err := client.New(client.Config{
+		Backends: []string{base},
+		HTTPClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        opt.Concurrency,
+			MaxIdleConnsPerHost: opt.Concurrency,
+		}},
+		Budget:         30 * time.Second,
+		AttemptTimeout: 10 * time.Second,
+		MaxAttempts:    1,
+		Breaker:        client.BreakerConfig{Disabled: true},
+	})
+	if err != nil {
+		return res, fmt.Errorf("loadtest: %w", err)
+	}
+	defer pool.Close()
 
 	// One warm-up request: the cold Algorithm 1 miss should not pollute the
 	// steady-state quantiles (and it verifies the target answers at all).
-	warm, err := client.Post(target, "application/json", bytes.NewReader(body))
-	if err != nil {
+	if _, err := pool.Do(ctx, client.PathVSafe, body); err != nil {
 		return res, fmt.Errorf("loadtest: target unreachable: %w", err)
-	}
-	io.Copy(io.Discard, warm.Body)
-	warm.Body.Close()
-	if warm.StatusCode != http.StatusOK {
-		return res, fmt.Errorf("loadtest: warm-up request got %s", warm.Status)
 	}
 
 	runCtx, cancel := context.WithTimeout(ctx, opt.Duration)
 	defer cancel()
 
 	var (
-		wg       sync.WaitGroup
-		errs     atomic.Uint64
-		perGorou = make([][]float64, opt.Concurrency) // latencies in ms
+		wg           sync.WaitGroup
+		errs         atomic.Uint64
+		backpressure atomic.Uint64
+		perGorou     = make([][]float64, opt.Concurrency) // latencies in ms
 	)
 	start := time.Now()
 	for g := 0; g < opt.Concurrency; g++ {
@@ -121,21 +140,22 @@ func LoadTest(ctx context.Context, opt LoadTestOptions) (LoadTestResult, error) 
 		go func() {
 			defer wg.Done()
 			lat := make([]float64, 0, 1<<14)
-			rd := bytes.NewReader(body)
 			for runCtx.Err() == nil {
-				rd.Reset(body)
 				t0 := time.Now()
-				resp, err := client.Post(target, "application/json", rd)
+				_, err := pool.Do(runCtx, client.PathVSafe, body)
 				if err != nil {
 					if runCtx.Err() != nil {
 						break
 					}
-					errs.Add(1)
-					continue
-				}
-				io.Copy(io.Discard, resp.Body)
-				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
+					var he *client.HTTPError
+					if errors.As(err, &he) && he.Status == http.StatusServiceUnavailable {
+						// The server is shedding load: count it as
+						// backpressure and honor its Retry-After before
+						// the next request.
+						backpressure.Add(1)
+						sleepUntil(runCtx, he.RetryAfter)
+						continue
+					}
 					errs.Add(1)
 					continue
 				}
@@ -155,6 +175,7 @@ func LoadTest(ctx context.Context, opt LoadTestOptions) (LoadTestResult, error) 
 
 	res.Requests = uint64(len(all))
 	res.Errors = errs.Load()
+	res.Backpressure = backpressure.Load()
 	res.DurationSec = elapsed.Seconds()
 	if res.DurationSec > 0 {
 		res.Throughput = float64(res.Requests) / res.DurationSec
@@ -175,6 +196,20 @@ func LoadTest(ctx context.Context, opt LoadTestOptions) (LoadTestResult, error) 
 		return res, fmt.Errorf("loadtest: no request completed in %v", opt.Duration)
 	}
 	return res, nil
+}
+
+// sleepUntil waits d (or until ctx expires). A zero d yields briefly so a
+// Retry-After-less 503 still backs off the closed loop a little.
+func sleepUntil(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		d = time.Millisecond
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
 }
 
 // quantile reads the q-th quantile from sorted data (nearest-rank).

@@ -2,6 +2,10 @@ package serve
 
 import (
 	"context"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -55,5 +59,48 @@ func TestQuantile(t *testing.T) {
 	}
 	if q := quantile(nil, 0.5); q != 0 {
 		t.Errorf("empty quantile = %v, want 0", q)
+	}
+}
+
+// TestLoadTestBackpressure points the generator at a target that sheds
+// half its load with 503 + Retry-After: 1 and checks that rejections are
+// counted as backpressure — not errors — and that workers honor the
+// Retry-After: with a 1 s backoff and a 300 ms window, each worker parks
+// after its first rejection, so backpressure stays bounded by the worker
+// count instead of turning into a reject storm.
+func TestLoadTestBackpressure(t *testing.T) {
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		c := n.Add(1)
+		if c > 1 && c%2 == 0 { // warm-up always succeeds, then every other request is shed
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, http.StatusServiceUnavailable)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, `{"v_safe":2.5,"v_delta":0.1,"v_e":2.4}`)
+	}))
+	defer ts.Close()
+
+	const workers = 8
+	res, err := LoadTest(context.Background(), LoadTestOptions{
+		URL:         ts.URL,
+		Duration:    300 * time.Millisecond,
+		Concurrency: workers,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Backpressure == 0 {
+		t.Fatalf("backpressure = 0, want > 0: %+v", res)
+	}
+	if res.Errors != 0 {
+		t.Fatalf("errors = %d, want 0 — 503s must count as backpressure", res.Errors)
+	}
+	if res.Backpressure > workers {
+		t.Fatalf("backpressure = %d > %d workers — Retry-After not honored", res.Backpressure, workers)
+	}
+	if res.Requests == 0 {
+		t.Fatal("no successful requests recorded")
 	}
 }

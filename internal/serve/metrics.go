@@ -1,74 +1,24 @@
-// Live serving metrics: lock-free counters and a fixed-bucket latency
-// histogram, snapshotted as one JSON document by GET /metrics (expvar-style
-// — a flat, scrape-friendly object, no external metrics dependency). Every
-// counter is monotonic; gauges (queue depth, in-flight) are read at
-// snapshot time from the admission state.
+// Live serving metrics: lock-free counters and the shared fixed-bucket
+// latency histogram (internal/api — the client keeps per-backend histograms
+// in the identical shape), snapshotted as one JSON document by GET /metrics
+// (expvar-style — a flat, scrape-friendly object, no external metrics
+// dependency). Every counter is monotonic; gauges (queue depth, in-flight)
+// are read at snapshot time from the admission state.
 package serve
 
 import (
 	"sync/atomic"
 	"time"
 
+	"culpeo/internal/api"
 	"culpeo/internal/core"
 )
 
-// latencyBuckets are the histogram's upper bounds in seconds. The spread
-// covers a cache hit (~100 µs) through a cold ground-truth simulation
-// (seconds); the terminal +Inf bucket is implicit.
-var latencyBuckets = [numBuckets]float64{
-	100e-6, 250e-6, 500e-6, 1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3,
-	50e-3, 100e-3, 250e-3, 500e-3, 1, 2.5, 5, 10,
-}
+// histogram keeps serve's historical name for the shared implementation;
+// the bucket bounds live in api.LatencyBuckets.
+type histogram = api.Histogram
 
-const numBuckets = 16
-
-// histogram is a fixed-bound latency histogram safe for concurrent Observe.
-type histogram struct {
-	counts  [numBuckets + 1]atomic.Uint64 // last = overflow (+Inf)
-	count   atomic.Uint64
-	sumNano atomic.Int64
-}
-
-func (h *histogram) Observe(d time.Duration) {
-	s := d.Seconds()
-	i := 0
-	for i < numBuckets && s > latencyBuckets[i] {
-		i++
-	}
-	h.counts[i].Add(1)
-	h.count.Add(1)
-	h.sumNano.Add(int64(d))
-}
-
-// HistogramBucket is one cumulative bucket of the latency histogram: Count
-// observations took LE seconds or less (LE 0 marks the +Inf bucket).
-type HistogramBucket struct {
-	LE    float64 `json:"le_seconds"`
-	Count uint64  `json:"count"`
-}
-
-// HistogramSnapshot is the wire form of the latency histogram.
-type HistogramSnapshot struct {
-	Buckets []HistogramBucket `json:"buckets"`
-	Count   uint64            `json:"count"`
-	MeanMs  float64           `json:"mean_ms"`
-}
-
-func (h *histogram) snapshot() HistogramSnapshot {
-	var s HistogramSnapshot
-	cum := uint64(0)
-	for i, le := range latencyBuckets {
-		cum += h.counts[i].Load()
-		s.Buckets = append(s.Buckets, HistogramBucket{LE: le, Count: cum})
-	}
-	cum += h.counts[numBuckets].Load()
-	s.Buckets = append(s.Buckets, HistogramBucket{LE: 0, Count: cum})
-	s.Count = h.count.Load()
-	if s.Count > 0 {
-		s.MeanMs = float64(h.sumNano.Load()) / float64(s.Count) / 1e6
-	}
-	return s
-}
+const numBuckets = api.NumLatencyBuckets
 
 // endpointStats counts one endpoint's traffic by outcome.
 type endpointStats struct {
@@ -93,6 +43,10 @@ type metrics struct {
 	timeouts  atomic.Uint64
 	panics    atomic.Uint64
 	drained   atomic.Bool
+	// lastPanicReqID holds the request ID of the most recent panicking
+	// request (string), so a chaos-soak failure is correlatable from the
+	// metrics document alone.
+	lastPanicReqID atomic.Value
 }
 
 func newMetrics(endpoints []string) *metrics {
@@ -118,18 +72,26 @@ func (m *metrics) record(endpoint string, status int, d time.Duration) {
 	m.latency.Observe(d)
 }
 
+// recordPanic counts a recovered handler panic and remembers the request
+// it happened on.
+func (m *metrics) recordPanic(reqID string) {
+	m.panics.Add(1)
+	m.lastPanicReqID.Store(reqID)
+}
+
 // MetricsSnapshot is the document GET /metrics returns.
 type MetricsSnapshot struct {
-	UptimeSec  float64                     `json:"uptime_sec"`
-	Draining   bool                        `json:"draining"`
-	Endpoints  map[string]EndpointSnapshot `json:"endpoints"`
-	Latency    HistogramSnapshot           `json:"latency"`
-	QueueDepth int64                       `json:"queue_depth"`
-	InFlight   int64                       `json:"in_flight"`
-	QueueFull  uint64                      `json:"queue_full_total"`
-	Timeouts   uint64                      `json:"timeouts_total"`
-	Panics     uint64                      `json:"panics_total"`
-	VSafeCache core.VSafeCacheStats        `json:"vsafe_cache"`
+	UptimeSec          float64                     `json:"uptime_sec"`
+	Draining           bool                        `json:"draining"`
+	Endpoints          map[string]EndpointSnapshot `json:"endpoints"`
+	Latency            HistogramSnapshot           `json:"latency"`
+	QueueDepth         int64                       `json:"queue_depth"`
+	InFlight           int64                       `json:"in_flight"`
+	QueueFull          uint64                      `json:"queue_full_total"`
+	Timeouts           uint64                      `json:"timeouts_total"`
+	Panics             uint64                      `json:"panics_total"`
+	LastPanicRequestID string                      `json:"last_panic_request_id,omitempty"`
+	VSafeCache         core.VSafeCacheStats        `json:"vsafe_cache"`
 }
 
 func (m *metrics) snapshot(queueDepth, inFlight int64, cache core.VSafeCacheStats) MetricsSnapshot {
@@ -137,13 +99,16 @@ func (m *metrics) snapshot(queueDepth, inFlight int64, cache core.VSafeCacheStat
 		UptimeSec:  time.Since(m.start).Seconds(),
 		Draining:   m.drained.Load(),
 		Endpoints:  make(map[string]EndpointSnapshot, len(m.endpoints)),
-		Latency:    m.latency.snapshot(),
+		Latency:    m.latency.Snapshot(),
 		QueueDepth: queueDepth,
 		InFlight:   inFlight,
 		QueueFull:  m.queueFull.Load(),
 		Timeouts:   m.timeouts.Load(),
 		Panics:     m.panics.Load(),
 		VSafeCache: cache,
+	}
+	if id, ok := m.lastPanicReqID.Load().(string); ok {
+		s.LastPanicRequestID = id
 	}
 	for name, es := range m.endpoints {
 		s.Endpoints[name] = EndpointSnapshot{

@@ -1,0 +1,92 @@
+package serve
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"culpeo/internal/api"
+)
+
+func TestRequestIDEchoed(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	req, _ := http.NewRequest(http.MethodPost, ts.URL+"/v1/vsafe",
+		strings.NewReader(`{"load":{"shape":"uniform","i":0.025,"t":0.01}}`))
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.RequestIDHeader, "c7-a2")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	if got := resp.Header.Get(api.RequestIDHeader); got != "c7-a2" {
+		t.Fatalf("echoed request ID = %q, want c7-a2", got)
+	}
+}
+
+func TestRequestIDMintedWhenAbsent(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	for want := 1; want <= 2; want++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatalf("GET: %v", err)
+		}
+		resp.Body.Close()
+		got := resp.Header.Get(api.RequestIDHeader)
+		if !strings.HasPrefix(got, "culpeod-") {
+			t.Fatalf("minted ID = %q, want culpeod-<seq>", got)
+		}
+	}
+}
+
+func TestRequestIDSanitized(t *testing.T) {
+	cases := []string{
+		"evil\r\nSet-Cookie: x=1", // header injection
+		"<script>alert(1)</script>",
+		strings.Repeat("a", 65), // too long
+		"id with spaces",
+	}
+	_, ts := newTestServer(t, Config{})
+	for _, hostile := range cases {
+		req, _ := http.NewRequest(http.MethodGet, ts.URL+"/healthz", nil)
+		// Set the raw header map directly: http.Header.Set would reject
+		// some of these values before they reach the server.
+		req.Header["X-Request-Id"] = []string{hostile}
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			// The transport itself refuses to send an invalid header
+			// value — also an acceptable outcome.
+			continue
+		}
+		resp.Body.Close()
+		got := resp.Header.Get(api.RequestIDHeader)
+		if !strings.HasPrefix(got, "culpeod-") {
+			t.Fatalf("hostile ID %q reflected as %q, want a minted replacement", hostile, got)
+		}
+	}
+}
+
+// TestPanicRequestIDInMetrics ties the request-ID satellite to the panic
+// path: the metrics document names the request that panicked.
+func TestPanicRequestIDInMetrics(t *testing.T) {
+	s := New(Config{})
+	h := s.api("vsafe", func(ctx context.Context, r *http.Request) (any, error) {
+		panic("handler bug")
+	})
+	ts := httptest.NewServer(h)
+	defer ts.Close()
+
+	req, _ := http.NewRequest(http.MethodPost, ts.URL, strings.NewReader("{}"))
+	req.Header.Set(api.RequestIDHeader, "c3-a1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatalf("POST: %v", err)
+	}
+	resp.Body.Close()
+	m := s.Metrics()
+	if m.Panics != 1 || m.LastPanicRequestID != "c3-a1" {
+		t.Fatalf("panics=%d last_panic_request_id=%q, want 1/c3-a1", m.Panics, m.LastPanicRequestID)
+	}
+}

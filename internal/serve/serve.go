@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"culpeo/internal/api"
 	"culpeo/internal/core"
 	"culpeo/internal/partsdb"
 	"culpeo/internal/powersys"
@@ -91,6 +92,42 @@ type Server struct {
 	// until the channel yields — how the backpressure tests pin requests
 	// in-flight deterministically.
 	holdForTest chan struct{}
+
+	// reqSeq numbers requests that arrive without an X-Request-Id of their
+	// own, so every response carries a correlatable ID.
+	reqSeq atomic.Uint64
+}
+
+// RequestIDHeader aliases the shared wire constant: the client sends one
+// ID per attempt, the server echoes it (or mints its own), and failures
+// become correlatable across client log, chaos proxy schedule and server
+// metrics.
+const RequestIDHeader = api.RequestIDHeader
+
+// requestID returns the caller's sanitized correlation ID or mints one.
+func (s *Server) requestID(r *http.Request) string {
+	if id := sanitizeRequestID(r.Header.Get(RequestIDHeader)); id != "" {
+		return id
+	}
+	return fmt.Sprintf("culpeod-%d", s.reqSeq.Add(1))
+}
+
+// sanitizeRequestID accepts short token-shaped IDs only: a hostile header
+// must not be reflected into responses or metrics verbatim.
+func sanitizeRequestID(id string) string {
+	if len(id) == 0 || len(id) > 64 {
+		return ""
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return ""
+		}
+	}
+	return id
 }
 
 // endpointNames keys the per-endpoint metrics.
@@ -225,12 +262,14 @@ func writeError(w http.ResponseWriter, status int, err error) {
 func (s *Server) observed(name string, fn http.HandlerFunc) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		reqID := s.requestID(r)
+		sw.Header().Set(RequestIDHeader, reqID)
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.met.panics.Add(1)
+				s.met.recordPanic(reqID)
 				if sw.status == 0 {
-					writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic: %v", rec))
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic (request %s): %v", reqID, rec))
 				}
 			}
 			s.met.record(name, sw.status, time.Since(start))
@@ -245,12 +284,14 @@ func (s *Server) observed(name string, fn http.HandlerFunc) http.Handler {
 func (s *Server) api(name string, fn func(ctx context.Context, r *http.Request) (any, error)) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		sw := &statusWriter{ResponseWriter: w}
+		reqID := s.requestID(r)
+		sw.Header().Set(RequestIDHeader, reqID)
 		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
-				s.met.panics.Add(1)
+				s.met.recordPanic(reqID)
 				if sw.status == 0 {
-					writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic: %v", rec))
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic (request %s): %v", reqID, rec))
 				}
 			}
 			s.met.record(name, sw.status, time.Since(start))
@@ -315,11 +356,11 @@ func (s *Server) estimate(ctx context.Context, req VSafeRequest) (EstimateRespon
 	if err := ctx.Err(); err != nil {
 		return EstimateResponse{}, err
 	}
-	rp, err := req.Power.resolve(s.catalog)
+	rp, err := resolvePower(req.Power, s.catalog)
 	if err != nil {
 		return EstimateResponse{}, err
 	}
-	rl, err := req.Load.resolve()
+	rl, err := resolveLoad(req.Load)
 	if err != nil {
 		return EstimateResponse{}, err
 	}
@@ -354,11 +395,11 @@ func (s *Server) handleVSafeR(ctx context.Context, r *http.Request) (any, error)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	rp, err := req.Power.resolve(s.catalog)
+	rp, err := resolvePower(req.Power, s.catalog)
 	if err != nil {
 		return nil, err
 	}
-	obs, err := req.Observation.resolve()
+	obs, err := resolveObservation(req.Observation)
 	if err != nil {
 		return nil, err
 	}
@@ -374,11 +415,11 @@ func (s *Server) handleSimulate(ctx context.Context, r *http.Request) (any, erro
 	if err := decodeBody(r.Body, &req); err != nil {
 		return nil, err
 	}
-	rp, err := req.Power.resolve(s.catalog)
+	rp, err := resolvePower(req.Power, s.catalog)
 	if err != nil {
 		return nil, err
 	}
-	rl, err := req.Load.resolve()
+	rl, err := resolveLoad(req.Load)
 	if err != nil {
 		return nil, err
 	}
@@ -463,12 +504,6 @@ func (s *Server) handleBatch(ctx context.Context, r *http.Request) (any, error) 
 		return nil, err
 	}
 	return BatchResponse{Results: results}, nil
-}
-
-// HealthResponse is the /healthz body.
-type HealthResponse struct {
-	OK       bool `json:"ok"`
-	Draining bool `json:"draining"`
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -153,7 +153,7 @@ func TestVSafeParityNonDefaultPower(t *testing.T) {
 	for _, tc := range cases {
 		tc := tc
 		t.Run(tc.name, func(t *testing.T) {
-			rp, err := tc.power.resolve(s.catalog)
+			rp, err := resolvePower(tc.power, s.catalog)
 			if err != nil {
 				t.Fatalf("resolve: %v", err)
 			}
@@ -516,7 +516,7 @@ func TestHistogram(t *testing.T) {
 	h.Observe(50 * time.Microsecond)  // bucket 0 (<= 100 µs)
 	h.Observe(200 * time.Microsecond) // bucket 1 (<= 250 µs)
 	h.Observe(time.Minute)            // overflow
-	s := h.snapshot()
+	s := h.Snapshot()
 	if s.Count != 3 {
 		t.Fatalf("count %d, want 3", s.Count)
 	}

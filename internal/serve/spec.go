@@ -1,10 +1,14 @@
-// Request and response shapes of the culpeod wire API, plus their
-// resolution into the library's types. Every field is optional; omitted
-// power-system parameters default to the evaluated Capybara configuration
-// (Section VI-A), so `{"load":{"shape":"uniform","i":0.025,"t":0.01}}` is a
-// complete request. Resolution is strict beyond that: a spec that names an
-// unknown part, an invalid voltage window or a malformed load is a client
-// error (HTTP 400), never a panic — the decoder fuzz suite enforces this.
+// Resolution of the culpeod wire API (internal/api) into the library's
+// types. Every field is optional; omitted power-system parameters default
+// to the evaluated Capybara configuration (Section VI-A), so
+// `{"load":{"shape":"uniform","i":0.025,"t":0.01}}` is a complete request.
+// Resolution is strict beyond that: a spec that names an unknown part, an
+// invalid voltage window or a malformed load is a client error (HTTP 400),
+// never a panic — the decoder fuzz suite enforces this.
+//
+// The wire shapes themselves live in internal/api (shared with the
+// resilient client in internal/client); the aliases below keep serve's
+// historical names working.
 package serve
 
 import (
@@ -14,6 +18,7 @@ import (
 	"io"
 	"math"
 
+	"culpeo/internal/api"
 	"culpeo/internal/capacitor"
 	"culpeo/internal/core"
 	"culpeo/internal/load"
@@ -21,126 +26,31 @@ import (
 	"culpeo/internal/powersys"
 )
 
+// The wire contract moved to internal/api so the client package can share
+// it without importing the serving stack; these aliases keep serve's API
+// surface unchanged.
+type (
+	PowerSpec         = api.PowerSpec
+	LoadSpec          = api.LoadSpec
+	VSafeRequest      = api.VSafeRequest
+	ObservationSpec   = api.ObservationSpec
+	VSafeRRequest     = api.VSafeRRequest
+	SimulateRequest   = api.SimulateRequest
+	BatchRequest      = api.BatchRequest
+	EstimateResponse  = api.EstimateResponse
+	SimulateResponse  = api.SimulateResponse
+	BatchResult       = api.BatchResult
+	BatchResponse     = api.BatchResponse
+	ErrorResponse     = api.ErrorResponse
+	HealthResponse    = api.HealthResponse
+	HistogramBucket   = api.HistogramBucket
+	HistogramSnapshot = api.HistogramSnapshot
+)
+
 // maxBodyBytes bounds request bodies. A raw 125 kHz trace runs ~20 bytes a
 // sample in JSON, so this admits about ten seconds of capture — far beyond
 // any Table III task — while keeping a hostile body from exhausting memory.
 const maxBodyBytes = 32 << 20
-
-// PowerSpec describes the power system a request targets. Either name a
-// catalogue part (resolved through internal/partsdb into an assembled bank)
-// or give C/ESR explicitly; both default to the Capybara buffer.
-type PowerSpec struct {
-	// Part is a partsdb catalogue number (e.g. "supercapacitor-0000"). When
-	// set, C and ESR come from a bank of these parts and must not also be
-	// given explicitly.
-	Part string `json:"part,omitempty"`
-	// BankC is the target bank capacitance used with Part (F); 0 selects
-	// the figures' 45 mF.
-	BankC float64 `json:"bank_c,omitempty"`
-	// C is the explicit buffer capacitance (F); 0 selects Capybara's 45 mF.
-	C float64 `json:"c,omitempty"`
-	// ESR is the explicit buffer ESR (Ω); 0 selects Capybara's 5 Ω net.
-	ESR float64 `json:"esr,omitempty"`
-	// VOff and VHigh set the monitor window (V); 0 selects 1.6 / 2.56.
-	VOff  float64 `json:"v_off,omitempty"`
-	VHigh float64 `json:"v_high,omitempty"`
-	// Age is the capacitor life fraction consumed, in [0, 1]: capacitance
-	// fades and ESR doubles toward end of life.
-	Age float64 `json:"age,omitempty"`
-}
-
-// LoadSpec describes the task whose V_safe is wanted: a synthetic Table III
-// shape, a named real-peripheral profile, or a raw uploaded current trace.
-// Exactly one of Shape, Peripheral or Samples must be present.
-type LoadSpec struct {
-	// Shape is "uniform" or "pulse" (pulse adds the paper's 1.5 mA / 100 ms
-	// compute tail), parameterized by I and T.
-	Shape string  `json:"shape,omitempty"`
-	I     float64 `json:"i,omitempty"` // load current (A)
-	T     float64 `json:"t,omitempty"` // pulse duration (s)
-	// Peripheral selects a measured profile: gesture | ble | mnist | lora.
-	Peripheral string `json:"peripheral,omitempty"`
-	// Samples is a raw captured current trace (A), analyzed at Rate.
-	Samples []float64 `json:"samples,omitempty"`
-	// Rate is the sample rate of Samples in Hz; 0 selects 125 kHz.
-	Rate float64 `json:"rate,omitempty"`
-}
-
-// VSafeRequest is the body of POST /v1/vsafe and each element of a batch.
-type VSafeRequest struct {
-	Power PowerSpec `json:"power"`
-	Load  LoadSpec  `json:"load"`
-}
-
-// ObservationSpec carries the three voltages Culpeo-R computes from.
-type ObservationSpec struct {
-	VStart float64 `json:"v_start"`
-	VMin   float64 `json:"v_min"`
-	VFinal float64 `json:"v_final"`
-}
-
-// VSafeRRequest is the body of POST /v1/vsafe-r: a runtime estimate from
-// one observed execution (Equations 1a–1c and 3).
-type VSafeRRequest struct {
-	Power       PowerSpec       `json:"power"`
-	Observation ObservationSpec `json:"observation"`
-}
-
-// SimulateRequest is the body of POST /v1/simulate: launch the task at
-// VStart on a fresh system and report the verdict.
-type SimulateRequest struct {
-	Power PowerSpec `json:"power"`
-	Load  LoadSpec  `json:"load"`
-	// VStart is the starting terminal voltage; 0 launches from V_high.
-	VStart float64 `json:"v_start,omitempty"`
-	// Harvest is constant harvested power during the run (W).
-	Harvest float64 `json:"harvest,omitempty"`
-	// Fast opts into the analytic segment-advance stepper.
-	Fast bool `json:"fast,omitempty"`
-}
-
-// BatchRequest is the body of POST /v1/batch.
-type BatchRequest struct {
-	Requests []VSafeRequest `json:"requests"`
-}
-
-// EstimateResponse mirrors core.Estimate on the wire. encoding/json emits
-// float64 at full round-trip precision, so a served estimate is
-// bit-identical to the library's (the parity suite asserts this).
-type EstimateResponse struct {
-	VSafe  float64 `json:"v_safe"`
-	VDelta float64 `json:"v_delta"`
-	VE     float64 `json:"v_e"`
-}
-
-// SimulateResponse reports one launch verdict.
-type SimulateResponse struct {
-	Completed   bool    `json:"completed"`
-	PowerFailed bool    `json:"power_failed"`
-	VStart      float64 `json:"v_start"`
-	VMin        float64 `json:"v_min"`
-	VFinal      float64 `json:"v_final"`
-	Duration    float64 `json:"duration"`
-	EnergyUsed  float64 `json:"energy_used"`
-	Error       string  `json:"error,omitempty"`
-}
-
-// BatchResult is one element of a batch response: an estimate or a
-// per-element error (one bad element never fails its siblings).
-type BatchResult struct {
-	Estimate *EstimateResponse `json:"estimate,omitempty"`
-	Error    string            `json:"error,omitempty"`
-}
-
-// BatchResponse is the body returned by POST /v1/batch.
-type BatchResponse struct {
-	Results []BatchResult `json:"results"`
-}
-
-// ErrorResponse is the body of every non-2xx reply.
-type ErrorResponse struct {
-	Error string `json:"error"`
-}
 
 // errSpec marks client-side specification errors (HTTP 400).
 var errSpec = errors.New("bad request")
@@ -169,11 +79,13 @@ type resolved struct {
 	model core.PowerModel
 }
 
-// Resolve validates the spec and produces the simulator configuration and
-// estimator model, resolving named parts through the catalogue index.
+// resolvePower validates the spec and produces the simulator configuration
+// and estimator model, resolving named parts through the catalogue index.
 // The construction mirrors cmd/vsafe exactly — nominal C with aging carried
 // on the model — so served estimates match the library bit for bit.
-func (p PowerSpec) resolve(catalog *partsdb.Index) (resolved, error) {
+// (Functions rather than methods: the spec types are aliases into
+// internal/api, and Go does not allow methods on non-local types.)
+func resolvePower(p PowerSpec, catalog *partsdb.Index) (resolved, error) {
 	base := powersys.Capybara()
 	c := base.Storage.TotalCapacitance()
 	esr := base.Storage.Main().ESR
@@ -252,7 +164,7 @@ type resolvedLoad struct {
 	isTrace bool
 }
 
-func (l LoadSpec) resolve() (resolvedLoad, error) {
+func resolveLoad(l LoadSpec) (resolvedLoad, error) {
 	forms := 0
 	if l.Shape != "" {
 		forms++
@@ -320,7 +232,7 @@ func (r resolvedLoad) asProfile() load.Profile {
 	return r.profile
 }
 
-func (o ObservationSpec) resolve() (core.Observation, error) {
+func resolveObservation(o ObservationSpec) (core.Observation, error) {
 	obs := core.Observation{VStart: o.VStart, VMin: o.VMin, VFinal: o.VFinal}
 	if !isFinite(o.VStart) || !isFinite(o.VMin) || !isFinite(o.VFinal) {
 		return obs, specErrorf("observation: non-finite voltage")
