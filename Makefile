@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak alloc bench serve-smoke chaos check
+.PHONY: build vet test race golden golden-update soak alloc batch bench serve-smoke chaos check
 
 build:
 	$(GO) build ./...
@@ -40,6 +40,17 @@ soak:
 alloc:
 	$(GO) test ./internal/powersys -run 'AllocFree' -count=1
 
+# The batch-stepping wall: scalar/batch equivalence (bitwise on the exact
+# path), the fuzz corpus seeds, chunked-sweep contracts and the serving
+# batch lane, all under the race detector — then the steady-state
+# zero-alloc guards, which need a non-race build for AllocsPerRun.
+batch:
+	$(GO) test -race ./internal/powersys -run 'TestBatch|TestCompiledProfile|FuzzBatchStep' -count=1
+	$(GO) test -race ./internal/harness -run 'TestGroundTruthBatch' -count=1
+	$(GO) test -race ./internal/sweep -run 'TestMapChunks' -count=1
+	$(GO) test -race ./internal/serve -run 'TestBatchSimulate' -count=1
+	$(GO) test ./internal/powersys -run 'TestBatch.*AllocFree' -count=1
+
 # Performance trajectory: the go-test benchmark sweep, then the recorded
 # BENCH_culpeo.json artifact and its validation gate (fails on malformed or
 # missing artifacts).
@@ -68,4 +79,4 @@ chaos:
 	$(GO) test -race ./internal/expt -run 'TestChaosSoak' -short -count=1
 	$(GO) test -race ./cmd/culpeod -run 'TestDrainFailover' -count=1
 
-check: vet build alloc race golden soak serve-smoke chaos
+check: vet build alloc batch race golden soak serve-smoke chaos

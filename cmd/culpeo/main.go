@@ -30,7 +30,9 @@
 // -workers bounds the parallel sweep pool (0 = GOMAXPROCS); -fast switches
 // the simulations onto the analytic segment-advance stepper (within a
 // millivolt of the exact stepper but not bit-identical — golden outputs are
-// produced without it); -cpuprofile/-memprofile write runtime/pprof
+// produced without it); -batch routes ground-truth searches through the SoA
+// lockstep batch stepper (bit-identical to the scalar exact path, so golden
+// outputs are unchanged); -cpuprofile/-memprofile write runtime/pprof
 // profiles. Interrupting the process (Ctrl-C) cancels in-flight sweeps.
 //
 // loadtest drives POST /v1/vsafe with -concurrency closed-loop clients for
@@ -82,6 +84,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	points := fs.Bool("points", false, "with fig3: dump the full point cloud")
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "use the analytic fast-path stepper (sub-mV of exact, not bit-identical)")
+	batch := fs.Bool("batch", false, "route ground-truth searches through the SoA lockstep batch stepper (bit-identical on the exact path)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	benchout := fs.String("benchout", "BENCH_culpeo.json", "bench/benchcheck/loadtest: the report artifact path")
@@ -112,6 +115,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 	if *fast {
 		ctx = expt.WithFast(ctx)
+	}
+	if *batch {
+		ctx = expt.WithBatch(ctx)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -250,8 +256,8 @@ func benchTable(rep *benchrun.Report) *expt.Table {
 		Title:  "Performance trajectory (BENCH_culpeo.json)",
 		Header: []string{"benchmark", "ns/op", "B/op", "allocs/op", "iters"},
 		Caption: fmt.Sprintf(
-			"fast-path speedup %.2fx on the end-to-end sweep; V_safe cache %d hits / %d misses (%.1f%% hit rate); %s %s/%s, %d CPUs.",
-			rep.FastPathSpeedup, rep.VSafeCache.Hits, rep.VSafeCache.Misses,
+			"fast-path speedup %.2fx on the end-to-end sweep; batch speedup %.2fx on 64 lockstep lanes; V_safe cache %d hits / %d misses (%.1f%% hit rate); %s %s/%s, %d CPUs.",
+			rep.FastPathSpeedup, rep.BatchSpeedup, rep.VSafeCache.Hits, rep.VSafeCache.Misses,
 			rep.VSafeCache.HitRate*100, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU),
 	}
 	for _, b := range rep.Benchmarks {
@@ -268,6 +274,11 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		if err != nil {
 			return err
 		}
+		// A bench run replaces the micro-benchmark section but must not
+		// discard the serving section loadtest -record merged earlier.
+		if prev, err := benchrun.Read(benchout); err == nil && prev.Serving != nil {
+			rep.Serving = prev.Serving
+		}
 		if err := benchrun.Write(benchout, rep); err != nil {
 			return err
 		}
@@ -278,8 +289,8 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "benchcheck: %s ok (%d benchmarks, %.2fx fast-path speedup, %.0f%% cache hit rate)\n",
-			benchout, len(rep.Benchmarks), rep.FastPathSpeedup, rep.VSafeCache.HitRate*100)
+		fmt.Fprintf(w, "benchcheck: %s ok (%d benchmarks, %.2fx fast-path speedup, %.2fx batch speedup, %.0f%% cache hit rate)\n",
+			benchout, len(rep.Benchmarks), rep.FastPathSpeedup, rep.BatchSpeedup, rep.VSafeCache.HitRate*100)
 		if s := rep.Serving; s != nil {
 			fmt.Fprintf(w, "benchcheck: serving %.0f req/s, p50 %.3f ms, p99 %.3f ms over %d clients\n",
 				s.ThroughputRPS, s.P50Ms, s.P99Ms, s.Concurrency)
@@ -313,7 +324,7 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		}
 		return emit(w, r.Table(), csv)
 	case "fig6":
-		rows, err := expt.Fig6()
+		rows, err := expt.Fig6Ctx(ctx)
 		if err != nil {
 			return err
 		}
@@ -382,7 +393,7 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		}
 		return emit(w, expt.ESRLossTable(el), csv)
 	case "reprofile":
-		rows, err := expt.Reprofile()
+		rows, err := expt.ReprofileCtx(ctx)
 		if err != nil {
 			return err
 		}

@@ -131,9 +131,14 @@ func TestRunBenchcheck(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "BENCH_culpeo.json")
 	rep := &benchrun.Report{
 		Schema: benchrun.Schema, GoVersion: "go1.22", GOOS: "linux", GOARCH: "amd64", NumCPU: 4,
-		Benchmarks:      []benchrun.Benchmark{{Name: "step/single-branch", NsPerOp: 100, Iterations: 10}},
+		Benchmarks: []benchrun.Benchmark{
+			{Name: "step/single-branch", NsPerOp: 100, Iterations: 10},
+			{Name: "step/scalar-64", NsPerOp: 6400, Iterations: 10},
+			{Name: "step/batch-64", NsPerOp: 800, Iterations: 10},
+		},
 		VSafeCache:      benchrun.CacheStats{Hits: 9, Misses: 1, HitRate: 0.9},
 		FastPathSpeedup: 2.5,
+		BatchSpeedup:    8.0,
 	}
 	if err := benchrun.Write(path, rep); err != nil {
 		t.Fatal(err)

@@ -81,9 +81,13 @@ type SimulateRequest struct {
 	Fast bool `json:"fast,omitempty"`
 }
 
-// BatchRequest is the body of POST /v1/batch.
+// BatchRequest is the body of POST /v1/batch. Estimate elements and
+// simulation elements may be mixed in one request; each list is answered
+// by its own order-preserved result list. Simulations that share a power-
+// model shape run on the server's SoA lockstep batch stepper.
 type BatchRequest struct {
-	Requests []VSafeRequest `json:"requests"`
+	Requests    []VSafeRequest    `json:"requests,omitempty"`
+	Simulations []SimulateRequest `json:"simulations,omitempty"`
 }
 
 // EstimateResponse mirrors core.Estimate on the wire. encoding/json emits
@@ -114,9 +118,21 @@ type BatchResult struct {
 	Error    string            `json:"error,omitempty"`
 }
 
-// BatchResponse is the body returned by POST /v1/batch.
+// BatchSimResult is one element of a batch simulation response: a verdict
+// or a per-element specification error. Simulation outcomes (brown-out,
+// divergence) are carried inside the result, not here — only a malformed
+// element reports Error.
+type BatchSimResult struct {
+	Result *SimulateResponse `json:"result,omitempty"`
+	Error  string            `json:"error,omitempty"`
+}
+
+// BatchResponse is the body returned by POST /v1/batch. Results answers
+// Requests and Simulations answers Simulations, each index-aligned with
+// its request list.
 type BatchResponse struct {
-	Results []BatchResult `json:"results"`
+	Results     []BatchResult    `json:"results,omitempty"`
+	Simulations []BatchSimResult `json:"simulations,omitempty"`
 }
 
 // ErrorResponse is the body of every non-2xx reply.

@@ -23,7 +23,8 @@ import (
 )
 
 // Schema identifies the report layout; bump on breaking changes.
-const Schema = 1
+// Schema 2 added the step/scalar-64 / step/batch-64 pair and batch_speedup.
+const Schema = 2
 
 // Benchmark is one recorded measurement.
 type Benchmark struct {
@@ -69,6 +70,10 @@ type Report struct {
 	// sweep/fast-warm-cache ns/op: the end-to-end win of the analytic
 	// stepper plus memoized estimates.
 	FastPathSpeedup float64 `json:"fast_path_speedup"`
+	// BatchSpeedup is step/scalar-64 ns/op divided by step/batch-64 ns/op:
+	// the win of advancing 64 scenarios through the SoA lockstep batch
+	// stepper over running them one by one on the scalar fast path.
+	BatchSpeedup float64 `json:"batch_speedup"`
 	// Serving is the recorded loadtest of the culpeod service, when one has
 	// been run (`culpeo loadtest -record`); bench itself leaves it intact.
 	Serving *ServingStats `json:"serving,omitempty"`
@@ -84,6 +89,29 @@ func sweepTasks() []load.Profile {
 		load.Gesture(),
 		load.BLERadio(),
 	}
+}
+
+// batchScenarios is the 64-lane workload behind step/scalar-64 and
+// step/batch-64: the evaluation catalogue's shapes — scan-heavy 1.1 s
+// compute, two real peripherals and a sustained uniform — across a spread
+// of launch voltages, all completing (a lane verdict is checked, not
+// measured, here; the equivalence suite owns correctness).
+func batchScenarios() []powersys.BatchScenario {
+	profiles := []load.Profile{
+		load.ComputeAccel(),
+		load.BLERadio(),
+		load.Gesture(),
+		load.NewUniform(25e-3, 50e-3),
+	}
+	vstarts := []float64{2.56, 2.45, 2.3, 2.2}
+	scens := make([]powersys.BatchScenario, 64)
+	for i := range scens {
+		scens[i] = powersys.BatchScenario{
+			Profile: profiles[i%len(profiles)],
+			VStart:  vstarts[(i/len(profiles))%len(vstarts)],
+		}
+	}
+	return scens
 }
 
 func capybaraModel(cfg powersys.Config) core.PowerModel {
@@ -168,6 +196,69 @@ func Collect() (*Report, error) {
 				multi.Step(10e-3, 1e-3)
 			}
 		})))
+
+	// --- micro: 64 scenarios, one-by-one on the scalar fast path versus one
+	// SoA lockstep batch. Both sides re-prepare (charge / discharge / force)
+	// and re-run per iteration; schedule compilation happens once outside
+	// the loop, which is the batch API's contract — compile once, run many.
+	scens := batchScenarios()
+	base := powersys.Capybara()
+	scalarSys := make([]*powersys.System, len(scens))
+	for i := range scens {
+		if scalarSys[i], err = powersys.New(powersys.Capybara()); err != nil {
+			return nil, err
+		}
+	}
+	var batchErr error
+	scalarRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for j, sc := range scens {
+				sys := scalarSys[j]
+				if err := sys.ChargeTo(base.VHigh); err != nil {
+					batchErr = err
+					b.Fatal(err)
+				}
+				if err := sys.DischargeTo(sc.VStart); err != nil {
+					batchErr = err
+					b.Fatal(err)
+				}
+				sys.Monitor().Force(true)
+				if res := sys.Run(sc.Profile, powersys.RunOptions{Fast: true, SkipRebound: true}); res.Err != nil {
+					batchErr = res.Err
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	rep.Benchmarks = append(rep.Benchmarks, record("step/scalar-64", scalarRes))
+
+	bs, err := powersys.NewBatch(base, scens)
+	if err != nil {
+		return nil, err
+	}
+	batchRes := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			bs.Reset()
+			for _, res := range bs.Run(powersys.BatchOptions{Fast: true, SkipRebound: true}) {
+				if res.Err != nil {
+					batchErr = res.Err
+					b.Fatal(res.Err)
+				}
+			}
+		}
+	})
+	if batchErr != nil {
+		return nil, batchErr
+	}
+	rep.Benchmarks = append(rep.Benchmarks, record("step/batch-64", batchRes))
+	scalarNs := float64(scalarRes.T.Nanoseconds()) / float64(scalarRes.N)
+	batchNs := float64(batchRes.T.Nanoseconds()) / float64(batchRes.N)
+	if batchNs > 0 {
+		rep.BatchSpeedup = scalarNs / batchNs
+	}
 
 	// --- micro: Algorithm 1 direct versus memoized (warm line).
 	model := capybaraModel(powersys.Capybara())
@@ -269,6 +360,7 @@ func (r *Report) Validate() error {
 	case len(r.Benchmarks) == 0:
 		return fmt.Errorf("benchrun: no benchmarks")
 	}
+	required := map[string]bool{"step/batch-64": false, "step/scalar-64": false}
 	for _, b := range r.Benchmarks {
 		switch {
 		case b.Name == "":
@@ -280,12 +372,23 @@ func (r *Report) Validate() error {
 		case b.Iterations <= 0:
 			return fmt.Errorf("benchrun: %s: iterations %d", b.Name, b.Iterations)
 		}
+		if _, ok := required[b.Name]; ok {
+			required[b.Name] = true
+		}
+	}
+	for name, seen := range required {
+		if !seen {
+			return fmt.Errorf("benchrun: schema %d report missing %s", Schema, name)
+		}
 	}
 	if r.VSafeCache.HitRate < 0 || r.VSafeCache.HitRate > 1 || math.IsNaN(r.VSafeCache.HitRate) {
 		return fmt.Errorf("benchrun: hit_rate %v outside [0,1]", r.VSafeCache.HitRate)
 	}
 	if !(r.FastPathSpeedup > 0) || math.IsInf(r.FastPathSpeedup, 0) {
 		return fmt.Errorf("benchrun: bad fast_path_speedup %v", r.FastPathSpeedup)
+	}
+	if !(r.BatchSpeedup > 0) || math.IsInf(r.BatchSpeedup, 0) {
+		return fmt.Errorf("benchrun: bad batch_speedup %v", r.BatchSpeedup)
 	}
 	if s := r.Serving; s != nil {
 		switch {

@@ -20,11 +20,14 @@ func sample() *Report {
 		NumCPU:    8,
 		Benchmarks: []Benchmark{
 			{Name: "step/single-branch", NsPerOp: 120.5, AllocsPerOp: 0, BytesPerOp: 0, Iterations: 9_000_000},
+			{Name: "step/scalar-64", NsPerOp: 5.0e8, AllocsPerOp: 64, BytesPerOp: 16384, Iterations: 3},
+			{Name: "step/batch-64", NsPerOp: 0.5e8, AllocsPerOp: 0, BytesPerOp: 0, Iterations: 25},
 			{Name: "sweep/exact-uncached", NsPerOp: 2.1e8, AllocsPerOp: 40, BytesPerOp: 8192, Iterations: 6},
 			{Name: "sweep/fast-warm-cache", NsPerOp: 0.6e8, AllocsPerOp: 38, BytesPerOp: 8000, Iterations: 20},
 		},
 		VSafeCache:      CacheStats{Hits: 96, Misses: 4, HitRate: 0.96},
 		FastPathSpeedup: 3.5,
+		BatchSpeedup:    10.0,
 		Serving: &ServingStats{
 			ThroughputRPS: 14000, P50Ms: 0.2, P99Ms: 1.1, MeanMs: 0.3,
 			Requests: 42000, Concurrency: 4, DurationSec: 3, CacheHitRate: 0.99,
@@ -45,18 +48,34 @@ func TestValidateAcceptsWellFormed(t *testing.T) {
 
 func TestValidateRejectsMalformed(t *testing.T) {
 	cases := map[string]func(*Report){
-		"wrong schema":     func(r *Report) { r.Schema = 99 },
-		"no go version":    func(r *Report) { r.GoVersion = "" },
-		"no cpus":          func(r *Report) { r.NumCPU = 0 },
-		"no benchmarks":    func(r *Report) { r.Benchmarks = nil },
-		"unnamed bench":    func(r *Report) { r.Benchmarks[0].Name = "" },
-		"zero ns":          func(r *Report) { r.Benchmarks[0].NsPerOp = 0 },
-		"nan ns":           func(r *Report) { r.Benchmarks[0].NsPerOp = math.NaN() },
-		"negative allocs":  func(r *Report) { r.Benchmarks[0].AllocsPerOp = -1 },
-		"zero iterations":  func(r *Report) { r.Benchmarks[0].Iterations = 0 },
-		"hit rate over 1":  func(r *Report) { r.VSafeCache.HitRate = 1.5 },
-		"zero speedup":     func(r *Report) { r.FastPathSpeedup = 0 },
-		"infinite speedup": func(r *Report) { r.FastPathSpeedup = math.Inf(1) },
+		"wrong schema":           func(r *Report) { r.Schema = 99 },
+		"no go version":          func(r *Report) { r.GoVersion = "" },
+		"no cpus":                func(r *Report) { r.NumCPU = 0 },
+		"no benchmarks":          func(r *Report) { r.Benchmarks = nil },
+		"unnamed bench":          func(r *Report) { r.Benchmarks[0].Name = "" },
+		"zero ns":                func(r *Report) { r.Benchmarks[0].NsPerOp = 0 },
+		"nan ns":                 func(r *Report) { r.Benchmarks[0].NsPerOp = math.NaN() },
+		"negative allocs":        func(r *Report) { r.Benchmarks[0].AllocsPerOp = -1 },
+		"zero iterations":        func(r *Report) { r.Benchmarks[0].Iterations = 0 },
+		"hit rate over 1":        func(r *Report) { r.VSafeCache.HitRate = 1.5 },
+		"zero speedup":           func(r *Report) { r.FastPathSpeedup = 0 },
+		"infinite speedup":       func(r *Report) { r.FastPathSpeedup = math.Inf(1) },
+		"zero batch speedup":     func(r *Report) { r.BatchSpeedup = 0 },
+		"infinite batch speedup": func(r *Report) { r.BatchSpeedup = math.Inf(1) },
+		"missing step/batch-64": func(r *Report) {
+			for i := range r.Benchmarks {
+				if r.Benchmarks[i].Name == "step/batch-64" {
+					r.Benchmarks[i].Name = "step/batch-63"
+				}
+			}
+		},
+		"missing step/scalar-64": func(r *Report) {
+			for i := range r.Benchmarks {
+				if r.Benchmarks[i].Name == "step/scalar-64" {
+					r.Benchmarks[i].Name = "step/scalar-63"
+				}
+			}
+		},
 		"serving zero throughput": func(r *Report) { r.Serving.ThroughputRPS = 0 },
 		"serving p99 below p50":   func(r *Report) { r.Serving.P99Ms = r.Serving.P50Ms / 2 },
 		"serving zero requests":   func(r *Report) { r.Serving.Requests = 0 },

@@ -1,0 +1,24 @@
+package expt
+
+import "context"
+
+// batchKey is the context key carrying the batch-lane request through the
+// experiment entry points (the CLIs set it from their -batch flags).
+type batchKey struct{}
+
+// WithBatch marks the context so experiments route their ground-truth
+// searches through the SoA lockstep batch stepper
+// (harness.GroundTruthBatch): every profile's tick schedule is compiled
+// once and the bisection probes of all loads advance together. The exact
+// batch lane is byte-identical to the scalar path, so golden outputs do
+// not change; combined with WithFast the probes run on the fast batch
+// lane inside the usual sub-millivolt envelope.
+func WithBatch(ctx context.Context) context.Context {
+	return context.WithValue(ctx, batchKey{}, true)
+}
+
+// BatchEnabled reports whether WithBatch was applied to the context.
+func BatchEnabled(ctx context.Context) bool {
+	on, _ := ctx.Value(batchKey{}).(bool)
+	return on
+}

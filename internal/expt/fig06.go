@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 
 	"culpeo/internal/baseline"
@@ -23,18 +24,39 @@ type Fig6Row struct {
 
 // Fig6 evaluates the three energy-only estimators on the six pulse+compute
 // loads of Figure 6.
-func Fig6() ([]Fig6Row, error) {
+func Fig6() ([]Fig6Row, error) { return Fig6Ctx(context.Background()) }
+
+// Fig6Ctx is Fig6 with the context-carried execution knobs: WithFast
+// selects the analytic stepper, WithBatch runs all six ground-truth
+// searches in lockstep through the batch stepper (byte-identical on the
+// exact lane, so the output is the same either way).
+func Fig6Ctx(ctx context.Context) ([]Fig6Row, error) {
 	h, err := harness.New(powersys.Capybara())
 	if err != nil {
 		return nil, err
 	}
+	h.Fast = FastEnabled(ctx)
+	tasks := load.Fig6Loads()
+	gts := make([]float64, len(tasks))
+	if BatchEnabled(ctx) {
+		reqs := make([]harness.GroundTruthReq, len(tasks))
+		for i, task := range tasks {
+			reqs[i] = harness.GroundTruthReq{Task: task}
+		}
+		if gts, err = h.GroundTruthBatch(ctx, reqs); err != nil {
+			return nil, fmt.Errorf("expt: fig6 ground truth: %w", err)
+		}
+	} else {
+		for i, task := range tasks {
+			if gts[i], err = h.GroundTruthCtx(ctx, task, 0); err != nil {
+				return nil, fmt.Errorf("expt: fig6 %s: %w", task.Name(), err)
+			}
+		}
+	}
 	estimators := []baseline.Kind{baseline.EnergyDirect, baseline.CatnapSlow, baseline.CatnapMeasured}
 	var rows []Fig6Row
-	for _, task := range load.Fig6Loads() {
-		gt, err := h.GroundTruth(task)
-		if err != nil {
-			return nil, fmt.Errorf("expt: fig6 %s: %w", task.Name(), err)
-		}
+	for i, task := range tasks {
+		gt := gts[i]
 		for _, k := range estimators {
 			est := baseline.Estimate(k, h, task)
 			rows = append(rows, Fig6Row{

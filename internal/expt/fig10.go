@@ -75,10 +75,33 @@ func Fig10(ctx context.Context) ([]Fig10Row, error) {
 		cells = append(cells, cell{task, "pulse"})
 	}
 
-	perLoad, err := sweep.Map(ctx, cells, func(cctx context.Context, _ int, c cell) ([]Fig10Row, error) {
-		gt, err := h.GroundTruthCtx(cctx, c.task, 0)
+	// With the batch lane enabled, all 18 ground-truth searches advance in
+	// lockstep through one SoA batch per bisection round before the sweep
+	// starts; the cells then score estimators against the precomputed
+	// truths. The exact batch lane is byte-identical to the scalar search,
+	// so the golden output is the same either way.
+	var gts []float64
+	if BatchEnabled(ctx) {
+		reqs := make([]harness.GroundTruthReq, len(cells))
+		for i, c := range cells {
+			reqs[i] = harness.GroundTruthReq{Task: c.task}
+		}
+		gts, err = h.GroundTruthBatch(ctx, reqs)
 		if err != nil {
-			return nil, fmt.Errorf("expt: fig10 %s: %w", c.task.Name(), err)
+			return nil, fmt.Errorf("expt: fig10 ground truth: %w", err)
+		}
+	}
+
+	perLoad, err := sweep.Map(ctx, cells, func(cctx context.Context, i int, c cell) ([]Fig10Row, error) {
+		var gt float64
+		if gts != nil {
+			gt = gts[i]
+		} else {
+			var err error
+			gt, err = h.GroundTruthCtx(cctx, c.task, 0)
+			if err != nil {
+				return nil, fmt.Errorf("expt: fig10 %s: %w", c.task.Name(), err)
+			}
 		}
 		rows := make([]Fig10Row, 0, len(Fig10Estimators))
 		for _, name := range Fig10Estimators {

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"culpeo/internal/core"
+	"culpeo/internal/harness"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
@@ -62,6 +63,10 @@ func TestRaceChaos(t *testing.T) {
 	// Culpeo-PG estimate through the shared default V_safe cache, so the
 	// same LRU takes concurrent hit/miss traffic from two driver sweeps.
 	run("fig10-fast", func() error { _, err := Fig10(WithFast(ctx)); return err })
+	// Batch-lane fig10 as a third concurrent copy: its ground truths come
+	// from lockstep SoA batches while the two fig10s above bisect load by
+	// load, all three feeding the same estimator cache.
+	run("fig10-batch", func() error { _, err := Fig10(WithBatch(ctx)); return err })
 	// And a dedicated hammer: workers=NumCPU sweeps over the Table III
 	// catalogue against one under-sized cache, forcing concurrent misses,
 	// hits and evictions on every round.
@@ -83,6 +88,46 @@ func TestRaceChaos(t *testing.T) {
 		st := pg.Cache.Stats()
 		if st.Hits+st.Misses == 0 {
 			t.Error("vsafe-cache: no traffic reached the cache")
+		}
+		return nil
+	})
+	// Concurrent batch runners against one shared under-sized cache: every
+	// odd cell drives the PG estimator through the LRU while every even
+	// cell runs a full lockstep ground-truth batch on a shared harness —
+	// the SoA stepper, the search bookkeeping and the cache all take
+	// concurrent traffic from the same pool.
+	run("batch-cache", func() error {
+		ctxN := sweep.WithWorkers(context.Background(), runtime.NumCPU())
+		pg := profiler.PG{
+			Model: capybaraModel(powersys.Capybara()),
+			Cache: core.NewVSafeCache(4),
+		}
+		h, err := harness.New(powersys.Capybara())
+		if err != nil {
+			return err
+		}
+		h.Fast = true
+		tasks := load.TableIIIPulse()[:6]
+		reqs := make([]harness.GroundTruthReq, len(tasks))
+		for i, task := range tasks {
+			reqs[i] = harness.GroundTruthReq{Task: task}
+		}
+		cells := make([]int, 2*runtime.NumCPU())
+		if _, err := sweep.Map(ctxN, cells, func(cctx context.Context, i int, _ int) (float64, error) {
+			if i%2 == 0 {
+				gts, err := h.GroundTruthBatch(cctx, reqs)
+				if err != nil {
+					return 0, err
+				}
+				return gts[0], nil
+			}
+			est, err := pg.Estimate(tasks[i%len(tasks)])
+			return est.VSafe, err
+		}); err != nil {
+			return err
+		}
+		if st := pg.Cache.Stats(); st.Hits+st.Misses == 0 {
+			t.Error("batch-cache: no traffic reached the cache")
 		}
 		return nil
 	})
@@ -134,8 +179,10 @@ func TestRaceChaos(t *testing.T) {
 							return
 						}
 						resp.Body.Close()
-					case 1: // batch of three, one malformed element
-						batch := fmt.Sprintf(`{"requests":[%s,{"load":{"shape":"nope"}},%s]}`, body, single(20e-3))
+					case 1: // mixed batch: estimates (one malformed) + lockstep simulations
+						batch := fmt.Sprintf(`{"requests":[%s,{"load":{"shape":"nope"}},%s],`+
+							`"simulations":[%s,{"load":{"shape":"pulse","i":0.03,"t":0.002},"fast":true}]}`,
+							body, single(20e-3), body)
 						resp, err := client.Post(ts.URL+"/v1/batch", "application/json", strings.NewReader(batch))
 						if err != nil {
 							errCh <- err

@@ -1,6 +1,8 @@
 package expt
 
 import (
+	"context"
+
 	"culpeo/internal/harness"
 	"culpeo/internal/harvester"
 	"culpeo/internal/load"
@@ -25,12 +27,19 @@ type ReprofileRow struct {
 // estimate profiled under strong harvest under-reserves once the power
 // drops (stale → unsafe); the Section V-B policy — re-profile when the
 // change detector fires — tracks the truth.
-func Reprofile() ([]ReprofileRow, error) {
+func Reprofile() ([]ReprofileRow, error) { return ReprofileCtx(context.Background()) }
+
+// ReprofileCtx is Reprofile with the context-carried execution knobs. The
+// batch lane is a natural fit here: the four regimes share one 1.1 s task,
+// so its ~137k-tick schedule is compiled once and every bisection probe of
+// every regime reuses it, with the searches advancing in lockstep.
+func ReprofileCtx(ctx context.Context) ([]ReprofileRow, error) {
 	cfg := powersys.Capybara()
 	h, err := harness.New(cfg)
 	if err != nil {
 		return nil, err
 	}
+	h.Fast = FastEnabled(ctx)
 	model := capybaraModel(cfg)
 	task := load.ComputeAccel() // 1.1 s: strongly harvest-sensitive
 
@@ -51,12 +60,26 @@ func Reprofile() ([]ReprofileRow, error) {
 	}
 	det := harvester.NewChangeDetector(0.5, regimes[0])
 
-	var rows []ReprofileRow
-	for _, p := range regimes {
-		gt, err := h.GroundTruthWith(task, p)
-		if err != nil {
+	gts := make([]float64, len(regimes))
+	if BatchEnabled(ctx) {
+		reqs := make([]harness.GroundTruthReq, len(regimes))
+		for i, p := range regimes {
+			reqs[i] = harness.GroundTruthReq{Task: task, Harvest: p}
+		}
+		if gts, err = h.GroundTruthBatch(ctx, reqs); err != nil {
 			return nil, err
 		}
+	} else {
+		for i, p := range regimes {
+			if gts[i], err = h.GroundTruthCtx(ctx, task, p); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	var rows []ReprofileRow
+	for i, p := range regimes {
+		gt := gts[i]
 		fresh, err := profileAt(p)
 		if err != nil {
 			return nil, err

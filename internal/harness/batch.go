@@ -1,0 +1,189 @@
+// Batched ground-truth search: GroundTruthBatch runs the binary searches
+// of many load profiles in lockstep, one powersys batch lane per unsettled
+// search per round. Each search's probe sequence — and therefore its
+// result — is identical to the scalar GroundTruthCtx's, because a search's
+// next probe depends only on its own history and every batch lane is
+// byte-identical to the scalar run it replaces (TestBatchEquivalence).
+// The win is shared work: each profile's tick schedule is compiled once
+// and reused by all ~60 bisection probes, and the probes of one round
+// advance through one SoA lockstep pass instead of ~K isolated scans.
+package harness
+
+import (
+	"context"
+	"fmt"
+	"reflect"
+
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// GroundTruthReq is one batched ground-truth query: a task profile and the
+// constant harvested power flowing during its probe runs.
+type GroundTruthReq struct {
+	Task    load.Profile
+	Harvest float64
+}
+
+// Search states of one batched binary search, mirroring GroundTruthCtx's
+// control flow exactly: feasibility probe at V_high, degenerate probe at
+// V_off, then up to 60 bisection rounds.
+const (
+	gtHigh = iota
+	gtLow
+	gtBisect
+	gtDone
+)
+
+type gtSearch struct {
+	state    int
+	probe    float64 // voltage of the in-flight probe
+	lo, hi   float64
+	iter     int // bisection probes completed
+	out      float64
+	err      error
+	compiled *powersys.CompiledProfile
+}
+
+// GroundTruthBatch finds the true V_safe of every request, byte-identical
+// to calling GroundTruthCtx per request in order (same probes, same
+// results), but with all searches advancing in lockstep through the batch
+// stepper — h.Fast selects the fast batch lane, within the same
+// sub-millivolt envelope as the scalar fast path. The first failing
+// request (lowest index) aborts the batch with its error; ctx cancellation
+// aborts with the context's error.
+func (h *Harness) GroundTruthBatch(ctx context.Context, reqs []GroundTruthReq) ([]float64, error) {
+	out := make([]float64, len(reqs))
+	if len(reqs) == 0 {
+		return out, ctx.Err()
+	}
+	vOff, vHigh := h.cfg.VOff, h.cfg.VHigh
+	dt := h.cfg.DT
+	if dt <= 0 {
+		dt = powersys.DefaultDT
+	}
+
+	// Compile each distinct task once; one schedule serves every probe of
+	// every round. Only comparable profile values can be deduplicated.
+	shared := make(map[load.Profile]*powersys.CompiledProfile)
+	searches := make([]*gtSearch, len(reqs))
+	for i, req := range reqs {
+		if req.Task == nil {
+			return out, fmt.Errorf("harness: batch request %d has no task", i)
+		}
+		var cp *powersys.CompiledProfile
+		if reflect.TypeOf(req.Task).Comparable() {
+			if c, ok := shared[req.Task]; ok {
+				cp = c
+			} else {
+				cp = powersys.CompileProfile(req.Task, dt)
+				shared[req.Task] = cp
+			}
+		} else {
+			cp = powersys.CompileProfile(req.Task, dt)
+		}
+		searches[i] = &gtSearch{state: gtHigh, probe: vHigh, compiled: cp}
+	}
+
+	scens := make([]powersys.BatchScenario, 0, len(reqs))
+	lanes := make([]int, 0, len(reqs)) // lane -> request index
+	for {
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		scens = scens[:0]
+		lanes = lanes[:0]
+		for i, s := range searches {
+			if s.state == gtDone {
+				continue
+			}
+			scens = append(scens, powersys.BatchScenario{
+				Compiled: s.compiled,
+				VStart:   s.probe,
+				Harvest:  reqs[i].Harvest,
+			})
+			lanes = append(lanes, i)
+		}
+		if len(scens) == 0 {
+			break
+		}
+		bs, err := powersys.NewBatch(h.cfg, scens)
+		if err != nil {
+			return out, fmt.Errorf("harness: batch: %w", err)
+		}
+		results := bs.Run(powersys.BatchOptions{SkipRebound: true, Fast: h.Fast, Ctx: ctx})
+		// Re-check before consuming the round: a cancellation that lands
+		// mid-run aborts the probes, which must not read as verdicts.
+		if err := ctx.Err(); err != nil {
+			return out, err
+		}
+		for l, i := range lanes {
+			s := searches[i]
+			res := results[l]
+			ok := res.Completed && res.VMin >= vOff
+			s.advance(ok, res.VMin, vOff, vHigh, reqs[i].Task)
+		}
+		for _, s := range searches {
+			if s.state == gtDone && s.err != nil {
+				return out, s.err
+			}
+		}
+	}
+
+	for i, s := range searches {
+		out[i] = s.out
+	}
+	return out, nil
+}
+
+// advance consumes one probe verdict, replicating GroundTruthCtx's
+// branch structure (including its break conditions) exactly.
+func (s *gtSearch) advance(ok bool, vmin, vOff, vHigh float64, task load.Profile) {
+	switch s.state {
+	case gtHigh:
+		if !ok {
+			s.err = fmt.Errorf("harness: %s infeasible even from V_high=%g", task.Name(), vHigh)
+			s.state = gtDone
+			return
+		}
+		s.state = gtLow
+		s.probe = vOff
+	case gtLow:
+		if ok {
+			// Degenerate: even starting at V_off survives.
+			s.out = vOff
+			s.state = gtDone
+			return
+		}
+		s.lo, s.hi = vOff, vHigh
+		s.iter = 0
+		s.state = gtBisect
+		s.probe = 0.5 * (s.lo + s.hi)
+	case gtBisect:
+		mid := s.probe
+		if ok {
+			s.hi = mid
+			if vmin-vOff <= Tolerance {
+				s.finishBisect()
+				return
+			}
+		} else {
+			s.lo = mid
+		}
+		if s.hi-s.lo < 0.1e-3 {
+			s.finishBisect()
+			return
+		}
+		s.iter++
+		if s.iter >= 60 {
+			s.finishBisect()
+			return
+		}
+		s.probe = 0.5 * (s.lo + s.hi)
+	}
+}
+
+func (s *gtSearch) finishBisect() {
+	s.out = s.hi
+	s.state = gtDone
+}

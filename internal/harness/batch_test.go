@@ -1,0 +1,114 @@
+package harness
+
+import (
+	"context"
+	"math"
+	"strings"
+	"testing"
+
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+func batchTasks() []GroundTruthReq {
+	var reqs []GroundTruthReq
+	for _, p := range []load.Profile{
+		load.LoRa(), load.NewUniform(25e-3, 10e-3), load.NewPulse(50e-3, 1e-3),
+		load.Gesture(), load.BLERadio(),
+	} {
+		reqs = append(reqs, GroundTruthReq{Task: p})
+	}
+	// A harvest-subsidized search mixed into the same batch.
+	reqs = append(reqs, GroundTruthReq{Task: load.NewPulse(25e-3, 10e-3), Harvest: 5e-3})
+	return reqs
+}
+
+// TestGroundTruthBatchMatchesScalar: the lockstep batched search must
+// reproduce the sequential scalar search bit for bit — same probes, same
+// verdicts, same V_safe — on both the exact and the fast stepper.
+func TestGroundTruthBatchMatchesScalar(t *testing.T) {
+	reqs := batchTasks()
+	for _, fast := range []bool{false, true} {
+		h := newHarness(t)
+		h.Fast = fast
+		got, err := h.GroundTruthBatch(context.Background(), reqs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, req := range reqs {
+			want, err := h.GroundTruthCtx(context.Background(), req.Task, req.Harvest)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fast {
+				// The fast batch lane is bounded, not bit-equal, to the
+				// scalar fast path (different segmentation of the same
+				// schedule); the searches must still land within the
+				// harness tolerance of each other.
+				if math.Abs(want-got[i]) > Tolerance {
+					t.Errorf("fast %s: batch V_safe %.6f, scalar %.6f", req.Task.Name(), got[i], want)
+				}
+				continue
+			}
+			if math.Float64bits(want) != math.Float64bits(got[i]) {
+				t.Errorf("%s: batch V_safe %v (%#x) != scalar %v (%#x)",
+					req.Task.Name(), got[i], math.Float64bits(got[i]), want, math.Float64bits(want))
+			}
+		}
+	}
+}
+
+// TestGroundTruthBatchInfeasible: an infeasible task must surface the same
+// error the scalar search reports.
+func TestGroundTruthBatchInfeasible(t *testing.T) {
+	h := newHarness(t)
+	reqs := []GroundTruthReq{
+		{Task: load.NewUniform(25e-3, 10e-3)},
+		{Task: load.NewUniform(0.8, 1.0)}, // far beyond the bank's deliverable power
+	}
+	_, err := h.GroundTruthBatch(context.Background(), reqs)
+	if err == nil || !strings.Contains(err.Error(), "infeasible") {
+		t.Fatalf("want infeasibility error, got %v", err)
+	}
+}
+
+// TestGroundTruthBatchCanceled: cancellation aborts the lockstep search
+// with the context's error.
+func TestGroundTruthBatchCanceled(t *testing.T) {
+	h := newHarness(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := h.GroundTruthBatch(ctx, batchTasks())
+	if err == nil {
+		t.Fatal("canceled batch search returned nil error")
+	}
+}
+
+// TestGroundTruthBatchEmpty: no requests, no work, no error.
+func TestGroundTruthBatchEmpty(t *testing.T) {
+	h := newHarness(t)
+	out, err := h.GroundTruthBatch(context.Background(), nil)
+	if err != nil || len(out) != 0 {
+		t.Fatalf("empty batch: out=%v err=%v", out, err)
+	}
+	if _, err := h.GroundTruthBatch(context.Background(), []GroundTruthReq{{}}); err == nil {
+		t.Fatal("nil task accepted")
+	}
+}
+
+// BenchmarkGroundTruthBatch measures the batched search against the
+// scalar loop it replaces (see internal/benchrun for the recorded pair).
+func BenchmarkGroundTruthBatch(b *testing.B) {
+	h, err := New(powersys.Capybara())
+	if err != nil {
+		b.Fatal(err)
+	}
+	h.Fast = true
+	reqs := batchTasks()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := h.GroundTruthBatch(context.Background(), reqs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,815 @@
+// Batched lockstep stepping: BatchSystem advances K independent scenarios
+// over structure-of-arrays state vectors — one flat slice per branch
+// quantity (voltage, capacitance, ESR, leakage) and one slice per lane
+// quantity (terminal voltage, clock, monitor state, segment cursor) — so
+// per-step fixed costs (bounds checks, monitor evaluation, segment
+// bookkeeping) amortize across the batch. Lanes that finish, brown out or
+// diverge are compacted out of the active set in place, preserving order,
+// without perturbing the surviving lanes.
+//
+// The exact batch lane is a transcription of Step/solveTerminal/solveNode/
+// maxPowerPoint with identical expression shapes and evaluation order, so
+// its per-tick arithmetic is byte-identical (math.Float64bits) to the
+// scalar exact stepper — TestBatchEquivalence enforces this per tick. The
+// fast batch lane reuses the analytic segment advance (fast.go) over a
+// pre-compiled tick-exact schedule, eliminating the scalar fast path's
+// O(total ticks) per-run profile scan; like the scalar fast path it is
+// bounded, not bit-exact (< 1 mV, identical verdicts).
+package powersys
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"reflect"
+	"sort"
+
+	"culpeo/internal/booster"
+	"culpeo/internal/load"
+)
+
+// profSeg is one run of ticks with identical demanded profile current
+// (baseline excluded — it is added per lane at run time).
+type profSeg struct {
+	i     float64 // raw profile current over the run
+	start int     // first tick index of the run
+	ticks int     // run length in ticks
+}
+
+// CompiledProfile is a load profile pre-sampled on the integration tick
+// grid and merged into runs of constant current. Compiling costs one pass
+// over the ticks — the same work the scalar fast path's segment scan does
+// on every run — and the result is immutable, so one compiled schedule is
+// shared by every lane (and every bisection probe) that runs the profile.
+//
+// CompiledProfile is itself a load.Profile: Current(t) returns the value
+// sampled at compile time for the tick containing t, which on the tick grid
+// is bit-identical to the source profile's Current.
+type CompiledProfile struct {
+	name  string
+	dur   float64
+	dt    float64
+	steps int
+	segs  []profSeg
+}
+
+// CompileProfile samples p on the tick grid of step dt (0 = DefaultDT),
+// exactly as the exact run loop does — left edge, steps = ceil(dur/dt) —
+// and merges equal consecutive samples.
+func CompileProfile(p load.Profile, dt float64) *CompiledProfile {
+	if dt <= 0 {
+		dt = DefaultDT
+	}
+	dur := p.Duration()
+	steps := int(math.Ceil(dur / dt))
+	cp := &CompiledProfile{name: p.Name(), dur: dur, dt: dt, steps: steps}
+	for k := 0; k < steps; k++ {
+		i := p.Current(float64(k) * dt)
+		if n := len(cp.segs); n > 0 && cp.segs[n-1].i == i {
+			cp.segs[n-1].ticks++
+			continue
+		}
+		cp.segs = append(cp.segs, profSeg{i: i, start: k, ticks: 1})
+	}
+	return cp
+}
+
+// Name returns the source profile's name.
+func (c *CompiledProfile) Name() string { return c.name }
+
+// Duration returns the source profile's duration.
+func (c *CompiledProfile) Duration() float64 { return c.dur }
+
+// DT returns the tick grid the schedule was compiled on.
+func (c *CompiledProfile) DT() float64 { return c.dt }
+
+// Steps returns the number of ticks in the schedule.
+func (c *CompiledProfile) Steps() int { return c.steps }
+
+// Segments returns the number of constant-current runs.
+func (c *CompiledProfile) Segments() int { return len(c.segs) }
+
+// Current returns the compiled sample for the tick containing t (0 beyond
+// the schedule). On the tick grid this is bit-identical to the source
+// profile.
+func (c *CompiledProfile) Current(t float64) float64 {
+	k := int(t/c.dt + 0.5)
+	if k < 0 || k >= c.steps || len(c.segs) == 0 {
+		return 0
+	}
+	// Binary search for the segment whose [start, start+ticks) contains k.
+	idx := sort.Search(len(c.segs), func(i int) bool { return c.segs[i].start > k }) - 1
+	return c.segs[idx].i
+}
+
+// canShareCompiled reports whether p's dynamic type supports map-key /
+// == based deduplication of compiled schedules. Profiles built from slices
+// (Seq, Trace) are not comparable; they compile per use.
+func canShareCompiled(p load.Profile) bool {
+	if p == nil {
+		return false
+	}
+	return reflect.TypeOf(p).Comparable()
+}
+
+// BatchScenario is one lane of a batch: a load profile at a starting
+// voltage with its harvest and baseline conditions. Compiled, when set,
+// supplies a pre-compiled schedule (it must be compiled on the batch's DT);
+// otherwise Profile is compiled during NewBatch. Config, when set,
+// overrides the batch's shared configuration for this lane — it must have
+// the same shape (branch count and DT) as the shared configuration.
+type BatchScenario struct {
+	Profile  load.Profile
+	Compiled *CompiledProfile
+	Config   *Config
+	VStart   float64
+	Harvest  float64
+	Baseline float64
+}
+
+// BatchOptions controls one BatchSystem.Run.
+type BatchOptions struct {
+	// SkipRebound skips the post-load settle phase (VFinal = VEndImmediate).
+	SkipRebound bool
+	// ReboundTimeout bounds the settle phase. 0 = 1 s.
+	ReboundTimeout float64
+	// Fast selects the analytic fast lane (bounded < 1 mV, identical
+	// verdicts) instead of the byte-exact lockstep lane.
+	Fast bool
+	// FixedPoint selects the Q16.16/Q32.32 integer evaluation lane (see
+	// batch_fixed.go). Single-branch shapes only; an evaluation substrate,
+	// not a replacement for either float lane.
+	FixedPoint bool
+	// Ctx, when non-nil, cancels the batch: the lockstep loop polls every
+	// ctxCheckInterval rounds and finalizes the remaining lanes with the
+	// context's error (run phase) or their current voltage (settle phase).
+	Ctx context.Context
+}
+
+// Lane phases.
+const (
+	phaseRun uint8 = iota
+	phaseRebound
+	phaseDone
+)
+
+// BatchSystem advances K scenarios in lockstep. Construct with NewBatch,
+// execute with Run, and re-arm with Reset; the SoA state and result slices
+// are allocated once, so Reset+Run allocates nothing (enforced by
+// TestBatchRunAllocFree).
+type BatchSystem struct {
+	nb int // branches per lane
+	k  int // lanes
+	dt float64
+
+	scens []BatchScenario
+	sched []*CompiledProfile
+
+	// Per-lane configuration (read-only after NewBatch).
+	vhigh, voff []float64
+	outs        []booster.Output
+	ins         []booster.Input
+
+	// Branch state, flattened [lane*nb + branch].
+	bc, besr, bleak, bv []float64
+
+	// Per-lane dynamic state.
+	lastVT, tNow []float64
+	monOn        []bool
+	phase        []uint8
+	tick         []int
+	segIdx       []int
+	segRem       []int
+
+	// Rebound phase state.
+	rbTick, rbSteps, rbWindow []int
+	rbPrev                    []float64
+
+	// Lane-indexed results; Run returns this slice.
+	res []RunResult
+
+	// active lists the lanes still stepping, in lane order. Retired lanes
+	// are compacted out in place.
+	active []int
+
+	// cur is the per-branch current scratch for the lane being stepped.
+	cur []float64
+
+	// sys holds the per-lane scalar systems that back the fast and
+	// fixed-point lanes (and the per-lane prep transcription reference).
+	sys []*System
+
+	// onTick, when non-nil, observes every exact-lane tick of every lane —
+	// the hook the byte-equivalence tests use to compare whole traces.
+	onTick func(lane int, info StepInfo)
+}
+
+// NewBatch validates the scenarios against the shared configuration and
+// builds a prepared batch: every lane charged to its V_high, discharged to
+// its V_start, and force-armed, exactly as the test harness prepares a
+// scalar run.
+func NewBatch(cfg Config, scens []BatchScenario) (*BatchSystem, error) {
+	if len(scens) == 0 {
+		return nil, errors.New("powersys: batch needs at least one scenario")
+	}
+	if cfg.DT <= 0 {
+		cfg.DT = DefaultDT
+	}
+	if cfg.Storage == nil || len(cfg.Storage.Branches) == 0 {
+		return nil, errors.New("powersys: batch config needs a storage network")
+	}
+	nb := len(cfg.Storage.Branches)
+	k := len(scens)
+
+	bs := &BatchSystem{
+		nb: nb, k: k, dt: cfg.DT,
+		scens: append([]BatchScenario(nil), scens...),
+		sched: make([]*CompiledProfile, k),
+		vhigh: make([]float64, k), voff: make([]float64, k),
+		outs: make([]booster.Output, k), ins: make([]booster.Input, k),
+		bc: make([]float64, k*nb), besr: make([]float64, k*nb),
+		bleak: make([]float64, k*nb), bv: make([]float64, k*nb),
+		lastVT: make([]float64, k), tNow: make([]float64, k),
+		monOn: make([]bool, k), phase: make([]uint8, k),
+		tick: make([]int, k), segIdx: make([]int, k), segRem: make([]int, k),
+		rbTick: make([]int, k), rbSteps: make([]int, k), rbWindow: make([]int, k),
+		rbPrev: make([]float64, k),
+		res:    make([]RunResult, k),
+		active: make([]int, 0, k),
+		cur:    make([]float64, nb),
+		sys:    make([]*System, k),
+	}
+
+	// One shared compiled schedule per comparable profile value.
+	shared := make(map[load.Profile]*CompiledProfile)
+	for l, sc := range bs.scens {
+		laneCfg := cfg
+		if sc.Config != nil {
+			laneCfg = *sc.Config
+			if laneCfg.DT <= 0 {
+				laneCfg.DT = DefaultDT
+			}
+			if laneCfg.Storage == nil || len(laneCfg.Storage.Branches) != nb {
+				return nil, fmt.Errorf("powersys: batch lane %d: config shape mismatch (want %d branches)", l, nb)
+			}
+			if laneCfg.DT != cfg.DT {
+				return nil, fmt.Errorf("powersys: batch lane %d: DT %g != batch DT %g", l, laneCfg.DT, cfg.DT)
+			}
+		}
+		// Per-lane scalar system: validates the configuration and backs the
+		// fast lane. Its storage is a private clone of the lane's prototype.
+		sys, err := New(cloneConfig(laneCfg))
+		if err != nil {
+			return nil, fmt.Errorf("powersys: batch lane %d: %w", l, err)
+		}
+		bs.sys[l] = sys
+
+		if !(sc.VStart > 0) || math.IsInf(sc.VStart, 0) {
+			return nil, fmt.Errorf("powersys: batch lane %d: invalid VStart %g", l, sc.VStart)
+		}
+
+		cp := sc.Compiled
+		if cp == nil {
+			if sc.Profile == nil {
+				return nil, fmt.Errorf("powersys: batch lane %d: scenario needs a Profile or Compiled schedule", l)
+			}
+			if canShareCompiled(sc.Profile) {
+				if c, ok := shared[sc.Profile]; ok {
+					cp = c
+				} else {
+					cp = CompileProfile(sc.Profile, cfg.DT)
+					shared[sc.Profile] = cp
+				}
+			} else {
+				cp = CompileProfile(sc.Profile, cfg.DT)
+			}
+		} else if cp.dt != cfg.DT {
+			return nil, fmt.Errorf("powersys: batch lane %d: schedule compiled at DT %g, batch runs DT %g", l, cp.dt, cfg.DT)
+		}
+		bs.sched[l] = cp
+
+		bs.vhigh[l] = laneCfg.VHigh
+		bs.voff[l] = laneCfg.VOff
+		bs.outs[l] = laneCfg.Output
+		bs.ins[l] = laneCfg.Input
+		base := l * nb
+		for j, b := range laneCfg.Storage.Branches {
+			bs.bc[base+j] = b.C
+			bs.besr[base+j] = b.ESR
+			bs.bleak[base+j] = b.Leakage
+		}
+	}
+	bs.Reset()
+	return bs, nil
+}
+
+func cloneConfig(cfg Config) Config {
+	out := cfg
+	out.Storage = cfg.Storage.Clone()
+	return out
+}
+
+// Len returns the number of lanes.
+func (bs *BatchSystem) Len() int { return bs.k }
+
+// Results returns the lane-indexed results of the most recent Run. The
+// slice is owned by the BatchSystem and rewritten by Reset.
+func (bs *BatchSystem) Results() []RunResult { return bs.res }
+
+// Reset re-arms every lane to its prepared starting state — the harness
+// sequence ChargeTo(V_high), DischargeTo(V_start), Force(true), transcribed
+// onto the SoA state — without allocating.
+func (bs *BatchSystem) Reset() {
+	bs.active = bs.active[:0]
+	for l := 0; l < bs.k; l++ {
+		base := l * bs.nb
+		vstart := bs.scens[l].VStart
+		// ChargeTo(vhigh): every branch to vhigh.
+		for j := 0; j < bs.nb; j++ {
+			bs.bv[base+j] = bs.vhigh[l]
+		}
+		// DischargeTo(vstart): clamp branches above the target.
+		for j := 0; j < bs.nb; j++ {
+			if bs.bv[base+j] > vstart {
+				bs.bv[base+j] = vstart
+			}
+		}
+		bs.monOn[l] = true // Force(true), as the harness arms delivery
+		bs.lastVT[l] = bs.terminalAtRestLane(l)
+		bs.tNow[l] = 0
+		bs.tick[l] = 0
+		bs.segIdx[l] = 0
+		if len(bs.sched[l].segs) > 0 {
+			bs.segRem[l] = bs.sched[l].segs[0].ticks
+		} else {
+			bs.segRem[l] = 0
+		}
+		bs.phase[l] = phaseRun
+		bs.rbTick[l] = 0
+		bs.res[l] = RunResult{VMin: math.Inf(1)}
+		bs.active = append(bs.active, l)
+
+		// Mirror the prep onto the lane's scalar system for the fast and
+		// fixed-point lanes.
+		s := bs.sys[l]
+		s.cfg.Storage.SetAll(bs.vhigh[l])
+		s.lastVT = bs.vhigh[l]
+		s.monitor.Observe(bs.vhigh[l])
+		for _, b := range s.cfg.Storage.Branches {
+			if b.Voltage > vstart {
+				b.Voltage = vstart
+			}
+		}
+		s.lastVT = s.terminalAtRest()
+		s.monitor.Force(true)
+		s.t = 0
+		s.failures = 0
+	}
+}
+
+// Run advances every lane to completion and returns the lane-indexed
+// results (the same slice Results reports). The default lane is the
+// byte-exact lockstep stepper; BatchOptions.Fast selects the analytic lane
+// and BatchOptions.FixedPoint the integer evaluation lane. Run consumes the
+// prepared state — call Reset before running the batch again.
+func (bs *BatchSystem) Run(opt BatchOptions) []RunResult {
+	for _, l := range bs.active {
+		bs.res[l].VStart = bs.lastVT[l]
+	}
+	if opt.FixedPoint {
+		return bs.runFixed(opt)
+	}
+	if opt.Fast {
+		return bs.runFastLanes(opt)
+	}
+	round := 0
+	for len(bs.active) > 0 {
+		if opt.Ctx != nil && round%ctxCheckInterval == 0 {
+			if err := opt.Ctx.Err(); err != nil {
+				bs.abortActive(err)
+				break
+			}
+		}
+		w := 0
+		for _, l := range bs.active {
+			if bs.laneTick(l, opt) {
+				bs.active[w] = l
+				w++
+			}
+		}
+		bs.active = bs.active[:w]
+		round++
+	}
+	return bs.res
+}
+
+// runFastLanes runs every lane through the analytic segment advance over
+// its compiled schedule. Lanes are independent on this path (the segment
+// advance is already block-structured), so they run to completion in lane
+// order; the batch's win is the shared compiled schedule, which removes the
+// scalar fast path's per-run O(total ticks) profile scan.
+func (bs *BatchSystem) runFastLanes(opt BatchOptions) []RunResult {
+	for _, l := range bs.active {
+		ro := RunOptions{
+			HarvestPower:   bs.scens[l].Harvest,
+			Baseline:       bs.scens[l].Baseline,
+			SkipRebound:    opt.SkipRebound,
+			ReboundTimeout: opt.ReboundTimeout,
+			Ctx:            opt.Ctx,
+			Fast:           true,
+		}
+		bs.res[l] = bs.sys[l].runCompiled(bs.sched[l], ro)
+		bs.phase[l] = phaseDone
+	}
+	bs.active = bs.active[:0]
+	return bs.res
+}
+
+// laneTick advances lane l by one tick and reports whether it stays active.
+func (bs *BatchSystem) laneTick(l int, opt BatchOptions) bool {
+	switch bs.phase[l] {
+	case phaseRun:
+		k := bs.tick[l]
+		if k >= bs.sched[l].steps {
+			res := &bs.res[l]
+			res.Completed = true
+			res.Duration = bs.sched[l].dur
+			res.VEndImmediate = bs.lastVT[l]
+			if opt.SkipRebound {
+				res.VFinal = res.VEndImmediate
+				bs.phase[l] = phaseDone
+				return false
+			}
+			bs.enterRebound(l, opt)
+			return bs.reboundTick(l)
+		}
+		t := float64(k) * bs.dt
+		iLoad := bs.laneCurrent(l) + bs.scens[l].Baseline
+		e0 := bs.laneEnergy(l)
+		info := bs.stepLane(l, iLoad, bs.scens[l].Harvest)
+		res := &bs.res[l]
+		res.EnergyUsed += e0 - bs.laneEnergy(l)
+		if bs.onTick != nil {
+			bs.onTick(l, info)
+		}
+		if info.VTerm < res.VMin {
+			res.VMin = info.VTerm
+		}
+		bs.tick[l] = k + 1
+		if info.Failed {
+			res.PowerFailed = true
+			res.Err = ErrBrownout
+			if info.Diverged {
+				res.Err = ErrDiverged
+			}
+			res.FailTime = info.T
+			res.Duration = t + bs.dt
+			res.VEndImmediate = info.VTerm
+			res.VFinal = info.VTerm
+			bs.phase[l] = phaseDone
+			return false
+		}
+		return true
+	case phaseRebound:
+		return bs.reboundTick(l)
+	}
+	return false
+}
+
+func (bs *BatchSystem) enterRebound(l int, opt BatchOptions) {
+	timeout := opt.ReboundTimeout
+	if timeout <= 0 {
+		timeout = 1.0
+	}
+	bs.rbWindow[l] = int(math.Max(1, 10e-3/bs.dt))
+	bs.rbSteps[l] = int(timeout / bs.dt)
+	bs.rbPrev[l] = bs.lastVT[l]
+	bs.rbTick[l] = 0
+	bs.phase[l] = phaseRebound
+}
+
+// reboundTick runs one settle tick: the same 50 µV-per-10 ms criterion as
+// the scalar Rebound, checked on the same tick-grid window boundaries.
+func (bs *BatchSystem) reboundTick(l int) bool {
+	i := bs.rbTick[l]
+	if i >= bs.rbSteps[l] {
+		bs.res[l].VFinal = bs.lastVT[l]
+		bs.phase[l] = phaseDone
+		return false
+	}
+	info := bs.stepLane(l, load.SleepCurrent, bs.scens[l].Harvest)
+	if bs.onTick != nil {
+		bs.onTick(l, info)
+	}
+	window := bs.rbWindow[l]
+	if i%window == window-1 {
+		if math.Abs(info.VTerm-bs.rbPrev[l]) < 50e-6 {
+			bs.res[l].VFinal = info.VTerm
+			bs.phase[l] = phaseDone
+			return false
+		}
+		bs.rbPrev[l] = info.VTerm
+	}
+	bs.rbTick[l] = i + 1
+	return true
+}
+
+// abortActive finalizes every still-active lane after a context
+// cancellation: run-phase lanes abort with the context error (mirroring
+// System.abort), settle-phase lanes report their current voltage
+// (mirroring Rebound's early return).
+func (bs *BatchSystem) abortActive(err error) {
+	for _, l := range bs.active {
+		res := &bs.res[l]
+		switch bs.phase[l] {
+		case phaseRun:
+			res.Err = err
+			res.Duration = float64(bs.tick[l]) * bs.dt
+			res.VEndImmediate = bs.lastVT[l]
+			res.VFinal = bs.lastVT[l]
+			if math.IsInf(res.VMin, 1) {
+				res.VMin = bs.lastVT[l]
+			}
+		case phaseRebound:
+			res.VFinal = bs.lastVT[l]
+		}
+		bs.phase[l] = phaseDone
+	}
+	bs.active = bs.active[:0]
+}
+
+// laneCurrent returns the lane's demanded profile current for its current
+// tick and advances the segment cursor.
+func (bs *BatchSystem) laneCurrent(l int) float64 {
+	sc := bs.sched[l]
+	idx := bs.segIdx[l]
+	c := sc.segs[idx].i
+	bs.segRem[l]--
+	if bs.segRem[l] == 0 && idx+1 < len(sc.segs) {
+		bs.segIdx[l] = idx + 1
+		bs.segRem[l] = sc.segs[idx+1].ticks
+	}
+	return c
+}
+
+// laneEnergy transcribes Network.TotalEnergy for lane l.
+func (bs *BatchSystem) laneEnergy(l int) float64 {
+	base := l * bs.nb
+	e := 0.0
+	for j := 0; j < bs.nb; j++ {
+		e += 0.5 * bs.bc[base+j] * bs.bv[base+j] * bs.bv[base+j]
+	}
+	return e
+}
+
+// openCircuitLane transcribes Network.OpenCircuitVoltage for lane l.
+func (bs *BatchSystem) openCircuitLane(l int) float64 {
+	base := l * bs.nb
+	v := bs.bv[base]
+	for j := 1; j < bs.nb; j++ {
+		if bs.bv[base+j] > v {
+			v = bs.bv[base+j]
+		}
+	}
+	return v
+}
+
+// dischargeLane transcribes Branch.Discharge for flat branch index idx.
+func (bs *BatchSystem) dischargeLane(idx int, i, dt float64) {
+	bs.bv[idx] -= (i + bs.bleak[idx]) * dt / bs.bc[idx]
+	if bs.bv[idx] < 0 {
+		bs.bv[idx] = 0
+	}
+}
+
+// observeLane transcribes Monitor.Observe for lane l.
+func (bs *BatchSystem) observeLane(l int, v float64) {
+	if bs.monOn[l] {
+		if v < bs.voff[l] {
+			bs.monOn[l] = false
+		}
+	} else {
+		if v >= bs.vhigh[l] {
+			bs.monOn[l] = true
+		}
+	}
+}
+
+// terminalAtRestLane transcribes System.terminalAtRest for lane l.
+func (bs *BatchSystem) terminalAtRestLane(l int) float64 {
+	vt, _ := bs.solveNodeLane(l, 0)
+	return vt
+}
+
+// stepLane transcribes System.Step for lane l: identical expression shapes
+// and evaluation order, so every intermediate is bit-identical to the
+// scalar stepper's. (No injector hook on the batch lane — fault-injected
+// runs stay scalar.)
+func (bs *BatchSystem) stepLane(l int, iLoad, pHarvest float64) StepInfo {
+	dt := bs.dt
+	wasOn := bs.monOn[l]
+
+	served := iLoad
+	if !wasOn || served < 0 {
+		served = 0
+	}
+
+	vt, ok := bs.solveTerminalLane(l, served, bs.lastVT[l])
+
+	failed := false
+	if !ok {
+		vt = bs.maxPowerPointLane(l)
+		failed = true
+	}
+
+	diverged := math.IsNaN(vt) || math.IsInf(vt, 0)
+	if diverged {
+		failed = true
+	}
+
+	base := l * bs.nb
+	for j := 0; j < bs.nb; j++ {
+		bs.dischargeLane(base+j, bs.cur[j], dt)
+	}
+	ichg := bs.ins[l].ChargeCurrent(pHarvest, bs.bv[base])
+	if ichg > 0 {
+		bs.dischargeLane(base, -ichg, dt)
+	}
+
+	iin := 0.0
+	for j := 0; j < bs.nb; j++ {
+		iin += bs.cur[j]
+	}
+
+	if failed {
+		bs.observeLane(l, 0)
+	} else {
+		bs.observeLane(l, vt)
+	}
+	if wasOn && !bs.monOn[l] {
+		failed = true
+	}
+
+	bs.lastVT[l] = vt
+	bs.tNow[l] += dt
+	return StepInfo{
+		T: bs.tNow[l], VTerm: vt, VOC: bs.bv[base], IIn: iin,
+		ILoad: served, On: bs.monOn[l], Failed: failed, Diverged: diverged,
+	}
+}
+
+// solveTerminalLane transcribes System.solveTerminal for lane l. On
+// success bs.cur holds the per-branch currents.
+func (bs *BatchSystem) solveTerminalLane(l int, served, warm float64) (vt float64, ok bool) {
+	vt = warm
+	if vt <= 0 {
+		vt = bs.openCircuitLane(l)
+	}
+	ok = true
+	for iter := 0; iter < 3; iter++ {
+		pin := bs.outs[l].InputPower(served, vt)
+		nvt, solved := bs.solveNodeLane(l, pin)
+		if !solved {
+			return vt, false
+		}
+		vt = nvt
+	}
+	return vt, ok
+}
+
+// solveNodeLane transcribes solveNode for lane l, writing per-branch
+// currents into bs.cur.
+func (bs *BatchSystem) solveNodeLane(l int, pin float64) (float64, bool) {
+	const rMin = 1e-6
+	base := l * bs.nb
+
+	var sumG, sumGV float64
+	for j := 0; j < bs.nb; j++ {
+		r := bs.besr[base+j]
+		if r < rMin {
+			r = rMin
+		}
+		g := 1 / r
+		sumG += g
+		sumGV += g * bs.bv[base+j]
+	}
+	vavg := sumGV / sumG
+
+	var vt float64
+	if pin <= 0 {
+		vt = vavg
+	} else if bs.nb == 1 {
+		r := bs.besr[base]
+		if r < rMin {
+			r = rMin
+		}
+		iin, ok := booster.InputCurrentQuadratic(bs.bv[base], r, pin)
+		if !ok {
+			return 0, false
+		}
+		vt = bs.bv[base] - iin*r
+		bs.cur[0] = iin
+		return vt, true
+	} else {
+		f := func(v float64) float64 { return sumGV - sumG*v - pin/v }
+		vstar := math.Sqrt(pin / sumG)
+		if vstar >= vavg || f(vstar) < 0 {
+			return 0, false
+		}
+		lo, hi := vstar, vavg
+		for i := 0; i < 64; i++ {
+			mid := 0.5 * (lo + hi)
+			if f(mid) >= 0 {
+				lo = mid
+			} else {
+				hi = mid
+			}
+		}
+		vt = 0.5 * (lo + hi)
+	}
+
+	for j := 0; j < bs.nb; j++ {
+		r := bs.besr[base+j]
+		if r < rMin {
+			r = rMin
+		}
+		bs.cur[j] = (bs.bv[base+j] - vt) / r
+	}
+	return vt, true
+}
+
+// maxPowerPointLane transcribes maxPowerPoint for lane l, writing currents
+// into bs.cur.
+func (bs *BatchSystem) maxPowerPointLane(l int) float64 {
+	const rMin = 1e-6
+	base := l * bs.nb
+	var sumG, sumGV float64
+	for j := 0; j < bs.nb; j++ {
+		r := bs.besr[base+j]
+		if r < rMin {
+			r = rMin
+		}
+		sumG += 1 / r
+		sumGV += bs.bv[base+j] / r
+	}
+	vt := 0.5 * sumGV / sumG
+	for j := 0; j < bs.nb; j++ {
+		r := bs.besr[base+j]
+		if r < rMin {
+			r = rMin
+		}
+		bs.cur[j] = (bs.bv[base+j] - vt) / r
+	}
+	return vt
+}
+
+// runCompiled runs a compiled schedule on a scalar system: the fast path
+// iterates the compiled segments directly (no per-tick profile scan); the
+// exact path and observer-carrying runs fall back to Run with the schedule
+// as the profile, which is bit-identical to running the source profile.
+func (s *System) runCompiled(cp *CompiledProfile, opt RunOptions) RunResult {
+	if opt.Fast && s.fastEligible(opt) {
+		return s.runCompiledFast(cp, opt)
+	}
+	return s.Run(cp, opt)
+}
+
+// runCompiledFast is runFast with the segment scan replaced by the
+// compiled schedule. Bookkeeping matches runFast exactly.
+func (s *System) runCompiledFast(cp *CompiledProfile, opt RunOptions) RunResult {
+	dt := s.cfg.DT
+	res := RunResult{VStart: s.terminalAtRest(), VMin: math.Inf(1)}
+
+	k := 0
+	for si := 0; si < len(cp.segs); si++ {
+		if err := opt.canceled(); err != nil {
+			return s.abort(res, float64(k)*dt, err)
+		}
+		iLoad := cp.segs[si].i + opt.Baseline
+		adv := s.advanceSegment(iLoad, opt.HarvestPower, cp.segs[si].ticks, &res)
+		k += adv.ticks
+		if adv.failed {
+			res.PowerFailed = true
+			res.Err = ErrBrownout
+			if adv.diverged {
+				res.Err = ErrDiverged
+			}
+			res.FailTime = s.t
+			res.Duration = float64(k) * dt
+			res.VEndImmediate = s.lastVT
+			res.VFinal = s.lastVT
+			return res
+		}
+	}
+	res.Completed = true
+	res.Duration = cp.dur
+	res.VEndImmediate = s.lastVT
+
+	if opt.SkipRebound {
+		res.VFinal = res.VEndImmediate
+		return res
+	}
+	res.VFinal = s.reboundFast(opt)
+	return res
+}

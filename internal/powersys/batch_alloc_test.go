@@ -1,0 +1,63 @@
+// Zero-allocation guards for the batch lanes, mirroring alloc_test.go.
+// The race detector's instrumentation allocates, so the pins only hold in
+// normal builds; `make alloc` (and `make batch`) run them there.
+//
+//go:build !race
+
+package powersys
+
+import (
+	"testing"
+
+	"culpeo/internal/load"
+)
+
+// batchAllocSystem builds a small prepared batch with lanes that complete
+// and lanes that brown out, so both retirement paths stay on the measured
+// loop.
+func batchAllocSystem(t *testing.T, multi bool) *BatchSystem {
+	t.Helper()
+	cfg := equivCfg(t, multi)
+	var task load.Profile = load.NewPulse(20e-3, 2e-3)
+	var doomed load.Profile = load.NewUniform(50e-3, 20e-3)
+	bs, err := NewBatch(cfg, []BatchScenario{
+		{Profile: task, VStart: 2.3},
+		{Profile: doomed, VStart: 1.72},
+		{Profile: task, VStart: 2.0, Harvest: 2e-3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return bs
+}
+
+// TestBatchStepAllocFree pins the exact batch lane at zero allocations:
+// after NewBatch, Reset+Run — SoA stepping, monitor evaluation, segment
+// bookkeeping, lane compaction — must not touch the heap.
+func TestBatchStepAllocFree(t *testing.T) {
+	for _, multi := range []bool{false, true} {
+		bs := batchAllocSystem(t, multi)
+		opt := BatchOptions{SkipRebound: true}
+		if n := testing.AllocsPerRun(10, func() {
+			bs.Reset()
+			bs.Run(opt)
+		}); n != 0 {
+			t.Fatalf("multi=%v: exact batch loop allocates %.1f times per run, want 0", multi, n)
+		}
+	}
+}
+
+// TestBatchRunAllocFree pins the fast batch lane — compiled-schedule
+// segment advance plus the rebound settle phase — at zero allocations.
+func TestBatchRunAllocFree(t *testing.T) {
+	for _, multi := range []bool{false, true} {
+		bs := batchAllocSystem(t, multi)
+		opt := BatchOptions{Fast: true, ReboundTimeout: 0.05}
+		if n := testing.AllocsPerRun(10, func() {
+			bs.Reset()
+			bs.Run(opt)
+		}); n != 0 {
+			t.Fatalf("multi=%v: fast batch loop allocates %.1f times per run, want 0", multi, n)
+		}
+	}
+}

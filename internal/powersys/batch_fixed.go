@@ -1,0 +1,240 @@
+// The fixed-point batch lane: an evaluation of Q16.16 integer arithmetic
+// (the paper's on-MCU substrate, internal/fixedpoint) as the batch
+// stepper's arithmetic, behind BatchOptions.FixedPoint.
+//
+// Findings (measured in TestBatchFixedPointLane and BenchmarkBatch in
+// internal/benchrun): the lane is *correct enough* for verdicts on
+// scenarios with healthy margins — voltages track the exact stepper to a
+// few millivolts over Table III-scale runs — but it is not a constant-
+// factor win on amd64. Two structural reasons, documented in DESIGN.md §13:
+//
+//   - Resolution: one Q16.16 LSB is ~15 µV while a typical tick moves the
+//     bank by ~9 µV (50 mA · 8 µs / 45 mF), so branch voltage must be
+//     accumulated in Q32.32 (done here) and the solve still quantizes every
+//     intermediate to 15 µV — the error floor is the format, not the math.
+//   - Throughput: int64 multiply/shift chains plus an integer-Newton sqrt
+//     are not faster than hardware double-precision FMA/div/sqrt on a
+//     modern superscalar core; the substrate pays off on the paper's
+//     FPU-less MSP430-class targets, not on the host this simulator runs on.
+//
+// The lane supports single-branch shapes with SkipRebound semantics
+// (VFinal = VEndImmediate); multi-branch batches report ErrFixedPointShape.
+package powersys
+
+import (
+	"errors"
+
+	"culpeo/internal/fixedpoint"
+)
+
+// ErrFixedPointShape marks a batch run that requested the fixed-point lane
+// on a shape it does not model (multi-branch networks).
+var ErrFixedPointShape = errors.New("powersys: fixed-point batch lane supports single-branch shapes only")
+
+// fixedLane holds the per-lane Q-format constants, derived once per run.
+type fixedLane struct {
+	vout, effM, effB, effMin, effMax fixedpoint.Q // output booster
+	r                                fixedpoint.Q // branch ESR
+	voff, vhigh                      fixedpoint.Q // monitor window
+	inVHigh, inEff, inMax            fixedpoint.Q // input booster
+	dtOverC                          int64        // dt/C in Q32.32
+}
+
+// runFixed advances every lane tick-by-tick in Q16.16/Q32.32 integer
+// arithmetic. Branch voltage accumulates in Q32.32 (int64, 2^-32 V LSB);
+// every solve quantizes to Q16.16 — the format the paper's MCU math runs
+// in. Reporting (EnergyUsed) converts to float at segment boundaries.
+func (bs *BatchSystem) runFixed(opt BatchOptions) []RunResult {
+	if bs.nb != 1 {
+		for _, l := range bs.active {
+			bs.res[l].Err = ErrFixedPointShape
+			bs.phase[l] = phaseDone
+		}
+		bs.active = bs.active[:0]
+		return bs.res
+	}
+	for _, l := range bs.active {
+		if opt.Ctx != nil {
+			if err := opt.Ctx.Err(); err != nil {
+				bs.abortActive(err)
+				return bs.res
+			}
+		}
+		bs.res[l] = bs.runFixedLane(l, opt)
+		bs.phase[l] = phaseDone
+	}
+	bs.active = bs.active[:0]
+	return bs.res
+}
+
+func (bs *BatchSystem) runFixedLane(l int, opt BatchOptions) RunResult {
+	fl := fixedLane{
+		vout:    fixedpoint.FromFloat(bs.outs[l].VOut),
+		effM:    fixedpoint.FromFloat(bs.outs[l].Efficiency.M),
+		effB:    fixedpoint.FromFloat(bs.outs[l].Efficiency.B),
+		effMin:  fixedpoint.FromFloat(bs.outs[l].Efficiency.Min),
+		effMax:  fixedpoint.FromFloat(bs.outs[l].Efficiency.Max),
+		r:       fixedpoint.FromFloat(bs.besr[l]),
+		voff:    fixedpoint.FromFloat(bs.voff[l]),
+		vhigh:   fixedpoint.FromFloat(bs.vhigh[l]),
+		inVHigh: fixedpoint.FromFloat(bs.ins[l].VHigh),
+		inEff:   fixedpoint.FromFloat(bs.ins[l].Efficiency),
+		inMax:   fixedpoint.FromFloat(bs.ins[l].MaxCurrent),
+		dtOverC: int64(bs.dt / bs.bc[l] * 4294967296.0),
+	}
+	res := bs.res[l]
+
+	// Branch voltage in Q32.32; prep state comes from the SoA lane.
+	vQ := int64(fixedpoint.FromFloat(bs.bv[l])) << 16
+	on := bs.monOn[l]
+	vmin := fixedpoint.Q(1) << 40 // larger than any representable voltage
+	lastVT := fixedpoint.FromFloat(bs.lastVT[l])
+	harvestQ := fixedpoint.FromFloat(bs.scens[l].Harvest)
+	c := bs.bc[l]
+
+	sched := bs.sched[l]
+	dur := sched.dur
+	tick := 0
+	e0 := 0.5 * c * bs.bv[l] * bs.bv[l]
+	for _, seg := range sched.segs {
+		iLoadQ := fixedpoint.FromFloat(seg.i + bs.scens[l].Baseline)
+		for n := 0; n < seg.ticks; n++ {
+			v16 := fixedpoint.Q(vQ >> 16)
+			wasOn := on
+			served := iLoadQ
+			if !wasOn || served < 0 {
+				served = 0
+			}
+
+			vt := v16
+			failed := false
+			var iin fixedpoint.Q
+			if served > 0 {
+				// The float stepper's solveTerminal iteration, in Q16.16:
+				// η is evaluated at the terminal voltage, which depends on
+				// the drawn power, which depends on η — three rounds, warm
+				// started from the previous tick's solution.
+				vt = lastVT
+				if vt <= 0 {
+					vt = v16
+				}
+				for iter := 0; iter < 3 && !failed; iter++ {
+					eta := fixedpoint.Mul(fl.effM, vt, nil) + fl.effB
+					if eta < fl.effMin {
+						eta = fl.effMin
+					}
+					if eta > fl.effMax {
+						eta = fl.effMax
+					}
+					pin, err := fixedpoint.Div(fixedpoint.Mul(fl.vout, served, nil), eta, nil)
+					if err != nil {
+						return bs.fixedDiverged(res, l, float64(tick)*bs.dt)
+					}
+					disc := fixedpoint.Mul(v16, v16, nil) - 4*fixedpoint.Mul(fl.r, pin, nil)
+					if disc < 0 {
+						// Brown-out: collapse through the maximum-power
+						// point, as the float stepper does.
+						failed = true
+						vt = v16 / 2
+						iin, err = fixedpoint.Div(v16-vt, fl.r, nil)
+						if err != nil {
+							return bs.fixedDiverged(res, l, float64(tick)*bs.dt)
+						}
+						break
+					}
+					s, err := fixedpoint.Sqrt(disc, nil)
+					if err != nil {
+						return bs.fixedDiverged(res, l, float64(tick)*bs.dt)
+					}
+					iin, err = fixedpoint.Div(v16-s, 2*fl.r, nil)
+					if err != nil {
+						return bs.fixedDiverged(res, l, float64(tick)*bs.dt)
+					}
+					vt = v16 - fixedpoint.Mul(iin, fl.r, nil)
+				}
+			}
+
+			// Integrate in Q32.32: discharge by the drawn current, charge
+			// from the harvester. (Branch leakage, ~20 nA, is below one
+			// Q16.16 current LSB — the quantization floor noted above.)
+			vQ -= (int64(iin) * fl.dtOverC) >> 16
+			if harvestQ > 0 && v16 < fl.inVHigh {
+				vch := v16
+				if vch < fixedpoint.FromFloat(0.1) {
+					vch = fixedpoint.FromFloat(0.1)
+				}
+				ichg, err := fixedpoint.Div(fixedpoint.Mul(harvestQ, fl.inEff, nil), vch, nil)
+				if err != nil {
+					return bs.fixedDiverged(res, l, float64(tick)*bs.dt)
+				}
+				if ichg > fl.inMax {
+					ichg = fl.inMax
+				}
+				vQ += (int64(ichg) * fl.dtOverC) >> 16
+			}
+			if vQ < 0 {
+				vQ = 0
+			}
+
+			obs := vt
+			if failed {
+				obs = 0
+			}
+			if on {
+				if obs < fl.voff {
+					on = false
+				}
+			} else if obs >= fl.vhigh {
+				on = true
+			}
+			if wasOn && !on {
+				failed = true
+			}
+
+			if vt < vmin {
+				vmin = vt
+			}
+			lastVT = vt
+			tick++
+			if failed {
+				res.PowerFailed = true
+				res.Err = ErrBrownout
+				res.FailTime = float64(tick) * bs.dt
+				res.Duration = float64(tick) * bs.dt
+				res.VMin = vmin.Float()
+				v := fixedpoint.Q(vQ >> 16).Float()
+				res.VEndImmediate = vt.Float()
+				res.VFinal = vt.Float()
+				res.EnergyUsed = e0 - 0.5*c*v*v
+				return res
+			}
+		}
+	}
+
+	res.Completed = true
+	res.Duration = dur
+	v := fixedpoint.Q(vQ >> 16).Float()
+	res.VMin = vmin.Float()
+	if tick == 0 {
+		res.VMin = res.VStart
+	}
+	res.VEndImmediate = lastVT.Float() // terminal voltage at the final tick
+	res.VFinal = res.VEndImmediate
+	res.EnergyUsed = e0 - 0.5*c*v*v
+	return res
+}
+
+// fixedDiverged finalizes a lane whose integer solve hit an undefined
+// operation (division by zero from a corrupted state).
+func (bs *BatchSystem) fixedDiverged(res RunResult, l int, t float64) RunResult {
+	res.PowerFailed = true
+	res.Err = ErrDiverged
+	res.FailTime = t
+	res.Duration = t
+	res.VEndImmediate = res.VStart
+	res.VFinal = res.VStart
+	if res.VMin == 0 {
+		res.VMin = res.VStart
+	}
+	return res
+}

@@ -1,0 +1,542 @@
+package powersys
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"culpeo/internal/capacitor"
+	"culpeo/internal/load"
+)
+
+// equivCfg builds the configuration newEquivSystem simulates: Capybara,
+// optionally with the decoupling branch.
+func equivCfg(t testing.TB, multi bool) Config {
+	t.Helper()
+	cfg := Capybara()
+	if multi {
+		branches := []*capacitor.Branch{
+			{Name: "main", C: 45e-3, ESR: 5, Voltage: 2.56},
+			{Name: "decoupling", C: 400e-6, ESR: 0.05, Voltage: 2.56},
+		}
+		net, err := capacitor.NewNetwork(branches...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.Storage = net
+	}
+	return cfg
+}
+
+// scalarReference runs one scenario on the scalar stepper with the
+// harness preparation sequence — the reference every batch lane is
+// compared against.
+func scalarReference(t testing.TB, cfg Config, sc BatchScenario, opt BatchOptions, fast bool) RunResult {
+	t.Helper()
+	if sc.Config != nil {
+		cfg = *sc.Config
+	}
+	sys, err := New(cloneConfig(cfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.ChargeTo(cfg.VHigh); err != nil {
+		t.Fatal(err)
+	}
+	if err := sys.DischargeTo(sc.VStart); err != nil {
+		t.Fatal(err)
+	}
+	sys.Monitor().Force(true)
+	return sys.Run(sc.Profile, RunOptions{
+		HarvestPower:   sc.Harvest,
+		Baseline:       sc.Baseline,
+		SkipRebound:    opt.SkipRebound,
+		ReboundTimeout: opt.ReboundTimeout,
+		Fast:           fast,
+	})
+}
+
+// checkBitwise requires got to be byte-identical (math.Float64bits on
+// every float field, equality elsewhere) to want.
+func checkBitwise(t *testing.T, name string, want, got RunResult) {
+	t.Helper()
+	if want.Completed != got.Completed || want.PowerFailed != got.PowerFailed {
+		t.Fatalf("%s: verdict mismatch: scalar completed=%v failed=%v, batch completed=%v failed=%v",
+			name, want.Completed, want.PowerFailed, got.Completed, got.PowerFailed)
+	}
+	if !errors.Is(got.Err, want.Err) && !errors.Is(want.Err, got.Err) {
+		t.Fatalf("%s: error mismatch: scalar %v, batch %v", name, want.Err, got.Err)
+	}
+	fields := []struct {
+		field string
+		w, g  float64
+	}{
+		{"VStart", want.VStart, got.VStart},
+		{"VMin", want.VMin, got.VMin},
+		{"VEndImmediate", want.VEndImmediate, got.VEndImmediate},
+		{"VFinal", want.VFinal, got.VFinal},
+		{"Duration", want.Duration, got.Duration},
+		{"EnergyUsed", want.EnergyUsed, got.EnergyUsed},
+		{"FailTime", want.FailTime, got.FailTime},
+	}
+	for _, f := range fields {
+		if math.Float64bits(f.w) != math.Float64bits(f.g) {
+			t.Errorf("%s: %s not byte-identical: scalar %v (%#x), batch %v (%#x)",
+				name, f.field, f.w, math.Float64bits(f.w), f.g, math.Float64bits(f.g))
+		}
+	}
+}
+
+func batchCorpusTasks() []load.Profile {
+	uniform, pulse := load.Fig10Loads()
+	var tasks []load.Profile
+	tasks = append(tasks, uniform...)
+	tasks = append(tasks, pulse...)
+	tasks = append(tasks, load.TableIIIUniform()...)
+	tasks = append(tasks, load.TableIIIPulse()...)
+	tasks = append(tasks, load.Gesture(), load.BLERadio(), load.ComputeAccel(), load.LoRa())
+	return tasks
+}
+
+// TestBatchEquivalence embeds every golden-corpus load in mixed batches —
+// safe, marginal and brownout-inducing starting voltages side by side —
+// and requires the exact batch lane to reproduce the scalar exact stepper
+// byte-for-byte (math.Float64bits on every result field) on every lane,
+// with lane compaction retiring the brownout lanes mid-batch. The fast
+// batch lane is held to the scalar fast path's contract against the same
+// references: every voltage within 1 mV, identical verdicts.
+func TestBatchEquivalence(t *testing.T) {
+	tasks := batchCorpusTasks()
+	vstarts := []float64{2.56, 2.2, 1.7}
+	harvests := []float64{0, 5e-3}
+	rebounds := []bool{false, true}
+	if testing.Short() {
+		vstarts = []float64{2.2}
+		harvests = []float64{0}
+		rebounds = []bool{false}
+	}
+
+	for _, multi := range []bool{false, true} {
+		cfg := equivCfg(t, multi)
+		for _, harvest := range harvests {
+			for _, rebound := range rebounds {
+				var scens []BatchScenario
+				var names []string
+				for _, task := range tasks {
+					for _, vstart := range vstarts {
+						scens = append(scens, BatchScenario{Profile: task, VStart: vstart, Harvest: harvest})
+						names = append(names, fmt.Sprintf("multi=%v/%s/v=%.2f/h=%.0fmW/rebound=%v",
+							multi, task.Name(), vstart, harvest*1e3, rebound))
+					}
+				}
+				opt := BatchOptions{SkipRebound: !rebound, ReboundTimeout: 0.2}
+				bs, err := NewBatch(cfg, scens)
+				if err != nil {
+					t.Fatal(err)
+				}
+				exact := append([]RunResult(nil), bs.Run(opt)...)
+
+				bs.Reset()
+				optFast := opt
+				optFast.Fast = true
+				fast := bs.Run(optFast)
+
+				for l := range scens {
+					want := scalarReference(t, cfg, scens[l], opt, false)
+					checkBitwise(t, names[l]+"/exact", want, exact[l])
+					checkEquiv(t, names[l]+"/fast", want, fast[l])
+				}
+			}
+		}
+	}
+}
+
+// TestBatchK1Equivalence: a batch of one must behave exactly like the
+// scalar stepper — the degenerate case the scalar-fallback rule leans on.
+func TestBatchK1Equivalence(t *testing.T) {
+	tasks := []load.Profile{
+		load.NewUniform(25e-3, 10e-3), load.NewPulse(50e-3, 1e-3),
+		load.Gesture(), load.BLERadio(), load.LoRa(),
+	}
+	for _, multi := range []bool{false, true} {
+		cfg := equivCfg(t, multi)
+		for _, task := range tasks {
+			for _, vstart := range []float64{2.4, 1.8} {
+				sc := BatchScenario{Profile: task, VStart: vstart, Harvest: 2e-3}
+				opt := BatchOptions{ReboundTimeout: 0.2}
+				bs, err := NewBatch(cfg, []BatchScenario{sc})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res := bs.Run(opt)
+				if len(res) != 1 {
+					t.Fatalf("K=1 batch returned %d results", len(res))
+				}
+				want := scalarReference(t, cfg, sc, opt, false)
+				name := fmt.Sprintf("k1/multi=%v/%s/v=%.2f", multi, task.Name(), vstart)
+				checkBitwise(t, name, want, res[0])
+			}
+		}
+	}
+}
+
+// TestBatchTraceEquivalence pairs every batch lane with a scalar system
+// that is stepped in lockstep from the batch's per-tick hook: every
+// StepInfo field of every tick of every lane — run and rebound phases,
+// through brownouts — must be byte-identical to the scalar stepper's.
+func TestBatchTraceEquivalence(t *testing.T) {
+	type ref struct {
+		sys      *System
+		p        load.Profile
+		harvest  float64
+		baseline float64
+		steps    int
+		tick     int
+	}
+	for _, multi := range []bool{false, true} {
+		cfg := equivCfg(t, multi)
+		dt := cfg.DT
+		scens := []BatchScenario{
+			{Profile: load.LoRa(), VStart: 1.7},                                  // browns out early
+			{Profile: load.NewPulse(30e-3, 2e-3), VStart: 2.2, Baseline: 150e-6}, // completes, rebound
+			{Profile: load.Gesture(), VStart: 2.3, Harvest: 2e-3},                // ramps + harvest
+			{Profile: load.NewUniform(5e-3, 100e-3), VStart: 2.56},               // long quiet segment
+		}
+		refs := make([]*ref, len(scens))
+		for l, sc := range scens {
+			sys, err := New(cloneConfig(cfg))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.ChargeTo(cfg.VHigh); err != nil {
+				t.Fatal(err)
+			}
+			if err := sys.DischargeTo(sc.VStart); err != nil {
+				t.Fatal(err)
+			}
+			sys.Monitor().Force(true)
+			refs[l] = &ref{
+				sys: sys, p: sc.Profile, harvest: sc.Harvest, baseline: sc.Baseline,
+				steps: int(math.Ceil(sc.Profile.Duration() / dt)),
+			}
+		}
+		bs, err := NewBatch(cfg, scens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ticksChecked := 0
+		bs.onTick = func(l int, info StepInfo) {
+			r := refs[l]
+			var iLoad float64
+			if r.tick < r.steps {
+				iLoad = r.p.Current(float64(r.tick)*dt) + r.baseline
+			} else {
+				iLoad = load.SleepCurrent
+			}
+			r.tick++
+			want := r.sys.Step(iLoad, r.harvest)
+			if math.Float64bits(want.T) != math.Float64bits(info.T) ||
+				math.Float64bits(want.VTerm) != math.Float64bits(info.VTerm) ||
+				math.Float64bits(want.VOC) != math.Float64bits(info.VOC) ||
+				math.Float64bits(want.IIn) != math.Float64bits(info.IIn) ||
+				math.Float64bits(want.ILoad) != math.Float64bits(info.ILoad) ||
+				want.On != info.On || want.Failed != info.Failed || want.Diverged != info.Diverged {
+				t.Fatalf("multi=%v lane %d tick %d: scalar %+v, batch %+v", multi, l, r.tick, want, info)
+			}
+			ticksChecked++
+		}
+		bs.Run(BatchOptions{ReboundTimeout: 0.2})
+		if ticksChecked == 0 {
+			t.Fatal("per-tick hook never fired")
+		}
+	}
+}
+
+// TestBatchCompaction staggers brownouts through a batch — lanes retiring
+// at different ticks, interleaved with completing lanes — and requires
+// every survivor to be byte-identical to its solo K=1 run: compaction must
+// never perturb the lanes that remain.
+func TestBatchCompaction(t *testing.T) {
+	cfg := equivCfg(t, false)
+	var scens []BatchScenario
+	// Alternate doomed lanes (high current from a low start, failing at
+	// current-dependent times) with healthy lanes.
+	for i := 0; i < 8; i++ {
+		scens = append(scens, BatchScenario{
+			Profile: load.NewUniform(float64(20+10*i)*1e-3, 50e-3), VStart: 1.72,
+		})
+		scens = append(scens, BatchScenario{
+			Profile: load.NewUniform(5e-3, 10e-3), VStart: 2.3 + float64(i)*0.02,
+		})
+	}
+	opt := BatchOptions{SkipRebound: true}
+	bs, err := NewBatch(cfg, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := bs.Run(opt)
+	failed := 0
+	for l, sc := range scens {
+		solo, err := NewBatch(cfg, []BatchScenario{sc})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := solo.Run(opt)[0]
+		checkBitwise(t, fmt.Sprintf("compaction/lane%d", l), want, res[l])
+		if res[l].PowerFailed {
+			failed++
+		}
+	}
+	if failed == 0 || failed == len(scens) {
+		t.Fatalf("want a mix of failing and surviving lanes, got %d/%d failed", failed, len(scens))
+	}
+}
+
+// TestBatchReset: Reset must restore the prepared state exactly — two
+// Run calls separated by Reset return byte-identical results.
+func TestBatchReset(t *testing.T) {
+	cfg := equivCfg(t, true)
+	scens := []BatchScenario{
+		{Profile: load.LoRa(), VStart: 2.3},
+		{Profile: load.NewPulse(25e-3, 10e-3), VStart: 1.9},
+	}
+	bs, err := NewBatch(cfg, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt := BatchOptions{ReboundTimeout: 0.1}
+	first := append([]RunResult(nil), bs.Run(opt)...)
+	bs.Reset()
+	second := bs.Run(opt)
+	for l := range scens {
+		checkBitwise(t, fmt.Sprintf("reset/lane%d", l), first[l], second[l])
+	}
+}
+
+// TestBatchValidation covers NewBatch's rejection paths.
+func TestBatchValidation(t *testing.T) {
+	cfg := equivCfg(t, false)
+	multiCfg := equivCfg(t, true)
+	task := load.LoRa()
+	cases := []struct {
+		name  string
+		scens []BatchScenario
+	}{
+		{"empty", nil},
+		{"no-profile", []BatchScenario{{VStart: 2.0}}},
+		{"bad-vstart", []BatchScenario{{Profile: task, VStart: -1}}},
+		{"nan-vstart", []BatchScenario{{Profile: task, VStart: math.NaN()}}},
+		{"shape-mismatch", []BatchScenario{{Profile: task, VStart: 2.0, Config: &multiCfg}}},
+		{"dt-mismatch", []BatchScenario{{Profile: task, VStart: 2.0, Config: func() *Config {
+			c := equivCfg(t, false)
+			c.DT = 1e-6
+			return &c
+		}()}}},
+		{"stale-schedule", []BatchScenario{{Compiled: CompileProfile(task, 1e-6), VStart: 2.0}}},
+	}
+	for _, tc := range cases {
+		if _, err := NewBatch(cfg, tc.scens); err == nil {
+			t.Errorf("%s: NewBatch accepted an invalid batch", tc.name)
+		}
+	}
+}
+
+// TestCompiledProfileRoundTrip: a compiled schedule used as a Profile must
+// reproduce the source profile bit-for-bit on the tick grid.
+func TestCompiledProfileRoundTrip(t *testing.T) {
+	dt := DefaultDT
+	for _, p := range []load.Profile{
+		load.NewUniform(25e-3, 10e-3), load.NewPulse(50e-3, 1e-3),
+		load.Gesture(), load.BLERadio(), load.ComputeAccel(),
+	} {
+		cp := CompileProfile(p, dt)
+		if cp.Duration() != p.Duration() || cp.Name() != p.Name() {
+			t.Fatalf("%s: metadata mismatch", p.Name())
+		}
+		steps := int(math.Ceil(p.Duration() / dt))
+		if cp.Steps() != steps {
+			t.Fatalf("%s: steps %d, want %d", p.Name(), cp.Steps(), steps)
+		}
+		for k := 0; k < steps; k++ {
+			tk := float64(k) * dt
+			if math.Float64bits(cp.Current(tk)) != math.Float64bits(p.Current(tk)) {
+				t.Fatalf("%s: tick %d: compiled %v, source %v", p.Name(), k, cp.Current(tk), p.Current(tk))
+			}
+		}
+		if cp.Segments() > cp.Steps() && cp.Steps() > 0 {
+			t.Fatalf("%s: %d segments exceed %d steps", p.Name(), cp.Segments(), cp.Steps())
+		}
+	}
+}
+
+// TestBatchFixedPointLane evaluates the Q16.16/Q32.32 integer lane: on
+// single-branch scenarios with healthy margins it must agree with the
+// exact stepper on the verdict and track the voltages to within the
+// format's accumulated quantization (a few mV); multi-branch batches must
+// report ErrFixedPointShape rather than guess.
+func TestBatchFixedPointLane(t *testing.T) {
+	cfg := equivCfg(t, false)
+	scens := []BatchScenario{
+		{Profile: load.NewUniform(25e-3, 10e-3), VStart: 2.4}, // completes with margin
+		{Profile: load.NewUniform(10e-3, 5e-3), VStart: 2.0},  // completes
+		{Profile: load.LoRa(), VStart: 1.75},                  // reliably browns out
+		{Profile: load.NewUniform(50e-3, 20e-3), VStart: 2.5, Harvest: 5e-3},
+	}
+	opt := BatchOptions{SkipRebound: true}
+	bs, err := NewBatch(cfg, scens)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fixed := append([]RunResult(nil), bs.Run(BatchOptions{SkipRebound: true, FixedPoint: true})...)
+	for l, sc := range scens {
+		want := scalarReference(t, cfg, sc, opt, false)
+		got := fixed[l]
+		name := fmt.Sprintf("fixed/lane%d/%s", l, sc.Profile.Name())
+		if want.Completed != got.Completed || want.PowerFailed != got.PowerFailed {
+			t.Fatalf("%s: verdict mismatch: exact completed=%v, fixed completed=%v",
+				name, want.Completed, got.Completed)
+		}
+		const fixedTol = 15e-3 // Q16.16 LSB is ~15 µV; tick-by-tick rounding accumulates
+		if d := math.Abs(want.VMin - got.VMin); d > fixedTol {
+			t.Errorf("%s: VMin diverged %.4f vs %.4f (Δ %.2g V)", name, want.VMin, got.VMin, d)
+		}
+		if d := math.Abs(want.VEndImmediate - got.VEndImmediate); d > fixedTol {
+			t.Errorf("%s: VEnd diverged %.4f vs %.4f (Δ %.2g V)", name, want.VEndImmediate, got.VEndImmediate, d)
+		}
+	}
+
+	multi, err := NewBatch(equivCfg(t, true), []BatchScenario{{Profile: load.LoRa(), VStart: 2.2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := multi.Run(BatchOptions{SkipRebound: true, FixedPoint: true})
+	if !errors.Is(res[0].Err, ErrFixedPointShape) {
+		t.Fatalf("multi-branch fixed-point lane: got err %v, want ErrFixedPointShape", res[0].Err)
+	}
+}
+
+// fuzzProfile derives a small load profile from the fuzzer's entropy.
+func fuzzProfile(rng *rand.Rand) load.Profile {
+	switch rng.Intn(4) {
+	case 0:
+		return load.NewUniform((1+rng.Float64()*59)*1e-3, (0.5+rng.Float64()*4.5)*1e-3)
+	case 1:
+		return load.NewPulse((1+rng.Float64()*59)*1e-3, (0.5+rng.Float64()*4.5)*1e-3)
+	case 2:
+		return load.Gesture()
+	default:
+		return load.BLERadio()
+	}
+}
+
+// FuzzBatchStep fuzzes batch composition: sizes 1–128, mixed profiles,
+// mixed per-lane power models, brownouts landing mid-batch, both lanes,
+// and mid-run context cancellation. Whatever the composition, the batch
+// must not panic, compaction must not corrupt surviving lanes (every
+// normally-finalized lane matches its solo scalar run — byte-identical on
+// the exact lane, bounded on the fast lane), and canceled lanes must carry
+// the context's error.
+func FuzzBatchStep(f *testing.F) {
+	f.Add(uint64(1), uint8(3), false, false, uint16(0))
+	f.Add(uint64(2), uint8(64), false, true, uint16(0))
+	f.Add(uint64(3), uint8(127), true, false, uint16(300))
+	f.Add(uint64(4), uint8(16), true, true, uint16(40))
+	f.Add(uint64(5), uint8(1), false, false, uint16(1))
+	f.Add(uint64(6), uint8(31), false, false, uint16(900))
+
+	f.Fuzz(func(t *testing.T, seed uint64, size uint8, multi, fast bool, cancelAfter uint16) {
+		rng := rand.New(rand.NewSource(int64(seed)))
+		k := int(size)%128 + 1
+		cfg := equivCfg(t, multi)
+		scens := make([]BatchScenario, k)
+		for l := range scens {
+			sc := BatchScenario{
+				Profile: fuzzProfile(rng),
+				VStart:  1.62 + rng.Float64()*0.94,
+			}
+			if rng.Intn(2) == 0 {
+				sc.Harvest = rng.Float64() * 10e-3
+			}
+			if rng.Intn(3) == 0 {
+				sc.Baseline = 150e-6
+			}
+			if !multi && rng.Intn(3) == 0 {
+				// Per-lane power-model override: same shape, different bank.
+				br := &capacitor.Branch{
+					Name: "main", C: (10 + rng.Float64()*50) * 1e-3,
+					ESR: 1 + rng.Float64()*7, Voltage: 2.56,
+				}
+				net, err := capacitor.NewNetwork(br)
+				if err != nil {
+					t.Fatal(err)
+				}
+				lane := cfg
+				lane.Storage = net
+				sc.Config = &lane
+			}
+			scens[l] = sc
+		}
+		opt := BatchOptions{SkipRebound: rng.Intn(2) == 0, ReboundTimeout: 0.05, Fast: fast}
+
+		bs, err := NewBatch(cfg, scens)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := bs.Run(opt)
+		for l := range scens {
+			name := fmt.Sprintf("lane%d/%s", l, scens[l].Profile.Name())
+			exact := scalarReference(t, cfg, scens[l], opt, false)
+			if fast {
+				// The fast batch lane segments by compiled schedule rather
+				// than by re-scan, so it is bounded (like the scalar fast
+				// path) but not bit-equal to it: compare against the exact
+				// reference under the fast-path contract.
+				checkEquiv(t, name, exact, res[l])
+			} else {
+				checkBitwise(t, name, exact, res[l])
+			}
+		}
+
+		// Cancellation leg (exact lane): cancel after a fuzzed number of
+		// ticks; no panic, and every lane either finalized normally
+		// (bit-identical to scalar) or carries the context error. Rebound
+		// is skipped so the cancellation semantics stay binary: a settle
+		// phase truncated by cancellation legitimately reports an early
+		// VFinal with no error, which has no scalar twin to compare.
+		if !fast && cancelAfter > 0 {
+			bs2, err := NewBatch(cfg, scens)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			ticks := 0
+			bs2.onTick = func(int, StepInfo) {
+				ticks++
+				if ticks == int(cancelAfter) {
+					cancel()
+				}
+			}
+			opt2 := opt
+			opt2.Ctx = ctx
+			opt2.SkipRebound = true
+			res2 := bs2.Run(opt2)
+			optCmp := opt
+			optCmp.SkipRebound = true
+			for l := range scens {
+				r := res2[l]
+				if errors.Is(r.Err, context.Canceled) {
+					if r.Completed {
+						t.Fatalf("lane %d: canceled but Completed", l)
+					}
+					continue
+				}
+				want := scalarReference(t, cfg, scens[l], optCmp, false)
+				checkBitwise(t, fmt.Sprintf("cancel/lane%d", l), want, r)
+			}
+		}
+	})
+}

@@ -36,6 +36,7 @@ import (
 
 	"culpeo/internal/api"
 	"culpeo/internal/core"
+	"culpeo/internal/load"
 	"culpeo/internal/partsdb"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
@@ -70,6 +71,11 @@ type Config struct {
 	// Workers bounds the sweep pool a batch request fans out over (<=0:
 	// GOMAXPROCS).
 	Workers int
+	// ScalarBatch routes batch simulations through the scalar per-element
+	// path instead of the SoA lockstep batch stepper — the fallback knob
+	// for shapes the batch lane mishandles (none known; the equivalence
+	// suite pins the lanes byte-identical).
+	ScalarBatch bool
 	// Catalog resolves PowerSpec.Part (nil: partsdb.DefaultIndex()).
 	Catalog *partsdb.Index
 }
@@ -410,52 +416,43 @@ func (s *Server) handleVSafeR(ctx context.Context, r *http.Request) (any, error)
 	return EstimateResponse{VSafe: est.VSafe, VDelta: est.VDelta, VE: est.VE}, nil
 }
 
-func (s *Server) handleSimulate(ctx context.Context, r *http.Request) (any, error) {
-	var req SimulateRequest
-	if err := decodeBody(r.Body, &req); err != nil {
-		return nil, err
-	}
-	rp, err := resolvePower(req.Power, s.catalog)
+// resolvedSim is one validated simulation element, ready to run on either
+// the scalar path or a lockstep batch lane.
+type resolvedSim struct {
+	cfg     powersys.Config
+	prof    load.Profile
+	vStart  float64
+	harvest float64
+	fast    bool
+}
+
+// resolveSimulate validates a simulation request into its runnable form,
+// shared by /v1/simulate and each batch simulation element.
+func resolveSimulate(req SimulateRequest, catalog *partsdb.Index) (resolvedSim, error) {
+	rp, err := resolvePower(req.Power, catalog)
 	if err != nil {
-		return nil, err
+		return resolvedSim{}, err
 	}
 	rl, err := resolveLoad(req.Load)
 	if err != nil {
-		return nil, err
+		return resolvedSim{}, err
 	}
 	vStart := req.VStart
 	if vStart == 0 {
 		vStart = rp.cfg.VHigh
 	}
 	if !isFinite(vStart) || vStart < rp.cfg.VOff || vStart > rp.cfg.VHigh {
-		return nil, specErrorf("simulate: v_start %g outside [%g, %g]", vStart, rp.cfg.VOff, rp.cfg.VHigh)
+		return resolvedSim{}, specErrorf("simulate: v_start %g outside [%g, %g]", vStart, rp.cfg.VOff, rp.cfg.VHigh)
 	}
 	if !isFinite(req.Harvest) || req.Harvest < 0 {
-		return nil, specErrorf("simulate: harvest %g", req.Harvest)
+		return resolvedSim{}, specErrorf("simulate: harvest %g", req.Harvest)
 	}
+	return resolvedSim{cfg: rp.cfg, prof: rl.asProfile(), vStart: vStart, harvest: req.Harvest, fast: req.Fast}, nil
+}
 
-	// The harness's launch-validation sequence: charge to V_high, discharge
-	// to the requested start, force delivery on, run.
-	sys, err := powersys.New(rp.cfg)
-	if err != nil {
-		return nil, specErrorf("simulate: %v", err)
-	}
-	if err := sys.ChargeTo(rp.cfg.VHigh); err != nil {
-		return nil, specErrorf("simulate: %v", err)
-	}
-	if err := sys.DischargeTo(vStart); err != nil {
-		return nil, specErrorf("simulate: %v", err)
-	}
-	sys.Monitor().Force(true)
-	res := sys.Run(rl.asProfile(), powersys.RunOptions{
-		SkipRebound:  true,
-		HarvestPower: req.Harvest,
-		Fast:         req.Fast,
-		Ctx:          ctx,
-	})
-	if res.Err != nil && (errors.Is(res.Err, context.DeadlineExceeded) || errors.Is(res.Err, context.Canceled)) {
-		return nil, res.Err
-	}
+// simResponse maps a run result onto the wire shape, shared by the scalar
+// and batch paths so their answers are field-for-field comparable.
+func simResponse(res powersys.RunResult) SimulateResponse {
 	resp := SimulateResponse{
 		Completed:   res.Completed,
 		PowerFailed: res.PowerFailed,
@@ -468,42 +465,199 @@ func (s *Server) handleSimulate(ctx context.Context, r *http.Request) (any, erro
 	if res.Err != nil {
 		resp.Error = res.Err.Error()
 	}
-	return resp, nil
+	return resp
+}
+
+// ctxFailure reports a run result aborted by the request deadline or a
+// client disconnect — outcomes that fail the request, not the element.
+func ctxFailure(res powersys.RunResult) error {
+	if res.Err != nil && (errors.Is(res.Err, context.DeadlineExceeded) || errors.Is(res.Err, context.Canceled)) {
+		return res.Err
+	}
+	return nil
+}
+
+// simulateScalar runs one element on its own freshly prepared system: the
+// harness's launch-validation sequence — charge to V_high, discharge to
+// the requested start, force delivery on, run.
+func simulateScalar(ctx context.Context, rs resolvedSim) (SimulateResponse, error) {
+	sys, err := powersys.New(rs.cfg)
+	if err != nil {
+		return SimulateResponse{}, specErrorf("simulate: %v", err)
+	}
+	if err := sys.ChargeTo(rs.cfg.VHigh); err != nil {
+		return SimulateResponse{}, specErrorf("simulate: %v", err)
+	}
+	if err := sys.DischargeTo(rs.vStart); err != nil {
+		return SimulateResponse{}, specErrorf("simulate: %v", err)
+	}
+	sys.Monitor().Force(true)
+	res := sys.Run(rs.prof, powersys.RunOptions{
+		SkipRebound:  true,
+		HarvestPower: rs.harvest,
+		Fast:         rs.fast,
+		Ctx:          ctx,
+	})
+	if err := ctxFailure(res); err != nil {
+		return SimulateResponse{}, err
+	}
+	return simResponse(res), nil
+}
+
+func (s *Server) handleSimulate(ctx context.Context, r *http.Request) (any, error) {
+	var req SimulateRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		return nil, err
+	}
+	rs, err := resolveSimulate(req, s.catalog)
+	if err != nil {
+		return nil, err
+	}
+	return simulateScalar(ctx, rs)
 }
 
 // handleBatch fans the elements out over the sweep worker pool. Results are
 // order-preserving and per-element: one malformed element reports its error
-// in place without failing its siblings. All elements share the server's
-// V_safe cache, so a batch of near-duplicate configurations coalesces into
-// few Algorithm 1 runs.
+// in place without failing its siblings. All estimate elements share the
+// server's V_safe cache, so a batch of near-duplicate configurations
+// coalesces into few Algorithm 1 runs; simulation elements run on the SoA
+// lockstep batch stepper, one chunk of lanes per worker dispatch.
 func (s *Server) handleBatch(ctx context.Context, r *http.Request) (any, error) {
 	var req BatchRequest
 	if err := decodeBody(r.Body, &req); err != nil {
 		return nil, err
 	}
-	if len(req.Requests) == 0 {
+	if len(req.Requests) == 0 && len(req.Simulations) == 0 {
 		return nil, specErrorf("batch: empty request list")
 	}
-	if len(req.Requests) > maxBatch {
-		return nil, specErrorf("batch: %d elements exceeds the %d cap", len(req.Requests), maxBatch)
+	if n := len(req.Requests) + len(req.Simulations); n > maxBatch {
+		return nil, specErrorf("batch: %d elements exceeds the %d cap", n, maxBatch)
 	}
-	results, err := sweep.Map(ctx, req.Requests, func(ctx context.Context, _ int, el VSafeRequest) (BatchResult, error) {
-		est, err := s.estimate(ctx, el)
-		if err != nil {
-			if ctx.Err() != nil {
-				return BatchResult{}, ctx.Err() // deadline: fail the batch, not the element
+	var resp BatchResponse
+	if len(req.Requests) > 0 {
+		results, err := sweep.Map(ctx, req.Requests, func(ctx context.Context, _ int, el VSafeRequest) (BatchResult, error) {
+			est, err := s.estimate(ctx, el)
+			if err != nil {
+				if ctx.Err() != nil {
+					return BatchResult{}, ctx.Err() // deadline: fail the batch, not the element
+				}
+				return BatchResult{Error: err.Error()}, nil
 			}
-			return BatchResult{Error: err.Error()}, nil
+			return BatchResult{Estimate: &est}, nil
+		}, sweep.Workers(s.cfg.Workers))
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, err
 		}
-		return BatchResult{Estimate: &est}, nil
-	}, sweep.Workers(s.cfg.Workers))
-	if err != nil {
-		if ctxErr := ctx.Err(); ctxErr != nil {
-			return nil, ctxErr
-		}
-		return nil, err
+		resp.Results = results
 	}
-	return BatchResponse{Results: results}, nil
+	if len(req.Simulations) > 0 {
+		sims, err := s.simulateBatch(ctx, req.Simulations)
+		if err != nil {
+			if ctxErr := ctx.Err(); ctxErr != nil {
+				return nil, ctxErr
+			}
+			return nil, err
+		}
+		resp.Simulations = sims
+	}
+	return resp, nil
+}
+
+// batchChunk is how many simulation lanes one worker dispatch advances in
+// lockstep: enough to amortize the SoA setup, small enough that a request's
+// lanes still spread across the pool.
+const batchChunk = 64
+
+// simulateBatch answers the Simulations list. Elements are validated
+// individually (a malformed one reports its error in place), then grouped
+// by stepper — exact and fast lanes run in separate lockstep batches — and
+// chunked over the sweep pool. Every lane's verdict is byte-identical to
+// the scalar /v1/simulate answer for the same element: the exact batch
+// lane is bit-equal by construction and the parity tests pin it.
+func (s *Server) simulateBatch(ctx context.Context, reqs []SimulateRequest) ([]BatchSimResult, error) {
+	out := make([]BatchSimResult, len(reqs))
+	type lane struct {
+		idx int
+		rs  resolvedSim
+	}
+	var exact, fast []lane
+	for i, req := range reqs {
+		rs, err := resolveSimulate(req, s.catalog)
+		if err != nil {
+			out[i] = BatchSimResult{Error: err.Error()}
+			continue
+		}
+		if rs.fast {
+			fast = append(fast, lane{i, rs})
+		} else {
+			exact = append(exact, lane{i, rs})
+		}
+	}
+
+	runChunk := func(ctx context.Context, chunk []lane, useFast bool) ([]SimulateResponse, error) {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		if !s.cfg.ScalarBatch {
+			scens := make([]powersys.BatchScenario, len(chunk))
+			for j, ln := range chunk {
+				cfg := ln.rs.cfg
+				scens[j] = powersys.BatchScenario{
+					Profile: ln.rs.prof,
+					Config:  &cfg,
+					VStart:  ln.rs.vStart,
+					Harvest: ln.rs.harvest,
+				}
+			}
+			bs, err := powersys.NewBatch(chunk[0].rs.cfg, scens)
+			if err == nil {
+				results := bs.Run(powersys.BatchOptions{SkipRebound: true, Fast: useFast, Ctx: ctx})
+				resps := make([]SimulateResponse, len(chunk))
+				for j := range chunk {
+					if err := ctxFailure(results[j]); err != nil {
+						return nil, err
+					}
+					resps[j] = simResponse(results[j])
+				}
+				return resps, nil
+			}
+			// Shape the batch lane cannot hold (mixed timesteps, branch
+			// counts): fall back to the scalar path below.
+		}
+		resps := make([]SimulateResponse, len(chunk))
+		for j, ln := range chunk {
+			r, err := simulateScalar(ctx, ln.rs)
+			if err != nil {
+				return nil, err
+			}
+			resps[j] = r
+		}
+		return resps, nil
+	}
+
+	for _, group := range []struct {
+		lanes   []lane
+		useFast bool
+	}{{exact, false}, {fast, true}} {
+		group := group
+		if len(group.lanes) == 0 {
+			continue
+		}
+		resps, err := sweep.MapChunks(ctx, group.lanes, batchChunk, func(ctx context.Context, _ int, chunk []lane) ([]SimulateResponse, error) {
+			return runChunk(ctx, chunk, group.useFast)
+		}, sweep.Workers(s.cfg.Workers))
+		if err != nil {
+			return nil, err
+		}
+		for j, ln := range group.lanes {
+			r := resps[j]
+			out[ln.idx] = BatchSimResult{Result: &r}
+		}
+	}
+	return out, nil
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

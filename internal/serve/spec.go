@@ -40,6 +40,7 @@ type (
 	EstimateResponse  = api.EstimateResponse
 	SimulateResponse  = api.SimulateResponse
 	BatchResult       = api.BatchResult
+	BatchSimResult    = api.BatchSimResult
 	BatchResponse     = api.BatchResponse
 	ErrorResponse     = api.ErrorResponse
 	HealthResponse    = api.HealthResponse

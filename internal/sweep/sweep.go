@@ -227,3 +227,43 @@ func Map[I, O any](ctx context.Context, items []I, fn func(ctx context.Context, 
 		return fn(ctx, c.Index, items[c.Index])
 	}, opts...)
 }
+
+// MapChunks partitions items into contiguous chunks of at most size
+// elements and runs fn once per chunk on the worker pool, preserving
+// order: the returned slice is the concatenation of the chunk results, so
+// out[i] corresponds to items[i] exactly as with Map. It is the
+// granularity-tuned form of Map for work whose per-item cost is too small
+// to amortize a dispatch — or that gets cheaper in bulk, like the serving
+// layer's batch simulations, where each chunk becomes one SoA lockstep
+// batch run. fn receives the chunk's starting index into items and must
+// return exactly len(chunk) results; anything else is an error.
+func MapChunks[I, O any](ctx context.Context, items []I, size int, fn func(ctx context.Context, start int, chunk []I) ([]O, error), opts ...Option) ([]O, error) {
+	if size < 1 {
+		size = 1
+	}
+	n := len(items)
+	chunks := (n + size - 1) / size
+	per, err := Run(ctx, Of(chunks), func(ctx context.Context, c Cell) ([]O, error) {
+		lo := c.Index * size
+		hi := lo + size
+		if hi > n {
+			hi = n
+		}
+		out, err := fn(ctx, lo, items[lo:hi])
+		if err != nil {
+			return nil, err
+		}
+		if len(out) != hi-lo {
+			return nil, fmt.Errorf("chunk [%d,%d) returned %d results, want %d", lo, hi, len(out), hi-lo)
+		}
+		return out, nil
+	}, opts...)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]O, 0, n)
+	for _, ch := range per {
+		out = append(out, ch...)
+	}
+	return out, nil
+}

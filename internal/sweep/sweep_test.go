@@ -242,3 +242,60 @@ func TestRunDeterministicWithSeededCells(t *testing.T) {
 		}
 	}
 }
+
+func TestMapChunks(t *testing.T) {
+	items := make([]int, 23)
+	for i := range items {
+		items[i] = i * 10
+	}
+	out, err := MapChunks(context.Background(), items, 5, func(_ context.Context, start int, chunk []int) ([]int, error) {
+		res := make([]int, len(chunk))
+		for j, v := range chunk {
+			if v != (start+j)*10 {
+				t.Errorf("chunk at %d: element %d is %d", start, j, v)
+			}
+			res[j] = v + 1
+		}
+		return res, nil
+	}, Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != len(items) {
+		t.Fatalf("got %d results, want %d", len(out), len(items))
+	}
+	for i, v := range out {
+		if v != i*10+1 {
+			t.Errorf("out[%d] = %d, want %d", i, v, i*10+1)
+		}
+	}
+
+	// Degenerate sizes clamp to 1; empty input is empty output.
+	if out, err := MapChunks(context.Background(), items[:3], 0, func(_ context.Context, _ int, ch []int) ([]int, error) {
+		if len(ch) != 1 {
+			t.Errorf("size 0 should clamp to singleton chunks, got %d", len(ch))
+		}
+		return ch, nil
+	}); err != nil || len(out) != 3 {
+		t.Fatalf("clamped run: out=%v err=%v", out, err)
+	}
+	if out, err := MapChunks(context.Background(), []int(nil), 8, func(_ context.Context, _ int, ch []int) ([]int, error) {
+		return ch, nil
+	}); err != nil || len(out) != 0 {
+		t.Fatalf("empty run: out=%v err=%v", out, err)
+	}
+}
+
+func TestMapChunksLengthContract(t *testing.T) {
+	items := []int{1, 2, 3, 4}
+	_, err := MapChunks(context.Background(), items, 2, func(_ context.Context, _ int, chunk []int) ([]int, error) {
+		return chunk[:1], nil // short: violates the one-result-per-item contract
+	})
+	if err == nil {
+		t.Fatal("short chunk result accepted")
+	}
+	var ce *CellError
+	if !errors.As(err, &ce) {
+		t.Fatalf("want *CellError, got %T: %v", err, err)
+	}
+}
