@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak alloc batch bench serve-smoke chaos check
+.PHONY: build vet test race golden golden-update soak alloc batch bench benchgate serve-smoke chaos shard check
 
 build:
 	$(GO) build ./...
@@ -59,6 +59,17 @@ bench:
 	$(GO) run ./cmd/culpeo bench
 	$(GO) run ./cmd/culpeo benchcheck
 
+# Performance regression gate: collect fresh micro-benchmark measurements
+# and compare them against the committed artifact; any matching measurement
+# more than 15% worse — after normalizing by the calibration spin, so
+# machine-speed swings between runs don't count — fails. Up to 3 collection
+# attempts: a real regression fails all of them, a host slow phase arriving
+# mid-suite fails one. (A fresh report carries no serving/shard sections;
+# those are recorded deliberately via `culpeo loadtest -record` /
+# `-shardsweep -record`, not re-measured here.)
+benchgate:
+	$(GO) run ./cmd/culpeo benchcheck -against BENCH_culpeo.json -fresh 3
+
 # Out-of-process serving smoke: build the real culpeod binary, boot it on an
 # ephemeral port, exercise /healthz + /v1/vsafe + /v1/batch + /metrics, then
 # SIGTERM it and require a graceful drain with exit 0.
@@ -79,4 +90,14 @@ chaos:
 	$(GO) test -race ./internal/expt -run 'TestChaosSoak' -short -count=1
 	$(GO) test -race ./cmd/culpeod -run 'TestDrainFailover' -count=1
 
-check: vet build alloc batch race golden soak serve-smoke chaos
+# Sharded estimation tier: rendezvous routing/failover/topology unit and
+# integration suites under the race detector, then the reduced sharded
+# lifecycle soak (partition → kill → leave → rejoin → drain → readmit)
+# against its golden transition log. For the full-length soak run:
+#   go test ./internal/expt -run TestShardSoak -count=1
+# or, interactively: go run ./cmd/culpeo shardsoak
+shard:
+	$(GO) test -race ./internal/shard -count=1
+	$(GO) test -race ./internal/expt -run 'TestShardSoak' -short -count=1
+
+check: vet build alloc batch race golden soak serve-smoke chaos shard benchgate

@@ -23,7 +23,8 @@
 //	culpeo benchcheck  validate the committed BENCH_culpeo.json artifact
 //	culpeo loadtest    hammer the culpeod HTTP service and report throughput
 //	culpeo chaos       deterministic resilience soak: culpeod behind fault proxies
-//	culpeo all         everything above except bench/benchcheck/loadtest/chaos
+//	culpeo shardsoak   sharded-tier lifecycle soak: kill/leave/rejoin/drain a shard
+//	culpeo all         everything above except bench/benchcheck/loadtest/chaos/shardsoak
 //
 // Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
 // the application experiments; -points dumps Figure 3's full point cloud;
@@ -38,7 +39,20 @@
 // loadtest drives POST /v1/vsafe with -concurrency closed-loop clients for
 // -duration against -addr (empty self-hosts an in-process server over real
 // loopback HTTP) and prints throughput with p50/p99 latency; -record merges
-// the result into the -benchout artifact as its "serving" section.
+// the result into the -benchout artifact as its "serving" section. With
+// -shards N it instead boots N in-process culpeod shards behind a
+// rendezvous router and measures routed throughput on a fixed working set;
+// -shardsweep runs the 1/4/8 scaling sweep, and -record then merges the
+// rows into the artifact's "shard_scaling" section.
+//
+// benchcheck validates the committed artifact; with -against BASELINE it
+// additionally compares -benchout against BASELINE and fails on any
+// matching measurement regressed beyond -tolerance (default 15%).
+// Comparisons are normalized by the calibration spin recorded in each
+// report, cancelling machine-speed differences between runs. With
+// -fresh N it ignores -benchout and instead collects live measurements,
+// retrying up to N attempts before failing — the `make benchgate`
+// regression gate.
 //
 // chaos boots two in-process culpeod servers behind deterministic
 // netchaos fault proxies (503 bursts, mid-headers resets, blackholes,
@@ -46,6 +60,13 @@
 // pool, and gates on 100% eventual success, bit-exact parity with the
 // library path, zero server panics and a reproducible transition log;
 // -reduced runs the smaller `make chaos` workload.
+//
+// shardsoak boots three culpeod shards behind the same fault proxies,
+// routes a mixed workload by (power-model, trace) fingerprint, and walks
+// the fleet through a partition, a hard kill, a topology leave and
+// rejoin, and a drain/readmit cycle — gated on 100% eventual success,
+// bit-exact parity, zero panics and a reproducible transition log;
+// -reduced runs the smaller `make shard` schedule.
 package main
 
 import (
@@ -64,6 +85,7 @@ import (
 	"culpeo/internal/expt"
 	"culpeo/internal/prof"
 	"culpeo/internal/serve"
+	"culpeo/internal/shard"
 	"culpeo/internal/sweep"
 )
 
@@ -91,10 +113,15 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	ltAddr := fs.String("addr", "", "loadtest: target base URL (empty = self-hosted in-process server)")
 	ltDuration := fs.Duration("duration", 3*time.Second, "loadtest: measurement window")
 	ltConcurrency := fs.Int("concurrency", 0, "loadtest: closed-loop clients (0 = 4×GOMAXPROCS)")
-	ltRecord := fs.Bool("record", false, "loadtest: merge serving stats into the -benchout artifact")
-	chaosReduced := fs.Bool("reduced", false, "chaos: run the reduced workload (the `make chaos` configuration)")
+	ltRecord := fs.Bool("record", false, "loadtest: merge serving (or -shardsweep scaling) stats into the -benchout artifact")
+	ltShards := fs.Int("shards", 0, "loadtest: boot this many culpeod shards behind a rendezvous router (0 = single-node HTTP loadtest)")
+	ltSweep := fs.Bool("shardsweep", false, "loadtest: run the sharded rig at 1, 4 and 8 shards and report scaling")
+	against := fs.String("against", "", "benchcheck: baseline artifact to compare -benchout against (regression gate)")
+	tolerance := fs.Float64("tolerance", 0.15, "benchcheck: allowed fractional regression vs -against")
+	fresh := fs.Int("fresh", 0, "benchcheck: with -against, collect fresh measurements instead of reading -benchout, retrying up to this many attempts")
+	chaosReduced := fs.Bool("reduced", false, "chaos/shardsoak: run the reduced workload (the `make chaos` / `make shard` configuration)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest chaos all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest chaos shardsoak all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
@@ -133,10 +160,18 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	opt := expt.Fig12Opts{Horizon: *horizon, Trials: *trials}
 	for _, cmd := range cmds {
 		var err error
-		if cmd == "loadtest" {
+		if cmd == "loadtest" && (*ltSweep || *ltShards > 0) {
+			err = shardLoadTest(ctx, stdout, *ltShards, *ltSweep, *ltConcurrency, *ltRecord, *benchout)
+		} else if cmd == "loadtest" {
 			err = loadtest(ctx, stdout, *ltAddr, *ltDuration, *ltConcurrency, *ltRecord, *benchout)
 		} else if cmd == "chaos" {
 			err = chaos(ctx, stdout, *chaosReduced)
+		} else if cmd == "shardsoak" {
+			err = shardsoak(ctx, stdout, *chaosReduced)
+		} else if cmd == "benchcheck" && *against != "" && *fresh > 0 {
+			err = benchgateFresh(stdout, *against, *tolerance, *fresh)
+		} else if cmd == "benchcheck" && *against != "" {
+			err = benchgate(stdout, *benchout, *against, *tolerance)
 		} else {
 			err = run(ctx, stdout, cmd, *csv, *points, *benchout, opt)
 		}
@@ -193,6 +228,108 @@ func loadtest(ctx context.Context, w io.Writer, addr string, duration time.Durat
 	return nil
 }
 
+// shardLoadTest drives the sharded throughput rig: one run at -shards
+// nodes, or the 1/4/8 scaling sweep with -shardsweep; -record merges the
+// sweep into the bench artifact's shard_scaling section.
+func shardLoadTest(ctx context.Context, w io.Writer, shards int, sweepAll bool, concurrency int, record bool, benchout string) error {
+	counts := []int{shards}
+	if sweepAll {
+		counts = []int{1, 4, 8}
+	}
+	opt := shard.LoadTestOptions{Concurrency: concurrency}
+	opt2 := opt // keep zero fields so the rig's defaults are reported
+	(&opt2).Defaults()
+	rows, err := shard.Scaling(ctx, counts, opt)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "loadtest: sharded rig, working set %d, per-shard cache %d, %d clients\n",
+		opt2.WorkingSet, opt2.PerShardCache, opt2.Concurrency)
+	base := rows[0].ThroughputRPS
+	for _, r := range rows {
+		fmt.Fprintf(w, "loadtest: %d shard(s): %d requests (%d failures) in %.2f s: %.0f req/s, cache hit rate %.1f%%, %d evictions (%.2fx vs %d-shard)\n",
+			r.Shards, r.Requests, r.Failures, r.DurationSec, r.ThroughputRPS, r.HitRate*100, r.Evictions, r.ThroughputRPS/base, rows[0].Shards)
+	}
+	if !record {
+		return nil
+	}
+	if !sweepAll || rows[0].Shards != 1 {
+		return fmt.Errorf("-record needs the full -shardsweep (the artifact's first row is the 1-shard baseline)")
+	}
+	rep, err := benchrun.Read(benchout)
+	if err != nil {
+		return fmt.Errorf("-record needs a valid artifact (run `culpeo bench` first): %w", err)
+	}
+	sc := &benchrun.ShardScaling{
+		WorkingSet:    opt2.WorkingSet,
+		PerShardCache: opt2.PerShardCache,
+		Concurrency:   opt2.Concurrency,
+	}
+	for _, r := range rows {
+		sc.Rows = append(sc.Rows, benchrun.ShardRow{
+			Shards:        r.Shards,
+			Requests:      r.Requests,
+			ThroughputRPS: r.ThroughputRPS,
+			CacheHitRate:  r.HitRate,
+			Evictions:     r.Evictions,
+			SpeedupVs1:    r.ThroughputRPS / base,
+		})
+	}
+	rep.ShardScaling = sc
+	if err := benchrun.Write(benchout, rep); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "loadtest: recorded shard scaling into %s\n", benchout)
+	return nil
+}
+
+// benchgate is benchcheck with -against: validate both artifacts, then
+// fail on any matching measurement regressed beyond the tolerance.
+func benchgate(w io.Writer, current, baseline string, tol float64) error {
+	cur, err := benchrun.Read(current)
+	if err != nil {
+		return err
+	}
+	base, err := benchrun.Read(baseline)
+	if err != nil {
+		return err
+	}
+	if err := benchrun.Compare(cur, base, tol); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "benchcheck: %s within %.0f%% of %s (%d benchmarks compared)\n",
+		current, tol*100, baseline, len(cur.Benchmarks))
+	return nil
+}
+
+// benchgateFresh is the regression gate against freshly collected
+// measurements: collect, compare, retry up to n attempts. A genuine
+// regression is code-relative — the calibration spin cancels whole-machine
+// speed swings — and fails every attempt; a host slow phase that arrives
+// mid-suite (after the spin ran) skews one attempt and not the next. Only
+// exhausting every attempt fails the gate, with the last violations as
+// the error.
+func benchgateFresh(w io.Writer, baseline string, tol float64, n int) error {
+	base, err := benchrun.Read(baseline)
+	if err != nil {
+		return err
+	}
+	var last error
+	for attempt := 1; attempt <= n; attempt++ {
+		cur, err := benchrun.Collect()
+		if err != nil {
+			return err
+		}
+		if last = benchrun.Compare(cur, base, tol); last == nil {
+			fmt.Fprintf(w, "benchcheck: fresh run within %.0f%% of %s (%d benchmarks compared, attempt %d/%d)\n",
+				tol*100, baseline, len(cur.Benchmarks), attempt, n)
+			return nil
+		}
+		fmt.Fprintf(w, "benchcheck: attempt %d/%d: %v\n", attempt, n, last)
+	}
+	return last
+}
+
 // chaos runs the deterministic resilience soak and prints its report; a
 // failed gate is the command's error (non-zero exit).
 func chaos(ctx context.Context, w io.Writer, reduced bool) error {
@@ -209,6 +346,25 @@ func chaos(ctx context.Context, w io.Writer, reduced bool) error {
 		return err
 	}
 	fmt.Fprintln(w, "chaos: all gates passed (eventual success, bit-exact parity, zero panics)")
+	return nil
+}
+
+// shardsoak runs the sharded-tier lifecycle soak and prints its report; a
+// failed gate is the command's error (non-zero exit).
+func shardsoak(ctx context.Context, w io.Writer, reduced bool) error {
+	t0 := time.Now()
+	rep, err := expt.ShardSoak(ctx, expt.ShardSoakOpts{Reduced: reduced})
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nshardsoak: soak completed in %.1f s\n", time.Since(t0).Seconds())
+	if err := rep.Gate(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "shardsoak: all gates passed (eventual success, bit-exact parity, zero panics, full lifecycle)")
 	return nil
 }
 
@@ -275,9 +431,10 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 			return err
 		}
 		// A bench run replaces the micro-benchmark section but must not
-		// discard the serving section loadtest -record merged earlier.
-		if prev, err := benchrun.Read(benchout); err == nil && prev.Serving != nil {
+		// discard the sections loadtest -record merged earlier.
+		if prev, err := benchrun.Read(benchout); err == nil {
 			rep.Serving = prev.Serving
+			rep.ShardScaling = prev.ShardScaling
 		}
 		if err := benchrun.Write(benchout, rep); err != nil {
 			return err
@@ -294,6 +451,12 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		if s := rep.Serving; s != nil {
 			fmt.Fprintf(w, "benchcheck: serving %.0f req/s, p50 %.3f ms, p99 %.3f ms over %d clients\n",
 				s.ThroughputRPS, s.P50Ms, s.P99Ms, s.Concurrency)
+		}
+		if sc := rep.ShardScaling; sc != nil {
+			for _, row := range sc.Rows {
+				fmt.Fprintf(w, "benchcheck: %d shard(s): %.0f req/s (%.2fx vs 1), cache hit rate %.1f%%\n",
+					row.Shards, row.ThroughputRPS, row.SpeedupVs1, row.CacheHitRate*100)
+			}
 		}
 		return nil
 	case "fig1b":

@@ -142,9 +142,17 @@ type ErrorResponse struct {
 
 // HealthResponse is the /healthz body. Draining means the daemon received
 // SIGTERM and load balancers (and client pools) should stop routing to it.
+// The shard fields are additive (omitempty) so pre-sharding clients keep
+// decoding the document unchanged: ShardID names this node's slot in a
+// sharded deployment, TopologyEpoch is the fleet topology version the node
+// last heard (0: standalone, never told), and Version identifies the
+// serving build.
 type HealthResponse struct {
-	OK       bool `json:"ok"`
-	Draining bool `json:"draining"`
+	OK            bool   `json:"ok"`
+	Draining      bool   `json:"draining"`
+	ShardID       string `json:"shard_id,omitempty"`
+	TopologyEpoch uint64 `json:"topology_epoch,omitempty"`
+	Version       string `json:"version,omitempty"`
 }
 
 // RequestIDHeader carries the request-correlation ID. The client sends a

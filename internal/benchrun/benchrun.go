@@ -24,7 +24,9 @@ import (
 
 // Schema identifies the report layout; bump on breaking changes.
 // Schema 2 added the step/scalar-64 / step/batch-64 pair and batch_speedup.
-const Schema = 2
+// Schema 3 added the shard_scaling section (`culpeo loadtest -shardsweep
+// -record`): sharded-tier throughput at 1/4/8 nodes on the cache-cold mix.
+const Schema = 3
 
 // Benchmark is one recorded measurement.
 type Benchmark struct {
@@ -56,6 +58,29 @@ type ServingStats struct {
 	CacheHitRate  float64 `json:"cache_hit_rate"`
 }
 
+// ShardRow is one shard count in the scaling sweep.
+type ShardRow struct {
+	Shards        int     `json:"shards"`
+	Requests      uint64  `json:"requests"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// CacheHitRate aggregates over every shard's V_safe cache: the
+	// mechanism behind the scaling (cache partitioning, not CPU).
+	CacheHitRate float64 `json:"cache_hit_rate"`
+	Evictions    uint64  `json:"evictions"`
+	// SpeedupVs1 is this row's throughput over the 1-shard row's.
+	SpeedupVs1 float64 `json:"speedup_vs_1"`
+}
+
+// ShardScaling records a `culpeo loadtest -shardsweep -record` run: the
+// same working set driven through the rendezvous router at increasing
+// shard counts. The first row is always the 1-shard baseline.
+type ShardScaling struct {
+	WorkingSet    int        `json:"working_set"`
+	PerShardCache int        `json:"per_shard_cache"`
+	Concurrency   int        `json:"concurrency"`
+	Rows          []ShardRow `json:"rows"`
+}
+
 // Report is the full bench trajectory written to BENCH_culpeo.json.
 type Report struct {
 	Schema    int    `json:"schema"`
@@ -77,6 +102,10 @@ type Report struct {
 	// Serving is the recorded loadtest of the culpeod service, when one has
 	// been run (`culpeo loadtest -record`); bench itself leaves it intact.
 	Serving *ServingStats `json:"serving,omitempty"`
+	// ShardScaling is the recorded sharded-tier scaling sweep, when one has
+	// been run (`culpeo loadtest -shardsweep -record`); bench leaves it
+	// intact the same way.
+	ShardScaling *ShardScaling `json:"shard_scaling,omitempty"`
 }
 
 // sweepTasks is the end-to-end workload: a spread of the evaluation
@@ -125,6 +154,46 @@ func capybaraModel(cfg powersys.Config) core.PowerModel {
 	}
 }
 
+// benchReps is how many times each measurement repeats; the fastest run
+// is the one recorded. A single self-calibrated run can land tens of
+// percent off on a shared VM, and noise only ever adds time — so the
+// minimum over a few runs is the stable estimator of the code's actual
+// cost, the only kind a regression gate can meaningfully compare.
+const benchReps = 3
+
+// CalibrationName is the fixed-workload spin benchmark Collect records
+// alongside the real measurements. Its code never changes, so between two
+// reports it moves only with machine speed — host CPU steal, frequency
+// scaling — and Compare uses the ratio to normalize that swing out of
+// every ns/op comparison. Without it, a gate tight enough to catch real
+// regressions (15%) is a coin flip on a VM whose slow phases run 25%
+// under its fast ones.
+const CalibrationName = "calibrate/spin"
+
+// calSink defeats dead-code elimination of the calibration spin.
+var calSink float64
+
+// bestOf repeats fn under testing.Benchmark and keeps the fastest run.
+func bestOf(reps int, fn func(b *testing.B)) testing.BenchmarkResult {
+	best := testing.Benchmark(fn)
+	for i := 1; i < reps; i++ {
+		if r := testing.Benchmark(fn); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
+	return best
+}
+
+// findBenchmark returns the named measurement from a report, if recorded.
+func findBenchmark(r *Report, name string) (Benchmark, bool) {
+	for _, b := range r.Benchmarks {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Benchmark{}, false
+}
+
 // record converts a testing.BenchmarkResult.
 func record(name string, r testing.BenchmarkResult) Benchmark {
 	return Benchmark{
@@ -152,8 +221,8 @@ func sweepOnce(h *harness.Harness, pg profiler.PG, tasks []load.Profile) error {
 }
 
 // Collect runs the benchmark suite and assembles the report. It takes on the
-// order of ten seconds: each measurement self-calibrates to roughly one
-// second of steady-state iteration.
+// order of half a minute: each measurement self-calibrates to roughly one
+// second of steady-state iteration and repeats benchReps times.
 func Collect() (*Report, error) {
 	rep := &Report{
 		Schema:    Schema,
@@ -163,6 +232,20 @@ func Collect() (*Report, error) {
 		NumCPU:    runtime.NumCPU(),
 	}
 
+	// --- calibration: a serial FP multiply-add chain (the same dependency
+	// shape as the stepper's hot loop) whose cost is a machine-speed probe,
+	// not a measurement of anything in this repo.
+	rep.Benchmarks = append(rep.Benchmarks, record(CalibrationName,
+		bestOf(benchReps, func(b *testing.B) {
+			x := 1.0
+			for i := 0; i < b.N; i++ {
+				for j := 0; j < 4096; j++ {
+					x = x*1.0000001 + float64(j&7)
+				}
+			}
+			calSink = x
+		})))
+
 	// --- micro: one exact simulation step, both node-solver paths.
 	single, err := powersys.New(powersys.Capybara())
 	if err != nil {
@@ -170,7 +253,7 @@ func Collect() (*Report, error) {
 	}
 	single.Monitor().Force(true)
 	rep.Benchmarks = append(rep.Benchmarks, record("step/single-branch",
-		testing.Benchmark(func(b *testing.B) {
+		bestOf(benchReps, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				single.Step(10e-3, 1e-3)
 			}
@@ -191,7 +274,7 @@ func Collect() (*Report, error) {
 	}
 	multi.Monitor().Force(true)
 	rep.Benchmarks = append(rep.Benchmarks, record("step/multi-branch",
-		testing.Benchmark(func(b *testing.B) {
+		bestOf(benchReps, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				multi.Step(10e-3, 1e-3)
 			}
@@ -210,7 +293,7 @@ func Collect() (*Report, error) {
 		}
 	}
 	var batchErr error
-	scalarRes := testing.Benchmark(func(b *testing.B) {
+	scalarRes := bestOf(benchReps, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			for j, sc := range scens {
 				sys := scalarSys[j]
@@ -239,7 +322,7 @@ func Collect() (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	batchRes := testing.Benchmark(func(b *testing.B) {
+	batchRes := bestOf(benchReps, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			bs.Reset()
 			for _, res := range bs.Run(powersys.BatchOptions{Fast: true, SkipRebound: true}) {
@@ -264,7 +347,7 @@ func Collect() (*Report, error) {
 	model := capybaraModel(powersys.Capybara())
 	tr := load.Sample(load.LoRa(), load.SampleRateDefault)
 	rep.Benchmarks = append(rep.Benchmarks, record("vsafe/pg-direct",
-		testing.Benchmark(func(b *testing.B) {
+		bestOf(benchReps, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := core.VSafePG(model, tr); err != nil {
 					b.Fatal(err)
@@ -276,7 +359,7 @@ func Collect() (*Report, error) {
 		return nil, err
 	}
 	rep.Benchmarks = append(rep.Benchmarks, record("vsafe/pg-cached",
-		testing.Benchmark(func(b *testing.B) {
+		bestOf(benchReps, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
 				if _, err := warm.PG(model, tr); err != nil {
 					b.Fatal(err)
@@ -292,7 +375,7 @@ func Collect() (*Report, error) {
 	}
 	exactPG := profiler.PG{Model: model, NoCache: true}
 	var sweepErr error
-	exactRes := testing.Benchmark(func(b *testing.B) {
+	exactRes := bestOf(benchReps, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if err := sweepOnce(exactH, exactPG, tasks); err != nil {
 				sweepErr = err
@@ -318,7 +401,7 @@ func Collect() (*Report, error) {
 	if err := sweepOnce(fastH, fastPG, tasks); err != nil {
 		return nil, err
 	}
-	fastRes := testing.Benchmark(func(b *testing.B) {
+	fastRes := bestOf(benchReps, func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			if err := sweepOnce(fastH, fastPG, tasks); err != nil {
 				sweepErr = err
@@ -405,6 +488,112 @@ func (r *Report) Validate() error {
 		case s.CacheHitRate < 0 || s.CacheHitRate > 1 || math.IsNaN(s.CacheHitRate):
 			return fmt.Errorf("benchrun: serving: cache_hit_rate %v outside [0,1]", s.CacheHitRate)
 		}
+	}
+	if sc := r.ShardScaling; sc != nil {
+		if len(sc.Rows) == 0 {
+			return fmt.Errorf("benchrun: shard_scaling: no rows")
+		}
+		if sc.Rows[0].Shards != 1 {
+			return fmt.Errorf("benchrun: shard_scaling: first row is %d shards, want the 1-shard baseline", sc.Rows[0].Shards)
+		}
+		for i, row := range sc.Rows {
+			switch {
+			case row.Shards <= 0:
+				return fmt.Errorf("benchrun: shard_scaling: row %d: shards %d", i, row.Shards)
+			case i > 0 && row.Shards <= sc.Rows[i-1].Shards:
+				return fmt.Errorf("benchrun: shard_scaling: rows not strictly increasing at %d", i)
+			case row.Requests == 0:
+				return fmt.Errorf("benchrun: shard_scaling: row %d: zero requests", i)
+			case !(row.ThroughputRPS > 0) || math.IsInf(row.ThroughputRPS, 0):
+				return fmt.Errorf("benchrun: shard_scaling: row %d: bad throughput_rps %v", i, row.ThroughputRPS)
+			case row.CacheHitRate < 0 || row.CacheHitRate > 1 || math.IsNaN(row.CacheHitRate):
+				return fmt.Errorf("benchrun: shard_scaling: row %d: cache_hit_rate %v outside [0,1]", i, row.CacheHitRate)
+			case !(row.SpeedupVs1 > 0) || math.IsInf(row.SpeedupVs1, 0):
+				return fmt.Errorf("benchrun: shard_scaling: row %d: bad speedup_vs_1 %v", i, row.SpeedupVs1)
+			}
+		}
+	}
+	return nil
+}
+
+// Compare gates current against baseline: any matching measurement that
+// regressed by more than tol (a fraction — 0.15 means 15%) is a violation,
+// and every violation is reported, not just the first. Sections absent on
+// either side are skipped: a fresh `culpeo bench` carries no serving or
+// shard-scaling record, so comparing it against the committed artifact
+// gates the micro-benchmarks and speedups only.
+//
+// When both reports carry the calibration spin, every current ns/op is
+// first scaled by baseline-spin/current-spin — cancelling whole-machine
+// speed differences between the two runs so only code-relative movement
+// counts against the tolerance. Speedups and throughputs are ratios or
+// absent on a fresh report, so they need no such correction.
+func Compare(current, baseline *Report, tol float64) error {
+	if current == nil || baseline == nil {
+		return fmt.Errorf("benchrun: compare: nil report")
+	}
+	if !(tol >= 0) {
+		return fmt.Errorf("benchrun: compare: tolerance %v", tol)
+	}
+	var violations []string
+	worse := func(name string, cur, base float64, lowerIsBetter bool) {
+		if !(base > 0) {
+			return
+		}
+		if lowerIsBetter {
+			if cur > base*(1+tol) {
+				violations = append(violations,
+					fmt.Sprintf("%s: %.0f vs baseline %.0f (+%.1f%%, tolerance %.0f%%)",
+						name, cur, base, (cur/base-1)*100, tol*100))
+			}
+			return
+		}
+		if cur < base*(1-tol) {
+			violations = append(violations,
+				fmt.Sprintf("%s: %.2f vs baseline %.2f (-%.1f%%, tolerance %.0f%%)",
+					name, cur, base, (1-cur/base)*100, tol*100))
+		}
+	}
+	base := map[string]Benchmark{}
+	for _, b := range baseline.Benchmarks {
+		base[b.Name] = b
+	}
+	scale := 1.0
+	if cur, ok1 := findBenchmark(current, CalibrationName); ok1 {
+		if bb, ok2 := base[CalibrationName]; ok2 && cur.NsPerOp > 0 && bb.NsPerOp > 0 {
+			scale = bb.NsPerOp / cur.NsPerOp
+		}
+	}
+	for _, b := range current.Benchmarks {
+		if b.Name == CalibrationName {
+			continue // the normalizer, not a measurement
+		}
+		if bb, ok := base[b.Name]; ok {
+			worse(b.Name+" ns/op", b.NsPerOp*scale, bb.NsPerOp, true)
+		}
+	}
+	worse("fast_path_speedup", current.FastPathSpeedup, baseline.FastPathSpeedup, false)
+	worse("batch_speedup", current.BatchSpeedup, baseline.BatchSpeedup, false)
+	if current.Serving != nil && baseline.Serving != nil {
+		worse("serving throughput_rps", current.Serving.ThroughputRPS, baseline.Serving.ThroughputRPS, false)
+	}
+	if current.ShardScaling != nil && baseline.ShardScaling != nil {
+		baseRows := map[int]ShardRow{}
+		for _, row := range baseline.ShardScaling.Rows {
+			baseRows[row.Shards] = row
+		}
+		for _, row := range current.ShardScaling.Rows {
+			if br, ok := baseRows[row.Shards]; ok {
+				worse(fmt.Sprintf("shard_scaling[%d] speedup_vs_1", row.Shards), row.SpeedupVs1, br.SpeedupVs1, false)
+			}
+		}
+	}
+	if len(violations) > 0 {
+		msg := violations[0]
+		for _, v := range violations[1:] {
+			msg += "; " + v
+		}
+		return fmt.Errorf("benchrun: %d regression(s) beyond tolerance: %s", len(violations), msg)
 	}
 	return nil
 }

@@ -32,6 +32,14 @@ func sample() *Report {
 			ThroughputRPS: 14000, P50Ms: 0.2, P99Ms: 1.1, MeanMs: 0.3,
 			Requests: 42000, Concurrency: 4, DurationSec: 3, CacheHitRate: 0.99,
 		},
+		ShardScaling: &ShardScaling{
+			WorkingSet: 256, PerShardCache: 96, Concurrency: 4,
+			Rows: []ShardRow{
+				{Shards: 1, Requests: 1024, ThroughputRPS: 550, CacheHitRate: 0.0, Evictions: 900, SpeedupVs1: 1},
+				{Shards: 4, Requests: 1024, ThroughputRPS: 3900, CacheHitRate: 0.93, Evictions: 0, SpeedupVs1: 7.1},
+				{Shards: 8, Requests: 1024, ThroughputRPS: 4100, CacheHitRate: 0.93, Evictions: 0, SpeedupVs1: 7.45},
+			},
+		},
 	}
 }
 
@@ -82,6 +90,17 @@ func TestValidateRejectsMalformed(t *testing.T) {
 		"serving no concurrency":  func(r *Report) { r.Serving.Concurrency = 0 },
 		"serving zero duration":   func(r *Report) { r.Serving.DurationSec = 0 },
 		"serving bad hit rate":    func(r *Report) { r.Serving.CacheHitRate = 2 },
+		"shard scaling no rows":   func(r *Report) { r.ShardScaling.Rows = nil },
+		"shard scaling no baseline": func(r *Report) {
+			r.ShardScaling.Rows = r.ShardScaling.Rows[1:]
+		},
+		"shard scaling not increasing": func(r *Report) {
+			r.ShardScaling.Rows[2].Shards = 4
+		},
+		"shard scaling zero requests":   func(r *Report) { r.ShardScaling.Rows[1].Requests = 0 },
+		"shard scaling zero throughput": func(r *Report) { r.ShardScaling.Rows[1].ThroughputRPS = 0 },
+		"shard scaling bad hit rate":    func(r *Report) { r.ShardScaling.Rows[1].CacheHitRate = 1.5 },
+		"shard scaling zero speedup":    func(r *Report) { r.ShardScaling.Rows[1].SpeedupVs1 = 0 },
 	}
 	for name, corrupt := range cases {
 		r := sample()
@@ -93,6 +112,120 @@ func TestValidateRejectsMalformed(t *testing.T) {
 	var nilRep *Report
 	if err := nilRep.Validate(); err == nil {
 		t.Error("nil report validated")
+	}
+}
+
+// TestCompare: the regression gate accepts noise within tolerance, flags
+// every kind of regression beyond it, and skips sections absent on either
+// side.
+func TestCompare(t *testing.T) {
+	base := sample()
+	if err := Compare(sample(), base, 0.15); err != nil {
+		t.Fatalf("identical reports flagged: %v", err)
+	}
+
+	within := sample()
+	within.Benchmarks[0].NsPerOp *= 1.10 // +10% < 15%
+	within.Serving.ThroughputRPS *= 0.90
+	if err := Compare(within, base, 0.15); err != nil {
+		t.Fatalf("within-tolerance noise flagged: %v", err)
+	}
+
+	regressions := map[string]func(*Report){
+		"ns/op":              func(r *Report) { r.Benchmarks[0].NsPerOp *= 1.5 },
+		"fast path speedup":  func(r *Report) { r.FastPathSpeedup *= 0.5 },
+		"batch speedup":      func(r *Report) { r.BatchSpeedup *= 0.5 },
+		"serving throughput": func(r *Report) { r.Serving.ThroughputRPS *= 0.5 },
+		"shard speedup":      func(r *Report) { r.ShardScaling.Rows[1].SpeedupVs1 *= 0.5 },
+	}
+	for name, corrupt := range regressions {
+		cur := sample()
+		corrupt(cur)
+		if err := Compare(cur, base, 0.15); err == nil {
+			t.Errorf("%s regression not flagged", name)
+		}
+	}
+
+	// Both regressions reported, not just the first.
+	cur := sample()
+	cur.Benchmarks[0].NsPerOp *= 2
+	cur.BatchSpeedup *= 0.5
+	err := Compare(cur, base, 0.15)
+	if err == nil || !strings.Contains(err.Error(), "2 regression(s)") {
+		t.Fatalf("want both regressions reported, got %v", err)
+	}
+
+	// A fresh bench with no serving/shard sections gates micro-benches only.
+	cur = sample()
+	cur.Serving, cur.ShardScaling = nil, nil
+	if err := Compare(cur, base, 0.15); err != nil {
+		t.Fatalf("absent sections must be skipped: %v", err)
+	}
+	// An improvement is never a violation.
+	cur = sample()
+	cur.Benchmarks[0].NsPerOp *= 0.2
+	cur.ShardScaling.Rows[1].SpeedupVs1 *= 3
+	if err := Compare(cur, base, 0.15); err != nil {
+		t.Fatalf("improvement flagged: %v", err)
+	}
+	if err := Compare(nil, base, 0.15); err == nil {
+		t.Fatal("nil current accepted")
+	}
+	if err := Compare(sample(), base, math.NaN()); err == nil {
+		t.Fatal("NaN tolerance accepted")
+	}
+}
+
+func TestCompareCalibration(t *testing.T) {
+	withCal := func(ns float64) *Report {
+		r := sample()
+		r.Benchmarks = append(r.Benchmarks,
+			Benchmark{Name: CalibrationName, NsPerOp: ns, Iterations: 1_000_000})
+		return r
+	}
+	base := withCal(1000)
+
+	// A whole-machine slowdown moves every benchmark and the spin alike;
+	// normalization cancels it.
+	slowVM := withCal(1300)
+	for i := range slowVM.Benchmarks {
+		slowVM.Benchmarks[i].NsPerOp *= 1.3
+	}
+	if err := Compare(slowVM, base, 0.15); err != nil {
+		t.Fatalf("uniform machine slowdown flagged despite calibration: %v", err)
+	}
+
+	// A real code regression moves one benchmark but not the spin.
+	regressed := withCal(1000)
+	regressed.Benchmarks[0].NsPerOp *= 1.5
+	if err := Compare(regressed, base, 0.15); err == nil {
+		t.Fatal("code regression hidden by calibration")
+	}
+
+	// A regression on a *faster* machine must still be caught: spin says
+	// 2x faster, benchmark only 1.1x faster → normalized 1.82x worse.
+	fasterVM := withCal(500)
+	for i := range fasterVM.Benchmarks {
+		fasterVM.Benchmarks[i].NsPerOp *= 0.9
+	}
+	if err := Compare(fasterVM, base, 0.15); err == nil {
+		t.Fatal("relative regression on a faster machine not flagged")
+	}
+
+	// Calibration on one side only: raw comparison, no scaling.
+	oneSided := sample()
+	oneSided.Benchmarks[0].NsPerOp *= 1.5
+	if err := Compare(oneSided, base, 0.15); err == nil {
+		t.Fatal("regression not flagged when current lacks calibration")
+	}
+	// The calibration row itself is never a violation: a 5x-faster spin
+	// normalizes every other benchmark to 5x worse — all of those are
+	// reported, the spin is not.
+	calOnly := withCal(200)
+	if err := Compare(calOnly, base, 0.15); err == nil {
+		t.Fatal("expected violations: every benchmark is 5x-slower-normalized")
+	} else if strings.Contains(err.Error(), CalibrationName) {
+		t.Fatalf("calibration row reported as a regression: %v", err)
 	}
 }
 

@@ -168,6 +168,30 @@ type backend struct {
 	brk     *Breaker
 	ejected atomic.Bool // health probe saw it down or draining
 	met     backendCounters
+
+	// healthMu guards the identity fields the last successful /healthz
+	// probe reported (additive shard-era fields; empty until a probe has
+	// decoded them).
+	healthMu      sync.Mutex
+	shardID       string
+	topologyEpoch uint64
+	version       string
+}
+
+// setHealthIdentity records the shard identity a probe decoded.
+func (b *backend) setHealthIdentity(h api.HealthResponse) {
+	b.healthMu.Lock()
+	b.shardID = h.ShardID
+	b.topologyEpoch = h.TopologyEpoch
+	b.version = h.Version
+	b.healthMu.Unlock()
+}
+
+// healthIdentity returns the last probed shard identity.
+func (b *backend) healthIdentity() (shardID string, epoch uint64, version string) {
+	b.healthMu.Lock()
+	defer b.healthMu.Unlock()
+	return b.shardID, b.topologyEpoch, b.version
 }
 
 // Pool is a load-balancing, failure-isolating culpeod client. Safe for
@@ -634,6 +658,37 @@ func (p *Pool) probeSuspects(ctx context.Context) {
 	}
 }
 
+// ProbeNow synchronously probes every suspect backend once — the hook a
+// topology-aware router (internal/shard) uses to drive readmission on its
+// own cadence. A shard the router has stopped sending to never advances
+// the pool's call counter, so ProbeEvery alone would leave it ejected
+// forever; the router calls ProbeNow instead.
+func (p *Pool) ProbeNow(ctx context.Context) { p.probeSuspects(ctx) }
+
+// ProbeAll synchronously probes every backend, healthy or not. Healthy
+// backends that stay healthy produce no events; the point is to detect
+// draining (which only /healthz reveals — a draining culpeod still answers
+// work requests) and to refresh each backend's advertised shard identity
+// and topology epoch.
+func (p *Pool) ProbeAll(ctx context.Context) {
+	for _, b := range p.backends {
+		p.probe(ctx, b)
+	}
+}
+
+// Admissible reports whether any backend would currently be offered a
+// request: not ejected, breaker not refusing outright. A router treats a
+// non-admissible pool as a dead shard and fails over to the next
+// rendezvous candidate rather than paying a doomed attempt.
+func (p *Pool) Admissible() bool {
+	for _, b := range p.backends {
+		if !b.ejected.Load() && b.brk.State() != Open {
+			return true
+		}
+	}
+	return false
+}
+
 // probe hits /healthz once and moves the backend between the healthy and
 // ejected sets. A draining backend is ejected exactly like a dead one —
 // it asked us to leave.
@@ -649,7 +704,14 @@ func (p *Pool) probe(ctx context.Context, b *backend) {
 			raw, rerr := io.ReadAll(io.LimitReader(resp.Body, 4096))
 			resp.Body.Close()
 			var h api.HealthResponse
-			if rerr == nil && json.Unmarshal(raw, &h) == nil {
+			// Trust the body only when it self-identifies as a culpeod
+			// /healthz (version is always set). An intermediary's error page
+			// — a proxy's own 503, say — also arrives as JSON but must not
+			// overwrite the backend's advertised identity or read as a drain
+			// signal. (A draining culpeod answers 503 too, so the status code
+			// alone cannot discriminate.)
+			if rerr == nil && json.Unmarshal(raw, &h) == nil && h.Version != "" {
+				b.setHealthIdentity(h)
 				switch {
 				case h.Draining:
 					cause = "draining"

@@ -281,12 +281,14 @@ func TestProbeEjectsAndReadmits(t *testing.T) {
 	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.URL.Path == "/healthz" {
 			w.Header().Set("Content-Type", "application/json")
+			// version must be present: the probe only trusts a body that
+			// self-identifies as a culpeod /healthz.
 			if draining.Load() {
 				w.WriteHeader(http.StatusServiceUnavailable)
-				fmt.Fprint(w, `{"ok":false,"draining":true}`)
+				fmt.Fprint(w, `{"ok":false,"draining":true,"version":"culpeod/test"}`)
 				return
 			}
-			fmt.Fprint(w, `{"ok":true,"draining":false}`)
+			fmt.Fprint(w, `{"ok":true,"draining":false,"version":"culpeod/test"}`)
 			return
 		}
 		estimateOK(w)

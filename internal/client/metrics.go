@@ -40,17 +40,23 @@ type backendCounters struct {
 }
 
 // BackendSnapshot is the wire form of one backend's client-side view.
+// ShardID / TopologyEpoch / Version echo what the backend's last decoded
+// /healthz probe advertised (empty until a probe has run) — how a router
+// verifies its topology pushes actually reached the fleet.
 type BackendSnapshot struct {
-	Name         string                `json:"name"`
-	URL          string                `json:"url"`
-	BreakerState string                `json:"breaker_state"`
-	Ejected      bool                  `json:"ejected"`
-	Attempts     uint64                `json:"attempts"`
-	Successes    uint64                `json:"successes"`
-	Failures     uint64                `json:"failures"`
-	Probes       uint64                `json:"probes"`
-	ProbeFails   uint64                `json:"probe_failures"`
-	Latency      api.HistogramSnapshot `json:"latency"`
+	Name          string                `json:"name"`
+	URL           string                `json:"url"`
+	BreakerState  string                `json:"breaker_state"`
+	Ejected       bool                  `json:"ejected"`
+	Attempts      uint64                `json:"attempts"`
+	Successes     uint64                `json:"successes"`
+	Failures      uint64                `json:"failures"`
+	Probes        uint64                `json:"probes"`
+	ProbeFails    uint64                `json:"probe_failures"`
+	ShardID       string                `json:"shard_id,omitempty"`
+	TopologyEpoch uint64                `json:"topology_epoch,omitempty"`
+	Version       string                `json:"version,omitempty"`
+	Latency       api.HistogramSnapshot `json:"latency"`
 }
 
 // MetricsSnapshot is the client-side metrics document.
@@ -85,17 +91,21 @@ func (p *Pool) Metrics() MetricsSnapshot {
 		HedgeWins:         p.met.hedgeWins.Load(),
 	}
 	for _, b := range p.backends {
+		shardID, epoch, version := b.healthIdentity()
 		s.Backends = append(s.Backends, BackendSnapshot{
-			Name:         b.name,
-			URL:          b.base,
-			BreakerState: b.brk.State().String(),
-			Ejected:      b.ejected.Load(),
-			Attempts:     b.met.attempts.Load(),
-			Successes:    b.met.successes.Load(),
-			Failures:     b.met.failures.Load(),
-			Probes:       b.met.probes.Load(),
-			ProbeFails:   b.met.probeFails.Load(),
-			Latency:      b.met.latency.Snapshot(),
+			Name:          b.name,
+			URL:           b.base,
+			BreakerState:  b.brk.State().String(),
+			Ejected:       b.ejected.Load(),
+			Attempts:      b.met.attempts.Load(),
+			Successes:     b.met.successes.Load(),
+			Failures:      b.met.failures.Load(),
+			Probes:        b.met.probes.Load(),
+			ProbeFails:    b.met.probeFails.Load(),
+			ShardID:       shardID,
+			TopologyEpoch: epoch,
+			Version:       version,
+			Latency:       b.met.latency.Snapshot(),
 		})
 	}
 	return s

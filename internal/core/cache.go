@@ -107,12 +107,13 @@ type vsafeEntry struct {
 // safe for concurrent use, and nil-safe: a nil *VSafeCache computes without
 // memoizing, so callers can thread an optional cache unconditionally.
 type VSafeCache struct {
-	mu       sync.Mutex
-	capacity int
-	entries  map[vsafeKey]*list.Element
-	order    *list.List // front = most recently used
-	hits     uint64
-	misses   uint64
+	mu        sync.Mutex
+	capacity  int
+	entries   map[vsafeKey]*list.Element
+	order     *list.List // front = most recently used
+	hits      uint64
+	misses    uint64
+	evictions uint64
 }
 
 // NewVSafeCache builds a cache holding at most capacity estimates
@@ -164,6 +165,7 @@ func (c *VSafeCache) PG(m PowerModel, tr load.Trace) (Estimate, error) {
 			back := c.order.Back()
 			c.order.Remove(back)
 			delete(c.entries, back.Value.(*vsafeEntry).key)
+			c.evictions++
 		}
 	}
 	c.mu.Unlock()
@@ -174,10 +176,14 @@ func (c *VSafeCache) PG(m PowerModel, tr load.Trace) (Estimate, error) {
 // marshals directly into the serving layer's /metrics document, so the JSON
 // field names are part of the metrics schema (see internal/serve).
 type VSafeCacheStats struct {
-	Hits     uint64 `json:"hits"`
-	Misses   uint64 `json:"misses"`
-	Len      int    `json:"len"`
-	Capacity int    `json:"capacity"`
+	Hits   uint64 `json:"hits"`
+	Misses uint64 `json:"misses"`
+	// Evictions counts entries dropped by the LRU policy — the number a
+	// sharded deployment watches: a shard whose evictions climb is one
+	// whose slice of the keyspace outgrew its cache (see internal/shard).
+	Evictions uint64 `json:"evictions"`
+	Len       int    `json:"len"`
+	Capacity  int    `json:"capacity"`
 	// Rate is hits/(hits+misses), filled by Stats so marshaled snapshots
 	// carry the headline number without the consumer re-deriving it.
 	Rate float64 `json:"hit_rate"`
@@ -199,7 +205,7 @@ func (c *VSafeCache) Stats() VSafeCacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := VSafeCacheStats{Hits: c.hits, Misses: c.misses, Len: c.order.Len(), Capacity: c.capacity}
+	s := VSafeCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.order.Len(), Capacity: c.capacity}
 	s.Rate = s.HitRate()
 	return s
 }
@@ -213,7 +219,7 @@ func (c *VSafeCache) Reset() {
 	defer c.mu.Unlock()
 	c.entries = make(map[vsafeKey]*list.Element)
 	c.order.Init()
-	c.hits, c.misses = 0, 0
+	c.hits, c.misses, c.evictions = 0, 0, 0
 }
 
 // defaultVSafeCache is the process-wide memo every PG estimate routes

@@ -200,6 +200,110 @@ func TestVSafeCacheConcurrent(t *testing.T) {
 	}
 }
 
+// TestVSafeCacheEvictionAccounting: single-threaded, every miss inserts,
+// so the counters obey evictions = misses - len exactly. Cycling a keyspace
+// far larger than capacity (the shard-undersized regime) keeps the LRU
+// thrashing: every lookup is a miss.
+func TestVSafeCacheEvictionAccounting(t *testing.T) {
+	m := cacheModel()
+	const capacity, keys = 4, 16
+	c := NewVSafeCache(capacity)
+	traces := make([]load.Trace, keys)
+	for i := range traces {
+		traces[i] = load.Sample(load.NewUniform(float64(i+1)*1e-3, 0.2e-3), 125e3)
+	}
+	for pass := 0; pass < 2; pass++ {
+		for _, tr := range traces {
+			if _, err := c.PG(m, tr); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Hits != 0 || st.Misses != 2*keys {
+		t.Fatalf("cyclic access over an undersized LRU must always miss: %+v", st)
+	}
+	if st.Len != capacity {
+		t.Fatalf("len = %d, want %d", st.Len, capacity)
+	}
+	if st.Evictions != st.Misses-uint64(st.Len) {
+		t.Fatalf("evictions = %d, want misses-len = %d (%+v)", st.Evictions, st.Misses-uint64(st.Len), st)
+	}
+	c.Reset()
+	if st := c.Stats(); st.Evictions != 0 || st.Len != 0 {
+		t.Fatalf("Reset left residue: %+v", st)
+	}
+}
+
+// TestVSafeCacheEvictionHammer is the concurrent-eviction proof at a
+// shard-sized working set: capacity ≪ keyspace, many goroutines cycling
+// overlapping key sequences, so inserts and evictions race constantly.
+// Under -race this checks the structure; the assertions check the
+// counters stay mutually consistent: every lookup is a hit or a miss,
+// residency never exceeds capacity, and every entry now resident or
+// evicted got there via a miss insert (misses that lose the compute race
+// to an incumbent insert nothing, hence >= not ==).
+func TestVSafeCacheEvictionHammer(t *testing.T) {
+	m := cacheModel()
+	const (
+		capacity   = 8
+		keys       = 96
+		goroutines = 8
+		lookups    = 150
+	)
+	traces := make([]load.Trace, keys)
+	want := make([]Estimate, keys)
+	for i := range traces {
+		traces[i] = load.Sample(load.NewUniform(float64(i+1)*0.5e-3, 0.2e-3), 125e3)
+		var err error
+		want[i], err = VSafePG(m, traces[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	c := NewVSafeCache(capacity)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < lookups; i++ {
+				// Strided walks with per-goroutine phase: plenty of overlap
+				// (hits and compute races) and plenty of churn (evictions).
+				k := (g*13 + i*7) % keys
+				got, err := c.PG(m, traces[k])
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				if got != want[k] {
+					t.Errorf("key %d: cache returned %+v, want %+v", k, got, want[k])
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	st := c.Stats()
+	total := uint64(goroutines * lookups)
+	if st.Hits+st.Misses != total {
+		t.Fatalf("hits(%d)+misses(%d) = %d, want %d lookups", st.Hits, st.Misses, st.Hits+st.Misses, total)
+	}
+	if st.Len > capacity {
+		t.Fatalf("len %d exceeds capacity %d", st.Len, capacity)
+	}
+	if st.Misses < keys {
+		t.Fatalf("misses = %d, but %d distinct keys each require at least one", st.Misses, keys)
+	}
+	if uint64(st.Len)+st.Evictions > st.Misses {
+		t.Fatalf("len(%d)+evictions(%d) > misses(%d): entries appeared without a miss", st.Len, st.Evictions, st.Misses)
+	}
+	if st.Evictions == 0 {
+		t.Fatalf("no evictions with keyspace %d over capacity %d: %+v", keys, capacity, st)
+	}
+}
+
 // TestInterfaceGeneration: estimate-visible mutations advance the counter;
 // reads do not.
 func TestInterfaceGeneration(t *testing.T) {

@@ -68,6 +68,17 @@ type ChaosOpts struct {
 	// Reduced shrinks the workload (80 calls instead of 240) for the
 	// `make chaos` -race gate; the full soak is the default.
 	Reduced bool
+	// Lax widens the client's timing headroom (per-attempt timeout,
+	// budget, probe timeout) for runs sharing a saturated machine: the
+	// -race chaos test runs this soak concurrently with every sweep
+	// driver on an oversubscribed pool, where even a healthy request can
+	// take seconds of wall clock and the production-shaped 400 ms attempt
+	// timeout reads as a dead backend. Fault schedules, attempt ordering
+	// and the gates are unchanged — fates are assigned per connection
+	// index, not by timing — so this loosens nothing the soak asserts.
+	// Golden runs leave it unset; the defaults are what the recorded
+	// transcripts describe.
+	Lax bool
 }
 
 // ChaosReport is the outcome of one soak: deterministic counters, the
@@ -313,6 +324,18 @@ func Chaos(ctx context.Context, opt ChaosOpts) (*ChaosReport, error) {
 	rep := &ChaosReport{Mode: mode, Workload: n, HedgeCalls: hedgeN}
 	ref := newChaosRef()
 
+	// Production-shaped timing by default; starvation headroom under Lax.
+	// A blackholed attempt still costs one connection index either way —
+	// only the wall-clock cost of waiting it out changes.
+	budget := 30 * time.Second
+	attemptTimeout := 400 * time.Millisecond
+	probeTimeout := 400 * time.Millisecond
+	if opt.Lax {
+		budget = 180 * time.Second
+		attemptTimeout = 10 * time.Second
+		probeTimeout = 10 * time.Second
+	}
+
 	b0, err := startChaosBackend(chaosScheduleB0)
 	if err != nil {
 		return nil, fmt.Errorf("chaos: backend b0: %w", err)
@@ -327,8 +350,8 @@ func Chaos(ctx context.Context, opt ChaosOpts) (*ChaosReport, error) {
 	pool, err := client.New(client.Config{
 		Backends:          []string{b0.url, b1.url},
 		DisableKeepAlives: true, // one connection per attempt: schedules line up with attempts
-		Budget:            30 * time.Second,
-		AttemptTimeout:    400 * time.Millisecond, // ends a blackholed attempt
+		Budget:            budget,
+		AttemptTimeout:    attemptTimeout, // ends a blackholed attempt
 		MaxAttempts:       12,
 		BaseBackoff:       2 * time.Millisecond,
 		MaxBackoff:        20 * time.Millisecond,
@@ -339,7 +362,7 @@ func Chaos(ctx context.Context, opt ChaosOpts) (*ChaosReport, error) {
 			CooldownCalls:    3, // event-counted: no timers in the state machine
 		},
 		ProbeEvery:   13, // synchronous suspect probes: deterministic ordering
-		ProbeTimeout: 400 * time.Millisecond,
+		ProbeTimeout: probeTimeout,
 		OnTransition: func(ev client.Event) {
 			rep.Transitions = append(rep.Transitions, ev.String())
 		},

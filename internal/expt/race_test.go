@@ -137,7 +137,10 @@ func TestRaceChaos(t *testing.T) {
 	// the machine. Only the gates are asserted here (success, parity, no
 	// panics); the byte-exact golden determinism is TestChaosSoak's job.
 	run("netchaos", func() error {
-		rep, err := Chaos(context.Background(), ChaosOpts{Reduced: true})
+		// Lax: on a saturated 1-CPU -race build a healthy request can take
+		// seconds, so the soak's production-shaped 400 ms attempt timeout
+		// would misread starvation as backend death.
+		rep, err := Chaos(context.Background(), ChaosOpts{Reduced: true, Lax: true})
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,547 @@
+// The shard soak: the resilience acceptance gate for internal/shard. It
+// boots three culpeod shards behind deterministic netchaos proxies,
+// drives a sequential mixed workload through a rendezvous Router, and
+// walks the fleet through the full lifecycle the sharded tier promises
+// to survive:
+//
+//	mixed      — routed traffic under light latency/503 faults, plus a
+//	             network partition window that blackholes exactly one
+//	             shard (netchaos `partition`, matched by upstream port);
+//	killed     — that shard hard-killed mid-run (listener closed);
+//	left       — the shard removed from the Topology (epoch 2);
+//	rejoined   — a replacement joined at a fresh address (epoch 3),
+//	             cold-cached but serving its keyspace slice again;
+//	drained    — a different shard set draining, detected by the
+//	             router's synchronous probes, traffic failing over;
+//	readmitted — the drain cleared, the shard probed healthy again.
+//
+// The gates: every call in every phase succeeds (failover may change
+// *which* shard answers, never *whether* one answers), every response is
+// bit-identical (math.Float64bits) to the direct library path, no server
+// panics, and the full routing/breaker/topology transition log matches a
+// golden file byte for byte across three runs. Determinism comes from
+// the same machinery as the chaos soak: connection-index fault windows,
+// one connection per attempt, event-counted breaker cooldowns, and
+// probes driven synchronously on the router's call counter.
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/client"
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/netchaos"
+	"culpeo/internal/serve"
+	"culpeo/internal/shard"
+)
+
+// shardSoakSpec is the fleet-wide fault schedule. Every proxy gets the
+// same string (that is the point of the partition kind: one spec
+// describes the whole fleet's weather), but only the proxy whose
+// upstream port is $P1 — shard s1's — blackholes during the partition
+// window. $P1 is substituted with the real ephemeral port at run time
+// and masked back to $P1 in the rendered report.
+const shardSoakSpec = "seed:5;" +
+	"latency:d=1ms,from=0,count=2,every=11;" +
+	"h503:retryafter=1,from=7,count=1,every=23;" +
+	"partition:plo=$P1,from=4,count=4"
+
+// ShardSoakOpts configures a shard soak run.
+type ShardSoakOpts struct {
+	// Reduced shrinks the phase schedule for the `make shard` -race gate.
+	Reduced bool
+}
+
+// shardSoakPhases is the per-phase call budget.
+type shardSoakPhases struct {
+	Mixed, Killed, Left, Rejoined, Drained, Readmitted int
+}
+
+func (p shardSoakPhases) total() int {
+	return p.Mixed + p.Killed + p.Left + p.Rejoined + p.Drained + p.Readmitted
+}
+
+// ShardSoakReport is the outcome of one soak. Render writes the
+// golden-locked text form; Gate returns nil iff every property held.
+type ShardSoakReport struct {
+	Mode       string
+	Phases     shardSoakPhases
+	Calls      int
+	ParityOK   int
+	Mismatches []string
+	CallErrors []string
+	Events     []shard.Event
+	Shards     []shard.ShardMetrics
+	// PartitionFates counts connections the partition fault actually
+	// blackholed on s1's proxy during the mixed phase — the proof that the
+	// partition window engaged rather than silently expiring unvisited.
+	PartitionFates int
+	FinalEpoch     uint64
+	Panics         []string // "s0=0", "s1=0", "s1'=0", "s2=0"
+	PanicsTotal    uint64
+}
+
+// Gate returns nil when the soak satisfied every acceptance property.
+func (r *ShardSoakReport) Gate() error {
+	if len(r.CallErrors) > 0 {
+		return fmt.Errorf("shardsoak: %d/%d calls failed (first: %s)", len(r.CallErrors), r.Calls, r.CallErrors[0])
+	}
+	if len(r.Mismatches) > 0 {
+		return fmt.Errorf("shardsoak: %d parity mismatches (first: %s)", len(r.Mismatches), r.Mismatches[0])
+	}
+	if r.ParityOK != r.Calls {
+		return fmt.Errorf("shardsoak: parity proven on %d/%d calls", r.ParityOK, r.Calls)
+	}
+	if r.PanicsTotal != 0 {
+		return fmt.Errorf("shardsoak: server panics: %v", r.Panics)
+	}
+	if r.FinalEpoch != 3 {
+		return fmt.Errorf("shardsoak: final topology epoch %d, want 3", r.FinalEpoch)
+	}
+	if r.PartitionFates == 0 {
+		return fmt.Errorf("shardsoak: partition window never engaged on s1's proxy")
+	}
+	// Milestones: the lifecycle must actually have happened — a soak that
+	// quietly never failed over proves nothing.
+	var s1Open, s1Failover, epoch2, epoch3, s0Drained, s0Readmitted bool
+	for _, ev := range r.Events {
+		switch {
+		case ev.Shard == "s1" && ev.To == "open":
+			s1Open = true
+		case ev.Shard == "route" && ev.From == "s1":
+			s1Failover = true
+		case ev.Shard == "topology" && ev.To == "epoch=2":
+			epoch2 = true
+		case ev.Shard == "topology" && ev.To == "epoch=3":
+			epoch3 = true
+		case ev.Shard == "s0" && ev.Cause == "draining":
+			s0Drained = true
+		case ev.Shard == "s0" && ev.Cause == "probe ok":
+			s0Readmitted = true
+		}
+	}
+	for name, ok := range map[string]bool{
+		"s1 breaker opened":        s1Open,
+		"failover away from s1":    s1Failover,
+		"topology epoch 2 (leave)": epoch2,
+		"topology epoch 3 (join)":  epoch3,
+		"s0 drain ejection":        s0Drained,
+		"s0 probe readmission":     s0Readmitted,
+	} {
+		if !ok {
+			return fmt.Errorf("shardsoak: lifecycle milestone missing: %s", name)
+		}
+	}
+	// Every surviving shard must advertise the identity and final epoch
+	// the control plane pushed — the "did my topology push land" check.
+	for _, sm := range r.Shards {
+		if len(sm.Pool.Backends) != 1 {
+			return fmt.Errorf("shardsoak: %s: %d backends", sm.Shard.ID, len(sm.Pool.Backends))
+		}
+		b := sm.Pool.Backends[0]
+		if b.ShardID != sm.Shard.ID {
+			return fmt.Errorf("shardsoak: %s advertises shard_id %q", sm.Shard.ID, b.ShardID)
+		}
+		if b.TopologyEpoch != 3 {
+			return fmt.Errorf("shardsoak: %s advertises topology epoch %d, want 3", sm.Shard.ID, b.TopologyEpoch)
+		}
+		if b.Version != serve.BuildVersion {
+			return fmt.Errorf("shardsoak: %s advertises version %q", sm.Shard.ID, b.Version)
+		}
+	}
+	return nil
+}
+
+// Render writes the deterministic report. As with the chaos soak, no
+// latency or wall-clock figure appears — and the one run-specific value
+// in the fault spec (s1's ephemeral upstream port) is masked back to its
+// $P1 placeholder, so the report is a pure function of the schedules and
+// the workload order.
+func (r *ShardSoakReport) Render(w io.Writer) error {
+	title := "shard soak (" + r.Mode + ")"
+	if _, err := fmt.Fprintf(w, "%s\n%s\nfleet spec: %s\nphases: mixed=%d killed=%d left=%d rejoined=%d drained=%d readmitted=%d\n\n",
+		title, strings.Repeat("=", len(title)), shardSoakSpec,
+		r.Phases.Mixed, r.Phases.Killed, r.Phases.Left, r.Phases.Rejoined, r.Phases.Drained, r.Phases.Readmitted); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "calls: %d\nparity: %d/%d responses bit-identical to the library path (%d mismatches)\ncall failures: %d\npartitioned connections (s1 proxy): %d\ntopology epoch: %d\nserver panics: %s\n\n",
+		r.Calls, r.ParityOK, r.Calls, len(r.Mismatches), len(r.CallErrors), r.PartitionFates, r.FinalEpoch, strings.Join(r.Panics, " ")); err != nil {
+		return err
+	}
+	for _, e := range r.CallErrors {
+		if _, err := fmt.Fprintf(w, "FAILED %s\n", e); err != nil {
+			return err
+		}
+	}
+	for _, e := range r.Mismatches {
+		if _, err := fmt.Fprintf(w, "MISMATCH %s\n", e); err != nil {
+			return err
+		}
+	}
+
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	tbl := Table{Title: "shards (final)", Header: []string{
+		"shard", "attempts", "ok", "fail", "probes", "probe-fails", "breaker", "ejected", "shard_id", "epoch", "version"}}
+	for _, sm := range r.Shards {
+		b := sm.Pool.Backends[0]
+		tbl.Add(sm.Shard.ID, u(b.Attempts), u(b.Successes), u(b.Failures), u(b.Probes), u(b.ProbeFails),
+			b.BreakerState, strconv.FormatBool(b.Ejected), b.ShardID, u(b.TopologyEpoch), b.Version)
+	}
+	if err := tbl.Render(w); err != nil {
+		return err
+	}
+
+	head := fmt.Sprintf("transitions (%d)", len(r.Events))
+	if _, err := fmt.Fprintf(w, "%s\n%s\n", head, strings.Repeat("-", len(head))); err != nil {
+		return err
+	}
+	for _, ev := range r.Events {
+		if _, err := fmt.Fprintln(w, ev.String()); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// soakShard is one culpeod node behind its chaos proxy.
+type soakShard struct {
+	srv   *serve.Server
+	ts    *httptest.Server
+	proxy *netchaos.Proxy
+	url   string // proxy-fronted base URL the router dials
+}
+
+func startSoakShard(id, spec string) (*soakShard, error) {
+	parsed, err := netchaos.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.New(serve.Config{ShardID: id})
+	ts := httptest.NewServer(srv.Handler())
+	proxy := netchaos.New(parsed, strings.TrimPrefix(ts.URL, "http://"))
+	addr, err := proxy.Start()
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	return &soakShard{srv: srv, ts: ts, proxy: proxy, url: "http://" + addr}, nil
+}
+
+func (s *soakShard) kill() {
+	s.proxy.Close()
+	s.ts.Close()
+}
+
+// ShardSoak runs the sharded-tier lifecycle soak. The error return covers
+// setup problems only; workload failures are reported via Gate so a test
+// can still render the partial report for diagnosis.
+func ShardSoak(ctx context.Context, opt ShardSoakOpts) (*ShardSoakReport, error) {
+	phases := shardSoakPhases{Mixed: 30, Killed: 18, Left: 12, Rejoined: 18, Drained: 12, Readmitted: 12}
+	mode := "full"
+	if opt.Reduced {
+		phases = shardSoakPhases{Mixed: 18, Killed: 9, Left: 6, Rejoined: 9, Drained: 6, Readmitted: 6}
+		mode = "reduced"
+	}
+	rep := &ShardSoakReport{Mode: mode, Phases: phases, Calls: phases.total()}
+	ref := newChaosRef()
+
+	// Boot the three origin servers first: the fleet spec needs s1's
+	// upstream port before any proxy exists.
+	servers := make([]*serve.Server, 3)
+	origins := make([]*httptest.Server, 3)
+	for i := range servers {
+		servers[i] = serve.New(serve.Config{ShardID: fmt.Sprintf("s%d", i)})
+		origins[i] = httptest.NewServer(servers[i].Handler())
+		defer origins[i].Close()
+	}
+	_, p1, err := net.SplitHostPort(strings.TrimPrefix(origins[1].URL, "http://"))
+	if err != nil {
+		return nil, fmt.Errorf("shardsoak: s1 port: %w", err)
+	}
+	spec := strings.ReplaceAll(shardSoakSpec, "$P1", p1)
+
+	fleet := make([]*soakShard, 3)
+	shards := make([]shard.Shard, 3)
+	for i := range fleet {
+		parsed, err := netchaos.Parse(spec)
+		if err != nil {
+			return nil, fmt.Errorf("shardsoak: spec: %w", err)
+		}
+		proxy := netchaos.New(parsed, strings.TrimPrefix(origins[i].URL, "http://"))
+		addr, err := proxy.Start()
+		if err != nil {
+			return nil, fmt.Errorf("shardsoak: proxy s%d: %w", i, err)
+		}
+		fleet[i] = &soakShard{srv: servers[i], ts: origins[i], proxy: proxy, url: "http://" + addr}
+		defer fleet[i].proxy.Close()
+		shards[i] = shard.Shard{ID: fmt.Sprintf("s%d", i), URL: fleet[i].url}
+	}
+
+	topo, err := shard.NewTopology(shards...)
+	if err != nil {
+		return nil, fmt.Errorf("shardsoak: topology: %w", err)
+	}
+	pushEpoch := func(epoch uint64, srvs ...*serve.Server) {
+		for _, s := range srvs {
+			s.SetTopologyEpoch(epoch)
+		}
+	}
+	pushEpoch(1, servers...)
+
+	router := shard.NewRouter(topo, shard.RouterConfig{
+		Client: client.Config{
+			DisableKeepAlives: true, // one connection per attempt: fault windows line up
+			Budget:            10 * time.Second,
+			AttemptTimeout:    300 * time.Millisecond, // ends a partitioned (blackholed) attempt
+			MaxAttempts:       2,
+			BaseBackoff:       1 * time.Millisecond,
+			MaxBackoff:        5 * time.Millisecond,
+			RetryAfterCap:     10 * time.Millisecond,
+			Seed:              3,
+			ProbeTimeout:      300 * time.Millisecond,
+			Breaker: client.BreakerConfig{
+				FailureThreshold: 2,
+				CooldownCalls:    4, // event-counted: no timers
+			},
+		},
+		ProbeEvery: 10, // synchronous fleet probes on the router's call counter
+		OnEvent: func(ev shard.Event) {
+			rep.Events = append(rep.Events, ev)
+		},
+	})
+	defer router.Close()
+
+	mismatch := func(call int, label, detail string) {
+		rep.Mismatches = append(rep.Mismatches, fmt.Sprintf("call %d (%s): %s", call, label, detail))
+	}
+	callErr := func(call int, label string, err error) {
+		rep.CallErrors = append(rep.CallErrors, fmt.Sprintf("call %d (%s): %v", call, label, err))
+	}
+	checkEstimate := func(call int, label string, got api.EstimateResponse, refErr error, want api.EstimateResponse) {
+		if refErr != nil {
+			mismatch(call, label, "reference path failed: "+refErr.Error())
+			return
+		}
+		if !sameEstimate(got, want) {
+			mismatch(call, label, fmt.Sprintf("got %+v want %+v", got, want))
+			return
+		}
+		rep.ParityOK++
+	}
+
+	peripherals := []struct {
+		name    string
+		profile load.Profile
+	}{
+		{"gesture", load.Gesture()},
+		{"ble", load.BLERadio()},
+		{"mnist", load.ComputeAccel()},
+		{"lora", load.LoRa()},
+	}
+
+	// doCall issues workload call i (0-based, global across phases): the
+	// same six families as the chaos soak, parameters varying with the
+	// cycle count so every shard's cache keeps seeing fresh keys.
+	doCall := func(i int) {
+		call, k := i+1, i/6
+		switch i % 6 {
+		case 0: // uniform shape
+			iLoad, t := 0.006+0.001*float64(k%16), 0.01
+			got, err := router.VSafe(ctx, api.VSafeRequest{Load: api.LoadSpec{Shape: "uniform", I: iLoad, T: t}})
+			if err != nil {
+				callErr(call, "uniform", err)
+				return
+			}
+			want, rerr := ref.estimate(load.NewUniform(iLoad, t))
+			checkEstimate(call, "uniform", got, rerr, want)
+		case 1: // pulse shape
+			iLoad, t := 0.0025+0.0005*float64(k%8), 0.02
+			got, err := router.VSafe(ctx, api.VSafeRequest{Load: api.LoadSpec{Shape: "pulse", I: iLoad, T: t}})
+			if err != nil {
+				callErr(call, "pulse", err)
+				return
+			}
+			want, rerr := ref.estimate(load.NewPulse(iLoad, t))
+			checkEstimate(call, "pulse", got, rerr, want)
+		case 2: // measured peripheral profile
+			p := peripherals[k%len(peripherals)]
+			got, err := router.VSafe(ctx, api.VSafeRequest{Load: api.LoadSpec{Peripheral: p.name}})
+			if err != nil {
+				callErr(call, p.name, err)
+				return
+			}
+			want, rerr := ref.estimate(p.profile)
+			checkEstimate(call, p.name, got, rerr, want)
+		case 3: // Culpeo-R runtime estimate
+			vMin := 2.0 + 0.005*float64(k%4)
+			obs := core.Observation{VStart: 2.5 - 0.01*float64(k%5), VMin: vMin, VFinal: vMin + 0.1}
+			got, err := router.VSafeR(ctx, api.VSafeRRequest{
+				Observation: api.ObservationSpec{VStart: obs.VStart, VMin: obs.VMin, VFinal: obs.VFinal},
+			})
+			if err != nil {
+				callErr(call, "vsafe-r", err)
+				return
+			}
+			want, rerr := ref.vsafeR(obs)
+			checkEstimate(call, "vsafe-r", got, rerr, want)
+		case 4: // full launch simulation, alternating exact and fast paths
+			iLoad, t, fast := 0.011+0.002*float64(k%5), 0.005, k%2 == 1
+			got, err := router.Simulate(ctx, api.SimulateRequest{
+				Load: api.LoadSpec{Shape: "uniform", I: iLoad, T: t},
+				Fast: fast,
+			})
+			if err != nil {
+				callErr(call, "simulate", err)
+				return
+			}
+			want, rerr := ref.simulate(load.NewUniform(iLoad, t), fast)
+			if rerr != nil {
+				mismatch(call, "simulate", "reference path failed: "+rerr.Error())
+				return
+			}
+			if !sameSimulate(got, want) {
+				mismatch(call, "simulate", fmt.Sprintf("got %+v want %+v", got, want))
+				return
+			}
+			rep.ParityOK++
+		case 5: // scatter-gathered batch: estimates with a malformed middle
+			// element, plus one exact simulation (the batch sim lane).
+			a := 0.009 + 0.001*float64(k%10)
+			got, err := router.Batch(ctx, api.BatchRequest{
+				Requests: []api.VSafeRequest{
+					{Load: api.LoadSpec{Shape: "uniform", I: a, T: 0.01}},
+					{Load: api.LoadSpec{Shape: "nope", I: 1e-3, T: 1e-3}},
+					{Load: api.LoadSpec{Shape: "pulse", I: 0.0035, T: 0.015}},
+				},
+				Simulations: []api.SimulateRequest{
+					{Load: api.LoadSpec{Shape: "pulse", I: 0.004 + 0.001*float64(k%3), T: 0.004}},
+				},
+			})
+			if err != nil {
+				callErr(call, "batch", err)
+				return
+			}
+			w0, e0 := ref.estimate(load.NewUniform(a, 0.01))
+			w2, e2 := ref.estimate(load.NewPulse(0.0035, 0.015))
+			ws, es := ref.simulate(load.NewPulse(0.004+0.001*float64(k%3), 0.004), false)
+			switch {
+			case e0 != nil || e2 != nil || es != nil:
+				mismatch(call, "batch", "reference path failed")
+			case len(got.Results) != 3 || got.Results[0].Estimate == nil || got.Results[2].Estimate == nil:
+				mismatch(call, "batch", fmt.Sprintf("malformed result set: %+v", got.Results))
+			case got.Results[1].Error != chaosBadShapeError:
+				mismatch(call, "batch", fmt.Sprintf("element 1 error %q want %q", got.Results[1].Error, chaosBadShapeError))
+			case !sameEstimate(*got.Results[0].Estimate, w0) || !sameEstimate(*got.Results[2].Estimate, w2):
+				mismatch(call, "batch", "element estimates diverge from library path")
+			case len(got.Simulations) != 1 || got.Simulations[0].Result == nil:
+				mismatch(call, "batch", fmt.Sprintf("malformed sim result set: %+v", got.Simulations))
+			case !sameSimulate(*got.Simulations[0].Result, ws):
+				mismatch(call, "batch", "sim element diverges from library path")
+			default:
+				rep.ParityOK++
+			}
+		}
+	}
+
+	next := 0
+	runPhase := func(n int) error {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			doCall(next)
+			next++
+		}
+		return nil
+	}
+
+	// Phase 1 — mixed: routed traffic, light faults, the partition window
+	// blackholing s1 mid-phase (failover, breaker open, probe ejection)
+	// and releasing it (probe readmission) before the phase ends.
+	if err := runPhase(phases.Mixed); err != nil {
+		return nil, err
+	}
+	for _, ev := range fleet[1].proxy.Events() {
+		if strings.Contains(ev.Fate, "partition") {
+			rep.PartitionFates++
+		}
+	}
+
+	// Phase 2 — killed: s1's listener and origin close mid-run. Connection
+	// refused is instant, so failover costs almost nothing once the
+	// breaker opens.
+	fleet[1].kill()
+	if err := runPhase(phases.Killed); err != nil {
+		return nil, err
+	}
+
+	// Phase 3 — left: the control plane removes s1 (epoch 2); the router
+	// re-resolves on its next call without dropping anything, and s1's
+	// keyspace slice settles onto the failover candidates.
+	if _, err := topo.Leave("s1"); err != nil {
+		return nil, fmt.Errorf("shardsoak: leave: %w", err)
+	}
+	pushEpoch(2, servers[0], servers[2])
+	if err := runPhase(phases.Left); err != nil {
+		return nil, err
+	}
+
+	// Phase 4 — rejoined: a replacement s1 boots at a fresh address behind
+	// a fresh proxy (same fleet spec; its new upstream port is outside the
+	// partition range, as a healed partition would be), joins as epoch 3,
+	// and serves its slice again from a cold cache.
+	s1b, err := startSoakShard("s1", spec)
+	if err != nil {
+		return nil, fmt.Errorf("shardsoak: rejoin s1: %w", err)
+	}
+	defer s1b.kill()
+	if _, err := topo.Join(shard.Shard{ID: "s1", URL: s1b.url}); err != nil {
+		return nil, fmt.Errorf("shardsoak: join: %w", err)
+	}
+	pushEpoch(3, servers[0], servers[2], s1b.srv)
+	if err := runPhase(phases.Rejoined); err != nil {
+		return nil, err
+	}
+
+	// Phase 5 — drained: s0 starts draining. It still answers work
+	// requests (that is what makes drains graceful), so only the router's
+	// probes can see it; an explicit fleet probe here stands in for the
+	// cadence tick a production router would rely on.
+	servers[0].SetDraining(true)
+	router.ProbeAll(ctx)
+	if err := runPhase(phases.Drained); err != nil {
+		return nil, err
+	}
+
+	// Phase 6 — readmitted: the drain clears, a probe readmits s0, and
+	// its keyspace slice comes home to a still-warm cache.
+	servers[0].SetDraining(false)
+	router.ProbeAll(ctx)
+	if err := runPhase(phases.Readmitted); err != nil {
+		return nil, err
+	}
+
+	// Final fleet probe: refresh every shard's advertised identity so the
+	// report records what the fleet believes, then snapshot.
+	router.ProbeAll(ctx)
+	rep.Shards = router.Metrics()
+	rep.FinalEpoch = router.Epoch()
+	rep.Panics = []string{
+		fmt.Sprintf("s0=%d", servers[0].Metrics().Panics),
+		fmt.Sprintf("s1=%d", servers[1].Metrics().Panics),
+		fmt.Sprintf("s1'=%d", s1b.srv.Metrics().Panics),
+		fmt.Sprintf("s2=%d", servers[2].Metrics().Panics),
+	}
+	rep.PanicsTotal = servers[0].Metrics().Panics + servers[1].Metrics().Panics +
+		s1b.srv.Metrics().Panics + servers[2].Metrics().Panics
+	return rep, nil
+}

@@ -1,0 +1,68 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"os"
+	"testing"
+)
+
+// TestShardSoak is the sharded-tier acceptance gate: three complete
+// lifecycle soaks (partition → kill → leave → rejoin → drain → readmit)
+// must (1) pass every gate — 100% eventual success, bit-exact parity,
+// zero panics, every lifecycle milestone present — (2) render
+// byte-identical reports, and (3) match the recorded golden transition
+// log. Under -short the reduced schedule runs against its own golden
+// (the `make shard` -race configuration).
+//
+// Record the goldens with:
+//
+//	go test ./internal/expt -run TestShardSoak -update
+//	go test ./internal/expt -run TestShardSoak -short -update
+func TestShardSoak(t *testing.T) {
+	opt := ShardSoakOpts{Reduced: testing.Short()}
+	name := "shardsoak"
+	if opt.Reduced {
+		name = "shardsoak-reduced"
+	}
+
+	const runs = 3
+	var ref []byte
+	for r := 0; r < runs; r++ {
+		rep, err := ShardSoak(context.Background(), opt)
+		if err != nil {
+			t.Fatalf("run %d: %v", r, err)
+		}
+		var buf bytes.Buffer
+		if err := rep.Render(&buf); err != nil {
+			t.Fatalf("run %d: render: %v", r, err)
+		}
+		if err := rep.Gate(); err != nil {
+			t.Fatalf("run %d failed the gate: %v\nreport:\n%s", r, err, buf.Bytes())
+		}
+		if r == 0 {
+			ref = buf.Bytes()
+			continue
+		}
+		if !bytes.Equal(ref, buf.Bytes()) {
+			t.Fatalf("run %d diverged from run 0 — the soak is not deterministic\n%s",
+				r, diffHint(ref, buf.Bytes()))
+		}
+	}
+
+	path := goldenPath(name)
+	if *update {
+		if err := os.WriteFile(path, ref, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("no golden file (record with `go test ./internal/expt -run TestShardSoak -update`, plus -short for the reduced one): %v", err)
+	}
+	if !bytes.Equal(ref, want) {
+		t.Errorf("report differs from %s (re-record with -update if intended)\n%s",
+			path, diffHint(want, ref))
+	}
+}

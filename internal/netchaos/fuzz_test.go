@@ -25,6 +25,10 @@ func FuzzParse(f *testing.F) {
 		strings.Repeat("blackhole;", 50),
 		"latency:d=0.001",
 		"reset",
+		"partition:plo=8080",
+		"partition:plo=9000,phi=9007,from=4,count=3,every=16",
+		"partition:phi=80",
+		"partition",
 	} {
 		f.Add(seed)
 	}
@@ -51,6 +55,12 @@ func FuzzParse(f *testing.F) {
 			}
 			if fl.Kind == Slow && (fl.Chunk == 0 || fl.Delay == 0) {
 				t.Fatalf("accepted undefaulted slow: %+v", fl)
+			}
+			if fl.Kind == Partition && (fl.PLo < 1 || fl.PHi < fl.PLo || fl.PHi > 65535) {
+				t.Fatalf("accepted bad partition range: %+v", fl)
+			}
+			if fl.Kind != Partition && (fl.PLo != 0 || fl.PHi != 0) {
+				t.Fatalf("port range leaked onto %s: %+v", fl.Kind, fl)
 			}
 		}
 		canon := spec.String()

@@ -3,6 +3,7 @@ package netchaos
 import (
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -263,5 +264,65 @@ func TestProxyBlackholeTimesOut(t *testing.T) {
 	}
 	if _, err := client.Get(base); err == nil {
 		t.Fatal("GET through blackhole succeeded")
+	}
+}
+
+// TestProxyPartitionMatchesPortRange hands the same fleet-wide partition
+// spec to two proxies; only the one whose upstream port is in the listed
+// range blackholes its traffic — the other relays untouched.
+func TestProxyPartitionMatchesPortRange(t *testing.T) {
+	backendA := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "A")
+	}))
+	t.Cleanup(backendA.Close)
+	backendB := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, "B")
+	}))
+	t.Cleanup(backendB.Close)
+
+	targetA := strings.TrimPrefix(backendA.URL, "http://")
+	targetB := strings.TrimPrefix(backendB.URL, "http://")
+	_, portA, err := net.SplitHostPort(targetA)
+	if err != nil {
+		t.Fatalf("SplitHostPort(%q): %v", targetA, err)
+	}
+	spec, err := Parse("partition:plo=" + portA)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+
+	proxyA, proxyB := New(spec, targetA), New(spec, targetB)
+	addrA, err := proxyA.Start()
+	if err != nil {
+		t.Fatalf("Start A: %v", err)
+	}
+	t.Cleanup(proxyA.Close)
+	addrB, err := proxyB.Start()
+	if err != nil {
+		t.Fatalf("Start B: %v", err)
+	}
+	t.Cleanup(proxyB.Close)
+
+	client := &http.Client{
+		Transport: &http.Transport{DisableKeepAlives: true},
+		Timeout:   200 * time.Millisecond,
+	}
+	if _, err := client.Get("http://" + addrA); err == nil {
+		t.Fatal("GET through partitioned shard's proxy succeeded")
+	}
+	resp, err := client.Get("http://" + addrB)
+	if err != nil {
+		t.Fatalf("GET through unaffected proxy: %v", err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "B" {
+		t.Fatalf("unaffected proxy body = %q", body)
+	}
+	if ev := proxyA.Events(); len(ev) != 1 || ev[0].Fate != "partition" {
+		t.Fatalf("partitioned proxy events = %+v", ev)
+	}
+	if ev := proxyB.Events(); len(ev) != 1 || ev[0].Fate != "ok" {
+		t.Fatalf("unaffected proxy events = %+v", ev)
 	}
 }

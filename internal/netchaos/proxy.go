@@ -29,8 +29,9 @@ type Event struct {
 
 // Proxy is one chaos proxy instance in front of one backend.
 type Proxy struct {
-	spec   Spec
-	target string // upstream host:port
+	spec       Spec
+	target     string // upstream host:port
+	targetPort int    // parsed upstream port (0 if unparseable) — partition matching
 
 	ln      net.Listener
 	wg      sync.WaitGroup
@@ -44,7 +45,13 @@ type Proxy struct {
 // New builds a proxy for the given upstream address (host:port). Call
 // Start to begin accepting.
 func New(spec Spec, target string) *Proxy {
-	return &Proxy{spec: spec, target: target, conns: make(map[net.Conn]struct{})}
+	p := &Proxy{spec: spec, target: target, conns: make(map[net.Conn]struct{})}
+	if _, portStr, err := net.SplitHostPort(target); err == nil {
+		if port, err := strconv.Atoi(portStr); err == nil {
+			p.targetPort = port
+		}
+	}
+	return p
 }
 
 // Start listens on an ephemeral localhost port and serves until Close.
@@ -158,6 +165,12 @@ func (p *Proxy) fate(idx int) (delay time.Duration, slow *Fault, terminal *Fault
 			if slow == nil {
 				slow = f
 			}
+		case f.Kind == Partition:
+			// Fleet-wide clause: terminal only for the proxy whose backend
+			// lives in the partitioned port range.
+			if terminal == nil && p.targetPort >= f.PLo && p.targetPort <= f.PHi {
+				terminal = f
+			}
 		case terminal == nil:
 			terminal = f
 		}
@@ -198,6 +211,12 @@ func (p *Proxy) handle(conn net.Conn, idx int) {
 			p.record(idx, prefix+"blackhole")
 			// Swallow whatever the client sends and never answer; the
 			// client's per-attempt deadline ends this, or Close does.
+			io.Copy(io.Discard, conn)
+			return
+		case Partition:
+			// The shard is cut off from this client: the connection opens
+			// (the host is up) but nothing ever comes back.
+			p.record(idx, prefix+"partition")
 			io.Copy(io.Discard, conn)
 			return
 		case H503:

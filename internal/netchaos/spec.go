@@ -51,6 +51,14 @@ const (
 	// Down closes the connection with a RST the moment it is accepted —
 	// windowed with from/count/every it produces flap cycles.
 	Down Kind = "down"
+	// Partition isolates a subset of the fleet: the clause names an
+	// upstream port range (plo..phi), and only a proxy whose backend lives
+	// in that range acts on it — accepting the connection, then
+	// blackholing it. The same fleet-wide spec can thus be handed to every
+	// proxy while cutting off exactly one shard's address range, which is
+	// how the shard soak expresses "partition shard 1" in one canonical
+	// schedule string.
+	Partition Kind = "partition"
 )
 
 // Window selects which accepted connections (0-based index) a fault
@@ -99,6 +107,10 @@ type Fault struct {
 	// Slow
 	Chunk int     // bytes per write
 	Delay float64 // pause between writes (s)
+
+	// Partition: the upstream port range the clause isolates. A proxy
+	// whose backend port falls outside [PLo, PHi] ignores the clause.
+	PLo, PHi int
 }
 
 // terminal reports whether the fault decides the connection's fate (at
@@ -106,7 +118,7 @@ type Fault struct {
 // modifiers and compose with any fate).
 func (f Fault) terminal() bool {
 	switch f.Kind {
-	case Reset, H503, Blackhole, Down:
+	case Reset, H503, Blackhole, Down, Partition:
 		return true
 	}
 	return false
@@ -133,6 +145,7 @@ var kindKeys = map[Kind][]string{
 	Blackhole: {},
 	Slow:      {"chunk", "delay"},
 	Down:      {},
+	Partition: {"plo", "phi"},
 }
 
 // Parse builds a Spec from its string form. The grammar mirrors
@@ -270,6 +283,22 @@ func parseClause(kind Kind, rest string, hasRest bool) (Fault, error) {
 		}
 	case Blackhole, Down:
 		// window-only fates
+	case Partition:
+		if f.PLo, err = count("plo"); err != nil {
+			return Fault{}, err
+		}
+		if f.PHi, err = count("phi"); err != nil {
+			return Fault{}, err
+		}
+		if f.PLo < 1 || f.PLo > 65535 {
+			return Fault{}, fmt.Errorf("netchaos: partition needs plo in [1,65535], got %d", f.PLo)
+		}
+		if f.PHi == 0 {
+			f.PHi = f.PLo // single-port partition
+		}
+		if f.PHi < f.PLo || f.PHi > 65535 {
+			return Fault{}, fmt.Errorf("netchaos: partition phi %d outside [plo,65535]", f.PHi)
+		}
 	case Slow:
 		if f.Chunk, err = count("chunk"); err != nil {
 			return Fault{}, err
@@ -335,6 +364,11 @@ func (f Fault) String() string {
 	case Slow:
 		kv["chunk"] = float64(f.Chunk)
 		kv["delay"] = f.Delay
+	case Partition:
+		kv["plo"] = float64(f.PLo)
+		if f.PHi != f.PLo {
+			kv["phi"] = float64(f.PHi)
+		}
 	}
 	if !f.Win.zero() {
 		kv["from"] = float64(f.Win.From)

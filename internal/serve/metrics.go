@@ -92,6 +92,10 @@ type MetricsSnapshot struct {
 	Panics             uint64                      `json:"panics_total"`
 	LastPanicRequestID string                      `json:"last_panic_request_id,omitempty"`
 	VSafeCache         core.VSafeCacheStats        `json:"vsafe_cache"`
+	// ShardID / TopologyEpoch mirror /healthz (additive; zero-valued on a
+	// standalone daemon) so one /metrics scrape identifies the shard.
+	ShardID       string `json:"shard_id,omitempty"`
+	TopologyEpoch uint64 `json:"topology_epoch,omitempty"`
 }
 
 func (m *metrics) snapshot(queueDepth, inFlight int64, cache core.VSafeCacheStats) MetricsSnapshot {

@@ -78,7 +78,17 @@ type Config struct {
 	ScalarBatch bool
 	// Catalog resolves PowerSpec.Part (nil: partsdb.DefaultIndex()).
 	Catalog *partsdb.Index
+	// ShardID names this node's slot in a sharded deployment ("" for a
+	// standalone daemon). It is advertised on /healthz and /metrics so
+	// routers (internal/shard) and operators can confirm which shard
+	// answered; it does not change routing inside the server.
+	ShardID string
 }
+
+// BuildVersion identifies the serving build on /healthz. Bumped whenever
+// the wire surface changes shape (PR number, not semver — the repo grows
+// one PR at a time).
+const BuildVersion = "culpeod/7"
 
 // Server implements the culpeod HTTP API. Create with New, expose with
 // Handler.
@@ -102,6 +112,11 @@ type Server struct {
 	// reqSeq numbers requests that arrive without an X-Request-Id of their
 	// own, so every response carries a correlatable ID.
 	reqSeq atomic.Uint64
+
+	// topoEpoch is the fleet topology version last pushed to this node
+	// (SetTopologyEpoch); 0 means standalone or never told. Advertised on
+	// /healthz and /metrics so a router can verify its view propagated.
+	topoEpoch atomic.Uint64
 }
 
 // RequestIDHeader aliases the shared wire constant: the client sends one
@@ -189,9 +204,17 @@ func (s *Server) Cache() *core.VSafeCache { return s.cache }
 // real response.
 func (s *Server) SetDraining(v bool) { s.met.drained.Store(v) }
 
+// SetTopologyEpoch records the fleet topology version this node was told
+// about (control-plane push; internal/shard calls it on join/leave). The
+// server itself only advertises the number — routing stays client-side.
+func (s *Server) SetTopologyEpoch(epoch uint64) { s.topoEpoch.Store(epoch) }
+
 // Metrics snapshots the live metrics document.
 func (s *Server) Metrics() MetricsSnapshot {
-	return s.met.snapshot(s.queued.Load(), int64(len(s.slots)), s.cache.Stats())
+	snap := s.met.snapshot(s.queued.Load(), int64(len(s.slots)), s.cache.Stats())
+	snap.ShardID = s.cfg.ShardID
+	snap.TopologyEpoch = s.topoEpoch.Load()
+	return snap
 }
 
 // admission is the outcome of trying to enter the bounded queue.
@@ -666,7 +689,13 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if draining {
 		status = http.StatusServiceUnavailable
 	}
-	writeJSON(w, status, HealthResponse{OK: !draining, Draining: draining})
+	writeJSON(w, status, HealthResponse{
+		OK:            !draining,
+		Draining:      draining,
+		ShardID:       s.cfg.ShardID,
+		TopologyEpoch: s.topoEpoch.Load(),
+		Version:       BuildVersion,
+	})
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {

@@ -245,3 +245,47 @@ func resolveObservation(o ObservationSpec) (core.Observation, error) {
 }
 
 func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// Fingerprints resolves a /v1/vsafe request exactly as the handler would
+// and returns the (power-model fingerprint, trace fingerprint) pair that
+// keys the server's V_safe cache for it. This is the routing contract of
+// internal/shard: a router that hashes on these two values sends every
+// request to the shard whose cache already holds (or will hold) its entry.
+// Profile-backed loads are fingerprinted through the same
+// load.Sample(profile, load.SampleRateDefault) call profiler.PG.Estimate
+// makes, so the route key and the cache key can never drift apart. The
+// error, when non-nil, wraps errSpec — the request would have been a 400
+// on any shard, so callers may route it anywhere.
+func Fingerprints(req VSafeRequest, catalog *partsdb.Index) (model, trace uint64, err error) {
+	rp, err := resolvePower(req.Power, catalog)
+	if err != nil {
+		return 0, 0, err
+	}
+	rl, err := resolveLoad(req.Load)
+	if err != nil {
+		return 0, 0, err
+	}
+	if rl.isTrace {
+		return rp.model.Fingerprint(), core.TraceFingerprint(rl.trace), nil
+	}
+	return rp.model.Fingerprint(), core.TraceFingerprint(load.Sample(rl.profile, load.SampleRateDefault)), nil
+}
+
+// PowerFingerprint resolves just the power half of a spec — the routing
+// key component for /v1/vsafe-r, whose load side is three observed
+// voltages rather than a trace.
+func PowerFingerprint(p PowerSpec, catalog *partsdb.Index) (uint64, error) {
+	rp, err := resolvePower(p, catalog)
+	if err != nil {
+		return 0, err
+	}
+	return rp.model.Fingerprint(), nil
+}
+
+// SimulateFingerprints is Fingerprints for /v1/simulate elements.
+// Simulations bypass the V_safe cache, so any stable key works; using the
+// same (model, trace) pair keeps a task's estimates and its launch
+// verdicts on one shard, where an operator would look for them.
+func SimulateFingerprints(req SimulateRequest, catalog *partsdb.Index) (model, trace uint64, err error) {
+	return Fingerprints(VSafeRequest{Power: req.Power, Load: req.Load}, catalog)
+}

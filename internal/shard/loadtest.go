@@ -1,0 +1,238 @@
+// The sharded throughput rig behind `culpeo loadtest -shards` and the
+// BENCH_culpeo.json shard-scaling record. It boots N in-process culpeod
+// shards (serve.New behind loopback HTTP, each advertising its shard ID
+// and running a deliberately small V_safe cache), routes a fixed working
+// set of distinct estimate queries through a Router, and measures
+// sustained throughput.
+//
+// The rig is built to expose the effect sharding actually has on this
+// service: V_safe estimation is cache-bound, so the win of N shards is
+// cache *partitioning*, not CPU parallelism (on a 1-CPU box there is no
+// CPU to parallelize over). With a working set W larger than one node's
+// cache, a single shard thrashes — cyclic access over an undersized LRU
+// hits 0% and every request pays the full Algorithm 1 miss. Split W over
+// enough shards that each slice fits its node's cache and the same
+// workload runs almost entirely cache-hot. The Scaling sweep records
+// exactly that transition.
+package shard
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/client"
+	"culpeo/internal/serve"
+)
+
+// LoadTestOptions configures one sharded throughput run.
+type LoadTestOptions struct {
+	// Shards is the node count (<=0: 1).
+	Shards int
+	// WorkingSet is the number of distinct (model, trace) queries cycled
+	// through (<=0: 256).
+	WorkingSet int
+	// PerShardCache is each node's V_safe cache capacity (<=0: 96 — sized
+	// so the default working set thrashes one shard and fits in four).
+	PerShardCache int
+	// Requests is the total request count (<=0: 4096 — enough that the
+	// one-per-key cold misses fade into the steady state).
+	Requests int
+	// Concurrency is the closed-loop worker count (<=0: 4).
+	Concurrency int
+}
+
+// LoadTestResult reports one run at one shard count.
+type LoadTestResult struct {
+	Shards        int     `json:"shards"`
+	Requests      uint64  `json:"requests"`
+	Failures      uint64  `json:"failures"`
+	DurationSec   float64 `json:"duration_sec"`
+	ThroughputRPS float64 `json:"throughput_rps"`
+	// HitRate aggregates hits/(hits+misses) over every shard's cache — the
+	// mechanism column: watch it go 0 → ~1 as shards absorb the working set.
+	HitRate float64 `json:"cache_hit_rate"`
+	// Evictions aggregates LRU evictions over every shard — the thrash
+	// column, the counter a production fleet would alarm on.
+	Evictions uint64 `json:"evictions"`
+}
+
+// workItem is one precomputed query: route key + marshaled body.
+type workItem struct {
+	key  uint64
+	body []byte
+}
+
+// Defaults fills unset fields with the rig's default configuration (the
+// values the recorded BENCH artifact describes).
+func (o *LoadTestOptions) Defaults() {
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.WorkingSet <= 0 {
+		o.WorkingSet = 256
+	}
+	if o.PerShardCache <= 0 {
+		o.PerShardCache = 96
+	}
+	if o.Requests <= 0 {
+		o.Requests = 4096
+	}
+	if o.Concurrency <= 0 {
+		o.Concurrency = 4
+	}
+}
+
+// buildWork precomputes the working set: distinct uniform loads (each a
+// distinct trace fingerprint, hence a distinct cache line and route key),
+// marshaled once so the hot loop only replays bytes. The 50 ms duration
+// matters: it puts one Algorithm 1 miss at ~1 ms of estimator work, the
+// regime where cache effectiveness — the thing sharding changes — is what
+// sets throughput. (Sub-millisecond traces cost microseconds to estimate
+// and every shard count measures the same HTTP overhead.)
+func buildWork(n int) ([]workItem, error) {
+	items := make([]workItem, n)
+	for i := range items {
+		req := api.VSafeRequest{Load: api.LoadSpec{
+			Shape: "uniform",
+			I:     float64(i+1) * 0.5e-3,
+			T:     50e-3,
+		}}
+		model, trace, err := serve.Fingerprints(req, nil)
+		if err != nil {
+			return nil, fmt.Errorf("shard: loadtest work item %d: %w", i, err)
+		}
+		body, err := json.Marshal(req)
+		if err != nil {
+			return nil, err
+		}
+		items[i] = workItem{key: Key(model, trace), body: body}
+	}
+	return items, nil
+}
+
+// LoadTest boots opt.Shards in-process culpeod nodes, routes the working
+// set through a Router, and reports sustained throughput plus aggregated
+// cache effectiveness.
+func LoadTest(ctx context.Context, opt LoadTestOptions) (LoadTestResult, error) {
+	opt.Defaults()
+	res := LoadTestResult{Shards: opt.Shards}
+
+	work, err := buildWork(opt.WorkingSet)
+	if err != nil {
+		return res, err
+	}
+
+	servers := make([]*serve.Server, opt.Shards)
+	shards := make([]Shard, opt.Shards)
+	for i := range servers {
+		s := serve.New(serve.Config{
+			ShardID:     fmt.Sprintf("s%d", i),
+			CacheSize:   opt.PerShardCache,
+			MaxInFlight: opt.Concurrency,
+			QueueDepth:  4 * opt.Concurrency,
+		})
+		ts := httptest.NewServer(s.Handler())
+		defer ts.Close()
+		servers[i] = s
+		shards[i] = Shard{ID: fmt.Sprintf("s%d", i), URL: ts.URL}
+	}
+	topo, err := NewTopology(shards...)
+	if err != nil {
+		return res, err
+	}
+	// Retries and breaker off: the rig measures raw routed turnaround, and
+	// any failure must surface as a failure, not vanish into failover.
+	router := NewRouter(topo, RouterConfig{Client: client.Config{
+		HTTPClient: &http.Client{Transport: &http.Transport{
+			MaxIdleConns:        opt.Shards * opt.Concurrency,
+			MaxIdleConnsPerHost: opt.Concurrency,
+		}},
+		Budget:         30 * time.Second,
+		AttemptTimeout: 10 * time.Second,
+		MaxAttempts:    1,
+		Breaker:        client.BreakerConfig{Disabled: true},
+	}})
+	defer router.Close()
+
+	// One warm-up request proves the fleet answers; it is not measured and
+	// (being item 0 re-requested later) does not distort the hit profile
+	// beyond one line.
+	if _, err := router.DoKeyed(ctx, work[0].key, client.PathVSafe, work[0].body); err != nil {
+		return res, fmt.Errorf("shard: loadtest fleet unreachable: %w", err)
+	}
+
+	var (
+		wg       sync.WaitGroup
+		next     atomic.Uint64
+		done     atomic.Uint64
+		failures atomic.Uint64
+	)
+	start := time.Now()
+	for g := 0; g < opt.Concurrency; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				n := next.Add(1) - 1
+				if n >= uint64(opt.Requests) || ctx.Err() != nil {
+					return
+				}
+				// Cyclic walk over the working set: the LRU's worst case
+				// when undersized, and its best case when it fits.
+				it := work[n%uint64(len(work))]
+				if _, err := router.DoKeyed(ctx, it.key, client.PathVSafe, it.body); err != nil {
+					failures.Add(1)
+				} else {
+					done.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+
+	res.Requests = done.Load()
+	res.Failures = failures.Load()
+	res.DurationSec = elapsed.Seconds()
+	if res.DurationSec > 0 {
+		res.ThroughputRPS = float64(res.Requests) / res.DurationSec
+	}
+	var hits, misses uint64
+	for _, s := range servers {
+		st := s.Cache().Stats()
+		hits += st.Hits
+		misses += st.Misses
+		res.Evictions += st.Evictions
+	}
+	if hits+misses > 0 {
+		res.HitRate = float64(hits) / float64(hits+misses)
+	}
+	if res.Requests == 0 {
+		return res, fmt.Errorf("shard: loadtest completed no requests")
+	}
+	return res, nil
+}
+
+// Scaling runs LoadTest at each shard count with an otherwise identical
+// workload and returns the rows in order — the 1→4→8 scaling record that
+// lands in BENCH_culpeo.json.
+func Scaling(ctx context.Context, counts []int, opt LoadTestOptions) ([]LoadTestResult, error) {
+	rows := make([]LoadTestResult, 0, len(counts))
+	for _, n := range counts {
+		o := opt
+		o.Shards = n
+		row, err := LoadTest(ctx, o)
+		if err != nil {
+			return rows, fmt.Errorf("shard: scaling at %d shards: %w", n, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

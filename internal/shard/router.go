@@ -1,0 +1,487 @@
+// The Router: the failover engine of the sharded tier. One client.Pool
+// per shard (so each shard keeps the full PR-5 machinery — per-attempt
+// deadlines, breaker, probe ejection/readmission — against its own node),
+// with the router deciding *which* pool a request is offered to:
+//
+//   - route by rendezvous rank of the request's cache-fingerprint key;
+//   - skip a shard whose pool reports itself inadmissible (breaker open
+//     or probe-ejected — the latter includes /healthz draining) and fail
+//     over to the next-ranked candidate: a cold cache is acceptable, a
+//     failed request is not;
+//   - readmit recovered shards through the pool's own health probes,
+//     driven on the router's call cadence (ProbeEvery) because a shard
+//     the router has stopped routing to never advances its pool's call
+//     counter;
+//   - re-resolve routes when the Topology epoch moves, without dropping
+//     in-flight work: superseded pools are retired, not closed, until
+//     Close.
+//
+// Batch requests scatter-gather: elements are partitioned by their own
+// route keys, each sub-batch rides the same failover path, and the
+// responses reassemble index-aligned — so a batch behaves exactly like
+// its elements would have individually, which is what the soak's
+// bit-parity gate checks.
+package shard
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"culpeo/internal/api"
+	"culpeo/internal/client"
+	"culpeo/internal/partsdb"
+	"culpeo/internal/serve"
+)
+
+// RouterConfig tunes a Router.
+type RouterConfig struct {
+	// Client is the template for each shard's single-backend client.Pool.
+	// Backends is ignored (the topology supplies one URL per shard);
+	// OnTransition is chained — pool events re-emit as router Events named
+	// by shard ID.
+	Client client.Config
+	// ProbeEvery, when > 0, probes every shard's /healthz synchronously on
+	// every Nth router call — the deterministic detection path for
+	// draining shards and the readmission path for ejected ones. (0: no
+	// router-driven probes; rely on the pool's own ProbeInterval.)
+	ProbeEvery int
+	// Catalog resolves PowerSpec.Part during route-key derivation (nil:
+	// partsdb.DefaultIndex(), matching the server).
+	Catalog *partsdb.Index
+	// OnEvent observes routing decisions, pool transitions and topology
+	// re-resolutions. Called synchronously; keep it fast.
+	OnEvent func(Event)
+}
+
+// Event is one router-observed state change. Call is the router's call
+// counter when it fired — a sequential workload therefore produces a
+// bit-reproducible event log, which the shard soak golden-locks.
+type Event struct {
+	Call  uint64 `json:"call"`
+	Shard string `json:"shard"` // shard ID, "route" or "topology"
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Cause string `json:"cause"`
+}
+
+// String renders "call=12 s1 closed->open (failures=2)" — the golden-log
+// line format, shared shape with client.Event.
+func (e Event) String() string {
+	return fmt.Sprintf("call=%d %s %s->%s (%s)", e.Call, e.Shard, e.From, e.To, e.Cause)
+}
+
+// shardPool pairs a shard with its dedicated single-backend pool.
+type shardPool struct {
+	shard Shard
+	pool  *client.Pool
+}
+
+// Router routes requests onto a live Topology. Safe for concurrent use;
+// Close releases every pool, including retired ones.
+type Router struct {
+	cfg  RouterConfig
+	topo *Topology
+
+	calls atomic.Uint64
+
+	mu      sync.RWMutex
+	epoch   uint64
+	pools   map[string]*shardPool
+	retired []*client.Pool
+	closed  bool
+}
+
+// NewRouter builds a Router over the topology and resolves the initial
+// shard set immediately.
+func NewRouter(topo *Topology, cfg RouterConfig) *Router {
+	r := &Router{cfg: cfg, topo: topo, pools: make(map[string]*shardPool)}
+	epoch, shards := topo.Snapshot()
+	r.resolve(epoch, shards, 0)
+	return r
+}
+
+// Close closes every shard pool, including pools retired by topology
+// changes. In-flight calls started before Close may fail.
+func (r *Router) Close() {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed {
+		return
+	}
+	r.closed = true
+	for _, sp := range r.pools {
+		sp.pool.Close()
+	}
+	for _, p := range r.retired {
+		p.Close()
+	}
+}
+
+func (r *Router) emit(ev Event) {
+	if r.cfg.OnEvent != nil {
+		r.cfg.OnEvent(ev)
+	}
+}
+
+// resolve rebuilds the pool set for a new topology epoch. Pools for
+// unchanged (ID, URL) pairs are kept — their breaker and probe state is
+// exactly the continuity "without dropping in-flight work" requires;
+// superseded pools are retired, staying alive for calls that hold them,
+// and are closed only by Close.
+func (r *Router) resolve(epoch uint64, shards []Shard, call uint64) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.closed || epoch == r.epoch {
+		return
+	}
+	next := make(map[string]*shardPool, len(shards))
+	for _, s := range shards {
+		if sp, ok := r.pools[s.ID]; ok && sp.shard.URL == s.URL {
+			next[s.ID] = sp
+			continue
+		}
+		sp, err := r.newShardPool(s)
+		if err != nil {
+			// Topology validated the URL, so this is unreachable in
+			// practice; surface it in the event log rather than panicking.
+			r.emit(Event{Call: call, Shard: s.ID, From: "new", To: "unusable", Cause: err.Error()})
+			continue
+		}
+		next[s.ID] = sp
+	}
+	for id, sp := range r.pools {
+		if next[id] != sp {
+			r.retired = append(r.retired, sp.pool)
+		}
+	}
+	from := fmt.Sprintf("epoch=%d", r.epoch)
+	r.pools = next
+	r.epoch = epoch
+	r.emit(Event{Call: call, Shard: "topology", From: from, To: fmt.Sprintf("epoch=%d", epoch), Cause: fmt.Sprintf("%d shards", len(shards))})
+}
+
+// newShardPool builds the single-backend pool for one shard, chaining its
+// transition events into the router's log under the shard's name.
+func (r *Router) newShardPool(s Shard) (*shardPool, error) {
+	cc := r.cfg.Client
+	cc.Backends = []string{s.URL}
+	inner := cc.OnTransition
+	cc.OnTransition = func(ev client.Event) {
+		r.emit(Event{Call: r.calls.Load(), Shard: s.ID, From: ev.From, To: ev.To, Cause: ev.Cause})
+		if inner != nil {
+			inner(ev)
+		}
+	}
+	p, err := client.New(cc)
+	if err != nil {
+		return nil, err
+	}
+	return &shardPool{shard: s, pool: p}, nil
+}
+
+// routes snapshots the topology (re-resolving pools if the epoch moved)
+// and returns the ranked candidate pools for key. The returned slice
+// holds pool references that stay valid even if a topology change retires
+// them mid-call.
+func (r *Router) routes(key uint64, call uint64) []*shardPool {
+	epoch, shards := r.topo.Snapshot()
+	r.mu.RLock()
+	stale := epoch != r.epoch
+	r.mu.RUnlock()
+	if stale {
+		r.resolve(epoch, shards, call)
+	}
+	ranked := Rank(key, shards)
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	out := make([]*shardPool, 0, len(ranked))
+	for _, s := range ranked {
+		if sp, ok := r.pools[s.ID]; ok {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+// ProbeAll synchronously probes every current shard's /healthz (in shard
+// ID order, so probe-driven events land deterministically). The soak
+// calls it after topology pushes; the route path calls it on the
+// ProbeEvery cadence.
+func (r *Router) ProbeAll(ctx context.Context) {
+	r.mu.RLock()
+	sps := make([]*shardPool, 0, len(r.pools))
+	for _, sp := range r.pools {
+		sps = append(sps, sp)
+	}
+	r.mu.RUnlock()
+	sort.Slice(sps, func(i, j int) bool { return sps[i].shard.ID < sps[j].shard.ID })
+	for _, sp := range sps {
+		sp.pool.ProbeAll(ctx)
+	}
+}
+
+// Epoch returns the topology epoch the router last resolved.
+func (r *Router) Epoch() uint64 {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.epoch
+}
+
+// ErrNoShards is returned when the topology is empty (or every shard's
+// pool failed to build).
+var ErrNoShards = errors.New("shard: no shards in topology")
+
+// route is the failover engine: offer the call to ranked candidates —
+// admissible ones first, then (only if that pass produced no answer)
+// every candidate regardless, so a fleet-wide brown-out still gets the
+// pool-level retry machinery rather than an instant failure. A
+// non-retryable client error (4xx) returns immediately: the request is
+// the bug and every shard will say the same thing.
+func (r *Router) route(key uint64, do func(sp *shardPool) error) error {
+	call := r.calls.Add(1)
+	if n := r.cfg.ProbeEvery; n > 0 && call%uint64(n) == 0 {
+		r.ProbeAll(context.Background())
+	}
+	candidates := r.routes(key, call)
+	if len(candidates) == 0 {
+		return ErrNoShards
+	}
+	primary := candidates[0]
+
+	var lastErr error
+	attempt := func(sp *shardPool, cause string) (bool, error) {
+		err := do(sp)
+		if err == nil {
+			if sp != primary {
+				r.emit(Event{Call: call, Shard: "route", From: primary.shard.ID, To: sp.shard.ID, Cause: cause})
+			}
+			return true, nil
+		}
+		lastErr = err
+		var he *client.HTTPError
+		if errors.As(err, &he) && !he.Retryable() {
+			return true, err
+		}
+		return false, nil
+	}
+
+	skipped := false
+	for _, sp := range candidates {
+		if !sp.pool.Admissible() {
+			skipped = true
+			continue
+		}
+		cause := "attempt failed"
+		if skipped {
+			cause = "unavailable"
+		}
+		if done, err := attempt(sp, cause); done {
+			return err
+		}
+	}
+	// Second pass: every candidate, inadmissible or previously failed —
+	// the last line of defense before failing the caller's request.
+	for _, sp := range candidates {
+		if done, err := attempt(sp, "last resort"); done {
+			return err
+		}
+	}
+	return fmt.Errorf("shard: all %d candidates failed for key %016x: %w", len(candidates), key, lastErr)
+}
+
+// --- route-key derivation ------------------------------------------------
+
+// vsafeKey derives the route key for an estimate element. A spec the
+// server would 400 has no fingerprint; key 0 routes it to a well-defined
+// shard, which answers with exactly the error the single-node path would.
+func (r *Router) vsafeKey(req api.VSafeRequest) uint64 {
+	m, tr, err := serve.Fingerprints(req, r.cfg.Catalog)
+	if err != nil {
+		return Key(0, 0)
+	}
+	return Key(m, tr)
+}
+
+func (r *Router) vsafeRKey(req api.VSafeRRequest) uint64 {
+	m, err := serve.PowerFingerprint(req.Power, r.cfg.Catalog)
+	if err != nil {
+		return Key(0, 0)
+	}
+	return ObservationKey(m, req.Observation.VStart, req.Observation.VMin, req.Observation.VFinal)
+}
+
+func (r *Router) simulateKey(req api.SimulateRequest) uint64 {
+	m, tr, err := serve.SimulateFingerprints(req, r.cfg.Catalog)
+	if err != nil {
+		return Key(0, 0)
+	}
+	return Key(m, tr)
+}
+
+// --- typed endpoint methods ----------------------------------------------
+
+// VSafe routes one estimate to the shard owning its cache line.
+func (r *Router) VSafe(ctx context.Context, req api.VSafeRequest) (api.EstimateResponse, error) {
+	var out api.EstimateResponse
+	err := r.route(r.vsafeKey(req), func(sp *shardPool) error {
+		var e error
+		out, e = sp.pool.VSafe(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// VSafeR routes one runtime estimate by its power model and observation.
+func (r *Router) VSafeR(ctx context.Context, req api.VSafeRRequest) (api.EstimateResponse, error) {
+	var out api.EstimateResponse
+	err := r.route(r.vsafeRKey(req), func(sp *shardPool) error {
+		var e error
+		out, e = sp.pool.VSafeR(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// Simulate routes one launch simulation.
+func (r *Router) Simulate(ctx context.Context, req api.SimulateRequest) (api.SimulateResponse, error) {
+	var out api.SimulateResponse
+	err := r.route(r.simulateKey(req), func(sp *shardPool) error {
+		var e error
+		out, e = sp.pool.Simulate(ctx, req)
+		return e
+	})
+	return out, err
+}
+
+// DoKeyed sends a pre-marshaled body to path on the shard owning key,
+// with the full failover path. The load generator's escape hatch: it
+// derives keys once and replays bodies from a flat table, keeping the
+// client side out of the measured hot loop.
+func (r *Router) DoKeyed(ctx context.Context, key uint64, path string, body []byte) ([]byte, error) {
+	var out []byte
+	err := r.route(key, func(sp *shardPool) error {
+		var e error
+		out, e = sp.pool.Do(ctx, path, body)
+		return e
+	})
+	return out, err
+}
+
+// Batch scatter-gathers: elements are grouped by their own route keys,
+// each group goes to its owning shard as a sub-batch (in shard-ID order —
+// sequential and deterministic), and the responses reassemble
+// index-aligned with the request. A group whose shard is down fails over
+// exactly like a single request. An empty batch is routed whole so the
+// server's "empty request list" error comes back verbatim.
+func (r *Router) Batch(ctx context.Context, req api.BatchRequest) (api.BatchResponse, error) {
+	if len(req.Requests) == 0 && len(req.Simulations) == 0 {
+		var out api.BatchResponse
+		err := r.route(Key(0, 0), func(sp *shardPool) error {
+			var e error
+			out, e = sp.pool.Batch(ctx, req)
+			return e
+		})
+		return out, err
+	}
+
+	_, shards := r.topo.Snapshot()
+	type group struct {
+		key  string // owning shard ID
+		rkey uint64 // a representative route key (first element's)
+		sub  api.BatchRequest
+		reqs []int // original indices of sub.Requests
+		sims []int // original indices of sub.Simulations
+	}
+	groups := make(map[string]*group)
+	assign := func(key uint64) *group {
+		owner, ok := Owner(key, shards)
+		id := ""
+		if ok {
+			id = owner.ID
+		}
+		g := groups[id]
+		if g == nil {
+			g = &group{key: id, rkey: key}
+			groups[id] = g
+		}
+		return g
+	}
+	for i, el := range req.Requests {
+		g := assign(r.vsafeKey(el))
+		g.sub.Requests = append(g.sub.Requests, el)
+		g.reqs = append(g.reqs, i)
+	}
+	for i, el := range req.Simulations {
+		g := assign(r.simulateKey(el))
+		g.sub.Simulations = append(g.sub.Simulations, el)
+		g.sims = append(g.sims, i)
+	}
+
+	ordered := make([]*group, 0, len(groups))
+	for _, g := range groups {
+		ordered = append(ordered, g)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].key < ordered[j].key })
+
+	resp := api.BatchResponse{}
+	if len(req.Requests) > 0 {
+		resp.Results = make([]api.BatchResult, len(req.Requests))
+	}
+	if len(req.Simulations) > 0 {
+		resp.Simulations = make([]api.BatchSimResult, len(req.Simulations))
+	}
+	for _, g := range ordered {
+		var sub api.BatchResponse
+		err := r.route(g.rkey, func(sp *shardPool) error {
+			var e error
+			sub, e = sp.pool.Batch(ctx, g.sub)
+			return e
+		})
+		if err != nil {
+			return api.BatchResponse{}, err
+		}
+		if len(sub.Results) != len(g.reqs) || len(sub.Simulations) != len(g.sims) {
+			return api.BatchResponse{}, fmt.Errorf("shard: sub-batch shape mismatch: got %d/%d results, want %d/%d",
+				len(sub.Results), len(sub.Simulations), len(g.reqs), len(g.sims))
+		}
+		for j, idx := range g.reqs {
+			resp.Results[idx] = sub.Results[j]
+		}
+		for j, idx := range g.sims {
+			resp.Simulations[idx] = sub.Simulations[j]
+		}
+	}
+	return resp, nil
+}
+
+// --- observability -------------------------------------------------------
+
+// ShardMetrics pairs one shard with its pool's client-side snapshot.
+type ShardMetrics struct {
+	Shard Shard                  `json:"shard"`
+	Pool  client.MetricsSnapshot `json:"pool"`
+}
+
+// Metrics snapshots every current shard's pool, sorted by shard ID.
+// Retired pools are excluded — their shard is no longer in the topology.
+func (r *Router) Metrics() []ShardMetrics {
+	r.mu.RLock()
+	sps := make([]*shardPool, 0, len(r.pools))
+	for _, sp := range r.pools {
+		sps = append(sps, sp)
+	}
+	r.mu.RUnlock()
+	sort.Slice(sps, func(i, j int) bool { return sps[i].shard.ID < sps[j].shard.ID })
+	out := make([]ShardMetrics, len(sps))
+	for i, sp := range sps {
+		out[i] = ShardMetrics{Shard: sp.shard, Pool: sp.pool.Metrics()}
+	}
+	return out
+}
+
+// Calls returns the router call counter.
+func (r *Router) Calls() uint64 { return r.calls.Load() }

@@ -1,0 +1,543 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/client"
+	"culpeo/internal/serve"
+)
+
+// testFleet is N in-process culpeod shards behind a Router.
+type testFleet struct {
+	servers []*serve.Server
+	https   []*httptest.Server
+	topo    *Topology
+	router  *Router
+
+	mu     sync.Mutex
+	events []Event
+}
+
+func (f *testFleet) recordEvent(ev Event) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.events = append(f.events, ev)
+}
+
+func (f *testFleet) eventLog() []Event {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]Event{}, f.events...)
+}
+
+// newFleet boots n shards s0..s(n-1) with deterministic client settings:
+// one attempt per pool call (the router owns failover), a fast breaker,
+// and an event-counted cooldown so nothing depends on wall-clock time.
+func newFleet(t *testing.T, n int) *testFleet {
+	t.Helper()
+	f := &testFleet{}
+	shards := make([]Shard, n)
+	for i := 0; i < n; i++ {
+		s := serve.New(serve.Config{ShardID: fmt.Sprintf("s%d", i)})
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(ts.Close)
+		f.servers = append(f.servers, s)
+		f.https = append(f.https, ts)
+		shards[i] = Shard{ID: fmt.Sprintf("s%d", i), URL: ts.URL}
+	}
+	topo, err := NewTopology(shards...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.topo = topo
+	f.router = NewRouter(topo, RouterConfig{
+		Client: client.Config{
+			DisableKeepAlives: true,
+			Budget:            5 * time.Second,
+			AttemptTimeout:    2 * time.Second,
+			MaxAttempts:       1,
+			Seed:              1,
+			Breaker:           client.BreakerConfig{FailureThreshold: 2, CooldownCalls: 10000},
+		},
+		OnEvent: f.recordEvent,
+	})
+	t.Cleanup(f.router.Close)
+	return f
+}
+
+// singleNode boots one unsharded culpeod with a plain client.Pool — the
+// parity reference.
+func singleNode(t *testing.T) *client.Pool {
+	t.Helper()
+	s := serve.New(serve.Config{})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	pool, err := client.New(client.Config{Backends: []string{ts.URL}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(pool.Close)
+	return pool
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// stripReqID drops the per-pool request-ID suffix ("(request c5-a1)") so
+// error strings from different pools compare on substance.
+func stripReqID(err error) string {
+	s := err.Error()
+	if i := strings.Index(s, " (request "); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
+
+func mustSameEstimate(t *testing.T, tag string, got, want api.EstimateResponse) {
+	t.Helper()
+	if !sameBits(got.VSafe, want.VSafe) || !sameBits(got.VDelta, want.VDelta) || !sameBits(got.VE, want.VE) {
+		t.Fatalf("%s: routed %+v, single-node %+v (bit mismatch)", tag, got, want)
+	}
+}
+
+// TestRouterParityWithSingleNode: every endpoint answers bit-identically
+// through the sharded tier and through one unsharded node — sharding must
+// be invisible to results.
+func TestRouterParityWithSingleNode(t *testing.T) {
+	ctx := context.Background()
+	fleet := newFleet(t, 3)
+	ref := singleNode(t)
+
+	vsafes := []api.VSafeRequest{
+		{Load: api.LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}},
+		{Load: api.LoadSpec{Shape: "pulse", I: 40e-3, T: 5e-3}},
+		{Load: api.LoadSpec{Peripheral: "gesture"}},
+		{Power: api.PowerSpec{C: 33e-3, ESR: 7}, Load: api.LoadSpec{Shape: "uniform", I: 10e-3, T: 20e-3}},
+	}
+	for i, req := range vsafes {
+		got, err := fleet.router.VSafe(ctx, req)
+		if err != nil {
+			t.Fatalf("vsafe %d: %v", i, err)
+		}
+		want, err := ref.VSafe(ctx, req)
+		if err != nil {
+			t.Fatalf("vsafe %d (ref): %v", i, err)
+		}
+		mustSameEstimate(t, fmt.Sprintf("vsafe %d", i), got, want)
+	}
+
+	rreq := api.VSafeRRequest{Observation: api.ObservationSpec{VStart: 2.5, VMin: 2.2, VFinal: 2.4}}
+	gotR, err := fleet.router.VSafeR(ctx, rreq)
+	if err != nil {
+		t.Fatalf("vsafe-r: %v", err)
+	}
+	wantR, err := ref.VSafeR(ctx, rreq)
+	if err != nil {
+		t.Fatalf("vsafe-r (ref): %v", err)
+	}
+	mustSameEstimate(t, "vsafe-r", gotR, wantR)
+
+	sreq := api.SimulateRequest{Load: api.LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}, Fast: true}
+	gotS, err := fleet.router.Simulate(ctx, sreq)
+	if err != nil {
+		t.Fatalf("simulate: %v", err)
+	}
+	wantS, err := ref.Simulate(ctx, sreq)
+	if err != nil {
+		t.Fatalf("simulate (ref): %v", err)
+	}
+	if !sameBits(gotS.VMin, wantS.VMin) || !sameBits(gotS.VFinal, wantS.VFinal) ||
+		!sameBits(gotS.Duration, wantS.Duration) || !sameBits(gotS.EnergyUsed, wantS.EnergyUsed) ||
+		gotS.Completed != wantS.Completed || gotS.PowerFailed != wantS.PowerFailed {
+		t.Fatalf("simulate: routed %+v, single-node %+v", gotS, wantS)
+	}
+
+	// A 4xx must come back verbatim from whichever shard got it, with no
+	// failover attempts inflating the error.
+	bad := api.VSafeRequest{Load: api.LoadSpec{Shape: "sawtooth"}}
+	_, gotErr := fleet.router.VSafe(ctx, bad)
+	_, wantErr := ref.VSafe(ctx, bad)
+	if gotErr == nil || wantErr == nil || stripReqID(gotErr) != stripReqID(wantErr) {
+		t.Fatalf("4xx parity: routed %v, single-node %v", gotErr, wantErr)
+	}
+}
+
+// TestRouterBatchScatterParity: a mixed batch (estimates, simulations, a
+// malformed element mid-list) scatter-gathered over 3 shards reassembles
+// bit-identically to the single-node answer, in order.
+func TestRouterBatchScatterParity(t *testing.T) {
+	ctx := context.Background()
+	fleet := newFleet(t, 3)
+	ref := singleNode(t)
+
+	var breq api.BatchRequest
+	for i := 0; i < 9; i++ {
+		breq.Requests = append(breq.Requests, api.VSafeRequest{
+			Load: api.LoadSpec{Shape: "uniform", I: float64(i+1) * 3e-3, T: 8e-3},
+		})
+	}
+	breq.Requests[4] = api.VSafeRequest{Load: api.LoadSpec{Shape: "sawtooth"}} // per-element error
+	for i := 0; i < 3; i++ {
+		breq.Simulations = append(breq.Simulations, api.SimulateRequest{
+			Load:   api.LoadSpec{Shape: "pulse", I: float64(i+2) * 10e-3, T: 4e-3},
+			VStart: 2.5,
+			Fast:   true,
+		})
+	}
+
+	got, err := fleet.router.Batch(ctx, breq)
+	if err != nil {
+		t.Fatalf("routed batch: %v", err)
+	}
+	want, err := ref.Batch(ctx, breq)
+	if err != nil {
+		t.Fatalf("single-node batch: %v", err)
+	}
+	if len(got.Results) != len(want.Results) || len(got.Simulations) != len(want.Simulations) {
+		t.Fatalf("shape: routed %d/%d, single-node %d/%d",
+			len(got.Results), len(got.Simulations), len(want.Results), len(want.Simulations))
+	}
+	for i := range want.Results {
+		g, w := got.Results[i], want.Results[i]
+		if g.Error != w.Error {
+			t.Fatalf("result %d: error %q, want %q", i, g.Error, w.Error)
+		}
+		if (g.Estimate == nil) != (w.Estimate == nil) {
+			t.Fatalf("result %d: estimate presence mismatch", i)
+		}
+		if w.Estimate != nil {
+			mustSameEstimate(t, fmt.Sprintf("batch result %d", i), *g.Estimate, *w.Estimate)
+		}
+	}
+	for i := range want.Simulations {
+		g, w := got.Simulations[i], want.Simulations[i]
+		if g.Error != w.Error || (g.Result == nil) != (w.Result == nil) {
+			t.Fatalf("sim %d: %+v vs %+v", i, g, w)
+		}
+		if w.Result != nil && (!sameBits(g.Result.VMin, w.Result.VMin) || !sameBits(g.Result.VFinal, w.Result.VFinal)) {
+			t.Fatalf("sim %d: routed %+v, single-node %+v", i, *g.Result, *w.Result)
+		}
+	}
+
+	// The batch genuinely scattered: more than one shard computed misses.
+	sharded := 0
+	for _, s := range fleet.servers {
+		if s.Cache().Stats().Misses > 0 {
+			sharded++
+		}
+	}
+	if sharded < 2 {
+		t.Fatalf("batch landed on %d shard(s), expected a scatter", sharded)
+	}
+
+	// Empty-batch error parity: routed whole, answered by one shard with
+	// the single-node 400.
+	_, gotErr := fleet.router.Batch(ctx, api.BatchRequest{})
+	_, wantErr := ref.Batch(ctx, api.BatchRequest{})
+	if gotErr == nil || wantErr == nil || stripReqID(gotErr) != stripReqID(wantErr) {
+		t.Fatalf("empty batch parity: routed %v, single-node %v", gotErr, wantErr)
+	}
+}
+
+// TestRouterRoutesByOwnership: each request lands on the rendezvous owner
+// of its key — every shard's cache misses exactly the keys it owns.
+func TestRouterRoutesByOwnership(t *testing.T) {
+	ctx := context.Background()
+	fleet := newFleet(t, 3)
+	_, shards := fleet.topo.Snapshot()
+
+	work, err := buildWork(30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	owned := map[string]uint64{}
+	for _, it := range work {
+		owner, _ := Owner(it.key, shards)
+		owned[owner.ID]++
+	}
+	for _, it := range work {
+		if _, err := fleet.router.DoKeyed(ctx, it.key, client.PathVSafe, it.body); err != nil {
+			t.Fatalf("DoKeyed: %v", err)
+		}
+	}
+	for i, s := range fleet.servers {
+		id := fmt.Sprintf("s%d", i)
+		st := s.Cache().Stats()
+		if st.Misses != owned[id] || st.Hits != 0 {
+			t.Fatalf("%s saw %d misses / %d hits, owns %d keys", id, st.Misses, st.Hits, owned[id])
+		}
+	}
+}
+
+// TestRouterFailoverOnKilledShard: hard-kill one shard; every request
+// keyed to it fails over to its rank-2 candidate with zero caller-visible
+// failures, the breaker opens after the threshold, and a rejoin at a new
+// URL (epoch bump) routes the keys home again.
+func TestRouterFailoverOnKilledShard(t *testing.T) {
+	ctx := context.Background()
+	fleet := newFleet(t, 3)
+	_, shards := fleet.topo.Snapshot()
+
+	// A key owned by s1, plus its failover candidate.
+	work, err := buildWork(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var item workItem
+	var fallback string
+	found := false
+	for _, it := range work {
+		rank := Rank(it.key, shards)
+		if rank[0].ID == "s1" {
+			item, fallback, found = it, rank[1].ID, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no key owned by s1 in 64 items")
+	}
+
+	fleet.https[1].Close() // hard kill: connection refused from here on
+
+	for i := 0; i < 6; i++ {
+		if _, err := fleet.router.DoKeyed(ctx, item.key, client.PathVSafe, item.body); err != nil {
+			t.Fatalf("request %d through killed-shard key failed: %v", i, err)
+		}
+	}
+	// The fallback shard served them (1 miss + 5 hits on its cache).
+	var fbIdx int
+	fmt.Sscanf(fallback, "s%d", &fbIdx)
+	if st := fleet.servers[fbIdx].Cache().Stats(); st.Misses != 1 || st.Hits != 5 {
+		t.Fatalf("fallback %s stats = %+v, want 1 miss + 5 hits", fallback, st)
+	}
+
+	// Events: first calls record "attempt failed" reroutes, then the
+	// breaker opens and later calls record "unavailable" skips.
+	var attemptFailed, unavailable, opened bool
+	for _, ev := range fleet.eventLog() {
+		if ev.Shard == "route" && ev.From == "s1" && ev.To == fallback {
+			switch ev.Cause {
+			case "attempt failed":
+				attemptFailed = true
+			case "unavailable":
+				unavailable = true
+			}
+		}
+		if ev.Shard == "s1" && ev.To == "open" {
+			opened = true
+		}
+	}
+	if !attemptFailed || !unavailable || !opened {
+		t.Fatalf("event log missing transitions (attemptFailed=%v unavailable=%v opened=%v):\n%v",
+			attemptFailed, unavailable, opened, fleet.eventLog())
+	}
+
+	// Rejoin s1 at a fresh URL; the epoch bump re-resolves a fresh pool
+	// and the key routes home (cold cache, correct answer).
+	s1 := serve.New(serve.Config{ShardID: "s1"})
+	ts := httptest.NewServer(s1.Handler())
+	t.Cleanup(ts.Close)
+	if _, err := fleet.topo.Join(Shard{ID: "s1", URL: ts.URL}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := fleet.router.DoKeyed(ctx, item.key, client.PathVSafe, item.body); err != nil {
+		t.Fatalf("post-rejoin request: %v", err)
+	}
+	if fleet.router.Epoch() != 2 {
+		t.Fatalf("router epoch = %d, want 2 after rejoin", fleet.router.Epoch())
+	}
+	if st := s1.Cache().Stats(); st.Misses != 1 {
+		t.Fatalf("rejoined s1 stats = %+v, want the key's cold miss", st)
+	}
+}
+
+// TestRouterDrainFailoverAndReadmission: a draining shard still answers,
+// but ProbeAll must eject it (failover) and readmit it once the drain
+// clears — the graceful-restart path.
+func TestRouterDrainFailoverAndReadmission(t *testing.T) {
+	ctx := context.Background()
+	fleet := newFleet(t, 3)
+	_, shards := fleet.topo.Snapshot()
+
+	work, err := buildWork(64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var item workItem
+	var fbIdx int
+	found := false
+	for _, it := range work {
+		rank := Rank(it.key, shards)
+		if rank[0].ID == "s0" {
+			fmt.Sscanf(rank[1].ID, "s%d", &fbIdx)
+			item, found = it, true
+			break
+		}
+	}
+	if !found {
+		t.Fatal("no key owned by s0 in 64 items")
+	}
+
+	must := func(tag string) {
+		t.Helper()
+		if _, err := fleet.router.DoKeyed(ctx, item.key, client.PathVSafe, item.body); err != nil {
+			t.Fatalf("%s: %v", tag, err)
+		}
+	}
+
+	must("baseline")
+	if st := fleet.servers[0].Cache().Stats(); st.Misses != 1 {
+		t.Fatalf("baseline did not land on s0: %+v", st)
+	}
+
+	fleet.servers[0].SetDraining(true)
+	fleet.router.ProbeAll(ctx)
+	must("drained")
+	if st := fleet.servers[fbIdx].Cache().Stats(); st.Misses != 1 {
+		t.Fatalf("drained request did not fail over: fallback stats %+v", st)
+	}
+
+	fleet.servers[0].SetDraining(false)
+	fleet.router.ProbeAll(ctx)
+	must("readmitted")
+	if st := fleet.servers[0].Cache().Stats(); st.Hits != 1 {
+		t.Fatalf("readmitted request did not return to s0: %+v", st)
+	}
+
+	// The probe transitions are in the log under the shard's name.
+	var ejected, readmitted bool
+	for _, ev := range fleet.eventLog() {
+		if ev.Shard == "s0" && ev.Cause == "draining" {
+			ejected = true
+		}
+		if ev.Shard == "s0" && ev.Cause == "probe ok" {
+			readmitted = true
+		}
+	}
+	if !ejected || !readmitted {
+		t.Fatalf("probe events missing (ejected=%v readmitted=%v):\n%v", ejected, readmitted, fleet.eventLog())
+	}
+}
+
+// TestRouterTopologyChurnUnderLoad: requests keep succeeding while a
+// shard joins and leaves concurrently — epoch re-resolution must not drop
+// in-flight work. Run with -race this is the router's concurrency proof.
+func TestRouterTopologyChurnUnderLoad(t *testing.T) {
+	ctx := context.Background()
+	fleet := newFleet(t, 3)
+
+	// A fourth shard that churns in and out of the topology.
+	s3 := serve.New(serve.Config{ShardID: "s3"})
+	ts3 := httptest.NewServer(s3.Handler())
+	t.Cleanup(ts3.Close)
+
+	work, err := buildWork(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 4)
+	for g := 0; g < 3; g++ {
+		g := g
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 40; i++ {
+				it := work[(g*7+i)%len(work)]
+				if _, err := fleet.router.DoKeyed(ctx, it.key, client.PathVSafe, it.body); err != nil {
+					errc <- fmt.Errorf("worker %d call %d: %w", g, i, err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 10; i++ {
+			if _, err := fleet.topo.Join(Shard{ID: "s3", URL: ts3.URL}); err != nil {
+				errc <- err
+				return
+			}
+			if _, err := fleet.topo.Leave("s3"); err != nil {
+				errc <- err
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	select {
+	case err := <-errc:
+		t.Fatal(err)
+	default:
+	}
+	if fleet.router.Calls() != 120 {
+		t.Fatalf("router calls = %d, want 120", fleet.router.Calls())
+	}
+}
+
+// TestRouterEmptyTopology: a router over zero shards fails cleanly.
+func TestRouterEmptyTopology(t *testing.T) {
+	topo, err := NewTopology()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := NewRouter(topo, RouterConfig{})
+	defer r.Close()
+	if _, err := r.VSafe(context.Background(), api.VSafeRequest{}); err != ErrNoShards {
+		t.Fatalf("err = %v, want ErrNoShards", err)
+	}
+}
+
+// TestRouterMetrics: per-shard snapshots carry the health identity the
+// shards advertise.
+func TestRouterMetrics(t *testing.T) {
+	ctx := context.Background()
+	fleet := newFleet(t, 2)
+	fleet.router.ProbeAll(ctx)
+	ms := fleet.router.Metrics()
+	if len(ms) != 2 {
+		t.Fatalf("%d shard metrics, want 2", len(ms))
+	}
+	for i, m := range ms {
+		want := fmt.Sprintf("s%d", i)
+		if m.Shard.ID != want {
+			t.Fatalf("metrics[%d].Shard.ID = %q, want %q (sorted)", i, m.Shard.ID, want)
+		}
+		if len(m.Pool.Backends) != 1 || m.Pool.Backends[0].ShardID != want {
+			t.Fatalf("metrics[%d] backend identity = %+v", i, m.Pool.Backends)
+		}
+		if !strings.HasPrefix(m.Pool.Backends[0].Version, "culpeod/") {
+			t.Fatalf("metrics[%d] version = %q", i, m.Pool.Backends[0].Version)
+		}
+	}
+}
+
+// TestShardLoadTestSmoke: the throughput rig completes a small run with
+// zero failures and full accounting.
+func TestShardLoadTestSmoke(t *testing.T) {
+	res, err := LoadTest(context.Background(), LoadTestOptions{
+		Shards:        2,
+		WorkingSet:    16,
+		PerShardCache: 8,
+		Requests:      64,
+		Concurrency:   4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Failures != 0 || res.Requests != 64 {
+		t.Fatalf("result = %+v, want 64 requests, 0 failures", res)
+	}
+	if res.ThroughputRPS <= 0 {
+		t.Fatalf("throughput = %v", res.ThroughputRPS)
+	}
+}

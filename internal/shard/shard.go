@@ -1,0 +1,225 @@
+// Package shard turns "millions of users" into a routing problem: a
+// topology-aware tier that spreads culpeod traffic over N shared-nothing
+// shards by rendezvous (highest-random-weight) hashing on the V_safe cache
+// key — (PowerModel.Fingerprint() × TraceFingerprint()), the exact pair
+// core.VSafeCache memoizes under (serve.Fingerprints is the shared
+// resolution, so route key and cache key cannot drift apart). Every shard
+// then owns a disjoint slice of the hot set, each slice fits a
+// shard-sized LRU, and no invalidation protocol is needed because the key
+// hashes every input that influences the estimate.
+//
+// Rendezvous rather than a hash ring: with N in the single digits to low
+// hundreds, scoring all N candidates per request (a few FNV rounds each)
+// is cheaper than maintaining a ring with enough virtual nodes to balance,
+// and it gives the failover order for free — the rank list *is* the
+// preference list, so "next-highest candidate" is well-defined and stable
+// without ring walk edge cases. Removing a shard only remaps the keys that
+// ranked it first (minimal disruption, tested), which is what keeps the
+// other shards' caches warm through a kill.
+//
+// The pieces:
+//
+//   - Key / ObservationKey: route-key derivation from the fingerprints;
+//   - Rank: the HRW preference order of a key over a shard set;
+//   - Topology: the versioned shard set (epoch counter, live Join/Leave);
+//   - Router (router.go): the failover engine over one client.Pool per
+//     shard;
+//   - LoadTest / Scaling (loadtest.go): the self-hosted throughput rig
+//     that records 1→4→8 shard scaling.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"net/url"
+	"sort"
+	"sync"
+)
+
+// 64-bit FNV-1a, mirroring internal/core's fingerprint arithmetic (core
+// keeps its helpers unexported; the constants are the algorithm).
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+func hashUint64(h, x uint64) uint64 {
+	for i := 0; i < 8; i++ {
+		h ^= x & 0xff
+		h *= fnvPrime64
+		x >>= 8
+	}
+	return h
+}
+
+func hashString(h uint64, s string) uint64 {
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= fnvPrime64
+	}
+	return h
+}
+
+// Key combines the two cache-fingerprint halves into one route key. The
+// pair is hashed rather than XORed so (a, b) and (b, a) route
+// independently.
+func Key(model, trace uint64) uint64 {
+	h := hashUint64(fnvOffset64, model)
+	return hashUint64(h, trace)
+}
+
+// ObservationKey is the route key for /v1/vsafe-r, whose load half is
+// three observed voltages rather than a trace. Culpeo-R estimates are not
+// memoized, so any stable key works; hashing the observation keeps
+// repeated telemetry from one device on one shard.
+func ObservationKey(model uint64, vStart, vMin, vFinal float64) uint64 {
+	h := hashUint64(fnvOffset64, model)
+	h = hashUint64(h, math.Float64bits(vStart))
+	h = hashUint64(h, math.Float64bits(vMin))
+	return hashUint64(h, math.Float64bits(vFinal))
+}
+
+// Shard is one culpeod node as the router sees it.
+type Shard struct {
+	// ID is the stable shard name ("s0", "s1", ...) — what the node
+	// advertises as shard_id on /healthz and what event logs cite. Scoring
+	// uses the ID, not the URL, so a shard that rejoins at a new address
+	// keeps its slice of the keyspace.
+	ID string
+	// URL is the node's base URL ("http://127.0.0.1:9000").
+	URL string
+}
+
+// score is the HRW weight of key on shard id: hash(id) folded with key.
+// Each (key, shard) pair gets an independent uniform draw, so the argmax
+// spreads keys evenly and removing one shard leaves every other pair's
+// score — and therefore every other key's argmax — untouched.
+func score(key uint64, id string) uint64 {
+	return hashUint64(hashString(fnvOffset64, id), key)
+}
+
+// Rank returns the shards ordered by descending rendezvous score for key:
+// Rank(...)[0] owns the key, Rank(...)[1] is the first failover
+// candidate, and so on. Ties (vanishingly rare) break by ID so the order
+// is total.
+func Rank(key uint64, shards []Shard) []Shard {
+	out := make([]Shard, len(shards))
+	copy(out, shards)
+	sort.Slice(out, func(i, j int) bool {
+		si, sj := score(key, out[i].ID), score(key, out[j].ID)
+		if si != sj {
+			return si > sj
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Owner returns just Rank(key, shards)[0] without building the full
+// permutation — the common case for metrics and tests.
+func Owner(key uint64, shards []Shard) (Shard, bool) {
+	var best Shard
+	var bestScore uint64
+	found := false
+	for _, s := range shards {
+		sc := score(key, s.ID)
+		if !found || sc > bestScore || (sc == bestScore && s.ID < best.ID) {
+			best, bestScore, found = s, sc, true
+		}
+	}
+	return best, found
+}
+
+// Topology is the versioned shard set. Every mutation bumps the epoch;
+// the router re-resolves its routes when it observes a new epoch, and
+// each culpeod advertises the epoch it was last told about on /healthz —
+// so "did my topology push land everywhere" is answerable from health
+// probes alone.
+type Topology struct {
+	mu     sync.RWMutex
+	epoch  uint64
+	shards []Shard // sorted by ID
+}
+
+func validateShard(s Shard) error {
+	if s.ID == "" {
+		return fmt.Errorf("shard: empty shard ID")
+	}
+	u, err := url.Parse(s.URL)
+	if err != nil || (u.Scheme != "http" && u.Scheme != "https") || u.Host == "" {
+		return fmt.Errorf("shard: %s: bad base URL %q", s.ID, s.URL)
+	}
+	return nil
+}
+
+// NewTopology builds epoch 1 from the given shards. IDs must be unique
+// and URLs well-formed; an empty initial set is allowed (shards Join
+// later) but the router fails requests until one does.
+func NewTopology(shards ...Shard) (*Topology, error) {
+	t := &Topology{epoch: 1}
+	seen := make(map[string]bool, len(shards))
+	for _, s := range shards {
+		if err := validateShard(s); err != nil {
+			return nil, err
+		}
+		if seen[s.ID] {
+			return nil, fmt.Errorf("shard: duplicate shard ID %q", s.ID)
+		}
+		seen[s.ID] = true
+		t.shards = append(t.shards, s)
+	}
+	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].ID < t.shards[j].ID })
+	return t, nil
+}
+
+// Epoch returns the current topology version.
+func (t *Topology) Epoch() uint64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.epoch
+}
+
+// Snapshot returns the epoch and a copy of the shard set (sorted by ID).
+func (t *Topology) Snapshot() (uint64, []Shard) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]Shard, len(t.shards))
+	copy(out, t.shards)
+	return t.epoch, out
+}
+
+// Join adds a shard (or moves an existing ID to a new URL — a rejoin
+// after a kill comes back on a fresh port) and bumps the epoch. Returns
+// the new epoch.
+func (t *Topology) Join(s Shard) (uint64, error) {
+	if err := validateShard(s); err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.shards {
+		if t.shards[i].ID == s.ID {
+			t.shards[i] = s
+			t.epoch++
+			return t.epoch, nil
+		}
+	}
+	t.shards = append(t.shards, s)
+	sort.Slice(t.shards, func(i, j int) bool { return t.shards[i].ID < t.shards[j].ID })
+	t.epoch++
+	return t.epoch, nil
+}
+
+// Leave removes a shard by ID and bumps the epoch. Returns the new epoch.
+func (t *Topology) Leave(id string) (uint64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i := range t.shards {
+		if t.shards[i].ID == id {
+			t.shards = append(t.shards[:i], t.shards[i+1:]...)
+			t.epoch++
+			return t.epoch, nil
+		}
+	}
+	return 0, fmt.Errorf("shard: leave: unknown shard %q", id)
+}

@@ -1,0 +1,141 @@
+package shard
+
+import (
+	"fmt"
+	"math"
+	"testing"
+)
+
+func testShards(n int) []Shard {
+	out := make([]Shard, n)
+	for i := range out {
+		out[i] = Shard{ID: fmt.Sprintf("s%d", i), URL: fmt.Sprintf("http://127.0.0.1:%d", 9000+i)}
+	}
+	return out
+}
+
+// TestRankIsPermutation: Rank returns every shard exactly once, with the
+// owner first, and is deterministic.
+func TestRankIsPermutation(t *testing.T) {
+	shards := testShards(8)
+	for k := uint64(0); k < 64; k++ {
+		key := Key(k*0x9e3779b97f4a7c15, k)
+		r1, r2 := Rank(key, shards), Rank(key, shards)
+		if len(r1) != len(shards) {
+			t.Fatalf("rank length %d, want %d", len(r1), len(shards))
+		}
+		seen := map[string]bool{}
+		for i := range r1 {
+			if r1[i] != r2[i] {
+				t.Fatalf("rank not deterministic at %d: %v vs %v", i, r1[i], r2[i])
+			}
+			if seen[r1[i].ID] {
+				t.Fatalf("duplicate %s in rank", r1[i].ID)
+			}
+			seen[r1[i].ID] = true
+		}
+		owner, ok := Owner(key, shards)
+		if !ok || owner != r1[0] {
+			t.Fatalf("Owner = %v, Rank[0] = %v", owner, r1[0])
+		}
+	}
+}
+
+// TestRankBalance: owners spread roughly evenly over many keys — the
+// property that makes per-shard caches comparable in size.
+func TestRankBalance(t *testing.T) {
+	shards := testShards(4)
+	const keys = 4000
+	counts := map[string]int{}
+	for i := 0; i < keys; i++ {
+		key := Key(uint64(i)*0x9e3779b97f4a7c15, uint64(i)*0x85ebca6b)
+		owner, _ := Owner(key, shards)
+		counts[owner.ID]++
+	}
+	want := keys / len(shards)
+	for id, c := range counts {
+		if math.Abs(float64(c-want)) > 0.25*float64(want) {
+			t.Fatalf("shard %s owns %d of %d keys (want ~%d ±25%%): %v", id, c, keys, want, counts)
+		}
+	}
+}
+
+// TestRankMinimalDisruption: removing one shard remaps only the keys it
+// owned — every other key keeps its owner, and the removed shard's keys
+// move to their rank-2 candidate. This is why a kill leaves the surviving
+// shards' caches warm.
+func TestRankMinimalDisruption(t *testing.T) {
+	full := testShards(5)
+	without := append(append([]Shard{}, full[:2]...), full[3:]...) // drop s2
+	for i := 0; i < 2000; i++ {
+		key := Key(uint64(i)*0x9e3779b97f4a7c15, uint64(i))
+		before := Rank(key, full)
+		after, _ := Owner(key, without)
+		if before[0].ID != "s2" {
+			if after != before[0] {
+				t.Fatalf("key %d: owner moved %s -> %s though s2 did not own it", i, before[0].ID, after.ID)
+			}
+			continue
+		}
+		if after != before[1] {
+			t.Fatalf("key %d: s2's key went to %s, want failover candidate %s", i, after.ID, before[1].ID)
+		}
+	}
+}
+
+// TestKeyOrderSensitivity: (a, b) and (b, a) route independently, and
+// ObservationKey distinguishes its voltage positions.
+func TestKeyOrderSensitivity(t *testing.T) {
+	if Key(1, 2) == Key(2, 1) {
+		t.Fatal("Key must not be symmetric in (model, trace)")
+	}
+	if ObservationKey(1, 2.0, 1.9, 2.0) == ObservationKey(1, 2.0, 2.0, 1.9) {
+		t.Fatal("ObservationKey must distinguish voltage positions")
+	}
+}
+
+// TestTopologyEpochs: mutations bump the epoch; validation rejects
+// malformed shards; Leave of an unknown ID errors without a bump.
+func TestTopologyEpochs(t *testing.T) {
+	topo, err := NewTopology(testShards(2)...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Epoch() != 1 {
+		t.Fatalf("fresh epoch = %d, want 1", topo.Epoch())
+	}
+	if e, err := topo.Join(Shard{ID: "s9", URL: "http://127.0.0.1:9900"}); err != nil || e != 2 {
+		t.Fatalf("Join: %v, epoch %d", err, e)
+	}
+	// Rejoin at a new URL: same ID, epoch bumps, shard count unchanged.
+	if e, err := topo.Join(Shard{ID: "s9", URL: "http://127.0.0.1:9901"}); err != nil || e != 3 {
+		t.Fatalf("rejoin: %v, epoch %d", err, e)
+	}
+	epoch, shards := topo.Snapshot()
+	if epoch != 3 || len(shards) != 3 {
+		t.Fatalf("snapshot = epoch %d, %d shards", epoch, len(shards))
+	}
+	for i := 1; i < len(shards); i++ {
+		if shards[i-1].ID >= shards[i].ID {
+			t.Fatalf("snapshot not sorted: %v", shards)
+		}
+	}
+	if e, err := topo.Leave("s9"); err != nil || e != 4 {
+		t.Fatalf("Leave: %v, epoch %d", err, e)
+	}
+	if _, err := topo.Leave("s9"); err == nil {
+		t.Fatal("Leave of unknown shard must error")
+	}
+	if topo.Epoch() != 4 {
+		t.Fatalf("failed Leave bumped the epoch to %d", topo.Epoch())
+	}
+	if _, err := topo.Join(Shard{ID: "", URL: "http://x"}); err == nil {
+		t.Fatal("empty ID must be rejected")
+	}
+	if _, err := topo.Join(Shard{ID: "ok", URL: "127.0.0.1:9000"}); err == nil {
+		t.Fatal("scheme-less URL must be rejected")
+	}
+	if _, err := NewTopology(Shard{ID: "a", URL: "http://h"}, Shard{ID: "a", URL: "http://h"}); err == nil {
+		t.Fatal("duplicate IDs must be rejected")
+	}
+}
