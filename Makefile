@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak alloc batch bench benchgate serve-smoke chaos shard check
+.PHONY: build vet test race golden golden-update soak alloc batch warm bench benchgate serve-smoke chaos shard check
 
 build:
 	$(GO) build ./...
@@ -50,6 +50,16 @@ batch:
 	$(GO) test -race ./internal/sweep -run 'TestMapChunks' -count=1
 	$(GO) test -race ./internal/serve -run 'TestBatchSimulate' -count=1
 	$(GO) test ./internal/powersys -run 'TestBatch.*AllocFree' -count=1
+
+# The miss-path wall, all under the race detector: warm-vs-cold bisection
+# equivalence (scalar, batch, fuzz seeds, sweep drivers, partsdb chain) and
+# the V_safe cache singleflight suite (same-key storm computes once,
+# bit-exact fan-out, error propagation, waiter cancellation).
+warm:
+	$(GO) test -race ./internal/harness -run 'TestWarm|FuzzWarmBracket' -count=1
+	$(GO) test -race ./internal/core -run 'TestVSafeCacheSingleflight|TestVSafeCacheWaiterCancel|TestVSafeCacheConcurrent' -count=1
+	$(GO) test -race ./internal/expt -run 'TestWarm' -count=1
+	$(GO) test -race ./internal/partsdb -run 'TestBankVSafeSweepWarm' -count=1
 
 # Performance trajectory: the go-test benchmark sweep, then the recorded
 # BENCH_culpeo.json artifact and its validation gate (fails on malformed or
@@ -100,4 +110,4 @@ shard:
 	$(GO) test -race ./internal/shard -count=1
 	$(GO) test -race ./internal/expt -run 'TestShardSoak' -short -count=1
 
-check: vet build alloc batch race golden soak serve-smoke chaos shard benchgate
+check: vet build alloc batch warm race golden soak serve-smoke chaos shard benchgate

@@ -107,6 +107,7 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	workers := fs.Int("workers", 0, "parallel sweep workers (0 = GOMAXPROCS)")
 	fast := fs.Bool("fast", false, "use the analytic fast-path stepper (sub-mV of exact, not bit-identical)")
 	batch := fs.Bool("batch", false, "route ground-truth searches through the SoA lockstep batch stepper (bit-identical on the exact path)")
+	warm := fs.Bool("warm", true, "warm-start chained ground-truth bisections from the previous grid point's bracket (within 5 mV of cold; -warm=false restores bit-identical sweeps)")
 	cpuprofile := fs.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a heap profile to this file on exit")
 	benchout := fs.String("benchout", "BENCH_culpeo.json", "bench/benchcheck/loadtest: the report artifact path")
@@ -145,6 +146,9 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	}
 	if *batch {
 		ctx = expt.WithBatch(ctx)
+	}
+	if *warm {
+		ctx = expt.WithWarm(ctx)
 	}
 	stopProf, err := prof.Start(*cpuprofile, *memprofile)
 	if err != nil {
@@ -203,6 +207,10 @@ func loadtest(ctx context.Context, w io.Writer, addr string, duration time.Durat
 		res.Requests, res.Errors, res.Backpressure, res.Throughput, res.P50Ms, res.P99Ms, res.MeanMs)
 	if res.SelfHosted {
 		fmt.Fprintf(w, "loadtest: V_safe cache hit rate %.1f%%\n", res.CacheHitRate*100)
+	}
+	if cs := res.CacheStats; cs != nil {
+		fmt.Fprintf(w, "loadtest: miss path: %d inflight waits, %d coalesced; warm bisection: %d hits, %d fallbacks; batch dedup: %d\n",
+			cs.InflightWaits, cs.Coalesced, cs.WarmHits, cs.WarmFallbacks, res.BatchDeduped)
 	}
 	if !record {
 		return nil
@@ -412,8 +420,9 @@ func benchTable(rep *benchrun.Report) *expt.Table {
 		Title:  "Performance trajectory (BENCH_culpeo.json)",
 		Header: []string{"benchmark", "ns/op", "B/op", "allocs/op", "iters"},
 		Caption: fmt.Sprintf(
-			"fast-path speedup %.2fx on the end-to-end sweep; batch speedup %.2fx on 64 lockstep lanes; V_safe cache %d hits / %d misses (%.1f%% hit rate); %s %s/%s, %d CPUs.",
-			rep.FastPathSpeedup, rep.BatchSpeedup, rep.VSafeCache.Hits, rep.VSafeCache.Misses,
+			"fast-path speedup %.2fx on the end-to-end sweep; batch speedup %.2fx on 64 lockstep lanes; warm-sweep speedup %.2fx; coalesce speedup %.2fx on a same-key miss storm; V_safe cache %d hits / %d misses (%.1f%% hit rate); %s %s/%s, %d CPUs.",
+			rep.FastPathSpeedup, rep.BatchSpeedup, rep.WarmSweepSpeedup, rep.CoalesceSpeedup,
+			rep.VSafeCache.Hits, rep.VSafeCache.Misses,
 			rep.VSafeCache.HitRate*100, rep.GoVersion, rep.GOOS, rep.GOARCH, rep.NumCPU),
 	}
 	for _, b := range rep.Benchmarks {
@@ -446,8 +455,9 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(w, "benchcheck: %s ok (%d benchmarks, %.2fx fast-path speedup, %.2fx batch speedup, %.0f%% cache hit rate)\n",
-			benchout, len(rep.Benchmarks), rep.FastPathSpeedup, rep.BatchSpeedup, rep.VSafeCache.HitRate*100)
+		fmt.Fprintf(w, "benchcheck: %s ok (%d benchmarks, %.2fx fast-path speedup, %.2fx batch speedup, %.2fx warm-sweep speedup, %.2fx coalesce speedup, %.0f%% cache hit rate)\n",
+			benchout, len(rep.Benchmarks), rep.FastPathSpeedup, rep.BatchSpeedup,
+			rep.WarmSweepSpeedup, rep.CoalesceSpeedup, rep.VSafeCache.HitRate*100)
 		if s := rep.Serving; s != nil {
 			fmt.Fprintf(w, "benchcheck: serving %.0f req/s, p50 %.3f ms, p99 %.3f ms over %d clients\n",
 				s.ThroughputRPS, s.P50Ms, s.P99Ms, s.Concurrency)

@@ -135,10 +135,16 @@ func TestRunBenchcheck(t *testing.T) {
 			{Name: "step/single-branch", NsPerOp: 100, Iterations: 10},
 			{Name: "step/scalar-64", NsPerOp: 6400, Iterations: 10},
 			{Name: "step/batch-64", NsPerOp: 800, Iterations: 10},
+			{Name: "misspath/sweep-cold", NsPerOp: 3000, Iterations: 10},
+			{Name: "misspath/sweep-warm", NsPerOp: 2000, Iterations: 10},
+			{Name: "misspath/miss-direct", NsPerOp: 8000, Iterations: 10},
+			{Name: "misspath/miss-coalesced", NsPerOp: 1000, Iterations: 10},
 		},
-		VSafeCache:      benchrun.CacheStats{Hits: 9, Misses: 1, HitRate: 0.9},
-		FastPathSpeedup: 2.5,
-		BatchSpeedup:    8.0,
+		VSafeCache:       benchrun.CacheStats{Hits: 9, Misses: 1, HitRate: 0.9},
+		FastPathSpeedup:  2.5,
+		BatchSpeedup:     8.0,
+		WarmSweepSpeedup: 1.5,
+		CoalesceSpeedup:  8.0,
 	}
 	if err := benchrun.Write(path, rep); err != nil {
 		t.Fatal(err)

@@ -7,11 +7,14 @@
 package benchrun
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"math"
 	"os"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"culpeo/internal/capacitor"
@@ -26,7 +29,11 @@ import (
 // Schema 2 added the step/scalar-64 / step/batch-64 pair and batch_speedup.
 // Schema 3 added the shard_scaling section (`culpeo loadtest -shardsweep
 // -record`): sharded-tier throughput at 1/4/8 nodes on the cache-cold mix.
-const Schema = 3
+// Schema 4 added the miss-path rows: the warm-started chained ground-truth
+// sweep pair (misspath/sweep-{cold,warm} + warm_sweep_speedup) and the
+// same-key miss-storm pair (misspath/miss-{direct,coalesced} +
+// coalesce_speedup).
+const Schema = 4
 
 // Benchmark is one recorded measurement.
 type Benchmark struct {
@@ -99,6 +106,15 @@ type Report struct {
 	// the win of advancing 64 scenarios through the SoA lockstep batch
 	// stepper over running them one by one on the scalar fast path.
 	BatchSpeedup float64 `json:"batch_speedup"`
+	// WarmSweepSpeedup is misspath/sweep-cold ns/op divided by
+	// misspath/sweep-warm ns/op: the win of warm-starting each chained
+	// ground-truth bisection from its neighbor's verified bracket.
+	WarmSweepSpeedup float64 `json:"warm_sweep_speedup"`
+	// CoalesceSpeedup is misspath/miss-direct ns/op divided by
+	// misspath/miss-coalesced ns/op: the win of collapsing a same-key miss
+	// storm into one singleflight computation instead of paying one
+	// Algorithm 1 run per caller.
+	CoalesceSpeedup float64 `json:"coalesce_speedup"`
 	// Serving is the recorded loadtest of the culpeod service, when one has
 	// been run (`culpeo loadtest -record`); bench itself leaves it intact.
 	Serving *ServingStats `json:"serving,omitempty"`
@@ -422,6 +438,111 @@ func Collect() (*Report, error) {
 		rep.FastPathSpeedup = exactNs / fastNs
 	}
 
+	// --- miss path: a chained ground-truth sweep, cold vs warm-started. The
+	// grid is a fine current ladder (neighboring V_safe values inside the
+	// guard band), the regime the sweep drivers hit; the hint-verification
+	// protocol is stepper-agnostic, so the fast stepper keeps the suite
+	// quick without changing the probe-count ratio being measured.
+	warmH, err := harness.New(powersys.Capybara())
+	if err != nil {
+		return nil, err
+	}
+	warmH.Fast = true
+	var grid []load.Profile
+	for ma := 30.0; ma < 45.1; ma += 1.5 {
+		grid = append(grid, load.NewPulse(ma*1e-3, 1e-3))
+	}
+	ctx := context.Background()
+	var missErr error
+	coldSweepRes := bestOf(benchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, task := range grid {
+				if _, err := warmH.GroundTruthCtx(ctx, task, 0); err != nil {
+					missErr = err
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+	if missErr != nil {
+		return nil, missErr
+	}
+	rep.Benchmarks = append(rep.Benchmarks, record("misspath/sweep-cold", coldSweepRes))
+	warmSweepRes := bestOf(benchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			var hint *harness.Bracket
+			for _, task := range grid {
+				gt, err := warmH.GroundTruthHinted(ctx, task, 0, hint)
+				if err != nil {
+					missErr = err
+					b.Fatal(err)
+				}
+				hint = &harness.Bracket{Lo: gt - harness.WarmGuardBand, Hi: gt + harness.WarmGuardBand}
+			}
+		}
+	})
+	if missErr != nil {
+		return nil, missErr
+	}
+	rep.Benchmarks = append(rep.Benchmarks, record("misspath/sweep-warm", warmSweepRes))
+	coldNs := float64(coldSweepRes.T.Nanoseconds()) / float64(coldSweepRes.N)
+	warmNs := float64(warmSweepRes.T.Nanoseconds()) / float64(warmSweepRes.N)
+	if warmNs > 0 {
+		rep.WarmSweepSpeedup = coldNs / warmNs
+	}
+
+	// --- miss path: a same-key miss storm — every caller wants the same
+	// uncached estimate at once, the shape a popular new spec produces at
+	// the serving tier. Direct: each goroutine runs Algorithm 1 itself, so
+	// wall clock is ~storm/cores computations. Coalesced: the cache elects
+	// one leader and the rest wait on its singleflight, so wall clock is
+	// one computation. The storm oversubscribes the cores 8x.
+	storm := 8 * runtime.GOMAXPROCS(0)
+	var stormErr atomic.Value
+	runStorm := func(fn func() error) {
+		var wg sync.WaitGroup
+		for g := 0; g < storm; g++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				if err := fn(); err != nil {
+					stormErr.Store(err)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	directRes := bestOf(benchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			runStorm(func() error {
+				_, err := core.VSafePG(model, tr)
+				return err
+			})
+		}
+	})
+	if err, ok := stormErr.Load().(error); ok {
+		return nil, err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, record("misspath/miss-direct", directRes))
+	coalescedRes := bestOf(benchReps, func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			missCache := core.NewVSafeCache(4) // fresh per iteration: every storm is cache-cold
+			runStorm(func() error {
+				_, err := missCache.PG(model, tr)
+				return err
+			})
+		}
+	})
+	if err, ok := stormErr.Load().(error); ok {
+		return nil, err
+	}
+	rep.Benchmarks = append(rep.Benchmarks, record("misspath/miss-coalesced", coalescedRes))
+	directNs := float64(directRes.T.Nanoseconds()) / float64(directRes.N)
+	coalescedNs := float64(coalescedRes.T.Nanoseconds()) / float64(coalescedRes.N)
+	if coalescedNs > 0 {
+		rep.CoalesceSpeedup = directNs / coalescedNs
+	}
+
 	if err := rep.Validate(); err != nil {
 		return nil, fmt.Errorf("benchrun: collected report invalid: %w", err)
 	}
@@ -443,7 +564,11 @@ func (r *Report) Validate() error {
 	case len(r.Benchmarks) == 0:
 		return fmt.Errorf("benchrun: no benchmarks")
 	}
-	required := map[string]bool{"step/batch-64": false, "step/scalar-64": false}
+	required := map[string]bool{
+		"step/batch-64": false, "step/scalar-64": false,
+		"misspath/sweep-cold": false, "misspath/sweep-warm": false,
+		"misspath/miss-direct": false, "misspath/miss-coalesced": false,
+	}
 	for _, b := range r.Benchmarks {
 		switch {
 		case b.Name == "":
@@ -472,6 +597,15 @@ func (r *Report) Validate() error {
 	}
 	if !(r.BatchSpeedup > 0) || math.IsInf(r.BatchSpeedup, 0) {
 		return fmt.Errorf("benchrun: bad batch_speedup %v", r.BatchSpeedup)
+	}
+	if !(r.WarmSweepSpeedup > 0) || math.IsInf(r.WarmSweepSpeedup, 0) {
+		return fmt.Errorf("benchrun: bad warm_sweep_speedup %v", r.WarmSweepSpeedup)
+	}
+	// Coalescing must at least win: a storm that computes once cannot be
+	// slower than one that computes storm times. Anything at or below 1.0
+	// means the singleflight is broken, not slow.
+	if !(r.CoalesceSpeedup > 1) || math.IsInf(r.CoalesceSpeedup, 0) {
+		return fmt.Errorf("benchrun: bad coalesce_speedup %v (a same-key storm must coalesce)", r.CoalesceSpeedup)
 	}
 	if s := r.Serving; s != nil {
 		switch {
@@ -574,6 +708,8 @@ func Compare(current, baseline *Report, tol float64) error {
 	}
 	worse("fast_path_speedup", current.FastPathSpeedup, baseline.FastPathSpeedup, false)
 	worse("batch_speedup", current.BatchSpeedup, baseline.BatchSpeedup, false)
+	worse("warm_sweep_speedup", current.WarmSweepSpeedup, baseline.WarmSweepSpeedup, false)
+	worse("coalesce_speedup", current.CoalesceSpeedup, baseline.CoalesceSpeedup, false)
 	if current.Serving != nil && baseline.Serving != nil {
 		worse("serving throughput_rps", current.Serving.ThroughputRPS, baseline.Serving.ThroughputRPS, false)
 	}

@@ -36,6 +36,7 @@ import (
 	"time"
 
 	"culpeo/internal/api"
+	"culpeo/internal/core"
 )
 
 // Endpoint paths, shared with internal/serve's mux.
@@ -176,6 +177,23 @@ type backend struct {
 	shardID       string
 	topologyEpoch uint64
 	version       string
+
+	// metricsMu guards the last successfully scraped server-side metrics
+	// subset (nil until ScrapeServerMetrics has reached this backend).
+	metricsMu sync.Mutex
+	serverMet *serverMetrics
+}
+
+// serverMetrics returns the last scraped cache stats and batch-dedup total
+// (nil, 0 before the first successful scrape).
+func (b *backend) serverMetrics() (*core.VSafeCacheStats, uint64) {
+	b.metricsMu.Lock()
+	defer b.metricsMu.Unlock()
+	if b.serverMet == nil {
+		return nil, 0
+	}
+	c := b.serverMet.VSafeCache // value copy: the snapshot must not alias live state
+	return &c, b.serverMet.BatchDeduped
 }
 
 // setHealthIdentity records the shard identity a probe decoded.

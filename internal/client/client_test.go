@@ -436,3 +436,41 @@ func TestDoRawPath(t *testing.T) {
 		t.Fatalf("raw = %s", raw)
 	}
 }
+
+// TestScrapeServerMetrics: a scrape decodes the serve-shaped /metrics
+// document, the counters ride the next snapshot, and an unreachable
+// backend keeps its last-seen values rather than erroring the scrape.
+func TestScrapeServerMetrics(t *testing.T) {
+	doc := `{"batch_deduped_total":7,"vsafe_cache":{"hits":40,"misses":10,"inflight_waits":12,"coalesced":9,"warm_hits":3,"warm_fallbacks":1}}`
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprint(w, doc)
+	}))
+	defer srv.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {}))
+	dead.Close() // refused connections from here on
+
+	p := newPool(t, fastCfg(srv.URL, dead.URL))
+	if got := p.Metrics().Backends[0].VSafeCache; got != nil {
+		t.Fatalf("cache stats before any scrape: %+v", got)
+	}
+	p.ScrapeServerMetrics(context.Background())
+	bs := p.Metrics().Backends
+	if bs[0].VSafeCache == nil {
+		t.Fatal("no cache stats after scrape")
+	}
+	if c := bs[0].VSafeCache; c.Hits != 40 || c.Coalesced != 9 || c.InflightWaits != 12 ||
+		c.WarmHits != 3 || c.WarmFallbacks != 1 {
+		t.Errorf("scraped cache stats wrong: %+v", c)
+	}
+	if bs[0].BatchDeduped != 7 {
+		t.Errorf("batch_deduped = %d, want 7", bs[0].BatchDeduped)
+	}
+	if bs[1].VSafeCache != nil || bs[1].BatchDeduped != 0 {
+		t.Errorf("dead backend grew metrics: %+v", bs[1])
+	}
+}

@@ -7,9 +7,14 @@
 package client
 
 import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
 	"sync/atomic"
 
 	"culpeo/internal/api"
+	"culpeo/internal/core"
 )
 
 // poolCounters aggregates pool-wide traffic.
@@ -39,10 +44,22 @@ type backendCounters struct {
 	latency    api.Histogram
 }
 
+// serverMetrics is the subset of serve's /metrics document the client
+// decodes on a scrape: the V_safe cache counters (hit/miss plus the
+// singleflight and warm-bisection fields) and the in-batch dedup total.
+// Decoding a subset keeps the client forward-compatible with new server
+// fields.
+type serverMetrics struct {
+	BatchDeduped uint64               `json:"batch_deduped_total"`
+	VSafeCache   core.VSafeCacheStats `json:"vsafe_cache"`
+}
+
 // BackendSnapshot is the wire form of one backend's client-side view.
 // ShardID / TopologyEpoch / Version echo what the backend's last decoded
 // /healthz probe advertised (empty until a probe has run) — how a router
-// verifies its topology pushes actually reached the fleet.
+// verifies its topology pushes actually reached the fleet. VSafeCache and
+// BatchDeduped echo the backend's last scraped /metrics document (nil /
+// zero until ScrapeServerMetrics has reached it).
 type BackendSnapshot struct {
 	Name          string                `json:"name"`
 	URL           string                `json:"url"`
@@ -56,6 +73,8 @@ type BackendSnapshot struct {
 	ShardID       string                `json:"shard_id,omitempty"`
 	TopologyEpoch uint64                `json:"topology_epoch,omitempty"`
 	Version       string                `json:"version,omitempty"`
+	VSafeCache    *core.VSafeCacheStats `json:"vsafe_cache,omitempty"`
+	BatchDeduped  uint64                `json:"batch_deduped_total,omitempty"`
 	Latency       api.HistogramSnapshot `json:"latency"`
 }
 
@@ -92,6 +111,7 @@ func (p *Pool) Metrics() MetricsSnapshot {
 	}
 	for _, b := range p.backends {
 		shardID, epoch, version := b.healthIdentity()
+		cache, deduped := b.serverMetrics()
 		s.Backends = append(s.Backends, BackendSnapshot{
 			Name:          b.name,
 			URL:           b.base,
@@ -105,8 +125,36 @@ func (p *Pool) Metrics() MetricsSnapshot {
 			ShardID:       shardID,
 			TopologyEpoch: epoch,
 			Version:       version,
+			VSafeCache:    cache,
+			BatchDeduped:  deduped,
 			Latency:       b.met.latency.Snapshot(),
 		})
 	}
 	return s
+}
+
+// ScrapeServerMetrics fetches every backend's /metrics document once and
+// records its V_safe cache and batch-dedup counters, which then ride the
+// next Metrics() snapshot. An unreachable or non-culpeod backend keeps its
+// last-seen values; a fleet-wide scrape never fails the caller. The load
+// generator runs one scrape after its final request so its report can
+// print server-side coalescing next to client-side attempt counts.
+func (p *Pool) ScrapeServerMetrics(ctx context.Context) {
+	for _, b := range p.backends {
+		pctx, cancel := context.WithTimeout(ctx, p.cfg.ProbeTimeout)
+		req, err := http.NewRequestWithContext(pctx, http.MethodGet, b.base+"/metrics", nil)
+		if err == nil {
+			if resp, err := p.http.Do(req); err == nil {
+				raw, rerr := io.ReadAll(io.LimitReader(resp.Body, maxResponseBytes))
+				resp.Body.Close()
+				var sm serverMetrics
+				if rerr == nil && resp.StatusCode == http.StatusOK && json.Unmarshal(raw, &sm) == nil {
+					b.metricsMu.Lock()
+					b.serverMet = &sm
+					b.metricsMu.Unlock()
+				}
+			}
+		}
+		cancel()
+	}
 }

@@ -19,8 +19,10 @@ package core
 
 import (
 	"container/list"
+	"context"
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"culpeo/internal/load"
 )
@@ -103,17 +105,41 @@ type vsafeEntry struct {
 	est Estimate
 }
 
+// vsafeFlight is one in-progress miss computation. The leader that created
+// it publishes est/err and then closes done; the channel close is the
+// happens-before edge that makes the fields safe for waiters to read.
+type vsafeFlight struct {
+	done chan struct{}
+	est  Estimate
+	err  error
+}
+
 // VSafeCache memoizes VSafePG results under an LRU policy. All methods are
 // safe for concurrent use, and nil-safe: a nil *VSafeCache computes without
 // memoizing, so callers can thread an optional cache unconditionally.
+//
+// Concurrent misses on one key are coalesced (singleflight): the first
+// looker becomes the leader and computes; later lookers wait on the
+// leader's flight and share its bit-exact result. VSafePG is pure, so a
+// shared result is indistinguishable from a private recomputation — except
+// in cost, which is the point: on a cache-cold shard the miss path is the
+// dominant expense and duplicated searches are pure waste.
 type VSafeCache struct {
 	mu        sync.Mutex
 	capacity  int
 	entries   map[vsafeKey]*list.Element
 	order     *list.List // front = most recently used
+	flights   map[vsafeKey]*vsafeFlight
 	hits      uint64
 	misses    uint64
 	evictions uint64
+	waits     uint64 // lookups that found a flight and waited
+	coalesced uint64 // waits resolved by sharing a leader's success
+
+	// compute overrides the miss-path computation; nil selects VSafePG.
+	// Test seam only: the singleflight suite substitutes blocking and
+	// counting computations to pin leader/waiter semantics.
+	compute func(PowerModel, load.Trace) (Estimate, error)
 }
 
 // NewVSafeCache builds a cache holding at most capacity estimates
@@ -126,15 +152,28 @@ func NewVSafeCache(capacity int) *VSafeCache {
 		capacity: capacity,
 		entries:  make(map[vsafeKey]*list.Element),
 		order:    list.New(),
+		flights:  make(map[vsafeKey]*vsafeFlight),
 	}
 }
 
-// PG returns VSafePG(m, tr), memoized. The calculation runs outside the
-// lock, so concurrent misses on the same key may duplicate work but never
-// serialize behind each other; the first result wins the cache line and
-// all compute identical values. Errors are returned uncached (they are
-// cheap input-validation failures).
+// PG returns VSafePG(m, tr), memoized and miss-coalesced. Equivalent to
+// PGCtx with a background context: a waiter blocks until its leader
+// publishes.
 func (c *VSafeCache) PG(m PowerModel, tr load.Trace) (Estimate, error) {
+	return c.PGCtx(context.Background(), m, tr)
+}
+
+// PGCtx returns VSafePG(m, tr), memoized. Misses are coalesced: the first
+// looker on a key becomes the leader, computes outside the lock, inserts
+// on success and publishes to every waiter. Waiters share the leader's
+// bit-exact result — counted as a hit plus a coalesce — or its error,
+// which is never cached (errors are cheap input-validation failures, and
+// caching one would pin a poison line). A waiter's ctx cancellation
+// abandons only that wait: the leader's computation continues and still
+// populates the cache for everyone else. The leader itself ignores ctx —
+// by the time it is elected the computation is already owed to any waiters
+// that pile up behind it.
+func (c *VSafeCache) PGCtx(ctx context.Context, m PowerModel, tr load.Trace) (Estimate, error) {
 	if c == nil {
 		return VSafePG(m, tr)
 	}
@@ -148,18 +187,43 @@ func (c *VSafeCache) PG(m PowerModel, tr load.Trace) (Estimate, error) {
 		c.mu.Unlock()
 		return est, nil
 	}
+	if fl, ok := c.flights[key]; ok {
+		c.waits++
+		c.mu.Unlock()
+		select {
+		case <-fl.done:
+		case <-ctx.Done():
+			return Estimate{}, ctx.Err()
+		}
+		c.mu.Lock()
+		if fl.err == nil {
+			c.hits++
+			c.coalesced++
+		} else {
+			c.misses++
+		}
+		c.mu.Unlock()
+		return fl.est, fl.err
+	}
 	c.misses++
+	fl := &vsafeFlight{done: make(chan struct{})}
+	c.flights[key] = fl
+	compute := c.compute
 	c.mu.Unlock()
 
-	est, err := VSafePG(m, tr)
-	if err != nil {
-		return est, err
+	if compute == nil {
+		compute = VSafePG
 	}
+	est, err := compute(m, tr)
 
 	c.mu.Lock()
-	if el, ok := c.entries[key]; ok {
-		c.order.MoveToFront(el) // lost a compute race; keep the incumbent
-	} else {
+	fl.est, fl.err = est, err
+	delete(c.flights, key)
+	if err == nil {
+		// The flight map guarantees this key has exactly one leader at a
+		// time and no other path inserts, so the line cannot already exist:
+		// every successful miss inserts exactly once (the accounting tests
+		// rely on len+evictions == misses holding under concurrency).
 		c.entries[key] = c.order.PushFront(&vsafeEntry{key: key, est: est})
 		for c.order.Len() > c.capacity {
 			back := c.order.Back()
@@ -169,7 +233,8 @@ func (c *VSafeCache) PG(m PowerModel, tr load.Trace) (Estimate, error) {
 		}
 	}
 	c.mu.Unlock()
-	return est, nil
+	close(fl.done)
+	return est, err
 }
 
 // VSafeCacheStats is a point-in-time snapshot of cache effectiveness. It
@@ -187,6 +252,21 @@ type VSafeCacheStats struct {
 	// Rate is hits/(hits+misses), filled by Stats so marshaled snapshots
 	// carry the headline number without the consumer re-deriving it.
 	Rate float64 `json:"hit_rate"`
+	// InflightWaits counts lookups that found a miss already being computed
+	// and waited on it; Coalesced counts the waits that resolved by sharing
+	// the leader's successful result (a wait whose leader errored, or whose
+	// context was cancelled first, is not a coalesce). Coalesced/Misses is
+	// the duplicated-search work the singleflight path eliminated.
+	InflightWaits uint64 `json:"inflight_waits"`
+	Coalesced     uint64 `json:"coalesced"`
+	// WarmHits/WarmFallbacks are process-wide (not per-cache) counters for
+	// the warm-started ground-truth bisection (see internal/harness):
+	// searches whose bracket hint verified and paid the short search, vs.
+	// searches whose hint failed endpoint verification and fell back to the
+	// full cold bracket. Surfaced here so they ride the same /metrics
+	// document operators already watch for miss-path health.
+	WarmHits      uint64 `json:"warm_hits"`
+	WarmFallbacks uint64 `json:"warm_fallbacks"`
 }
 
 // HitRate returns hits/(hits+misses), or 0 before any lookup.
@@ -205,12 +285,20 @@ func (c *VSafeCache) Stats() VSafeCacheStats {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	s := VSafeCacheStats{Hits: c.hits, Misses: c.misses, Evictions: c.evictions, Len: c.order.Len(), Capacity: c.capacity}
+	s := VSafeCacheStats{
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+		Len: c.order.Len(), Capacity: c.capacity,
+		InflightWaits: c.waits, Coalesced: c.coalesced,
+		WarmHits: warmHits.Load(), WarmFallbacks: warmFallbacks.Load(),
+	}
 	s.Rate = s.HitRate()
 	return s
 }
 
-// Reset drops all entries and zeroes the counters. Nil-safe.
+// Reset drops all entries and zeroes the counters. In-progress flights are
+// left alone: their leaders publish to their waiters regardless and insert
+// into the fresh map on success. Nil-safe. The process-wide warm counters
+// are not touched (see ResetWarmStats).
 func (c *VSafeCache) Reset() {
 	if c == nil {
 		return
@@ -220,7 +308,31 @@ func (c *VSafeCache) Reset() {
 	c.entries = make(map[vsafeKey]*list.Element)
 	c.order.Init()
 	c.hits, c.misses, c.evictions = 0, 0, 0
+	c.waits, c.coalesced = 0, 0
 }
+
+// Warm-start accounting. The counters live here rather than in
+// internal/harness so they surface on the serving /metrics document
+// through VSafeCacheStats without the serving layer importing the harness;
+// they are process-wide because warm-started sweeps run through many
+// short-lived Harness values, none of which outlives the sweep.
+var (
+	warmHits      atomic.Uint64
+	warmFallbacks atomic.Uint64
+)
+
+// RecordWarmHit notes a ground-truth search whose bracket hint verified.
+func RecordWarmHit() { warmHits.Add(1) }
+
+// RecordWarmFallback notes a search whose hint failed endpoint
+// verification and fell back to the full cold bracket.
+func RecordWarmFallback() { warmFallbacks.Add(1) }
+
+// WarmStats snapshots the process-wide warm-start counters.
+func WarmStats() (hits, fallbacks uint64) { return warmHits.Load(), warmFallbacks.Load() }
+
+// ResetWarmStats zeroes the process-wide warm-start counters (tests).
+func ResetWarmStats() { warmHits.Store(0); warmFallbacks.Store(0) }
 
 // defaultVSafeCache is the process-wide memo every PG estimate routes
 // through by default (see profiler.PG).
@@ -233,4 +345,10 @@ func DefaultVSafeCache() *VSafeCache { return defaultVSafeCache }
 // VSafePGCached is VSafePG memoized through the shared default cache.
 func VSafePGCached(m PowerModel, tr load.Trace) (Estimate, error) {
 	return defaultVSafeCache.PG(m, tr)
+}
+
+// VSafePGCachedCtx is VSafePGCached with a context bounding a coalesced
+// wait (see VSafeCache.PGCtx).
+func VSafePGCachedCtx(ctx context.Context, m PowerModel, tr load.Trace) (Estimate, error) {
+	return defaultVSafeCache.PGCtx(ctx, m, tr)
 }

@@ -1,0 +1,256 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"culpeo/internal/load"
+)
+
+// waitForWaiters polls until the cache reports n registered in-flight
+// waiters (or the deadline passes). The wait counter is incremented under
+// the cache lock before the waiter blocks, so once Stats reports n the
+// waiters are committed to the flight.
+func waitForWaiters(t *testing.T, c *VSafeCache, n uint64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Stats().InflightWaits >= n {
+			return
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	t.Fatalf("timed out waiting for %d inflight waiters (stats %+v)", n, c.Stats())
+}
+
+// TestVSafeCacheSingleflightHammer: N goroutines missing on one key
+// perform exactly one computation, and every caller receives a result
+// bit-exact with the uncoalesced path. The leader is held at a gate until
+// all other lookups are registered as waiters, so the test pins the
+// coalescing semantics deterministically rather than by racing.
+func TestVSafeCacheSingleflightHammer(t *testing.T) {
+	m, tr := cacheModel(), cacheTrace(30e-3)
+	want, err := VSafePG(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const waiters = 16
+	gate := make(chan struct{})
+	var computes atomic.Uint64
+	c := NewVSafeCache(8)
+	c.compute = func(m PowerModel, tr load.Trace) (Estimate, error) {
+		computes.Add(1)
+		<-gate
+		return VSafePG(m, tr)
+	}
+
+	results := make([]Estimate, waiters+1)
+	errs := make([]error, waiters+1)
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { // leader
+		defer wg.Done()
+		results[0], errs[0] = c.PG(m, tr)
+	}()
+	// The leader registers its flight before blocking at the gate; once a
+	// compute is counted, every subsequent lookup must become a waiter.
+	deadline := time.Now().Add(5 * time.Second)
+	for computes.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if computes.Load() == 0 {
+		t.Fatal("leader never started computing")
+	}
+	for i := 1; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = c.PG(m, tr)
+		}(i)
+	}
+	waitForWaiters(t, c, waiters)
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("%d concurrent misses performed %d computations, want exactly 1", waiters+1, got)
+	}
+	for i, err := range errs {
+		if err != nil {
+			t.Fatalf("caller %d: %v", i, err)
+		}
+		got := results[i]
+		if math.Float64bits(got.VSafe) != math.Float64bits(want.VSafe) ||
+			math.Float64bits(got.VDelta) != math.Float64bits(want.VDelta) ||
+			math.Float64bits(got.VE) != math.Float64bits(want.VE) {
+			t.Fatalf("caller %d: coalesced result %+v not bit-exact with direct %+v", i, got, want)
+		}
+	}
+	st := c.Stats()
+	if st.Misses != 1 {
+		t.Fatalf("misses = %d, want 1 (the leader)", st.Misses)
+	}
+	if st.InflightWaits != waiters || st.Coalesced != waiters {
+		t.Fatalf("inflight_waits = %d, coalesced = %d, want %d each", st.InflightWaits, st.Coalesced, waiters)
+	}
+	if st.Hits != waiters {
+		t.Fatalf("hits = %d, want %d (each coalesced waiter counts as a hit)", st.Hits, waiters)
+	}
+	if st.Len != 1 {
+		t.Fatalf("len = %d, want the one computed line", st.Len)
+	}
+}
+
+// TestVSafeCacheSingleflightError: a leader's error propagates to every
+// waiter and nothing is cached, so the next lookup recomputes.
+func TestVSafeCacheSingleflightError(t *testing.T) {
+	m, tr := cacheModel(), cacheTrace(30e-3)
+	wantErr := errors.New("synthetic compute failure")
+
+	const waiters = 8
+	gate := make(chan struct{})
+	var computes atomic.Uint64
+	c := NewVSafeCache(8)
+	c.compute = func(PowerModel, load.Trace) (Estimate, error) {
+		computes.Add(1)
+		<-gate
+		return Estimate{}, wantErr
+	}
+
+	errs := make([]error, waiters+1)
+	var wg sync.WaitGroup
+	for i := 0; i <= waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, errs[i] = c.PG(m, tr)
+		}(i)
+	}
+	waitForWaiters(t, c, waiters)
+	close(gate)
+	wg.Wait()
+
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("errored flight ran %d computations, want 1", got)
+	}
+	for i, err := range errs {
+		if !errors.Is(err, wantErr) {
+			t.Fatalf("caller %d got %v, want the leader's error", i, err)
+		}
+	}
+	st := c.Stats()
+	if st.Len != 0 {
+		t.Fatalf("error result was cached: %+v", st)
+	}
+	if st.Coalesced != 0 {
+		t.Fatalf("coalesced = %d, but sharing an error is not a coalesce", st.Coalesced)
+	}
+	if st.Misses != waiters+1 {
+		t.Fatalf("misses = %d, want %d (leader + every errored waiter)", st.Misses, waiters+1)
+	}
+
+	// The failed flight left no residue: a fresh lookup recomputes.
+	c.compute = nil
+	want, err := VSafePG(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.PG(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("post-error lookup returned %+v, want %+v", got, want)
+	}
+}
+
+// TestVSafeCacheWaiterCancel: cancelling a waiter's context abandons only
+// that wait. The leader keeps computing, its result still lands in the
+// cache, and other waiters still share it.
+func TestVSafeCacheWaiterCancel(t *testing.T) {
+	m, tr := cacheModel(), cacheTrace(30e-3)
+	want, err := VSafePG(m, tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	gate := make(chan struct{})
+	var computes atomic.Uint64
+	c := NewVSafeCache(8)
+	c.compute = func(m PowerModel, tr load.Trace) (Estimate, error) {
+		computes.Add(1)
+		<-gate
+		return VSafePG(m, tr)
+	}
+
+	var leaderEst, patientEst Estimate
+	var leaderErr, patientErr, cancelledErr error
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		leaderEst, leaderErr = c.PG(m, tr)
+	}()
+	deadline := time.Now().Add(5 * time.Second)
+	for computes.Load() == 0 && time.Now().Before(deadline) {
+		time.Sleep(100 * time.Microsecond)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancelled := make(chan struct{})
+	wg.Add(2)
+	go func() { // the waiter that gives up
+		defer wg.Done()
+		defer close(cancelled)
+		_, cancelledErr = c.PGCtx(ctx, m, tr)
+	}()
+	go func() { // the waiter that sees it through
+		defer wg.Done()
+		patientEst, patientErr = c.PG(m, tr)
+	}()
+	waitForWaiters(t, c, 2)
+	cancel()
+	// The cancelled waiter must return while the leader is still blocked at
+	// the gate — that is the "abandons the wait without killing the
+	// leader's compute" contract.
+	select {
+	case <-cancelled:
+	case <-time.After(5 * time.Second):
+		t.Fatal("cancelled waiter did not return while the leader was still computing")
+	}
+	if !errors.Is(cancelledErr, context.Canceled) {
+		t.Fatalf("cancelled waiter returned %v, want context.Canceled", cancelledErr)
+	}
+	close(gate)
+	wg.Wait()
+
+	if leaderErr != nil || patientErr != nil {
+		t.Fatalf("leader err %v, patient err %v", leaderErr, patientErr)
+	}
+	if leaderEst != want || patientEst != want {
+		t.Fatalf("leader %+v / patient %+v, want %+v", leaderEst, patientEst, want)
+	}
+	if got := computes.Load(); got != 1 {
+		t.Fatalf("cancellation caused %d computations, want 1", got)
+	}
+	st := c.Stats()
+	if st.Len != 1 {
+		t.Fatalf("leader's result missing from the cache after a waiter cancel: %+v", st)
+	}
+	if st.InflightWaits != 2 || st.Coalesced != 1 {
+		t.Fatalf("inflight_waits = %d, coalesced = %d, want 2 waits with 1 coalesce (the cancel is not one)", st.InflightWaits, st.Coalesced)
+	}
+	// And the line is genuinely resident: one more lookup is a pure hit.
+	hitsBefore := st.Hits
+	if got, err := c.PG(m, tr); err != nil || got != want {
+		t.Fatalf("post-cancel lookup got %+v, %v", got, err)
+	}
+	if st := c.Stats(); st.Hits != hitsBefore+1 {
+		t.Fatalf("post-cancel lookup did not hit: %+v", st)
+	}
+}

@@ -240,9 +240,11 @@ func TestVSafeCacheEvictionAccounting(t *testing.T) {
 // overlapping key sequences, so inserts and evictions race constantly.
 // Under -race this checks the structure; the assertions check the
 // counters stay mutually consistent: every lookup is a hit or a miss,
-// residency never exceeds capacity, and every entry now resident or
-// evicted got there via a miss insert (misses that lose the compute race
-// to an incumbent insert nothing, hence >= not ==).
+// residency never exceeds capacity, and — because singleflight gives each
+// key exactly one leader and each successful leader inserts exactly once —
+// len+evictions equals misses exactly, even under concurrency (before
+// coalescing, duplicate computes could lose the insert race and the
+// invariant was only an inequality).
 func TestVSafeCacheEvictionHammer(t *testing.T) {
 	m := cacheModel()
 	const (
@@ -296,8 +298,11 @@ func TestVSafeCacheEvictionHammer(t *testing.T) {
 	if st.Misses < keys {
 		t.Fatalf("misses = %d, but %d distinct keys each require at least one", st.Misses, keys)
 	}
-	if uint64(st.Len)+st.Evictions > st.Misses {
-		t.Fatalf("len(%d)+evictions(%d) > misses(%d): entries appeared without a miss", st.Len, st.Evictions, st.Misses)
+	if uint64(st.Len)+st.Evictions != st.Misses {
+		t.Fatalf("len(%d)+evictions(%d) != misses(%d): singleflight must make every miss insert exactly once", st.Len, st.Evictions, st.Misses)
+	}
+	if st.InflightWaits < st.Coalesced {
+		t.Fatalf("coalesced(%d) exceeds inflight_waits(%d)", st.Coalesced, st.InflightWaits)
 	}
 	if st.Evictions == 0 {
 		t.Fatalf("no evictions with keyspace %d over capacity %d: %+v", keys, capacity, st)

@@ -29,7 +29,9 @@ func Fig6() ([]Fig6Row, error) { return Fig6Ctx(context.Background()) }
 // Fig6Ctx is Fig6 with the context-carried execution knobs: WithFast
 // selects the analytic stepper, WithBatch runs all six ground-truth
 // searches in lockstep through the batch stepper (byte-identical on the
-// exact lane, so the output is the same either way).
+// exact lane, so the output is the same either way), WithWarm chains the
+// sequential searches — the figure's loads step through pulse currents,
+// so each point's V_safe brackets its neighbor's within a guard band.
 func Fig6Ctx(ctx context.Context) ([]Fig6Row, error) {
 	h, err := harness.New(powersys.Capybara())
 	if err != nil {
@@ -47,9 +49,14 @@ func Fig6Ctx(ctx context.Context) ([]Fig6Row, error) {
 			return nil, fmt.Errorf("expt: fig6 ground truth: %w", err)
 		}
 	} else {
+		warm := WarmEnabled(ctx)
+		var hint *harness.Bracket
 		for i, task := range tasks {
-			if gts[i], err = h.GroundTruthCtx(ctx, task, 0); err != nil {
+			if gts[i], err = h.GroundTruthHinted(ctx, task, 0, hint); err != nil {
 				return nil, fmt.Errorf("expt: fig6 %s: %w", task.Name(), err)
+			}
+			if warm {
+				hint = &harness.Bracket{Lo: gts[i] - harness.WarmGuardBand, Hi: gts[i] + harness.WarmGuardBand}
 			}
 		}
 	}

@@ -70,9 +70,17 @@ func ReprofileCtx(ctx context.Context) ([]ReprofileRow, error) {
 			return nil, err
 		}
 	} else {
+		// Warm-started: the regimes walk one task down a falling harvest
+		// ladder, along which V_safe rises monotonically — each regime's
+		// truth brackets the next within a guard band.
+		warm := WarmEnabled(ctx)
+		var hint *harness.Bracket
 		for i, p := range regimes {
-			if gts[i], err = h.GroundTruthCtx(ctx, task, p); err != nil {
+			if gts[i], err = h.GroundTruthHinted(ctx, task, p, hint); err != nil {
 				return nil, err
+			}
+			if warm {
+				hint = &harness.Bracket{Lo: gts[i] - harness.WarmGuardBand, Hi: gts[i] + harness.WarmGuardBand}
 			}
 		}
 	}

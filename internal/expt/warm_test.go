@@ -1,0 +1,95 @@
+package expt
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"culpeo/internal/core"
+	"culpeo/internal/harness"
+)
+
+// TestWarmDriversMatchCold runs every warm-capable sweep driver twice —
+// cold (plain context) and warm (WithWarm) — and requires identical
+// verdicts on every row with ground truths within the search tolerance.
+// This is the driver-level face of the hint-verification protocol: a warm
+// sweep may take a different probe path, but it may never change what the
+// figure says. The fast stepper keeps the run short; the protocol is
+// stepper-agnostic.
+func TestWarmDriversMatchCold(t *testing.T) {
+	cold := WithFast(context.Background())
+	warm := WithWarm(cold)
+	core.ResetWarmStats()
+
+	t.Run("fig6", func(t *testing.T) {
+		cr, err := Fig6Ctx(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := Fig6Ctx(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cr) != len(wr) {
+			t.Fatalf("row counts: %d cold, %d warm", len(cr), len(wr))
+		}
+		for i := range cr {
+			if cr[i].Verdict != wr[i].Verdict {
+				t.Errorf("%s/%s: verdict %v cold, %v warm", cr[i].Load, cr[i].Estimator, cr[i].Verdict, wr[i].Verdict)
+			}
+			if d := math.Abs(cr[i].GroundTruth - wr[i].GroundTruth); d > harness.Tolerance {
+				t.Errorf("%s: ground truth diverges by %.2f mV", cr[i].Load, d*1e3)
+			}
+		}
+	})
+
+	t.Run("fig10", func(t *testing.T) {
+		cr, err := Fig10(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := Fig10(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cr) != len(wr) {
+			t.Fatalf("row counts: %d cold, %d warm", len(cr), len(wr))
+		}
+		for i := range cr {
+			if cr[i].Verdict != wr[i].Verdict {
+				t.Errorf("%s/%s: verdict %v cold, %v warm", cr[i].Load, cr[i].Estimator, cr[i].Verdict, wr[i].Verdict)
+			}
+			if d := math.Abs(cr[i].GroundTruth - wr[i].GroundTruth); d > harness.Tolerance {
+				t.Errorf("%s: ground truth diverges by %.2f mV", cr[i].Load, d*1e3)
+			}
+		}
+	})
+
+	t.Run("reprofile", func(t *testing.T) {
+		cr, err := ReprofileCtx(cold)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wr, err := ReprofileCtx(warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cr) != len(wr) {
+			t.Fatalf("row counts: %d cold, %d warm", len(cr), len(wr))
+		}
+		for i := range cr {
+			if cr[i].StaleVerdict != wr[i].StaleVerdict || cr[i].FreshVerdict != wr[i].FreshVerdict {
+				t.Errorf("harvest %.3f: verdicts (%v,%v) cold, (%v,%v) warm", cr[i].Harvest,
+					cr[i].StaleVerdict, cr[i].FreshVerdict, wr[i].StaleVerdict, wr[i].FreshVerdict)
+			}
+			if d := math.Abs(cr[i].GroundTruth - wr[i].GroundTruth); d > harness.Tolerance {
+				t.Errorf("harvest %.3f: ground truth diverges by %.2f mV", cr[i].Harvest, d*1e3)
+			}
+		}
+	})
+
+	hits, _ := core.WarmStats()
+	if hits == 0 {
+		t.Error("no warm hits across the driver sweeps — the warm path never engaged")
+	}
+}

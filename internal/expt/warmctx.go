@@ -1,0 +1,27 @@
+package expt
+
+import "context"
+
+// warmKey is the context key carrying the warm-start request through the
+// experiment entry points (the CLIs set it from their -warm flags).
+type warmKey struct{}
+
+// WithWarm marks the context so sweep drivers warm-start consecutive
+// ground-truth searches: each grid point's bisection is hinted with its
+// predecessor's result ± harness.WarmGuardBand, and the hint's endpoints
+// are verified by probing before being trusted (harness.GroundTruthHinted).
+// Golden outputs are produced without it; warm-starting trades the cold
+// search's exact probe sequence for wall-clock, staying within the 5 mV
+// harness Tolerance with identical verdicts (the equivalence tests
+// enforce both). Drivers that run their searches in lockstep through the
+// batch lane ignore the knob — batched searches advance concurrently, so
+// there is no predecessor result to hint from.
+func WithWarm(ctx context.Context) context.Context {
+	return context.WithValue(ctx, warmKey{}, true)
+}
+
+// WarmEnabled reports whether WithWarm was applied to the context.
+func WarmEnabled(ctx context.Context) bool {
+	on, _ := ctx.Value(warmKey{}).(bool)
+	return on
+}

@@ -12,24 +12,33 @@ package harness
 import (
 	"context"
 	"fmt"
+	"math"
 	"reflect"
 
+	"culpeo/internal/core"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 )
 
 // GroundTruthReq is one batched ground-truth query: a task profile and the
-// constant harvested power flowing during its probe runs.
+// constant harvested power flowing during its probe runs. A non-nil Hint
+// warm-starts the search exactly as GroundTruthHinted does in the scalar
+// path: both endpoints are verified by probing before the hint is
+// trusted, and any violation falls back to the full cold protocol.
 type GroundTruthReq struct {
 	Task    load.Profile
 	Harvest float64
+	Hint    *Bracket
 }
 
-// Search states of one batched binary search, mirroring GroundTruthCtx's
-// control flow exactly: feasibility probe at V_high, degenerate probe at
-// V_off, then up to 60 bisection rounds.
+// Search states of one batched binary search, mirroring GroundTruthHinted's
+// control flow exactly: optional hint verification (ceiling probe, then
+// floor probe), falling back to the cold protocol — feasibility probe at
+// V_high, degenerate probe at V_off — then up to 60 bisection rounds.
 const (
-	gtHigh = iota
+	gtWarmHi = iota
+	gtWarmLo
+	gtHigh
 	gtLow
 	gtBisect
 	gtDone
@@ -82,7 +91,17 @@ func (h *Harness) GroundTruthBatch(ctx context.Context, reqs []GroundTruthReq) (
 		} else {
 			cp = powersys.CompileProfile(req.Task, dt)
 		}
-		searches[i] = &gtSearch{state: gtHigh, probe: vHigh, compiled: cp}
+		s := &gtSearch{state: gtHigh, probe: vHigh, compiled: cp}
+		if req.Hint != nil {
+			if lo, hi := math.Max(req.Hint.Lo, vOff), math.Min(req.Hint.Hi, vHigh); lo < hi {
+				s.lo, s.hi = lo, hi
+				s.state, s.probe = gtWarmHi, hi
+			} else {
+				// Degenerate under the clamp: no information, cold start.
+				core.RecordWarmFallback()
+			}
+		}
+		searches[i] = s
 	}
 
 	scens := make([]powersys.BatchScenario, 0, len(reqs))
@@ -136,10 +155,47 @@ func (h *Harness) GroundTruthBatch(ctx context.Context, reqs []GroundTruthReq) (
 	return out, nil
 }
 
-// advance consumes one probe verdict, replicating GroundTruthCtx's
+// advance consumes one probe verdict, replicating GroundTruthHinted's
 // branch structure (including its break conditions) exactly.
 func (s *gtSearch) advance(ok bool, vmin, vOff, vHigh float64, task load.Profile) {
 	switch s.state {
+	case gtWarmHi:
+		if ok {
+			if vmin-vOff <= Tolerance {
+				// The hinted ceiling already meets the search's own
+				// termination criterion.
+				core.RecordWarmHit()
+				s.out = s.hi
+				s.state = gtDone
+				return
+			}
+			s.state = gtWarmLo
+			s.probe = s.lo
+			return
+		}
+		// Hinted ceiling probed unsafe: the hint lied, fall back cold.
+		core.RecordWarmFallback()
+		s.state = gtHigh
+		s.probe = vHigh
+	case gtWarmLo:
+		if !ok {
+			// Verified: hi safe, lo unsafe — bisect the narrow bracket.
+			core.RecordWarmHit()
+			s.iter = 0
+			s.state = gtBisect
+			s.probe = 0.5 * (s.lo + s.hi)
+			return
+		}
+		if s.lo == vOff {
+			// Degenerate: even starting at V_off survives.
+			core.RecordWarmHit()
+			s.out = vOff
+			s.state = gtDone
+			return
+		}
+		core.RecordWarmFallback()
+		s.state = gtHigh
+		s.probe = vHigh
 	case gtHigh:
 		if !ok {
 			s.err = fmt.Errorf("harness: %s infeasible even from V_high=%g", task.Name(), vHigh)

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"math"
 
+	"culpeo/internal/core"
 	"culpeo/internal/load"
 	"culpeo/internal/powersys"
 )
@@ -19,6 +20,14 @@ import (
 // Tolerance is the paper's search tolerance: the harness finds a V_start at
 // which the minimum voltage during the run lands within 5 mV of V_off.
 const Tolerance = 5e-3
+
+// WarmGuardBand is the default half-width of the bracket hint a sweep
+// driver builds around its previous grid point's V_safe. It must cover the
+// V_safe delta between adjacent grid points (tens of millivolts on the
+// paper's Figure 6/10 grids); when it doesn't, the endpoint verification
+// in GroundTruthHinted catches the violation and the point pays a cold
+// search — a wrong guard band costs probes, never correctness.
+const WarmGuardBand = 75e-3
 
 // Harness drives repeated isolated runs of a power-system configuration.
 // Each run clones the configured storage network, so trials are independent.
@@ -117,6 +126,29 @@ func (h *Harness) GroundTruthWith(p load.Profile, harvest float64) (float64, err
 // a long known-good search mid-simulation instead of finishing all ~60
 // iterations.
 func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest float64) (float64, error) {
+	return h.GroundTruthHinted(ctx, p, harvest, nil)
+}
+
+// Bracket is a voltage interval [Lo, Hi] a caller believes contains a
+// profile's true V_safe — typically the previous grid point's result ± a
+// guard band in a sweep along an axis V_safe varies monotonically with
+// (capacitance, pulse current, harvest level). It is a hint, never an
+// oracle: GroundTruthHinted verifies both endpoints before trusting it.
+type Bracket struct {
+	Lo, Hi float64
+}
+
+// GroundTruthHinted is GroundTruthCtx warm-started by a bracket hint. The
+// hint is verified before it is trusted — Hi must probe safe and Lo must
+// probe unsafe, the invariant the bisection needs — and on any violation
+// (or a degenerate hint) the search falls back to the full [V_off, V_high]
+// bracket, so correctness never depends on the hint's quality: a wrong
+// hint costs up to two wasted probes, not a wrong answer. A verified hint
+// cuts the search from ~60 probes over the full window to the handful a
+// guard-band-sized bracket needs. Process-wide counters record the
+// outcome (core.RecordWarmHit / core.RecordWarmFallback → /metrics).
+// A nil hint is exactly the cold search.
+func (h *Harness) GroundTruthHinted(ctx context.Context, p load.Profile, harvest float64, hint *Bracket) (float64, error) {
 	vOff, vHigh := h.cfg.VOff, h.cfg.VHigh
 
 	safe := func(v float64) (bool, float64) {
@@ -132,6 +164,49 @@ func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest fl
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}
+
+	if hint != nil {
+		// Clamp to the physical window; a hint that collapses under the
+		// clamp carries no information and falls straight back.
+		lo, hi := math.Max(hint.Lo, vOff), math.Min(hint.Hi, vHigh)
+		if lo < hi {
+			okHi, vminHi := safe(hi)
+			// Re-check after every verification probe: a cancellation that
+			// lands mid-run aborts the trial, which must read as neither a
+			// verdict nor a hint violation.
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			if okHi {
+				if vminHi-vOff <= Tolerance {
+					// The hinted ceiling already sits at the search's own
+					// termination criterion (safe, V_min within Tolerance
+					// of V_off) — the same condition that ends the cold
+					// bisection ends the warm one here.
+					core.RecordWarmHit()
+					return hi, nil
+				}
+				okLo, _ := safe(lo)
+				if err := ctx.Err(); err != nil {
+					return 0, err
+				}
+				switch {
+				case !okLo:
+					// Verified: hi safe, lo unsafe — the bisection
+					// invariant holds on the narrow bracket.
+					core.RecordWarmHit()
+					return bisectSearch(ctx, safe, lo, hi, vOff)
+				case lo == vOff:
+					// The degenerate case the cold search recognizes:
+					// even starting at V_off survives.
+					core.RecordWarmHit()
+					return vOff, nil
+				}
+			}
+		}
+		core.RecordWarmFallback()
+	}
+
 	okHigh, _ := safe(vHigh)
 	// Re-check before concluding: a cancellation that lands mid-run aborts
 	// the trial, which must not read as "infeasible".
@@ -146,8 +221,16 @@ func (h *Harness) GroundTruthCtx(ctx context.Context, p load.Profile, harvest fl
 		// Degenerate: even starting at V_off survives (zero-load profile).
 		return vOff, nil
 	}
+	return bisectSearch(ctx, safe, vOff, vHigh, vOff)
+}
 
-	lo, hi := vOff, vHigh
+// bisectSearch runs the paper's bisection over a verified bracket: hi
+// probes safe, lo probes unsafe (or they are the full window, whose
+// endpoints the caller just established). The loop body — midpoint choice,
+// Tolerance break, 0.1 mV bracket collapse, 60-round cap — is shared by
+// the cold and warm paths, so warm-starting changes only the starting
+// bracket, never the search semantics.
+func bisectSearch(ctx context.Context, safe func(float64) (bool, float64), lo, hi, vOff float64) (float64, error) {
 	for i := 0; i < 60; i++ {
 		if err := ctx.Err(); err != nil {
 			return 0, err

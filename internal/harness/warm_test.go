@@ -1,0 +1,197 @@
+package harness
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+
+	"culpeo/internal/core"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
+)
+
+// warmGrid is a sweep-shaped set of loads, in chains: within a chain
+// V_safe varies monotonically and smoothly with the swept parameter, the
+// structure warm-started drivers exploit. Chains are hinted independently
+// — a driver never carries a bracket across load families.
+func warmGrid() [][]load.Profile {
+	var pulses, uniforms []load.Profile
+	for _, i := range []float64{30e-3, 33e-3, 36e-3, 39e-3, 42e-3, 45e-3} {
+		pulses = append(pulses, load.NewPulse(i, 1e-3))
+	}
+	for _, i := range []float64{20e-3, 22e-3, 24e-3, 26e-3} {
+		uniforms = append(uniforms, load.NewUniform(i, 10e-3))
+	}
+	return [][]load.Profile{pulses, uniforms}
+}
+
+// TestWarmEquivalence: chained like a sweep driver — each point hinted by
+// its predecessor's result ± a guard band — the warm-started search stays
+// within the harness Tolerance of the cold-bracket result on every grid
+// point, and actually engages the warm path (hits recorded on the chained
+// points).
+func TestWarmEquivalence(t *testing.T) {
+	for _, fast := range []bool{false, true} {
+		h := newHarness(t)
+		h.Fast = fast
+		core.ResetWarmStats()
+		for _, chain := range warmGrid() {
+			var prev float64
+			for i, p := range chain {
+				cold, err := h.GroundTruthCtx(context.Background(), p, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var hint *Bracket
+				if i > 0 {
+					hint = &Bracket{Lo: prev - WarmGuardBand, Hi: prev + WarmGuardBand}
+				}
+				warm, err := h.GroundTruthHinted(context.Background(), p, 0, hint)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if math.Abs(warm-cold) > Tolerance {
+					t.Errorf("fast=%v %s: warm %.6f diverges from cold %.6f by %.2f mV",
+						fast, p.Name(), warm, cold, math.Abs(warm-cold)*1e3)
+				}
+				prev = warm
+			}
+		}
+		hits, _ := core.WarmStats()
+		if hits == 0 {
+			t.Errorf("fast=%v: no warm hits recorded across a chained grid", fast)
+		}
+	}
+}
+
+// TestWarmHintViolation: a hint that lies — bracket entirely below the
+// true V_safe (ceiling probes unsafe), entirely above it (floor probes
+// safe), or degenerate under the clamp — must fall back to the full cold
+// bracket and return the cold result bit for bit, with the fallback
+// counted.
+func TestWarmHintViolation(t *testing.T) {
+	h := newHarness(t)
+	p := load.NewPulse(40e-3, 1e-3)
+	cold, err := h.GroundTruthCtx(context.Background(), p, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := h.Config()
+	bad := map[string]*Bracket{
+		"below":      {Lo: cfg.VOff, Hi: cold - 50e-3},
+		"above":      {Lo: cold + 50e-3, Hi: cfg.VHigh},
+		"inverted":   {Lo: cold + 30e-3, Hi: cold - 30e-3},
+		"off-window": {Lo: cfg.VHigh + 1, Hi: cfg.VHigh + 2},
+	}
+	for name, hint := range bad {
+		core.ResetWarmStats()
+		got, err := h.GroundTruthHinted(context.Background(), p, 0, hint)
+		if err != nil {
+			t.Fatalf("%s hint: %v", name, err)
+		}
+		if math.Float64bits(got) != math.Float64bits(cold) {
+			t.Errorf("%s hint: fallback returned %v, cold search %v — must be identical", name, got, cold)
+		}
+		if hits, falls := core.WarmStats(); falls != 1 || hits != 0 {
+			t.Errorf("%s hint: warm stats hits=%d fallbacks=%d, want 0/1", name, hits, falls)
+		}
+	}
+}
+
+// TestWarmBatchMatchesScalar: hinted batched searches replicate the
+// hinted scalar search probe for probe, so their results are bit-identical
+// on the exact path — including searches whose hints are violated
+// mid-batch while others verify.
+func TestWarmBatchMatchesScalar(t *testing.T) {
+	h := newHarness(t)
+	var grid []load.Profile
+	for _, chain := range warmGrid() {
+		grid = append(grid, chain...)
+	}
+	colds := make([]float64, len(grid))
+	for i, p := range grid {
+		var err error
+		colds[i], err = h.GroundTruthCtx(context.Background(), p, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := make([]GroundTruthReq, len(grid))
+	for i, p := range grid {
+		reqs[i] = GroundTruthReq{Task: p}
+		switch i % 3 {
+		case 0: // honest neighbor-style hint
+			reqs[i].Hint = &Bracket{Lo: colds[i] - 40e-3, Hi: colds[i] + 40e-3}
+		case 1: // violated hint: bracket entirely below the truth
+			reqs[i].Hint = &Bracket{Lo: h.Config().VOff, Hi: colds[i] - 50e-3}
+		case 2: // no hint
+		}
+	}
+	got, err := h.GroundTruthBatch(context.Background(), reqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, req := range reqs {
+		want, err := h.GroundTruthHinted(context.Background(), req.Task, req.Harvest, req.Hint)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Float64bits(want) != math.Float64bits(got[i]) {
+			t.Errorf("%s: batch hinted V_safe %v != scalar hinted %v", req.Task.Name(), got[i], want)
+		}
+	}
+}
+
+var (
+	warmFuzzOnce sync.Once
+	warmFuzzH    *Harness
+	warmFuzzCold float64
+)
+
+// FuzzWarmBracket throws arbitrary brackets — honest, lying, inverted,
+// NaN, infinite, sub-window, astronomically wide — at the hinted search
+// and requires the result to stay within Tolerance of the cold-bracket
+// truth. Verification-then-fallback is what makes this hold: a hint is
+// only ever trusted after its endpoints probe correctly, so no bracket,
+// however hostile, can move the answer.
+func FuzzWarmBracket(f *testing.F) {
+	f.Add(1.8, 2.2)
+	f.Add(1.6, 1.7)       // entirely below the truth
+	f.Add(2.4, 2.56)      // entirely above
+	f.Add(2.2, 1.8)       // inverted
+	f.Add(0.0, 0.0)       // empty
+	f.Add(-5.0, 5.0)      // wildly wide
+	f.Add(math.NaN(), 2.0)
+	f.Add(1.9, math.Inf(1))
+	f.Fuzz(func(t *testing.T, lo, hi float64) {
+		warmFuzzOnce.Do(func() {
+			h, err := New(powersys.Capybara())
+			if err != nil {
+				panic(err)
+			}
+			h.Fast = true // cheap probes: the fuzz loop runs many searches
+			warmFuzzH = h
+			warmFuzzCold, err = h.GroundTruthCtx(context.Background(), warmFuzzTask(), 0)
+			if err != nil {
+				panic(err)
+			}
+		})
+		_, fallsBefore := core.WarmStats()
+		got, err := warmFuzzH.GroundTruthHinted(context.Background(), warmFuzzTask(), 0, &Bracket{Lo: lo, Hi: hi})
+		if err != nil {
+			t.Fatalf("hint (%g, %g): %v", lo, hi, err)
+		}
+		if math.Abs(got-warmFuzzCold) > Tolerance {
+			t.Fatalf("hint (%g, %g): V_safe %.6f diverges from cold %.6f by %.2f mV",
+				lo, hi, got, warmFuzzCold, math.Abs(got-warmFuzzCold)*1e3)
+		}
+		// A hint that misses the truth entirely must engage the fallback,
+		// not silently bisect a wrong bracket.
+		if _, falls := core.WarmStats(); hi < warmFuzzCold-25e-3 && hi > lo && falls == fallsBefore {
+			t.Fatalf("hint (%g, %g) excludes the truth %.6f but no fallback was recorded", lo, hi, warmFuzzCold)
+		}
+	})
+}
+
+func warmFuzzTask() load.Profile { return load.NewPulse(40e-3, 1e-3) }

@@ -28,6 +28,9 @@ import (
 	"sync"
 
 	"culpeo/internal/capacitor"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
+	"culpeo/internal/powersys"
 	"culpeo/internal/sweep"
 )
 
@@ -189,6 +192,66 @@ func BankSweep(ctx context.Context, parts []capacitor.Part, targetC float64) ([]
 	}
 	sort.Slice(banks, func(i, j int) bool { return banks[i].Volume() < banks[j].Volume() })
 	return banks, nil
+}
+
+// VSafeSweepOptions configures BankVSafeSweep.
+type VSafeSweepOptions struct {
+	// Warm chains the searches: banks are walked in ESR order (every bank
+	// targets the same capacitance, so ESR is the axis V_safe varies along)
+	// and each search is hinted with its predecessor's result ± a guard
+	// band. Hints are endpoint-verified before being trusted
+	// (harness.GroundTruthHinted), so a technology-boundary jump that
+	// outruns the guard band costs a cold search for that bank, never a
+	// wrong V_safe.
+	Warm bool
+	// Fast selects the analytic segment-advance stepper for every probe.
+	Fast bool
+}
+
+// BankVSafeSweep finds the task's true ground-truth V_safe on every bank:
+// the number a designer actually shops on — Figure 3 trades volume against
+// ESR, and ESR is only interesting because of what it does to V_safe.
+// Results are returned in input order. The walk itself is sequential (a
+// warm hint needs its predecessor's result); parallel callers should
+// partition banks into independent chains.
+func BankVSafeSweep(ctx context.Context, banks []capacitor.Bank, task load.Profile, opt VSafeSweepOptions) ([]float64, error) {
+	out := make([]float64, len(banks))
+	order := make([]int, len(banks))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return banks[order[a]].ESR() < banks[order[b]].ESR() })
+	var hint *harness.Bracket
+	for _, i := range order {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		b := banks[i]
+		// Mirror the serving layer's bank resolution (serve.resolvePower):
+		// the evaluated configuration with the bank's assembled C and ESR
+		// as the storage branch.
+		cfg := powersys.Capybara()
+		br := capacitor.Branch{Name: "main", C: b.C(), ESR: b.ESR(), Voltage: cfg.VHigh}
+		net, err := capacitor.NewNetwork(&br)
+		if err != nil {
+			return nil, fmt.Errorf("partsdb: bank %s: %w", b.Part.PartNumber, err)
+		}
+		cfg.Storage = net
+		h, err := harness.New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("partsdb: bank %s: %w", b.Part.PartNumber, err)
+		}
+		h.Fast = opt.Fast
+		v, err := h.GroundTruthHinted(ctx, task, 0, hint)
+		if err != nil {
+			return nil, fmt.Errorf("partsdb: bank %s: %w", b.Part.PartNumber, err)
+		}
+		out[i] = v
+		if opt.Warm {
+			hint = &harness.Bracket{Lo: v - harness.WarmGuardBand, Hi: v + harness.WarmGuardBand}
+		}
+	}
+	return out, nil
 }
 
 // BestByVolume returns, per technology, the bank with the smallest total

@@ -6,6 +6,9 @@ import (
 	"testing"
 
 	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/harness"
+	"culpeo/internal/load"
 )
 
 func TestCatalogDeterministic(t *testing.T) {
@@ -208,5 +211,44 @@ func TestIndexBank(t *testing.T) {
 func TestDefaultIndexShared(t *testing.T) {
 	if DefaultIndex() != DefaultIndex() {
 		t.Error("DefaultIndex rebuilt per call")
+	}
+}
+
+// TestBankVSafeSweepWarmEquivalence: the warm-chained V_safe sweep must
+// agree with the cold sweep within the harness search tolerance on every
+// bank, engage the warm path on the ESR-adjacent banks, and survive the
+// supercap→ceramic technology jump (a hint violation) via fallback.
+func TestBankVSafeSweepWarmEquivalence(t *testing.T) {
+	ix := DefaultIndex()
+	var banks []capacitor.Bank
+	for _, num := range []string{
+		"supercapacitor-0000", "supercapacitor-0001", "supercapacitor-0002", "supercapacitor-0003",
+		"ceramic-0000", // ESR three orders of magnitude below the supercaps
+	} {
+		b, err := ix.Bank(num, TargetBankC)
+		if err != nil {
+			t.Fatal(err)
+		}
+		banks = append(banks, b)
+	}
+	task := load.NewPulse(30e-3, 1e-3)
+	cold, err := BankVSafeSweep(context.Background(), banks, task, VSafeSweepOptions{Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	core.ResetWarmStats()
+	warm, err := BankVSafeSweep(context.Background(), banks, task, VSafeSweepOptions{Warm: true, Fast: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range banks {
+		if math.Abs(warm[i]-cold[i]) > harness.Tolerance {
+			t.Errorf("bank %s: warm V_safe %.6f diverges from cold %.6f by %.2f mV",
+				banks[i].Part.PartNumber, warm[i], cold[i], math.Abs(warm[i]-cold[i])*1e3)
+		}
+	}
+	hits, _ := core.WarmStats()
+	if hits == 0 {
+		t.Error("no warm hits across ESR-adjacent banks")
 	}
 }

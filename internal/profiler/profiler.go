@@ -16,6 +16,7 @@
 package profiler
 
 import (
+	"context"
 	"math"
 
 	"culpeo/internal/core"
@@ -44,6 +45,16 @@ type PG struct {
 // fingerprint — Algorithm 1 is pure, so cached and direct results are
 // bit-identical (see core.VSafeCache).
 func (p PG) Estimate(task load.Profile) (core.Estimate, error) {
+	return p.EstimateCtx(context.Background(), task)
+}
+
+// EstimateCtx is Estimate with a context bounding the cache's coalesced
+// wait: when another request is already computing this (model, trace) key,
+// the caller waits for that leader's bit-exact result — unless ctx is
+// cancelled first, in which case only this wait is abandoned (the leader's
+// computation proceeds for everyone else). The serving layer threads each
+// request's deadline through here so a dead client stops occupying a slot.
+func (p PG) EstimateCtx(ctx context.Context, task load.Profile) (core.Estimate, error) {
 	rate := p.SampleRate
 	if rate <= 0 {
 		rate = load.SampleRateDefault
@@ -53,9 +64,9 @@ func (p PG) Estimate(task load.Profile) (core.Estimate, error) {
 	case p.NoCache:
 		return core.VSafePG(p.Model, tr)
 	case p.Cache != nil:
-		return p.Cache.PG(p.Model, tr)
+		return p.Cache.PGCtx(ctx, p.Model, tr)
 	default:
-		return core.VSafePGCached(p.Model, tr)
+		return core.VSafePGCachedCtx(ctx, p.Model, tr)
 	}
 }
 
@@ -64,13 +75,19 @@ func (p PG) Estimate(task load.Profile) (core.Estimate, error) {
 // serving API or loaded from CSV, where re-sampling through a Profile would
 // distort the waveform. Memoization routes exactly as Estimate's.
 func (p PG) EstimateTrace(tr load.Trace) (core.Estimate, error) {
+	return p.EstimateTraceCtx(context.Background(), tr)
+}
+
+// EstimateTraceCtx is EstimateTrace with a context bounding the cache's
+// coalesced wait (see EstimateCtx).
+func (p PG) EstimateTraceCtx(ctx context.Context, tr load.Trace) (core.Estimate, error) {
 	switch {
 	case p.NoCache:
 		return core.VSafePG(p.Model, tr)
 	case p.Cache != nil:
-		return p.Cache.PG(p.Model, tr)
+		return p.Cache.PGCtx(ctx, p.Model, tr)
 	default:
-		return core.VSafePGCached(p.Model, tr)
+		return core.VSafePGCachedCtx(ctx, p.Model, tr)
 	}
 }
 

@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"culpeo/internal/client"
+	"culpeo/internal/core"
 )
 
 // LoadTestOptions configures a load-generation run.
@@ -61,6 +62,14 @@ type LoadTestResult struct {
 	Concurrency  int     `json:"concurrency"`
 	SelfHosted   bool    `json:"self_hosted"`
 	CacheHitRate float64 `json:"cache_hit_rate"` // self-hosted only
+	// CacheStats is the target's full V_safe cache counter set —
+	// singleflight and warm-bisection fields included — scraped from its
+	// /metrics after the run via the client pool's BackendSnapshot (nil if
+	// the scrape failed, e.g. a pre-/metrics daemon).
+	CacheStats *core.VSafeCacheStats `json:"cache_stats,omitempty"`
+	// BatchDeduped is the target's in-batch fingerprint dedup total from
+	// the same scrape.
+	BatchDeduped uint64 `json:"batch_deduped,omitempty"`
 }
 
 // defaultLoadTestBody is the canonical cache-hot query: after the first
@@ -191,6 +200,17 @@ func LoadTest(ctx context.Context, opt LoadTestOptions) (LoadTestResult, error) 
 	}
 	if self != nil {
 		res.CacheHitRate = self.Cache().Stats().HitRate()
+	}
+	// One /metrics scrape (outer ctx: runCtx has expired) so the report can
+	// print server-side coalescing next to client-side counts; works against
+	// remote targets too, where Cache() is out of reach.
+	pool.ScrapeServerMetrics(ctx)
+	if bs := pool.Metrics().Backends; len(bs) > 0 && bs[0].VSafeCache != nil {
+		res.CacheStats = bs[0].VSafeCache
+		res.BatchDeduped = bs[0].BatchDeduped
+		if !res.SelfHosted {
+			res.CacheHitRate = res.CacheStats.HitRate()
+		}
 	}
 	if res.Requests == 0 {
 		return res, fmt.Errorf("loadtest: no request completed in %v", opt.Duration)

@@ -42,7 +42,10 @@ type metrics struct {
 	queueFull atomic.Uint64
 	timeouts  atomic.Uint64
 	panics    atomic.Uint64
-	drained   atomic.Bool
+	// batchDeduped counts /v1/batch elements answered by another element's
+	// computation in the same request (in-batch fingerprint dedup).
+	batchDeduped atomic.Uint64
+	drained      atomic.Bool
 	// lastPanicReqID holds the request ID of the most recent panicking
 	// request (string), so a chaos-soak failure is correlatable from the
 	// metrics document alone.
@@ -90,6 +93,7 @@ type MetricsSnapshot struct {
 	QueueFull          uint64                      `json:"queue_full_total"`
 	Timeouts           uint64                      `json:"timeouts_total"`
 	Panics             uint64                      `json:"panics_total"`
+	BatchDeduped       uint64                      `json:"batch_deduped_total"`
 	LastPanicRequestID string                      `json:"last_panic_request_id,omitempty"`
 	VSafeCache         core.VSafeCacheStats        `json:"vsafe_cache"`
 	// ShardID / TopologyEpoch mirror /healthz (additive; zero-valued on a
@@ -106,10 +110,11 @@ func (m *metrics) snapshot(queueDepth, inFlight int64, cache core.VSafeCacheStat
 		Latency:    m.latency.Snapshot(),
 		QueueDepth: queueDepth,
 		InFlight:   inFlight,
-		QueueFull:  m.queueFull.Load(),
-		Timeouts:   m.timeouts.Load(),
-		Panics:     m.panics.Load(),
-		VSafeCache: cache,
+		QueueFull:    m.queueFull.Load(),
+		Timeouts:     m.timeouts.Load(),
+		Panics:       m.panics.Load(),
+		BatchDeduped: m.batchDeduped.Load(),
+		VSafeCache:   cache,
 	}
 	if id, ok := m.lastPanicReqID.Load().(string); ok {
 		s.LastPanicRequestID = id

@@ -88,7 +88,7 @@ type Config struct {
 // BuildVersion identifies the serving build on /healthz. Bumped whenever
 // the wire surface changes shape (PR number, not semver — the repo grows
 // one PR at a time).
-const BuildVersion = "culpeod/7"
+const BuildVersion = "culpeod/8"
 
 // Server implements the culpeod HTTP API. Create with New, expose with
 // Handler.
@@ -396,9 +396,9 @@ func (s *Server) estimate(ctx context.Context, req VSafeRequest) (EstimateRespon
 	pg := profiler.PG{Model: rp.model, Cache: s.cache}
 	var est core.Estimate
 	if rl.isTrace {
-		est, err = pg.EstimateTrace(rl.trace)
+		est, err = pg.EstimateTraceCtx(ctx, rl.trace)
 	} else {
-		est, err = pg.Estimate(rl.profile)
+		est, err = pg.EstimateCtx(ctx, rl.profile)
 	}
 	if err != nil {
 		// Residual Algorithm 1 failures are input-data problems (the specs
@@ -558,8 +558,30 @@ func (s *Server) handleBatch(ctx context.Context, r *http.Request) (any, error) 
 	}
 	var resp BatchResponse
 	if len(req.Requests) > 0 {
-		results, err := sweep.Map(ctx, req.Requests, func(ctx context.Context, _ int, el VSafeRequest) (BatchResult, error) {
-			est, err := s.estimate(ctx, el)
+		// In-batch fingerprint dedup: elements resolving to the same
+		// (power-model, trace) key — the exact key the V_safe cache and the
+		// shard router use — are computed once and fanned back out in
+		// order. Elements that fail fingerprint resolution would be 400s on
+		// any path; each keeps its own slot so its error reports in place.
+		type keyT [2]uint64
+		seen := make(map[keyT]int, len(req.Requests)) // key -> representative index
+		reps := make([]int, 0, len(req.Requests))     // indices actually computed
+		followers := make(map[int][]int)              // representative -> duplicate indices
+		var deduped uint64
+		for i, el := range req.Requests {
+			if mf, tf, err := Fingerprints(el, s.catalog); err == nil {
+				k := keyT{mf, tf}
+				if rep, ok := seen[k]; ok {
+					followers[rep] = append(followers[rep], i)
+					deduped++
+					continue
+				}
+				seen[k] = i
+			}
+			reps = append(reps, i)
+		}
+		repResults, err := sweep.Map(ctx, reps, func(ctx context.Context, _ int, idx int) (BatchResult, error) {
+			est, err := s.estimate(ctx, req.Requests[idx])
 			if err != nil {
 				if ctx.Err() != nil {
 					return BatchResult{}, ctx.Err() // deadline: fail the batch, not the element
@@ -574,6 +596,19 @@ func (s *Server) handleBatch(ctx context.Context, r *http.Request) (any, error) 
 			}
 			return nil, err
 		}
+		results := make([]BatchResult, len(req.Requests))
+		for j, idx := range reps {
+			results[idx] = repResults[j]
+			for _, f := range followers[idx] {
+				r := repResults[j]
+				if r.Estimate != nil {
+					est := *r.Estimate // value copy: no aliasing across elements
+					r.Estimate = &est
+				}
+				results[f] = r
+			}
+		}
+		s.met.batchDeduped.Add(deduped)
 		resp.Results = results
 	}
 	if len(req.Simulations) > 0 {

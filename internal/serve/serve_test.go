@@ -256,8 +256,8 @@ func TestSimulateVerdicts(t *testing.T) {
 	}
 }
 
-// TestBatch checks order preservation, per-element errors and cache
-// coalescing across identical elements.
+// TestBatch checks order preservation, per-element errors and in-batch
+// fingerprint dedup across identical elements.
 func TestBatch(t *testing.T) {
 	s, ts := newTestServer(t, Config{})
 	el := VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}}
@@ -279,8 +279,17 @@ func TestBatch(t *testing.T) {
 			t.Errorf("identical elements diverged: %v vs %v", got.Results[i].Estimate, got.Results[0].Estimate)
 		}
 	}
-	if st := s.Cache().Stats(); st.Hits < 2 {
-		t.Errorf("identical batch elements should coalesce through the cache: %+v", st)
+	// The three identical elements dedupe to one computation before the
+	// cache is even consulted: one miss, no hits, two elements fanned out.
+	if st := s.Cache().Stats(); st.Misses != 1 || st.Hits != 0 {
+		t.Errorf("identical batch elements should dedupe to one compute: %+v", st)
+	}
+	if n := s.met.batchDeduped.Load(); n != 2 {
+		t.Errorf("batch_deduped_total = %d, want 2", n)
+	}
+	// Fanned-out results are value copies, not shared pointers.
+	if got.Results[0].Estimate == got.Results[2].Estimate {
+		t.Error("deduped results alias the same Estimate pointer")
 	}
 
 	for _, tc := range []struct {
