@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak alloc batch warm bench benchgate serve-smoke chaos shard check
+.PHONY: build vet test race golden golden-update soak alloc batch warm bench benchgate serve-smoke chaos shard stream check
 
 build:
 	$(GO) build ./...
@@ -110,4 +110,14 @@ shard:
 	$(GO) test -race ./internal/shard -count=1
 	$(GO) test -race ./internal/expt -run 'TestShardSoak' -short -count=1
 
-check: vet build alloc batch warm race golden soak serve-smoke chaos shard benchgate
+# Streaming soak, reduced schedule, under the race detector: two culpeod
+# instances behind flapping netchaos links, session.LoadGen driving full
+# device lifecycles (open, stream, detach, resume, close) through
+# client.Stream, gated on zero failed sessions, exactly one terminal each,
+# bit-exact estimate/margin/HTTP parity, bounded heap per resident session
+# and zero server panics. For the full-length soak (100k sessions) run:
+#   go run ./cmd/culpeo streamtest
+stream:
+	$(GO) test -race ./internal/expt -run 'TestStreamSoak' -short -count=1
+
+check: vet build alloc batch warm race golden soak serve-smoke chaos shard stream benchgate

@@ -24,7 +24,8 @@
 //	culpeo loadtest    hammer the culpeod HTTP service and report throughput
 //	culpeo chaos       deterministic resilience soak: culpeod behind fault proxies
 //	culpeo shardsoak   sharded-tier lifecycle soak: kill/leave/rejoin/drain a shard
-//	culpeo all         everything above except bench/benchcheck/loadtest/chaos/shardsoak
+//	culpeo streamtest  sessionized streaming soak: 100k device lifecycles behind flapping links
+//	culpeo all         everything above except bench/benchcheck/loadtest/chaos/shardsoak/streamtest
 //
 // Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
 // the application experiments; -points dumps Figure 3's full point cloud;
@@ -67,6 +68,15 @@
 // rejoin, and a drain/readmit cycle — gated on 100% eventual success,
 // bit-exact parity, zero panics and a reproducible transition log;
 // -reduced runs the smaller `make shard` schedule.
+//
+// streamtest boots two in-process culpeod servers behind flapping
+// netchaos proxies and drives 100,000 device sessions through the full
+// /v1/stream lifecycle — open, stream observations, detach, resume,
+// close — gated on zero failed sessions, bit-exact estimate/margin/HTTP
+// parity, bounded heap per resident session and zero panics. -reduced
+// runs the 2,000-session `make stream` configuration; -sessions overrides
+// the count; -record merges the result into the -benchout artifact as its
+// "stream" section (full scale only).
 package main
 
 import (
@@ -114,15 +124,16 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	ltAddr := fs.String("addr", "", "loadtest: target base URL (empty = self-hosted in-process server)")
 	ltDuration := fs.Duration("duration", 3*time.Second, "loadtest: measurement window")
 	ltConcurrency := fs.Int("concurrency", 0, "loadtest: closed-loop clients (0 = 4×GOMAXPROCS)")
-	ltRecord := fs.Bool("record", false, "loadtest: merge serving (or -shardsweep scaling) stats into the -benchout artifact")
+	ltRecord := fs.Bool("record", false, "loadtest/streamtest: merge the run's stats into the -benchout artifact")
 	ltShards := fs.Int("shards", 0, "loadtest: boot this many culpeod shards behind a rendezvous router (0 = single-node HTTP loadtest)")
 	ltSweep := fs.Bool("shardsweep", false, "loadtest: run the sharded rig at 1, 4 and 8 shards and report scaling")
 	against := fs.String("against", "", "benchcheck: baseline artifact to compare -benchout against (regression gate)")
 	tolerance := fs.Float64("tolerance", 0.15, "benchcheck: allowed fractional regression vs -against")
 	fresh := fs.Int("fresh", 0, "benchcheck: with -against, collect fresh measurements instead of reading -benchout, retrying up to this many attempts")
-	chaosReduced := fs.Bool("reduced", false, "chaos/shardsoak: run the reduced workload (the `make chaos` / `make shard` configuration)")
+	chaosReduced := fs.Bool("reduced", false, "chaos/shardsoak/streamtest: run the reduced workload (the `make chaos` / `make shard` / `make stream` configuration)")
+	stSessions := fs.Int("sessions", 0, "streamtest: device-session count (0 = 100000 full, 2000 reduced)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest chaos shardsoak all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest chaos shardsoak streamtest all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
@@ -172,6 +183,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			err = chaos(ctx, stdout, *chaosReduced)
 		} else if cmd == "shardsoak" {
 			err = shardsoak(ctx, stdout, *chaosReduced)
+		} else if cmd == "streamtest" {
+			err = streamtest(ctx, stdout, stderr, *chaosReduced, *stSessions, *ltRecord, *benchout)
 		} else if cmd == "benchcheck" && *against != "" && *fresh > 0 {
 			err = benchgateFresh(stdout, *against, *tolerance, *fresh)
 		} else if cmd == "benchcheck" && *against != "" {
@@ -376,6 +389,58 @@ func shardsoak(ctx context.Context, w io.Writer, reduced bool) error {
 	return nil
 }
 
+// streamtest runs the sessionized streaming soak and prints its report; a
+// failed gate is the command's error (non-zero exit). With -record the
+// result becomes the bench artifact's stream section — full scale only,
+// so the committed figure always describes the 100k configuration.
+func streamtest(ctx context.Context, w, progress io.Writer, reduced bool, sessions int, record bool, benchout string) error {
+	t0 := time.Now()
+	rep, err := expt.StreamSoak(ctx, expt.StreamOpts{
+		Reduced:  reduced,
+		Sessions: sessions,
+		Logf: func(format string, args ...any) {
+			fmt.Fprintf(progress, "streamtest: "+format+"\n", args...)
+		},
+	})
+	if err != nil {
+		return err
+	}
+	if err := rep.Render(w); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "\nstreamtest: soak completed in %.1f s\n", time.Since(t0).Seconds())
+	if err := rep.Gate(); err != nil {
+		return err
+	}
+	fmt.Fprintln(w, "streamtest: all gates passed (zero failed sessions, bit-exact parity, bounded heap, zero panics)")
+	if !record {
+		return nil
+	}
+	if reduced {
+		return fmt.Errorf("-record needs the full-scale soak (drop -reduced)")
+	}
+	res := rep.Result
+	art, err := benchrun.Read(benchout)
+	if err != nil {
+		return fmt.Errorf("-record needs a valid artifact (run `culpeo bench` first): %w", err)
+	}
+	art.Stream = &benchrun.StreamStats{
+		Name:                    fmt.Sprintf("stream/sessions-%dk", res.Sessions/1000),
+		Sessions:                res.Sessions,
+		Events:                  res.Events,
+		EventsPerSec:            res.EventsPerSec,
+		P99EventMs:              res.P99EventMs,
+		PeakHeapPerSessionBytes: res.HeapPerSessionBytes,
+		DurationSec:             res.DurationSec,
+		Workers:                 rep.Workers,
+	}
+	if err := benchrun.Write(benchout, art); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "streamtest: recorded stream stats into %s\n", benchout)
+	return nil
+}
+
 // splitArgs separates experiment names from flags so both orders work. A
 // non-boolean flag given as "-horizon 20" keeps its space-separated value.
 func splitArgs(fs *flag.FlagSet, args []string) (cmds, flags []string) {
@@ -444,6 +509,7 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		if prev, err := benchrun.Read(benchout); err == nil {
 			rep.Serving = prev.Serving
 			rep.ShardScaling = prev.ShardScaling
+			rep.Stream = prev.Stream
 		}
 		if err := benchrun.Write(benchout, rep); err != nil {
 			return err
@@ -467,6 +533,10 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 				fmt.Fprintf(w, "benchcheck: %d shard(s): %.0f req/s (%.2fx vs 1), cache hit rate %.1f%%\n",
 					row.Shards, row.ThroughputRPS, row.SpeedupVs1, row.CacheHitRate*100)
 			}
+		}
+		if st := rep.Stream; st != nil {
+			fmt.Fprintf(w, "benchcheck: %s: %d sessions, %.0f events/s, p99 event %.3f ms, %.0f B/session peak heap\n",
+				st.Name, st.Sessions, st.EventsPerSec, st.P99EventMs, st.PeakHeapPerSessionBytes)
 		}
 		return nil
 	case "fig1b":

@@ -6,7 +6,8 @@
 //	culpeod -addr :9000          # all interfaces, port 9000
 //	culpeod -addr 127.0.0.1:0    # ephemeral port (printed on startup)
 //
-// Endpoints: POST /v1/vsafe, /v1/vsafe-r, /v1/simulate, /v1/batch;
+// Endpoints: POST /v1/vsafe, /v1/vsafe-r, /v1/simulate, /v1/batch,
+// /v1/stream (sessionized SSE downlink), /v1/stream/obs (uplink);
 // GET /healthz, /metrics. See internal/serve for the wire contract.
 //
 // The daemon drains gracefully: on SIGTERM or SIGINT it stops accepting,
@@ -50,6 +51,12 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		scalarBatch  = fs.Bool("scalar-batch", false, "run /v1/batch simulations one-by-one instead of on the SoA lockstep stepper")
 		shardID      = fs.String("shard-id", "", "shard identity advertised on /healthz and /metrics (empty = standalone)")
 		drainTimeout = fs.Duration("drain-timeout", 10*time.Second, "hard deadline for graceful drain")
+
+		maxSessions  = fs.Int("max-sessions", 0, "max live streaming sessions before /v1/stream opens 503 (0 = default)")
+		sessionRing  = fs.Int("session-ring", 0, "default per-session observation window (0 = default)")
+		sessionQueue = fs.Int("session-queue", 0, "per-connection event queue before a slow-consumer kick (0 = default)")
+		sessionIdle  = fs.Int("session-idle-epochs", 0, "sweep epochs a detached session survives before eviction (0 = default)")
+		sessionSweep = fs.Duration("session-sweep", 30*time.Second, "session epoch sweeper interval (0 disables idle eviction)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -62,6 +69,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		fmt.Fprintln(stderr, "culpeod: -queue-depth must be >= 0; -timeout and -drain-timeout must be positive")
 		return 2
 	}
+	if *maxSessions < 0 || *sessionRing < 0 || *sessionQueue < 0 || *sessionIdle < 0 || *sessionSweep < 0 {
+		fmt.Fprintln(stderr, "culpeod: session flags must be >= 0")
+		return 2
+	}
 
 	s := serve.New(serve.Config{
 		MaxInFlight: *maxInFlight,
@@ -71,7 +82,14 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		Workers:     *workers,
 		ScalarBatch: *scalarBatch,
 		ShardID:     *shardID,
+
+		MaxSessions:       *maxSessions,
+		SessionRing:       *sessionRing,
+		SessionQueue:      *sessionQueue,
+		SessionIdleEpochs: *sessionIdle,
+		SessionSweep:      *sessionSweep,
 	})
+	defer s.Close()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

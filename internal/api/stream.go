@@ -1,0 +1,293 @@
+// The streaming wire contract: the session tier's request bodies, the
+// server-sent-event (SSE) update frames pushed down a /v1/stream
+// connection, and the SSE encoder/scanner both sides share.
+//
+// Transport is SSE over a plain POST (not WebSocket): the downlink is the
+// only long-lived direction — observations go up as ordinary bounded POSTs
+// through the admission queue — and SSE rides on stdlib net/http with no
+// framing code beyond the ~100 lines below, keeps the proxy/chaos tooling
+// (netchaos speaks TCP) and h2c-free HTTP/1.1 semantics unchanged, and
+// stays debuggable with curl. DESIGN.md §16 records the full rationale.
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Stream endpoint paths, shared with internal/serve's mux and the client.
+const (
+	PathStream    = "/v1/stream"
+	PathStreamObs = "/v1/stream/obs"
+)
+
+// Stream protocol bounds. They are wire contract, not server tuning: a
+// request beyond them is a 400 on every server, so they live here where
+// both sides (and the fuzzer) see one definition.
+const (
+	// MaxStreamRing caps a session's observation window. Rings are
+	// pre-allocated per session, so this bounds per-session memory.
+	MaxStreamRing = 256
+	// MaxStreamObsBatch caps observations in one /v1/stream/obs body.
+	MaxStreamObsBatch = 1024
+	// MaxStreamDevice caps the device identifier length.
+	MaxStreamDevice = 64
+	// MaxSSELineBytes bounds one SSE line; a peer streaming an unterminated
+	// line must not grow memory without bound.
+	MaxSSELineBytes = 1 << 20
+)
+
+// ValidStreamDevice reports whether a device identifier is well-formed:
+// 1..MaxStreamDevice bytes of [A-Za-z0-9._:-] (the request-ID alphabet, so
+// device names are safe to echo into logs and metrics).
+func ValidStreamDevice(device string) bool {
+	if len(device) == 0 || len(device) > MaxStreamDevice {
+		return false
+	}
+	for i := 0; i < len(device); i++ {
+		c := device[i]
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z':
+		case c == '-' || c == '_' || c == '.' || c == ':':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// StreamObservation is one Culpeo-R voltage observation with its
+// per-session sequence number. Seq starts at 1 and increases strictly; the
+// server drops any observation at or below the session's high-water mark,
+// which is what makes observation uploads (and their retries) idempotent.
+type StreamObservation struct {
+	Seq    uint64  `json:"seq"`
+	VStart float64 `json:"v_start"`
+	VMin   float64 `json:"v_min"`
+	VFinal float64 `json:"v_final"`
+	// Failed marks an unexpected power failure during the observed run; it
+	// drives the session's AdaptiveMargin (inflate on failure, decay on
+	// sustained success).
+	Failed bool `json:"failed,omitempty"`
+}
+
+// StreamOpenRequest is the body of POST /v1/stream: attach (or resume) the
+// device's session and hold the connection open for update events.
+type StreamOpenRequest struct {
+	Device string    `json:"device"`
+	Power  PowerSpec `json:"power"`
+	// Ring is the requested observation-window size (0: server default;
+	// capped at MaxStreamRing). A resume must match the live session's ring
+	// or leave it 0.
+	Ring int `json:"ring,omitempty"`
+	// Replay is the client's ring tail, replayed on reconnect so a server
+	// that lost the session (restart, eviction, failover to another
+	// backend) rebuilds it; already-seen sequence numbers dedupe away. The
+	// rebuilt estimate is bit-identical to a from-scratch fold of the same
+	// window.
+	Replay []StreamObservation `json:"replay,omitempty"`
+	// LastEventSeq is the last update event the client saw (diagnostic:
+	// echoed into the resume snapshot's log line; events are not replayed —
+	// the snapshot update carries the complete current state).
+	LastEventSeq uint64 `json:"last_event_seq,omitempty"`
+}
+
+// StreamObsRequest is the body of POST /v1/stream/obs: fold a batch of
+// observations into the device's session (and optionally close it). The
+// refined estimate comes back on the stream as an update event; the POST
+// response only acknowledges the fold.
+type StreamObsRequest struct {
+	Device       string              `json:"device"`
+	Observations []StreamObservation `json:"observations,omitempty"`
+	// Close ends the session after folding: the stream receives a terminal
+	// update (final=true, reason "close") and the session becomes a
+	// tombstone that replays the terminal to late resumes.
+	Close bool `json:"close,omitempty"`
+}
+
+// StreamObsResponse acknowledges a fold.
+type StreamObsResponse struct {
+	// LastSeq is the session's observation high-water mark after the fold.
+	LastSeq uint64 `json:"last_seq"`
+	// Duplicates counts observations dropped as already-seen (retries).
+	Duplicates int `json:"duplicates,omitempty"`
+	// Window is the live observation-window population.
+	Window int `json:"window"`
+	// Closed reports the session is (now) closed.
+	Closed bool `json:"closed,omitempty"`
+}
+
+// StreamUpdate is one downlink event: the continuously refined Culpeo-R
+// estimate over the session's observation window, plus the adaptive launch
+// margin. Estimate fields are float64 at full JSON round-trip precision —
+// the parity gates compare them with math.Float64bits.
+type StreamUpdate struct {
+	// Seq numbers update events per session, monotonically.
+	Seq uint64 `json:"seq"`
+	// ObsSeq is the observation high-water mark this update reflects.
+	ObsSeq uint64 `json:"obs_seq"`
+	// Window is how many observations the estimate folds over.
+	Window int `json:"window"`
+	// VSafe/VDelta/VE mirror core.Estimate: the window's worst-case
+	// (maximum-V_safe) runtime estimate.
+	VSafe  float64 `json:"v_safe"`
+	VDelta float64 `json:"v_delta"`
+	VE     float64 `json:"v_e"`
+	// Margin is the session's current AdaptiveMargin guard voltage, and
+	// Launch = VSafe + Margin is the dispatch threshold the device should
+	// hold for.
+	Margin float64 `json:"margin"`
+	Launch float64 `json:"launch"`
+	// Final marks a terminal event: the stream ends after it. Reason is
+	// "close" (client closed the session), "drain" (server draining; the
+	// session survives elsewhere — resume on another backend) or
+	// "superseded" (a newer connection attached for this device).
+	Final  bool   `json:"final,omitempty"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// StreamEventUpdate is the SSE event name update frames arrive under.
+const StreamEventUpdate = "update"
+
+// --- SSE framing --------------------------------------------------------
+
+// SSEEvent is one decoded server-sent event.
+type SSEEvent struct {
+	Name string // "event:" field ("" if absent)
+	Data []byte // "data:" lines joined with '\n'
+}
+
+// EncodeSSE writes one event in text/event-stream framing. Data containing
+// newlines is split across multiple data: lines (the scanner rejoins them),
+// so any payload round-trips.
+func EncodeSSE(w io.Writer, name string, data []byte) error {
+	var buf bytes.Buffer
+	if name != "" {
+		buf.WriteString("event: ")
+		buf.WriteString(name)
+		buf.WriteByte('\n')
+	}
+	for _, line := range bytes.Split(data, []byte{'\n'}) {
+		buf.WriteString("data: ")
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	buf.WriteByte('\n')
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// EncodeSSEComment writes a comment frame (": text") — the heartbeat form:
+// scanners count and skip it without dispatching an event.
+func EncodeSSEComment(w io.Writer, text string) error {
+	_, err := fmt.Fprintf(w, ": %s\n\n", text)
+	return err
+}
+
+// ErrSSELineTooLong reports an SSE line beyond MaxSSELineBytes.
+var ErrSSELineTooLong = errors.New("api: sse line exceeds limit")
+
+// SSEScanner decodes a text/event-stream byte stream into events. It
+// implements the subset of the SSE grammar this protocol uses: event:,
+// data: (multi-line), comments, and unknown fields ignored. Lines are
+// bounded by MaxSSELineBytes so a hostile peer cannot grow one line
+// without limit; an event cut off mid-frame is discarded (the transport
+// reported the error first).
+type SSEScanner struct {
+	br       *bufio.Reader
+	comments int
+}
+
+// NewSSEScanner wraps r for event scanning.
+func NewSSEScanner(r io.Reader) *SSEScanner {
+	return &SSEScanner{br: bufio.NewReaderSize(r, 4096)}
+}
+
+// Comments returns how many comment frames (heartbeats) were skipped.
+func (s *SSEScanner) Comments() int { return s.comments }
+
+// Next returns the next complete event, or io.EOF at clean end of stream.
+func (s *SSEScanner) Next() (SSEEvent, error) {
+	var (
+		ev      SSEEvent
+		data    []byte
+		gotData bool
+	)
+	for {
+		line, err := s.readLine()
+		if err != nil {
+			return SSEEvent{}, err
+		}
+		if len(line) == 0 { // blank line: dispatch
+			if !gotData {
+				// Comment-only or empty frame: nothing to dispatch.
+				ev = SSEEvent{}
+				continue
+			}
+			ev.Data = data
+			return ev, nil
+		}
+		if line[0] == ':' {
+			s.comments++
+			continue
+		}
+		field, value := splitSSEField(line)
+		switch field {
+		case "event":
+			ev.Name = string(value)
+		case "data":
+			if gotData {
+				data = append(data, '\n')
+			}
+			data = append(data, value...)
+			gotData = true
+		}
+	}
+}
+
+// readLine reads one \n-terminated line (trailing \r stripped), enforcing
+// the line-length bound.
+func (s *SSEScanner) readLine() ([]byte, error) {
+	var line []byte
+	for {
+		part, err := s.br.ReadSlice('\n')
+		line = append(line, part...)
+		if len(line) > MaxSSELineBytes {
+			return nil, ErrSSELineTooLong
+		}
+		if err == nil {
+			break
+		}
+		if err == bufio.ErrBufferFull {
+			continue
+		}
+		if err == io.EOF && len(line) > 0 {
+			// Stream cut mid-line: the frame is incomplete, discard it.
+			return nil, io.EOF
+		}
+		return nil, err
+	}
+	line = line[:len(line)-1] // strip '\n'
+	if n := len(line); n > 0 && line[n-1] == '\r' {
+		line = line[:n-1]
+	}
+	return line, nil
+}
+
+// splitSSEField splits "field: value", stripping one leading space from the
+// value per the SSE grammar. A line with no colon is a field with empty
+// value.
+func splitSSEField(line []byte) (field string, value []byte) {
+	i := bytes.IndexByte(line, ':')
+	if i < 0 {
+		return string(line), nil
+	}
+	field, value = string(line[:i]), line[i+1:]
+	if len(value) > 0 && value[0] == ' ' {
+		value = value[1:]
+	}
+	return field, value
+}

@@ -1,0 +1,149 @@
+package api
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestValidStreamDevice(t *testing.T) {
+	for _, ok := range []string{"dev-000001", "a", "A.b:c_d-9", strings.Repeat("x", MaxStreamDevice)} {
+		if !ValidStreamDevice(ok) {
+			t.Errorf("%q rejected", ok)
+		}
+	}
+	for _, bad := range []string{"", " ", "dev 1", "dev/1", "dév", strings.Repeat("x", MaxStreamDevice+1)} {
+		if ValidStreamDevice(bad) {
+			t.Errorf("%q accepted", bad)
+		}
+	}
+}
+
+// TestSSERoundTrip: encoded events (updates and heartbeats interleaved)
+// decode back identically, floats bit-exact through the JSON frame.
+func TestSSERoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	updates := []StreamUpdate{
+		{Seq: 1, ObsSeq: 0, Window: 0, Margin: 20e-3},
+		{Seq: 2, ObsSeq: 7, Window: 3, VSafe: 2.470000000000001, VDelta: math.Nextafter(0.1, 1), VE: 0.25, Margin: 0.04, Launch: 2.5100000000000011},
+		{Seq: 3, ObsSeq: 9, Window: 5, VSafe: 2.1, Final: true, Reason: "close"},
+	}
+	for i, u := range updates {
+		data, err := json.Marshal(u)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if err := EncodeSSE(&buf, StreamEventUpdate, data); err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		if i == 1 {
+			if err := EncodeSSEComment(&buf, "hb"); err != nil {
+				t.Fatalf("comment: %v", err)
+			}
+		}
+	}
+	sc := NewSSEScanner(&buf)
+	for i, want := range updates {
+		ev, err := sc.Next()
+		if err != nil {
+			t.Fatalf("event %d: %v", i, err)
+		}
+		if ev.Name != StreamEventUpdate {
+			t.Fatalf("event %d: name %q", i, ev.Name)
+		}
+		var got StreamUpdate
+		if err := json.Unmarshal(ev.Data, &got); err != nil {
+			t.Fatalf("event %d: decode: %v", i, err)
+		}
+		if math.Float64bits(got.VSafe) != math.Float64bits(want.VSafe) ||
+			math.Float64bits(got.Launch) != math.Float64bits(want.Launch) ||
+			got != want {
+			t.Fatalf("event %d: %+v != %+v", i, got, want)
+		}
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+	if sc.Comments() != 1 {
+		t.Fatalf("comments: %d", sc.Comments())
+	}
+}
+
+// TestSSEMultilineData: payloads containing newlines split across data:
+// lines and rejoin.
+func TestSSEMultilineData(t *testing.T) {
+	var buf bytes.Buffer
+	payload := []byte("line1\nline2\n\nline4")
+	if err := EncodeSSE(&buf, "update", payload); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	sc := NewSSEScanner(&buf)
+	ev, err := sc.Next()
+	if err != nil {
+		t.Fatalf("next: %v", err)
+	}
+	if !bytes.Equal(ev.Data, payload) {
+		t.Fatalf("data %q != %q", ev.Data, payload)
+	}
+}
+
+// TestSSEScannerEdges: CRLF lines, unknown fields, value-less fields,
+// comment-only frames, and a frame cut off mid-line.
+func TestSSEScannerEdges(t *testing.T) {
+	in := ": warmup\r\n\r\n" + // comment-only frame: skipped entirely
+		"event: update\r\nretry: 1000\r\ndata: {\"a\":1}\r\n\r\n" + // CRLF + unknown field
+		"data\n\n" + // field with no colon: empty data line still dispatches
+		"data: tail-cut" // no terminator: discarded
+	sc := NewSSEScanner(strings.NewReader(in))
+	ev, err := sc.Next()
+	if err != nil || ev.Name != "update" || string(ev.Data) != `{"a":1}` {
+		t.Fatalf("event 1: %+v err=%v", ev, err)
+	}
+	ev, err = sc.Next()
+	if err != nil || ev.Name != "" || len(ev.Data) != 0 {
+		t.Fatalf("event 2: %+v err=%v", ev, err)
+	}
+	if _, err := sc.Next(); err != io.EOF {
+		t.Fatalf("cut frame: want EOF, got %v", err)
+	}
+	if sc.Comments() != 1 {
+		t.Fatalf("comments: %d", sc.Comments())
+	}
+}
+
+// TestSSELineBound: a hostile unterminated line stops at MaxSSELineBytes
+// instead of growing memory.
+func TestSSELineBound(t *testing.T) {
+	huge := io.MultiReader(
+		strings.NewReader("data: "),
+		&repeatReader{b: 'x', n: MaxSSELineBytes + 4096},
+	)
+	sc := NewSSEScanner(huge)
+	if _, err := sc.Next(); !errors.Is(err, ErrSSELineTooLong) {
+		t.Fatalf("want ErrSSELineTooLong, got %v", err)
+	}
+}
+
+type repeatReader struct {
+	b byte
+	n int
+}
+
+func (r *repeatReader) Read(p []byte) (int, error) {
+	if r.n <= 0 {
+		return 0, io.EOF
+	}
+	n := len(p)
+	if n > r.n {
+		n = r.n
+	}
+	for i := 0; i < n; i++ {
+		p[i] = r.b
+	}
+	r.n -= n
+	return n, nil
+}

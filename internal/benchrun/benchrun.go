@@ -33,7 +33,10 @@ import (
 // sweep pair (misspath/sweep-{cold,warm} + warm_sweep_speedup) and the
 // same-key miss-storm pair (misspath/miss-{direct,coalesced} +
 // coalesce_speedup).
-const Schema = 4
+// Schema 5 added the stream section (`culpeo streamtest -record`): the
+// sessionized streaming soak at stream/sessions-100k scale — event
+// throughput, p99 event latency and peak heap per resident session.
+const Schema = 5
 
 // Benchmark is one recorded measurement.
 type Benchmark struct {
@@ -63,6 +66,24 @@ type ServingStats struct {
 	Concurrency   int     `json:"concurrency"`
 	DurationSec   float64 `json:"duration_sec"`
 	CacheHitRate  float64 `json:"cache_hit_rate"`
+}
+
+// StreamStats records a `culpeo streamtest -record` run: the sessionized
+// streaming soak — full device lifecycles (open, stream, detach, resume,
+// close) through flapping chaos links, recorded only when every gate
+// (zero failed sessions, bit-exact parity, bounded heap) passed.
+type StreamStats struct {
+	// Name labels the configuration, e.g. "stream/sessions-100k".
+	Name         string  `json:"name"`
+	Sessions     int     `json:"sessions"`
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	P99EventMs   float64 `json:"p99_event_ms"`
+	// PeakHeapPerSessionBytes is heap growth per resident detached
+	// session at the soak's all-resident measurement point.
+	PeakHeapPerSessionBytes float64 `json:"peak_heap_per_session_bytes"`
+	DurationSec             float64 `json:"duration_sec"`
+	Workers                 int     `json:"workers"`
 }
 
 // ShardRow is one shard count in the scaling sweep.
@@ -122,6 +143,9 @@ type Report struct {
 	// been run (`culpeo loadtest -shardsweep -record`); bench leaves it
 	// intact the same way.
 	ShardScaling *ShardScaling `json:"shard_scaling,omitempty"`
+	// Stream is the recorded streaming soak, when one has been run
+	// (`culpeo streamtest -record`); bench leaves it intact the same way.
+	Stream *StreamStats `json:"stream,omitempty"`
 }
 
 // sweepTasks is the end-to-end workload: a spread of the evaluation
@@ -623,6 +647,26 @@ func (r *Report) Validate() error {
 			return fmt.Errorf("benchrun: serving: cache_hit_rate %v outside [0,1]", s.CacheHitRate)
 		}
 	}
+	if st := r.Stream; st != nil {
+		switch {
+		case st.Name == "":
+			return fmt.Errorf("benchrun: stream: missing name")
+		case st.Sessions <= 0:
+			return fmt.Errorf("benchrun: stream: sessions %d", st.Sessions)
+		case st.Events <= 0:
+			return fmt.Errorf("benchrun: stream: events %d", st.Events)
+		case !(st.EventsPerSec > 0) || math.IsInf(st.EventsPerSec, 0):
+			return fmt.Errorf("benchrun: stream: bad events_per_sec %v", st.EventsPerSec)
+		case !(st.P99EventMs >= 0) || math.IsInf(st.P99EventMs, 0):
+			return fmt.Errorf("benchrun: stream: bad p99_event_ms %v", st.P99EventMs)
+		case !(st.PeakHeapPerSessionBytes > 0) || math.IsInf(st.PeakHeapPerSessionBytes, 0):
+			return fmt.Errorf("benchrun: stream: bad peak_heap_per_session_bytes %v", st.PeakHeapPerSessionBytes)
+		case !(st.DurationSec > 0):
+			return fmt.Errorf("benchrun: stream: duration %v", st.DurationSec)
+		case st.Workers <= 0:
+			return fmt.Errorf("benchrun: stream: workers %d", st.Workers)
+		}
+	}
 	if sc := r.ShardScaling; sc != nil {
 		if len(sc.Rows) == 0 {
 			return fmt.Errorf("benchrun: shard_scaling: no rows")
@@ -712,6 +756,9 @@ func Compare(current, baseline *Report, tol float64) error {
 	worse("coalesce_speedup", current.CoalesceSpeedup, baseline.CoalesceSpeedup, false)
 	if current.Serving != nil && baseline.Serving != nil {
 		worse("serving throughput_rps", current.Serving.ThroughputRPS, baseline.Serving.ThroughputRPS, false)
+	}
+	if current.Stream != nil && baseline.Stream != nil {
+		worse("stream events_per_sec", current.Stream.EventsPerSec, baseline.Stream.EventsPerSec, false)
 	}
 	if current.ShardScaling != nil && baseline.ShardScaling != nil {
 		baseRows := map[int]ShardRow{}

@@ -1,0 +1,596 @@
+// Streaming subscribe support: Pool.OpenStream holds a device's
+// /v1/stream SSE downlink open, uploads observations as ordinary POSTs to
+// the same (pinned) backend, and survives every way the connection can die
+// — server drain, slow-consumer kick, eviction, a netchaos mid-stream cut
+// — by reconnecting with the client-side ring tail replayed, after which
+// the server's rebuilt estimate is bit-identical to the lost session's
+// (both are a deterministic fold over the same window).
+//
+// A Stream is a session-affine object: observation POSTs must land on the
+// backend holding the session, so the stream pins the backend the attach
+// succeeded on and only re-picks when that backend fails. One goroutine
+// owns the control methods (Observe, Resume, CloseSession, Detach);
+// Updates and Terminal may be drained from anywhere.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"culpeo/internal/api"
+)
+
+// Stream endpoint paths, aliased next to the four request/response paths.
+const (
+	PathStream    = api.PathStream
+	PathStreamObs = api.PathStreamObs
+)
+
+// DefaultStreamTail sizes the client-side replay ring when StreamConfig
+// leaves Ring zero. It matches the server's default session ring, so the
+// replayed tail rebuilds the complete window.
+const DefaultStreamTail = 16
+
+// ErrStreamClosed reports a control operation on a stream whose session
+// already ended with a terminal event.
+var ErrStreamClosed = errors.New("client: stream session closed")
+
+// StreamConfig opens one device stream.
+type StreamConfig struct {
+	// Device identifies the session (api.ValidStreamDevice).
+	Device string
+	// Power is the device's power-system spec, fixed for the session.
+	Power api.PowerSpec
+	// Ring sizes both the requested server window and the client replay
+	// tail (<=0: DefaultStreamTail). Keeping them equal is what makes a
+	// rebuilt session's window identical to the lost one's.
+	Ring int
+	// Buffer sizes the Updates channel (<=0: 16).
+	Buffer int
+}
+
+// Sample is one observation without its sequence number — the stream
+// assigns sequence numbers itself, which is what makes its upload retries
+// idempotent.
+type Sample struct {
+	VStart float64
+	VMin   float64
+	VFinal float64
+	Failed bool
+}
+
+// StreamStats counts a stream's lifetime events.
+type StreamStats struct {
+	Reconnects   int // attach calls after the first
+	Rebuilds     int // reattaches whose snapshot showed a fresh session
+	DupTerminals int // terminal events deduplicated (tombstone replays)
+	Kicked       int // connections ended by the server (drain/supersede/kick)
+}
+
+// Stream is one device's live session subscription.
+type Stream struct {
+	p   *Pool
+	cfg StreamConfig
+
+	updates  chan api.StreamUpdate
+	terminal chan api.StreamUpdate
+
+	mu          sync.Mutex
+	b           *backend // pinned session backend
+	tail        []api.StreamObservation
+	nextSeq     uint64
+	lastEvent   uint64
+	attached    bool
+	everOpened  bool
+	cancel      context.CancelFunc
+	readerDone  chan struct{}
+	gotTerminal bool
+	term        api.StreamUpdate
+	stats       StreamStats
+}
+
+// OpenStream attaches a session for cfg.Device and returns the stream plus
+// the snapshot update (the session's complete state at attach). The caller
+// drains Updates; a terminal update (reason "close") arrives on Terminal
+// exactly once.
+func (p *Pool) OpenStream(ctx context.Context, cfg StreamConfig) (*Stream, api.StreamUpdate, error) {
+	if !api.ValidStreamDevice(cfg.Device) {
+		return nil, api.StreamUpdate{}, fmt.Errorf("client: bad stream device %q", cfg.Device)
+	}
+	if cfg.Ring <= 0 {
+		cfg.Ring = DefaultStreamTail
+	}
+	if cfg.Ring > api.MaxStreamRing {
+		cfg.Ring = api.MaxStreamRing
+	}
+	if cfg.Buffer <= 0 {
+		cfg.Buffer = 16
+	}
+	s := &Stream{
+		p:        p,
+		cfg:      cfg,
+		updates:  make(chan api.StreamUpdate, cfg.Buffer),
+		terminal: make(chan api.StreamUpdate, 1),
+	}
+	snap, err := s.attach(ctx)
+	if err != nil {
+		return nil, api.StreamUpdate{}, err
+	}
+	return s, snap, nil
+}
+
+// Updates streams every non-terminal update (snapshots excluded — those
+// are returned by OpenStream/Resume). The consumer must drain it; the
+// channel is bounded and the reader blocks on it.
+func (s *Stream) Updates() <-chan api.StreamUpdate { return s.updates }
+
+// Terminal delivers the session's close terminal exactly once, even when
+// reconnects make the server replay it.
+func (s *Stream) Terminal() <-chan api.StreamUpdate { return s.terminal }
+
+// Attached reports whether a live downlink connection exists right now.
+func (s *Stream) Attached() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.attached
+}
+
+// Tail copies the client-side replay ring (oldest first) — exactly the
+// observation window a reconnect rebuilds, which makes it the reference
+// window for estimate-parity checks.
+func (s *Stream) Tail() []api.StreamObservation {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]api.StreamObservation, len(s.tail))
+	copy(out, s.tail)
+	return out
+}
+
+// LastSeq returns the highest observation sequence number assigned so far.
+func (s *Stream) LastSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.nextSeq
+}
+
+// Stats snapshots the stream's lifetime counters.
+func (s *Stream) Stats() StreamStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+// Detach drops the downlink connection, leaving the session alive
+// server-side (it keeps folding uploads and eventually idles out). Resume
+// re-attaches. Idempotent.
+func (s *Stream) Detach() {
+	s.mu.Lock()
+	cancel, done := s.cancel, s.readerDone
+	s.cancel = nil
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+	if done != nil {
+		<-done
+	}
+}
+
+// Close is Detach under the conventional name; the session is left to the
+// server's idle eviction (or was already closed via CloseSession).
+func (s *Stream) Close() { s.Detach() }
+
+// Resume (re)attaches the downlink, replaying the ring tail so a backend
+// that lost the session rebuilds it bit-identically. Returns the snapshot.
+func (s *Stream) Resume(ctx context.Context) (api.StreamUpdate, error) {
+	s.mu.Lock()
+	if s.attached {
+		s.mu.Unlock()
+		return api.StreamUpdate{}, errors.New("client: stream already attached")
+	}
+	s.mu.Unlock()
+	return s.attach(ctx)
+}
+
+// Observe assigns sequence numbers to samples, records them in the replay
+// tail, and uploads them to the session's backend, reattaching (with
+// replay) when the backend answers 404 or stops answering at all. The
+// refined estimate arrives on Updates; the returned ack carries the
+// server's high-water mark.
+func (s *Stream) Observe(ctx context.Context, samples ...Sample) (api.StreamObsResponse, error) {
+	if len(samples) > api.MaxStreamObsBatch {
+		return api.StreamObsResponse{}, fmt.Errorf("client: %d observations exceed the %d batch cap", len(samples), api.MaxStreamObsBatch)
+	}
+	s.mu.Lock()
+	obs := make([]api.StreamObservation, len(samples))
+	for i, sm := range samples {
+		s.nextSeq++
+		obs[i] = api.StreamObservation{Seq: s.nextSeq, VStart: sm.VStart, VMin: sm.VMin, VFinal: sm.VFinal, Failed: sm.Failed}
+	}
+	s.tail = append(s.tail, obs...)
+	if over := len(s.tail) - s.cfg.Ring; over > 0 {
+		s.tail = append(s.tail[:0], s.tail[over:]...)
+	}
+	s.mu.Unlock()
+	return s.post(ctx, api.StreamObsRequest{Device: s.cfg.Device, Observations: obs})
+}
+
+// CloseSession folds nothing further, closes the session, and waits for
+// the terminal update. Safe to retry: a tombstoned session acks the close
+// idempotently, and a lost terminal is recovered by reattaching (the
+// tombstone replays it).
+func (s *Stream) CloseSession(ctx context.Context) (api.StreamUpdate, error) {
+	if _, err := s.post(ctx, api.StreamObsRequest{Device: s.cfg.Device, Close: true}); err != nil && !errors.Is(err, ErrStreamClosed) {
+		return api.StreamUpdate{}, err
+	}
+	// ErrStreamClosed is success here, not failure: the session is already
+	// closed — by a lost-ack retry of this very call (the server processed
+	// the close but the connection died before the ack), a tombstone 409,
+	// or an earlier CloseSession — and the loop below collects the terminal.
+	for {
+		s.mu.Lock()
+		got, term := s.gotTerminal, s.term
+		s.mu.Unlock()
+		if got {
+			return term, nil
+		}
+		select {
+		case u := <-s.terminal:
+			// Put it back for the Terminal() consumer; term is also recorded.
+			select {
+			case s.terminal <- u:
+			default:
+			}
+			return u, nil
+		case <-time.After(150 * time.Millisecond):
+			// The downlink may have died between the close ack and the
+			// terminal: reattach — the tombstone replays the terminal.
+			// ErrStreamClosed means the terminal just landed via another
+			// path; the next loop iteration returns it.
+			if !s.Attached() {
+				if _, err := s.attach(ctx); err != nil && !errors.Is(err, ErrStreamClosed) {
+					return api.StreamUpdate{}, err
+				}
+			}
+		case <-ctx.Done():
+			return api.StreamUpdate{}, ctx.Err()
+		}
+	}
+}
+
+// post uploads one StreamObsRequest to the pinned backend with
+// reattach-on-404 and failover-on-connection-death.
+func (s *Stream) post(ctx context.Context, req api.StreamObsRequest) (api.StreamObsResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.StreamObsResponse{}, fmt.Errorf("client: marshal stream obs: %w", err)
+	}
+	call := s.p.met.calls.Add(1)
+	var lastErr error
+	for n := 1; n <= s.p.cfg.MaxAttempts; n++ {
+		if err := ctx.Err(); err != nil {
+			break
+		}
+		s.mu.Lock()
+		b, attached := s.b, s.attached
+		s.mu.Unlock()
+		if b == nil || !attached {
+			if _, err := s.attach(ctx); err != nil {
+				// A closed session never reopens: surface it now instead of
+				// burning the remaining attempts on attaches that must fail.
+				if errors.Is(err, ErrStreamClosed) {
+					return api.StreamObsResponse{}, err
+				}
+				lastErr = err
+				continue
+			}
+			s.mu.Lock()
+			b = s.b
+			s.mu.Unlock()
+		}
+		raw, err := s.p.attempt(ctx, b, PathStreamObs, body, call, n)
+		if err == nil {
+			var out api.StreamObsResponse
+			if err := json.Unmarshal(raw, &out); err != nil {
+				return api.StreamObsResponse{}, fmt.Errorf("client: decode stream obs response: %w", err)
+			}
+			return out, nil
+		}
+		lastErr = err
+		var he *HTTPError
+		switch {
+		case errors.As(err, &he) && he.Status == http.StatusNotFound:
+			// The backend lost the session (restart, eviction, failover):
+			// drop the dead downlink and reattach with the replay tail. The
+			// observations in this request ride along in the replay, so a
+			// success here IS a successful fold — but re-posting is harmless
+			// (sequence dedup), so just loop.
+			s.markLost()
+		case errors.As(err, &he) && he.Status == http.StatusConflict:
+			return api.StreamObsResponse{}, fmt.Errorf("%w: %v", ErrStreamClosed, err)
+		case errors.As(err, &he) && !he.Retryable():
+			return api.StreamObsResponse{}, err
+		case errors.As(err, &he):
+			// 5xx from the pinned backend: retry there after a beat (the
+			// session is presumably still alive behind the overload).
+			if serr := sleepCtx(ctx, s.p.backoff(n-1)); serr != nil {
+				return api.StreamObsResponse{}, fmt.Errorf("client: stream obs: %w (last error: %v)", serr, lastErr)
+			}
+		default:
+			// Connection-level failure: the backend may be gone entirely.
+			// Unpin so the reattach can fail over.
+			s.markLost()
+			s.mu.Lock()
+			s.b = nil
+			s.mu.Unlock()
+			if serr := sleepCtx(ctx, s.p.backoff(n-1)); serr != nil {
+				return api.StreamObsResponse{}, fmt.Errorf("client: stream obs: %w (last error: %v)", serr, lastErr)
+			}
+		}
+	}
+	return api.StreamObsResponse{}, fmt.Errorf("client: stream obs for %s failed: %w", s.cfg.Device, lastErr)
+}
+
+// markLost tears down the downlink state after the session's backend lost
+// it (or the connection died); the next attach replays the tail.
+func (s *Stream) markLost() {
+	s.mu.Lock()
+	cancel := s.cancel
+	s.cancel = nil
+	s.attached = false
+	s.mu.Unlock()
+	if cancel != nil {
+		cancel()
+	}
+}
+
+// attach runs the connect loop: pinned backend first, then the pool's
+// round-robin pick, with full-jitter backoff between rounds — the same
+// discipline as the request/response retry loop, hand-rolled because the
+// response here is a stream, not a body.
+func (s *Stream) attach(ctx context.Context) (api.StreamUpdate, error) {
+	s.mu.Lock()
+	if s.gotTerminal {
+		s.mu.Unlock()
+		return api.StreamUpdate{}, ErrStreamClosed
+	}
+	req := api.StreamOpenRequest{
+		Device:       s.cfg.Device,
+		Power:        s.cfg.Power,
+		Ring:         s.cfg.Ring,
+		Replay:       append([]api.StreamObservation(nil), s.tail...),
+		LastEventSeq: s.lastEvent,
+	}
+	reconnect := s.everOpened
+	s.mu.Unlock()
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.StreamUpdate{}, fmt.Errorf("client: marshal stream open: %w", err)
+	}
+
+	var lastErr error
+	tried := make(map[*backend]bool)
+	attempts, round := 0, 0
+	for {
+		if err := ctx.Err(); err != nil {
+			if lastErr != nil {
+				return api.StreamUpdate{}, fmt.Errorf("client: stream attach for %s: %w (last error: %v)", s.cfg.Device, err, lastErr)
+			}
+			return api.StreamUpdate{}, err
+		}
+		if attempts >= s.p.cfg.MaxAttempts {
+			return api.StreamUpdate{}, fmt.Errorf("client: stream attach for %s failed after %d attempts: %w", s.cfg.Device, attempts, lastErr)
+		}
+		b := s.pickBackend(tried)
+		if b == nil {
+			round++
+			if err := sleepCtx(ctx, s.p.backoff(round)); err != nil {
+				return api.StreamUpdate{}, fmt.Errorf("client: stream attach for %s: %w (last error: %v)", s.cfg.Device, err, lastErr)
+			}
+			clear(tried)
+			continue
+		}
+		attempts++
+		snap, err := s.connect(ctx, b, body, reconnect)
+		if err == nil {
+			return snap, nil
+		}
+		lastErr = err
+		tried[b] = true
+		var he *HTTPError
+		if errors.As(err, &he) && !he.Retryable() && he.Status != http.StatusServiceUnavailable {
+			return api.StreamUpdate{}, err
+		}
+	}
+}
+
+// pickBackend prefers the pinned session backend, then falls back to the
+// pool's round-robin pick. The returned backend's breaker slot is held;
+// connect records the verdict.
+func (s *Stream) pickBackend(tried map[*backend]bool) *backend {
+	s.mu.Lock()
+	pinned := s.b
+	s.mu.Unlock()
+	if pinned != nil && !tried[pinned] && !pinned.ejected.Load() {
+		if pinned.brk.Allow() {
+			return pinned
+		}
+		s.p.met.breakerRejects.Add(1)
+		tried[pinned] = true
+	}
+	return s.p.pick(tried)
+}
+
+// connect performs one attach attempt against b: POST the open request,
+// require 200 + a snapshot frame within AttemptTimeout, then hand the
+// connection to the reader goroutine. The connection context is
+// independent of ctx — the stream outlives the attach call.
+func (s *Stream) connect(ctx context.Context, b *backend, body []byte, reconnect bool) (api.StreamUpdate, error) {
+	s.p.met.attempts.Add(1)
+	b.met.attempts.Add(1)
+	connCtx, cancel := context.WithCancel(context.Background())
+	stop := context.AfterFunc(ctx, cancel)
+	watchdog := time.AfterFunc(s.p.cfg.AttemptTimeout, cancel)
+	fail := func(format string, args ...any) (api.StreamUpdate, error) {
+		watchdog.Stop()
+		stop()
+		cancel()
+		b.met.failures.Add(1)
+		b.brk.Failure()
+		return api.StreamUpdate{}, fmt.Errorf("client: %s stream attach: %w", b.name, fmt.Errorf(format, args...))
+	}
+
+	req, err := http.NewRequestWithContext(connCtx, http.MethodPost, b.base+PathStream, bytes.NewReader(body))
+	if err != nil {
+		return fail("build request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(api.RequestIDHeader, s.cfg.Device+"-a"+strconv.Itoa(int(s.p.met.attempts.Load())))
+
+	resp, err := s.p.http.Do(req)
+	if err != nil {
+		return fail("%w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		raw, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		he := &HTTPError{
+			Status:     resp.StatusCode,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+			RequestID:  resp.Header.Get(api.RequestIDHeader),
+			Body:       errorLine(raw),
+		}
+		watchdog.Stop()
+		stop()
+		cancel()
+		if he.Retryable() {
+			b.met.failures.Add(1)
+			b.brk.Failure()
+		} else {
+			b.brk.Success() // alive; the request (or a 503 drain) is the issue
+		}
+		return api.StreamUpdate{}, fmt.Errorf("client: %s stream attach: %w", b.name, he)
+	}
+
+	sc := api.NewSSEScanner(resp.Body)
+	ev, err := sc.Next()
+	if err != nil {
+		resp.Body.Close()
+		return fail("reading snapshot: %w", err)
+	}
+	var snap api.StreamUpdate
+	if ev.Name != api.StreamEventUpdate || json.Unmarshal(ev.Data, &snap) != nil {
+		resp.Body.Close()
+		return fail("bad snapshot frame %q", ev.Name)
+	}
+	watchdog.Stop()
+	stop()
+	b.met.successes.Add(1)
+	b.brk.Success()
+
+	s.mu.Lock()
+	s.b = b
+	if reconnect {
+		s.stats.Reconnects++
+		if snap.Seq == 1 && s.lastEvent > 0 {
+			// A fresh session answers its first snapshot with event seq 1:
+			// the old session is gone and this one was rebuilt from our
+			// replay. (A resumed session continues its event numbering.)
+			s.stats.Rebuilds++
+		}
+	}
+	if snap.Seq > s.lastEvent || snap.Seq == 1 {
+		s.lastEvent = snap.Seq
+	}
+	s.everOpened = true
+	if snap.Final {
+		s.mu.Unlock()
+		resp.Body.Close()
+		cancel()
+		if snap.Reason == "close" {
+			s.deliverTerminal(snap)
+		}
+		return snap, nil
+	}
+	s.attached = true
+	s.cancel = cancel
+	done := make(chan struct{})
+	s.readerDone = done
+	s.mu.Unlock()
+	go s.readLoop(connCtx, cancel, resp.Body, sc, done)
+	return snap, nil
+}
+
+// readLoop drains one connection's SSE events until the stream ends.
+func (s *Stream) readLoop(connCtx context.Context, cancel context.CancelFunc, body io.ReadCloser, sc *api.SSEScanner, done chan struct{}) {
+	defer close(done)
+	defer cancel()
+	defer body.Close()
+	detach := func() {
+		s.mu.Lock()
+		s.attached = false
+		s.mu.Unlock()
+	}
+	for {
+		ev, err := sc.Next()
+		if err != nil {
+			detach()
+			return
+		}
+		if ev.Name != api.StreamEventUpdate {
+			continue
+		}
+		var u api.StreamUpdate
+		if json.Unmarshal(ev.Data, &u) != nil {
+			detach()
+			return
+		}
+		s.mu.Lock()
+		if u.Seq > s.lastEvent {
+			s.lastEvent = u.Seq
+		}
+		s.mu.Unlock()
+		if u.Final {
+			if u.Reason == "close" {
+				s.deliverTerminal(u)
+			} else {
+				// drain / superseded / slow-consumer: the connection is
+				// over but the session lives; Resume reattaches.
+				s.mu.Lock()
+				s.stats.Kicked++
+				s.mu.Unlock()
+			}
+			detach()
+			return
+		}
+		select {
+		case s.updates <- u:
+		case <-connCtx.Done():
+			detach()
+			return
+		}
+	}
+}
+
+// deliverTerminal records the close terminal, delivering it downstream
+// exactly once no matter how many tombstone replays arrive.
+func (s *Stream) deliverTerminal(u api.StreamUpdate) {
+	s.mu.Lock()
+	if s.gotTerminal {
+		s.stats.DupTerminals++
+		s.mu.Unlock()
+		return
+	}
+	s.gotTerminal = true
+	s.term = u
+	s.mu.Unlock()
+	s.terminal <- u // cap 1, guarded by gotTerminal: never blocks
+}

@@ -1,0 +1,290 @@
+package client_test
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/client"
+	"culpeo/internal/core"
+	"culpeo/internal/powersys"
+	"culpeo/internal/serve"
+	"culpeo/internal/session"
+)
+
+// streamBackend is one real serve.Server behind an httptest listener — the
+// stream tests run against the genuine endpoint, not a stub, so the parity
+// checks cover the full wire round trip.
+type streamBackend struct {
+	srv *serve.Server
+	ts  *httptest.Server
+}
+
+func newStreamBackend(t *testing.T, cfg serve.Config) *streamBackend {
+	t.Helper()
+	s := serve.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() { s.SetDraining(true); ts.Close() })
+	return &streamBackend{srv: s, ts: ts}
+}
+
+// newStreamPool builds a fast-backoff pool against real backends.
+func newStreamPool(t *testing.T, backends ...string) *client.Pool {
+	t.Helper()
+	p, err := client.New(client.Config{
+		Backends:    backends,
+		Budget:      5 * time.Second,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+		Seed:        42,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	t.Cleanup(p.Close)
+	return p
+}
+
+// streamModel mirrors what the zero-value PowerSpec resolves to server-side.
+func streamModel(t *testing.T) core.PowerModel {
+	t.Helper()
+	cfg := powersys.Capybara()
+	m := core.PowerModel{
+		C:     cfg.Storage.TotalCapacitance(),
+		ESR:   capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   cfg.Output.Efficiency,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("model: %v", err)
+	}
+	return m
+}
+
+func mkSample(i int) client.Sample {
+	vstart := 2.28 + 0.015*float64(i%6)
+	vfinal := vstart - 0.11 - 0.02*float64(i%4)
+	return client.Sample{VStart: vstart, VMin: vfinal - 0.05, VFinal: vfinal, Failed: i%7 == 0}
+}
+
+func awaitStreamUpdate(t *testing.T, st *client.Stream) api.StreamUpdate {
+	t.Helper()
+	select {
+	case u := <-st.Updates():
+		return u
+	case <-time.After(5 * time.Second):
+		t.Fatal("no update within 5s")
+		return api.StreamUpdate{}
+	}
+}
+
+// checkStreamParity folds the client's own replay tail from scratch and
+// requires the streamed estimate to match bit for bit.
+func checkStreamParity(t *testing.T, u api.StreamUpdate, model core.PowerModel, st *client.Stream) {
+	t.Helper()
+	tail := st.Tail()
+	want, have, err := session.FoldWindow(model, tail)
+	if err != nil || !have {
+		t.Fatalf("FoldWindow over %d obs: have=%v err=%v", len(tail), have, err)
+	}
+	if math.Float64bits(u.VSafe) != math.Float64bits(want.VSafe) ||
+		math.Float64bits(u.VDelta) != math.Float64bits(want.VDelta) ||
+		math.Float64bits(u.VE) != math.Float64bits(want.VE) {
+		t.Fatalf("parity: streamed %+v != folded %+v over %d obs", u, want, len(tail))
+	}
+	if u.Window != len(tail) {
+		t.Fatalf("window %d, want %d", u.Window, len(tail))
+	}
+	if math.Float64bits(u.Launch) != math.Float64bits(u.VSafe+u.Margin) {
+		t.Fatalf("launch %v != v_safe+margin %v", u.Launch, u.VSafe+u.Margin)
+	}
+}
+
+// TestStreamObserveClose is the client happy path: open, observe with
+// per-update parity, close, exactly one terminal.
+func TestStreamObserveClose(t *testing.T) {
+	b := newStreamBackend(t, serve.Config{SessionRing: 8})
+	p := newStreamPool(t, b.ts.URL)
+	model := streamModel(t)
+	ctx := context.Background()
+
+	st, snap, err := p.OpenStream(ctx, client.StreamConfig{Device: "dev-client", Ring: 8})
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+	if snap.Seq != 1 || snap.Window != 0 {
+		t.Fatalf("snapshot %+v", snap)
+	}
+
+	for i := 0; i < 6; i++ {
+		ack, err := st.Observe(ctx, mkSample(3*i), mkSample(3*i+1), mkSample(3*i+2))
+		if err != nil {
+			t.Fatalf("Observe %d: %v", i, err)
+		}
+		if ack.LastSeq != st.LastSeq() {
+			t.Fatalf("ack %+v, client high-water %d", ack, st.LastSeq())
+		}
+		checkStreamParity(t, awaitStreamUpdate(t, st), model, st)
+	}
+
+	term, err := st.CloseSession(ctx)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if !term.Final || term.Reason != "close" {
+		t.Fatalf("terminal %+v", term)
+	}
+	checkStreamParity(t, term, model, st)
+	select {
+	case u := <-st.Terminal():
+		if math.Float64bits(u.VSafe) != math.Float64bits(term.VSafe) {
+			t.Fatalf("Terminal() delivered %+v != %+v", u, term)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Terminal() never delivered")
+	}
+
+	// The session is over: further control operations refuse.
+	if _, err := st.Observe(ctx, mkSample(99)); !errors.Is(err, client.ErrStreamClosed) {
+		t.Fatalf("Observe after close: %v, want client.ErrStreamClosed", err)
+	}
+	if _, err := st.Resume(ctx); !errors.Is(err, client.ErrStreamClosed) {
+		t.Fatalf("Resume after close: %v, want client.ErrStreamClosed", err)
+	}
+}
+
+// TestStreamRebuildAfterEviction: the backend evicts the idle session; the
+// next Observe gets 404, reattaches with the replay tail, and the rebuilt
+// session's estimate is bit-identical to the from-scratch fold.
+func TestStreamRebuildAfterEviction(t *testing.T) {
+	b := newStreamBackend(t, serve.Config{SessionRing: 4})
+	p := newStreamPool(t, b.ts.URL)
+	model := streamModel(t)
+	ctx := context.Background()
+
+	st, _, err := p.OpenStream(ctx, client.StreamConfig{Device: "dev-evict", Ring: 4})
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+	if _, err := st.Observe(ctx, mkSample(0), mkSample(1), mkSample(2), mkSample(3), mkSample(4)); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	awaitStreamUpdate(t, st)
+	st.Detach()
+	if st.Attached() {
+		t.Fatal("still attached after Detach")
+	}
+	// The server notices the dropped connection asynchronously; idle
+	// eviction only applies to detached sessions.
+	deadline := time.Now().Add(5 * time.Second)
+	for b.srv.Sessions().Stats().Attached != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	// Sweep the detached session away server-side.
+	for i := 0; i < session.DefaultIdleEpochs+2; i++ {
+		b.srv.Sessions().AdvanceEpoch()
+	}
+	if n := b.srv.Sessions().Len(); n != 0 {
+		t.Fatalf("%d sessions after sweeps", n)
+	}
+
+	// Observe again: 404 → reattach with replay → rebuilt session folds the
+	// new batch; the ack's high-water mark covers it.
+	ack, err := st.Observe(ctx, mkSample(5))
+	if err != nil {
+		t.Fatalf("Observe after eviction: %v", err)
+	}
+	if ack.LastSeq != st.LastSeq() || ack.LastSeq != 6 {
+		t.Fatalf("ack %+v, want last_seq 6", ack)
+	}
+	checkStreamParity(t, awaitStreamUpdate(t, st), model, st)
+	stats := st.Stats()
+	if stats.Reconnects < 1 || stats.Rebuilds != 1 {
+		t.Fatalf("stats %+v, want >=1 reconnect and exactly 1 rebuild", stats)
+	}
+}
+
+// TestStreamFailover: the pinned backend drains mid-stream; the client sees
+// the kick, fails over to the other backend, rebuilds from its tail, and
+// the estimates re-converge bit-exactly.
+func TestStreamFailover(t *testing.T) {
+	b0 := newStreamBackend(t, serve.Config{SessionRing: 8})
+	b1 := newStreamBackend(t, serve.Config{SessionRing: 8})
+	p := newStreamPool(t, b0.ts.URL, b1.ts.URL)
+	model := streamModel(t)
+	ctx := context.Background()
+
+	st, _, err := p.OpenStream(ctx, client.StreamConfig{Device: "dev-fo", Ring: 8})
+	if err != nil {
+		t.Fatalf("OpenStream: %v", err)
+	}
+	defer st.Close()
+	if _, err := st.Observe(ctx, mkSample(0), mkSample(1), mkSample(2)); err != nil {
+		t.Fatalf("Observe: %v", err)
+	}
+	before := awaitStreamUpdate(t, st)
+	checkStreamParity(t, before, model, st)
+
+	pinned, other := b0, b1
+	if b1.srv.Sessions().Len() == 1 {
+		pinned, other = b1, b0
+	}
+	if pinned.srv.Sessions().Len() != 1 {
+		t.Fatalf("no backend holds the session")
+	}
+
+	// Drain the pinned backend: the downlink ends with a "drain" terminal
+	// (a kick, not a close — the session resumes elsewhere).
+	pinned.srv.SetDraining(true)
+	deadline := time.Now().Add(5 * time.Second)
+	for st.Attached() && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if st.Attached() {
+		t.Fatal("still attached after drain")
+	}
+	// A draining backend still accepts resumes of sessions it holds (a
+	// client racing the shutdown deserves its state); evict the detached
+	// session so the next attach is genuinely refused there.
+	for i := 0; i < session.DefaultIdleEpochs+2; i++ {
+		pinned.srv.Sessions().AdvanceEpoch()
+	}
+
+	// The next Observe fails over: the drained backend refuses the attach
+	// with 503, the other one rebuilds from the replayed tail.
+	ack, err := st.Observe(ctx, mkSample(3))
+	if err != nil {
+		t.Fatalf("Observe after drain: %v", err)
+	}
+	if ack.LastSeq != 4 {
+		t.Fatalf("ack %+v, want last_seq 4", ack)
+	}
+	after := awaitStreamUpdate(t, st)
+	checkStreamParity(t, after, model, st)
+	if other.srv.Sessions().Len() != 1 {
+		t.Fatal("session did not move to the surviving backend")
+	}
+	stats := st.Stats()
+	if stats.Kicked != 1 || stats.Rebuilds != 1 {
+		t.Fatalf("stats %+v, want 1 kick and 1 rebuild", stats)
+	}
+
+	// Close on the new backend still yields exactly one terminal.
+	term, err := st.CloseSession(ctx)
+	if err != nil {
+		t.Fatalf("CloseSession: %v", err)
+	}
+	if !term.Final || term.Reason != "close" {
+		t.Fatalf("terminal %+v", term)
+	}
+}

@@ -22,6 +22,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -240,6 +241,18 @@ func VSafeR(m PowerModel, o Observation) (Estimate, error) {
 		VDelta: vdeltaSafe,
 		VE:     vsafeE - m.VOff,
 	}, nil
+}
+
+// VSafeRCtx is VSafeR honouring a request context: a context already
+// expired (or cancelled) returns ctx.Err() unwrapped, so callers can
+// classify deadline against input errors. The evaluation itself is a
+// handful of float operations — the check is the useful part; it makes a
+// serving deadline observable on this path exactly as on the PG path.
+func VSafeRCtx(ctx context.Context, m PowerModel, o Observation) (Estimate, error) {
+	if err := ctx.Err(); err != nil {
+		return Estimate{}, err
+	}
+	return VSafeR(m, o)
 }
 
 // VSafeE2Exact numerically solves Equation 2c without collapsing η(V) to a

@@ -1,0 +1,258 @@
+// The streaming soak: the acceptance gate for the sessionized tier —
+// internal/session, the /v1/stream endpoints and client.Stream together.
+// It boots two real culpeod backends behind two fault-injecting netchaos
+// proxies (links flap, requests get 503 bursts, connections reset
+// mid-response), drives N full device lifecycles through session.LoadGen
+// — open, stream, detach, resume, close — and gates on the tier's
+// promises all at once:
+//
+//  1. zero failed sessions: every device completes its lifecycle and
+//     receives exactly one terminal event, reconnects and cross-backend
+//     rebuilds included;
+//  2. bit-exact parity: every streamed estimate equals the from-scratch
+//     session.FoldWindow over the client's replay tail, the margin equals
+//     the client-side mirror fold, and a sampled subset also matches
+//     per-observation /v1/vsafe-r responses from a chaos-free backend;
+//  3. bounded memory: with all N sessions resident but detached, heap
+//     per session stays under a fixed ceiling;
+//  4. neither server panics.
+//
+// Unlike the chaos soak this report is not golden-locked: streams are
+// long-lived and the kernel schedules which connection carries which
+// request, so counters like reconnects are load-dependent. The gates are
+// invariants, not transcripts.
+package expt
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"time"
+
+	"culpeo/internal/client"
+	"culpeo/internal/core"
+	"culpeo/internal/netchaos"
+	"culpeo/internal/powersys"
+	"culpeo/internal/serve"
+	"culpeo/internal/session"
+)
+
+// The stream schedules, in connection-index space. Keepalives stay ON for
+// this soak (streams are long-lived; one cut connection can kill an SSE
+// downlink and several pipelined uploads at once), so a single fault
+// fans out into reconnects, resumes and cross-backend rebuilds. Both
+// backends flap; blackholes are omitted because every fault here should
+// fail fast — slow-death behavior is the chaos soak's subject.
+const (
+	streamScheduleB0 = "latency:d=1ms,from=0,count=1,every=13;" +
+		"h503:retryafter=1,from=7,count=1,every=19;" +
+		"reset:after=512,from=13,count=1,every=29;" +
+		"down:from=23,count=2,every=37"
+	streamScheduleB1 = "h503:retryafter=1,from=9,count=1,every=23;" +
+		"slow:chunk=64,delay=1ms,from=5,count=1,every=41;" +
+		"down:from=15,count=1,every=31"
+)
+
+// StreamOpts configures a streaming soak run.
+type StreamOpts struct {
+	// Reduced selects the `make stream` -race configuration: 2,000
+	// sessions instead of the 100,000-session full soak.
+	Reduced bool
+	// Sessions overrides the device count (<=0: mode default).
+	Sessions int
+	// Workers bounds concurrently active devices (<=0: 64).
+	Workers int
+	// Obs is observations per session (<=0: 16).
+	Obs int
+	// Ring is the session window size (<=0: 16).
+	Ring int
+	// HeapCeilingBytes is the bounded-memory gate: peak heap growth per
+	// resident session must stay under it (<=0: 64 KiB). The ceiling
+	// covers both sides — the server's ring session and the client's
+	// stream mirror live in one process here.
+	HeapCeilingBytes float64
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// StreamReport is the outcome of one streaming soak. Gate returns nil iff
+// every property held; Render writes the human-readable report.
+type StreamReport struct {
+	Mode             string
+	Ring             int
+	Workers          int
+	HeapCeilingBytes float64
+	Result           session.LoadGenResult
+	Backends         [2]session.Stats // session-table counters per backend
+	ServerPanics     [2]uint64
+}
+
+// Gate returns nil when the soak satisfied every acceptance property.
+func (r *StreamReport) Gate() error {
+	res := &r.Result
+	if res.FailedN > 0 {
+		first := "(no sample)"
+		if len(res.Failed) > 0 {
+			first = res.Failed[0]
+		}
+		return fmt.Errorf("stream: %d/%d sessions failed (first: %s)", res.FailedN, res.Sessions, first)
+	}
+	if res.Completed != res.Sessions {
+		return fmt.Errorf("stream: %d/%d sessions completed the full lifecycle", res.Completed, res.Sessions)
+	}
+	if res.Terminals != res.Sessions {
+		return fmt.Errorf("stream: %d terminals for %d sessions (want exactly one each)", res.Terminals, res.Sessions)
+	}
+	if res.ParityChecked == 0 || res.MarginChecked == 0 || res.HTTPParityChecked == 0 {
+		return fmt.Errorf("stream: vacuous parity pass (estimate=%d margin=%d http=%d checks)",
+			res.ParityChecked, res.MarginChecked, res.HTTPParityChecked)
+	}
+	if res.ParityMismatches != 0 || res.MarginMismatches != 0 || res.HTTPParityMismatches != 0 {
+		return fmt.Errorf("stream: parity mismatches: estimate=%d margin=%d http=%d",
+			res.ParityMismatches, res.MarginMismatches, res.HTTPParityMismatches)
+	}
+	if res.HeapPerSessionBytes > r.HeapCeilingBytes {
+		return fmt.Errorf("stream: heap %.0f B/session exceeds the %.0f B ceiling",
+			res.HeapPerSessionBytes, r.HeapCeilingBytes)
+	}
+	if r.ServerPanics[0] != 0 || r.ServerPanics[1] != 0 {
+		return fmt.Errorf("stream: server panics: b0=%d b1=%d", r.ServerPanics[0], r.ServerPanics[1])
+	}
+	return nil
+}
+
+// Render writes the report: mode, schedules, the generator's JSON result
+// and the per-backend session-table counters.
+func (r *StreamReport) Render(w io.Writer) error {
+	title := "stream soak (" + r.Mode + ")"
+	if _, err := fmt.Fprintf(w, "%s\n%s\nschedule b0: %s\nschedule b1: %s\nring: %d  heap ceiling: %.0f B/session\n\n",
+		title, strings.Repeat("=", len(title)), streamScheduleB0, streamScheduleB1, r.Ring, r.HeapCeilingBytes); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s\n\n", r.Result.Render()); err != nil {
+		return err
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	tb := Table{Title: "session tables", Header: []string{
+		"backend", "live", "opened", "resumed", "rebuilt", "closed", "evicted", "superseded", "kicked", "dup-obs", "updates", "terminals"}}
+	for i, st := range r.Backends {
+		tb.Add(fmt.Sprintf("b%d", i), strconv.Itoa(st.Live), u(st.Opened), u(st.Resumed), u(st.Rebuilt),
+			u(st.Closed), u(st.Evicted), u(st.Superseded), u(st.SlowKicked), u(st.DupObs), u(st.Updates), u(st.Terminals))
+	}
+	if err := tb.Render(w); err != nil {
+		return err
+	}
+	_, err := fmt.Fprintf(w, "server panics: b0=%d b1=%d\n", r.ServerPanics[0], r.ServerPanics[1])
+	return err
+}
+
+// startStreamBackend is startChaosBackend with a stream-shaped server
+// config (explicit in-flight headroom, session caps, no sweeper — the
+// soak wants detached sessions resident between phases).
+func startStreamBackend(schedule string, cfg serve.Config) (*chaosBackend, error) {
+	spec, err := netchaos.Parse(schedule)
+	if err != nil {
+		return nil, err
+	}
+	srv := serve.New(cfg)
+	ts := httptest.NewServer(srv.Handler())
+	proxy := netchaos.New(spec, strings.TrimPrefix(ts.URL, "http://"))
+	addr, err := proxy.Start()
+	if err != nil {
+		ts.Close()
+		return nil, err
+	}
+	return &chaosBackend{srv: srv, ts: ts, proxy: proxy, url: "http://" + addr}, nil
+}
+
+// StreamSoak runs the streaming soak and returns its report. The error
+// return covers setup problems and context cancellation only; lifecycle
+// failures land in the result and are judged by Gate.
+func StreamSoak(ctx context.Context, opt StreamOpts) (*StreamReport, error) {
+	mode := "full"
+	sessions := opt.Sessions
+	if opt.Reduced {
+		mode = "reduced"
+		if sessions <= 0 {
+			sessions = 2_000
+		}
+	} else if sessions <= 0 {
+		sessions = 100_000
+	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = 64
+	}
+	obs := opt.Obs
+	if obs <= 0 {
+		obs = 16
+	}
+	ring := opt.Ring
+	if ring <= 0 {
+		ring = 16
+	}
+	ceiling := opt.HeapCeilingBytes
+	if ceiling <= 0 {
+		ceiling = 64 * 1024
+	}
+	rep := &StreamReport{Mode: mode, Ring: ring, Workers: workers, HeapCeilingBytes: ceiling}
+
+	// Server shape: the obs/open POSTs go through admission, so a
+	// single-core default (MaxInFlight = GOMAXPROCS) would serialize the
+	// worker pool; give the soak explicit execution and queue headroom.
+	// SessionSweep stays off — phase 1 deliberately leaves every session
+	// detached and resident, which is the bounded-memory measurement.
+	scfg := serve.Config{
+		MaxInFlight: 8,
+		QueueDepth:  4 * workers,
+		MaxSessions: sessions + 64,
+		SessionRing: ring,
+	}
+	// Teardown drains the server first: httptest's Close waits for live
+	// handlers, and an attached stream handler only exits once its
+	// subscriber is detached.
+	b0, err := startStreamBackend(streamScheduleB0, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: backend b0: %w", err)
+	}
+	defer func() { b0.srv.Close(); b0.close() }()
+	b1, err := startStreamBackend(streamScheduleB1, scfg)
+	if err != nil {
+		return nil, fmt.Errorf("stream: backend b1: %w", err)
+	}
+	defer func() { b1.srv.Close(); b1.close() }()
+
+	res, err := session.LoadGen(ctx, session.LoadGenOpts{
+		Backends: []string{b0.url, b1.url},
+		// The HTTP parity sample bypasses the proxies: it asserts what the
+		// backend computes, not what the chaos link does to it.
+		Direct:   b0.ts.URL,
+		Sessions: sessions,
+		Workers:  workers,
+		Obs:      obs,
+		Ring:     ring,
+		Seed:     20260807,
+		Model:    capybaraModel(powersys.Capybara()),
+		Margin:   *core.DefaultAdaptiveMargin(),
+		Client: client.Config{
+			Budget:         60 * time.Second,
+			AttemptTimeout: 5 * time.Second,
+			MaxAttempts:    12,
+			BaseBackoff:    2 * time.Millisecond,
+			MaxBackoff:     50 * time.Millisecond,
+			RetryAfterCap:  50 * time.Millisecond,
+			Seed:           9,
+		},
+		Logf: opt.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	rep.Result = res
+	rep.Backends = [2]session.Stats{b0.srv.Sessions().Stats(), b1.srv.Sessions().Stats()}
+	rep.ServerPanics = [2]uint64{b0.srv.Metrics().Panics, b1.srv.Metrics().Panics}
+	return rep, nil
+}

@@ -1,0 +1,59 @@
+package expt
+
+import (
+	"bytes"
+	"context"
+	"runtime"
+	"testing"
+	"time"
+)
+
+// TestStreamSoak is the streaming acceptance gate at test scale: a reduced
+// soak (the `make stream` -race configuration) must pass every gate —
+// zero failed sessions, bit-exact estimate/margin/HTTP parity, bounded
+// heap, zero panics — and leak no goroutines. The 100k-session full soak
+// runs via `culpeo streamtest`; this keeps the gate inside `go test`.
+func TestStreamSoak(t *testing.T) {
+	// Goroutine settle guard: the soak spins up two servers, two proxies,
+	// two pools and a worker fleet; everything must be gone afterward.
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var after int
+		for i := 0; i < 100; i++ {
+			if after = runtime.NumGoroutine(); after <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		buf = buf[:runtime.Stack(buf, true)]
+		t.Errorf("goroutine leak: %d before soak, %d after settling\n%s", before, after, buf)
+	})
+
+	sessions := 800
+	if testing.Short() {
+		sessions = 250
+	}
+	rep, err := StreamSoak(context.Background(), StreamOpts{
+		Reduced:  true,
+		Sessions: sessions,
+		Logf:     t.Logf,
+	})
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := rep.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	if err := rep.Gate(); err != nil {
+		t.Fatalf("gate: %v\nreport:\n%s", err, buf.Bytes())
+	}
+	t.Logf("stream soak report:\n%s", buf.Bytes())
+
+	// The chaos links must actually have bitten — a soak where nothing
+	// ever reconnected proves much less than it claims.
+	if rep.Result.Reconnects == 0 && rep.Result.Rebuilds == 0 {
+		t.Errorf("no reconnects or rebuilds: the fault schedules never fired\nreport:\n%s", buf.Bytes())
+	}
+}

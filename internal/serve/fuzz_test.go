@@ -1,11 +1,14 @@
 package serve
 
 import (
+	"encoding/json"
 	"errors"
 	"strings"
 	"testing"
 
+	"culpeo/internal/api"
 	"culpeo/internal/partsdb"
+	"culpeo/internal/session"
 )
 
 // testCatalog shares the process-wide index so fuzz iterations don't
@@ -142,5 +145,65 @@ func FuzzVSafeRDecode(f *testing.F) {
 		}
 		_, err := resolveObservation(req.Observation)
 		checkSpecErr(t, err)
+	})
+}
+
+// FuzzStreamFrameDecode covers the streaming tier's decode surface from
+// both directions: arbitrary bytes through the bounded SSE scanner (the
+// client side of the frame) and through the stream-open / stream-obs
+// request decoding plus session attach (the server side). The contract is
+// the same as the other targets — bounded memory, client-classified
+// errors, no panics.
+func FuzzStreamFrameDecode(f *testing.F) {
+	f.Add("event: update\ndata: {\"seq\":1,\"v_safe\":2.4}\n\n")
+	f.Add(": hb\n\nevent: update\r\ndata: {}\r\n\r\n")
+	f.Add("data: {\"final\":true,\"reason\":\"close\"}\n\n")
+	f.Add("data: line1\ndata: line2\n\n")
+	f.Add("data: cut-mid-frame")
+	f.Add(`{"device":"dev-1","ring":8,"replay":[{"seq":1,"v_start":2.4,"v_min":2.0,"v_final":2.2}]}`)
+	f.Add(`{"device":"dev 1"}`)
+	f.Add(`{"device":"dev-1","ring":-3}`)
+	f.Add(`{"device":"dev-1","observations":[{"seq":0,"v_start":1e400}],"close":true}`)
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	catalog := testCatalog()
+	f.Fuzz(func(t *testing.T, body string) {
+		// Client side: scan the bytes as an SSE stream. Every event must be
+		// produced under the line bound; errors are fine, growth is not.
+		sc := api.NewSSEScanner(strings.NewReader(body))
+		for {
+			ev, err := sc.Next()
+			if err != nil {
+				break
+			}
+			var u api.StreamUpdate
+			_ = json.Unmarshal(ev.Data, &u)
+		}
+
+		// Server side: the same bytes as a stream-open body, driven through
+		// decode → resolve → attach on a throwaway table.
+		var open api.StreamOpenRequest
+		if err := decodeBody(strings.NewReader(body), &open); err == nil {
+			if rp, err := resolvePower(open.Power, catalog); err != nil {
+				checkSpecErr(t, err)
+			} else {
+				tbl := session.NewTable(session.Config{Shards: 1, MaxSessions: 4})
+				if res, err := tbl.Attach(open.Device, rp.model, open.Ring, open.Replay); err == nil && res.Sub != nil {
+					res.Sub.Detach()
+				}
+			}
+		} else {
+			checkSpecErr(t, err)
+		}
+
+		// And as a stream-obs body: fold errors must classify, never panic.
+		var obs api.StreamObsRequest
+		if err := decodeBody(strings.NewReader(body), &obs); err == nil {
+			tbl := session.NewTable(session.Config{Shards: 1, MaxSessions: 4})
+			_, _ = tbl.Fold(obs.Device, obs.Observations, obs.Close)
+		} else {
+			checkSpecErr(t, err)
+		}
 	})
 }

@@ -1,0 +1,49 @@
+package serve
+
+import (
+	"runtime"
+	"testing"
+	"time"
+)
+
+// leakCheck guards a test against goroutine leaks: it snapshots
+// runtime.NumGoroutine at entry and, at cleanup time, retries until the
+// count settles back to (or below) the snapshot. The retry loop absorbs
+// legitimate asynchronous teardown — httptest connections unwinding, SSE
+// handlers noticing a closed client, the session sweeper stopping — while
+// still failing loudly on a real leak, with full stacks for the autopsy.
+//
+// Call it FIRST in the test body: t.Cleanup runs last-registered-first, so
+// registering before newTestServer means the check runs after the server
+// (and every stream it holds) has been torn down.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		var after int
+		for i := 0; i < 100; i++ {
+			after = runtime.NumGoroutine()
+			if after <= before {
+				return
+			}
+			time.Sleep(20 * time.Millisecond)
+		}
+		buf := make([]byte, 1<<20)
+		n := runtime.Stack(buf, true)
+		t.Errorf("goroutine leak: %d at start, %d after 2s settle\n%s", before, after, buf[:n])
+	})
+}
+
+// waitFor polls cond until it holds or the deadline passes — the streaming
+// tests use it for state that changes when a handler notices a disconnect.
+func waitFor(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}

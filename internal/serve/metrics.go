@@ -12,6 +12,7 @@ import (
 
 	"culpeo/internal/api"
 	"culpeo/internal/core"
+	"culpeo/internal/session"
 )
 
 // histogram keeps serve's historical name for the shared implementation;
@@ -75,6 +76,24 @@ func (m *metrics) record(endpoint string, status int, d time.Duration) {
 	m.latency.Observe(d)
 }
 
+// recordStatus counts an outcome without a latency observation — the
+// streaming endpoint's connections live for minutes, and folding their
+// lifetimes into the request-latency histogram would bury every real
+// request duration under connection durations.
+func (m *metrics) recordStatus(endpoint string, status int) {
+	es, ok := m.endpoints[endpoint]
+	if !ok {
+		return
+	}
+	es.requests.Add(1)
+	switch {
+	case status >= 500:
+		es.serverErrors.Add(1)
+	case status >= 400:
+		es.clientErrors.Add(1)
+	}
+}
+
 // recordPanic counts a recovered handler panic and remembers the request
 // it happened on.
 func (m *metrics) recordPanic(reqID string) {
@@ -96,6 +115,9 @@ type MetricsSnapshot struct {
 	BatchDeduped       uint64                      `json:"batch_deduped_total"`
 	LastPanicRequestID string                      `json:"last_panic_request_id,omitempty"`
 	VSafeCache         core.VSafeCacheStats        `json:"vsafe_cache"`
+	// Sessions is the streaming tier's counter block (live sessions,
+	// evictions, slow-consumer kicks, terminals...).
+	Sessions session.Stats `json:"sessions"`
 	// ShardID / TopologyEpoch mirror /healthz (additive; zero-valued on a
 	// standalone daemon) so one /metrics scrape identifies the shard.
 	ShardID       string `json:"shard_id,omitempty"`
@@ -104,12 +126,12 @@ type MetricsSnapshot struct {
 
 func (m *metrics) snapshot(queueDepth, inFlight int64, cache core.VSafeCacheStats) MetricsSnapshot {
 	s := MetricsSnapshot{
-		UptimeSec:  time.Since(m.start).Seconds(),
-		Draining:   m.drained.Load(),
-		Endpoints:  make(map[string]EndpointSnapshot, len(m.endpoints)),
-		Latency:    m.latency.Snapshot(),
-		QueueDepth: queueDepth,
-		InFlight:   inFlight,
+		UptimeSec:    time.Since(m.start).Seconds(),
+		Draining:     m.drained.Load(),
+		Endpoints:    make(map[string]EndpointSnapshot, len(m.endpoints)),
+		Latency:      m.latency.Snapshot(),
+		QueueDepth:   queueDepth,
+		InFlight:     inFlight,
 		QueueFull:    m.queueFull.Load(),
 		Timeouts:     m.timeouts.Load(),
 		Panics:       m.panics.Load(),

@@ -31,6 +31,7 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -40,6 +41,7 @@ import (
 	"culpeo/internal/partsdb"
 	"culpeo/internal/powersys"
 	"culpeo/internal/profiler"
+	"culpeo/internal/session"
 	"culpeo/internal/sweep"
 )
 
@@ -83,12 +85,29 @@ type Config struct {
 	// routers (internal/shard) and operators can confirm which shard
 	// answered; it does not change routing inside the server.
 	ShardID string
+
+	// MaxSessions caps live streaming sessions; beyond it /v1/stream opens
+	// answer 503 + Retry-After (<=0: session.DefaultMaxSessions).
+	MaxSessions int
+	// SessionRing is the default observation-window size for sessions that
+	// do not request one (<=0: session.DefaultRing).
+	SessionRing int
+	// SessionQueue bounds each stream connection's event queue; a consumer
+	// that lets it fill is disconnected (<=0: session.DefaultQueue).
+	SessionQueue int
+	// SessionIdleEpochs evicts a detached session after this many sweep
+	// epochs without activity (<=0: session.DefaultIdleEpochs).
+	SessionIdleEpochs int
+	// SessionSweep is the epoch sweeper's tick interval. 0 leaves the
+	// sweeper off — tests (and embedders that want their own clock) drive
+	// Sessions().AdvanceEpoch() directly. When on, Close stops it.
+	SessionSweep time.Duration
 }
 
 // BuildVersion identifies the serving build on /healthz. Bumped whenever
 // the wire surface changes shape (PR number, not semver — the repo grows
 // one PR at a time).
-const BuildVersion = "culpeod/8"
+const BuildVersion = "culpeod/9"
 
 // Server implements the culpeod HTTP API. Create with New, expose with
 // Handler.
@@ -117,6 +136,13 @@ type Server struct {
 	// (SetTopologyEpoch); 0 means standalone or never told. Advertised on
 	// /healthz and /metrics so a router can verify its view propagated.
 	topoEpoch atomic.Uint64
+
+	// sessions is the streaming tier's device-session table; sweepStop /
+	// sweepDone bracket its epoch ticker when SessionSweep enabled one.
+	sessions  *session.Table
+	sweepStop chan struct{}
+	sweepDone chan struct{}
+	closeOnce sync.Once
 }
 
 // RequestIDHeader aliases the shared wire constant: the client sends one
@@ -152,7 +178,7 @@ func sanitizeRequestID(id string) string {
 }
 
 // endpointNames keys the per-endpoint metrics.
-var endpointNames = []string{"vsafe", "vsafe-r", "simulate", "batch", "healthz", "metrics"}
+var endpointNames = []string{"vsafe", "vsafe-r", "simulate", "batch", "stream", "stream-obs", "healthz", "metrics"}
 
 // New builds a Server.
 func New(cfg Config) *Server {
@@ -180,14 +206,60 @@ func New(cfg Config) *Server {
 		met:     newMetrics(endpointNames),
 		mux:     http.NewServeMux(),
 		slots:   make(chan struct{}, cfg.MaxInFlight),
+		sessions: session.NewTable(session.Config{
+			MaxSessions: cfg.MaxSessions,
+			Ring:        cfg.SessionRing,
+			Queue:       cfg.SessionQueue,
+			IdleEpochs:  cfg.SessionIdleEpochs,
+		}),
 	}
 	s.mux.Handle("/v1/vsafe", s.api("vsafe", s.handleVSafe))
 	s.mux.Handle("/v1/vsafe-r", s.api("vsafe-r", s.handleVSafeR))
 	s.mux.Handle("/v1/simulate", s.api("simulate", s.handleSimulate))
 	s.mux.Handle("/v1/batch", s.api("batch", s.handleBatch))
+	s.mux.Handle(api.PathStream, s.streaming("stream", s.handleStreamOpen))
+	s.mux.Handle(api.PathStreamObs, s.api("stream-obs", s.handleStreamObs))
 	s.mux.Handle("/healthz", s.observed("healthz", s.handleHealthz))
 	s.mux.Handle("/metrics", s.observed("metrics", s.handleMetrics))
+	if cfg.SessionSweep > 0 {
+		s.sweepStop = make(chan struct{})
+		s.sweepDone = make(chan struct{})
+		go s.sweepLoop(cfg.SessionSweep)
+	}
 	return s
+}
+
+// sweepLoop drives the session table's epoch clock until Close.
+func (s *Server) sweepLoop(every time.Duration) {
+	defer close(s.sweepDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			s.sessions.AdvanceEpoch()
+		case <-s.sweepStop:
+			return
+		}
+	}
+}
+
+// Sessions exposes the streaming session table (tests drive its epoch
+// clock; cmd/culpeod reports its stats).
+func (s *Server) Sessions() *session.Table { return s.sessions }
+
+// Close releases the server's background resources: the session epoch
+// sweeper stops and every live stream is disconnected with a drain
+// terminal. Idempotent; the HTTP listener is the embedder's to close.
+func (s *Server) Close() {
+	s.closeOnce.Do(func() {
+		s.sessions.SetDraining(true)
+		s.sessions.DrainStreams()
+		if s.sweepStop != nil {
+			close(s.sweepStop)
+			<-s.sweepDone
+		}
+	})
 }
 
 // Handler returns the root handler.
@@ -201,8 +273,18 @@ func (s *Server) Cache() *core.VSafeCache { return s.cache }
 // stop routing while in-flight requests finish. Estimation endpoints keep
 // answering — during http.Server.Shutdown the listener is already closed,
 // and any straggler arriving on a kept-alive connection still deserves a
-// real response.
-func (s *Server) SetDraining(v bool) { s.met.drained.Store(v) }
+// real response. Draining also ends every live stream with a terminal
+// update (reason "drain") and refuses new opens — without this,
+// http.Server.Shutdown would wait on the long-lived SSE connections
+// forever; the sessions themselves survive for clients that resume before
+// the listener closes (resume elsewhere rebuilds from the replayed tail).
+func (s *Server) SetDraining(v bool) {
+	s.met.drained.Store(v)
+	s.sessions.SetDraining(v)
+	if v {
+		s.sessions.DrainStreams()
+	}
+}
 
 // SetTopologyEpoch records the fleet topology version this node was told
 // about (control-plane push; internal/shard calls it on join/leave). The
@@ -214,6 +296,7 @@ func (s *Server) Metrics() MetricsSnapshot {
 	snap := s.met.snapshot(s.queued.Load(), int64(len(s.slots)), s.cache.Stats())
 	snap.ShardID = s.cfg.ShardID
 	snap.TopologyEpoch = s.topoEpoch.Load()
+	snap.Sessions = s.sessions.Stats()
 	return snap
 }
 
@@ -272,6 +355,10 @@ func (w *statusWriter) Write(b []byte) (int, error) {
 	}
 	return w.ResponseWriter.Write(b)
 }
+
+// Unwrap lets http.NewResponseController reach the underlying writer's
+// Flusher — the stream handler flushes after every event.
+func (w *statusWriter) Unwrap() http.ResponseWriter { return w.ResponseWriter }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.Header().Set("Content-Type", "application/json")
@@ -362,6 +449,12 @@ func (s *Server) api(name string, fn func(ctx context.Context, r *http.Request) 
 			writeJSON(sw, http.StatusOK, v)
 		case errors.Is(err, errSpec):
 			writeError(sw, http.StatusBadRequest, err)
+		case errors.Is(err, session.ErrNoSession):
+			// The device has no session here (evicted, restarted, or a
+			// different backend): the client reconnects with a replay.
+			writeError(sw, http.StatusNotFound, err)
+		case errors.Is(err, session.ErrClosed):
+			writeError(sw, http.StatusConflict, err)
 		case errors.Is(err, context.DeadlineExceeded):
 			s.met.timeouts.Add(1)
 			writeError(sw, http.StatusGatewayTimeout, errors.New("deadline exceeded"))
@@ -421,9 +514,6 @@ func (s *Server) handleVSafeR(ctx context.Context, r *http.Request) (any, error)
 	if err := decodeBody(r.Body, &req); err != nil {
 		return nil, err
 	}
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
 	rp, err := resolvePower(req.Power, s.catalog)
 	if err != nil {
 		return nil, err
@@ -432,8 +522,11 @@ func (s *Server) handleVSafeR(ctx context.Context, r *http.Request) (any, error)
 	if err != nil {
 		return nil, err
 	}
-	est, err := core.VSafeR(rp.model, obs)
+	est, err := core.VSafeRCtx(ctx, rp.model, obs)
 	if err != nil {
+		if ctxErr := ctx.Err(); ctxErr != nil {
+			return nil, ctxErr // deadline/cancel beats input classification
+		}
 		return nil, specErrorf("vsafe-r: %v", err)
 	}
 	return EstimateResponse{VSafe: est.VSafe, VDelta: est.VDelta, VE: est.VE}, nil

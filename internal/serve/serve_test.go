@@ -377,6 +377,24 @@ func TestTimeout(t *testing.T) {
 	}
 }
 
+// TestVSafeRTimeout pins the deadline threading through core.VSafeRCtx: an
+// expired per-request deadline answers 504 from /v1/vsafe-r even though the
+// runtime estimate itself is microseconds of arithmetic — the deadline is
+// checked where the work happens, not just at admission.
+func TestVSafeRTimeout(t *testing.T) {
+	s, ts := newTestServer(t, Config{Timeout: time.Nanosecond})
+	resp := postJSON(t, ts.URL+"/v1/vsafe-r", VSafeRRequest{
+		Observation: ObservationSpec{VStart: 2.4, VMin: 2.0, VFinal: 2.2},
+	})
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d, want 504", resp.StatusCode)
+	}
+	if got := s.Metrics().Timeouts; got != 1 {
+		t.Errorf("timeouts_total = %d, want 1", got)
+	}
+}
+
 // TestPanicIsolation drives a panicking handler through the middleware: the
 // client sees a 500, the panic counter moves, the process survives.
 func TestPanicIsolation(t *testing.T) {

@@ -1,0 +1,180 @@
+// The /v1/stream endpoint pair: the long-lived SSE downlink that holds a
+// device's session open and pushes refined V_safe + margin updates, and
+// the /v1/stream/obs uplink that folds observation batches into the
+// session through the ordinary POST middleware (admission queue included —
+// uplink traffic competes fairly with the request/response endpoints).
+//
+// The downlink deliberately bypasses admission and the per-request
+// timeout: a stream is supposed to outlive both, and parking it in an
+// execution slot would let MaxInFlight streams starve every other
+// endpoint. Its middleware (streaming) keeps the rest of the stack —
+// method check, request IDs, panic isolation, status metrics.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+
+	"culpeo/internal/api"
+	"culpeo/internal/session"
+)
+
+// maxStreamBodyBytes bounds a stream-open body: a full replay ring is
+// ~30 KB of JSON, so 1 MB is generous without letting an open hold the
+// 32 MB batch allowance.
+const maxStreamBodyBytes = 1 << 20
+
+// streaming wraps the stream endpoint with the non-admission middleware
+// slice: POST check, request ID, panic isolation, and status-only metrics
+// (no latency observation — connection lifetimes are not request
+// latencies).
+func (s *Server) streaming(name string, fn func(sw *statusWriter, r *http.Request)) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sw := &statusWriter{ResponseWriter: w}
+		reqID := s.requestID(r)
+		sw.Header().Set(RequestIDHeader, reqID)
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.met.recordPanic(reqID)
+				if sw.status == 0 {
+					writeError(sw, http.StatusInternalServerError, fmt.Errorf("panic (request %s): %v", reqID, rec))
+				}
+			}
+			s.met.recordStatus(name, sw.status)
+		}()
+		if r.Method != http.MethodPost {
+			sw.Header().Set("Allow", http.MethodPost)
+			writeError(sw, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+		fn(sw, r)
+	})
+}
+
+// handleStreamOpen attaches (or resumes) a device session and streams
+// update events until the session ends, the table detaches this
+// connection, or the client goes away.
+func (s *Server) handleStreamOpen(sw *statusWriter, r *http.Request) {
+	var req api.StreamOpenRequest
+	r.Body = http.MaxBytesReader(sw, r.Body, maxStreamBodyBytes)
+	if err := decodeBody(r.Body, &req); err != nil {
+		writeError(sw, http.StatusBadRequest, err)
+		return
+	}
+	rp, err := resolvePower(req.Power, s.catalog)
+	if err != nil {
+		writeError(sw, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.sessions.Attach(req.Device, rp.model, req.Ring, req.Replay)
+	if err != nil {
+		switch {
+		case errors.Is(err, session.ErrFull):
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, err)
+		case errors.Is(err, session.ErrDraining):
+			writeError(sw, http.StatusServiceUnavailable, err)
+		default:
+			writeError(sw, http.StatusBadRequest, err)
+		}
+		return
+	}
+
+	h := sw.Header()
+	h.Set("Content-Type", "text/event-stream")
+	h.Set("Cache-Control", "no-cache")
+	h.Set("X-Accel-Buffering", "no") // proxies must not batch the downlink
+	sw.WriteHeader(http.StatusOK)
+	rc := http.NewResponseController(sw)
+
+	send := func(u api.StreamUpdate) bool {
+		data, err := marshalUpdate(u)
+		if err != nil {
+			return false
+		}
+		if err := api.EncodeSSE(sw, api.StreamEventUpdate, data); err != nil {
+			return false
+		}
+		return rc.Flush() == nil
+	}
+
+	// The snapshot is the first frame: the session's complete current state
+	// (a resume needs no event replay — this frame carries everything).
+	if !send(res.Snapshot) || res.Terminal {
+		if res.Sub != nil {
+			res.Sub.Detach()
+		}
+		return
+	}
+
+	sub := res.Sub
+	ctx := r.Context()
+	for {
+		select {
+		case ev := <-sub.Events:
+			if ev.Heartbeat {
+				if api.EncodeSSEComment(sw, "hb") != nil || rc.Flush() != nil {
+					sub.Detach()
+					return
+				}
+				continue
+			}
+			if !send(ev.Update) {
+				sub.Detach()
+				return
+			}
+		case u := <-sub.Terminal:
+			send(u)
+			sub.Detach()
+			return
+		case <-sub.Done:
+			// The table detached us. A drain races its terminal against the
+			// Done close — prefer delivering it; otherwise synthesize a bare
+			// terminal carrying only the reason (superseded / slow-consumer),
+			// so the client always sees an explicit end-of-stream frame.
+			select {
+			case u := <-sub.Terminal:
+				send(u)
+			default:
+				send(api.StreamUpdate{Final: true, Reason: sub.Reason()})
+			}
+			return
+		case <-ctx.Done():
+			sub.Detach()
+			return
+		}
+	}
+}
+
+// handleStreamObs folds an observation batch (POST, full middleware). The
+// refined estimate is pushed on the stream; the response acknowledges.
+func (s *Server) handleStreamObs(ctx context.Context, r *http.Request) (any, error) {
+	var req api.StreamObsRequest
+	if err := decodeBody(r.Body, &req); err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	res, err := s.sessions.Fold(req.Device, req.Observations, req.Close)
+	if err != nil {
+		if errors.Is(err, session.ErrNoSession) || errors.Is(err, session.ErrClosed) {
+			return nil, err // api() maps these to 404 / 409
+		}
+		return nil, specErrorf("stream-obs: %v", err)
+	}
+	return api.StreamObsResponse{
+		LastSeq:    res.LastSeq,
+		Duplicates: res.Duplicates,
+		Window:     res.Window,
+		Closed:     res.Closed,
+	}, nil
+}
+
+// marshalUpdate renders one update frame. Estimates must round-trip
+// bit-exactly; encoding/json's float64 formatting (strconv shortest-form)
+// guarantees that, so plain Marshal is the whole implementation.
+func marshalUpdate(u api.StreamUpdate) ([]byte, error) { return json.Marshal(u) }

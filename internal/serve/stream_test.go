@@ -1,0 +1,442 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"net/http"
+	"testing"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/core"
+	"culpeo/internal/session"
+)
+
+// streamConn is a raw client-side view of one /v1/stream connection.
+type streamConn struct {
+	resp *http.Response
+	sc   *api.SSEScanner
+}
+
+// openStream POSTs a stream-open and asserts it was accepted.
+func openStream(t *testing.T, base string, req api.StreamOpenRequest) *streamConn {
+	t.Helper()
+	b, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal open: %v", err)
+	}
+	resp, err := http.Post(base+api.PathStream, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		var e ErrorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		resp.Body.Close()
+		t.Fatalf("open stream: status %d (%s)", resp.StatusCode, e.Error)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "text/event-stream" {
+		t.Fatalf("open stream: Content-Type %q", ct)
+	}
+	t.Cleanup(func() { resp.Body.Close() })
+	return &streamConn{resp: resp, sc: api.NewSSEScanner(resp.Body)}
+}
+
+// next reads the next update frame (skipping heartbeats happens inside the
+// scanner — comments never dispatch).
+func (c *streamConn) next(t *testing.T) api.StreamUpdate {
+	t.Helper()
+	ev, err := c.sc.Next()
+	if err != nil {
+		t.Fatalf("read event: %v", err)
+	}
+	if ev.Name != api.StreamEventUpdate {
+		t.Fatalf("event name %q, want %q", ev.Name, api.StreamEventUpdate)
+	}
+	var u api.StreamUpdate
+	if err := json.Unmarshal(ev.Data, &u); err != nil {
+		t.Fatalf("decode update: %v", err)
+	}
+	return u
+}
+
+// mkStreamObs builds a valid observation, varying with seq so estimates
+// differ across the window.
+func mkStreamObs(seq uint64) api.StreamObservation {
+	vstart := 2.30 + 0.013*float64(seq%7)
+	vfinal := vstart - 0.12 - 0.017*float64(seq%5)
+	return api.StreamObservation{
+		Seq:    seq,
+		VStart: vstart,
+		VMin:   vfinal - 0.06,
+		VFinal: vfinal,
+		Failed: seq%9 == 0,
+	}
+}
+
+func sameBitsF(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// checkUpdateParity pins the streamed update against the from-scratch
+// reference fold over the same window, bit for bit.
+func checkUpdateParity(t *testing.T, u api.StreamUpdate, model core.PowerModel, window, history []api.StreamObservation) {
+	t.Helper()
+	want, have, err := session.FoldWindow(model, window)
+	if err != nil {
+		t.Fatalf("FoldWindow: %v", err)
+	}
+	if !have {
+		t.Fatalf("reference fold over %d obs produced nothing", len(window))
+	}
+	if !sameBitsF(u.VSafe, want.VSafe) || !sameBitsF(u.VDelta, want.VDelta) || !sameBitsF(u.VE, want.VE) {
+		t.Fatalf("estimate parity: streamed {%x %x %x} != folded {%x %x %x}",
+			math.Float64bits(u.VSafe), math.Float64bits(u.VDelta), math.Float64bits(u.VE),
+			math.Float64bits(want.VSafe), math.Float64bits(want.VDelta), math.Float64bits(want.VE))
+	}
+	if u.Window != len(window) {
+		t.Fatalf("window %d, want %d", u.Window, len(window))
+	}
+	m := session.FoldMargin(*core.DefaultAdaptiveMargin(), history)
+	if !sameBitsF(u.Margin, m.Margin()) {
+		t.Fatalf("margin parity: streamed %x != folded %x", math.Float64bits(u.Margin), math.Float64bits(m.Margin()))
+	}
+	if !sameBitsF(u.Launch, u.VSafe+u.Margin) {
+		t.Fatalf("launch %x != v_safe+margin %x", math.Float64bits(u.Launch), math.Float64bits(u.VSafe+u.Margin))
+	}
+}
+
+// TestStreamRoundTrip is the end-to-end happy path: open, observe in
+// batches, verify every pushed update bit-exactly against the reference
+// fold, close, receive exactly one terminal, see the tombstone replay it.
+func TestStreamRoundTrip(t *testing.T) {
+	leakCheck(t)
+	s, ts := newTestServer(t, Config{SessionRing: 8})
+	model := defaultModel(t)
+	const dev = "dev-roundtrip"
+
+	conn := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	snap := conn.next(t)
+	if snap.Seq != 1 || snap.Window != 0 || snap.Final {
+		t.Fatalf("fresh snapshot %+v", snap)
+	}
+	if snap.Margin <= 0 {
+		t.Fatalf("fresh snapshot margin %g", snap.Margin)
+	}
+
+	var history []api.StreamObservation
+	var lastSeq uint64
+	for batch := 0; batch < 5; batch++ {
+		var obs []api.StreamObservation
+		for i := 0; i < 3; i++ {
+			lastSeq++
+			obs = append(obs, mkStreamObs(lastSeq))
+		}
+		history = append(history, obs...)
+		ack := decodeResp[api.StreamObsResponse](t, postJSON(t, ts.URL+api.PathStreamObs,
+			api.StreamObsRequest{Device: dev, Observations: obs}), http.StatusOK)
+		if ack.LastSeq != lastSeq || ack.Duplicates != 0 {
+			t.Fatalf("ack %+v after seq %d", ack, lastSeq)
+		}
+		u := conn.next(t)
+		if u.ObsSeq != lastSeq || u.Final {
+			t.Fatalf("update %+v after seq %d", u, lastSeq)
+		}
+		window := history
+		if len(window) > 8 {
+			window = window[len(window)-8:]
+		}
+		checkUpdateParity(t, u, model, window, history)
+	}
+
+	// A duplicate retry is acknowledged without a new update.
+	dupAck := decodeResp[api.StreamObsResponse](t, postJSON(t, ts.URL+api.PathStreamObs,
+		api.StreamObsRequest{Device: dev, Observations: history[len(history)-2:]}), http.StatusOK)
+	if dupAck.Duplicates != 2 || dupAck.LastSeq != lastSeq {
+		t.Fatalf("duplicate ack %+v", dupAck)
+	}
+	// The retry still publishes one update (the batch was non-empty); its
+	// state must be identical to the pre-retry state.
+	if u := conn.next(t); u.ObsSeq != lastSeq || u.Window != 8 {
+		t.Fatalf("post-retry update %+v", u)
+	}
+
+	closeAck := decodeResp[api.StreamObsResponse](t, postJSON(t, ts.URL+api.PathStreamObs,
+		api.StreamObsRequest{Device: dev, Close: true}), http.StatusOK)
+	if !closeAck.Closed {
+		t.Fatalf("close ack %+v", closeAck)
+	}
+	term := conn.next(t)
+	if !term.Final || term.Reason != "close" {
+		t.Fatalf("terminal %+v", term)
+	}
+	window := history[len(history)-8:]
+	checkUpdateParity(t, term, model, window, history)
+	if _, err := conn.sc.Next(); err == nil {
+		t.Fatal("stream did not end after terminal")
+	}
+
+	// A late resume hits the tombstone: the same terminal replays, then EOF.
+	replayConn := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	replay := replayConn.next(t)
+	if !replay.Final || replay.Reason != "close" || !sameBitsF(replay.VSafe, term.VSafe) || replay.Seq != term.Seq {
+		t.Fatalf("tombstone replay %+v != terminal %+v", replay, term)
+	}
+	if _, err := replayConn.sc.Next(); err == nil {
+		t.Fatal("tombstone stream did not end after replayed terminal")
+	}
+
+	st := s.Metrics().Sessions
+	if st.Opened != 1 || st.Closed != 1 || st.Terminals != 1 || st.Updates < 5 || st.DupObs != 2 {
+		t.Errorf("session stats %+v", st)
+	}
+}
+
+// TestStreamResumeAndRebuild covers both reconnect flavors: a resume while
+// the session is live (event numbering continues), and a rebuild from the
+// client's replayed tail after eviction destroyed the server-side state —
+// estimates re-converge bit-exactly in both.
+func TestStreamResumeAndRebuild(t *testing.T) {
+	leakCheck(t)
+	s, ts := newTestServer(t, Config{SessionRing: 4})
+	model := defaultModel(t)
+	const dev = "dev-resume"
+
+	conn := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	_ = conn.next(t)
+	var history []api.StreamObservation
+	for seq := uint64(1); seq <= 6; seq++ {
+		history = append(history, mkStreamObs(seq))
+	}
+	decodeResp[api.StreamObsResponse](t, postJSON(t, ts.URL+api.PathStreamObs,
+		api.StreamObsRequest{Device: dev, Observations: history}), http.StatusOK)
+	first := conn.next(t)
+	conn.resp.Body.Close()
+	waitFor(t, "stream detach", func() bool { return s.Sessions().Stats().Attached == 0 })
+
+	// Resume: the session is still live, so the snapshot continues the
+	// event numbering and carries identical state.
+	resumed := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	snap := resumed.next(t)
+	if snap.Seq <= first.Seq {
+		t.Fatalf("resume snapshot seq %d, want > %d (continued numbering)", snap.Seq, first.Seq)
+	}
+	checkUpdateParity(t, snap, model, history[len(history)-4:], history)
+	resumed.resp.Body.Close()
+	waitFor(t, "stream detach", func() bool { return s.Sessions().Stats().Attached == 0 })
+
+	// Evict the detached session by sweeping past the idle horizon.
+	for i := 0; i < session.DefaultIdleEpochs+2; i++ {
+		s.Sessions().AdvanceEpoch()
+	}
+	if n := s.Sessions().Len(); n != 0 {
+		t.Fatalf("%d sessions after idle sweeps, want 0", n)
+	}
+
+	// Uploads now miss: 404 tells the client to reconnect with a replay.
+	lost := postJSON(t, ts.URL+api.PathStreamObs, api.StreamObsRequest{
+		Device: dev, Observations: []api.StreamObservation{mkStreamObs(7)},
+	})
+	lost.Body.Close()
+	if lost.StatusCode != http.StatusNotFound {
+		t.Fatalf("obs after eviction: status %d, want 404", lost.StatusCode)
+	}
+
+	// Rebuild from the replayed tail: a fresh session (Seq restarts at 1)
+	// whose estimate is bit-identical to the from-scratch fold. The margin
+	// folds over the replay only — the older history died with the session.
+	tail := history[len(history)-4:]
+	rebuilt := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev, Ring: 4, Replay: tail, LastEventSeq: snap.Seq})
+	rsnap := rebuilt.next(t)
+	if rsnap.Seq != 1 {
+		t.Fatalf("rebuild snapshot seq %d, want 1", rsnap.Seq)
+	}
+	checkUpdateParity(t, rsnap, model, tail, tail)
+	if !sameBitsF(rsnap.VSafe, snap.VSafe) || !sameBitsF(rsnap.VDelta, snap.VDelta) || !sameBitsF(rsnap.VE, snap.VE) {
+		t.Fatalf("rebuilt estimate %+v != pre-eviction %+v", rsnap, snap)
+	}
+	if got := s.Metrics().Sessions; got.Rebuilt != 1 || got.Evicted != 1 {
+		t.Errorf("stats %+v, want 1 rebuild / 1 eviction", got)
+	}
+}
+
+// TestStreamSupersede: a second connection for the same device takes over;
+// the first ends with an explicit "superseded" terminal frame.
+func TestStreamSupersede(t *testing.T) {
+	leakCheck(t)
+	s, ts := newTestServer(t, Config{})
+	const dev = "dev-supersede"
+
+	first := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	_ = first.next(t)
+	second := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	_ = second.next(t)
+
+	u := first.next(t)
+	if !u.Final || u.Reason != "superseded" {
+		t.Fatalf("superseded terminal %+v", u)
+	}
+	if _, err := first.sc.Next(); err == nil {
+		t.Fatal("superseded stream did not end")
+	}
+	if got := s.Metrics().Sessions.Superseded; got != 1 {
+		t.Errorf("superseded_total = %d, want 1", got)
+	}
+
+	// The second connection still works.
+	decodeResp[api.StreamObsResponse](t, postJSON(t, ts.URL+api.PathStreamObs,
+		api.StreamObsRequest{Device: dev, Observations: []api.StreamObservation{mkStreamObs(1)}}), http.StatusOK)
+	if u := second.next(t); u.ObsSeq != 1 {
+		t.Fatalf("takeover update %+v", u)
+	}
+}
+
+// TestStreamDrain: SetDraining ends every live stream with a "drain"
+// terminal and refuses new opens; the sessions survive, so undraining lets
+// the device resume with its state intact.
+func TestStreamDrain(t *testing.T) {
+	leakCheck(t)
+	s, ts := newTestServer(t, Config{})
+	const dev = "dev-drain"
+
+	conn := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	_ = conn.next(t)
+	obs := []api.StreamObservation{mkStreamObs(1), mkStreamObs(2)}
+	decodeResp[api.StreamObsResponse](t, postJSON(t, ts.URL+api.PathStreamObs,
+		api.StreamObsRequest{Device: dev, Observations: obs}), http.StatusOK)
+	before := conn.next(t)
+
+	s.SetDraining(true)
+	term := conn.next(t)
+	if !term.Final || term.Reason != "drain" {
+		t.Fatalf("drain terminal %+v", term)
+	}
+	if !sameBitsF(term.VSafe, before.VSafe) || term.Window != 2 {
+		t.Fatalf("drain terminal %+v should carry session state %+v", term, before)
+	}
+	if _, err := conn.sc.Next(); err == nil {
+		t.Fatal("drained stream did not end")
+	}
+
+	// New opens are refused while draining.
+	b, _ := json.Marshal(api.StreamOpenRequest{Device: "dev-other"})
+	resp, err := http.Post(ts.URL+api.PathStream, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("open while draining: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("open while draining: status %d, want 503", resp.StatusCode)
+	}
+
+	// Undrain: the session survived the drain, the device resumes.
+	s.SetDraining(false)
+	resumed := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})
+	snap := resumed.next(t)
+	if snap.Window != 2 || !sameBitsF(snap.VSafe, before.VSafe) || snap.Seq <= term.Seq {
+		t.Fatalf("post-drain resume %+v, want window 2 continuing from %+v", snap, term)
+	}
+}
+
+// TestStreamCaps: MaxSessions refuses the N+1st device with 503 +
+// Retry-After, and a full event queue kicks (not blocks) a consumer that
+// stopped reading — the session survives for a resume.
+func TestStreamCaps(t *testing.T) {
+	leakCheck(t)
+	s, ts := newTestServer(t, Config{MaxSessions: 1})
+
+	conn := openStream(t, ts.URL, api.StreamOpenRequest{Device: "dev-a"})
+	_ = conn.next(t)
+	b, _ := json.Marshal(api.StreamOpenRequest{Device: "dev-b"})
+	resp, err := http.Post(ts.URL+api.PathStream, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("open over cap: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("open over cap: status %d Retry-After %q, want 503 with Retry-After",
+			resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	if got := s.Metrics().Sessions.Rejected; got != 1 {
+		t.Errorf("rejected_total = %d, want 1", got)
+	}
+}
+
+// TestStreamErrors walks the request-validation surface of both stream
+// endpoints.
+func TestStreamErrors(t *testing.T) {
+	leakCheck(t)
+	_, ts := newTestServer(t, Config{})
+
+	// GET is not a stream open (and not an upload).
+	for _, p := range []string{api.PathStream, api.PathStreamObs} {
+		resp, err := http.Get(ts.URL + p)
+		if err != nil {
+			t.Fatalf("GET %s: %v", p, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusMethodNotAllowed {
+			t.Errorf("GET %s: status %d, want 405", p, resp.StatusCode)
+		}
+	}
+
+	post := func(path, body string) int {
+		resp, err := http.Post(ts.URL+path, "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatalf("POST %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if got := post(api.PathStream, `junk`); got != http.StatusBadRequest {
+		t.Errorf("junk open: %d, want 400", got)
+	}
+	if got := post(api.PathStream, `{"device":"has space"}`); got != http.StatusBadRequest {
+		t.Errorf("bad device: %d, want 400", got)
+	}
+	if got := post(api.PathStream, `{"device":"dev-x","ring":100000}`); got != http.StatusBadRequest {
+		t.Errorf("oversized ring: %d, want 400", got)
+	}
+	if got := post(api.PathStream, `{"device":"dev-x","power":{"part":"flux-capacitor"}}`); got != http.StatusBadRequest {
+		t.Errorf("unknown part: %d, want 400", got)
+	}
+	if got := post(api.PathStream, `{"device":"dev-x","replay":[{"seq":1,"v_start":2.0,"v_min":2.4,"v_final":2.2}]}`); got != http.StatusBadRequest {
+		t.Errorf("invalid replay observation: %d, want 400", got)
+	}
+	if got := post(api.PathStreamObs, `{"device":"dev-ghost","observations":[{"seq":1,"v_start":2.4,"v_min":2.0,"v_final":2.2}]}`); got != http.StatusNotFound {
+		t.Errorf("obs for unknown device: %d, want 404", got)
+	}
+
+	// A live session that closes answers 409 to genuinely new observations.
+	conn := openStream(t, ts.URL, api.StreamOpenRequest{Device: "dev-err"})
+	_ = conn.next(t)
+	decodeResp[api.StreamObsResponse](t, postJSON(t, ts.URL+api.PathStreamObs,
+		api.StreamObsRequest{Device: "dev-err", Observations: []api.StreamObservation{mkStreamObs(1)}, Close: true}), http.StatusOK)
+	if got := post(api.PathStreamObs, `{"device":"dev-err","observations":[{"seq":2,"v_start":2.4,"v_min":2.0,"v_final":2.2}]}`); got != http.StatusConflict {
+		t.Errorf("new obs to closed session: %d, want 409", got)
+	}
+	// A ring-size mismatch on resume is refused (tombstones replay instead,
+	// so use a second live device).
+	conn2 := openStream(t, ts.URL, api.StreamOpenRequest{Device: "dev-err2", Ring: 8})
+	_ = conn2.next(t)
+	if got := post(api.PathStream, `{"device":"dev-err2","ring":16}`); got != http.StatusBadRequest {
+		t.Errorf("ring mismatch on resume: %d, want 400", got)
+	}
+}
+
+// TestSessionSweeper: with SessionSweep set, New starts the epoch ticker
+// and Close stops it (leakCheck proves the stop); idle sessions age out
+// without anyone calling AdvanceEpoch.
+func TestSessionSweeper(t *testing.T) {
+	leakCheck(t)
+	s, ts := newTestServer(t, Config{SessionSweep: 2 * time.Millisecond, SessionIdleEpochs: 1})
+	t.Cleanup(s.Close)
+
+	conn := openStream(t, ts.URL, api.StreamOpenRequest{Device: "dev-sweep"})
+	_ = conn.next(t)
+	conn.resp.Body.Close()
+	waitFor(t, "stream detach", func() bool { return s.Sessions().Stats().Attached == 0 })
+	waitFor(t, "sweeper eviction", func() bool { return s.Sessions().Len() == 0 })
+	if s.Sessions().Epoch() == 0 {
+		t.Error("sweeper never advanced the epoch")
+	}
+}

@@ -1,0 +1,542 @@
+// LoadGen: the closed-loop streaming soak. It drives N device sessions
+// through the full lifecycle — open, stream observations, detach (sessions
+// stay resident server-side), resume, close — through whatever backends
+// (usually netchaos-flapped proxies) it is pointed at, and verifies the
+// tier's three load-bearing promises on every single session:
+//
+//   - estimate parity: every streamed estimate (snapshots, updates and the
+//     terminal) equals FoldWindow — a from-scratch core.VSafeR fold — over
+//     the client's replay tail, bit-exactly (math.Float64bits), reconnects
+//     and rebuilds included;
+//   - exactly-once terminals: each session's close terminal is delivered
+//     exactly once (tombstone replays dedupe client-side);
+//   - bounded memory: with all N sessions resident but detached, heap per
+//     session stays under a ceiling the caller asserts.
+//
+// The generator lives here rather than in internal/expt so `culpeo
+// streamtest` and the expt soak share one implementation.
+package session
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/client"
+	"culpeo/internal/core"
+)
+
+// LoadGenOpts configures a soak run. Zero values select the reduced-soak
+// defaults noted per field.
+type LoadGenOpts struct {
+	// Backends are the stream-serving base URLs (typically chaos proxies).
+	Backends []string
+	// Direct is a no-chaos base URL for the batch /v1/vsafe-r parity
+	// sample ("" skips the HTTP parity check).
+	Direct string
+	// Sessions is the device count (<=0: 1000).
+	Sessions int
+	// Workers bounds concurrently active devices (<=0: 64). Detached
+	// sessions don't hold connections, so N sessions need only Workers
+	// sockets — that is the point of the sessionized design.
+	Workers int
+	// Obs is the observations per session, split across the two phases
+	// (<=0: 16).
+	Obs int
+	// Batch is observations per upload (<=0: 4).
+	Batch int
+	// Ring is the session window size (<=0: client default).
+	Ring int
+	// Seed fixes every device's observation generator.
+	Seed int64
+	// ParitySample is how many devices also get the HTTP parity check
+	// against per-observation /v1/vsafe-r calls on Direct (<=0: 16).
+	ParitySample int
+	// Model is the local reference model — it must resolve identically to
+	// Power on the server (the parity gates enforce exactly that).
+	Model core.PowerModel
+	// Power is the wire spec sent in every open request.
+	Power api.PowerSpec
+	// Margin is the server's session-margin template (DefaultAdaptiveMargin
+	// unless the server was configured otherwise).
+	Margin core.AdaptiveMargin
+	// Client tunes the shared pool; Backends is overridden.
+	Client client.Config
+	// Logf, when set, receives progress lines.
+	Logf func(format string, args ...any)
+}
+
+// LoadGenResult is the soak's verdict material.
+type LoadGenResult struct {
+	Sessions  int      `json:"sessions"`
+	Completed int      `json:"completed"`
+	FailedN   int      `json:"failed"`
+	Failed    []string `json:"failed_devices,omitempty"` // capped sample
+
+	Events       int     `json:"events"`
+	EventsPerSec float64 `json:"events_per_sec"`
+	P99EventMs   float64 `json:"p99_event_ms"`
+
+	Terminals    int `json:"terminals"`
+	DupTerminals int `json:"dup_terminals"` // deduped tombstone replays (informational)
+	Reconnects   int `json:"reconnects"`
+	Rebuilds     int `json:"rebuilds"`
+	Kicked       int `json:"kicked"`
+
+	ParityChecked        int `json:"parity_checked"`
+	ParityMismatches     int `json:"parity_mismatches"`
+	MarginChecked        int `json:"margin_checked"`
+	MarginMismatches     int `json:"margin_mismatches"`
+	HTTPParityChecked    int `json:"http_parity_checked"`
+	HTTPParityMismatches int `json:"http_parity_mismatches"`
+
+	BaseHeapBytes       uint64  `json:"base_heap_bytes"`
+	PeakHeapBytes       uint64  `json:"peak_heap_bytes"`
+	HeapPerSessionBytes float64 `json:"heap_per_session_bytes"`
+	DurationSec         float64 `json:"duration_sec"`
+}
+
+// devState is one device's cross-phase state.
+type devState struct {
+	stream   *client.Stream
+	rng      *rand.Rand
+	margin   core.AdaptiveMargin // mirror of the server session's margin
+	rebuilds int                 // stream rebuild count last synced
+	failed   bool
+}
+
+// loadRun carries the shared soak state.
+type loadRun struct {
+	opts   LoadGenOpts
+	pool   *client.Pool
+	direct *client.Pool
+	devs   []devState
+
+	mu        sync.Mutex
+	events    int
+	latencies []float64 // ms
+	failures  []string
+	res       LoadGenResult
+}
+
+func (r *loadRun) logf(format string, args ...any) {
+	if r.opts.Logf != nil {
+		r.opts.Logf(format, args...)
+	}
+}
+
+func (r *loadRun) fail(dev string, err error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.res.FailedN++
+	if len(r.failures) < 20 {
+		r.failures = append(r.failures, fmt.Sprintf("%s: %v", dev, err))
+	}
+}
+
+// LoadGen runs the soak. Every per-session invariant violation is counted
+// in the result; the caller gates on the counts.
+func LoadGen(ctx context.Context, opts LoadGenOpts) (LoadGenResult, error) {
+	if len(opts.Backends) == 0 {
+		return LoadGenResult{}, fmt.Errorf("session: loadgen needs backends")
+	}
+	if opts.Sessions <= 0 {
+		opts.Sessions = 1000
+	}
+	if opts.Workers <= 0 {
+		opts.Workers = 64
+	}
+	if opts.Obs <= 0 {
+		opts.Obs = 16
+	}
+	if opts.Batch <= 0 {
+		opts.Batch = 4
+	}
+	if opts.ParitySample <= 0 {
+		opts.ParitySample = 16
+	}
+	ccfg := opts.Client
+	ccfg.Backends = opts.Backends
+	pool, err := client.New(ccfg)
+	if err != nil {
+		return LoadGenResult{}, err
+	}
+	defer pool.Close()
+	r := &loadRun{opts: opts, pool: pool, devs: make([]devState, opts.Sessions)}
+	r.res.Sessions = opts.Sessions
+	if opts.Direct != "" {
+		dcfg := client.Config{Backends: []string{opts.Direct}, Seed: opts.Seed + 1}
+		r.direct, err = client.New(dcfg)
+		if err != nil {
+			return LoadGenResult{}, err
+		}
+		defer r.direct.Close()
+	}
+	for i := range r.devs {
+		r.devs[i].rng = rand.New(rand.NewSource(opts.Seed ^ (int64(i)*2654435761 + 1)))
+		r.devs[i].margin = opts.Margin
+	}
+
+	r.res.BaseHeapBytes = heapNow()
+	start := time.Now()
+
+	r.sweep(ctx, "phase1", r.phase1)
+
+	// All sessions resident, zero connections held: this is the bounded-
+	// memory measurement point the soak gates on.
+	r.res.PeakHeapBytes = heapNow()
+	if d := int64(r.res.PeakHeapBytes) - int64(r.res.BaseHeapBytes); d > 0 {
+		r.res.HeapPerSessionBytes = float64(d) / float64(opts.Sessions)
+	}
+	r.logf("phase1 done: %d sessions resident, heap %d -> %d bytes (%.0f B/session)",
+		opts.Sessions, r.res.BaseHeapBytes, r.res.PeakHeapBytes, r.res.HeapPerSessionBytes)
+
+	r.sweep(ctx, "phase2", r.phase2)
+
+	r.res.DurationSec = time.Since(start).Seconds()
+	r.mu.Lock()
+	r.res.Events = r.events
+	r.res.Failed = r.failures
+	if r.res.DurationSec > 0 {
+		r.res.EventsPerSec = float64(r.events) / r.res.DurationSec
+	}
+	sort.Float64s(r.latencies)
+	if n := len(r.latencies); n > 0 {
+		idx := (99 * n) / 100
+		if idx >= n {
+			idx = n - 1
+		}
+		r.res.P99EventMs = r.latencies[idx]
+	}
+	r.mu.Unlock()
+	for i := range r.devs {
+		st := r.devs[i].stream
+		if st == nil {
+			continue
+		}
+		ss := st.Stats()
+		r.res.Reconnects += ss.Reconnects
+		r.res.Rebuilds += ss.Rebuilds
+		r.res.DupTerminals += ss.DupTerminals
+		r.res.Kicked += ss.Kicked
+	}
+	return r.res, nil
+}
+
+// sweep runs fn over every non-failed device with bounded concurrency.
+func (r *loadRun) sweep(ctx context.Context, name string, fn func(ctx context.Context, idx int) error) {
+	sem := make(chan struct{}, r.opts.Workers)
+	var wg sync.WaitGroup
+	step := r.opts.Sessions / 10
+	if step == 0 {
+		step = 1
+	}
+	for i := 0; i < r.opts.Sessions; i++ {
+		if r.devs[i].failed || ctx.Err() != nil {
+			continue
+		}
+		sem <- struct{}{}
+		wg.Add(1)
+		go func(idx int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			if err := fn(ctx, idx); err != nil {
+				r.devs[idx].failed = true
+				r.fail(deviceName(idx), fmt.Errorf("%s: %w", name, err))
+			}
+		}(i)
+		if (i+1)%step == 0 {
+			r.logf("%s: %d/%d dispatched", name, i+1, r.opts.Sessions)
+		}
+	}
+	wg.Wait()
+}
+
+func deviceName(idx int) string { return fmt.Sprintf("dev-%06d", idx) }
+
+// genSample draws one physically valid observation.
+func genSample(rng *rand.Rand) client.Sample {
+	vstart := 2.2 + 0.36*rng.Float64()
+	vfinal := vstart - 0.3*rng.Float64()
+	vmin := vfinal - 0.4*rng.Float64()
+	return client.Sample{VStart: vstart, VMin: vmin, VFinal: vfinal, Failed: rng.Float64() < 0.05}
+}
+
+// phase1 opens the session, uploads the first half of the observations,
+// verifies an update's estimate parity, then detaches — leaving the
+// session resident server-side with no connection.
+func (r *loadRun) phase1(ctx context.Context, idx int) error {
+	d := &r.devs[idx]
+	st, snap, err := r.pool.OpenStream(ctx, client.StreamConfig{
+		Device: deviceName(idx),
+		Power:  r.opts.Power,
+		Ring:   r.opts.Ring,
+	})
+	if err != nil {
+		return fmt.Errorf("open: %w", err)
+	}
+	d.stream = st
+	r.countEvent(0)
+	if snap.Window != 0 || snap.Seq == 0 {
+		return fmt.Errorf("open snapshot: window %d seq %d", snap.Window, snap.Seq)
+	}
+	if err := r.uploadAndVerify(ctx, idx, r.opts.Obs/2); err != nil {
+		return err
+	}
+	st.Detach()
+	return nil
+}
+
+// phase2 resumes the session (parity-checking the snapshot), uploads the
+// remaining observations, closes, and verifies the terminal.
+func (r *loadRun) phase2(ctx context.Context, idx int) error {
+	d := &r.devs[idx]
+	st := d.stream
+	snap, err := st.Resume(ctx)
+	if err != nil {
+		return fmt.Errorf("resume: %w", err)
+	}
+	r.countEvent(0)
+	r.syncMargin(idx)
+	if err := r.checkParity(idx, "resume snapshot", snap, false); err != nil {
+		return err
+	}
+	if err := r.uploadAndVerify(ctx, idx, r.opts.Obs-r.opts.Obs/2); err != nil {
+		return err
+	}
+	term, err := st.CloseSession(ctx)
+	if err != nil {
+		return fmt.Errorf("close: %w", err)
+	}
+	st.Close()
+	if !term.Final || term.Reason != "close" {
+		return fmt.Errorf("terminal: final=%v reason=%q", term.Final, term.Reason)
+	}
+	r.mu.Lock()
+	r.res.Terminals++
+	r.mu.Unlock()
+	r.syncMargin(idx)
+	if err := r.checkParity(idx, "terminal", term, true); err != nil {
+		return err
+	}
+	if r.direct != nil && idx < r.opts.ParitySample {
+		if err := r.checkHTTPParity(ctx, idx, term); err != nil {
+			return err
+		}
+	}
+	// The full lifecycle held: open, stream, detach, resume, close, every
+	// parity gate passed. Completed == Sessions is the soak's headline gate.
+	r.mu.Lock()
+	r.res.Completed++
+	r.mu.Unlock()
+	return nil
+}
+
+// uploadAndVerify streams n observations in batches, awaiting the refined
+// update after each batch and bit-checking the last one.
+func (r *loadRun) uploadAndVerify(ctx context.Context, idx int, n int) error {
+	d := &r.devs[idx]
+	st := d.stream
+	for sent := 0; sent < n; {
+		k := r.opts.Batch
+		if n-sent < k {
+			k = n - sent
+		}
+		samples := make([]client.Sample, k)
+		for i := range samples {
+			samples[i] = genSample(d.rng)
+		}
+		if _, err := st.Observe(ctx, samples...); err != nil {
+			return fmt.Errorf("observe: %w", err)
+		}
+		sent += k
+		// A 404-triggered rebuild inside Observe replays the tail — batch
+		// included — so the re-based mirror already folded these samples.
+		if rebuilt := r.syncMargin(idx); !rebuilt {
+			for _, sm := range samples {
+				if sm.Failed {
+					d.margin.Failure()
+				} else {
+					d.margin.Success()
+				}
+			}
+		}
+		t0 := time.Now()
+		u, err := r.awaitUpdate(ctx, idx, st.LastSeq())
+		if err != nil {
+			return fmt.Errorf("await update: %w", err)
+		}
+		r.countEvent(time.Since(t0).Seconds() * 1000)
+		if sent >= n {
+			if err := r.checkParity(idx, "update", u, false); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// syncMargin re-bases the margin mirror when the stream reports the server
+// rebuilt the session from the replay tail: the rebuilt session's margin
+// is FoldMargin(template, tail) by construction. Reports whether a rebuild
+// was absorbed.
+func (r *loadRun) syncMargin(idx int) bool {
+	d := &r.devs[idx]
+	ss := d.stream.Stats()
+	if ss.Rebuilds == d.rebuilds {
+		return false
+	}
+	d.rebuilds = ss.Rebuilds
+	d.margin = FoldMargin(r.opts.Margin, d.stream.Tail())
+	return true
+}
+
+// awaitUpdate waits for an update event reflecting obsSeq. A dropped
+// update (slow-consumer kick, severed link) is recovered by resuming: the
+// fresh snapshot carries the complete state.
+func (r *loadRun) awaitUpdate(ctx context.Context, idx int, obsSeq uint64) (api.StreamUpdate, error) {
+	st := r.devs[idx].stream
+	tick := time.NewTicker(500 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case u := <-st.Updates():
+			r.countEvent(0)
+			if u.ObsSeq >= obsSeq {
+				return u, nil
+			}
+		case <-tick.C:
+			if !st.Attached() {
+				snap, err := st.Resume(ctx)
+				if err != nil {
+					return api.StreamUpdate{}, fmt.Errorf("resume during await: %w", err)
+				}
+				r.countEvent(0)
+				r.syncMargin(idx)
+				if snap.ObsSeq >= obsSeq {
+					return snap, nil
+				}
+			}
+		case <-ctx.Done():
+			return api.StreamUpdate{}, ctx.Err()
+		}
+	}
+}
+
+// checkParity bit-compares one streamed update against the from-scratch
+// fold over the client's replay tail.
+func (r *loadRun) checkParity(idx int, what string, u api.StreamUpdate, checkMargin bool) error {
+	d := &r.devs[idx]
+	tail := d.stream.Tail()
+	want, have, err := FoldWindow(r.opts.Model, tail)
+	if err != nil {
+		return fmt.Errorf("%s: reference fold: %w", what, err)
+	}
+	r.mu.Lock()
+	r.res.ParityChecked++
+	r.mu.Unlock()
+	mismatch := func(field string, got, exp float64) error {
+		r.mu.Lock()
+		r.res.ParityMismatches++
+		r.mu.Unlock()
+		return fmt.Errorf("%s: %s parity: got %x want %x", what, field, math.Float64bits(got), math.Float64bits(exp))
+	}
+	if !have {
+		if u.VSafe != 0 || u.Window != 0 {
+			return mismatch("empty-window v_safe", u.VSafe, 0)
+		}
+		return nil
+	}
+	if u.Window != len(tail) {
+		r.mu.Lock()
+		r.res.ParityMismatches++
+		r.mu.Unlock()
+		return fmt.Errorf("%s: window %d, tail %d", what, u.Window, len(tail))
+	}
+	if math.Float64bits(u.VSafe) != math.Float64bits(want.VSafe) {
+		return mismatch("v_safe", u.VSafe, want.VSafe)
+	}
+	if math.Float64bits(u.VDelta) != math.Float64bits(want.VDelta) {
+		return mismatch("v_delta", u.VDelta, want.VDelta)
+	}
+	if math.Float64bits(u.VE) != math.Float64bits(want.VE) {
+		return mismatch("v_e", u.VE, want.VE)
+	}
+	if math.Float64bits(u.Launch) != math.Float64bits(u.VSafe+u.Margin) {
+		return mismatch("launch", u.Launch, u.VSafe+u.Margin)
+	}
+	if checkMargin {
+		r.mu.Lock()
+		r.res.MarginChecked++
+		r.mu.Unlock()
+		if math.Float64bits(u.Margin) != math.Float64bits(d.margin.Margin()) {
+			r.mu.Lock()
+			r.res.MarginMismatches++
+			r.mu.Unlock()
+			return fmt.Errorf("%s: margin parity: got %x want %x", what, math.Float64bits(u.Margin), math.Float64bits(d.margin.Margin()))
+		}
+	}
+	return nil
+}
+
+// checkHTTPParity folds per-observation /v1/vsafe-r responses from the
+// direct (no-chaos) backend over the tail and bit-compares with the
+// streamed terminal — the batch path and the streaming path must agree.
+func (r *loadRun) checkHTTPParity(ctx context.Context, idx int, term api.StreamUpdate) error {
+	tail := r.devs[idx].stream.Tail()
+	var (
+		best float64
+		have bool
+	)
+	for _, o := range tail {
+		est, err := r.direct.VSafeR(ctx, api.VSafeRRequest{
+			Power:       r.opts.Power,
+			Observation: api.ObservationSpec{VStart: o.VStart, VMin: o.VMin, VFinal: o.VFinal},
+		})
+		if err != nil {
+			return fmt.Errorf("http parity: %w", err)
+		}
+		if !have || est.VSafe > best {
+			best, have = est.VSafe, true
+		}
+	}
+	r.mu.Lock()
+	r.res.HTTPParityChecked++
+	r.mu.Unlock()
+	if have && math.Float64bits(best) != math.Float64bits(term.VSafe) {
+		r.mu.Lock()
+		r.res.HTTPParityMismatches++
+		r.mu.Unlock()
+		return fmt.Errorf("http parity: /v1/vsafe-r fold %x, streamed %x", math.Float64bits(best), math.Float64bits(term.VSafe))
+	}
+	return nil
+}
+
+func (r *loadRun) countEvent(latencyMs float64) {
+	r.mu.Lock()
+	r.events++
+	if latencyMs > 0 {
+		r.latencies = append(r.latencies, latencyMs)
+	}
+	r.mu.Unlock()
+}
+
+func heapNow() uint64 {
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.HeapAlloc
+}
+
+// Render returns the result as indented JSON (the CLI's -v output).
+func (res LoadGenResult) Render() string {
+	b, _ := json.MarshalIndent(res, "", "  ")
+	return string(b)
+}

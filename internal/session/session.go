@@ -1,0 +1,207 @@
+// Package session is the sessionized streaming tier behind /v1/stream: one
+// Session per connected device, holding a fixed-size ring of Culpeo-R
+// voltage observations and the running worst-case V_safe estimate over
+// that window, plus the device's core.AdaptiveMargin. Sessions live in a
+// sharded Table with epoch-based idle eviction and hard caps (MaxSessions,
+// bounded per-connection write queues with slow-consumer disconnect), so
+// the tier's memory is provably bounded no matter how many devices flap.
+//
+// The estimate invariant — pinned by the parity suites — is that the
+// incremental ring fold always equals FoldWindow (a from-scratch
+// core.VSafeR fold over the same window) bit-exactly, including after a
+// reconnect rebuilt the session from the client's replayed ring tail.
+package session
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"culpeo/internal/api"
+	"culpeo/internal/core"
+)
+
+// Sentinel errors the serving layer maps onto HTTP statuses.
+var (
+	// ErrFull: the table is at MaxSessions (503 + Retry-After).
+	ErrFull = errors.New("session: table full")
+	// ErrDraining: the server is draining; open elsewhere (503).
+	ErrDraining = errors.New("session: draining")
+	// ErrNoSession: no session for the device — the client should
+	// reconnect with a replay to rebuild it (404).
+	ErrNoSession = errors.New("session: no such session")
+	// ErrClosed: new observations offered to a closed session (409).
+	ErrClosed = errors.New("session: closed")
+)
+
+// entry is one ring slot: the observation and its Culpeo-R estimate
+// (computed once on entry, so the sliding-max fold never recomputes it).
+type entry struct {
+	obs api.StreamObservation
+	est core.Estimate
+}
+
+// Session is one device's streaming state. All fields are guarded by the
+// owning shard's mutex — the table's operations are the only access path.
+type Session struct {
+	device  string
+	modelFP uint64
+	model   core.PowerModel
+
+	// ring is the fixed-capacity observation window: a circular buffer of
+	// the last cap(ring) folded observations.
+	ring  []entry
+	head  int // index of the oldest entry
+	count int
+
+	lastObsSeq uint64 // observation high-water mark (dedup horizon)
+	eventSeq   uint64 // downlink update-event counter
+
+	// est is the running window estimate: the maximum-V_safe observation's
+	// estimate, tracked incrementally; estSeq is that observation's Seq so
+	// the fold knows when the argmax left the window.
+	est     core.Estimate
+	estSeq  uint64
+	haveEst bool
+
+	margin core.AdaptiveMargin
+
+	closed   bool
+	terminal api.StreamUpdate // valid once closed: replayed to late resumes
+
+	sub     *Subscriber // attached connection (nil when detached)
+	touched uint64      // epoch of last attach/fold/detach (idle eviction)
+}
+
+// Device returns the session's device identifier.
+func (s *Session) Device() string { return s.device }
+
+// validateObservation is the wire→core check shared by fold and replay:
+// finite voltages, physical ordering, a real sequence number.
+func validateObservation(o api.StreamObservation) (core.Observation, error) {
+	if o.Seq == 0 {
+		return core.Observation{}, errors.New("observation seq must be >= 1")
+	}
+	obs := core.Observation{VStart: o.VStart, VMin: o.VMin, VFinal: o.VFinal}
+	if !isFinite(o.VStart) || !isFinite(o.VMin) || !isFinite(o.VFinal) {
+		return obs, errors.New("non-finite voltage")
+	}
+	if err := obs.Validate(); err != nil {
+		return obs, err
+	}
+	return obs, nil
+}
+
+func isFinite(f float64) bool { return !math.IsNaN(f) && !math.IsInf(f, 0) }
+
+// fold pushes one validated observation (seq strictly above lastObsSeq)
+// into the ring and updates the running estimate and margin. Caller holds
+// the shard lock.
+func (s *Session) fold(o api.StreamObservation, obs core.Observation) error {
+	est, err := core.VSafeR(s.model, obs)
+	if err != nil {
+		return err
+	}
+	evictedArgmax := false
+	if s.count == cap(s.ring) {
+		if s.ring[s.head].obs.Seq == s.estSeq {
+			evictedArgmax = true
+		}
+		s.head = (s.head + 1) % cap(s.ring)
+		s.count--
+	}
+	s.ring[(s.head+s.count)%cap(s.ring)] = entry{obs: o, est: est}
+	s.count++
+	s.lastObsSeq = o.Seq
+
+	switch {
+	case !s.haveEst:
+		s.est, s.estSeq, s.haveEst = est, o.Seq, true
+	case evictedArgmax:
+		// The window maximum left the ring: refold oldest→newest. The
+		// strict > keeps the first of equal maxima, exactly as FoldWindow
+		// does, so the incremental and from-scratch folds stay bit-equal.
+		s.est, s.estSeq = s.ring[s.head].est, s.ring[s.head].obs.Seq
+		for i := 1; i < s.count; i++ {
+			e := s.ring[(s.head+i)%cap(s.ring)]
+			if e.est.VSafe > s.est.VSafe {
+				s.est, s.estSeq = e.est, e.obs.Seq
+			}
+		}
+	case est.VSafe > s.est.VSafe:
+		s.est, s.estSeq = est, o.Seq
+	}
+
+	if o.Failed {
+		s.margin.Failure()
+	} else {
+		s.margin.Success()
+	}
+	return nil
+}
+
+// update builds the next downlink event from the current state, consuming
+// one event sequence number. Caller holds the shard lock.
+func (s *Session) update() api.StreamUpdate {
+	s.eventSeq++
+	u := api.StreamUpdate{
+		Seq:    s.eventSeq,
+		ObsSeq: s.lastObsSeq,
+		Window: s.count,
+		Margin: s.margin.Margin(),
+	}
+	if s.haveEst {
+		u.VSafe, u.VDelta, u.VE = s.est.VSafe, s.est.VDelta, s.est.VE
+		u.Launch = u.VSafe + u.Margin
+	}
+	return u
+}
+
+// window copies the current observation window, oldest first.
+func (s *Session) window() []api.StreamObservation {
+	out := make([]api.StreamObservation, 0, s.count)
+	for i := 0; i < s.count; i++ {
+		out = append(out, s.ring[(s.head+i)%cap(s.ring)].obs)
+	}
+	return out
+}
+
+// FoldWindow is the from-scratch reference the incremental session fold
+// must match bit-exactly: evaluate core.VSafeR for every observation in
+// window order and keep the first maximum-V_safe estimate (strict >). The
+// zero Estimate (ok=false) means an empty window.
+func FoldWindow(m core.PowerModel, window []api.StreamObservation) (core.Estimate, bool, error) {
+	var (
+		best core.Estimate
+		have bool
+	)
+	for i, o := range window {
+		obs, err := validateObservation(o)
+		if err != nil {
+			return core.Estimate{}, false, fmt.Errorf("session: window[%d]: %w", i, err)
+		}
+		est, err := core.VSafeR(m, obs)
+		if err != nil {
+			return core.Estimate{}, false, fmt.Errorf("session: window[%d]: %w", i, err)
+		}
+		if !have || est.VSafe > best.VSafe {
+			best, have = est, true
+		}
+	}
+	return best, have, nil
+}
+
+// FoldMargin is the margin counterpart of FoldWindow: fold the
+// failure/success flags of a window into a fresh copy of the template
+// margin, exactly as a session rebuild does.
+func FoldMargin(template core.AdaptiveMargin, window []api.StreamObservation) core.AdaptiveMargin {
+	m := template
+	for _, o := range window {
+		if o.Failed {
+			m.Failure()
+		} else {
+			m.Success()
+		}
+	}
+	return m
+}

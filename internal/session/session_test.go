@@ -1,0 +1,491 @@
+package session
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/capacitor"
+	"culpeo/internal/core"
+	"culpeo/internal/powersys"
+)
+
+func testModel(t *testing.T) core.PowerModel {
+	t.Helper()
+	cfg := powersys.Capybara()
+	m := core.PowerModel{
+		C:     cfg.Storage.TotalCapacitance(),
+		ESR:   capacitor.Flat(cfg.Storage.Main().ESR),
+		VOut:  cfg.Output.VOut,
+		VOff:  cfg.VOff,
+		VHigh: cfg.VHigh,
+		Eff:   cfg.Output.Efficiency,
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("test model invalid: %v", err)
+	}
+	return m
+}
+
+func genObs(rng *rand.Rand, seq uint64) api.StreamObservation {
+	vstart := 2.2 + 0.36*rng.Float64()
+	vfinal := vstart - 0.3*rng.Float64()
+	vmin := vfinal - 0.4*rng.Float64()
+	return api.StreamObservation{Seq: seq, VStart: vstart, VMin: vmin, VFinal: vfinal, Failed: rng.Float64() < 0.2}
+}
+
+func drainEvents(t *testing.T, sub *Subscriber) []api.StreamUpdate {
+	t.Helper()
+	var out []api.StreamUpdate
+	for {
+		select {
+		case ev := <-sub.Events:
+			if !ev.Heartbeat {
+				out = append(out, ev.Update)
+			}
+		default:
+			return out
+		}
+	}
+}
+
+func sameBits(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+// TestFoldParity streams observations through a small ring and checks the
+// published estimate against the from-scratch fold after every batch —
+// the bit-exactness invariant, including across ring wraps that evict the
+// window argmax.
+func TestFoldParity(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 8})
+	res, err := tbl.Attach("dev-parity", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if res.Snapshot.Window != 0 || res.Snapshot.Seq != 1 {
+		t.Fatalf("fresh snapshot: %+v", res.Snapshot)
+	}
+	rng := rand.New(rand.NewSource(7))
+	seq := uint64(0)
+	for step := 0; step < 60; step++ {
+		n := 1 + rng.Intn(3)
+		batch := make([]api.StreamObservation, n)
+		for i := range batch {
+			seq++
+			batch[i] = genObs(rng, seq)
+		}
+		if _, err := tbl.Fold("dev-parity", batch, false); err != nil {
+			t.Fatalf("fold step %d: %v", step, err)
+		}
+		ups := drainEvents(t, res.Sub)
+		if len(ups) != 1 {
+			t.Fatalf("step %d: %d updates, want 1", step, len(ups))
+		}
+		u := ups[0]
+		window, err := tbl.Window("dev-parity")
+		if err != nil {
+			t.Fatalf("window: %v", err)
+		}
+		want, have, err := FoldWindow(m, window)
+		if err != nil || !have {
+			t.Fatalf("reference fold: have=%v err=%v", have, err)
+		}
+		if !sameBits(u.VSafe, want.VSafe) || !sameBits(u.VDelta, want.VDelta) || !sameBits(u.VE, want.VE) {
+			t.Fatalf("step %d: estimate diverged from FoldWindow: %+v vs %+v", step, u, want)
+		}
+		if u.ObsSeq != seq || u.Window != len(window) {
+			t.Fatalf("step %d: obs_seq %d window %d, want %d/%d", step, u.ObsSeq, u.Window, seq, len(window))
+		}
+		if !sameBits(u.Launch, u.VSafe+u.Margin) {
+			t.Fatalf("step %d: launch %v != v_safe+margin", step, u.Launch)
+		}
+	}
+}
+
+// TestFoldParityEqualMaxima pins the first-of-equal-maxima rule: identical
+// observations tie on VSafe, and the incremental refold after the argmax
+// leaves the ring must keep agreeing with FoldWindow.
+func TestFoldParityEqualMaxima(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 4})
+	res, err := tbl.Attach("dev-tie", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	same := api.StreamObservation{VStart: 2.5, VMin: 2.1, VFinal: 2.3}
+	for seq := uint64(1); seq <= 12; seq++ {
+		o := same
+		o.Seq = seq
+		if _, err := tbl.Fold("dev-tie", []api.StreamObservation{o}, false); err != nil {
+			t.Fatalf("fold %d: %v", seq, err)
+		}
+		ups := drainEvents(t, res.Sub)
+		window, _ := tbl.Window("dev-tie")
+		want, _, err := FoldWindow(m, window)
+		if err != nil {
+			t.Fatalf("reference: %v", err)
+		}
+		if !sameBits(ups[len(ups)-1].VSafe, want.VSafe) {
+			t.Fatalf("seq %d: tie-breaking diverged", seq)
+		}
+	}
+}
+
+// TestMarginParity: the session's margin folds failure/success exactly as
+// FoldMargin over the full observation history (window == history here).
+func TestMarginParity(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 64})
+	res, err := tbl.Attach("dev-margin", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	var all []api.StreamObservation
+	for seq := uint64(1); seq <= 40; seq++ {
+		o := genObs(rng, seq)
+		all = append(all, o)
+		if _, err := tbl.Fold("dev-margin", []api.StreamObservation{o}, false); err != nil {
+			t.Fatalf("fold: %v", err)
+		}
+		ups := drainEvents(t, res.Sub)
+		want := FoldMargin(*core.DefaultAdaptiveMargin(), all)
+		if got := ups[len(ups)-1].Margin; !sameBits(got, want.Margin()) {
+			t.Fatalf("seq %d: margin %v, want %v", seq, got, want.Margin())
+		}
+	}
+}
+
+// TestDuplicatesAndValidation: retried batches dedupe away; an invalid
+// observation rejects the whole batch atomically.
+func TestDuplicatesAndValidation(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 8})
+	res, err := tbl.Attach("dev-dup", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	batch := []api.StreamObservation{genObs(rng, 1), genObs(rng, 2), genObs(rng, 3)}
+	first, err := tbl.Fold("dev-dup", batch, false)
+	if err != nil || first.LastSeq != 3 || first.Window != 3 {
+		t.Fatalf("first fold: %+v err=%v", first, err)
+	}
+	drainEvents(t, res.Sub)
+
+	// Exact retry: all duplicates, no event published, state unchanged.
+	retry, err := tbl.Fold("dev-dup", batch, false)
+	if err != nil || retry.Duplicates != 3 || retry.Window != 3 {
+		t.Fatalf("retry fold: %+v err=%v", retry, err)
+	}
+	if ups := drainEvents(t, res.Sub); len(ups) != 1 {
+		// one update still published (the batch had len>0); its state must
+		// be identical to the pre-retry state
+		t.Fatalf("retry published %d updates", len(ups))
+	}
+	if tbl.Stats().DupObs != 3 {
+		t.Fatalf("dup counter: %+v", tbl.Stats())
+	}
+
+	// Batch with one invalid member: rejected atomically.
+	bad := []api.StreamObservation{genObs(rng, 4), {Seq: 5, VStart: 2.0, VMin: 2.5, VFinal: 2.2}}
+	if _, err := tbl.Fold("dev-dup", bad, false); err == nil {
+		t.Fatal("invalid batch folded")
+	}
+	after, err := tbl.Fold("dev-dup", nil, false)
+	if err != nil || after.LastSeq != 3 || after.Window != 3 {
+		t.Fatalf("state after rejected batch: %+v err=%v", after, err)
+	}
+	for _, o := range []api.StreamObservation{
+		{Seq: 0, VStart: 2.5, VMin: 2.1, VFinal: 2.3},
+		{Seq: 9, VStart: math.NaN(), VMin: 2.1, VFinal: 2.3},
+		{Seq: 9, VStart: math.Inf(1), VMin: 2.1, VFinal: 2.3},
+		{Seq: 9, VStart: 2.5, VMin: -1, VFinal: 2.3},
+	} {
+		if _, err := tbl.Fold("dev-dup", []api.StreamObservation{o}, false); err == nil {
+			t.Fatalf("observation %+v accepted", o)
+		}
+	}
+}
+
+// TestResumeAndRebuild: re-attach resumes bit-identical state; a fresh
+// table rebuilt from the replayed tail converges to the same bits.
+func TestResumeAndRebuild(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 8})
+	res, err := tbl.Attach("dev-r", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	var tail []api.StreamObservation
+	for seq := uint64(1); seq <= 20; seq++ {
+		o := genObs(rng, seq)
+		tail = append(tail, o)
+		if len(tail) > 8 {
+			tail = tail[1:]
+		}
+		if _, err := tbl.Fold("dev-r", []api.StreamObservation{o}, false); err != nil {
+			t.Fatalf("fold: %v", err)
+		}
+	}
+	drainEvents(t, res.Sub)
+	res.Sub.Detach()
+
+	// Resume on the same table: snapshot continues the event numbering and
+	// carries the same estimate.
+	res2, err := tbl.Attach("dev-r", m, 0, tail)
+	if err != nil {
+		t.Fatalf("resume: %v", err)
+	}
+	if !res2.Resumed || res2.Rebuilt || res2.Terminal {
+		t.Fatalf("resume result: %+v", res2)
+	}
+	if res2.Snapshot.Seq <= 1 {
+		t.Fatalf("resumed snapshot restarted event numbering: %+v", res2.Snapshot)
+	}
+
+	// Rebuild on a fresh table (server restart): bit-identical estimate.
+	tbl2 := NewTable(Config{Ring: 8})
+	res3, err := tbl2.Attach("dev-r", m, 8, tail)
+	if err != nil {
+		t.Fatalf("rebuild: %v", err)
+	}
+	if !res3.Rebuilt || res3.Snapshot.Seq != 1 {
+		t.Fatalf("rebuild result: %+v", res3)
+	}
+	if !sameBits(res3.Snapshot.VSafe, res2.Snapshot.VSafe) || res3.Snapshot.Window != res2.Snapshot.Window {
+		t.Fatalf("rebuilt estimate diverged: %+v vs %+v", res3.Snapshot, res2.Snapshot)
+	}
+	want, _, err := FoldWindow(m, tail)
+	if err != nil || !sameBits(res3.Snapshot.VSafe, want.VSafe) {
+		t.Fatalf("rebuild vs FoldWindow: %v / %+v vs %+v", err, res3.Snapshot, want)
+	}
+
+	// Mismatched fingerprint and mismatched ring are refused.
+	other := m
+	other.VOff = m.VOff + 0.1
+	if _, err := tbl.Attach("dev-r", other, 0, nil); err == nil {
+		t.Fatal("fingerprint mismatch accepted")
+	}
+	if _, err := tbl.Attach("dev-r", m, 4, nil); err == nil {
+		t.Fatal("ring mismatch accepted")
+	}
+}
+
+// TestCloseAndTombstone: close delivers one terminal, late folds of dups
+// are acked idempotently, new observations are refused, a late re-attach
+// replays the terminal, and the tombstone reaps on schedule.
+func TestCloseAndTombstone(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 8, TombstoneEpochs: 2, IdleEpochs: 100})
+	res, err := tbl.Attach("dev-c", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	batch := []api.StreamObservation{genObs(rng, 1), genObs(rng, 2)}
+	if _, err := tbl.Fold("dev-c", batch, false); err != nil {
+		t.Fatalf("fold: %v", err)
+	}
+	fr, err := tbl.Fold("dev-c", nil, true)
+	if err != nil || !fr.Closed {
+		t.Fatalf("close: %+v err=%v", fr, err)
+	}
+	var term api.StreamUpdate
+	select {
+	case term = <-res.Sub.Terminal:
+	case <-time.After(time.Second):
+		t.Fatal("no terminal delivered")
+	}
+	if !term.Final || term.Reason != "close" || term.ObsSeq != 2 {
+		t.Fatalf("terminal: %+v", term)
+	}
+	res.Sub.Detach()
+
+	// Idempotent close retry and duplicate-only folds ack fine.
+	if fr, err := tbl.Fold("dev-c", batch, true); err != nil || !fr.Closed || fr.Duplicates != 2 {
+		t.Fatalf("close retry: %+v err=%v", fr, err)
+	}
+	// New observations to a closed session are refused.
+	if _, err := tbl.Fold("dev-c", []api.StreamObservation{genObs(rng, 3)}, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("want ErrClosed, got %v", err)
+	}
+	// Late re-attach replays the terminal bit-identically.
+	late, err := tbl.Attach("dev-c", m, 0, nil)
+	if err != nil || !late.Terminal || late.Sub != nil {
+		t.Fatalf("tombstone attach: %+v err=%v", late, err)
+	}
+	if !sameBits(late.Snapshot.VSafe, term.VSafe) || late.Snapshot.Seq != term.Seq {
+		t.Fatalf("replayed terminal diverged: %+v vs %+v", late.Snapshot, term)
+	}
+	// The tombstone reaps TombstoneEpochs sweeps after its last touch.
+	for i := 0; i < 3; i++ {
+		tbl.AdvanceEpoch()
+	}
+	if tbl.Len() != 0 {
+		t.Fatalf("tombstone not reaped: len=%d", tbl.Len())
+	}
+	if _, err := tbl.Fold("dev-c", batch, true); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("want ErrNoSession after reap, got %v", err)
+	}
+}
+
+// TestCapsAndEviction: MaxSessions refuses, idle sessions evict, attached
+// sessions heartbeat instead.
+func TestCapsAndEviction(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 4, MaxSessions: 2, IdleEpochs: 2})
+	a, err := tbl.Attach("dev-a", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach a: %v", err)
+	}
+	if _, err := tbl.Attach("dev-b", m, 0, nil); err != nil {
+		t.Fatalf("attach b: %v", err)
+	}
+	if _, err := tbl.Attach("dev-overflow", m, 0, nil); !errors.Is(err, ErrFull) {
+		t.Fatalf("want ErrFull, got %v", err)
+	}
+	if tbl.Stats().Rejected != 1 {
+		t.Fatalf("rejected counter: %+v", tbl.Stats())
+	}
+
+	// b detaches and idles out; a stays attached and receives heartbeats.
+	bSub := mustSub(t, tbl, "dev-b")
+	bSub.Detach()
+	for i := 0; i < 3; i++ {
+		tbl.AdvanceEpoch()
+	}
+	if tbl.Len() != 1 {
+		t.Fatalf("idle eviction: len=%d want 1", tbl.Len())
+	}
+	if _, err := tbl.Fold("dev-b", nil, false); !errors.Is(err, ErrNoSession) {
+		t.Fatalf("evicted session still folds: %v", err)
+	}
+	hb := 0
+	for {
+		select {
+		case ev := <-a.Sub.Events:
+			if ev.Heartbeat {
+				hb++
+			}
+			continue
+		default:
+		}
+		break
+	}
+	if hb != 3 {
+		t.Fatalf("heartbeats: %d want 3", hb)
+	}
+	st := tbl.Stats()
+	if st.Evicted != 1 || st.Heartbeats != 3 || st.Live != 1 || st.Attached != 1 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// mustSub re-attaches a device and returns the subscriber (helper for
+// tests that need a second handle).
+func mustSub(t *testing.T, tbl *Table, dev string) *Subscriber {
+	t.Helper()
+	m := testModel(t)
+	res, err := tbl.Attach(dev, m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach %s: %v", dev, err)
+	}
+	return res.Sub
+}
+
+// TestSupersedeAndSlowKick: a second attach supersedes the first
+// subscriber; a consumer that stops draining is kicked while the session
+// survives.
+func TestSupersedeAndSlowKick(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 4, Queue: 1})
+	a, err := tbl.Attach("dev-s", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	b, err := tbl.Attach("dev-s", m, 0, nil)
+	if err != nil {
+		t.Fatalf("re-attach: %v", err)
+	}
+	select {
+	case <-a.Sub.Done:
+	default:
+		t.Fatal("superseded subscriber not closed")
+	}
+	if a.Sub.Reason() != "superseded" || tbl.Stats().Superseded != 1 {
+		t.Fatalf("supersede reason %q stats %+v", a.Sub.Reason(), tbl.Stats())
+	}
+
+	// Queue depth 1 and two undrained updates: the second kicks.
+	rng := rand.New(rand.NewSource(13))
+	if _, err := tbl.Fold("dev-s", []api.StreamObservation{genObs(rng, 1)}, false); err != nil {
+		t.Fatalf("fold1: %v", err)
+	}
+	if _, err := tbl.Fold("dev-s", []api.StreamObservation{genObs(rng, 2)}, false); err != nil {
+		t.Fatalf("fold2: %v", err)
+	}
+	select {
+	case <-b.Sub.Done:
+	default:
+		t.Fatal("slow consumer not kicked")
+	}
+	if b.Sub.Reason() != "slow-consumer" || tbl.Stats().SlowKicked != 1 {
+		t.Fatalf("kick reason %q stats %+v", b.Sub.Reason(), tbl.Stats())
+	}
+	// The session survived the kick: fold and re-attach still work.
+	if _, err := tbl.Fold("dev-s", []api.StreamObservation{genObs(rng, 3)}, false); err != nil {
+		t.Fatalf("fold after kick: %v", err)
+	}
+	c, err := tbl.Attach("dev-s", m, 0, nil)
+	if err != nil || c.Snapshot.ObsSeq != 3 {
+		t.Fatalf("re-attach after kick: %+v err=%v", c, err)
+	}
+}
+
+// TestDrain: draining ends every attached stream with a terminal (reason
+// "drain"), refuses new sessions, and leaves existing sessions resumable
+// after the flag clears.
+func TestDrain(t *testing.T) {
+	m := testModel(t)
+	tbl := NewTable(Config{Ring: 4})
+	res, err := tbl.Attach("dev-d", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	if _, err := tbl.Fold("dev-d", []api.StreamObservation{genObs(rng, 1)}, false); err != nil {
+		t.Fatalf("fold: %v", err)
+	}
+	tbl.SetDraining(true)
+	if n := tbl.DrainStreams(); n != 1 {
+		t.Fatalf("drained %d streams, want 1", n)
+	}
+	select {
+	case u := <-res.Sub.Terminal:
+		if !u.Final || u.Reason != "drain" {
+			t.Fatalf("drain terminal: %+v", u)
+		}
+	default:
+		t.Fatal("no drain terminal")
+	}
+	select {
+	case <-res.Sub.Done:
+	default:
+		t.Fatal("drained subscriber not closed")
+	}
+	if _, err := tbl.Attach("dev-new", m, 0, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("want ErrDraining, got %v", err)
+	}
+	// The session was not closed: after the drain clears (restart or
+	// failback) it resumes with its state intact.
+	tbl.SetDraining(false)
+	back, err := tbl.Attach("dev-d", m, 0, nil)
+	if err != nil || back.Terminal || back.Snapshot.ObsSeq != 1 {
+		t.Fatalf("resume after drain: %+v err=%v", back, err)
+	}
+}

@@ -1,0 +1,547 @@
+// The sharded session table: the bounded-memory container for every live
+// Session, plus the per-connection Subscriber queues the serving layer
+// drains into SSE writes.
+//
+// Bounds, and where they come from:
+//
+//   - MaxSessions is a hard cap — the table refuses new devices (ErrFull)
+//     rather than growing;
+//   - each session's ring is allocated once at its fixed capacity;
+//   - each attached connection gets one bounded event queue; a consumer
+//     that cannot keep up is disconnected (slow-consumer kick) instead of
+//     queueing without limit — the session itself survives and the client
+//     resumes;
+//   - detached sessions are evicted after IdleEpochs sweep epochs, and
+//     closed tombstones after TombstoneEpochs (the tombstone window is the
+//     terminal-event dedup horizon: a close retry inside it replays the
+//     terminal instead of re-creating the session).
+//
+// Epochs rather than timers: AdvanceEpoch is the only clock. The serving
+// layer drives it from one ticker (or a test drives it manually), each
+// sweep touching every session once — no per-session timers, no goroutines
+// here at all.
+package session
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sync"
+	"sync/atomic"
+
+	"culpeo/internal/api"
+	"culpeo/internal/core"
+)
+
+// Defaults for Config's zero values.
+const (
+	DefaultShards          = 64
+	DefaultMaxSessions     = 1 << 20
+	DefaultRing            = 16
+	DefaultQueue           = 16
+	DefaultIdleEpochs      = 3
+	DefaultTombstoneEpochs = 2
+)
+
+// Config tunes a Table. The zero value is serviceable.
+type Config struct {
+	// Shards is the lock-striping factor (<=0: DefaultShards).
+	Shards int
+	// MaxSessions caps live sessions, tombstones included (<=0:
+	// DefaultMaxSessions).
+	MaxSessions int
+	// Ring is the observation-window capacity used when an open request
+	// does not name one (<=0: DefaultRing; capped at api.MaxStreamRing).
+	Ring int
+	// Queue bounds each subscriber's event queue (<=0: DefaultQueue).
+	Queue int
+	// IdleEpochs evicts a detached, unclosed session after this many
+	// sweeps without a touch (<=0: DefaultIdleEpochs).
+	IdleEpochs int
+	// TombstoneEpochs keeps a closed session's terminal replayable for
+	// this many sweeps (<=0: DefaultTombstoneEpochs).
+	TombstoneEpochs int
+	// Margin is the template AdaptiveMargin each new session copies; the
+	// zero value selects core.DefaultAdaptiveMargin.
+	Margin *core.AdaptiveMargin
+}
+
+func (c *Config) defaults() {
+	if c.Shards <= 0 {
+		c.Shards = DefaultShards
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = DefaultMaxSessions
+	}
+	if c.Ring <= 0 {
+		c.Ring = DefaultRing
+	}
+	if c.Ring > api.MaxStreamRing {
+		c.Ring = api.MaxStreamRing
+	}
+	if c.Queue <= 0 {
+		c.Queue = DefaultQueue
+	}
+	if c.IdleEpochs <= 0 {
+		c.IdleEpochs = DefaultIdleEpochs
+	}
+	if c.TombstoneEpochs <= 0 {
+		c.TombstoneEpochs = DefaultTombstoneEpochs
+	}
+	if c.Margin == nil {
+		c.Margin = core.DefaultAdaptiveMargin()
+	}
+}
+
+// Event is one item a subscriber's writer drains: a heartbeat marker or an
+// update frame.
+type Event struct {
+	Heartbeat bool
+	Update    api.StreamUpdate
+}
+
+// Subscriber is one attached connection's view of a session. The serving
+// layer selects over the three channels: Events carries updates and
+// heartbeats (bounded; overflowing it kicks this subscriber), Terminal
+// delivers at most one terminal update, and Done closes when the table
+// detached this subscriber itself (superseded by a newer connection, or
+// kicked as a slow consumer).
+type Subscriber struct {
+	Events   <-chan Event
+	Terminal <-chan api.StreamUpdate
+	Done     <-chan struct{}
+
+	events   chan Event
+	terminal chan api.StreamUpdate
+	done     chan struct{}
+	doneOnce sync.Once
+	reason   string // why the table detached this subscriber; set before Done closes
+
+	t    *Table
+	sess *Session
+}
+
+// Reason reports why the table closed Done ("superseded", "slow-consumer",
+// "drain"; "" if the subscriber was not table-detached). Valid only after
+// Done is closed.
+func (sub *Subscriber) Reason() string { return sub.reason }
+
+func newSubscriber(t *Table, s *Session, queue int) *Subscriber {
+	sub := &Subscriber{
+		events:   make(chan Event, queue),
+		terminal: make(chan api.StreamUpdate, 1),
+		done:     make(chan struct{}),
+		t:        t,
+		sess:     s,
+	}
+	sub.Events, sub.Terminal, sub.Done = sub.events, sub.terminal, sub.done
+	return sub
+}
+
+// close marks the subscriber dead. Safe to call more than once; caller
+// holds the shard lock (or the session is unreachable).
+func (sub *Subscriber) close() { sub.doneOnce.Do(func() { close(sub.done) }) }
+
+// Detach releases the subscriber: the session stays (and keeps folding
+// observations) but no longer has a connection to push to. Idempotent.
+func (sub *Subscriber) Detach() {
+	sh := sub.t.shardFor(sub.sess.device)
+	sh.mu.Lock()
+	if sub.sess.sub == sub {
+		sub.sess.sub = nil
+		sub.sess.touched = sub.t.epoch.Load()
+	}
+	sh.mu.Unlock()
+	sub.close()
+}
+
+// Stats is the table's counter snapshot, embedded in /metrics.
+type Stats struct {
+	Live       int    `json:"live"`
+	Attached   int    `json:"attached"`
+	Epoch      uint64 `json:"epoch"`
+	Opened     uint64 `json:"opened_total"`
+	Resumed    uint64 `json:"resumed_total"`
+	Rebuilt    uint64 `json:"rebuilt_total"`
+	Closed     uint64 `json:"closed_total"`
+	Evicted    uint64 `json:"evicted_total"`
+	Reaped     uint64 `json:"tombstones_reaped_total"`
+	Superseded uint64 `json:"superseded_total"`
+	SlowKicked uint64 `json:"slow_kicked_total"`
+	Rejected   uint64 `json:"rejected_total"`
+	DupObs     uint64 `json:"duplicate_obs_total"`
+	Heartbeats uint64 `json:"heartbeats_total"`
+	Updates    uint64 `json:"updates_total"`
+	Terminals  uint64 `json:"terminals_total"`
+}
+
+type shard struct {
+	mu       sync.Mutex
+	sessions map[string]*Session
+}
+
+// Table is the sharded session container. Safe for concurrent use.
+type Table struct {
+	cfg    Config
+	shards []*shard
+	count  atomic.Int64 // live sessions across shards (tombstones included)
+	epoch  atomic.Uint64
+	drain  atomic.Bool
+
+	opened, resumed, rebuilt, closed   atomic.Uint64
+	evicted, reaped, superseded        atomic.Uint64
+	slowKicked, rejected, dupObs       atomic.Uint64
+	heartbeats, updates, terminalsSent atomic.Uint64
+}
+
+// NewTable builds a Table.
+func NewTable(cfg Config) *Table {
+	cfg.defaults()
+	t := &Table{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	for i := range t.shards {
+		t.shards[i] = &shard{sessions: make(map[string]*Session)}
+	}
+	return t
+}
+
+func (t *Table) shardFor(device string) *shard {
+	h := fnv.New32a()
+	h.Write([]byte(device))
+	return t.shards[int(h.Sum32())%len(t.shards)]
+}
+
+// SetDraining flips the drain flag: while set, Attach refuses new work
+// with ErrDraining. DrainStreams does the disconnecting.
+func (t *Table) SetDraining(v bool) { t.drain.Store(v) }
+
+// Len returns the live session count (tombstones included).
+func (t *Table) Len() int { return int(t.count.Load()) }
+
+// Epoch returns the current sweep epoch.
+func (t *Table) Epoch() uint64 { return t.epoch.Load() }
+
+// AttachResult is the outcome of Attach: either a live subscription (Sub
+// non-nil) with its snapshot update, or — for a session that already
+// closed — the replayed terminal (Terminal true, Sub nil).
+type AttachResult struct {
+	Sub      *Subscriber
+	Snapshot api.StreamUpdate
+	Terminal bool
+	Resumed  bool // an existing session was re-attached
+	Rebuilt  bool // a fresh session was built from a non-empty replay
+}
+
+// Attach opens (or resumes) the device's session and subscribes the
+// calling connection. Replay observations above the session's high-water
+// mark are folded silently; the returned snapshot update carries the
+// resulting state. A replay with an invalid observation fails the attach.
+func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []api.StreamObservation) (AttachResult, error) {
+	if !api.ValidStreamDevice(device) {
+		return AttachResult{}, fmt.Errorf("session: bad device %q", device)
+	}
+	if ring < 0 || ring > api.MaxStreamRing {
+		return AttachResult{}, fmt.Errorf("session: ring %d outside [0, %d]", ring, api.MaxStreamRing)
+	}
+	if len(replay) > api.MaxStreamRing {
+		return AttachResult{}, fmt.Errorf("session: replay of %d exceeds the %d-observation ring cap", len(replay), api.MaxStreamRing)
+	}
+	fp := model.Fingerprint()
+
+	sh := t.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	s, ok := sh.sessions[device]
+	if ok {
+		if s.modelFP != fp {
+			return AttachResult{}, fmt.Errorf("session: device %q already streaming with a different power model", device)
+		}
+		if ring != 0 && ring != cap(s.ring) {
+			return AttachResult{}, fmt.Errorf("session: device %q ring is %d, not %d", device, cap(s.ring), ring)
+		}
+		s.touched = t.epoch.Load()
+		if s.closed {
+			// Tombstone: replay the terminal so a close retry (or a client
+			// that lost the original terminal mid-flight) converges on
+			// exactly one outcome.
+			return AttachResult{Snapshot: s.terminal, Terminal: true, Resumed: true}, nil
+		}
+		if _, err := t.foldLocked(s, replay, true); err != nil {
+			return AttachResult{}, err
+		}
+		if s.sub != nil {
+			s.sub.reason = "superseded"
+			s.sub.close()
+			s.sub = nil
+			t.superseded.Add(1)
+		}
+		sub := newSubscriber(t, s, t.cfg.Queue)
+		s.sub = sub
+		t.resumed.Add(1)
+		return AttachResult{Sub: sub, Snapshot: s.update(), Resumed: true}, nil
+	}
+
+	if t.drain.Load() {
+		return AttachResult{}, ErrDraining
+	}
+	if int(t.count.Load()) >= t.cfg.MaxSessions {
+		t.rejected.Add(1)
+		return AttachResult{}, ErrFull
+	}
+	if ring == 0 {
+		ring = t.cfg.Ring
+	}
+	s = &Session{
+		device:  device,
+		modelFP: fp,
+		model:   model,
+		ring:    make([]entry, ring),
+		margin:  *t.cfg.Margin,
+		touched: t.epoch.Load(),
+	}
+	if _, err := t.foldLocked(s, replay, true); err != nil {
+		return AttachResult{}, err
+	}
+	sh.sessions[device] = s
+	t.count.Add(1)
+	t.opened.Add(1)
+	rebuilt := len(replay) > 0
+	if rebuilt {
+		t.rebuilt.Add(1)
+	}
+	sub := newSubscriber(t, s, t.cfg.Queue)
+	s.sub = sub
+	return AttachResult{Sub: sub, Snapshot: s.update(), Rebuilt: rebuilt}, nil
+}
+
+// FoldResult acknowledges a Fold.
+type FoldResult struct {
+	LastSeq    uint64
+	Duplicates int
+	Window     int
+	Closed     bool
+}
+
+// Fold folds an observation batch into the device's session and publishes
+// one update event to the attached subscriber (if any). Observations at or
+// below the high-water mark are dropped as duplicates — retries are
+// idempotent. close ends the session: the subscriber receives a terminal
+// update and the session tombstones.
+func (t *Table) Fold(device string, obs []api.StreamObservation, close bool) (FoldResult, error) {
+	if !api.ValidStreamDevice(device) {
+		return FoldResult{}, fmt.Errorf("session: bad device %q", device)
+	}
+	if len(obs) > api.MaxStreamObsBatch {
+		return FoldResult{}, fmt.Errorf("session: batch of %d exceeds the %d cap", len(obs), api.MaxStreamObsBatch)
+	}
+	sh := t.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+
+	s, ok := sh.sessions[device]
+	if !ok {
+		return FoldResult{}, ErrNoSession
+	}
+	s.touched = t.epoch.Load()
+	if s.closed {
+		// Idempotent retries only: every observation must be old news.
+		for _, o := range obs {
+			if o.Seq > s.lastObsSeq {
+				return FoldResult{}, ErrClosed
+			}
+		}
+		t.dupObs.Add(uint64(len(obs)))
+		return FoldResult{LastSeq: s.lastObsSeq, Duplicates: len(obs), Window: s.count, Closed: true}, nil
+	}
+
+	dups, err := t.foldLocked(s, obs, false)
+	if err != nil {
+		return FoldResult{}, err
+	}
+	res := FoldResult{LastSeq: s.lastObsSeq, Duplicates: dups, Window: s.count}
+	if close {
+		u := s.update()
+		u.Final, u.Reason = true, "close"
+		s.closed = true
+		s.terminal = u
+		t.closed.Add(1)
+		res.Closed = true
+		if s.sub != nil {
+			t.terminalsSent.Add(1)
+			s.sub.terminal <- u // cap 1, one terminal per subscriber: never blocks
+		}
+		return res, nil
+	}
+	if len(obs) > 0 {
+		t.publishLocked(s, Event{Update: s.update()})
+	}
+	return res, nil
+}
+
+// foldLocked validates and folds a batch, skipping duplicates. On a
+// validation error nothing from the batch is folded (validate-all-first).
+// Caller holds the shard lock.
+func (t *Table) foldLocked(s *Session, obs []api.StreamObservation, replay bool) (dups int, err error) {
+	resolved := make([]core.Observation, len(obs))
+	last := s.lastObsSeq
+	for i, o := range obs {
+		if o.Seq == 0 {
+			// Never a legitimate retry: sequence numbers start at 1.
+			return 0, fmt.Errorf("session: observation %d: seq must be >= 1", i)
+		}
+		if o.Seq <= last {
+			continue // duplicate: no validation, it was already accepted once
+		}
+		last = o.Seq
+		if resolved[i], err = validateObservation(o); err != nil {
+			return 0, fmt.Errorf("session: observation %d (seq %d): %w", i, o.Seq, err)
+		}
+	}
+	for i, o := range obs {
+		if o.Seq <= s.lastObsSeq {
+			dups++
+			continue
+		}
+		if err := s.fold(o, resolved[i]); err != nil {
+			// Unreachable after validation, but fold must not half-apply.
+			return dups, fmt.Errorf("session: observation %d (seq %d): %w", i, o.Seq, err)
+		}
+	}
+	if dups > 0 && !replay {
+		t.dupObs.Add(uint64(dups))
+	}
+	return dups, nil
+}
+
+// publishLocked enqueues an event on the session's subscriber. A full
+// queue means the consumer is not draining its connection: heartbeats are
+// simply skipped, updates kick the subscriber (the session survives; a
+// resume gets a fresh snapshot). Caller holds the shard lock.
+func (t *Table) publishLocked(s *Session, ev Event) {
+	sub := s.sub
+	if sub == nil {
+		return
+	}
+	select {
+	case sub.events <- ev:
+		if ev.Heartbeat {
+			t.heartbeats.Add(1)
+		} else {
+			t.updates.Add(1)
+		}
+	default:
+		if !ev.Heartbeat {
+			sub.reason = "slow-consumer"
+			sub.close()
+			s.sub = nil
+			t.slowKicked.Add(1)
+		}
+	}
+}
+
+// Window returns a copy of the device's current observation window (oldest
+// first) — the parity suites compare FoldWindow over it against the
+// streamed estimate.
+func (t *Table) Window(device string) ([]api.StreamObservation, error) {
+	sh := t.shardFor(device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[device]
+	if !ok {
+		return nil, ErrNoSession
+	}
+	return s.window(), nil
+}
+
+// AdvanceEpoch runs one sweep: heartbeat every attached session, evict
+// detached sessions idle for more than IdleEpochs, reap tombstones older
+// than TombstoneEpochs. Returns (evicted, reaped) for this sweep.
+func (t *Table) AdvanceEpoch() (evicted, reaped int) {
+	epoch := t.epoch.Add(1)
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for dev, s := range sh.sessions {
+			if s.sub != nil {
+				s.touched = epoch
+				t.publishLocked(s, Event{Heartbeat: true})
+				continue
+			}
+			idle := epoch - s.touched
+			switch {
+			case s.closed && idle > uint64(t.cfg.TombstoneEpochs):
+				delete(sh.sessions, dev)
+				t.count.Add(-1)
+				reaped++
+			case !s.closed && idle > uint64(t.cfg.IdleEpochs):
+				delete(sh.sessions, dev)
+				t.count.Add(-1)
+				evicted++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	t.evicted.Add(uint64(evicted))
+	t.reaped.Add(uint64(reaped))
+	return evicted, reaped
+}
+
+// DrainStreams disconnects every attached subscriber with a terminal
+// update (reason "drain"). Sessions are not closed — a drained backend's
+// devices resume elsewhere by replaying their ring tails. Returns how many
+// subscribers were drained.
+func (t *Table) DrainStreams() int {
+	n := 0
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			sub := s.sub
+			if sub == nil {
+				continue
+			}
+			u := s.update()
+			u.Final, u.Reason = true, "drain"
+			select {
+			case sub.terminal <- u:
+				t.terminalsSent.Add(1)
+			default: // a close terminal already occupies the slot
+			}
+			sub.reason = "drain"
+			sub.close()
+			s.sub = nil
+			n++
+		}
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Stats snapshots the counters.
+func (t *Table) Stats() Stats {
+	attached := 0
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if s.sub != nil {
+				attached++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return Stats{
+		Live:       t.Len(),
+		Attached:   attached,
+		Epoch:      t.epoch.Load(),
+		Opened:     t.opened.Load(),
+		Resumed:    t.resumed.Load(),
+		Rebuilt:    t.rebuilt.Load(),
+		Closed:     t.closed.Load(),
+		Evicted:    t.evicted.Load(),
+		Reaped:     t.reaped.Load(),
+		Superseded: t.superseded.Load(),
+		SlowKicked: t.slowKicked.Load(),
+		Rejected:   t.rejected.Load(),
+		DupObs:     t.dupObs.Load(),
+		Heartbeats: t.heartbeats.Load(),
+		Updates:    t.updates.Load(),
+		Terminals:  t.terminalsSent.Load(),
+	}
+}
