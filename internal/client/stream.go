@@ -90,6 +90,7 @@ type Stream struct {
 	lastEvent   uint64
 	attached    bool
 	everOpened  bool
+	gen         uint64 // connection generation; readLoop only touches state it owns
 	cancel      context.CancelFunc
 	readerDone  chan struct{}
 	gotTerminal bool
@@ -524,19 +525,28 @@ func (s *Stream) connect(ctx context.Context, b *backend, body []byte, reconnect
 	s.cancel = cancel
 	done := make(chan struct{})
 	s.readerDone = done
+	s.gen++
+	gen := s.gen
 	s.mu.Unlock()
-	go s.readLoop(connCtx, cancel, resp.Body, sc, done)
+	go s.readLoop(connCtx, cancel, resp.Body, sc, done, gen)
 	return snap, nil
 }
 
-// readLoop drains one connection's SSE events until the stream ends.
-func (s *Stream) readLoop(connCtx context.Context, cancel context.CancelFunc, body io.ReadCloser, sc *api.SSEScanner, done chan struct{}) {
+// readLoop drains one connection's SSE events until the stream ends. gen
+// identifies the connection this reader owns: after markLost plus a
+// reattach, a late detach from the old reader must not clobber the new
+// live connection's state.
+func (s *Stream) readLoop(connCtx context.Context, cancel context.CancelFunc, body io.ReadCloser, sc *api.SSEScanner, done chan struct{}, gen uint64) {
 	defer close(done)
 	defer cancel()
 	defer body.Close()
 	detach := func() {
 		s.mu.Lock()
-		s.attached = false
+		if s.gen == gen {
+			s.attached = false
+			s.cancel = nil
+			s.readerDone = nil
+		}
 		s.mu.Unlock()
 	}
 	for {
@@ -566,6 +576,12 @@ func (s *Stream) readLoop(connCtx context.Context, cancel context.CancelFunc, bo
 				// over but the session lives; Resume reattaches.
 				s.mu.Lock()
 				s.stats.Kicked++
+				if u.Reason == "drain" && s.gen == gen {
+					// A draining backend refuses resumes of live sessions:
+					// unpin so the reattach fails over instead of re-pinning
+					// the server we were just kicked from.
+					s.b = nil
+				}
 				s.mu.Unlock()
 			}
 			detach()

@@ -253,15 +253,11 @@ func TestStreamFailover(t *testing.T) {
 	if st.Attached() {
 		t.Fatal("still attached after drain")
 	}
-	// A draining backend still accepts resumes of sessions it holds (a
-	// client racing the shutdown deserves its state); evict the detached
-	// session so the next attach is genuinely refused there.
-	for i := 0; i < session.DefaultIdleEpochs+2; i++ {
-		pinned.srv.Sessions().AdvanceEpoch()
-	}
-
-	// The next Observe fails over: the drained backend refuses the attach
-	// with 503, the other one rebuilds from the replayed tail.
+	// The next Observe fails over: the draining backend refuses even a
+	// resume of the session it still holds (503 ErrDraining — anything else
+	// would re-pin live streams to a server trying to shut down), the drain
+	// terminal already unpinned it client-side, and the other backend
+	// rebuilds from the replayed tail.
 	ack, err := st.Observe(ctx, mkSample(3))
 	if err != nil {
 		t.Fatalf("Observe after drain: %v", err)

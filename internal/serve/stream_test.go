@@ -328,6 +328,19 @@ func TestStreamDrain(t *testing.T) {
 		t.Fatalf("open while draining: status %d, want 503", resp.StatusCode)
 	}
 
+	// Resuming the live session is refused just the same — a client that
+	// auto-reattached here after the drain kick would hold a fresh SSE
+	// stream open that DrainStreams already swept past, hanging Shutdown.
+	b, _ = json.Marshal(api.StreamOpenRequest{Device: dev})
+	resp, err = http.Post(ts.URL+api.PathStream, "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatalf("resume while draining: %v", err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("resume while draining: status %d, want 503", resp.StatusCode)
+	}
+
 	// Undrain: the session survived the drain, the device resumes.
 	s.SetDraining(false)
 	resumed := openStream(t, ts.URL, api.StreamOpenRequest{Device: dev})

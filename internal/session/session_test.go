@@ -2,8 +2,11 @@ package session
 
 import (
 	"errors"
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -386,6 +389,42 @@ func TestCapsAndEviction(t *testing.T) {
 	}
 }
 
+// TestMaxSessionsConcurrent: the cap is a reservation, not a racy
+// check-then-add — concurrent opens on different shards (different locks)
+// must never overshoot MaxSessions, and exactly cap of them win.
+func TestMaxSessionsConcurrent(t *testing.T) {
+	m := testModel(t)
+	const cap, attempts = 4, 64
+	tbl := NewTable(Config{Ring: 4, MaxSessions: cap, Shards: 16})
+	var won, full atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < attempts; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, err := tbl.Attach(fmt.Sprintf("dev-cap-%02d", i), m, 0, nil)
+			switch {
+			case err == nil:
+				won.Add(1)
+			case errors.Is(err, ErrFull):
+				full.Add(1)
+			default:
+				t.Errorf("attach %d: %v", i, err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if won.Load() != cap || full.Load() != attempts-cap {
+		t.Fatalf("won=%d full=%d, want %d/%d", won.Load(), full.Load(), cap, attempts-cap)
+	}
+	if tbl.Len() != cap {
+		t.Fatalf("len=%d, want %d", tbl.Len(), cap)
+	}
+	if got := tbl.Stats().Rejected; got != attempts-cap {
+		t.Fatalf("rejected_total=%d, want %d", got, attempts-cap)
+	}
+}
+
 // mustSub re-attaches a device and returns the subscriber (helper for
 // tests that need a second handle).
 func mustSub(t *testing.T, tbl *Table, dev string) *Subscriber {
@@ -448,7 +487,8 @@ func TestSupersedeAndSlowKick(t *testing.T) {
 }
 
 // TestDrain: draining ends every attached stream with a terminal (reason
-// "drain"), refuses new sessions, and leaves existing sessions resumable
+// "drain"), refuses new sessions AND live-session resumes (only tombstone
+// terminal replays still answer), and leaves existing sessions resumable
 // after the flag clears.
 func TestDrain(t *testing.T) {
 	m := testModel(t)
@@ -461,6 +501,17 @@ func TestDrain(t *testing.T) {
 	if _, err := tbl.Fold("dev-d", []api.StreamObservation{genObs(rng, 1)}, false); err != nil {
 		t.Fatalf("fold: %v", err)
 	}
+	// A second session, closed before the drain: its tombstone must keep
+	// replaying the terminal while draining.
+	tomb, err := tbl.Attach("dev-t", m, 0, nil)
+	if err != nil {
+		t.Fatalf("attach tombstone device: %v", err)
+	}
+	if _, err := tbl.Fold("dev-t", []api.StreamObservation{genObs(rng, 1)}, true); err != nil {
+		t.Fatalf("close tombstone device: %v", err)
+	}
+	<-tomb.Sub.Terminal
+	tomb.Sub.Detach()
 	tbl.SetDraining(true)
 	if n := tbl.DrainStreams(); n != 1 {
 		t.Fatalf("drained %d streams, want 1", n)
@@ -480,6 +531,19 @@ func TestDrain(t *testing.T) {
 	}
 	if _, err := tbl.Attach("dev-new", m, 0, nil); !errors.Is(err, ErrDraining) {
 		t.Fatalf("want ErrDraining, got %v", err)
+	}
+	// Resuming a live session is refused exactly like a new open: a
+	// subscriber attached after DrainStreams swept would never be
+	// terminated, and Shutdown would hang on its connection.
+	if _, err := tbl.Attach("dev-d", m, 0, nil); !errors.Is(err, ErrDraining) {
+		t.Fatalf("live resume during drain: want ErrDraining, got %v", err)
+	}
+	// The tombstone still replays its terminal during the drain — the
+	// response completes immediately and attaches nothing, so close
+	// retries converge even against a draining server.
+	rep, err := tbl.Attach("dev-t", m, 0, nil)
+	if err != nil || !rep.Terminal || rep.Sub != nil || rep.Snapshot.Reason != "close" {
+		t.Fatalf("tombstone replay during drain: %+v err=%v", rep, err)
 	}
 	// The session was not closed: after the drain clears (restart or
 	// failback) it resumes with its state intact.

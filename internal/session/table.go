@@ -206,7 +206,9 @@ func NewTable(cfg Config) *Table {
 func (t *Table) shardFor(device string) *shard {
 	h := fnv.New32a()
 	h.Write([]byte(device))
-	return t.shards[int(h.Sum32())%len(t.shards)]
+	// Unsigned modulo: int(Sum32()) is negative for high hashes on 32-bit
+	// platforms, and a negative index panics.
+	return t.shards[h.Sum32()%uint32(len(t.shards))]
 }
 
 // SetDraining flips the drain flag: while set, Attach refuses new work
@@ -262,8 +264,16 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 		if s.closed {
 			// Tombstone: replay the terminal so a close retry (or a client
 			// that lost the original terminal mid-flight) converges on
-			// exactly one outcome.
+			// exactly one outcome. Allowed even while draining — the replay
+			// answers and ends in one response, it attaches nothing.
 			return AttachResult{Snapshot: s.terminal, Terminal: true, Resumed: true}, nil
+		}
+		if t.drain.Load() {
+			// Refuse live resumes too, not just new devices: a resumed
+			// subscriber attached after DrainStreams already swept would
+			// hold the draining server's Shutdown open forever. The session
+			// itself survives for a resume elsewhere (or after undrain).
+			return AttachResult{}, ErrDraining
 		}
 		if _, err := t.foldLocked(s, replay, true); err != nil {
 			return AttachResult{}, err
@@ -283,7 +293,11 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 	if t.drain.Load() {
 		return AttachResult{}, ErrDraining
 	}
-	if int(t.count.Load()) >= t.cfg.MaxSessions {
+	// Reserve the slot atomically (add-then-check, rolling back on
+	// overflow): opens on different shards hold different locks, so a
+	// check-then-add could overshoot MaxSessions by up to the shard count.
+	if t.count.Add(1) > int64(t.cfg.MaxSessions) {
+		t.count.Add(-1)
 		t.rejected.Add(1)
 		return AttachResult{}, ErrFull
 	}
@@ -299,10 +313,10 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 		touched: t.epoch.Load(),
 	}
 	if _, err := t.foldLocked(s, replay, true); err != nil {
+		t.count.Add(-1)
 		return AttachResult{}, err
 	}
 	sh.sessions[device] = s
-	t.count.Add(1)
 	t.opened.Add(1)
 	rebuilt := len(replay) > 0
 	if rebuilt {
