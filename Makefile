@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: build vet test race golden golden-update soak alloc batch warm bench benchgate serve-smoke chaos shard stream check
+.PHONY: build vet test race golden golden-update soak alloc batch warm bench benchgate serve-smoke chaos shard stream crash check
 
 build:
 	$(GO) build ./...
@@ -120,4 +120,15 @@ shard:
 stream:
 	$(GO) test -race ./internal/expt -run 'TestStreamSoak' -short -count=1
 
-check: vet build alloc batch warm race golden soak serve-smoke chaos shard stream benchgate
+# Crash-chaos soak, reduced schedule, under the race detector: build the
+# real journaled culpeod, SIGKILL it mid-traffic across seeded restart
+# cycles, and gate on zero lost acked observations, zero duplicated folds,
+# bit-exact estimate/margin recovery, bit-identical terminal replays,
+# idempotent close retries and a byte-identical event log across same-seed
+# runs — plus the journal frame/recovery suites and their fuzz seeds. For
+# the full 20-cycle, three-run soak: go run ./cmd/culpeo crashtest
+crash:
+	$(GO) test -race ./internal/expt -run 'TestCrashSoak' -short -count=1
+	$(GO) test ./internal/journal -count=1
+
+check: vet build alloc batch warm race golden soak serve-smoke chaos shard stream crash benchgate

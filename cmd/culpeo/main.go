@@ -25,7 +25,8 @@
 //	culpeo chaos       deterministic resilience soak: culpeod behind fault proxies
 //	culpeo shardsoak   sharded-tier lifecycle soak: kill/leave/rejoin/drain a shard
 //	culpeo streamtest  sessionized streaming soak: 100k device lifecycles behind flapping links
-//	culpeo all         everything above except bench/benchcheck/loadtest/chaos/shardsoak/streamtest
+//	culpeo crashtest   crash-chaos soak: kill -9 the journaled culpeod and verify bit-exact recovery
+//	culpeo all         everything above except bench/benchcheck/loadtest/chaos/shardsoak/streamtest/crashtest
 //
 // Flags: -csv emits CSV instead of aligned text; -horizon and -trials trim
 // the application experiments; -points dumps Figure 3's full point cloud;
@@ -77,6 +78,17 @@
 // runs the 2,000-session `make stream` configuration; -sessions overrides
 // the count; -record merges the result into the -benchout artifact as its
 // "stream" section (full scale only).
+//
+// crashtest builds the real culpeod binary, boots it with a write-ahead
+// session journal, drives seeded device streams through client.Stream,
+// SIGKILLs it and restarts it against the same directory — 20 cycles,
+// three same-seed runs — gated on zero lost acked observations, zero
+// duplicated folds, bit-exact fold and margin parity, bit-identical
+// terminal replays, idempotent close retries and byte-identical event
+// logs across the runs. -reduced runs the 5-cycle `make crash`
+// configuration; -record (full scale only) measures the 100k-session
+// recovery benchmark and merges it into the -benchout artifact as its
+// "recovery" section.
 package main
 
 import (
@@ -124,16 +136,16 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	ltAddr := fs.String("addr", "", "loadtest: target base URL (empty = self-hosted in-process server)")
 	ltDuration := fs.Duration("duration", 3*time.Second, "loadtest: measurement window")
 	ltConcurrency := fs.Int("concurrency", 0, "loadtest: closed-loop clients (0 = 4×GOMAXPROCS)")
-	ltRecord := fs.Bool("record", false, "loadtest/streamtest: merge the run's stats into the -benchout artifact")
+	ltRecord := fs.Bool("record", false, "loadtest/streamtest/crashtest: merge the run's stats into the -benchout artifact")
 	ltShards := fs.Int("shards", 0, "loadtest: boot this many culpeod shards behind a rendezvous router (0 = single-node HTTP loadtest)")
 	ltSweep := fs.Bool("shardsweep", false, "loadtest: run the sharded rig at 1, 4 and 8 shards and report scaling")
 	against := fs.String("against", "", "benchcheck: baseline artifact to compare -benchout against (regression gate)")
 	tolerance := fs.Float64("tolerance", 0.15, "benchcheck: allowed fractional regression vs -against")
 	fresh := fs.Int("fresh", 0, "benchcheck: with -against, collect fresh measurements instead of reading -benchout, retrying up to this many attempts")
-	chaosReduced := fs.Bool("reduced", false, "chaos/shardsoak/streamtest: run the reduced workload (the `make chaos` / `make shard` / `make stream` configuration)")
+	chaosReduced := fs.Bool("reduced", false, "chaos/shardsoak/streamtest/crashtest: run the reduced workload (the `make chaos` / `make shard` / `make stream` / `make crash` configuration)")
 	stSessions := fs.Int("sessions", 0, "streamtest: device-session count (0 = 100000 full, 2000 reduced)")
 	fs.Usage = func() {
-		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest chaos shardsoak streamtest all\n\nflags:\n")
+		fmt.Fprintf(stderr, "usage: culpeo [flags] <experiment>\n\nexperiments: fig1b fig3 fig4 fig5 fig6 tbl3 fig10 fig11 fig12 fig13 decoupling ablations charact reprofile intermittent soak futurework bench benchcheck loadtest chaos shardsoak streamtest crashtest all\n\nflags:\n")
 		fs.PrintDefaults()
 	}
 	// Allow "culpeo fig10 -csv" as well as "culpeo -csv fig10".
@@ -185,6 +197,8 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 			err = shardsoak(ctx, stdout, *chaosReduced)
 		} else if cmd == "streamtest" {
 			err = streamtest(ctx, stdout, stderr, *chaosReduced, *stSessions, *ltRecord, *benchout)
+		} else if cmd == "crashtest" {
+			err = crashtest(ctx, stdout, stderr, *chaosReduced, *ltRecord, *benchout)
 		} else if cmd == "benchcheck" && *against != "" && *fresh > 0 {
 			err = benchgateFresh(stdout, *against, *tolerance, *fresh)
 		} else if cmd == "benchcheck" && *against != "" {
@@ -389,6 +403,78 @@ func shardsoak(ctx context.Context, w io.Writer, reduced bool) error {
 	return nil
 }
 
+// crashtest runs the crash-chaos soak three times with the same seed and
+// requires byte-identical event logs on top of each run's own gates; a
+// failed gate or a log divergence is the command's error (non-zero exit).
+// With -record (full scale only) it then measures the 100k-session
+// recovery benchmark and merges the result into the bench artifact's
+// "recovery" section.
+func crashtest(ctx context.Context, w, progress io.Writer, reduced bool, record bool, benchout string) error {
+	t0 := time.Now()
+	const runs = 3
+	var firstLog []string
+	for run := 1; run <= runs; run++ {
+		fmt.Fprintf(progress, "crashtest: run %d/%d\n", run, runs)
+		rep, err := expt.CrashSoak(ctx, expt.CrashOpts{Reduced: reduced})
+		if err != nil {
+			return err
+		}
+		if run == 1 {
+			if err := rep.Render(w); err != nil {
+				return err
+			}
+			if err := rep.Gate(); err != nil {
+				return err
+			}
+			firstLog = rep.Log
+			continue
+		}
+		if err := rep.Gate(); err != nil {
+			return fmt.Errorf("run %d/%d: %w", run, runs, err)
+		}
+		if len(rep.Log) != len(firstLog) {
+			return fmt.Errorf("run %d/%d: event log has %d lines, run 1 had %d", run, runs, len(rep.Log), len(firstLog))
+		}
+		for i := range firstLog {
+			if rep.Log[i] != firstLog[i] {
+				return fmt.Errorf("run %d/%d: event log diverged at line %d:\n run 1: %s\n run %d: %s",
+					run, runs, i, firstLog[i], run, rep.Log[i])
+			}
+		}
+	}
+	fmt.Fprintf(w, "\ncrashtest: %d runs completed in %.1f s\n", runs, time.Since(t0).Seconds())
+	fmt.Fprintln(w, "crashtest: all gates passed (zero lost acked obs, zero dup folds, bit-exact recovery, byte-identical logs)")
+	if !record {
+		return nil
+	}
+	if reduced {
+		return fmt.Errorf("-record needs the full-scale soak (drop -reduced)")
+	}
+	res, err := expt.RecoveryBench(ctx, 100_000, 0)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "crashtest: recovery bench: %d sessions (%d obs each) recovered in %.1f ms (%.0f sessions/s), snapshot %d bytes, append %.0f ns/op\n",
+		res.Sessions, res.ObsPerSession, res.RecoverMs, res.SessionsPerSec, res.SnapshotBytes, res.AppendNsPerOp)
+	art, err := benchrun.Read(benchout)
+	if err != nil {
+		return fmt.Errorf("-record needs a valid artifact (run `culpeo bench` first): %w", err)
+	}
+	art.Recovery = &benchrun.RecoveryStats{
+		Name:           fmt.Sprintf("recovery/sessions-%dk", res.Sessions/1000),
+		Sessions:       res.Sessions,
+		SnapshotBytes:  res.SnapshotBytes,
+		RecoverMs:      res.RecoverMs,
+		SessionsPerSec: res.SessionsPerSec,
+		AppendNsPerOp:  res.AppendNsPerOp,
+	}
+	if err := benchrun.Write(benchout, art); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "crashtest: recorded recovery stats into %s\n", benchout)
+	return nil
+}
+
 // streamtest runs the sessionized streaming soak and prints its report; a
 // failed gate is the command's error (non-zero exit). With -record the
 // result becomes the bench artifact's stream section — full scale only,
@@ -510,6 +596,7 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 			rep.Serving = prev.Serving
 			rep.ShardScaling = prev.ShardScaling
 			rep.Stream = prev.Stream
+			rep.Recovery = prev.Recovery
 		}
 		if err := benchrun.Write(benchout, rep); err != nil {
 			return err
@@ -537,6 +624,10 @@ func run(ctx context.Context, w io.Writer, cmd string, csv, points bool, benchou
 		if st := rep.Stream; st != nil {
 			fmt.Fprintf(w, "benchcheck: %s: %d sessions, %.0f events/s, p99 event %.3f ms, %.0f B/session peak heap\n",
 				st.Name, st.Sessions, st.EventsPerSec, st.P99EventMs, st.PeakHeapPerSessionBytes)
+		}
+		if rc := rep.Recovery; rc != nil {
+			fmt.Fprintf(w, "benchcheck: %s: recovered in %.1f ms (%.0f sessions/s), append %.0f ns/op\n",
+				rc.Name, rc.RecoverMs, rc.SessionsPerSec, rc.AppendNsPerOp)
 		}
 		return nil
 	case "fig1b":

@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"culpeo/internal/journal"
 	"culpeo/internal/serve"
 )
 
@@ -57,6 +58,10 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		sessionQueue = fs.Int("session-queue", 0, "per-connection event queue before a slow-consumer kick (0 = default)")
 		sessionIdle  = fs.Int("session-idle-epochs", 0, "sweep epochs a detached session survives before eviction (0 = default)")
 		sessionSweep = fs.Duration("session-sweep", 30*time.Second, "session epoch sweeper interval (0 disables idle eviction)")
+
+		journalDir   = fs.String("journal-dir", "", "write-ahead session journal directory (empty disables journaling)")
+		journalFsync = fs.Bool("journal-fsync", true, "fsync journal batches before acknowledging observations")
+		snapEvery    = fs.Int("snapshot-every", 4096, "journal appends between compacted snapshots (0 = snapshot only on drain)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
@@ -73,6 +78,32 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		fmt.Fprintln(stderr, "culpeod: session flags must be >= 0")
 		return 2
 	}
+	if *snapEvery < 0 {
+		fmt.Fprintln(stderr, "culpeod: -snapshot-every must be >= 0")
+		return 2
+	}
+
+	// Open the journal (and read back whatever a previous incarnation left)
+	// before the server exists: a journal that cannot be opened — or a
+	// recovery that cannot be replayed — must fail the boot loudly rather
+	// than serve with silent data loss. The "journal recovery failed" prefix
+	// is the parseable contract for supervisors.
+	var (
+		jrnl *journal.Journal
+		rec  journal.Recovery
+	)
+	if *journalDir != "" {
+		var err error
+		jrnl, rec, err = journal.Open(journal.Options{
+			Dir:   *journalDir,
+			Fsync: *journalFsync,
+		})
+		if err != nil {
+			fmt.Fprintln(stderr, "culpeod: journal recovery failed:", err)
+			return 1
+		}
+		defer jrnl.Close()
+	}
 
 	s := serve.New(serve.Config{
 		MaxInFlight: *maxInFlight,
@@ -88,8 +119,25 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 		SessionQueue:      *sessionQueue,
 		SessionIdleEpochs: *sessionIdle,
 		SessionSweep:      *sessionSweep,
+
+		Journal:       jrnl,
+		SnapshotEvery: *snapEvery,
 	})
 	defer s.Close()
+
+	// Replay the previous incarnation's journal into the fresh session table
+	// before the listener exists. /healthz would answer "recovering" during
+	// this window; since we replay before binding the port, external callers
+	// only ever see "ready".
+	if jrnl != nil {
+		st, err := s.Recover(rec)
+		if err != nil {
+			fmt.Fprintln(stderr, "culpeod: journal recovery failed:", err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "culpeod: journal recovered: %d sessions (%d tombstones, %d from snapshot, %d records, %d skipped), %d segments, %d bytes truncated\n",
+			st.Sessions, st.Tombstones, st.FromSnapshot, st.Records, st.Skipped, rec.Segments, rec.Truncated)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -128,6 +176,14 @@ func realMain(ctx context.Context, args []string, stdout, stderr io.Writer) int 
 	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintln(stderr, "culpeod:", err)
 		return 1
+	}
+	// A graceful drain leaves a compacted snapshot behind: the next boot
+	// replays one image instead of the whole segment run.
+	if jrnl != nil {
+		if err := s.JournalSnapshot(); err != nil {
+			fmt.Fprintln(stderr, "culpeod: drain snapshot:", err)
+			return 1
+		}
 	}
 	fmt.Fprintln(stdout, "culpeod: drained, exiting")
 	return 0

@@ -6,6 +6,8 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
 	"strings"
 	"sync"
 	"testing"
@@ -251,5 +253,103 @@ func TestFlagErrors(t *testing.T) {
 func TestBadListenAddr(t *testing.T) {
 	if got := realMain(context.Background(), []string{"-addr", "256.256.256.256:1"}, io.Discard, io.Discard); got != 1 {
 		t.Errorf("unlistenable address: exit %d, want 1", got)
+	}
+}
+
+// TestJournalRecoveryFailureExits: a journal that cannot be opened (the
+// path is a regular file, so no directory can exist there) must abort the
+// boot with exit 1 and the parseable "journal recovery failed" reason —
+// never serve with silent data loss.
+func TestJournalRecoveryFailureExits(t *testing.T) {
+	file := filepath.Join(t.TempDir(), "not-a-dir")
+	if err := os.WriteFile(file, []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var errOut syncBuffer
+	got := realMain(context.Background(), []string{"-addr", "127.0.0.1:0", "-journal-dir", file}, io.Discard, &errOut)
+	if got != 1 {
+		t.Fatalf("exit code %d, want 1; stderr: %q", got, errOut.String())
+	}
+	if !strings.Contains(errOut.String(), "culpeod: journal recovery failed:") {
+		t.Fatalf("stderr missing parseable reason: %q", errOut.String())
+	}
+}
+
+// TestJournalFlagErrors: -snapshot-every must be non-negative.
+func TestJournalFlagErrors(t *testing.T) {
+	if got := realMain(context.Background(), []string{"-snapshot-every", "-1"}, io.Discard, io.Discard); got != 2 {
+		t.Fatalf("realMain(-snapshot-every -1) = %d, want 2", got)
+	}
+}
+
+// TestJournaledDrainAndRecover: a journaled daemon reports recovery before
+// listening, snapshots on graceful drain, and a second incarnation rebuilds
+// the streamed session from the directory the first one left behind.
+func TestJournaledDrainAndRecover(t *testing.T) {
+	dir := t.TempDir()
+	url, cancel, code, out := startDaemon(t, "-journal-dir", dir, "-session-sweep", "0")
+	defer cancel()
+	waitForOutput(t, out, "journal recovered: 0 sessions")
+
+	// Open a stream and fold one acknowledged observation.
+	openBody := `{"device":"dev-boot","ring":4}`
+	resp, err := http.Post(url+api.PathStream, "application/json", strings.NewReader(openBody))
+	if err != nil {
+		t.Fatalf("open stream: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("open stream status %d", resp.StatusCode)
+	}
+	obs := `{"device":"dev-boot","observations":[{"seq":1,"v_start":2.3,"v_min":2.05,"v_final":2.1}]}`
+	oresp, err := http.Post(url+api.PathStreamObs, "application/json", strings.NewReader(obs))
+	if err != nil {
+		t.Fatalf("obs: %v", err)
+	}
+	body, _ := io.ReadAll(oresp.Body)
+	oresp.Body.Close()
+	if oresp.StatusCode != http.StatusOK {
+		t.Fatalf("obs status %d: %s", oresp.StatusCode, body)
+	}
+
+	cancel()
+	select {
+	case c := <-code:
+		if c != 0 {
+			t.Fatalf("exit code %d; output %q", c, out.String())
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("daemon did not drain")
+	}
+	// The graceful drain left a compacted snapshot behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := false
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			snap = true
+		}
+	}
+	if !snap {
+		t.Fatalf("no snapshot after graceful drain; dir: %v", entries)
+	}
+
+	// Boot a second incarnation on the same directory: the session is back.
+	url2, cancel2, _, out2 := startDaemon(t, "-journal-dir", dir, "-session-sweep", "0")
+	defer cancel2()
+	waitForOutput(t, out2, "journal recovered: 1 sessions")
+	retry, err := http.Post(url2+api.PathStreamObs, "application/json", strings.NewReader(obs))
+	if err != nil {
+		t.Fatalf("retry obs: %v", err)
+	}
+	rbody, _ := io.ReadAll(retry.Body)
+	retry.Body.Close()
+	if retry.StatusCode != http.StatusOK {
+		t.Fatalf("retry status %d: %s", retry.StatusCode, rbody)
+	}
+	if !strings.Contains(string(rbody), `"duplicates":1`) {
+		t.Fatalf("recovered session did not dedup the retried observation: %s", rbody)
 	}
 }

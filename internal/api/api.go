@@ -148,8 +148,14 @@ type ErrorResponse struct {
 // last heard (0: standalone, never told), and Version identifies the
 // serving build.
 type HealthResponse struct {
-	OK            bool   `json:"ok"`
-	Draining      bool   `json:"draining"`
+	OK       bool `json:"ok"`
+	Draining bool `json:"draining"`
+	// Phase is the server's lifecycle phase: "starting" (journal configured
+	// but replay not begun), "recovering" (boot-time journal replay in
+	// progress — route nothing here, the session table is half-rebuilt),
+	// "ready", or "draining". Pre-phase servers omit it; clients treat an
+	// empty phase as ready.
+	Phase         string `json:"phase,omitempty"`
 	ShardID       string `json:"shard_id,omitempty"`
 	TopologyEpoch uint64 `json:"topology_epoch,omitempty"`
 	Version       string `json:"version,omitempty"`

@@ -36,7 +36,11 @@ import (
 // Schema 5 added the stream section (`culpeo streamtest -record`): the
 // sessionized streaming soak at stream/sessions-100k scale — event
 // throughput, p99 event latency and peak heap per resident session.
-const Schema = 5
+// Schema 6 added the recovery section (`culpeo crashtest -record`): the
+// write-ahead journal's cold-restart figures at recovery/sessions-100k
+// scale — snapshot size, recovery wall clock, sessions recovered per
+// second and the journaled append round trip.
+const Schema = 6
 
 // Benchmark is one recorded measurement.
 type Benchmark struct {
@@ -84,6 +88,26 @@ type StreamStats struct {
 	PeakHeapPerSessionBytes float64 `json:"peak_heap_per_session_bytes"`
 	DurationSec             float64 `json:"duration_sec"`
 	Workers                 int     `json:"workers"`
+}
+
+// RecoveryStats records a `culpeo crashtest -record` run: the cost of a
+// cold restart from the write-ahead session journal — journal scan,
+// snapshot decode and record replay back to serving state — recorded only
+// after the crash soak passed every gate (zero lost acked observations,
+// zero duplicated folds, bit-exact recovery, byte-identical logs).
+type RecoveryStats struct {
+	// Name labels the configuration, e.g. "recovery/sessions-100k".
+	Name     string `json:"name"`
+	Sessions int    `json:"sessions"`
+	// SnapshotBytes is the compacted snapshot's on-disk size.
+	SnapshotBytes int64 `json:"snapshot_bytes"`
+	// RecoverMs is the cold-restart wall clock: journal.Open's segment
+	// scan plus the session-table replay, the exact pre-listen boot path.
+	RecoverMs      float64 `json:"recover_ms"`
+	SessionsPerSec float64 `json:"sessions_per_sec"`
+	// AppendNsPerOp is one journaled append, enqueue to durable ack
+	// (group-commit batched, fsync off — the replay path is the subject).
+	AppendNsPerOp float64 `json:"append_ns_per_op"`
 }
 
 // ShardRow is one shard count in the scaling sweep.
@@ -146,6 +170,9 @@ type Report struct {
 	// Stream is the recorded streaming soak, when one has been run
 	// (`culpeo streamtest -record`); bench leaves it intact the same way.
 	Stream *StreamStats `json:"stream,omitempty"`
+	// Recovery is the recorded crash-recovery benchmark, when one has been
+	// run (`culpeo crashtest -record`); bench leaves it intact the same way.
+	Recovery *RecoveryStats `json:"recovery,omitempty"`
 }
 
 // sweepTasks is the end-to-end workload: a spread of the evaluation
@@ -667,6 +694,22 @@ func (r *Report) Validate() error {
 			return fmt.Errorf("benchrun: stream: workers %d", st.Workers)
 		}
 	}
+	if rc := r.Recovery; rc != nil {
+		switch {
+		case rc.Name == "":
+			return fmt.Errorf("benchrun: recovery: missing name")
+		case rc.Sessions <= 0:
+			return fmt.Errorf("benchrun: recovery: sessions %d", rc.Sessions)
+		case rc.SnapshotBytes <= 0:
+			return fmt.Errorf("benchrun: recovery: snapshot_bytes %d", rc.SnapshotBytes)
+		case !(rc.RecoverMs > 0) || math.IsInf(rc.RecoverMs, 0):
+			return fmt.Errorf("benchrun: recovery: bad recover_ms %v", rc.RecoverMs)
+		case !(rc.SessionsPerSec > 0) || math.IsInf(rc.SessionsPerSec, 0):
+			return fmt.Errorf("benchrun: recovery: bad sessions_per_sec %v", rc.SessionsPerSec)
+		case !(rc.AppendNsPerOp > 0) || math.IsInf(rc.AppendNsPerOp, 0):
+			return fmt.Errorf("benchrun: recovery: bad append_ns_per_op %v", rc.AppendNsPerOp)
+		}
+	}
 	if sc := r.ShardScaling; sc != nil {
 		if len(sc.Rows) == 0 {
 			return fmt.Errorf("benchrun: shard_scaling: no rows")
@@ -759,6 +802,10 @@ func Compare(current, baseline *Report, tol float64) error {
 	}
 	if current.Stream != nil && baseline.Stream != nil {
 		worse("stream events_per_sec", current.Stream.EventsPerSec, baseline.Stream.EventsPerSec, false)
+	}
+	if current.Recovery != nil && baseline.Recovery != nil {
+		worse("recovery sessions_per_sec", current.Recovery.SessionsPerSec, baseline.Recovery.SessionsPerSec, false)
+		worse("recovery append_ns_per_op", current.Recovery.AppendNsPerOp*scale, baseline.Recovery.AppendNsPerOp, true)
 	}
 	if current.ShardScaling != nil && baseline.ShardScaling != nil {
 		baseRows := map[int]ShardRow{}

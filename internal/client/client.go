@@ -177,6 +177,7 @@ type backend struct {
 	shardID       string
 	topologyEpoch uint64
 	version       string
+	phase         string
 
 	// metricsMu guards the last successfully scraped server-side metrics
 	// subset (nil until ScrapeServerMetrics has reached this backend).
@@ -202,14 +203,15 @@ func (b *backend) setHealthIdentity(h api.HealthResponse) {
 	b.shardID = h.ShardID
 	b.topologyEpoch = h.TopologyEpoch
 	b.version = h.Version
+	b.phase = h.Phase
 	b.healthMu.Unlock()
 }
 
-// healthIdentity returns the last probed shard identity.
-func (b *backend) healthIdentity() (shardID string, epoch uint64, version string) {
+// healthIdentity returns the last probed shard identity and phase.
+func (b *backend) healthIdentity() (shardID string, epoch uint64, version, phase string) {
 	b.healthMu.Lock()
 	defer b.healthMu.Unlock()
-	return b.shardID, b.topologyEpoch, b.version
+	return b.shardID, b.topologyEpoch, b.version, b.phase
 }
 
 // Pool is a load-balancing, failure-isolating culpeod client. Safe for
@@ -733,6 +735,12 @@ func (p *Pool) probe(ctx context.Context, b *backend) {
 				switch {
 				case h.Draining:
 					cause = "draining"
+				case h.Phase == "recovering" || h.Phase == "starting":
+					// Boot-time journal replay: the table is half-rebuilt.
+					// Treat it exactly like draining — probe-only, no routing,
+					// and no ejection-log spam (the transition edge emits one
+					// event, same as any other cause).
+					cause = h.Phase
 				case resp.StatusCode == http.StatusOK && h.OK:
 					ok = true
 				}

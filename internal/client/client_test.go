@@ -334,6 +334,78 @@ func TestProbeEjectsAndReadmits(t *testing.T) {
 	}
 }
 
+// TestProbeRecoveringBackend: a backend whose /healthz phase is
+// "recovering" (boot-time journal replay) or "starting" is treated exactly
+// like a draining one — ejected with a single transition event, no routing,
+// no per-probe log spam — and readmitted once the phase flips to "ready".
+func TestProbeRecoveringBackend(t *testing.T) {
+	var phase atomic.Value
+	phase.Store("recovering")
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/healthz" {
+			estimateOK(w)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		p := phase.Load().(string)
+		if p != "ready" {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, `{"ok":false,"draining":false,"phase":%q,"version":"culpeod/test"}`, p)
+			return
+		}
+		fmt.Fprint(w, `{"ok":true,"draining":false,"phase":"ready","version":"culpeod/test"}`)
+	}))
+	defer srv.Close()
+
+	var evMu sync.Mutex
+	var events []string
+	cfg := fastCfg(srv.URL)
+	cfg.OnTransition = func(ev Event) {
+		evMu.Lock()
+		events = append(events, fmt.Sprintf("%s->%s (%s)", ev.From, ev.To, ev.Cause))
+		evMu.Unlock()
+	}
+	p := newPool(t, cfg)
+	b := p.backends[0]
+
+	for _, ph := range []string{"recovering", "starting"} {
+		phase.Store(ph)
+		// Repeated probes while stuck in the phase: one transition edge, no
+		// spam.
+		p.probe(context.Background(), b)
+		p.probe(context.Background(), b)
+		if !b.ejected.Load() {
+			t.Fatalf("probe did not eject a %s backend", ph)
+		}
+		if got := p.Metrics().Backends[0].Phase; got != ph {
+			t.Fatalf("BackendSnapshot.Phase = %q, want %q", got, ph)
+		}
+		phase.Store("ready")
+		p.probe(context.Background(), b)
+		if b.ejected.Load() {
+			t.Fatalf("probe did not readmit after %s -> ready", ph)
+		}
+	}
+	if got := p.Metrics().Backends[0].Phase; got != "ready" {
+		t.Fatalf("BackendSnapshot.Phase = %q, want ready", got)
+	}
+
+	evMu.Lock()
+	defer evMu.Unlock()
+	want := []string{
+		"healthy->ejected (recovering)", "ejected->healthy (probe ok)",
+		"healthy->ejected (starting)", "ejected->healthy (probe ok)",
+	}
+	if len(events) != len(want) {
+		t.Fatalf("events = %v, want %v", events, want)
+	}
+	for i := range want {
+		if events[i] != want[i] {
+			t.Fatalf("event[%d] = %q, want %q", i, events[i], want[i])
+		}
+	}
+}
+
 func TestHedgedBatchSecondBackendWins(t *testing.T) {
 	slow := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		select {

@@ -73,6 +73,7 @@ type BackendSnapshot struct {
 	ShardID       string                `json:"shard_id,omitempty"`
 	TopologyEpoch uint64                `json:"topology_epoch,omitempty"`
 	Version       string                `json:"version,omitempty"`
+	Phase         string                `json:"phase,omitempty"`
 	VSafeCache    *core.VSafeCacheStats `json:"vsafe_cache,omitempty"`
 	BatchDeduped  uint64                `json:"batch_deduped_total,omitempty"`
 	Latency       api.HistogramSnapshot `json:"latency"`
@@ -110,7 +111,7 @@ func (p *Pool) Metrics() MetricsSnapshot {
 		HedgeWins:         p.met.hedgeWins.Load(),
 	}
 	for _, b := range p.backends {
-		shardID, epoch, version := b.healthIdentity()
+		shardID, epoch, version, phase := b.healthIdentity()
 		cache, deduped := b.serverMetrics()
 		s.Backends = append(s.Backends, BackendSnapshot{
 			Name:          b.name,
@@ -125,6 +126,7 @@ func (p *Pool) Metrics() MetricsSnapshot {
 			ShardID:       shardID,
 			TopologyEpoch: epoch,
 			Version:       version,
+			Phase:         phase,
 			VSafeCache:    cache,
 			BatchDeduped:  deduped,
 			Latency:       b.met.latency.Snapshot(),

@@ -106,6 +106,44 @@ func (m *AdaptiveMargin) Failures() int {
 	return m.failures
 }
 
+// MarginSnapshot is the complete serializable state of an AdaptiveMargin —
+// configuration and the four mutable fields — so a crash-recovery layer can
+// restore a margin bit-exactly (Cur is the raw float64; JSON round-trips it
+// at full precision).
+type MarginSnapshot struct {
+	Base       float64 `json:"base"`
+	Max        float64 `json:"max"`
+	Floor      float64 `json:"floor"`
+	Inflate    float64 `json:"inflate"`
+	DecayAfter int     `json:"decay_after"`
+	Cur        float64 `json:"cur"`
+	Started    bool    `json:"started,omitempty"`
+	Streak     int     `json:"streak,omitempty"`
+	Failures   int     `json:"failures,omitempty"`
+}
+
+// Snapshot captures the margin's full state.
+func (m *AdaptiveMargin) Snapshot() MarginSnapshot {
+	if m == nil {
+		return MarginSnapshot{}
+	}
+	return MarginSnapshot{
+		Base: m.Base, Max: m.Max, Floor: m.Floor, Inflate: m.Inflate,
+		DecayAfter: m.DecayAfter,
+		Cur:        m.cur, Started: m.started, Streak: m.streak, Failures: m.failures,
+	}
+}
+
+// RestoreMargin rebuilds an AdaptiveMargin from a snapshot; Margin(),
+// Failure() and Success() continue exactly where the captured one was.
+func RestoreMargin(s MarginSnapshot) AdaptiveMargin {
+	return AdaptiveMargin{
+		Base: s.Base, Max: s.Max, Floor: s.Floor, Inflate: s.Inflate,
+		DecayAfter: s.DecayAfter,
+		cur:        s.Cur, started: s.Started, streak: s.Streak, failures: s.Failures,
+	}
+}
+
 func (m *AdaptiveMargin) ensure() {
 	if !m.started {
 		m.cur = m.Base

@@ -1,0 +1,789 @@
+// The crash-chaos soak: the acceptance gate for crash-only culpeod —
+// internal/journal, the journaled session table and the recovery boot
+// sequence together, exercised the only way that counts: kill -9. It
+// builds the real culpeod binary, boots it on a fixed port with a
+// write-ahead journal directory, drives seeded device streams through
+// client.Stream, SIGKILLs the process mid-soak, restarts it against the
+// same directory, and repeats — gating every restart on the journal's
+// promises all at once:
+//
+//  1. zero lost acked observations: a from-empty reattach (no replay
+//     tail, so client-side replay cannot paper over server-side loss)
+//     shows every acknowledged observation survived the kill;
+//  2. zero duplicated folds: the recovered window population is exactly
+//     min(folded, ring) — replay deduplication absorbed every retry;
+//  3. bit-exact three-way fold parity: the recovered estimate equals the
+//     live pre-crash incremental fold equals session.FoldWindow over the
+//     expected tail (math.Float64bits, not tolerance), and the recovered
+//     margin equals session.FoldMargin over the device's full history;
+//  4. zero client rebuilds: the journal preserved every session, so no
+//     reattach ever had to re-seed a fresh one from the replay tail;
+//  5. closed sessions stay closed: tombstones replay their terminal
+//     bit-identically across restarts, and a retried close converges
+//     idempotently (closed ack, every observation a duplicate).
+//
+// The report's event log records only seeded plans and invariant
+// outcomes — no ports, timings, record counts or snapshot boundaries,
+// which depend on when the snapshot ticker last fired before the kill —
+// so `culpeo crashtest` can require three same-seed runs to produce
+// byte-identical logs.
+package expt
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/client"
+	"culpeo/internal/core"
+	"culpeo/internal/powersys"
+	"culpeo/internal/session"
+)
+
+// CrashOpts configures one crash-chaos soak run.
+type CrashOpts struct {
+	// Reduced selects the `make crash` -race configuration: 5 kill cycles
+	// over 8 devices instead of the full 20 over 16.
+	Reduced bool
+	// Cycles overrides the SIGKILL cycle count (<=0: mode default).
+	Cycles int
+	// Devices overrides the device-session count (<=0: mode default).
+	Devices int
+	// Batches is observation batches per device per cycle (<=0: default).
+	Batches int
+	// BatchObs is observations per batch (<=0: default).
+	BatchObs int
+	// Ring is the session window size (<=0: 8).
+	Ring int
+	// Seed fixes the observation plan (0: 20260807).
+	Seed int64
+	// SnapshotEvery is culpeod's -snapshot-every (<=0: 64), small enough
+	// that compacted snapshots happen mid-soak and recovery exercises the
+	// snapshot + record-suffix path, not just raw replay.
+	SnapshotEvery int
+	// Binary is a prebuilt culpeod (empty: `go build` one into a tempdir).
+	Binary string
+	// Dir is the journal directory (empty: a tempdir, removed afterward).
+	Dir string
+	// Logf, when set, receives each event-log line as it is recorded.
+	Logf func(format string, args ...any)
+}
+
+// CrashReport is the outcome of one crash-chaos soak. Gate returns nil iff
+// every property held; Render writes the human-readable report; Log is the
+// deterministic event log `culpeo crashtest` compares across runs.
+type CrashReport struct {
+	Mode     string
+	Cycles   int
+	Devices  int
+	Batches  int
+	BatchObs int
+	Ring     int
+
+	Kills    int    // SIGKILLs whose recovery was then verified
+	AckedObs uint64 // observations acknowledged across the soak
+
+	LostAcked  int // acked observations missing after a restart
+	PhantomObs int // recovered high-water above anything acked
+	DupFolds   int // recovered window population != min(folded, ring)
+
+	ParityChecked    int // estimate checks (updates + recovered snapshots)
+	ParityMismatches int
+	MarginChecked    int
+	MarginMismatches int
+
+	Rebuilds int // client streams that had to re-seed a fresh session
+
+	ClosedSessions           int
+	CloseRetryChecked        int
+	CloseViolations          int
+	TerminalReplayChecked    int
+	TerminalReplayMismatches int
+	RecoveredSessions        int // final restart: live sessions
+	RecoveredTombstones      int // final restart: closed tombstones
+	Log                      []string
+}
+
+// Gate returns nil when the soak satisfied every acceptance property.
+func (r *CrashReport) Gate() error {
+	switch {
+	case r.Kills < r.Cycles:
+		return fmt.Errorf("crash: only %d/%d kill cycles completed", r.Kills, r.Cycles)
+	case r.LostAcked != 0:
+		return fmt.Errorf("crash: %d acked observations lost across restarts", r.LostAcked)
+	case r.PhantomObs != 0:
+		return fmt.Errorf("crash: %d recovered sessions ahead of anything acked", r.PhantomObs)
+	case r.DupFolds != 0:
+		return fmt.Errorf("crash: %d recovered windows with duplicated or missing folds", r.DupFolds)
+	case r.ParityChecked == 0 || r.MarginChecked == 0:
+		return fmt.Errorf("crash: vacuous parity pass (estimate=%d margin=%d checks)", r.ParityChecked, r.MarginChecked)
+	case r.ParityMismatches != 0 || r.MarginMismatches != 0:
+		return fmt.Errorf("crash: parity mismatches: estimate=%d margin=%d", r.ParityMismatches, r.MarginMismatches)
+	case r.Rebuilds != 0:
+		return fmt.Errorf("crash: %d client rebuilds — the journal lost sessions the replay tail then re-seeded", r.Rebuilds)
+	case r.ClosedSessions == 0 || r.TerminalReplayChecked == 0 || r.CloseRetryChecked == 0:
+		return fmt.Errorf("crash: vacuous close pass (closed=%d terminal=%d retry=%d)",
+			r.ClosedSessions, r.TerminalReplayChecked, r.CloseRetryChecked)
+	case r.TerminalReplayMismatches != 0:
+		return fmt.Errorf("crash: %d terminal replays not bit-identical", r.TerminalReplayMismatches)
+	case r.CloseViolations != 0:
+		return fmt.Errorf("crash: %d close retries did not converge idempotently", r.CloseViolations)
+	case r.RecoveredSessions != r.Devices-r.ClosedSessions || r.RecoveredTombstones != r.ClosedSessions:
+		return fmt.Errorf("crash: final recovery found %d sessions + %d tombstones, want %d + %d",
+			r.RecoveredSessions, r.RecoveredTombstones, r.Devices-r.ClosedSessions, r.ClosedSessions)
+	}
+	return nil
+}
+
+// Render writes the report: configuration, counters, and the event log.
+func (r *CrashReport) Render(w io.Writer) error {
+	title := "crash soak (" + r.Mode + ")"
+	if _, err := fmt.Fprintf(w, "%s\n%s\n%d kill cycles, %d devices, %d batches x %d obs per cycle, ring %d\n\n",
+		title, strings.Repeat("=", len(title)), r.Cycles, r.Devices, r.Batches, r.BatchObs, r.Ring); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w,
+		"kills: %d   acked obs: %d   lost acked: %d   phantom: %d   dup folds: %d\n"+
+			"parity: %d checks, %d mismatches   margin: %d checks, %d mismatches\n"+
+			"rebuilds: %d   closed: %d   terminal replays: %d (%d mismatches)   close retries: %d (%d violations)\n"+
+			"final recovery: %d sessions, %d tombstones\n\nevent log (%d lines):\n",
+		r.Kills, r.AckedObs, r.LostAcked, r.PhantomObs, r.DupFolds,
+		r.ParityChecked, r.ParityMismatches, r.MarginChecked, r.MarginMismatches,
+		r.Rebuilds, r.ClosedSessions, r.TerminalReplayChecked, r.TerminalReplayMismatches,
+		r.CloseRetryChecked, r.CloseViolations,
+		r.RecoveredSessions, r.RecoveredTombstones, len(r.Log)); err != nil {
+		return err
+	}
+	for _, line := range r.Log {
+		if _, err := fmt.Fprintf(w, "  %s\n", line); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// crashDev is one device's client-side ledger: the full observation
+// history (the oracle input), the acked high-water mark, and the terminal
+// once closed.
+type crashDev struct {
+	name      string
+	rng       *rand.Rand
+	stream    *client.Stream
+	history   []api.StreamObservation
+	lastBatch []api.StreamObservation
+	acked     uint64
+	closed    bool
+	term      api.StreamUpdate
+}
+
+// crashRun carries the soak's moving parts.
+type crashRun struct {
+	rep    *CrashReport
+	model  core.PowerModel
+	margin core.AdaptiveMargin
+	ring   int
+	base   string
+	hc     *http.Client
+	logf   func(format string, args ...any)
+}
+
+// glog records one deterministic event-log line.
+func (r *crashRun) glog(format string, args ...any) {
+	line := fmt.Sprintf(format, args...)
+	r.rep.Log = append(r.rep.Log, line)
+	r.logf("%s", line)
+}
+
+// crashBuf is a goroutine-safe capture of the daemon's combined output.
+type crashBuf struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (b *crashBuf) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.Write(p)
+}
+
+func (b *crashBuf) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.b.String()
+}
+
+// crashDaemon is one culpeod incarnation.
+type crashDaemon struct {
+	cmd *exec.Cmd
+	out *crashBuf
+}
+
+// kill delivers SIGKILL and reaps the process. The non-nil Wait error is
+// the point: the process must die by signal, not exit.
+func (d *crashDaemon) kill() {
+	if d == nil || d.cmd.Process == nil {
+		return
+	}
+	d.cmd.Process.Kill()
+	d.cmd.Wait()
+}
+
+// buildCulpeod builds the real daemon binary into dir. The module root
+// comes from `go env GOMOD`, so the soak works from any cwd inside the
+// repo (tests run in internal/expt, `culpeo crashtest` wherever).
+func buildCulpeod(ctx context.Context, dir string) (string, error) {
+	out, err := exec.CommandContext(ctx, "go", "env", "GOMOD").Output()
+	if err != nil {
+		return "", fmt.Errorf("crash: go env GOMOD: %w", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull || gomod == "off" {
+		return "", fmt.Errorf("crash: not inside the culpeo module (GOMOD=%q)", gomod)
+	}
+	bin := filepath.Join(dir, "culpeod")
+	cmd := exec.CommandContext(ctx, "go", "build", "-o", bin, "./cmd/culpeod")
+	cmd.Dir = filepath.Dir(gomod)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		return "", fmt.Errorf("crash: build culpeod: %v\n%s", err, out)
+	}
+	return bin, nil
+}
+
+// reservePort binds an ephemeral loopback port and releases it: every
+// culpeod incarnation reuses the same address, which is what lets one
+// long-lived client.Pool ride across restarts.
+func reservePort() (string, error) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return "", err
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	return addr, nil
+}
+
+var crashRecoveredRE = regexp.MustCompile(`journal recovered: (\d+) sessions \((\d+) tombstones`)
+
+// startCulpeod boots one incarnation against the journal directory and
+// waits until it has both replayed the journal (the recovery line on
+// stdout) and reported ready on /healthz. Returns the recovered live and
+// tombstone session counts.
+func startCulpeod(ctx context.Context, bin, addr, dir string, snapEvery int) (*crashDaemon, int, int, error) {
+	cmd := exec.CommandContext(ctx, bin,
+		"-addr", addr,
+		"-journal-dir", dir,
+		"-snapshot-every", strconv.Itoa(snapEvery),
+		"-session-sweep", "0",
+	)
+	buf := &crashBuf{}
+	cmd.Stdout = buf
+	cmd.Stderr = buf
+	if err := cmd.Start(); err != nil {
+		return nil, 0, 0, fmt.Errorf("crash: start culpeod: %w", err)
+	}
+	d := &crashDaemon{cmd: cmd, out: buf}
+	hc := &http.Client{Timeout: time.Second}
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if m := crashRecoveredRE.FindStringSubmatch(buf.String()); m != nil {
+			if resp, err := hc.Get("http://" + addr + "/healthz"); err == nil {
+				resp.Body.Close()
+				if resp.StatusCode == http.StatusOK {
+					sess, _ := strconv.Atoi(m[1])
+					tombs, _ := strconv.Atoi(m[2])
+					return d, sess, tombs, nil
+				}
+			}
+		}
+		if err := ctx.Err(); err != nil {
+			d.kill()
+			return nil, 0, 0, err
+		}
+		if time.Now().After(deadline) {
+			d.kill()
+			return nil, 0, 0, fmt.Errorf("crash: culpeod never became ready; output:\n%s", buf.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// rawSnapshot attaches to a device's session with NO replay tail and
+// returns the first downlink frame. This is the honest loss probe: the
+// snapshot reflects exactly what the server recovered, with no client-side
+// replay to rebuild what a broken journal dropped.
+func (r *crashRun) rawSnapshot(ctx context.Context, device string) (api.StreamUpdate, error) {
+	body, err := json.Marshal(api.StreamOpenRequest{Device: device})
+	if err != nil {
+		return api.StreamUpdate{}, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, r.base+api.PathStream, bytes.NewReader(body))
+	if err != nil {
+		return api.StreamUpdate{}, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(req)
+	if err != nil {
+		return api.StreamUpdate{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return api.StreamUpdate{}, fmt.Errorf("raw attach %s: status %d: %s", device, resp.StatusCode, msg)
+	}
+	sc := api.NewSSEScanner(resp.Body)
+	for {
+		ev, err := sc.Next()
+		if err != nil {
+			return api.StreamUpdate{}, fmt.Errorf("raw attach %s: %w", device, err)
+		}
+		if ev.Name != api.StreamEventUpdate {
+			continue
+		}
+		var u api.StreamUpdate
+		if err := json.Unmarshal(ev.Data, &u); err != nil {
+			return api.StreamUpdate{}, fmt.Errorf("raw attach %s: decode: %w", device, err)
+		}
+		return u, nil
+	}
+}
+
+// postObs sends one raw /v1/stream/obs request outside the pool — the
+// close-retry probe, which must converge even without client.Stream's
+// bookkeeping.
+func (r *crashRun) postObs(ctx context.Context, req api.StreamObsRequest) (api.StreamObsResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return api.StreamObsResponse{}, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	hreq, err := http.NewRequestWithContext(rctx, http.MethodPost, r.base+api.PathStreamObs, bytes.NewReader(body))
+	if err != nil {
+		return api.StreamObsResponse{}, err
+	}
+	hreq.Header.Set("Content-Type", "application/json")
+	resp, err := r.hc.Do(hreq)
+	if err != nil {
+		return api.StreamObsResponse{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return api.StreamObsResponse{}, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return api.StreamObsResponse{}, fmt.Errorf("obs %s: status %d: %s", req.Device, resp.StatusCode, data)
+	}
+	var out api.StreamObsResponse
+	if err := json.Unmarshal(data, &out); err != nil {
+		return api.StreamObsResponse{}, err
+	}
+	return out, nil
+}
+
+// oracle computes the reference estimate and margin for a device's current
+// history: FoldWindow over the expected tail, FoldMargin over everything.
+func (r *crashRun) oracle(d *crashDev) (core.Estimate, bool, float64, error) {
+	tail := d.history
+	if len(tail) > r.ring {
+		tail = tail[len(tail)-r.ring:]
+	}
+	est, have, err := session.FoldWindow(r.model, tail)
+	if err != nil {
+		return core.Estimate{}, false, 0, err
+	}
+	m := session.FoldMargin(r.margin, d.history)
+	return est, have, m.Margin(), nil
+}
+
+// checkEstimate bit-compares one update (live or recovered) against the
+// oracle. what labels the event-log line.
+func (r *crashRun) checkEstimate(d *crashDev, what string, u api.StreamUpdate) error {
+	est, have, margin, err := r.oracle(d)
+	if err != nil {
+		return fmt.Errorf("%s %s: oracle: %w", what, d.name, err)
+	}
+	wantWin := min(len(d.history), r.ring)
+	if u.Window != wantWin {
+		r.rep.DupFolds++
+		r.glog("%s %s: WINDOW %d want %d", what, d.name, u.Window, wantWin)
+	}
+	r.rep.ParityChecked++
+	ok := true
+	if have {
+		if math.Float64bits(u.VSafe) != math.Float64bits(est.VSafe) ||
+			math.Float64bits(u.VDelta) != math.Float64bits(est.VDelta) ||
+			math.Float64bits(u.VE) != math.Float64bits(est.VE) {
+			r.rep.ParityMismatches++
+			ok = false
+		}
+	} else if u.VSafe != 0 {
+		r.rep.ParityMismatches++
+		ok = false
+	}
+	// Launch is defined only once an estimate exists (an empty window's
+	// update carries Launch 0, not the bare margin).
+	wantLaunch := 0.0
+	if have {
+		wantLaunch = u.VSafe + u.Margin
+	}
+	if math.Float64bits(u.Launch) != math.Float64bits(wantLaunch) {
+		r.rep.ParityMismatches++
+		ok = false
+	}
+	r.rep.MarginChecked++
+	if math.Float64bits(u.Margin) != math.Float64bits(margin) {
+		r.rep.MarginMismatches++
+		ok = false
+	}
+	status := "ok"
+	if !ok {
+		status = "MISMATCH"
+	}
+	r.glog("%s %s: obs=%d window=%d vsafe=%016x margin=%016x %s",
+		what, d.name, u.ObsSeq, u.Window, math.Float64bits(u.VSafe), math.Float64bits(u.Margin), status)
+	return nil
+}
+
+// verifyDevice gates one device after a restart: terminal replay for
+// closed sessions, loss/duplication/parity for live ones — all via the
+// no-replay raw attach.
+func (r *crashRun) verifyDevice(ctx context.Context, cycle int, d *crashDev) error {
+	raw, err := r.rawSnapshot(ctx, d.name)
+	if err != nil {
+		return fmt.Errorf("cycle %d: verify %s: %w", cycle, d.name, err)
+	}
+	if d.closed {
+		r.rep.TerminalReplayChecked++
+		if !raw.Final || raw.Reason != "close" ||
+			math.Float64bits(raw.VSafe) != math.Float64bits(d.term.VSafe) ||
+			math.Float64bits(raw.Margin) != math.Float64bits(d.term.Margin) ||
+			raw.ObsSeq != d.term.ObsSeq || raw.Window != d.term.Window {
+			r.rep.TerminalReplayMismatches++
+			r.glog("cycle %d: verify %s: TERMINAL MISMATCH got final=%t reason=%q obs=%d", cycle, d.name, raw.Final, raw.Reason, raw.ObsSeq)
+			return nil
+		}
+		r.glog("cycle %d: verify %s: terminal replay ok (vsafe=%016x)", cycle, d.name, math.Float64bits(raw.VSafe))
+
+		// A retried close — the crash ate the client's ack — must converge
+		// idempotently: closed ack, every observation a duplicate, the
+		// high-water mark unmoved.
+		r.rep.CloseRetryChecked++
+		res, err := r.postObs(ctx, api.StreamObsRequest{Device: d.name, Observations: d.lastBatch, Close: true})
+		if err != nil {
+			return fmt.Errorf("cycle %d: close retry %s: %w", cycle, d.name, err)
+		}
+		if !res.Closed || res.Duplicates != len(d.lastBatch) || res.LastSeq != d.acked {
+			r.rep.CloseViolations++
+			r.glog("cycle %d: close retry %s: VIOLATION closed=%t dup=%d last=%d", cycle, d.name, res.Closed, res.Duplicates, res.LastSeq)
+			return nil
+		}
+		r.glog("cycle %d: close retry %s: idempotent (dup=%d last=%d)", cycle, d.name, res.Duplicates, res.LastSeq)
+		return nil
+	}
+	want := uint64(len(d.history))
+	switch {
+	case raw.ObsSeq < want:
+		r.rep.LostAcked += int(want - raw.ObsSeq)
+		r.glog("cycle %d: verify %s: LOST %d acked obs (recovered %d, acked %d)", cycle, d.name, want-raw.ObsSeq, raw.ObsSeq, want)
+	case raw.ObsSeq > want:
+		r.rep.PhantomObs += int(raw.ObsSeq - want)
+		r.glog("cycle %d: verify %s: PHANTOM obs (recovered %d, acked %d)", cycle, d.name, raw.ObsSeq, want)
+	}
+	return r.checkEstimate(d, fmt.Sprintf("cycle %d: verify", cycle), raw)
+}
+
+// awaitDetach waits for the stream's read loop to notice the killed
+// connection; Resume on a still-marked-attached stream is an error.
+func awaitDetach(st *client.Stream) error {
+	for i := 0; i < 500; i++ {
+		if !st.Attached() {
+			return nil
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	return fmt.Errorf("stream still attached 5 s after the kill")
+}
+
+// awaitUpdate drains the stream's update channel until an event reflecting
+// obsSeq arrives, resuming if the downlink died under us.
+func awaitUpdate(ctx context.Context, st *client.Stream, obsSeq uint64) (api.StreamUpdate, error) {
+	tick := time.NewTicker(300 * time.Millisecond)
+	defer tick.Stop()
+	deadline := time.After(10 * time.Second)
+	for {
+		select {
+		case u := <-st.Updates():
+			if u.ObsSeq >= obsSeq {
+				return u, nil
+			}
+		case <-tick.C:
+			if !st.Attached() {
+				snap, err := st.Resume(ctx)
+				if err != nil {
+					return api.StreamUpdate{}, fmt.Errorf("resume during await: %w", err)
+				}
+				if snap.ObsSeq >= obsSeq {
+					return snap, nil
+				}
+			}
+		case <-deadline:
+			return api.StreamUpdate{}, fmt.Errorf("no update for obs %d within 10 s", obsSeq)
+		case <-ctx.Done():
+			return api.StreamUpdate{}, ctx.Err()
+		}
+	}
+}
+
+// genCrashSample draws one physically valid observation from the device's
+// seeded RNG (the same distribution the streaming soak uses).
+func genCrashSample(rng *rand.Rand) client.Sample {
+	vstart := 2.2 + 0.36*rng.Float64()
+	vfinal := vstart - 0.3*rng.Float64()
+	vmin := vfinal - 0.4*rng.Float64()
+	return client.Sample{VStart: vstart, VMin: vmin, VFinal: vfinal, Failed: rng.Float64() < 0.05}
+}
+
+// CrashSoak runs the crash-chaos soak and returns its report. The error
+// return covers setup problems (build, port, process management) and
+// context cancellation; invariant violations land in the report and are
+// judged by Gate.
+func CrashSoak(ctx context.Context, opt CrashOpts) (*CrashReport, error) {
+	mode := "full"
+	cycles, devices, batches, batchObs := 20, 16, 3, 4
+	if opt.Reduced {
+		mode = "reduced"
+		cycles, devices, batches, batchObs = 5, 8, 2, 3
+	}
+	if opt.Cycles > 0 {
+		cycles = opt.Cycles
+	}
+	if opt.Devices > 0 {
+		devices = opt.Devices
+	}
+	if opt.Batches > 0 {
+		batches = opt.Batches
+	}
+	if opt.BatchObs > 0 {
+		batchObs = opt.BatchObs
+	}
+	ring := opt.Ring
+	if ring <= 0 {
+		ring = 8
+	}
+	seed := opt.Seed
+	if seed == 0 {
+		seed = 20260807
+	}
+	snapEvery := opt.SnapshotEvery
+	if snapEvery <= 0 {
+		snapEvery = 64
+	}
+	logf := opt.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	rep := &CrashReport{Mode: mode, Cycles: cycles, Devices: devices, Batches: batches, BatchObs: batchObs, Ring: ring}
+
+	work, err := os.MkdirTemp("", "culpeo-crash-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(work)
+	bin := opt.Binary
+	if bin == "" {
+		if bin, err = buildCulpeod(ctx, work); err != nil {
+			return nil, err
+		}
+	}
+	dir := opt.Dir
+	if dir == "" {
+		dir = filepath.Join(work, "journal")
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return nil, err
+		}
+	}
+	addr, err := reservePort()
+	if err != nil {
+		return nil, err
+	}
+
+	pool, err := client.New(client.Config{
+		Backends:       []string{"http://" + addr},
+		Budget:         30 * time.Second,
+		AttemptTimeout: 2 * time.Second,
+		MaxAttempts:    12,
+		BaseBackoff:    2 * time.Millisecond,
+		MaxBackoff:     100 * time.Millisecond,
+		RetryAfterCap:  100 * time.Millisecond,
+		Seed:           7,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer pool.Close()
+
+	run := &crashRun{
+		rep:    rep,
+		model:  capybaraModel(powersys.Capybara()),
+		margin: *core.DefaultAdaptiveMargin(),
+		ring:   ring,
+		base:   "http://" + addr,
+		hc:     &http.Client{},
+		logf:   logf,
+	}
+	devs := make([]*crashDev, devices)
+	for i := range devs {
+		devs[i] = &crashDev{
+			name: fmt.Sprintf("crash-%02d", i),
+			rng:  rand.New(rand.NewSource(seed ^ (int64(i)*2654435761 + 1))),
+		}
+	}
+	defer func() {
+		for _, d := range devs {
+			if d.stream != nil {
+				d.stream.Close()
+			}
+		}
+	}()
+
+	closeCycle := cycles / 2
+	var daemon *crashDaemon
+	defer func() { daemon.kill() }()
+
+	for cycle := 0; cycle <= cycles; cycle++ {
+		var sess, tombs int
+		daemon, sess, tombs, err = startCulpeod(ctx, bin, addr, dir, snapEvery)
+		if err != nil {
+			return nil, err
+		}
+		run.glog("cycle %d: recovered %d sessions, %d tombstones", cycle, sess, tombs)
+
+		// Gate the previous cycle's state before folding anything new.
+		if cycle > 0 {
+			for _, d := range devs {
+				if err := run.verifyDevice(ctx, cycle, d); err != nil {
+					return nil, err
+				}
+			}
+		}
+		if cycle == cycles {
+			// The final incarnation exists only to verify the last kill.
+			rep.RecoveredSessions, rep.RecoveredTombstones = sess, tombs
+			for _, d := range devs {
+				if d.stream != nil {
+					ss := d.stream.Stats()
+					rep.Rebuilds += ss.Rebuilds
+				}
+			}
+			run.glog("final: %d sessions, %d tombstones, %d acked obs", sess, tombs, rep.AckedObs)
+			daemon.kill()
+			daemon = nil
+			break
+		}
+
+		// Traffic: resume every live stream and fold seeded batches.
+		for _, d := range devs {
+			if d.closed {
+				continue
+			}
+			var snap api.StreamUpdate
+			if d.stream == nil {
+				d.stream, snap, err = pool.OpenStream(ctx, client.StreamConfig{Device: d.name, Ring: ring})
+				if err != nil {
+					return nil, fmt.Errorf("cycle %d: open %s: %w", cycle, d.name, err)
+				}
+			} else {
+				if err := awaitDetach(d.stream); err != nil {
+					return nil, fmt.Errorf("cycle %d: %s: %w", cycle, d.name, err)
+				}
+				if snap, err = d.stream.Resume(ctx); err != nil {
+					return nil, fmt.Errorf("cycle %d: resume %s: %w", cycle, d.name, err)
+				}
+			}
+			if err := run.checkEstimate(d, fmt.Sprintf("cycle %d: attach", cycle), snap); err != nil {
+				return nil, err
+			}
+			for b := 0; b < batches; b++ {
+				samples := make([]client.Sample, batchObs)
+				for k := range samples {
+					samples[k] = genCrashSample(d.rng)
+				}
+				ack, err := d.stream.Observe(ctx, samples...)
+				if err != nil {
+					return nil, fmt.Errorf("cycle %d: observe %s: %w", cycle, d.name, err)
+				}
+				batch := make([]api.StreamObservation, len(samples))
+				for k, sm := range samples {
+					batch[k] = api.StreamObservation{
+						Seq:    uint64(len(d.history) + k + 1),
+						VStart: sm.VStart, VMin: sm.VMin, VFinal: sm.VFinal, Failed: sm.Failed,
+					}
+				}
+				d.history = append(d.history, batch...)
+				d.lastBatch = batch
+				want := uint64(len(d.history))
+				if ack.LastSeq != want {
+					rep.DupFolds++
+					run.glog("cycle %d: %s: ACK last=%d want %d", cycle, d.name, ack.LastSeq, want)
+				}
+				d.acked = want
+				rep.AckedObs += uint64(len(samples))
+				u, err := awaitUpdate(ctx, d.stream, want)
+				if err != nil {
+					return nil, fmt.Errorf("cycle %d: %s: %w", cycle, d.name, err)
+				}
+				if err := run.checkEstimate(d, fmt.Sprintf("cycle %d: update", cycle), u); err != nil {
+					return nil, err
+				}
+			}
+		}
+
+		// Mid-soak, a slice of the fleet closes; every later restart must
+		// replay their terminals bit-identically and absorb close retries.
+		if cycle == closeCycle {
+			for i, d := range devs {
+				if i%3 != 2 || d.closed {
+					continue
+				}
+				term, err := d.stream.CloseSession(ctx)
+				if err != nil {
+					return nil, fmt.Errorf("cycle %d: close %s: %w", cycle, d.name, err)
+				}
+				if !term.Final || term.Reason != "close" {
+					rep.CloseViolations++
+					run.glog("cycle %d: close %s: VIOLATION final=%t reason=%q", cycle, d.name, term.Final, term.Reason)
+				} else {
+					run.glog("cycle %d: close %s: terminal obs=%d vsafe=%016x", cycle, d.name, term.ObsSeq, math.Float64bits(term.VSafe))
+				}
+				d.closed = true
+				d.term = term
+				rep.ClosedSessions++
+			}
+		}
+
+		run.glog("cycle %d: SIGKILL", cycle)
+		daemon.kill()
+		daemon = nil
+		rep.Kills++
+	}
+	return rep, nil
+}

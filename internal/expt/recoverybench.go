@@ -1,0 +1,154 @@
+// The recovery benchmark behind the bench artifact's Schema 6 "recovery"
+// section: build a journaled session table at scale, snapshot it, and
+// measure how long a cold restart takes to walk back to serving state —
+// journal scan plus snapshot decode plus record replay, the exact boot
+// path culpeod runs before it starts listening. A fleet operator reads
+// the recorded figure as the restart budget a kill -9 costs.
+package expt
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"culpeo/internal/api"
+	"culpeo/internal/core"
+	"culpeo/internal/journal"
+	"culpeo/internal/powersys"
+	"culpeo/internal/session"
+)
+
+// RecoveryResult is one measured recovery at a given session count.
+type RecoveryResult struct {
+	Sessions       int
+	ObsPerSession  int
+	SnapshotBytes  int64
+	RecoverMs      float64 // journal.Open scan + Table.Replay, wall clock
+	SessionsPerSec float64
+	AppendNsPerOp  float64 // one journaled append, enqueue to durable ack
+}
+
+// RecoveryBench builds a journaled table of `sessions` device sessions
+// (obsPerSession folded observations each), snapshots and closes it, then
+// measures a cold recovery into a fresh table. The journal runs with
+// fsync off: the subject is the replay path, not the disk.
+func RecoveryBench(ctx context.Context, sessions, obsPerSession int) (*RecoveryResult, error) {
+	if sessions <= 0 {
+		sessions = 100_000
+	}
+	if obsPerSession <= 0 {
+		obsPerSession = 2
+	}
+	dir, err := os.MkdirTemp("", "culpeo-recovery-")
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(dir)
+
+	jdir := filepath.Join(dir, "journal")
+	if err := os.MkdirAll(jdir, 0o755); err != nil {
+		return nil, err
+	}
+	j, _, err := journal.Open(journal.Options{Dir: jdir})
+	if err != nil {
+		return nil, err
+	}
+	model := capybaraModel(powersys.Capybara())
+	cfg := session.Config{MaxSessions: sessions + 64, Ring: 8, Journal: j}
+	tbl := session.NewTable(cfg)
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < sessions; i++ {
+		if err := ctx.Err(); err != nil {
+			j.Close()
+			return nil, err
+		}
+		dev := fmt.Sprintf("rec-%06d", i)
+		if _, err := tbl.Attach(dev, model, 0, nil); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("recovery: attach %s: %w", dev, err)
+		}
+		obs := make([]api.StreamObservation, obsPerSession)
+		for k := range obs {
+			sm := genCrashSample(rng)
+			obs[k] = api.StreamObservation{Seq: uint64(k + 1), VStart: sm.VStart, VMin: sm.VMin, VFinal: sm.VFinal, Failed: sm.Failed}
+		}
+		if _, err := tbl.Fold(dev, obs, false); err != nil {
+			j.Close()
+			return nil, fmt.Errorf("recovery: fold %s: %w", dev, err)
+		}
+	}
+	if err := tbl.JournalSnapshot(); err != nil {
+		j.Close()
+		return nil, fmt.Errorf("recovery: snapshot: %w", err)
+	}
+	if err := j.Close(); err != nil {
+		return nil, err
+	}
+	var snapBytes int64
+	entries, err := os.ReadDir(jdir)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), ".snap") {
+			if fi, err := e.Info(); err == nil {
+				snapBytes += fi.Size()
+			}
+		}
+	}
+
+	// The measured section: exactly what culpeod does before listening.
+	resolve := func([]byte) (core.PowerModel, error) { return model, nil }
+	t0 := time.Now()
+	j2, rec, err := journal.Open(journal.Options{Dir: jdir})
+	if err != nil {
+		return nil, err
+	}
+	tbl2 := session.NewTable(session.Config{MaxSessions: sessions + 64, Ring: 8})
+	st, err := tbl2.Replay(rec, resolve)
+	wall := time.Since(t0)
+	j2.Close()
+	if err != nil {
+		return nil, fmt.Errorf("recovery: replay: %w", err)
+	}
+	if st.Sessions != sessions {
+		return nil, fmt.Errorf("recovery: replayed %d sessions, want %d", st.Sessions, sessions)
+	}
+
+	// Append cost on a separate journal so the garbage payload cannot
+	// pollute the replayable record stream above.
+	adir := filepath.Join(dir, "append")
+	if err := os.MkdirAll(adir, 0o755); err != nil {
+		return nil, err
+	}
+	aj, _, err := journal.Open(journal.Options{Dir: adir})
+	if err != nil {
+		return nil, err
+	}
+	payload := make([]byte, 192)
+	const appendN = 20_000
+	a0 := time.Now()
+	for i := 0; i < appendN; i++ {
+		if err := aj.Append(payload).Wait(); err != nil {
+			aj.Close()
+			return nil, fmt.Errorf("recovery: append bench: %w", err)
+		}
+	}
+	appendNs := float64(time.Since(a0).Nanoseconds()) / float64(appendN)
+	if err := aj.Close(); err != nil {
+		return nil, err
+	}
+
+	return &RecoveryResult{
+		Sessions:       sessions,
+		ObsPerSession:  obsPerSession,
+		SnapshotBytes:  snapBytes,
+		RecoverMs:      wall.Seconds() * 1000,
+		SessionsPerSec: float64(sessions) / wall.Seconds(),
+		AppendNsPerOp:  appendNs,
+	}, nil
+}

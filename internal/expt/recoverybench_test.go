@@ -1,0 +1,28 @@
+package expt
+
+import (
+	"context"
+	"testing"
+)
+
+// TestRecoveryBench runs the recovery benchmark at toy scale to keep the
+// full 100k-session `culpeo crashtest -record` path honest: the replay
+// must reconstruct every session and the recorded figures must be
+// positive and finite.
+func TestRecoveryBench(t *testing.T) {
+	res, err := RecoveryBench(context.Background(), 500, 2)
+	if err != nil {
+		t.Fatalf("recovery bench: %v", err)
+	}
+	if res.Sessions != 500 || res.ObsPerSession != 2 {
+		t.Fatalf("unexpected scale: %+v", res)
+	}
+	if res.SnapshotBytes <= 0 {
+		t.Fatalf("snapshot bytes = %d, want > 0", res.SnapshotBytes)
+	}
+	if res.RecoverMs <= 0 || res.SessionsPerSec <= 0 || res.AppendNsPerOp <= 0 {
+		t.Fatalf("non-positive measurement: %+v", res)
+	}
+	t.Logf("recovered %d sessions in %.2fms (%.0f sessions/s), append %.0fns/op, snapshot %dB",
+		res.Sessions, res.RecoverMs, res.SessionsPerSec, res.AppendNsPerOp, res.SnapshotBytes)
+}

@@ -1,0 +1,145 @@
+package serve
+
+import (
+	"net/http"
+	"testing"
+
+	"culpeo/internal/api"
+	"culpeo/internal/journal"
+)
+
+// newJournaledServer opens a journal in dir and builds a server around it.
+// The server is born in phase "starting": the caller decides when Recover
+// runs (that's the point of these tests).
+func newJournaledServer(t *testing.T, dir string, cfg Config) (*Server, journal.Recovery, string) {
+	t.Helper()
+	j, rec, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	t.Cleanup(func() { j.Close() })
+	cfg.Journal = j
+	s, ts := newTestServer(t, cfg)
+	t.Cleanup(s.Close)
+	return s, rec, ts.URL
+}
+
+// TestPhaseGateAndHealthz: a journaled server admits no work — request/
+// response or streaming — until Recover flips it ready, and /healthz
+// narrates the phase the whole way ("starting" -> "ready" -> "draining").
+func TestPhaseGateAndHealthz(t *testing.T) {
+	s, rec, base := newJournaledServer(t, t.TempDir(), Config{})
+
+	h := decodeResp[HealthResponse](t, mustGet(t, base+"/healthz"), http.StatusServiceUnavailable)
+	if h.OK || h.Phase != "starting" {
+		t.Fatalf("pre-recovery healthz: %+v", h)
+	}
+	// Work endpoints are gated, with Retry-After so pools back off politely.
+	resp := postJSON(t, base+"/v1/vsafe", VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}})
+	if resp.StatusCode != http.StatusServiceUnavailable || resp.Header.Get("Retry-After") == "" {
+		t.Fatalf("pre-recovery vsafe: status %d, Retry-After %q", resp.StatusCode, resp.Header.Get("Retry-After"))
+	}
+	resp.Body.Close()
+	resp = postJSON(t, base+api.PathStream, api.StreamOpenRequest{Device: "dev-gate"})
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("pre-recovery stream open: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	st, err := s.Recover(rec)
+	if err != nil {
+		t.Fatalf("Recover: %v", err)
+	}
+	if st.Sessions != 0 || st.Records != 0 {
+		t.Fatalf("fresh journal recovered state: %+v", st)
+	}
+	h = decodeResp[HealthResponse](t, mustGet(t, base+"/healthz"), http.StatusOK)
+	if !h.OK || h.Phase != "ready" {
+		t.Fatalf("post-recovery healthz: %+v", h)
+	}
+	resp = postJSON(t, base+"/v1/vsafe", VSafeRequest{Load: LoadSpec{Shape: "uniform", I: 25e-3, T: 10e-3}})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("post-recovery vsafe: status %d", resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	s.SetDraining(true)
+	h = decodeResp[HealthResponse](t, mustGet(t, base+"/healthz"), http.StatusServiceUnavailable)
+	if h.Phase != "draining" || !h.Draining {
+		t.Fatalf("draining healthz: %+v", h)
+	}
+}
+
+// TestServeRecoveryRoundTrip drives the full loop at the HTTP layer: stream
+// traffic into a journaled server, drop it cold, rebuild a second server
+// from the same directory, and verify the resumed stream's snapshot is
+// bit-identical to the last pre-crash update and the obs retry deduplicates.
+func TestServeRecoveryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	j1, rec1, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("journal.Open 1: %v", err)
+	}
+	s1, ts1 := newTestServer(t, Config{Journal: j1})
+	t.Cleanup(s1.Close)
+	base1 := ts1.URL
+	if _, err := s1.Recover(rec1); err != nil {
+		t.Fatalf("Recover 1: %v", err)
+	}
+
+	conn := openStream(t, base1, api.StreamOpenRequest{Device: "dev-rt", Ring: 4})
+	_ = conn.next(t) // snapshot frame
+
+	var history []api.StreamObservation
+	var lastAck api.StreamObsResponse
+	var lastUpdate api.StreamUpdate
+	for seq := uint64(1); seq <= 6; seq += 2 {
+		batch := []api.StreamObservation{mkStreamObs(seq), mkStreamObs(seq + 1)}
+		history = append(history, batch...)
+		lastAck = decodeResp[api.StreamObsResponse](t, postJSON(t, base1+api.PathStreamObs, api.StreamObsRequest{
+			Device: "dev-rt", Observations: batch,
+		}), http.StatusOK)
+		lastUpdate = conn.next(t)
+	}
+	if lastAck.LastSeq != 6 || lastUpdate.ObsSeq != 6 {
+		t.Fatalf("pre-crash state: ack %+v, update %+v", lastAck, lastUpdate)
+	}
+
+	// "Crash": the first server is abandoned mid-stream. Closing its journal
+	// takes no snapshot and folds nothing — every acked record is already on
+	// disk, which is exactly what a SIGKILL leaves behind.
+	if err := j1.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	s2, rec2, base2 := newJournaledServer(t, dir, Config{})
+	st, err := s2.Recover(rec2)
+	if err != nil {
+		t.Fatalf("Recover 2: %v", err)
+	}
+	if st.Sessions != 1 {
+		t.Fatalf("recovered stats: %+v", st)
+	}
+
+	// The client resumes with its replay tail, exactly as client.Stream
+	// would. The snapshot must continue the event numbering and carry the
+	// identical estimate.
+	tail := history[len(history)-4:]
+	conn2 := openStream(t, base2, api.StreamOpenRequest{Device: "dev-rt", Ring: 4, Replay: tail})
+	snap := conn2.next(t)
+	if snap.Seq != lastUpdate.Seq+1 || snap.ObsSeq != lastUpdate.ObsSeq || snap.Window != lastUpdate.Window {
+		t.Fatalf("resumed snapshot %+v, last pre-crash update %+v", snap, lastUpdate)
+	}
+	if !sameBitsF(snap.VSafe, lastUpdate.VSafe) || !sameBitsF(snap.Margin, lastUpdate.Margin) ||
+		!sameBitsF(snap.VDelta, lastUpdate.VDelta) || !sameBitsF(snap.VE, lastUpdate.VE) {
+		t.Fatalf("resumed snapshot not bit-exact:\n got %+v\nwant %+v", snap, lastUpdate)
+	}
+	checkUpdateParity(t, snap, defaultModel(t), tail, history)
+
+	// A retried batch is pure duplicates on the recovered server.
+	retry := decodeResp[api.StreamObsResponse](t, postJSON(t, base2+api.PathStreamObs, api.StreamObsRequest{
+		Device: "dev-rt", Observations: history[len(history)-2:],
+	}), http.StatusOK)
+	if retry.Duplicates != 2 || retry.LastSeq != 6 {
+		t.Fatalf("post-recovery retry: %+v", retry)
+	}
+}

@@ -37,6 +37,7 @@ import (
 
 	"culpeo/internal/api"
 	"culpeo/internal/core"
+	"culpeo/internal/journal"
 	"culpeo/internal/load"
 	"culpeo/internal/partsdb"
 	"culpeo/internal/powersys"
@@ -102,12 +103,31 @@ type Config struct {
 	// sweeper off — tests (and embedders that want their own clock) drive
 	// Sessions().AdvanceEpoch() directly. When on, Close stops it.
 	SessionSweep time.Duration
+
+	// Journal, when non-nil, makes the session table crash-durable: folds
+	// are acknowledged only after their write-ahead record is durable, and
+	// the server boots in phase "starting" — the embedder must call Recover
+	// with the journal's recovery view before any work is admitted.
+	Journal *journal.Journal
+	// SnapshotEvery triggers an automatic compacted journal snapshot after
+	// this many appended records (<=0: snapshots happen only on graceful
+	// drain via JournalSnapshot). Ignored without a Journal.
+	SnapshotEvery int
 }
 
 // BuildVersion identifies the serving build on /healthz. Bumped whenever
 // the wire surface changes shape (PR number, not semver — the repo grows
 // one PR at a time).
-const BuildVersion = "culpeod/9"
+const BuildVersion = "culpeod/10"
+
+// Lifecycle phases advertised on /healthz. A server without a journal is
+// born ready; a journaled one walks starting → recovering → ready and
+// refuses work (503) until it arrives.
+const (
+	phaseReady int32 = iota
+	phaseStarting
+	phaseRecovering
+)
 
 // Server implements the culpeod HTTP API. Create with New, expose with
 // Handler.
@@ -143,6 +163,13 @@ type Server struct {
 	sweepStop chan struct{}
 	sweepDone chan struct{}
 	closeOnce sync.Once
+
+	// phase is the lifecycle gate (phaseReady/Starting/Recovering);
+	// snapStop / snapDone bracket the automatic-snapshot ticker Recover
+	// starts when SnapshotEvery is set.
+	phase    atomic.Int32
+	snapStop chan struct{}
+	snapDone chan struct{}
 }
 
 // RequestIDHeader aliases the shared wire constant: the client sends one
@@ -211,7 +238,14 @@ func New(cfg Config) *Server {
 			Ring:        cfg.SessionRing,
 			Queue:       cfg.SessionQueue,
 			IdleEpochs:  cfg.SessionIdleEpochs,
+			Journal:     cfg.Journal,
 		}),
+	}
+	if cfg.Journal != nil {
+		// Born not-ready: the embedder must Recover (even on an empty
+		// journal) before work is admitted, so requests can never race a
+		// half-rebuilt session table.
+		s.phase.Store(phaseStarting)
 	}
 	s.mux.Handle("/v1/vsafe", s.api("vsafe", s.handleVSafe))
 	s.mux.Handle("/v1/vsafe-r", s.api("vsafe-r", s.handleVSafeR))
@@ -248,6 +282,86 @@ func (s *Server) sweepLoop(every time.Duration) {
 // clock; cmd/culpeod reports its stats).
 func (s *Server) Sessions() *session.Table { return s.sessions }
 
+// Ready reports whether the server admits work (phase "ready"; draining is
+// a separate flag — a draining server still answers stragglers).
+func (s *Server) Ready() bool { return s.phase.Load() == phaseReady }
+
+// phaseString names the lifecycle phase for /healthz and error bodies.
+func (s *Server) phaseString() string {
+	switch s.phase.Load() {
+	case phaseStarting:
+		return "starting"
+	case phaseRecovering:
+		return "recovering"
+	default:
+		return "ready"
+	}
+}
+
+// resolveSpec turns a journaled power-spec blob back into its model — the
+// session table's recovery resolver. An empty blob is the all-defaults
+// spec, exactly as an empty PowerSpec on the wire would be.
+func (s *Server) resolveSpec(spec []byte) (core.PowerModel, error) {
+	var p PowerSpec
+	if len(spec) > 0 {
+		if err := json.Unmarshal(spec, &p); err != nil {
+			return core.PowerModel{}, fmt.Errorf("recover: decode power spec: %w", err)
+		}
+	}
+	rp, err := resolvePower(p, s.catalog)
+	if err != nil {
+		return core.PowerModel{}, err
+	}
+	return rp.model, nil
+}
+
+// Recover replays the journal's recovery view into the session table and
+// flips the server ready. It must run before the listener admits traffic
+// (cmd/culpeod replays before announcing its address); /healthz advertises
+// phase "recovering" while it runs so pool probes keep routing elsewhere.
+// On a server without a journal it is a ready no-op.
+func (s *Server) Recover(rec journal.Recovery) (session.RecoverStats, error) {
+	if s.cfg.Journal == nil {
+		return session.RecoverStats{}, nil
+	}
+	s.phase.Store(phaseRecovering)
+	st, err := s.sessions.Replay(rec, s.resolveSpec)
+	if err != nil {
+		return st, err
+	}
+	s.phase.Store(phaseReady)
+	if s.cfg.SnapshotEvery > 0 {
+		s.snapStop = make(chan struct{})
+		s.snapDone = make(chan struct{})
+		go s.snapLoop()
+	}
+	return st, nil
+}
+
+// snapLoop triggers a compacted snapshot whenever SnapshotEvery records
+// have been appended since the last one.
+func (s *Server) snapLoop() {
+	defer close(s.snapDone)
+	t := time.NewTicker(time.Second)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			if s.sessions.JournalAppendsSinceSnapshot() >= uint64(s.cfg.SnapshotEvery) {
+				// A snapshot failure poisons the journal; the next
+				// acknowledged fold reports it loudly.
+				_ = s.sessions.JournalSnapshot()
+			}
+		case <-s.snapStop:
+			return
+		}
+	}
+}
+
+// JournalSnapshot writes one compacted snapshot now — cmd/culpeod calls it
+// on graceful drain so the next boot replays an image, not a record tail.
+func (s *Server) JournalSnapshot() error { return s.sessions.JournalSnapshot() }
+
 // Close releases the server's background resources: the session epoch
 // sweeper stops and every live stream is disconnected with a drain
 // terminal. Idempotent; the HTTP listener is the embedder's to close.
@@ -258,6 +372,10 @@ func (s *Server) Close() {
 		if s.sweepStop != nil {
 			close(s.sweepStop)
 			<-s.sweepDone
+		}
+		if s.snapStop != nil {
+			close(s.snapStop)
+			<-s.snapDone
 		}
 	})
 }
@@ -416,6 +534,14 @@ func (s *Server) api(name string, fn func(ctx context.Context, r *http.Request) 
 		if r.Method != http.MethodPost {
 			sw.Header().Set("Allow", http.MethodPost)
 			writeError(sw, http.StatusMethodNotAllowed, errors.New("POST only"))
+			return
+		}
+
+		if !s.Ready() {
+			// Boot-time journal replay in progress: the session table is
+			// half-rebuilt and must not be read or written around the replay.
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, fmt.Errorf("server %s", s.phaseString()))
 			return
 		}
 
@@ -813,13 +939,19 @@ func (s *Server) simulateBatch(ctx context.Context, reqs []SimulateRequest) ([]B
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	draining := s.met.drained.Load()
-	status := http.StatusOK
+	phase := s.phaseString()
 	if draining {
+		phase = "draining"
+	}
+	ok := phase == "ready"
+	status := http.StatusOK
+	if !ok {
 		status = http.StatusServiceUnavailable
 	}
 	writeJSON(w, status, HealthResponse{
-		OK:            !draining,
+		OK:            ok,
 		Draining:      draining,
+		Phase:         phase,
 		ShardID:       s.cfg.ShardID,
 		TopologyEpoch: s.topoEpoch.Load(),
 		Version:       BuildVersion,

@@ -50,6 +50,12 @@ func (s *Server) streaming(name string, fn func(sw *statusWriter, r *http.Reques
 			writeError(sw, http.StatusMethodNotAllowed, errors.New("POST only"))
 			return
 		}
+		if !s.Ready() {
+			// Same gate as api(): no attaches into a half-rebuilt table.
+			sw.Header().Set("Retry-After", "1")
+			writeError(sw, http.StatusServiceUnavailable, fmt.Errorf("server %s", s.phaseString()))
+			return
+		}
 		fn(sw, r)
 	})
 }
@@ -69,7 +75,12 @@ func (s *Server) handleStreamOpen(sw *statusWriter, r *http.Request) {
 		writeError(sw, http.StatusBadRequest, err)
 		return
 	}
-	res, err := s.sessions.Attach(req.Device, rp.model, req.Ring, req.Replay)
+	spec, err := json.Marshal(req.Power)
+	if err != nil {
+		writeError(sw, http.StatusBadRequest, specErrorf("stream: encode power spec: %v", err))
+		return
+	}
+	res, err := s.sessions.AttachSpec(req.Device, rp.model, spec, req.Ring, req.Replay)
 	if err != nil {
 		switch {
 		case errors.Is(err, session.ErrFull):

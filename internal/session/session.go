@@ -47,6 +47,10 @@ type Session struct {
 	device  string
 	modelFP uint64
 	model   core.PowerModel
+	// spec is the opaque power-spec blob the session was opened with
+	// (journaled so recovery can re-resolve the model; nil when the
+	// embedder attached without one).
+	spec []byte
 
 	// ring is the fixed-capacity observation window: a circular buffer of
 	// the last cap(ring) folded observations.

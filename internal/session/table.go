@@ -30,6 +30,7 @@ import (
 
 	"culpeo/internal/api"
 	"culpeo/internal/core"
+	"culpeo/internal/journal"
 )
 
 // Defaults for Config's zero values.
@@ -63,6 +64,12 @@ type Config struct {
 	// Margin is the template AdaptiveMargin each new session copies; the
 	// zero value selects core.DefaultAdaptiveMargin.
 	Margin *core.AdaptiveMargin
+	// Journal, when non-nil, makes the table crash-durable: opens, resumes,
+	// acknowledged folds, closes and sweep evictions are appended as
+	// write-ahead records, and each mutating operation returns only after
+	// its record is durable (group-commit batched). Nil is "-journal=off":
+	// the table acknowledges from memory and a crash loses every session.
+	Journal *journal.Journal
 }
 
 func (c *Config) defaults() {
@@ -191,12 +198,17 @@ type Table struct {
 	evicted, reaped, superseded        atomic.Uint64
 	slowKicked, rejected, dupObs       atomic.Uint64
 	heartbeats, updates, terminalsSent atomic.Uint64
+
+	// wal is the optional write-ahead journal (Config.Journal);
+	// walSinceSnap counts records enqueued since the last snapshot.
+	wal          *journal.Journal
+	walSinceSnap atomic.Uint64
 }
 
 // NewTable builds a Table.
 func NewTable(cfg Config) *Table {
 	cfg.defaults()
-	t := &Table{cfg: cfg, shards: make([]*shard, cfg.Shards)}
+	t := &Table{cfg: cfg, shards: make([]*shard, cfg.Shards), wal: cfg.Journal}
 	for i := range t.shards {
 		t.shards[i] = &shard{sessions: make(map[string]*Session)}
 	}
@@ -237,6 +249,14 @@ type AttachResult struct {
 // mark are folded silently; the returned snapshot update carries the
 // resulting state. A replay with an invalid observation fails the attach.
 func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []api.StreamObservation) (AttachResult, error) {
+	return t.AttachSpec(device, model, nil, ring, replay)
+}
+
+// AttachSpec is Attach carrying the opaque power-spec blob the model was
+// resolved from, journaled with the open record so recovery can re-resolve
+// the model. When the table is journaled, a successful attach returns only
+// after its record is durable.
+func (t *Table) AttachSpec(device string, model core.PowerModel, spec []byte, ring int, replay []api.StreamObservation) (AttachResult, error) {
 	if !api.ValidStreamDevice(device) {
 		return AttachResult{}, fmt.Errorf("session: bad device %q", device)
 	}
@@ -246,37 +266,55 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 	if len(replay) > api.MaxStreamRing {
 		return AttachResult{}, fmt.Errorf("session: replay of %d exceeds the %d-observation ring cap", len(replay), api.MaxStreamRing)
 	}
-	fp := model.Fingerprint()
-
 	sh := t.shardFor(device)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	res, tk, err := t.attachLocked(sh, device, model, spec, ring, replay)
+	sh.mu.Unlock()
+	if err != nil {
+		return AttachResult{}, err
+	}
+	if werr := waitJournal(tk); werr != nil {
+		// The open/resume never became durable: it must not be
+		// acknowledged. The in-memory session may be ahead of the journal
+		// now, but nothing further will be acked either — the journal is
+		// poisoned and every subsequent mutation fails the same way.
+		if res.Sub != nil {
+			res.Sub.Detach()
+		}
+		return AttachResult{}, werr
+	}
+	return res, nil
+}
 
+// attachLocked is AttachSpec's under-lock body. Caller holds sh.mu.
+func (t *Table) attachLocked(sh *shard, device string, model core.PowerModel, spec []byte, ring int, replay []api.StreamObservation) (AttachResult, *journal.Ticket, error) {
+	fp := model.Fingerprint()
 	s, ok := sh.sessions[device]
 	if ok {
 		if s.modelFP != fp {
-			return AttachResult{}, fmt.Errorf("session: device %q already streaming with a different power model", device)
+			return AttachResult{}, nil, fmt.Errorf("session: device %q already streaming with a different power model", device)
 		}
 		if ring != 0 && ring != cap(s.ring) {
-			return AttachResult{}, fmt.Errorf("session: device %q ring is %d, not %d", device, cap(s.ring), ring)
+			return AttachResult{}, nil, fmt.Errorf("session: device %q ring is %d, not %d", device, cap(s.ring), ring)
 		}
 		s.touched = t.epoch.Load()
 		if s.closed {
 			// Tombstone: replay the terminal so a close retry (or a client
 			// that lost the original terminal mid-flight) converges on
 			// exactly one outcome. Allowed even while draining — the replay
-			// answers and ends in one response, it attaches nothing.
-			return AttachResult{Snapshot: s.terminal, Terminal: true, Resumed: true}, nil
+			// answers and ends in one response, it attaches nothing. No
+			// journal record: nothing changed.
+			return AttachResult{Snapshot: s.terminal, Terminal: true, Resumed: true}, nil, nil
 		}
 		if t.drain.Load() {
 			// Refuse live resumes too, not just new devices: a resumed
 			// subscriber attached after DrainStreams already swept would
 			// hold the draining server's Shutdown open forever. The session
 			// itself survives for a resume elsewhere (or after undrain).
-			return AttachResult{}, ErrDraining
+			return AttachResult{}, nil, ErrDraining
 		}
 		if _, err := t.foldLocked(s, replay, true); err != nil {
-			return AttachResult{}, err
+			return AttachResult{}, nil, err
 		}
 		if s.sub != nil {
 			s.sub.reason = "superseded"
@@ -287,11 +325,13 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 		sub := newSubscriber(t, s, t.cfg.Queue)
 		s.sub = sub
 		t.resumed.Add(1)
-		return AttachResult{Sub: sub, Snapshot: s.update(), Resumed: true}, nil
+		snap := s.update()
+		tk := t.journalLocked(walRecord{T: "resume", Device: device, Obs: replay, EventSeq: snap.Seq})
+		return AttachResult{Sub: sub, Snapshot: snap, Resumed: true}, tk, nil
 	}
 
 	if t.drain.Load() {
-		return AttachResult{}, ErrDraining
+		return AttachResult{}, nil, ErrDraining
 	}
 	// Reserve the slot atomically (add-then-check, rolling back on
 	// overflow): opens on different shards hold different locks, so a
@@ -299,7 +339,7 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 	if t.count.Add(1) > int64(t.cfg.MaxSessions) {
 		t.count.Add(-1)
 		t.rejected.Add(1)
-		return AttachResult{}, ErrFull
+		return AttachResult{}, nil, ErrFull
 	}
 	if ring == 0 {
 		ring = t.cfg.Ring
@@ -308,13 +348,14 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 		device:  device,
 		modelFP: fp,
 		model:   model,
+		spec:    spec,
 		ring:    make([]entry, ring),
 		margin:  *t.cfg.Margin,
 		touched: t.epoch.Load(),
 	}
 	if _, err := t.foldLocked(s, replay, true); err != nil {
 		t.count.Add(-1)
-		return AttachResult{}, err
+		return AttachResult{}, nil, err
 	}
 	sh.sessions[device] = s
 	t.opened.Add(1)
@@ -324,7 +365,9 @@ func (t *Table) Attach(device string, model core.PowerModel, ring int, replay []
 	}
 	sub := newSubscriber(t, s, t.cfg.Queue)
 	s.sub = sub
-	return AttachResult{Sub: sub, Snapshot: s.update(), Rebuilt: rebuilt}, nil
+	snap := s.update()
+	tk := t.journalLocked(walRecord{T: "open", Device: device, Ring: ring, FP: fp, Spec: spec, Obs: replay, EventSeq: snap.Seq})
+	return AttachResult{Sub: sub, Snapshot: snap, Rebuilt: rebuilt}, tk, nil
 }
 
 // FoldResult acknowledges a Fold.
@@ -349,27 +392,43 @@ func (t *Table) Fold(device string, obs []api.StreamObservation, close bool) (Fo
 	}
 	sh := t.shardFor(device)
 	sh.mu.Lock()
-	defer sh.mu.Unlock()
+	res, tk, err := t.foldApplyLocked(sh, device, obs, close)
+	sh.mu.Unlock()
+	if err != nil {
+		return FoldResult{}, err
+	}
+	// The 200-ack gate: with a journal, the fold is acknowledged only once
+	// its record is durable. The downlink update (already published above,
+	// under the lock, to keep event ordering) may race ahead of the ack by
+	// one event — a crash in that window is exactly what the client's
+	// replay-on-reattach converges.
+	if werr := waitJournal(tk); werr != nil {
+		return FoldResult{}, werr
+	}
+	return res, nil
+}
 
+// foldApplyLocked is Fold's under-lock body. Caller holds sh.mu.
+func (t *Table) foldApplyLocked(sh *shard, device string, obs []api.StreamObservation, close bool) (FoldResult, *journal.Ticket, error) {
 	s, ok := sh.sessions[device]
 	if !ok {
-		return FoldResult{}, ErrNoSession
+		return FoldResult{}, nil, ErrNoSession
 	}
 	s.touched = t.epoch.Load()
 	if s.closed {
 		// Idempotent retries only: every observation must be old news.
 		for _, o := range obs {
 			if o.Seq > s.lastObsSeq {
-				return FoldResult{}, ErrClosed
+				return FoldResult{}, nil, ErrClosed
 			}
 		}
 		t.dupObs.Add(uint64(len(obs)))
-		return FoldResult{LastSeq: s.lastObsSeq, Duplicates: len(obs), Window: s.count, Closed: true}, nil
+		return FoldResult{LastSeq: s.lastObsSeq, Duplicates: len(obs), Window: s.count, Closed: true}, nil, nil
 	}
 
 	dups, err := t.foldLocked(s, obs, false)
 	if err != nil {
-		return FoldResult{}, err
+		return FoldResult{}, nil, err
 	}
 	res := FoldResult{LastSeq: s.lastObsSeq, Duplicates: dups, Window: s.count}
 	if close {
@@ -383,12 +442,15 @@ func (t *Table) Fold(device string, obs []api.StreamObservation, close bool) (Fo
 			t.terminalsSent.Add(1)
 			s.sub.terminal <- u // cap 1, one terminal per subscriber: never blocks
 		}
-		return res, nil
+		tk := t.journalLocked(walRecord{T: "obs", Device: device, Obs: obs, Close: true, EventSeq: u.Seq})
+		return res, tk, nil
 	}
 	if len(obs) > 0 {
 		t.publishLocked(s, Event{Update: s.update()})
+		tk := t.journalLocked(walRecord{T: "obs", Device: device, Obs: obs, EventSeq: s.eventSeq})
+		return res, tk, nil
 	}
-	return res, nil
+	return res, nil, nil
 }
 
 // foldLocked validates and folds a batch, skipping duplicates. On a
@@ -471,6 +533,7 @@ func (t *Table) Window(device string) ([]api.StreamObservation, error) {
 // than TombstoneEpochs. Returns (evicted, reaped) for this sweep.
 func (t *Table) AdvanceEpoch() (evicted, reaped int) {
 	epoch := t.epoch.Add(1)
+	var tickets []*journal.Ticket
 	for _, sh := range t.shards {
 		sh.mu.Lock()
 		for dev, s := range sh.sessions {
@@ -485,13 +548,26 @@ func (t *Table) AdvanceEpoch() (evicted, reaped int) {
 				delete(sh.sessions, dev)
 				t.count.Add(-1)
 				reaped++
+				if tk := t.journalLocked(walRecord{T: "evict", Device: dev, Reason: "reap"}); tk != nil {
+					tickets = append(tickets, tk)
+				}
 			case !s.closed && idle > uint64(t.cfg.IdleEpochs):
 				delete(sh.sessions, dev)
 				t.count.Add(-1)
 				evicted++
+				if tk := t.journalLocked(walRecord{T: "evict", Device: dev, Reason: "idle"}); tk != nil {
+					tickets = append(tickets, tk)
+				}
 			}
 		}
 		sh.mu.Unlock()
+	}
+	// Evictions must be durable before the sweep reports: otherwise a crash
+	// could resurrect a session the server already told the world was gone.
+	// A journal failure here is not surfaced — the next acknowledged fold
+	// fails loudly on the same poisoned journal.
+	for _, tk := range tickets {
+		_ = tk.Wait()
 	}
 	t.evicted.Add(uint64(evicted))
 	t.reaped.Add(uint64(reaped))

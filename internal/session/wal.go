@@ -1,0 +1,428 @@
+// The session table's journal encoding and recovery: what goes into a
+// write-ahead record, what a compacted snapshot image looks like, and how
+// Replay rebuilds a table bit-exactly from snapshot + records.
+//
+// Bit-exactness is the contract the parity gates check with
+// math.Float64bits, and it holds by construction on both recovery paths:
+//
+//   - snapshot restore is pure decode — per-slot estimates, the running
+//     window estimate, the adaptive-margin state and both sequence
+//     high-water marks are stored as float64/uint64 and JSON round-trips
+//     them exactly;
+//   - record replay re-runs the same deterministic incremental fold
+//     (core.VSafeR through Session.fold) the live path ran, with the
+//     lastObsSeq dedup horizon making re-application of already-folded
+//     observations a no-op — replay is idempotent, never double-applied.
+//
+// Event sequence numbers ride inside each record (the post-operation
+// value), so a recovered session resumes its downlink numbering where the
+// crashed one stopped and client-side rebuild detection (snapshot seq 1)
+// keeps meaning what it meant.
+package session
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+
+	"culpeo/internal/api"
+	"culpeo/internal/core"
+	"culpeo/internal/journal"
+)
+
+// walRecord is one journal record. T selects the kind:
+//
+//	"open"   new session: ring, model fingerprint, spec, folded replay
+//	"resume" live re-attach (covers supersede): folded replay, event seq
+//	"obs"    acknowledged fold: observation batch, close flag, event seq
+//	"evict"  sweep removal: Reason "idle" (live) or "reap" (tombstone)
+type walRecord struct {
+	T      string `json:"t"`
+	Device string `json:"d"`
+	// Open only.
+	Ring int             `json:"r,omitempty"`
+	FP   uint64          `json:"fp,omitempty"`
+	Spec json.RawMessage `json:"spec,omitempty"`
+	// Open/resume replay batch, or the obs batch.
+	Obs   []api.StreamObservation `json:"o,omitempty"`
+	Close bool                    `json:"c,omitempty"`
+	// EventSeq is the session's downlink event counter after the operation.
+	EventSeq uint64 `json:"es,omitempty"`
+	Reason   string `json:"why,omitempty"`
+}
+
+// estImage serializes one core.Estimate.
+type estImage struct {
+	VSafe  float64 `json:"vs"`
+	VDelta float64 `json:"vd"`
+	VE     float64 `json:"ve"`
+}
+
+func imageEst(e core.Estimate) estImage {
+	return estImage{VSafe: e.VSafe, VDelta: e.VDelta, VE: e.VE}
+}
+
+func (e estImage) estimate() core.Estimate {
+	return core.Estimate{VSafe: e.VSafe, VDelta: e.VDelta, VE: e.VE}
+}
+
+// entryImage is one ring slot: the observation plus its precomputed
+// estimate, so restore never re-runs Algorithm 1 for snapshotted slots.
+type entryImage struct {
+	Obs api.StreamObservation `json:"o"`
+	Est estImage              `json:"e"`
+}
+
+// sessImage is one session's complete state in a snapshot.
+type sessImage struct {
+	Device     string              `json:"d"`
+	Ring       int                 `json:"r"`
+	FP         uint64              `json:"fp"`
+	Spec       json.RawMessage     `json:"spec,omitempty"`
+	LastObsSeq uint64              `json:"os"`
+	EventSeq   uint64              `json:"es"`
+	Closed     bool                `json:"cl,omitempty"`
+	Terminal   *api.StreamUpdate   `json:"term,omitempty"`
+	Margin     core.MarginSnapshot `json:"m"`
+	Window     []entryImage        `json:"w,omitempty"`
+	EstSeq     uint64              `json:"eq,omitempty"`
+	Est        *estImage           `json:"e,omitempty"`
+	Touched    uint64              `json:"tc"`
+}
+
+// snapImage is the compacted table image a journal snapshot carries.
+type snapImage struct {
+	V        int         `json:"v"`
+	Epoch    uint64      `json:"epoch"`
+	Sessions []sessImage `json:"sessions"`
+}
+
+// snapImageVersion guards the snapshot format; a mismatch means a newer (or
+// corrupted) image this build cannot decode.
+const snapImageVersion = 1
+
+// journalLocked encodes and enqueues one record. Caller holds the shard
+// lock — that is the ordering contract: records enter the journal queue in
+// the same order their effects were applied, so replay reconstructs the
+// same state. The returned ticket (nil when the table has no journal) is
+// waited on after the lock is released.
+func (t *Table) journalLocked(rec walRecord) *journal.Ticket {
+	if t.wal == nil {
+		return nil
+	}
+	payload, err := json.Marshal(rec)
+	if err != nil {
+		// Unreachable (the record types are all marshalable), but an
+		// unjournaled mutation must not be silently acknowledged.
+		return journal.Failed(fmt.Errorf("session: encode journal record: %w", err))
+	}
+	t.walSinceSnap.Add(1)
+	return t.wal.Append(payload)
+}
+
+// waitJournal resolves a (possibly nil) ticket into the operation's error.
+func waitJournal(tk *journal.Ticket) error {
+	if tk == nil {
+		return nil
+	}
+	if err := tk.Wait(); err != nil {
+		return fmt.Errorf("session: journal append: %w", err)
+	}
+	return nil
+}
+
+// imageOf captures one session. Caller holds the shard lock.
+func imageOf(s *Session) sessImage {
+	si := sessImage{
+		Device:     s.device,
+		Ring:       cap(s.ring),
+		FP:         s.modelFP,
+		Spec:       s.spec,
+		LastObsSeq: s.lastObsSeq,
+		EventSeq:   s.eventSeq,
+		Closed:     s.closed,
+		Margin:     s.margin.Snapshot(),
+		EstSeq:     s.estSeq,
+		Touched:    s.touched,
+	}
+	if s.closed {
+		term := s.terminal
+		si.Terminal = &term
+	}
+	if s.haveEst {
+		e := imageEst(s.est)
+		si.Est = &e
+	}
+	if s.count > 0 {
+		si.Window = make([]entryImage, 0, s.count)
+		for i := 0; i < s.count; i++ {
+			e := s.ring[(s.head+i)%cap(s.ring)]
+			si.Window = append(si.Window, entryImage{Obs: e.obs, Est: imageEst(e.est)})
+		}
+	}
+	return si
+}
+
+// JournalSnapshot writes a compacted snapshot of the whole table into the
+// journal and waits for it to be durable. It locks every shard for the
+// image capture + enqueue — one consistent cut, ordered against every
+// concurrent fold (folds enqueue their records under the same shard locks)
+// — then waits outside the locks. No-op without a journal.
+func (t *Table) JournalSnapshot() error {
+	if t.wal == nil {
+		return nil
+	}
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+	}
+	img := snapImage{V: snapImageVersion, Epoch: t.epoch.Load()}
+	for _, sh := range t.shards {
+		for _, s := range sh.sessions {
+			img.Sessions = append(img.Sessions, imageOf(s))
+		}
+	}
+	payload, err := json.Marshal(img)
+	var tk *journal.Ticket
+	if err == nil {
+		tk = t.wal.Snapshot(payload)
+		t.walSinceSnap.Store(0)
+	}
+	for i := len(t.shards) - 1; i >= 0; i-- {
+		t.shards[i].mu.Unlock()
+	}
+	if err != nil {
+		return fmt.Errorf("session: encode snapshot: %w", err)
+	}
+	if err := tk.Wait(); err != nil {
+		return fmt.Errorf("session: journal snapshot: %w", err)
+	}
+	return nil
+}
+
+// JournalAppendsSinceSnapshot reports how many records were enqueued since
+// the last snapshot — the serving layer's -snapshot-every trigger.
+func (t *Table) JournalAppendsSinceSnapshot() uint64 { return t.walSinceSnap.Load() }
+
+// RecoverStats summarizes one Replay.
+type RecoverStats struct {
+	// Sessions and Tombstones are the live/closed sessions in the rebuilt
+	// table.
+	Sessions   int
+	Tombstones int
+	// FromSnapshot counts sessions restored straight from the image.
+	FromSnapshot int
+	// Records is how many journal records were decoded and offered.
+	Records int
+	// Skipped counts records (or snapshot sessions) that could not be
+	// applied — undecodable payloads, fingerprint mismatches against the
+	// re-resolved model, records for sessions the journal no longer
+	// explains. Zero on every crash-produced journal; non-zero means
+	// tampering or a config change across the restart.
+	Skipped int
+}
+
+// Replay rebuilds the table from a journal recovery: restore the snapshot
+// image, then re-apply every record after it through the same fold path
+// the live table ran. resolve turns a stored power-spec blob back into its
+// model (the serving layer passes its catalog-backed resolver); the stored
+// fingerprint must match the re-resolved model or the session is skipped.
+//
+// Replay must run on a fresh table before any traffic: it bypasses
+// journaling (the records being applied are already durable) and does not
+// take the drain flag into account.
+func (t *Table) Replay(rec journal.Recovery, resolve func(spec []byte) (core.PowerModel, error)) (RecoverStats, error) {
+	var st RecoverStats
+	if t.Len() != 0 {
+		return st, errors.New("session: replay into a non-empty table")
+	}
+	if resolve == nil {
+		return st, errors.New("session: replay needs a spec resolver")
+	}
+	if rec.Snapshot != nil {
+		var img snapImage
+		if err := json.Unmarshal(rec.Snapshot, &img); err != nil || img.V != snapImageVersion {
+			st.Skipped++
+		} else {
+			t.epoch.Store(img.Epoch)
+			for _, si := range img.Sessions {
+				if t.restoreSession(si, resolve) {
+					st.FromSnapshot++
+				} else {
+					st.Skipped++
+				}
+			}
+		}
+	}
+	for _, raw := range rec.Records {
+		st.Records++
+		var r walRecord
+		if err := json.Unmarshal(raw, &r); err != nil {
+			st.Skipped++
+			continue
+		}
+		if !t.applyRecord(r, resolve) {
+			st.Skipped++
+		}
+	}
+	for _, sh := range t.shards {
+		sh.mu.Lock()
+		for _, s := range sh.sessions {
+			if s.closed {
+				st.Tombstones++
+			} else {
+				st.Sessions++
+			}
+		}
+		sh.mu.Unlock()
+	}
+	return st, nil
+}
+
+// restoreSession rebuilds one session from its snapshot image: pure decode,
+// no folding. Returns false (and restores nothing) on any inconsistency.
+func (t *Table) restoreSession(si sessImage, resolve func([]byte) (core.PowerModel, error)) bool {
+	if !api.ValidStreamDevice(si.Device) || si.Ring <= 0 || si.Ring > api.MaxStreamRing || len(si.Window) > si.Ring {
+		return false
+	}
+	model, err := resolve(si.Spec)
+	if err != nil || model.Fingerprint() != si.FP {
+		return false
+	}
+	if si.Closed && si.Terminal == nil {
+		return false
+	}
+	sh := t.shardFor(si.Device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if _, ok := sh.sessions[si.Device]; ok {
+		return false
+	}
+	if t.count.Add(1) > int64(t.cfg.MaxSessions) {
+		t.count.Add(-1)
+		return false
+	}
+	s := &Session{
+		device:     si.Device,
+		modelFP:    si.FP,
+		model:      model,
+		spec:       si.Spec,
+		ring:       make([]entry, si.Ring),
+		count:      len(si.Window),
+		lastObsSeq: si.LastObsSeq,
+		eventSeq:   si.EventSeq,
+		estSeq:     si.EstSeq,
+		margin:     core.RestoreMargin(si.Margin),
+		closed:     si.Closed,
+		touched:    si.Touched,
+	}
+	for i, ei := range si.Window {
+		s.ring[i] = entry{obs: ei.Obs, est: ei.Est.estimate()}
+	}
+	if si.Est != nil {
+		s.est, s.haveEst = si.Est.estimate(), true
+	}
+	if si.Terminal != nil {
+		s.terminal = *si.Terminal
+	}
+	sh.sessions[si.Device] = s
+	return true
+}
+
+// applyRecord re-applies one journal record. Returns false when the record
+// cannot be applied against the current replay state.
+func (t *Table) applyRecord(r walRecord, resolve func([]byte) (core.PowerModel, error)) bool {
+	if !api.ValidStreamDevice(r.Device) {
+		return false
+	}
+	sh := t.shardFor(r.Device)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[r.Device]
+	switch r.T {
+	case "open":
+		if ok || r.Ring <= 0 || r.Ring > api.MaxStreamRing {
+			return false
+		}
+		model, err := resolve(r.Spec)
+		if err != nil || model.Fingerprint() != r.FP {
+			return false
+		}
+		if t.count.Add(1) > int64(t.cfg.MaxSessions) {
+			t.count.Add(-1)
+			return false
+		}
+		s = &Session{
+			device:  r.Device,
+			modelFP: r.FP,
+			model:   model,
+			spec:    r.Spec,
+			ring:    make([]entry, r.Ring),
+			margin:  *t.cfg.Margin,
+			touched: t.epoch.Load(),
+		}
+		if _, err := t.foldLocked(s, r.Obs, true); err != nil {
+			t.count.Add(-1)
+			return false
+		}
+		s.eventSeq = r.EventSeq
+		sh.sessions[r.Device] = s
+		return true
+	case "resume":
+		if !ok {
+			return false
+		}
+		s.touched = t.epoch.Load()
+		if s.closed {
+			return true // tombstone replay: nothing to re-apply
+		}
+		if _, err := t.foldLocked(s, r.Obs, true); err != nil {
+			return false
+		}
+		if r.EventSeq > s.eventSeq {
+			s.eventSeq = r.EventSeq
+		}
+		return true
+	case "obs":
+		if !ok {
+			return false
+		}
+		s.touched = t.epoch.Load()
+		if s.closed {
+			for _, o := range r.Obs {
+				if o.Seq > s.lastObsSeq {
+					return false
+				}
+			}
+			return true // idempotent close-retry, exactly like the live path
+		}
+		if _, err := t.foldLocked(s, r.Obs, true); err != nil {
+			return false
+		}
+		if r.EventSeq > s.eventSeq {
+			s.eventSeq = r.EventSeq
+		}
+		if r.Close {
+			u := api.StreamUpdate{
+				Seq:    r.EventSeq,
+				ObsSeq: s.lastObsSeq,
+				Window: s.count,
+				Margin: s.margin.Margin(),
+			}
+			if s.haveEst {
+				u.VSafe, u.VDelta, u.VE = s.est.VSafe, s.est.VDelta, s.est.VE
+				u.Launch = u.VSafe + u.Margin
+			}
+			u.Final, u.Reason = true, "close"
+			s.closed, s.terminal = true, u
+		}
+		return true
+	case "evict":
+		if !ok {
+			return false
+		}
+		delete(sh.sessions, r.Device)
+		t.count.Add(-1)
+		return true
+	}
+	return false
+}

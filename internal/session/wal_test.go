@@ -1,0 +1,481 @@
+package session
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"culpeo/internal/api"
+	"culpeo/internal/core"
+	"culpeo/internal/journal"
+)
+
+// openJournal opens a journal in dir (no fsync: these tests exercise the
+// record/replay logic, not disk durability).
+func openJournal(t *testing.T, dir string) (*journal.Journal, journal.Recovery) {
+	t.Helper()
+	j, rec, err := journal.Open(journal.Options{Dir: dir})
+	if err != nil {
+		t.Fatalf("journal.Open: %v", err)
+	}
+	return j, rec
+}
+
+// resolveTo returns a spec resolver that always yields m — the shape the
+// serving layer passes when every session shares one power spec.
+func resolveTo(m core.PowerModel) func([]byte) (core.PowerModel, error) {
+	return func([]byte) (core.PowerModel, error) { return m, nil }
+}
+
+// replayInto closes the journal, reopens it, and replays into a fresh
+// table with cfg (Journal unset: the replayed table is inspected, not
+// written through).
+func replayInto(t *testing.T, dir string, j *journal.Journal, cfg Config, m core.PowerModel) (*Table, RecoverStats) {
+	t.Helper()
+	if err := j.Close(); err != nil {
+		t.Fatalf("journal close: %v", err)
+	}
+	j2, rec := openJournal(t, dir)
+	t.Cleanup(func() { j2.Close() })
+	cfg.Journal = nil
+	tbl := NewTable(cfg)
+	st, err := tbl.Replay(rec, resolveTo(m))
+	if err != nil {
+		t.Fatalf("Replay: %v", err)
+	}
+	return tbl, st
+}
+
+// wantSameUpdate asserts two stream updates are bit-identical — every
+// float compared through Float64bits, every counter exactly equal.
+func wantSameUpdate(t *testing.T, label string, got, want api.StreamUpdate) {
+	t.Helper()
+	if got.Seq != want.Seq || got.ObsSeq != want.ObsSeq || got.Window != want.Window ||
+		got.Final != want.Final || got.Reason != want.Reason {
+		t.Fatalf("%s: update mismatch:\n got %+v\nwant %+v", label, got, want)
+	}
+	for _, f := range [][3]interface{}{
+		{"v_safe", got.VSafe, want.VSafe},
+		{"v_delta", got.VDelta, want.VDelta},
+		{"v_e", got.VE, want.VE},
+		{"margin", got.Margin, want.Margin},
+		{"launch", got.Launch, want.Launch},
+	} {
+		if !sameBits(f[1].(float64), f[2].(float64)) {
+			t.Fatalf("%s: %s not bit-exact: %x vs %x", label, f[0], f[1], f[2])
+		}
+	}
+}
+
+// sessState is a white-box copy of one session's recovery-relevant state.
+type sessState struct {
+	lastObsSeq uint64
+	eventSeq   uint64
+	estSeq     uint64
+	haveEst    bool
+	closed     bool
+	est        core.Estimate
+	margin     float64
+	terminal   api.StreamUpdate
+	window     []api.StreamObservation
+}
+
+// captureState snapshots a session without touching it (no event seq is
+// consumed), so pre-crash and post-replay state can be compared exactly.
+func captureState(t *testing.T, tbl *Table, dev string) sessState {
+	t.Helper()
+	sh := tbl.shardFor(dev)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[dev]
+	if !ok {
+		t.Fatalf("no session for %s", dev)
+	}
+	return sessState{
+		lastObsSeq: s.lastObsSeq,
+		eventSeq:   s.eventSeq,
+		estSeq:     s.estSeq,
+		haveEst:    s.haveEst,
+		closed:     s.closed,
+		est:        s.est,
+		margin:     s.margin.Margin(),
+		terminal:   s.terminal,
+		window:     s.window(),
+	}
+}
+
+// wantSameState asserts a recovered session is bit-identical to the
+// pre-crash one.
+func wantSameState(t *testing.T, dev string, got, want sessState) {
+	t.Helper()
+	if got.lastObsSeq != want.lastObsSeq || got.eventSeq != want.eventSeq ||
+		got.estSeq != want.estSeq || got.haveEst != want.haveEst || got.closed != want.closed {
+		t.Fatalf("%s: state mismatch:\n got %+v\nwant %+v", dev, got, want)
+	}
+	if !sameBits(got.est.VSafe, want.est.VSafe) || !sameBits(got.est.VDelta, want.est.VDelta) ||
+		!sameBits(got.est.VE, want.est.VE) || !sameBits(got.margin, want.margin) {
+		t.Fatalf("%s: estimate/margin not bit-exact:\n got %+v\nwant %+v", dev, got, want)
+	}
+	if len(got.window) != len(want.window) {
+		t.Fatalf("%s: window %d vs %d", dev, len(got.window), len(want.window))
+	}
+	for i := range want.window {
+		if got.window[i] != want.window[i] {
+			t.Fatalf("%s: window[%d] %+v vs %+v", dev, i, got.window[i], want.window[i])
+		}
+	}
+	if want.closed {
+		wantSameUpdate(t, dev+" terminal", got.terminal, want.terminal)
+	}
+}
+
+// TestReplayBitExact is the core recovery gate: fold seeded traffic into a
+// journaled table, "crash" (drop the table, keep the files), replay, and
+// demand the recovered sessions be bit-identical — window contents, running
+// estimate, adaptive margin, and both sequence counters.
+func TestReplayBitExact(t *testing.T) {
+	m := testModel(t)
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	cfg := Config{Ring: 8}
+	cfg.Journal = j
+	tbl := NewTable(cfg)
+
+	rng := rand.New(rand.NewSource(42))
+	devices := []string{"dev-a", "dev-b", "dev-c"}
+	seqs := map[string]uint64{}
+	for _, dev := range devices {
+		res, err := tbl.Attach(dev, m, 0, nil)
+		if err != nil {
+			t.Fatalf("attach %s: %v", dev, err)
+		}
+		res.Sub.Detach() // no downlink: folds still consume event seqs
+	}
+	for step := 0; step < 30; step++ {
+		dev := devices[rng.Intn(len(devices))]
+		n := 1 + rng.Intn(3)
+		batch := make([]api.StreamObservation, n)
+		for i := range batch {
+			seqs[dev]++
+			batch[i] = genObs(rng, seqs[dev])
+		}
+		if _, err := tbl.Fold(dev, batch, false); err != nil {
+			t.Fatalf("fold %s: %v", dev, err)
+		}
+	}
+	// Close one device so recovery must also carry a tombstone + terminal.
+	seqs["dev-c"]++
+	if _, err := tbl.Fold("dev-c", []api.StreamObservation{genObs(rng, seqs["dev-c"])}, true); err != nil {
+		t.Fatalf("close dev-c: %v", err)
+	}
+
+	orig := map[string]sessState{}
+	for _, dev := range devices {
+		orig[dev] = captureState(t, tbl, dev)
+	}
+
+	rtbl, st := replayInto(t, dir, j, Config{Ring: 8}, m)
+	if st.Sessions != 2 || st.Tombstones != 1 || st.Skipped != 0 {
+		t.Fatalf("recover stats: %+v", st)
+	}
+	if st.FromSnapshot != 0 {
+		t.Fatalf("no snapshot was taken, yet FromSnapshot = %d", st.FromSnapshot)
+	}
+
+	for _, dev := range devices {
+		rec := captureState(t, rtbl, dev)
+		wantSameState(t, dev, rec, orig[dev])
+		// FoldWindow is the third leg of the parity: the from-scratch
+		// reference over the recovered window must match the recovered
+		// incremental estimate bit-exactly.
+		if len(rec.window) > 0 && rec.haveEst {
+			ref, ok, err := FoldWindow(m, rec.window)
+			if err != nil || !ok {
+				t.Fatalf("%s: FoldWindow: %v", dev, err)
+			}
+			if !sameBits(ref.VSafe, rec.est.VSafe) {
+				t.Fatalf("%s: recovered VSafe diverges from FoldWindow reference", dev)
+			}
+		}
+	}
+}
+
+// TestReplayFromSnapshot covers the compacted path: snapshot mid-stream,
+// fold more, crash, recover — pre-snapshot state comes from the image,
+// post-snapshot records replay on top, and the result is still bit-exact.
+func TestReplayFromSnapshot(t *testing.T) {
+	m := testModel(t)
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	cfg := Config{Ring: 4}
+	cfg.Journal = j
+	tbl := NewTable(cfg)
+
+	rng := rand.New(rand.NewSource(9))
+	res, err := tbl.Attach("dev-snap", m, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Sub.Detach()
+	seq := uint64(0)
+	fold := func(n int) {
+		batch := make([]api.StreamObservation, n)
+		for i := range batch {
+			seq++
+			batch[i] = genObs(rng, seq)
+		}
+		if _, err := tbl.Fold("dev-snap", batch, false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fold(6) // wraps the 4-slot ring before the snapshot
+	if err := tbl.JournalSnapshot(); err != nil {
+		t.Fatalf("JournalSnapshot: %v", err)
+	}
+	if got := tbl.JournalAppendsSinceSnapshot(); got != 0 {
+		t.Fatalf("appends since snapshot = %d after snapshot", got)
+	}
+	fold(3) // wraps again on top of the restored image
+	orig := captureState(t, tbl, "dev-snap")
+
+	rtbl, st := replayInto(t, dir, j, Config{Ring: 4}, m)
+	if st.FromSnapshot != 1 || st.Sessions != 1 || st.Skipped != 0 {
+		t.Fatalf("recover stats: %+v", st)
+	}
+	rec := captureState(t, rtbl, "dev-snap")
+	wantSameState(t, "dev-snap", rec, orig)
+
+	if len(rec.window) != 4 {
+		t.Fatalf("recovered window: %d slots, want 4", len(rec.window))
+	}
+	ref, ok, err := FoldWindow(m, rec.window)
+	if err != nil || !ok {
+		t.Fatal(err)
+	}
+	if !sameBits(ref.VSafe, rec.est.VSafe) {
+		t.Fatal("snapshot-restored estimate diverges from FoldWindow")
+	}
+}
+
+// TestReplayEviction: sessions the sweeper evicted (idle) or reaped
+// (tombstone) before the crash must stay gone after replay — the evict
+// records beat the earlier open/obs records.
+func TestReplayEviction(t *testing.T) {
+	cases := []struct {
+		name  string
+		close bool // close the session first (tombstone reap) or leave it idle
+	}{
+		{"idle-evicted", false},
+		{"tombstone-reaped", true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			m := testModel(t)
+			dir := t.TempDir()
+			j, _ := openJournal(t, dir)
+			cfg := Config{Ring: 4, IdleEpochs: 1, TombstoneEpochs: 1}
+			cfg.Journal = j
+			tbl := NewTable(cfg)
+
+			res, err := tbl.Attach("dev-gone", m, 0, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(3))
+			if _, err := tbl.Fold("dev-gone", []api.StreamObservation{genObs(rng, 1)}, tc.close); err != nil {
+				t.Fatal(err)
+			}
+			res.Sub.Detach()
+			for i := 0; i < 3; i++ {
+				tbl.AdvanceEpoch()
+			}
+			if tbl.Len() != 0 {
+				t.Fatalf("session survived the sweeps: len=%d", tbl.Len())
+			}
+
+			rtbl, st := replayInto(t, dir, j, cfg, m)
+			if st.Sessions != 0 || st.Tombstones != 0 {
+				t.Fatalf("evicted session resurrected by replay: %+v", st)
+			}
+			if _, err := rtbl.Fold("dev-gone", []api.StreamObservation{genObs(rng, 2)}, false); !errors.Is(err, ErrNoSession) {
+				t.Fatalf("fold after replay = %v, want ErrNoSession", err)
+			}
+		})
+	}
+}
+
+// TestReplayCloseRetry: a close acknowledged before the crash must stay
+// at-most-once after recovery — the retry is answered idempotently from the
+// recovered tombstone, new observations are refused, and a re-attach
+// replays the identical terminal.
+func TestReplayCloseRetry(t *testing.T) {
+	m := testModel(t)
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	cfg := Config{Ring: 4}
+	cfg.Journal = j
+	tbl := NewTable(cfg)
+
+	if _, err := tbl.Attach("dev-close", m, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	batch := []api.StreamObservation{genObs(rng, 1), genObs(rng, 2)}
+	closeRes, err := tbl.Fold("dev-close", batch, true)
+	if err != nil || !closeRes.Closed {
+		t.Fatalf("close: %+v, %v", closeRes, err)
+	}
+	origTerm := captureState(t, tbl, "dev-close").terminal
+
+	rtbl, st := replayInto(t, dir, j, cfg, m)
+	if st.Tombstones != 1 {
+		t.Fatalf("recover stats: %+v", st)
+	}
+
+	// The client's close retry lands on the recovered backend.
+	retry, err := rtbl.Fold("dev-close", batch, true)
+	if err != nil {
+		t.Fatalf("close retry: %v", err)
+	}
+	if !retry.Closed || retry.Duplicates != len(batch) || retry.LastSeq != closeRes.LastSeq {
+		t.Fatalf("close retry not idempotent: %+v vs %+v", retry, closeRes)
+	}
+	// Fresh observations must still be refused — closed is closed.
+	if _, err := rtbl.Fold("dev-close", []api.StreamObservation{genObs(rng, 9)}, false); !errors.Is(err, ErrClosed) {
+		t.Fatalf("new obs after recovered close = %v, want ErrClosed", err)
+	}
+	// And a re-attach replays the exact terminal the crashed server minted
+	// (the recovered table is unjournaled, so Attach works post-crash).
+	res, err := rtbl.Attach("dev-close", m, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Terminal {
+		t.Fatal("recovered attach did not replay the terminal")
+	}
+	wantSameUpdate(t, "terminal", res.Snapshot, origTerm)
+}
+
+// TestReplaySupersede: a device that reconnected (superseding its old
+// subscriber) journals resume records; replay must land on one session
+// with the latest event sequence, not two or a stale counter.
+func TestReplaySupersede(t *testing.T) {
+	m := testModel(t)
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	cfg := Config{Ring: 4}
+	cfg.Journal = j
+	tbl := NewTable(cfg)
+
+	rng := rand.New(rand.NewSource(11))
+	if _, err := tbl.Attach("dev-super", m, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tbl.Fold("dev-super", []api.StreamObservation{genObs(rng, 1)}, false); err != nil {
+		t.Fatal(err)
+	}
+	// Second attach supersedes the first; replay a stale tail alongside a
+	// fresh observation, exactly like a reconnecting client.
+	if _, err := tbl.Attach("dev-super", m, 0, []api.StreamObservation{genObs(rng, 2)}); err != nil {
+		t.Fatal(err)
+	}
+
+	orig := captureState(t, tbl, "dev-super")
+	rtbl, st := replayInto(t, dir, j, cfg, m)
+	if st.Sessions != 1 || st.Skipped != 0 {
+		t.Fatalf("recover stats: %+v", st)
+	}
+	wantSameState(t, "dev-super", captureState(t, rtbl, "dev-super"), orig)
+}
+
+// TestReplayGuards: replay refuses misuse and skips what it cannot verify.
+func TestReplayGuards(t *testing.T) {
+	m := testModel(t)
+
+	t.Run("non-empty-table", func(t *testing.T) {
+		tbl := NewTable(Config{})
+		if _, err := tbl.Attach("dev", m, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := tbl.Replay(journal.Recovery{}, resolveTo(m)); err == nil {
+			t.Fatal("replay into a non-empty table succeeded")
+		}
+	})
+	t.Run("nil-resolver", func(t *testing.T) {
+		if _, err := NewTable(Config{}).Replay(journal.Recovery{}, nil); err == nil {
+			t.Fatal("replay with nil resolver succeeded")
+		}
+	})
+	t.Run("fingerprint-mismatch", func(t *testing.T) {
+		dir := t.TempDir()
+		j, _ := openJournal(t, dir)
+		cfg := Config{Ring: 4}
+		cfg.Journal = j
+		tbl := NewTable(cfg)
+		if _, err := tbl.Attach("dev-fp", m, 0, nil); err != nil {
+			t.Fatal(err)
+		}
+		if err := j.Close(); err != nil {
+			t.Fatal(err)
+		}
+		j2, rec := openJournal(t, dir)
+		defer j2.Close()
+		other := m
+		other.VOff += 0.01 // different model, different fingerprint
+		rtbl := NewTable(Config{Ring: 4})
+		st, err := rtbl.Replay(rec, resolveTo(other))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Skipped == 0 || st.Sessions != 0 {
+			t.Fatalf("fingerprint mismatch not skipped: %+v", st)
+		}
+	})
+	t.Run("undecodable-record", func(t *testing.T) {
+		rtbl := NewTable(Config{})
+		st, err := rtbl.Replay(journal.Recovery{Records: [][]byte{[]byte("not json")}}, resolveTo(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Skipped != 1 || st.Records != 1 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+	t.Run("wrong-snapshot-version", func(t *testing.T) {
+		rtbl := NewTable(Config{})
+		st, err := rtbl.Replay(journal.Recovery{Snapshot: []byte(`{"v":999}`)}, resolveTo(m))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Skipped != 1 {
+			t.Fatalf("stats: %+v", st)
+		}
+	})
+}
+
+// TestJournalPoisonFailsFold: once the journal is closed underneath the
+// table (standing in for a dead disk), acknowledged mutations must fail
+// loudly instead of acking from memory.
+func TestJournalPoisonFailsFold(t *testing.T) {
+	m := testModel(t)
+	dir := t.TempDir()
+	j, _ := openJournal(t, dir)
+	cfg := Config{Ring: 4}
+	cfg.Journal = j
+	tbl := NewTable(cfg)
+	if _, err := tbl.Attach("dev-poison", m, 0, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if _, err := tbl.Fold("dev-poison", []api.StreamObservation{genObs(rng, 1)}, false); err == nil {
+		t.Fatal("fold acknowledged without a durable record")
+	} else if !errors.Is(err, journal.ErrClosed) {
+		t.Fatalf("fold error = %v, want wrapped journal.ErrClosed", err)
+	}
+	if _, err := tbl.Attach("dev-late", m, 0, nil); err == nil {
+		t.Fatal("attach acknowledged without a durable record")
+	}
+}
